@@ -1,0 +1,4 @@
+//! Regenerates the §VII-B squarer-specialisation ablation.
+fn main() {
+    println!("{}", rayflex_bench::ablation_squarer_table());
+}

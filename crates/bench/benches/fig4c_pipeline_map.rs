@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 4c stage map plus the §IV-B throughput accounting.
+fn main() {
+    println!("{}", rayflex_bench::fig4c_pipeline_report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 7 (circuit area vs target clock frequency).
+fn main() {
+    println!("{}", rayflex_bench::fig7_area_table());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 8 (power per operating mode at full throughput, 1 GHz).
+fn main() {
+    println!("{}", rayflex_bench::fig8_power_table());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 9 (ray-triangle power vs target clock frequency).
+fn main() {
+    println!("{}", rayflex_bench::fig9_power_frequency_table());
+}

@@ -1,0 +1,93 @@
+//! Criterion performance benchmarks of the simulator itself: softfloat arithmetic throughput,
+//! functional and cycle-accurate datapath beat rates, and BVH traversal.  These are not paper
+//! claims — they tell library users how fast the Rust model runs on their machine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use rayflex_core::{PipelineConfig, RayFlexDatapath, RayFlexPipeline};
+use rayflex_geometry::{Ray, Vec3};
+use rayflex_rtunit::{Bvh4, TraversalEngine};
+use rayflex_softfloat::RecF32;
+use rayflex_workloads::scenes;
+
+fn bench_softfloat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softfloat");
+    let values: Vec<(RecF32, RecF32)> = (0..1024)
+        .map(|i| {
+            let a = RecF32::from_f32((i as f32 * 0.37).sin() * 1e3);
+            let b = RecF32::from_f32((i as f32 * 0.11).cos() * 1e-2);
+            (a, b)
+        })
+        .collect();
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("add", |bencher| {
+        bencher.iter(|| {
+            values
+                .iter()
+                .fold(RecF32::ZERO, |acc, (a, b)| acc.add(a.add(*b)))
+        })
+    });
+    group.bench_function("mul", |bencher| {
+        bencher.iter(|| {
+            values
+                .iter()
+                .fold(RecF32::ONE, |acc, (a, b)| acc.add(a.mul(*b)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_datapath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datapath");
+    let requests = rayflex_bench::random_ray_box_requests(256, 11);
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    group.bench_function("functional_ray_box_beats", |bencher| {
+        bencher.iter_batched(
+            || RayFlexDatapath::new(PipelineConfig::baseline_unified()),
+            |mut datapath| datapath.execute_batch(&requests),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("cycle_accurate_ray_box_beats", |bencher| {
+        bencher.iter_batched(
+            || RayFlexPipeline::new(PipelineConfig::baseline_unified()),
+            |mut pipeline| pipeline.execute_batch(&requests),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traversal");
+    let triangles = scenes::icosphere(3, 5.0, Vec3::new(0.0, 0.0, 20.0));
+    let bvh = Bvh4::build(&triangles);
+    let rays: Vec<Ray> = (0..64)
+        .map(|i| {
+            let x = (i % 8) as f32 - 3.5;
+            let y = (i / 8) as f32 - 3.5;
+            Ray::new(Vec3::new(x, y, 0.0), Vec3::new(0.0, 0.0, 1.0))
+        })
+        .collect();
+    group.throughput(Throughput::Elements(rays.len() as u64));
+    group.bench_function("icosphere_closest_hit", |bencher| {
+        bencher.iter_batched(
+            TraversalEngine::baseline,
+            |mut engine| engine.closest_hits(&bvh, &triangles, &rays),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Modest sample counts keep `cargo bench --workspace` quick while staying statistically
+    // useful; raise them for publication-quality numbers.
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_softfloat, bench_datapath, bench_traversal
+}
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Runs the §IV-A functional validation: 20 directed cases plus a large random
+//! hardware-vs-golden equivalence sweep.
+fn main() {
+    // The paper verifies with "hundreds of thousands of random test cases"; 20 000 per operation
+    // keeps the default `cargo bench` run quick while staying statistically meaningful.  Set
+    // RAYFLEX_VALIDATION_CASES to raise it.
+    let cases = std::env::var("RAYFLEX_VALIDATION_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    println!("{}", rayflex_bench::validation_report(cases));
+}

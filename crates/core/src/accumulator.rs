@@ -1,0 +1,84 @@
+//! Accumulator registers of the extended datapath (paper §V-A, Fig. 6c stages 9 and 10).
+
+use rayflex_softfloat::RecF32;
+
+/// The three accumulator registers added by the extended datapath: the Euclidean partial-sum
+/// register at stage 10 and the cosine dot-product / candidate-norm registers at stage 9.
+///
+/// A pair of vectors longer than one beat is streamed through the datapath over multiple beats;
+/// each beat adds its partial sum into the matching accumulator and the `reset_accumulator`
+/// input, asserted on the last beat, clears the register *after* that beat's result is reported.
+/// Because the Euclidean and cosine operations use separate registers, multi-beat jobs of the two
+/// kinds (and any number of interleaved ray-box/ray-triangle beats) can be freely interspersed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccumulatorState {
+    /// Running squared-Euclidean-distance sum (stage 10).
+    pub euclidean: RecF32,
+    /// Running dot-product sum (stage 9).
+    pub angular_dot: RecF32,
+    /// Running candidate-norm sum (stage 9).
+    pub angular_norm: RecF32,
+}
+
+impl AccumulatorState {
+    /// Creates cleared accumulators.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a Euclidean partial sum; returns the updated running value and clears the register
+    /// afterwards when `reset` is set.
+    pub fn accumulate_euclidean(&mut self, partial: RecF32, reset: bool) -> RecF32 {
+        let updated = self.euclidean.add(partial);
+        self.euclidean = if reset { RecF32::ZERO } else { updated };
+        updated
+    }
+
+    /// Adds cosine partial sums; returns the updated running `(dot, norm)` values and clears both
+    /// registers afterwards when `reset` is set.
+    pub fn accumulate_cosine(&mut self, dot: RecF32, norm: RecF32, reset: bool) -> (RecF32, RecF32) {
+        let new_dot = self.angular_dot.add(dot);
+        let new_norm = self.angular_norm.add(norm);
+        if reset {
+            self.angular_dot = RecF32::ZERO;
+            self.angular_norm = RecF32::ZERO;
+        } else {
+            self.angular_dot = new_dot;
+            self.angular_norm = new_norm;
+        }
+        (new_dot, new_norm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_accumulates_across_beats_and_clears_on_reset() {
+        let mut acc = AccumulatorState::new();
+        let a = acc.accumulate_euclidean(RecF32::from_f32(1.5), false);
+        assert_eq!(a.to_f32(), 1.5);
+        let b = acc.accumulate_euclidean(RecF32::from_f32(2.5), true);
+        assert_eq!(b.to_f32(), 4.0);
+        // The register cleared after the reset beat.
+        let c = acc.accumulate_euclidean(RecF32::from_f32(1.0), false);
+        assert_eq!(c.to_f32(), 1.0);
+    }
+
+    #[test]
+    fn cosine_accumulators_are_independent_of_the_euclidean_one() {
+        let mut acc = AccumulatorState::new();
+        acc.accumulate_euclidean(RecF32::from_f32(10.0), false);
+        let (dot, norm) = acc.accumulate_cosine(RecF32::from_f32(2.0), RecF32::from_f32(3.0), false);
+        assert_eq!(dot.to_f32(), 2.0);
+        assert_eq!(norm.to_f32(), 3.0);
+        let (dot, norm) = acc.accumulate_cosine(RecF32::from_f32(1.0), RecF32::from_f32(1.0), true);
+        assert_eq!(dot.to_f32(), 3.0);
+        assert_eq!(norm.to_f32(), 4.0);
+        // Cosine cleared, Euclidean untouched.
+        assert_eq!(acc.angular_dot, RecF32::ZERO);
+        assert_eq!(acc.euclidean.to_f32(), 10.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Datapath configurations: the design space of the paper's evaluation (§VI).
+
+use crate::Opcode;
+
+/// Which operations the datapath supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FeatureSet {
+    /// Ray–box and ray–triangle intersection tests only.
+    Baseline,
+    /// Baseline plus the Euclidean- and cosine-distance operations of §V-A.
+    Extended,
+}
+
+/// How functional units are allocated to operations at each stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuSharing {
+    /// Functional units at each stage are shared between operations through operand multiplexers
+    /// (the RayCore/HSU-style design the paper uses as its baseline architecture).
+    Unified,
+    /// Every operation has its own private pool of functional units at each stage (the TTA-style
+    /// alternative of case study §V-B); all operations still enter the same pipeline.
+    Disjoint,
+}
+
+/// A point in the paper's design space: feature set × functional-unit sharing strategy, plus the
+/// stage-3 perturbation used by the squarer-specialisation ablation of §VII-B.
+///
+/// # Example
+///
+/// ```
+/// use rayflex_core::{Opcode, PipelineConfig};
+///
+/// let config = PipelineConfig::extended_disjoint();
+/// assert!(config.supports(Opcode::Euclidean));
+/// assert_eq!(config.name(), "extended-disjoint");
+/// assert!(!PipelineConfig::baseline_unified().supports(Opcode::Cosine));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PipelineConfig {
+    feature_set: FeatureSet,
+    fu_sharing: FuSharing,
+    perturb_squarers: bool,
+}
+
+impl PipelineConfig {
+    /// Creates a configuration.
+    #[must_use]
+    pub fn new(feature_set: FeatureSet, fu_sharing: FuSharing) -> Self {
+        PipelineConfig {
+            feature_set,
+            fu_sharing,
+            perturb_squarers: false,
+        }
+    }
+
+    /// The baseline datapath with a unified (shared) functional-unit pool — the paper's reference
+    /// design.
+    #[must_use]
+    pub fn baseline_unified() -> Self {
+        PipelineConfig::new(FeatureSet::Baseline, FuSharing::Unified)
+    }
+
+    /// The baseline datapath with disjoint per-operation functional units.
+    #[must_use]
+    pub fn baseline_disjoint() -> Self {
+        PipelineConfig::new(FeatureSet::Baseline, FuSharing::Disjoint)
+    }
+
+    /// The extended datapath (Euclidean/cosine support) with a unified functional-unit pool.
+    #[must_use]
+    pub fn extended_unified() -> Self {
+        PipelineConfig::new(FeatureSet::Extended, FuSharing::Unified)
+    }
+
+    /// The extended datapath with disjoint per-operation functional units.
+    #[must_use]
+    pub fn extended_disjoint() -> Self {
+        PipelineConfig::new(FeatureSet::Extended, FuSharing::Disjoint)
+    }
+
+    /// The four configurations evaluated in the paper's Figs. 7–9, in presentation order.
+    #[must_use]
+    pub fn evaluated_configs() -> [PipelineConfig; 4] {
+        [
+            PipelineConfig::baseline_unified(),
+            PipelineConfig::baseline_disjoint(),
+            PipelineConfig::extended_unified(),
+            PipelineConfig::extended_disjoint(),
+        ]
+    }
+
+    /// Enables or disables the §VII-B perturbation: when enabled, the stage-3 multipliers of the
+    /// disjoint Euclidean/cosine paths no longer see both operands from the same wire, so the
+    /// synthesis model cannot specialise them into squarers.
+    #[must_use]
+    pub fn with_squarer_perturbation(mut self, perturb: bool) -> Self {
+        self.perturb_squarers = perturb;
+        self
+    }
+
+    /// The feature set of this configuration.
+    #[must_use]
+    pub fn feature_set(&self) -> FeatureSet {
+        self.feature_set
+    }
+
+    /// The functional-unit sharing strategy of this configuration.
+    #[must_use]
+    pub fn fu_sharing(&self) -> FuSharing {
+        self.fu_sharing
+    }
+
+    /// Whether the squarer-specialisation perturbation is enabled.
+    #[must_use]
+    pub fn squarers_perturbed(&self) -> bool {
+        self.perturb_squarers
+    }
+
+    /// Returns `true` if the configuration can execute the given opcode.
+    #[must_use]
+    pub fn supports(&self, opcode: Opcode) -> bool {
+        self.feature_set == FeatureSet::Extended || !opcode.requires_extended()
+    }
+
+    /// The opcodes this configuration supports.
+    #[must_use]
+    pub fn supported_opcodes(&self) -> &'static [Opcode] {
+        match self.feature_set {
+            FeatureSet::Baseline => &Opcode::BASELINE,
+            FeatureSet::Extended => &Opcode::ALL,
+        }
+    }
+
+    /// The configuration name used throughout the reports, e.g. `"baseline-unified"`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        let feature = match self.feature_set {
+            FeatureSet::Baseline => "baseline",
+            FeatureSet::Extended => "extended",
+        };
+        let sharing = match self.fu_sharing {
+            FuSharing::Unified => "unified",
+            FuSharing::Disjoint => "disjoint",
+        };
+        if self.perturb_squarers {
+            format!("{feature}-{sharing}-perturbed")
+        } else {
+            format!("{feature}-{sharing}")
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::baseline_unified()
+    }
+}
+
+impl core::fmt::Display for PipelineConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_cover_the_design_space() {
+        let names: Vec<String> = PipelineConfig::evaluated_configs()
+            .iter()
+            .map(PipelineConfig::name)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "baseline-unified",
+                "baseline-disjoint",
+                "extended-unified",
+                "extended-disjoint"
+            ]
+        );
+        assert_eq!(
+            PipelineConfig::extended_disjoint()
+                .with_squarer_perturbation(true)
+                .name(),
+            "extended-disjoint-perturbed"
+        );
+    }
+
+    #[test]
+    fn support_follows_the_feature_set() {
+        let base = PipelineConfig::baseline_unified();
+        assert!(base.supports(Opcode::RayBox));
+        assert!(base.supports(Opcode::RayTriangle));
+        assert!(!base.supports(Opcode::Euclidean));
+        assert_eq!(base.supported_opcodes().len(), 2);
+        let ext = PipelineConfig::extended_unified();
+        assert!(ext.supports(Opcode::Cosine));
+        assert_eq!(ext.supported_opcodes().len(), 4);
+    }
+
+    #[test]
+    fn default_is_the_paper_reference_design() {
+        let d = PipelineConfig::default();
+        assert_eq!(d, PipelineConfig::baseline_unified());
+        assert_eq!(d.feature_set(), FeatureSet::Baseline);
+        assert_eq!(d.fu_sharing(), FuSharing::Unified);
+        assert!(!d.squarers_perturbed());
+        assert_eq!(d.to_string(), "baseline-unified");
+    }
+}

@@ -1,0 +1,130 @@
+//! The functional (un-timed) model of the datapath.
+
+use crate::stages;
+use crate::{AccumulatorState, PipelineConfig, RayFlexRequest, RayFlexResponse};
+
+/// A purely functional model of the RayFlex datapath: each call to [`RayFlexDatapath::execute`]
+/// runs one beat through all eleven stages immediately.
+///
+/// The functional model shares every line of stage logic with the cycle-accurate
+/// [`RayFlexPipeline`](crate::RayFlexPipeline) — including the accumulator state of the extended
+/// operations — so the two produce identical results; only timing information differs.  Use this
+/// model for workload-level studies (BVH traversal, k-nearest-neighbour search) where simulating
+/// every pipeline register would be needlessly slow.
+///
+/// # Example
+///
+/// ```
+/// use rayflex_core::{PipelineConfig, RayFlexDatapath, RayFlexRequest};
+///
+/// let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
+/// let beat = RayFlexRequest::euclidean(0, [2.0; 16], [0.0; 16], u16::MAX, true);
+/// let response = datapath.execute(&beat);
+/// assert_eq!(response.distance_result.unwrap().euclidean_accumulator, 64.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RayFlexDatapath {
+    config: PipelineConfig,
+    accumulators: AccumulatorState,
+    executed: u64,
+}
+
+impl RayFlexDatapath {
+    /// Creates a functional datapath for the given configuration.
+    #[must_use]
+    pub fn new(config: PipelineConfig) -> Self {
+        RayFlexDatapath {
+            config,
+            accumulators: AccumulatorState::new(),
+            executed: 0,
+        }
+    }
+
+    /// The configuration this datapath models.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Number of beats executed so far.
+    #[must_use]
+    pub fn executed_beats(&self) -> u64 {
+        self.executed
+    }
+
+    /// The current accumulator state (useful for inspecting multi-beat distance jobs).
+    #[must_use]
+    pub fn accumulators(&self) -> &AccumulatorState {
+        &self.accumulators
+    }
+
+    /// Executes one beat through all eleven stages and returns its response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the beat's opcode is not supported by this configuration (issuing a Euclidean or
+    /// cosine beat to a baseline datapath), mirroring the undefined behaviour of driving an
+    /// absent opcode into the RTL.
+    pub fn execute(&mut self, request: &RayFlexRequest) -> RayFlexResponse {
+        assert!(
+            self.config.supports(request.opcode),
+            "opcode {} is not supported by the {} configuration",
+            request.opcode,
+            self.config.name()
+        );
+        self.executed += 1;
+        let entry = crate::SharedRayFlexData::from_request(request);
+        let exit = stages::apply_all_middle_stages(&entry, &mut self.accumulators);
+        exit.to_response()
+    }
+
+    /// Executes a batch of beats in order and collects their responses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any beat's opcode is unsupported (see [`RayFlexDatapath::execute`]).
+    pub fn execute_batch(&mut self, requests: &[RayFlexRequest]) -> Vec<RayFlexResponse> {
+        requests.iter().map(|r| self.execute(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayflex_geometry::{Aabb, Ray, Triangle, Vec3};
+
+    #[test]
+    fn executes_box_and_triangle_beats() {
+        let mut dp = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        let boxes = [Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)); 4];
+        let tri = Triangle::new(
+            Vec3::new(-1.0, -1.0, 3.0),
+            Vec3::new(1.0, -1.0, 3.0),
+            Vec3::new(0.0, 1.0, 3.0),
+        );
+        let responses = dp.execute_batch(&[
+            RayFlexRequest::ray_box(0, &ray, &boxes),
+            RayFlexRequest::ray_triangle(1, &ray, &tri),
+        ]);
+        assert_eq!(responses.len(), 2);
+        assert!(responses[0].box_result.unwrap().hit.iter().all(|&h| h));
+        assert!(responses[1].triangle_result.unwrap().hit);
+        assert_eq!(dp.executed_beats(), 2);
+        assert_eq!(dp.config().name(), "baseline-unified");
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn baseline_configuration_rejects_distance_beats() {
+        let mut dp = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let _ = dp.execute(&RayFlexRequest::euclidean(0, [0.0; 16], [0.0; 16], 0, false));
+    }
+
+    #[test]
+    fn accumulator_state_is_visible() {
+        let mut dp = RayFlexDatapath::new(PipelineConfig::extended_unified());
+        dp.execute(&RayFlexRequest::euclidean(0, [1.0; 16], [0.0; 16], u16::MAX, false));
+        assert_eq!(dp.accumulators().euclidean.to_f32(), 16.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Hardware inventories of the datapath configurations (paper Fig. 4c and Fig. 6c).
+//!
+//! The inventory is the bridge between the datapath model and the virtual synthesis flow in
+//! `rayflex-synth`: for a given [`PipelineConfig`] it lists, per pipeline stage, how many
+//! functional units of each kind exist, how many operand multiplexers the sharing strategy
+//! requires, and how many pipeline-register bits survive dead-node elimination (from the
+//! [`crate::liveness`] table).
+
+use rayflex_hw::{FuKind, HardwareInventory, StageInventory};
+
+use crate::stages::STAGE_COUNT;
+use crate::{liveness, FuSharing, Opcode, PipelineConfig};
+
+/// The functional units one operation needs at one intermediate stage (2–10), as allocated in
+/// Fig. 4c (baseline operations) and Fig. 6c (extended operations).  This is both the disjoint
+/// design's per-operation private pool and the activity set the operation exercises when it
+/// flows through any design.
+#[must_use]
+pub fn op_fu_requirements(opcode: Opcode, stage: usize) -> Vec<(FuKind, u32)> {
+    use FuKind::*;
+    use Opcode::*;
+    let list: &[(FuKind, u32)] = match (opcode, stage) {
+        (RayBox, 2) => &[(Adder, 24)],
+        (RayBox, 3) => &[(Multiplier, 24)],
+        (RayBox, 4) => &[(Comparator, 40)],
+        (RayBox, 10) => &[(QuadSortNetwork, 2)],
+        (RayTriangle, 2) => &[(Adder, 9)],
+        (RayTriangle, 3) => &[(Multiplier, 9)],
+        (RayTriangle, 4) => &[(Adder, 6)],
+        (RayTriangle, 5) => &[(Multiplier, 6)],
+        (RayTriangle, 6) => &[(Adder, 3)],
+        (RayTriangle, 7) => &[(Multiplier, 3)],
+        (RayTriangle, 8) => &[(Adder, 2)],
+        (RayTriangle, 9) => &[(Adder, 2)],
+        (RayTriangle, 10) => &[(Comparator, 5)],
+        (Euclidean, 2) => &[(Adder, 16)],
+        (Euclidean, 3) => &[(Multiplier, 16)],
+        (Euclidean, 4) => &[(Adder, 8)],
+        (Euclidean, 6) => &[(Adder, 4)],
+        (Euclidean, 8) => &[(Adder, 2)],
+        (Euclidean, 9) => &[(Adder, 1)],
+        (Euclidean, 10) => &[(Adder, 1)],
+        (Cosine, 3) => &[(Multiplier, 16)],
+        (Cosine, 4) => &[(Adder, 8)],
+        (Cosine, 6) => &[(Adder, 4)],
+        (Cosine, 8) => &[(Adder, 2)],
+        (Cosine, 9) => &[(Adder, 2)],
+        _ => &[],
+    };
+    list.to_vec()
+}
+
+/// How many of an operation's stage-3 multipliers see both operands from the same wire and can
+/// therefore be specialised into squarers by the synthesiser when the operation owns private
+/// functional units (§VII-B): all sixteen for the Euclidean operation (element-wise squares of
+/// the differences) and eight of the sixteen for the cosine operation (element-wise squares of
+/// the candidate vector).
+#[must_use]
+pub fn op_squarer_capable_multipliers(opcode: Opcode, stage: usize) -> u32 {
+    match (opcode, stage) {
+        (Opcode::Euclidean, 3) => 16,
+        (Opcode::Cosine, 3) => 8,
+        _ => 0,
+    }
+}
+
+/// Number of stage-1 input format converters (one per FP32 field of the IO request that the
+/// feature set uses).
+#[must_use]
+pub fn input_converters(config: &PipelineConfig) -> u32 {
+    // Ray (16) + four boxes (24) + triangle (9); the extension adds the two 16-lane vectors (32).
+    let baseline = 16 + 24 + 9;
+    if config.supports(Opcode::Euclidean) {
+        baseline + 32
+    } else {
+        baseline
+    }
+}
+
+/// Number of stage-11 output format converters (one per FP32 field of the IO response).
+#[must_use]
+pub fn output_converters(config: &PipelineConfig) -> u32 {
+    // Four sorted entry distances + the triangle numerator/denominator pair; the extension adds
+    // the Euclidean accumulator and the two cosine accumulators.
+    let baseline = 4 + 2;
+    if config.supports(Opcode::Euclidean) {
+        baseline + 3
+    } else {
+        baseline
+    }
+}
+
+/// Builds the full hardware inventory of a configuration.
+#[must_use]
+pub fn build_inventory(config: &PipelineConfig) -> HardwareInventory {
+    let mut inventory = HardwareInventory::new(config.name());
+    for stage in 1..=STAGE_COUNT {
+        let mut entry = StageInventory::new();
+        match stage {
+            1 => entry.add_fu(FuKind::FormatConverterIn, input_converters(config)),
+            11 => entry.add_fu(FuKind::FormatConverterOut, output_converters(config)),
+            _ => populate_middle_stage(&mut entry, config, stage),
+        }
+        entry.set_register_bits(liveness::live_register_bits(config, stage));
+        entry.set_accumulator_bits(accumulator_bits(config, stage));
+        inventory.push_stage(entry);
+    }
+    inventory
+}
+
+/// Accumulator-register bits added by the extended design: two 33-bit registers at stage 9 for
+/// the cosine sums and one at stage 10 for the Euclidean sum (Fig. 6c).
+#[must_use]
+pub fn accumulator_bits(config: &PipelineConfig, stage: usize) -> u32 {
+    if !config.supports(Opcode::Euclidean) {
+        return 0;
+    }
+    match stage {
+        9 => 66,
+        10 => 33,
+        _ => 0,
+    }
+}
+
+fn populate_middle_stage(entry: &mut StageInventory, config: &PipelineConfig, stage: usize) {
+    let ops = config.supported_opcodes();
+    let compute_kinds = [
+        FuKind::Adder,
+        FuKind::Multiplier,
+        FuKind::Comparator,
+        FuKind::QuadSortNetwork,
+    ];
+    let mut mux_legs = 0u32;
+    for kind in compute_kinds {
+        let per_op: Vec<u32> = ops
+            .iter()
+            .map(|&op| {
+                op_fu_requirements(op, stage)
+                    .iter()
+                    .find(|(k, _)| *k == kind)
+                    .map_or(0, |(_, count)| *count)
+            })
+            .collect();
+        let sum: u32 = per_op.iter().sum();
+        let count = match config.fu_sharing() {
+            FuSharing::Unified => per_op.iter().copied().max().unwrap_or(0),
+            FuSharing::Disjoint => sum,
+        };
+        if count == 0 {
+            continue;
+        }
+        // Operand routing: every operation drives its own operand legs into the units it uses,
+        // and every unit carries a zero-gating leg for power gating (§VII-B).
+        mux_legs += sum + count;
+        if kind == FuKind::Multiplier {
+            let squarers = squarer_count(config, stage);
+            entry.add_fu(FuKind::Multiplier, count - squarers);
+            entry.add_fu(FuKind::Squarer, squarers);
+        } else {
+            entry.add_fu(kind, count);
+        }
+    }
+    entry.add_fu(FuKind::OperandMux, mux_legs);
+}
+
+/// Number of multiplier instances at `stage` that the synthesiser specialises into squarers for
+/// this configuration: only possible in the disjoint design (private units) and only when the
+/// §VII-B perturbation is off.
+#[must_use]
+pub fn squarer_count(config: &PipelineConfig, stage: usize) -> u32 {
+    if config.fu_sharing() != FuSharing::Disjoint || config.squarers_perturbed() {
+        return 0;
+    }
+    config
+        .supported_opcodes()
+        .iter()
+        .map(|&op| op_squarer_capable_multipliers(op, stage))
+        .sum()
+    }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_unified_matches_fig_4c() {
+        let inv = build_inventory(&PipelineConfig::baseline_unified());
+        assert_eq!(inv.stage_count(), 11);
+        let s = inv.stages();
+        assert_eq!(s[1].fu_count(FuKind::Adder), 24, "stage 2");
+        assert_eq!(s[2].fu_count(FuKind::Multiplier), 24, "stage 3");
+        assert_eq!(s[3].fu_count(FuKind::Comparator), 40, "stage 4");
+        assert_eq!(s[3].fu_count(FuKind::Adder), 6, "stage 4");
+        assert_eq!(s[4].fu_count(FuKind::Multiplier), 6, "stage 5");
+        assert_eq!(s[5].fu_count(FuKind::Adder), 3, "stage 6");
+        assert_eq!(s[6].fu_count(FuKind::Multiplier), 3, "stage 7");
+        assert_eq!(s[7].fu_count(FuKind::Adder), 2, "stage 8");
+        assert_eq!(s[8].fu_count(FuKind::Adder), 2, "stage 9");
+        assert_eq!(s[9].fu_count(FuKind::QuadSortNetwork), 2, "stage 10");
+        assert_eq!(s[9].fu_count(FuKind::Comparator), 5, "stage 10");
+        assert_eq!(s[0].fu_count(FuKind::FormatConverterIn), 49, "stage 1");
+        assert_eq!(s[10].fu_count(FuKind::FormatConverterOut), 6, "stage 11");
+    }
+
+    #[test]
+    fn baseline_unified_peak_throughput_is_125_ops_per_cycle() {
+        // The §IV-B accounting: 37 adders + 33 multipliers + 45 comparators + 2 quad-sorts
+        // (counted as five comparators each) = 125 operations per cycle.
+        let inv = build_inventory(&PipelineConfig::baseline_unified());
+        assert_eq!(inv.peak_ops_per_cycle(), 125);
+        assert_eq!(inv.fu_count(FuKind::Adder), 37);
+        assert_eq!(inv.fu_count(FuKind::Multiplier), 33);
+        assert_eq!(inv.fu_count(FuKind::Comparator), 45);
+        assert_eq!(inv.fu_count(FuKind::QuadSortNetwork), 2);
+    }
+
+    #[test]
+    fn extended_unified_adds_the_fig_6c_assets() {
+        let base = build_inventory(&PipelineConfig::baseline_unified());
+        let ext = build_inventory(&PipelineConfig::extended_unified());
+        // Fig. 6c: +2 adders at stage 4, +1 at stage 6, +1 at stage 10, and three accumulator
+        // registers; the stage-2/3/8/9 units are fully shared.
+        assert_eq!(ext.stages()[3].fu_count(FuKind::Adder), 8);
+        assert_eq!(ext.stages()[5].fu_count(FuKind::Adder), 4);
+        assert_eq!(ext.stages()[7].fu_count(FuKind::Adder), 2);
+        assert_eq!(ext.stages()[9].fu_count(FuKind::Adder), 1);
+        assert_eq!(ext.fu_count(FuKind::Adder), base.fu_count(FuKind::Adder) + 4);
+        assert_eq!(ext.fu_count(FuKind::Multiplier), base.fu_count(FuKind::Multiplier));
+        assert_eq!(ext.accumulator_bits(), 99);
+        assert_eq!(base.accumulator_bits(), 0);
+    }
+
+    #[test]
+    fn disjoint_designs_provision_private_units() {
+        let base_dis = build_inventory(&PipelineConfig::baseline_disjoint());
+        // Stage 2: 24 (box) + 9 (triangle) private adders; stage 3 likewise for multipliers.
+        assert_eq!(base_dis.stages()[1].fu_count(FuKind::Adder), 33);
+        assert_eq!(base_dis.stages()[2].fu_count(FuKind::Multiplier), 33);
+
+        let ext_dis = build_inventory(&PipelineConfig::extended_disjoint());
+        assert_eq!(ext_dis.stages()[1].fu_count(FuKind::Adder), 49);
+        // Stage 3: 65 private multipliers, 24 of which specialise into squarers.
+        assert_eq!(
+            ext_dis.stages()[2].fu_count(FuKind::Multiplier)
+                + ext_dis.stages()[2].fu_count(FuKind::Squarer),
+            65
+        );
+        assert_eq!(ext_dis.stages()[2].fu_count(FuKind::Squarer), 24);
+    }
+
+    #[test]
+    fn perturbation_removes_the_squarers() {
+        let perturbed = build_inventory(
+            &PipelineConfig::extended_disjoint().with_squarer_perturbation(true),
+        );
+        assert_eq!(perturbed.stages()[2].fu_count(FuKind::Squarer), 0);
+        assert_eq!(perturbed.stages()[2].fu_count(FuKind::Multiplier), 65);
+        // Unified designs can never specialise (the units are shared between operations).
+        let unified = build_inventory(&PipelineConfig::extended_unified());
+        assert_eq!(unified.fu_count(FuKind::Squarer), 0);
+    }
+
+    #[test]
+    fn register_bits_grow_when_operations_are_added_but_not_when_sharing_changes() {
+        let base_uni = build_inventory(&PipelineConfig::baseline_unified());
+        let base_dis = build_inventory(&PipelineConfig::baseline_disjoint());
+        let ext_uni = build_inventory(&PipelineConfig::extended_unified());
+        assert_eq!(base_uni.register_bits(), base_dis.register_bits());
+        assert!(ext_uni.register_bits() > base_uni.register_bits());
+    }
+
+    #[test]
+    fn unified_sharing_never_uses_more_units_than_disjoint() {
+        for (uni, dis) in [
+            (PipelineConfig::baseline_unified(), PipelineConfig::baseline_disjoint()),
+            (PipelineConfig::extended_unified(), PipelineConfig::extended_disjoint()),
+        ] {
+            let uni = build_inventory(&uni);
+            let dis = build_inventory(&dis);
+            for kind in [FuKind::Adder, FuKind::Multiplier, FuKind::Comparator] {
+                assert!(uni.fu_count(kind) <= dis.fu_count(kind) + dis.fu_count(FuKind::Squarer));
+            }
+        }
+    }
+}

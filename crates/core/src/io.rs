@@ -1,0 +1,319 @@
+//! The IO specification of the datapath (paper §III-A plus the extended fields of §V-A).
+//!
+//! The specification follows the RDNA3 `IMAGE_BVH_INTERSECT_RAY` instruction: each beat carries
+//! one opcode, one ray, one triangle and four boxes (only the operands selected by the opcode are
+//! valid), plus — on the extended datapath — two sixteen-element vectors, a lane mask and an
+//! accumulator-reset flag.  All floating-point IO is IEEE binary32; the first and last pipeline
+//! stages convert to and from the internal recoded format.
+
+use rayflex_geometry::{Aabb, Ray, Triangle, Vec3};
+
+pub use rayflex_geometry::golden::distance::{COSINE_LANES, EUCLIDEAN_LANES};
+
+use crate::Opcode;
+
+/// The ray operand: sixteen FP32 values as specified by the RDNA3 ISA (origin, direction,
+/// inverse direction, extent) plus the six pre-computed shear values and the three axis-renaming
+/// indices the paper adds for the watertight test (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RayOperand {
+    /// Ray origin.
+    pub origin: [f32; 3],
+    /// Ray direction.
+    pub dir: [f32; 3],
+    /// Element-wise inverse of the direction.
+    pub inv_dir: [f32; 3],
+    /// Start of the parametric extent.
+    pub t_beg: f32,
+    /// End of the parametric extent.
+    pub t_end: f32,
+    /// Axis-renaming indices `(kx, ky, kz)` (each 0, 1 or 2).
+    pub k: [u8; 3],
+    /// Shear constants `(Sx, Sy, Sz)`.
+    pub shear: [f32; 3],
+}
+
+impl RayOperand {
+    /// Builds the operand from a geometry ray (which already carries the pre-computed inverse
+    /// direction and shear constants).
+    #[must_use]
+    pub fn from_ray(ray: &Ray) -> Self {
+        RayOperand {
+            origin: ray.origin.to_array(),
+            dir: ray.dir.to_array(),
+            inv_dir: ray.inv_dir.to_array(),
+            t_beg: ray.t_beg,
+            t_end: ray.t_end,
+            k: [
+                ray.shear.kx.index() as u8,
+                ray.shear.ky.index() as u8,
+                ray.shear.kz.index() as u8,
+            ],
+            shear: [ray.shear.sx, ray.shear.sy, ray.shear.sz],
+        }
+    }
+
+    /// A zeroed placeholder operand (used when the beat's opcode does not need a ray).
+    #[must_use]
+    pub fn disabled() -> Self {
+        RayOperand {
+            origin: [0.0; 3],
+            dir: [0.0, 0.0, 1.0],
+            inv_dir: [f32::INFINITY, f32::INFINITY, 1.0],
+            t_beg: 0.0,
+            t_end: 0.0,
+            k: [0, 1, 2],
+            shear: [0.0, 0.0, 1.0],
+        }
+    }
+}
+
+/// One request beat presented at the datapath input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RayFlexRequest {
+    /// The operation to perform this beat.
+    pub opcode: Opcode,
+    /// A caller-chosen identifier carried through the pipeline unchanged (models the thread /
+    /// transaction id the RT unit uses to match results to rays).
+    pub tag: u64,
+    /// The ray operand (valid for ray–box and ray–triangle beats).
+    pub ray: RayOperand,
+    /// The four candidate child boxes (valid for ray–box beats).
+    pub boxes: [Aabb; 4],
+    /// The triangle operand (valid for ray–triangle beats).
+    pub triangle: Triangle,
+    /// First distance-operand vector (query), sixteen lanes (valid for Euclidean/cosine beats).
+    pub euclidean_a: [f32; EUCLIDEAN_LANES],
+    /// Second distance-operand vector (candidate), sixteen lanes.
+    pub euclidean_b: [f32; EUCLIDEAN_LANES],
+    /// Lane-validity mask for the distance operations (bit set = lane participates).
+    pub euclidean_mask: u16,
+    /// When set, this beat is the last of a (possibly multi-beat) vector pair: the accumulated
+    /// result is reported and the accumulator clears afterwards.
+    pub reset_accumulator: bool,
+}
+
+impl RayFlexRequest {
+    fn blank(opcode: Opcode, tag: u64) -> Self {
+        let degenerate_box = Aabb::new(Vec3::ZERO, Vec3::ZERO);
+        RayFlexRequest {
+            opcode,
+            tag,
+            ray: RayOperand::disabled(),
+            boxes: [degenerate_box; 4],
+            triangle: Triangle::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)),
+            euclidean_a: [0.0; EUCLIDEAN_LANES],
+            euclidean_b: [0.0; EUCLIDEAN_LANES],
+            euclidean_mask: 0,
+            reset_accumulator: false,
+        }
+    }
+
+    /// A ray–box beat: test `ray` against four candidate child boxes.
+    #[must_use]
+    pub fn ray_box(tag: u64, ray: &Ray, boxes: &[Aabb; 4]) -> Self {
+        RayFlexRequest {
+            ray: RayOperand::from_ray(ray),
+            boxes: *boxes,
+            ..Self::blank(Opcode::RayBox, tag)
+        }
+    }
+
+    /// A ray–triangle beat.
+    #[must_use]
+    pub fn ray_triangle(tag: u64, ray: &Ray, triangle: &Triangle) -> Self {
+        RayFlexRequest {
+            ray: RayOperand::from_ray(ray),
+            triangle: *triangle,
+            ..Self::blank(Opcode::RayTriangle, tag)
+        }
+    }
+
+    /// A Euclidean-distance beat over up to sixteen lanes.
+    #[must_use]
+    pub fn euclidean(
+        tag: u64,
+        a: [f32; EUCLIDEAN_LANES],
+        b: [f32; EUCLIDEAN_LANES],
+        mask: u16,
+        reset_accumulator: bool,
+    ) -> Self {
+        RayFlexRequest {
+            euclidean_a: a,
+            euclidean_b: b,
+            euclidean_mask: mask,
+            reset_accumulator,
+            ..Self::blank(Opcode::Euclidean, tag)
+        }
+    }
+
+    /// A cosine-distance beat over up to eight lanes (packed into the low lanes of the shared
+    /// vector operands).
+    #[must_use]
+    pub fn cosine(
+        tag: u64,
+        a: [f32; COSINE_LANES],
+        b: [f32; COSINE_LANES],
+        mask: u8,
+        reset_accumulator: bool,
+    ) -> Self {
+        let mut full_a = [0.0; EUCLIDEAN_LANES];
+        let mut full_b = [0.0; EUCLIDEAN_LANES];
+        full_a[..COSINE_LANES].copy_from_slice(&a);
+        full_b[..COSINE_LANES].copy_from_slice(&b);
+        RayFlexRequest {
+            euclidean_a: full_a,
+            euclidean_b: full_b,
+            euclidean_mask: u16::from(mask),
+            reset_accumulator,
+            ..Self::blank(Opcode::Cosine, tag)
+        }
+    }
+}
+
+/// The result of a ray–box beat: per-box hit flags and entry distances (in input order) plus the
+/// four child slots sorted by their order of intersection, as the RDNA3 instruction returns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxResult {
+    /// Hit status of each input box, in input order.
+    pub hit: [bool; 4],
+    /// Entry distance (`tmin`) of each input box, in input order; only meaningful for hits.
+    pub t_entry: [f32; 4],
+    /// The four child indices sorted by order of intersection (hits first, nearest first).
+    pub traversal_order: [usize; 4],
+}
+
+impl BoxResult {
+    /// Iterator over the child indices that actually hit, in traversal (nearest-first) order.
+    pub fn hits_in_order(&self) -> impl Iterator<Item = usize> + '_ {
+        self.traversal_order
+            .iter()
+            .copied()
+            .filter(move |&i| self.hit[i])
+    }
+}
+
+/// The result of a ray–triangle beat.  The intersection distance is reported as a
+/// numerator/denominator pair because the datapath contains no dividers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriangleResult {
+    /// Whether the ray hits the front face of the triangle.
+    pub hit: bool,
+    /// Numerator of the hit distance.
+    pub t_num: f32,
+    /// Denominator of the hit distance (the barycentric determinant).
+    pub det: f32,
+    /// Scaled barycentric coordinate U.
+    pub u: f32,
+    /// Scaled barycentric coordinate V.
+    pub v: f32,
+    /// Scaled barycentric coordinate W.
+    pub w: f32,
+}
+
+impl TriangleResult {
+    /// The parametric hit distance `t_num / det` (the division the GPU core performs after the
+    /// datapath returns).  NaN when the determinant is zero, which only happens for misses.
+    #[must_use]
+    pub fn distance(&self) -> f32 {
+        self.t_num / self.det
+    }
+}
+
+/// The result of a Euclidean or cosine beat on the extended datapath.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceResult {
+    /// Running squared-Euclidean-distance accumulator value after this beat.
+    pub euclidean_accumulator: f32,
+    /// Echo of the `reset_accumulator` input from eleven cycles ago: this beat completed a
+    /// Euclidean vector pair.
+    pub euclidean_reset: bool,
+    /// Running dot-product accumulator value after this beat (cosine numerator).
+    pub angular_dot_product: f32,
+    /// Running candidate-norm accumulator value after this beat (cosine denominator, squared).
+    pub angular_norm: f32,
+    /// Echo of the `reset_accumulator` input from eleven cycles ago: this beat completed a cosine
+    /// vector pair.
+    pub angular_reset: bool,
+}
+
+/// One response beat presented at the datapath output, eleven cycles after the corresponding
+/// request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RayFlexResponse {
+    /// The opcode of the originating request.
+    pub opcode: Opcode,
+    /// The tag of the originating request.
+    pub tag: u64,
+    /// Present when the request was a ray–box beat.
+    pub box_result: Option<BoxResult>,
+    /// Present when the request was a ray–triangle beat.
+    pub triangle_result: Option<TriangleResult>,
+    /// Present when the request was a Euclidean or cosine beat.
+    pub distance_result: Option<DistanceResult>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayflex_geometry::Vec3;
+
+    fn test_ray() -> Ray {
+        Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.1, 0.2, 1.0))
+    }
+
+    #[test]
+    fn ray_operand_mirrors_the_geometry_ray() {
+        let ray = test_ray();
+        let op = RayOperand::from_ray(&ray);
+        assert_eq!(op.origin, [0.0, 0.0, -5.0]);
+        assert_eq!(op.dir, [0.1, 0.2, 1.0]);
+        assert_eq!(op.inv_dir[2], 1.0);
+        assert_eq!(op.k[2], 2, "dominant axis is z");
+        assert_eq!(op.shear[2], 1.0);
+        assert_eq!(op.t_beg, 0.0);
+        assert!(op.t_end.is_infinite());
+    }
+
+    #[test]
+    fn request_constructors_select_the_opcode() {
+        let ray = test_ray();
+        let boxes = [Aabb::new(Vec3::ZERO, Vec3::ONE); 4];
+        let tri = Triangle::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0));
+        assert_eq!(RayFlexRequest::ray_box(1, &ray, &boxes).opcode, Opcode::RayBox);
+        assert_eq!(
+            RayFlexRequest::ray_triangle(2, &ray, &tri).opcode,
+            Opcode::RayTriangle
+        );
+        let e = RayFlexRequest::euclidean(3, [1.0; 16], [2.0; 16], u16::MAX, true);
+        assert_eq!(e.opcode, Opcode::Euclidean);
+        assert!(e.reset_accumulator);
+        let c = RayFlexRequest::cosine(4, [1.0; 8], [2.0; 8], u8::MAX, false);
+        assert_eq!(c.opcode, Opcode::Cosine);
+        assert_eq!(c.euclidean_mask, 0x00FF);
+        assert_eq!(c.euclidean_a[8..], [0.0; 8]);
+    }
+
+    #[test]
+    fn box_result_iterates_hits_in_traversal_order() {
+        let r = BoxResult {
+            hit: [true, false, true, false],
+            t_entry: [5.0, 0.0, 2.0, 0.0],
+            traversal_order: [2, 0, 1, 3],
+        };
+        assert_eq!(r.hits_in_order().collect::<Vec<_>>(), vec![2, 0]);
+    }
+
+    #[test]
+    fn triangle_result_distance_is_the_quotient() {
+        let r = TriangleResult {
+            hit: true,
+            t_num: 12.0,
+            det: 4.0,
+            u: 1.0,
+            v: 1.0,
+            w: 2.0,
+        };
+        assert_eq!(r.distance(), 3.0);
+    }
+}

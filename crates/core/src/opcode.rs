@@ -1,0 +1,73 @@
+//! Operation codes of the datapath.
+
+/// The operation requested of the datapath for one beat, selected per cycle by the opcode input
+/// (paper §III-A: each cycle either the triangle or the box operands are valid; the extended
+/// design of §V-A adds the two distance operations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Opcode {
+    /// Four parallel ray–box intersection tests plus the sort of the four children by their order
+    /// of intersection.
+    RayBox,
+    /// One watertight ray–triangle intersection test.
+    RayTriangle,
+    /// One sixteen-lane beat of the squared-Euclidean-distance accumulation (extended design).
+    Euclidean,
+    /// One eight-lane beat of the cosine-distance accumulation (extended design).
+    Cosine,
+}
+
+impl Opcode {
+    /// All opcodes, in a stable order.
+    pub const ALL: [Opcode; 4] = [
+        Opcode::RayBox,
+        Opcode::RayTriangle,
+        Opcode::Euclidean,
+        Opcode::Cosine,
+    ];
+
+    /// The two opcodes supported by the baseline datapath.
+    pub const BASELINE: [Opcode; 2] = [Opcode::RayBox, Opcode::RayTriangle];
+
+    /// Returns `true` if the opcode is only available on the extended datapath.
+    #[must_use]
+    pub fn requires_extended(self) -> bool {
+        matches!(self, Opcode::Euclidean | Opcode::Cosine)
+    }
+
+    /// A short lowercase name used in reports (`ray-box`, `ray-triangle`, `euclidean`, `cosine`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::RayBox => "ray-box",
+            Opcode::RayTriangle => "ray-triangle",
+            Opcode::Euclidean => "euclidean",
+            Opcode::Cosine => "cosine",
+        }
+    }
+}
+
+impl core::fmt::Display for Opcode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_opcodes_do_not_require_the_extension() {
+        assert!(!Opcode::RayBox.requires_extended());
+        assert!(!Opcode::RayTriangle.requires_extended());
+        assert!(Opcode::Euclidean.requires_extended());
+        assert!(Opcode::Cosine.requires_extended());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::BTreeSet<_> = Opcode::ALL.iter().map(|o| o.name()).collect();
+        assert_eq!(names.len(), 4);
+        assert_eq!(Opcode::RayBox.to_string(), "ray-box");
+    }
+}

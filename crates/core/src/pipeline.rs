@@ -1,0 +1,302 @@
+//! The cycle-accurate elastic-pipeline model of the datapath.
+
+use rayflex_hw::ActivityTrace;
+use rayflex_rtl::{ElasticPipeline, SkidBuffer, TickResult};
+
+use crate::stages::{self, FIRST_MIDDLE_STAGE, LAST_MIDDLE_STAGE, STAGE_COUNT};
+use crate::{activity, AccumulatorState, PipelineConfig, RayFlexRequest, RayFlexResponse, SharedRayFlexData};
+
+/// The fixed pipeline depth (and therefore the un-stalled latency in cycles) of the datapath:
+/// eleven stages, including the two format-conversion stages (paper §III-D).
+pub const PIPELINE_DEPTH: usize = STAGE_COUNT;
+
+/// Aggregate timing statistics of a [`RayFlexPipeline`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Beats accepted at the input interface.
+    pub issued: u64,
+    /// Beats delivered at the output interface.
+    pub completed: u64,
+    /// Clock cycles simulated.
+    pub cycles: u64,
+    /// Stall cycles accumulated across all stages (back-pressure visibility).
+    pub stall_cycles: u64,
+}
+
+/// The cycle-accurate RayFlex pipeline: eleven skid-buffer stages carrying the Shared RayFlex
+/// Data Structure, with a throughput of one operation per cycle and a fixed latency of eleven
+/// cycles when un-stalled.
+///
+/// Besides producing bit-exact results (it shares its stage logic with
+/// [`RayFlexDatapath`](crate::RayFlexDatapath)), the pipeline records an [`ActivityTrace`] of
+/// functional-unit operations and register writes, which the `rayflex-synth` power model consumes
+/// in place of the paper's VCD stimulus files.
+///
+/// # Example
+///
+/// ```
+/// use rayflex_core::{PipelineConfig, RayFlexPipeline, RayFlexRequest, PIPELINE_DEPTH};
+/// use rayflex_geometry::{Aabb, Ray, Vec3};
+///
+/// let mut pipe = RayFlexPipeline::new(PipelineConfig::baseline_unified());
+/// let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+/// let boxes = [Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)); 4];
+/// let requests = vec![RayFlexRequest::ray_box(0, &ray, &boxes); 8];
+/// let responses = pipe.execute_batch(&requests);
+/// assert_eq!(responses.len(), 8);
+/// // 8 beats at one per cycle through an 11-stage pipeline.
+/// assert_eq!(pipe.stats().cycles, (PIPELINE_DEPTH + 8) as u64);
+/// ```
+pub struct RayFlexPipeline {
+    config: PipelineConfig,
+    inner: ElasticPipeline<RayFlexRequest, SharedRayFlexData, RayFlexResponse>,
+    trace: ActivityTrace,
+    stats: PipelineStats,
+}
+
+impl RayFlexPipeline {
+    /// Builds the pipeline for a configuration.
+    #[must_use]
+    pub fn new(config: PipelineConfig) -> Self {
+        let entry = SkidBuffer::from_fn("stage01-format-in", |request: &RayFlexRequest| {
+            SharedRayFlexData::from_request(request)
+        });
+        let middle = (FIRST_MIDDLE_STAGE..=LAST_MIDDLE_STAGE)
+            .map(|stage| {
+                // Stages 9 and 10 own the accumulator registers of the extended design; giving
+                // every stage its own (mostly unused) accumulator keeps the closure uniform.
+                let mut acc = AccumulatorState::new();
+                SkidBuffer::from_fn(format!("stage{stage:02}"), move |data: &SharedRayFlexData| {
+                    stages::apply_middle_stage(stage, data, &mut acc)
+                })
+            })
+            .collect();
+        let exit = SkidBuffer::from_fn("stage11-format-out", |data: &SharedRayFlexData| {
+            data.to_response()
+        });
+        RayFlexPipeline {
+            config,
+            inner: ElasticPipeline::new(entry, middle, exit),
+            trace: ActivityTrace::new(),
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// The configuration this pipeline models.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The pipeline depth in stages (equal to the un-stalled latency in cycles).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.inner.depth()
+    }
+
+    /// Whether a new beat can be accepted this cycle.
+    #[must_use]
+    pub fn input_ready(&self) -> bool {
+        self.inner.input_ready()
+    }
+
+    /// Number of beats currently in flight.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.inner.occupancy()
+    }
+
+    /// The aggregate timing statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> PipelineStats {
+        PipelineStats {
+            stall_cycles: self.inner.total_stall_cycles(),
+            ..self.stats
+        }
+    }
+
+    /// The activity trace recorded so far (the power-model stimulus).
+    #[must_use]
+    pub fn activity(&self) -> &ActivityTrace {
+        &self.trace
+    }
+
+    /// Simulates one clock cycle, offering `input` (if any) at the request interface and a
+    /// consumer that is ready when `output_ready` is true.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offered beat's opcode is not supported by this configuration.
+    pub fn tick(
+        &mut self,
+        input: Option<&RayFlexRequest>,
+        output_ready: bool,
+    ) -> TickResult<RayFlexResponse> {
+        if let Some(request) = input {
+            assert!(
+                self.config.supports(request.opcode),
+                "opcode {} is not supported by the {} configuration",
+                request.opcode,
+                self.config.name()
+            );
+        }
+        let result = self.inner.tick(input, output_ready);
+        self.stats.cycles += 1;
+        self.trace.advance_cycle();
+        if result.input_accepted {
+            self.stats.issued += 1;
+            let request = input.expect("accepted input implies an offered input");
+            activity::record_op(&mut self.trace, request.opcode, &self.config);
+        }
+        if result.output.is_some() {
+            self.stats.completed += 1;
+        }
+        result
+    }
+
+    /// Feeds a batch of beats as fast as the pipeline accepts them (with an always-ready
+    /// consumer), runs until every response has drained, and returns the responses in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any beat's opcode is unsupported, or if the pipeline stops making progress.
+    pub fn execute_batch(&mut self, requests: &[RayFlexRequest]) -> Vec<RayFlexResponse> {
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut next = 0usize;
+        let mut idle = 0u32;
+        while responses.len() < requests.len() {
+            let tick = self.tick(requests.get(next), true);
+            let mut progressed = false;
+            if tick.input_accepted {
+                next += 1;
+                progressed = true;
+            }
+            if let Some(response) = tick.output {
+                responses.push(response);
+                progressed = true;
+            }
+            idle = if progressed { 0 } else { idle + 1 };
+            assert!(idle < 10_000, "pipeline made no progress for 10k cycles");
+        }
+        responses
+    }
+}
+
+impl core::fmt::Debug for RayFlexPipeline {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RayFlexPipeline")
+            .field("config", &self.config.name())
+            .field("depth", &self.depth())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayflex_geometry::{Aabb, Ray, Triangle, Vec3};
+
+    fn ray() -> Ray {
+        Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0))
+    }
+
+    fn boxes() -> [Aabb; 4] {
+        [
+            Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)),
+            Aabb::new(Vec3::new(-1.0, -1.0, 3.0), Vec3::new(1.0, 1.0, 4.0)),
+            Aabb::new(Vec3::new(9.0, 9.0, 9.0), Vec3::new(10.0, 10.0, 10.0)),
+            Aabb::new(Vec3::new(-1.0, -1.0, 6.0), Vec3::new(1.0, 1.0, 7.0)),
+        ]
+    }
+
+    #[test]
+    fn depth_is_eleven_stages() {
+        let pipe = RayFlexPipeline::new(PipelineConfig::baseline_unified());
+        assert_eq!(pipe.depth(), PIPELINE_DEPTH);
+        assert_eq!(PIPELINE_DEPTH, 11);
+        assert!(pipe.input_ready());
+        assert_eq!(pipe.occupancy(), 0);
+    }
+
+    #[test]
+    fn latency_is_fixed_at_eleven_cycles() {
+        let mut pipe = RayFlexPipeline::new(PipelineConfig::baseline_unified());
+        let request = RayFlexRequest::ray_box(77, &ray(), &boxes());
+        let mut offered: Option<&RayFlexRequest> = Some(&request);
+        let mut issue = 0u64;
+        for _ in 0..20 {
+            let tick = pipe.tick(offered, true);
+            if tick.input_accepted {
+                issue = tick.cycle;
+                offered = None;
+            }
+            if let Some(response) = tick.output {
+                assert_eq!(response.tag, 77);
+                assert_eq!(tick.cycle - issue, PIPELINE_DEPTH as u64);
+                return;
+            }
+        }
+        panic!("response never emerged");
+    }
+
+    #[test]
+    fn throughput_is_one_beat_per_cycle() {
+        let mut pipe = RayFlexPipeline::new(PipelineConfig::baseline_unified());
+        let requests: Vec<RayFlexRequest> = (0..100)
+            .map(|i| RayFlexRequest::ray_box(i, &ray(), &boxes()))
+            .collect();
+        let responses = pipe.execute_batch(&requests);
+        assert_eq!(responses.len(), 100);
+        assert_eq!(pipe.stats().cycles, 100 + PIPELINE_DEPTH as u64);
+        assert_eq!(pipe.stats().issued, 100);
+        assert_eq!(pipe.stats().completed, 100);
+        // Responses arrive in issue order with their tags intact.
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.tag, i as u64);
+        }
+    }
+
+    #[test]
+    fn pipelined_results_match_the_functional_model() {
+        let mut pipe = RayFlexPipeline::new(PipelineConfig::extended_unified());
+        let mut functional = crate::RayFlexDatapath::new(PipelineConfig::extended_unified());
+        let tri = Triangle::new(
+            Vec3::new(-1.0, -1.0, 3.0),
+            Vec3::new(1.0, -1.0, 3.0),
+            Vec3::new(0.0, 1.0, 3.0),
+        );
+        let requests = vec![
+            RayFlexRequest::ray_box(0, &ray(), &boxes()),
+            RayFlexRequest::euclidean(1, [1.0; 16], [3.0; 16], u16::MAX, false),
+            RayFlexRequest::ray_triangle(2, &ray(), &tri),
+            RayFlexRequest::cosine(3, [1.0; 8], [2.0; 8], u8::MAX, false),
+            RayFlexRequest::euclidean(4, [0.5; 16], [0.0; 16], u16::MAX, true),
+            RayFlexRequest::cosine(5, [2.0; 8], [1.0; 8], u8::MAX, true),
+        ];
+        let piped = pipe.execute_batch(&requests);
+        let funct = functional.execute_batch(&requests);
+        assert_eq!(piped, funct);
+    }
+
+    #[test]
+    fn activity_is_recorded_per_issued_beat() {
+        let mut pipe = RayFlexPipeline::new(PipelineConfig::baseline_unified());
+        let requests: Vec<RayFlexRequest> = (0..10)
+            .map(|i| RayFlexRequest::ray_box(i, &ray(), &boxes()))
+            .collect();
+        pipe.execute_batch(&requests);
+        let trace = pipe.activity();
+        assert_eq!(trace.cycles(), pipe.stats().cycles);
+        // Every ray-box beat exercises the 24 stage-2 adders.
+        assert_eq!(trace.fu_ops(2, rayflex_hw::FuKind::Adder), 240);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn unsupported_opcodes_are_rejected_at_the_input() {
+        let mut pipe = RayFlexPipeline::new(PipelineConfig::baseline_unified());
+        let request = RayFlexRequest::cosine(0, [0.0; 8], [0.0; 8], u8::MAX, false);
+        let _ = pipe.tick(Some(&request), true);
+    }
+}

@@ -1,0 +1,90 @@
+//! The QuadSort network: five comparators sorting four children by order of intersection
+//! (paper Fig. 4a step 5).
+
+use rayflex_softfloat::{cmp, RecF32};
+
+/// Sorts the four child boxes by their order of intersection using the optimal five-comparator
+/// sorting network for four elements (compare-exchange pairs (0,1), (2,3), (0,2), (1,3), (1,2)).
+///
+/// Misses sort after every hit (their key is +infinity); equal keys keep their original order so
+/// the network is deterministic.  Returns the child indices in visit order.
+#[must_use]
+pub fn sort_children(hit: &[bool; 4], t_entry: &[RecF32; 4]) -> [usize; 4] {
+    let key = |i: usize| -> RecF32 {
+        if hit[i] {
+            t_entry[i]
+        } else {
+            RecF32::INFINITY
+        }
+    };
+    let mut order = [0usize, 1, 2, 3];
+    let exchange = |order: &mut [usize; 4], i: usize, j: usize| {
+        if cmp::lt(key(order[j]), key(order[i])) {
+            order.swap(i, j);
+        }
+    };
+    exchange(&mut order, 0, 1);
+    exchange(&mut order, 2, 3);
+    exchange(&mut order, 0, 2);
+    exchange(&mut order, 1, 3);
+    exchange(&mut order, 1, 2);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(values: [f32; 4]) -> [RecF32; 4] {
+        values.map(RecF32::from_f32)
+    }
+
+    #[test]
+    fn hits_sort_by_distance_before_misses() {
+        let order = sort_children(
+            &[true, true, false, true],
+            &rec([9.0, 1.0, 0.0, 4.0]),
+        );
+        assert_eq!(order, [1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn all_misses_keep_input_order() {
+        let order = sort_children(&[false; 4], &rec([4.0, 3.0, 2.0, 1.0]));
+        assert_eq!(order, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn matches_a_reference_sort_for_every_permutation() {
+        let base = [0.5f32, 1.5, 2.5, 3.5];
+        // All 4! assignments of distances to slots.
+        for p0 in 0..4usize {
+            for p1 in 0..4usize {
+                for p2 in 0..4usize {
+                    for p3 in 0..4usize {
+                        let perm = [p0, p1, p2, p3];
+                        let mut seen = [false; 4];
+                        perm.iter().for_each(|&i| seen[i] = true);
+                        if seen != [true; 4] {
+                            continue;
+                        }
+                        let distances = rec([base[p0], base[p1], base[p2], base[p3]]);
+                        let order = sort_children(&[true; 4], &distances);
+                        let sorted: Vec<f32> = order.iter().map(|&i| distances[i].to_f32()).collect();
+                        assert_eq!(sorted, vec![0.5, 1.5, 2.5, 3.5], "permutation {perm:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_distances_on_misses_do_not_disturb_the_order() {
+        // A coplanar-ray miss carries a NaN entry distance; the miss key (+inf) hides it.
+        let order = sort_children(
+            &[false, true, true, false],
+            &[RecF32::NAN, RecF32::from_f32(2.0), RecF32::from_f32(1.0), RecF32::NAN],
+        );
+        assert_eq!(order, [2, 1, 0, 3]);
+    }
+}

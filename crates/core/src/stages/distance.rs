@@ -1,0 +1,167 @@
+//! Stage logic of the extended datapath's Euclidean- and cosine-distance operations
+//! (paper §V-A, Fig. 6).
+
+use rayflex_softfloat::RecF32;
+
+use crate::io::{COSINE_LANES, EUCLIDEAN_LANES};
+use crate::{AccumulatorState, SharedRayFlexData};
+
+/// Applies the Euclidean-distance portion of one intermediate stage.
+pub(super) fn apply_euclidean(stage: usize, data: &mut SharedRayFlexData, acc: &mut AccumulatorState) {
+    match stage {
+        2 => euclidean_differences(data),
+        3 => euclidean_squares(data),
+        4 => reduce_euclidean(data, 16),
+        6 => reduce_euclidean(data, 8),
+        8 => reduce_euclidean(data, 4),
+        9 => reduce_euclidean(data, 2),
+        10 => {
+            // Stage 10 — accumulate the beat's partial sum (1 addition into the accumulator
+            // register added by the extended design).
+            data.euclidean_accumulator =
+                acc.accumulate_euclidean(data.euclid_work[0], data.reset_accumulator);
+        }
+        _ => {}
+    }
+}
+
+/// Applies the cosine-distance portion of one intermediate stage.
+pub(super) fn apply_cosine(stage: usize, data: &mut SharedRayFlexData, acc: &mut AccumulatorState) {
+    match stage {
+        3 => cosine_products(data),
+        4 => reduce_cosine(data, 8),
+        6 => reduce_cosine(data, 4),
+        8 => reduce_cosine(data, 2),
+        9 => {
+            // Stage 9 — accumulate both partial sums (2 additions into the accumulator registers
+            // added by the extended design).
+            let (dot, norm) = acc.accumulate_cosine(
+                data.cos_dot_work[0],
+                data.cos_norm_work[0],
+                data.reset_accumulator,
+            );
+            data.angular_dot = dot;
+            data.angular_norm = norm;
+        }
+        _ => {}
+    }
+}
+
+/// Stage 2 — element-wise differences of the two vectors (16 subtractions, Fig. 6a step 1),
+/// zero-gated by the lane mask.
+fn euclidean_differences(data: &mut SharedRayFlexData) {
+    for lane in 0..EUCLIDEAN_LANES {
+        data.euclid_work[lane] = if data.vec_mask & (1 << lane) != 0 {
+            data.vec_a[lane].sub(data.vec_b[lane])
+        } else {
+            RecF32::ZERO
+        };
+    }
+}
+
+/// Stage 3 — element-wise squares of the differences (16 multiplications, Fig. 6a step 2).
+/// In the disjoint-pipeline design these multipliers see both operands from the same wire, which
+/// is what lets the synthesiser specialise them into squarers (§VII-B).
+fn euclidean_squares(data: &mut SharedRayFlexData) {
+    for lane in 0..EUCLIDEAN_LANES {
+        data.euclid_work[lane] = data.euclid_work[lane].square();
+    }
+}
+
+/// Pairwise reduction step of the Euclidean sum: `width` live lanes become `width / 2`.
+fn reduce_euclidean(data: &mut SharedRayFlexData, width: usize) {
+    for i in 0..width / 2 {
+        data.euclid_work[i] = data.euclid_work[2 * i].add(data.euclid_work[2 * i + 1]);
+    }
+}
+
+/// Stage 3 — element-wise products of query and candidate plus element-wise squares of the
+/// candidate (8 + 8 multiplications, Fig. 6b steps 1 and 2), zero-gated by the lane mask.
+fn cosine_products(data: &mut SharedRayFlexData) {
+    for lane in 0..COSINE_LANES {
+        if data.vec_mask & (1 << lane) != 0 {
+            data.cos_dot_work[lane] = data.vec_a[lane].mul(data.vec_b[lane]);
+            data.cos_norm_work[lane] = data.vec_b[lane].square();
+        } else {
+            data.cos_dot_work[lane] = RecF32::ZERO;
+            data.cos_norm_work[lane] = RecF32::ZERO;
+        }
+    }
+}
+
+/// Pairwise reduction step of both cosine sums: `width` live lanes become `width / 2`.
+fn reduce_cosine(data: &mut SharedRayFlexData, width: usize) {
+    for i in 0..width / 2 {
+        data.cos_dot_work[i] = data.cos_dot_work[2 * i].add(data.cos_dot_work[2 * i + 1]);
+        data.cos_norm_work[i] = data.cos_norm_work[2 * i].add(data.cos_norm_work[2 * i + 1]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stages::apply_all_middle_stages;
+    use crate::RayFlexRequest;
+    use rayflex_geometry::golden;
+
+    #[test]
+    fn euclidean_beat_matches_the_golden_partial_sum() {
+        let a: [f32; 16] = core::array::from_fn(|i| i as f32 * 0.75 - 3.0);
+        let b: [f32; 16] = core::array::from_fn(|i| 5.0 - i as f32 * 0.25);
+        let mask = 0b1111_0110_1011_1111u16;
+        let request = RayFlexRequest::euclidean(0, a, b, mask, true);
+        let data = SharedRayFlexData::from_request(&request);
+        let mut acc = AccumulatorState::new();
+        let out = apply_all_middle_stages(&data, &mut acc);
+        let gold = golden::distance::euclidean_partial(&a, &b, mask);
+        assert_eq!(out.euclidean_accumulator.to_f32().to_bits(), gold.to_bits());
+    }
+
+    #[test]
+    fn cosine_beat_matches_the_golden_partial_sums() {
+        let a: [f32; 8] = [1.0, -2.0, 3.0, 0.5, 0.25, -1.5, 2.5, 4.0];
+        let b: [f32; 8] = [0.5, 1.0, -1.0, 2.0, 4.0, 0.125, -0.5, 1.5];
+        let mask = 0b1101_1011u8;
+        let request = RayFlexRequest::cosine(0, a, b, mask, true);
+        let data = SharedRayFlexData::from_request(&request);
+        let mut acc = AccumulatorState::new();
+        let out = apply_all_middle_stages(&data, &mut acc);
+        let gold = golden::distance::cosine_partial(&a, &b, mask);
+        assert_eq!(out.angular_dot.to_f32().to_bits(), gold.dot.to_bits());
+        assert_eq!(out.angular_norm.to_f32().to_bits(), gold.norm_sq.to_bits());
+    }
+
+    #[test]
+    fn multi_beat_jobs_accumulate_until_reset() {
+        let mut acc = AccumulatorState::new();
+        let a = [2.0f32; 16];
+        let b = [0.0f32; 16];
+        // Two beats without reset, one with: 3 beats * 16 lanes * 4.0 = 192.
+        let mut last = 0.0;
+        for (i, reset) in [(0u64, false), (1, false), (2, true)] {
+            let request = RayFlexRequest::euclidean(i, a, b, u16::MAX, reset);
+            let data = SharedRayFlexData::from_request(&request);
+            let out = apply_all_middle_stages(&data, &mut acc);
+            last = out.euclidean_accumulator.to_f32();
+        }
+        assert_eq!(last, 192.0);
+        // After the reset beat the accumulator starts over.
+        let request = RayFlexRequest::euclidean(3, a, b, u16::MAX, true);
+        let out = apply_all_middle_stages(&SharedRayFlexData::from_request(&request), &mut acc);
+        assert_eq!(out.euclidean_accumulator.to_f32(), 64.0);
+    }
+
+    #[test]
+    fn interleaved_euclidean_and_cosine_jobs_use_separate_accumulators() {
+        let mut acc = AccumulatorState::new();
+        let e = RayFlexRequest::euclidean(0, [1.0; 16], [0.0; 16], u16::MAX, false);
+        let c = RayFlexRequest::cosine(1, [1.0; 8], [2.0; 8], u8::MAX, false);
+        let e_out = apply_all_middle_stages(&SharedRayFlexData::from_request(&e), &mut acc);
+        let c_out = apply_all_middle_stages(&SharedRayFlexData::from_request(&c), &mut acc);
+        let e_out2 = apply_all_middle_stages(&SharedRayFlexData::from_request(&e), &mut acc);
+        assert_eq!(e_out.euclidean_accumulator.to_f32(), 16.0);
+        assert_eq!(c_out.angular_dot.to_f32(), 16.0);
+        assert_eq!(c_out.angular_norm.to_f32(), 32.0);
+        assert_eq!(e_out2.euclidean_accumulator.to_f32(), 32.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! The per-stage combinational logic of the RayFlex pipeline (paper Fig. 4c and Fig. 6c).
+//!
+//! Every intermediate stage of the pipeline maps the Shared RayFlex Data Structure onto itself:
+//! the stage copies its input to its output and overwrites only the fields it produces.  The
+//! table below summarises the mapping (stage 1 and stage 11 are the format-conversion stages,
+//! implemented by [`SharedRayFlexData::from_request`] and [`SharedRayFlexData::to_response`]).
+//!
+//! | Stage | Hardware assets (baseline)          | Ray-box                  | Ray-triangle            | Euclidean (ext.)   | Cosine (ext.)        |
+//! |------:|-------------------------------------|---------------------------|-------------------------|--------------------|----------------------|
+//! | 1     | format converters                   | FP32 → recoded            | FP32 → recoded          | FP32 → recoded     | FP32 → recoded       |
+//! | 2     | 24 adders                           | 24 box translations       | 9 vertex translations   | 16 differences     | —                    |
+//! | 3     | 24 multipliers                      | 24 inverse-dir products   | 9 shear products        | 16 squares         | 8 products + 8 squares |
+//! | 4     | 40 comparators, 6 (+2) adders       | 40 compares               | 6 shear subtractions    | 8 reduction adds   | 8 reduction adds     |
+//! | 5     | 6 multipliers                       | —                         | 6 barycentric products  | —                  | —                    |
+//! | 6     | 3 (+1) adders                       | —                         | 3 barycentric subtracts | 4 reduction adds   | 4 reduction adds     |
+//! | 7     | 3 multipliers                       | —                         | 3 distance products     | —                  | —                    |
+//! | 8     | 2 adders                            | —                         | 2 partial sums          | 2 reduction adds   | 2 reduction adds     |
+//! | 9     | 2 adders (+2 registers)             | —                         | 2 final sums            | 1 reduction add    | 2 accumulations      |
+//! | 10    | 2 QuadSorts, 5 comparators (+1 adder, +1 register) | 2 quad-sorts | 5 hit compares          | 1 accumulation     | —                    |
+//! | 11    | format converters                   | recoded → FP32            | recoded → FP32          | recoded → FP32     | recoded → FP32       |
+
+mod distance;
+mod ray_box;
+mod ray_triangle;
+
+use crate::{AccumulatorState, Opcode, SharedRayFlexData};
+
+/// Number of pipeline stages, including the two format-conversion stages.
+pub const STAGE_COUNT: usize = 11;
+
+/// First intermediate (non-conversion) stage index.
+pub const FIRST_MIDDLE_STAGE: usize = 2;
+/// Last intermediate (non-conversion) stage index.
+pub const LAST_MIDDLE_STAGE: usize = 10;
+
+/// Applies the combinational logic of one intermediate pipeline stage (2–10) to a beat.
+///
+/// The stateful accumulators of the extended design (stages 9 and 10) live in `acc`; beats whose
+/// opcode does not touch them leave them unchanged.
+///
+/// # Panics
+///
+/// Panics if `stage` is not in `2..=10`.
+#[must_use]
+pub fn apply_middle_stage(
+    stage: usize,
+    data: &SharedRayFlexData,
+    acc: &mut AccumulatorState,
+) -> SharedRayFlexData {
+    assert!(
+        (FIRST_MIDDLE_STAGE..=LAST_MIDDLE_STAGE).contains(&stage),
+        "stage {stage} is not an intermediate pipeline stage"
+    );
+    // "We first directly assign the input Shared RayFlex Data Structure to the stage output
+    // register.  After that, we may define custom logic to overwrite any data field that is
+    // supposed to be produced by this stage." (§III-E)
+    let mut out = data.clone();
+    match data.opcode {
+        Opcode::RayBox => ray_box::apply(stage, &mut out),
+        Opcode::RayTriangle => ray_triangle::apply(stage, &mut out),
+        Opcode::Euclidean => distance::apply_euclidean(stage, &mut out, acc),
+        Opcode::Cosine => distance::apply_cosine(stage, &mut out, acc),
+    }
+    out
+}
+
+/// Runs a beat through every intermediate stage in order — the purely functional view of the
+/// datapath used by [`crate::RayFlexDatapath`] and by tests that compare against the golden
+/// software models.
+#[must_use]
+pub fn apply_all_middle_stages(
+    data: &SharedRayFlexData,
+    acc: &mut AccumulatorState,
+) -> SharedRayFlexData {
+    let mut current = data.clone();
+    for stage in FIRST_MIDDLE_STAGE..=LAST_MIDDLE_STAGE {
+        current = apply_middle_stage(stage, &current, acc);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RayFlexRequest;
+    use rayflex_geometry::{Aabb, Ray, Vec3};
+
+    #[test]
+    #[should_panic(expected = "not an intermediate pipeline stage")]
+    fn stage_one_is_not_a_middle_stage() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
+        let request = RayFlexRequest::ray_box(0, &ray, &[Aabb::new(Vec3::ZERO, Vec3::ONE); 4]);
+        let data = SharedRayFlexData::from_request(&request);
+        let _ = apply_middle_stage(1, &data, &mut AccumulatorState::new());
+    }
+
+    #[test]
+    fn stages_only_touch_their_own_fields() {
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        let request = RayFlexRequest::ray_box(9, &ray, &[Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)); 4]);
+        let data = SharedRayFlexData::from_request(&request);
+        let mut acc = AccumulatorState::new();
+        let after = apply_middle_stage(2, &data, &mut acc);
+        // A ray-box beat at stage 2 must not disturb triangle or distance fields.
+        assert_eq!(after.tri_verts, data.tri_verts);
+        assert_eq!(after.euclid_work, data.euclid_work);
+        assert_eq!(after.tag, data.tag);
+        // ... but it does translate the boxes.
+        assert_ne!(after.box_lo, data.box_lo);
+    }
+}

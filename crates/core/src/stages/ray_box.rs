@@ -1,0 +1,146 @@
+//! Stage logic of the ray–box operation (four parallel slab tests plus the child sort).
+
+use rayflex_softfloat::{cmp, RecF32};
+
+use crate::quad_sort;
+use crate::SharedRayFlexData;
+
+/// NaN-propagating minimum select used by the slab interval comparisons: the comparator also
+/// reports the unordered condition, and the select forwards the NaN so a coplanar ray's
+/// `inf × 0 = NaN` poisons the interval and the final `tmin <= tmax` check fails (§IV-A).
+fn hw_min(a: RecF32, b: RecF32) -> RecF32 {
+    if a.is_nan() {
+        a
+    } else if b.is_nan() {
+        b
+    } else if cmp::lt(a, b) {
+        a
+    } else {
+        b
+    }
+}
+
+/// NaN-propagating maximum select (see [`hw_min`]).
+fn hw_max(a: RecF32, b: RecF32) -> RecF32 {
+    if a.is_nan() {
+        a
+    } else if b.is_nan() {
+        b
+    } else if cmp::gt(a, b) {
+        a
+    } else {
+        b
+    }
+}
+
+/// Applies the ray-box portion of one intermediate stage.
+pub(super) fn apply(stage: usize, data: &mut SharedRayFlexData) {
+    match stage {
+        2 => translate_boxes(data),
+        3 => multiply_by_inverse_direction(data),
+        4 => intersect_slabs(data),
+        10 => sort_children(data),
+        // Stages 5-9 are blank for the ray-box operation: the skid buffer copies input to output.
+        _ => {}
+    }
+}
+
+/// Stage 2 — translate the box corners to the ray origin (24 subtractions, Fig. 4a step 1).
+fn translate_boxes(data: &mut SharedRayFlexData) {
+    for b in 0..4 {
+        for axis in 0..3 {
+            data.box_lo[b][axis] = data.box_lo[b][axis].sub(data.ray_origin[axis]);
+            data.box_hi[b][axis] = data.box_hi[b][axis].sub(data.ray_origin[axis]);
+        }
+    }
+}
+
+/// Stage 3 — multiply the translated corners by the inverse direction (24 multiplications,
+/// Fig. 4a step 2).
+fn multiply_by_inverse_direction(data: &mut SharedRayFlexData) {
+    for b in 0..4 {
+        for axis in 0..3 {
+            data.box_t_lo[b][axis] = data.box_lo[b][axis].mul(data.ray_inv_dir[axis]);
+            data.box_t_hi[b][axis] = data.box_hi[b][axis].mul(data.ray_inv_dir[axis]);
+        }
+    }
+}
+
+/// Stage 4 — per-axis near/far selection, interval intersection with the ray extent and the hit
+/// decision (40 comparisons in total across the four boxes, Fig. 4a steps 3 and 4).
+fn intersect_slabs(data: &mut SharedRayFlexData) {
+    for b in 0..4 {
+        let near: [RecF32; 3] =
+            core::array::from_fn(|axis| hw_min(data.box_t_lo[b][axis], data.box_t_hi[b][axis]));
+        let far: [RecF32; 3] =
+            core::array::from_fn(|axis| hw_max(data.box_t_lo[b][axis], data.box_t_hi[b][axis]));
+        let t_entry = hw_max(hw_max(near[0], near[1]), hw_max(near[2], data.ray_t_beg));
+        let t_exit = hw_min(hw_min(far[0], far[1]), hw_min(far[2], data.ray_t_end));
+        data.box_t_entry[b] = t_entry;
+        data.box_t_exit[b] = t_exit;
+        data.box_hit[b] = cmp::le(t_entry, t_exit);
+    }
+}
+
+/// Stage 10 — sort the four children by order of intersection (Fig. 4a step 5).
+fn sort_children(data: &mut SharedRayFlexData) {
+    data.box_order = quad_sort::sort_children(&data.box_hit, &data.box_t_entry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccumulatorState, RayFlexRequest};
+    use rayflex_geometry::{golden, Aabb, Ray, Vec3};
+
+    fn run_boxes(ray: &Ray, boxes: &[Aabb; 4]) -> SharedRayFlexData {
+        let request = RayFlexRequest::ray_box(0, ray, boxes);
+        let data = SharedRayFlexData::from_request(&request);
+        crate::stages::apply_all_middle_stages(&data, &mut AccumulatorState::new())
+    }
+
+    #[test]
+    fn matches_the_golden_model_on_a_simple_scene() {
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -10.0), Vec3::new(0.05, -0.02, 1.0));
+        let boxes = [
+            Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)),
+            Aabb::new(Vec3::new(-1.0, -1.0, 5.0), Vec3::new(1.0, 1.0, 7.0)),
+            Aabb::new(Vec3::new(30.0, 30.0, 30.0), Vec3::new(31.0, 31.0, 31.0)),
+            Aabb::new(Vec3::new(-0.5, -0.5, 2.0), Vec3::new(0.5, 0.5, 3.0)),
+        ];
+        let result = run_boxes(&ray, &boxes);
+        for (i, aabb) in boxes.iter().enumerate() {
+            let gold = golden::slab::ray_box(&ray, aabb);
+            assert_eq!(result.box_hit[i], gold.hit, "box {i}");
+            if gold.hit {
+                assert_eq!(
+                    result.box_t_entry[i].to_f32().to_bits(),
+                    gold.t_entry.to_bits(),
+                    "box {i} entry distance must match the golden model bit-for-bit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coplanar_ray_misses_through_the_hardware_path() {
+        let ray = Ray::new(Vec3::new(-5.0, 1.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        let boxes = [Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)); 4];
+        let result = run_boxes(&ray, &boxes);
+        assert_eq!(result.box_hit, [false; 4]);
+    }
+
+    #[test]
+    fn children_are_sorted_by_entry_distance() {
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -10.0), Vec3::new(0.0, 0.0, 1.0));
+        let boxes = [
+            Aabb::new(Vec3::new(-1.0, -1.0, 6.0), Vec3::new(1.0, 1.0, 7.0)),
+            Aabb::new(Vec3::new(-1.0, -1.0, 0.0), Vec3::new(1.0, 1.0, 1.0)),
+            Aabb::new(Vec3::new(5.0, 5.0, 5.0), Vec3::new(6.0, 6.0, 6.0)), // miss
+            Aabb::new(Vec3::new(-1.0, -1.0, 3.0), Vec3::new(1.0, 1.0, 4.0)),
+        ];
+        let result = run_boxes(&ray, &boxes);
+        assert_eq!(result.box_hit, [true, true, false, true]);
+        assert_eq!(result.box_order, [1, 3, 0, 2]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Stage logic of the watertight ray–triangle operation (Fig. 4b steps 4–9).
+
+use rayflex_softfloat::{cmp, RecF32};
+
+use crate::SharedRayFlexData;
+
+/// Applies the ray-triangle portion of one intermediate stage.
+pub(super) fn apply(stage: usize, data: &mut SharedRayFlexData) {
+    match stage {
+        2 => translate_vertices(data),
+        3 => shear_products(data),
+        4 => shear_subtract(data),
+        5 => barycentric_products(data),
+        6 => barycentric_coordinates(data),
+        7 => distance_products(data),
+        8 => partial_sums(data),
+        9 => final_sums(data),
+        10 => hit_test(data),
+        _ => {}
+    }
+}
+
+/// Stage 2 — translate the triangle vertices to the ray origin (9 subtractions, step 4).
+fn translate_vertices(data: &mut SharedRayFlexData) {
+    for v in 0..3 {
+        for axis in 0..3 {
+            data.tri_verts[v][axis] = data.tri_verts[v][axis].sub(data.ray_origin[axis]);
+        }
+    }
+}
+
+/// Stage 3 — shear/scale products against the pre-computed constants (9 multiplications, step 5).
+/// For each translated vertex `V` this produces `[Sx*Vkz, Sy*Vkz, Sz*Vkz]`; the last element is
+/// the vertex's sheared z coordinate, needed again at stage 7.
+fn shear_products(data: &mut SharedRayFlexData) {
+    let kz = data.ray_k[2] as usize;
+    for v in 0..3 {
+        let vkz = data.tri_verts[v][kz];
+        data.tri_shear_prod[v][0] = data.ray_shear[0].mul(vkz);
+        data.tri_shear_prod[v][1] = data.ray_shear[1].mul(vkz);
+        data.tri_shear_prod[v][2] = data.ray_shear[2].mul(vkz);
+    }
+}
+
+/// Stage 4 — complete the shear transform (6 subtractions, step 5): the sheared x/y coordinates
+/// of each vertex.
+fn shear_subtract(data: &mut SharedRayFlexData) {
+    let kx = data.ray_k[0] as usize;
+    let ky = data.ray_k[1] as usize;
+    for v in 0..3 {
+        data.tri_sheared_xy[v][0] = data.tri_verts[v][kx].sub(data.tri_shear_prod[v][0]);
+        data.tri_sheared_xy[v][1] = data.tri_verts[v][ky].sub(data.tri_shear_prod[v][1]);
+    }
+}
+
+/// Stage 5 — the six cross products feeding the scaled barycentric coordinates
+/// (6 multiplications, step 6).
+fn barycentric_products(data: &mut SharedRayFlexData) {
+    let (ax, ay) = (data.tri_sheared_xy[0][0], data.tri_sheared_xy[0][1]);
+    let (bx, by) = (data.tri_sheared_xy[1][0], data.tri_sheared_xy[1][1]);
+    let (cx, cy) = (data.tri_sheared_xy[2][0], data.tri_sheared_xy[2][1]);
+    data.tri_products[0] = cx.mul(by);
+    data.tri_products[1] = cy.mul(bx);
+    data.tri_products[2] = ax.mul(cy);
+    data.tri_products[3] = ay.mul(cx);
+    data.tri_products[4] = bx.mul(ay);
+    data.tri_products[5] = by.mul(ax);
+}
+
+/// Stage 6 — the scaled barycentric coordinates (3 subtractions, step 6).  The operand order is
+/// chosen so that a front-face hit under the paper's culling convention
+/// (`dir · (AB × AC) > 0`) yields non-negative U, V, W and a positive determinant, matching the
+/// golden model in `rayflex-geometry`.
+fn barycentric_coordinates(data: &mut SharedRayFlexData) {
+    data.tri_uvw[0] = data.tri_products[1].sub(data.tri_products[0]);
+    data.tri_uvw[1] = data.tri_products[3].sub(data.tri_products[2]);
+    data.tri_uvw[2] = data.tri_products[5].sub(data.tri_products[4]);
+}
+
+/// Stage 7 — the three products feeding the scaled hit distance (3 multiplications, step 8).
+fn distance_products(data: &mut SharedRayFlexData) {
+    data.tri_dist_prod[0] = data.tri_uvw[0].mul(data.tri_shear_prod[0][2]);
+    data.tri_dist_prod[1] = data.tri_uvw[1].mul(data.tri_shear_prod[1][2]);
+    data.tri_dist_prod[2] = data.tri_uvw[2].mul(data.tri_shear_prod[2][2]);
+}
+
+/// Stage 8 — first halves of the determinant and distance sums (2 additions, steps 7/8).
+fn partial_sums(data: &mut SharedRayFlexData) {
+    data.tri_det_partial = data.tri_uvw[0].add(data.tri_uvw[1]);
+    data.tri_t_partial = data.tri_dist_prod[0].add(data.tri_dist_prod[1]);
+}
+
+/// Stage 9 — final determinant and scaled hit distance (2 additions, steps 7/8).
+fn final_sums(data: &mut SharedRayFlexData) {
+    data.tri_det = data.tri_det_partial.add(data.tri_uvw[2]);
+    data.tri_t_num = data.tri_t_partial.add(data.tri_dist_prod[2]);
+}
+
+/// Stage 10 — the hit decision (5 comparisons of depth 1, step 9): all barycentric coordinates
+/// non-negative, a positive determinant (coplanar rays and back faces fail here) and a
+/// non-negative scaled distance (triangles behind the origin fail here).
+fn hit_test(data: &mut SharedRayFlexData) {
+    let zero = RecF32::ZERO;
+    data.tri_hit = cmp::ge(data.tri_uvw[0], zero)
+        && cmp::ge(data.tri_uvw[1], zero)
+        && cmp::ge(data.tri_uvw[2], zero)
+        && cmp::gt(data.tri_det, zero)
+        && cmp::ge(data.tri_t_num, zero);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccumulatorState, RayFlexRequest};
+    use rayflex_geometry::{golden, Ray, Triangle, Vec3};
+
+    fn run_triangle(ray: &Ray, tri: &Triangle) -> SharedRayFlexData {
+        let request = RayFlexRequest::ray_triangle(0, ray, tri);
+        let data = SharedRayFlexData::from_request(&request);
+        crate::stages::apply_all_middle_stages(&data, &mut AccumulatorState::new())
+    }
+
+    fn facing_triangle() -> Triangle {
+        Triangle::new(
+            Vec3::new(-1.0, -1.0, 3.0),
+            Vec3::new(1.0, -1.0, 3.0),
+            Vec3::new(0.0, 1.0, 3.0),
+        )
+    }
+
+    #[test]
+    fn matches_the_golden_model_bit_for_bit() {
+        let rays = [
+            Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0)),
+            Ray::new(Vec3::new(0.3, -0.4, -2.0), Vec3::new(-0.05, 0.1, 1.0)),
+            Ray::new(Vec3::new(4.0, 4.0, 0.0), Vec3::new(-0.9, -1.1, 0.8)),
+        ];
+        for ray in &rays {
+            let result = run_triangle(ray, &facing_triangle());
+            let gold = golden::watertight::ray_triangle(ray, &facing_triangle());
+            assert_eq!(result.tri_hit, gold.hit);
+            assert_eq!(result.tri_uvw[0].to_f32().to_bits(), gold.u.to_bits());
+            assert_eq!(result.tri_uvw[1].to_f32().to_bits(), gold.v.to_bits());
+            assert_eq!(result.tri_uvw[2].to_f32().to_bits(), gold.w.to_bits());
+            assert_eq!(result.tri_det.to_f32().to_bits(), gold.det.to_bits());
+            assert_eq!(result.tri_t_num.to_f32().to_bits(), gold.t_num.to_bits());
+        }
+    }
+
+    #[test]
+    fn backface_is_culled_and_frontface_hits() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
+        assert!(run_triangle(&ray, &facing_triangle()).tri_hit);
+        assert!(!run_triangle(&ray, &facing_triangle().flipped()).tri_hit);
+    }
+
+    #[test]
+    fn distance_is_reported_as_a_fraction() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
+        let result = run_triangle(&ray, &facing_triangle());
+        let t = result.tri_t_num.to_f32() / result.tri_det.to_f32();
+        assert!((t - 3.0).abs() < 1e-6);
+    }
+}

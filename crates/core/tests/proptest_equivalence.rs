@@ -1,0 +1,233 @@
+//! Property-based tests: for *arbitrary* operands, the datapath model must agree bit-for-bit with
+//! the golden software models, and its structural invariants must hold.
+
+use proptest::prelude::*;
+
+use rayflex_core::{PipelineConfig, RayFlexDatapath, RayFlexPipeline, RayFlexRequest};
+use rayflex_geometry::{golden, Aabb, Ray, Triangle, Vec3};
+
+/// Scene-scale coordinates (finite, non-degenerate) for geometric operands.
+fn coordinate() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        (-1000.0f32..1000.0),
+        (-1.0f32..1.0),
+        Just(0.0f32),
+        (-1e-3f32..1e-3),
+    ]
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (coordinate(), coordinate(), coordinate()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn direction() -> impl Strategy<Value = Vec3> {
+    vec3().prop_filter("non-zero direction", |v| {
+        v.x != 0.0 || v.y != 0.0 || v.z != 0.0
+    })
+}
+
+fn ray() -> impl Strategy<Value = Ray> {
+    (vec3(), direction(), 0.0f32..10.0, 10.0f32..1e6)
+        .prop_map(|(origin, dir, t_beg, t_end)| Ray::with_extent(origin, dir, t_beg, t_end))
+}
+
+fn aabb() -> impl Strategy<Value = Aabb> {
+    (vec3(), vec3()).prop_map(|(a, b)| Aabb::new(a.min(b), a.max(b)))
+}
+
+fn triangle() -> impl Strategy<Value = Triangle> {
+    (vec3(), vec3(), vec3()).prop_map(|(a, b, c)| Triangle::new(a, b, c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn ray_box_beats_match_the_golden_model(ray in ray(), boxes in [aabb(), aabb(), aabb(), aabb()]) {
+        let mut datapath = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let response = datapath.execute(&RayFlexRequest::ray_box(0, &ray, &boxes));
+        let result = response.box_result.expect("box beat");
+        for (i, b) in boxes.iter().enumerate() {
+            let gold = golden::slab::ray_box(&ray, b);
+            prop_assert_eq!(result.hit[i], gold.hit, "box {}", i);
+            if gold.hit {
+                prop_assert_eq!(result.t_entry[i].to_bits(), gold.t_entry.to_bits(), "box {}", i);
+            }
+        }
+        // The traversal order is a permutation of 0..4 with hits (sorted by distance) first.
+        let mut seen = [false; 4];
+        for &slot in &result.traversal_order {
+            prop_assert!(!seen[slot]);
+            seen[slot] = true;
+        }
+        let hits_in_order: Vec<f32> = result
+            .traversal_order
+            .iter()
+            .filter(|&&s| result.hit[s])
+            .map(|&s| result.t_entry[s])
+            .collect();
+        for pair in hits_in_order.windows(2) {
+            // NaN never appears for hits, so plain comparison is sound.
+            prop_assert!(pair[0] <= pair[1], "hits must be sorted by entry distance");
+        }
+        let first_miss = result
+            .traversal_order
+            .iter()
+            .position(|&s| !result.hit[s])
+            .unwrap_or(4);
+        prop_assert!(
+            result.traversal_order[first_miss..].iter().all(|&s| !result.hit[s]),
+            "no hit may follow a miss in the traversal order"
+        );
+    }
+
+    #[test]
+    fn ray_triangle_beats_match_the_golden_model(ray in ray(), tri in triangle()) {
+        let mut datapath = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let response = datapath.execute(&RayFlexRequest::ray_triangle(0, &ray, &tri));
+        let result = response.triangle_result.expect("triangle beat");
+        let gold = golden::watertight::ray_triangle(&ray, &tri);
+        prop_assert_eq!(result.hit, gold.hit);
+        prop_assert_eq!(result.t_num.to_bits(), gold.t_num.to_bits());
+        prop_assert_eq!(result.det.to_bits(), gold.det.to_bits());
+        // Backface culling invariant: a reported hit always has a strictly positive determinant
+        // and all barycentrics non-negative.
+        if result.hit {
+            prop_assert!(result.det > 0.0);
+            prop_assert!(result.u >= 0.0 && result.v >= 0.0 && result.w >= 0.0);
+            prop_assert!(result.t_num >= 0.0);
+        }
+    }
+
+    #[test]
+    fn flipping_the_winding_never_creates_a_double_hit(ray in ray(), tri in triangle()) {
+        // With backface culling, at most one of the two windings of the same geometry can hit.
+        let mut datapath = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let front = datapath
+            .execute(&RayFlexRequest::ray_triangle(0, &ray, &tri))
+            .triangle_result
+            .expect("beat");
+        let back = datapath
+            .execute(&RayFlexRequest::ray_triangle(1, &ray, &tri.flipped()))
+            .triangle_result
+            .expect("beat");
+        prop_assert!(!(front.hit && back.hit));
+    }
+
+    #[test]
+    fn euclidean_beats_match_the_golden_reduction(
+        a in prop::array::uniform16(-1000.0f32..1000.0),
+        b in prop::array::uniform16(-1000.0f32..1000.0),
+        mask in any::<u16>(),
+    ) {
+        let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
+        let response = datapath.execute(&RayFlexRequest::euclidean(0, a, b, mask, true));
+        let got = response.distance_result.expect("beat").euclidean_accumulator;
+        let gold = golden::distance::euclidean_partial(&a, &b, mask);
+        prop_assert_eq!(got.to_bits(), gold.to_bits());
+        // A squared distance over finite inputs is never negative.
+        prop_assert!(got >= 0.0);
+    }
+
+    #[test]
+    fn cosine_beats_match_the_golden_reduction(
+        a in prop::array::uniform8(-1000.0f32..1000.0),
+        b in prop::array::uniform8(-1000.0f32..1000.0),
+        mask in any::<u8>(),
+    ) {
+        let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
+        let response = datapath.execute(&RayFlexRequest::cosine(0, a, b, mask, true));
+        let result = response.distance_result.expect("beat");
+        let gold = golden::distance::cosine_partial(&a, &b, mask);
+        prop_assert_eq!(result.angular_dot_product.to_bits(), gold.dot.to_bits());
+        prop_assert_eq!(result.angular_norm.to_bits(), gold.norm_sq.to_bits());
+        prop_assert!(result.angular_norm >= 0.0, "a sum of squares is non-negative");
+    }
+
+    #[test]
+    fn multi_beat_accumulation_is_the_sum_of_its_beats(
+        beats in prop::collection::vec(
+            (prop::array::uniform16(-100.0f32..100.0), prop::array::uniform16(-100.0f32..100.0)),
+            1..6,
+        )
+    ) {
+        // Streaming N beats with reset only on the last must equal accumulating the golden
+        // per-beat partial sums in the same order (same rounding, same order of additions).
+        let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
+        let mut expected = 0.0f32;
+        let mut last = 0.0f32;
+        let count = beats.len();
+        for (i, (a, b)) in beats.iter().enumerate() {
+            let reset = i == count - 1;
+            let response = datapath.execute(&RayFlexRequest::euclidean(i as u64, *a, *b, u16::MAX, reset));
+            last = response.distance_result.expect("beat").euclidean_accumulator;
+            expected += golden::distance::euclidean_partial(a, b, u16::MAX);
+        }
+        prop_assert_eq!(last.to_bits(), expected.to_bits());
+        // The accumulator is clear again afterwards.
+        let probe = datapath
+            .execute(&RayFlexRequest::euclidean(99, [0.0; 16], [0.0; 16], u16::MAX, true))
+            .distance_result
+            .expect("beat")
+            .euclidean_accumulator;
+        prop_assert_eq!(probe, 0.0);
+    }
+}
+
+proptest! {
+    // The cycle-accurate pipeline is slower, so fewer cases suffice here.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn the_pipeline_agrees_with_the_functional_model_for_arbitrary_streams(
+        seeds in prop::collection::vec(any::<u32>(), 1..24)
+    ) {
+        // Build a mixed request stream from the seeds (deterministic per seed value).
+        let requests: Vec<RayFlexRequest> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| {
+                let f = |k: u32| ((seed.wrapping_mul(2654435761).wrapping_add(k)) % 2000) as f32 / 10.0 - 100.0;
+                match seed % 4 {
+                    0 => {
+                        let ray = Ray::new(Vec3::new(f(1), f(2), f(3)), Vec3::new(f(4), f(5), f(6) + 0.1));
+                        let boxes = core::array::from_fn(|b| {
+                            let c = Vec3::new(f(7 + b as u32), f(8 + b as u32), f(9 + b as u32));
+                            Aabb::new(c - Vec3::splat(5.0), c + Vec3::splat(5.0))
+                        });
+                        RayFlexRequest::ray_box(i as u64, &ray, &boxes)
+                    }
+                    1 => {
+                        let ray = Ray::new(Vec3::new(f(1), f(2), f(3)), Vec3::new(f(4), f(5), f(6) + 0.1));
+                        let tri = Triangle::new(
+                            Vec3::new(f(7), f(8), f(9)),
+                            Vec3::new(f(10), f(11), f(12)),
+                            Vec3::new(f(13), f(14), f(15)),
+                        );
+                        RayFlexRequest::ray_triangle(i as u64, &ray, &tri)
+                    }
+                    2 => RayFlexRequest::euclidean(
+                        i as u64,
+                        core::array::from_fn(|k| f(k as u32)),
+                        core::array::from_fn(|k| f(k as u32 + 16)),
+                        (seed >> 8) as u16,
+                        seed % 3 == 0,
+                    ),
+                    _ => RayFlexRequest::cosine(
+                        i as u64,
+                        core::array::from_fn(|k| f(k as u32)),
+                        core::array::from_fn(|k| f(k as u32 + 8)),
+                        (seed >> 16) as u8,
+                        seed % 3 == 0,
+                    ),
+                }
+            })
+            .collect();
+        let mut functional = RayFlexDatapath::new(PipelineConfig::extended_unified());
+        let mut pipeline = RayFlexPipeline::new(PipelineConfig::extended_unified());
+        let expected = functional.execute_batch(&requests);
+        let got = pipeline.execute_batch(&requests);
+        prop_assert_eq!(expected, got);
+        prop_assert_eq!(pipeline.stats().cycles, requests.len() as u64 + 11);
+    }
+}

@@ -1,0 +1,180 @@
+//! Axis-aligned bounding boxes.
+
+use crate::{Axis, Vec3};
+
+/// An axis-aligned bounding box, defined by its minimum and maximum corners — the node format of
+/// the Bounding Volume Hierarchy the RT unit traverses (paper Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// The corner with the smallest coordinates.
+    pub min: Vec3,
+    /// The corner with the largest coordinates.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box from its two corners.
+    #[must_use]
+    pub const fn new(min: Vec3, max: Vec3) -> Self {
+        Aabb { min, max }
+    }
+
+    /// The empty box: any union with it returns the other operand and it contains no point.
+    #[must_use]
+    pub fn empty() -> Self {
+        Aabb {
+            min: Vec3::splat(f32::INFINITY),
+            max: Vec3::splat(f32::NEG_INFINITY),
+        }
+    }
+
+    /// A degenerate box containing exactly one point.
+    #[must_use]
+    pub fn from_point(p: Vec3) -> Self {
+        Aabb { min: p, max: p }
+    }
+
+    /// The smallest box containing every point of an iterator.  Returns [`Aabb::empty`] for an
+    /// empty iterator.
+    #[must_use]
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Self {
+        points
+            .into_iter()
+            .fold(Aabb::empty(), |acc, p| acc.union_point(p))
+    }
+
+    /// Returns `true` if the box contains no points (any max component below the min).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// The smallest box containing both operands.
+    #[must_use]
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// The smallest box containing this box and the point `p`.
+    #[must_use]
+    pub fn union_point(&self, p: Vec3) -> Aabb {
+        Aabb {
+            min: self.min.min(p),
+            max: self.max.max(p),
+        }
+    }
+
+    /// Returns `true` if the point lies inside or on the surface of the box.
+    #[must_use]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// The centre point of the box.
+    #[must_use]
+    pub fn centroid(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// The edge lengths of the box.
+    #[must_use]
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// The surface area of the box (used by the SAH BVH builder).  Zero for empty boxes.
+    #[must_use]
+    pub fn surface_area(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let e = self.extent();
+        2.0 * (e.x * e.y + e.y * e.z + e.z * e.x)
+    }
+
+    /// The axis along which the box is widest.
+    #[must_use]
+    pub fn longest_axis(&self) -> Axis {
+        self.extent().max_abs_axis()
+    }
+
+    /// Grows the box by `margin` in every direction.
+    #[must_use]
+    pub fn inflated(&self, margin: f32) -> Aabb {
+        Aabb {
+            min: self.min - Vec3::splat(margin),
+            max: self.max + Vec3::splat(margin),
+        }
+    }
+}
+
+impl Default for Aabb {
+    fn default() -> Self {
+        Aabb::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box_behaviour() {
+        let e = Aabb::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.surface_area(), 0.0);
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert_eq!(e.union(&b), b);
+        assert!(!e.contains(Vec3::ZERO));
+        assert_eq!(Aabb::default(), e);
+    }
+
+    #[test]
+    fn union_and_contains() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let b = Aabb::new(Vec3::new(2.0, -1.0, 0.5), Vec3::new(3.0, 0.5, 2.0));
+        let u = a.union(&b);
+        assert_eq!(u.min, Vec3::new(0.0, -1.0, 0.0));
+        assert_eq!(u.max, Vec3::new(3.0, 1.0, 2.0));
+        assert!(u.contains(Vec3::new(1.5, 0.0, 1.0)));
+        assert!(!a.contains(Vec3::new(1.5, 0.0, 1.0)));
+        assert!(a.contains(Vec3::ONE), "surface points are contained");
+    }
+
+    #[test]
+    fn from_points_bounds_everything() {
+        let pts = [
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(-1.0, 5.0, 0.0),
+            Vec3::new(0.0, 0.0, -2.0),
+        ];
+        let b = Aabb::from_points(pts);
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min, Vec3::new(-1.0, 0.0, -2.0));
+        assert_eq!(b.max, Vec3::new(1.0, 5.0, 3.0));
+        assert!(Aabb::from_points(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn geometric_queries() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(b.centroid(), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(b.extent(), Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(b.surface_area(), 2.0 * (8.0 + 24.0 + 12.0));
+        assert_eq!(b.longest_axis(), Axis::Z);
+        let g = b.inflated(1.0);
+        assert_eq!(g.min, Vec3::splat(-1.0));
+        assert_eq!(g.max, Vec3::new(3.0, 5.0, 7.0));
+        assert_eq!(Aabb::from_point(Vec3::ONE).centroid(), Vec3::ONE);
+    }
+}

@@ -1,0 +1,218 @@
+//! Golden models of the extended datapath's Euclidean- and cosine-distance operations (§V-A).
+
+/// Number of vector elements consumed per Euclidean beat.
+pub const EUCLIDEAN_LANES: usize = 16;
+/// Number of vector elements consumed per cosine beat (the 16 stage-3 multipliers are split into
+/// 8 element-wise products and 8 element-wise squares).
+pub const COSINE_LANES: usize = 8;
+
+/// The two partial sums produced by one cosine beat.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CosinePartial {
+    /// Partial sum of element-wise products `a[i] * b[i]` (the numerator of the cosine
+    /// similarity).
+    pub dot: f32,
+    /// Partial sum of element-wise squares `b[i] * b[i]` (the squared norm of the candidate
+    /// vector, the denominator of the cosine similarity).
+    pub norm_sq: f32,
+}
+
+/// One beat of the Euclidean-distance operation: the partial sum of squared differences over up
+/// to sixteen dimensions, computed with the exact reduction-tree structure of datapath stages
+/// 2–9 (Fig. 6a / Fig. 6c).
+///
+/// `mask` bit `i` set means dimension `i` participates; cleared dimensions contribute zero,
+/// matching the hardware's zero-gated subtractor inputs.
+#[must_use]
+pub fn euclidean_partial(a: &[f32; EUCLIDEAN_LANES], b: &[f32; EUCLIDEAN_LANES], mask: u16) -> f32 {
+    // Stage 2 — element-wise differences (16 subtractions, zero-gated by the mask).
+    let mut diff = [0.0f32; EUCLIDEAN_LANES];
+    for i in 0..EUCLIDEAN_LANES {
+        if mask & (1 << i) != 0 {
+            diff[i] = a[i] - b[i];
+        }
+    }
+    // Stage 3 — element-wise squares (16 multiplications).
+    let mut sq = [0.0f32; EUCLIDEAN_LANES];
+    for i in 0..EUCLIDEAN_LANES {
+        sq[i] = diff[i] * diff[i];
+    }
+    // Stages 4, 6, 8, 9 — pairwise reduction tree: 8, 4, 2, 1 additions.
+    let s8: [f32; 8] = core::array::from_fn(|i| sq[2 * i] + sq[2 * i + 1]);
+    let s4: [f32; 4] = core::array::from_fn(|i| s8[2 * i] + s8[2 * i + 1]);
+    let s2: [f32; 2] = core::array::from_fn(|i| s4[2 * i] + s4[2 * i + 1]);
+    s2[0] + s2[1]
+}
+
+/// One beat of the cosine-distance operation: partial sums of element-wise products and squares
+/// over up to eight dimensions, computed with the exact reduction-tree structure of datapath
+/// stages 3–8 (Fig. 6b / Fig. 6c).
+#[must_use]
+pub fn cosine_partial(a: &[f32; COSINE_LANES], b: &[f32; COSINE_LANES], mask: u8) -> CosinePartial {
+    // Stage 3 — element-wise products of query and candidate, and element-wise squares of the
+    // candidate (8 + 8 multiplications, zero-gated by the mask).
+    let mut prod = [0.0f32; COSINE_LANES];
+    let mut sq = [0.0f32; COSINE_LANES];
+    for i in 0..COSINE_LANES {
+        if mask & (1 << i) != 0 {
+            prod[i] = a[i] * b[i];
+            sq[i] = b[i] * b[i];
+        }
+    }
+    // Stages 4, 6, 8 — pairwise reduction of both sums: 4, 2, 1 additions each.
+    let p4: [f32; 4] = core::array::from_fn(|i| prod[2 * i] + prod[2 * i + 1]);
+    let q4: [f32; 4] = core::array::from_fn(|i| sq[2 * i] + sq[2 * i + 1]);
+    let p2: [f32; 2] = core::array::from_fn(|i| p4[2 * i] + p4[2 * i + 1]);
+    let q2: [f32; 2] = core::array::from_fn(|i| q4[2 * i] + q4[2 * i + 1]);
+    CosinePartial {
+        dot: p2[0] + p2[1],
+        norm_sq: q2[0] + q2[1],
+    }
+}
+
+/// The squared Euclidean distance between two vectors of arbitrary dimension, computed exactly as
+/// the extended RT unit would: the vectors are consumed in sixteen-element beats (the last beat
+/// masked to the remaining dimensions) and the per-beat partial sums are accumulated in order.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn euclidean_distance_squared(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vector dimensions must match");
+    let mut acc = 0.0f32;
+    let mut offset = 0usize;
+    while offset < a.len() {
+        let lanes = (a.len() - offset).min(EUCLIDEAN_LANES);
+        let mut beat_a = [0.0f32; EUCLIDEAN_LANES];
+        let mut beat_b = [0.0f32; EUCLIDEAN_LANES];
+        beat_a[..lanes].copy_from_slice(&a[offset..offset + lanes]);
+        beat_b[..lanes].copy_from_slice(&b[offset..offset + lanes]);
+        let mask = if lanes == EUCLIDEAN_LANES {
+            u16::MAX
+        } else {
+            (1u16 << lanes) - 1
+        };
+        // Stage-10 accumulation: one addition per beat.
+        acc += euclidean_partial(&beat_a, &beat_b, mask);
+        offset += lanes;
+    }
+    acc
+}
+
+/// The cosine-similarity building blocks for two vectors of arbitrary dimension, accumulated over
+/// eight-element beats exactly as the extended RT unit would.  Returns the dot product of the two
+/// vectors and the squared norm of `b` (the candidate); the caller combines them with the
+/// (pre-computed) query norm to obtain the cosine similarity.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn cosine_parts(a: &[f32], b: &[f32]) -> CosinePartial {
+    assert_eq!(a.len(), b.len(), "vector dimensions must match");
+    let mut acc = CosinePartial::default();
+    let mut offset = 0usize;
+    while offset < a.len() {
+        let lanes = (a.len() - offset).min(COSINE_LANES);
+        let mut beat_a = [0.0f32; COSINE_LANES];
+        let mut beat_b = [0.0f32; COSINE_LANES];
+        beat_a[..lanes].copy_from_slice(&a[offset..offset + lanes]);
+        beat_b[..lanes].copy_from_slice(&b[offset..offset + lanes]);
+        let mask = if lanes == COSINE_LANES {
+            u8::MAX
+        } else {
+            (1u8 << lanes) - 1
+        };
+        let partial = cosine_partial(&beat_a, &beat_b, mask);
+        // Stage-9 accumulation: one addition per beat for each running sum.
+        acc.dot += partial.dot;
+        acc.norm_sq += partial.norm_sq;
+        offset += lanes;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_partial_of_identical_vectors_is_zero() {
+        let v = [1.5f32; EUCLIDEAN_LANES];
+        assert_eq!(euclidean_partial(&v, &v, u16::MAX), 0.0);
+    }
+
+    #[test]
+    fn euclidean_partial_matches_manual_sum() {
+        let mut a = [0.0f32; EUCLIDEAN_LANES];
+        let mut b = [0.0f32; EUCLIDEAN_LANES];
+        for i in 0..EUCLIDEAN_LANES {
+            a[i] = i as f32;
+            b[i] = (i as f32) * 0.5 - 1.0;
+        }
+        let expect: f32 = (0..EUCLIDEAN_LANES)
+            .map(|i| {
+                let d = a[i] - b[i];
+                d * d
+            })
+            .sum();
+        let got = euclidean_partial(&a, &b, u16::MAX);
+        assert!((got - expect).abs() < 1e-3, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn mask_excludes_dimensions() {
+        let a = [3.0f32; EUCLIDEAN_LANES];
+        let b = [1.0f32; EUCLIDEAN_LANES];
+        // Only dimensions 0 and 5 participate: 2 * (2^2) = 8.
+        assert_eq!(euclidean_partial(&a, &b, 0b10_0001), 8.0);
+        assert_eq!(euclidean_partial(&a, &b, 0), 0.0);
+    }
+
+    #[test]
+    fn cosine_partial_matches_manual_sums() {
+        let a = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let b = [0.5f32, -1.0, 2.0, 0.0, 1.0, 3.0, -2.0, 0.25];
+        let got = cosine_partial(&a, &b, u8::MAX);
+        let dot: f32 = (0..8).map(|i| a[i] * b[i]).sum();
+        let norm: f32 = (0..8).map(|i| b[i] * b[i]).sum();
+        assert!((got.dot - dot).abs() < 1e-4);
+        assert!((got.norm_sq - norm).abs() < 1e-4);
+        let masked = cosine_partial(&a, &b, 0b0000_0011);
+        assert_eq!(masked.dot, a[0] * b[0] + a[1] * b[1]);
+        assert_eq!(masked.norm_sq, b[0] * b[0] + b[1] * b[1]);
+    }
+
+    #[test]
+    fn arbitrary_dimension_vectors_accumulate_over_beats() {
+        // 40 dimensions: 2 full Euclidean beats plus one masked beat of 8.
+        let a: Vec<f32> = (0..40).map(|i| (i as f32) * 0.25).collect();
+        let b: Vec<f32> = (0..40).map(|i| 10.0 - i as f32 * 0.5).collect();
+        let expect: f32 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        let got = euclidean_distance_squared(&a, &b);
+        assert!((got - expect).abs() / expect < 1e-5, "{got} vs {expect}");
+
+        let parts = cosine_parts(&a, &b);
+        let dot: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let norm: f32 = b.iter().map(|y| y * y).sum();
+        assert!((parts.dot - dot).abs() / dot.abs() < 1e-4);
+        assert!((parts.norm_sq - norm).abs() / norm < 1e-4);
+    }
+
+    #[test]
+    fn empty_vectors_produce_zero() {
+        assert_eq!(euclidean_distance_squared(&[], &[]), 0.0);
+        assert_eq!(cosine_parts(&[], &[]), CosinePartial::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn mismatched_dimensions_panic() {
+        let _ = euclidean_distance_squared(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Golden software models of every operation the RayFlex datapath performs.
+//!
+//! These are the paper's "golden software implementation that serves as our ground truth"
+//! (§IV-A).  Each model is written with the *same operation structure and evaluation order* as
+//! the corresponding hardware stages and performs ordinary `f32` arithmetic, which rounds after
+//! every operation exactly as the datapath's recoded-format units do.  The hardware model in
+//! `rayflex-core` is therefore expected to reproduce these results bit-for-bit, and the
+//! integration tests enforce that.
+
+pub mod distance;
+pub mod slab;
+pub mod watertight;
+
+pub use distance::{cosine_partial, euclidean_partial, CosinePartial};
+pub use slab::{ray_box, sort_boxes, BoxHit};
+pub use watertight::{ray_triangle, TriangleHit};

@@ -1,0 +1,252 @@
+//! Golden model of the slab ray–box intersection test (paper Algorithm 1).
+
+use crate::{Aabb, Ray};
+
+/// The result of one ray–box intersection test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxHit {
+    /// Whether the ray's extent overlaps the box.
+    pub hit: bool,
+    /// The parametric distance at which the ray enters the box (`tmin` in Algorithm 1).
+    /// Only meaningful when `hit` is true; may be NaN for degenerate (coplanar) rays.
+    pub t_entry: f32,
+    /// The parametric distance at which the ray exits the box (`tmax` in Algorithm 1).
+    pub t_exit: f32,
+}
+
+impl BoxHit {
+    /// A definite miss, as produced for degenerate inputs.
+    #[must_use]
+    pub fn miss() -> Self {
+        BoxHit {
+            hit: false,
+            t_entry: f32::INFINITY,
+            t_exit: f32::NEG_INFINITY,
+        }
+    }
+
+    /// The sort key used when ordering children by their order of intersection: hits sort by
+    /// entry distance, misses sort last.
+    #[must_use]
+    pub fn sort_key(&self) -> f32 {
+        if self.hit {
+            self.t_entry
+        } else {
+            f32::INFINITY
+        }
+    }
+}
+
+/// Hardware-style minimum: a comparator (which also reports the *unordered* condition) followed
+/// by a select.  NaN propagates from either operand, so a coplanar ray's `inf × 0 = NaN` poisons
+/// the interval bounds and the final `tmin <= tmax` comparison returns false — the miss semantics
+/// §IV-A of the paper relies on.
+fn hw_min(a: f32, b: f32) -> f32 {
+    if a.is_nan() {
+        a
+    } else if b.is_nan() {
+        b
+    } else if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Hardware-style maximum with the same NaN-propagating behaviour as [`hw_min`].
+fn hw_max(a: f32, b: f32) -> f32 {
+    if a.is_nan() {
+        a
+    } else if b.is_nan() {
+        b
+    } else if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// The slab ray–box intersection test, computed with the exact operation structure of the
+/// datapath (translate, multiply by the inverse direction, per-axis near/far selection, interval
+/// intersection with the ray extent).
+///
+/// The NaN semantics follow §IV-A of the paper: when a direction component is zero its inverse is
+/// ±infinity, a coplanar ray then produces `inf × 0 = NaN`, every comparison involving NaN is
+/// false and the ray reports a miss.
+#[must_use]
+pub fn ray_box(ray: &Ray, aabb: &Aabb) -> BoxHit {
+    // Stage 2 — translate the box corners to the ray origin (6 subtractions per box).
+    let lo_x = aabb.min.x - ray.origin.x;
+    let lo_y = aabb.min.y - ray.origin.y;
+    let lo_z = aabb.min.z - ray.origin.z;
+    let hi_x = aabb.max.x - ray.origin.x;
+    let hi_y = aabb.max.y - ray.origin.y;
+    let hi_z = aabb.max.z - ray.origin.z;
+
+    // Stage 3 — multiply by the pre-computed inverse direction (6 multiplications per box).
+    let t_lo_x = lo_x * ray.inv_dir.x;
+    let t_lo_y = lo_y * ray.inv_dir.y;
+    let t_lo_z = lo_z * ray.inv_dir.z;
+    let t_hi_x = hi_x * ray.inv_dir.x;
+    let t_hi_y = hi_y * ray.inv_dir.y;
+    let t_hi_z = hi_z * ray.inv_dir.z;
+
+    // Stage 4 — per-axis near/far selection (3 comparisons), interval intersection with the ray
+    // extent (6 comparisons) and the hit decision (1 comparison): 9 + 1 per box.
+    let near_x = hw_min(t_lo_x, t_hi_x);
+    let near_y = hw_min(t_lo_y, t_hi_y);
+    let near_z = hw_min(t_lo_z, t_hi_z);
+    let far_x = hw_max(t_lo_x, t_hi_x);
+    let far_y = hw_max(t_lo_y, t_hi_y);
+    let far_z = hw_max(t_lo_z, t_hi_z);
+
+    let t_entry = hw_max(hw_max(near_x, near_y), hw_max(near_z, ray.t_beg));
+    let t_exit = hw_min(hw_min(far_x, far_y), hw_min(far_z, ray.t_end));
+
+    BoxHit {
+        hit: t_entry <= t_exit,
+        t_entry,
+        t_exit,
+    }
+}
+
+/// Sorts four ray–box results by their order of intersection using the five-comparator sorting
+/// network of Fig. 4a step 5 (compare-exchange pairs (0,1), (2,3), (0,2), (1,3), (1,2)).
+/// Misses sort after every hit; equal keys keep their original order.  Returns the child indices
+/// in visit order.
+#[must_use]
+pub fn sort_boxes(hits: &[BoxHit; 4]) -> [usize; 4] {
+    let mut order = [0usize, 1, 2, 3];
+    let exchange = |order: &mut [usize; 4], i: usize, j: usize| {
+        // Swap so that the element with the smaller key ends up at position i.
+        if hits[order[j]].sort_key() < hits[order[i]].sort_key() {
+            order.swap(i, j);
+        }
+    };
+    exchange(&mut order, 0, 1);
+    exchange(&mut order, 2, 3);
+    exchange(&mut order, 0, 2);
+    exchange(&mut order, 1, 3);
+    exchange(&mut order, 1, 2);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vec3;
+
+    fn unit_box_at(center: Vec3, half: f32) -> Aabb {
+        Aabb::new(center - Vec3::splat(half), center + Vec3::splat(half))
+    }
+
+    #[test]
+    fn ray_from_inside_hits() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(0.3, 0.2, 1.0));
+        let hit = ray_box(&ray, &unit_box_at(Vec3::ZERO, 1.0));
+        assert!(hit.hit);
+        assert!(hit.t_entry <= 0.0, "entry behind or at the origin");
+    }
+
+    #[test]
+    fn ray_pointing_away_misses() {
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 5.0), Vec3::new(0.0, 0.0, 1.0));
+        let hit = ray_box(&ray, &unit_box_at(Vec3::ZERO, 1.0));
+        assert!(!hit.hit);
+    }
+
+    #[test]
+    fn ray_towards_box_hits_at_expected_distance() {
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        let hit = ray_box(&ray, &unit_box_at(Vec3::ZERO, 1.0));
+        assert!(hit.hit);
+        assert_eq!(hit.t_entry, 4.0);
+        assert_eq!(hit.t_exit, 6.0);
+    }
+
+    #[test]
+    fn coplanar_ray_misses_via_nan() {
+        // Ray lying exactly in the plane of the box's top face, travelling along x.
+        let ray = Ray::new(Vec3::new(-5.0, 1.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        let aabb = unit_box_at(Vec3::ZERO, 1.0);
+        let hit = ray_box(&ray, &aabb);
+        assert!(!hit.hit, "coplanar rays must miss (inf * 0 = NaN semantics)");
+    }
+
+    #[test]
+    fn ray_extent_limits_the_hit() {
+        let aabb = unit_box_at(Vec3::ZERO, 1.0);
+        let short = Ray::with_extent(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0), 0.0, 3.0);
+        assert!(!ray_box(&short, &aabb).hit, "box begins beyond the extent");
+        let long = Ray::with_extent(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0), 0.0, 4.5);
+        assert!(ray_box(&long, &aabb).hit);
+    }
+
+    #[test]
+    fn negative_direction_components_are_handled() {
+        let ray = Ray::new(Vec3::new(5.0, 5.0, 5.0), Vec3::new(-1.0, -1.0, -1.0));
+        let hit = ray_box(&ray, &unit_box_at(Vec3::ZERO, 1.0));
+        assert!(hit.hit);
+        assert_eq!(hit.t_entry, 4.0);
+    }
+
+    #[test]
+    fn sort_orders_hits_before_misses_by_distance() {
+        let hits = [
+            BoxHit { hit: true, t_entry: 7.0, t_exit: 8.0 },
+            BoxHit::miss(),
+            BoxHit { hit: true, t_entry: 2.0, t_exit: 3.0 },
+            BoxHit { hit: true, t_entry: 5.0, t_exit: 6.0 },
+        ];
+        assert_eq!(sort_boxes(&hits), [2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn sort_is_stable_for_equal_keys_and_all_misses() {
+        let all_miss = [BoxHit::miss(); 4];
+        assert_eq!(sort_boxes(&all_miss), [0, 1, 2, 3]);
+        let equal = [
+            BoxHit { hit: true, t_entry: 1.0, t_exit: 2.0 },
+            BoxHit { hit: true, t_entry: 1.0, t_exit: 2.5 },
+            BoxHit { hit: true, t_entry: 1.0, t_exit: 3.0 },
+            BoxHit { hit: true, t_entry: 1.0, t_exit: 3.5 },
+        ];
+        assert_eq!(sort_boxes(&equal), [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sort_handles_every_permutation_of_distinct_keys() {
+        // Exhaustively check the 5-comparator network against a reference sort.
+        let distances = [1.0f32, 2.0, 3.0, 4.0];
+        let mut permutation = [0usize, 1, 2, 3];
+        // Heap's algorithm, iterative enough for 24 permutations.
+        let mut c = [0usize; 4];
+        let check = |perm: &[usize; 4]| {
+            let hits: Vec<BoxHit> = perm
+                .iter()
+                .map(|&p| BoxHit { hit: true, t_entry: distances[p], t_exit: 10.0 })
+                .collect();
+            let hits: [BoxHit; 4] = [hits[0], hits[1], hits[2], hits[3]];
+            let order = sort_boxes(&hits);
+            let sorted: Vec<f32> = order.iter().map(|&i| hits[i].t_entry).collect();
+            assert_eq!(sorted, vec![1.0, 2.0, 3.0, 4.0], "permutation {perm:?}");
+        };
+        check(&permutation);
+        let mut i = 0;
+        while i < 4 {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    permutation.swap(0, i);
+                } else {
+                    permutation.swap(c[i], i);
+                }
+                check(&permutation);
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Rays and the pre-computed shear constants of the watertight triangle test.
+
+use crate::{Axis, Vec3};
+
+/// The axis renaming and shear constants pre-computed at ray-instantiation time.
+///
+/// The watertight triangle test (paper §II-C2, Fig. 4b steps 1–3) renames the axes so the ray
+/// direction's largest component lies on the z axis (preserving winding) and computes the shear
+/// constants of the affine transform that maps the ray onto the unit +z ray.  These values are
+/// properties of the ray alone and require divisions, so the paper computes them on the
+/// general-purpose GPU core when the ray is created and passes them to the datapath as six extra
+/// FP32 operands (the 3-dimensional `k` and `S` values of the IO specification).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShearConstants {
+    /// The renamed x axis.
+    pub kx: Axis,
+    /// The renamed y axis.
+    pub ky: Axis,
+    /// The renamed z axis (the ray direction's dominant axis).
+    pub kz: Axis,
+    /// Shear constant `Sx = dir[kx] / dir[kz]`.
+    pub sx: f32,
+    /// Shear constant `Sy = dir[ky] / dir[kz]`.
+    pub sy: f32,
+    /// Scale constant `Sz = 1 / dir[kz]`.
+    pub sz: f32,
+}
+
+impl ShearConstants {
+    /// Computes the axis renaming and shear constants for a ray direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the direction is the zero vector (such a ray cannot be traced).
+    #[must_use]
+    pub fn for_direction(dir: Vec3) -> Self {
+        assert!(
+            dir.x != 0.0 || dir.y != 0.0 || dir.z != 0.0,
+            "ray direction must be non-zero"
+        );
+        // Calculate the dimension where the ray direction is maximal (2 comparisons).
+        let kz = dir.max_abs_axis();
+        let mut kx = kz.next();
+        let mut ky = kx.next();
+        // Swap kx and ky to preserve the winding direction of triangles (1 comparison).
+        if dir.axis(kz) < 0.0 {
+            core::mem::swap(&mut kx, &mut ky);
+        }
+        // Calculate the shear constants (3 divisions).
+        let sx = dir.axis(kx) / dir.axis(kz);
+        let sy = dir.axis(ky) / dir.axis(kz);
+        let sz = 1.0 / dir.axis(kz);
+        ShearConstants { kx, ky, kz, sx, sy, sz }
+    }
+}
+
+/// A ray in the RDNA3-style format the datapath consumes: origin, direction, the pre-computed
+/// element-wise inverse direction, a parametric extent `[t_beg, t_end]`, and the pre-computed
+/// shear constants for the triangle test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Vec3,
+    /// Ray direction (not required to be normalised).
+    pub dir: Vec3,
+    /// Element-wise inverse of the direction (`±inf` where a component is zero).
+    pub inv_dir: Vec3,
+    /// Start of the parametric extent (`t_r_beg` in Algorithm 1).
+    pub t_beg: f32,
+    /// End of the parametric extent (`t_r_end` in Algorithm 1).
+    pub t_end: f32,
+    /// Pre-computed axis renaming and shear constants.
+    pub shear: ShearConstants,
+}
+
+impl Ray {
+    /// Creates a ray with the default extent `[0, +inf)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the direction is the zero vector.
+    #[must_use]
+    pub fn new(origin: Vec3, dir: Vec3) -> Self {
+        Ray::with_extent(origin, dir, 0.0, f32::INFINITY)
+    }
+
+    /// Creates a ray with an explicit parametric extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the direction is the zero vector.
+    #[must_use]
+    pub fn with_extent(origin: Vec3, dir: Vec3, t_beg: f32, t_end: f32) -> Self {
+        Ray {
+            origin,
+            dir,
+            inv_dir: dir.recip(),
+            t_beg,
+            t_end,
+            shear: ShearConstants::for_direction(dir),
+        }
+    }
+
+    /// The point `origin + t * dir`.
+    #[must_use]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_ray_precomputes_inverse_and_extent() {
+        let r = Ray::new(Vec3::new(1.0, 2.0, 3.0), Vec3::new(0.0, 0.5, -2.0));
+        assert!(r.inv_dir.x.is_infinite());
+        assert_eq!(r.inv_dir.y, 2.0);
+        assert_eq!(r.inv_dir.z, -0.5);
+        assert_eq!(r.t_beg, 0.0);
+        assert!(r.t_end.is_infinite());
+        assert_eq!(r.at(2.0), Vec3::new(1.0, 3.0, -1.0));
+    }
+
+    #[test]
+    fn shear_constants_put_dominant_axis_on_z() {
+        let s = ShearConstants::for_direction(Vec3::new(0.1, 5.0, 0.2));
+        assert_eq!(s.kz, Axis::Y);
+        // Winding preserved: positive dominant component keeps (kx, ky) = (next, next-next).
+        assert_eq!(s.kx, Axis::Z);
+        assert_eq!(s.ky, Axis::X);
+        assert_eq!(s.sz, 1.0 / 5.0);
+        assert_eq!(s.sx, 0.2 / 5.0);
+        assert_eq!(s.sy, 0.1 / 5.0);
+    }
+
+    #[test]
+    fn negative_dominant_component_swaps_kx_ky() {
+        let s = ShearConstants::for_direction(Vec3::new(0.0, 0.0, -1.0));
+        assert_eq!(s.kz, Axis::Z);
+        assert_eq!(s.kx, Axis::Y);
+        assert_eq!(s.ky, Axis::X);
+        assert_eq!(s.sz, -1.0);
+    }
+
+    #[test]
+    fn axis_aligned_directions_have_exact_constants() {
+        let s = ShearConstants::for_direction(Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!((s.sx, s.sy, s.sz), (0.0, 0.0, 1.0));
+        let s = ShearConstants::for_direction(Vec3::new(2.0, 0.0, 0.0));
+        assert_eq!(s.kz, Axis::X);
+        assert_eq!((s.sx, s.sy, s.sz), (0.0, 0.0, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_direction_panics() {
+        let _ = Ray::new(Vec3::ZERO, Vec3::ZERO);
+    }
+}

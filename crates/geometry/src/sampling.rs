@@ -1,0 +1,125 @@
+//! Random generators for geometric stimulus (the paper verifies the RTL with "hundreds of
+//! thousands of random test cases"; these helpers produce the equivalent stimulus).
+
+use rand::Rng;
+
+use crate::{Aabb, Ray, Sphere, Triangle, Vec3};
+
+/// Samples a point uniformly inside an axis-aligned box.
+pub fn point_in_box<R: Rng + ?Sized>(rng: &mut R, bounds: &Aabb) -> Vec3 {
+    Vec3::new(
+        rng.gen_range(bounds.min.x..=bounds.max.x),
+        rng.gen_range(bounds.min.y..=bounds.max.y),
+        rng.gen_range(bounds.min.z..=bounds.max.z),
+    )
+}
+
+/// Samples a direction approximately uniformly on the unit sphere (rejection sampling), never
+/// returning the zero vector.
+pub fn unit_direction<R: Rng + ?Sized>(rng: &mut R) -> Vec3 {
+    loop {
+        let v = Vec3::new(
+            rng.gen_range(-1.0f32..1.0),
+            rng.gen_range(-1.0f32..1.0),
+            rng.gen_range(-1.0f32..1.0),
+        );
+        let len_sq = v.length_squared();
+        if len_sq > 1e-4 && len_sq <= 1.0 {
+            return v / len_sq.sqrt();
+        }
+    }
+}
+
+/// Samples a random ray with its origin inside `bounds` and a random direction; the extent is
+/// `[0, +inf)`.
+pub fn ray_in_box<R: Rng + ?Sized>(rng: &mut R, bounds: &Aabb) -> Ray {
+    Ray::new(point_in_box(rng, bounds), unit_direction(rng))
+}
+
+/// Samples a random axis-aligned box with corners inside `bounds` (the corners are sorted so the
+/// box is never inverted, but it may be degenerate along an axis).
+pub fn aabb_in_box<R: Rng + ?Sized>(rng: &mut R, bounds: &Aabb) -> Aabb {
+    let a = point_in_box(rng, bounds);
+    let b = point_in_box(rng, bounds);
+    Aabb::new(a.min(b), a.max(b))
+}
+
+/// Samples a random triangle with vertices inside `bounds`, discarding nearly degenerate
+/// triangles (area below `1e-4`).
+pub fn triangle_in_box<R: Rng + ?Sized>(rng: &mut R, bounds: &Aabb) -> Triangle {
+    loop {
+        let t = Triangle::new(
+            point_in_box(rng, bounds),
+            point_in_box(rng, bounds),
+            point_in_box(rng, bounds),
+        );
+        if t.area() > 1e-4 {
+            return t;
+        }
+    }
+}
+
+/// Samples a random sphere with its centre inside `bounds` and a radius in `(0, max_radius]`.
+pub fn sphere_in_box<R: Rng + ?Sized>(rng: &mut R, bounds: &Aabb, max_radius: f32) -> Sphere {
+    Sphere::new(
+        point_in_box(rng, bounds),
+        rng.gen_range(f32::EPSILON..=max_radius),
+    )
+}
+
+/// The default stimulus bounds used by the random test benches: a cube spanning ±100 units.
+#[must_use]
+pub fn default_bounds() -> Aabb {
+    Aabb::new(Vec3::splat(-100.0), Vec3::splat(100.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn points_fall_inside_the_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bounds = default_bounds();
+        for _ in 0..200 {
+            assert!(bounds.contains(point_in_box(&mut rng, &bounds)));
+        }
+    }
+
+    #[test]
+    fn directions_are_unit_length() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let d = unit_direction(&mut rng);
+            assert!((d.length() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn boxes_triangles_and_spheres_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bounds = default_bounds();
+        for _ in 0..100 {
+            let b = aabb_in_box(&mut rng, &bounds);
+            assert!(!b.is_empty());
+            let t = triangle_in_box(&mut rng, &bounds);
+            assert!(t.area() > 0.0);
+            let s = sphere_in_box(&mut rng, &bounds, 5.0);
+            assert!(s.radius > 0.0 && s.radius <= 5.0);
+            let r = ray_in_box(&mut rng, &bounds);
+            assert!(bounds.contains(r.origin));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let bounds = default_bounds();
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            assert_eq!(ray_in_box(&mut a, &bounds), ray_in_box(&mut b, &bounds));
+        }
+    }
+}

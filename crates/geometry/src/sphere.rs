@@ -1,0 +1,76 @@
+//! Sphere primitives for hierarchical-search workloads.
+
+use crate::{Aabb, Vec3};
+
+/// A sphere, used to represent dataset points in the hierarchical-search workloads the extended
+/// RT unit accelerates (paper §V-A): dataset points become tiny spheres grouped into a BVH, and a
+/// query becomes a short ray.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sphere {
+    /// The sphere centre.
+    pub center: Vec3,
+    /// The sphere radius.
+    pub radius: f32,
+}
+
+impl Sphere {
+    /// Creates a sphere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radius is negative.
+    #[must_use]
+    pub fn new(center: Vec3, radius: f32) -> Self {
+        assert!(radius >= 0.0, "sphere radius must be non-negative");
+        Sphere { center, radius }
+    }
+
+    /// The smallest axis-aligned box containing the sphere.
+    #[must_use]
+    pub fn bounds(&self) -> Aabb {
+        Aabb::new(
+            self.center - Vec3::splat(self.radius),
+            self.center + Vec3::splat(self.radius),
+        )
+    }
+
+    /// Returns `true` if the point lies inside or on the sphere.
+    #[must_use]
+    pub fn contains(&self, p: Vec3) -> bool {
+        (p - self.center).length_squared() <= self.radius * self.radius
+    }
+
+    /// Squared distance from the sphere centre to a point.
+    #[must_use]
+    pub fn center_distance_squared(&self, p: Vec3) -> f32 {
+        (p - self.center).length_squared()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_enclose_the_sphere() {
+        let s = Sphere::new(Vec3::new(1.0, 2.0, 3.0), 0.5);
+        let b = s.bounds();
+        assert_eq!(b.min, Vec3::new(0.5, 1.5, 2.5));
+        assert_eq!(b.max, Vec3::new(1.5, 2.5, 3.5));
+    }
+
+    #[test]
+    fn containment_checks() {
+        let s = Sphere::new(Vec3::ZERO, 1.0);
+        assert!(s.contains(Vec3::new(0.5, 0.5, 0.5)));
+        assert!(s.contains(Vec3::new(1.0, 0.0, 0.0)));
+        assert!(!s.contains(Vec3::new(1.0, 1.0, 1.0)));
+        assert_eq!(s.center_distance_squared(Vec3::new(0.0, 2.0, 0.0)), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_radius_panics() {
+        let _ = Sphere::new(Vec3::ZERO, -1.0);
+    }
+}

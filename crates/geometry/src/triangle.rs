@@ -1,0 +1,103 @@
+//! Triangle primitives.
+
+use crate::{Aabb, Vec3};
+
+/// A triangle primitive defined by its three vertices (nine FP32 values in the datapath's IO
+/// specification), wound counter-clockwise when viewed from the front face.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// First vertex.
+    pub v0: Vec3,
+    /// Second vertex.
+    pub v1: Vec3,
+    /// Third vertex.
+    pub v2: Vec3,
+}
+
+impl Triangle {
+    /// Creates a triangle from its vertices.
+    #[must_use]
+    pub const fn new(v0: Vec3, v1: Vec3, v2: Vec3) -> Self {
+        Triangle { v0, v1, v2 }
+    }
+
+    /// The (un-normalised) geometric normal `(v1 - v0) × (v2 - v0)`.
+    ///
+    /// With backface culling, a ray hits the triangle only when `dir · normal > 0` is false —
+    /// i.e. the paper's convention that a hit implies `dir · (AB × AC) > 0` refers to this vector
+    /// with its sign as computed here.
+    #[must_use]
+    pub fn normal(&self) -> Vec3 {
+        (self.v1 - self.v0).cross(self.v2 - self.v0)
+    }
+
+    /// The triangle's area.
+    #[must_use]
+    pub fn area(&self) -> f32 {
+        0.5 * self.normal().length()
+    }
+
+    /// The centroid of the triangle.
+    #[must_use]
+    pub fn centroid(&self) -> Vec3 {
+        (self.v0 + self.v1 + self.v2) / 3.0
+    }
+
+    /// The smallest axis-aligned box containing the triangle.
+    #[must_use]
+    pub fn bounds(&self) -> Aabb {
+        Aabb::from_points([self.v0, self.v1, self.v2])
+    }
+
+    /// Returns the triangle with its winding order flipped (swapping which side is the front).
+    #[must_use]
+    pub fn flipped(&self) -> Triangle {
+        Triangle::new(self.v0, self.v2, self.v1)
+    }
+
+    /// Returns the triangle translated by `offset`.
+    #[must_use]
+    pub fn translated(&self, offset: Vec3) -> Triangle {
+        Triangle::new(self.v0 + offset, self.v1 + offset, self.v2 + offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_xy_triangle() -> Triangle {
+        Triangle::new(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        )
+    }
+
+    #[test]
+    fn normal_and_area() {
+        let t = unit_xy_triangle();
+        assert_eq!(t.normal(), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(t.area(), 0.5);
+        assert_eq!(t.flipped().normal(), Vec3::new(0.0, 0.0, -1.0));
+    }
+
+    #[test]
+    fn centroid_and_bounds() {
+        let t = unit_xy_triangle();
+        let c = t.centroid();
+        assert!((c.x - 1.0 / 3.0).abs() < 1e-6);
+        assert!((c.y - 1.0 / 3.0).abs() < 1e-6);
+        let b = t.bounds();
+        assert_eq!(b.min, Vec3::ZERO);
+        assert_eq!(b.max, Vec3::new(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn translation_moves_every_vertex() {
+        let t = unit_xy_triangle().translated(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(t.v0, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(t.v1, Vec3::new(2.0, 2.0, 3.0));
+        assert_eq!(t.v2, Vec3::new(1.0, 3.0, 3.0));
+    }
+}

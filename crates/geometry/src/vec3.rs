@@ -1,0 +1,365 @@
+//! Three-component `f32` vectors and axis indexing.
+
+use core::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub};
+
+/// One of the three coordinate axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Axis {
+    /// The x axis (index 0).
+    X,
+    /// The y axis (index 1).
+    Y,
+    /// The z axis (index 2).
+    Z,
+}
+
+impl Axis {
+    /// All three axes in index order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// The numeric index of the axis (0, 1 or 2).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+
+    /// The axis with index `(self + 1) % 3`, used by the watertight test's winding-preserving
+    /// axis renaming.
+    #[must_use]
+    pub fn next(self) -> Axis {
+        match self {
+            Axis::X => Axis::Y,
+            Axis::Y => Axis::Z,
+            Axis::Z => Axis::X,
+        }
+    }
+
+    /// Builds an axis from a numeric index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not 0, 1 or 2.
+    #[must_use]
+    pub fn from_index(index: usize) -> Axis {
+        match index {
+            0 => Axis::X,
+            1 => Axis::Y,
+            2 => Axis::Z,
+            other => panic!("axis index out of range: {other}"),
+        }
+    }
+}
+
+/// A three-component single-precision vector (point, direction or colour).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// The x component.
+    pub x: f32,
+    /// The y component.
+    pub y: f32,
+    /// The z component.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// The all-ones vector.
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+
+    /// Creates a vector from its components.
+    #[must_use]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    #[must_use]
+    pub const fn splat(v: f32) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Returns the component along `axis`.
+    #[must_use]
+    pub fn axis(self, axis: Axis) -> f32 {
+        match axis {
+            Axis::X => self.x,
+            Axis::Y => self.y,
+            Axis::Z => self.z,
+        }
+    }
+
+    /// Returns the components as an array in `[x, y, z]` order.
+    #[must_use]
+    pub fn to_array(self) -> [f32; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Builds a vector from an `[x, y, z]` array.
+    #[must_use]
+    pub fn from_array(a: [f32; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+
+    /// The dot product of two vectors.
+    #[must_use]
+    pub fn dot(self, rhs: Vec3) -> f32 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// The cross product of two vectors.
+    #[must_use]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// The Euclidean length of the vector.
+    #[must_use]
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// The squared Euclidean length of the vector.
+    #[must_use]
+    pub fn length_squared(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector has zero length.
+    #[must_use]
+    pub fn normalized(self) -> Vec3 {
+        let len = self.length();
+        assert!(len > 0.0, "cannot normalise a zero-length vector");
+        self / len
+    }
+
+    /// Component-wise minimum.
+    #[must_use]
+    pub fn min(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(rhs.x), self.y.min(rhs.y), self.z.min(rhs.z))
+    }
+
+    /// Component-wise maximum.
+    #[must_use]
+    pub fn max(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(rhs.x), self.y.max(rhs.y), self.z.max(rhs.z))
+    }
+
+    /// Component-wise reciprocal (`1.0 / v`), producing ±infinity for zero components exactly as
+    /// the pre-computed inverse ray direction does in the RDNA3 ray format.
+    #[must_use]
+    pub fn recip(self) -> Vec3 {
+        Vec3::new(1.0 / self.x, 1.0 / self.y, 1.0 / self.z)
+    }
+
+    /// The axis along which the vector has the largest absolute component (ties broken towards
+    /// the later axis, matching the watertight reference implementation).
+    #[must_use]
+    pub fn max_abs_axis(self) -> Axis {
+        let ax = self.x.abs();
+        let ay = self.y.abs();
+        let az = self.z.abs();
+        if az >= ax && az >= ay {
+            Axis::Z
+        } else if ay >= ax {
+            Axis::Y
+        } else {
+            Axis::X
+        }
+    }
+
+    /// Returns `true` if all components are finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, rhs: f32) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f32 {
+    type Output = Vec3;
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl Mul<Vec3> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x * rhs.x, self.y * rhs.y, self.z * rhs.z)
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    fn div(self, rhs: f32) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Index<Axis> for Vec3 {
+    type Output = f32;
+    fn index(&self, axis: Axis) -> &f32 {
+        match axis {
+            Axis::X => &self.x,
+            Axis::Y => &self.y,
+            Axis::Z => &self.z,
+        }
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f32;
+    fn index(&self, index: usize) -> &f32 {
+        match index {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            other => panic!("vector index out of range: {other}"),
+        }
+    }
+}
+
+impl core::fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a * b, Vec3::new(4.0, 10.0, 18.0));
+        assert_eq!(b / 2.0, Vec3::new(2.0, 2.5, 3.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+    }
+
+    #[test]
+    fn dot_and_cross_products() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        assert_eq!(x.dot(y), 0.0);
+        assert_eq!(x.cross(y), z);
+        assert_eq!(y.cross(z), x);
+        assert_eq!(z.cross(x), y);
+        assert_eq!(Vec3::new(1.0, 2.0, 3.0).dot(Vec3::new(4.0, -5.0, 6.0)), 12.0);
+    }
+
+    #[test]
+    fn length_and_normalisation() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.length(), 5.0);
+        assert_eq!(v.length_squared(), 25.0);
+        let n = v.normalized();
+        assert!((n.length() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn normalising_zero_panics() {
+        let _ = Vec3::ZERO.normalized();
+    }
+
+    #[test]
+    fn recip_produces_infinity_for_zero_components() {
+        let v = Vec3::new(2.0, 0.0, -4.0).recip();
+        assert_eq!(v.x, 0.5);
+        assert!(v.y.is_infinite() && v.y > 0.0);
+        assert_eq!(v.z, -0.25);
+    }
+
+    #[test]
+    fn axis_helpers() {
+        assert_eq!(Axis::X.next(), Axis::Y);
+        assert_eq!(Axis::Z.next(), Axis::X);
+        assert_eq!(Axis::from_index(2), Axis::Z);
+        assert_eq!(Axis::Y.index(), 1);
+        let v = Vec3::new(7.0, 8.0, 9.0);
+        assert_eq!(v.axis(Axis::Y), 8.0);
+        assert_eq!(v[Axis::Z], 9.0);
+        assert_eq!(v[0], 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn axis_from_bad_index_panics() {
+        let _ = Axis::from_index(3);
+    }
+
+    #[test]
+    fn max_abs_axis_picks_dominant_component() {
+        assert_eq!(Vec3::new(1.0, -5.0, 2.0).max_abs_axis(), Axis::Y);
+        assert_eq!(Vec3::new(-9.0, 3.0, 2.0).max_abs_axis(), Axis::X);
+        assert_eq!(Vec3::new(1.0, 1.0, 1.0).max_abs_axis(), Axis::Z);
+    }
+
+    #[test]
+    fn min_max_and_arrays() {
+        let a = Vec3::new(1.0, 5.0, 3.0);
+        let b = Vec3::new(2.0, 4.0, 3.5);
+        assert_eq!(a.min(b), Vec3::new(1.0, 4.0, 3.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, 3.5));
+        assert_eq!(Vec3::from_array(a.to_array()), a);
+        assert_eq!(Vec3::splat(2.0), Vec3::new(2.0, 2.0, 2.0));
+        assert!(a.is_finite());
+        assert!(!Vec3::new(f32::NAN, 0.0, 0.0).is_finite());
+    }
+}

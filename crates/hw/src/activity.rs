@@ -1,0 +1,190 @@
+//! Activity traces: the VCD-stimulus stand-in used for power estimation.
+
+use std::collections::BTreeMap;
+
+use crate::FuKind;
+
+/// A record of how often each hardware resource toggled while simulating a workload.
+///
+/// The paper estimates power by feeding VCD stimulus files — collected from testbenches of 100
+/// random test cases — to the synthesis tool.  The Rust reproduction instead counts, per pipeline
+/// stage, how many functional-unit operations were performed and how many pipeline-register bits
+/// were written, over how many cycles.  The `rayflex-synth` power model turns these counts into
+/// dynamic energy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ActivityTrace {
+    cycles: u64,
+    fu_ops: BTreeMap<(usize, FuKind), u64>,
+    register_bit_writes: BTreeMap<usize, u64>,
+    accumulator_bit_writes: BTreeMap<usize, u64>,
+}
+
+impl ActivityTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `count` operations on functional units of `kind` at pipeline `stage` (1-based).
+    pub fn record_fu(&mut self, stage: usize, kind: FuKind, count: u64) {
+        if count > 0 {
+            *self.fu_ops.entry((stage, kind)).or_insert(0) += count;
+        }
+    }
+
+    /// Records `bits` pipeline-register bits written at `stage` (1-based) this cycle.
+    pub fn record_register_write(&mut self, stage: usize, bits: u64) {
+        if bits > 0 {
+            *self.register_bit_writes.entry(stage).or_insert(0) += bits;
+        }
+    }
+
+    /// Records `bits` accumulator-register bits written at `stage` (1-based) this cycle.
+    pub fn record_accumulator_write(&mut self, stage: usize, bits: u64) {
+        if bits > 0 {
+            *self.accumulator_bit_writes.entry(stage).or_insert(0) += bits;
+        }
+    }
+
+    /// Advances the trace by one simulated clock cycle.
+    pub fn advance_cycle(&mut self) {
+        self.cycles += 1;
+    }
+
+    /// Advances the trace by `n` simulated clock cycles.
+    pub fn advance_cycles(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
+    /// Number of simulated clock cycles covered by this trace.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total operations performed on functional units of `kind` at `stage`.
+    #[must_use]
+    pub fn fu_ops(&self, stage: usize, kind: FuKind) -> u64 {
+        self.fu_ops.get(&(stage, kind)).copied().unwrap_or(0)
+    }
+
+    /// Total operations performed on functional units of `kind` across all stages.
+    #[must_use]
+    pub fn total_fu_ops(&self, kind: FuKind) -> u64 {
+        self.fu_ops
+            .iter()
+            .filter(|((_, k), _)| *k == kind)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Iterates over `((stage, kind), operation count)` entries.
+    pub fn fu_entries(&self) -> impl Iterator<Item = ((usize, FuKind), u64)> + '_ {
+        self.fu_ops.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Total pipeline-register bits written at `stage`.
+    #[must_use]
+    pub fn register_bit_writes(&self, stage: usize) -> u64 {
+        self.register_bit_writes
+            .get(&stage)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total pipeline-register bits written across all stages.
+    #[must_use]
+    pub fn total_register_bit_writes(&self) -> u64 {
+        self.register_bit_writes.values().sum()
+    }
+
+    /// Total accumulator-register bits written across all stages.
+    #[must_use]
+    pub fn total_accumulator_bit_writes(&self) -> u64 {
+        self.accumulator_bit_writes.values().sum()
+    }
+
+    /// Average operations per cycle performed on functional units of `kind` at `stage`.
+    /// Returns 0 for an empty trace.
+    #[must_use]
+    pub fn fu_activity_per_cycle(&self, stage: usize, kind: FuKind) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.fu_ops(stage, kind) as f64 / self.cycles as f64
+        }
+    }
+
+    /// Merges another trace into this one (cycle counts add, per-resource counts add).
+    pub fn merge(&mut self, other: &ActivityTrace) {
+        self.cycles += other.cycles;
+        for (key, value) in &other.fu_ops {
+            *self.fu_ops.entry(*key).or_insert(0) += value;
+        }
+        for (key, value) in &other.register_bit_writes {
+            *self.register_bit_writes.entry(*key).or_insert(0) += value;
+        }
+        for (key, value) in &other.accumulator_bit_writes {
+            *self.accumulator_bit_writes.entry(*key).or_insert(0) += value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reads_back_counts() {
+        let mut t = ActivityTrace::new();
+        t.record_fu(2, FuKind::Adder, 24);
+        t.record_fu(2, FuKind::Adder, 24);
+        t.record_fu(3, FuKind::Multiplier, 9);
+        t.record_register_write(2, 1000);
+        t.record_accumulator_write(9, 66);
+        t.advance_cycles(2);
+        assert_eq!(t.cycles(), 2);
+        assert_eq!(t.fu_ops(2, FuKind::Adder), 48);
+        assert_eq!(t.fu_ops(3, FuKind::Multiplier), 9);
+        assert_eq!(t.fu_ops(3, FuKind::Adder), 0);
+        assert_eq!(t.total_fu_ops(FuKind::Adder), 48);
+        assert_eq!(t.register_bit_writes(2), 1000);
+        assert_eq!(t.total_register_bit_writes(), 1000);
+        assert_eq!(t.total_accumulator_bit_writes(), 66);
+        assert!((t.fu_activity_per_cycle(2, FuKind::Adder) - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_counts_are_not_stored() {
+        let mut t = ActivityTrace::new();
+        t.record_fu(1, FuKind::Comparator, 0);
+        t.record_register_write(1, 0);
+        assert_eq!(t.fu_entries().count(), 0);
+        assert_eq!(t.total_register_bit_writes(), 0);
+    }
+
+    #[test]
+    fn activity_per_cycle_is_zero_for_empty_trace() {
+        let t = ActivityTrace::new();
+        assert_eq!(t.fu_activity_per_cycle(1, FuKind::Adder), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = ActivityTrace::new();
+        a.record_fu(1, FuKind::Adder, 10);
+        a.record_register_write(1, 5);
+        a.advance_cycle();
+        let mut b = ActivityTrace::new();
+        b.record_fu(1, FuKind::Adder, 20);
+        b.record_fu(2, FuKind::Squarer, 16);
+        b.record_register_write(1, 7);
+        b.advance_cycles(3);
+        a.merge(&b);
+        assert_eq!(a.cycles(), 4);
+        assert_eq!(a.fu_ops(1, FuKind::Adder), 30);
+        assert_eq!(a.fu_ops(2, FuKind::Squarer), 16);
+        assert_eq!(a.register_bit_writes(1), 12);
+    }
+}

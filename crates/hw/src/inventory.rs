@@ -1,0 +1,318 @@
+//! Hardware inventories: which resources exist at each pipeline stage.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kinds of functional units instantiated by the RayFlex datapath.
+///
+/// The paper's Fig. 4c and Fig. 6c describe the pipeline as a per-stage allocation of adders,
+/// multipliers, comparators, quad-sort networks and format converters; the extended design also
+/// adds accumulator registers and the unified design needs operand multiplexers to share
+/// functional units between operations (and to zero-gate idle units for power).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FuKind {
+    /// A single-precision floating-point adder/subtractor (HardFloat `AddRecFN`).
+    Adder,
+    /// A single-precision floating-point multiplier (HardFloat `MulRecFN`).
+    Multiplier,
+    /// A multiplier specialised into a squarer by the synthesiser (both operands share a wire).
+    Squarer,
+    /// A floating-point comparator (compare-and-select datapath element).
+    Comparator,
+    /// A four-element sorting network built from five comparators (Fig. 4a step 5).
+    QuadSortNetwork,
+    /// A stage-1 format converter (IEEE binary32 → recoded 33-bit).
+    FormatConverterIn,
+    /// A stage-11 format converter (recoded 33-bit → IEEE binary32).
+    FormatConverterOut,
+    /// A 33-bit operand multiplexer used to share a functional unit between operations and to
+    /// zero-gate its inputs when idle.
+    OperandMux,
+}
+
+impl FuKind {
+    /// All functional-unit kinds, in a stable display order.
+    pub const ALL: [FuKind; 8] = [
+        FuKind::Adder,
+        FuKind::Multiplier,
+        FuKind::Squarer,
+        FuKind::Comparator,
+        FuKind::QuadSortNetwork,
+        FuKind::FormatConverterIn,
+        FuKind::FormatConverterOut,
+        FuKind::OperandMux,
+    ];
+
+    /// The number of elementary floating-point operations one unit of this kind performs per
+    /// cycle, following the accounting of §IV-B of the paper (a quad-sort network counts as five
+    /// comparators; format converters and multiplexers are not counted as operations).
+    #[must_use]
+    pub fn ops_per_cycle(self) -> u32 {
+        match self {
+            FuKind::Adder | FuKind::Multiplier | FuKind::Squarer | FuKind::Comparator => 1,
+            FuKind::QuadSortNetwork => 5,
+            FuKind::FormatConverterIn | FuKind::FormatConverterOut | FuKind::OperandMux => 0,
+        }
+    }
+
+    /// A short human-readable name used by report tables.
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            FuKind::Adder => "add",
+            FuKind::Multiplier => "mul",
+            FuKind::Squarer => "sqr",
+            FuKind::Comparator => "cmp",
+            FuKind::QuadSortNetwork => "qsort",
+            FuKind::FormatConverterIn => "conv-in",
+            FuKind::FormatConverterOut => "conv-out",
+            FuKind::OperandMux => "mux",
+        }
+    }
+}
+
+impl fmt::Display for FuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// The hardware resources instantiated at one pipeline stage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageInventory {
+    fus: BTreeMap<FuKind, u32>,
+    register_bits: u32,
+    accumulator_bits: u32,
+}
+
+impl StageInventory {
+    /// Creates an empty stage inventory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `count` functional units of the given kind to the stage.
+    pub fn add_fu(&mut self, kind: FuKind, count: u32) {
+        if count > 0 {
+            *self.fus.entry(kind).or_insert(0) += count;
+        }
+    }
+
+    /// Returns the number of functional units of the given kind at this stage.
+    #[must_use]
+    pub fn fu_count(&self, kind: FuKind) -> u32 {
+        self.fus.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Iterates over the `(kind, count)` pairs of this stage.
+    pub fn fus(&self) -> impl Iterator<Item = (FuKind, u32)> + '_ {
+        self.fus.iter().map(|(k, c)| (*k, *c))
+    }
+
+    /// Sets the number of pipeline-register bits (skid-buffer payload bits) at this stage.
+    pub fn set_register_bits(&mut self, bits: u32) {
+        self.register_bits = bits;
+    }
+
+    /// Returns the number of pipeline-register bits at this stage.
+    #[must_use]
+    pub fn register_bits(&self) -> u32 {
+        self.register_bits
+    }
+
+    /// Sets the number of accumulator-register bits (the extra state registers the extended
+    /// design adds at stages 9 and 10 for Euclidean/cosine partial sums).
+    pub fn set_accumulator_bits(&mut self, bits: u32) {
+        self.accumulator_bits = bits;
+    }
+
+    /// Returns the number of accumulator-register bits at this stage.
+    #[must_use]
+    pub fn accumulator_bits(&self) -> u32 {
+        self.accumulator_bits
+    }
+
+    /// Total elementary floating-point operations this stage can perform per cycle.
+    #[must_use]
+    pub fn ops_per_cycle(&self) -> u32 {
+        self.fus
+            .iter()
+            .map(|(kind, count)| kind.ops_per_cycle() * count)
+            .sum()
+    }
+}
+
+/// The hardware resources of a whole datapath configuration, stage by stage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HardwareInventory {
+    name: String,
+    stages: Vec<StageInventory>,
+}
+
+impl HardwareInventory {
+    /// Creates an empty inventory with a configuration name (e.g. `"baseline-unified"`).
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        HardwareInventory {
+            name: name.into(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// The configuration name this inventory describes.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a stage inventory (stages are numbered from 1 in reports).
+    pub fn push_stage(&mut self, stage: StageInventory) {
+        self.stages.push(stage);
+    }
+
+    /// The per-stage inventories, in pipeline order.
+    #[must_use]
+    pub fn stages(&self) -> &[StageInventory] {
+        &self.stages
+    }
+
+    /// Number of pipeline stages.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total count of functional units of a given kind across all stages.
+    #[must_use]
+    pub fn fu_count(&self, kind: FuKind) -> u32 {
+        self.stages.iter().map(|s| s.fu_count(kind)).sum()
+    }
+
+    /// Total pipeline-register bits across all stages.
+    #[must_use]
+    pub fn register_bits(&self) -> u32 {
+        self.stages.iter().map(StageInventory::register_bits).sum()
+    }
+
+    /// Total accumulator-register bits across all stages.
+    #[must_use]
+    pub fn accumulator_bits(&self) -> u32 {
+        self.stages
+            .iter()
+            .map(StageInventory::accumulator_bits)
+            .sum()
+    }
+
+    /// Peak elementary floating-point operations per cycle, following §IV-B's accounting
+    /// (all functional units active, a quad-sort counted as five comparators, format converters
+    /// excluded).  For the baseline unified pipeline this is the paper's "125 operations per
+    /// cycle" figure.
+    #[must_use]
+    pub fn peak_ops_per_cycle(&self) -> u32 {
+        self.stages.iter().map(StageInventory::ops_per_cycle).sum()
+    }
+}
+
+impl fmt::Display for HardwareInventory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "hardware inventory `{}`", self.name)?;
+        for (i, stage) in self.stages.iter().enumerate() {
+            write!(f, "  stage {:2}: ", i + 1)?;
+            let mut first = true;
+            for (kind, count) in stage.fus() {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{count} {kind}")?;
+                first = false;
+            }
+            if stage.register_bits() > 0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{} reg bits", stage.register_bits())?;
+                first = false;
+            }
+            if stage.accumulator_bits() > 0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{} accum bits", stage.accumulator_bits())?;
+                first = false;
+            }
+            if first {
+                write!(f, "(pass-through)")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_inventory_accumulates_fus() {
+        let mut s = StageInventory::new();
+        s.add_fu(FuKind::Adder, 24);
+        s.add_fu(FuKind::Adder, 6);
+        s.add_fu(FuKind::Comparator, 40);
+        assert_eq!(s.fu_count(FuKind::Adder), 30);
+        assert_eq!(s.fu_count(FuKind::Comparator), 40);
+        assert_eq!(s.fu_count(FuKind::Multiplier), 0);
+    }
+
+    #[test]
+    fn adding_zero_units_is_a_no_op() {
+        let mut s = StageInventory::new();
+        s.add_fu(FuKind::Multiplier, 0);
+        assert_eq!(s.fus().count(), 0);
+    }
+
+    #[test]
+    fn ops_per_cycle_counts_quadsort_as_five_comparators() {
+        let mut s = StageInventory::new();
+        s.add_fu(FuKind::QuadSortNetwork, 2);
+        s.add_fu(FuKind::Comparator, 5);
+        s.add_fu(FuKind::FormatConverterIn, 40);
+        assert_eq!(s.ops_per_cycle(), 15);
+    }
+
+    #[test]
+    fn inventory_totals_sum_over_stages() {
+        let mut inv = HardwareInventory::new("test");
+        let mut s1 = StageInventory::new();
+        s1.add_fu(FuKind::Adder, 24);
+        s1.set_register_bits(100);
+        let mut s2 = StageInventory::new();
+        s2.add_fu(FuKind::Adder, 13);
+        s2.add_fu(FuKind::Multiplier, 33);
+        s2.set_register_bits(200);
+        s2.set_accumulator_bits(99);
+        inv.push_stage(s1);
+        inv.push_stage(s2);
+        assert_eq!(inv.stage_count(), 2);
+        assert_eq!(inv.fu_count(FuKind::Adder), 37);
+        assert_eq!(inv.fu_count(FuKind::Multiplier), 33);
+        assert_eq!(inv.register_bits(), 300);
+        assert_eq!(inv.accumulator_bits(), 99);
+        assert_eq!(inv.peak_ops_per_cycle(), 37 + 33);
+        assert_eq!(inv.name(), "test");
+    }
+
+    #[test]
+    fn display_lists_every_stage() {
+        let mut inv = HardwareInventory::new("disp");
+        let mut s = StageInventory::new();
+        s.add_fu(FuKind::Adder, 2);
+        inv.push_stage(s);
+        inv.push_stage(StageInventory::new());
+        let text = inv.to_string();
+        assert!(text.contains("stage  1"));
+        assert!(text.contains("2 add"));
+        assert!(text.contains("pass-through"));
+    }
+}

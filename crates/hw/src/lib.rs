@@ -1,0 +1,45 @@
+//! # rayflex-hw
+//!
+//! Shared hardware-description vocabulary for the RayFlex-RS workspace.
+//!
+//! The RayFlex paper evaluates its datapath by synthesising the RTL and reporting circuit area and
+//! power.  To reproduce those experiments without a synthesis tool, the datapath model
+//! (`rayflex-core`) *describes* the hardware it instantiates — which functional units exist at
+//! each pipeline stage, how many pipeline-register bits each stage carries — and *records* which
+//! of those resources toggle while executing a workload.  The virtual synthesis model
+//! (`rayflex-synth`) then turns those descriptions into area and power estimates.
+//!
+//! This crate holds the three data types shared by both sides:
+//!
+//! * [`FuKind`] — the kinds of functional units the datapath instantiates,
+//! * [`HardwareInventory`] / [`StageInventory`] — the per-stage resource description,
+//! * [`ActivityTrace`] — the per-resource toggle counts collected while simulating a workload
+//!   (the stand-in for the VCD stimulus files the paper feeds to Cadence Genus).
+//!
+//! # Example
+//!
+//! ```
+//! use rayflex_hw::{ActivityTrace, FuKind, HardwareInventory, StageInventory};
+//!
+//! let mut stage = StageInventory::new();
+//! stage.add_fu(FuKind::Adder, 24);
+//! stage.set_register_bits(1024);
+//!
+//! let mut inv = HardwareInventory::new("example");
+//! inv.push_stage(stage);
+//! assert_eq!(inv.fu_count(FuKind::Adder), 24);
+//!
+//! let mut trace = ActivityTrace::new();
+//! trace.record_fu(1, FuKind::Adder, 24);
+//! trace.advance_cycle();
+//! assert_eq!(trace.cycles(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod inventory;
+
+pub use activity::ActivityTrace;
+pub use inventory::{FuKind, HardwareInventory, StageInventory};

@@ -1,0 +1,245 @@
+//! Drive harnesses for elastic pipelines: latency, initiation-interval and robustness
+//! measurements under configurable input bubbles and output back-pressure.
+
+use crate::ElasticPipeline;
+
+/// A completed datum together with the cycles at which it entered and left the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion<O> {
+    /// The pipeline output value.
+    pub value: O,
+    /// Cycle (1-based) at which the corresponding input was accepted.
+    pub issue_cycle: u64,
+    /// Cycle (1-based) at which the output was transferred to the consumer.
+    pub completion_cycle: u64,
+}
+
+impl<O> Completion<O> {
+    /// Latency of this datum in cycles: the number of clock edges between the input being
+    /// accepted and the output being transferred (an N-stage register pipeline has latency N).
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.completion_cycle - self.issue_cycle
+    }
+}
+
+/// Timing statistics for a driven run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingReport {
+    /// Number of data processed.
+    pub items: usize,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Minimum observed per-item latency.
+    pub min_latency: u64,
+    /// Maximum observed per-item latency.
+    pub max_latency: u64,
+    /// Smallest gap, in cycles, between consecutive accepted inputs (the achieved initiation
+    /// interval under the driven conditions).
+    pub min_initiation_interval: u64,
+}
+
+/// A pattern of external stalls applied to the pipeline's consumer or producer side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallPattern {
+    /// Never stall.
+    None,
+    /// Stall every `n`-th cycle (n ≥ 2).
+    EveryNth(u64),
+    /// Stall pseudo-randomly with probability `percent`/100, from a deterministic seed.
+    Random {
+        /// Stall probability in percent (0–100).
+        percent: u32,
+        /// Seed for the xorshift generator so runs are reproducible.
+        seed: u64,
+    },
+}
+
+impl StallPattern {
+    /// Returns `true` if the interface should stall on the given cycle.
+    #[must_use]
+    pub fn stalls_at(&self, cycle: u64) -> bool {
+        match *self {
+            StallPattern::None => false,
+            StallPattern::EveryNth(n) => n >= 2 && cycle % n == 0,
+            StallPattern::Random { percent, seed } => {
+                // A small splitmix/xorshift hash keeps the harness dependency-free and
+                // deterministic across runs.
+                let mut x = cycle.wrapping_add(seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^= x >> 31;
+                (x % 100) < u64::from(percent.min(100))
+            }
+        }
+    }
+}
+
+/// Feeds `inputs` into the pipeline as fast as it will accept them, with an always-ready
+/// consumer, and returns the completions in order.
+pub fn drive_to_completion<I, S, O>(
+    pipeline: &mut ElasticPipeline<I, S, O>,
+    inputs: Vec<I>,
+) -> Vec<Completion<O>> {
+    drive_with_stalls(pipeline, inputs, StallPattern::None, StallPattern::None).0
+}
+
+/// Feeds `inputs` into the pipeline subject to an input bubble pattern and an output
+/// back-pressure pattern, returning the completions and a timing report.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails to make progress for an extended period (a wedged pipeline is a
+/// bug in the stage logic or the handshake model, and hiding it would mask the error).
+pub fn drive_with_stalls<I, S, O>(
+    pipeline: &mut ElasticPipeline<I, S, O>,
+    inputs: Vec<I>,
+    input_bubbles: StallPattern,
+    output_backpressure: StallPattern,
+) -> (Vec<Completion<O>>, TimingReport) {
+    let total = inputs.len();
+    let mut issue_cycles = Vec::with_capacity(total);
+    let mut completions = Vec::with_capacity(total);
+    let mut next_input = 0usize;
+    let mut idle_cycles = 0u64;
+    let start_cycle = pipeline.cycles();
+
+    while completions.len() < total {
+        let cycle = pipeline.cycles() + 1;
+        let offer_input = next_input < total && !input_bubbles.stalls_at(cycle);
+        let consumer_ready = !output_backpressure.stalls_at(cycle);
+        let offered = if offer_input {
+            inputs.get(next_input)
+        } else {
+            None
+        };
+        let tick = pipeline.tick(offered, consumer_ready);
+        let mut progressed = false;
+        if tick.input_accepted {
+            issue_cycles.push(tick.cycle);
+            next_input += 1;
+            progressed = true;
+        }
+        if let Some(value) = tick.output {
+            let index = completions.len();
+            completions.push(Completion {
+                value,
+                issue_cycle: issue_cycles[index],
+                completion_cycle: tick.cycle,
+            });
+            progressed = true;
+        }
+        if progressed {
+            idle_cycles = 0;
+        } else {
+            idle_cycles += 1;
+            assert!(
+                idle_cycles < 1_000_000,
+                "pipeline made no progress for 1M cycles: wedged"
+            );
+        }
+    }
+
+    let cycles = pipeline.cycles() - start_cycle;
+    let min_latency = completions.iter().map(Completion::latency).min().unwrap_or(0);
+    let max_latency = completions.iter().map(Completion::latency).max().unwrap_or(0);
+    let min_ii = issue_cycles
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .min()
+        .unwrap_or(0);
+    (
+        completions,
+        TimingReport {
+            items: total,
+            cycles,
+            min_latency,
+            max_latency,
+            min_initiation_interval: min_ii,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SkidBuffer;
+
+    fn pipeline(depth: usize) -> ElasticPipeline<u64, u64, u64> {
+        let entry = SkidBuffer::from_fn("entry", |x: &u64| *x);
+        let middle = (0..depth - 2)
+            .map(|i| SkidBuffer::from_fn(format!("s{i}"), |x: &u64| *x))
+            .collect();
+        let exit = SkidBuffer::from_fn("exit", |x: &u64| *x);
+        ElasticPipeline::new(entry, middle, exit)
+    }
+
+    #[test]
+    fn drive_to_completion_preserves_order_and_measures_latency() {
+        let mut pipe = pipeline(11);
+        let completions = drive_to_completion(&mut pipe, (0..64u64).collect());
+        assert_eq!(completions.len(), 64);
+        for (i, c) in completions.iter().enumerate() {
+            assert_eq!(c.value, i as u64);
+            assert_eq!(c.latency(), 11, "fixed latency when un-stalled");
+        }
+    }
+
+    #[test]
+    fn timing_report_shows_ii_of_one_when_unstalled() {
+        let mut pipe = pipeline(11);
+        let (_, report) =
+            drive_with_stalls(&mut pipe, (0..100u64).collect(), StallPattern::None, StallPattern::None);
+        assert_eq!(report.items, 100);
+        assert_eq!(report.min_initiation_interval, 1);
+        assert_eq!(report.min_latency, 11);
+        assert_eq!(report.max_latency, 11);
+        // 100 items at II=1 through 11 stages: the last output appears at cycle 11 + 100.
+        assert_eq!(report.cycles, 11 + 100);
+    }
+
+    #[test]
+    fn random_backpressure_preserves_results() {
+        let mut pipe = pipeline(7);
+        let inputs: Vec<u64> = (0..256).collect();
+        let (completions, report) = drive_with_stalls(
+            &mut pipe,
+            inputs.clone(),
+            StallPattern::Random { percent: 30, seed: 7 },
+            StallPattern::Random { percent: 30, seed: 99 },
+        );
+        assert_eq!(
+            completions.iter().map(|c| c.value).collect::<Vec<_>>(),
+            inputs
+        );
+        assert!(report.max_latency >= 7);
+        assert!(report.cycles > 256);
+    }
+
+    #[test]
+    fn every_nth_stall_pattern_behaves() {
+        let p = StallPattern::EveryNth(3);
+        assert!(p.stalls_at(3));
+        assert!(p.stalls_at(6));
+        assert!(!p.stalls_at(4));
+        assert!(!StallPattern::None.stalls_at(5));
+        // A degenerate EveryNth(1) never stalls rather than dead-locking the harness.
+        assert!(!StallPattern::EveryNth(1).stalls_at(10));
+    }
+
+    #[test]
+    fn random_pattern_is_deterministic_for_a_seed() {
+        let a = StallPattern::Random { percent: 50, seed: 42 };
+        let b = StallPattern::Random { percent: 50, seed: 42 };
+        for cycle in 0..1000 {
+            assert_eq!(a.stalls_at(cycle), b.stalls_at(cycle));
+        }
+        let hits = (0..10_000)
+            .filter(|&c| a.stalls_at(c))
+            .count();
+        // Roughly half the cycles should stall (loose bounds to stay robust).
+        assert!(hits > 3_000 && hits < 7_000, "hits = {hits}");
+    }
+}

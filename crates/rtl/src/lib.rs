@@ -1,0 +1,47 @@
+//! # rayflex-rtl
+//!
+//! A cycle-level model of the elastic-pipeline building blocks used by the RayFlex datapath
+//! (ISPASS 2025, §III-C): parameterised skid buffers connected by the two-phase bundled-data
+//! ("valid/ready") handshake.
+//!
+//! The paper's key structural idea is that the entire datapath is a chain of one module class —
+//! the *RayFlex Skid Buffer* — each instance of which encapsulates a chunk of (possibly stateful)
+//! programmer-supplied combinational logic between two handshake interfaces.  Because the ready
+//! signal is registered inside the buffer, there is no global pipeline controller and no
+//! combinational ready chain: stages synchronise themselves and back-pressure propagates one
+//! stage per cycle.
+//!
+//! This crate reproduces those semantics in software:
+//!
+//! * [`SkidBuffer`] — a capacity-two elastic buffer with registered `input_ready`, carrying
+//!   programmer-supplied `T -> U` logic,
+//! * [`ElasticPipeline`] — a chain of skid buffers sharing one intermediate data type (the
+//!   Shared RayFlex Data Structure in the datapath), with format-conversion stages at the ends,
+//! * [`harness`] — drivers that measure latency, initiation interval and behaviour under
+//!   random back-pressure and input bubbles.
+//!
+//! # Example
+//!
+//! ```
+//! use rayflex_rtl::{ElasticPipeline, SkidBuffer};
+//!
+//! // A three-stage pipeline computing ((x + 1) * 2) - 3 with one operation per stage.
+//! let mut pipe = ElasticPipeline::new(
+//!     SkidBuffer::from_fn("in", |x: &i64| x + 1),
+//!     vec![SkidBuffer::from_fn("mul", |x: &i64| x * 2)],
+//!     SkidBuffer::from_fn("out", |x: &i64| x - 3),
+//! );
+//!
+//! let outputs = rayflex_rtl::harness::drive_to_completion(&mut pipe, vec![1, 2, 3]);
+//! assert_eq!(outputs.into_iter().map(|o| o.value).collect::<Vec<_>>(), vec![1, 3, 5]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+mod pipeline;
+mod skid_buffer;
+
+pub use pipeline::{ElasticPipeline, TickResult};
+pub use skid_buffer::SkidBuffer;

@@ -1,0 +1,394 @@
+//! The elastic pipeline: a chain of skid buffers sharing one intermediate data type.
+
+use crate::SkidBuffer;
+
+/// The observable result of one clock cycle of an [`ElasticPipeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickResult<O> {
+    /// Whether the datum offered at the input interface was accepted this cycle.
+    pub input_accepted: bool,
+    /// The datum transferred out of the pipeline this cycle, if any.
+    pub output: Option<O>,
+    /// The cycle number (starting from 1) that has just completed.
+    pub cycle: u64,
+}
+
+/// A chain of [`SkidBuffer`] stages modelling the RayFlex elastic pipeline (paper Fig. 5b).
+///
+/// The first stage converts the external input format `I` into the internal shared data type `S`
+/// (the Shared RayFlex Data Structure), every intermediate stage maps `S -> S`, and the last
+/// stage converts `S` into the external output format `O`.  Data advances one stage per cycle
+/// whenever the downstream stage has room; back-pressure propagates upstream one stage per cycle
+/// through the registered ready signals of the skid buffers — exactly the self-synchronising
+/// behaviour the paper relies on to avoid a centralised pipeline controller.
+///
+/// # Example
+///
+/// ```
+/// use rayflex_rtl::{ElasticPipeline, SkidBuffer};
+///
+/// let mut pipe = ElasticPipeline::new(
+///     SkidBuffer::from_fn("entry", |x: &u32| *x as u64),
+///     vec![SkidBuffer::from_fn("sq", |x: &u64| x * x)],
+///     SkidBuffer::from_fn("exit", |x: &u64| *x + 1),
+/// );
+/// assert_eq!(pipe.depth(), 3);
+/// // Feed one value and run until it falls out the other end (3 cycles of latency).
+/// let mut result = None;
+/// let mut offered = Some(5u32);
+/// while result.is_none() {
+///     let tick = pipe.tick(offered.as_ref(), true);
+///     if tick.input_accepted { offered = None; }
+///     result = tick.output;
+/// }
+/// assert_eq!(result, Some(26));
+/// assert_eq!(pipe.cycles(), 4); // accepted on cycle 1, emerges 3 stages later on cycle 4
+/// ```
+pub struct ElasticPipeline<I, S, O> {
+    entry: SkidBuffer<I, S>,
+    middle: Vec<SkidBuffer<S, S>>,
+    exit: SkidBuffer<S, O>,
+    cycle: u64,
+}
+
+impl<I, S, O> ElasticPipeline<I, S, O> {
+    /// Assembles a pipeline from an entry stage, any number of intermediate stages and an exit
+    /// stage.  The pipeline depth (and therefore its fixed latency in cycles when un-stalled) is
+    /// `2 + middle.len()`.
+    #[must_use]
+    pub fn new(
+        entry: SkidBuffer<I, S>,
+        middle: Vec<SkidBuffer<S, S>>,
+        exit: SkidBuffer<S, O>,
+    ) -> Self {
+        ElasticPipeline {
+            entry,
+            middle,
+            exit,
+            cycle: 0,
+        }
+    }
+
+    /// Number of pipeline stages (equal to the un-stalled latency in cycles).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        2 + self.middle.len()
+    }
+
+    /// Number of clock cycles simulated so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of data beats currently in flight inside the pipeline.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.entry.occupancy()
+            + self.middle.iter().map(SkidBuffer::occupancy).sum::<usize>()
+            + self.exit.occupancy()
+    }
+
+    /// Whether the pipeline can accept a new datum at its input this cycle.
+    #[must_use]
+    pub fn input_ready(&self) -> bool {
+        self.entry.input_ready()
+    }
+
+    /// Whether the pipeline is holding a completed datum at its output this cycle.
+    #[must_use]
+    pub fn output_valid(&self) -> bool {
+        self.exit.output_valid()
+    }
+
+    /// Total stall cycles accumulated across all stages (a measure of back-pressure).
+    #[must_use]
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.entry.stall_cycles()
+            + self
+                .middle
+                .iter()
+                .map(SkidBuffer::stall_cycles)
+                .sum::<u64>()
+            + self.exit.stall_cycles()
+    }
+
+    /// Simulates one clock cycle.
+    ///
+    /// `input` is the datum offered at the input interface this cycle (with its valid signal
+    /// implied by `Some`); `output_ready` is the external consumer's ready signal.  All fire
+    /// decisions are taken from the registered state at the start of the cycle, then applied,
+    /// mirroring the RTL's synchronous update.
+    pub fn tick(&mut self, input: Option<&I>, output_ready: bool) -> TickResult<O> {
+        self.cycle += 1;
+        let stages = self.middle.len();
+
+        // --- Phase 1: sample the registered handshake signals of every stage. ---
+        let entry_valid = self.entry.output_valid();
+        let entry_ready = self.entry.input_ready();
+        let middle_valid: Vec<bool> = self.middle.iter().map(SkidBuffer::output_valid).collect();
+        let middle_ready: Vec<bool> = self.middle.iter().map(SkidBuffer::input_ready).collect();
+        let exit_valid = self.exit.output_valid();
+        let exit_ready = self.exit.input_ready();
+
+        // Fire conditions for each interface.
+        let fire_input = input.is_some() && entry_ready;
+        // Interface feeding middle[k] comes from middle[k-1] (or the entry stage for k == 0).
+        let fire_into_middle: Vec<bool> = (0..stages)
+            .map(|k| {
+                let upstream_valid = if k == 0 { entry_valid } else { middle_valid[k - 1] };
+                upstream_valid && middle_ready[k]
+            })
+            .collect();
+        let exit_upstream_valid = if stages == 0 {
+            entry_valid
+        } else {
+            middle_valid[stages - 1]
+        };
+        let fire_into_exit = exit_upstream_valid && exit_ready;
+        let fire_output = exit_valid && output_ready;
+
+        // --- Phase 2: apply the transfers, downstream first so each pop feeds one push. ---
+        let output = if fire_output { Some(self.exit.pop()) } else { None };
+        if exit_valid && !fire_output {
+            self.exit.note_stall();
+        }
+
+        let mut popped_from_middle = vec![false; stages];
+        let mut popped_from_entry = false;
+
+        if fire_into_exit {
+            let datum = if stages == 0 {
+                popped_from_entry = true;
+                self.entry.pop()
+            } else {
+                popped_from_middle[stages - 1] = true;
+                self.middle[stages - 1].pop()
+            };
+            self.exit.push(&datum);
+        }
+
+        for k in (0..stages).rev() {
+            if fire_into_middle[k] {
+                let datum = if k == 0 {
+                    popped_from_entry = true;
+                    self.entry.pop()
+                } else {
+                    popped_from_middle[k - 1] = true;
+                    self.middle[k - 1].pop()
+                };
+                self.middle[k].push(&datum);
+            }
+        }
+
+        if fire_input {
+            self.entry
+                .push(input.expect("fire_input implies input present"));
+        }
+
+        // Stall bookkeeping for stages whose valid output was not consumed this cycle.
+        if entry_valid && !popped_from_entry {
+            self.entry.note_stall();
+        }
+        for k in 0..stages {
+            if middle_valid[k] && !popped_from_middle[k] {
+                self.middle[k].note_stall();
+            }
+        }
+
+        TickResult {
+            input_accepted: fire_input,
+            output,
+            cycle: self.cycle,
+        }
+    }
+
+    /// Runs the pipeline with no new input until every in-flight datum has drained, collecting
+    /// the outputs (the external consumer is always ready).  Gives up after `max_cycles`.
+    pub fn drain(&mut self, max_cycles: u64) -> Vec<O> {
+        let mut outputs = Vec::new();
+        let mut waited = 0;
+        while self.occupancy() > 0 && waited < max_cycles {
+            let tick = self.tick(None, true);
+            outputs.extend(tick.output);
+            waited += 1;
+        }
+        outputs
+    }
+}
+
+impl<I, S, O> core::fmt::Debug for ElasticPipeline<I, S, O> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ElasticPipeline")
+            .field("depth", &self.depth())
+            .field("cycle", &self.cycle)
+            .field("occupancy", &self.occupancy())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adder_pipeline(stage_count: usize) -> ElasticPipeline<u64, u64, u64> {
+        // Each stage adds 1; the result of an n-stage pipeline is input + n.
+        let entry = SkidBuffer::from_fn("entry", |x: &u64| x + 1);
+        let middle = (0..stage_count.saturating_sub(2))
+            .map(|i| SkidBuffer::from_fn(format!("mid{i}"), |x: &u64| x + 1))
+            .collect();
+        let exit = SkidBuffer::from_fn("exit", |x: &u64| x + 1);
+        ElasticPipeline::new(entry, middle, exit)
+    }
+
+    #[test]
+    fn latency_equals_depth_when_unstalled() {
+        for depth in [2usize, 3, 5, 11] {
+            let mut pipe = adder_pipeline(depth);
+            assert_eq!(pipe.depth(), depth);
+            let mut issue_cycle = None;
+            let mut done_cycle = None;
+            let mut offered = Some(100u64);
+            for _ in 0..(depth as u64 + 5) {
+                let tick = pipe.tick(offered.as_ref(), true);
+                if tick.input_accepted {
+                    issue_cycle = Some(tick.cycle);
+                    offered = None;
+                }
+                if let Some(v) = tick.output {
+                    assert_eq!(v, 100 + depth as u64);
+                    done_cycle = Some(tick.cycle);
+                    break;
+                }
+            }
+            let latency = done_cycle.unwrap() - issue_cycle.unwrap();
+            assert_eq!(latency, depth as u64, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn throughput_is_one_per_cycle() {
+        let mut pipe = adder_pipeline(11);
+        let inputs: Vec<u64> = (0..1000).collect();
+        let mut outputs = Vec::new();
+        let mut next = 0usize;
+        let mut cycles = 0u64;
+        while outputs.len() < inputs.len() {
+            let offered = inputs.get(next);
+            let tick = pipe.tick(offered, true);
+            if tick.input_accepted {
+                next += 1;
+            }
+            outputs.extend(tick.output);
+            cycles += 1;
+            assert!(cycles < 3000, "pipeline wedged");
+        }
+        assert_eq!(outputs, inputs.iter().map(|x| x + 11).collect::<Vec<_>>());
+        // 1000 items through an 11-deep pipeline at II=1: the last result appears 11 cycles
+        // after the last of the 1000 back-to-back issues.
+        assert_eq!(cycles, 11 + 1000);
+    }
+
+    #[test]
+    fn results_stay_in_order_under_backpressure() {
+        let mut pipe = adder_pipeline(5);
+        let inputs: Vec<u64> = (0..200).collect();
+        let mut outputs = Vec::new();
+        let mut next = 0usize;
+        let mut cycle = 0u64;
+        while outputs.len() < inputs.len() {
+            cycle += 1;
+            // Consumer ready only two cycles out of three.
+            let ready = cycle % 3 != 0;
+            let tick = pipe.tick(inputs.get(next), ready);
+            if tick.input_accepted {
+                next += 1;
+            }
+            outputs.extend(tick.output);
+            assert!(cycle < 10_000, "pipeline wedged");
+        }
+        assert_eq!(outputs, inputs.iter().map(|x| x + 5).collect::<Vec<_>>());
+        assert!(pipe.total_stall_cycles() > 0, "back-pressure must be visible");
+    }
+
+    #[test]
+    fn bubbles_do_not_corrupt_the_stream() {
+        let mut pipe = adder_pipeline(4);
+        let inputs: Vec<u64> = (0..50).collect();
+        let mut outputs = Vec::new();
+        let mut next = 0usize;
+        let mut cycle = 0u64;
+        while outputs.len() < inputs.len() {
+            cycle += 1;
+            // Offer input only every other cycle (bubbles in the stream).
+            let offered = if cycle % 2 == 0 { inputs.get(next) } else { None };
+            let tick = pipe.tick(offered, true);
+            if tick.input_accepted {
+                next += 1;
+            }
+            outputs.extend(tick.output);
+            assert!(cycle < 10_000, "pipeline wedged");
+        }
+        assert_eq!(outputs, inputs.iter().map(|x| x + 4).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_two_per_stage() {
+        let mut pipe = adder_pipeline(3);
+        let mut offered: u64 = 0;
+        for cycle in 0..100u64 {
+            let ready = cycle % 4 == 0; // heavily stalled consumer
+            let tick = pipe.tick(Some(&offered), ready);
+            if tick.input_accepted {
+                offered += 1;
+            }
+            assert!(pipe.occupancy() <= 2 * pipe.depth());
+        }
+        // Fully stalled pipeline must eventually refuse input.
+        let mut refused = false;
+        for _ in 0..20 {
+            let tick = pipe.tick(Some(&offered), false);
+            if !tick.input_accepted {
+                refused = true;
+            }
+        }
+        assert!(refused);
+    }
+
+    #[test]
+    fn drain_flushes_everything() {
+        let mut pipe = adder_pipeline(6);
+        for i in 0..6u64 {
+            pipe.tick(Some(&i), false);
+        }
+        assert!(pipe.occupancy() > 0);
+        let outputs = pipe.drain(100);
+        assert_eq!(outputs.len(), 6);
+        assert_eq!(pipe.occupancy(), 0);
+        // Order preserved.
+        assert_eq!(outputs, (0..6u64).map(|x| x + 6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_middle_stage_pipeline_works() {
+        let mut pipe = ElasticPipeline::new(
+            SkidBuffer::from_fn("in", |x: &u32| u64::from(*x) * 3),
+            Vec::new(),
+            SkidBuffer::from_fn("out", |x: &u64| x + 1),
+        );
+        assert_eq!(pipe.depth(), 2);
+        let mut out = None;
+        let mut offered = Some(7u32);
+        for _ in 0..5 {
+            let tick = pipe.tick(offered.as_ref(), true);
+            if tick.input_accepted {
+                offered = None;
+            }
+            if tick.output.is_some() {
+                out = tick.output;
+                break;
+            }
+        }
+        assert_eq!(out, Some(22));
+    }
+}

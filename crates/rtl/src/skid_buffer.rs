@@ -1,0 +1,315 @@
+//! The parameterised RayFlex skid buffer.
+
+/// A cycle-level model of the *RayFlex Skid Buffer* module (paper Fig. 5a).
+///
+/// The module couples a chunk of programmer-supplied logic (a possibly stateful `T -> U`
+/// transformation) with a two-entry elastic buffer.  Its `input_ready` signal is a registered
+/// function of the buffer occupancy at the start of the cycle, so connecting many skid buffers in
+/// series never creates a combinational ready chain: back-pressure propagates one stage per cycle
+/// while the skid register absorbs the in-flight datum.
+///
+/// In steady state with a ready consumer the buffer sustains one transfer per cycle and adds
+/// exactly one cycle of latency, which is how the 11-stage RayFlex pipeline reaches its
+/// fixed 11-cycle latency at an initiation interval of one.
+///
+/// # Example
+///
+/// ```
+/// use rayflex_rtl::SkidBuffer;
+///
+/// let mut buf = SkidBuffer::from_fn("double", |x: &u32| x * 2);
+/// // Cycle 1: push a value; nothing is visible at the output yet.
+/// let (accepted, out) = buf.step(Some(&21), true);
+/// assert!(accepted);
+/// assert!(out.is_none());
+/// // Cycle 2: the transformed value emerges.
+/// let (_, out) = buf.step(None, true);
+/// assert_eq!(out, Some(42));
+/// ```
+pub struct SkidBuffer<T, U> {
+    name: String,
+    logic: Box<dyn FnMut(&T) -> U + Send>,
+    /// The value currently presented at the output interface.
+    main: Option<U>,
+    /// The overflow ("skid") register that absorbs one datum when the consumer stalls.
+    skid: Option<U>,
+    accepted: u64,
+    emitted: u64,
+    stall_cycles: u64,
+}
+
+impl<T, U> SkidBuffer<T, U> {
+    /// Creates a skid buffer around a (possibly stateful) logic closure.
+    #[must_use]
+    pub fn from_fn(
+        name: impl Into<String>,
+        logic: impl FnMut(&T) -> U + Send + 'static,
+    ) -> Self {
+        SkidBuffer {
+            name: name.into(),
+            logic: Box::new(logic),
+            main: None,
+            skid: None,
+            accepted: 0,
+            emitted: 0,
+            stall_cycles: 0,
+        }
+    }
+
+    /// Creates a pass-through stage that clones its input, modelling a blank pipeline stage
+    /// (e.g. stages 5–9 of the ray-box operation in Fig. 4c).
+    #[must_use]
+    pub fn passthrough(name: impl Into<String>) -> Self
+    where
+        T: Clone + Into<U>,
+    {
+        SkidBuffer::from_fn(name, |x: &T| x.clone().into())
+    }
+
+    /// The instance name (used in reports and debugging).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The registered `input_ready` signal for the current cycle: true unless both the main and
+    /// the skid register are occupied.
+    #[must_use]
+    pub fn input_ready(&self) -> bool {
+        self.occupancy() < 2
+    }
+
+    /// The `output_valid` signal for the current cycle.
+    #[must_use]
+    pub fn output_valid(&self) -> bool {
+        self.main.is_some()
+    }
+
+    /// Number of data beats currently held (0, 1 or 2).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        usize::from(self.main.is_some()) + usize::from(self.skid.is_some())
+    }
+
+    /// Borrows the datum currently presented at the output, if any.
+    #[must_use]
+    pub fn peek_output(&self) -> Option<&U> {
+        self.main.as_ref()
+    }
+
+    /// Total transfers accepted at the input interface so far.
+    #[must_use]
+    pub fn accepted_count(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Total transfers emitted at the output interface so far.
+    #[must_use]
+    pub fn emitted_count(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Cycles in which valid output data was held back by a stalled consumer.
+    #[must_use]
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Consumes the datum at the output interface (the downstream "fire").
+    ///
+    /// The caller must only invoke this when [`SkidBuffer::output_valid`] was true at the start
+    /// of the cycle; the datum held in the skid register (if any) is promoted to the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn pop(&mut self) -> U {
+        let front = self
+            .main
+            .take()
+            .unwrap_or_else(|| panic!("popping an empty skid buffer `{}`", self.name));
+        self.main = self.skid.take();
+        self.emitted += 1;
+        front
+    }
+
+    /// Accepts a datum at the input interface (the upstream "fire"), passing it through the
+    /// programmer-supplied logic and storing the result.
+    ///
+    /// The caller must only invoke this when [`SkidBuffer::input_ready`] was true at the start of
+    /// the cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both the main and the skid register are already occupied.
+    pub fn push(&mut self, input: &T) {
+        assert!(
+            self.occupancy() < 2,
+            "pushing a full skid buffer `{}`",
+            self.name
+        );
+        let value = (self.logic)(input);
+        if self.main.is_none() {
+            self.main = Some(value);
+        } else {
+            self.skid = Some(value);
+        }
+        self.accepted += 1;
+    }
+
+    /// Records that valid output data was held this cycle because the consumer stalled.
+    pub fn note_stall(&mut self) {
+        self.stall_cycles += 1;
+    }
+
+    /// Drives the buffer standalone for one cycle: offers `input` (if any) and a consumer that is
+    /// ready when `output_ready` is true.  Returns whether the input was accepted and the datum
+    /// transferred to the consumer this cycle, if any.
+    pub fn step(&mut self, input: Option<&T>, output_ready: bool) -> (bool, Option<U>) {
+        let fire_out = self.output_valid() && output_ready;
+        let fire_in = input.is_some() && self.input_ready();
+        let held = self.output_valid() && !fire_out;
+        let output = if fire_out { Some(self.pop()) } else { None };
+        if held {
+            self.note_stall();
+        }
+        if fire_in {
+            self.push(input.expect("fire_in implies input present"));
+        }
+        (fire_in, output)
+    }
+}
+
+impl<T, U> core::fmt::Debug for SkidBuffer<T, U> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SkidBuffer")
+            .field("name", &self.name)
+            .field("occupancy", &self.occupancy())
+            .field("accepted", &self.accepted)
+            .field("emitted", &self.emitted)
+            .field("stall_cycles", &self.stall_cycles)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_buffer_is_ready_and_not_valid() {
+        let buf = SkidBuffer::from_fn("t", |x: &u32| *x);
+        assert!(buf.input_ready());
+        assert!(!buf.output_valid());
+        assert_eq!(buf.occupancy(), 0);
+        assert_eq!(buf.name(), "t");
+    }
+
+    #[test]
+    fn single_transfer_takes_one_cycle() {
+        let mut buf = SkidBuffer::from_fn("t", |x: &u32| x + 1);
+        let (accepted, out) = buf.step(Some(&1), true);
+        assert!(accepted);
+        assert_eq!(out, None);
+        let (_, out) = buf.step(None, true);
+        assert_eq!(out, Some(2));
+        assert_eq!(buf.occupancy(), 0);
+    }
+
+    #[test]
+    fn sustains_one_transfer_per_cycle() {
+        let mut buf = SkidBuffer::from_fn("t", |x: &u64| x * 10);
+        let mut outputs = Vec::new();
+        for i in 0..100u64 {
+            let (accepted, out) = buf.step(Some(&i), true);
+            assert!(accepted, "back-to-back transfers must never stall");
+            outputs.extend(out);
+        }
+        // Drain.
+        loop {
+            let (_, out) = buf.step(None, true);
+            match out {
+                Some(v) => outputs.push(v),
+                None => break,
+            }
+        }
+        assert_eq!(outputs, (0..100u64).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(buf.accepted_count(), 100);
+        assert_eq!(buf.emitted_count(), 100);
+        assert_eq!(buf.stall_cycles(), 0);
+    }
+
+    #[test]
+    fn skid_register_absorbs_one_datum_on_stall() {
+        let mut buf = SkidBuffer::from_fn("t", |x: &u32| *x);
+        // Fill main.
+        buf.step(Some(&1), false);
+        assert!(buf.input_ready(), "skid register still has room");
+        // Fill skid while the consumer stalls.
+        let (accepted, _) = buf.step(Some(&2), false);
+        assert!(accepted);
+        assert_eq!(buf.occupancy(), 2);
+        assert!(!buf.input_ready(), "completely full buffer must deassert ready");
+        // A third push is refused.
+        let (accepted, _) = buf.step(Some(&3), false);
+        assert!(!accepted);
+        // Draining returns the data in order.
+        let (_, a) = buf.step(None, true);
+        let (_, b) = buf.step(None, true);
+        assert_eq!((a, b), (Some(1), Some(2)));
+        assert!(buf.stall_cycles() > 0);
+    }
+
+    #[test]
+    fn stateful_logic_accumulates_across_beats() {
+        let mut sum = 0u64;
+        let mut buf = SkidBuffer::from_fn("acc", move |x: &u64| {
+            sum += x;
+            sum
+        });
+        let inputs = [5u64, 7, 8];
+        let mut outputs = Vec::new();
+        for value in &inputs {
+            let (_, out) = buf.step(Some(value), true);
+            outputs.extend(out);
+        }
+        for _ in 0..4 {
+            let (_, out) = buf.step(None, true);
+            outputs.extend(out);
+        }
+        assert_eq!(outputs, vec![5, 12, 20]);
+    }
+
+    #[test]
+    fn passthrough_copies_data_unchanged() {
+        let mut buf: SkidBuffer<u32, u32> = SkidBuffer::passthrough("blank");
+        buf.step(Some(&7), true);
+        let (_, out) = buf.step(None, true);
+        assert_eq!(out, Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "pushing a full skid buffer")]
+    fn pushing_a_full_buffer_panics() {
+        let mut buf = SkidBuffer::from_fn("t", |x: &u32| *x);
+        buf.push(&1);
+        buf.push(&2);
+        buf.push(&3);
+    }
+
+    #[test]
+    #[should_panic(expected = "popping an empty skid buffer")]
+    fn popping_an_empty_buffer_panics() {
+        let mut buf = SkidBuffer::from_fn("t", |x: &u32| *x);
+        let _ = buf.pop();
+    }
+
+    #[test]
+    fn debug_output_reports_occupancy() {
+        let mut buf = SkidBuffer::from_fn("stage7", |x: &u32| *x);
+        buf.push(&9);
+        let text = format!("{buf:?}");
+        assert!(text.contains("stage7"));
+        assert!(text.contains("occupancy: 1"));
+    }
+}

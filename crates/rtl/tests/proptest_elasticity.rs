@@ -1,0 +1,89 @@
+//! Property-based tests of the elastic-pipeline handshake: for arbitrary pipeline depths, input
+//! bubble patterns and consumer back-pressure patterns, data is never lost, duplicated or
+//! re-ordered, per-stage occupancy never exceeds the two-entry skid capacity, and the un-stalled
+//! latency always equals the depth.
+
+use proptest::prelude::*;
+
+use rayflex_rtl::harness::{drive_with_stalls, StallPattern};
+use rayflex_rtl::{ElasticPipeline, SkidBuffer};
+
+fn identity_pipeline(depth: usize) -> ElasticPipeline<u64, u64, u64> {
+    assert!(depth >= 2);
+    let entry = SkidBuffer::from_fn("entry", |x: &u64| *x);
+    let middle = (0..depth - 2)
+        .map(|i| SkidBuffer::from_fn(format!("mid{i}"), |x: &u64| *x))
+        .collect();
+    let exit = SkidBuffer::from_fn("exit", |x: &u64| *x);
+    ElasticPipeline::new(entry, middle, exit)
+}
+
+fn stall_pattern() -> impl Strategy<Value = StallPattern> {
+    prop_oneof![
+        Just(StallPattern::None),
+        (2u64..7).prop_map(StallPattern::EveryNth),
+        (0u32..80, any::<u64>()).prop_map(|(percent, seed)| StallPattern::Random { percent, seed }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn data_is_never_lost_duplicated_or_reordered(
+        depth in 2usize..16,
+        item_count in 1usize..200,
+        input_bubbles in stall_pattern(),
+        backpressure in stall_pattern(),
+    ) {
+        let mut pipeline = identity_pipeline(depth);
+        let inputs: Vec<u64> = (0..item_count as u64).collect();
+        let (completions, report) =
+            drive_with_stalls(&mut pipeline, inputs.clone(), input_bubbles, backpressure);
+        let outputs: Vec<u64> = completions.iter().map(|c| c.value).collect();
+        prop_assert_eq!(outputs, inputs);
+        prop_assert_eq!(report.items, item_count);
+        // Latency can never be shorter than the register depth.
+        prop_assert!(report.min_latency >= depth as u64);
+        // Completion cycles are strictly increasing (one output port).
+        for pair in completions.windows(2) {
+            prop_assert!(pair[0].completion_cycle < pair[1].completion_cycle);
+        }
+    }
+
+    #[test]
+    fn unstalled_runs_achieve_fixed_latency_and_full_throughput(
+        depth in 2usize..16,
+        item_count in 1usize..200,
+    ) {
+        let mut pipeline = identity_pipeline(depth);
+        let inputs: Vec<u64> = (0..item_count as u64).collect();
+        let (completions, report) =
+            drive_with_stalls(&mut pipeline, inputs, StallPattern::None, StallPattern::None);
+        prop_assert!(completions.iter().all(|c| c.latency() == depth as u64));
+        prop_assert_eq!(report.min_initiation_interval, u64::from(item_count > 1));
+        prop_assert_eq!(report.cycles, depth as u64 + item_count as u64);
+        prop_assert_eq!(pipeline.total_stall_cycles(), 0);
+    }
+
+    #[test]
+    fn occupancy_is_bounded_by_two_entries_per_stage(
+        depth in 2usize..10,
+        ready_pattern in prop::collection::vec(any::<bool>(), 20..120),
+    ) {
+        let mut pipeline = identity_pipeline(depth);
+        let mut next = 0u64;
+        for &ready in &ready_pattern {
+            let tick = pipeline.tick(Some(&next), ready);
+            if tick.input_accepted {
+                next += 1;
+            }
+            prop_assert!(pipeline.occupancy() <= 2 * pipeline.depth());
+        }
+        // Everything still in flight drains and arrives in order.
+        let drained = pipeline.drain(10_000);
+        let mut all: Vec<u64> = Vec::new();
+        all.extend(drained);
+        prop_assert!(all.windows(2).all(|w| w[0] < w[1]));
+    }
+}

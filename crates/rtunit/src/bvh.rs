@@ -1,0 +1,359 @@
+//! A four-wide bounding volume hierarchy matching the datapath's four-boxes-per-beat interface.
+
+use rayflex_geometry::{Aabb, Sphere, Triangle};
+
+/// Anything that can be bounded by an axis-aligned box and therefore placed in a BVH.
+pub trait Primitive {
+    /// The primitive's axis-aligned bounds.
+    fn bounds(&self) -> Aabb;
+}
+
+impl Primitive for Triangle {
+    fn bounds(&self) -> Aabb {
+        Triangle::bounds(self)
+    }
+}
+
+impl Primitive for Sphere {
+    fn bounds(&self) -> Aabb {
+        Sphere::bounds(self)
+    }
+}
+
+impl Primitive for Aabb {
+    fn bounds(&self) -> Aabb {
+        *self
+    }
+}
+
+/// One node of the four-wide BVH.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Bvh4Node {
+    /// An internal node with up to four children; absent slots are `None`.  The child bounds are
+    /// stored here so a single ray–box beat can test all four slots.
+    Internal {
+        /// Indices of the child nodes, aligned with `child_bounds`.
+        children: [Option<usize>; 4],
+        /// Bounds of each child slot (absent slots hold an empty box that can never be hit).
+        child_bounds: [Aabb; 4],
+    },
+    /// A leaf node referencing a contiguous run of primitive indices.
+    Leaf {
+        /// Start offset into [`Bvh4::primitive_indices`].
+        first: usize,
+        /// Number of primitives in the leaf.
+        count: usize,
+    },
+}
+
+/// A four-wide bounding volume hierarchy (paper Fig. 1, with the RDNA-style four-children node
+/// format of §III-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bvh4 {
+    nodes: Vec<Bvh4Node>,
+    primitive_indices: Vec<usize>,
+    bounds: Aabb,
+    max_leaf_size: usize,
+}
+
+impl Bvh4 {
+    /// Default maximum number of primitives per leaf.
+    pub const DEFAULT_LEAF_SIZE: usize = 4;
+
+    /// Builds a BVH over a slice of primitives with the default leaf size.
+    #[must_use]
+    pub fn build<P: Primitive>(primitives: &[P]) -> Self {
+        Self::build_with_leaf_size(primitives, Self::DEFAULT_LEAF_SIZE)
+    }
+
+    /// Builds a BVH with an explicit maximum leaf size (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_leaf_size` is zero.
+    #[must_use]
+    pub fn build_with_leaf_size<P: Primitive>(primitives: &[P], max_leaf_size: usize) -> Self {
+        assert!(max_leaf_size >= 1, "leaf size must be at least one primitive");
+        let bounds: Vec<Aabb> = primitives.iter().map(Primitive::bounds).collect();
+        let centroids: Vec<_> = bounds.iter().map(Aabb::centroid).collect();
+        let scene_bounds = bounds
+            .iter()
+            .fold(Aabb::empty(), |acc, b| acc.union(b));
+        let mut indices: Vec<usize> = (0..primitives.len()).collect();
+        let mut builder = Builder {
+            bounds: &bounds,
+            centroids: &centroids,
+            nodes: Vec::new(),
+            max_leaf_size,
+        };
+        if indices.is_empty() {
+            builder.nodes.push(Bvh4Node::Leaf { first: 0, count: 0 });
+        } else {
+            builder.build_node(&mut indices, 0);
+        }
+        Bvh4 {
+            nodes: builder.nodes,
+            primitive_indices: indices,
+            bounds: scene_bounds,
+            max_leaf_size,
+        }
+    }
+
+    /// The root node index (always 0).
+    #[must_use]
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// The node table.
+    #[must_use]
+    pub fn nodes(&self) -> &[Bvh4Node] {
+        &self.nodes
+    }
+
+    /// One node by index.
+    #[must_use]
+    pub fn node(&self, index: usize) -> &Bvh4Node {
+        &self.nodes[index]
+    }
+
+    /// The (permuted) primitive index array leaves point into.
+    #[must_use]
+    pub fn primitive_indices(&self) -> &[usize] {
+        &self.primitive_indices
+    }
+
+    /// The primitive indices of a leaf node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` refers to an internal node.
+    #[must_use]
+    pub fn leaf_primitives(&self, index: usize) -> &[usize] {
+        match &self.nodes[index] {
+            Bvh4Node::Leaf { first, count } => &self.primitive_indices[*first..*first + *count],
+            Bvh4Node::Internal { .. } => panic!("node {index} is not a leaf"),
+        }
+    }
+
+    /// The bounds of the whole scene.
+    #[must_use]
+    pub fn scene_bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Number of nodes in the hierarchy.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The maximum leaf size the tree was built with.
+    #[must_use]
+    pub fn max_leaf_size(&self) -> usize {
+        self.max_leaf_size
+    }
+
+    /// Maximum depth of the tree (1 for a single leaf).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth_of(self.root())
+    }
+
+    fn depth_of(&self, index: usize) -> usize {
+        match &self.nodes[index] {
+            Bvh4Node::Leaf { .. } => 1,
+            Bvh4Node::Internal { children, .. } => {
+                1 + children
+                    .iter()
+                    .flatten()
+                    .map(|&c| self.depth_of(c))
+                    .max()
+                    .unwrap_or(0)
+            }
+        }
+    }
+}
+
+struct Builder<'a> {
+    bounds: &'a [Aabb],
+    centroids: &'a [rayflex_geometry::Vec3],
+    nodes: Vec<Bvh4Node>,
+    max_leaf_size: usize,
+}
+
+impl Builder<'_> {
+    /// Builds the subtree over `indices[range]` (passed as a sub-slice starting at absolute
+    /// offset `first`), returning the created node's index.
+    fn build_node(&mut self, indices: &mut [usize], first: usize) -> usize {
+        if indices.len() <= self.max_leaf_size {
+            let node = Bvh4Node::Leaf { first, count: indices.len() };
+            self.nodes.push(node);
+            return self.nodes.len() - 1;
+        }
+        // Split into four partitions: a median split along the longest centroid axis, applied
+        // twice (binary split, then each half split again).
+        let quarters = self.partition_into_four(indices);
+        // Reserve our slot before recursing so the root lands at index 0.
+        let node_index = self.nodes.len();
+        self.nodes.push(Bvh4Node::Leaf { first: 0, count: 0 }); // placeholder
+        let mut children = [None; 4];
+        let mut child_bounds = [Aabb::empty(); 4];
+        let mut offset = 0usize;
+        for (slot, quarter_len) in quarters.into_iter().enumerate() {
+            if quarter_len == 0 {
+                continue;
+            }
+            let (chunk, _) = indices[offset..].split_at_mut(quarter_len);
+            let bounds = chunk
+                .iter()
+                .fold(Aabb::empty(), |acc, &i| acc.union(&self.bounds[i]));
+            let child = self.build_node(chunk, first + offset);
+            children[slot] = Some(child);
+            child_bounds[slot] = bounds;
+            offset += quarter_len;
+        }
+        self.nodes[node_index] = Bvh4Node::Internal { children, child_bounds };
+        node_index
+    }
+
+    /// Splits the index slice into four contiguous partitions by recursive median splits along
+    /// the longest centroid axis; returns the partition lengths (which sum to the slice length).
+    fn partition_into_four(&self, indices: &mut [usize]) -> [usize; 4] {
+        let mid = self.median_split(indices);
+        let (left, right) = indices.split_at_mut(mid);
+        let left_mid = self.median_split(left);
+        let right_mid = self.median_split(right);
+        [left_mid, left.len() - left_mid, right_mid, right.len() - right_mid]
+    }
+
+    /// Sorts the slice along the longest centroid axis and returns the median split point.
+    fn median_split(&self, indices: &mut [usize]) -> usize {
+        if indices.len() < 2 {
+            return indices.len();
+        }
+        let centroid_bounds = indices
+            .iter()
+            .fold(Aabb::empty(), |acc, &i| acc.union_point(self.centroids[i]));
+        let axis = centroid_bounds.longest_axis();
+        indices.sort_by(|&a, &b| {
+            self.centroids[a]
+                .axis(axis)
+                .partial_cmp(&self.centroids[b].axis(axis))
+                .unwrap_or(core::cmp::Ordering::Equal)
+        });
+        indices.len() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayflex_geometry::Vec3;
+
+    fn grid_triangles(n: usize) -> Vec<Triangle> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f32 * 3.0;
+                let y = ((i / 10) % 10) as f32 * 3.0;
+                let z = (i / 100) as f32 * 3.0;
+                Triangle::new(
+                    Vec3::new(x, y, z),
+                    Vec3::new(x + 1.0, y, z),
+                    Vec3::new(x, y + 1.0, z),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn builds_a_single_leaf_for_tiny_scenes() {
+        let tris = grid_triangles(3);
+        let bvh = Bvh4::build(&tris);
+        assert_eq!(bvh.node_count(), 1);
+        assert_eq!(bvh.depth(), 1);
+        assert_eq!(bvh.leaf_primitives(bvh.root()).len(), 3);
+    }
+
+    #[test]
+    fn every_primitive_appears_exactly_once() {
+        let tris = grid_triangles(250);
+        let bvh = Bvh4::build(&tris);
+        let mut seen = vec![false; tris.len()];
+        for &i in bvh.primitive_indices() {
+            assert!(!seen[i], "primitive {i} referenced twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(bvh.node_count() > 1);
+        assert!(bvh.depth() >= 2);
+    }
+
+    #[test]
+    fn child_bounds_contain_their_subtrees() {
+        let tris = grid_triangles(120);
+        let bvh = Bvh4::build(&tris);
+        fn check(bvh: &Bvh4, tris: &[Triangle], node: usize, bounds: &Aabb) {
+            match bvh.node(node) {
+                Bvh4Node::Leaf { .. } => {
+                    for &p in bvh.leaf_primitives(node) {
+                        let tb = tris[p].bounds();
+                        assert!(bounds.contains(tb.min) && bounds.contains(tb.max));
+                    }
+                }
+                Bvh4Node::Internal { children, child_bounds } => {
+                    for (child, cb) in children.iter().zip(child_bounds) {
+                        if let Some(c) = child {
+                            check(bvh, tris, *c, cb);
+                        }
+                    }
+                }
+            }
+        }
+        check(&bvh, &tris, bvh.root(), &bvh.scene_bounds());
+    }
+
+    #[test]
+    fn leaf_size_is_respected() {
+        let tris = grid_triangles(300);
+        for leaf_size in [1usize, 2, 4, 8] {
+            let bvh = Bvh4::build_with_leaf_size(&tris, leaf_size);
+            for (i, node) in bvh.nodes().iter().enumerate() {
+                if let Bvh4Node::Leaf { count, .. } = node {
+                    assert!(*count <= leaf_size, "node {i} has {count} > {leaf_size}");
+                }
+            }
+            assert_eq!(bvh.max_leaf_size(), leaf_size);
+        }
+    }
+
+    #[test]
+    fn empty_scenes_build_an_empty_leaf() {
+        let bvh = Bvh4::build::<Triangle>(&[]);
+        assert_eq!(bvh.node_count(), 1);
+        assert_eq!(bvh.leaf_primitives(0).len(), 0);
+        assert!(bvh.scene_bounds().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one primitive")]
+    fn zero_leaf_size_is_rejected() {
+        let _ = Bvh4::build_with_leaf_size(&grid_triangles(5), 0);
+    }
+
+    #[test]
+    fn spheres_and_boxes_are_primitives_too() {
+        let spheres = vec![
+            Sphere::new(Vec3::ZERO, 1.0),
+            Sphere::new(Vec3::new(5.0, 0.0, 0.0), 0.5),
+            Sphere::new(Vec3::new(0.0, 5.0, 0.0), 0.25),
+            Sphere::new(Vec3::new(0.0, 0.0, 5.0), 2.0),
+            Sphere::new(Vec3::new(5.0, 5.0, 5.0), 1.0),
+        ];
+        let bvh = Bvh4::build(&spheres);
+        assert!(bvh.scene_bounds().contains(Vec3::new(5.0, 5.0, 5.0)));
+        let boxes = vec![Aabb::new(Vec3::ZERO, Vec3::ONE); 6];
+        let bvh = Bvh4::build(&boxes);
+        assert_eq!(bvh.primitive_indices().len(), 6);
+    }
+}

@@ -1,0 +1,340 @@
+//! Hierarchical (BVH-filtered) neighbour search: the workload shape that motivates the extended
+//! RT unit (paper §V-A).
+//!
+//! The RT-accelerated search systems the paper cites (RTNN, RT-kNNS, Arkade, RT-DBSCAN, …)
+//! represent the dataset as tiny spheres grouped into a BVH and express a query as a short ray:
+//! the fixed-function traversal hardware filters the dataset down to the few leaves whose bounds
+//! the query can possibly reach, and the candidate points surviving the filter are then scored
+//! exactly.  With the extended datapath the exact scoring also runs on the RT unit (Euclidean
+//! distance operation) instead of being bounced back to the shader core — that is precisely the
+//! functionality whose area/power cost the paper's case study evaluates.
+//!
+//! [`HierarchicalSearch`] reproduces that pipeline on top of this crate's substrates: a [`Bvh4`]
+//! over the dataset spheres, ray–box beats for the hierarchy filter, and Euclidean beats for the
+//! exact scoring — so a radius query issues *only* datapath operations.
+
+use rayflex_core::{Opcode, PipelineConfig, RayFlexRequest};
+use rayflex_geometry::{Ray, Sphere, Vec3};
+
+use crate::{Bvh4, Bvh4Node, KnnEngine, Neighbor};
+
+/// Statistics of one hierarchical query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchicalStats {
+    /// Ray–box beats issued while filtering the hierarchy.
+    pub box_beats: u64,
+    /// Euclidean beats issued while scoring the surviving candidates.
+    pub euclidean_beats: u64,
+    /// Candidate points that survived the hierarchy filter and were scored exactly.
+    pub candidates_scored: u64,
+    /// Dataset points in total (for filter-efficiency reporting).
+    pub dataset_size: u64,
+}
+
+impl HierarchicalStats {
+    /// Fraction of the dataset that had to be scored exactly (lower is better filtering).
+    #[must_use]
+    pub fn scored_fraction(&self) -> f64 {
+        if self.dataset_size == 0 {
+            0.0
+        } else {
+            self.candidates_scored as f64 / self.dataset_size as f64
+        }
+    }
+}
+
+/// A radius / nearest-neighbour search engine over 3-D points, implemented entirely with
+/// datapath beats: BVH filtering through the ray–box operation and exact scoring through the
+/// Euclidean-distance operation of the extended datapath.
+#[derive(Debug)]
+pub struct HierarchicalSearch {
+    points: Vec<Vec3>,
+    spheres: Vec<Sphere>,
+    bvh: Bvh4,
+    scorer: KnnEngine,
+    stats: HierarchicalStats,
+}
+
+impl HierarchicalSearch {
+    /// Builds the search structure over a set of 3-D points, representing each point as a sphere
+    /// of radius `point_radius` (the small epsilon the RT-accelerated search systems use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the datapath configuration does not support the Euclidean operation or if
+    /// `point_radius` is negative.
+    #[must_use]
+    pub fn build(points: Vec<Vec3>, point_radius: f32, config: PipelineConfig) -> Self {
+        assert!(
+            config.supports(Opcode::Euclidean),
+            "hierarchical search scores candidates with the extended datapath"
+        );
+        let spheres: Vec<Sphere> = points
+            .iter()
+            .map(|&p| Sphere::new(p, point_radius))
+            .collect();
+        let bvh = Bvh4::build(&spheres);
+        let dataset_size = points.len() as u64;
+        HierarchicalSearch {
+            points,
+            spheres,
+            bvh,
+            scorer: KnnEngine::with_config(config),
+            stats: HierarchicalStats {
+                dataset_size,
+                ..HierarchicalStats::default()
+            },
+        }
+    }
+
+    /// The dataset points.
+    #[must_use]
+    pub fn points(&self) -> &[Vec3] {
+        &self.points
+    }
+
+    /// The accumulated statistics across every query so far.
+    #[must_use]
+    pub fn stats(&self) -> HierarchicalStats {
+        self.stats
+    }
+
+    /// Returns every dataset point within `radius` of `query` (squared-Euclidean scored on the
+    /// datapath), sorted from nearest to farthest.
+    pub fn radius_query(&mut self, query: Vec3, radius: f32) -> Vec<Neighbor> {
+        let candidates = self.filter_candidates(query, radius);
+        let query_vec = [query.x, query.y, query.z];
+        let radius_sq = radius * radius;
+        let mut results: Vec<Neighbor> = candidates
+            .into_iter()
+            .filter_map(|index| {
+                self.stats.candidates_scored += 1;
+                let p = self.points[index];
+                let beats_before = self.scorer.stats().beats;
+                let distance = self
+                    .scorer
+                    .euclidean_distance_squared(&query_vec, &[p.x, p.y, p.z]);
+                self.stats.euclidean_beats += self.scorer.stats().beats - beats_before;
+                (distance <= radius_sq).then_some(Neighbor { index, distance })
+            })
+            .collect();
+        results.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(core::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
+        });
+        results
+    }
+
+    /// Returns the nearest dataset point to `query`, searching with an expanding radius (each
+    /// round doubles the radius until a neighbour is found), or `None` for an empty dataset.
+    pub fn nearest(&mut self, query: Vec3, initial_radius: f32) -> Option<Neighbor> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut radius = initial_radius.max(f32::EPSILON);
+        let scene = self.bvh.scene_bounds();
+        let scene_diagonal = (scene.max - scene.min).length().max(1.0);
+        loop {
+            if let Some(&nearest) = self.radius_query(query, radius).first() {
+                return Some(nearest);
+            }
+            if radius > 2.0 * scene_diagonal {
+                // The query is farther from every point than the whole scene extent; fall back to
+                // scoring everything once.
+                let all: Vec<usize> = (0..self.points.len()).collect();
+                return self.score_exactly(query, &all).into_iter().next();
+            }
+            radius *= 2.0;
+        }
+    }
+
+    /// Hierarchy filter: walks the sphere BVH with ray–box beats, using the paper's
+    /// query-as-a-short-ray formulation (a ray of length `2 * radius` centred on the query), and
+    /// returns the indices of every point whose leaf the query reaches.
+    fn filter_candidates(&mut self, query: Vec3, radius: f32) -> Vec<usize> {
+        // A short ray through the query point along +x with extent [0, 2r], starting at
+        // query - (r, 0, 0): exactly the formulation RTNN-style systems use.  Inflating the child
+        // bounds by the radius makes the box test conservative in y/z as well.
+        let ray = Ray::with_extent(
+            query - Vec3::new(radius, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            0.0,
+            2.0 * radius,
+        );
+        let mut candidates = Vec::new();
+        let mut stack = vec![self.bvh.root()];
+        while let Some(node) = stack.pop() {
+            match self.bvh.node(node) {
+                Bvh4Node::Leaf { .. } => candidates.extend(self.bvh.leaf_primitives(node)),
+                Bvh4Node::Internal { children, child_bounds } => {
+                    self.stats.box_beats += 1;
+                    let boxes = core::array::from_fn(|i| {
+                        if child_bounds[i].is_empty() {
+                            rayflex_geometry::Aabb::new(Vec3::splat(f32::MAX), Vec3::splat(f32::MAX))
+                        } else {
+                            child_bounds[i].inflated(radius)
+                        }
+                    });
+                    let request = RayFlexRequest::ray_box(0, &ray, &boxes);
+                    let result = self
+                        .scorer
+                        .execute_raw(&request)
+                        .box_result
+                        .expect("box beat");
+                    for slot in 0..4 {
+                        if result.hit[slot] {
+                            if let Some(child) = children[slot] {
+                                stack.push(child);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        candidates
+    }
+
+    /// Exact scoring of an explicit candidate list (used by the brute-force fallback).
+    fn score_exactly(&mut self, query: Vec3, candidates: &[usize]) -> Vec<Neighbor> {
+        let query_vec = [query.x, query.y, query.z];
+        let mut results: Vec<Neighbor> = candidates
+            .iter()
+            .map(|&index| {
+                let p = self.points[index];
+                self.stats.candidates_scored += 1;
+                let distance = self
+                    .scorer
+                    .euclidean_distance_squared(&query_vec, &[p.x, p.y, p.z]);
+                Neighbor { index, distance }
+            })
+            .collect();
+        results.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(core::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
+        });
+        results
+    }
+
+    /// Number of spheres in the underlying BVH (equal to the dataset size).
+    #[must_use]
+    pub fn sphere_count(&self) -> usize {
+        self.spheres.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(seed: u64, count: usize, extent: f32) -> Vec<Vec3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(-extent..extent),
+                    rng.gen_range(-extent..extent),
+                    rng.gen_range(-extent..extent),
+                )
+            })
+            .collect()
+    }
+
+    fn brute_force_radius(points: &[Vec3], query: Vec3, radius: f32) -> Vec<usize> {
+        let mut found: Vec<(usize, f32)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, (*p - query).length_squared()))
+            .filter(|(_, d)| *d <= radius * radius)
+            .collect();
+        found.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        found.into_iter().map(|(i, _)| i).collect()
+    }
+
+    #[test]
+    fn radius_queries_match_brute_force() {
+        let points = random_points(5, 300, 50.0);
+        let mut search =
+            HierarchicalSearch::build(points.clone(), 0.01, PipelineConfig::extended_unified());
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let query = Vec3::new(
+                rng.gen_range(-50.0f32..50.0),
+                rng.gen_range(-50.0f32..50.0),
+                rng.gen_range(-50.0f32..50.0),
+            );
+            let radius = rng.gen_range(2.0f32..15.0);
+            let got: Vec<usize> = search
+                .radius_query(query, radius)
+                .into_iter()
+                .map(|n| n.index)
+                .collect();
+            let expected = brute_force_radius(&points, query, radius);
+            assert_eq!(got, expected, "query {query} radius {radius}");
+        }
+        assert_eq!(search.stats().dataset_size, 300);
+        assert!(search.stats().box_beats > 0);
+        assert!(search.stats().euclidean_beats >= search.stats().candidates_scored);
+    }
+
+    #[test]
+    fn the_hierarchy_filters_most_of_the_dataset_for_small_radii() {
+        let points = random_points(9, 2000, 100.0);
+        let mut search =
+            HierarchicalSearch::build(points, 0.01, PipelineConfig::extended_unified());
+        let _ = search.radius_query(Vec3::new(10.0, -20.0, 30.0), 5.0);
+        let fraction = search.stats().scored_fraction();
+        assert!(
+            fraction < 0.25,
+            "the BVH filter should prune most of the dataset (scored {:.1}%)",
+            fraction * 100.0
+        );
+    }
+
+    #[test]
+    fn nearest_matches_an_exhaustive_scan_even_for_far_queries() {
+        let points = random_points(11, 200, 20.0);
+        let mut search =
+            HierarchicalSearch::build(points.clone(), 0.01, PipelineConfig::extended_unified());
+        for query in [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(19.0, -19.0, 5.0),
+            Vec3::new(500.0, 500.0, 500.0), // far outside the dataset: exercises the fallback
+        ] {
+            let got = search.nearest(query, 1.0).expect("non-empty dataset");
+            let expected = points
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    (*a.1 - query)
+                        .length_squared()
+                        .partial_cmp(&(*b.1 - query).length_squared())
+                        .unwrap()
+                })
+                .unwrap()
+                .0;
+            assert_eq!(got.index, expected, "query {query}");
+        }
+    }
+
+    #[test]
+    fn empty_datasets_return_nothing() {
+        let mut search =
+            HierarchicalSearch::build(Vec::new(), 0.01, PipelineConfig::extended_unified());
+        assert!(search.nearest(Vec3::ZERO, 1.0).is_none());
+        assert!(search.radius_query(Vec3::ZERO, 10.0).is_empty());
+        assert_eq!(search.stats().scored_fraction(), 0.0);
+        assert_eq!(search.sphere_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "extended datapath")]
+    fn baseline_configurations_are_rejected() {
+        let _ = HierarchicalSearch::build(Vec::new(), 0.01, PipelineConfig::baseline_unified());
+    }
+}

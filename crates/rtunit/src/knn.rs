@@ -1,0 +1,302 @@
+//! k-nearest-neighbour search on the extended datapath (case study §V-A).
+
+use rayflex_core::{Opcode, PipelineConfig, RayFlexDatapath, RayFlexRequest};
+use rayflex_geometry::golden::distance::{COSINE_LANES, EUCLIDEAN_LANES};
+
+/// The distance metric used by a search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnMetric {
+    /// Squared Euclidean distance (smaller is closer), computed with the extended datapath's
+    /// Euclidean operation.
+    Euclidean,
+    /// Cosine distance `1 - cos(a, b)` (smaller is closer), computed from the extended datapath's
+    /// dot-product and candidate-norm accumulators.
+    Cosine,
+}
+
+/// One search result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the dataset vector.
+    pub index: usize,
+    /// Distance to the query under the chosen metric.
+    pub distance: f32,
+}
+
+/// Statistics of a search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KnnStats {
+    /// Datapath beats issued.
+    pub beats: u64,
+    /// Candidate vectors scored.
+    pub candidates: u64,
+}
+
+/// A k-nearest-neighbour engine that streams candidate vectors through the extended RayFlex
+/// datapath, exactly as the hierarchical-search accelerators the paper cites would: each
+/// candidate is consumed in 16-lane (Euclidean) or 8-lane (cosine) beats with the accumulator
+/// reset asserted on the last beat, and any number of unrelated beats may be interleaved between
+/// two candidates.
+#[derive(Debug)]
+pub struct KnnEngine {
+    datapath: RayFlexDatapath,
+    stats: KnnStats,
+}
+
+impl KnnEngine {
+    /// Creates an engine over an extended-unified datapath.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(PipelineConfig::extended_unified())
+    }
+
+    /// Creates an engine over a datapath of the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not support the distance operations.
+    #[must_use]
+    pub fn with_config(config: PipelineConfig) -> Self {
+        assert!(
+            config.supports(Opcode::Euclidean),
+            "k-nearest-neighbour search needs the extended datapath"
+        );
+        KnnEngine {
+            datapath: RayFlexDatapath::new(config),
+            stats: KnnStats::default(),
+        }
+    }
+
+    /// The accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> KnnStats {
+        self.stats
+    }
+
+    /// Issues an arbitrary beat on the engine's datapath.
+    ///
+    /// The extended RT unit runs ray–box, ray–triangle and distance beats through the *same*
+    /// pipeline, freely interleaved (§V-A); the hierarchical-search engine uses this to mix its
+    /// BVH-filter ray–box beats with its exact-scoring Euclidean beats on one unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the beat's opcode is not supported by the engine's configuration.
+    pub fn execute_raw(
+        &mut self,
+        request: &rayflex_core::RayFlexRequest,
+    ) -> rayflex_core::RayFlexResponse {
+        self.stats.beats += 1;
+        self.datapath.execute(request)
+    }
+
+    /// Squared Euclidean distance between two vectors of arbitrary equal dimension, computed on
+    /// the datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different dimensions.
+    pub fn euclidean_distance_squared(&mut self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "vector dimensions must match");
+        self.stats.candidates += 1;
+        let mut result = 0.0;
+        let mut offset = 0;
+        while offset < a.len() || offset == 0 {
+            let lanes = (a.len() - offset).min(EUCLIDEAN_LANES);
+            let mut beat_a = [0.0f32; EUCLIDEAN_LANES];
+            let mut beat_b = [0.0f32; EUCLIDEAN_LANES];
+            beat_a[..lanes].copy_from_slice(&a[offset..offset + lanes]);
+            beat_b[..lanes].copy_from_slice(&b[offset..offset + lanes]);
+            let mask = if lanes == EUCLIDEAN_LANES { u16::MAX } else { (1u16 << lanes) - 1 };
+            let last = offset + lanes >= a.len();
+            let request = RayFlexRequest::euclidean(self.stats.beats, beat_a, beat_b, mask, last);
+            self.stats.beats += 1;
+            let response = self.datapath.execute(&request);
+            let distance = response.distance_result.expect("euclidean beat");
+            if last {
+                result = distance.euclidean_accumulator;
+                break;
+            }
+            offset += lanes;
+        }
+        result
+    }
+
+    /// Cosine distance (`1 - cosine similarity`) between two vectors of arbitrary equal
+    /// dimension, computed on the datapath.  Returns 1.0 when either vector has zero norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different dimensions.
+    pub fn cosine_distance(&mut self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "vector dimensions must match");
+        self.stats.candidates += 1;
+        let mut dot = 0.0f32;
+        let mut norm_sq = 0.0f32;
+        let mut offset = 0;
+        while offset < a.len() || offset == 0 {
+            let lanes = (a.len() - offset).min(COSINE_LANES);
+            let mut beat_a = [0.0f32; COSINE_LANES];
+            let mut beat_b = [0.0f32; COSINE_LANES];
+            beat_a[..lanes].copy_from_slice(&a[offset..offset + lanes]);
+            beat_b[..lanes].copy_from_slice(&b[offset..offset + lanes]);
+            let mask = if lanes == COSINE_LANES { u8::MAX } else { (1u8 << lanes) - 1 };
+            let last = offset + lanes >= a.len();
+            let request = RayFlexRequest::cosine(self.stats.beats, beat_a, beat_b, mask, last);
+            self.stats.beats += 1;
+            let response = self.datapath.execute(&request);
+            let result = response.distance_result.expect("cosine beat");
+            if last {
+                dot = result.angular_dot_product;
+                norm_sq = result.angular_norm;
+                break;
+            }
+            offset += lanes;
+        }
+        // The query norm is a property of the query alone; like the ray shear constants it is
+        // pre-computed outside the datapath.
+        let query_norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let candidate_norm = norm_sq.sqrt();
+        if query_norm == 0.0 || candidate_norm == 0.0 {
+            return 1.0;
+        }
+        1.0 - dot / (query_norm * candidate_norm)
+    }
+
+    /// Finds the `k` nearest dataset vectors to `query` under the chosen metric, sorted from
+    /// nearest to farthest (ties broken by index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dataset vector has a different dimension from the query.
+    pub fn k_nearest(
+        &mut self,
+        query: &[f32],
+        dataset: &[Vec<f32>],
+        k: usize,
+        metric: KnnMetric,
+    ) -> Vec<Neighbor> {
+        let mut scored: Vec<Neighbor> = dataset
+            .iter()
+            .enumerate()
+            .map(|(index, candidate)| {
+                let distance = match metric {
+                    KnnMetric::Euclidean => self.euclidean_distance_squared(query, candidate),
+                    KnnMetric::Cosine => self.cosine_distance(query, candidate),
+                };
+                Neighbor { index, distance }
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(core::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
+        });
+        scored.truncate(k);
+        scored
+    }
+}
+
+impl Default for KnnEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayflex_geometry::golden;
+
+    fn dataset(dim: usize, count: usize) -> Vec<Vec<f32>> {
+        (0..count)
+            .map(|i| {
+                (0..dim)
+                    .map(|d| ((i * 31 + d * 7) % 17) as f32 * 0.25 - 2.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn euclidean_distances_match_the_golden_model_for_any_dimension() {
+        let mut engine = KnnEngine::new();
+        for dim in [1usize, 3, 16, 17, 40, 64] {
+            let data = dataset(dim, 4);
+            let d = engine.euclidean_distance_squared(&data[0], &data[1]);
+            let gold = golden::distance::euclidean_distance_squared(&data[0], &data[1]);
+            assert_eq!(d.to_bits(), gold.to_bits(), "dim {dim}");
+        }
+        assert!(engine.stats().beats > 0);
+    }
+
+    #[test]
+    fn cosine_distance_matches_a_software_reference() {
+        let mut engine = KnnEngine::new();
+        for dim in [2usize, 8, 9, 24] {
+            let data = dataset(dim, 4);
+            let got = engine.cosine_distance(&data[2], &data[3]);
+            let dot: f32 = data[2].iter().zip(&data[3]).map(|(a, b)| a * b).sum();
+            let na: f32 = data[2].iter().map(|x| x * x).sum::<f32>().sqrt();
+            let nb: f32 = data[3].iter().map(|x| x * x).sum::<f32>().sqrt();
+            let expect = 1.0 - dot / (na * nb);
+            assert!((got - expect).abs() < 1e-4, "dim {dim}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force_ordering() {
+        let data = dataset(24, 50);
+        let query = data[7].clone();
+        let mut engine = KnnEngine::new();
+        let neighbors = engine.k_nearest(&query, &data, 5, KnnMetric::Euclidean);
+        assert_eq!(neighbors.len(), 5);
+        // The query itself is in the dataset, so the nearest neighbour is itself at distance 0.
+        assert_eq!(neighbors[0].index, 7);
+        assert_eq!(neighbors[0].distance, 0.0);
+        // Distances are non-decreasing.
+        for pair in neighbors.windows(2) {
+            assert!(pair[0].distance <= pair[1].distance);
+        }
+        // Compare against a full software sort.
+        let mut reference: Vec<(usize, f32)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, golden::distance::euclidean_distance_squared(&query, v)))
+            .collect();
+        reference.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        for (n, (ri, rd)) in neighbors.iter().zip(reference.iter()) {
+            assert_eq!(n.index, *ri);
+            assert_eq!(n.distance.to_bits(), rd.to_bits());
+        }
+    }
+
+    #[test]
+    fn cosine_metric_prefers_aligned_vectors() {
+        let dataset = vec![
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![10.0, 0.1, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![-1.0, 0.0, 0.0, 0.0],
+        ];
+        let query = vec![2.0, 0.0, 0.0, 0.0];
+        let mut engine = KnnEngine::new();
+        let neighbors = engine.k_nearest(&query, &dataset, 4, KnnMetric::Cosine);
+        assert_eq!(neighbors[0].index, 0, "exactly aligned vector is nearest");
+        assert_eq!(neighbors[3].index, 3, "opposite vector is farthest");
+    }
+
+    #[test]
+    #[should_panic(expected = "extended datapath")]
+    fn baseline_configurations_are_rejected() {
+        let _ = KnnEngine::with_config(PipelineConfig::baseline_unified());
+    }
+
+    #[test]
+    fn zero_norm_candidates_get_maximum_cosine_distance() {
+        let mut engine = KnnEngine::new();
+        let d = engine.cosine_distance(&[1.0, 2.0], &[0.0, 0.0]);
+        assert_eq!(d, 1.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! # rayflex-rtunit
+//!
+//! The RT-unit substrate above the RayFlex datapath.
+//!
+//! The RayFlex paper models only the intersection-test datapath of a GPU ray-tracing unit; the
+//! surrounding machinery — the acceleration structure, its traversal, the scheduling of memory
+//! fetches and intersection transactions — is assumed to exist (Vulkan-Sim models it in the
+//! paper's ecosystem).  To run realistic workloads against the Rust datapath, this crate rebuilds
+//! that machinery:
+//!
+//! * [`Bvh4`] — a four-wide bounding volume hierarchy builder matching the datapath's
+//!   four-boxes-per-instruction interface,
+//! * [`TraversalEngine`] — a stack-based closest-hit traversal that issues ray–box and
+//!   ray–triangle beats to a functional datapath and gathers statistics,
+//! * [`RtUnit`] — a simplified single-issue RT-unit timing model: per-ray traversal state
+//!   machines, a fixed-latency node-fetch memory model and the datapath's eleven-cycle latency
+//!   and one-beat-per-cycle issue limit,
+//! * [`KnnEngine`] — k-nearest-neighbour search over arbitrary-dimensional vectors using the
+//!   extended datapath's Euclidean and cosine operations (case study §V-A),
+//! * [`Renderer`] — a small ray-casting renderer used by the examples.
+//!
+//! # Example
+//!
+//! ```
+//! use rayflex_geometry::{Triangle, Ray, Vec3};
+//! use rayflex_rtunit::{Bvh4, TraversalEngine};
+//!
+//! let scene = vec![Triangle::new(
+//!     Vec3::new(-1.0, -1.0, 3.0),
+//!     Vec3::new(1.0, -1.0, 3.0),
+//!     Vec3::new(0.0, 1.0, 3.0),
+//! )];
+//! let bvh = Bvh4::build(&scene);
+//! let mut engine = TraversalEngine::baseline();
+//! let hit = engine.closest_hit(&bvh, &scene, &Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0)));
+//! assert!(hit.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bvh;
+mod hierarchical;
+mod knn;
+mod renderer;
+mod rt_unit;
+mod traversal;
+
+pub use bvh::{Bvh4, Bvh4Node, Primitive};
+pub use hierarchical::{HierarchicalSearch, HierarchicalStats};
+pub use knn::{KnnEngine, KnnMetric, Neighbor};
+pub use renderer::{Camera, Image, Renderer};
+pub use rt_unit::{RtUnit, RtUnitConfig, RtUnitStats};
+pub use traversal::{TraversalEngine, TraversalHit, TraversalStats};

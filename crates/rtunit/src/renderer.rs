@@ -1,0 +1,244 @@
+//! A small ray-casting renderer driving the traversal engine (used by the examples).
+
+use rayflex_core::PipelineConfig;
+use rayflex_geometry::{Ray, Triangle, Vec3};
+
+use crate::{Bvh4, TraversalEngine, TraversalStats};
+
+/// A pinhole camera generating one primary ray per pixel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    /// Camera position.
+    pub position: Vec3,
+    /// Point the camera looks at.
+    pub look_at: Vec3,
+    /// Up direction.
+    pub up: Vec3,
+    /// Vertical field of view in degrees.
+    pub fov_degrees: f32,
+}
+
+impl Camera {
+    /// A camera at `position` looking at `look_at` with a 60° field of view.
+    #[must_use]
+    pub fn looking_at(position: Vec3, look_at: Vec3) -> Self {
+        Camera {
+            position,
+            look_at,
+            up: Vec3::new(0.0, 1.0, 0.0),
+            fov_degrees: 60.0,
+        }
+    }
+
+    /// The primary ray through pixel `(x, y)` of a `width`×`height` image.
+    #[must_use]
+    pub fn primary_ray(&self, x: usize, y: usize, width: usize, height: usize) -> Ray {
+        let forward = (self.look_at - self.position).normalized();
+        let right = self.up.cross(forward).normalized();
+        let true_up = forward.cross(right);
+        let aspect = width as f32 / height as f32;
+        let half_height = (self.fov_degrees.to_radians() * 0.5).tan();
+        let half_width = half_height * aspect;
+        let u = ((x as f32 + 0.5) / width as f32 * 2.0 - 1.0) * half_width;
+        let v = (1.0 - (y as f32 + 0.5) / height as f32 * 2.0) * half_height;
+        let dir = forward + right * u + true_up * v;
+        Ray::new(self.position, dir)
+    }
+}
+
+/// A grayscale image produced by the renderer (one intensity in `[0, 1]` per pixel, row-major).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<f32>,
+}
+
+impl Image {
+    /// Image width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The intensity of pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[must_use]
+    pub fn pixel(&self, x: usize, y: usize) -> f32 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Fraction of pixels whose primary ray hit geometry.
+    #[must_use]
+    pub fn coverage(&self) -> f32 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        self.pixels.iter().filter(|&&p| p > 0.0).count() as f32 / self.pixels.len() as f32
+    }
+
+    /// Renders the image as ASCII art (one character per pixel), brightest to darkest.
+    #[must_use]
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let value = self.pixel(x, y).clamp(0.0, 1.0);
+                let index = (value * (RAMP.len() - 1) as f32).round() as usize;
+                out.push(RAMP[index] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Encodes the image as a binary PGM (portable graymap) file.
+    #[must_use]
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend(
+            self.pixels
+                .iter()
+                .map(|p| (p.clamp(0.0, 1.0) * 255.0).round() as u8),
+        );
+        out
+    }
+}
+
+/// A primary-ray renderer with simple Lambertian shading, entirely driven by datapath beats.
+#[derive(Debug)]
+pub struct Renderer {
+    engine: TraversalEngine,
+}
+
+impl Renderer {
+    /// Creates a renderer over a baseline-unified datapath.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(PipelineConfig::baseline_unified())
+    }
+
+    /// Creates a renderer over a datapath of the given configuration.
+    #[must_use]
+    pub fn with_config(config: PipelineConfig) -> Self {
+        Renderer {
+            engine: TraversalEngine::with_config(config),
+        }
+    }
+
+    /// Renders one `width`×`height` frame of the scene from the camera and returns the image.
+    pub fn render(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        camera: &Camera,
+        width: usize,
+        height: usize,
+    ) -> Image {
+        let light_dir = Vec3::new(0.4, 0.8, -0.45).normalized();
+        let mut pixels = vec![0.0f32; width * height];
+        for y in 0..height {
+            for x in 0..width {
+                let ray = camera.primary_ray(x, y, width, height);
+                if let Some(hit) = self.engine.closest_hit(bvh, triangles, &ray) {
+                    let normal = triangles[hit.primitive].normal().normalized();
+                    // Two-sided Lambertian shading with a small ambient term.
+                    let diffuse = normal.dot(light_dir).abs();
+                    pixels[y * width + x] = (0.15 + 0.85 * diffuse).clamp(0.0, 1.0);
+                }
+            }
+        }
+        Image { width, height, pixels }
+    }
+
+    /// The traversal statistics accumulated over everything rendered so far.
+    #[must_use]
+    pub fn stats(&self) -> TraversalStats {
+        self.engine.stats()
+    }
+}
+
+impl Default for Renderer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad_at_z(z: f32, half: f32) -> Vec<Triangle> {
+        vec![
+            Triangle::new(
+                Vec3::new(-half, -half, z),
+                Vec3::new(half, -half, z),
+                Vec3::new(half, half, z),
+            ),
+            Triangle::new(
+                Vec3::new(-half, -half, z),
+                Vec3::new(half, half, z),
+                Vec3::new(-half, half, z),
+            ),
+        ]
+    }
+
+    #[test]
+    fn camera_rays_cover_the_view_frustum() {
+        let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
+        let center = camera.primary_ray(16, 16, 32, 32);
+        assert!(center.dir.z > 0.9 * center.dir.length());
+        let corner = camera.primary_ray(0, 0, 32, 32);
+        assert!(corner.dir.x < 0.0 && corner.dir.y > 0.0);
+    }
+
+    #[test]
+    fn rendering_a_facing_quad_covers_the_image_centre() {
+        let triangles = quad_at_z(5.0, 2.0);
+        let bvh = Bvh4::build(&triangles);
+        let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
+        let mut renderer = Renderer::new();
+        let image = renderer.render(&bvh, &triangles, &camera, 24, 24);
+        assert_eq!(image.width(), 24);
+        assert_eq!(image.height(), 24);
+        assert!(image.pixel(12, 12) > 0.0, "centre pixel must be covered");
+        assert!(image.coverage() > 0.3, "coverage {}", image.coverage());
+        assert!(image.coverage() < 1.0, "corners should miss");
+        assert!(renderer.stats().rays >= 24 * 24);
+    }
+
+    #[test]
+    fn ascii_and_pgm_outputs_are_well_formed() {
+        let triangles = quad_at_z(5.0, 2.0);
+        let bvh = Bvh4::build(&triangles);
+        let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
+        let image = Renderer::new().render(&bvh, &triangles, &camera, 16, 8);
+        let ascii = image.to_ascii();
+        assert_eq!(ascii.lines().count(), 8);
+        assert!(ascii.lines().all(|l| l.chars().count() == 16));
+        let pgm = image.to_pgm();
+        assert!(pgm.starts_with(b"P5\n16 8\n255\n"));
+        assert_eq!(pgm.len(), b"P5\n16 8\n255\n".len() + 16 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_pixel_access_panics() {
+        let triangles = quad_at_z(5.0, 2.0);
+        let bvh = Bvh4::build(&triangles);
+        let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
+        let image = Renderer::new().render(&bvh, &triangles, &camera, 4, 4);
+        let _ = image.pixel(4, 0);
+    }
+}

@@ -1,0 +1,362 @@
+//! A simplified RT-unit timing model above the datapath.
+//!
+//! The paper's Fig. 2 places the intersection-test datapath inside an RT unit that also contains
+//! a warp buffer, a memory scheduler and a response queue; Vulkan-Sim models that machinery in
+//! detail.  For workload-level cycle estimates this module provides a deliberately simple
+//! substitute: every ray is an independent state machine that alternates between *fetching* a BVH
+//! node (fixed-latency memory model) and *testing* it (one datapath beat, eleven-cycle latency),
+//! and the datapath issue port accepts at most one beat per cycle.  The result is a first-order
+//! cycle count that respects the datapath's throughput and latency — enough to study, for
+//! example, how the eleven-cycle RayFlex latency compares against the two-cycle assumption used
+//! by Vulkan-Sim (§IV-B).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rayflex_core::{PipelineConfig, RayFlexDatapath, RayFlexRequest, PIPELINE_DEPTH};
+use rayflex_geometry::{Ray, Triangle};
+
+use crate::traversal::TraversalHit;
+use crate::{Bvh4, Bvh4Node};
+
+/// Timing parameters of the simplified RT unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtUnitConfig {
+    /// Cycles to fetch one BVH node from memory (the L1-hit latency of the paper's Fig. 2
+    /// memory path).
+    pub node_fetch_latency: u64,
+    /// Latency of one datapath beat in cycles (eleven for RayFlex; two for the Vulkan-Sim
+    /// assumption the paper discusses).
+    pub datapath_latency: u64,
+    /// How many independent rays the scheduler keeps in flight at once (the warp-buffer depth).
+    pub max_rays_in_flight: usize,
+}
+
+impl Default for RtUnitConfig {
+    fn default() -> Self {
+        RtUnitConfig {
+            node_fetch_latency: 20,
+            datapath_latency: PIPELINE_DEPTH as u64,
+            max_rays_in_flight: 32,
+        }
+    }
+}
+
+/// Aggregate statistics of one [`RtUnit::trace_rays`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RtUnitStats {
+    /// Total simulated cycles until the last ray retired.
+    pub cycles: u64,
+    /// Ray–box beats issued.
+    pub box_ops: u64,
+    /// Ray–triangle beats issued.
+    pub triangle_ops: u64,
+    /// Cycles in which a transaction was ready but the single issue port was already taken.
+    pub issue_conflicts: u64,
+    /// Rays traced.
+    pub rays: u64,
+}
+
+impl RtUnitStats {
+    /// Average datapath beats per ray.
+    #[must_use]
+    pub fn ops_per_ray(&self) -> f64 {
+        if self.rays == 0 {
+            0.0
+        } else {
+            (self.box_ops + self.triangle_ops) as f64 / self.rays as f64
+        }
+    }
+
+    /// Average cycles per ray (wall-clock cycles divided by rays; rays overlap, so this is far
+    /// lower than a single ray's dependent-chain latency).
+    #[must_use]
+    pub fn cycles_per_ray(&self) -> f64 {
+        if self.rays == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.rays as f64
+        }
+    }
+}
+
+/// The simplified RT unit: a functional datapath plus the timing model described in the module
+/// documentation.
+#[derive(Debug)]
+pub struct RtUnit {
+    datapath: RayFlexDatapath,
+    config: RtUnitConfig,
+}
+
+/// Per-ray traversal state.
+struct RayState {
+    ray: Ray,
+    stack: Vec<usize>,
+    best: Option<TraversalHit>,
+    pending_leaf: Vec<usize>,
+    finished: bool,
+}
+
+impl RtUnit {
+    /// Creates an RT unit with the default timing parameters over a baseline-unified datapath.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_configs(PipelineConfig::baseline_unified(), RtUnitConfig::default())
+    }
+
+    /// Creates an RT unit with explicit datapath and timing configurations.
+    #[must_use]
+    pub fn with_configs(pipeline: PipelineConfig, config: RtUnitConfig) -> Self {
+        RtUnit {
+            datapath: RayFlexDatapath::new(pipeline),
+            config,
+        }
+    }
+
+    /// The timing configuration.
+    #[must_use]
+    pub fn config(&self) -> &RtUnitConfig {
+        &self.config
+    }
+
+    /// Traces a batch of rays against a triangle BVH, returning the closest hit per ray and the
+    /// aggregate timing statistics.
+    pub fn trace_rays(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        rays: &[Ray],
+    ) -> (Vec<Option<TraversalHit>>, RtUnitStats) {
+        let mut stats = RtUnitStats {
+            rays: rays.len() as u64,
+            ..RtUnitStats::default()
+        };
+        let mut states: Vec<RayState> = rays
+            .iter()
+            .map(|ray| RayState {
+                ray: *ray,
+                stack: vec![bvh.root()],
+                best: None,
+                pending_leaf: Vec::new(),
+                finished: false,
+            })
+            .collect();
+
+        // Event queue of (cycle at which the ray's next transaction is ready, ray index).
+        let mut ready: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let window = self.config.max_rays_in_flight.max(1).min(states.len());
+        let mut next_to_admit = window;
+        for (i, state) in states.iter().enumerate().take(window) {
+            let _ = state;
+            ready.push(Reverse((self.config.node_fetch_latency, i)));
+        }
+
+        let mut next_issue_cycle = 0u64;
+        let mut last_retire_cycle = 0u64;
+
+        while let Some(Reverse((ready_cycle, ray_index))) = ready.pop() {
+            // The single issue port: a transaction ready before the port frees up waits.
+            let issue_cycle = ready_cycle.max(next_issue_cycle);
+            if issue_cycle > ready_cycle {
+                stats.issue_conflicts += 1;
+            }
+            next_issue_cycle = issue_cycle + 1;
+            let result_cycle = issue_cycle + self.config.datapath_latency;
+
+            let state = &mut states[ray_index];
+            Self::step_ray(&mut self.datapath, bvh, triangles, state, &mut stats);
+
+            if state.finished {
+                last_retire_cycle = last_retire_cycle.max(result_cycle);
+                // Admit the next waiting ray into the in-flight window.
+                if next_to_admit < states.len() {
+                    ready.push(Reverse((
+                        result_cycle + self.config.node_fetch_latency,
+                        next_to_admit,
+                    )));
+                    next_to_admit += 1;
+                }
+            } else {
+                // The next node fetch starts once this beat's result is known.
+                ready.push(Reverse((
+                    result_cycle + self.config.node_fetch_latency,
+                    ray_index,
+                )));
+            }
+        }
+
+        stats.cycles = last_retire_cycle;
+        (states.into_iter().map(|s| s.best).collect(), stats)
+    }
+
+    /// Advances one ray by one datapath transaction.
+    fn step_ray(
+        datapath: &mut RayFlexDatapath,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        state: &mut RayState,
+        stats: &mut RtUnitStats,
+    ) {
+        // Pending leaf primitives are tested one beat at a time.
+        if let Some(prim) = state.pending_leaf.pop() {
+            stats.triangle_ops += 1;
+            let request = RayFlexRequest::ray_triangle(prim as u64, &state.ray, &triangles[prim]);
+            let result = datapath
+                .execute(&request)
+                .triangle_result
+                .expect("triangle beat");
+            if result.hit {
+                let t = result.distance();
+                if t >= state.ray.t_beg
+                    && t <= state.ray.t_end
+                    && state.best.map_or(true, |b| t < b.t)
+                {
+                    state.best = Some(TraversalHit { primitive: prim, t });
+                }
+            }
+        } else if let Some(node_index) = state.stack.pop() {
+            match bvh.node(node_index) {
+                Bvh4Node::Leaf { .. } => {
+                    state.pending_leaf.extend(bvh.leaf_primitives(node_index));
+                    // Testing the first primitive happens in this same transaction slot if one
+                    // exists; otherwise the beat is a no-op node visit.
+                    if !state.pending_leaf.is_empty() {
+                        Self::step_ray(datapath, bvh, triangles, state, stats);
+                        return;
+                    }
+                }
+                Bvh4Node::Internal { children, child_bounds } => {
+                    stats.box_ops += 1;
+                    let boxes = crate::traversal::pad_child_bounds(child_bounds);
+                    let request = RayFlexRequest::ray_box(0, &state.ray, &boxes);
+                    let result = datapath.execute(&request).box_result.expect("box beat");
+                    for &slot in result.traversal_order.iter().rev() {
+                        if !result.hit[slot] {
+                            continue;
+                        }
+                        if let Some(best) = state.best {
+                            if result.t_entry[slot] > best.t {
+                                continue;
+                            }
+                        }
+                        if let Some(child) = children[slot] {
+                            state.stack.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        state.finished = state.stack.is_empty() && state.pending_leaf.is_empty();
+    }
+}
+
+impl Default for RtUnit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraversalEngine;
+    use rayflex_geometry::Vec3;
+
+    fn scene() -> Vec<Triangle> {
+        (0..64)
+            .map(|i| {
+                let x = (i % 8) as f32 * 2.0 - 8.0;
+                let y = (i / 8) as f32 * 2.0 - 8.0;
+                Triangle::new(
+                    Vec3::new(x, y, 12.0),
+                    Vec3::new(x + 1.8, y, 12.0),
+                    Vec3::new(x + 0.9, y + 1.8, 12.0),
+                )
+            })
+            .collect()
+    }
+
+    fn camera_rays(n: usize) -> Vec<Ray> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 16) as f32 * 0.8 - 6.4;
+                let y = (i / 16) as f32 * 0.8 - 6.4;
+                Ray::new(Vec3::new(x, y, 0.0), Vec3::new(0.0, 0.0, 1.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rt_unit_hits_match_the_untimed_traversal_engine() {
+        let triangles = scene();
+        let bvh = Bvh4::build(&triangles);
+        let rays = camera_rays(64);
+        let mut unit = RtUnit::new();
+        let (hits, stats) = unit.trace_rays(&bvh, &triangles, &rays);
+        let mut engine = TraversalEngine::baseline();
+        let reference = engine.closest_hits(&bvh, &triangles, &rays);
+        assert_eq!(hits.len(), reference.len());
+        for (i, (a, b)) in hits.iter().zip(&reference).enumerate() {
+            match (a, b) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.primitive, b.primitive, "ray {i}");
+                    assert!((a.t - b.t).abs() < 1e-6, "ray {i}");
+                }
+                other => panic!("ray {i}: {other:?}"),
+            }
+        }
+        assert!(stats.cycles > 0);
+        assert!(stats.box_ops > 0 && stats.triangle_ops > 0);
+        assert_eq!(stats.rays, 64);
+        assert!(stats.ops_per_ray() >= 1.0);
+    }
+
+    #[test]
+    fn lower_datapath_latency_reduces_the_cycle_count() {
+        let triangles = scene();
+        let bvh = Bvh4::build(&triangles);
+        let rays = camera_rays(32);
+        let rayflex_latency = RtUnitConfig::default();
+        let vulkan_sim_assumption = RtUnitConfig {
+            datapath_latency: 2,
+            ..RtUnitConfig::default()
+        };
+        let (_, slow) = RtUnit::with_configs(PipelineConfig::baseline_unified(), rayflex_latency)
+            .trace_rays(&bvh, &triangles, &rays);
+        let (_, fast) =
+            RtUnit::with_configs(PipelineConfig::baseline_unified(), vulkan_sim_assumption)
+                .trace_rays(&bvh, &triangles, &rays);
+        assert!(
+            fast.cycles < slow.cycles,
+            "a 2-cycle datapath assumption must be optimistic: {} vs {}",
+            fast.cycles,
+            slow.cycles
+        );
+        assert_eq!(fast.box_ops, slow.box_ops);
+    }
+
+    #[test]
+    fn more_rays_in_flight_hide_more_latency() {
+        let triangles = scene();
+        let bvh = Bvh4::build(&triangles);
+        let rays = camera_rays(64);
+        let narrow = RtUnitConfig { max_rays_in_flight: 1, ..RtUnitConfig::default() };
+        let wide = RtUnitConfig { max_rays_in_flight: 64, ..RtUnitConfig::default() };
+        let (_, serial) = RtUnit::with_configs(PipelineConfig::baseline_unified(), narrow)
+            .trace_rays(&bvh, &triangles, &rays);
+        let (_, parallel) = RtUnit::with_configs(PipelineConfig::baseline_unified(), wide)
+            .trace_rays(&bvh, &triangles, &rays);
+        assert!(parallel.cycles < serial.cycles);
+    }
+
+    #[test]
+    fn empty_ray_batches_are_fine() {
+        let triangles = scene();
+        let bvh = Bvh4::build(&triangles);
+        let (hits, stats) = RtUnit::new().trace_rays(&bvh, &triangles, &[]);
+        assert!(hits.is_empty());
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(stats.cycles_per_ray(), 0.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Stack-based closest-hit BVH traversal issuing beats to the datapath.
+
+use rayflex_core::{PipelineConfig, RayFlexDatapath, RayFlexRequest};
+use rayflex_geometry::{Aabb, Ray, Triangle};
+
+use crate::{Bvh4, Bvh4Node};
+
+/// The closest hit found by a traversal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraversalHit {
+    /// Index of the hit primitive in the caller's primitive array.
+    pub primitive: usize,
+    /// Parametric hit distance along the ray.
+    pub t: f32,
+}
+
+/// Operation counts gathered while traversing (the workload statistics fed to the RT-unit timing
+/// model and the benchmark harnesses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Ray–box beats issued (each tests up to four children).
+    pub box_ops: u64,
+    /// Ray–triangle beats issued.
+    pub triangle_ops: u64,
+    /// Internal nodes visited.
+    pub nodes_visited: u64,
+    /// Leaf nodes visited.
+    pub leaves_visited: u64,
+    /// Rays traversed.
+    pub rays: u64,
+}
+
+impl TraversalStats {
+    /// Total datapath beats issued.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.box_ops + self.triangle_ops
+    }
+}
+
+/// A closest-hit traversal engine driving a functional RayFlex datapath.
+///
+/// The engine reproduces the traversal loop the RT unit implements above the datapath (paper
+/// Fig. 2 / Fig. 3): internal nodes are tested with one four-wide ray–box beat, children are
+/// visited in the order of intersection returned by the datapath's sort network, hit children
+/// farther than the best hit found so far are pruned, and leaves issue one ray–triangle beat per
+/// primitive.
+#[derive(Debug)]
+pub struct TraversalEngine {
+    datapath: RayFlexDatapath,
+    stats: TraversalStats,
+    next_tag: u64,
+}
+
+impl TraversalEngine {
+    /// Creates an engine over a baseline-unified datapath (the paper's reference design).
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self::with_config(PipelineConfig::baseline_unified())
+    }
+
+    /// Creates an engine over a datapath of the given configuration.
+    #[must_use]
+    pub fn with_config(config: PipelineConfig) -> Self {
+        TraversalEngine {
+            datapath: RayFlexDatapath::new(config),
+            stats: TraversalStats::default(),
+            next_tag: 0,
+        }
+    }
+
+    /// The accumulated traversal statistics.
+    #[must_use]
+    pub fn stats(&self) -> TraversalStats {
+        self.stats
+    }
+
+    /// Resets the accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = TraversalStats::default();
+    }
+
+    /// Finds the closest front-face hit of `ray` against the triangles indexed by the BVH, or
+    /// `None` if the ray escapes the scene.
+    pub fn closest_hit(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        ray: &Ray,
+    ) -> Option<TraversalHit> {
+        self.stats.rays += 1;
+        let mut best: Option<TraversalHit> = None;
+        let mut stack: Vec<usize> = vec![bvh.root()];
+
+        while let Some(node_index) = stack.pop() {
+            match bvh.node(node_index) {
+                Bvh4Node::Leaf { .. } => {
+                    self.stats.leaves_visited += 1;
+                    for &prim in bvh.leaf_primitives(node_index) {
+                        self.stats.triangle_ops += 1;
+                        let request =
+                            RayFlexRequest::ray_triangle(self.tag(), ray, &triangles[prim]);
+                        let response = self.datapath.execute(&request);
+                        let result = response.triangle_result.expect("triangle beat");
+                        if result.hit {
+                            let t = result.distance();
+                            if t >= ray.t_beg
+                                && t <= ray.t_end
+                                && best.map_or(true, |b| t < b.t)
+                            {
+                                best = Some(TraversalHit { primitive: prim, t });
+                            }
+                        }
+                    }
+                }
+                Bvh4Node::Internal { children, child_bounds } => {
+                    self.stats.nodes_visited += 1;
+                    self.stats.box_ops += 1;
+                    let boxes = pad_child_bounds(child_bounds);
+                    let request = RayFlexRequest::ray_box(self.tag(), ray, &boxes);
+                    let response = self.datapath.execute(&request);
+                    let result = response.box_result.expect("box beat");
+                    // Visit children nearest-first: push onto the stack in reverse traversal
+                    // order so the closest child is popped first.
+                    for &slot in result.traversal_order.iter().rev() {
+                        if !result.hit[slot] {
+                            continue;
+                        }
+                        if let Some(best_hit) = best {
+                            if result.t_entry[slot] > best_hit.t {
+                                continue;
+                            }
+                        }
+                        if let Some(child) = children[slot] {
+                            stack.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Traverses a batch of rays, returning one optional hit per ray.
+    pub fn closest_hits(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        rays: &[Ray],
+    ) -> Vec<Option<TraversalHit>> {
+        rays.iter()
+            .map(|ray| self.closest_hit(bvh, triangles, ray))
+            .collect()
+    }
+
+    fn tag(&mut self) -> u64 {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        tag
+    }
+}
+
+/// Pads the four child-bound slots of an internal node into the datapath's box operands; empty
+/// slots become degenerate boxes that can never be hit.
+pub(crate) fn pad_child_bounds(child_bounds: &[Aabb; 4]) -> [Aabb; 4] {
+    core::array::from_fn(|i| {
+        if child_bounds[i].is_empty() {
+            Aabb::new(
+                rayflex_geometry::Vec3::splat(f32::MAX),
+                rayflex_geometry::Vec3::splat(f32::MAX),
+            )
+        } else {
+            child_bounds[i]
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayflex_geometry::{golden, Vec3};
+
+    /// A little wall of front-facing triangles at varying depths.
+    fn wall() -> Vec<Triangle> {
+        (0..32)
+            .map(|i| {
+                let x = (i % 8) as f32 * 2.0 - 8.0;
+                let y = (i / 8) as f32 * 2.0 - 4.0;
+                let z = 10.0 + (i % 3) as f32;
+                Triangle::new(
+                    Vec3::new(x, y, z),
+                    Vec3::new(x + 1.8, y, z),
+                    Vec3::new(x + 0.9, y + 1.8, z),
+                )
+            })
+            .collect()
+    }
+
+    /// Brute-force reference: closest golden hit over all triangles.
+    fn brute_force(triangles: &[Triangle], ray: &Ray) -> Option<TraversalHit> {
+        let mut best: Option<TraversalHit> = None;
+        for (i, tri) in triangles.iter().enumerate() {
+            let hit = golden::watertight::ray_triangle(ray, tri);
+            if hit.hit {
+                let t = hit.distance();
+                if t >= ray.t_beg && t <= ray.t_end && best.map_or(true, |b| t < b.t) {
+                    best = Some(TraversalHit { primitive: i, t });
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn traversal_agrees_with_brute_force() {
+        let triangles = wall();
+        let bvh = Bvh4::build(&triangles);
+        let mut engine = TraversalEngine::baseline();
+        for i in 0..60 {
+            let x = (i % 10) as f32 - 5.0;
+            let y = (i / 10) as f32 - 3.0;
+            let ray = Ray::new(Vec3::new(x, y, 0.0), Vec3::new(0.03, -0.01, 1.0));
+            let expected = brute_force(&triangles, &ray);
+            let got = engine.closest_hit(&bvh, &triangles, &ray);
+            match (expected, got) {
+                (None, None) => {}
+                (Some(e), Some(g)) => {
+                    assert_eq!(e.primitive, g.primitive, "ray {i}");
+                    assert_eq!(e.t.to_bits(), g.t.to_bits(), "ray {i}");
+                }
+                other => panic!("ray {i}: mismatch {other:?}"),
+            }
+        }
+        let stats = engine.stats();
+        assert!(stats.box_ops > 0);
+        assert!(stats.triangle_ops > 0);
+        assert_eq!(stats.rays, 60);
+    }
+
+    #[test]
+    fn pruning_keeps_the_traversal_cheaper_than_brute_force() {
+        let triangles = wall();
+        let bvh = Bvh4::build(&triangles);
+        let mut engine = TraversalEngine::baseline();
+        let ray = Ray::new(Vec3::new(0.5, 0.5, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        let _ = engine.closest_hit(&bvh, &triangles, &ray);
+        // A single ray should not have to test every triangle in the scene.
+        assert!(engine.stats().triangle_ops < triangles.len() as u64);
+    }
+
+    #[test]
+    fn missing_rays_return_none() {
+        let triangles = wall();
+        let bvh = Bvh4::build(&triangles);
+        let mut engine = TraversalEngine::baseline();
+        let ray = Ray::new(Vec3::new(100.0, 100.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(engine.closest_hit(&bvh, &triangles, &ray).is_none());
+        engine.reset_stats();
+        assert_eq!(engine.stats().rays, 0);
+    }
+
+    #[test]
+    fn batch_traversal_matches_individual_calls() {
+        let triangles = wall();
+        let bvh = Bvh4::build(&triangles);
+        let rays: Vec<Ray> = (0..10)
+            .map(|i| Ray::new(Vec3::new(i as f32 - 5.0, 0.2, 0.0), Vec3::new(0.0, 0.0, 1.0)))
+            .collect();
+        let mut batch_engine = TraversalEngine::baseline();
+        let batch = batch_engine.closest_hits(&bvh, &triangles, &rays);
+        let mut single_engine = TraversalEngine::baseline();
+        for (ray, expected) in rays.iter().zip(&batch) {
+            assert_eq!(single_engine.closest_hit(&bvh, &triangles, ray), *expected);
+        }
+    }
+}

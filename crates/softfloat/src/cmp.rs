@@ -1,0 +1,174 @@
+//! Hardware-style floating-point comparators.
+//!
+//! The RayFlex datapath uses comparators in the slab ray-box test (stage 4), the quad-sort
+//! network and the ray-triangle hit test (stage 10).  The paper (§IV-A) leans on the IEEE rule
+//! that any ordered comparison involving NaN is false: a ray coplanar with a box face produces
+//! `inf × 0 = NaN` and therefore misses.  Every predicate in this module implements exactly those
+//! semantics, and `+0` equals `-0`.
+//!
+//! # Example
+//!
+//! ```
+//! use rayflex_softfloat::{cmp, RecF32};
+//!
+//! let a = RecF32::from_f32(1.0);
+//! let b = RecF32::from_f32(2.0);
+//! assert!(cmp::lt(a, b));
+//! assert!(cmp::le(a, a));
+//! assert_eq!(cmp::min(a, b).to_f32(), 1.0);
+//!
+//! // NaN never compares true.
+//! assert!(!cmp::lt(RecF32::NAN, b));
+//! assert!(!cmp::le(RecF32::NAN, b));
+//! assert!(!cmp::eq(RecF32::NAN, RecF32::NAN));
+//! ```
+
+use crate::recoded::RecF32;
+
+/// Ordering key: maps a non-NaN recoded value to a signed integer whose order matches the real
+/// number order (with `-0` and `+0` mapping to the same key).
+fn order_key(x: RecF32) -> i64 {
+    // The magnitude key is built from the binary32 bit pattern, which is monotonic for
+    // non-negative floats; specials are already collapsed by the conversion.
+    let bits = x.to_f32_bits();
+    let magnitude = i64::from(bits & 0x7FFF_FFFF);
+    if bits >> 31 != 0 {
+        -magnitude
+    } else {
+        magnitude
+    }
+}
+
+/// Returns `true` if `a < b`.  False if either operand is NaN.
+#[must_use]
+pub fn lt(a: RecF32, b: RecF32) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return false;
+    }
+    order_key(a) < order_key(b)
+}
+
+/// Returns `true` if `a <= b`.  False if either operand is NaN.
+#[must_use]
+pub fn le(a: RecF32, b: RecF32) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return false;
+    }
+    order_key(a) <= order_key(b)
+}
+
+/// Returns `true` if `a > b`.  False if either operand is NaN.
+#[must_use]
+pub fn gt(a: RecF32, b: RecF32) -> bool {
+    lt(b, a)
+}
+
+/// Returns `true` if `a >= b`.  False if either operand is NaN.
+#[must_use]
+pub fn ge(a: RecF32, b: RecF32) -> bool {
+    le(b, a)
+}
+
+/// IEEE equality: `+0 == -0`, NaN is not equal to anything (including itself).
+#[must_use]
+pub fn eq(a: RecF32, b: RecF32) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return false;
+    }
+    order_key(a) == order_key(b)
+}
+
+/// Hardware-style minimum: a comparator followed by a multiplexer selecting
+/// `if a < b { a } else { b }`.  When either operand is NaN the comparison is false and the
+/// second operand is selected, mirroring the RTL behaviour the paper describes.
+#[must_use]
+pub fn min(a: RecF32, b: RecF32) -> RecF32 {
+    if lt(a, b) {
+        a
+    } else {
+        b
+    }
+}
+
+/// Hardware-style maximum: `if a > b { a } else { b }` (the second operand wins on NaN).
+#[must_use]
+pub fn max(a: RecF32, b: RecF32) -> RecF32 {
+    if gt(a, b) {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_native_f32() {
+        let values = [
+            f32::NEG_INFINITY,
+            -3.5,
+            -1.0,
+            -f32::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f32::from_bits(1),
+            1.0,
+            2.5,
+            1e30,
+            f32::INFINITY,
+        ];
+        for &x in &values {
+            for &y in &values {
+                let (a, b) = (RecF32::from_f32(x), RecF32::from_f32(y));
+                assert_eq!(lt(a, b), x < y, "lt({x}, {y})");
+                assert_eq!(le(a, b), x <= y, "le({x}, {y})");
+                assert_eq!(gt(a, b), x > y, "gt({x}, {y})");
+                assert_eq!(ge(a, b), x >= y, "ge({x}, {y})");
+                assert_eq!(eq(a, b), x == y, "eq({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_comparisons_are_false() {
+        let n = RecF32::NAN;
+        let one = RecF32::ONE;
+        assert!(!lt(n, one) && !lt(one, n));
+        assert!(!le(n, one) && !le(one, n));
+        assert!(!gt(n, one) && !gt(one, n));
+        assert!(!ge(n, one) && !ge(one, n));
+        assert!(!eq(n, n));
+    }
+
+    #[test]
+    fn signed_zeros_are_equal() {
+        assert!(eq(RecF32::ZERO, RecF32::NEG_ZERO));
+        assert!(!lt(RecF32::NEG_ZERO, RecF32::ZERO));
+        assert!(le(RecF32::NEG_ZERO, RecF32::ZERO));
+    }
+
+    #[test]
+    fn min_max_select_like_hardware() {
+        let a = RecF32::from_f32(1.0);
+        let b = RecF32::from_f32(2.0);
+        assert_eq!(min(a, b).to_f32(), 1.0);
+        assert_eq!(max(a, b).to_f32(), 2.0);
+        // NaN in the first operand: the comparison is false so the second operand is chosen.
+        assert_eq!(min(RecF32::NAN, b).to_f32(), 2.0);
+        assert_eq!(max(RecF32::NAN, b).to_f32(), 2.0);
+        // NaN in the second operand: the comparison is false so NaN is chosen.
+        assert!(min(a, RecF32::NAN).is_nan());
+        assert!(max(a, RecF32::NAN).is_nan());
+    }
+
+    #[test]
+    fn subnormals_order_correctly() {
+        let tiny = RecF32::from_f32(f32::from_bits(1));
+        let tiny2 = RecF32::from_f32(f32::from_bits(2));
+        assert!(lt(tiny, tiny2));
+        assert!(lt(RecF32::ZERO, tiny));
+        assert!(lt(tiny.neg(), RecF32::ZERO));
+    }
+}

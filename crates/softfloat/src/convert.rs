@@ -1,0 +1,89 @@
+//! Format converters between IEEE binary32 and the internal recoded format.
+//!
+//! Stage 1 of the RayFlex pipeline converts every FP32 input field to the recoded 33-bit format,
+//! and stage 11 converts the results back (Fig. 4c of the paper).  These thin wrapper types exist
+//! so that the datapath model can account for converter instances as hardware assets and so that
+//! the conversion direction is explicit at call sites.
+//!
+//! # Example
+//!
+//! ```
+//! use rayflex_softfloat::convert::{Fp32ToRec, RecToFp32};
+//!
+//! let to_rec = Fp32ToRec::new();
+//! let to_fp32 = RecToFp32::new();
+//! let rec = to_rec.convert(1.25);
+//! assert_eq!(to_fp32.convert(rec), 1.25);
+//! ```
+
+use crate::recoded::RecF32;
+
+/// A stage-1 format converter instance (IEEE binary32 → recoded 33-bit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fp32ToRec;
+
+impl Fp32ToRec {
+    /// Creates a converter instance.
+    #[must_use]
+    pub fn new() -> Self {
+        Fp32ToRec
+    }
+
+    /// Converts one IEEE binary32 value to the recoded format.
+    #[must_use]
+    pub fn convert(&self, value: f32) -> RecF32 {
+        RecF32::from_f32(value)
+    }
+
+    /// Converts a slice of IEEE binary32 values (one converter lane per element).
+    #[must_use]
+    pub fn convert_all<const N: usize>(&self, values: [f32; N]) -> [RecF32; N] {
+        values.map(RecF32::from_f32)
+    }
+}
+
+/// A stage-11 format converter instance (recoded 33-bit → IEEE binary32).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecToFp32;
+
+impl RecToFp32 {
+    /// Creates a converter instance.
+    #[must_use]
+    pub fn new() -> Self {
+        RecToFp32
+    }
+
+    /// Converts one recoded value back to IEEE binary32.
+    #[must_use]
+    pub fn convert(&self, value: RecF32) -> f32 {
+        value.to_f32()
+    }
+
+    /// Converts a slice of recoded values (one converter lane per element).
+    #[must_use]
+    pub fn convert_all<const N: usize>(&self, values: [RecF32; N]) -> [f32; N] {
+        values.map(RecF32::to_f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converters_roundtrip_arrays() {
+        let inputs = [0.0f32, -1.5, 3.25, 1e-40, f32::INFINITY];
+        let rec = Fp32ToRec::new().convert_all(inputs);
+        let back = RecToFp32::new().convert_all(rec);
+        for (a, b) in inputs.iter().zip(back.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn nan_converts_to_nan() {
+        let rec = Fp32ToRec::new().convert(f32::NAN);
+        assert!(rec.is_nan());
+        assert!(RecToFp32::new().convert(rec).is_nan());
+    }
+}

@@ -1,0 +1,109 @@
+//! IEEE-754 exception flags.
+//!
+//! The RayFlex RTL sources its functional units from Berkeley HardFloat, whose units report the
+//! standard exception conditions.  The datapath itself does not act on them, but exposing the
+//! flags lets users of the library observe overflow/underflow behaviour of a workload (for
+//! instance when experimenting with alternative rounding strategies as suggested in §III-F).
+//!
+//! # Example
+//!
+//! ```
+//! use rayflex_softfloat::{ExceptionFlags, RecF32};
+//!
+//! let mut flags = ExceptionFlags::default();
+//! flags.record_result(RecF32::from_f32(f32::MAX).mul(RecF32::from_f32(2.0)));
+//! assert!(flags.overflow);
+//! ```
+
+use crate::recoded::RecF32;
+
+/// A set of IEEE-754 exception flags accumulated over a sequence of operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ExceptionFlags {
+    /// An operation produced an invalid result (NaN from non-NaN operands).
+    pub invalid: bool,
+    /// A result overflowed to infinity.
+    pub overflow: bool,
+    /// A result underflowed to a subnormal or zero.
+    pub underflow: bool,
+    /// A result required rounding (approximated here by overflow/underflow detection).
+    pub inexact: bool,
+}
+
+impl ExceptionFlags {
+    /// Creates an empty flag set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifies a result value and accumulates the corresponding flags.
+    ///
+    /// This is a coarse, result-based classification (the datapath does not thread per-operation
+    /// flag wires): NaN results raise `invalid`, infinite results raise `overflow` + `inexact`,
+    /// and subnormal results raise `underflow` + `inexact`.
+    pub fn record_result(&mut self, result: RecF32) {
+        if result.is_nan() {
+            self.invalid = true;
+        } else if result.is_infinite() {
+            self.overflow = true;
+            self.inexact = true;
+        } else if !result.is_zero() && result.abs().to_f32() < f32::MIN_POSITIVE {
+            self.underflow = true;
+            self.inexact = true;
+        }
+    }
+
+    /// Merges another flag set into this one.
+    pub fn merge(&mut self, other: ExceptionFlags) {
+        self.invalid |= other.invalid;
+        self.overflow |= other.overflow;
+        self.underflow |= other.underflow;
+        self.inexact |= other.inexact;
+    }
+
+    /// Returns `true` if no exception has been recorded.
+    #[must_use]
+    pub fn is_clear(&self) -> bool {
+        !(self.invalid || self.overflow || self.underflow || self.inexact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_by_default() {
+        assert!(ExceptionFlags::new().is_clear());
+    }
+
+    #[test]
+    fn records_invalid_on_nan() {
+        let mut f = ExceptionFlags::new();
+        f.record_result(RecF32::NAN);
+        assert!(f.invalid);
+        assert!(!f.overflow);
+    }
+
+    #[test]
+    fn records_overflow_and_underflow() {
+        let mut f = ExceptionFlags::new();
+        f.record_result(RecF32::INFINITY);
+        assert!(f.overflow && f.inexact);
+        let mut g = ExceptionFlags::new();
+        g.record_result(RecF32::from_f32(f32::from_bits(1)));
+        assert!(g.underflow);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ExceptionFlags::new();
+        let mut b = ExceptionFlags::new();
+        a.record_result(RecF32::NAN);
+        b.record_result(RecF32::INFINITY);
+        a.merge(b);
+        assert!(a.invalid && a.overflow);
+        assert!(!a.is_clear());
+    }
+}

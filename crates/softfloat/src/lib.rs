@@ -1,0 +1,45 @@
+//! # rayflex-softfloat
+//!
+//! A from-scratch software floating-point library reproducing the numeric behaviour of the
+//! Berkeley HardFloat units used by the RayFlex datapath (ISPASS 2025).
+//!
+//! RayFlex processes IEEE-754 binary32 (`f32`) values at its IO boundary but internally carries a
+//! *recoded* format with one extra exponent bit (33 bits total), converting at the first and last
+//! pipeline stages and rounding after every addition and multiplication.  This crate provides:
+//!
+//! * [`RecF32`] — the 33-bit recoded value type (sign + 9-bit exponent + 23-bit fraction) with
+//!   lossless conversions to and from `f32`,
+//! * IEEE-754 round-to-nearest-even addition, subtraction and multiplication
+//!   ([`RecF32::add`], [`RecF32::sub`], [`RecF32::mul`]) that match native `f32` arithmetic
+//!   bit-for-bit (including subnormals, signed zeros, infinities and NaN propagation),
+//! * hardware-style comparators ([`cmp`]) with the "NaN compares false" semantics the paper relies
+//!   on for coplanar-ray handling,
+//! * the stage-1 / stage-11 format converters ([`convert`]) and exception flags ([`flags`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rayflex_softfloat::RecF32;
+//!
+//! let a = RecF32::from_f32(1.5);
+//! let b = RecF32::from_f32(2.25);
+//! let sum = a.add(b);
+//! assert_eq!(sum.to_f32(), 3.75);
+//!
+//! // NaN propagates and never compares true, as the RayFlex slab test expects.
+//! let nan = RecF32::from_f32(f32::INFINITY).mul(RecF32::ZERO);
+//! assert!(nan.is_nan());
+//! assert!(!rayflex_softfloat::cmp::le(nan, RecF32::ZERO));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cmp;
+pub mod convert;
+pub mod flags;
+mod recoded;
+mod round;
+
+pub use flags::ExceptionFlags;
+pub use recoded::RecF32;

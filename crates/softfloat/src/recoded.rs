@@ -1,0 +1,378 @@
+//! The recoded 33-bit floating-point value type.
+
+use crate::round;
+
+/// Exponent bias of the recoded format.
+///
+/// The recoded exponent stores `unbiased_exponent + REC_BIAS`.  The bias is chosen so that every
+/// IEEE binary32 value — including normalised subnormals down to 2^-149 — fits in the 9-bit field
+/// with headroom for the special codes at the top of the range.
+const REC_BIAS: i32 = 320;
+
+/// Exponent field value encoding zero.
+const EXP_ZERO: u32 = 0;
+/// Exponent field value encoding infinity.
+const EXP_INF: u32 = 0x1FE;
+/// Exponent field value encoding NaN.
+const EXP_NAN: u32 = 0x1FF;
+
+/// A floating-point value in the RayFlex internal *recoded* format.
+///
+/// The format is inspired by Berkeley HardFloat's `recFN` encoding: 1 sign bit, a 9-bit exponent
+/// (one bit wider than binary32) and a 23-bit fraction, for 33 bits total.  Unlike binary32 there
+/// are no subnormal encodings — subnormal inputs are normalised into the wider exponent range on
+/// conversion — and zero, infinity and NaN are signalled by reserved exponent codes.
+///
+/// Every `RecF32` produced by this crate represents a value that is exactly representable as an
+/// IEEE binary32 number, so [`RecF32::to_f32`] is lossless and arithmetic results match native
+/// `f32` round-to-nearest-even results bit-for-bit.
+///
+/// # Example
+///
+/// ```
+/// use rayflex_softfloat::RecF32;
+/// let x = RecF32::from_f32(0.1);
+/// assert_eq!(x.to_f32(), 0.1f32);
+/// assert_eq!(RecF32::WIDTH_BITS, 33);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RecF32 {
+    /// Packed representation: bit 32 = sign, bits 31..23 = exponent, bits 22..0 = fraction.
+    bits: u64,
+}
+
+/// Internal unpacked classification of a recoded value, used by the arithmetic routines.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum Unpacked {
+    /// Positive or negative zero.
+    Zero { sign: bool },
+    /// Positive or negative infinity.
+    Inf { sign: bool },
+    /// Not-a-number (always treated as a quiet NaN).
+    Nan,
+    /// A finite non-zero value `(-1)^sign * sig * 2^(exp - 23)` with `sig` in `[2^23, 2^24)`.
+    Finite { sign: bool, exp: i32, sig: u32 },
+}
+
+impl RecF32 {
+    /// Width of the packed recoded representation in bits.
+    pub const WIDTH_BITS: u32 = 33;
+
+    /// Positive zero.
+    pub const ZERO: RecF32 = RecF32 { bits: 0 };
+    /// Negative zero.
+    pub const NEG_ZERO: RecF32 = RecF32 { bits: 1 << 32 };
+    /// Positive infinity.
+    pub const INFINITY: RecF32 = RecF32 {
+        bits: (EXP_INF as u64) << 23,
+    };
+    /// Negative infinity.
+    pub const NEG_INFINITY: RecF32 = RecF32 {
+        bits: (1 << 32) | ((EXP_INF as u64) << 23),
+    };
+    /// The canonical quiet NaN.
+    pub const NAN: RecF32 = RecF32 {
+        bits: ((EXP_NAN as u64) << 23) | (1 << 22),
+    };
+    /// Positive one.
+    pub const ONE: RecF32 = RecF32 {
+        bits: ((REC_BIAS as u64) << 23),
+    };
+
+    /// Creates a recoded value from raw packed bits.
+    ///
+    /// Only the low 33 bits are significant; higher bits are ignored.  This is primarily useful
+    /// for tests and for modelling the raw wires of the RTL design.
+    #[must_use]
+    pub fn from_bits(bits: u64) -> Self {
+        RecF32 {
+            bits: bits & 0x1_FFFF_FFFF,
+        }
+    }
+
+    /// Returns the raw 33-bit packed representation.
+    #[must_use]
+    pub fn to_bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Converts an IEEE binary32 value into the recoded format (the stage-1 converter).
+    #[must_use]
+    pub fn from_f32(value: f32) -> Self {
+        Self::from_f32_bits(value.to_bits())
+    }
+
+    /// Converts from the raw bit pattern of an IEEE binary32 value.
+    #[must_use]
+    pub fn from_f32_bits(bits: u32) -> Self {
+        let sign = (bits >> 31) != 0;
+        let exp = (bits >> 23) & 0xFF;
+        let frac = bits & 0x7F_FFFF;
+        match (exp, frac) {
+            (0, 0) => Self::pack_special(sign, EXP_ZERO),
+            (0, _) => {
+                // Subnormal: normalise into the wider exponent range.
+                let shift = frac.leading_zeros() - 8; // position the MSB of frac at bit 23
+                let sig = frac << shift;
+                let unbiased = -126 - shift as i32;
+                Self::pack_finite(sign, unbiased, sig & 0x7F_FFFF)
+            }
+            (0xFF, 0) => Self::pack_special(sign, EXP_INF),
+            (0xFF, _) => Self::NAN,
+            _ => Self::pack_finite(sign, exp as i32 - 127, frac),
+        }
+    }
+
+    /// Converts the recoded value back to IEEE binary32 (the stage-11 converter).
+    ///
+    /// The conversion is exact for every value this crate produces.
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits(self.to_f32_bits())
+    }
+
+    /// Converts the recoded value back to the raw bit pattern of an IEEE binary32 value.
+    #[must_use]
+    pub fn to_f32_bits(self) -> u32 {
+        let sign_bit = (self.sign() as u32) << 31;
+        match self.exp_field() {
+            EXP_ZERO => sign_bit,
+            EXP_INF => sign_bit | 0x7F80_0000,
+            EXP_NAN => 0x7FC0_0000,
+            e => {
+                let unbiased = e as i32 - REC_BIAS;
+                let frac = (self.bits & 0x7F_FFFF) as u32;
+                if unbiased >= -126 {
+                    sign_bit | (((unbiased + 127) as u32) << 23) | frac
+                } else {
+                    // Re-denormalise.  Values stored here always originate from exact binary32
+                    // subnormals, so the shifted-out bits are zero.
+                    let sig = frac | 0x80_0000;
+                    let shift = (-126 - unbiased) as u32;
+                    debug_assert!(shift < 24, "recoded exponent below binary32 subnormal range");
+                    sign_bit | (sig >> shift)
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the value is NaN.
+    #[must_use]
+    pub fn is_nan(self) -> bool {
+        self.exp_field() == EXP_NAN
+    }
+
+    /// Returns `true` if the value is positive or negative infinity.
+    #[must_use]
+    pub fn is_infinite(self) -> bool {
+        self.exp_field() == EXP_INF
+    }
+
+    /// Returns `true` if the value is positive or negative zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.exp_field() == EXP_ZERO
+    }
+
+    /// Returns `true` if the value is finite (zero or a finite non-zero number).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        !self.is_nan() && !self.is_infinite()
+    }
+
+    /// Returns the sign bit (`true` for negative values, including `-0` and `-inf`).
+    #[must_use]
+    pub fn sign(self) -> bool {
+        (self.bits >> 32) != 0
+    }
+
+    /// Returns the value with the sign bit flipped (NaN is returned unchanged).
+    #[must_use]
+    pub fn neg(self) -> Self {
+        if self.is_nan() {
+            self
+        } else {
+            RecF32 {
+                bits: self.bits ^ (1 << 32),
+            }
+        }
+    }
+
+    /// Returns the absolute value (NaN is returned unchanged).
+    #[must_use]
+    pub fn abs(self) -> Self {
+        if self.is_nan() {
+            self
+        } else {
+            RecF32 {
+                bits: self.bits & 0xFFFF_FFFF,
+            }
+        }
+    }
+
+    /// IEEE-754 round-to-nearest-even addition, matching native `f32` addition bit-for-bit.
+    #[must_use]
+    pub fn add(self, rhs: Self) -> Self {
+        round::add(self, rhs)
+    }
+
+    /// IEEE-754 round-to-nearest-even subtraction.
+    #[must_use]
+    pub fn sub(self, rhs: Self) -> Self {
+        round::add(self, rhs.neg())
+    }
+
+    /// IEEE-754 round-to-nearest-even multiplication, matching native `f32` multiplication.
+    #[must_use]
+    pub fn mul(self, rhs: Self) -> Self {
+        round::mul(self, rhs)
+    }
+
+    /// Squares the value.  In the disjoint-pipeline design the synthesiser specialises
+    /// multipliers whose operands share a wire into squarers; numerically this is identical to
+    /// [`RecF32::mul`] with both operands equal.
+    #[must_use]
+    pub fn square(self) -> Self {
+        self.mul(self)
+    }
+
+    pub(crate) fn exp_field(self) -> u32 {
+        ((self.bits >> 23) & 0x1FF) as u32
+    }
+
+    pub(crate) fn unpack(self) -> Unpacked {
+        match self.exp_field() {
+            EXP_ZERO => Unpacked::Zero { sign: self.sign() },
+            EXP_INF => Unpacked::Inf { sign: self.sign() },
+            EXP_NAN => Unpacked::Nan,
+            e => Unpacked::Finite {
+                sign: self.sign(),
+                exp: e as i32 - REC_BIAS,
+                sig: ((self.bits & 0x7F_FFFF) as u32) | 0x80_0000,
+            },
+        }
+    }
+
+    fn pack_special(sign: bool, exp_field: u32) -> Self {
+        RecF32 {
+            bits: ((sign as u64) << 32) | ((exp_field as u64) << 23),
+        }
+    }
+
+    fn pack_finite(sign: bool, unbiased_exp: i32, frac: u32) -> Self {
+        let exp_field = (unbiased_exp + REC_BIAS) as u64;
+        debug_assert!(exp_field > 0 && exp_field < EXP_INF as u64);
+        RecF32 {
+            bits: ((sign as u64) << 32) | (exp_field << 23) | u64::from(frac & 0x7F_FFFF),
+        }
+    }
+}
+
+impl From<f32> for RecF32 {
+    fn from(value: f32) -> Self {
+        RecF32::from_f32(value)
+    }
+}
+
+impl From<RecF32> for f32 {
+    fn from(value: RecF32) -> f32 {
+        value.to_f32()
+    }
+}
+
+impl core::fmt::Debug for RecF32 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "RecF32({} = {:#011x})", self.to_f32(), self.bits)
+    }
+}
+
+impl core::fmt::Display for RecF32 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(x: f32) {
+        let r = RecF32::from_f32(x);
+        let back = r.to_f32();
+        assert_eq!(
+            back.to_bits(),
+            x.to_bits(),
+            "round-trip mismatch for {x} ({:#010x})",
+            x.to_bits()
+        );
+    }
+
+    #[test]
+    fn roundtrip_simple_values() {
+        for x in [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            1.5,
+            3.1415927,
+            1e-30,
+            1e30,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+        ] {
+            roundtrip(x);
+        }
+    }
+
+    #[test]
+    fn roundtrip_subnormals() {
+        roundtrip(f32::from_bits(1)); // smallest positive subnormal
+        roundtrip(f32::from_bits(0x0000_0012));
+        roundtrip(f32::from_bits(0x007F_FFFF)); // largest subnormal
+        roundtrip(-f32::from_bits(0x0040_0000));
+    }
+
+    #[test]
+    fn roundtrip_specials() {
+        roundtrip(f32::INFINITY);
+        roundtrip(f32::NEG_INFINITY);
+        assert!(RecF32::from_f32(f32::NAN).is_nan());
+        assert!(RecF32::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(RecF32::ZERO.is_zero());
+        assert!(RecF32::NEG_ZERO.is_zero());
+        assert!(RecF32::NEG_ZERO.sign());
+        assert!(RecF32::INFINITY.is_infinite());
+        assert!(!RecF32::INFINITY.sign());
+        assert!(RecF32::NEG_INFINITY.sign());
+        assert!(RecF32::NAN.is_nan());
+        assert!(RecF32::ONE.is_finite());
+        assert_eq!(RecF32::ONE.to_f32(), 1.0);
+    }
+
+    #[test]
+    fn negation_and_abs() {
+        assert_eq!(RecF32::ONE.neg().to_f32(), -1.0);
+        assert_eq!(RecF32::from_f32(-2.5).abs().to_f32(), 2.5);
+        assert!(RecF32::NAN.neg().is_nan());
+        assert_eq!(RecF32::ZERO.neg(), RecF32::NEG_ZERO);
+    }
+
+    #[test]
+    fn width_is_33_bits() {
+        assert_eq!(RecF32::WIDTH_BITS, 33);
+        // No value should ever set bits above bit 32.
+        assert_eq!(RecF32::from_f32(f32::MAX).to_bits() >> 33, 0);
+        assert_eq!(RecF32::NAN.to_bits() >> 33, 0);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(RecF32::default(), RecF32::ZERO);
+    }
+}

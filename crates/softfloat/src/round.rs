@@ -1,0 +1,366 @@
+//! IEEE-754 binary32 round-to-nearest-even arithmetic on recoded values.
+//!
+//! The RayFlex datapath rounds after every addition and multiplication (§III-F of the paper).
+//! These routines implement that contract: each operation unpacks its recoded operands, performs
+//! exact intermediate arithmetic on wide integer significands, rounds once to binary32 precision
+//! (round-to-nearest, ties-to-even) and re-encodes the result.  The results are bit-identical to
+//! native `f32` arithmetic, which is what anchors the hardware model to the golden software model.
+
+use crate::recoded::{RecF32, Unpacked};
+
+/// Rounds a finite, non-zero magnitude to binary32 and returns the packed IEEE bits.
+///
+/// `sig` carries the magnitude with the leading one at bit 30 (i.e. the value is
+/// `sig * 2^(exp - 30)`); bits 6..0 are the guard/round/sticky extension beyond 24-bit precision.
+/// `exp` is the unbiased binary exponent of bit 30.  Handles overflow to infinity and graceful
+/// underflow to subnormals or zero.
+fn round_pack_f32(sign: bool, mut exp: i32, mut sig: u32) -> u32 {
+    debug_assert!(sig != 0);
+    let sign_bit = (sign as u32) << 31;
+
+    // Subnormal range: shift right until the exponent reaches the minimum, keeping sticky bits.
+    if exp < -126 {
+        let shift = (-126 - exp) as u32;
+        if shift >= 31 {
+            // The entire significand becomes sticky: rounds to zero (RNE, magnitude < 2^-150).
+            sig = 1;
+        } else {
+            let sticky = if sig & ((1 << shift) - 1) != 0 { 1 } else { 0 };
+            sig = (sig >> shift) | sticky;
+        }
+        exp = -126;
+    }
+
+    let round_bits = sig & 0x7F;
+    let mut result_sig = sig >> 7;
+    // Round to nearest, ties to even.
+    if round_bits > 0x40 || (round_bits == 0x40 && (result_sig & 1) != 0) {
+        result_sig += 1;
+    }
+
+    if result_sig == 0 {
+        return sign_bit;
+    }
+
+    if result_sig >= 1 << 24 {
+        // Rounding carried out of the significand.
+        result_sig >>= 1;
+        exp += 1;
+    }
+
+    if result_sig < 1 << 23 {
+        // Subnormal result (only possible when exp == -126).
+        debug_assert_eq!(exp, -126);
+        return sign_bit | result_sig;
+    }
+
+    if exp > 127 {
+        // Overflow to infinity under round-to-nearest-even.
+        return sign_bit | 0x7F80_0000;
+    }
+
+    sign_bit | (((exp + 127) as u32) << 23) | (result_sig & 0x7F_FFFF)
+}
+
+/// Addition (and, via sign negation, subtraction) with a single rounding step.
+pub(crate) fn add(a: RecF32, b: RecF32) -> RecF32 {
+    use Unpacked::*;
+    let (ua, ub) = (a.unpack(), b.unpack());
+    match (ua, ub) {
+        (Nan, _) | (_, Nan) => RecF32::NAN,
+        (Inf { sign: sa }, Inf { sign: sb }) => {
+            if sa == sb {
+                if sa {
+                    RecF32::NEG_INFINITY
+                } else {
+                    RecF32::INFINITY
+                }
+            } else {
+                RecF32::NAN
+            }
+        }
+        (Inf { sign }, _) | (_, Inf { sign }) => {
+            if sign {
+                RecF32::NEG_INFINITY
+            } else {
+                RecF32::INFINITY
+            }
+        }
+        (Zero { sign: sa }, Zero { sign: sb }) => {
+            // +0 + -0 = +0 under round-to-nearest; -0 + -0 = -0.
+            if sa && sb {
+                RecF32::NEG_ZERO
+            } else {
+                RecF32::ZERO
+            }
+        }
+        (Zero { .. }, Finite { .. }) => b,
+        (Finite { .. }, Zero { .. }) => a,
+        (
+            Finite {
+                sign: sa,
+                exp: ea,
+                sig: siga,
+            },
+            Finite {
+                sign: sb,
+                exp: eb,
+                sig: sigb,
+            },
+        ) => add_finite(sa, ea, siga, sb, eb, sigb),
+    }
+}
+
+fn add_finite(sa: bool, ea: i32, siga: u32, sb: bool, eb: i32, sigb: u32) -> RecF32 {
+    // Order the operands by magnitude so the larger one is `x`.
+    let a_larger = (ea, siga) >= (eb, sigb);
+    let (sx, ex, sigx, sy, ey, sigy) = if a_larger {
+        (sa, ea, siga, sb, eb, sigb)
+    } else {
+        (sb, eb, sigb, sa, ea, siga)
+    };
+
+    // Work with 7 extra fraction bits: the leading one sits at bit 30.
+    let x = u64::from(sigx) << 7;
+    let mut y = u64::from(sigy) << 7;
+    let diff = (ex - ey) as u32;
+    // Align the smaller operand, folding shifted-out bits into a sticky bit.
+    if diff != 0 {
+        if diff > 60 {
+            y = 1;
+        } else {
+            let sticky = if y & ((1u64 << diff) - 1) != 0 { 1 } else { 0 };
+            y = (y >> diff) | sticky;
+        }
+    }
+
+    if sx == sy {
+        // Magnitude addition.
+        let mut sum = x + y;
+        let mut exp = ex;
+        if sum >= 1 << 31 {
+            let sticky = sum & 1;
+            sum = (sum >> 1) | sticky;
+            exp += 1;
+        }
+        RecF32::from_f32_bits(round_pack_f32(sx, exp, sum as u32))
+    } else {
+        // Magnitude subtraction.
+        let mut diff_sig = x - y;
+        if diff_sig == 0 {
+            // Exact cancellation yields +0 under round-to-nearest-even.
+            return RecF32::ZERO;
+        }
+        let mut exp = ex;
+        // `x` has its leading one at bit 30, so `diff_sig` < 2^31 and at least 33 leading zeros.
+        let shift = diff_sig.leading_zeros() - 33;
+        // Normalise so the leading one returns to bit 30.
+        diff_sig <<= shift;
+        exp -= shift as i32;
+        // `diff_sig` now fits in 31 bits because x < 2^31 and the leading one is at bit 30.
+        RecF32::from_f32_bits(round_pack_f32(sx, exp, diff_sig as u32))
+    }
+}
+
+/// Multiplication with a single rounding step.
+pub(crate) fn mul(a: RecF32, b: RecF32) -> RecF32 {
+    use Unpacked::*;
+    let (ua, ub) = (a.unpack(), b.unpack());
+    match (ua, ub) {
+        (Nan, _) | (_, Nan) => RecF32::NAN,
+        (Inf { .. }, Zero { .. }) | (Zero { .. }, Inf { .. }) => RecF32::NAN,
+        (Inf { sign: sa }, Inf { sign: sb })
+        | (Inf { sign: sa }, Finite { sign: sb, .. })
+        | (Finite { sign: sa, .. }, Inf { sign: sb }) => {
+            if sa != sb {
+                RecF32::NEG_INFINITY
+            } else {
+                RecF32::INFINITY
+            }
+        }
+        (Zero { sign: sa }, Zero { sign: sb })
+        | (Zero { sign: sa }, Finite { sign: sb, .. })
+        | (Finite { sign: sa, .. }, Zero { sign: sb }) => {
+            if sa != sb {
+                RecF32::NEG_ZERO
+            } else {
+                RecF32::ZERO
+            }
+        }
+        (
+            Finite {
+                sign: sa,
+                exp: ea,
+                sig: siga,
+            },
+            Finite {
+                sign: sb,
+                exp: eb,
+                sig: sigb,
+            },
+        ) => {
+            let sign = sa != sb;
+            // Exact 24x24 -> 48-bit product.  The product of two significands in [2^23, 2^24)
+            // lies in [2^46, 2^48).
+            let mut product = u64::from(siga) * u64::from(sigb);
+            let mut exp = ea + eb;
+            if product >= 1 << 47 {
+                exp += 1;
+            } else {
+                product <<= 1;
+            }
+            // The leading one is now at bit 47; compress to 31 bits keeping a sticky bit.
+            let sticky = if product & 0x1_FFFF != 0 { 1 } else { 0 };
+            let sig = ((product >> 17) as u32) | sticky;
+            RecF32::from_f32_bits(round_pack_f32(sign, exp, sig))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_add(x: f32, y: f32) {
+        let expect = x + y;
+        let got = RecF32::from_f32(x).add(RecF32::from_f32(y)).to_f32();
+        if expect.is_nan() {
+            assert!(got.is_nan(), "add({x}, {y}) expected NaN, got {got}");
+        } else {
+            assert_eq!(
+                got.to_bits(),
+                expect.to_bits(),
+                "add({x}, {y}) = {got} expected {expect}"
+            );
+        }
+    }
+
+    fn check_mul(x: f32, y: f32) {
+        let expect = x * y;
+        let got = RecF32::from_f32(x).mul(RecF32::from_f32(y)).to_f32();
+        if expect.is_nan() {
+            assert!(got.is_nan(), "mul({x}, {y}) expected NaN, got {got}");
+        } else {
+            assert_eq!(
+                got.to_bits(),
+                expect.to_bits(),
+                "mul({x}, {y}) = {got} expected {expect}"
+            );
+        }
+    }
+
+    const INTERESTING: &[f32] = &[
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        0.5,
+        2.0,
+        3.0,
+        1.5,
+        -2.75,
+        1e-6,
+        -1e-6,
+        1e20,
+        -1e20,
+        3.4e38,
+        -3.4e38,
+        1e-38,
+        -1e-38,
+        1e-44, // subnormal
+        -1e-44,
+        f32::MAX,
+        f32::MIN_POSITIVE,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::NAN,
+        1.0000001,
+        0.99999994,
+        16777216.0, // 2^24
+        16777215.0,
+        0.1,
+        0.2,
+        0.3,
+    ];
+
+    #[test]
+    fn addition_matches_native_on_interesting_pairs() {
+        for &x in INTERESTING {
+            for &y in INTERESTING {
+                check_add(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_matches_native_on_interesting_pairs() {
+        for &x in INTERESTING {
+            for &y in INTERESTING {
+                check_mul(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_produces_positive_zero() {
+        let a = RecF32::from_f32(5.5);
+        let b = RecF32::from_f32(-5.5);
+        let r = a.add(b);
+        assert!(r.is_zero());
+        assert!(!r.sign());
+    }
+
+    #[test]
+    fn infinity_minus_infinity_is_nan() {
+        let r = RecF32::INFINITY.add(RecF32::NEG_INFINITY);
+        assert!(r.is_nan());
+    }
+
+    #[test]
+    fn infinity_times_zero_is_nan() {
+        assert!(RecF32::INFINITY.mul(RecF32::ZERO).is_nan());
+        assert!(RecF32::ZERO.mul(RecF32::NEG_INFINITY).is_nan());
+    }
+
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        let r = RecF32::from_f32(f32::MAX).mul(RecF32::from_f32(2.0));
+        assert!(r.is_infinite());
+        assert!(!r.sign());
+        let r = RecF32::from_f32(f32::MAX).add(RecF32::from_f32(f32::MAX));
+        assert!(r.is_infinite());
+    }
+
+    #[test]
+    fn underflow_rounds_to_zero_or_subnormal() {
+        let tiny = RecF32::from_f32(f32::MIN_POSITIVE);
+        let r = tiny.mul(tiny);
+        assert_eq!(r.to_f32(), f32::MIN_POSITIVE * f32::MIN_POSITIVE);
+        let smallest = RecF32::from_f32(f32::from_bits(1));
+        let r = smallest.mul(RecF32::from_f32(0.25));
+        assert_eq!(r.to_f32(), f32::from_bits(1) * 0.25);
+    }
+
+    #[test]
+    fn subnormal_arithmetic_matches_native() {
+        let cases = [
+            (f32::from_bits(1), f32::from_bits(3)),
+            (f32::from_bits(0x0000_1234), f32::from_bits(0x0000_0FF0)),
+            (f32::from_bits(0x007F_FFFF), f32::from_bits(0x0000_0001)),
+            (f32::from_bits(0x0000_0001), -f32::from_bits(0x007F_FFFF)),
+        ];
+        for (x, y) in cases {
+            check_add(x, y);
+            check_mul(x, y);
+        }
+    }
+
+    #[test]
+    fn squaring_matches_multiplication() {
+        for &x in INTERESTING {
+            let sq = RecF32::from_f32(x).square();
+            let mul = RecF32::from_f32(x).mul(RecF32::from_f32(x));
+            assert_eq!(sq.to_bits(), mul.to_bits());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests: RecF32 arithmetic must match native IEEE binary32 arithmetic exactly.
+
+use proptest::prelude::*;
+use rayflex_softfloat::{cmp, RecF32};
+
+/// Strategy producing arbitrary f32 bit patterns, including subnormals, infinities and NaNs.
+fn any_f32_bits() -> impl Strategy<Value = f32> {
+    any::<u32>().prop_map(f32::from_bits)
+}
+
+/// Strategy biased towards "geometric" magnitudes similar to ray-tracing coordinates.
+fn scene_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        (-1000.0f32..1000.0),
+        (-1.0f32..1.0),
+        Just(0.0f32),
+        Just(-0.0f32),
+        (-1e-6f32..1e-6),
+    ]
+}
+
+fn assert_same(expect: f32, got: RecF32, what: &str, x: f32, y: f32) {
+    if expect.is_nan() {
+        assert!(got.is_nan(), "{what}({x}, {y}): expected NaN, got {got:?}");
+    } else {
+        assert_eq!(
+            got.to_f32().to_bits(),
+            expect.to_bits(),
+            "{what}({x:e} [{:#010x}], {y:e} [{:#010x}]): expected {expect:e}, got {:e}",
+            x.to_bits(),
+            y.to_bits(),
+            got.to_f32()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn roundtrip_is_lossless(x in any_f32_bits()) {
+        let r = RecF32::from_f32(x);
+        if x.is_nan() {
+            prop_assert!(r.to_f32().is_nan());
+        } else {
+            prop_assert_eq!(r.to_f32().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn add_matches_native(x in any_f32_bits(), y in any_f32_bits()) {
+        assert_same(x + y, RecF32::from_f32(x).add(RecF32::from_f32(y)), "add", x, y);
+    }
+
+    #[test]
+    fn sub_matches_native(x in any_f32_bits(), y in any_f32_bits()) {
+        assert_same(x - y, RecF32::from_f32(x).sub(RecF32::from_f32(y)), "sub", x, y);
+    }
+
+    #[test]
+    fn mul_matches_native(x in any_f32_bits(), y in any_f32_bits()) {
+        assert_same(x * y, RecF32::from_f32(x).mul(RecF32::from_f32(y)), "mul", x, y);
+    }
+
+    #[test]
+    fn add_is_commutative(x in any_f32_bits(), y in any_f32_bits()) {
+        let a = RecF32::from_f32(x);
+        let b = RecF32::from_f32(y);
+        let ab = a.add(b);
+        let ba = b.add(a);
+        if ab.is_nan() {
+            prop_assert!(ba.is_nan());
+        } else {
+            prop_assert_eq!(ab.to_bits(), ba.to_bits());
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative(x in any_f32_bits(), y in any_f32_bits()) {
+        let a = RecF32::from_f32(x);
+        let b = RecF32::from_f32(y);
+        let ab = a.mul(b);
+        let ba = b.mul(a);
+        if ab.is_nan() {
+            prop_assert!(ba.is_nan());
+        } else {
+            prop_assert_eq!(ab.to_bits(), ba.to_bits());
+        }
+    }
+
+    #[test]
+    fn comparisons_match_native(x in any_f32_bits(), y in any_f32_bits()) {
+        let a = RecF32::from_f32(x);
+        let b = RecF32::from_f32(y);
+        prop_assert_eq!(cmp::lt(a, b), x < y);
+        prop_assert_eq!(cmp::le(a, b), x <= y);
+        prop_assert_eq!(cmp::gt(a, b), x > y);
+        prop_assert_eq!(cmp::ge(a, b), x >= y);
+        prop_assert_eq!(cmp::eq(a, b), x == y);
+    }
+
+    #[test]
+    fn scene_arithmetic_chains_match_native(
+        a in scene_f32(), b in scene_f32(), c in scene_f32(), d in scene_f32()
+    ) {
+        // A fused-looking chain rounded at every step, as the datapath computes (a - b) * c + d.
+        let native = ((a - b) * c) + d;
+        let rec = RecF32::from_f32(a)
+            .sub(RecF32::from_f32(b))
+            .mul(RecF32::from_f32(c))
+            .add(RecF32::from_f32(d));
+        if native.is_nan() {
+            prop_assert!(rec.is_nan());
+        } else {
+            prop_assert_eq!(rec.to_f32().to_bits(), native.to_bits());
+        }
+    }
+
+    #[test]
+    fn packed_width_never_exceeds_33_bits(x in any_f32_bits()) {
+        prop_assert_eq!(RecF32::from_f32(x).to_bits() >> 33, 0);
+    }
+}

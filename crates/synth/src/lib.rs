@@ -1,0 +1,50 @@
+//! # rayflex-synth
+//!
+//! A "virtual synthesis" flow standing in for the paper's Cadence Genus + 15 nm FreePDK flow.
+//!
+//! The RayFlex paper evaluates its datapath by synthesising the Chisel-generated RTL with a 15 nm
+//! open cell library and reporting circuit area (decomposed into sequential / inverter / buffer /
+//! logic) and power (from VCD stimulus of random testbenches).  Neither the synthesis tool nor the
+//! PDK is available to a Rust reproduction, so this crate provides an *analytical model* with the
+//! same interfaces and the same observable trends:
+//!
+//! * [`CellLibrary`] — per-functional-unit area and energy characterisation, 15 nm-inspired and
+//!   calibrated so the relative results of the paper's Figs. 7–9 are reproduced,
+//! * [`estimate_area`] — turns a [`HardwareInventory`] (from `rayflex-core`) into an
+//!   [`AreaReport`] with the paper's four area categories,
+//! * [`estimate_power`] — turns an inventory plus an [`ActivityTrace`] (the VCD substitute) into
+//!   a [`PowerReport`] of dynamic and static power at a target clock,
+//! * [`report`] — plain-text table formatting used by the benchmark harnesses.
+//!
+//! Absolute numbers are indicative only; the model's purpose is to preserve *who wins, by roughly
+//! what factor, and why* (functional-unit sharing, register liveness, operand gating and squarer
+//! specialisation), as documented in `DESIGN.md` and `EXPERIMENTS.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use rayflex_hw::{FuKind, HardwareInventory, StageInventory};
+//! use rayflex_synth::{estimate_area, CellLibrary};
+//!
+//! let mut stage = StageInventory::new();
+//! stage.add_fu(FuKind::Adder, 24);
+//! stage.set_register_bits(1024);
+//! let mut inventory = HardwareInventory::new("demo");
+//! inventory.push_stage(stage);
+//!
+//! let area = estimate_area(&inventory, 1000.0, &CellLibrary::freepdk15());
+//! assert!(area.total() > 0.0);
+//! assert!(area.logic > area.buffer);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod cell_library;
+mod power;
+pub mod report;
+
+pub use area::{estimate_area, fu_logic_area, AreaReport};
+pub use cell_library::{CellLibrary, FuCharacterisation};
+pub use power::{estimate_power, PowerReport};

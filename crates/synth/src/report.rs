@@ -1,0 +1,125 @@
+//! Plain-text table formatting for the figure-regeneration harnesses.
+
+/// A simple fixed-width text table builder used by the benchmark harnesses to print the rows and
+/// series of the paper's figures.
+///
+/// # Example
+///
+/// ```
+/// use rayflex_synth::report::Table;
+///
+/// let mut table = Table::new(vec!["config", "area (um^2)"]);
+/// table.add_row(vec!["baseline-unified".to_string(), "61000".to_string()]);
+/// let text = table.render();
+/// assert!(text.contains("baseline-unified"));
+/// assert!(text.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.  Rows shorter than the header are padded with empty cells; longer rows
+    /// are truncated.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        let mut row = row;
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows added so far.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as aligned plain text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let columns = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate().take(columns) {
+                line.push_str(&format!(" {cell:width$} |", width = widths[i]));
+            }
+            line
+        };
+        let separator = {
+            let mut line = String::from("|");
+            for width in &widths {
+                line.push_str(&format!("{:-<w$}|", "", w = width + 2));
+            }
+            line
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        out.push_str(&separator);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a quantity with a relative delta against a baseline, e.g. `"83.1 (+13.2%)"`.
+#[must_use]
+pub fn with_delta(value: f64, baseline: f64) -> String {
+    if baseline == 0.0 {
+        return format!("{value:.1}");
+    }
+    let delta = (value / baseline - 1.0) * 100.0;
+    format!("{value:.1} ({delta:+.1}%)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.add_row(vec!["1".into(), "2".into()]);
+        t.add_row(vec!["wide-cell-content".into(), "3".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.add_row(vec!["x".into()]);
+        let text = t.render();
+        assert!(text.contains("x"));
+    }
+
+    #[test]
+    fn delta_formatting() {
+        assert_eq!(with_delta(113.0, 100.0), "113.0 (+13.0%)");
+        assert_eq!(with_delta(90.0, 100.0), "90.0 (-10.0%)");
+        assert_eq!(with_delta(5.0, 0.0), "5.0");
+    }
+}

@@ -1,0 +1,148 @@
+//! Procedural triangle scenes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayflex_geometry::{sampling, Aabb, Sphere, Triangle, Vec3};
+
+/// A soup of `count` random triangles inside a ±`extent` cube — the unstructured stimulus used by
+/// the random testbenches.
+#[must_use]
+pub fn random_triangle_soup(seed: u64, count: usize, extent: f32) -> Vec<Triangle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bounds = Aabb::new(Vec3::splat(-extent), Vec3::splat(extent));
+    (0..count)
+        .map(|_| sampling::triangle_in_box(&mut rng, &bounds))
+        .collect()
+}
+
+/// A triangulated sphere produced by subdividing an icosahedron `subdivisions` times — the
+/// repository's stand-in for the paper's bunny mesh (a closed, smooth, many-triangle surface).
+///
+/// Subdivision 0 gives 20 triangles; each level quadruples the count (level 3 ≈ 1280 triangles).
+#[must_use]
+pub fn icosphere(subdivisions: u32, radius: f32, center: Vec3) -> Vec<Triangle> {
+    // Icosahedron vertices from the three orthogonal golden rectangles.
+    let phi = (1.0 + 5.0f32.sqrt()) / 2.0;
+    let base = [
+        Vec3::new(-1.0, phi, 0.0),
+        Vec3::new(1.0, phi, 0.0),
+        Vec3::new(-1.0, -phi, 0.0),
+        Vec3::new(1.0, -phi, 0.0),
+        Vec3::new(0.0, -1.0, phi),
+        Vec3::new(0.0, 1.0, phi),
+        Vec3::new(0.0, -1.0, -phi),
+        Vec3::new(0.0, 1.0, -phi),
+        Vec3::new(phi, 0.0, -1.0),
+        Vec3::new(phi, 0.0, 1.0),
+        Vec3::new(-phi, 0.0, -1.0),
+        Vec3::new(-phi, 0.0, 1.0),
+    ];
+    let faces: [[usize; 3]; 20] = [
+        [0, 11, 5], [0, 5, 1], [0, 1, 7], [0, 7, 10], [0, 10, 11],
+        [1, 5, 9], [5, 11, 4], [11, 10, 2], [10, 7, 6], [7, 1, 8],
+        [3, 9, 4], [3, 4, 2], [3, 2, 6], [3, 6, 8], [3, 8, 9],
+        [4, 9, 5], [2, 4, 11], [6, 2, 10], [8, 6, 7], [9, 8, 1],
+    ];
+    let project = |v: Vec3| center + v.normalized() * radius;
+    let mut triangles: Vec<Triangle> = faces
+        .iter()
+        .map(|f| Triangle::new(project(base[f[0]]), project(base[f[1]]), project(base[f[2]])))
+        .collect();
+    for _ in 0..subdivisions {
+        let mut next = Vec::with_capacity(triangles.len() * 4);
+        for tri in &triangles {
+            let m01 = project((tri.v0 + tri.v1) * 0.5 - center);
+            let m12 = project((tri.v1 + tri.v2) * 0.5 - center);
+            let m20 = project((tri.v2 + tri.v0) * 0.5 - center);
+            next.push(Triangle::new(tri.v0, m01, m20));
+            next.push(Triangle::new(tri.v1, m12, m01));
+            next.push(Triangle::new(tri.v2, m20, m12));
+            next.push(Triangle::new(m01, m12, m20));
+        }
+        triangles = next;
+    }
+    triangles
+}
+
+/// A regular `n`×`n` grid of upright quads (two triangles each) in the z = `depth` plane — a
+/// simple "wall" scene with predictable coverage.
+#[must_use]
+pub fn quad_wall(n: usize, spacing: f32, depth: f32) -> Vec<Triangle> {
+    let mut triangles = Vec::with_capacity(n * n * 2);
+    let offset = (n as f32 - 1.0) * spacing * 0.5;
+    for row in 0..n {
+        for col in 0..n {
+            let x = col as f32 * spacing - offset;
+            let y = row as f32 * spacing - offset;
+            let half = spacing * 0.45;
+            let (a, b, c, d) = (
+                Vec3::new(x - half, y - half, depth),
+                Vec3::new(x + half, y - half, depth),
+                Vec3::new(x + half, y + half, depth),
+                Vec3::new(x - half, y + half, depth),
+            );
+            triangles.push(Triangle::new(a, b, c));
+            triangles.push(Triangle::new(a, c, d));
+        }
+    }
+    triangles
+}
+
+/// A cloud of `count` random tiny spheres inside a ±`extent` cube — the sphere-per-data-point
+/// representation the hierarchical-search accelerators use (§V-A).
+#[must_use]
+pub fn sphere_cloud(seed: u64, count: usize, extent: f32, max_radius: f32) -> Vec<Sphere> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bounds = Aabb::new(Vec3::splat(-extent), Vec3::splat(extent));
+    (0..count)
+        .map(|_| sampling::sphere_in_box(&mut rng, &bounds, max_radius))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_soup_is_deterministic_and_sized() {
+        let a = random_triangle_soup(7, 100, 50.0);
+        let b = random_triangle_soup(7, 100, 50.0);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a, b);
+        assert_ne!(a, random_triangle_soup(8, 100, 50.0));
+    }
+
+    #[test]
+    fn icosphere_subdivision_quadruples_triangle_count() {
+        assert_eq!(icosphere(0, 1.0, Vec3::ZERO).len(), 20);
+        assert_eq!(icosphere(1, 1.0, Vec3::ZERO).len(), 80);
+        assert_eq!(icosphere(2, 1.0, Vec3::ZERO).len(), 320);
+    }
+
+    #[test]
+    fn icosphere_vertices_lie_on_the_sphere() {
+        let center = Vec3::new(1.0, 2.0, 3.0);
+        for tri in icosphere(2, 2.5, center) {
+            for v in [tri.v0, tri.v1, tri.v2] {
+                assert!(((v - center).length() - 2.5).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn quad_wall_has_the_expected_count_and_plane() {
+        let wall = quad_wall(8, 2.0, 12.0);
+        assert_eq!(wall.len(), 8 * 8 * 2);
+        assert!(wall.iter().all(|t| t.v0.z == 12.0 && t.v1.z == 12.0 && t.v2.z == 12.0));
+    }
+
+    #[test]
+    fn sphere_cloud_respects_its_bounds() {
+        let cloud = sphere_cloud(3, 200, 30.0, 0.5);
+        assert_eq!(cloud.len(), 200);
+        for s in &cloud {
+            assert!(s.radius > 0.0 && s.radius <= 0.5);
+            assert!(s.center.x.abs() <= 30.0);
+        }
+    }
+}

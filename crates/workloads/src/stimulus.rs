@@ -1,0 +1,154 @@
+//! Random datapath stimulus: the Rust equivalent of the paper's random chiseltest benches
+//! ("hundreds of thousands of random test cases" in §VI) and of the 100-case VCD power stimulus.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayflex_geometry::{sampling, Aabb, Ray, Triangle};
+
+/// One random ray–box stimulus: a ray plus four candidate boxes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RayBoxStimulus {
+    /// The ray under test.
+    pub ray: Ray,
+    /// The four candidate boxes.
+    pub boxes: [Aabb; 4],
+}
+
+/// One random ray–triangle stimulus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RayTriangleStimulus {
+    /// The ray under test.
+    pub ray: Ray,
+    /// The triangle under test.
+    pub triangle: Triangle,
+}
+
+/// One random distance-operation stimulus (shared by the Euclidean and cosine operations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceStimulus {
+    /// Query vector lanes.
+    pub a: [f32; 16],
+    /// Candidate vector lanes.
+    pub b: [f32; 16],
+    /// Lane-validity mask.
+    pub mask: u16,
+    /// Whether this beat ends a vector pair.
+    pub reset: bool,
+}
+
+/// Generates `count` random ray–box stimuli.  Roughly half the boxes are deliberately placed
+/// around the ray origin so both hits and misses are well represented.
+#[must_use]
+pub fn ray_box_stimuli(seed: u64, count: usize) -> Vec<RayBoxStimulus> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bounds = sampling::default_bounds();
+    (0..count)
+        .map(|_| {
+            let ray = sampling::ray_in_box(&mut rng, &bounds);
+            let boxes = core::array::from_fn(|_| {
+                if rng.gen_bool(0.5) {
+                    // A box centred near a point along the ray: a likely hit.
+                    let t = rng.gen_range(1.0f32..50.0);
+                    let half = rng.gen_range(0.5f32..10.0);
+                    let center = ray.at(t);
+                    Aabb::new(
+                        center - rayflex_geometry::Vec3::splat(half),
+                        center + rayflex_geometry::Vec3::splat(half),
+                    )
+                } else {
+                    sampling::aabb_in_box(&mut rng, &bounds)
+                }
+            });
+            RayBoxStimulus { ray, boxes }
+        })
+        .collect()
+}
+
+/// Generates `count` random ray–triangle stimuli (again biased so that a healthy fraction hit).
+#[must_use]
+pub fn ray_triangle_stimuli(seed: u64, count: usize) -> Vec<RayTriangleStimulus> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bounds = sampling::default_bounds();
+    (0..count)
+        .map(|_| {
+            let ray = sampling::ray_in_box(&mut rng, &bounds);
+            let triangle = if rng.gen_bool(0.5) {
+                // A triangle straddling a point along the ray.
+                let center = ray.at(rng.gen_range(1.0f32..50.0));
+                let local = Aabb::new(
+                    center - rayflex_geometry::Vec3::splat(8.0),
+                    center + rayflex_geometry::Vec3::splat(8.0),
+                );
+                sampling::triangle_in_box(&mut rng, &local)
+            } else {
+                sampling::triangle_in_box(&mut rng, &bounds)
+            };
+            RayTriangleStimulus { ray, triangle }
+        })
+        .collect()
+}
+
+/// Generates `count` random distance-operation stimuli with occasional masked lanes and a
+/// reset on roughly every fourth beat.
+#[must_use]
+pub fn distance_stimuli(seed: u64, count: usize) -> Vec<DistanceStimulus> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let a = core::array::from_fn(|_| rng.gen_range(-100.0f32..100.0));
+            let b = core::array::from_fn(|_| rng.gen_range(-100.0f32..100.0));
+            let mask = if rng.gen_bool(0.8) { u16::MAX } else { rng.gen::<u16>() };
+            DistanceStimulus { a, b, mask, reset: i % 4 == 3 }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayflex_geometry::golden;
+
+    #[test]
+    fn stimuli_are_deterministic_per_seed() {
+        assert_eq!(ray_box_stimuli(1, 10), ray_box_stimuli(1, 10));
+        assert_eq!(ray_triangle_stimuli(2, 10), ray_triangle_stimuli(2, 10));
+        assert_eq!(distance_stimuli(3, 10), distance_stimuli(3, 10));
+        assert_ne!(ray_box_stimuli(1, 10), ray_box_stimuli(2, 10));
+    }
+
+    #[test]
+    fn ray_box_stimuli_contain_both_hits_and_misses() {
+        let stimuli = ray_box_stimuli(42, 200);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for s in &stimuli {
+            for b in &s.boxes {
+                total += 1;
+                if golden::slab::ray_box(&s.ray, b).hit {
+                    hits += 1;
+                }
+            }
+        }
+        let ratio = hits as f64 / total as f64;
+        assert!(ratio > 0.15 && ratio < 0.9, "hit ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn ray_triangle_stimuli_contain_hits() {
+        let stimuli = ray_triangle_stimuli(42, 400);
+        let hits = stimuli
+            .iter()
+            .filter(|s| golden::watertight::ray_triangle(&s.ray, &s.triangle).hit)
+            .count();
+        assert!(hits > 10, "only {hits} hits in 400 cases");
+        assert!(hits < 390);
+    }
+
+    #[test]
+    fn distance_stimuli_reset_every_fourth_beat() {
+        let stimuli = distance_stimuli(7, 16);
+        let resets: Vec<bool> = stimuli.iter().map(|s| s.reset).collect();
+        assert_eq!(resets.iter().filter(|&&r| r).count(), 4);
+        assert!(resets[3] && resets[7] && resets[11] && resets[15]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Vector datasets for the hierarchical-search / k-nearest-neighbour case study (§V-A).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A clustered vector dataset together with its ground-truth cluster assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteredDataset {
+    /// The dataset vectors.
+    pub vectors: Vec<Vec<f32>>,
+    /// The cluster centres the vectors were drawn around.
+    pub centers: Vec<Vec<f32>>,
+    /// For each vector, the index of the cluster it was drawn from.
+    pub assignments: Vec<usize>,
+}
+
+impl ClusteredDataset {
+    /// Dimensionality of the vectors.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.vectors.first().map_or(0, Vec::len)
+    }
+
+    /// Number of vectors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// `true` if the dataset holds no vectors.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+}
+
+/// Generates a dataset of `count` vectors of the given `dimension`, drawn from `clusters`
+/// Gaussian-ish blobs (uniform jitter of width `spread` around uniformly placed centres).
+///
+/// # Panics
+///
+/// Panics if `clusters` is zero while `count` is non-zero.
+#[must_use]
+pub fn clustered_dataset(
+    seed: u64,
+    count: usize,
+    dimension: usize,
+    clusters: usize,
+    spread: f32,
+) -> ClusteredDataset {
+    assert!(clusters > 0 || count == 0, "need at least one cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f32>> = (0..clusters)
+        .map(|_| (0..dimension).map(|_| rng.gen_range(-100.0f32..100.0)).collect())
+        .collect();
+    let mut vectors = Vec::with_capacity(count);
+    let mut assignments = Vec::with_capacity(count);
+    for _ in 0..count {
+        let cluster = rng.gen_range(0..clusters);
+        let vector = centers[cluster]
+            .iter()
+            .map(|c| c + rng.gen_range(-spread..=spread))
+            .collect();
+        vectors.push(vector);
+        assignments.push(cluster);
+    }
+    ClusteredDataset { vectors, centers, assignments }
+}
+
+/// Draws `count` query vectors near randomly chosen dataset points (so every query has a
+/// meaningful nearest neighbour).
+#[must_use]
+pub fn queries_near_dataset(seed: u64, dataset: &ClusteredDataset, count: usize, jitter: f32) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            if dataset.is_empty() {
+                return Vec::new();
+            }
+            let anchor = &dataset.vectors[rng.gen_range(0..dataset.len())];
+            anchor.iter().map(|x| x + rng.gen_range(-jitter..=jitter)).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_has_the_requested_shape() {
+        let d = clustered_dataset(1, 200, 24, 5, 3.0);
+        assert_eq!(d.len(), 200);
+        assert_eq!(d.dimension(), 24);
+        assert_eq!(d.centers.len(), 5);
+        assert_eq!(d.assignments.len(), 200);
+        assert!(!d.is_empty());
+        assert!(d.assignments.iter().all(|&a| a < 5));
+    }
+
+    #[test]
+    fn vectors_stay_near_their_cluster_centres() {
+        let d = clustered_dataset(2, 100, 8, 3, 2.0);
+        for (v, &a) in d.vectors.iter().zip(&d.assignments) {
+            for (x, c) in v.iter().zip(&d.centers[a]) {
+                assert!((x - c).abs() <= 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(clustered_dataset(9, 50, 4, 2, 1.0), clustered_dataset(9, 50, 4, 2, 1.0));
+        let d = clustered_dataset(9, 50, 4, 2, 1.0);
+        assert_eq!(
+            queries_near_dataset(3, &d, 10, 0.5),
+            queries_near_dataset(3, &d, 10, 0.5)
+        );
+    }
+
+    #[test]
+    fn queries_have_the_dataset_dimension() {
+        let d = clustered_dataset(4, 30, 12, 3, 1.0);
+        let q = queries_near_dataset(5, &d, 7, 0.1);
+        assert_eq!(q.len(), 7);
+        assert!(q.iter().all(|v| v.len() == 12));
+    }
+
+    #[test]
+    fn empty_dataset_is_handled() {
+        let d = clustered_dataset(1, 0, 8, 1, 1.0);
+        assert!(d.is_empty());
+        assert_eq!(d.dimension(), 0);
+        let q = queries_near_dataset(1, &d, 3, 0.1);
+        assert!(q.iter().all(Vec::is_empty));
+    }
+}

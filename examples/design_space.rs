@@ -1,0 +1,70 @@
+//! Explore the paper's design space interactively: print the Fig. 4c stage map of any
+//! configuration, its area at a chosen clock and its power per operating mode — the workflow a
+//! researcher would use RayFlex for when sizing an RT-unit datapath.
+//!
+//! Run with `cargo run --release --example design_space [clock_mhz]`.
+
+use rayflex::core::activity::full_throughput_trace;
+use rayflex::core::inventory::build_inventory;
+use rayflex::core::{Opcode, PipelineConfig};
+use rayflex::synth::report::Table;
+use rayflex::synth::{estimate_area, estimate_power, CellLibrary};
+
+fn main() {
+    let clock_mhz: f64 = std::env::args()
+        .nth(1)
+        .and_then(|arg| arg.parse().ok())
+        .unwrap_or(1000.0);
+    let library = CellLibrary::freepdk15();
+    println!("RayFlex design-space exploration at {clock_mhz:.0} MHz ({} library)\n", library.name());
+
+    let mut area_table = Table::new(vec![
+        "configuration",
+        "adders",
+        "multipliers",
+        "squarers",
+        "register bits",
+        "area (um^2)",
+        "peak ops/cycle",
+    ]);
+    for config in PipelineConfig::evaluated_configs() {
+        let inventory = build_inventory(&config);
+        let area = estimate_area(&inventory, clock_mhz, &library);
+        area_table.add_row(vec![
+            config.name(),
+            inventory.fu_count(rayflex::hw::FuKind::Adder).to_string(),
+            inventory.fu_count(rayflex::hw::FuKind::Multiplier).to_string(),
+            inventory.fu_count(rayflex::hw::FuKind::Squarer).to_string(),
+            inventory.register_bits().to_string(),
+            format!("{:.0}", area.total()),
+            inventory.peak_ops_per_cycle().to_string(),
+        ]);
+    }
+    println!("{}", area_table.render());
+
+    let mut power_table = Table::new(vec![
+        "configuration",
+        "ray-box (mW)",
+        "ray-triangle (mW)",
+        "euclidean (mW)",
+        "cosine (mW)",
+    ]);
+    for config in PipelineConfig::evaluated_configs() {
+        let inventory = build_inventory(&config);
+        let mut row = vec![config.name()];
+        for opcode in Opcode::ALL {
+            if config.supports(opcode) {
+                let trace = full_throughput_trace(opcode, &config, 100);
+                let power = estimate_power(&inventory, &trace, clock_mhz, &library);
+                row.push(format!("{:.1}", power.total_mw()));
+            } else {
+                row.push("-".to_string());
+            }
+        }
+        power_table.add_row(row);
+    }
+    println!("{}", power_table.render());
+
+    println!("Stage map of the baseline-unified pipeline (Fig. 4c):");
+    println!("{}", build_inventory(&PipelineConfig::baseline_unified()));
+}

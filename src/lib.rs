@@ -1,0 +1,16 @@
+//! # RayFlex-RS
+//!
+//! Facade crate re-exporting every component of the RayFlex-RS workspace, a Rust reproduction of
+//! the RayFlex hardware ray-tracer datapath (ISPASS 2025).  See the workspace `README.md` and
+//! `DESIGN.md` for the architecture overview and the experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use rayflex_core as core;
+pub use rayflex_geometry as geometry;
+pub use rayflex_hw as hw;
+pub use rayflex_rtl as rtl;
+pub use rayflex_rtunit as rtunit;
+pub use rayflex_softfloat as softfloat;
+pub use rayflex_synth as synth;
+pub use rayflex_workloads as workloads;

@@ -1,0 +1,124 @@
+//! Cross-crate integration test: the hardware datapath (recoded-format arithmetic, stage-by-stage
+//! pipeline) must match the golden software models bit-for-bit over large random sweeps — the
+//! Rust equivalent of the paper's random chiseltest benches (§VI).
+
+use rayflex::core::{PipelineConfig, RayFlexDatapath, RayFlexPipeline, RayFlexRequest};
+use rayflex::geometry::golden;
+use rayflex::workloads::stimulus;
+
+const CASES: usize = 2_000;
+
+#[test]
+fn random_ray_box_beats_match_the_golden_slab_model() {
+    let mut datapath = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+    for (case, s) in stimulus::ray_box_stimuli(101, CASES).iter().enumerate() {
+        let response = datapath.execute(&RayFlexRequest::ray_box(case as u64, &s.ray, &s.boxes));
+        let result = response.box_result.expect("box beat");
+        for (i, aabb) in s.boxes.iter().enumerate() {
+            let gold = golden::slab::ray_box(&s.ray, aabb);
+            assert_eq!(result.hit[i], gold.hit, "case {case}, box {i}");
+            if gold.hit {
+                assert_eq!(
+                    result.t_entry[i].to_bits(),
+                    gold.t_entry.to_bits(),
+                    "case {case}, box {i}: entry distance"
+                );
+            }
+        }
+        // The traversal order reported by the quad-sort network matches a reference sort.
+        let golden_hits: [golden::slab::BoxHit; 4] =
+            core::array::from_fn(|i| golden::slab::ray_box(&s.ray, &s.boxes[i]));
+        assert_eq!(
+            result.traversal_order,
+            golden::slab::sort_boxes(&golden_hits),
+            "case {case}: traversal order"
+        );
+    }
+}
+
+#[test]
+fn random_ray_triangle_beats_match_the_golden_watertight_model() {
+    let mut datapath = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+    for (case, s) in stimulus::ray_triangle_stimuli(202, CASES).iter().enumerate() {
+        let response =
+            datapath.execute(&RayFlexRequest::ray_triangle(case as u64, &s.ray, &s.triangle));
+        let result = response.triangle_result.expect("triangle beat");
+        let gold = golden::watertight::ray_triangle(&s.ray, &s.triangle);
+        assert_eq!(result.hit, gold.hit, "case {case}");
+        assert_eq!(result.t_num.to_bits(), gold.t_num.to_bits(), "case {case}: numerator");
+        assert_eq!(result.det.to_bits(), gold.det.to_bits(), "case {case}: determinant");
+        assert_eq!(result.u.to_bits(), gold.u.to_bits(), "case {case}: U");
+        assert_eq!(result.v.to_bits(), gold.v.to_bits(), "case {case}: V");
+        assert_eq!(result.w.to_bits(), gold.w.to_bits(), "case {case}: W");
+    }
+}
+
+#[test]
+fn random_distance_beats_match_the_golden_reduction_trees() {
+    let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
+    for (case, s) in stimulus::distance_stimuli(303, CASES).iter().enumerate() {
+        let response = datapath.execute(&RayFlexRequest::euclidean(case as u64, s.a, s.b, s.mask, true));
+        let got = response.distance_result.expect("euclidean beat").euclidean_accumulator;
+        let gold = golden::distance::euclidean_partial(&s.a, &s.b, s.mask);
+        assert_eq!(got.to_bits(), gold.to_bits(), "case {case}: euclidean");
+
+        let a8: [f32; 8] = core::array::from_fn(|i| s.b[i]);
+        let b8: [f32; 8] = core::array::from_fn(|i| s.a[i]);
+        let mask8 = (s.mask >> 8) as u8;
+        let response = datapath.execute(&RayFlexRequest::cosine(case as u64, a8, b8, mask8, true));
+        let result = response.distance_result.expect("cosine beat");
+        let gold = golden::distance::cosine_partial(&a8, &b8, mask8);
+        assert_eq!(result.angular_dot_product.to_bits(), gold.dot.to_bits(), "case {case}: dot");
+        assert_eq!(result.angular_norm.to_bits(), gold.norm_sq.to_bits(), "case {case}: norm");
+    }
+}
+
+#[test]
+fn the_cycle_accurate_pipeline_matches_the_functional_model_on_mixed_streams() {
+    let box_stimuli = stimulus::ray_box_stimuli(404, 200);
+    let tri_stimuli = stimulus::ray_triangle_stimuli(405, 200);
+    let dist_stimuli = stimulus::distance_stimuli(406, 200);
+    // Interleave all four opcodes into one stream, preserving multi-beat accumulator behaviour.
+    let mut requests = Vec::new();
+    for i in 0..200usize {
+        requests.push(RayFlexRequest::ray_box(
+            i as u64 * 4,
+            &box_stimuli[i].ray,
+            &box_stimuli[i].boxes,
+        ));
+        requests.push(RayFlexRequest::euclidean(
+            i as u64 * 4 + 1,
+            dist_stimuli[i].a,
+            dist_stimuli[i].b,
+            dist_stimuli[i].mask,
+            dist_stimuli[i].reset,
+        ));
+        requests.push(RayFlexRequest::ray_triangle(
+            i as u64 * 4 + 2,
+            &tri_stimuli[i].ray,
+            &tri_stimuli[i].triangle,
+        ));
+        let a8: [f32; 8] = core::array::from_fn(|k| dist_stimuli[i].a[k]);
+        let b8: [f32; 8] = core::array::from_fn(|k| dist_stimuli[i].b[k]);
+        requests.push(RayFlexRequest::cosine(
+            i as u64 * 4 + 3,
+            a8,
+            b8,
+            (dist_stimuli[i].mask & 0xFF) as u8,
+            dist_stimuli[i].reset,
+        ));
+    }
+
+    let mut functional = RayFlexDatapath::new(PipelineConfig::extended_unified());
+    let mut pipelined = RayFlexPipeline::new(PipelineConfig::extended_unified());
+    let expected = functional.execute_batch(&requests);
+    let got = pipelined.execute_batch(&requests);
+    assert_eq!(expected.len(), got.len());
+    for (e, g) in expected.iter().zip(&got) {
+        assert_eq!(e, g);
+    }
+    // Throughput stays at one beat per cycle even for the mixed stream.
+    let stats = pipelined.stats();
+    assert_eq!(stats.issued, requests.len() as u64);
+    assert_eq!(stats.cycles, requests.len() as u64 + 11);
+}
