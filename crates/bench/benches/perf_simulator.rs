@@ -1,14 +1,27 @@
-//! Criterion performance benchmarks of the simulator itself: softfloat arithmetic throughput,
-//! functional and cycle-accurate datapath beat rates, and BVH traversal.  These are not paper
-//! claims — they tell library users how fast the Rust model runs on their machine.
+//! Simulator performance benchmarks: criterion-style micro-benchmarks of the softfloat core and
+//! the datapath models, plus the scene-level baseline suite comparing the scalar, batched and
+//! parallel traversal paths.  The baseline is written as machine-readable JSON to the path in
+//! `RAYFLEX_BENCH_JSON` (default `BENCH_baseline.json` at the workspace root).
+//!
+//! These are not paper claims — they tell library users and future scaling PRs how fast the Rust
+//! model runs on their machine.  Tunables: `RAYFLEX_BENCH_RAYS` (rays per scene, default 4096),
+//! `RAYFLEX_BENCH_REPEATS` (best-of count, default 3), `RAYFLEX_BENCH_THREADS` (parallel worker
+//! count, default = available parallelism).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use criterion::{criterion_group, BatchSize, Criterion, Throughput};
 
 use rayflex_core::{PipelineConfig, RayFlexDatapath, RayFlexPipeline};
 use rayflex_geometry::{Ray, Vec3};
-use rayflex_rtunit::{Bvh4, TraversalEngine};
+use rayflex_rtunit::{default_parallelism, Bvh4, TraversalEngine};
 use rayflex_softfloat::RecF32;
 use rayflex_workloads::scenes;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn bench_softfloat(c: &mut Criterion) {
     let mut group = c.benchmark_group("softfloat");
@@ -41,7 +54,14 @@ fn bench_datapath(c: &mut Criterion) {
     let mut group = c.benchmark_group("datapath");
     let requests = rayflex_bench::random_ray_box_requests(256, 11);
     group.throughput(Throughput::Elements(requests.len() as u64));
-    group.bench_function("functional_ray_box_beats", |bencher| {
+    group.bench_function("emulated_ray_box_beats", |bencher| {
+        bencher.iter_batched(
+            || RayFlexDatapath::new(PipelineConfig::baseline_unified()),
+            |mut datapath| datapath.execute_batch_emulated(&requests),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("batched_ray_box_beats", |bencher| {
         bencher.iter_batched(
             || RayFlexDatapath::new(PipelineConfig::baseline_unified()),
             |mut datapath| datapath.execute_batch(&requests),
@@ -70,14 +90,39 @@ fn bench_traversal(c: &mut Criterion) {
         })
         .collect();
     group.throughput(Throughput::Elements(rays.len() as u64));
-    group.bench_function("icosphere_closest_hit", |bencher| {
+    group.bench_function("icosphere_closest_hit_scalar", |bencher| {
         bencher.iter_batched(
             TraversalEngine::baseline,
             |mut engine| engine.closest_hits(&bvh, &triangles, &rays),
             BatchSize::SmallInput,
         )
     });
+    group.bench_function("icosphere_closest_hit_wavefront", |bencher| {
+        bencher.iter_batched(
+            TraversalEngine::baseline,
+            |mut engine| engine.closest_hits_wavefront(&bvh, &triangles, &rays),
+            BatchSize::SmallInput,
+        )
+    });
     group.finish();
+}
+
+fn run_baseline_suite() {
+    let rays = env_usize("RAYFLEX_BENCH_RAYS", 4096);
+    let repeats = env_usize("RAYFLEX_BENCH_REPEATS", 3);
+    let threads = env_usize("RAYFLEX_BENCH_THREADS", default_parallelism());
+    let baseline = rayflex_bench::perf::run_perf_suite(rays, repeats, threads);
+    println!("{}", baseline.render_table());
+    let path =
+        // Benches run with the package directory as cwd, so the default resolves the
+        // workspace root explicitly; `RAYFLEX_BENCH_JSON` overrides it.
+        std::env::var("RAYFLEX_BENCH_JSON").unwrap_or_else(|_| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json").to_string()
+        });
+    match std::fs::write(&path, baseline.to_json()) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(error) => eprintln!("could not write {path}: {error}"),
+    }
 }
 
 criterion_group! {
@@ -90,4 +135,9 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_secs(1));
     targets = bench_softfloat, bench_datapath, bench_traversal
 }
-criterion_main!(benches);
+
+// Not `criterion_main!`: the baseline suite runs after the criterion groups.
+fn main() {
+    benches();
+    run_baseline_suite();
+}

@@ -10,10 +10,13 @@
 //! | Fig. 9 (ray-triangle power vs clock) | [`fig9_power_frequency_table`] | `fig9_power_freq` |
 //! | Fig. 4c / §IV-B (stage map, 125 ops/cycle, Turing comparison, latency/II) | [`fig4c_pipeline_report`] | `fig4c_pipeline_map` |
 //! | §IV-A validation (20 directed + random equivalence) | [`validation_report`] | `validation_suite` |
+//! | Simulator throughput baseline (not a paper figure) | [`perf::run_perf_suite`] | `perf_simulator` |
 //! | §VII-B squarer ablation | [`ablation_squarer_table`] | `ablation_squarer` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod perf;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -85,9 +88,8 @@ pub fn fig7_area_table() -> String {
 #[must_use]
 pub fn fig7_headline_summary() -> String {
     let library = CellLibrary::freepdk15();
-    let area = |config: PipelineConfig| {
-        estimate_area(&build_inventory(&config), 1000.0, &library).total()
-    };
+    let area =
+        |config: PipelineConfig| estimate_area(&build_inventory(&config), 1000.0, &library).total();
     let base_uni = area(PipelineConfig::baseline_unified());
     let base_dis = area(PipelineConfig::baseline_disjoint());
     let ext_uni = area(PipelineConfig::extended_unified());
@@ -199,7 +201,11 @@ pub fn fig4c_pipeline_report() -> String {
             .collect();
         table.add_row(vec![
             format!("{}", index + 1),
-            if assets.is_empty() { "(pass-through)".to_string() } else { assets.join(", ") },
+            if assets.is_empty() {
+                "(pass-through)".to_string()
+            } else {
+                assets.join(", ")
+            },
             stage.register_bits().to_string(),
         ]);
     }
@@ -340,7 +346,10 @@ pub fn random_equivalence_counts(cases: usize, seed: u64) -> EquivalenceCounts {
         }
     }
 
-    for (i, s) in stimulus::distance_stimuli(seed.wrapping_add(2), cases).iter().enumerate() {
+    for (i, s) in stimulus::distance_stimuli(seed.wrapping_add(2), cases)
+        .iter()
+        .enumerate()
+    {
         counts.distance_cases += 1;
         // Alternate Euclidean and cosine beats, always resetting so each beat stands alone.
         if i % 2 == 0 {
@@ -465,7 +474,10 @@ mod tests {
 
     #[test]
     fn request_batches_are_deterministic() {
-        assert_eq!(random_ray_box_requests(16, 3), random_ray_box_requests(16, 3));
+        assert_eq!(
+            random_ray_box_requests(16, 3),
+            random_ray_box_requests(16, 3)
+        );
         assert_eq!(random_ray_box_requests(16, 3).len(), 16);
     }
 }

@@ -1,0 +1,355 @@
+//! Simulator performance baselines: rays/sec and beats/sec for the scalar, batched-wavefront and
+//! thread-parallel execution paths across several scenes, emitted as a human-readable table and a
+//! machine-readable JSON document (`BENCH_baseline.json`).
+//!
+//! These are *simulator* numbers, not paper claims — they track how fast the Rust model runs so
+//! future scaling work (sharding, async serving, new backends) has a baseline to beat.  The
+//! definitions:
+//!
+//! * **scalar** — per-ray [`TraversalEngine::closest_hits`], driving the recoded-format stage
+//!   emulation one beat at a time (the execution model of the original reproduction);
+//! * **batched** — [`TraversalEngine::closest_hits_wavefront`], the structure-of-arrays
+//!   ray-stream frontend dispatching bulk beats through the native fast model;
+//! * **parallel** — [`trace_rays_parallel`], the batched frontend sharded across worker threads
+//!   (on a single-core host this degenerates to the batched path plus thread overhead).
+//!
+//! All three paths produce bit-identical hits; the suite cross-checks that on every run before
+//! timing anything.
+
+use std::time::Instant;
+
+use rayflex_core::{PipelineConfig, RayFlexDatapath};
+use rayflex_geometry::{Aabb, Ray, Triangle, Vec3};
+use rayflex_rtunit::{trace_rays_parallel, Bvh4, TraversalEngine, TraversalHit};
+use rayflex_workloads::{rays, scenes};
+
+/// One benchmark scene: geometry plus the ray stream traced against it.
+pub struct PerfScene {
+    /// Scene name as it appears in reports.
+    pub name: &'static str,
+    /// Scene geometry.
+    pub triangles: Vec<Triangle>,
+    /// The ray stream.
+    pub rays: Vec<Ray>,
+}
+
+/// The three standard scenes of the baseline suite.
+#[must_use]
+pub fn standard_perf_scenes(rays_per_scene: usize) -> Vec<PerfScene> {
+    let side = (rays_per_scene as f64).sqrt().ceil() as usize;
+    vec![
+        PerfScene {
+            name: "icosphere",
+            triangles: scenes::icosphere(3, 5.0, Vec3::new(0.0, 0.0, 20.0)),
+            rays: rays::camera_grid(side, side, 12.0),
+        },
+        PerfScene {
+            name: "quad_wall",
+            triangles: scenes::quad_wall(24, 1.2, 15.0),
+            rays: rays::camera_grid(side, side, 24.0),
+        },
+        PerfScene {
+            name: "triangle_soup",
+            triangles: scenes::random_triangle_soup(2024, 600, 30.0),
+            rays: rays::random_rays(
+                7,
+                side * side,
+                &Aabb::new(Vec3::splat(-30.0), Vec3::splat(30.0)),
+            ),
+        },
+    ]
+}
+
+/// One timed execution mode on one scene.
+#[derive(Debug, Clone)]
+pub struct PerfMeasurement {
+    /// Mode name (`scalar`, `batched`, `parallel`).
+    pub mode: &'static str,
+    /// Best-of-`repeats` wall time for the whole stream, in seconds.
+    pub seconds: f64,
+    /// Rays traced per second.
+    pub rays_per_sec: f64,
+    /// Datapath beats executed per second.
+    pub beats_per_sec: f64,
+    /// Throughput relative to the scalar mode on the same scene.
+    pub speedup_vs_scalar: f64,
+}
+
+/// All measurements for one scene.
+#[derive(Debug, Clone)]
+pub struct ScenePerf {
+    /// Scene name.
+    pub scene: &'static str,
+    /// Triangles in the scene.
+    pub triangles: u64,
+    /// Rays in the stream.
+    pub rays: u64,
+    /// Datapath beats per full trace of the stream.
+    pub beats: u64,
+    /// Per-mode measurements (scalar, batched, parallel).
+    pub measurements: Vec<PerfMeasurement>,
+}
+
+impl ScenePerf {
+    /// Throughput of the named mode relative to scalar (1.0 if the mode is missing).
+    #[must_use]
+    pub fn speedup(&self, mode: &str) -> f64 {
+        self.measurements
+            .iter()
+            .find(|m| m.mode == mode)
+            .map_or(1.0, |m| m.speedup_vs_scalar)
+    }
+}
+
+/// Beat-level datapath micro-benchmark results.
+#[derive(Debug, Clone, Copy)]
+pub struct DatapathPerf {
+    /// Beats per second through the per-beat recoded-format emulation.
+    pub emulated_beats_per_sec: f64,
+    /// Beats per second through the batched native fast model.
+    pub batched_beats_per_sec: f64,
+}
+
+/// The complete baseline document.
+#[derive(Debug, Clone)]
+pub struct PerfBaseline {
+    /// Worker threads used by the parallel mode.
+    pub threads: usize,
+    /// Timing repeats per measurement (best-of).
+    pub repeats: usize,
+    /// Beat-level micro-benchmark.
+    pub datapath: DatapathPerf,
+    /// Per-scene traversal measurements.
+    pub scenes: Vec<ScenePerf>,
+}
+
+fn time_best_of<R>(repeats: usize, mut run: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        let value = run();
+        best = best.min(start.elapsed().as_secs_f64());
+        result = Some(value);
+    }
+    (best, result.expect("at least one repeat"))
+}
+
+fn assert_hits_match(
+    scene: &str,
+    mode: &str,
+    expected: &[Option<TraversalHit>],
+    got: &[Option<TraversalHit>],
+) {
+    assert_eq!(expected.len(), got.len(), "{scene}/{mode}: ray count");
+    for (i, (e, g)) in expected.iter().zip(got).enumerate() {
+        match (e, g) {
+            (None, None) => {}
+            (Some(e), Some(g)) => {
+                assert!(
+                    e.primitive == g.primitive && e.t.to_bits() == g.t.to_bits(),
+                    "{scene}/{mode}: ray {i} diverged ({e:?} vs {g:?})"
+                );
+            }
+            other => panic!("{scene}/{mode}: ray {i} diverged ({other:?})"),
+        }
+    }
+}
+
+/// Runs the full baseline suite.
+///
+/// `rays_per_scene` is rounded up to a square grid.  `repeats` is the best-of count per
+/// measurement, and `threads` the worker count for the parallel mode.
+#[must_use]
+pub fn run_perf_suite(rays_per_scene: usize, repeats: usize, threads: usize) -> PerfBaseline {
+    let config = PipelineConfig::baseline_unified();
+
+    // Beat-level micro-benchmark.
+    let requests = crate::random_ray_box_requests(1024, 11);
+    let (emulated_seconds, _) = time_best_of(repeats, || {
+        let mut datapath = RayFlexDatapath::new(config);
+        datapath.execute_batch_emulated(&requests)
+    });
+    let (batched_seconds, _) = time_best_of(repeats, || {
+        let mut datapath = RayFlexDatapath::new(config);
+        datapath.execute_batch(&requests)
+    });
+    let datapath = DatapathPerf {
+        emulated_beats_per_sec: requests.len() as f64 / emulated_seconds,
+        batched_beats_per_sec: requests.len() as f64 / batched_seconds,
+    };
+
+    let mut scene_results = Vec::new();
+    for scene in standard_perf_scenes(rays_per_scene) {
+        let bvh = Bvh4::build(&scene.triangles);
+
+        // Reference run: hits and beat counts, used for correctness and the beats/sec metric.
+        let mut reference = TraversalEngine::with_config(config);
+        let expected = reference.closest_hits(&bvh, &scene.triangles, &scene.rays);
+        let beats = reference.stats().total_ops();
+
+        let (scalar_seconds, scalar_hits) = time_best_of(repeats, || {
+            let mut engine = TraversalEngine::with_config(config);
+            engine.closest_hits(&bvh, &scene.triangles, &scene.rays)
+        });
+        assert_hits_match(scene.name, "scalar", &expected, &scalar_hits);
+
+        let (batched_seconds, batched_hits) = time_best_of(repeats, || {
+            let mut engine = TraversalEngine::with_config(config);
+            engine.closest_hits_wavefront(&bvh, &scene.triangles, &scene.rays)
+        });
+        assert_hits_match(scene.name, "batched", &expected, &batched_hits);
+
+        let (parallel_seconds, parallel_hits) = time_best_of(repeats, || {
+            trace_rays_parallel(config, &bvh, &scene.triangles, &scene.rays, threads).0
+        });
+        assert_hits_match(scene.name, "parallel", &expected, &parallel_hits);
+
+        let ray_count = scene.rays.len() as f64;
+        let measurement = |mode: &'static str, seconds: f64| PerfMeasurement {
+            mode,
+            seconds,
+            rays_per_sec: ray_count / seconds,
+            beats_per_sec: beats as f64 / seconds,
+            speedup_vs_scalar: scalar_seconds / seconds,
+        };
+        scene_results.push(ScenePerf {
+            scene: scene.name,
+            triangles: scene.triangles.len() as u64,
+            rays: scene.rays.len() as u64,
+            beats,
+            measurements: vec![
+                measurement("scalar", scalar_seconds),
+                measurement("batched", batched_seconds),
+                measurement("parallel", parallel_seconds),
+            ],
+        });
+    }
+
+    PerfBaseline {
+        threads,
+        repeats,
+        datapath,
+        scenes: scene_results,
+    }
+}
+
+impl PerfBaseline {
+    /// The smallest best-mode speedup over scalar across all scenes — the headline number the
+    /// acceptance gate checks (best of batched/parallel per scene, worst case over scenes).
+    #[must_use]
+    pub fn min_best_speedup(&self) -> f64 {
+        self.scenes
+            .iter()
+            .map(|s| s.speedup("batched").max(s.speedup("parallel")))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Renders the machine-readable JSON baseline.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str(&format!(
+            "  \"datapath\": {{\"emulated_beats_per_sec\": {:.0}, \"batched_beats_per_sec\": {:.0}}},\n",
+            self.datapath.emulated_beats_per_sec, self.datapath.batched_beats_per_sec
+        ));
+        out.push_str(&format!(
+            "  \"min_best_speedup\": {:.2},\n",
+            self.min_best_speedup()
+        ));
+        out.push_str("  \"scenes\": [\n");
+        for (i, scene) in self.scenes.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"scene\": \"{}\", \"triangles\": {}, \"rays\": {}, \"beats\": {}, \"modes\": [",
+                scene.scene, scene.triangles, scene.rays, scene.beats
+            ));
+            for (j, m) in scene.measurements.iter().enumerate() {
+                out.push_str(&format!(
+                    "{{\"mode\": \"{}\", \"seconds\": {:.6}, \"rays_per_sec\": {:.0}, \"beats_per_sec\": {:.0}, \"speedup_vs_scalar\": {:.2}}}",
+                    m.mode, m.seconds, m.rays_per_sec, m.beats_per_sec, m.speedup_vs_scalar
+                ));
+                if j + 1 < scene.measurements.len() {
+                    out.push_str(", ");
+                }
+            }
+            out.push_str("]}");
+            out.push_str(if i + 1 < self.scenes.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the human-readable report.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        use rayflex_synth::report::Table;
+        let mut table = Table::new(vec![
+            "scene",
+            "rays",
+            "beats",
+            "mode",
+            "time (ms)",
+            "rays/s",
+            "beats/s",
+            "vs scalar",
+        ]);
+        for scene in &self.scenes {
+            for m in &scene.measurements {
+                table.add_row(vec![
+                    scene.scene.to_string(),
+                    scene.rays.to_string(),
+                    scene.beats.to_string(),
+                    m.mode.to_string(),
+                    format!("{:.2}", m.seconds * 1e3),
+                    format!("{:.0}", m.rays_per_sec),
+                    format!("{:.0}", m.beats_per_sec),
+                    format!("{:.2}x", m.speedup_vs_scalar),
+                ]);
+            }
+        }
+        format!(
+            "Simulator performance baseline ({} threads, best of {} runs)\n\
+             Datapath micro-benchmark: {:.0} emulated beats/s vs {:.0} batched beats/s ({:.1}x)\n{}\n\
+             Minimum best-mode speedup over scalar across scenes: {:.2}x\n",
+            self.threads,
+            self.repeats,
+            self.datapath.emulated_beats_per_sec,
+            self.datapath.batched_beats_per_sec,
+            self.datapath.batched_beats_per_sec / self.datapath.emulated_beats_per_sec,
+            table.render(),
+            self.min_best_speedup(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_suite_runs_and_reports_consistent_numbers() {
+        let baseline = run_perf_suite(64, 1, 2);
+        assert_eq!(baseline.scenes.len(), 3);
+        for scene in &baseline.scenes {
+            assert_eq!(scene.measurements.len(), 3);
+            assert!(scene.beats > 0);
+            for m in &scene.measurements {
+                assert!(m.seconds > 0.0 && m.rays_per_sec > 0.0 && m.beats_per_sec > 0.0);
+            }
+            assert!((scene.speedup("scalar") - 1.0).abs() < 1e-9);
+        }
+        assert!(baseline.min_best_speedup() > 0.0);
+        let json = baseline.to_json();
+        assert!(json.contains("\"scenes\""));
+        assert!(json.contains("icosphere"));
+        assert!(json.contains("batched"));
+        let table = baseline.render_table();
+        assert!(table.contains("quad_wall") && table.contains("vs scalar"));
+    }
+}

@@ -37,7 +37,12 @@ impl AccumulatorState {
 
     /// Adds cosine partial sums; returns the updated running `(dot, norm)` values and clears both
     /// registers afterwards when `reset` is set.
-    pub fn accumulate_cosine(&mut self, dot: RecF32, norm: RecF32, reset: bool) -> (RecF32, RecF32) {
+    pub fn accumulate_cosine(
+        &mut self,
+        dot: RecF32,
+        norm: RecF32,
+        reset: bool,
+    ) -> (RecF32, RecF32) {
         let new_dot = self.angular_dot.add(dot);
         let new_norm = self.angular_norm.add(norm);
         if reset {
@@ -71,7 +76,8 @@ mod tests {
     fn cosine_accumulators_are_independent_of_the_euclidean_one() {
         let mut acc = AccumulatorState::new();
         acc.accumulate_euclidean(RecF32::from_f32(10.0), false);
-        let (dot, norm) = acc.accumulate_cosine(RecF32::from_f32(2.0), RecF32::from_f32(3.0), false);
+        let (dot, norm) =
+            acc.accumulate_cosine(RecF32::from_f32(2.0), RecF32::from_f32(3.0), false);
         assert_eq!(dot.to_f32(), 2.0);
         assert_eq!(norm.to_f32(), 3.0);
         let (dot, norm) = acc.accumulate_cosine(RecF32::from_f32(1.0), RecF32::from_f32(1.0), true);

@@ -18,7 +18,11 @@ use crate::{liveness, Opcode, PipelineConfig};
 pub fn record_op(trace: &mut ActivityTrace, opcode: Opcode, config: &PipelineConfig) {
     debug_assert!(config.supports(opcode));
     // Format converters at the boundary stages convert this operation's IO fields.
-    trace.record_fu(1, FuKind::FormatConverterIn, u64::from(op_input_fields(opcode)));
+    trace.record_fu(
+        1,
+        FuKind::FormatConverterIn,
+        u64::from(op_input_fields(opcode)),
+    );
     trace.record_fu(
         STAGE_COUNT,
         FuKind::FormatConverterOut,
@@ -43,7 +47,10 @@ pub fn record_op(trace: &mut ActivityTrace, opcode: Opcode, config: &PipelineCon
     // assigns the whole Shared RayFlex Data Structure to its output register regardless of which
     // operation is in flight.
     for stage in 1..=STAGE_COUNT {
-        trace.record_register_write(stage, u64::from(liveness::live_register_bits(config, stage)));
+        trace.record_register_write(
+            stage,
+            u64::from(liveness::live_register_bits(config, stage)),
+        );
     }
     // Accumulator registers only toggle for the distance operations that own them.
     match opcode {
@@ -96,13 +103,21 @@ mod tests {
     #[test]
     fn ray_box_beats_exercise_the_fig_4c_units() {
         let mut trace = ActivityTrace::new();
-        record_op(&mut trace, Opcode::RayBox, &PipelineConfig::baseline_unified());
+        record_op(
+            &mut trace,
+            Opcode::RayBox,
+            &PipelineConfig::baseline_unified(),
+        );
         trace.advance_cycle();
         assert_eq!(trace.fu_ops(2, FuKind::Adder), 24);
         assert_eq!(trace.fu_ops(3, FuKind::Multiplier), 24);
         assert_eq!(trace.fu_ops(4, FuKind::Comparator), 40);
         assert_eq!(trace.fu_ops(10, FuKind::QuadSortNetwork), 2);
-        assert_eq!(trace.fu_ops(5, FuKind::Multiplier), 0, "blank stage for ray-box");
+        assert_eq!(
+            trace.fu_ops(5, FuKind::Multiplier),
+            0,
+            "blank stage for ray-box"
+        );
         assert_eq!(trace.fu_ops(1, FuKind::FormatConverterIn), 40);
     }
 
@@ -118,7 +133,11 @@ mod tests {
         // The same beat on the baseline writes fewer bits — the source of the extended design's
         // power overhead on baseline operations.
         let mut baseline_trace = ActivityTrace::new();
-        record_op(&mut baseline_trace, Opcode::RayBox, &PipelineConfig::baseline_unified());
+        record_op(
+            &mut baseline_trace,
+            Opcode::RayBox,
+            &PipelineConfig::baseline_unified(),
+        );
         assert!(baseline_trace.total_register_bit_writes() < expected);
     }
 
@@ -156,7 +175,11 @@ mod tests {
 
     #[test]
     fn full_throughput_trace_covers_the_requested_beats() {
-        let trace = full_throughput_trace(Opcode::RayTriangle, &PipelineConfig::baseline_unified(), 100);
+        let trace = full_throughput_trace(
+            Opcode::RayTriangle,
+            &PipelineConfig::baseline_unified(),
+            100,
+        );
         assert_eq!(trace.cycles(), 100 + STAGE_COUNT as u64);
         assert_eq!(trace.fu_ops(2, FuKind::Adder), 900);
         assert_eq!(trace.fu_ops(10, FuKind::Comparator), 500);
@@ -164,7 +187,13 @@ mod tests {
 
     #[test]
     fn converter_usage_reflects_io_field_counts() {
-        assert!(op_input_fields(Opcode::RayBox) <= input_converters(&PipelineConfig::baseline_unified()));
-        assert!(op_output_fields(Opcode::Cosine) <= output_converters(&PipelineConfig::extended_unified()));
+        assert!(
+            op_input_fields(Opcode::RayBox)
+                <= input_converters(&PipelineConfig::baseline_unified())
+        );
+        assert!(
+            op_output_fields(Opcode::Cosine)
+                <= output_converters(&PipelineConfig::extended_unified())
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! The functional (un-timed) model of the datapath.
 
 use crate::stages;
-use crate::{AccumulatorState, PipelineConfig, RayFlexRequest, RayFlexResponse};
+use crate::{AccumulatorState, PipelineConfig, RayFlexRequest, RayFlexResponse, SharedRayFlexData};
 
 /// A purely functional model of the RayFlex datapath: each call to [`RayFlexDatapath::execute`]
 /// runs one beat through all eleven stages immediately.
@@ -11,6 +11,17 @@ use crate::{AccumulatorState, PipelineConfig, RayFlexRequest, RayFlexResponse};
 /// operations — so the two produce identical results; only timing information differs.  Use this
 /// model for workload-level studies (BVH traversal, k-nearest-neighbour search) where simulating
 /// every pipeline register would be needlessly slow.
+///
+/// For throughput-oriented callers the datapath also offers a bulk interface:
+/// [`RayFlexDatapath::execute_batch`] and [`RayFlexDatapath::execute_batch_into`] stream beats
+/// through one reusable [`SharedRayFlexData`](crate::SharedRayFlexData) scratch buffer with the
+/// stages applied in place (see
+/// [`stages::apply_all_middle_stages_in_place`](crate::stages::apply_all_middle_stages_in_place)),
+/// so a steady-state batch performs no per-beat allocation and no per-stage structure copies.
+/// Batched execution runs the native fast model ([`crate::fastpath`]), not the stage functions;
+/// its bit-identity to beat-at-a-time execution is pinned by the property tests in
+/// `crates/core/tests/proptest_batch.rs`, so a stage-logic change that diverges from the golden
+/// models fails the suite rather than silently splitting the two paths.
 ///
 /// # Example
 ///
@@ -27,6 +38,10 @@ pub struct RayFlexDatapath {
     config: PipelineConfig,
     accumulators: AccumulatorState,
     executed: u64,
+    /// Reusable beat buffer for the in-place execution path.  Boxed so the (large) Shared RayFlex
+    /// Data Structure lives at a stable heap address instead of being copied around with the
+    /// datapath value.
+    scratch: Box<SharedRayFlexData>,
 }
 
 impl RayFlexDatapath {
@@ -37,6 +52,7 @@ impl RayFlexDatapath {
             config,
             accumulators: AccumulatorState::new(),
             executed: 0,
+            scratch: Box::default(),
         }
     }
 
@@ -73,17 +89,70 @@ impl RayFlexDatapath {
             self.config.name()
         );
         self.executed += 1;
-        let entry = crate::SharedRayFlexData::from_request(request);
-        let exit = stages::apply_all_middle_stages(&entry, &mut self.accumulators);
-        exit.to_response()
+        *self.scratch = SharedRayFlexData::from_request(request);
+        stages::apply_all_middle_stages_in_place(&mut self.scratch, &mut self.accumulators);
+        self.scratch.to_response()
     }
 
     /// Executes a batch of beats in order and collects their responses.
+    ///
+    /// Batches run on the native fast model (see [`crate::fastpath`]): responses are
+    /// bit-identical to calling [`RayFlexDatapath::execute`] per beat — the property test in
+    /// `crates/core/tests/proptest_batch.rs` pins this for arbitrary mixed streams on every
+    /// configuration — but roughly an order of magnitude faster, because no beat pays for the
+    /// recoded-format emulation.
     ///
     /// # Panics
     ///
     /// Panics if any beat's opcode is unsupported (see [`RayFlexDatapath::execute`]).
     pub fn execute_batch(&mut self, requests: &[RayFlexRequest]) -> Vec<RayFlexResponse> {
+        let mut responses = Vec::new();
+        self.execute_batch_into(requests, &mut responses);
+        responses
+    }
+
+    /// Executes a batch of beats in order, writing the responses into a caller-owned buffer.
+    ///
+    /// The buffer is cleared first and its capacity is reused, so a caller streaming many batches
+    /// (the wavefront traversal loop of `rayflex-rtunit`, for example) allocates responses once
+    /// and amortises them across every subsequent dispatch.  Like
+    /// [`RayFlexDatapath::execute_batch`], the beats run on the native fast model and produce
+    /// bit-identical responses to the per-beat emulated path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any beat's opcode is unsupported (see [`RayFlexDatapath::execute`]).
+    pub fn execute_batch_into(
+        &mut self,
+        requests: &[RayFlexRequest],
+        responses: &mut Vec<RayFlexResponse>,
+    ) {
+        responses.clear();
+        responses.reserve(requests.len());
+        for request in requests {
+            assert!(
+                self.config.supports(request.opcode),
+                "opcode {} is not supported by the {} configuration",
+                request.opcode,
+                self.config.name()
+            );
+            self.executed += 1;
+            responses.push(crate::fastpath::execute_fast(
+                request,
+                &mut self.accumulators,
+            ));
+        }
+    }
+
+    /// Executes a batch of beats through the recoded-format stage emulation (the same path as
+    /// [`RayFlexDatapath::execute`]).  This is the cross-check twin of
+    /// [`RayFlexDatapath::execute_batch`]: slower, but sharing every line of stage logic with the
+    /// register-accurate pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any beat's opcode is unsupported (see [`RayFlexDatapath::execute`]).
+    pub fn execute_batch_emulated(&mut self, requests: &[RayFlexRequest]) -> Vec<RayFlexResponse> {
         requests.iter().map(|r| self.execute(r)).collect()
     }
 }
@@ -118,13 +187,21 @@ mod tests {
     #[should_panic(expected = "not supported")]
     fn baseline_configuration_rejects_distance_beats() {
         let mut dp = RayFlexDatapath::new(PipelineConfig::baseline_unified());
-        let _ = dp.execute(&RayFlexRequest::euclidean(0, [0.0; 16], [0.0; 16], 0, false));
+        let _ = dp.execute(&RayFlexRequest::euclidean(
+            0, [0.0; 16], [0.0; 16], 0, false,
+        ));
     }
 
     #[test]
     fn accumulator_state_is_visible() {
         let mut dp = RayFlexDatapath::new(PipelineConfig::extended_unified());
-        dp.execute(&RayFlexRequest::euclidean(0, [1.0; 16], [0.0; 16], u16::MAX, false));
+        dp.execute(&RayFlexRequest::euclidean(
+            0,
+            [1.0; 16],
+            [0.0; 16],
+            u16::MAX,
+            false,
+        ));
         assert_eq!(dp.accumulators().euclidean.to_f32(), 16.0);
     }
 }

@@ -1,0 +1,245 @@
+//! The batched fast model: native-`f32` beat execution, bit-identical to the recoded emulation.
+//!
+//! The recoded-format stage emulation ([`crate::stages`]) is the register-accurate view of the
+//! datapath, but it pays for hardware faithfulness with software-emulated floating point — around
+//! a microsecond per beat, which makes workload-level studies (millions of beats) simulator-bound
+//! rather than hardware-bound.  This module is the throughput view: it computes each beat with
+//! the *golden* native-`f32` models of `rayflex-geometry`, which are written with the same
+//! operation structure and per-step rounding as the hardware stages and are proven bit-exact
+//! against them by the §IV-A validation suite and the workspace property tests
+//! (`crates/softfloat/tests/proptest_ieee.rs` pins every recoded operation to native `f32`;
+//! `crates/core/tests/proptest_batch.rs` pins this module to [`crate::RayFlexDatapath::execute`]
+//! response-for-response).
+//!
+//! The only representational difference between the two paths is the NaN payload: the recoded
+//! format reports every NaN as the canonical quiet NaN `0x7FC0_0000`, while native x86 arithmetic
+//! produces implementation-defined payloads.  Every reported field is therefore passed through
+//! [`canonicalize_nan`] so degenerate beats (coplanar rays, masked-off infinite lanes) match the
+//! emulated response bit-for-bit too.
+
+use rayflex_geometry::{golden, Axis, Ray, ShearConstants, Vec3};
+use rayflex_softfloat::RecF32;
+
+use crate::io::{BoxResult, DistanceResult, RayOperand, TriangleResult};
+use crate::{AccumulatorState, Opcode, RayFlexRequest, RayFlexResponse};
+
+/// The canonical quiet-NaN bit pattern the recoded format reports for every NaN.
+const CANONICAL_NAN: u32 = 0x7FC0_0000;
+
+/// Maps any NaN to the recoded format's canonical quiet NaN; other values pass through
+/// untouched (including signed zeros).
+#[inline]
+fn canonicalize_nan(value: f32) -> f32 {
+    if value.is_nan() {
+        f32::from_bits(CANONICAL_NAN)
+    } else {
+        value
+    }
+}
+
+/// Reconstructs a geometry ray from the IO operand without recomputing any field.
+fn ray_from_operand(operand: &RayOperand) -> Ray {
+    Ray {
+        origin: Vec3::from_array(operand.origin),
+        dir: Vec3::from_array(operand.dir),
+        inv_dir: Vec3::from_array(operand.inv_dir),
+        t_beg: operand.t_beg,
+        t_end: operand.t_end,
+        shear: ShearConstants {
+            kx: Axis::from_index(operand.k[0] as usize),
+            ky: Axis::from_index(operand.k[1] as usize),
+            kz: Axis::from_index(operand.k[2] as usize),
+            sx: operand.shear[0],
+            sy: operand.shear[1],
+            sz: operand.shear[2],
+        },
+    }
+}
+
+/// Executes one beat with the native fast model, updating the shared accumulator state exactly as
+/// the emulated path would.
+pub(crate) fn execute_fast(
+    request: &RayFlexRequest,
+    acc: &mut AccumulatorState,
+) -> RayFlexResponse {
+    let mut response = RayFlexResponse {
+        opcode: request.opcode,
+        tag: request.tag,
+        box_result: None,
+        triangle_result: None,
+        distance_result: None,
+    };
+    match request.opcode {
+        Opcode::RayBox => {
+            let ray = ray_from_operand(&request.ray);
+            let hits = [
+                golden::slab::ray_box(&ray, &request.boxes[0]),
+                golden::slab::ray_box(&ray, &request.boxes[1]),
+                golden::slab::ray_box(&ray, &request.boxes[2]),
+                golden::slab::ray_box(&ray, &request.boxes[3]),
+            ];
+            response.box_result = Some(BoxResult {
+                hit: [hits[0].hit, hits[1].hit, hits[2].hit, hits[3].hit],
+                t_entry: [
+                    canonicalize_nan(hits[0].t_entry),
+                    canonicalize_nan(hits[1].t_entry),
+                    canonicalize_nan(hits[2].t_entry),
+                    canonicalize_nan(hits[3].t_entry),
+                ],
+                traversal_order: golden::slab::sort_boxes(&hits),
+            });
+        }
+        Opcode::RayTriangle => {
+            let ray = ray_from_operand(&request.ray);
+            let hit = golden::watertight::ray_triangle(&ray, &request.triangle);
+            response.triangle_result = Some(TriangleResult {
+                hit: hit.hit,
+                t_num: canonicalize_nan(hit.t_num),
+                det: canonicalize_nan(hit.det),
+                u: canonicalize_nan(hit.u),
+                v: canonicalize_nan(hit.v),
+                w: canonicalize_nan(hit.w),
+            });
+        }
+        Opcode::Euclidean => {
+            let partial = golden::distance::euclidean_partial(
+                &request.euclidean_a,
+                &request.euclidean_b,
+                request.euclidean_mask,
+            );
+            // Native accumulation is bit-identical to the recoded stage-10 accumulate: the
+            // recoded/IEEE round trip is lossless and recoded addition matches native addition
+            // bit-for-bit (proptest_ieee).
+            let updated = acc.euclidean.to_f32() + partial;
+            acc.euclidean = if request.reset_accumulator {
+                RecF32::ZERO
+            } else {
+                RecF32::from_f32(updated)
+            };
+            response.distance_result = Some(DistanceResult {
+                euclidean_accumulator: canonicalize_nan(updated),
+                euclidean_reset: request.reset_accumulator,
+                angular_dot_product: 0.0,
+                angular_norm: 0.0,
+                angular_reset: false,
+            });
+        }
+        Opcode::Cosine => {
+            let a: [f32; golden::distance::COSINE_LANES] =
+                core::array::from_fn(|lane| request.euclidean_a[lane]);
+            let b: [f32; golden::distance::COSINE_LANES] =
+                core::array::from_fn(|lane| request.euclidean_b[lane]);
+            let partial =
+                golden::distance::cosine_partial(&a, &b, (request.euclidean_mask & 0xFF) as u8);
+            let dot = acc.angular_dot.to_f32() + partial.dot;
+            let norm = acc.angular_norm.to_f32() + partial.norm_sq;
+            if request.reset_accumulator {
+                acc.angular_dot = RecF32::ZERO;
+                acc.angular_norm = RecF32::ZERO;
+            } else {
+                acc.angular_dot = RecF32::from_f32(dot);
+                acc.angular_norm = RecF32::from_f32(norm);
+            }
+            response.distance_result = Some(DistanceResult {
+                euclidean_accumulator: 0.0,
+                euclidean_reset: false,
+                angular_dot_product: canonicalize_nan(dot),
+                angular_norm: canonicalize_nan(norm),
+                angular_reset: request.reset_accumulator,
+            });
+        }
+    }
+    response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PipelineConfig, RayFlexDatapath};
+    use rayflex_geometry::{Aabb, Triangle};
+
+    fn sample_ray() -> Ray {
+        Ray::new(Vec3::new(0.1, -0.4, -5.0), Vec3::new(0.05, 0.2, 1.0))
+    }
+
+    #[test]
+    fn fast_ray_box_matches_the_emulated_path_including_degenerate_nans() {
+        // A coplanar ray: inv_dir contains infinities and the slab test produces NaNs.
+        let coplanar = Ray::new(Vec3::new(-5.0, 1.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        let boxes = [
+            Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)),
+            Aabb::new(Vec3::new(-1.0, -1.0, 3.0), Vec3::new(1.0, 1.0, 5.0)),
+            Aabb::new(Vec3::splat(f32::MAX), Vec3::splat(f32::MAX)),
+            Aabb::new(Vec3::new(-2.0, -2.0, 8.0), Vec3::new(2.0, 2.0, 9.0)),
+        ];
+        for ray in [sample_ray(), coplanar] {
+            let request = RayFlexRequest::ray_box(7, &ray, &boxes);
+            let mut emulated = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+            let expected = emulated.execute(&request);
+            let mut acc = AccumulatorState::new();
+            let got = execute_fast(&request, &mut acc);
+            let (expected, got) = (expected.box_result.unwrap(), got.box_result.unwrap());
+            assert_eq!(expected.hit, got.hit);
+            assert_eq!(expected.traversal_order, got.traversal_order);
+            for slot in 0..4 {
+                assert_eq!(
+                    expected.t_entry[slot].to_bits(),
+                    got.t_entry[slot].to_bits(),
+                    "slot {slot}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_triangle_matches_the_emulated_path() {
+        let tri = Triangle::new(
+            Vec3::new(-1.0, -1.0, 3.0),
+            Vec3::new(1.0, -1.0, 3.0),
+            Vec3::new(0.0, 1.0, 3.0),
+        );
+        let request = RayFlexRequest::ray_triangle(3, &sample_ray(), &tri);
+        let mut emulated = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let expected = emulated.execute(&request).triangle_result.unwrap();
+        let mut acc = AccumulatorState::new();
+        let got = execute_fast(&request, &mut acc).triangle_result.unwrap();
+        assert_eq!(expected.hit, got.hit);
+        for (e, g) in [
+            (expected.t_num, got.t_num),
+            (expected.det, got.det),
+            (expected.u, got.u),
+            (expected.v, got.v),
+            (expected.w, got.w),
+        ] {
+            assert_eq!(e.to_bits(), g.to_bits());
+        }
+    }
+
+    #[test]
+    fn fast_accumulators_interoperate_with_the_emulated_path() {
+        // Alternate fast and emulated Euclidean beats against one accumulator stream and compare
+        // with an all-emulated reference: the shared accumulator state must stay bit-compatible.
+        let beats: Vec<RayFlexRequest> = (0..6)
+            .map(|i| {
+                let a: [f32; 16] = core::array::from_fn(|k| (i * 16 + k) as f32 * 0.37 - 3.0);
+                let b: [f32; 16] = core::array::from_fn(|k| 2.0 - (k + i) as f32 * 0.21);
+                RayFlexRequest::euclidean(i as u64, a, b, u16::MAX, i % 3 == 2)
+            })
+            .collect();
+        let mut reference = RayFlexDatapath::new(PipelineConfig::extended_unified());
+        let expected: Vec<RayFlexResponse> = beats.iter().map(|b| reference.execute(b)).collect();
+        let mut mixed = RayFlexDatapath::new(PipelineConfig::extended_unified());
+        let got: Vec<RayFlexResponse> = beats
+            .iter()
+            .enumerate()
+            .map(|(i, beat)| {
+                if i % 2 == 0 {
+                    mixed.execute(beat)
+                } else {
+                    mixed.execute_batch(core::slice::from_ref(beat)).remove(0)
+                }
+            })
+            .collect();
+        assert_eq!(expected, got);
+    }
+}

@@ -176,7 +176,7 @@ pub fn squarer_count(config: &PipelineConfig, stage: usize) -> u32 {
         .iter()
         .map(|&op| op_squarer_capable_multipliers(op, stage))
         .sum()
-    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -224,8 +224,14 @@ mod tests {
         assert_eq!(ext.stages()[5].fu_count(FuKind::Adder), 4);
         assert_eq!(ext.stages()[7].fu_count(FuKind::Adder), 2);
         assert_eq!(ext.stages()[9].fu_count(FuKind::Adder), 1);
-        assert_eq!(ext.fu_count(FuKind::Adder), base.fu_count(FuKind::Adder) + 4);
-        assert_eq!(ext.fu_count(FuKind::Multiplier), base.fu_count(FuKind::Multiplier));
+        assert_eq!(
+            ext.fu_count(FuKind::Adder),
+            base.fu_count(FuKind::Adder) + 4
+        );
+        assert_eq!(
+            ext.fu_count(FuKind::Multiplier),
+            base.fu_count(FuKind::Multiplier)
+        );
         assert_eq!(ext.accumulator_bits(), 99);
         assert_eq!(base.accumulator_bits(), 0);
     }
@@ -250,9 +256,8 @@ mod tests {
 
     #[test]
     fn perturbation_removes_the_squarers() {
-        let perturbed = build_inventory(
-            &PipelineConfig::extended_disjoint().with_squarer_perturbation(true),
-        );
+        let perturbed =
+            build_inventory(&PipelineConfig::extended_disjoint().with_squarer_perturbation(true));
         assert_eq!(perturbed.stages()[2].fu_count(FuKind::Squarer), 0);
         assert_eq!(perturbed.stages()[2].fu_count(FuKind::Multiplier), 65);
         // Unified designs can never specialise (the units are shared between operations).
@@ -272,8 +277,14 @@ mod tests {
     #[test]
     fn unified_sharing_never_uses_more_units_than_disjoint() {
         for (uni, dis) in [
-            (PipelineConfig::baseline_unified(), PipelineConfig::baseline_disjoint()),
-            (PipelineConfig::extended_unified(), PipelineConfig::extended_disjoint()),
+            (
+                PipelineConfig::baseline_unified(),
+                PipelineConfig::baseline_disjoint(),
+            ),
+            (
+                PipelineConfig::extended_unified(),
+                PipelineConfig::extended_disjoint(),
+            ),
         ] {
             let uni = build_inventory(&uni);
             let dis = build_inventory(&dis);

@@ -101,7 +101,11 @@ impl RayFlexRequest {
             tag,
             ray: RayOperand::disabled(),
             boxes: [degenerate_box; 4],
-            triangle: Triangle::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)),
+            triangle: Triangle::new(
+                Vec3::ZERO,
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+            ),
             euclidean_a: [0.0; EUCLIDEAN_LANES],
             euclidean_b: [0.0; EUCLIDEAN_LANES],
             euclidean_mask: 0,
@@ -279,8 +283,15 @@ mod tests {
     fn request_constructors_select_the_opcode() {
         let ray = test_ray();
         let boxes = [Aabb::new(Vec3::ZERO, Vec3::ONE); 4];
-        let tri = Triangle::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0));
-        assert_eq!(RayFlexRequest::ray_box(1, &ray, &boxes).opcode, Opcode::RayBox);
+        let tri = Triangle::new(
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
+        assert_eq!(
+            RayFlexRequest::ray_box(1, &ray, &boxes).opcode,
+            Opcode::RayBox
+        );
         assert_eq!(
             RayFlexRequest::ray_triangle(2, &ray, &tri).opcode,
             Opcode::RayTriangle

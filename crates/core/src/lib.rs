@@ -46,12 +46,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod activity;
 mod accumulator;
+pub mod activity;
 mod config;
 mod datapath;
-mod io;
+mod fastpath;
 pub mod inventory;
+mod io;
 pub mod liveness;
 mod opcode;
 mod pipeline;

@@ -48,50 +48,284 @@ const FP: u32 = 33;
 pub fn field_table() -> &'static [FieldLiveness] {
     const TABLE: &[FieldLiveness] = &[
         // --- Control fields shared by every operation -------------------------------------------
-        FieldLiveness { name: "control (opcode, tag, valid)", bits: 24, first_stage: 1, last_stage: 10, ops: ALL_OPS },
+        FieldLiveness {
+            name: "control (opcode, tag, valid)",
+            bits: 24,
+            first_stage: 1,
+            last_stage: 10,
+            ops: ALL_OPS,
+        },
         // --- Ray-box bank ------------------------------------------------------------------------
-        FieldLiveness { name: "box: ray origin", bits: 3 * FP, first_stage: 1, last_stage: 1, ops: BOX_OPS },
-        FieldLiveness { name: "box: ray inverse direction", bits: 3 * FP, first_stage: 1, last_stage: 2, ops: BOX_OPS },
-        FieldLiveness { name: "box: ray extent", bits: 2 * FP, first_stage: 1, last_stage: 3, ops: BOX_OPS },
-        FieldLiveness { name: "box: corner operands", bits: 24 * FP, first_stage: 1, last_stage: 1, ops: BOX_OPS },
-        FieldLiveness { name: "box: translated corners", bits: 24 * FP, first_stage: 2, last_stage: 2, ops: BOX_OPS },
-        FieldLiveness { name: "box: slab products", bits: 24 * FP, first_stage: 3, last_stage: 3, ops: BOX_OPS },
-        FieldLiveness { name: "box: entry distances", bits: 4 * FP, first_stage: 4, last_stage: 10, ops: BOX_OPS },
-        FieldLiveness { name: "box: hit flags", bits: 4, first_stage: 4, last_stage: 10, ops: BOX_OPS },
-        FieldLiveness { name: "box: traversal order", bits: 8, first_stage: 10, last_stage: 10, ops: BOX_OPS },
+        FieldLiveness {
+            name: "box: ray origin",
+            bits: 3 * FP,
+            first_stage: 1,
+            last_stage: 1,
+            ops: BOX_OPS,
+        },
+        FieldLiveness {
+            name: "box: ray inverse direction",
+            bits: 3 * FP,
+            first_stage: 1,
+            last_stage: 2,
+            ops: BOX_OPS,
+        },
+        FieldLiveness {
+            name: "box: ray extent",
+            bits: 2 * FP,
+            first_stage: 1,
+            last_stage: 3,
+            ops: BOX_OPS,
+        },
+        FieldLiveness {
+            name: "box: corner operands",
+            bits: 24 * FP,
+            first_stage: 1,
+            last_stage: 1,
+            ops: BOX_OPS,
+        },
+        FieldLiveness {
+            name: "box: translated corners",
+            bits: 24 * FP,
+            first_stage: 2,
+            last_stage: 2,
+            ops: BOX_OPS,
+        },
+        FieldLiveness {
+            name: "box: slab products",
+            bits: 24 * FP,
+            first_stage: 3,
+            last_stage: 3,
+            ops: BOX_OPS,
+        },
+        FieldLiveness {
+            name: "box: entry distances",
+            bits: 4 * FP,
+            first_stage: 4,
+            last_stage: 10,
+            ops: BOX_OPS,
+        },
+        FieldLiveness {
+            name: "box: hit flags",
+            bits: 4,
+            first_stage: 4,
+            last_stage: 10,
+            ops: BOX_OPS,
+        },
+        FieldLiveness {
+            name: "box: traversal order",
+            bits: 8,
+            first_stage: 10,
+            last_stage: 10,
+            ops: BOX_OPS,
+        },
         // --- Ray-triangle bank ------------------------------------------------------------------
-        FieldLiveness { name: "tri: ray origin", bits: 3 * FP, first_stage: 1, last_stage: 1, ops: TRI_OPS },
-        FieldLiveness { name: "tri: axis renaming indices", bits: 6, first_stage: 1, last_stage: 3, ops: TRI_OPS },
-        FieldLiveness { name: "tri: shear constants", bits: 3 * FP, first_stage: 1, last_stage: 2, ops: TRI_OPS },
-        FieldLiveness { name: "tri: vertex operands", bits: 9 * FP, first_stage: 1, last_stage: 1, ops: TRI_OPS },
-        FieldLiveness { name: "tri: translated vertices", bits: 9 * FP, first_stage: 2, last_stage: 3, ops: TRI_OPS },
-        FieldLiveness { name: "tri: shear xy products", bits: 6 * FP, first_stage: 3, last_stage: 3, ops: TRI_OPS },
-        FieldLiveness { name: "tri: sheared z coordinates", bits: 3 * FP, first_stage: 3, last_stage: 6, ops: TRI_OPS },
-        FieldLiveness { name: "tri: sheared xy coordinates", bits: 6 * FP, first_stage: 4, last_stage: 4, ops: TRI_OPS },
-        FieldLiveness { name: "tri: barycentric products", bits: 6 * FP, first_stage: 5, last_stage: 5, ops: TRI_OPS },
-        FieldLiveness { name: "tri: barycentric coordinates", bits: 3 * FP, first_stage: 6, last_stage: 9, ops: TRI_OPS },
-        FieldLiveness { name: "tri: distance products", bits: 3 * FP, first_stage: 7, last_stage: 8, ops: TRI_OPS },
-        FieldLiveness { name: "tri: partial sums", bits: 2 * FP, first_stage: 8, last_stage: 8, ops: TRI_OPS },
-        FieldLiveness { name: "tri: determinant and numerator", bits: 2 * FP, first_stage: 9, last_stage: 10, ops: TRI_OPS },
-        FieldLiveness { name: "tri: hit flag", bits: 1, first_stage: 10, last_stage: 10, ops: TRI_OPS },
+        FieldLiveness {
+            name: "tri: ray origin",
+            bits: 3 * FP,
+            first_stage: 1,
+            last_stage: 1,
+            ops: TRI_OPS,
+        },
+        FieldLiveness {
+            name: "tri: axis renaming indices",
+            bits: 6,
+            first_stage: 1,
+            last_stage: 3,
+            ops: TRI_OPS,
+        },
+        FieldLiveness {
+            name: "tri: shear constants",
+            bits: 3 * FP,
+            first_stage: 1,
+            last_stage: 2,
+            ops: TRI_OPS,
+        },
+        FieldLiveness {
+            name: "tri: vertex operands",
+            bits: 9 * FP,
+            first_stage: 1,
+            last_stage: 1,
+            ops: TRI_OPS,
+        },
+        FieldLiveness {
+            name: "tri: translated vertices",
+            bits: 9 * FP,
+            first_stage: 2,
+            last_stage: 3,
+            ops: TRI_OPS,
+        },
+        FieldLiveness {
+            name: "tri: shear xy products",
+            bits: 6 * FP,
+            first_stage: 3,
+            last_stage: 3,
+            ops: TRI_OPS,
+        },
+        FieldLiveness {
+            name: "tri: sheared z coordinates",
+            bits: 3 * FP,
+            first_stage: 3,
+            last_stage: 6,
+            ops: TRI_OPS,
+        },
+        FieldLiveness {
+            name: "tri: sheared xy coordinates",
+            bits: 6 * FP,
+            first_stage: 4,
+            last_stage: 4,
+            ops: TRI_OPS,
+        },
+        FieldLiveness {
+            name: "tri: barycentric products",
+            bits: 6 * FP,
+            first_stage: 5,
+            last_stage: 5,
+            ops: TRI_OPS,
+        },
+        FieldLiveness {
+            name: "tri: barycentric coordinates",
+            bits: 3 * FP,
+            first_stage: 6,
+            last_stage: 9,
+            ops: TRI_OPS,
+        },
+        FieldLiveness {
+            name: "tri: distance products",
+            bits: 3 * FP,
+            first_stage: 7,
+            last_stage: 8,
+            ops: TRI_OPS,
+        },
+        FieldLiveness {
+            name: "tri: partial sums",
+            bits: 2 * FP,
+            first_stage: 8,
+            last_stage: 8,
+            ops: TRI_OPS,
+        },
+        FieldLiveness {
+            name: "tri: determinant and numerator",
+            bits: 2 * FP,
+            first_stage: 9,
+            last_stage: 10,
+            ops: TRI_OPS,
+        },
+        FieldLiveness {
+            name: "tri: hit flag",
+            bits: 1,
+            first_stage: 10,
+            last_stage: 10,
+            ops: TRI_OPS,
+        },
         // --- Distance operand registers (shared between Euclidean and cosine) --------------------
-        FieldLiveness { name: "vec: operand vectors", bits: 32 * FP, first_stage: 1, last_stage: 2, ops: VEC_OPS },
-        FieldLiveness { name: "vec: lane mask", bits: 16, first_stage: 1, last_stage: 2, ops: VEC_OPS },
-        FieldLiveness { name: "vec: accumulator reset flag", bits: 1, first_stage: 1, last_stage: 10, ops: VEC_OPS },
+        FieldLiveness {
+            name: "vec: operand vectors",
+            bits: 32 * FP,
+            first_stage: 1,
+            last_stage: 2,
+            ops: VEC_OPS,
+        },
+        FieldLiveness {
+            name: "vec: lane mask",
+            bits: 16,
+            first_stage: 1,
+            last_stage: 2,
+            ops: VEC_OPS,
+        },
+        FieldLiveness {
+            name: "vec: accumulator reset flag",
+            bits: 1,
+            first_stage: 1,
+            last_stage: 10,
+            ops: VEC_OPS,
+        },
         // --- Euclidean bank ----------------------------------------------------------------------
-        FieldLiveness { name: "euclid: differences", bits: 16 * FP, first_stage: 2, last_stage: 2, ops: EUC_OPS },
-        FieldLiveness { name: "euclid: squares", bits: 16 * FP, first_stage: 3, last_stage: 3, ops: EUC_OPS },
-        FieldLiveness { name: "euclid: partial sums (8)", bits: 8 * FP, first_stage: 4, last_stage: 5, ops: EUC_OPS },
-        FieldLiveness { name: "euclid: partial sums (4)", bits: 4 * FP, first_stage: 6, last_stage: 7, ops: EUC_OPS },
-        FieldLiveness { name: "euclid: partial sums (2)", bits: 2 * FP, first_stage: 8, last_stage: 8, ops: EUC_OPS },
-        FieldLiveness { name: "euclid: partial sum (1)", bits: FP, first_stage: 9, last_stage: 9, ops: EUC_OPS },
-        FieldLiveness { name: "euclid: accumulator output", bits: FP, first_stage: 10, last_stage: 10, ops: EUC_OPS },
+        FieldLiveness {
+            name: "euclid: differences",
+            bits: 16 * FP,
+            first_stage: 2,
+            last_stage: 2,
+            ops: EUC_OPS,
+        },
+        FieldLiveness {
+            name: "euclid: squares",
+            bits: 16 * FP,
+            first_stage: 3,
+            last_stage: 3,
+            ops: EUC_OPS,
+        },
+        FieldLiveness {
+            name: "euclid: partial sums (8)",
+            bits: 8 * FP,
+            first_stage: 4,
+            last_stage: 5,
+            ops: EUC_OPS,
+        },
+        FieldLiveness {
+            name: "euclid: partial sums (4)",
+            bits: 4 * FP,
+            first_stage: 6,
+            last_stage: 7,
+            ops: EUC_OPS,
+        },
+        FieldLiveness {
+            name: "euclid: partial sums (2)",
+            bits: 2 * FP,
+            first_stage: 8,
+            last_stage: 8,
+            ops: EUC_OPS,
+        },
+        FieldLiveness {
+            name: "euclid: partial sum (1)",
+            bits: FP,
+            first_stage: 9,
+            last_stage: 9,
+            ops: EUC_OPS,
+        },
+        FieldLiveness {
+            name: "euclid: accumulator output",
+            bits: FP,
+            first_stage: 10,
+            last_stage: 10,
+            ops: EUC_OPS,
+        },
         // --- Cosine bank -------------------------------------------------------------------------
-        FieldLiveness { name: "cosine: products and squares", bits: 16 * FP, first_stage: 3, last_stage: 3, ops: COS_OPS },
-        FieldLiveness { name: "cosine: partial sums (8)", bits: 8 * FP, first_stage: 4, last_stage: 5, ops: COS_OPS },
-        FieldLiveness { name: "cosine: partial sums (4)", bits: 4 * FP, first_stage: 6, last_stage: 7, ops: COS_OPS },
-        FieldLiveness { name: "cosine: partial sums (2)", bits: 2 * FP, first_stage: 8, last_stage: 8, ops: COS_OPS },
-        FieldLiveness { name: "cosine: accumulator outputs", bits: 2 * FP, first_stage: 9, last_stage: 10, ops: COS_OPS },
+        FieldLiveness {
+            name: "cosine: products and squares",
+            bits: 16 * FP,
+            first_stage: 3,
+            last_stage: 3,
+            ops: COS_OPS,
+        },
+        FieldLiveness {
+            name: "cosine: partial sums (8)",
+            bits: 8 * FP,
+            first_stage: 4,
+            last_stage: 5,
+            ops: COS_OPS,
+        },
+        FieldLiveness {
+            name: "cosine: partial sums (4)",
+            bits: 4 * FP,
+            first_stage: 6,
+            last_stage: 7,
+            ops: COS_OPS,
+        },
+        FieldLiveness {
+            name: "cosine: partial sums (2)",
+            bits: 2 * FP,
+            first_stage: 8,
+            last_stage: 8,
+            ops: COS_OPS,
+        },
+        FieldLiveness {
+            name: "cosine: accumulator outputs",
+            bits: 2 * FP,
+            first_stage: 9,
+            last_stage: 10,
+            ops: COS_OPS,
+        },
     ];
     TABLE
 }
@@ -123,7 +357,11 @@ mod tests {
     #[test]
     fn field_stage_ranges_are_well_formed() {
         for field in field_table() {
-            assert!(field.first_stage >= 1 && field.last_stage <= 11, "{}", field.name);
+            assert!(
+                field.first_stage >= 1 && field.last_stage <= 11,
+                "{}",
+                field.name
+            );
             assert!(field.first_stage <= field.last_stage, "{}", field.name);
             assert!(field.bits > 0, "{}", field.name);
             assert!(!field.ops.is_empty(), "{}", field.name);
@@ -136,7 +374,10 @@ mod tests {
         let early = live_register_bits(&config, 1);
         let late = live_register_bits(&config, 9);
         assert!(early > late, "operand registers dominate the early stages");
-        assert!(early > 1500, "stage 1 carries the full operand set ({early} bits)");
+        assert!(
+            early > 1500,
+            "stage 1 carries the full operand set ({early} bits)"
+        );
     }
 
     #[test]
@@ -156,7 +397,10 @@ mod tests {
         let growth = ext as f64 / base as f64;
         // The paper reports ≈ +64% sequential area; the model's per-operation register banks land
         // in the same regime (the exact figure depends on the assumed operand lifetimes).
-        assert!(growth > 1.4 && growth < 2.2, "sequential growth = {growth:.2}x");
+        assert!(
+            growth > 1.4 && growth < 2.2,
+            "sequential growth = {growth:.2}x"
+        );
     }
 
     #[test]

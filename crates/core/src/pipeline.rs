@@ -4,7 +4,9 @@ use rayflex_hw::ActivityTrace;
 use rayflex_rtl::{ElasticPipeline, SkidBuffer, TickResult};
 
 use crate::stages::{self, FIRST_MIDDLE_STAGE, LAST_MIDDLE_STAGE, STAGE_COUNT};
-use crate::{activity, AccumulatorState, PipelineConfig, RayFlexRequest, RayFlexResponse, SharedRayFlexData};
+use crate::{
+    activity, AccumulatorState, PipelineConfig, RayFlexRequest, RayFlexResponse, SharedRayFlexData,
+};
 
 /// The fixed pipeline depth (and therefore the un-stalled latency in cycles) of the datapath:
 /// eleven stages, including the two format-conversion stages (paper §III-D).
@@ -66,9 +68,12 @@ impl RayFlexPipeline {
                 // Stages 9 and 10 own the accumulator registers of the extended design; giving
                 // every stage its own (mostly unused) accumulator keeps the closure uniform.
                 let mut acc = AccumulatorState::new();
-                SkidBuffer::from_fn(format!("stage{stage:02}"), move |data: &SharedRayFlexData| {
-                    stages::apply_middle_stage(stage, data, &mut acc)
-                })
+                SkidBuffer::from_fn(
+                    format!("stage{stage:02}"),
+                    move |data: &SharedRayFlexData| {
+                        stages::apply_middle_stage(stage, data, &mut acc)
+                    },
+                )
             })
             .collect();
         let exit = SkidBuffer::from_fn("stage11-format-out", |data: &SharedRayFlexData| {

@@ -41,10 +41,7 @@ mod tests {
 
     #[test]
     fn hits_sort_by_distance_before_misses() {
-        let order = sort_children(
-            &[true, true, false, true],
-            &rec([9.0, 1.0, 0.0, 4.0]),
-        );
+        let order = sort_children(&[true, true, false, true], &rec([9.0, 1.0, 0.0, 4.0]));
         assert_eq!(order, [1, 3, 0, 2]);
     }
 
@@ -70,7 +67,8 @@ mod tests {
                         }
                         let distances = rec([base[p0], base[p1], base[p2], base[p3]]);
                         let order = sort_children(&[true; 4], &distances);
-                        let sorted: Vec<f32> = order.iter().map(|&i| distances[i].to_f32()).collect();
+                        let sorted: Vec<f32> =
+                            order.iter().map(|&i| distances[i].to_f32()).collect();
                         assert_eq!(sorted, vec![0.5, 1.5, 2.5, 3.5], "permutation {perm:?}");
                     }
                 }
@@ -83,7 +81,12 @@ mod tests {
         // A coplanar-ray miss carries a NaN entry distance; the miss key (+inf) hides it.
         let order = sort_children(
             &[false, true, true, false],
-            &[RecF32::NAN, RecF32::from_f32(2.0), RecF32::from_f32(1.0), RecF32::NAN],
+            &[
+                RecF32::NAN,
+                RecF32::from_f32(2.0),
+                RecF32::from_f32(1.0),
+                RecF32::NAN,
+            ],
         );
         assert_eq!(order, [2, 1, 0, 3]);
     }

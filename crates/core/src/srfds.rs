@@ -105,6 +105,52 @@ pub struct SharedRayFlexData {
     pub angular_norm: RecF32,
 }
 
+impl Default for SharedRayFlexData {
+    /// An all-zero ray-box beat: the reset state of the pipeline registers, and the initial
+    /// contents of the batched executor's scratch buffer.
+    fn default() -> Self {
+        SharedRayFlexData {
+            opcode: Opcode::RayBox,
+            tag: 0,
+            ray_origin: [RecF32::ZERO; 3],
+            ray_inv_dir: [RecF32::ZERO; 3],
+            ray_t_beg: RecF32::ZERO,
+            ray_t_end: RecF32::ZERO,
+            ray_k: [0, 1, 2],
+            ray_shear: [RecF32::ZERO; 3],
+            box_lo: [[RecF32::ZERO; 3]; 4],
+            box_hi: [[RecF32::ZERO; 3]; 4],
+            box_t_lo: [[RecF32::ZERO; 3]; 4],
+            box_t_hi: [[RecF32::ZERO; 3]; 4],
+            box_t_entry: [RecF32::ZERO; 4],
+            box_t_exit: [RecF32::ZERO; 4],
+            box_hit: [false; 4],
+            box_order: [0, 1, 2, 3],
+            tri_verts: [[RecF32::ZERO; 3]; 3],
+            tri_shear_prod: [[RecF32::ZERO; 3]; 3],
+            tri_sheared_xy: [[RecF32::ZERO; 2]; 3],
+            tri_products: [RecF32::ZERO; 6],
+            tri_uvw: [RecF32::ZERO; 3],
+            tri_dist_prod: [RecF32::ZERO; 3],
+            tri_det_partial: RecF32::ZERO,
+            tri_t_partial: RecF32::ZERO,
+            tri_det: RecF32::ZERO,
+            tri_t_num: RecF32::ZERO,
+            tri_hit: false,
+            vec_a: [RecF32::ZERO; EUCLIDEAN_LANES],
+            vec_b: [RecF32::ZERO; EUCLIDEAN_LANES],
+            vec_mask: 0,
+            reset_accumulator: false,
+            euclid_work: [RecF32::ZERO; EUCLIDEAN_LANES],
+            cos_dot_work: [RecF32::ZERO; 8],
+            cos_norm_work: [RecF32::ZERO; 8],
+            euclidean_accumulator: RecF32::ZERO,
+            angular_dot: RecF32::ZERO,
+            angular_norm: RecF32::ZERO,
+        }
+    }
+}
+
 impl SharedRayFlexData {
     /// The stage-1 format conversion: builds the internal structure from an IO request, converting
     /// every floating-point operand to the recoded format.

@@ -7,7 +7,11 @@ use crate::io::{COSINE_LANES, EUCLIDEAN_LANES};
 use crate::{AccumulatorState, SharedRayFlexData};
 
 /// Applies the Euclidean-distance portion of one intermediate stage.
-pub(super) fn apply_euclidean(stage: usize, data: &mut SharedRayFlexData, acc: &mut AccumulatorState) {
+pub(super) fn apply_euclidean(
+    stage: usize,
+    data: &mut SharedRayFlexData,
+    acc: &mut AccumulatorState,
+) {
     match stage {
         2 => euclidean_differences(data),
         3 => euclidean_squares(data),

@@ -47,21 +47,40 @@ pub fn apply_middle_stage(
     data: &SharedRayFlexData,
     acc: &mut AccumulatorState,
 ) -> SharedRayFlexData {
-    assert!(
-        (FIRST_MIDDLE_STAGE..=LAST_MIDDLE_STAGE).contains(&stage),
-        "stage {stage} is not an intermediate pipeline stage"
-    );
     // "We first directly assign the input Shared RayFlex Data Structure to the stage output
     // register.  After that, we may define custom logic to overwrite any data field that is
     // supposed to be produced by this stage." (§III-E)
     let mut out = data.clone();
-    match data.opcode {
-        Opcode::RayBox => ray_box::apply(stage, &mut out),
-        Opcode::RayTriangle => ray_triangle::apply(stage, &mut out),
-        Opcode::Euclidean => distance::apply_euclidean(stage, &mut out, acc),
-        Opcode::Cosine => distance::apply_cosine(stage, &mut out, acc),
-    }
+    apply_middle_stage_in_place(stage, &mut out, acc);
     out
+}
+
+/// The allocation-free variant of [`apply_middle_stage`]: overwrites the produced fields of
+/// `data` directly instead of cloning the structure first.
+///
+/// Stage logic only ever reads fields produced by *earlier* stages and overwrites fields it
+/// produces itself, so mutating one buffer in stage order is bit-identical to chaining per-stage
+/// clones — this is what lets the batched execution path share every line of stage logic with the
+/// register-accurate one while skipping nine structure copies per beat.
+///
+/// # Panics
+///
+/// Panics if `stage` is not in `2..=10`.
+pub fn apply_middle_stage_in_place(
+    stage: usize,
+    data: &mut SharedRayFlexData,
+    acc: &mut AccumulatorState,
+) {
+    assert!(
+        (FIRST_MIDDLE_STAGE..=LAST_MIDDLE_STAGE).contains(&stage),
+        "stage {stage} is not an intermediate pipeline stage"
+    );
+    match data.opcode {
+        Opcode::RayBox => ray_box::apply(stage, data),
+        Opcode::RayTriangle => ray_triangle::apply(stage, data),
+        Opcode::Euclidean => distance::apply_euclidean(stage, data, acc),
+        Opcode::Cosine => distance::apply_cosine(stage, data, acc),
+    }
 }
 
 /// Runs a beat through every intermediate stage in order — the purely functional view of the
@@ -73,10 +92,16 @@ pub fn apply_all_middle_stages(
     acc: &mut AccumulatorState,
 ) -> SharedRayFlexData {
     let mut current = data.clone();
-    for stage in FIRST_MIDDLE_STAGE..=LAST_MIDDLE_STAGE {
-        current = apply_middle_stage(stage, &current, acc);
-    }
+    apply_all_middle_stages_in_place(&mut current, acc);
     current
+}
+
+/// The allocation-free variant of [`apply_all_middle_stages`] (see
+/// [`apply_middle_stage_in_place`]): applies stages 2–10 to one buffer in place.
+pub fn apply_all_middle_stages_in_place(data: &mut SharedRayFlexData, acc: &mut AccumulatorState) {
+    for stage in FIRST_MIDDLE_STAGE..=LAST_MIDDLE_STAGE {
+        apply_middle_stage_in_place(stage, data, acc);
+    }
 }
 
 #[cfg(test)]
@@ -97,7 +122,11 @@ mod tests {
     #[test]
     fn stages_only_touch_their_own_fields() {
         let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
-        let request = RayFlexRequest::ray_box(9, &ray, &[Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)); 4]);
+        let request = RayFlexRequest::ray_box(
+            9,
+            &ray,
+            &[Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)); 4],
+        );
         let data = SharedRayFlexData::from_request(&request);
         let mut acc = AccumulatorState::new();
         let after = apply_middle_stage(2, &data, &mut acc);

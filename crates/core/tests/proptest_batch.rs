@@ -1,0 +1,211 @@
+//! Property-based tests of the batched execution layer: for arbitrary mixed beat streams,
+//! `execute_batch` (the native fast model) must match per-beat `execute` (the recoded-format
+//! stage emulation) bit-for-bit on every evaluated pipeline configuration, including NaN payloads
+//! of degenerate beats and the shared accumulator state of multi-beat distance jobs.
+
+use proptest::prelude::*;
+
+use rayflex_core::{PipelineConfig, RayFlexDatapath, RayFlexRequest, RayFlexResponse};
+use rayflex_geometry::{Aabb, Ray, Triangle, Vec3};
+
+fn coordinate() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        (-1000.0f32..1000.0),
+        (-1.0f32..1.0),
+        Just(0.0f32),
+        (-1e-3f32..1e-3),
+    ]
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (coordinate(), coordinate(), coordinate()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn direction() -> impl Strategy<Value = Vec3> {
+    // Includes axis-aligned directions (zero components), which drive the NaN slab semantics.
+    prop_oneof![
+        vec3().prop_filter("non-zero direction", |v| {
+            v.x != 0.0 || v.y != 0.0 || v.z != 0.0
+        }),
+        Just(Vec3::new(1.0, 0.0, 0.0)),
+        Just(Vec3::new(0.0, 0.0, -1.0)),
+    ]
+}
+
+fn ray() -> impl Strategy<Value = Ray> {
+    (vec3(), direction(), 0.0f32..10.0, 10.0f32..1e6)
+        .prop_map(|(origin, dir, t_beg, t_end)| Ray::with_extent(origin, dir, t_beg, t_end))
+}
+
+fn aabb() -> impl Strategy<Value = Aabb> {
+    (vec3(), vec3()).prop_map(|(a, b)| Aabb::new(a.min(b), a.max(b)))
+}
+
+/// One arbitrary beat; `kind` selects the operation, downgraded for baseline configurations.
+fn request() -> impl Strategy<Value = RayFlexRequest> {
+    let ray_box = (ray(), [aabb(), aabb(), aabb(), aabb()])
+        .prop_map(|(ray, boxes)| RayFlexRequest::ray_box(0, &ray, &boxes));
+    let ray_triangle = (ray(), vec3(), vec3(), vec3())
+        .prop_map(|(ray, a, b, c)| RayFlexRequest::ray_triangle(0, &ray, &Triangle::new(a, b, c)));
+    let euclidean = (
+        prop::array::uniform16(-1000.0f32..1000.0),
+        prop::array::uniform16(-1000.0f32..1000.0),
+        any::<u16>(),
+        any::<bool>(),
+    )
+        .prop_map(|(a, b, mask, reset)| RayFlexRequest::euclidean(0, a, b, mask, reset));
+    let cosine = (
+        prop::array::uniform8(-1000.0f32..1000.0),
+        prop::array::uniform8(-1000.0f32..1000.0),
+        any::<u8>(),
+        any::<bool>(),
+    )
+        .prop_map(|(a, b, mask, reset)| RayFlexRequest::cosine(0, a, b, mask, reset));
+    prop_oneof![ray_box, ray_triangle, euclidean, cosine]
+}
+
+fn stream() -> impl Strategy<Value = Vec<RayFlexRequest>> {
+    prop::collection::vec(request(), 1..32)
+}
+
+/// Retargets a stream at a configuration: beats whose opcode the configuration cannot execute
+/// are replaced by ray-box beats (keeping the stream length and order interesting).
+fn supported_stream(config: &PipelineConfig, stream: &[RayFlexRequest]) -> Vec<RayFlexRequest> {
+    stream
+        .iter()
+        .enumerate()
+        .map(|(i, request)| {
+            let mut request = if config.supports(request.opcode) {
+                request.clone()
+            } else {
+                RayFlexRequest::ray_box(
+                    0,
+                    &Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0)),
+                    &[Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)); 4],
+                )
+            };
+            request.tag = i as u64;
+            request
+        })
+        .collect()
+}
+
+/// Bit-level equality of two responses: every floating-point field is compared on its bit
+/// pattern, so NaN payloads and signed zeros count.
+fn assert_bit_identical(
+    expected: &RayFlexResponse,
+    got: &RayFlexResponse,
+    index: usize,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(expected.opcode, got.opcode, "beat {}", index);
+    prop_assert_eq!(expected.tag, got.tag, "beat {}", index);
+    match (&expected.box_result, &got.box_result) {
+        (None, None) => {}
+        (Some(e), Some(g)) => {
+            prop_assert_eq!(e.hit, g.hit, "beat {}", index);
+            prop_assert_eq!(e.traversal_order, g.traversal_order, "beat {}", index);
+            prop_assert_eq!(
+                e.t_entry.map(f32::to_bits),
+                g.t_entry.map(f32::to_bits),
+                "beat {}",
+                index
+            );
+        }
+        _ => prop_assert!(false, "beat {}: box_result presence mismatch", index),
+    }
+    match (&expected.triangle_result, &got.triangle_result) {
+        (None, None) => {}
+        (Some(e), Some(g)) => {
+            prop_assert_eq!(e.hit, g.hit, "beat {}", index);
+            prop_assert_eq!(
+                [e.t_num, e.det, e.u, e.v, e.w].map(f32::to_bits),
+                [g.t_num, g.det, g.u, g.v, g.w].map(f32::to_bits),
+                "beat {}",
+                index
+            );
+        }
+        _ => prop_assert!(false, "beat {}: triangle_result presence mismatch", index),
+    }
+    match (&expected.distance_result, &got.distance_result) {
+        (None, None) => {}
+        (Some(e), Some(g)) => {
+            prop_assert_eq!(
+                [
+                    e.euclidean_accumulator,
+                    e.angular_dot_product,
+                    e.angular_norm
+                ]
+                .map(f32::to_bits),
+                [
+                    g.euclidean_accumulator,
+                    g.angular_dot_product,
+                    g.angular_norm
+                ]
+                .map(f32::to_bits),
+                "beat {}",
+                index
+            );
+            prop_assert_eq!(e.euclidean_reset, g.euclidean_reset, "beat {}", index);
+            prop_assert_eq!(e.angular_reset, g.angular_reset, "beat {}", index);
+        }
+        _ => prop_assert!(false, "beat {}: distance_result presence mismatch", index),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn batched_execution_matches_per_beat_execution_on_every_configuration(
+        beats in stream()
+    ) {
+        for config in PipelineConfig::evaluated_configs() {
+            let beats = supported_stream(&config, &beats);
+            let mut scalar = RayFlexDatapath::new(config);
+            let expected: Vec<RayFlexResponse> =
+                beats.iter().map(|beat| scalar.execute(beat)).collect();
+            let mut batched = RayFlexDatapath::new(config);
+            let got = batched.execute_batch(&beats);
+            prop_assert_eq!(expected.len(), got.len());
+            for (index, (e, g)) in expected.iter().zip(&got).enumerate() {
+                assert_bit_identical(e, g, index)?;
+            }
+            prop_assert_eq!(scalar.executed_beats(), batched.executed_beats());
+            // The shared accumulator state stays bit-compatible between the two paths.
+            prop_assert_eq!(scalar.accumulators(), batched.accumulators());
+        }
+    }
+
+    #[test]
+    fn emulated_batches_agree_with_fast_batches(beats in stream()) {
+        let config = PipelineConfig::extended_unified();
+        let mut fast = RayFlexDatapath::new(config);
+        let mut emulated = RayFlexDatapath::new(config);
+        let fast_responses = fast.execute_batch(&beats);
+        let emulated_responses = emulated.execute_batch_emulated(&beats);
+        for (index, (e, g)) in emulated_responses.iter().zip(&fast_responses).enumerate() {
+            assert_bit_identical(e, g, index)?;
+        }
+    }
+
+    #[test]
+    fn buffer_reuse_does_not_change_results(beats in stream()) {
+        let config = PipelineConfig::extended_unified();
+        let mut datapath = RayFlexDatapath::new(config);
+        let expected = datapath.execute_batch(&beats);
+        let mut reused = RayFlexDatapath::new(config);
+        let mut buffer = Vec::new();
+        // Run the same stream twice through one buffer; the second run starts from a clean
+        // datapath so results must be identical to the first.
+        reused.execute_batch_into(&beats, &mut buffer);
+        let mut second = RayFlexDatapath::new(config);
+        second.execute_batch_into(&beats, &mut buffer);
+        prop_assert_eq!(expected.len(), buffer.len());
+        for (index, (e, g)) in expected.iter().zip(&buffer).enumerate() {
+            // Bit-level comparison: responses may legitimately contain NaN, which `PartialEq`
+            // would reject even between identical runs.
+            assert_bit_identical(e, g, index)?;
+        }
+    }
+}

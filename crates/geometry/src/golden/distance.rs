@@ -189,11 +189,7 @@ mod tests {
         // 40 dimensions: 2 full Euclidean beats plus one masked beat of 8.
         let a: Vec<f32> = (0..40).map(|i| (i as f32) * 0.25).collect();
         let b: Vec<f32> = (0..40).map(|i| 10.0 - i as f32 * 0.5).collect();
-        let expect: f32 = a
-            .iter()
-            .zip(&b)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum();
+        let expect: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
         let got = euclidean_distance_squared(&a, &b);
         assert!((got - expect).abs() / expect < 1e-5, "{got} vs {expect}");
 

@@ -170,15 +170,28 @@ mod tests {
         let ray = Ray::new(Vec3::new(-5.0, 1.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
         let aabb = unit_box_at(Vec3::ZERO, 1.0);
         let hit = ray_box(&ray, &aabb);
-        assert!(!hit.hit, "coplanar rays must miss (inf * 0 = NaN semantics)");
+        assert!(
+            !hit.hit,
+            "coplanar rays must miss (inf * 0 = NaN semantics)"
+        );
     }
 
     #[test]
     fn ray_extent_limits_the_hit() {
         let aabb = unit_box_at(Vec3::ZERO, 1.0);
-        let short = Ray::with_extent(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0), 0.0, 3.0);
+        let short = Ray::with_extent(
+            Vec3::new(0.0, 0.0, -5.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            0.0,
+            3.0,
+        );
         assert!(!ray_box(&short, &aabb).hit, "box begins beyond the extent");
-        let long = Ray::with_extent(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0), 0.0, 4.5);
+        let long = Ray::with_extent(
+            Vec3::new(0.0, 0.0, -5.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            0.0,
+            4.5,
+        );
         assert!(ray_box(&long, &aabb).hit);
     }
 
@@ -193,10 +206,22 @@ mod tests {
     #[test]
     fn sort_orders_hits_before_misses_by_distance() {
         let hits = [
-            BoxHit { hit: true, t_entry: 7.0, t_exit: 8.0 },
+            BoxHit {
+                hit: true,
+                t_entry: 7.0,
+                t_exit: 8.0,
+            },
             BoxHit::miss(),
-            BoxHit { hit: true, t_entry: 2.0, t_exit: 3.0 },
-            BoxHit { hit: true, t_entry: 5.0, t_exit: 6.0 },
+            BoxHit {
+                hit: true,
+                t_entry: 2.0,
+                t_exit: 3.0,
+            },
+            BoxHit {
+                hit: true,
+                t_entry: 5.0,
+                t_exit: 6.0,
+            },
         ];
         assert_eq!(sort_boxes(&hits), [2, 3, 0, 1]);
     }
@@ -206,10 +231,26 @@ mod tests {
         let all_miss = [BoxHit::miss(); 4];
         assert_eq!(sort_boxes(&all_miss), [0, 1, 2, 3]);
         let equal = [
-            BoxHit { hit: true, t_entry: 1.0, t_exit: 2.0 },
-            BoxHit { hit: true, t_entry: 1.0, t_exit: 2.5 },
-            BoxHit { hit: true, t_entry: 1.0, t_exit: 3.0 },
-            BoxHit { hit: true, t_entry: 1.0, t_exit: 3.5 },
+            BoxHit {
+                hit: true,
+                t_entry: 1.0,
+                t_exit: 2.0,
+            },
+            BoxHit {
+                hit: true,
+                t_entry: 1.0,
+                t_exit: 2.5,
+            },
+            BoxHit {
+                hit: true,
+                t_entry: 1.0,
+                t_exit: 3.0,
+            },
+            BoxHit {
+                hit: true,
+                t_entry: 1.0,
+                t_exit: 3.5,
+            },
         ];
         assert_eq!(sort_boxes(&equal), [0, 1, 2, 3]);
     }
@@ -224,7 +265,11 @@ mod tests {
         let check = |perm: &[usize; 4]| {
             let hits: Vec<BoxHit> = perm
                 .iter()
-                .map(|&p| BoxHit { hit: true, t_entry: distances[p], t_exit: 10.0 })
+                .map(|&p| BoxHit {
+                    hit: true,
+                    t_entry: distances[p],
+                    t_exit: 10.0,
+                })
                 .collect();
             let hits: [BoxHit; 4] = [hits[0], hits[1], hits[2], hits[3]];
             let order = sort_boxes(&hits);

@@ -112,7 +112,14 @@ pub fn ray_triangle(ray: &Ray, tri: &Triangle) -> TriangleHit {
     // Stage 10 — the hit decision (5 comparisons, depth 1).
     let hit = u >= 0.0 && v >= 0.0 && w >= 0.0 && det > 0.0 && t_num >= 0.0;
 
-    TriangleHit { hit, u, v, w, det, t_num }
+    TriangleHit {
+        hit,
+        u,
+        v,
+        w,
+        det,
+        t_num,
+    }
 }
 
 #[cfg(test)]
@@ -209,7 +216,11 @@ mod tests {
         );
         let ray_y = Ray::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0));
         let hit = ray_triangle(&ray_y, &tri_y);
-        assert!(hit.hit, "u={} v={} w={} det={}", hit.u, hit.v, hit.w, hit.det);
+        assert!(
+            hit.hit,
+            "u={} v={} w={} det={}",
+            hit.u, hit.v, hit.w, hit.det
+        );
         assert!((hit.distance() - 3.0).abs() < 1e-6);
     }
 

@@ -13,7 +13,9 @@
 //! * the Euclidean and cosine distance operations of the extended datapath (§V-A),
 //!
 //! each written with the *same operation structure and per-step `f32` rounding* as the hardware
-//! stages, so the hardware model can be checked for bit-exact equivalence.
+//! stages, so the hardware model can be checked for bit-exact equivalence.  The crate also
+//! provides structure-of-arrays ray/box streams ([`RayPacket`], [`AabbPacket`]) for the batched
+//! execution frontends of the RT-unit layer.
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@
 
 mod aabb;
 pub mod golden;
+mod packet;
 mod ray;
 pub mod sampling;
 mod sphere;
@@ -46,6 +49,7 @@ mod triangle;
 mod vec3;
 
 pub use aabb::Aabb;
+pub use packet::{AabbPacket, RayPacket};
 pub use ray::{Ray, ShearConstants};
 pub use sphere::Sphere;
 pub use triangle::Triangle;

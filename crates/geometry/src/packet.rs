@@ -1,0 +1,426 @@
+//! Structure-of-arrays packets for streaming rays and boxes through the datapath in bulk.
+//!
+//! The workload engines above the datapath (`rayflex-rtunit`) process millions of rays per run;
+//! carrying them as `Vec<Ray>` (array-of-structures) wastes cache footprint on the fields a given
+//! loop does not touch and forces one 96-byte element copy per access.  [`RayPacket`] and
+//! [`AabbPacket`] store the same data as parallel component arrays (structure-of-arrays): a loop
+//! that only needs `t_end`, say, walks one dense `f32` array, and a batch frontend can append and
+//! reuse storage without per-ray allocation.
+//!
+//! Conversion is lossless in both directions: a [`Ray`] reconstructed by [`RayPacket::get`]
+//! carries bit-identical fields to the one pushed, including the pre-computed inverse direction
+//! and shear constants (they are stored, never recomputed).
+
+use crate::{Aabb, Axis, Ray, ShearConstants, Vec3};
+
+/// A resizable structure-of-arrays collection of [`Ray`]s.
+///
+/// # Example
+///
+/// ```
+/// use rayflex_geometry::{Ray, RayPacket, Vec3};
+///
+/// let rays: Vec<Ray> = (0..4)
+///     .map(|i| Ray::new(Vec3::new(i as f32, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0)))
+///     .collect();
+/// let packet = RayPacket::from_rays(&rays);
+/// assert_eq!(packet.len(), 4);
+/// assert_eq!(packet.get(2), rays[2]);
+/// assert!(packet.iter().eq(rays));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RayPacket {
+    origin: [Vec<f32>; 3],
+    dir: [Vec<f32>; 3],
+    inv_dir: [Vec<f32>; 3],
+    t_beg: Vec<f32>,
+    t_end: Vec<f32>,
+    /// Axis renaming indices packed as `kx | ky << 2 | kz << 4` (each axis fits in two bits).
+    k_packed: Vec<u8>,
+    shear: [Vec<f32>; 3],
+}
+
+impl RayPacket {
+    /// An empty packet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty packet with storage reserved for `capacity` rays.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut packet = Self::default();
+        packet.reserve(capacity);
+        packet
+    }
+
+    /// Converts an array-of-structures slice.
+    #[must_use]
+    pub fn from_rays(rays: &[Ray]) -> Self {
+        let mut packet = Self::with_capacity(rays.len());
+        packet.extend_from_rays(rays);
+        packet
+    }
+
+    /// Number of rays in the packet.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.t_beg.len()
+    }
+
+    /// Whether the packet holds no rays.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.t_beg.is_empty()
+    }
+
+    /// Reserves storage for `additional` more rays in every component array.
+    pub fn reserve(&mut self, additional: usize) {
+        for axis in 0..3 {
+            self.origin[axis].reserve(additional);
+            self.dir[axis].reserve(additional);
+            self.inv_dir[axis].reserve(additional);
+            self.shear[axis].reserve(additional);
+        }
+        self.t_beg.reserve(additional);
+        self.t_end.reserve(additional);
+        self.k_packed.reserve(additional);
+    }
+
+    /// Removes all rays, keeping the allocated storage for reuse.
+    pub fn clear(&mut self) {
+        for axis in 0..3 {
+            self.origin[axis].clear();
+            self.dir[axis].clear();
+            self.inv_dir[axis].clear();
+            self.shear[axis].clear();
+        }
+        self.t_beg.clear();
+        self.t_end.clear();
+        self.k_packed.clear();
+    }
+
+    /// Appends one ray, copying each field into its component array.
+    pub fn push(&mut self, ray: &Ray) {
+        let origin = ray.origin.to_array();
+        let dir = ray.dir.to_array();
+        let inv_dir = ray.inv_dir.to_array();
+        let shear = [ray.shear.sx, ray.shear.sy, ray.shear.sz];
+        for axis in 0..3 {
+            self.origin[axis].push(origin[axis]);
+            self.dir[axis].push(dir[axis]);
+            self.inv_dir[axis].push(inv_dir[axis]);
+            self.shear[axis].push(shear[axis]);
+        }
+        self.t_beg.push(ray.t_beg);
+        self.t_end.push(ray.t_end);
+        self.k_packed.push(
+            (ray.shear.kx.index() | ray.shear.ky.index() << 2 | ray.shear.kz.index() << 4) as u8,
+        );
+    }
+
+    /// Appends every ray of a slice.
+    pub fn extend_from_rays(&mut self, rays: &[Ray]) {
+        self.reserve(rays.len());
+        for ray in rays {
+            self.push(ray);
+        }
+    }
+
+    /// Reconstructs the ray at `index` bit-identically (no field is recomputed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Ray {
+        let component =
+            |soa: &[Vec<f32>; 3]| Vec3::new(soa[0][index], soa[1][index], soa[2][index]);
+        let packed = self.k_packed[index] as usize;
+        Ray {
+            origin: component(&self.origin),
+            dir: component(&self.dir),
+            inv_dir: component(&self.inv_dir),
+            t_beg: self.t_beg[index],
+            t_end: self.t_end[index],
+            shear: ShearConstants {
+                kx: Axis::from_index(packed & 0b11),
+                ky: Axis::from_index(packed >> 2 & 0b11),
+                kz: Axis::from_index(packed >> 4 & 0b11),
+                sx: self.shear[0][index],
+                sy: self.shear[1][index],
+                sz: self.shear[2][index],
+            },
+        }
+    }
+
+    /// Iterates over the rays in order (each reconstructed as by [`RayPacket::get`]).
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Ray> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Converts back to an array-of-structures vector.
+    #[must_use]
+    pub fn to_rays(&self) -> Vec<Ray> {
+        self.iter().collect()
+    }
+
+    /// The parametric-extent start values as one dense array.
+    #[must_use]
+    pub fn t_beg_lane(&self) -> &[f32] {
+        &self.t_beg
+    }
+
+    /// The parametric-extent end values as one dense array.
+    #[must_use]
+    pub fn t_end_lane(&self) -> &[f32] {
+        &self.t_end
+    }
+
+    /// One origin component as a dense array (`axis` 0 = x, 1 = y, 2 = z).
+    #[must_use]
+    pub fn origin_lane(&self, axis: Axis) -> &[f32] {
+        &self.origin[axis.index()]
+    }
+
+    /// One direction component as a dense array.
+    #[must_use]
+    pub fn dir_lane(&self, axis: Axis) -> &[f32] {
+        &self.dir[axis.index()]
+    }
+}
+
+impl FromIterator<Ray> for RayPacket {
+    fn from_iter<I: IntoIterator<Item = Ray>>(iter: I) -> Self {
+        let mut packet = RayPacket::new();
+        for ray in iter {
+            packet.push(&ray);
+        }
+        packet
+    }
+}
+
+/// A resizable structure-of-arrays collection of [`Aabb`]s, grouped on demand into the four-box
+/// quads the datapath's ray–box beat consumes.
+///
+/// # Example
+///
+/// ```
+/// use rayflex_geometry::{Aabb, AabbPacket, Vec3};
+///
+/// let boxes: Vec<Aabb> = (0..6)
+///     .map(|i| Aabb::new(Vec3::splat(i as f32), Vec3::splat(i as f32 + 1.0)))
+///     .collect();
+/// let packet = AabbPacket::from_aabbs(&boxes);
+/// assert_eq!(packet.len(), 6);
+/// assert_eq!(packet.quad_count(), 2);
+/// let quad = packet.quad(1);
+/// assert_eq!(quad[0], boxes[4]);
+/// assert!(quad[2].is_empty(), "missing slots pad with empty boxes");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AabbPacket {
+    min: [Vec<f32>; 3],
+    max: [Vec<f32>; 3],
+}
+
+impl AabbPacket {
+    /// An empty packet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Converts an array-of-structures slice.
+    #[must_use]
+    pub fn from_aabbs(boxes: &[Aabb]) -> Self {
+        let mut packet = Self::default();
+        for axis in 0..3 {
+            packet.min[axis].reserve(boxes.len());
+            packet.max[axis].reserve(boxes.len());
+        }
+        for aabb in boxes {
+            packet.push(aabb);
+        }
+        packet
+    }
+
+    /// Number of boxes in the packet.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.min[0].len()
+    }
+
+    /// Whether the packet holds no boxes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.min[0].is_empty()
+    }
+
+    /// Removes all boxes, keeping the allocated storage for reuse.
+    pub fn clear(&mut self) {
+        for axis in 0..3 {
+            self.min[axis].clear();
+            self.max[axis].clear();
+        }
+    }
+
+    /// Appends one box.
+    pub fn push(&mut self, aabb: &Aabb) {
+        let (min, max) = (aabb.min.to_array(), aabb.max.to_array());
+        for axis in 0..3 {
+            self.min[axis].push(min[axis]);
+            self.max[axis].push(max[axis]);
+        }
+    }
+
+    /// Reconstructs the box at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Aabb {
+        Aabb::new(
+            Vec3::new(self.min[0][index], self.min[1][index], self.min[2][index]),
+            Vec3::new(self.max[0][index], self.max[1][index], self.max[2][index]),
+        )
+    }
+
+    /// Number of four-box quads (the last quad pads with empty boxes).
+    #[must_use]
+    pub fn quad_count(&self) -> usize {
+        self.len().div_ceil(4)
+    }
+
+    /// The four-box beat operand for quad `quad_index`; slots past the end hold [`Aabb::empty`],
+    /// which the datapath can never hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quad_index >= self.quad_count()`.
+    #[must_use]
+    pub fn quad(&self, quad_index: usize) -> [Aabb; 4] {
+        assert!(
+            quad_index < self.quad_count(),
+            "quad {quad_index} out of range"
+        );
+        core::array::from_fn(|slot| {
+            let index = quad_index * 4 + slot;
+            if index < self.len() {
+                self.get(index)
+            } else {
+                Aabb::empty()
+            }
+        })
+    }
+
+    /// Iterates over the boxes in order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Aabb> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+}
+
+impl FromIterator<Aabb> for AabbPacket {
+    fn from_iter<I: IntoIterator<Item = Aabb>>(iter: I) -> Self {
+        let mut packet = AabbPacket::new();
+        for aabb in iter {
+            packet.push(&aabb);
+        }
+        packet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rays() -> Vec<Ray> {
+        (0..17)
+            .map(|i| {
+                let f = i as f32;
+                Ray::with_extent(
+                    Vec3::new(f, -f, 0.5 * f),
+                    Vec3::new(0.1 * f + 0.01, -1.0, f - 8.0),
+                    0.25,
+                    1000.0 + f,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rays_round_trip_bit_identically() {
+        let rays = sample_rays();
+        let packet = RayPacket::from_rays(&rays);
+        assert_eq!(packet.len(), rays.len());
+        for (i, ray) in rays.iter().enumerate() {
+            let got = packet.get(i);
+            assert_eq!(
+                got.origin.to_array().map(f32::to_bits),
+                ray.origin.to_array().map(f32::to_bits)
+            );
+            assert_eq!(
+                got.inv_dir.to_array().map(f32::to_bits),
+                ray.inv_dir.to_array().map(f32::to_bits)
+            );
+            assert_eq!(got.shear.sx.to_bits(), ray.shear.sx.to_bits());
+            assert_eq!(
+                (got.shear.kx, got.shear.ky, got.shear.kz),
+                (ray.shear.kx, ray.shear.ky, ray.shear.kz)
+            );
+            assert_eq!(got.t_end.to_bits(), ray.t_end.to_bits());
+        }
+        assert_eq!(packet.to_rays(), rays);
+    }
+
+    #[test]
+    fn packets_reuse_storage_across_clears() {
+        let rays = sample_rays();
+        let mut packet = RayPacket::with_capacity(rays.len());
+        packet.extend_from_rays(&rays);
+        packet.clear();
+        assert!(packet.is_empty());
+        packet.extend_from_rays(&rays[..4]);
+        assert_eq!(packet.len(), 4);
+        assert_eq!(packet.get(3), rays[3]);
+    }
+
+    #[test]
+    fn lanes_expose_dense_components() {
+        let rays = sample_rays();
+        let packet: RayPacket = rays.iter().copied().collect();
+        assert_eq!(packet.t_beg_lane().len(), rays.len());
+        assert_eq!(packet.origin_lane(Axis::Y)[2], rays[2].origin.y);
+        assert_eq!(packet.dir_lane(Axis::Z)[5], rays[5].dir.z);
+        assert_eq!(packet.t_end_lane()[16], rays[16].t_end);
+    }
+
+    #[test]
+    fn aabb_quads_pad_with_unhittable_boxes() {
+        let boxes: Vec<Aabb> = (0..9)
+            .map(|i| Aabb::new(Vec3::splat(i as f32), Vec3::splat(i as f32 + 0.5)))
+            .collect();
+        let packet: AabbPacket = boxes.iter().copied().collect();
+        assert_eq!(packet.quad_count(), 3);
+        for quad_index in 0..packet.quad_count() {
+            for (slot, aabb) in packet.quad(quad_index).iter().enumerate() {
+                let index = quad_index * 4 + slot;
+                if index < boxes.len() {
+                    assert_eq!(*aabb, boxes[index]);
+                } else {
+                    assert!(aabb.is_empty());
+                }
+            }
+        }
+        assert_eq!(packet.iter().count(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_quads_panic() {
+        let packet = AabbPacket::from_aabbs(&[Aabb::new(Vec3::ZERO, Vec3::ONE)]);
+        let _ = packet.quad(1);
+    }
+}

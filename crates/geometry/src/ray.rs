@@ -50,7 +50,14 @@ impl ShearConstants {
         let sx = dir.axis(kx) / dir.axis(kz);
         let sy = dir.axis(ky) / dir.axis(kz);
         let sz = 1.0 / dir.axis(kz);
-        ShearConstants { kx, ky, kz, sx, sy, sz }
+        ShearConstants {
+            kx,
+            ky,
+            kz,
+            sx,
+            sy,
+            sz,
+        }
     }
 }
 

@@ -87,10 +87,7 @@ impl ActivityTrace {
     /// Total pipeline-register bits written at `stage`.
     #[must_use]
     pub fn register_bit_writes(&self, stage: usize) -> u64 {
-        self.register_bit_writes
-            .get(&stage)
-            .copied()
-            .unwrap_or(0)
+        self.register_bit_writes.get(&stage).copied().unwrap_or(0)
     }
 
     /// Total pipeline-register bits written across all stages.

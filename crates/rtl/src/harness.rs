@@ -61,7 +61,7 @@ impl StallPattern {
     pub fn stalls_at(&self, cycle: u64) -> bool {
         match *self {
             StallPattern::None => false,
-            StallPattern::EveryNth(n) => n >= 2 && cycle % n == 0,
+            StallPattern::EveryNth(n) => n >= 2 && cycle.is_multiple_of(n),
             StallPattern::Random { percent, seed } => {
                 // A small splitmix/xorshift hash keeps the harness dependency-free and
                 // deterministic across runs.
@@ -143,8 +143,16 @@ pub fn drive_with_stalls<I, S, O>(
     }
 
     let cycles = pipeline.cycles() - start_cycle;
-    let min_latency = completions.iter().map(Completion::latency).min().unwrap_or(0);
-    let max_latency = completions.iter().map(Completion::latency).max().unwrap_or(0);
+    let min_latency = completions
+        .iter()
+        .map(Completion::latency)
+        .min()
+        .unwrap_or(0);
+    let max_latency = completions
+        .iter()
+        .map(Completion::latency)
+        .max()
+        .unwrap_or(0);
     let min_ii = issue_cycles
         .windows(2)
         .map(|w| w[1] - w[0])
@@ -190,8 +198,12 @@ mod tests {
     #[test]
     fn timing_report_shows_ii_of_one_when_unstalled() {
         let mut pipe = pipeline(11);
-        let (_, report) =
-            drive_with_stalls(&mut pipe, (0..100u64).collect(), StallPattern::None, StallPattern::None);
+        let (_, report) = drive_with_stalls(
+            &mut pipe,
+            (0..100u64).collect(),
+            StallPattern::None,
+            StallPattern::None,
+        );
         assert_eq!(report.items, 100);
         assert_eq!(report.min_initiation_interval, 1);
         assert_eq!(report.min_latency, 11);
@@ -207,8 +219,14 @@ mod tests {
         let (completions, report) = drive_with_stalls(
             &mut pipe,
             inputs.clone(),
-            StallPattern::Random { percent: 30, seed: 7 },
-            StallPattern::Random { percent: 30, seed: 99 },
+            StallPattern::Random {
+                percent: 30,
+                seed: 7,
+            },
+            StallPattern::Random {
+                percent: 30,
+                seed: 99,
+            },
         );
         assert_eq!(
             completions.iter().map(|c| c.value).collect::<Vec<_>>(),
@@ -231,14 +249,18 @@ mod tests {
 
     #[test]
     fn random_pattern_is_deterministic_for_a_seed() {
-        let a = StallPattern::Random { percent: 50, seed: 42 };
-        let b = StallPattern::Random { percent: 50, seed: 42 };
+        let a = StallPattern::Random {
+            percent: 50,
+            seed: 42,
+        };
+        let b = StallPattern::Random {
+            percent: 50,
+            seed: 42,
+        };
         for cycle in 0..1000 {
             assert_eq!(a.stalls_at(cycle), b.stalls_at(cycle));
         }
-        let hits = (0..10_000)
-            .filter(|&c| a.stalls_at(c))
-            .count();
+        let hits = (0..10_000).filter(|&c| a.stalls_at(c)).count();
         // Roughly half the cycles should stall (loose bounds to stay robust).
         assert!(hits > 3_000 && hits < 7_000, "hits = {hits}");
     }

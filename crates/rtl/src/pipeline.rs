@@ -136,7 +136,11 @@ impl<I, S, O> ElasticPipeline<I, S, O> {
         // Interface feeding middle[k] comes from middle[k-1] (or the entry stage for k == 0).
         let fire_into_middle: Vec<bool> = (0..stages)
             .map(|k| {
-                let upstream_valid = if k == 0 { entry_valid } else { middle_valid[k - 1] };
+                let upstream_valid = if k == 0 {
+                    entry_valid
+                } else {
+                    middle_valid[k - 1]
+                };
                 upstream_valid && middle_ready[k]
             })
             .collect();
@@ -149,7 +153,11 @@ impl<I, S, O> ElasticPipeline<I, S, O> {
         let fire_output = exit_valid && output_ready;
 
         // --- Phase 2: apply the transfers, downstream first so each pop feeds one push. ---
-        let output = if fire_output { Some(self.exit.pop()) } else { None };
+        let output = if fire_output {
+            Some(self.exit.pop())
+        } else {
+            None
+        };
         if exit_valid && !fire_output {
             self.exit.note_stall();
         }
@@ -299,7 +307,7 @@ mod tests {
         while outputs.len() < inputs.len() {
             cycle += 1;
             // Consumer ready only two cycles out of three.
-            let ready = cycle % 3 != 0;
+            let ready = !cycle.is_multiple_of(3);
             let tick = pipe.tick(inputs.get(next), ready);
             if tick.input_accepted {
                 next += 1;
@@ -308,7 +316,10 @@ mod tests {
             assert!(cycle < 10_000, "pipeline wedged");
         }
         assert_eq!(outputs, inputs.iter().map(|x| x + 5).collect::<Vec<_>>());
-        assert!(pipe.total_stall_cycles() > 0, "back-pressure must be visible");
+        assert!(
+            pipe.total_stall_cycles() > 0,
+            "back-pressure must be visible"
+        );
     }
 
     #[test]
@@ -321,7 +332,11 @@ mod tests {
         while outputs.len() < inputs.len() {
             cycle += 1;
             // Offer input only every other cycle (bubbles in the stream).
-            let offered = if cycle % 2 == 0 { inputs.get(next) } else { None };
+            let offered = if cycle.is_multiple_of(2) {
+                inputs.get(next)
+            } else {
+                None
+            };
             let tick = pipe.tick(offered, true);
             if tick.input_accepted {
                 next += 1;

@@ -41,10 +41,7 @@ pub struct SkidBuffer<T, U> {
 impl<T, U> SkidBuffer<T, U> {
     /// Creates a skid buffer around a (possibly stateful) logic closure.
     #[must_use]
-    pub fn from_fn(
-        name: impl Into<String>,
-        logic: impl FnMut(&T) -> U + Send + 'static,
-    ) -> Self {
+    pub fn from_fn(name: impl Into<String>, logic: impl FnMut(&T) -> U + Send + 'static) -> Self {
         SkidBuffer {
             name: name.into(),
             logic: Box::new(logic),
@@ -249,7 +246,10 @@ mod tests {
         let (accepted, _) = buf.step(Some(&2), false);
         assert!(accepted);
         assert_eq!(buf.occupancy(), 2);
-        assert!(!buf.input_ready(), "completely full buffer must deassert ready");
+        assert!(
+            !buf.input_ready(),
+            "completely full buffer must deassert ready"
+        );
         // A third push is refused.
         let (accepted, _) = buf.step(Some(&3), false);
         assert!(!accepted);

@@ -73,12 +73,13 @@ impl Bvh4 {
     /// Panics if `max_leaf_size` is zero.
     #[must_use]
     pub fn build_with_leaf_size<P: Primitive>(primitives: &[P], max_leaf_size: usize) -> Self {
-        assert!(max_leaf_size >= 1, "leaf size must be at least one primitive");
+        assert!(
+            max_leaf_size >= 1,
+            "leaf size must be at least one primitive"
+        );
         let bounds: Vec<Aabb> = primitives.iter().map(Primitive::bounds).collect();
         let centroids: Vec<_> = bounds.iter().map(Aabb::centroid).collect();
-        let scene_bounds = bounds
-            .iter()
-            .fold(Aabb::empty(), |acc, b| acc.union(b));
+        let scene_bounds = bounds.iter().fold(Aabb::empty(), |acc, b| acc.union(b));
         let mut indices: Vec<usize> = (0..primitives.len()).collect();
         let mut builder = Builder {
             bounds: &bounds,
@@ -187,7 +188,10 @@ impl Builder<'_> {
     /// offset `first`), returning the created node's index.
     fn build_node(&mut self, indices: &mut [usize], first: usize) -> usize {
         if indices.len() <= self.max_leaf_size {
-            let node = Bvh4Node::Leaf { first, count: indices.len() };
+            let node = Bvh4Node::Leaf {
+                first,
+                count: indices.len(),
+            };
             self.nodes.push(node);
             return self.nodes.len() - 1;
         }
@@ -213,7 +217,10 @@ impl Builder<'_> {
             child_bounds[slot] = bounds;
             offset += quarter_len;
         }
-        self.nodes[node_index] = Bvh4Node::Internal { children, child_bounds };
+        self.nodes[node_index] = Bvh4Node::Internal {
+            children,
+            child_bounds,
+        };
         node_index
     }
 
@@ -224,7 +231,12 @@ impl Builder<'_> {
         let (left, right) = indices.split_at_mut(mid);
         let left_mid = self.median_split(left);
         let right_mid = self.median_split(right);
-        [left_mid, left.len() - left_mid, right_mid, right.len() - right_mid]
+        [
+            left_mid,
+            left.len() - left_mid,
+            right_mid,
+            right.len() - right_mid,
+        ]
     }
 
     /// Sorts the slice along the longest centroid axis and returns the median split point.
@@ -301,7 +313,10 @@ mod tests {
                         assert!(bounds.contains(tb.min) && bounds.contains(tb.max));
                     }
                 }
-                Bvh4Node::Internal { children, child_bounds } => {
+                Bvh4Node::Internal {
+                    children,
+                    child_bounds,
+                } => {
                     for (child, cb) in children.iter().zip(child_bounds) {
                         if let Some(c) = child {
                             check(bvh, tris, *c, cb);

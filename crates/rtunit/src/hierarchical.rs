@@ -168,11 +168,17 @@ impl HierarchicalSearch {
         while let Some(node) = stack.pop() {
             match self.bvh.node(node) {
                 Bvh4Node::Leaf { .. } => candidates.extend(self.bvh.leaf_primitives(node)),
-                Bvh4Node::Internal { children, child_bounds } => {
+                Bvh4Node::Internal {
+                    children,
+                    child_bounds,
+                } => {
                     self.stats.box_beats += 1;
                     let boxes = core::array::from_fn(|i| {
                         if child_bounds[i].is_empty() {
-                            rayflex_geometry::Aabb::new(Vec3::splat(f32::MAX), Vec3::splat(f32::MAX))
+                            rayflex_geometry::Aabb::new(
+                                Vec3::splat(f32::MAX),
+                                Vec3::splat(f32::MAX),
+                            )
                         } else {
                             child_bounds[i].inflated(radius)
                         }
@@ -183,10 +189,10 @@ impl HierarchicalSearch {
                         .execute_raw(&request)
                         .box_result
                         .expect("box beat");
-                    for slot in 0..4 {
+                    for (slot, child) in children.iter().enumerate() {
                         if result.hit[slot] {
-                            if let Some(child) = children[slot] {
-                                stack.push(child);
+                            if let Some(child) = child {
+                                stack.push(*child);
                             }
                         }
                     }

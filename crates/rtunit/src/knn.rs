@@ -107,7 +107,11 @@ impl KnnEngine {
             let mut beat_b = [0.0f32; EUCLIDEAN_LANES];
             beat_a[..lanes].copy_from_slice(&a[offset..offset + lanes]);
             beat_b[..lanes].copy_from_slice(&b[offset..offset + lanes]);
-            let mask = if lanes == EUCLIDEAN_LANES { u16::MAX } else { (1u16 << lanes) - 1 };
+            let mask = if lanes == EUCLIDEAN_LANES {
+                u16::MAX
+            } else {
+                (1u16 << lanes) - 1
+            };
             let last = offset + lanes >= a.len();
             let request = RayFlexRequest::euclidean(self.stats.beats, beat_a, beat_b, mask, last);
             self.stats.beats += 1;
@@ -140,7 +144,11 @@ impl KnnEngine {
             let mut beat_b = [0.0f32; COSINE_LANES];
             beat_a[..lanes].copy_from_slice(&a[offset..offset + lanes]);
             beat_b[..lanes].copy_from_slice(&b[offset..offset + lanes]);
-            let mask = if lanes == COSINE_LANES { u8::MAX } else { (1u8 << lanes) - 1 };
+            let mask = if lanes == COSINE_LANES {
+                u8::MAX
+            } else {
+                (1u8 << lanes) - 1
+            };
             let last = offset + lanes >= a.len();
             let request = RayFlexRequest::cosine(self.stats.beats, beat_a, beat_b, mask, last);
             self.stats.beats += 1;

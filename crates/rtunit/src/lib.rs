@@ -10,11 +10,16 @@
 //!
 //! * [`Bvh4`] — a four-wide bounding volume hierarchy builder matching the datapath's
 //!   four-boxes-per-instruction interface,
-//! * [`TraversalEngine`] — a stack-based closest-hit traversal that issues ray–box and
-//!   ray–triangle beats to a functional datapath and gathers statistics,
-//! * [`RtUnit`] — a simplified single-issue RT-unit timing model: per-ray traversal state
-//!   machines, a fixed-latency node-fetch memory model and the datapath's eleven-cycle latency
-//!   and one-beat-per-cycle issue limit,
+//! * [`TraversalEngine`] — closest-hit traversal with two frontends: a scalar per-ray path
+//!   driving the register-accurate datapath emulation, and a wavefront ray-stream path that
+//!   batches one beat per active ray through the datapath's bulk interface with pooled per-ray
+//!   state (bit-identical hits and statistics, several times the throughput),
+//! * [`trace_rays_parallel`] — the wavefront frontend sharded across OS threads, with per-shard
+//!   [`TraversalStats`] merged by summation,
+//! * [`RtUnit`] — a simplified single-issue RT-unit timing model: pooled per-ray traversal state
+//!   machines scheduled through a FIFO transaction queue, a fixed-latency node-fetch memory model
+//!   and the datapath's eleven-cycle latency and one-beat-per-cycle issue limit, plus
+//!   [`RtUnit::trace_rays_parallel`] for modelling several RT units side by side,
 //! * [`KnnEngine`] — k-nearest-neighbour search over arbitrary-dimensional vectors using the
 //!   extended datapath's Euclidean and cosine operations (case study §V-A),
 //! * [`Renderer`] — a small ray-casting renderer used by the examples.
@@ -42,6 +47,7 @@
 mod bvh;
 mod hierarchical;
 mod knn;
+mod parallel;
 mod renderer;
 mod rt_unit;
 mod traversal;
@@ -49,6 +55,7 @@ mod traversal;
 pub use bvh::{Bvh4, Bvh4Node, Primitive};
 pub use hierarchical::{HierarchicalSearch, HierarchicalStats};
 pub use knn::{KnnEngine, KnnMetric, Neighbor};
+pub use parallel::{default_parallelism, trace_packet_parallel, trace_rays_parallel};
 pub use renderer::{Camera, Image, Renderer};
 pub use rt_unit::{RtUnit, RtUnitConfig, RtUnitStats};
 pub use traversal::{TraversalEngine, TraversalHit, TraversalStats};

@@ -1,0 +1,194 @@
+//! Thread-parallel ray-stream tracing.
+//!
+//! The datapath model is deterministic and per-ray traversal state is independent, so a ray
+//! stream shards trivially: each worker owns a private [`TraversalEngine`] (and therefore a
+//! private functional datapath — ray–box and ray–triangle beats carry no cross-beat state) and
+//! traverses a contiguous chunk of the stream with the wavefront frontend.  Hits are returned in
+//! the caller's ray order and per-shard [`TraversalStats`] are summed, so a parallel run reports
+//! exactly the same hits and statistics as a single-threaded one — only wall-clock time changes.
+//!
+//! Workers are plain `std::thread::scope` threads rather than a `rayon` pool: the build
+//! environment vendors no external crates, the fan-out is one spawn per shard (not per task), and
+//! scoped threads let the workers borrow the scene directly.  Swapping in `rayon::scope` later is
+//! a local change to [`shard_map`].
+
+use rayflex_core::PipelineConfig;
+use rayflex_geometry::{Ray, RayPacket, Triangle};
+
+use crate::traversal::{TraversalEngine, TraversalHit, TraversalStats};
+use crate::Bvh4;
+
+/// Default worker count: the machine's available parallelism, or 4 if it cannot be queried.
+#[must_use]
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(4, usize::from)
+}
+
+/// Runs `work` over contiguous shards of `items` on `threads` scoped workers, returning the
+/// per-shard results in shard order.
+fn shard_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    work: impl Fn(&[T]) -> R + Sync,
+) -> Vec<R> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items.len());
+    let shard_len = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(shard_len)
+            .map(|shard| scope.spawn(|| work(shard)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("traversal worker panicked"))
+            .collect()
+    })
+}
+
+/// Traces a ray stream across `threads` parallel workers, each driving its own datapath of the
+/// given configuration with the wavefront frontend.  Returns one optional hit per ray (in input
+/// order) and the summed statistics of all shards.
+///
+/// # Example
+///
+/// ```
+/// use rayflex_core::PipelineConfig;
+/// use rayflex_geometry::{Ray, Triangle, Vec3};
+/// use rayflex_rtunit::{trace_rays_parallel, Bvh4};
+///
+/// let scene = vec![Triangle::new(
+///     Vec3::new(-1.0, -1.0, 3.0),
+///     Vec3::new(1.0, -1.0, 3.0),
+///     Vec3::new(0.0, 1.0, 3.0),
+/// )];
+/// let bvh = Bvh4::build(&scene);
+/// let rays: Vec<Ray> = (0..64)
+///     .map(|i| Ray::new(Vec3::new(0.0, 0.0, -i as f32), Vec3::new(0.0, 0.0, 1.0)))
+///     .collect();
+/// let (hits, stats) = trace_rays_parallel(
+///     PipelineConfig::baseline_unified(),
+///     &bvh,
+///     &scene,
+///     &rays,
+///     4,
+/// );
+/// assert_eq!(hits.len(), 64);
+/// assert_eq!(stats.rays, 64);
+/// assert!(hits.iter().all(Option::is_some));
+/// ```
+#[must_use]
+pub fn trace_rays_parallel(
+    config: PipelineConfig,
+    bvh: &Bvh4,
+    triangles: &[Triangle],
+    rays: &[Ray],
+    threads: usize,
+) -> (Vec<Option<TraversalHit>>, TraversalStats) {
+    let shards = shard_map(rays, threads, |shard| {
+        let mut engine = TraversalEngine::with_config(config);
+        let hits = engine.closest_hits_wavefront(bvh, triangles, shard);
+        (hits, engine.stats())
+    });
+    let mut hits = Vec::with_capacity(rays.len());
+    let mut stats = TraversalStats::default();
+    for (shard_hits, shard_stats) in shards {
+        hits.extend(shard_hits);
+        stats.merge(&shard_stats);
+    }
+    (hits, stats)
+}
+
+/// [`trace_rays_parallel`] over a structure-of-arrays [`RayPacket`] stream.
+#[must_use]
+pub fn trace_packet_parallel(
+    config: PipelineConfig,
+    bvh: &Bvh4,
+    triangles: &[Triangle],
+    rays: &RayPacket,
+    threads: usize,
+) -> (Vec<Option<TraversalHit>>, TraversalStats) {
+    let rays = rays.to_rays();
+    trace_rays_parallel(config, bvh, triangles, &rays, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayflex_geometry::Vec3;
+
+    fn scene() -> Vec<Triangle> {
+        (0..64)
+            .map(|i| {
+                let x = (i % 8) as f32 * 2.0 - 8.0;
+                let y = (i / 8) as f32 * 2.0 - 8.0;
+                let z = 12.0 + (i % 5) as f32;
+                Triangle::new(
+                    Vec3::new(x, y, z),
+                    Vec3::new(x + 1.8, y, z),
+                    Vec3::new(x + 0.9, y + 1.8, z),
+                )
+            })
+            .collect()
+    }
+
+    fn camera_rays(n: usize) -> Vec<Ray> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 16) as f32 * 0.8 - 6.4;
+                let y = (i / 16) as f32 * 0.8 - 6.4;
+                Ray::new(Vec3::new(x, y, 0.0), Vec3::new(0.01, -0.02, 1.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_hits_and_stats_match_the_single_threaded_run() {
+        let triangles = scene();
+        let bvh = Bvh4::build(&triangles);
+        let rays = camera_rays(96);
+        let mut reference = TraversalEngine::baseline();
+        let expected = reference.closest_hits(&bvh, &triangles, &rays);
+        for threads in [1, 2, 3, 8, 96, 200] {
+            let (hits, stats) = trace_rays_parallel(
+                PipelineConfig::baseline_unified(),
+                &bvh,
+                &triangles,
+                &rays,
+                threads,
+            );
+            assert_eq!(hits, expected, "threads = {threads}");
+            assert_eq!(stats, reference.stats(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_streams_are_fine() {
+        let triangles = scene();
+        let bvh = Bvh4::build(&triangles);
+        let (hits, stats) =
+            trace_rays_parallel(PipelineConfig::baseline_unified(), &bvh, &triangles, &[], 8);
+        assert!(hits.is_empty());
+        assert_eq!(stats, TraversalStats::default());
+    }
+
+    #[test]
+    fn packet_streams_shard_identically() {
+        let triangles = scene();
+        let bvh = Bvh4::build(&triangles);
+        let rays = camera_rays(40);
+        let packet = RayPacket::from_rays(&rays);
+        let config = PipelineConfig::baseline_unified();
+        let (a, a_stats) = trace_rays_parallel(config, &bvh, &triangles, &rays, 4);
+        let (b, b_stats) = trace_packet_parallel(config, &bvh, &triangles, &packet, 4);
+        assert_eq!(a, b);
+        assert_eq!(a_stats, b_stats);
+    }
+
+    #[test]
+    fn default_parallelism_is_positive() {
+        assert!(default_parallelism() >= 1);
+    }
+}

@@ -159,7 +159,11 @@ impl Renderer {
                 }
             }
         }
-        Image { width, height, pixels }
+        Image {
+            width,
+            height,
+            pixels,
+        }
     }
 
     /// The traversal statistics accumulated over everything rendered so far.

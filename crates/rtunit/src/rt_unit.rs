@@ -10,8 +10,7 @@
 //! example, how the eleven-cycle RayFlex latency compares against the two-cycle assumption used
 //! by Vulkan-Sim (§IV-B).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 use rayflex_core::{PipelineConfig, RayFlexDatapath, RayFlexRequest, PIPELINE_DEPTH};
 use rayflex_geometry::{Ray, Triangle};
@@ -68,6 +67,17 @@ impl RtUnitStats {
         }
     }
 
+    /// Merges the statistics of an RT unit that ran *in parallel* with this one: operation and
+    /// conflict counters sum (total work is the sum of the shards), while the cycle count is the
+    /// maximum (parallel units finish when the slowest one does).
+    pub fn merge_parallel(&mut self, other: &RtUnitStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.box_ops += other.box_ops;
+        self.triangle_ops += other.triangle_ops;
+        self.issue_conflicts += other.issue_conflicts;
+        self.rays += other.rays;
+    }
+
     /// Average cycles per ray (wall-clock cycles divided by rays; rays overlap, so this is far
     /// lower than a single ray's dependent-chain latency).
     #[must_use]
@@ -86,15 +96,30 @@ impl RtUnitStats {
 pub struct RtUnit {
     datapath: RayFlexDatapath,
     config: RtUnitConfig,
+    /// Pooled per-ray states, reused across [`RtUnit::trace_rays`] calls so a steady-state
+    /// workload performs no per-ray allocation.
+    state_pool: Vec<RayState>,
+    /// Reusable transaction queue (see `trace_rays` for why a FIFO is sufficient).
+    ready: VecDeque<(u64, usize)>,
 }
 
-/// Per-ray traversal state.
+/// Per-ray traversal state (the ray itself is borrowed from the caller's slice).
+#[derive(Debug, Default)]
 struct RayState {
-    ray: Ray,
     stack: Vec<usize>,
     best: Option<TraversalHit>,
     pending_leaf: Vec<usize>,
     finished: bool,
+}
+
+impl RayState {
+    fn reset(&mut self, root: usize) {
+        self.stack.clear();
+        self.stack.push(root);
+        self.best = None;
+        self.pending_leaf.clear();
+        self.finished = false;
+    }
 }
 
 impl RtUnit {
@@ -110,6 +135,8 @@ impl RtUnit {
         RtUnit {
             datapath: RayFlexDatapath::new(pipeline),
             config,
+            state_pool: Vec::new(),
+            ready: VecDeque::new(),
         }
     }
 
@@ -131,30 +158,31 @@ impl RtUnit {
             rays: rays.len() as u64,
             ..RtUnitStats::default()
         };
-        let mut states: Vec<RayState> = rays
-            .iter()
-            .map(|ray| RayState {
-                ray: *ray,
-                stack: vec![bvh.root()],
-                best: None,
-                pending_leaf: Vec::new(),
-                finished: false,
-            })
-            .collect();
+        // Check out one pooled state per ray (allocation-free once the pool is warm).
+        let mut states: Vec<RayState> = Vec::with_capacity(rays.len());
+        for _ in 0..rays.len() {
+            let mut state = self.state_pool.pop().unwrap_or_default();
+            state.reset(bvh.root());
+            states.push(state);
+        }
 
-        // Event queue of (cycle at which the ray's next transaction is ready, ray index).
-        let mut ready: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        // Transaction queue of (cycle at which the ray's next transaction is ready, ray index).
+        //
+        // Every transaction has the same ready-to-ready latency (issue wait + datapath latency +
+        // node fetch), and the single issue port hands out strictly increasing issue cycles, so
+        // ready times are enqueued in non-decreasing order — a plain FIFO pops them in exactly
+        // the order a min-heap would, without the per-event heap maintenance.
+        self.ready.clear();
         let window = self.config.max_rays_in_flight.max(1).min(states.len());
         let mut next_to_admit = window;
-        for (i, state) in states.iter().enumerate().take(window) {
-            let _ = state;
-            ready.push(Reverse((self.config.node_fetch_latency, i)));
+        for i in 0..window {
+            self.ready.push_back((self.config.node_fetch_latency, i));
         }
 
         let mut next_issue_cycle = 0u64;
         let mut last_retire_cycle = 0u64;
 
-        while let Some(Reverse((ready_cycle, ray_index))) = ready.pop() {
+        while let Some((ready_cycle, ray_index)) = self.ready.pop_front() {
             // The single issue port: a transaction ready before the port frees up waits.
             let issue_cycle = ready_cycle.max(next_issue_cycle);
             if issue_cycle > ready_cycle {
@@ -164,29 +192,79 @@ impl RtUnit {
             let result_cycle = issue_cycle + self.config.datapath_latency;
 
             let state = &mut states[ray_index];
-            Self::step_ray(&mut self.datapath, bvh, triangles, state, &mut stats);
+            Self::step_ray(
+                &mut self.datapath,
+                bvh,
+                triangles,
+                &rays[ray_index],
+                state,
+                &mut stats,
+            );
 
             if state.finished {
                 last_retire_cycle = last_retire_cycle.max(result_cycle);
                 // Admit the next waiting ray into the in-flight window.
                 if next_to_admit < states.len() {
-                    ready.push(Reverse((
-                        result_cycle + self.config.node_fetch_latency,
-                        next_to_admit,
-                    )));
+                    self.ready
+                        .push_back((result_cycle + self.config.node_fetch_latency, next_to_admit));
                     next_to_admit += 1;
                 }
             } else {
                 // The next node fetch starts once this beat's result is known.
-                ready.push(Reverse((
-                    result_cycle + self.config.node_fetch_latency,
-                    ray_index,
-                )));
+                self.ready
+                    .push_back((result_cycle + self.config.node_fetch_latency, ray_index));
             }
         }
 
         stats.cycles = last_retire_cycle;
-        (states.into_iter().map(|s| s.best).collect(), stats)
+        let mut hits = Vec::with_capacity(rays.len());
+        for mut state in states {
+            hits.push(state.best.take());
+            self.state_pool.push(state);
+        }
+        (hits, stats)
+    }
+
+    /// Traces a ray batch across `units` RT units running in parallel, one OS thread per unit,
+    /// each owning a private datapath of configuration `pipeline` and the timing parameters
+    /// `config`.  Rays are sharded contiguously; hits return in input order.  The merged
+    /// statistics sum the per-unit operation counters and take the maximum cycle count (see
+    /// [`RtUnitStats::merge_parallel`]), modelling `units` RT units working side by side.
+    #[must_use]
+    pub fn trace_rays_parallel(
+        pipeline: PipelineConfig,
+        config: RtUnitConfig,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        rays: &[Ray],
+        units: usize,
+    ) -> (Vec<Option<TraversalHit>>, RtUnitStats) {
+        if rays.is_empty() {
+            return (Vec::new(), RtUnitStats::default());
+        }
+        let units = units.clamp(1, rays.len());
+        let shard_len = rays.len().div_ceil(units);
+        let shards: Vec<(Vec<Option<TraversalHit>>, RtUnitStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = rays
+                .chunks(shard_len)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        RtUnit::with_configs(pipeline, config).trace_rays(bvh, triangles, shard)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("RT-unit worker panicked"))
+                .collect()
+        });
+        let mut hits = Vec::with_capacity(rays.len());
+        let mut stats = RtUnitStats::default();
+        for (shard_hits, shard_stats) in shards {
+            hits.extend(shard_hits);
+            stats.merge_parallel(&shard_stats);
+        }
+        (hits, stats)
     }
 
     /// Advances one ray by one datapath transaction.
@@ -194,41 +272,46 @@ impl RtUnit {
         datapath: &mut RayFlexDatapath,
         bvh: &Bvh4,
         triangles: &[Triangle],
+        ray: &Ray,
         state: &mut RayState,
         stats: &mut RtUnitStats,
     ) {
         // Pending leaf primitives are tested one beat at a time.
         if let Some(prim) = state.pending_leaf.pop() {
             stats.triangle_ops += 1;
-            let request = RayFlexRequest::ray_triangle(prim as u64, &state.ray, &triangles[prim]);
+            let request = RayFlexRequest::ray_triangle(prim as u64, ray, &triangles[prim]);
             let result = datapath
                 .execute(&request)
                 .triangle_result
                 .expect("triangle beat");
             if result.hit {
                 let t = result.distance();
-                if t >= state.ray.t_beg
-                    && t <= state.ray.t_end
-                    && state.best.map_or(true, |b| t < b.t)
-                {
+                if t >= ray.t_beg && t <= ray.t_end && state.best.is_none_or(|b| t < b.t) {
                     state.best = Some(TraversalHit { primitive: prim, t });
                 }
             }
         } else if let Some(node_index) = state.stack.pop() {
             match bvh.node(node_index) {
                 Bvh4Node::Leaf { .. } => {
-                    state.pending_leaf.extend(bvh.leaf_primitives(node_index));
+                    // Reversed so `pop` tests primitives in leaf order, matching the traversal
+                    // engine's tie-breaking (the first-tested primitive keeps exact-t ties).
+                    state
+                        .pending_leaf
+                        .extend(bvh.leaf_primitives(node_index).iter().rev());
                     // Testing the first primitive happens in this same transaction slot if one
                     // exists; otherwise the beat is a no-op node visit.
                     if !state.pending_leaf.is_empty() {
-                        Self::step_ray(datapath, bvh, triangles, state, stats);
+                        Self::step_ray(datapath, bvh, triangles, ray, state, stats);
                         return;
                     }
                 }
-                Bvh4Node::Internal { children, child_bounds } => {
+                Bvh4Node::Internal {
+                    children,
+                    child_bounds,
+                } => {
                     stats.box_ops += 1;
                     let boxes = crate::traversal::pad_child_bounds(child_bounds);
-                    let request = RayFlexRequest::ray_box(0, &state.ray, &boxes);
+                    let request = RayFlexRequest::ray_box(0, ray, &boxes);
                     let result = datapath.execute(&request).box_result.expect("box beat");
                     for &slot in result.traversal_order.iter().rev() {
                         if !result.hit[slot] {
@@ -341,13 +424,74 @@ mod tests {
         let triangles = scene();
         let bvh = Bvh4::build(&triangles);
         let rays = camera_rays(64);
-        let narrow = RtUnitConfig { max_rays_in_flight: 1, ..RtUnitConfig::default() };
-        let wide = RtUnitConfig { max_rays_in_flight: 64, ..RtUnitConfig::default() };
+        let narrow = RtUnitConfig {
+            max_rays_in_flight: 1,
+            ..RtUnitConfig::default()
+        };
+        let wide = RtUnitConfig {
+            max_rays_in_flight: 64,
+            ..RtUnitConfig::default()
+        };
         let (_, serial) = RtUnit::with_configs(PipelineConfig::baseline_unified(), narrow)
             .trace_rays(&bvh, &triangles, &rays);
         let (_, parallel) = RtUnit::with_configs(PipelineConfig::baseline_unified(), wide)
             .trace_rays(&bvh, &triangles, &rays);
         assert!(parallel.cycles < serial.cycles);
+    }
+
+    #[test]
+    fn parallel_units_agree_with_a_single_unit() {
+        let triangles = scene();
+        let bvh = Bvh4::build(&triangles);
+        let rays = camera_rays(64);
+        let mut unit = RtUnit::new();
+        let (expected_hits, expected_stats) = unit.trace_rays(&bvh, &triangles, &rays);
+        for units in [1, 2, 4, 64] {
+            let (hits, stats) = RtUnit::trace_rays_parallel(
+                PipelineConfig::baseline_unified(),
+                RtUnitConfig::default(),
+                &bvh,
+                &triangles,
+                &rays,
+                units,
+            );
+            assert_eq!(hits, expected_hits, "units = {units}");
+            // Work is conserved across shards: the summed beat counts equal the
+            // single-threaded totals regardless of the shard count.
+            assert_eq!(
+                stats.box_ops + stats.triangle_ops,
+                expected_stats.box_ops + expected_stats.triangle_ops,
+                "units = {units}"
+            );
+            assert_eq!(stats.rays, expected_stats.rays, "units = {units}");
+            // More parallel units never extend the critical path.
+            assert!(stats.cycles <= expected_stats.cycles, "units = {units}");
+        }
+        let (_, single) = RtUnit::trace_rays_parallel(
+            PipelineConfig::baseline_unified(),
+            RtUnitConfig::default(),
+            &bvh,
+            &triangles,
+            &rays,
+            1,
+        );
+        assert_eq!(
+            single, expected_stats,
+            "one shard reproduces the scalar run exactly"
+        );
+    }
+
+    #[test]
+    fn state_pools_recycle_across_trace_calls() {
+        let triangles = scene();
+        let bvh = Bvh4::build(&triangles);
+        let rays = camera_rays(32);
+        let mut unit = RtUnit::new();
+        let (first, _) = unit.trace_rays(&bvh, &triangles, &rays);
+        assert_eq!(unit.state_pool.len(), rays.len());
+        let (second, _) = unit.trace_rays(&bvh, &triangles, &rays);
+        assert_eq!(first, second);
+        assert_eq!(unit.state_pool.len(), rays.len());
     }
 
     #[test]

@@ -1,7 +1,25 @@
 //! Stack-based closest-hit BVH traversal issuing beats to the datapath.
+//!
+//! Two execution frontends share the same per-ray traversal semantics:
+//!
+//! * the **scalar** path ([`TraversalEngine::closest_hit`]) walks one ray to completion,
+//!   issuing one datapath beat at a time — simple, and the reference the others are tested
+//!   against;
+//! * the **wavefront** path ([`TraversalEngine::closest_hits_wavefront`] /
+//!   [`TraversalEngine::closest_hits_stream`]) keeps a whole ray stream in flight: every pass
+//!   builds one beat per active ray into a reusable request buffer, dispatches them through
+//!   [`RayFlexDatapath::execute_batch_into`](rayflex_core::RayFlexDatapath::execute_batch_into)
+//!   in bulk, then applies the responses to the per-ray states.  Per-ray state (traversal stack,
+//!   pending-leaf queue) comes from pools owned by the engine, so a steady-state stream performs
+//!   no allocation per ray.
+//!
+//! Because a ray's own beat sequence is identical under both frontends (pending leaf primitives
+//! first, then the next stack node, children pushed nearest-first with best-hit pruning), the two
+//! paths return bit-identical hits *and* identical [`TraversalStats`] — the wavefront merely
+//! interleaves beats of different rays.
 
-use rayflex_core::{PipelineConfig, RayFlexDatapath, RayFlexRequest};
-use rayflex_geometry::{Aabb, Ray, Triangle};
+use rayflex_core::{PipelineConfig, RayFlexDatapath, RayFlexRequest, RayFlexResponse};
+use rayflex_geometry::{Aabb, Ray, RayPacket, Triangle};
 
 use crate::{Bvh4, Bvh4Node};
 
@@ -36,6 +54,35 @@ impl TraversalStats {
     pub fn total_ops(&self) -> u64 {
         self.box_ops + self.triangle_ops
     }
+
+    /// Accumulates another counter set into this one (used when merging per-shard statistics of a
+    /// parallel run; every field is a sum).
+    pub fn merge(&mut self, other: &TraversalStats) {
+        self.box_ops += other.box_ops;
+        self.triangle_ops += other.triangle_ops;
+        self.nodes_visited += other.nodes_visited;
+        self.leaves_visited += other.leaves_visited;
+        self.rays += other.rays;
+    }
+}
+
+/// Per-ray wavefront traversal state.  The vectors are pooled and reused across rays and calls.
+#[derive(Debug, Default)]
+struct RayWork {
+    stack: Vec<usize>,
+    /// Leaf primitives awaiting their ray–triangle beat, tested back-to-front (`pop`), so they
+    /// are pushed in reverse leaf order to preserve the scalar path's test order.
+    pending: Vec<usize>,
+    best: Option<TraversalHit>,
+}
+
+impl RayWork {
+    fn reset(&mut self, root: usize) {
+        self.stack.clear();
+        self.stack.push(root);
+        self.pending.clear();
+        self.best = None;
+    }
 }
 
 /// A closest-hit traversal engine driving a functional RayFlex datapath.
@@ -50,6 +97,19 @@ pub struct TraversalEngine {
     datapath: RayFlexDatapath,
     stats: TraversalStats,
     next_tag: u64,
+    /// Pooled traversal stacks for the scalar path.
+    stack_pool: Vec<Vec<usize>>,
+    /// Pooled per-ray states for the wavefront path.
+    work_pool: Vec<RayWork>,
+    /// Reusable beat buffers for the wavefront path.
+    requests: Vec<RayFlexRequest>,
+    responses: Vec<RayFlexResponse>,
+    /// Ray index owning each in-flight beat (parallel to `requests`).
+    beat_owner: Vec<usize>,
+    /// Indices of rays still traversing.
+    active: Vec<usize>,
+    /// Reusable ray buffer for the packet frontend.
+    ray_scratch: Vec<Ray>,
 }
 
 impl TraversalEngine {
@@ -66,7 +126,20 @@ impl TraversalEngine {
             datapath: RayFlexDatapath::new(config),
             stats: TraversalStats::default(),
             next_tag: 0,
+            stack_pool: Vec::new(),
+            work_pool: Vec::new(),
+            requests: Vec::new(),
+            responses: Vec::new(),
+            beat_owner: Vec::new(),
+            active: Vec::new(),
+            ray_scratch: Vec::new(),
         }
+    }
+
+    /// The datapath configuration this engine drives.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        self.datapath.config()
     }
 
     /// The accumulated traversal statistics.
@@ -90,7 +163,9 @@ impl TraversalEngine {
     ) -> Option<TraversalHit> {
         self.stats.rays += 1;
         let mut best: Option<TraversalHit> = None;
-        let mut stack: Vec<usize> = vec![bvh.root()];
+        let mut stack = self.stack_pool.pop().unwrap_or_default();
+        stack.clear();
+        stack.push(bvh.root());
 
         while let Some(node_index) = stack.pop() {
             match bvh.node(node_index) {
@@ -102,46 +177,29 @@ impl TraversalEngine {
                             RayFlexRequest::ray_triangle(self.tag(), ray, &triangles[prim]);
                         let response = self.datapath.execute(&request);
                         let result = response.triangle_result.expect("triangle beat");
-                        if result.hit {
-                            let t = result.distance();
-                            if t >= ray.t_beg
-                                && t <= ray.t_end
-                                && best.map_or(true, |b| t < b.t)
-                            {
-                                best = Some(TraversalHit { primitive: prim, t });
-                            }
-                        }
+                        record_triangle_hit(&mut best, &result, prim, ray);
                     }
                 }
-                Bvh4Node::Internal { children, child_bounds } => {
+                Bvh4Node::Internal {
+                    children,
+                    child_bounds,
+                } => {
                     self.stats.nodes_visited += 1;
                     self.stats.box_ops += 1;
                     let boxes = pad_child_bounds(child_bounds);
                     let request = RayFlexRequest::ray_box(self.tag(), ray, &boxes);
                     let response = self.datapath.execute(&request);
                     let result = response.box_result.expect("box beat");
-                    // Visit children nearest-first: push onto the stack in reverse traversal
-                    // order so the closest child is popped first.
-                    for &slot in result.traversal_order.iter().rev() {
-                        if !result.hit[slot] {
-                            continue;
-                        }
-                        if let Some(best_hit) = best {
-                            if result.t_entry[slot] > best_hit.t {
-                                continue;
-                            }
-                        }
-                        if let Some(child) = children[slot] {
-                            stack.push(child);
-                        }
-                    }
+                    push_hit_children(&mut stack, &result, children, best.as_ref());
                 }
             }
         }
+        self.stack_pool.push(stack);
         best
     }
 
-    /// Traverses a batch of rays, returning one optional hit per ray.
+    /// Traverses a batch of rays one at a time (the scalar reference path), returning one
+    /// optional hit per ray.
     pub fn closest_hits(
         &mut self,
         bvh: &Bvh4,
@@ -153,10 +211,196 @@ impl TraversalEngine {
             .collect()
     }
 
+    /// Traverses a ray stream wavefront-style: every pass builds one beat per active ray and
+    /// dispatches them through the datapath's bulk interface.  Hits and statistics are identical
+    /// to the scalar path (see the module documentation); wall-clock throughput is substantially
+    /// higher because beat dispatch, response collection and per-ray state all amortise across
+    /// the stream.
+    pub fn closest_hits_wavefront(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        rays: &[Ray],
+    ) -> Vec<Option<TraversalHit>> {
+        self.stats.rays += rays.len() as u64;
+
+        // Check out one pooled state per ray.
+        let mut states: Vec<RayWork> = Vec::with_capacity(rays.len());
+        for _ in 0..rays.len() {
+            let mut work = self.work_pool.pop().unwrap_or_default();
+            work.reset(bvh.root());
+            states.push(work);
+        }
+
+        self.active.clear();
+        self.active.extend(0..rays.len());
+
+        while !self.active.is_empty() {
+            // Build one beat per active ray.  Rays whose stack drains while looking for their
+            // next beat retire in place.
+            self.requests.clear();
+            self.beat_owner.clear();
+            let mut still_active = 0;
+            for slot in 0..self.active.len() {
+                let ray_index = self.active[slot];
+                let state = &mut states[ray_index];
+                let beat = Self::next_beat(
+                    bvh,
+                    triangles,
+                    &rays[ray_index],
+                    ray_index,
+                    state,
+                    &mut self.stats,
+                );
+                if let Some(request) = beat {
+                    self.requests.push(request);
+                    self.beat_owner.push(ray_index);
+                    self.active[still_active] = ray_index;
+                    still_active += 1;
+                }
+            }
+            self.active.truncate(still_active);
+
+            // One bulk dispatch for the whole pass.
+            self.datapath
+                .execute_batch_into(&self.requests, &mut self.responses);
+
+            // Apply responses to the owning rays.
+            for (response, &ray_index) in self.responses.iter().zip(&self.beat_owner) {
+                let state = &mut states[ray_index];
+                if let Some(result) = response.triangle_result {
+                    let prim = state
+                        .pending
+                        .pop()
+                        .expect("triangle beat had a pending prim");
+                    record_triangle_hit(&mut state.best, &result, prim, &rays[ray_index]);
+                } else if let Some(result) = response.box_result {
+                    let children = match bvh.node(response.tag as usize) {
+                        Bvh4Node::Internal { children, .. } => children,
+                        Bvh4Node::Leaf { .. } => unreachable!("box beats only test internal nodes"),
+                    };
+                    push_hit_children(&mut state.stack, &result, children, state.best.as_ref());
+                }
+            }
+        }
+
+        // Collect hits and return the states to the pool.
+        let mut hits = Vec::with_capacity(rays.len());
+        for mut state in states {
+            hits.push(state.best.take());
+            self.work_pool.push(state);
+        }
+        hits
+    }
+
+    /// [`TraversalEngine::closest_hits_wavefront`] over a structure-of-arrays
+    /// [`RayPacket`] stream.
+    pub fn closest_hits_stream(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        rays: &RayPacket,
+    ) -> Vec<Option<TraversalHit>> {
+        // Materialise into a pooled buffer: the wavefront hot loop reads each ray many times
+        // (once per beat), so a one-off sequential unpack into reused storage beats per-beat
+        // SoA gathers, and after the first call the packet frontend allocates nothing.
+        let mut unpacked = core::mem::take(&mut self.ray_scratch);
+        unpacked.clear();
+        unpacked.extend(rays.iter());
+        let hits = self.closest_hits_wavefront(bvh, triangles, &unpacked);
+        self.ray_scratch = unpacked;
+        hits
+    }
+
+    /// Builds the next beat for one ray, advancing its state; `None` retires the ray.
+    ///
+    /// The per-ray beat order is exactly the scalar path's: all pending leaf primitives (in leaf
+    /// order), then the next stack node.  Box beats carry the node index as their tag so the
+    /// response can be matched back to the node's child table.
+    fn next_beat(
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        ray: &Ray,
+        ray_index: usize,
+        state: &mut RayWork,
+        stats: &mut TraversalStats,
+    ) -> Option<RayFlexRequest> {
+        loop {
+            if let Some(&prim) = state.pending.last() {
+                stats.triangle_ops += 1;
+                return Some(RayFlexRequest::ray_triangle(
+                    ray_index as u64,
+                    ray,
+                    &triangles[prim],
+                ));
+            }
+            let node_index = state.stack.pop()?;
+            match bvh.node(node_index) {
+                Bvh4Node::Leaf { .. } => {
+                    stats.leaves_visited += 1;
+                    // Reversed so `pop` tests primitives in leaf order, like the scalar path.
+                    state
+                        .pending
+                        .extend(bvh.leaf_primitives(node_index).iter().rev());
+                }
+                Bvh4Node::Internal { child_bounds, .. } => {
+                    stats.nodes_visited += 1;
+                    stats.box_ops += 1;
+                    let boxes = pad_child_bounds(child_bounds);
+                    return Some(RayFlexRequest::ray_box(node_index as u64, ray, &boxes));
+                }
+            }
+        }
+    }
+
     fn tag(&mut self) -> u64 {
         let tag = self.next_tag;
         self.next_tag += 1;
         tag
+    }
+
+    #[cfg(test)]
+    fn work_pool_len(&self) -> usize {
+        self.work_pool.len()
+    }
+}
+
+/// Applies one triangle-beat result to a ray's best hit, honouring the ray extent and the
+/// closest-so-far tie-breaking (strictly closer wins, so the first-tested primitive keeps ties).
+fn record_triangle_hit(
+    best: &mut Option<TraversalHit>,
+    result: &rayflex_core::TriangleResult,
+    prim: usize,
+    ray: &Ray,
+) {
+    if result.hit {
+        let t = result.distance();
+        if t >= ray.t_beg && t <= ray.t_end && best.is_none_or(|b| t < b.t) {
+            *best = Some(TraversalHit { primitive: prim, t });
+        }
+    }
+}
+
+/// Pushes the hit children of one box-beat result onto a traversal stack in reverse traversal
+/// order (so the closest child pops first), pruning children farther than the best hit so far.
+fn push_hit_children(
+    stack: &mut Vec<usize>,
+    result: &rayflex_core::BoxResult,
+    children: &[Option<usize>; 4],
+    best: Option<&TraversalHit>,
+) {
+    for &slot in result.traversal_order.iter().rev() {
+        if !result.hit[slot] {
+            continue;
+        }
+        if let Some(best_hit) = best {
+            if result.t_entry[slot] > best_hit.t {
+                continue;
+            }
+        }
+        if let Some(child) = children[slot] {
+            stack.push(child);
+        }
     }
 }
 
@@ -196,6 +440,16 @@ mod tests {
             .collect()
     }
 
+    fn wall_rays(n: usize) -> Vec<Ray> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f32 - 5.0;
+                let y = (i / 10) as f32 - 3.0;
+                Ray::new(Vec3::new(x, y, 0.0), Vec3::new(0.03, -0.01, 1.0))
+            })
+            .collect()
+    }
+
     /// Brute-force reference: closest golden hit over all triangles.
     fn brute_force(triangles: &[Triangle], ray: &Ray) -> Option<TraversalHit> {
         let mut best: Option<TraversalHit> = None;
@@ -203,7 +457,7 @@ mod tests {
             let hit = golden::watertight::ray_triangle(ray, tri);
             if hit.hit {
                 let t = hit.distance();
-                if t >= ray.t_beg && t <= ray.t_end && best.map_or(true, |b| t < b.t) {
+                if t >= ray.t_beg && t <= ray.t_end && best.is_none_or(|b| t < b.t) {
                     best = Some(TraversalHit { primitive: i, t });
                 }
             }
@@ -216,12 +470,9 @@ mod tests {
         let triangles = wall();
         let bvh = Bvh4::build(&triangles);
         let mut engine = TraversalEngine::baseline();
-        for i in 0..60 {
-            let x = (i % 10) as f32 - 5.0;
-            let y = (i / 10) as f32 - 3.0;
-            let ray = Ray::new(Vec3::new(x, y, 0.0), Vec3::new(0.03, -0.01, 1.0));
-            let expected = brute_force(&triangles, &ray);
-            let got = engine.closest_hit(&bvh, &triangles, &ray);
+        for (i, ray) in wall_rays(60).iter().enumerate() {
+            let expected = brute_force(&triangles, ray);
+            let got = engine.closest_hit(&bvh, &triangles, ray);
             match (expected, got) {
                 (None, None) => {}
                 (Some(e), Some(g)) => {
@@ -264,7 +515,12 @@ mod tests {
         let triangles = wall();
         let bvh = Bvh4::build(&triangles);
         let rays: Vec<Ray> = (0..10)
-            .map(|i| Ray::new(Vec3::new(i as f32 - 5.0, 0.2, 0.0), Vec3::new(0.0, 0.0, 1.0)))
+            .map(|i| {
+                Ray::new(
+                    Vec3::new(i as f32 - 5.0, 0.2, 0.0),
+                    Vec3::new(0.0, 0.0, 1.0),
+                )
+            })
             .collect();
         let mut batch_engine = TraversalEngine::baseline();
         let batch = batch_engine.closest_hits(&bvh, &triangles, &rays);
@@ -272,5 +528,60 @@ mod tests {
         for (ray, expected) in rays.iter().zip(&batch) {
             assert_eq!(single_engine.closest_hit(&bvh, &triangles, ray), *expected);
         }
+    }
+
+    #[test]
+    fn wavefront_traversal_matches_the_scalar_path_bit_for_bit() {
+        let triangles = wall();
+        let bvh = Bvh4::build(&triangles);
+        let rays = wall_rays(60);
+        let mut scalar = TraversalEngine::baseline();
+        let expected = scalar.closest_hits(&bvh, &triangles, &rays);
+        let mut wavefront = TraversalEngine::baseline();
+        let got = wavefront.closest_hits_wavefront(&bvh, &triangles, &rays);
+        assert_eq!(expected.len(), got.len());
+        for (i, (e, g)) in expected.iter().zip(&got).enumerate() {
+            match (e, g) {
+                (None, None) => {}
+                (Some(e), Some(g)) => {
+                    assert_eq!(e.primitive, g.primitive, "ray {i}");
+                    assert_eq!(e.t.to_bits(), g.t.to_bits(), "ray {i}");
+                }
+                other => panic!("ray {i}: {other:?}"),
+            }
+        }
+        // Same per-ray beat sequences means identical statistics, not just identical hits.
+        assert_eq!(scalar.stats(), wavefront.stats());
+    }
+
+    #[test]
+    fn packet_streams_match_slice_streams() {
+        let triangles = wall();
+        let bvh = Bvh4::build(&triangles);
+        let rays = wall_rays(30);
+        let packet = RayPacket::from_rays(&rays);
+        let mut a = TraversalEngine::baseline();
+        let mut b = TraversalEngine::baseline();
+        assert_eq!(
+            a.closest_hits_stream(&bvh, &triangles, &packet),
+            b.closest_hits_wavefront(&bvh, &triangles, &rays),
+        );
+    }
+
+    #[test]
+    fn wavefront_state_pools_are_reused_across_calls() {
+        let triangles = wall();
+        let bvh = Bvh4::build(&triangles);
+        let rays = wall_rays(20);
+        let mut engine = TraversalEngine::baseline();
+        let first = engine.closest_hits_wavefront(&bvh, &triangles, &rays);
+        assert_eq!(engine.work_pool_len(), rays.len());
+        let second = engine.closest_hits_wavefront(&bvh, &triangles, &rays);
+        assert_eq!(first, second);
+        assert_eq!(
+            engine.work_pool_len(),
+            rays.len(),
+            "states returned to the pool"
+        );
     }
 }

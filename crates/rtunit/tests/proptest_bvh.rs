@@ -26,15 +26,14 @@ fn scene() -> impl Strategy<Value = Vec<Triangle>> {
 }
 
 fn ray() -> impl Strategy<Value = Ray> {
-    (vec3(), vec3())
-        .prop_filter_map("non-zero direction", |(origin, toward)| {
-            let dir = toward - origin;
-            if dir.length_squared() > 1e-6 {
-                Some(Ray::new(origin, dir))
-            } else {
-                None
-            }
-        })
+    (vec3(), vec3()).prop_filter_map("non-zero direction", |(origin, toward)| {
+        let dir = toward - origin;
+        if dir.length_squared() > 1e-6 {
+            Some(Ray::new(origin, dir))
+        } else {
+            None
+        }
+    })
 }
 
 /// Brute-force golden closest hit.
@@ -86,14 +85,11 @@ proptest! {
             let got = engine.closest_hit(&bvh, &triangles, ray);
             match (expected, got) {
                 (None, None) => {}
-                (Some((prim, t)), Some(hit)) => {
+                (Some((_prim, t)), Some(hit)) => {
                     // The same primitive, or a different primitive at a bit-identical distance
-                    // (exact ties can legitimately resolve either way).
-                    if hit.primitive != prim {
-                        prop_assert_eq!(hit.t.to_bits(), t.to_bits());
-                    } else {
-                        prop_assert_eq!(hit.t.to_bits(), t.to_bits());
-                    }
+                    // (exact ties can legitimately resolve either way) — so only the distance is
+                    // required to match.
+                    prop_assert_eq!(hit.t.to_bits(), t.to_bits());
                 }
                 other => prop_assert!(false, "mismatch: {:?}", other),
             }

@@ -149,7 +149,10 @@ impl RecF32 {
                     // subnormals, so the shifted-out bits are zero.
                     let sig = frac | 0x80_0000;
                     let shift = (-126 - unbiased) as u32;
-                    debug_assert!(shift < 24, "recoded exponent below binary32 subnormal range");
+                    debug_assert!(
+                        shift < 24,
+                        "recoded exponent below binary32 subnormal range"
+                    );
                     sign_bit | (sig >> shift)
                 }
             }
@@ -187,7 +190,11 @@ impl RecF32 {
     }
 
     /// Returns the value with the sign bit flipped (NaN is returned unchanged).
+    ///
+    /// Deliberately an inherent method rather than `std::ops::Neg`: the recoded format models
+    /// hardware functional units, and call sites should read as explicit FU invocations.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Self {
         if self.is_nan() {
             self
@@ -211,19 +218,24 @@ impl RecF32 {
     }
 
     /// IEEE-754 round-to-nearest-even addition, matching native `f32` addition bit-for-bit.
+    ///
+    /// Deliberately an inherent method rather than `std::ops::Add` (see [`RecF32::neg`]).
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Self) -> Self {
         round::add(self, rhs)
     }
 
     /// IEEE-754 round-to-nearest-even subtraction.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Self) -> Self {
         round::add(self, rhs.neg())
     }
 
     /// IEEE-754 round-to-nearest-even multiplication, matching native `f32` multiplication.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Self) -> Self {
         round::mul(self, rhs)
     }
@@ -316,7 +328,7 @@ mod tests {
             -1.0,
             0.5,
             1.5,
-            3.1415927,
+            core::f32::consts::PI,
             1e-30,
             1e30,
             f32::MAX,

@@ -79,7 +79,11 @@ mod tests {
     use rayflex_core::{inventory::build_inventory, PipelineConfig};
 
     fn area(config: PipelineConfig, clock_mhz: f64) -> AreaReport {
-        estimate_area(&build_inventory(&config), clock_mhz, &CellLibrary::freepdk15())
+        estimate_area(
+            &build_inventory(&config),
+            clock_mhz,
+            &CellLibrary::freepdk15(),
+        )
     }
 
     #[test]
@@ -87,7 +91,11 @@ mod tests {
         let configs = PipelineConfig::evaluated_configs();
         let areas: Vec<f64> = configs.iter().map(|c| area(*c, 1000.0).total()).collect();
         for (i, a) in areas.iter().enumerate().skip(1) {
-            assert!(*a > areas[0], "config {} must be larger than baseline-unified", configs[i]);
+            assert!(
+                *a > areas[0],
+                "config {} must be larger than baseline-unified",
+                configs[i]
+            );
         }
     }
 
@@ -103,12 +111,24 @@ mod tests {
         let disjoint_overhead = base_dis.overhead_vs(&base_uni);
         let extended_overhead = ext_uni.overhead_vs(&base_uni);
         let both_overhead = ext_dis.overhead_vs(&base_uni);
-        assert!((0.05..0.25).contains(&disjoint_overhead), "disjoint overhead {disjoint_overhead:.2}");
-        assert!((0.25..0.55).contains(&extended_overhead), "extended overhead {extended_overhead:.2}");
-        assert!((0.60..1.20).contains(&both_overhead), "combined overhead {both_overhead:.2}");
+        assert!(
+            (0.05..0.25).contains(&disjoint_overhead),
+            "disjoint overhead {disjoint_overhead:.2}"
+        );
+        assert!(
+            (0.25..0.55).contains(&extended_overhead),
+            "extended overhead {extended_overhead:.2}"
+        );
+        assert!(
+            (0.60..1.20).contains(&both_overhead),
+            "combined overhead {both_overhead:.2}"
+        );
         assert!(both_overhead > extended_overhead && extended_overhead > disjoint_overhead);
         let vs_base_disjoint = ext_dis.overhead_vs(&base_dis);
-        assert!((0.45..1.0).contains(&vs_base_disjoint), "{vs_base_disjoint:.2}");
+        assert!(
+            (0.45..1.0).contains(&vs_base_disjoint),
+            "{vs_base_disjoint:.2}"
+        );
     }
 
     #[test]
@@ -138,7 +158,11 @@ mod tests {
             let slow = area(config, 500.0).total();
             let fast = area(config, 1500.0).total();
             assert!(fast > slow);
-            assert!(fast / slow < 1.06, "area swing {:.3} too large", fast / slow);
+            assert!(
+                fast / slow < 1.06,
+                "area swing {:.3} too large",
+                fast / slow
+            );
         }
     }
 

@@ -44,17 +44,41 @@ impl CellLibrary {
     pub fn freepdk15() -> Self {
         CellLibrary {
             name: "freepdk15-virtual",
-            adder: FuCharacterisation { logic_area_um2: 210.0, energy_per_op_pj: 0.72 },
-            multiplier: FuCharacterisation { logic_area_um2: 590.0, energy_per_op_pj: 1.45 },
+            adder: FuCharacterisation {
+                logic_area_um2: 210.0,
+                energy_per_op_pj: 0.72,
+            },
+            multiplier: FuCharacterisation {
+                logic_area_um2: 590.0,
+                energy_per_op_pj: 1.45,
+            },
             // A squarer is a multiplier whose partial-product array collapses because both
             // operands share a wire: smaller and noticeably lower-energy (§VII-B, ref. [62]).
-            squarer: FuCharacterisation { logic_area_um2: 500.0, energy_per_op_pj: 0.80 },
-            comparator: FuCharacterisation { logic_area_um2: 75.0, energy_per_op_pj: 0.12 },
-            quad_sort: FuCharacterisation { logic_area_um2: 390.0, energy_per_op_pj: 0.70 },
-            converter_in: FuCharacterisation { logic_area_um2: 60.0, energy_per_op_pj: 0.05 },
-            converter_out: FuCharacterisation { logic_area_um2: 70.0, energy_per_op_pj: 0.06 },
+            squarer: FuCharacterisation {
+                logic_area_um2: 500.0,
+                energy_per_op_pj: 0.80,
+            },
+            comparator: FuCharacterisation {
+                logic_area_um2: 75.0,
+                energy_per_op_pj: 0.12,
+            },
+            quad_sort: FuCharacterisation {
+                logic_area_um2: 390.0,
+                energy_per_op_pj: 0.70,
+            },
+            converter_in: FuCharacterisation {
+                logic_area_um2: 60.0,
+                energy_per_op_pj: 0.05,
+            },
+            converter_out: FuCharacterisation {
+                logic_area_um2: 70.0,
+                energy_per_op_pj: 0.06,
+            },
             // One operand-mux "leg" (a 33-bit 2:1 multiplexer slice).
-            operand_mux: FuCharacterisation { logic_area_um2: 30.0, energy_per_op_pj: 0.02 },
+            operand_mux: FuCharacterisation {
+                logic_area_um2: 30.0,
+                energy_per_op_pj: 0.02,
+            },
             // Pipeline-register bits are doubled by the skid buffer (main + skid register).
             register_bit_area_um2: 2.4,
             accumulator_bit_area_um2: 1.3,
@@ -155,14 +179,18 @@ mod tests {
         let lib = CellLibrary::freepdk15();
         assert!(lib.fu(FuKind::Multiplier).logic_area_um2 > lib.fu(FuKind::Adder).logic_area_um2);
         assert!(lib.fu(FuKind::Adder).logic_area_um2 > lib.fu(FuKind::Comparator).logic_area_um2);
-        assert!(lib.fu(FuKind::Multiplier).energy_per_op_pj > lib.fu(FuKind::Adder).energy_per_op_pj);
+        assert!(
+            lib.fu(FuKind::Multiplier).energy_per_op_pj > lib.fu(FuKind::Adder).energy_per_op_pj
+        );
     }
 
     #[test]
     fn squarers_are_cheaper_than_multipliers() {
         let lib = CellLibrary::freepdk15();
         assert!(lib.fu(FuKind::Squarer).logic_area_um2 < lib.fu(FuKind::Multiplier).logic_area_um2);
-        assert!(lib.fu(FuKind::Squarer).energy_per_op_pj < lib.fu(FuKind::Multiplier).energy_per_op_pj);
+        assert!(
+            lib.fu(FuKind::Squarer).energy_per_op_pj < lib.fu(FuKind::Multiplier).energy_per_op_pj
+        );
     }
 
     #[test]
@@ -173,7 +201,10 @@ mod tests {
         let at_1500 = lib.frequency_area_factor(1500.0);
         assert!(at_500 < at_1000 && at_1000 < at_1500);
         assert_eq!(at_1000, 1.0);
-        assert!(at_1500 / at_500 < 1.1, "area is not very sensitive to the target clock");
+        assert!(
+            at_1500 / at_500 < 1.1,
+            "area is not very sensitive to the target clock"
+        );
     }
 
     #[test]

@@ -51,7 +51,8 @@ pub fn estimate_power(
     for ((_stage, kind), ops) in activity.fu_entries() {
         energy_pj += library.fu(kind).energy_per_op_pj * ops as f64;
     }
-    energy_pj += library.register_bit_write_energy_pj() * activity.total_register_bit_writes() as f64;
+    energy_pj +=
+        library.register_bit_write_energy_pj() * activity.total_register_bit_writes() as f64;
     energy_pj +=
         library.accumulator_bit_write_energy_pj() * activity.total_accumulator_bit_writes() as f64;
 
@@ -98,7 +99,11 @@ mod tests {
 
     #[test]
     fn static_power_is_an_order_of_magnitude_below_dynamic() {
-        let p = power(Opcode::RayTriangle, PipelineConfig::baseline_unified(), 1000.0);
+        let p = power(
+            Opcode::RayTriangle,
+            PipelineConfig::baseline_unified(),
+            1000.0,
+        );
         assert!(p.static_mw * 5.0 < p.dynamic_mw);
         assert!(p.static_mw > 0.0);
     }
@@ -130,16 +135,33 @@ mod tests {
     fn squarer_specialisation_saves_euclidean_and_cosine_power() {
         // Paper: −9 % (Euclidean) and −3 % (cosine) in the disjoint design, traced to multipliers
         // specialised into squarers; the perturbed design loses the saving.
-        let euclid_uni = power(Opcode::Euclidean, PipelineConfig::extended_unified(), 1000.0);
-        let euclid_dis = power(Opcode::Euclidean, PipelineConfig::extended_disjoint(), 1000.0);
+        let euclid_uni = power(
+            Opcode::Euclidean,
+            PipelineConfig::extended_unified(),
+            1000.0,
+        );
+        let euclid_dis = power(
+            Opcode::Euclidean,
+            PipelineConfig::extended_disjoint(),
+            1000.0,
+        );
         let euclid_saving = -euclid_dis.overhead_vs(&euclid_uni);
-        assert!((0.02..0.15).contains(&euclid_saving), "euclidean saving {euclid_saving:.3}");
+        assert!(
+            (0.02..0.15).contains(&euclid_saving),
+            "euclidean saving {euclid_saving:.3}"
+        );
 
         let cos_uni = power(Opcode::Cosine, PipelineConfig::extended_unified(), 1000.0);
         let cos_dis = power(Opcode::Cosine, PipelineConfig::extended_disjoint(), 1000.0);
         let cos_saving = -cos_dis.overhead_vs(&cos_uni);
-        assert!((0.01..0.10).contains(&cos_saving), "cosine saving {cos_saving:.3}");
-        assert!(euclid_saving > cos_saving, "Euclidean specialises twice as many multipliers");
+        assert!(
+            (0.01..0.10).contains(&cos_saving),
+            "cosine saving {cos_saving:.3}"
+        );
+        assert!(
+            euclid_saving > cos_saving,
+            "Euclidean specialises twice as many multipliers"
+        );
 
         let perturbed = PipelineConfig::extended_disjoint().with_squarer_perturbation(true);
         let euclid_pert = power(Opcode::Euclidean, perturbed, 1000.0);
@@ -148,7 +170,10 @@ mod tests {
             "perturbing stage 3 must remove the squarer saving"
         );
         let pert_vs_unified = euclid_pert.overhead_vs(&euclid_uni).abs();
-        assert!(pert_vs_unified < 0.05, "perturbed design is back near the unified power");
+        assert!(
+            pert_vs_unified < 0.05,
+            "perturbed design is back near the unified power"
+        );
     }
 
     #[test]
@@ -160,14 +185,24 @@ mod tests {
         let p1500 = power(Opcode::RayTriangle, config, 1500.0).total_mw();
         assert!(p500 < p1000 && p1000 < p1500);
         let ratio = p1500 / p500;
-        assert!((2.5..3.5).contains(&ratio), "near-linear scaling, got {ratio:.2}");
+        assert!(
+            (2.5..3.5).contains(&ratio),
+            "near-linear scaling, got {ratio:.2}"
+        );
         // Baseline-vs-extended stays in the paper's 14–22 % corridor across the range (generous
         // band: 8–35 %).
         for clock in [500.0, 750.0, 1000.0, 1250.0, 1500.0] {
-            let base = power(Opcode::RayTriangle, PipelineConfig::baseline_unified(), clock);
+            let base = power(
+                Opcode::RayTriangle,
+                PipelineConfig::baseline_unified(),
+                clock,
+            );
             let ext = power(Opcode::RayTriangle, config, clock);
             let overhead = ext.overhead_vs(&base);
-            assert!((0.08..0.35).contains(&overhead), "at {clock} MHz: {overhead:.2}");
+            assert!(
+                (0.08..0.35).contains(&overhead),
+                "at {clock} MHz: {overhead:.2}"
+            );
         }
     }
 

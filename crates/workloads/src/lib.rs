@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod rays;
 pub mod scenes;
 pub mod stimulus;
 pub mod vectors;

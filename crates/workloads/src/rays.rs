@@ -1,0 +1,77 @@
+//! Ray-stream generators: deterministic camera and random ray batches for the traversal engines
+//! and the simulator performance baselines, available as array-of-structures slices or as
+//! structure-of-arrays [`RayPacket`]s.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rayflex_geometry::{sampling, Aabb, Ray, RayPacket, Vec3};
+
+/// A `width` × `height` grid of primary camera rays: origins on the plane `z = 0` spanning
+/// `extent` in x/y, all looking down `+z` with a slight deterministic jitter so neighbouring rays
+/// do not trace identical paths.
+#[must_use]
+pub fn camera_grid(width: usize, height: usize, extent: f32) -> Vec<Ray> {
+    let count = width.max(1) * height.max(1);
+    (0..count)
+        .map(|i| {
+            let x = (i % width.max(1)) as f32 / width.max(1) as f32 - 0.5;
+            let y = (i / width.max(1)) as f32 / height.max(1) as f32 - 0.5;
+            let jitter = 1e-3 * ((i % 7) as f32 - 3.0);
+            Ray::new(
+                Vec3::new(x * extent, y * extent, 0.0),
+                Vec3::new(jitter, -jitter, 1.0),
+            )
+        })
+        .collect()
+}
+
+/// [`camera_grid`] packed into a structure-of-arrays stream.
+#[must_use]
+pub fn camera_grid_packet(width: usize, height: usize, extent: f32) -> RayPacket {
+    RayPacket::from_rays(&camera_grid(width, height, extent))
+}
+
+/// `count` random rays with origins inside `bounds` and uniformly random directions
+/// (deterministic per seed).
+#[must_use]
+pub fn random_rays(seed: u64, count: usize, bounds: &Aabb) -> Vec<Ray> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| sampling::ray_in_box(&mut rng, bounds))
+        .collect()
+}
+
+/// [`random_rays`] packed into a structure-of-arrays stream.
+#[must_use]
+pub fn random_rays_packet(seed: u64, count: usize, bounds: &Aabb) -> RayPacket {
+    RayPacket::from_rays(&random_rays(seed, count, bounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn camera_grids_have_the_requested_shape() {
+        let rays = camera_grid(16, 9, 12.0);
+        assert_eq!(rays.len(), 16 * 9);
+        assert!(rays.iter().all(|r| r.dir.z == 1.0));
+        assert!(rays.iter().all(|r| r.origin.x.abs() <= 6.0));
+        let packet = camera_grid_packet(16, 9, 12.0);
+        assert_eq!(packet.to_rays(), rays);
+    }
+
+    #[test]
+    fn random_streams_are_deterministic_per_seed() {
+        let bounds = Aabb::new(Vec3::splat(-10.0), Vec3::splat(10.0));
+        assert_eq!(random_rays(7, 32, &bounds), random_rays(7, 32, &bounds));
+        assert_ne!(random_rays(7, 32, &bounds), random_rays(8, 32, &bounds));
+        assert_eq!(random_rays_packet(7, 8, &bounds).len(), 8);
+    }
+
+    #[test]
+    fn degenerate_grid_sizes_are_clamped() {
+        assert_eq!(camera_grid(0, 0, 1.0).len(), 1);
+    }
+}

@@ -38,15 +38,37 @@ pub fn icosphere(subdivisions: u32, radius: f32, center: Vec3) -> Vec<Triangle> 
         Vec3::new(-phi, 0.0, 1.0),
     ];
     let faces: [[usize; 3]; 20] = [
-        [0, 11, 5], [0, 5, 1], [0, 1, 7], [0, 7, 10], [0, 10, 11],
-        [1, 5, 9], [5, 11, 4], [11, 10, 2], [10, 7, 6], [7, 1, 8],
-        [3, 9, 4], [3, 4, 2], [3, 2, 6], [3, 6, 8], [3, 8, 9],
-        [4, 9, 5], [2, 4, 11], [6, 2, 10], [8, 6, 7], [9, 8, 1],
+        [0, 11, 5],
+        [0, 5, 1],
+        [0, 1, 7],
+        [0, 7, 10],
+        [0, 10, 11],
+        [1, 5, 9],
+        [5, 11, 4],
+        [11, 10, 2],
+        [10, 7, 6],
+        [7, 1, 8],
+        [3, 9, 4],
+        [3, 4, 2],
+        [3, 2, 6],
+        [3, 6, 8],
+        [3, 8, 9],
+        [4, 9, 5],
+        [2, 4, 11],
+        [6, 2, 10],
+        [8, 6, 7],
+        [9, 8, 1],
     ];
     let project = |v: Vec3| center + v.normalized() * radius;
     let mut triangles: Vec<Triangle> = faces
         .iter()
-        .map(|f| Triangle::new(project(base[f[0]]), project(base[f[1]]), project(base[f[2]])))
+        .map(|f| {
+            Triangle::new(
+                project(base[f[0]]),
+                project(base[f[1]]),
+                project(base[f[2]]),
+            )
+        })
         .collect();
     for _ in 0..subdivisions {
         let mut next = Vec::with_capacity(triangles.len() * 4);
@@ -133,7 +155,9 @@ mod tests {
     fn quad_wall_has_the_expected_count_and_plane() {
         let wall = quad_wall(8, 2.0, 12.0);
         assert_eq!(wall.len(), 8 * 8 * 2);
-        assert!(wall.iter().all(|t| t.v0.z == 12.0 && t.v1.z == 12.0 && t.v2.z == 12.0));
+        assert!(wall
+            .iter()
+            .all(|t| t.v0.z == 12.0 && t.v1.z == 12.0 && t.v2.z == 12.0));
     }
 
     #[test]

@@ -97,8 +97,17 @@ pub fn distance_stimuli(seed: u64, count: usize) -> Vec<DistanceStimulus> {
         .map(|i| {
             let a = core::array::from_fn(|_| rng.gen_range(-100.0f32..100.0));
             let b = core::array::from_fn(|_| rng.gen_range(-100.0f32..100.0));
-            let mask = if rng.gen_bool(0.8) { u16::MAX } else { rng.gen::<u16>() };
-            DistanceStimulus { a, b, mask, reset: i % 4 == 3 }
+            let mask = if rng.gen_bool(0.8) {
+                u16::MAX
+            } else {
+                rng.gen::<u16>()
+            };
+            DistanceStimulus {
+                a,
+                b,
+                mask,
+                reset: i % 4 == 3,
+            }
         })
         .collect()
 }

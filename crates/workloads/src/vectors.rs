@@ -51,7 +51,11 @@ pub fn clustered_dataset(
     assert!(clusters > 0 || count == 0, "need at least one cluster");
     let mut rng = StdRng::seed_from_u64(seed);
     let centers: Vec<Vec<f32>> = (0..clusters)
-        .map(|_| (0..dimension).map(|_| rng.gen_range(-100.0f32..100.0)).collect())
+        .map(|_| {
+            (0..dimension)
+                .map(|_| rng.gen_range(-100.0f32..100.0))
+                .collect()
+        })
         .collect();
     let mut vectors = Vec::with_capacity(count);
     let mut assignments = Vec::with_capacity(count);
@@ -64,13 +68,22 @@ pub fn clustered_dataset(
         vectors.push(vector);
         assignments.push(cluster);
     }
-    ClusteredDataset { vectors, centers, assignments }
+    ClusteredDataset {
+        vectors,
+        centers,
+        assignments,
+    }
 }
 
 /// Draws `count` query vectors near randomly chosen dataset points (so every query has a
 /// meaningful nearest neighbour).
 #[must_use]
-pub fn queries_near_dataset(seed: u64, dataset: &ClusteredDataset, count: usize, jitter: f32) -> Vec<Vec<f32>> {
+pub fn queries_near_dataset(
+    seed: u64,
+    dataset: &ClusteredDataset,
+    count: usize,
+    jitter: f32,
+) -> Vec<Vec<f32>> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
@@ -78,7 +91,10 @@ pub fn queries_near_dataset(seed: u64, dataset: &ClusteredDataset, count: usize,
                 return Vec::new();
             }
             let anchor = &dataset.vectors[rng.gen_range(0..dataset.len())];
-            anchor.iter().map(|x| x + rng.gen_range(-jitter..=jitter)).collect()
+            anchor
+                .iter()
+                .map(|x| x + rng.gen_range(-jitter..=jitter))
+                .collect()
         })
         .collect()
 }
@@ -110,7 +126,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(clustered_dataset(9, 50, 4, 2, 1.0), clustered_dataset(9, 50, 4, 2, 1.0));
+        assert_eq!(
+            clustered_dataset(9, 50, 4, 2, 1.0),
+            clustered_dataset(9, 50, 4, 2, 1.0)
+        );
         let d = clustered_dataset(9, 50, 4, 2, 1.0);
         assert_eq!(
             queries_near_dataset(3, &d, 10, 0.5),

@@ -16,7 +16,10 @@ fn main() {
         .and_then(|arg| arg.parse().ok())
         .unwrap_or(1000.0);
     let library = CellLibrary::freepdk15();
-    println!("RayFlex design-space exploration at {clock_mhz:.0} MHz ({} library)\n", library.name());
+    println!(
+        "RayFlex design-space exploration at {clock_mhz:.0} MHz ({} library)\n",
+        library.name()
+    );
 
     let mut area_table = Table::new(vec![
         "configuration",
@@ -33,7 +36,9 @@ fn main() {
         area_table.add_row(vec![
             config.name(),
             inventory.fu_count(rayflex::hw::FuKind::Adder).to_string(),
-            inventory.fu_count(rayflex::hw::FuKind::Multiplier).to_string(),
+            inventory
+                .fu_count(rayflex::hw::FuKind::Multiplier)
+                .to_string(),
             inventory.fu_count(rayflex::hw::FuKind::Squarer).to_string(),
             inventory.register_bits().to_string(),
             format!("{:.0}", area.total()),

@@ -3,7 +3,9 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use rayflex::core::{PipelineConfig, RayFlexDatapath, RayFlexPipeline, RayFlexRequest, PIPELINE_DEPTH};
+use rayflex::core::{
+    PipelineConfig, RayFlexDatapath, RayFlexPipeline, RayFlexRequest, PIPELINE_DEPTH,
+};
 use rayflex::geometry::{Aabb, Ray, Triangle, Vec3};
 
 fn main() {
@@ -32,7 +34,10 @@ fn main() {
     println!("  traversal order   = {:?}", box_result.traversal_order);
 
     let tri_beat = RayFlexRequest::ray_triangle(1, &ray, &triangle);
-    let tri_result = datapath.execute(&tri_beat).triangle_result.expect("triangle beat");
+    let tri_result = datapath
+        .execute(&tri_beat)
+        .triangle_result
+        .expect("triangle beat");
     println!("ray-triangle beat:");
     println!("  hit               = {}", tri_result.hit);
     println!(
@@ -56,8 +61,6 @@ fn main() {
     );
     println!(
         "stage-2 adder operations recorded for the power model: {}",
-        pipeline
-            .activity()
-            .fu_ops(2, rayflex::hw::FuKind::Adder)
+        pipeline.activity().fu_ops(2, rayflex::hw::FuKind::Adder)
     );
 }

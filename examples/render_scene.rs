@@ -42,19 +42,20 @@ fn main() {
     // datapath against the 2-cycle assumption Vulkan-Sim uses (§IV-B of the paper).
     let rays: Vec<_> = (0..width * height / 4)
         .map(|i| {
-            let x = (i % (width / 2)) as usize;
-            let y = (i / (width / 2)) as usize;
+            let x = i % (width / 2);
+            let y = i / (width / 2);
             camera.primary_ray(x * 2, y * 2, width, height)
         })
         .collect();
-    let (_, rayflex_timing) = RtUnit::with_configs(
-        PipelineConfig::baseline_unified(),
-        RtUnitConfig::default(),
-    )
-    .trace_rays(&bvh, &triangles, &rays);
+    let (_, rayflex_timing) =
+        RtUnit::with_configs(PipelineConfig::baseline_unified(), RtUnitConfig::default())
+            .trace_rays(&bvh, &triangles, &rays);
     let (_, optimistic_timing) = RtUnit::with_configs(
         PipelineConfig::baseline_unified(),
-        RtUnitConfig { datapath_latency: 2, ..RtUnitConfig::default() },
+        RtUnitConfig {
+            datapath_latency: 2,
+            ..RtUnitConfig::default()
+        },
     )
     .trace_rays(&bvh, &triangles, &rays);
     println!(

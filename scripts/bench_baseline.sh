@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Runs the simulator performance baseline suite and writes BENCH_baseline.json at the repo root.
+#
+# Tunables (environment variables, all optional):
+#   RAYFLEX_BENCH_RAYS     rays per scene           (default 4096)
+#   RAYFLEX_BENCH_REPEATS  best-of timing repeats   (default 3)
+#   RAYFLEX_BENCH_THREADS  parallel worker threads  (default: available parallelism)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+export RAYFLEX_BENCH_JSON="${RAYFLEX_BENCH_JSON:-$repo_root/BENCH_baseline.json}"
+
+cargo bench -p rayflex-bench --bench perf_simulator
+
+echo
+echo "Baseline: $RAYFLEX_BENCH_JSON"

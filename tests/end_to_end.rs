@@ -48,7 +48,10 @@ fn icosphere_traversal_matches_a_brute_force_golden_scan() {
             other => panic!("ray {i}: {other:?}"),
         }
     }
-    assert!(hits > 20, "the ray grid should intersect the sphere many times ({hits})");
+    assert!(
+        hits > 20,
+        "the ray grid should intersect the sphere many times ({hits})"
+    );
     // The BVH makes the traversal cheaper than testing every triangle for every ray.
     let stats = engine.stats();
     assert!(stats.triangle_ops < (triangles.len() * 100) as u64 / 4);
@@ -98,7 +101,10 @@ fn knn_results_are_consistent_between_metrics_and_reference_scans() {
             .iter()
             .filter(|n| dataset.assignments[n.index] == dominant)
             .count();
-        assert!(same_cluster >= 6, "only {same_cluster}/10 neighbours share the cluster");
+        assert!(
+            same_cluster >= 6,
+            "only {same_cluster}/10 neighbours share the cluster"
+        );
     }
 }
 
@@ -111,4 +117,44 @@ fn figure_harnesses_regenerate_through_the_bench_crate() {
     assert!(report.contains("all green: true"));
     let counts = rayflex_bench::random_equivalence_counts(100, 99);
     assert_eq!(counts.total_mismatches(), 0);
+}
+
+#[test]
+fn ray_streams_trace_identically_across_all_frontends() {
+    // The full stack through the facade: SoA packet -> wavefront + parallel traversal ->
+    // bit-identical hits and statistics versus the scalar reference.
+    use rayflex::core::RayFlexDatapath;
+    use rayflex::geometry::RayPacket;
+    use rayflex::rtunit::trace_packet_parallel;
+    use rayflex::workloads::rays;
+
+    let triangles = scenes::icosphere(2, 3.0, Vec3::new(0.0, 0.0, 10.0));
+    let bvh = Bvh4::build(&triangles);
+    let stream = rays::camera_grid_packet(12, 12, 7.0);
+    assert_eq!(stream.to_rays().len(), stream.len());
+    let slice: Vec<rayflex::geometry::Ray> = stream.to_rays();
+    assert_eq!(
+        RayPacket::from_rays(&slice),
+        stream,
+        "SoA round trip is lossless"
+    );
+
+    let config = PipelineConfig::baseline_unified();
+    let mut scalar = TraversalEngine::with_config(config);
+    let expected = scalar.closest_hits(&bvh, &triangles, &slice);
+    let mut wavefront = TraversalEngine::with_config(config);
+    let wavefront_hits = wavefront.closest_hits_stream(&bvh, &triangles, &stream);
+    let (parallel_hits, parallel_stats) =
+        trace_packet_parallel(config, &bvh, &triangles, &stream, 3);
+    assert_eq!(expected, wavefront_hits);
+    assert_eq!(expected, parallel_hits);
+    assert_eq!(scalar.stats(), wavefront.stats());
+    assert_eq!(scalar.stats(), parallel_stats);
+
+    // The batched datapath interface matches the per-beat interface on a real beat stream.
+    let requests = rayflex_bench::random_ray_box_requests(64, 5);
+    let mut per_beat = RayFlexDatapath::new(config);
+    let expected_responses: Vec<_> = requests.iter().map(|r| per_beat.execute(r)).collect();
+    let mut batched = RayFlexDatapath::new(config);
+    assert_eq!(batched.execute_batch(&requests), expected_responses);
 }

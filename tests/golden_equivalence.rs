@@ -39,14 +39,28 @@ fn random_ray_box_beats_match_the_golden_slab_model() {
 #[test]
 fn random_ray_triangle_beats_match_the_golden_watertight_model() {
     let mut datapath = RayFlexDatapath::new(PipelineConfig::baseline_unified());
-    for (case, s) in stimulus::ray_triangle_stimuli(202, CASES).iter().enumerate() {
-        let response =
-            datapath.execute(&RayFlexRequest::ray_triangle(case as u64, &s.ray, &s.triangle));
+    for (case, s) in stimulus::ray_triangle_stimuli(202, CASES)
+        .iter()
+        .enumerate()
+    {
+        let response = datapath.execute(&RayFlexRequest::ray_triangle(
+            case as u64,
+            &s.ray,
+            &s.triangle,
+        ));
         let result = response.triangle_result.expect("triangle beat");
         let gold = golden::watertight::ray_triangle(&s.ray, &s.triangle);
         assert_eq!(result.hit, gold.hit, "case {case}");
-        assert_eq!(result.t_num.to_bits(), gold.t_num.to_bits(), "case {case}: numerator");
-        assert_eq!(result.det.to_bits(), gold.det.to_bits(), "case {case}: determinant");
+        assert_eq!(
+            result.t_num.to_bits(),
+            gold.t_num.to_bits(),
+            "case {case}: numerator"
+        );
+        assert_eq!(
+            result.det.to_bits(),
+            gold.det.to_bits(),
+            "case {case}: determinant"
+        );
         assert_eq!(result.u.to_bits(), gold.u.to_bits(), "case {case}: U");
         assert_eq!(result.v.to_bits(), gold.v.to_bits(), "case {case}: V");
         assert_eq!(result.w.to_bits(), gold.w.to_bits(), "case {case}: W");
@@ -57,8 +71,17 @@ fn random_ray_triangle_beats_match_the_golden_watertight_model() {
 fn random_distance_beats_match_the_golden_reduction_trees() {
     let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
     for (case, s) in stimulus::distance_stimuli(303, CASES).iter().enumerate() {
-        let response = datapath.execute(&RayFlexRequest::euclidean(case as u64, s.a, s.b, s.mask, true));
-        let got = response.distance_result.expect("euclidean beat").euclidean_accumulator;
+        let response = datapath.execute(&RayFlexRequest::euclidean(
+            case as u64,
+            s.a,
+            s.b,
+            s.mask,
+            true,
+        ));
+        let got = response
+            .distance_result
+            .expect("euclidean beat")
+            .euclidean_accumulator;
         let gold = golden::distance::euclidean_partial(&s.a, &s.b, s.mask);
         assert_eq!(got.to_bits(), gold.to_bits(), "case {case}: euclidean");
 
@@ -68,8 +91,16 @@ fn random_distance_beats_match_the_golden_reduction_trees() {
         let response = datapath.execute(&RayFlexRequest::cosine(case as u64, a8, b8, mask8, true));
         let result = response.distance_result.expect("cosine beat");
         let gold = golden::distance::cosine_partial(&a8, &b8, mask8);
-        assert_eq!(result.angular_dot_product.to_bits(), gold.dot.to_bits(), "case {case}: dot");
-        assert_eq!(result.angular_norm.to_bits(), gold.norm_sq.to_bits(), "case {case}: norm");
+        assert_eq!(
+            result.angular_dot_product.to_bits(),
+            gold.dot.to_bits(),
+            "case {case}: dot"
+        );
+        assert_eq!(
+            result.angular_norm.to_bits(),
+            gold.norm_sq.to_bits(),
+            "case {case}: norm"
+        );
     }
 }
 

@@ -1,0 +1,305 @@
+//! Offline shim for the subset of the `criterion` API used by the RayFlex-RS workspace.
+//!
+//! The build environment for this repository has no access to crates.io, so `cargo bench` runs
+//! against this minimal wall-clock harness instead: each `bench_function` warms up for
+//! `warm_up_time`, sizes its iteration count so one sample lasts roughly
+//! `measurement_time / sample_size`, takes `sample_size` samples, and reports the median time per
+//! iteration plus element throughput when a [`Throughput`] was declared.  There is no statistical
+//! analysis, no HTML report and no baseline comparison.  To switch back to the real crate,
+//! repoint the `criterion` entry of the root `[workspace.dependencies]` table at crates.io.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-per-iteration declaration used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup; the shim treats all variants identically (setup is always
+/// excluded from timing).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small routine inputs.
+    SmallInput,
+    /// Large routine inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, time: Duration) -> Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let report = run_bench(self, name, None, &mut f);
+        println!("{report}");
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let report = run_bench(self.criterion, &full, self.throughput, &mut f);
+        println!("{report}");
+        self
+    }
+
+    /// Ends the group (a no-op in the shim, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures to time the hot routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` for the harness-chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(f: &mut F) -> Duration {
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    bencher.elapsed
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    config: &Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) -> String {
+    // Warm up and estimate the cost of one iteration.
+    let warmup_deadline = Instant::now() + config.warm_up_time;
+    let mut per_iter = time_once(f);
+    while Instant::now() < warmup_deadline {
+        per_iter = time_once(f).min(per_iter);
+    }
+    let per_iter_ns = per_iter.as_nanos().max(1);
+    let per_sample_budget = config.measurement_time.as_nanos() / config.sample_size as u128;
+    let iters = (per_sample_budget / per_iter_ns).clamp(1, u128::from(u32::MAX)) as u64;
+
+    let mut samples: Vec<f64> = (0..config.sample_size)
+        .map(|_| {
+            let mut bencher = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            bencher.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median = samples[samples.len() / 2];
+
+    let mut report = format!("{name:<44} time: {:>12}/iter", format_seconds(median));
+    if let Some(throughput) = throughput {
+        let (amount, unit) = match throughput {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = amount as f64 / median;
+        report.push_str(&format!("  thrpt: {:>14}", format_rate(rate, unit)));
+    }
+    report
+}
+
+fn format_seconds(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn format_rate(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.3} G{unit}/s", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M{unit}/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K{unit}/s", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}/s")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_functions_run_and_report() {
+        let mut criterion = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = criterion.benchmark_group("shim");
+        group.throughput(Throughput::Elements(4));
+        let mut runs = 0u64;
+        group.bench_function("count", |bencher| {
+            bencher.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut criterion = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2));
+        criterion.bench_function("batched", |bencher| {
+            bencher.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn rates_and_times_format_with_sensible_units() {
+        assert_eq!(format_seconds(2.0), "2.000 s");
+        assert_eq!(format_seconds(2e-3), "2.000 ms");
+        assert_eq!(format_seconds(2e-6), "2.000 us");
+        assert_eq!(format_seconds(2e-9), "2.0 ns");
+        assert_eq!(format_rate(5e9, "elem"), "5.000 Gelem/s");
+        assert_eq!(format_rate(5e6, "elem"), "5.000 Melem/s");
+        assert_eq!(format_rate(5e3, "elem"), "5.000 Kelem/s");
+        assert_eq!(format_rate(5.0, "elem"), "5.0 elem/s");
+    }
+}

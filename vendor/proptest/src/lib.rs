@@ -1,0 +1,189 @@
+//! Offline shim for the subset of the `proptest` API used by the RayFlex-RS workspace.
+//!
+//! The build environment for this repository has no access to crates.io, so this crate provides a
+//! minimal property-testing engine with the same surface the workspace's tests are written
+//! against: the [`proptest!`] macro, [`Strategy`] with `prop_map` / `prop_filter` /
+//! `prop_filter_map`, range / tuple / array strategies, [`any`], [`prop_oneof!`],
+//! `prop::array::uniform*`, `prop::collection::vec`, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from real proptest: value streams differ, there is **no shrinking** (a failing
+//! case reports its inputs verbatim), and each test's random stream is seeded deterministically
+//! from the test name, so runs are reproducible by construction.  Case counts honour the
+//! `PROPTEST_CASES` environment variable as an override.  To switch back to the real crate,
+//! repoint the `proptest` entry of the root `[workspace.dependencies]` table at crates.io.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prop {
+    //! The `prop::` helper namespace (`prop::array`, `prop::collection`).
+
+    pub mod array {
+        //! Fixed-size array strategies.
+
+        use crate::strategy::{Strategy, UniformArray};
+
+        /// Strategy producing `[S::Value; 8]` by sampling `strategy` eight times.
+        pub fn uniform8<S: Strategy>(strategy: S) -> UniformArray<S, 8> {
+            UniformArray::new(strategy)
+        }
+
+        /// Strategy producing `[S::Value; 16]` by sampling `strategy` sixteen times.
+        pub fn uniform16<S: Strategy>(strategy: S) -> UniformArray<S, 16> {
+            UniformArray::new(strategy)
+        }
+    }
+
+    pub mod collection {
+        //! Variable-size collection strategies.
+
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// Strategy producing a `Vec` whose length is drawn uniformly from `length` and whose
+        /// elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecStrategy<S> {
+            VecStrategy::new(element, length)
+        }
+    }
+}
+
+/// Strategy covering a type's full value domain (`any::<u32>()`, `any::<bool>()`, ...).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+pub mod prelude {
+    //! Single-import prelude mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the generated inputs on failure
+/// instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Uniform choice between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $({
+                // Callers conventionally parenthesise range strategies (`(-1.0f32..1.0)`);
+                // don't let that style choice trip `-D warnings` builds.
+                #[allow(unused_parens)]
+                let strategy = $strategy;
+                $crate::strategy::Strategy::boxed(strategy)
+            }),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }` becomes a `#[test]`
+/// that runs `body` against `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let cases = config.effective_cases();
+                let mut rng = $crate::test_runner::rng_for_test(stringify!($name));
+                for case in 0..cases {
+                    $(
+                        let $arg = $crate::test_runner::generate_value(
+                            &($strat),
+                            &mut rng,
+                            stringify!($name),
+                        );
+                    )+
+                    let inputs = {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(stringify!($arg));
+                            s.push_str(" = ");
+                            s.push_str(&format!("{:?}", &$arg));
+                            s.push_str("; ");
+                        )+
+                        s
+                    };
+                    let outcome = (move || -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(error) = outcome {
+                        panic!(
+                            "proptest {} failed at case {case}/{cases}: {error}\n  inputs: {inputs}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}

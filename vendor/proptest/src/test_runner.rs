@@ -1,0 +1,90 @@
+//! The runner: configuration, deterministic per-test seeding, and case errors.
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+
+/// The random generator threaded through strategies.
+pub type TestRng = StdRng;
+
+/// Maximum consecutive filter rejections before a strategy is declared exhausted.
+const MAX_REJECTS: usize = 65_536;
+
+/// Per-test configuration (`cases` only; the shim has no forking, persistence or shrinking).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` environment override.
+    #[must_use]
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property inside a [`proptest!`](crate::proptest) body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A deterministic generator seeded from the test name (FNV-1a), so every run of a test explores
+/// the same case stream.
+#[must_use]
+pub fn rng_for_test(test_name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Draws one value from a strategy, retrying filter rejections.
+///
+/// # Panics
+///
+/// Panics if the strategy rejects [`MAX_REJECTS`] values in a row (mirrors proptest's
+/// "too many global rejects" error).
+pub fn generate_value<S: Strategy>(strategy: &S, rng: &mut TestRng, test_name: &str) -> S::Value {
+    for _ in 0..MAX_REJECTS {
+        if let Some(value) = strategy.generate(rng) {
+            return value;
+        }
+    }
+    panic!("proptest {test_name}: strategy rejected {MAX_REJECTS} values in a row");
+}

@@ -1,0 +1,103 @@
+//! Self-tests of the proptest shim: strategies honour their constraints, the macro wires
+//! configuration and generation together, and failing properties actually fail.
+
+use proptest::prelude::*;
+
+fn small_even() -> impl Strategy<Value = u32> {
+    (0u32..1000).prop_filter("even", |n| n % 2 == 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ranges_stay_in_bounds(x in 5u32..10, y in -2.0f32..2.0) {
+        prop_assert!((5..10).contains(&x));
+        prop_assert!((-2.0..2.0).contains(&y));
+    }
+
+    #[test]
+    fn filters_hold(n in small_even()) {
+        prop_assert_eq!(n % 2, 0);
+    }
+
+    #[test]
+    fn maps_apply(s in (0u32..50).prop_map(|n| n * 3)) {
+        prop_assert_eq!(s % 3, 0, "{} is a multiple of three", s);
+    }
+
+    #[test]
+    fn filter_maps_apply(v in (0u32..100).prop_filter_map("nonzero", |n| n.checked_sub(50))) {
+        prop_assert!(v <= 49);
+    }
+
+    #[test]
+    fn tuples_and_arrays_compose(
+        pair in (0u32..10, 10u32..20),
+        arr in [0u32..5, 5u32..10, 10u32..15, 15u32..20],
+        uniform in proptest::prop::array::uniform8(0u32..3),
+    ) {
+        let (a, b) = pair;
+        prop_assert!(a < 10 && b >= 10);
+        for (i, v) in arr.iter().enumerate() {
+            prop_assert!((i as u32 * 5..(i as u32 + 1) * 5).contains(v));
+        }
+        prop_assert!(uniform.iter().all(|&v| v < 3));
+    }
+
+    #[test]
+    fn collections_honour_lengths(v in prop::collection::vec(0u32..7, 3..9)) {
+        prop_assert!((3..9).contains(&v.len()));
+        prop_assert!(v.iter().all(|&x| x < 7));
+    }
+
+    #[test]
+    fn oneof_picks_every_branch(x in prop_oneof![Just(1u32), Just(2u32), (10u32..20)]) {
+        prop_assert!(x == 1 || x == 2 || (10..20).contains(&x));
+    }
+
+    #[test]
+    fn any_produces_values(bits in any::<u32>(), flag in any::<bool>()) {
+        // Domain coverage is probabilistic; just exercise the strategies.
+        let _ = (bits, flag);
+        prop_assert!(true);
+    }
+}
+
+// No `#[test]` attribute here on purpose: the generated function is called by the should_panic
+// wrappers below instead of by the test harness.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    fn always_fails(x in 0u32..10) {
+        prop_assert!(x > 100, "x is only {}", x);
+    }
+
+    fn eq_always_fails(x in 0u32..10) {
+        prop_assert_eq!(x, x + 1);
+    }
+}
+
+#[test]
+#[should_panic(expected = "failed at case")]
+fn failing_properties_panic_with_case_context() {
+    always_fails();
+}
+
+#[test]
+#[should_panic(expected = "assertion failed")]
+fn failing_equalities_report_both_sides() {
+    eq_always_fails();
+}
+
+#[test]
+fn streams_are_deterministic_per_test_name() {
+    use proptest::strategy::Strategy as _;
+    let strategy = 0u64..u64::MAX;
+    let mut a = proptest::test_runner::rng_for_test("some_test");
+    let mut b = proptest::test_runner::rng_for_test("some_test");
+    let mut c = proptest::test_runner::rng_for_test("other_test");
+    let va = strategy.generate(&mut a);
+    assert_eq!(va, strategy.generate(&mut b));
+    assert_ne!(va, strategy.generate(&mut c));
+}
