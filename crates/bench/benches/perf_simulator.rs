@@ -1,12 +1,16 @@
 //! Simulator performance benchmarks: criterion-style micro-benchmarks of the softfloat core and
 //! the datapath models, plus the scene-level baseline suite comparing the scalar, batched and
-//! parallel traversal paths.  The baseline is written as machine-readable JSON to the path in
-//! `RAYFLEX_BENCH_JSON` (default `BENCH_baseline.json` at the workspace root).
+//! parallel traversal paths and the query-engine suite comparing every retrofitted query kind
+//! (render, shadow, knn) against its scalar drive loop.  The baselines are written as
+//! machine-readable JSON to `RAYFLEX_BENCH_JSON` (default `BENCH_baseline.json`) and
+//! `RAYFLEX_BENCH_QUERY_JSON` (default `BENCH_query_engine.json`) at the workspace root.
 //!
 //! These are not paper claims — they tell library users and future scaling PRs how fast the Rust
 //! model runs on their machine.  Tunables: `RAYFLEX_BENCH_RAYS` (rays per scene, default 4096),
 //! `RAYFLEX_BENCH_REPEATS` (best-of count, default 3), `RAYFLEX_BENCH_THREADS` (parallel worker
-//! count, default = available parallelism).
+//! count, default = available parallelism).  Setting `RAYFLEX_BENCH_MIN_SPEEDUP` (CI: 3.0) turns
+//! the run into an acceptance gate that fails when the worst batched-vs-scalar speedup across
+//! both suites drops below the floor.
 
 use criterion::{criterion_group, BatchSize, Criterion, Throughput};
 
@@ -122,6 +126,35 @@ fn run_baseline_suite() {
     match std::fs::write(&path, baseline.to_json()) {
         Ok(()) => println!("baseline written to {path}"),
         Err(error) => eprintln!("could not write {path}: {error}"),
+    }
+
+    let query = rayflex_bench::perf::run_query_engine_suite(rays, repeats);
+    println!("{}", query.render_table());
+    let query_path = std::env::var("RAYFLEX_BENCH_QUERY_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query_engine.json").to_string()
+    });
+    match std::fs::write(&query_path, query.to_json()) {
+        Ok(()) => println!("query-engine baseline written to {query_path}"),
+        Err(error) => eprintln!("could not write {query_path}: {error}"),
+    }
+
+    // The CI acceptance gate: with `RAYFLEX_BENCH_MIN_SPEEDUP` set (CI uses the 3x floor), a
+    // batched-vs-scalar regression below the floor fails the run.
+    if let Ok(floor) = std::env::var("RAYFLEX_BENCH_MIN_SPEEDUP") {
+        let floor: f64 = floor
+            .parse()
+            .expect("RAYFLEX_BENCH_MIN_SPEEDUP is a number");
+        let worst = baseline.min_best_speedup().min(query.min_speedup());
+        if worst < floor {
+            eprintln!(
+                "FAIL: batched-vs-scalar speedup {worst:.2}x fell below the {floor:.1}x floor \
+                 (baseline {:.2}x, query engine {:.2}x)",
+                baseline.min_best_speedup(),
+                query.min_speedup()
+            );
+            std::process::exit(1);
+        }
+        println!("speedup gate passed: worst batched-vs-scalar {worst:.2}x >= {floor:.1}x floor");
     }
 }
 

@@ -11,17 +11,27 @@
 //! * **batched** — [`TraversalEngine::closest_hits_wavefront`], the structure-of-arrays
 //!   ray-stream frontend dispatching bulk beats through the native fast model;
 //! * **parallel** — [`trace_rays_parallel`], the batched frontend sharded across worker threads
-//!   (on a single-core host this degenerates to the batched path plus thread overhead).
+//!   (with auto-tuned shard sizing, a single-core or short-stream run falls back to the batched
+//!   path instead of paying spawn overhead).
 //!
 //! All three paths produce bit-identical hits; the suite cross-checks that on every run before
 //! timing anything.
+//!
+//! A second suite ([`run_query_engine_suite`], `BENCH_query_engine.json`) covers the query kinds
+//! retrofitted onto the generic batched query engine — rendering (one batched primary-ray stream
+//! per frame), any-hit/shadow streams, and k-NN distance scoring — each timed against its scalar
+//! per-beat drive loop and cross-checked bit-for-bit first.
 
 use std::time::Instant;
 
-use rayflex_core::{PipelineConfig, RayFlexDatapath};
+use rayflex_core::{PipelineConfig, RayFlexDatapath, RayFlexRequest};
+use rayflex_geometry::golden::distance::EUCLIDEAN_LANES;
 use rayflex_geometry::{Aabb, Ray, Triangle, Vec3};
-use rayflex_rtunit::{trace_rays_parallel, Bvh4, TraversalEngine, TraversalHit};
-use rayflex_workloads::{rays, scenes};
+use rayflex_rtunit::{
+    default_light_dir, shade, trace_rays_parallel, Bvh4, Camera, KnnEngine, KnnMetric, Renderer,
+    TraversalEngine, TraversalHit,
+};
+use rayflex_workloads::{rays, scenes, vectors};
 
 /// One benchmark scene: geometry plus the ray stream traced against it.
 pub struct PerfScene {
@@ -328,9 +338,304 @@ impl PerfBaseline {
     }
 }
 
+/// One mode of the query-engine suite: a query kind timed scalar (per-beat emulated drive loop)
+/// versus batched (the generic wavefront query engine).
+#[derive(Debug, Clone)]
+pub struct QueryModePerf {
+    /// Mode name (`render`, `shadow`, `knn`).
+    pub mode: &'static str,
+    /// Items processed per run (pixels, shadow rays, candidate vectors).
+    pub items: u64,
+    /// Datapath beats per run.
+    pub beats: u64,
+    /// Best-of wall time of the scalar reference, in seconds.
+    pub scalar_seconds: f64,
+    /// Best-of wall time of the batched query engine, in seconds.
+    pub batched_seconds: f64,
+    /// `scalar_seconds / batched_seconds`.
+    pub speedup: f64,
+}
+
+/// The query-engine baseline document (`BENCH_query_engine.json`): how much the generic batched
+/// query engine buys over scalar drive loops for every retrofitted query kind.
+#[derive(Debug, Clone)]
+pub struct QueryEngineBaseline {
+    /// Timing repeats per measurement (best-of).
+    pub repeats: usize,
+    /// Per-mode measurements.
+    pub modes: Vec<QueryModePerf>,
+}
+
+impl QueryEngineBaseline {
+    /// The smallest batched-over-scalar speedup across modes (the acceptance gate checks this
+    /// against the 3× floor).
+    #[must_use]
+    pub fn min_speedup(&self) -> f64 {
+        self.modes
+            .iter()
+            .map(|m| m.speedup)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Renders the machine-readable JSON baseline.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str(&format!("  \"min_speedup\": {:.2},\n", self.min_speedup()));
+        out.push_str("  \"modes\": [\n");
+        for (i, m) in self.modes.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"mode\": \"{}\", \"items\": {}, \"beats\": {}, \"scalar_seconds\": {:.6}, \"batched_seconds\": {:.6}, \"speedup\": {:.2}}}",
+                m.mode, m.items, m.beats, m.scalar_seconds, m.batched_seconds, m.speedup
+            ));
+            out.push_str(if i + 1 < self.modes.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the human-readable report.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        use rayflex_synth::report::Table;
+        let mut table = Table::new(vec![
+            "mode",
+            "items",
+            "beats",
+            "scalar (ms)",
+            "batched (ms)",
+            "speedup",
+        ]);
+        for m in &self.modes {
+            table.add_row(vec![
+                m.mode.to_string(),
+                m.items.to_string(),
+                m.beats.to_string(),
+                format!("{:.2}", m.scalar_seconds * 1e3),
+                format!("{:.2}", m.batched_seconds * 1e3),
+                format!("{:.2}x", m.speedup),
+            ]);
+        }
+        format!(
+            "Query-engine baseline (best of {} runs): scalar drive loops vs the batched wavefront query engine\n{}\n\
+             Minimum batched-over-scalar speedup across query kinds: {:.2}x\n",
+            self.repeats,
+            table.render(),
+            self.min_speedup(),
+        )
+    }
+}
+
+/// Per-beat emulated Euclidean scoring of a candidate set — the pre-refactor scalar k-NN drive
+/// loop, kept here as the timing/correctness reference (the library itself only has the batched
+/// path).
+fn emulated_knn_distances(
+    datapath: &mut RayFlexDatapath,
+    query: &[f32],
+    dataset: &[Vec<f32>],
+) -> Vec<f32> {
+    dataset
+        .iter()
+        .map(|candidate| {
+            assert_eq!(query.len(), candidate.len());
+            let mut result = 0.0;
+            let mut offset = 0;
+            while offset < query.len() || offset == 0 {
+                let lanes = (query.len() - offset).min(EUCLIDEAN_LANES);
+                let mut beat_a = [0.0f32; EUCLIDEAN_LANES];
+                let mut beat_b = [0.0f32; EUCLIDEAN_LANES];
+                beat_a[..lanes].copy_from_slice(&query[offset..offset + lanes]);
+                beat_b[..lanes].copy_from_slice(&candidate[offset..offset + lanes]);
+                let mask = if lanes == EUCLIDEAN_LANES {
+                    u16::MAX
+                } else {
+                    (1u16 << lanes) - 1
+                };
+                let last = offset + lanes >= query.len();
+                let response =
+                    datapath.execute(&RayFlexRequest::euclidean(0, beat_a, beat_b, mask, last));
+                let distance = response.distance_result.expect("euclidean beat");
+                if last {
+                    result = distance.euclidean_accumulator;
+                    break;
+                }
+                offset += lanes;
+            }
+            result
+        })
+        .collect()
+}
+
+/// Runs the query-engine suite: times the scalar and batched execution of the render, shadow and
+/// k-NN query kinds and cross-checks that both produce bit-identical results before timing
+/// anything.
+///
+/// `items_per_mode` sizes each mode (pixels per frame, shadow rays, candidate vectors); it is
+/// rounded up to a square grid where a grid is needed.
+#[must_use]
+pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEngineBaseline {
+    let side = (items_per_mode.max(4) as f64).sqrt().ceil() as usize;
+    let mut modes = Vec::new();
+
+    // --- render: one batched primary-ray stream per frame vs per-pixel scalar traversal. ---
+    {
+        let config = PipelineConfig::baseline_unified();
+        let triangles = scenes::icosphere(3, 5.0, Vec3::new(0.0, 0.0, 20.0));
+        let bvh = Bvh4::build(&triangles);
+        let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 20.0));
+        let (width, height) = (side, side);
+        let light_dir = default_light_dir();
+
+        let scalar_frame = |engine: &mut TraversalEngine| -> Vec<f32> {
+            let mut pixels = Vec::with_capacity(width * height);
+            for y in 0..height {
+                for x in 0..width {
+                    let ray = camera.primary_ray(x, y, width, height);
+                    let hit = engine.closest_hit(&bvh, &triangles, &ray);
+                    pixels.push(shade(&triangles, light_dir, hit.as_ref()));
+                }
+            }
+            pixels
+        };
+
+        // Reference run for beats and the bit-identity cross-check.
+        let mut reference = TraversalEngine::with_config(config);
+        let expected = scalar_frame(&mut reference);
+        let beats = reference.stats().total_ops();
+
+        let (scalar_seconds, _) = time_best_of(repeats, || {
+            let mut engine = TraversalEngine::with_config(config);
+            scalar_frame(&mut engine)
+        });
+        let (batched_seconds, image) = time_best_of(repeats, || {
+            let mut renderer = Renderer::with_config(config);
+            renderer.render(&bvh, &triangles, &camera, width, height)
+        });
+        for y in 0..height {
+            for x in 0..width {
+                assert_eq!(
+                    image.pixel(x, y).to_bits(),
+                    expected[y * width + x].to_bits(),
+                    "render: pixel ({x}, {y}) diverged"
+                );
+            }
+        }
+        modes.push(QueryModePerf {
+            mode: "render",
+            items: (width * height) as u64,
+            beats,
+            scalar_seconds,
+            batched_seconds,
+            speedup: scalar_seconds / batched_seconds,
+        });
+    }
+
+    // --- shadow: any-hit wavefront vs scalar any-hit over a soft-shadow scene. ---
+    {
+        let config = PipelineConfig::baseline_unified();
+        let triangles = scenes::soft_shadow(3, 24.0);
+        let bvh = Bvh4::build(&triangles);
+        let light = Vec3::new(0.0, 20.0, 0.0);
+        let shadow_rays = rays::floor_shadow_rays(side, side, 24.0, 0.0, light);
+
+        let mut reference = TraversalEngine::with_config(config);
+        let expected = reference.any_hits(&bvh, &triangles, &shadow_rays);
+        let beats = reference.stats().total_ops();
+
+        let (scalar_seconds, scalar_hits) = time_best_of(repeats, || {
+            let mut engine = TraversalEngine::with_config(config);
+            engine.any_hits(&bvh, &triangles, &shadow_rays)
+        });
+        assert_hits_match("soft_shadow", "scalar", &expected, &scalar_hits);
+        let (batched_seconds, batched_hits) = time_best_of(repeats, || {
+            let mut engine = TraversalEngine::with_config(config);
+            engine.any_hits_wavefront(&bvh, &triangles, &shadow_rays)
+        });
+        assert_hits_match("soft_shadow", "batched", &expected, &batched_hits);
+        assert!(
+            expected.iter().any(Option::is_some) && expected.iter().any(Option::is_none),
+            "the soft-shadow scene must mix occluded and open rays"
+        );
+        modes.push(QueryModePerf {
+            mode: "shadow",
+            items: shadow_rays.len() as u64,
+            beats,
+            scalar_seconds,
+            batched_seconds,
+            speedup: scalar_seconds / batched_seconds,
+        });
+    }
+
+    // --- knn: batched distance scoring vs the per-beat emulated candidate loop. ---
+    {
+        let config = PipelineConfig::extended_unified();
+        let dataset = vectors::clustered_dataset(2024, items_per_mode.max(4), 24, 8, 4.0);
+        let query = dataset.vectors[0].clone();
+
+        let mut reference_dp = RayFlexDatapath::new(config);
+        let expected = emulated_knn_distances(&mut reference_dp, &query, &dataset.vectors);
+        // What the reference run actually issued — stays correct if the dataset shape changes.
+        let beats = reference_dp.executed_beats();
+
+        let (scalar_seconds, scalar_distances) = time_best_of(repeats, || {
+            let mut datapath = RayFlexDatapath::new(config);
+            emulated_knn_distances(&mut datapath, &query, &dataset.vectors)
+        });
+        let (batched_seconds, batched_distances) = time_best_of(repeats, || {
+            let mut engine = KnnEngine::with_config(config);
+            engine.distances(&query, &dataset.vectors, KnnMetric::Euclidean)
+        });
+        for (i, (e, g)) in expected
+            .iter()
+            .zip(&scalar_distances)
+            .chain(expected.iter().zip(&batched_distances))
+            .enumerate()
+        {
+            assert_eq!(
+                e.to_bits(),
+                g.to_bits(),
+                "knn: candidate {} diverged",
+                i % expected.len()
+            );
+        }
+        modes.push(QueryModePerf {
+            mode: "knn",
+            items: dataset.vectors.len() as u64,
+            beats,
+            scalar_seconds,
+            batched_seconds,
+            speedup: scalar_seconds / batched_seconds,
+        });
+    }
+
+    QueryEngineBaseline { repeats, modes }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn the_query_engine_suite_runs_and_reports_consistent_numbers() {
+        let baseline = run_query_engine_suite(64, 1);
+        assert_eq!(baseline.modes.len(), 3);
+        for mode in &baseline.modes {
+            assert!(mode.items > 0 && mode.beats > 0);
+            assert!(mode.scalar_seconds > 0.0 && mode.batched_seconds > 0.0);
+            assert!(mode.speedup > 0.0);
+        }
+        assert!(baseline.min_speedup() > 0.0);
+        let json = baseline.to_json();
+        assert!(json.contains("\"modes\""));
+        assert!(json.contains("render") && json.contains("shadow") && json.contains("knn"));
+        let table = baseline.render_table();
+        assert!(table.contains("speedup") && table.contains("shadow"));
+    }
 
     #[test]
     fn the_suite_runs_and_reports_consistent_numbers() {

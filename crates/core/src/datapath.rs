@@ -1,7 +1,54 @@
 //! The functional (un-timed) model of the datapath.
 
 use crate::stages;
-use crate::{AccumulatorState, PipelineConfig, RayFlexRequest, RayFlexResponse, SharedRayFlexData};
+use crate::{
+    AccumulatorState, Opcode, PipelineConfig, RayFlexRequest, RayFlexResponse, SharedRayFlexData,
+};
+
+/// Per-opcode counters of the beats a datapath has executed.
+///
+/// Wavefront schedulers drive *mixed-opcode* passes through the bulk interface (a single batch
+/// may interleave ray–box, ray–triangle and distance beats of unrelated queries); this breakdown
+/// lets callers attribute datapath work to operation kinds without threading counters through
+/// every query layer themselves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BeatMix {
+    counts: [u64; Opcode::ALL.len()],
+}
+
+impl BeatMix {
+    fn record(&mut self, opcode: Opcode) {
+        self.counts[Self::slot(opcode)] += 1;
+    }
+
+    /// Constant-time counter slot; runs on the per-beat hot path, so no table scan.  The mapping
+    /// matches the [`Opcode::ALL`] order (pinned by a test below).
+    fn slot(opcode: Opcode) -> usize {
+        match opcode {
+            Opcode::RayBox => 0,
+            Opcode::RayTriangle => 1,
+            Opcode::Euclidean => 2,
+            Opcode::Cosine => 3,
+        }
+    }
+
+    /// Beats executed with the given opcode.
+    #[must_use]
+    pub fn count(&self, opcode: Opcode) -> u64 {
+        self.counts[Self::slot(opcode)]
+    }
+
+    /// Total beats executed across all opcodes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterator over `(opcode, count)` pairs in the stable [`Opcode::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (Opcode, u64)> + '_ {
+        Opcode::ALL.iter().map(|&o| (o, self.count(o)))
+    }
+}
 
 /// A purely functional model of the RayFlex datapath: each call to [`RayFlexDatapath::execute`]
 /// runs one beat through all eleven stages immediately.
@@ -38,6 +85,7 @@ pub struct RayFlexDatapath {
     config: PipelineConfig,
     accumulators: AccumulatorState,
     executed: u64,
+    mix: BeatMix,
     /// Reusable beat buffer for the in-place execution path.  Boxed so the (large) Shared RayFlex
     /// Data Structure lives at a stable heap address instead of being copied around with the
     /// datapath value.
@@ -52,6 +100,7 @@ impl RayFlexDatapath {
             config,
             accumulators: AccumulatorState::new(),
             executed: 0,
+            mix: BeatMix::default(),
             scratch: Box::default(),
         }
     }
@@ -66,6 +115,13 @@ impl RayFlexDatapath {
     #[must_use]
     pub fn executed_beats(&self) -> u64 {
         self.executed
+    }
+
+    /// Per-opcode breakdown of the beats executed so far (across the per-beat and bulk
+    /// interfaces), for attributing mixed-opcode passes to operation kinds.
+    #[must_use]
+    pub fn beat_mix(&self) -> BeatMix {
+        self.mix
     }
 
     /// The current accumulator state (useful for inspecting multi-beat distance jobs).
@@ -89,6 +145,7 @@ impl RayFlexDatapath {
             self.config.name()
         );
         self.executed += 1;
+        self.mix.record(request.opcode);
         *self.scratch = SharedRayFlexData::from_request(request);
         stages::apply_all_middle_stages_in_place(&mut self.scratch, &mut self.accumulators);
         self.scratch.to_response()
@@ -137,6 +194,7 @@ impl RayFlexDatapath {
                 self.config.name()
             );
             self.executed += 1;
+            self.mix.record(request.opcode);
             responses.push(crate::fastpath::execute_fast(
                 request,
                 &mut self.accumulators,
@@ -190,6 +248,37 @@ mod tests {
         let _ = dp.execute(&RayFlexRequest::euclidean(
             0, [0.0; 16], [0.0; 16], 0, false,
         ));
+    }
+
+    #[test]
+    fn beat_mix_attributes_mixed_opcode_batches() {
+        let mut dp = RayFlexDatapath::new(PipelineConfig::extended_unified());
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        let boxes = [Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)); 4];
+        let tri = Triangle::new(
+            Vec3::new(-1.0, -1.0, 3.0),
+            Vec3::new(1.0, -1.0, 3.0),
+            Vec3::new(0.0, 1.0, 3.0),
+        );
+        // One mixed batch plus one per-beat call: both interfaces feed the same counters.
+        let _ = dp.execute_batch(&[
+            RayFlexRequest::ray_box(0, &ray, &boxes),
+            RayFlexRequest::ray_triangle(1, &ray, &tri),
+            RayFlexRequest::euclidean(2, [1.0; 16], [0.0; 16], u16::MAX, true),
+        ]);
+        let _ = dp.execute(&RayFlexRequest::ray_box(3, &ray, &boxes));
+        let mix = dp.beat_mix();
+        assert_eq!(mix.count(Opcode::RayBox), 2);
+        assert_eq!(mix.count(Opcode::RayTriangle), 1);
+        assert_eq!(mix.count(Opcode::Euclidean), 1);
+        assert_eq!(mix.count(Opcode::Cosine), 0);
+        assert_eq!(mix.total(), 4);
+        assert_eq!(mix.total(), dp.executed_beats());
+        assert_eq!(mix.iter().count(), Opcode::ALL.len());
+        // The constant-time slot mapping must agree with the Opcode::ALL order `iter` exposes.
+        for (slot, &opcode) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(BeatMix::slot(opcode), slot);
+        }
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod validation;
 
 pub use accumulator::AccumulatorState;
 pub use config::{FeatureSet, FuSharing, PipelineConfig};
-pub use datapath::RayFlexDatapath;
+pub use datapath::{BeatMix, RayFlexDatapath};
 pub use io::{
     BoxResult, DistanceResult, RayFlexRequest, RayFlexResponse, RayOperand, TriangleResult,
     COSINE_LANES, EUCLIDEAN_LANES,

@@ -11,7 +11,9 @@
 //!
 //! [`HierarchicalSearch`] reproduces that pipeline on top of this crate's substrates: a [`Bvh4`]
 //! over the dataset spheres, ray–box beats for the hierarchy filter, and Euclidean beats for the
-//! exact scoring — so a radius query issues *only* datapath operations.
+//! exact scoring — so a radius query issues *only* datapath operations.  The exact-scoring phase
+//! runs every surviving candidate through the generic batched query engine in one run, so its
+//! distance beats share bulk dispatches instead of being driven one candidate at a time.
 
 use rayflex_core::{Opcode, PipelineConfig, RayFlexRequest};
 use rayflex_geometry::{Ray, Sphere, Vec3};
@@ -101,23 +103,15 @@ impl HierarchicalSearch {
 
     /// Returns every dataset point within `radius` of `query` (squared-Euclidean scored on the
     /// datapath), sorted from nearest to farthest.
+    ///
+    /// The candidates surviving the hierarchy filter are scored in **one batched distance
+    /// query** — their Euclidean beats share bulk datapath dispatches through the wavefront
+    /// scheduler instead of being driven one candidate at a time.
     pub fn radius_query(&mut self, query: Vec3, radius: f32) -> Vec<Neighbor> {
         let candidates = self.filter_candidates(query, radius);
-        let query_vec = [query.x, query.y, query.z];
         let radius_sq = radius * radius;
-        let mut results: Vec<Neighbor> = candidates
-            .into_iter()
-            .filter_map(|index| {
-                self.stats.candidates_scored += 1;
-                let p = self.points[index];
-                let beats_before = self.scorer.stats().beats;
-                let distance = self
-                    .scorer
-                    .euclidean_distance_squared(&query_vec, &[p.x, p.y, p.z]);
-                self.stats.euclidean_beats += self.scorer.stats().beats - beats_before;
-                (distance <= radius_sq).then_some(Neighbor { index, distance })
-            })
-            .collect();
+        let mut results = self.score_candidates(query, &candidates);
+        results.retain(|n| n.distance <= radius_sq);
         results.sort_by(|a, b| {
             a.distance
                 .partial_cmp(&b.distance)
@@ -202,20 +196,33 @@ impl HierarchicalSearch {
         candidates
     }
 
-    /// Exact scoring of an explicit candidate list (used by the brute-force fallback).
-    fn score_exactly(&mut self, query: Vec3, candidates: &[usize]) -> Vec<Neighbor> {
+    /// Scores an explicit candidate list against the query as one batched distance run,
+    /// returning one [`Neighbor`] per candidate in candidate order (unsorted, unfiltered).
+    fn score_candidates(&mut self, query: Vec3, candidates: &[usize]) -> Vec<Neighbor> {
         let query_vec = [query.x, query.y, query.z];
-        let mut results: Vec<Neighbor> = candidates
+        let points: Vec<[f32; 3]> = candidates
             .iter()
             .map(|&index| {
                 let p = self.points[index];
-                self.stats.candidates_scored += 1;
-                let distance = self
-                    .scorer
-                    .euclidean_distance_squared(&query_vec, &[p.x, p.y, p.z]);
-                Neighbor { index, distance }
+                [p.x, p.y, p.z]
             })
             .collect();
+        self.stats.candidates_scored += candidates.len() as u64;
+        let beats_before = self.scorer.stats().beats;
+        let distances = self
+            .scorer
+            .distances(&query_vec, &points, crate::KnnMetric::Euclidean);
+        self.stats.euclidean_beats += self.scorer.stats().beats - beats_before;
+        candidates
+            .iter()
+            .zip(distances)
+            .map(|(&index, distance)| Neighbor { index, distance })
+            .collect()
+    }
+
+    /// Exact scoring of an explicit candidate list (used by the brute-force fallback).
+    fn score_exactly(&mut self, query: Vec3, candidates: &[usize]) -> Vec<Neighbor> {
+        let mut results = self.score_candidates(query, candidates);
         results.sort_by(|a, b| {
             a.distance
                 .partial_cmp(&b.distance)

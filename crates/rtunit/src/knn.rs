@@ -1,7 +1,19 @@
 //! k-nearest-neighbour search on the extended datapath (case study §V-A).
+//!
+//! Candidate scoring is a batched query: every candidate vector is one item of a
+//! [`QueryKind::Distance`] run through the generic wavefront scheduler.  A candidate appends its
+//! whole beat train (16-lane Euclidean or 8-lane cosine beats, accumulator reset asserted on the
+//! last) in a single build call, so the beats stay adjacent in the dispatched batch and the
+//! datapath's shared accumulator sees each candidate contiguously — which is what lets any number
+//! of candidates (and unrelated beats) share one bulk pass.  The single-pair distance methods are
+//! one-candidate instantiations of the same query; there is no separate scalar drive loop.
 
-use rayflex_core::{Opcode, PipelineConfig, RayFlexDatapath, RayFlexRequest};
+use rayflex_core::{
+    BeatMix, Opcode, PipelineConfig, RayFlexDatapath, RayFlexRequest, RayFlexResponse,
+};
 use rayflex_geometry::golden::distance::{COSINE_LANES, EUCLIDEAN_LANES};
+
+use crate::query::{BatchQuery, QueryKind, WavefrontScheduler};
 
 /// The distance metric used by a search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,15 +44,166 @@ pub struct KnnStats {
     pub candidates: u64,
 }
 
+/// Per-candidate state of a batched distance query.
+#[derive(Debug, Default)]
+pub struct DistanceWork {
+    issued: bool,
+    euclidean: f32,
+    dot: f32,
+    norm_sq: f32,
+}
+
+/// A batched distance query: one item per candidate vector, all beats of a candidate appended in
+/// one build call (see the module documentation for why adjacency matters).
+struct DistanceQuery<'a, C: AsRef<[f32]>> {
+    query: &'a [f32],
+    candidates: &'a [C],
+    metric: KnnMetric,
+    /// Pre-computed query norm for the cosine metric (a property of the query alone; like the
+    /// ray shear constants it is computed outside the datapath).
+    query_norm: f32,
+    stats: &'a mut KnnStats,
+}
+
+impl<C: AsRef<[f32]>> BatchQuery for DistanceQuery<'_, C> {
+    type State = DistanceWork;
+    type Output = f32;
+
+    fn kind(&self) -> QueryKind {
+        QueryKind::Distance
+    }
+
+    fn items(&self) -> usize {
+        self.candidates.len()
+    }
+
+    fn reset(&mut self, _item: usize, state: &mut DistanceWork) {
+        *state = DistanceWork::default();
+    }
+
+    fn build(
+        &mut self,
+        item: usize,
+        state: &mut DistanceWork,
+        out: &mut Vec<RayFlexRequest>,
+    ) -> bool {
+        if state.issued {
+            return false;
+        }
+        state.issued = true;
+        let candidate = self.candidates[item].as_ref();
+        assert_eq!(
+            self.query.len(),
+            candidate.len(),
+            "vector dimensions must match"
+        );
+        self.stats.candidates += 1;
+        self.stats.beats += match self.metric {
+            KnnMetric::Euclidean => append_euclidean_beats(item as u64, self.query, candidate, out),
+            KnnMetric::Cosine => append_cosine_beats(item as u64, self.query, candidate, out),
+        };
+        true
+    }
+
+    fn apply(&mut self, _item: usize, state: &mut DistanceWork, response: &RayFlexResponse) {
+        let result = response.distance_result.expect("distance beat");
+        // Only the last beat of the candidate (the one echoing the accumulator reset) carries
+        // the completed reduction.
+        match self.metric {
+            KnnMetric::Euclidean => {
+                if result.euclidean_reset {
+                    state.euclidean = result.euclidean_accumulator;
+                }
+            }
+            KnnMetric::Cosine => {
+                if result.angular_reset {
+                    state.dot = result.angular_dot_product;
+                    state.norm_sq = result.angular_norm;
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, _item: usize, state: &mut DistanceWork) -> f32 {
+        match self.metric {
+            KnnMetric::Euclidean => state.euclidean,
+            KnnMetric::Cosine => {
+                let candidate_norm = state.norm_sq.sqrt();
+                if self.query_norm == 0.0 || candidate_norm == 0.0 {
+                    1.0
+                } else {
+                    1.0 - state.dot / (self.query_norm * candidate_norm)
+                }
+            }
+        }
+    }
+}
+
+/// Appends the Euclidean beat train of one `(query, candidate)` pair (16 lanes per beat, reset
+/// asserted on the last) and returns the number of beats appended.  Zero-dimensional vectors
+/// still cost one (fully masked) beat, as on the hardware.
+fn append_euclidean_beats(tag: u64, a: &[f32], b: &[f32], out: &mut Vec<RayFlexRequest>) -> u64 {
+    let mut beats = 0;
+    let mut offset = 0;
+    while offset < a.len() || offset == 0 {
+        let lanes = (a.len() - offset).min(EUCLIDEAN_LANES);
+        let mut beat_a = [0.0f32; EUCLIDEAN_LANES];
+        let mut beat_b = [0.0f32; EUCLIDEAN_LANES];
+        beat_a[..lanes].copy_from_slice(&a[offset..offset + lanes]);
+        beat_b[..lanes].copy_from_slice(&b[offset..offset + lanes]);
+        let mask = if lanes == EUCLIDEAN_LANES {
+            u16::MAX
+        } else {
+            (1u16 << lanes) - 1
+        };
+        let last = offset + lanes >= a.len();
+        out.push(RayFlexRequest::euclidean(tag, beat_a, beat_b, mask, last));
+        beats += 1;
+        if last {
+            break;
+        }
+        offset += lanes;
+    }
+    beats
+}
+
+/// Appends the cosine beat train of one `(query, candidate)` pair (8 lanes per beat, reset
+/// asserted on the last) and returns the number of beats appended.
+fn append_cosine_beats(tag: u64, a: &[f32], b: &[f32], out: &mut Vec<RayFlexRequest>) -> u64 {
+    let mut beats = 0;
+    let mut offset = 0;
+    while offset < a.len() || offset == 0 {
+        let lanes = (a.len() - offset).min(COSINE_LANES);
+        let mut beat_a = [0.0f32; COSINE_LANES];
+        let mut beat_b = [0.0f32; COSINE_LANES];
+        beat_a[..lanes].copy_from_slice(&a[offset..offset + lanes]);
+        beat_b[..lanes].copy_from_slice(&b[offset..offset + lanes]);
+        let mask = if lanes == COSINE_LANES {
+            u8::MAX
+        } else {
+            (1u8 << lanes) - 1
+        };
+        let last = offset + lanes >= a.len();
+        out.push(RayFlexRequest::cosine(tag, beat_a, beat_b, mask, last));
+        beats += 1;
+        if last {
+            break;
+        }
+        offset += lanes;
+    }
+    beats
+}
+
 /// A k-nearest-neighbour engine that streams candidate vectors through the extended RayFlex
 /// datapath, exactly as the hierarchical-search accelerators the paper cites would: each
 /// candidate is consumed in 16-lane (Euclidean) or 8-lane (cosine) beats with the accumulator
 /// reset asserted on the last beat, and any number of unrelated beats may be interleaved between
-/// two candidates.
+/// two candidates.  All candidate scoring runs through the generic batched query engine.
 #[derive(Debug)]
 pub struct KnnEngine {
     datapath: RayFlexDatapath,
     stats: KnnStats,
+    scheduler: WavefrontScheduler<DistanceWork>,
 }
 
 impl KnnEngine {
@@ -64,6 +227,7 @@ impl KnnEngine {
         KnnEngine {
             datapath: RayFlexDatapath::new(config),
             stats: KnnStats::default(),
+            scheduler: WavefrontScheduler::new(),
         }
     }
 
@@ -71,6 +235,14 @@ impl KnnEngine {
     #[must_use]
     pub fn stats(&self) -> KnnStats {
         self.stats
+    }
+
+    /// Per-opcode breakdown of every beat this engine's datapath has executed (the
+    /// hierarchical-search frontend mixes ray–box filter beats with distance beats on this one
+    /// unit).
+    #[must_use]
+    pub fn beat_mix(&self) -> BeatMix {
+        self.datapath.beat_mix()
     }
 
     /// Issues an arbitrary beat on the engine's datapath.
@@ -90,89 +262,74 @@ impl KnnEngine {
         self.datapath.execute(request)
     }
 
+    /// Upper bound on the beats a single scheduler pass materialises while scoring candidates.
+    /// Scoring runs chunk the candidate set so the reusable request buffer stays bounded no
+    /// matter how large the dataset is (a candidate's own beat train is never split, so results
+    /// stay bit-identical to an unchunked run).
+    const MAX_BEATS_PER_PASS: usize = 1 << 16;
+
+    /// Scores every candidate against `query` under the chosen metric through the batched query
+    /// engine: candidates share bulk datapath dispatches, in chunks bounded by
+    /// [`KnnEngine::MAX_BEATS_PER_PASS`] beats so memory stays flat for arbitrarily large
+    /// datasets.  Returns one distance per candidate, in candidate order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any candidate has a different dimension from the query.
+    pub fn distances<C: AsRef<[f32]>>(
+        &mut self,
+        query: &[f32],
+        candidates: &[C],
+        metric: KnnMetric,
+    ) -> Vec<f32> {
+        let query_norm = match metric {
+            KnnMetric::Euclidean => 0.0,
+            KnnMetric::Cosine => query.iter().map(|x| x * x).sum::<f32>().sqrt(),
+        };
+        let lanes = match metric {
+            KnnMetric::Euclidean => EUCLIDEAN_LANES,
+            KnnMetric::Cosine => COSINE_LANES,
+        };
+        let beats_per_candidate = query.len().div_ceil(lanes).max(1);
+        let chunk_len = (Self::MAX_BEATS_PER_PASS / beats_per_candidate).max(1);
+        let mut results = Vec::with_capacity(candidates.len());
+        for chunk in candidates.chunks(chunk_len) {
+            let mut batch = DistanceQuery {
+                query,
+                candidates: chunk,
+                metric,
+                query_norm,
+                stats: &mut self.stats,
+            };
+            results.extend(self.scheduler.run(&mut self.datapath, &mut batch));
+        }
+        results
+    }
+
     /// Squared Euclidean distance between two vectors of arbitrary equal dimension, computed on
-    /// the datapath.
+    /// the datapath (a one-candidate batched query).
     ///
     /// # Panics
     ///
     /// Panics if the vectors have different dimensions.
     pub fn euclidean_distance_squared(&mut self, a: &[f32], b: &[f32]) -> f32 {
-        assert_eq!(a.len(), b.len(), "vector dimensions must match");
-        self.stats.candidates += 1;
-        let mut result = 0.0;
-        let mut offset = 0;
-        while offset < a.len() || offset == 0 {
-            let lanes = (a.len() - offset).min(EUCLIDEAN_LANES);
-            let mut beat_a = [0.0f32; EUCLIDEAN_LANES];
-            let mut beat_b = [0.0f32; EUCLIDEAN_LANES];
-            beat_a[..lanes].copy_from_slice(&a[offset..offset + lanes]);
-            beat_b[..lanes].copy_from_slice(&b[offset..offset + lanes]);
-            let mask = if lanes == EUCLIDEAN_LANES {
-                u16::MAX
-            } else {
-                (1u16 << lanes) - 1
-            };
-            let last = offset + lanes >= a.len();
-            let request = RayFlexRequest::euclidean(self.stats.beats, beat_a, beat_b, mask, last);
-            self.stats.beats += 1;
-            let response = self.datapath.execute(&request);
-            let distance = response.distance_result.expect("euclidean beat");
-            if last {
-                result = distance.euclidean_accumulator;
-                break;
-            }
-            offset += lanes;
-        }
-        result
+        self.distances(a, &[b], KnnMetric::Euclidean)[0]
     }
 
     /// Cosine distance (`1 - cosine similarity`) between two vectors of arbitrary equal
-    /// dimension, computed on the datapath.  Returns 1.0 when either vector has zero norm.
+    /// dimension, computed on the datapath (a one-candidate batched query).  Returns 1.0 when
+    /// either vector has zero norm.
     ///
     /// # Panics
     ///
     /// Panics if the vectors have different dimensions.
     pub fn cosine_distance(&mut self, a: &[f32], b: &[f32]) -> f32 {
-        assert_eq!(a.len(), b.len(), "vector dimensions must match");
-        self.stats.candidates += 1;
-        let mut dot = 0.0f32;
-        let mut norm_sq = 0.0f32;
-        let mut offset = 0;
-        while offset < a.len() || offset == 0 {
-            let lanes = (a.len() - offset).min(COSINE_LANES);
-            let mut beat_a = [0.0f32; COSINE_LANES];
-            let mut beat_b = [0.0f32; COSINE_LANES];
-            beat_a[..lanes].copy_from_slice(&a[offset..offset + lanes]);
-            beat_b[..lanes].copy_from_slice(&b[offset..offset + lanes]);
-            let mask = if lanes == COSINE_LANES {
-                u8::MAX
-            } else {
-                (1u8 << lanes) - 1
-            };
-            let last = offset + lanes >= a.len();
-            let request = RayFlexRequest::cosine(self.stats.beats, beat_a, beat_b, mask, last);
-            self.stats.beats += 1;
-            let response = self.datapath.execute(&request);
-            let result = response.distance_result.expect("cosine beat");
-            if last {
-                dot = result.angular_dot_product;
-                norm_sq = result.angular_norm;
-                break;
-            }
-            offset += lanes;
-        }
-        // The query norm is a property of the query alone; like the ray shear constants it is
-        // pre-computed outside the datapath.
-        let query_norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
-        let candidate_norm = norm_sq.sqrt();
-        if query_norm == 0.0 || candidate_norm == 0.0 {
-            return 1.0;
-        }
-        1.0 - dot / (query_norm * candidate_norm)
+        self.distances(a, &[b], KnnMetric::Cosine)[0]
     }
 
     /// Finds the `k` nearest dataset vectors to `query` under the chosen metric, sorted from
-    /// nearest to farthest (ties broken by index).
+    /// nearest to farthest (ties broken by index).  The whole dataset is scored as one batched
+    /// distance query.
     ///
     /// # Panics
     ///
@@ -184,16 +341,11 @@ impl KnnEngine {
         k: usize,
         metric: KnnMetric,
     ) -> Vec<Neighbor> {
-        let mut scored: Vec<Neighbor> = dataset
-            .iter()
+        let distances = self.distances(query, dataset, metric);
+        let mut scored: Vec<Neighbor> = distances
+            .into_iter()
             .enumerate()
-            .map(|(index, candidate)| {
-                let distance = match metric {
-                    KnnMetric::Euclidean => self.euclidean_distance_squared(query, candidate),
-                    KnnMetric::Cosine => self.cosine_distance(query, candidate),
-                };
-                Neighbor { index, distance }
-            })
+            .map(|(index, distance)| Neighbor { index, distance })
             .collect();
         scored.sort_by(|a, b| {
             a.distance
@@ -240,6 +392,49 @@ mod tests {
     }
 
     #[test]
+    fn batched_distances_match_single_pair_calls() {
+        // Batching candidates (multi-beat trains adjacent in one bulk pass) must not change a
+        // single bit of any reduction, even when every candidate needs several beats.
+        for dim in [3usize, 16, 33] {
+            let data = dataset(dim, 12);
+            let query = data[0].clone();
+            let mut batched = KnnEngine::new();
+            let distances = batched.distances(&query, &data, KnnMetric::Euclidean);
+            let mut single = KnnEngine::new();
+            for (i, (candidate, got)) in data.iter().zip(&distances).enumerate() {
+                let expected = single.euclidean_distance_squared(&query, candidate);
+                assert_eq!(expected.to_bits(), got.to_bits(), "dim {dim} candidate {i}");
+            }
+            assert_eq!(batched.stats(), single.stats(), "identical beat accounting");
+        }
+    }
+
+    #[test]
+    fn chunked_scoring_of_large_high_dimensional_datasets_stays_exact() {
+        // 70 candidates x 1024 beats each crosses MAX_BEATS_PER_PASS (65536), so the run chunks;
+        // chunk boundaries must not change a bit of any reduction.
+        let dim = EUCLIDEAN_LANES * 1024;
+        let count = 70;
+        let candidates: Vec<Vec<f32>> = (0..count)
+            .map(|i| {
+                (0..dim)
+                    .map(|d| ((i * 13 + d) % 29) as f32 * 0.125 - 1.5)
+                    .collect()
+            })
+            .collect();
+        let query: Vec<f32> = (0..dim).map(|d| (d % 7) as f32 * 0.5 - 1.0).collect();
+        let mut engine = KnnEngine::new();
+        let distances = engine.distances(&query, &candidates, KnnMetric::Euclidean);
+        assert_eq!(distances.len(), count);
+        for (i, (candidate, got)) in candidates.iter().zip(&distances).enumerate() {
+            let gold = golden::distance::euclidean_distance_squared(&query, candidate);
+            assert_eq!(got.to_bits(), gold.to_bits(), "candidate {i}");
+        }
+        assert_eq!(engine.stats().candidates, count as u64);
+        assert_eq!(engine.stats().beats, (count * 1024) as u64);
+    }
+
+    #[test]
     fn cosine_distance_matches_a_software_reference() {
         let mut engine = KnnEngine::new();
         for dim in [2usize, 8, 9, 24] {
@@ -278,6 +473,12 @@ mod tests {
             assert_eq!(n.index, *ri);
             assert_eq!(n.distance.to_bits(), rd.to_bits());
         }
+        // The whole dataset was scored in one batched run, all through distance beats.
+        assert_eq!(engine.stats().candidates, 50);
+        assert_eq!(
+            engine.beat_mix().count(Opcode::Euclidean),
+            engine.stats().beats
+        );
     }
 
     #[test]
@@ -306,5 +507,12 @@ mod tests {
         let mut engine = KnnEngine::new();
         let d = engine.cosine_distance(&[1.0, 2.0], &[0.0, 0.0]);
         assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector dimensions must match")]
+    fn mismatched_dimensions_are_rejected() {
+        let mut engine = KnnEngine::new();
+        let _ = engine.euclidean_distance_squared(&[1.0, 2.0], &[1.0]);
     }
 }

@@ -10,19 +10,26 @@
 //!
 //! * [`Bvh4`] — a four-wide bounding volume hierarchy builder matching the datapath's
 //!   four-boxes-per-instruction interface,
-//! * [`TraversalEngine`] — closest-hit traversal with two frontends: a scalar per-ray path
-//!   driving the register-accurate datapath emulation, and a wavefront ray-stream path that
-//!   batches one beat per active ray through the datapath's bulk interface with pooled per-ray
-//!   state (bit-identical hits and statistics, several times the throughput),
-//! * [`trace_rays_parallel`] — the wavefront frontend sharded across OS threads, with per-shard
-//!   [`TraversalStats`] merged by summation,
+//! * [`WavefrontScheduler`] / [`BatchQuery`] — the generic batched query engine: one wavefront
+//!   scheduler (active-set management, pooled per-item state, bulk beat dispatch) that every
+//!   query kind — closest-hit, any-hit/shadow, rendering, distance scoring — instantiates with
+//!   its own per-item state machine,
+//! * [`TraversalEngine`] — closest-hit and any-hit/shadow traversal with two frontends: a scalar
+//!   per-ray path driving the register-accurate datapath emulation, and wavefront ray-stream
+//!   paths running through the shared scheduler (bit-identical hits and statistics, several
+//!   times the throughput),
+//! * [`trace_rays_parallel`] / [`trace_shadow_rays_parallel`] — the wavefront frontends sharded
+//!   across OS threads with auto-tuned shard sizing (short or single-threaded streams run the
+//!   batched path inline), per-shard [`TraversalStats`] merged by summation,
 //! * [`RtUnit`] — a simplified single-issue RT-unit timing model: pooled per-ray traversal state
 //!   machines scheduled through a FIFO transaction queue, a fixed-latency node-fetch memory model
 //!   and the datapath's eleven-cycle latency and one-beat-per-cycle issue limit, plus
 //!   [`RtUnit::trace_rays_parallel`] for modelling several RT units side by side,
 //! * [`KnnEngine`] — k-nearest-neighbour search over arbitrary-dimensional vectors using the
-//!   extended datapath's Euclidean and cosine operations (case study §V-A),
-//! * [`Renderer`] — a small ray-casting renderer used by the examples.
+//!   extended datapath's Euclidean and cosine operations (case study §V-A), with all candidate
+//!   scoring batched through the shared scheduler,
+//! * [`Renderer`] — a small ray-casting renderer tracing each frame as one batched primary-ray
+//!   stream.
 //!
 //! # Example
 //!
@@ -48,6 +55,7 @@ mod bvh;
 mod hierarchical;
 mod knn;
 mod parallel;
+mod query;
 mod renderer;
 mod rt_unit;
 mod traversal;
@@ -55,7 +63,11 @@ mod traversal;
 pub use bvh::{Bvh4, Bvh4Node, Primitive};
 pub use hierarchical::{HierarchicalSearch, HierarchicalStats};
 pub use knn::{KnnEngine, KnnMetric, Neighbor};
-pub use parallel::{default_parallelism, trace_packet_parallel, trace_rays_parallel};
-pub use renderer::{Camera, Image, Renderer};
+pub use parallel::{
+    default_parallelism, trace_packet_parallel, trace_rays_parallel, trace_shadow_rays_parallel,
+    MIN_RAYS_PER_SHARD,
+};
+pub use query::{BatchQuery, QueryKind, WavefrontScheduler};
+pub use renderer::{default_light_dir, shade, Camera, Image, Renderer};
 pub use rt_unit::{RtUnit, RtUnitConfig, RtUnitStats};
 pub use traversal::{TraversalEngine, TraversalHit, TraversalStats};

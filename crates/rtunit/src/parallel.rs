@@ -7,10 +7,22 @@
 //! the caller's ray order and per-shard [`TraversalStats`] are summed, so a parallel run reports
 //! exactly the same hits and statistics as a single-threaded one — only wall-clock time changes.
 //!
+//! **Auto-tuned sharding:** spawning workers costs real time, and on one core (or for short
+//! streams) the parallel mode used to be *slower* than the plain batched path
+//! (`BENCH_baseline.json` of PR 1 showed exactly that on all three scenes).  The entry points
+//! therefore clamp the worker count so every shard carries at least [`MIN_RAYS_PER_SHARD`] rays
+//! (the remainder shard may run up to `threads - 1` rays short of the floor), and when the
+//! effective count is one they run the batched wavefront inline on the calling thread — no
+//! spawn, no join, identical results.
+//!
 //! Workers are plain `std::thread::scope` threads rather than a `rayon` pool: the build
 //! environment vendors no external crates, the fan-out is one spawn per shard (not per task), and
 //! scoped threads let the workers borrow the scene directly.  Swapping in `rayon::scope` later is
 //! a local change to [`shard_map`].
+//!
+//! Because every traversal query kind runs through the same wavefront scheduler, sharding works
+//! for all of them: [`trace_rays_parallel`] drives closest-hit streams and
+//! [`trace_shadow_rays_parallel`] drives any-hit/shadow streams with the same machinery.
 
 use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Ray, RayPacket, Triangle};
@@ -18,10 +30,25 @@ use rayflex_geometry::{Ray, RayPacket, Triangle};
 use crate::traversal::{TraversalEngine, TraversalHit, TraversalStats};
 use crate::Bvh4;
 
+/// Minimum rays a shard must carry before an extra worker thread pays for itself.  Below this,
+/// per-spawn overhead dominates the wavefront's per-ray cost and the batched single-engine path
+/// wins (measured on the PR 1 baseline scenes).
+pub const MIN_RAYS_PER_SHARD: usize = 256;
+
 /// Default worker count: the machine's available parallelism, or 4 if it cannot be queried.
 #[must_use]
 pub fn default_parallelism() -> usize {
     std::thread::available_parallelism().map_or(4, usize::from)
+}
+
+/// The worker count actually used for a stream of `items` rays when `threads` are requested:
+/// clamped so every shard carries at least [`MIN_RAYS_PER_SHARD`] rays (and never exceeding one
+/// worker per ray).  A result of 1 means "run inline on the calling thread".
+fn effective_threads(threads: usize, items: usize) -> usize {
+    // Floor division: only streams with at least two *full* shards spawn a second worker, so no
+    // shard ever drops below the floor.
+    let by_shard_size = (items / MIN_RAYS_PER_SHARD).max(1);
+    threads.clamp(1, items.max(1)).min(by_shard_size)
 }
 
 /// Runs `work` over contiguous shards of `items` on `threads` scoped workers, returning the
@@ -48,9 +75,41 @@ fn shard_map<T: Sync, R: Send>(
     })
 }
 
-/// Traces a ray stream across `threads` parallel workers, each driving its own datapath of the
-/// given configuration with the wavefront frontend.  Returns one optional hit per ray (in input
-/// order) and the summed statistics of all shards.
+/// Shards `rays` across workers running `trace` (one private wavefront engine per worker), or
+/// runs `trace` inline when one worker suffices — the shared skeleton of every parallel query
+/// kind.
+fn trace_sharded(
+    config: PipelineConfig,
+    rays: &[Ray],
+    threads: usize,
+    trace: impl Fn(&mut TraversalEngine, &[Ray]) -> Vec<Option<TraversalHit>> + Sync,
+) -> (Vec<Option<TraversalHit>>, TraversalStats) {
+    let threads = effective_threads(threads, rays.len());
+    if threads <= 1 {
+        // Single-engine batched fast path: no spawn/join overhead, identical results.
+        let mut engine = TraversalEngine::with_config(config);
+        let hits = trace(&mut engine, rays);
+        return (hits, engine.stats());
+    }
+    let shards = shard_map(rays, threads, |shard| {
+        let mut engine = TraversalEngine::with_config(config);
+        let hits = trace(&mut engine, shard);
+        (hits, engine.stats())
+    });
+    let mut hits = Vec::with_capacity(rays.len());
+    let mut stats = TraversalStats::default();
+    for (shard_hits, shard_stats) in shards {
+        hits.extend(shard_hits);
+        stats.merge(&shard_stats);
+    }
+    (hits, stats)
+}
+
+/// Traces a ray stream across up to `threads` parallel workers, each driving its own datapath of
+/// the given configuration with the wavefront frontend.  Returns one optional hit per ray (in
+/// input order) and the summed statistics of all shards.  When `threads == 1` — or the stream is
+/// too short for sharding to pay (see [`MIN_RAYS_PER_SHARD`]) — the stream runs on the batched
+/// single-engine path with no thread spawned at all.
 ///
 /// # Example
 ///
@@ -87,18 +146,25 @@ pub fn trace_rays_parallel(
     rays: &[Ray],
     threads: usize,
 ) -> (Vec<Option<TraversalHit>>, TraversalStats) {
-    let shards = shard_map(rays, threads, |shard| {
-        let mut engine = TraversalEngine::with_config(config);
-        let hits = engine.closest_hits_wavefront(bvh, triangles, shard);
-        (hits, engine.stats())
-    });
-    let mut hits = Vec::with_capacity(rays.len());
-    let mut stats = TraversalStats::default();
-    for (shard_hits, shard_stats) in shards {
-        hits.extend(shard_hits);
-        stats.merge(&shard_stats);
-    }
-    (hits, stats)
+    trace_sharded(config, rays, threads, |engine, shard| {
+        engine.closest_hits_wavefront(bvh, triangles, shard)
+    })
+}
+
+/// Runs the any-hit/shadow query over a ray stream across up to `threads` parallel workers (the
+/// same auto-tuned sharding as [`trace_rays_parallel`]).  Returns the first accepted hit per ray
+/// — `Some` means occluded — and the summed statistics of all shards.
+#[must_use]
+pub fn trace_shadow_rays_parallel(
+    config: PipelineConfig,
+    bvh: &Bvh4,
+    triangles: &[Triangle],
+    rays: &[Ray],
+    threads: usize,
+) -> (Vec<Option<TraversalHit>>, TraversalStats) {
+    trace_sharded(config, rays, threads, |engine, shard| {
+        engine.any_hits_wavefront(bvh, triangles, shard)
+    })
 }
 
 /// [`trace_rays_parallel`] over a structure-of-arrays [`RayPacket`] stream.
@@ -161,6 +227,60 @@ mod tests {
             );
             assert_eq!(hits, expected, "threads = {threads}");
             assert_eq!(stats, reference.stats(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn shadow_streams_shard_like_closest_hit_streams() {
+        let triangles = scene();
+        let bvh = Bvh4::build(&triangles);
+        // Long enough to force real sharding past the auto-tune threshold.
+        let rays: Vec<Ray> = camera_rays(96)
+            .into_iter()
+            .cycle()
+            .take(MIN_RAYS_PER_SHARD * 2)
+            .collect();
+        let mut reference = TraversalEngine::baseline();
+        let expected = reference.any_hits(&bvh, &triangles, &rays);
+        for threads in [1, 2, 7] {
+            let (hits, stats) = trace_shadow_rays_parallel(
+                PipelineConfig::baseline_unified(),
+                &bvh,
+                &triangles,
+                &rays,
+                threads,
+            );
+            assert_eq!(hits, expected, "threads = {threads}");
+            assert_eq!(stats, reference.stats(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn short_streams_fall_back_to_the_single_engine_path() {
+        // Below the shard threshold every request degenerates to one inline engine.
+        assert_eq!(effective_threads(8, 0), 1);
+        assert_eq!(effective_threads(8, 1), 1);
+        assert_eq!(effective_threads(8, MIN_RAYS_PER_SHARD), 1);
+        assert_eq!(effective_threads(1, 10 * MIN_RAYS_PER_SHARD), 1);
+        // A stream must hold two *full* shards before a second worker spawns: no worker may
+        // ever receive a shard below the floor.
+        assert_eq!(effective_threads(8, 2 * MIN_RAYS_PER_SHARD - 1), 1);
+        assert_eq!(effective_threads(8, 2 * MIN_RAYS_PER_SHARD), 2);
+        assert_eq!(effective_threads(8, 3 * MIN_RAYS_PER_SHARD - 1), 2);
+        assert_eq!(effective_threads(2, 64 * MIN_RAYS_PER_SHARD), 2);
+        assert_eq!(effective_threads(0, 2 * MIN_RAYS_PER_SHARD), 1);
+        // Every spawned worker's contiguous chunk stays at (or within a worker count of) the
+        // floor — ceiling chunking can shave at most `threads - 1` rays off the last shard.
+        for items in [513usize, 767, 1000, 1025, 4096] {
+            let threads = effective_threads(8, items);
+            if threads > 1 {
+                let shard_len = items.div_ceil(threads);
+                let last = items - shard_len * (threads - 1);
+                assert!(
+                    last + threads > MIN_RAYS_PER_SHARD,
+                    "items {items}: last shard {last}"
+                );
+            }
         }
     }
 

@@ -1,0 +1,351 @@
+//! The generic batched query engine: one wavefront scheduler for every query kind the RT unit
+//! supports.
+//!
+//! PR 1 introduced a throughput-oriented wavefront frontend for closest-hit traversal: keep a
+//! whole stream of queries in flight, build one request buffer per pass, dispatch it through
+//! [`RayFlexDatapath::execute_batch_into`] in bulk, apply the responses, repeat until every query
+//! retires.  That scheduling core is independent of *what* is being queried — the same loop
+//! drives closest-hit rays, any-hit/shadow rays, primary-ray rendering and distance scoring —
+//! so this module extracts it into a reusable pair:
+//!
+//! * [`BatchQuery`] — the per-item state machine a query kind implements: how to initialise an
+//!   item, which beats it wants next, how a response advances it, and what it yields when it
+//!   retires;
+//! * [`WavefrontScheduler`] — the engine that owns the pooled per-item states and the reusable
+//!   request/response/ownership buffers and runs any [`BatchQuery`] to completion against a
+//!   datapath.
+//!
+//! Consumers instantiate the scheduler once and reuse it: a steady-state stream performs no
+//! per-item allocation, exactly as the hand-rolled wavefront loop did.  Because the scheduler
+//! preserves each item's own beat order (an item's beats are built in sequence, and the beats an
+//! item appends within one pass stay adjacent in the batch), every query kind retains the
+//! semantics — and, where a scalar reference exists, the bit-identical results and statistics —
+//! of its scalar drive loop.
+//!
+//! Multi-beat accumulator jobs (the Euclidean/cosine distance operations) are safe under
+//! interleaving *between* items precisely because of that adjacency guarantee: a distance query
+//! appends all beats of one candidate in a single [`BatchQuery::build`] call, so the shared
+//! accumulator sees each candidate's beat train contiguously and resets at its end, no matter
+//! how many unrelated items share the pass.
+
+use rayflex_core::{RayFlexDatapath, RayFlexRequest, RayFlexResponse};
+
+/// The query kinds the RT unit runs through the wavefront scheduler (see the `DESIGN.md` table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Closest-hit traversal: find the nearest primitive intersection along a ray.
+    ClosestHit,
+    /// Any-hit / shadow traversal: terminate a ray on its first accepted intersection.
+    AnyHit,
+    /// Distance scoring: squared-Euclidean or cosine distance of candidate vectors to a query.
+    Distance,
+}
+
+impl QueryKind {
+    /// A short lowercase name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::ClosestHit => "closest-hit",
+            QueryKind::AnyHit => "any-hit",
+            QueryKind::Distance => "distance",
+        }
+    }
+}
+
+impl core::fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A batched query: a set of independent items, each advanced by datapath beats through a
+/// per-item state machine.
+///
+/// The scheduler calls the methods in a fixed protocol, for each item `0..items()`:
+///
+/// 1. [`BatchQuery::reset`] once, on a pooled state of unknown previous content;
+/// 2. [`BatchQuery::build`] once per pass while the item is active — append **at least one**
+///    beat and return `true` to stay in flight, or append nothing and return `false` to retire
+///    (beats appended by one call stay adjacent in the dispatched batch, in append order);
+/// 3. [`BatchQuery::apply`] once per response to a beat the item appended, in append order;
+/// 4. [`BatchQuery::finish`] once after the item retires, yielding its output.
+///
+/// Implementations update their own statistics (beat counts, node visits) inside `build`, which
+/// keeps the per-item beat accounting identical to a scalar drive loop that issues the same
+/// beats.
+pub trait BatchQuery {
+    /// Pooled per-item state.  `Default` provides the blank state the pool grows with; `reset`
+    /// must fully re-initialise recycled states.
+    type State: Default;
+    /// What each item yields when it retires.
+    type Output;
+
+    /// The kind of query, for reports and diagnostics.
+    fn kind(&self) -> QueryKind;
+
+    /// Number of items in this run.
+    fn items(&self) -> usize;
+
+    /// Re-initialises a pooled state for `item`.
+    fn reset(&mut self, item: usize, state: &mut Self::State);
+
+    /// Appends the item's next beat(s) to `out` and returns `true`, or returns `false` (having
+    /// appended nothing) to retire the item.
+    fn build(
+        &mut self,
+        item: usize,
+        state: &mut Self::State,
+        out: &mut Vec<RayFlexRequest>,
+    ) -> bool;
+
+    /// Applies one response to a beat this item appended.
+    fn apply(&mut self, item: usize, state: &mut Self::State, response: &RayFlexResponse);
+
+    /// Extracts the item's output after it retired.
+    fn finish(&mut self, item: usize, state: &mut Self::State) -> Self::Output;
+}
+
+/// The wavefront scheduler: active-set management, pooled per-item state and reusable beat
+/// buffers around [`RayFlexDatapath::execute_batch_into`], generic over the query kind.
+///
+/// One scheduler instance serves any number of runs; its pools and buffers amortise across them.
+/// The type parameter is the pooled state, so an engine serving several query kinds with the
+/// same state type (closest-hit and any-hit traversal, say) needs only one scheduler.
+#[derive(Debug, Default)]
+pub struct WavefrontScheduler<S> {
+    /// Pooled per-item states, recycled across runs.
+    pool: Vec<S>,
+    /// Reusable request buffer: one batch per pass.
+    requests: Vec<RayFlexRequest>,
+    /// Reusable response buffer, parallel to `requests` after dispatch.
+    responses: Vec<RayFlexResponse>,
+    /// Item owning each in-flight beat (parallel to `requests`).
+    beat_owner: Vec<usize>,
+    /// Indices of items still in flight.
+    active: Vec<usize>,
+}
+
+impl<S: Default> WavefrontScheduler<S> {
+    /// Creates an empty scheduler (pools grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        WavefrontScheduler {
+            pool: Vec::new(),
+            requests: Vec::new(),
+            responses: Vec::new(),
+            beat_owner: Vec::new(),
+            active: Vec::new(),
+        }
+    }
+
+    /// Number of states currently parked in the pool (diagnostics / pooling tests).
+    #[must_use]
+    pub fn pooled_states(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Runs `query` to completion against `datapath`, returning one output per item in item
+    /// order.
+    ///
+    /// Every pass builds the beats of all active items into one request buffer, dispatches them
+    /// in bulk, and applies the responses to the owning items.  Items retire in place; the run
+    /// ends when no item is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a beat's opcode is not supported by the datapath configuration (propagated from
+    /// [`RayFlexDatapath::execute_batch_into`]).
+    pub fn run<Q>(&mut self, datapath: &mut RayFlexDatapath, query: &mut Q) -> Vec<Q::Output>
+    where
+        Q: BatchQuery<State = S>,
+    {
+        let items = query.items();
+
+        // Check out one pooled state per item.
+        let mut states: Vec<S> = Vec::with_capacity(items);
+        for item in 0..items {
+            let mut state = self.pool.pop().unwrap_or_default();
+            query.reset(item, &mut state);
+            states.push(state);
+        }
+
+        self.active.clear();
+        self.active.extend(0..items);
+
+        while !self.active.is_empty() {
+            // Build phase: each active item appends its next beat(s); items with no further
+            // beats retire in place.
+            self.requests.clear();
+            self.beat_owner.clear();
+            let mut still_active = 0;
+            for slot in 0..self.active.len() {
+                let item = self.active[slot];
+                let before = self.requests.len();
+                if query.build(item, &mut states[item], &mut self.requests) {
+                    debug_assert!(
+                        self.requests.len() > before,
+                        "{} query item {item} stayed active without appending a beat",
+                        query.kind()
+                    );
+                    self.beat_owner.resize(self.requests.len(), item);
+                    self.active[still_active] = item;
+                    still_active += 1;
+                } else {
+                    debug_assert_eq!(
+                        self.requests.len(),
+                        before,
+                        "{} query item {item} appended beats while retiring",
+                        query.kind()
+                    );
+                }
+            }
+            self.active.truncate(still_active);
+
+            // One bulk dispatch for the whole pass.
+            datapath.execute_batch_into(&self.requests, &mut self.responses);
+
+            // Apply phase: route each response to the item that owns the beat.
+            for (response, &item) in self.responses.iter().zip(&self.beat_owner) {
+                query.apply(item, &mut states[item], response);
+            }
+        }
+
+        // Collect outputs and return the states to the pool.
+        let mut outputs = Vec::with_capacity(items);
+        for (item, mut state) in states.into_iter().enumerate() {
+            outputs.push(query.finish(item, &mut state));
+            self.pool.push(state);
+        }
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayflex_core::PipelineConfig;
+    use rayflex_geometry::{Aabb, Ray, Vec3};
+
+    /// A toy query: each item tests its ray against one box per pass, for `rounds` passes, and
+    /// counts hits.
+    struct CountingQuery {
+        rays: Vec<Ray>,
+        boxes: [Aabb; 4],
+        rounds: usize,
+        built: usize,
+    }
+
+    #[derive(Debug, Default)]
+    struct CountingState {
+        remaining: usize,
+        hits: usize,
+    }
+
+    impl BatchQuery for CountingQuery {
+        type State = CountingState;
+        type Output = usize;
+
+        fn kind(&self) -> QueryKind {
+            QueryKind::ClosestHit
+        }
+
+        fn items(&self) -> usize {
+            self.rays.len()
+        }
+
+        fn reset(&mut self, _item: usize, state: &mut CountingState) {
+            state.remaining = self.rounds;
+            state.hits = 0;
+        }
+
+        fn build(
+            &mut self,
+            item: usize,
+            state: &mut CountingState,
+            out: &mut Vec<RayFlexRequest>,
+        ) -> bool {
+            if state.remaining == 0 {
+                return false;
+            }
+            state.remaining -= 1;
+            self.built += 1;
+            out.push(RayFlexRequest::ray_box(
+                item as u64,
+                &self.rays[item],
+                &self.boxes,
+            ));
+            true
+        }
+
+        fn apply(&mut self, _item: usize, state: &mut CountingState, response: &RayFlexResponse) {
+            let result = response.box_result.expect("box beat");
+            state.hits += usize::from(result.hit[0]);
+        }
+
+        fn finish(&mut self, _item: usize, state: &mut CountingState) -> usize {
+            state.hits
+        }
+    }
+
+    fn toy_query(rays: usize, rounds: usize) -> CountingQuery {
+        CountingQuery {
+            rays: (0..rays)
+                .map(|i| {
+                    Ray::new(
+                        Vec3::new(i as f32 * 0.1, 0.0, -5.0),
+                        Vec3::new(0.0, 0.0, 1.0),
+                    )
+                })
+                .collect(),
+            boxes: [Aabb::new(Vec3::splat(-2.0), Vec3::splat(2.0)); 4],
+            rounds,
+            built: 0,
+        }
+    }
+
+    #[test]
+    fn the_scheduler_runs_every_item_to_completion() {
+        let mut scheduler = WavefrontScheduler::new();
+        let mut datapath = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let mut query = toy_query(9, 3);
+        let outputs = scheduler.run(&mut datapath, &mut query);
+        assert_eq!(outputs, vec![3; 9], "every round of every item hit");
+        assert_eq!(query.built, 9 * 3);
+        assert_eq!(datapath.executed_beats(), 9 * 3);
+    }
+
+    #[test]
+    fn states_return_to_the_pool_and_are_recycled() {
+        let mut scheduler = WavefrontScheduler::new();
+        let mut datapath = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let first = scheduler.run(&mut datapath, &mut toy_query(6, 2));
+        assert_eq!(scheduler.pooled_states(), 6);
+        let second = scheduler.run(&mut datapath, &mut toy_query(6, 2));
+        assert_eq!(first, second);
+        assert_eq!(scheduler.pooled_states(), 6, "states recycled, not leaked");
+    }
+
+    #[test]
+    fn empty_runs_are_fine() {
+        let mut scheduler: WavefrontScheduler<CountingState> = WavefrontScheduler::new();
+        let mut datapath = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let outputs = scheduler.run(&mut datapath, &mut toy_query(0, 5));
+        assert!(outputs.is_empty());
+        assert_eq!(datapath.executed_beats(), 0);
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let names: std::collections::BTreeSet<_> = [
+            QueryKind::ClosestHit,
+            QueryKind::AnyHit,
+            QueryKind::Distance,
+        ]
+        .iter()
+        .map(|k| k.name())
+        .collect();
+        assert_eq!(names.len(), 3);
+        assert_eq!(QueryKind::AnyHit.to_string(), "any-hit");
+    }
+}

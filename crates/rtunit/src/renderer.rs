@@ -1,9 +1,16 @@
 //! A small ray-casting renderer driving the traversal engine (used by the examples).
+//!
+//! Rendering is a batched query: a frame generates one primary ray per pixel, traces the whole
+//! stream through the wavefront scheduler in one pass, and shades the returned hits.  The scalar
+//! per-pixel drive loop of the original reproduction is gone — the renderer is now simply a
+//! camera plus one [`TraversalEngine::closest_hits_wavefront`] call per frame, which makes the
+//! frame bit-identical to shading per-pixel scalar hits (pinned by the golden test below) at
+//! several times the throughput.
 
 use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Ray, Triangle, Vec3};
 
-use crate::{Bvh4, TraversalEngine, TraversalStats};
+use crate::{Bvh4, TraversalEngine, TraversalHit, TraversalStats};
 
 /// A pinhole camera generating one primary ray per pixel.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +51,40 @@ impl Camera {
         let dir = forward + right * u + true_up * v;
         Ray::new(self.position, dir)
     }
+
+    /// All primary rays of a `width`×`height` frame in row-major pixel order — the ray stream a
+    /// batched frame traces in one wavefront pass.
+    #[must_use]
+    pub fn primary_rays(&self, width: usize, height: usize) -> Vec<Ray> {
+        let mut rays = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                rays.push(self.primary_ray(x, y, width, height));
+            }
+        }
+        rays
+    }
+}
+
+/// The renderer's shading model for one primary-ray hit: two-sided Lambertian with a small
+/// ambient term, `0.0` for a miss.  Public so reference paths (benchmarks, golden tests) can
+/// shade scalar hits with the exact arithmetic the batched frame uses.
+#[must_use]
+pub fn shade(triangles: &[Triangle], light_dir: Vec3, hit: Option<&TraversalHit>) -> f32 {
+    match hit {
+        Some(hit) => {
+            let normal = triangles[hit.primitive].normal().normalized();
+            let diffuse = normal.dot(light_dir).abs();
+            (0.15 + 0.85 * diffuse).clamp(0.0, 1.0)
+        }
+        None => 0.0,
+    }
+}
+
+/// The fixed directional light the renderer shades with.
+#[must_use]
+pub fn default_light_dir() -> Vec3 {
+    Vec3::new(0.4, 0.8, -0.45).normalized()
 }
 
 /// A grayscale image produced by the renderer (one intensity in `[0, 1]` per pixel, row-major).
@@ -138,6 +179,10 @@ impl Renderer {
     }
 
     /// Renders one `width`×`height` frame of the scene from the camera and returns the image.
+    ///
+    /// The frame's primary rays are traced as **one batched stream** through the wavefront
+    /// scheduler; hits (and therefore pixels and [`TraversalStats`]) are bit-identical to
+    /// tracing each pixel's ray through the scalar path and shading with [`shade`].
     pub fn render(
         &mut self,
         bvh: &Bvh4,
@@ -146,19 +191,13 @@ impl Renderer {
         width: usize,
         height: usize,
     ) -> Image {
-        let light_dir = Vec3::new(0.4, 0.8, -0.45).normalized();
-        let mut pixels = vec![0.0f32; width * height];
-        for y in 0..height {
-            for x in 0..width {
-                let ray = camera.primary_ray(x, y, width, height);
-                if let Some(hit) = self.engine.closest_hit(bvh, triangles, &ray) {
-                    let normal = triangles[hit.primitive].normal().normalized();
-                    // Two-sided Lambertian shading with a small ambient term.
-                    let diffuse = normal.dot(light_dir).abs();
-                    pixels[y * width + x] = (0.15 + 0.85 * diffuse).clamp(0.0, 1.0);
-                }
-            }
-        }
+        let light_dir = default_light_dir();
+        let rays = camera.primary_rays(width, height);
+        let hits = self.engine.closest_hits_wavefront(bvh, triangles, &rays);
+        let pixels = hits
+            .iter()
+            .map(|hit| shade(triangles, light_dir, hit.as_ref()))
+            .collect();
         Image {
             width,
             height,
@@ -220,6 +259,37 @@ mod tests {
         assert!(image.coverage() > 0.3, "coverage {}", image.coverage());
         assert!(image.coverage() < 1.0, "corners should miss");
         assert!(renderer.stats().rays >= 24 * 24);
+    }
+
+    #[test]
+    fn batched_frame_is_bit_identical_to_the_scalar_frame_on_the_icosphere() {
+        // The golden test of the batched renderer: every pixel of the wavefront frame equals the
+        // frame obtained by tracing each primary ray through the scalar path and shading the
+        // scalar hit, and the traversal statistics match exactly.
+        let triangles = rayflex_workloads::scenes::icosphere(2, 5.0, Vec3::new(0.0, 0.0, 20.0));
+        let bvh = Bvh4::build(&triangles);
+        let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 20.0));
+        let (width, height) = (32, 24);
+
+        let mut renderer = Renderer::new();
+        let image = renderer.render(&bvh, &triangles, &camera, width, height);
+
+        let mut scalar = TraversalEngine::baseline();
+        let light_dir = default_light_dir();
+        for y in 0..height {
+            for x in 0..width {
+                let ray = camera.primary_ray(x, y, width, height);
+                let hit = scalar.closest_hit(&bvh, &triangles, &ray);
+                let expected = shade(&triangles, light_dir, hit.as_ref());
+                assert_eq!(
+                    image.pixel(x, y).to_bits(),
+                    expected.to_bits(),
+                    "pixel ({x}, {y})"
+                );
+            }
+        }
+        assert_eq!(renderer.stats(), scalar.stats(), "identical TraversalStats");
+        assert!(image.coverage() > 0.1, "the icosphere is visible");
     }
 
     #[test]

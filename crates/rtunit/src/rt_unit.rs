@@ -284,12 +284,7 @@ impl RtUnit {
                 .execute(&request)
                 .triangle_result
                 .expect("triangle beat");
-            if result.hit {
-                let t = result.distance();
-                if t >= ray.t_beg && t <= ray.t_end && state.best.is_none_or(|b| t < b.t) {
-                    state.best = Some(TraversalHit { primitive: prim, t });
-                }
-            }
+            crate::traversal::record_triangle_hit(&mut state.best, &result, prim, ray);
         } else if let Some(node_index) = state.stack.pop() {
             match bvh.node(node_index) {
                 Bvh4Node::Leaf { .. } => {
@@ -313,19 +308,12 @@ impl RtUnit {
                     let boxes = crate::traversal::pad_child_bounds(child_bounds);
                     let request = RayFlexRequest::ray_box(0, ray, &boxes);
                     let result = datapath.execute(&request).box_result.expect("box beat");
-                    for &slot in result.traversal_order.iter().rev() {
-                        if !result.hit[slot] {
-                            continue;
-                        }
-                        if let Some(best) = state.best {
-                            if result.t_entry[slot] > best.t {
-                                continue;
-                            }
-                        }
-                        if let Some(child) = children[slot] {
-                            state.stack.push(child);
-                        }
-                    }
+                    crate::traversal::push_hit_children(
+                        &mut state.stack,
+                        &result,
+                        children,
+                        state.best.as_ref(),
+                    );
                 }
             }
         }

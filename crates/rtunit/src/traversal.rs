@@ -1,26 +1,33 @@
-//! Stack-based closest-hit BVH traversal issuing beats to the datapath.
+//! Stack-based BVH traversal issuing beats to the datapath.
 //!
 //! Two execution frontends share the same per-ray traversal semantics:
 //!
-//! * the **scalar** path ([`TraversalEngine::closest_hit`]) walks one ray to completion,
-//!   issuing one datapath beat at a time — simple, and the reference the others are tested
-//!   against;
-//! * the **wavefront** path ([`TraversalEngine::closest_hits_wavefront`] /
-//!   [`TraversalEngine::closest_hits_stream`]) keeps a whole ray stream in flight: every pass
-//!   builds one beat per active ray into a reusable request buffer, dispatches them through
-//!   [`RayFlexDatapath::execute_batch_into`](rayflex_core::RayFlexDatapath::execute_batch_into)
+//! * the **scalar** path ([`TraversalEngine::closest_hit`] / [`TraversalEngine::any_hit`]) walks
+//!   one ray to completion, issuing one datapath beat at a time — simple, and the reference the
+//!   others are tested against;
+//! * the **wavefront** path ([`TraversalEngine::closest_hits_wavefront`],
+//!   [`TraversalEngine::any_hits_wavefront`] and their [`RayPacket`] variants) keeps a whole ray
+//!   stream in flight through the generic [`WavefrontScheduler`](crate::WavefrontScheduler):
+//!   every pass builds one beat per active ray into a reusable request buffer, dispatches them
+//!   through [`RayFlexDatapath::execute_batch_into`](rayflex_core::RayFlexDatapath::execute_batch_into)
 //!   in bulk, then applies the responses to the per-ray states.  Per-ray state (traversal stack,
-//!   pending-leaf queue) comes from pools owned by the engine, so a steady-state stream performs
-//!   no allocation per ray.
+//!   pending-leaf queue) comes from the scheduler's pool, so a steady-state stream performs no
+//!   allocation per ray.
 //!
 //! Because a ray's own beat sequence is identical under both frontends (pending leaf primitives
-//! first, then the next stack node, children pushed nearest-first with best-hit pruning), the two
-//! paths return bit-identical hits *and* identical [`TraversalStats`] — the wavefront merely
-//! interleaves beats of different rays.
+//! first, then the next stack node, children pushed nearest-first — with best-hit pruning for
+//! closest-hit, and first-accepted-hit termination for any-hit), the two paths return
+//! bit-identical hits *and* identical [`TraversalStats`] — the wavefront merely interleaves beats
+//! of different rays.
+//!
+//! The traversal queries are two instantiations ([`QueryKind::ClosestHit`] and
+//! [`QueryKind::AnyHit`]) of the [`BatchQuery`] state machine; the renderer and the k-NN /
+//! hierarchical engines run their own kinds through the same scheduler.
 
-use rayflex_core::{PipelineConfig, RayFlexDatapath, RayFlexRequest, RayFlexResponse};
+use rayflex_core::{BeatMix, PipelineConfig, RayFlexDatapath, RayFlexRequest, RayFlexResponse};
 use rayflex_geometry::{Aabb, Ray, RayPacket, Triangle};
 
+use crate::query::{BatchQuery, QueryKind, WavefrontScheduler};
 use crate::{Bvh4, Bvh4Node};
 
 /// The closest hit found by a traversal.
@@ -66,9 +73,10 @@ impl TraversalStats {
     }
 }
 
-/// Per-ray wavefront traversal state.  The vectors are pooled and reused across rays and calls.
+/// Per-ray wavefront traversal state, shared by the closest-hit and any-hit queries.  The vectors
+/// are pooled by the scheduler and reused across rays and calls.
 #[derive(Debug, Default)]
-struct RayWork {
+pub struct RayWork {
     stack: Vec<usize>,
     /// Leaf primitives awaiting their ray–triangle beat, tested back-to-front (`pop`), so they
     /// are pushed in reverse leaf order to preserve the scalar path's test order.
@@ -85,30 +93,188 @@ impl RayWork {
     }
 }
 
-/// A closest-hit traversal engine driving a functional RayFlex datapath.
+/// The traversal context shared by both traversal query kinds: the scene, the ray stream and the
+/// engine's statistics.
+struct TraversalQuery<'a> {
+    bvh: &'a Bvh4,
+    triangles: &'a [Triangle],
+    rays: &'a [Ray],
+    stats: &'a mut TraversalStats,
+}
+
+impl TraversalQuery<'_> {
+    /// Builds the next beat for one ray, advancing its state; `false` retires the ray.
+    ///
+    /// The per-ray beat order is exactly the scalar path's: all pending leaf primitives (in leaf
+    /// order), then the next stack node.  Box beats carry the node index as their tag so the
+    /// response can be matched back to the node's child table; triangle beats carry the ray
+    /// index.
+    fn build_next_beat(
+        &mut self,
+        item: usize,
+        state: &mut RayWork,
+        out: &mut Vec<RayFlexRequest>,
+    ) -> bool {
+        loop {
+            if let Some(&prim) = state.pending.last() {
+                self.stats.triangle_ops += 1;
+                out.push(RayFlexRequest::ray_triangle(
+                    item as u64,
+                    &self.rays[item],
+                    &self.triangles[prim],
+                ));
+                return true;
+            }
+            let Some(node_index) = state.stack.pop() else {
+                return false;
+            };
+            match self.bvh.node(node_index) {
+                Bvh4Node::Leaf { .. } => {
+                    self.stats.leaves_visited += 1;
+                    // Reversed so `pop` tests primitives in leaf order, like the scalar path.
+                    state
+                        .pending
+                        .extend(self.bvh.leaf_primitives(node_index).iter().rev());
+                }
+                Bvh4Node::Internal { child_bounds, .. } => {
+                    self.stats.nodes_visited += 1;
+                    self.stats.box_ops += 1;
+                    let boxes = pad_child_bounds(child_bounds);
+                    out.push(RayFlexRequest::ray_box(
+                        node_index as u64,
+                        &self.rays[item],
+                        &boxes,
+                    ));
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// The children table of the internal node a box response belongs to.
+    fn box_children(&self, response: &RayFlexResponse) -> &[Option<usize>; 4] {
+        match self.bvh.node(response.tag as usize) {
+            Bvh4Node::Internal { children, .. } => children,
+            Bvh4Node::Leaf { .. } => unreachable!("box beats only test internal nodes"),
+        }
+    }
+}
+
+/// Closest-hit traversal as a batched query: prune children farther than the best hit so far,
+/// retire when the stack drains.
+struct ClosestHitQuery<'a>(TraversalQuery<'a>);
+
+impl BatchQuery for ClosestHitQuery<'_> {
+    type State = RayWork;
+    type Output = Option<TraversalHit>;
+
+    fn kind(&self) -> QueryKind {
+        QueryKind::ClosestHit
+    }
+
+    fn items(&self) -> usize {
+        self.0.rays.len()
+    }
+
+    fn reset(&mut self, _item: usize, state: &mut RayWork) {
+        state.reset(self.0.bvh.root());
+    }
+
+    fn build(&mut self, item: usize, state: &mut RayWork, out: &mut Vec<RayFlexRequest>) -> bool {
+        self.0.build_next_beat(item, state, out)
+    }
+
+    fn apply(&mut self, item: usize, state: &mut RayWork, response: &RayFlexResponse) {
+        if let Some(result) = response.triangle_result {
+            let prim = state
+                .pending
+                .pop()
+                .expect("triangle beat had a pending prim");
+            record_triangle_hit(&mut state.best, &result, prim, &self.0.rays[item]);
+        } else if let Some(result) = response.box_result {
+            let children = self.0.box_children(response);
+            push_hit_children(&mut state.stack, &result, children, state.best.as_ref());
+        }
+    }
+
+    fn finish(&mut self, _item: usize, state: &mut RayWork) -> Option<TraversalHit> {
+        state.best.take()
+    }
+}
+
+/// Any-hit (shadow/occlusion) traversal as a batched query: no pruning against a best hit, and
+/// the ray terminates on the first intersection accepted within its extent.
+struct AnyHitQuery<'a>(TraversalQuery<'a>);
+
+impl BatchQuery for AnyHitQuery<'_> {
+    type State = RayWork;
+    type Output = Option<TraversalHit>;
+
+    fn kind(&self) -> QueryKind {
+        QueryKind::AnyHit
+    }
+
+    fn items(&self) -> usize {
+        self.0.rays.len()
+    }
+
+    fn reset(&mut self, _item: usize, state: &mut RayWork) {
+        state.reset(self.0.bvh.root());
+    }
+
+    fn build(&mut self, item: usize, state: &mut RayWork, out: &mut Vec<RayFlexRequest>) -> bool {
+        // A recorded hit terminates the ray before any further beat is issued, so the per-ray
+        // beat count matches the scalar path, which stops right after the hitting beat.
+        if state.best.is_some() {
+            return false;
+        }
+        self.0.build_next_beat(item, state, out)
+    }
+
+    fn apply(&mut self, item: usize, state: &mut RayWork, response: &RayFlexResponse) {
+        if let Some(result) = response.triangle_result {
+            let prim = state
+                .pending
+                .pop()
+                .expect("triangle beat had a pending prim");
+            if result.hit {
+                let t = result.distance();
+                let ray = &self.0.rays[item];
+                if t >= ray.t_beg && t <= ray.t_end {
+                    state.best = Some(TraversalHit { primitive: prim, t });
+                    state.stack.clear();
+                    state.pending.clear();
+                }
+            }
+        } else if let Some(result) = response.box_result {
+            let children = self.0.box_children(response);
+            push_hit_children(&mut state.stack, &result, children, None);
+        }
+    }
+
+    fn finish(&mut self, _item: usize, state: &mut RayWork) -> Option<TraversalHit> {
+        state.best.take()
+    }
+}
+
+/// A BVH traversal engine driving a functional RayFlex datapath.
 ///
 /// The engine reproduces the traversal loop the RT unit implements above the datapath (paper
 /// Fig. 2 / Fig. 3): internal nodes are tested with one four-wide ray–box beat, children are
-/// visited in the order of intersection returned by the datapath's sort network, hit children
-/// farther than the best hit found so far are pruned, and leaves issue one ray–triangle beat per
-/// primitive.
+/// visited in the order of intersection returned by the datapath's sort network, and leaves issue
+/// one ray–triangle beat per primitive.  Closest-hit traversal prunes hit children farther than
+/// the best hit found so far; any-hit traversal terminates a ray on its first accepted
+/// intersection (the shadow/occlusion query).
 #[derive(Debug)]
 pub struct TraversalEngine {
     datapath: RayFlexDatapath,
     stats: TraversalStats,
     next_tag: u64,
-    /// Pooled traversal stacks for the scalar path.
+    /// Pooled traversal stacks for the scalar paths.
     stack_pool: Vec<Vec<usize>>,
-    /// Pooled per-ray states for the wavefront path.
-    work_pool: Vec<RayWork>,
-    /// Reusable beat buffers for the wavefront path.
-    requests: Vec<RayFlexRequest>,
-    responses: Vec<RayFlexResponse>,
-    /// Ray index owning each in-flight beat (parallel to `requests`).
-    beat_owner: Vec<usize>,
-    /// Indices of rays still traversing.
-    active: Vec<usize>,
-    /// Reusable ray buffer for the packet frontend.
+    /// The generic wavefront scheduler; both traversal query kinds share its state pool.
+    scheduler: WavefrontScheduler<RayWork>,
+    /// Reusable ray buffer for the packet frontends.
     ray_scratch: Vec<Ray>,
 }
 
@@ -127,11 +293,7 @@ impl TraversalEngine {
             stats: TraversalStats::default(),
             next_tag: 0,
             stack_pool: Vec::new(),
-            work_pool: Vec::new(),
-            requests: Vec::new(),
-            responses: Vec::new(),
-            beat_owner: Vec::new(),
-            active: Vec::new(),
+            scheduler: WavefrontScheduler::new(),
             ray_scratch: Vec::new(),
         }
     }
@@ -146,6 +308,13 @@ impl TraversalEngine {
     #[must_use]
     pub fn stats(&self) -> TraversalStats {
         self.stats
+    }
+
+    /// Per-opcode breakdown of every beat this engine's datapath has executed (closest-hit and
+    /// any-hit passes share the datapath, so this attributes mixed workloads).
+    #[must_use]
+    pub fn beat_mix(&self) -> BeatMix {
+        self.datapath.beat_mix()
     }
 
     /// Resets the accumulated statistics.
@@ -198,6 +367,63 @@ impl TraversalEngine {
         best
     }
 
+    /// Returns the first intersection of `ray` accepted within its extent, or `None` if the ray
+    /// reaches its extent unobstructed — the shadow / occlusion query (scalar reference path).
+    ///
+    /// "First" means first in the deterministic traversal order (nearest-child-first), not
+    /// necessarily the geometrically nearest hit; only the hit/no-hit verdict is meaningful to
+    /// shadow tests.  Children are never pruned against a best hit, and the traversal stops at
+    /// the first accepted triangle beat, so occluded rays cost far fewer beats than a closest-hit
+    /// traversal of the same scene.
+    pub fn any_hit(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        ray: &Ray,
+    ) -> Option<TraversalHit> {
+        self.stats.rays += 1;
+        let mut found: Option<TraversalHit> = None;
+        let mut stack = self.stack_pool.pop().unwrap_or_default();
+        stack.clear();
+        stack.push(bvh.root());
+
+        'traversal: while let Some(node_index) = stack.pop() {
+            match bvh.node(node_index) {
+                Bvh4Node::Leaf { .. } => {
+                    self.stats.leaves_visited += 1;
+                    for &prim in bvh.leaf_primitives(node_index) {
+                        self.stats.triangle_ops += 1;
+                        let request =
+                            RayFlexRequest::ray_triangle(self.tag(), ray, &triangles[prim]);
+                        let response = self.datapath.execute(&request);
+                        let result = response.triangle_result.expect("triangle beat");
+                        if result.hit {
+                            let t = result.distance();
+                            if t >= ray.t_beg && t <= ray.t_end {
+                                found = Some(TraversalHit { primitive: prim, t });
+                                break 'traversal;
+                            }
+                        }
+                    }
+                }
+                Bvh4Node::Internal {
+                    children,
+                    child_bounds,
+                } => {
+                    self.stats.nodes_visited += 1;
+                    self.stats.box_ops += 1;
+                    let boxes = pad_child_bounds(child_bounds);
+                    let request = RayFlexRequest::ray_box(self.tag(), ray, &boxes);
+                    let response = self.datapath.execute(&request);
+                    let result = response.box_result.expect("box beat");
+                    push_hit_children(&mut stack, &result, children, None);
+                }
+            }
+        }
+        self.stack_pool.push(stack);
+        found
+    }
+
     /// Traverses a batch of rays one at a time (the scalar reference path), returning one
     /// optional hit per ray.
     pub fn closest_hits(
@@ -208,6 +434,18 @@ impl TraversalEngine {
     ) -> Vec<Option<TraversalHit>> {
         rays.iter()
             .map(|ray| self.closest_hit(bvh, triangles, ray))
+            .collect()
+    }
+
+    /// Runs the any-hit query over a batch of rays one at a time (the scalar reference path).
+    pub fn any_hits(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        rays: &[Ray],
+    ) -> Vec<Option<TraversalHit>> {
+        rays.iter()
+            .map(|ray| self.any_hit(bvh, triangles, ray))
             .collect()
     }
 
@@ -223,74 +461,31 @@ impl TraversalEngine {
         rays: &[Ray],
     ) -> Vec<Option<TraversalHit>> {
         self.stats.rays += rays.len() as u64;
+        let mut query = ClosestHitQuery(TraversalQuery {
+            bvh,
+            triangles,
+            rays,
+            stats: &mut self.stats,
+        });
+        self.scheduler.run(&mut self.datapath, &mut query)
+    }
 
-        // Check out one pooled state per ray.
-        let mut states: Vec<RayWork> = Vec::with_capacity(rays.len());
-        for _ in 0..rays.len() {
-            let mut work = self.work_pool.pop().unwrap_or_default();
-            work.reset(bvh.root());
-            states.push(work);
-        }
-
-        self.active.clear();
-        self.active.extend(0..rays.len());
-
-        while !self.active.is_empty() {
-            // Build one beat per active ray.  Rays whose stack drains while looking for their
-            // next beat retire in place.
-            self.requests.clear();
-            self.beat_owner.clear();
-            let mut still_active = 0;
-            for slot in 0..self.active.len() {
-                let ray_index = self.active[slot];
-                let state = &mut states[ray_index];
-                let beat = Self::next_beat(
-                    bvh,
-                    triangles,
-                    &rays[ray_index],
-                    ray_index,
-                    state,
-                    &mut self.stats,
-                );
-                if let Some(request) = beat {
-                    self.requests.push(request);
-                    self.beat_owner.push(ray_index);
-                    self.active[still_active] = ray_index;
-                    still_active += 1;
-                }
-            }
-            self.active.truncate(still_active);
-
-            // One bulk dispatch for the whole pass.
-            self.datapath
-                .execute_batch_into(&self.requests, &mut self.responses);
-
-            // Apply responses to the owning rays.
-            for (response, &ray_index) in self.responses.iter().zip(&self.beat_owner) {
-                let state = &mut states[ray_index];
-                if let Some(result) = response.triangle_result {
-                    let prim = state
-                        .pending
-                        .pop()
-                        .expect("triangle beat had a pending prim");
-                    record_triangle_hit(&mut state.best, &result, prim, &rays[ray_index]);
-                } else if let Some(result) = response.box_result {
-                    let children = match bvh.node(response.tag as usize) {
-                        Bvh4Node::Internal { children, .. } => children,
-                        Bvh4Node::Leaf { .. } => unreachable!("box beats only test internal nodes"),
-                    };
-                    push_hit_children(&mut state.stack, &result, children, state.best.as_ref());
-                }
-            }
-        }
-
-        // Collect hits and return the states to the pool.
-        let mut hits = Vec::with_capacity(rays.len());
-        for mut state in states {
-            hits.push(state.best.take());
-            self.work_pool.push(state);
-        }
-        hits
+    /// Runs the any-hit query over a ray stream wavefront-style; verdicts and statistics are
+    /// identical to [`TraversalEngine::any_hits`].
+    pub fn any_hits_wavefront(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        rays: &[Ray],
+    ) -> Vec<Option<TraversalHit>> {
+        self.stats.rays += rays.len() as u64;
+        let mut query = AnyHitQuery(TraversalQuery {
+            bvh,
+            triangles,
+            rays,
+            stats: &mut self.stats,
+        });
+        self.scheduler.run(&mut self.datapath, &mut query)
     }
 
     /// [`TraversalEngine::closest_hits_wavefront`] over a structure-of-arrays
@@ -312,45 +507,19 @@ impl TraversalEngine {
         hits
     }
 
-    /// Builds the next beat for one ray, advancing its state; `None` retires the ray.
-    ///
-    /// The per-ray beat order is exactly the scalar path's: all pending leaf primitives (in leaf
-    /// order), then the next stack node.  Box beats carry the node index as their tag so the
-    /// response can be matched back to the node's child table.
-    fn next_beat(
+    /// [`TraversalEngine::any_hits_wavefront`] over a structure-of-arrays [`RayPacket`] stream.
+    pub fn any_hits_stream(
+        &mut self,
         bvh: &Bvh4,
         triangles: &[Triangle],
-        ray: &Ray,
-        ray_index: usize,
-        state: &mut RayWork,
-        stats: &mut TraversalStats,
-    ) -> Option<RayFlexRequest> {
-        loop {
-            if let Some(&prim) = state.pending.last() {
-                stats.triangle_ops += 1;
-                return Some(RayFlexRequest::ray_triangle(
-                    ray_index as u64,
-                    ray,
-                    &triangles[prim],
-                ));
-            }
-            let node_index = state.stack.pop()?;
-            match bvh.node(node_index) {
-                Bvh4Node::Leaf { .. } => {
-                    stats.leaves_visited += 1;
-                    // Reversed so `pop` tests primitives in leaf order, like the scalar path.
-                    state
-                        .pending
-                        .extend(bvh.leaf_primitives(node_index).iter().rev());
-                }
-                Bvh4Node::Internal { child_bounds, .. } => {
-                    stats.nodes_visited += 1;
-                    stats.box_ops += 1;
-                    let boxes = pad_child_bounds(child_bounds);
-                    return Some(RayFlexRequest::ray_box(node_index as u64, ray, &boxes));
-                }
-            }
-        }
+        rays: &RayPacket,
+    ) -> Vec<Option<TraversalHit>> {
+        let mut unpacked = core::mem::take(&mut self.ray_scratch);
+        unpacked.clear();
+        unpacked.extend(rays.iter());
+        let hits = self.any_hits_wavefront(bvh, triangles, &unpacked);
+        self.ray_scratch = unpacked;
+        hits
     }
 
     fn tag(&mut self) -> u64 {
@@ -361,13 +530,13 @@ impl TraversalEngine {
 
     #[cfg(test)]
     fn work_pool_len(&self) -> usize {
-        self.work_pool.len()
+        self.scheduler.pooled_states()
     }
 }
 
 /// Applies one triangle-beat result to a ray's best hit, honouring the ray extent and the
 /// closest-so-far tie-breaking (strictly closer wins, so the first-tested primitive keeps ties).
-fn record_triangle_hit(
+pub(crate) fn record_triangle_hit(
     best: &mut Option<TraversalHit>,
     result: &rayflex_core::TriangleResult,
     prim: usize,
@@ -382,8 +551,9 @@ fn record_triangle_hit(
 }
 
 /// Pushes the hit children of one box-beat result onto a traversal stack in reverse traversal
-/// order (so the closest child pops first), pruning children farther than the best hit so far.
-fn push_hit_children(
+/// order (so the closest child pops first), pruning children farther than the best hit so far
+/// (pass `None` for query kinds that never prune).
+pub(crate) fn push_hit_children(
     stack: &mut Vec<usize>,
     result: &rayflex_core::BoxResult,
     children: &[Option<usize>; 4],
@@ -506,6 +676,7 @@ mod tests {
         let mut engine = TraversalEngine::baseline();
         let ray = Ray::new(Vec3::new(100.0, 100.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
         assert!(engine.closest_hit(&bvh, &triangles, &ray).is_none());
+        assert!(engine.any_hit(&bvh, &triangles, &ray).is_none());
         engine.reset_stats();
         assert_eq!(engine.stats().rays, 0);
     }
@@ -555,6 +726,53 @@ mod tests {
     }
 
     #[test]
+    fn any_hit_wavefront_matches_the_scalar_path_and_its_stats() {
+        let triangles = wall();
+        let bvh = Bvh4::build(&triangles);
+        // Shadow-style rays: finite extents, some reaching the wall, some stopping short.
+        let rays: Vec<Ray> = wall_rays(40)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let t_end = if i % 3 == 0 { 5.0 } else { 40.0 };
+                Ray::with_extent(r.origin, r.dir, 1e-3, t_end)
+            })
+            .collect();
+        let mut scalar = TraversalEngine::baseline();
+        let expected = scalar.any_hits(&bvh, &triangles, &rays);
+        let mut wavefront = TraversalEngine::baseline();
+        let got = wavefront.any_hits_wavefront(&bvh, &triangles, &rays);
+        assert_eq!(expected, got);
+        assert_eq!(scalar.stats(), wavefront.stats());
+        // The short rays must not report occlusion.
+        for (i, hit) in got.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(hit.is_none(), "short ray {i} cannot reach the wall");
+            }
+        }
+        assert!(got.iter().any(Option::is_some), "some rays are occluded");
+    }
+
+    #[test]
+    fn any_hit_terminates_early_compared_to_closest_hit() {
+        let triangles = wall();
+        let bvh = Bvh4::build(&triangles);
+        let rays = wall_rays(40);
+        let mut closest = TraversalEngine::baseline();
+        let closest_hits = closest.closest_hits_wavefront(&bvh, &triangles, &rays);
+        let mut any = TraversalEngine::baseline();
+        let any_hits = any.any_hits_wavefront(&bvh, &triangles, &rays);
+        // The verdicts agree even though the reported hit may differ.
+        for (i, (c, a)) in closest_hits.iter().zip(&any_hits).enumerate() {
+            assert_eq!(c.is_some(), a.is_some(), "ray {i}");
+        }
+        assert!(
+            any.stats().total_ops() <= closest.stats().total_ops(),
+            "first-hit termination can only reduce the beat count"
+        );
+    }
+
+    #[test]
     fn packet_streams_match_slice_streams() {
         let triangles = wall();
         let bvh = Bvh4::build(&triangles);
@@ -565,6 +783,10 @@ mod tests {
         assert_eq!(
             a.closest_hits_stream(&bvh, &triangles, &packet),
             b.closest_hits_wavefront(&bvh, &triangles, &rays),
+        );
+        assert_eq!(
+            a.any_hits_stream(&bvh, &triangles, &packet),
+            b.any_hits_wavefront(&bvh, &triangles, &rays),
         );
     }
 
@@ -583,5 +805,27 @@ mod tests {
             rays.len(),
             "states returned to the pool"
         );
+        // The any-hit query shares the same pool.
+        let _ = engine.any_hits_wavefront(&bvh, &triangles, &rays);
+        assert_eq!(engine.work_pool_len(), rays.len());
+    }
+
+    #[test]
+    fn beat_mix_reflects_the_traversal_workload() {
+        let triangles = wall();
+        let bvh = Bvh4::build(&triangles);
+        let rays = wall_rays(10);
+        let mut engine = TraversalEngine::baseline();
+        let _ = engine.closest_hits_wavefront(&bvh, &triangles, &rays);
+        let mix = engine.beat_mix();
+        assert_eq!(
+            mix.count(rayflex_core::Opcode::RayBox),
+            engine.stats().box_ops
+        );
+        assert_eq!(
+            mix.count(rayflex_core::Opcode::RayTriangle),
+            engine.stats().triangle_ops
+        );
+        assert_eq!(mix.total(), engine.stats().total_ops());
     }
 }

@@ -1,0 +1,110 @@
+//! Property-based tests of the wavefront any-hit/shadow query: for arbitrary random scenes, ray
+//! streams (including finite shadow-style extents) and datapath configurations, the batched
+//! wavefront path agrees with the scalar reference — the same occluded/unoccluded verdict per
+//! ray, the same reported hit, and identical [`TraversalStats`] — and its verdict matches what
+//! the closest-hit query implies (a sibling of `crates/core/tests/proptest_batch.rs`, one layer
+//! up the stack).
+
+use proptest::prelude::*;
+
+use rayflex_core::PipelineConfig;
+use rayflex_geometry::{Ray, Triangle, Vec3};
+use rayflex_rtunit::{Bvh4, TraversalEngine};
+
+fn coordinate() -> impl Strategy<Value = f32> {
+    -50.0f32..50.0
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (coordinate(), coordinate(), coordinate()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn triangle() -> impl Strategy<Value = Triangle> {
+    (vec3(), vec3(), vec3())
+        .prop_map(|(a, b, c)| Triangle::new(a, b, c))
+        .prop_filter("non-degenerate", |t| t.area() > 1e-3)
+}
+
+fn scene() -> impl Strategy<Value = Vec<Triangle>> {
+    prop::collection::vec(triangle(), 1..40)
+}
+
+/// Rays with random origins/directions and a mix of infinite and finite (shadow-style) extents.
+fn ray() -> impl Strategy<Value = Ray> {
+    (vec3(), vec3(), any::<bool>(), 1.0f32..120.0).prop_filter_map(
+        "non-zero direction",
+        |(origin, toward, finite, t_end)| {
+            let dir = toward - origin;
+            if dir.length_squared() <= 1e-6 {
+                return None;
+            }
+            Some(if finite {
+                Ray::with_extent(origin, dir, 1e-3, t_end)
+            } else {
+                Ray::new(origin, dir)
+            })
+        },
+    )
+}
+
+fn configs() -> impl Strategy<Value = PipelineConfig> {
+    (0usize..PipelineConfig::evaluated_configs().len())
+        .prop_map(|i| PipelineConfig::evaluated_configs()[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wavefront_any_hit_agrees_with_the_scalar_reference(
+        triangles in scene(),
+        rays in prop::collection::vec(ray(), 1..12),
+        config in configs(),
+    ) {
+        let bvh = Bvh4::build(&triangles);
+
+        let mut scalar = TraversalEngine::with_config(config);
+        let expected = scalar.any_hits(&bvh, &triangles, &rays);
+
+        let mut wavefront = TraversalEngine::with_config(config);
+        let got = wavefront.any_hits_wavefront(&bvh, &triangles, &rays);
+
+        // Identical verdicts and identical reported hits (the per-ray beat sequence is the
+        // same, so not just hit/no-hit but the exact primitive and bit-exact distance match).
+        prop_assert_eq!(expected.len(), got.len());
+        for (i, (e, g)) in expected.iter().zip(&got).enumerate() {
+            match (e, g) {
+                (None, None) => {}
+                (Some(e), Some(g)) => {
+                    prop_assert_eq!(e.primitive, g.primitive, "ray {}", i);
+                    prop_assert_eq!(e.t.to_bits(), g.t.to_bits(), "ray {}", i);
+                }
+                other => prop_assert!(false, "ray {}: {:?}", i, other),
+            }
+        }
+        // Identical beat sequences mean identical statistics.
+        prop_assert_eq!(scalar.stats(), wavefront.stats());
+    }
+
+    #[test]
+    fn any_hit_verdicts_are_consistent_with_closest_hit(
+        triangles in scene(),
+        rays in prop::collection::vec(ray(), 1..8),
+        config in configs(),
+    ) {
+        let bvh = Bvh4::build(&triangles);
+        let mut closest = TraversalEngine::with_config(config);
+        let mut any = TraversalEngine::with_config(config);
+        for (i, r) in rays.iter().enumerate() {
+            let closest_hit = closest.closest_hit(&bvh, &triangles, r);
+            let any_hit = any.any_hit(&bvh, &triangles, r);
+            // A ray is occluded iff it has a closest hit; the any-hit distance can only be
+            // farther than or equal to the closest one.
+            prop_assert_eq!(closest_hit.is_some(), any_hit.is_some(), "ray {}", i);
+            if let (Some(c), Some(a)) = (closest_hit, any_hit) {
+                prop_assert!(a.t >= c.t, "ray {}: any-hit {} < closest {}", i, a.t, c.t);
+            }
+        }
+        prop_assert_eq!(closest.stats().rays, any.stats().rays);
+    }
+}

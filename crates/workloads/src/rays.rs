@@ -1,11 +1,19 @@
-//! Ray-stream generators: deterministic camera and random ray batches for the traversal engines
-//! and the simulator performance baselines, available as array-of-structures slices or as
-//! structure-of-arrays [`RayPacket`]s.
+//! Ray-stream generators: deterministic camera, shadow, ambient-occlusion and random ray batches
+//! for the traversal engines and the simulator performance baselines, available as
+//! array-of-structures slices or as structure-of-arrays [`RayPacket`]s.
+//!
+//! The shadow and ambient-occlusion generators produce **finite-extent** rays for the any-hit
+//! query: a shadow ray spans surface point to light (hit ⇒ the point is in shadow), an AO ray
+//! spans a short hemisphere probe (hit ⇒ nearby geometry occludes ambient light).  Both offset
+//! their extents by a small epsilon so a ray never reports its own originating surface.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rayflex_geometry::{sampling, Aabb, Ray, RayPacket, Vec3};
+
+/// The self-intersection offset applied by the shadow and ambient-occlusion generators.
+pub const SHADOW_EPSILON: f32 = 1e-3;
 
 /// A `width` × `height` grid of primary camera rays: origins on the plane `z = 0` spanning
 /// `extent` in x/y, all looking down `+z` with a slight deterministic jitter so neighbouring rays
@@ -48,6 +56,74 @@ pub fn random_rays_packet(seed: u64, count: usize, bounds: &Aabb) -> RayPacket {
     RayPacket::from_rays(&random_rays(seed, count, bounds))
 }
 
+/// One shadow ray per surface point, aimed at a point light: unit direction toward the light,
+/// extent `[SHADOW_EPSILON, distance - SHADOW_EPSILON]`.  An any-hit traversal reporting a hit
+/// means the point is occluded from the light.  Points closer to the light than twice the
+/// epsilon yield degenerate (empty-extent) rays that can never hit.
+#[must_use]
+pub fn shadow_rays(points: &[Vec3], light: Vec3) -> Vec<Ray> {
+    points
+        .iter()
+        .map(|&point| {
+            let to_light = light - point;
+            let distance = to_light.length();
+            let dir = if distance > 0.0 {
+                to_light / distance
+            } else {
+                Vec3::new(0.0, 1.0, 0.0)
+            };
+            Ray::with_extent(point, dir, SHADOW_EPSILON, distance - SHADOW_EPSILON)
+        })
+        .collect()
+}
+
+/// Shadow rays for a `width`×`height` grid of points on the plane `y = plane_y` spanning
+/// ±`extent / 2` in x/z, aimed at `light` — the query stream paired with
+/// [`crate::scenes::soft_shadow`].
+#[must_use]
+pub fn floor_shadow_rays(
+    width: usize,
+    height: usize,
+    extent: f32,
+    plane_y: f32,
+    light: Vec3,
+) -> Vec<Ray> {
+    let (width, height) = (width.max(1), height.max(1));
+    let points: Vec<Vec3> = (0..width * height)
+        .map(|i| {
+            let x = ((i % width) as f32 / width as f32 - 0.5) * extent;
+            let z = ((i / width) as f32 / height as f32 - 0.5) * extent;
+            Vec3::new(x, plane_y, z)
+        })
+        .collect();
+    shadow_rays(&points, light)
+}
+
+/// `samples_per_point` ambient-occlusion probe rays per `(point, normal)` pair: directions
+/// uniformly sampled on the hemisphere around the normal, extent
+/// `[SHADOW_EPSILON, max_distance]` (deterministic per seed).  The occluded fraction of a
+/// point's probes estimates its ambient occlusion.
+#[must_use]
+pub fn ambient_occlusion_rays(
+    seed: u64,
+    surfels: &[(Vec3, Vec3)],
+    samples_per_point: usize,
+    max_distance: f32,
+) -> Vec<Ray> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rays = Vec::with_capacity(surfels.len() * samples_per_point);
+    for &(point, normal) in surfels {
+        for _ in 0..samples_per_point {
+            let mut dir = sampling::unit_direction(&mut rng);
+            if dir.dot(normal) < 0.0 {
+                dir = -dir;
+            }
+            rays.push(Ray::with_extent(point, dir, SHADOW_EPSILON, max_distance));
+        }
+    }
+    rays
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +149,53 @@ mod tests {
     #[test]
     fn degenerate_grid_sizes_are_clamped() {
         assert_eq!(camera_grid(0, 0, 1.0).len(), 1);
+    }
+
+    #[test]
+    fn shadow_rays_span_point_to_light() {
+        let light = Vec3::new(0.0, 10.0, 0.0);
+        let points = vec![Vec3::new(3.0, 0.0, 4.0), Vec3::new(0.0, 0.0, 0.0), light];
+        let rays = shadow_rays(&points, light);
+        assert_eq!(rays.len(), 3);
+        for (ray, point) in rays.iter().zip(&points) {
+            assert_eq!(ray.t_beg, SHADOW_EPSILON);
+            assert!((ray.dir.length() - 1.0).abs() < 1e-5 || *point == light);
+            // The extent stops short of the light itself.
+            let distance = (light - *point).length();
+            assert!(ray.t_end <= distance);
+        }
+        // A point at the light gets a degenerate extent that can never hit.
+        assert!(rays[2].t_end < rays[2].t_beg);
+    }
+
+    #[test]
+    fn floor_shadow_rays_cover_the_floor_grid() {
+        let light = Vec3::new(0.0, 12.0, 0.0);
+        let rays = floor_shadow_rays(8, 6, 20.0, 0.0, light);
+        assert_eq!(rays.len(), 48);
+        assert!(rays.iter().all(|r| r.origin.y == 0.0));
+        assert!(rays.iter().all(|r| r.origin.x.abs() <= 10.0));
+        assert!(rays.iter().all(|r| r.dir.y > 0.0), "all rays aim upward");
+        assert_eq!(floor_shadow_rays(0, 0, 20.0, 0.0, light).len(), 1);
+    }
+
+    #[test]
+    fn ambient_occlusion_rays_stay_in_the_hemisphere() {
+        let surfels = vec![
+            (Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)),
+            (Vec3::new(5.0, 1.0, -2.0), Vec3::new(1.0, 0.0, 0.0)),
+        ];
+        let rays = ambient_occlusion_rays(11, &surfels, 16, 3.0);
+        assert_eq!(rays.len(), 32);
+        for (i, ray) in rays.iter().enumerate() {
+            let normal = surfels[i / 16].1;
+            assert!(ray.dir.dot(normal) >= 0.0, "ray {i} leaves the surface");
+            assert_eq!(ray.t_beg, SHADOW_EPSILON);
+            assert_eq!(ray.t_end, 3.0);
+        }
+        assert_eq!(
+            ambient_occlusion_rays(11, &surfels, 16, 3.0),
+            ambient_occlusion_rays(11, &surfels, 16, 3.0)
+        );
     }
 }

@@ -121,6 +121,34 @@ pub fn sphere_cloud(seed: u64, count: usize, extent: f32, max_radius: f32) -> Ve
         .collect()
 }
 
+/// A soft-shadow test scene: a horizontal floor at `y = 0` spanning ±`extent` in x/z with an
+/// icosphere occluder of radius `extent / 6` floating above its centre.  Pairs with
+/// [`crate::rays::floor_shadow_rays`]: shadow rays cast from the floor toward a light above the
+/// occluder are blocked under the sphere and unobstructed elsewhere, giving an any-hit workload
+/// with a realistic mix of occluded and open rays.
+#[must_use]
+pub fn soft_shadow(subdivisions: u32, extent: f32) -> Vec<Triangle> {
+    let e = extent;
+    let mut triangles = vec![
+        Triangle::new(
+            Vec3::new(-e, 0.0, -e),
+            Vec3::new(e, 0.0, -e),
+            Vec3::new(e, 0.0, e),
+        ),
+        Triangle::new(
+            Vec3::new(-e, 0.0, -e),
+            Vec3::new(e, 0.0, e),
+            Vec3::new(-e, 0.0, e),
+        ),
+    ];
+    triangles.extend(icosphere(
+        subdivisions,
+        extent / 6.0,
+        Vec3::new(0.0, extent / 2.0, 0.0),
+    ));
+    triangles
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +186,21 @@ mod tests {
         assert!(wall
             .iter()
             .all(|t| t.v0.z == 12.0 && t.v1.z == 12.0 && t.v2.z == 12.0));
+    }
+
+    #[test]
+    fn soft_shadow_scene_has_a_floor_and_an_occluder() {
+        let scene = soft_shadow(1, 12.0);
+        assert_eq!(scene.len(), 2 + 80, "two floor triangles plus the occluder");
+        // The floor is at y = 0 and the occluder floats strictly above it.
+        for tri in &scene[..2] {
+            assert!(tri.v0.y == 0.0 && tri.v1.y == 0.0 && tri.v2.y == 0.0);
+        }
+        for tri in &scene[2..] {
+            for v in [tri.v0, tri.v1, tri.v2] {
+                assert!(v.y >= 12.0 / 2.0 - 12.0 / 6.0 - 1e-3);
+            }
+        }
     }
 
     #[test]

@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# Runs the simulator performance baseline suite and writes BENCH_baseline.json at the repo root.
+# Runs the simulator performance baseline suites and writes BENCH_baseline.json (scalar vs
+# batched vs parallel traversal) and BENCH_query_engine.json (render/shadow/knn query kinds on
+# the generic batched query engine) at the repo root.
 #
 # Tunables (environment variables, all optional):
-#   RAYFLEX_BENCH_RAYS     rays per scene           (default 4096)
-#   RAYFLEX_BENCH_REPEATS  best-of timing repeats   (default 3)
-#   RAYFLEX_BENCH_THREADS  parallel worker threads  (default: available parallelism)
+#   RAYFLEX_BENCH_RAYS         rays per scene / items per mode   (default 4096)
+#   RAYFLEX_BENCH_REPEATS      best-of timing repeats            (default 3)
+#   RAYFLEX_BENCH_THREADS      parallel worker threads           (default: available parallelism)
+#   RAYFLEX_BENCH_MIN_SPEEDUP  fail below this batched-vs-scalar speedup floor (CI sets 3.0)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 export RAYFLEX_BENCH_JSON="${RAYFLEX_BENCH_JSON:-$repo_root/BENCH_baseline.json}"
+export RAYFLEX_BENCH_QUERY_JSON="${RAYFLEX_BENCH_QUERY_JSON:-$repo_root/BENCH_query_engine.json}"
 
 cargo bench -p rayflex-bench --bench perf_simulator
 
 echo
 echo "Baseline: $RAYFLEX_BENCH_JSON"
+echo "Query engine: $RAYFLEX_BENCH_QUERY_JSON"
