@@ -1,9 +1,12 @@
 //! Simulator performance benchmarks: criterion-style micro-benchmarks of the softfloat core and
 //! the datapath models, plus the scene-level baseline suite comparing the scalar, batched and
-//! parallel traversal paths and the query-engine suite comparing every retrofitted query kind
-//! (render, shadow, knn) against its scalar drive loop.  The baselines are written as
-//! machine-readable JSON to `RAYFLEX_BENCH_JSON` (default `BENCH_baseline.json`) and
-//! `RAYFLEX_BENCH_QUERY_JSON` (default `BENCH_query_engine.json`) at the workspace root.
+//! parallel traversal paths, the query-engine suite comparing every retrofitted query kind
+//! (render, shadow, knn) against its scalar drive loop, and the render-pass suite comparing the
+//! deferred renderer's pass configurations (primary, shadowed, shadowed+AO) against the scalar
+//! multi-pass reference.  The baselines are written as machine-readable JSON to
+//! `RAYFLEX_BENCH_JSON` (default `BENCH_baseline.json`), `RAYFLEX_BENCH_QUERY_JSON` (default
+//! `BENCH_query_engine.json`) and `RAYFLEX_BENCH_RENDER_JSON` (default
+//! `BENCH_render_passes.json`) at the workspace root.
 //!
 //! These are not paper claims — they tell library users and future scaling PRs how fast the Rust
 //! model runs on their machine.  Tunables: `RAYFLEX_BENCH_RAYS` (rays per scene, default 4096),
@@ -138,19 +141,37 @@ fn run_baseline_suite() {
         Err(error) => eprintln!("could not write {query_path}: {error}"),
     }
 
+    let render = rayflex_bench::perf::run_render_pass_suite(rays, repeats);
+    println!("{}", render.render_table());
+    let render_path = std::env::var("RAYFLEX_BENCH_RENDER_JSON").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_render_passes.json"
+        )
+        .to_string()
+    });
+    match std::fs::write(&render_path, render.to_json()) {
+        Ok(()) => println!("render-pass baseline written to {render_path}"),
+        Err(error) => eprintln!("could not write {render_path}: {error}"),
+    }
+
     // The CI acceptance gate: with `RAYFLEX_BENCH_MIN_SPEEDUP` set (CI uses the 3x floor), a
-    // batched-vs-scalar regression below the floor fails the run.
+    // batched-vs-scalar regression below the floor in any suite fails the run.
     if let Ok(floor) = std::env::var("RAYFLEX_BENCH_MIN_SPEEDUP") {
         let floor: f64 = floor
             .parse()
             .expect("RAYFLEX_BENCH_MIN_SPEEDUP is a number");
-        let worst = baseline.min_best_speedup().min(query.min_speedup());
+        let worst = baseline
+            .min_best_speedup()
+            .min(query.min_speedup())
+            .min(render.min_speedup());
         if worst < floor {
             eprintln!(
                 "FAIL: batched-vs-scalar speedup {worst:.2}x fell below the {floor:.1}x floor \
-                 (baseline {:.2}x, query engine {:.2}x)",
+                 (baseline {:.2}x, query engine {:.2}x, render passes {:.2}x)",
                 baseline.min_best_speedup(),
-                query.min_speedup()
+                query.min_speedup(),
+                render.min_speedup()
             );
             std::process::exit(1);
         }

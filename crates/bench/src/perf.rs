@@ -21,6 +21,10 @@
 //! retrofitted onto the generic batched query engine — rendering (one batched primary-ray stream
 //! per frame), any-hit/shadow streams, and k-NN distance scoring — each timed against its scalar
 //! per-beat drive loop and cross-checked bit-for-bit first.
+//!
+//! A third suite ([`run_render_pass_suite`], `BENCH_render_passes.json`) covers the multi-pass
+//! deferred renderer: primary-only, shadowed, and shadowed+AO frame configurations, each timed
+//! batched versus the scalar multi-pass reference after a pixel-bit-identity cross-check.
 
 use std::time::Instant;
 
@@ -28,8 +32,8 @@ use rayflex_core::{PipelineConfig, RayFlexDatapath, RayFlexRequest};
 use rayflex_geometry::golden::distance::EUCLIDEAN_LANES;
 use rayflex_geometry::{Aabb, Ray, Triangle, Vec3};
 use rayflex_rtunit::{
-    default_light_dir, shade, trace_rays_parallel, Bvh4, Camera, KnnEngine, KnnMetric, Renderer,
-    TraversalEngine, TraversalHit,
+    default_light_dir, shade, trace_rays_parallel, Bvh4, Camera, Image, KnnEngine, KnnMetric,
+    RenderPasses, Renderer, TraversalEngine, TraversalHit,
 };
 use rayflex_workloads::{rays, scenes, vectors};
 
@@ -431,6 +435,205 @@ impl QueryEngineBaseline {
     }
 }
 
+/// One pass configuration of the deferred-renderer suite, timed batched versus the scalar
+/// multi-pass reference.
+#[derive(Debug, Clone)]
+pub struct RenderPassPerf {
+    /// Pass configuration name (`primary`, `shadowed`, `shadowed_ao`).
+    pub pass: &'static str,
+    /// Pixels per frame.
+    pub pixels: u64,
+    /// Total rays traced per frame across all passes (primary + shadow + AO).
+    pub rays: u64,
+    /// Datapath beats per frame.
+    pub beats: u64,
+    /// Best-of wall time of the scalar multi-pass reference frame, in seconds.
+    pub scalar_seconds: f64,
+    /// Best-of wall time of the batched multi-pass frame, in seconds.
+    pub batched_seconds: f64,
+    /// `scalar_seconds / batched_seconds`.
+    pub speedup: f64,
+}
+
+/// The deferred-renderer baseline document (`BENCH_render_passes.json`): how much the batched
+/// wavefront passes buy over the scalar per-pixel multi-pass reference for every render-pass
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct RenderPassBaseline {
+    /// Timing repeats per measurement (best-of).
+    pub repeats: usize,
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Per-pass-configuration measurements.
+    pub passes: Vec<RenderPassPerf>,
+}
+
+impl RenderPassBaseline {
+    /// The smallest batched-over-scalar speedup across pass configurations (the acceptance gate
+    /// checks this against the 3× floor).
+    #[must_use]
+    pub fn min_speedup(&self) -> f64 {
+        self.passes
+            .iter()
+            .map(|p| p.speedup)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Renders the machine-readable JSON baseline.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str(&format!(
+            "  \"frame\": {{\"width\": {}, \"height\": {}}},\n",
+            self.width, self.height
+        ));
+        out.push_str(&format!("  \"min_speedup\": {:.2},\n", self.min_speedup()));
+        out.push_str("  \"passes\": [\n");
+        for (i, p) in self.passes.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"pass\": \"{}\", \"pixels\": {}, \"rays\": {}, \"beats\": {}, \"scalar_seconds\": {:.6}, \"batched_seconds\": {:.6}, \"speedup\": {:.2}}}",
+                p.pass, p.pixels, p.rays, p.beats, p.scalar_seconds, p.batched_seconds, p.speedup
+            ));
+            out.push_str(if i + 1 < self.passes.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the human-readable report.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        use rayflex_synth::report::Table;
+        let mut table = Table::new(vec![
+            "pass",
+            "pixels",
+            "rays",
+            "beats",
+            "scalar (ms)",
+            "batched (ms)",
+            "speedup",
+        ]);
+        for p in &self.passes {
+            table.add_row(vec![
+                p.pass.to_string(),
+                p.pixels.to_string(),
+                p.rays.to_string(),
+                p.beats.to_string(),
+                format!("{:.2}", p.scalar_seconds * 1e3),
+                format!("{:.2}", p.batched_seconds * 1e3),
+                format!("{:.2}x", p.speedup),
+            ]);
+        }
+        format!(
+            "Deferred-render baseline ({}x{} frame, best of {} runs): scalar multi-pass reference vs batched wavefront passes\n{}\n\
+             Minimum batched-over-scalar speedup across pass configurations: {:.2}x\n",
+            self.width,
+            self.height,
+            self.repeats,
+            table.render(),
+            self.min_speedup(),
+        )
+    }
+}
+
+fn assert_frames_match(pass: &str, expected: &Image, got: &Image) {
+    assert_eq!(
+        expected.first_mismatch(got),
+        None,
+        "{pass}: batched frame diverged from the reference"
+    );
+}
+
+/// Runs the deferred-renderer suite: times the scalar multi-pass reference against the batched
+/// wavefront passes for the primary-only, shadowed and shadowed+AO configurations on the lit
+/// scene, cross-checking that each pair produces bit-identical frames (and identical traversal
+/// statistics) before timing anything.
+///
+/// `pixels_per_frame` is rounded up to a square frame.  `repeats` is the best-of count per
+/// measurement.
+#[must_use]
+pub fn run_render_pass_suite(pixels_per_frame: usize, repeats: usize) -> RenderPassBaseline {
+    let side = (pixels_per_frame.max(4) as f64).sqrt().ceil() as usize;
+    let (width, height) = (side, side);
+    let config = PipelineConfig::baseline_unified();
+    let scene = scenes::lit_scene(2, 24.0);
+    let bvh = Bvh4::build(&scene.triangles);
+    let camera = Camera::looking_at(scene.eye, scene.target);
+
+    let shadowed = RenderPasses::shadowed(scene.light);
+    let with_ao = shadowed.with_ambient_occlusion(4, 6.0, 2024);
+    let pass_configs: [(&'static str, Option<RenderPasses>); 3] = [
+        ("primary", None),
+        ("shadowed", Some(shadowed)),
+        ("shadowed_ao", Some(with_ao)),
+    ];
+
+    let mut passes = Vec::new();
+    for (name, pass) in pass_configs {
+        let scalar_frame = |renderer: &mut Renderer| match &pass {
+            None => renderer.render_reference(&bvh, &scene.triangles, &camera, width, height),
+            Some(p) => renderer.render_deferred_reference(
+                &bvh,
+                &scene.triangles,
+                &camera,
+                width,
+                height,
+                p,
+            ),
+        };
+        let batched_frame = |renderer: &mut Renderer| match &pass {
+            None => renderer.render(&bvh, &scene.triangles, &camera, width, height),
+            Some(p) => renderer.render_deferred(&bvh, &scene.triangles, &camera, width, height, p),
+        };
+
+        // Reference run: the expected frame, rays and beat counts, then the bit-identity
+        // cross-check of the batched frame (pixels *and* statistics).
+        let mut reference = Renderer::with_config(config);
+        let expected = scalar_frame(&mut reference);
+        let reference_stats = reference.stats();
+        let mut batched = Renderer::with_config(config);
+        let image = batched_frame(&mut batched);
+        assert_frames_match(name, &expected, &image);
+        assert_eq!(
+            batched.stats(),
+            reference_stats,
+            "{name}: batched TraversalStats diverged from the reference"
+        );
+
+        let (scalar_seconds, _) = time_best_of(repeats, || {
+            let mut renderer = Renderer::with_config(config);
+            scalar_frame(&mut renderer)
+        });
+        let (batched_seconds, _) = time_best_of(repeats, || {
+            let mut renderer = Renderer::with_config(config);
+            batched_frame(&mut renderer)
+        });
+        passes.push(RenderPassPerf {
+            pass: name,
+            pixels: (width * height) as u64,
+            rays: reference_stats.rays,
+            beats: reference_stats.total_ops(),
+            scalar_seconds,
+            batched_seconds,
+            speedup: scalar_seconds / batched_seconds,
+        });
+    }
+
+    RenderPassBaseline {
+        repeats,
+        width,
+        height,
+        passes,
+    }
+}
+
 /// Per-beat emulated Euclidean scoring of a candidate set — the pre-refactor scalar k-NN drive
 /// loop, kept here as the timing/correctness reference (the library itself only has the batched
 /// path).
@@ -635,6 +838,27 @@ mod tests {
         assert!(json.contains("render") && json.contains("shadow") && json.contains("knn"));
         let table = baseline.render_table();
         assert!(table.contains("speedup") && table.contains("shadow"));
+    }
+
+    #[test]
+    fn the_render_pass_suite_runs_and_reports_consistent_numbers() {
+        let baseline = run_render_pass_suite(64, 1);
+        assert_eq!(baseline.passes.len(), 3);
+        assert_eq!(baseline.width * baseline.height, 64);
+        let mut rays = Vec::new();
+        for pass in &baseline.passes {
+            assert!(pass.pixels > 0 && pass.rays > 0 && pass.beats > 0);
+            assert!(pass.scalar_seconds > 0.0 && pass.batched_seconds > 0.0);
+            assert!(pass.speedup > 0.0);
+            rays.push(pass.rays);
+        }
+        // Each configuration adds a pass, so each traces strictly more rays per frame.
+        assert!(rays[0] < rays[1] && rays[1] < rays[2]);
+        let json = baseline.to_json();
+        assert!(json.contains("\"passes\""));
+        assert!(json.contains("primary") && json.contains("shadowed_ao"));
+        let table = baseline.render_table();
+        assert!(table.contains("speedup") && table.contains("shadowed"));
     }
 
     #[test]

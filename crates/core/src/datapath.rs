@@ -65,8 +65,8 @@ impl BeatMix {
 /// stages applied in place (see
 /// [`stages::apply_all_middle_stages_in_place`](crate::stages::apply_all_middle_stages_in_place)),
 /// so a steady-state batch performs no per-beat allocation and no per-stage structure copies.
-/// Batched execution runs the native fast model ([`crate::fastpath`]), not the stage functions;
-/// its bit-identity to beat-at-a-time execution is pinned by the property tests in
+/// Batched execution runs the native fast model (the private `fastpath` module), not the stage
+/// functions; its bit-identity to beat-at-a-time execution is pinned by the property tests in
 /// `crates/core/tests/proptest_batch.rs`, so a stage-logic change that diverges from the golden
 /// models fails the suite rather than silently splitting the two paths.
 ///
@@ -153,7 +153,7 @@ impl RayFlexDatapath {
 
     /// Executes a batch of beats in order and collects their responses.
     ///
-    /// Batches run on the native fast model (see [`crate::fastpath`]): responses are
+    /// Batches run on the native fast model (see the private `fastpath` module): responses are
     /// bit-identical to calling [`RayFlexDatapath::execute`] per beat — the property test in
     /// `crates/core/tests/proptest_batch.rs` pins this for arbitrary mixed streams on every
     /// configuration — but roughly an order of magnitude faster, because no beat pays for the

@@ -270,8 +270,8 @@ impl KnnEngine {
 
     /// Scores every candidate against `query` under the chosen metric through the batched query
     /// engine: candidates share bulk datapath dispatches, in chunks bounded by
-    /// [`KnnEngine::MAX_BEATS_PER_PASS`] beats so memory stays flat for arbitrarily large
-    /// datasets.  Returns one distance per candidate, in candidate order.
+    /// `MAX_BEATS_PER_PASS` (65536) beats so memory stays flat for arbitrarily large datasets.
+    /// Returns one distance per candidate, in candidate order.
     ///
     /// # Panics
     ///

@@ -28,8 +28,10 @@
 //! * [`KnnEngine`] — k-nearest-neighbour search over arbitrary-dimensional vectors using the
 //!   extended datapath's Euclidean and cosine operations (case study §V-A), with all candidate
 //!   scoring batched through the shared scheduler,
-//! * [`Renderer`] — a small ray-casting renderer tracing each frame as one batched primary-ray
-//!   stream.
+//! * [`Renderer`] — a multi-pass deferred renderer: a batched closest-hit primary pass, surfel
+//!   (G-buffer) extraction, a batched any-hit shadow pass and an optional batched any-hit
+//!   ambient-occlusion pass, composed into a frame that is pixel-bit-identical to its scalar
+//!   multi-pass reference; [`render_parallel`] shards every pass across worker threads.
 //!
 //! # Example
 //!
@@ -68,6 +70,9 @@ pub use parallel::{
     MIN_RAYS_PER_SHARD,
 };
 pub use query::{BatchQuery, QueryKind, WavefrontScheduler};
-pub use renderer::{default_light_dir, shade, Camera, Image, Renderer};
+pub use renderer::{
+    default_light_dir, extract_surfels, render_parallel, shade, shade_deferred, Camera,
+    CameraBasis, Image, RenderPasses, Renderer,
+};
 pub use rt_unit::{RtUnit, RtUnitConfig, RtUnitStats};
 pub use traversal::{TraversalEngine, TraversalHit, TraversalStats};

@@ -51,28 +51,38 @@ fn effective_threads(threads: usize, items: usize) -> usize {
     threads.clamp(1, items.max(1)).min(by_shard_size)
 }
 
-/// Runs `work` over contiguous shards of `items` on `threads` scoped workers, returning the
-/// per-shard results in shard order.
-fn shard_map<T: Sync, R: Send>(
-    items: &[T],
+/// Runs `work` over contiguous index ranges covering `0..total` on `threads` scoped workers and
+/// concatenates the per-shard hits (in shard order) with summed statistics — the one sharding
+/// skeleton every parallel frontend uses, whether the shard is borrowed as a slice (AoS streams)
+/// or materialised from SoA storage (packet streams).
+fn shard_map(
+    total: usize,
     threads: usize,
-    work: impl Fn(&[T]) -> R + Sync,
-) -> Vec<R> {
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, items.len());
-    let shard_len = items.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(shard_len)
-            .map(|shard| scope.spawn(|| work(shard)))
+    work: impl Fn(core::ops::Range<usize>) -> (Vec<Option<TraversalHit>>, TraversalStats) + Sync,
+) -> (Vec<Option<TraversalHit>>, TraversalStats) {
+    let threads = threads.clamp(1, total.max(1));
+    let shard_len = total.div_ceil(threads);
+    let work = &work;
+    let shards = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..total)
+            .step_by(shard_len.max(1))
+            .map(|begin| {
+                let range = begin..(begin + shard_len).min(total);
+                scope.spawn(move || work(range))
+            })
             .collect();
         handles
             .into_iter()
             .map(|handle| handle.join().expect("traversal worker panicked"))
-            .collect()
-    })
+            .collect::<Vec<_>>()
+    });
+    let mut hits = Vec::with_capacity(total);
+    let mut stats = TraversalStats::default();
+    for (shard_hits, shard_stats) in shards {
+        hits.extend(shard_hits);
+        stats.merge(&shard_stats);
+    }
+    (hits, stats)
 }
 
 /// Shards `rays` across workers running `trace` (one private wavefront engine per worker), or
@@ -91,18 +101,11 @@ fn trace_sharded(
         let hits = trace(&mut engine, rays);
         return (hits, engine.stats());
     }
-    let shards = shard_map(rays, threads, |shard| {
+    shard_map(rays.len(), threads, |range| {
         let mut engine = TraversalEngine::with_config(config);
-        let hits = trace(&mut engine, shard);
+        let hits = trace(&mut engine, &rays[range]);
         (hits, engine.stats())
-    });
-    let mut hits = Vec::with_capacity(rays.len());
-    let mut stats = TraversalStats::default();
-    for (shard_hits, shard_stats) in shards {
-        hits.extend(shard_hits);
-        stats.merge(&shard_stats);
-    }
-    (hits, stats)
+    })
 }
 
 /// Traces a ray stream across up to `threads` parallel workers, each driving its own datapath of
@@ -168,6 +171,12 @@ pub fn trace_shadow_rays_parallel(
 }
 
 /// [`trace_rays_parallel`] over a structure-of-arrays [`RayPacket`] stream.
+///
+/// The packet is sharded by **index ranges**: each worker unpacks only its own contiguous SoA
+/// slice into a private array-of-structures buffer, so peak AoS memory is one shard rather than
+/// the whole stream (the stream used to be materialised in full before sharding).  Hits, hit
+/// order and summed statistics are bit-identical to [`trace_rays_parallel`] over the unpacked
+/// stream — `RayPacket::get` reconstructs every ray field exactly.
 #[must_use]
 pub fn trace_packet_parallel(
     config: PipelineConfig,
@@ -176,8 +185,21 @@ pub fn trace_packet_parallel(
     rays: &RayPacket,
     threads: usize,
 ) -> (Vec<Option<TraversalHit>>, TraversalStats) {
-    let rays = rays.to_rays();
-    trace_rays_parallel(config, bvh, triangles, &rays, threads)
+    let threads = effective_threads(threads, rays.len());
+    if threads <= 1 {
+        // Single-engine batched fast path: the one shard is the whole stream, unpacked into the
+        // engine's pooled scratch buffer.
+        let mut engine = TraversalEngine::with_config(config);
+        let hits = engine.closest_hits_stream(bvh, triangles, rays);
+        return (hits, engine.stats());
+    }
+    shard_map(rays.len(), threads, |range| {
+        // SoA slice → per-shard AoS: only this worker's rays are ever materialised.
+        let shard: Vec<Ray> = range.map(|i| rays.get(i)).collect();
+        let mut engine = TraversalEngine::with_config(config);
+        let hits = engine.closest_hits_wavefront(bvh, triangles, &shard);
+        (hits, engine.stats())
+    })
 }
 
 #[cfg(test)]
@@ -298,13 +320,24 @@ mod tests {
     fn packet_streams_shard_identically() {
         let triangles = scene();
         let bvh = Bvh4::build(&triangles);
-        let rays = camera_rays(40);
-        let packet = RayPacket::from_rays(&rays);
-        let config = PipelineConfig::baseline_unified();
-        let (a, a_stats) = trace_rays_parallel(config, &bvh, &triangles, &rays, 4);
-        let (b, b_stats) = trace_packet_parallel(config, &bvh, &triangles, &packet, 4);
-        assert_eq!(a, b);
-        assert_eq!(a_stats, b_stats);
+        // Both a short stream (inline single-engine path) and one long enough to force real
+        // range-sharding: the SoA-sliced packet path must agree with the AoS slice path
+        // bit-for-bit, hits and stats, at every worker count.
+        for count in [40, MIN_RAYS_PER_SHARD * 3 + 17] {
+            let rays: Vec<Ray> = camera_rays(96).into_iter().cycle().take(count).collect();
+            let packet = RayPacket::from_rays(&rays);
+            let config = PipelineConfig::baseline_unified();
+            for threads in [1, 2, 3, 8] {
+                let (a, a_stats) = trace_rays_parallel(config, &bvh, &triangles, &rays, threads);
+                let (b, b_stats) =
+                    trace_packet_parallel(config, &bvh, &triangles, &packet, threads);
+                assert_eq!(a.len(), b.len(), "count {count}, threads {threads}");
+                for (i, (e, g)) in a.iter().zip(&b).enumerate() {
+                    assert_eq!(e, g, "count {count}, threads {threads}, ray {i}");
+                }
+                assert_eq!(a_stats, b_stats, "count {count}, threads {threads}");
+            }
+        }
     }
 
     #[test]

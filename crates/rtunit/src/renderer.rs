@@ -1,15 +1,30 @@
-//! A small ray-casting renderer driving the traversal engine (used by the examples).
+//! A multi-pass deferred renderer driving the batched query engine (used by the examples and the
+//! render-pass benchmark suite).
 //!
-//! Rendering is a batched query: a frame generates one primary ray per pixel, traces the whole
-//! stream through the wavefront scheduler in one pass, and shades the returned hits.  The scalar
-//! per-pixel drive loop of the original reproduction is gone — the renderer is now simply a
-//! camera plus one [`TraversalEngine::closest_hits_wavefront`] call per frame, which makes the
-//! frame bit-identical to shading per-pixel scalar hits (pinned by the golden test below) at
-//! several times the throughput.
+//! Rendering is a sequence of batched queries over one frame:
+//!
+//! 1. **Primary pass** — one closest-hit ray per pixel, traced as a single wavefront stream;
+//! 2. **Surfel extraction** — every hit becomes a `(point, normal)` G-buffer record
+//!    ([`extract_surfels`]), the deferred inputs of the secondary passes;
+//! 3. **Shadow pass** — one any-hit ray per surfel toward the scene's point light
+//!    ([`rayflex_workloads::rays::surfel_shadow_rays`]); a hit means the surfel is shadowed;
+//! 4. **Ambient-occlusion pass** (optional) — `ao_samples` any-hit hemisphere probes per surfel
+//!    ([`rayflex_workloads::rays::ambient_occlusion_rays`]); the unoccluded fraction scales the
+//!    pixel.
+//!
+//! Shading composes diffuse × shadow visibility × AO visibility ([`shade_deferred`]) into a
+//! grayscale [`Image`].  Every pass exists in three bit-identical execution modes: the **batched**
+//! wavefront frontend ([`Renderer::render_deferred`]), the **scalar** per-pixel reference
+//! ([`Renderer::render_deferred_reference`]), and the auto-tuned **thread-parallel** sharding of
+//! the batched frontend ([`render_parallel`]).  The golden tests and
+//! `rtunit/tests/proptest_render.rs` pin all three to the same frame, pixel-bit-for-bit and
+//! stat-for-stat.
 
 use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Ray, Triangle, Vec3};
+use rayflex_workloads::rays::{ambient_occlusion_rays, surfel_shadow_rays};
 
+use crate::parallel::{trace_rays_parallel, trace_shadow_rays_parallel};
 use crate::{Bvh4, TraversalEngine, TraversalHit, TraversalStats};
 
 /// A pinhole camera generating one primary ray per pixel.
@@ -37,38 +52,106 @@ impl Camera {
         }
     }
 
-    /// The primary ray through pixel `(x, y)` of a `width`×`height` image.
+    /// The precomputed frame basis for a `width`×`height` image: orthonormal axes and view-plane
+    /// half-extents computed **once** per frame rather than once per pixel, so frame-ray
+    /// generation is O(1) setup plus O(pixels) ray construction.
+    ///
+    /// When `up` is (anti-)parallel to the view direction — a camera looking straight up or down
+    /// with the default `up` — the naive `up × forward` basis is the zero vector and normalising
+    /// it would poison every ray of the frame with NaN directions.  The basis falls back to a
+    /// stable alternate axis (the world axis least aligned with the view direction) instead.
+    // Never inlined: the basis holds the frame's only evaluation of `tan`, and letting it inline
+    // allowed constant folding to produce rays differing in the last ulp between call sites
+    // (observed between `render` and the per-pixel reference under thin-LTO), breaking the
+    // bit-identity the golden tests pin.  One out-of-line evaluation is shared by every frontend.
+    #[inline(never)]
     #[must_use]
-    pub fn primary_ray(&self, x: usize, y: usize, width: usize, height: usize) -> Ray {
+    pub fn basis(&self, width: usize, height: usize) -> CameraBasis {
         let forward = (self.look_at - self.position).normalized();
-        let right = self.up.cross(forward).normalized();
+        let cross = self.up.cross(forward);
+        let right = if cross.length_squared() > 0.0 {
+            cross.normalized()
+        } else {
+            // `up` is parallel to the view direction; use the world axis least aligned with it.
+            let alternate = if forward.x.abs() < 0.5 {
+                Vec3::new(1.0, 0.0, 0.0)
+            } else {
+                Vec3::new(0.0, 0.0, 1.0)
+            };
+            alternate.cross(forward).normalized()
+        };
         let true_up = forward.cross(right);
         let aspect = width as f32 / height as f32;
         let half_height = (self.fov_degrees.to_radians() * 0.5).tan();
         let half_width = half_height * aspect;
-        let u = ((x as f32 + 0.5) / width as f32 * 2.0 - 1.0) * half_width;
-        let v = (1.0 - (y as f32 + 0.5) / height as f32 * 2.0) * half_height;
-        let dir = forward + right * u + true_up * v;
-        Ray::new(self.position, dir)
+        CameraBasis {
+            position: self.position,
+            forward,
+            right,
+            true_up,
+            half_width,
+            half_height,
+            width: width as f32,
+            height: height as f32,
+        }
+    }
+
+    /// The primary ray through pixel `(x, y)` of a `width`×`height` image.
+    ///
+    /// Scalar convenience wrapper: builds the frame basis and casts one ray through it.  Frame
+    /// loops should hoist [`Camera::basis`] (or call [`Camera::primary_rays`]) so the basis is
+    /// computed once, not per pixel; the per-ray results are bit-identical either way.
+    #[must_use]
+    pub fn primary_ray(&self, x: usize, y: usize, width: usize, height: usize) -> Ray {
+        self.basis(width, height).primary_ray(x, y)
     }
 
     /// All primary rays of a `width`×`height` frame in row-major pixel order — the ray stream a
-    /// batched frame traces in one wavefront pass.
+    /// batched frame traces in one wavefront pass.  The camera basis is computed once for the
+    /// whole frame.
     #[must_use]
     pub fn primary_rays(&self, width: usize, height: usize) -> Vec<Ray> {
+        let basis = self.basis(width, height);
         let mut rays = Vec::with_capacity(width * height);
         for y in 0..height {
             for x in 0..width {
-                rays.push(self.primary_ray(x, y, width, height));
+                rays.push(basis.primary_ray(x, y));
             }
         }
         rays
     }
 }
 
-/// The renderer's shading model for one primary-ray hit: two-sided Lambertian with a small
-/// ambient term, `0.0` for a miss.  Public so reference paths (benchmarks, golden tests) can
-/// shade scalar hits with the exact arithmetic the batched frame uses.
+/// The per-frame camera state precomputed by [`Camera::basis`]: the orthonormal view axes, the
+/// view-plane half-extents, and the frame dimensions as floats.  Casting a ray through the basis
+/// costs a handful of multiply-adds and no trigonometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraBasis {
+    position: Vec3,
+    forward: Vec3,
+    right: Vec3,
+    true_up: Vec3,
+    half_width: f32,
+    half_height: f32,
+    width: f32,
+    height: f32,
+}
+
+impl CameraBasis {
+    /// The primary ray through pixel `(x, y)` of the frame this basis was built for.
+    #[must_use]
+    pub fn primary_ray(&self, x: usize, y: usize) -> Ray {
+        let u = ((x as f32 + 0.5) / self.width * 2.0 - 1.0) * self.half_width;
+        let v = (1.0 - (y as f32 + 0.5) / self.height * 2.0) * self.half_height;
+        let dir = self.forward + self.right * u + self.true_up * v;
+        Ray::new(self.position, dir)
+    }
+}
+
+/// The renderer's shading model for one primary-ray hit under the fixed directional light:
+/// two-sided Lambertian with a small ambient term, `0.0` for a miss.  Public so reference paths
+/// (benchmarks, golden tests) can shade scalar hits with the exact arithmetic the batched frame
+/// uses.
 #[must_use]
 pub fn shade(triangles: &[Triangle], light_dir: Vec3, hit: Option<&TraversalHit>) -> f32 {
     match hit {
@@ -81,10 +164,176 @@ pub fn shade(triangles: &[Triangle], light_dir: Vec3, hit: Option<&TraversalHit>
     }
 }
 
-/// The fixed directional light the renderer shades with.
+/// The fixed directional light the primary-only renderer shades with.
 #[must_use]
 pub fn default_light_dir() -> Vec3 {
     Vec3::new(0.4, 0.8, -0.45).normalized()
+}
+
+/// Deferred shading for one surfel: Lambertian diffuse toward the point light, zeroed while the
+/// surfel is shadowed, scaled by the ambient-occlusion visibility, plus a small ambient term that
+/// AO alone can darken.  Shared verbatim by the batched, scalar-reference and parallel frames, so
+/// bit-identical traversal verdicts compose into bit-identical pixels.
+///
+/// Degenerate inputs stay finite: a light sitting exactly on the surfel shades as if lit along
+/// the normal (full diffuse) instead of normalising a zero vector.
+#[must_use]
+pub fn shade_deferred(
+    point: Vec3,
+    normal: Vec3,
+    light: Vec3,
+    shadowed: bool,
+    ao_visibility: f32,
+) -> f32 {
+    let to_light = light - point;
+    let distance = to_light.length();
+    let light_dir = if distance > 0.0 {
+        to_light / distance
+    } else {
+        normal
+    };
+    let diffuse = normal.dot(light_dir).max(0.0);
+    let visibility = if shadowed { 0.0 } else { 1.0 };
+    ((0.15 + 0.85 * diffuse * visibility) * ao_visibility).clamp(0.0, 1.0)
+}
+
+/// Parameters of the deferred passes: the point light of the shadow pass and the configuration of
+/// the optional ambient-occlusion pass (`ao_samples == 0` skips it entirely).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderPasses {
+    /// Point-light position the shadow pass traces toward.
+    pub light: Vec3,
+    /// Hemisphere probes per surfel in the ambient-occlusion pass; `0` disables the pass.
+    pub ao_samples: usize,
+    /// Maximum parametric extent of an ambient-occlusion probe.
+    pub ao_radius: f32,
+    /// Seed of the deterministic ambient-occlusion probe directions.
+    pub ao_seed: u64,
+}
+
+impl RenderPasses {
+    /// Shadow pass only (no ambient occlusion), lit by a point light at `light`.
+    #[must_use]
+    pub fn shadowed(light: Vec3) -> Self {
+        RenderPasses {
+            light,
+            ao_samples: 0,
+            ao_radius: 1.0,
+            ao_seed: 0x5eed,
+        }
+    }
+
+    /// Adds an ambient-occlusion pass of `samples` probes per surfel with the given probe radius
+    /// and direction seed.
+    #[must_use]
+    pub fn with_ambient_occlusion(mut self, samples: usize, radius: f32, seed: u64) -> Self {
+        self.ao_samples = samples;
+        self.ao_radius = radius;
+        self.ao_seed = seed;
+        self
+    }
+}
+
+/// Extracts the G-buffer of a primary pass: one `(point, normal)` surfel per hit pixel (in pixel
+/// order) plus the pixel index each surfel shades.  Normals are unit length and oriented toward
+/// the viewer (two-sided shading); a degenerate sliver triangle whose geometric normal cannot be
+/// normalised falls back to facing the incoming ray, so no NaN ever enters the G-buffer.
+#[must_use]
+pub fn extract_surfels(
+    triangles: &[Triangle],
+    rays: &[Ray],
+    hits: &[Option<TraversalHit>],
+) -> (Vec<(Vec3, Vec3)>, Vec<usize>) {
+    let mut surfels = Vec::new();
+    let mut pixels = Vec::new();
+    for (pixel, (ray, hit)) in rays.iter().zip(hits).enumerate() {
+        let Some(hit) = hit else { continue };
+        let point = ray.at(hit.t);
+        let mut normal = triangles[hit.primitive].normal().normalized();
+        if !normal.is_finite() {
+            normal = -ray.dir.normalized();
+        }
+        if normal.dot(ray.dir) > 0.0 {
+            normal = -normal;
+        }
+        surfels.push((point, normal));
+        pixels.push(pixel);
+    }
+    (surfels, pixels)
+}
+
+/// Which query kind a deferred pass traces — the hook the three execution modes implement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PassKind {
+    /// The primary pass: closest-hit rays.
+    ClosestHit,
+    /// The shadow and ambient-occlusion passes: any-hit rays.
+    AnyHit,
+}
+
+/// The shared multi-pass frame pipeline: generate primary rays, trace them, extract surfels,
+/// trace the shadow (and optional AO) streams, compose.  `trace` supplies the traversal — the
+/// batched wavefront, the scalar reference or the parallel sharding — and everything else is
+/// common code, which is what makes the three modes bit-identical by construction.
+fn deferred_frame(
+    triangles: &[Triangle],
+    camera: &Camera,
+    width: usize,
+    height: usize,
+    passes: &RenderPasses,
+    mut trace: impl FnMut(PassKind, &[Ray]) -> Vec<Option<TraversalHit>>,
+) -> Image {
+    // Pass 1: primary closest-hit stream, one ray per pixel.
+    let rays = camera.primary_rays(width, height);
+    let hits = trace(PassKind::ClosestHit, &rays);
+
+    // G-buffer: one surfel per hit pixel.
+    let (surfels, surfel_pixels) = extract_surfels(triangles, &rays, &hits);
+
+    // Pass 2: one any-hit shadow ray per surfel toward the light.
+    let shadow_hits = trace(
+        PassKind::AnyHit,
+        &surfel_shadow_rays(&surfels, passes.light),
+    );
+
+    // Pass 3 (optional): `ao_samples` any-hit hemisphere probes per surfel; the unoccluded
+    // fraction of a surfel's probes is its ambient visibility.
+    let ao_visibility: Vec<f32> = if passes.ao_samples > 0 {
+        let ao_rays = ambient_occlusion_rays(
+            passes.ao_seed,
+            &surfels,
+            passes.ao_samples,
+            passes.ao_radius,
+        );
+        let ao_hits = trace(PassKind::AnyHit, &ao_rays);
+        ao_hits
+            .chunks(passes.ao_samples)
+            .map(|probes| {
+                let occluded = probes.iter().filter(|probe| probe.is_some()).count();
+                1.0 - occluded as f32 / passes.ao_samples as f32
+            })
+            .collect()
+    } else {
+        vec![1.0; surfels.len()]
+    };
+
+    // Compose: misses stay black, hits shade diffuse × shadow × AO.
+    let mut pixels = vec![0.0f32; width * height];
+    for (surfel, &pixel) in surfel_pixels.iter().enumerate() {
+        let (point, normal) = surfels[surfel];
+        pixels[pixel] = shade_deferred(
+            point,
+            normal,
+            passes.light,
+            shadow_hits[surfel].is_some(),
+            ao_visibility[surfel],
+        );
+    }
+    Image {
+        width,
+        height,
+        pixels,
+    }
 }
 
 /// A grayscale image produced by the renderer (one intensity in `[0, 1]` per pixel, row-major).
@@ -144,6 +393,27 @@ impl Image {
         out
     }
 
+    /// The coordinates of the first pixel whose **bit pattern** differs from `other`'s, scanning
+    /// in row-major order, or `None` when every pixel is bit-identical — the comparison the
+    /// golden tests, property tests and benchmark cross-checks all share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the images have different dimensions.
+    #[must_use]
+    pub fn first_mismatch(&self, other: &Image) -> Option<(usize, usize)> {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "image shapes differ"
+        );
+        self.pixels
+            .iter()
+            .zip(&other.pixels)
+            .position(|(a, b)| a.to_bits() != b.to_bits())
+            .map(|index| (index % self.width, index / self.width))
+    }
+
     /// Encodes the image as a binary PGM (portable graymap) file.
     #[must_use]
     pub fn to_pgm(&self) -> Vec<u8> {
@@ -157,7 +427,9 @@ impl Image {
     }
 }
 
-/// A primary-ray renderer with simple Lambertian shading, entirely driven by datapath beats.
+/// The multi-pass deferred renderer, entirely driven by datapath beats: a primary-only frontend
+/// ([`Renderer::render`]) and the deferred shadow/AO pipeline ([`Renderer::render_deferred`]),
+/// each with a scalar per-pixel reference twin.
 #[derive(Debug)]
 pub struct Renderer {
     engine: TraversalEngine,
@@ -178,11 +450,12 @@ impl Renderer {
         }
     }
 
-    /// Renders one `width`×`height` frame of the scene from the camera and returns the image.
+    /// Renders one `width`×`height` primary-only frame (no shadow or AO pass) and returns the
+    /// image.
     ///
     /// The frame's primary rays are traced as **one batched stream** through the wavefront
     /// scheduler; hits (and therefore pixels and [`TraversalStats`]) are bit-identical to
-    /// tracing each pixel's ray through the scalar path and shading with [`shade`].
+    /// [`Renderer::render_reference`].
     pub fn render(
         &mut self,
         bvh: &Bvh4,
@@ -205,6 +478,89 @@ impl Renderer {
         }
     }
 
+    /// The scalar per-pixel reference of [`Renderer::render`]: each primary ray traced to
+    /// completion through the register-accurate scalar path, shaded with the same [`shade`].
+    pub fn render_reference(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        camera: &Camera,
+        width: usize,
+        height: usize,
+    ) -> Image {
+        let light_dir = default_light_dir();
+        let basis = camera.basis(width, height);
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                let ray = basis.primary_ray(x, y);
+                let hit = self.engine.closest_hit(bvh, triangles, &ray);
+                pixels.push(shade(triangles, light_dir, hit.as_ref()));
+            }
+        }
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Renders one `width`×`height` frame through the full deferred pipeline — batched primary
+    /// pass, surfel extraction, batched any-hit shadow pass, optional batched any-hit AO pass —
+    /// and returns the composed image.
+    ///
+    /// Pixels and accumulated [`TraversalStats`] are bit-identical to
+    /// [`Renderer::render_deferred_reference`] (pinned by the golden test and
+    /// `tests/proptest_render.rs`).
+    pub fn render_deferred(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        camera: &Camera,
+        width: usize,
+        height: usize,
+        passes: &RenderPasses,
+    ) -> Image {
+        let engine = &mut self.engine;
+        deferred_frame(
+            triangles,
+            camera,
+            width,
+            height,
+            passes,
+            |kind, rays| match kind {
+                PassKind::ClosestHit => engine.closest_hits_wavefront(bvh, triangles, rays),
+                PassKind::AnyHit => engine.any_hits_wavefront(bvh, triangles, rays),
+            },
+        )
+    }
+
+    /// The scalar multi-pass reference of [`Renderer::render_deferred`]: the same passes over the
+    /// same streams, but every ray traced one at a time through the register-accurate scalar
+    /// path.
+    pub fn render_deferred_reference(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        camera: &Camera,
+        width: usize,
+        height: usize,
+        passes: &RenderPasses,
+    ) -> Image {
+        let engine = &mut self.engine;
+        deferred_frame(
+            triangles,
+            camera,
+            width,
+            height,
+            passes,
+            |kind, rays| match kind {
+                PassKind::ClosestHit => engine.closest_hits(bvh, triangles, rays),
+                PassKind::AnyHit => engine.any_hits(bvh, triangles, rays),
+            },
+        )
+    }
+
     /// The traversal statistics accumulated over everything rendered so far.
     #[must_use]
     pub fn stats(&self) -> TraversalStats {
@@ -218,9 +574,39 @@ impl Default for Renderer {
     }
 }
 
+/// [`Renderer::render_deferred`] with every pass sharded across up to `threads` workers by the
+/// auto-tuned parallel tracer ([`trace_rays_parallel`] for the primary stream,
+/// [`trace_shadow_rays_parallel`] for the shadow and AO streams).  Returns the frame and the
+/// summed [`TraversalStats`] of all passes; both are bit-identical to the single-threaded batched
+/// and scalar-reference frames.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors trace_rays_parallel: config + scene + frame + tuning
+pub fn render_parallel(
+    config: PipelineConfig,
+    bvh: &Bvh4,
+    triangles: &[Triangle],
+    camera: &Camera,
+    width: usize,
+    height: usize,
+    passes: &RenderPasses,
+    threads: usize,
+) -> (Image, TraversalStats) {
+    let mut stats = TraversalStats::default();
+    let image = deferred_frame(triangles, camera, width, height, passes, |kind, rays| {
+        let (hits, pass_stats) = match kind {
+            PassKind::ClosestHit => trace_rays_parallel(config, bvh, triangles, rays, threads),
+            PassKind::AnyHit => trace_shadow_rays_parallel(config, bvh, triangles, rays, threads),
+        };
+        stats.merge(&pass_stats);
+        hits
+    });
+    (image, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rayflex_workloads::scenes;
 
     fn quad_at_z(z: f32, half: f32) -> Vec<Triangle> {
         vec![
@@ -237,6 +623,28 @@ mod tests {
         ]
     }
 
+    /// A floor quad at `y = 0` spanning ±`half` in x/z, wound like the `soft_shadow` floor so
+    /// rays arriving from above hit it under the paper's `dir · (AB × AC) > 0` culling
+    /// convention.
+    fn floor_quad(half: f32) -> Vec<Triangle> {
+        vec![
+            Triangle::new(
+                Vec3::new(-half, 0.0, -half),
+                Vec3::new(half, 0.0, -half),
+                Vec3::new(half, 0.0, half),
+            ),
+            Triangle::new(
+                Vec3::new(-half, 0.0, -half),
+                Vec3::new(half, 0.0, half),
+                Vec3::new(-half, 0.0, half),
+            ),
+        ]
+    }
+
+    fn assert_images_bit_identical(a: &Image, b: &Image, what: &str) {
+        assert_eq!(a.first_mismatch(b), None, "{what}");
+    }
+
     #[test]
     fn camera_rays_cover_the_view_frustum() {
         let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
@@ -244,6 +652,53 @@ mod tests {
         assert!(center.dir.z > 0.9 * center.dir.length());
         let corner = camera.primary_ray(0, 0, 32, 32);
         assert!(corner.dir.x < 0.0 && corner.dir.y > 0.0);
+    }
+
+    #[test]
+    fn the_hoisted_basis_matches_per_pixel_rays_bit_for_bit() {
+        let camera = Camera::looking_at(Vec3::new(1.0, 2.0, -3.0), Vec3::new(0.5, 0.0, 9.0));
+        let (width, height) = (17, 11);
+        let basis = camera.basis(width, height);
+        let frame = camera.primary_rays(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let per_pixel = camera.primary_ray(x, y, width, height);
+                let from_basis = basis.primary_ray(x, y);
+                assert_eq!(per_pixel, from_basis, "pixel ({x}, {y})");
+                assert_eq!(frame[y * width + x], per_pixel, "pixel ({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn straight_down_camera_renders_without_nan_rays() {
+        // Regression test for the degenerate-basis bug: `up × forward` is the zero vector when
+        // the camera looks straight along the up axis, and normalising it poisoned every ray of
+        // the frame with NaN directions.
+        let triangles = floor_quad(50.0);
+        let bvh = Bvh4::build(&triangles);
+        for look in [Vec3::new(0.0, -1.0, 0.0), Vec3::new(0.0, 1.0, 0.0)] {
+            let camera = Camera::looking_at(
+                Vec3::new(0.0, 10.0, 0.0),
+                Vec3::new(0.0, 10.0, 0.0) + look * 10.0,
+            );
+            let rays = camera.primary_rays(16, 16);
+            assert!(
+                rays.iter()
+                    .all(|r| r.dir.is_finite() && r.origin.is_finite()),
+                "no NaN ray directions looking along {look:?}"
+            );
+            let mut renderer = Renderer::new();
+            let image = renderer.render(&bvh, &triangles, &camera, 16, 16);
+            for y in 0..16 {
+                for x in 0..16 {
+                    assert!(image.pixel(x, y).is_finite(), "pixel ({x}, {y}) is NaN");
+                }
+            }
+            if look.y < 0.0 {
+                assert!(image.coverage() > 0.9, "the floor fills the downward view");
+            }
+        }
     }
 
     #[test]
@@ -263,10 +718,10 @@ mod tests {
 
     #[test]
     fn batched_frame_is_bit_identical_to_the_scalar_frame_on_the_icosphere() {
-        // The golden test of the batched renderer: every pixel of the wavefront frame equals the
-        // frame obtained by tracing each primary ray through the scalar path and shading the
-        // scalar hit, and the traversal statistics match exactly.
-        let triangles = rayflex_workloads::scenes::icosphere(2, 5.0, Vec3::new(0.0, 0.0, 20.0));
+        // The golden test of the batched primary renderer: every pixel of the wavefront frame
+        // equals the per-pixel scalar reference frame, and the traversal statistics match
+        // exactly.
+        let triangles = scenes::icosphere(2, 5.0, Vec3::new(0.0, 0.0, 20.0));
         let bvh = Bvh4::build(&triangles);
         let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 20.0));
         let (width, height) = (32, 24);
@@ -274,22 +729,223 @@ mod tests {
         let mut renderer = Renderer::new();
         let image = renderer.render(&bvh, &triangles, &camera, width, height);
 
-        let mut scalar = TraversalEngine::baseline();
-        let light_dir = default_light_dir();
-        for y in 0..height {
-            for x in 0..width {
-                let ray = camera.primary_ray(x, y, width, height);
-                let hit = scalar.closest_hit(&bvh, &triangles, &ray);
-                let expected = shade(&triangles, light_dir, hit.as_ref());
-                assert_eq!(
-                    image.pixel(x, y).to_bits(),
-                    expected.to_bits(),
-                    "pixel ({x}, {y})"
+        let mut reference = Renderer::new();
+        let expected = reference.render_reference(&bvh, &triangles, &camera, width, height);
+        assert_images_bit_identical(&image, &expected, "primary frame");
+        assert_eq!(
+            renderer.stats(),
+            reference.stats(),
+            "identical TraversalStats"
+        );
+        assert!(image.coverage() > 0.1, "the icosphere is visible");
+    }
+
+    #[test]
+    fn deferred_frames_are_bit_identical_across_all_three_execution_modes() {
+        // The golden test of the multi-pass deferred renderer: shadowed and shadowed+AO frames
+        // from the batched pipeline equal the scalar multi-pass reference pixel-bit-for-bit and
+        // stat-for-stat, and the parallel entry point matches both.
+        let scene = scenes::lit_scene(1, 24.0);
+        let bvh = Bvh4::build(&scene.triangles);
+        let camera = Camera::looking_at(scene.eye, scene.target);
+        let (width, height) = (24, 18);
+        let configs = [
+            RenderPasses::shadowed(scene.light),
+            RenderPasses::shadowed(scene.light).with_ambient_occlusion(3, 6.0, 2024),
+        ];
+        for passes in configs {
+            let mut batched = Renderer::new();
+            let image =
+                batched.render_deferred(&bvh, &scene.triangles, &camera, width, height, &passes);
+
+            let mut reference = Renderer::new();
+            let expected = reference.render_deferred_reference(
+                &bvh,
+                &scene.triangles,
+                &camera,
+                width,
+                height,
+                &passes,
+            );
+            assert_images_bit_identical(&image, &expected, "deferred frame");
+            assert_eq!(
+                batched.stats(),
+                reference.stats(),
+                "identical TraversalStats"
+            );
+
+            let (parallel_image, parallel_stats) = render_parallel(
+                PipelineConfig::baseline_unified(),
+                &bvh,
+                &scene.triangles,
+                &camera,
+                width,
+                height,
+                &passes,
+                4,
+            );
+            assert_images_bit_identical(&image, &parallel_image, "parallel deferred frame");
+            assert_eq!(batched.stats(), parallel_stats, "parallel TraversalStats");
+
+            assert!(image.coverage() > 0.2, "the lit scene is visible");
+        }
+    }
+
+    #[test]
+    fn the_shadow_pass_darkens_occluded_floor_pixels() {
+        let scene = scenes::lit_scene(1, 24.0);
+        let bvh = Bvh4::build(&scene.triangles);
+        // Look straight down at the floor under the occluder from high above: the shadow of the
+        // floating sphere must produce pixels strictly darker than the lit floor around them.
+        let camera = Camera::looking_at(Vec3::new(0.0, 20.0, -0.1), Vec3::new(0.0, 0.0, 0.0));
+        let passes = RenderPasses::shadowed(scene.light);
+        let mut renderer = Renderer::new();
+        let image = renderer.render_deferred(&bvh, &scene.triangles, &camera, 24, 24, &passes);
+        let mut values: Vec<f32> = (0..24 * 24)
+            .map(|i| image.pixel(i % 24, i / 24))
+            .filter(|&p| p > 0.0)
+            .collect();
+        values.sort_by(f32::total_cmp);
+        assert!(!values.is_empty());
+        let (darkest, brightest) = (values[0], values[values.len() - 1]);
+        assert!(
+            brightest > darkest + 0.3,
+            "shadowed pixels ({darkest}) must be darker than lit ones ({brightest})"
+        );
+    }
+
+    #[test]
+    fn ambient_occlusion_darkens_but_never_brightens() {
+        let scene = scenes::lit_scene(1, 24.0);
+        let bvh = Bvh4::build(&scene.triangles);
+        let camera = Camera::looking_at(scene.eye, scene.target);
+        let shadow_only = RenderPasses::shadowed(scene.light);
+        let with_ao = shadow_only.with_ambient_occlusion(8, 8.0, 7);
+        let mut renderer = Renderer::new();
+        let base = renderer.render_deferred(&bvh, &scene.triangles, &camera, 20, 16, &shadow_only);
+        let ao = renderer.render_deferred(&bvh, &scene.triangles, &camera, 20, 16, &with_ao);
+        let mut darkened = 0;
+        for y in 0..16 {
+            for x in 0..20 {
+                assert!(
+                    ao.pixel(x, y) <= base.pixel(x, y) + 1e-6,
+                    "AO can only darken pixel ({x}, {y})"
                 );
+                if ao.pixel(x, y) < base.pixel(x, y) - 1e-3 {
+                    darkened += 1;
+                }
             }
         }
-        assert_eq!(renderer.stats(), scalar.stats(), "identical TraversalStats");
-        assert!(image.coverage() > 0.1, "the icosphere is visible");
+        assert!(darkened > 0, "some pixels show ambient occlusion");
+    }
+
+    #[test]
+    fn zero_sized_frames_render_without_panicking() {
+        let triangles = quad_at_z(5.0, 2.0);
+        let bvh = Bvh4::build(&triangles);
+        let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
+        let passes = RenderPasses::shadowed(Vec3::new(0.0, 10.0, 0.0));
+        let mut renderer = Renderer::new();
+        for (width, height) in [(0, 0), (0, 8), (8, 0)] {
+            let image = renderer.render_deferred(&bvh, &triangles, &camera, width, height, &passes);
+            assert_eq!((image.width(), image.height()), (width, height));
+            assert_eq!(image.coverage(), 0.0);
+            assert!(image.to_ascii().chars().all(|c| c == '\n'));
+            let (parallel_image, _) = render_parallel(
+                PipelineConfig::baseline_unified(),
+                &bvh,
+                &triangles,
+                &camera,
+                width,
+                height,
+                &passes,
+                4,
+            );
+            assert_eq!(image, parallel_image);
+        }
+    }
+
+    #[test]
+    fn a_light_exactly_on_a_surfel_stays_finite() {
+        // The degenerate shadow-ray extent: place the light exactly on the surfel of the centre
+        // pixel.  The shadow ray collapses to an empty extent (never reports occlusion) and
+        // shading must not divide by the zero light distance.
+        let triangles = quad_at_z(5.0, 4.0);
+        let bvh = Bvh4::build(&triangles);
+        let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
+        let (width, height) = (9, 9);
+        let mut engine = TraversalEngine::baseline();
+        let rays = camera.primary_rays(width, height);
+        let hits = engine.closest_hits(&bvh, &triangles, &rays);
+        let (surfels, _) = extract_surfels(&triangles, &rays, &hits);
+        let light_on_surfel = surfels[surfels.len() / 2].0;
+
+        let passes = RenderPasses::shadowed(light_on_surfel).with_ambient_occlusion(2, 1.0, 3);
+        let mut renderer = Renderer::new();
+        let image = renderer.render_deferred(&bvh, &triangles, &camera, width, height, &passes);
+        let mut reference = Renderer::new();
+        let expected =
+            reference.render_deferred_reference(&bvh, &triangles, &camera, width, height, &passes);
+        assert_images_bit_identical(&image, &expected, "degenerate-light frame");
+        for y in 0..height {
+            for x in 0..width {
+                assert!(image.pixel(x, y).is_finite(), "pixel ({x}, {y}) is NaN");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_ao_samples_equals_the_shadow_only_frame() {
+        let scene = scenes::lit_scene(1, 24.0);
+        let bvh = Bvh4::build(&scene.triangles);
+        let camera = Camera::looking_at(scene.eye, scene.target);
+        let shadow_only = RenderPasses::shadowed(scene.light);
+        let zero_ao = shadow_only.with_ambient_occlusion(0, 4.0, 11);
+        let mut renderer = Renderer::new();
+        let a = renderer.render_deferred(&bvh, &scene.triangles, &camera, 16, 12, &shadow_only);
+        let b = renderer.render_deferred(&bvh, &scene.triangles, &camera, 16, 12, &zero_ao);
+        assert_images_bit_identical(&a, &b, "samples_per_point == 0 skips the AO pass");
+    }
+
+    #[test]
+    fn fully_shadowed_frames_stay_well_formed() {
+        // A floor seen from above with an occluder quad covering the whole sky between floor and
+        // light: every surfel is shadowed, leaving only the ambient term.  Coverage, ASCII and
+        // PGM outputs must stay well-formed with no NaN.
+        let mut triangles = floor_quad(40.0);
+        // The occluder ceiling is wound the other way (normal up) so the upward shadow rays
+        // strike its front face.
+        let half = 60.0;
+        triangles.push(Triangle::new(
+            Vec3::new(-half, 15.0, -half),
+            Vec3::new(half, 15.0, half),
+            Vec3::new(half, 15.0, -half),
+        ));
+        triangles.push(Triangle::new(
+            Vec3::new(-half, 15.0, -half),
+            Vec3::new(-half, 15.0, half),
+            Vec3::new(half, 15.0, half),
+        ));
+        let bvh = Bvh4::build(&triangles);
+        let camera = Camera::looking_at(Vec3::new(0.0, 10.0, -20.0), Vec3::new(0.0, 0.0, 10.0));
+        let passes = RenderPasses::shadowed(Vec3::new(0.0, 100.0, 0.0));
+        let mut renderer = Renderer::new();
+        let image = renderer.render_deferred(&bvh, &triangles, &camera, 16, 8, &passes);
+        assert!(image.coverage() > 0.0, "the floor is visible");
+        let floor_pixels: Vec<f32> = (0..16 * 8)
+            .map(|i| image.pixel(i % 16, i / 16))
+            .filter(|&p| p > 0.0)
+            .collect();
+        assert!(
+            floor_pixels
+                .iter()
+                .all(|&p| p.is_finite() && p <= 0.15 + 1e-6),
+            "every covered pixel is shadowed down to the ambient term"
+        );
+        let ascii = image.to_ascii();
+        assert_eq!(ascii.lines().count(), 8);
+        let pgm = image.to_pgm();
+        assert_eq!(pgm.len(), b"P5\n16 8\n255\n".len() + 16 * 8);
     }
 
     #[test]

@@ -10,9 +10,9 @@
 //!
 //! * [`CellLibrary`] — per-functional-unit area and energy characterisation, 15 nm-inspired and
 //!   calibrated so the relative results of the paper's Figs. 7–9 are reproduced,
-//! * [`estimate_area`] — turns a [`HardwareInventory`] (from `rayflex-core`) into an
+//! * [`estimate_area`] — turns a [`HardwareInventory`](rayflex_hw::HardwareInventory) (from `rayflex-hw`) into an
 //!   [`AreaReport`] with the paper's four area categories,
-//! * [`estimate_power`] — turns an inventory plus an [`ActivityTrace`] (the VCD substitute) into
+//! * [`estimate_power`] — turns an inventory plus an [`ActivityTrace`](rayflex_hw::ActivityTrace) (the VCD substitute) into
 //!   a [`PowerReport`] of dynamic and static power at a target clock,
 //! * [`report`] — plain-text table formatting used by the benchmark harnesses.
 //!

@@ -99,6 +99,20 @@ pub fn floor_shadow_rays(
     shadow_rays(&points, light)
 }
 
+/// One shadow ray per `(point, normal)` surfel, aimed at a point light — the G-buffer pass-2
+/// stream of the deferred renderer.  Each origin is nudged off the surface along its normal by
+/// [`SHADOW_EPSILON`] (on top of the parametric epsilon applied by [`shadow_rays`]), so grazing
+/// lights do not re-intersect the originating surface.  A surfel sitting exactly on the light
+/// yields a degenerate (empty-extent) ray that can never report occlusion.
+#[must_use]
+pub fn surfel_shadow_rays(surfels: &[(Vec3, Vec3)], light: Vec3) -> Vec<Ray> {
+    let points: Vec<Vec3> = surfels
+        .iter()
+        .map(|&(point, normal)| point + normal * SHADOW_EPSILON)
+        .collect();
+    shadow_rays(&points, light)
+}
+
 /// `samples_per_point` ambient-occlusion probe rays per `(point, normal)` pair: directions
 /// uniformly sampled on the hemisphere around the normal, extent
 /// `[SHADOW_EPSILON, max_distance]` (deterministic per seed).  The occluded fraction of a
@@ -177,6 +191,27 @@ mod tests {
         assert!(rays.iter().all(|r| r.origin.x.abs() <= 10.0));
         assert!(rays.iter().all(|r| r.dir.y > 0.0), "all rays aim upward");
         assert_eq!(floor_shadow_rays(0, 0, 20.0, 0.0, light).len(), 1);
+    }
+
+    #[test]
+    fn surfel_shadow_rays_offset_their_origins_along_the_normal() {
+        let light = Vec3::new(0.0, 10.0, 0.0);
+        let surfels = vec![
+            (Vec3::new(2.0, 0.0, 1.0), Vec3::new(0.0, 1.0, 0.0)),
+            (light, Vec3::new(0.0, 1.0, 0.0)),
+        ];
+        let rays = surfel_shadow_rays(&surfels, light);
+        assert_eq!(rays.len(), 2);
+        assert_eq!(
+            rays[0].origin.y, SHADOW_EPSILON,
+            "origin nudged off the surface"
+        );
+        assert!((rays[0].dir.length() - 1.0).abs() < 1e-5);
+        // A surfel on the light: the normal offset leaves a sub-epsilon extent that never hits.
+        assert!(
+            rays[1].t_end < rays[1].t_beg,
+            "degenerate extent can never hit"
+        );
     }
 
     #[test]

@@ -149,6 +149,44 @@ pub fn soft_shadow(subdivisions: u32, extent: f32) -> Vec<Triangle> {
     triangles
 }
 
+/// A scene preset for the multi-pass deferred renderer: geometry plus the point light and the
+/// suggested camera placement that frame a shadowed, partially-occluded view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LitScene {
+    /// Scene geometry: a floor, a floating occluder sphere and a small grounded sphere.
+    pub triangles: Vec<Triangle>,
+    /// Point-light position (above and beside the occluder, so shadows fall across the floor).
+    pub light: Vec3,
+    /// Suggested camera position.
+    pub eye: Vec3,
+    /// Suggested camera look-at target.
+    pub target: Vec3,
+}
+
+/// The standard lit scene of the deferred-render passes: the [`soft_shadow`] floor-and-occluder
+/// geometry plus a small sphere resting near the floor (a strong ambient-occlusion contact), a
+/// point light offset from the vertical so the occluder's shadow lands visibly on the floor, and
+/// a camera framing all of it.  Pairs with the renderer's shadow and ambient-occlusion passes:
+/// primary hits on the floor mix lit, shadowed and AO-darkened pixels.
+#[must_use]
+pub fn lit_scene(subdivisions: u32, extent: f32) -> LitScene {
+    let mut triangles = soft_shadow(subdivisions, extent);
+    // A small sphere touching down near the floor: its underside occludes nearby hemisphere
+    // probes, giving the ambient-occlusion pass visible contact darkening.
+    let small_radius = extent / 10.0;
+    triangles.extend(icosphere(
+        subdivisions,
+        small_radius,
+        Vec3::new(extent / 4.0, small_radius * 1.05, -extent / 8.0),
+    ));
+    LitScene {
+        triangles,
+        light: Vec3::new(extent / 3.0, extent, -extent / 4.0),
+        eye: Vec3::new(0.0, extent * 0.55, -extent * 1.1),
+        target: Vec3::new(0.0, extent * 0.2, 0.0),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +239,23 @@ mod tests {
                 assert!(v.y >= 12.0 / 2.0 - 12.0 / 6.0 - 1e-3);
             }
         }
+    }
+
+    #[test]
+    fn lit_scene_extends_soft_shadow_with_a_grounded_sphere_and_a_side_light() {
+        let scene = lit_scene(1, 24.0);
+        let base = soft_shadow(1, 24.0);
+        assert_eq!(scene.triangles[..base.len()], base[..]);
+        assert!(
+            scene.triangles.len() > base.len(),
+            "the AO contact sphere is present"
+        );
+        // The light sits above the geometry and off the vertical axis.
+        assert!(scene.light.y >= 24.0);
+        assert!(scene.light.x != 0.0 && scene.light.z != 0.0);
+        // The camera looks at the scene from outside it.
+        assert!(scene.eye.z < -24.0);
+        assert_ne!(scene.eye, scene.target);
     }
 
     #[test]

@@ -1,42 +1,66 @@
-//! Render a procedural scene through the RT-unit substrate: build a four-wide BVH over an
-//! icosphere mesh (the repository's bunny stand-in), cast one primary ray per pixel through the
-//! RayFlex datapath, shade the hits and print the image as ASCII art, then report the traversal
-//! statistics and a first-order cycle estimate from the simplified RT-unit timing model.
+//! Render a procedural scene through the RT-unit substrate: build a four-wide BVH over the lit
+//! scene preset (floor + occluder sphere + grounded contact sphere), run the multi-pass deferred
+//! renderer — a batched closest-hit primary pass, a batched any-hit shadow pass and a batched
+//! any-hit ambient-occlusion pass — print both the primary-only and the shadowed+AO frame as
+//! ASCII art, then report the traversal statistics and a first-order cycle estimate from the
+//! simplified RT-unit timing model.
 //!
-//! Run with `cargo run --release --example render_scene`.
+//! Run with `cargo run --release --example render_scene`.  Setting `RAYFLEX_SMOKE=1` shrinks the
+//! frame and skips the timing sweep — the CI smoke mode that keeps the example from rotting.
 
 use rayflex::core::PipelineConfig;
-use rayflex::geometry::Vec3;
-use rayflex::rtunit::{Bvh4, Camera, Renderer, RtUnit, RtUnitConfig};
+use rayflex::rtunit::{Bvh4, Camera, RenderPasses, Renderer, RtUnit, RtUnitConfig};
 use rayflex::workloads::scenes;
 
 fn main() {
-    // The scene: a subdivided icosphere hovering above a quad "floor" wall behind it.
-    let mut triangles = scenes::icosphere(3, 4.0, Vec3::new(0.0, 0.0, 18.0));
-    triangles.extend(scenes::quad_wall(6, 5.0, 30.0));
-    let bvh = Bvh4::build(&triangles);
+    let smoke = std::env::var("RAYFLEX_SMOKE").is_ok_and(|v| v != "0");
+    let (width, height) = if smoke { (36, 18) } else { (72, 36) };
+
+    // The scene: a floor, a floating occluder icosphere and a small grounded sphere, with a
+    // point light placed so the occluder's shadow falls across the floor.
+    let scene = scenes::lit_scene(if smoke { 1 } else { 3 }, 24.0);
+    let bvh = Bvh4::build(&scene.triangles);
     println!(
         "scene: {} triangles, BVH with {} nodes, depth {}",
-        triangles.len(),
+        scene.triangles.len(),
         bvh.node_count(),
         bvh.depth()
     );
 
-    // Render a small frame entirely through datapath beats.
-    let camera = Camera::looking_at(Vec3::new(0.0, 1.5, 0.0), Vec3::new(0.0, 0.0, 18.0));
-    let (width, height) = (72, 36);
+    let camera = Camera::looking_at(scene.eye, scene.target);
     let mut renderer = Renderer::with_config(PipelineConfig::baseline_unified());
-    let image = renderer.render(&bvh, &triangles, &camera, width, height);
-    println!("{}", image.to_ascii());
+
+    // Pass 1 only: the primary-ray frame under the fixed directional light.
+    let primary = renderer.render(&bvh, &scene.triangles, &camera, width, height);
+    println!("primary-only frame:\n{}", primary.to_ascii());
+
+    // The full deferred pipeline: primary + shadow + ambient-occlusion passes, each traced as
+    // one batched wavefront stream.
+    let passes = RenderPasses::shadowed(scene.light).with_ambient_occlusion(
+        if smoke { 2 } else { 8 },
+        6.0,
+        2024,
+    );
+    let deferred =
+        renderer.render_deferred(&bvh, &scene.triangles, &camera, width, height, &passes);
+    println!(
+        "shadowed + ambient-occlusion frame:\n{}",
+        deferred.to_ascii()
+    );
 
     let stats = renderer.stats();
     println!(
-        "primary rays: {}   ray-box beats: {}   ray-triangle beats: {}   coverage: {:.1}%",
+        "rays (both frames): {}   ray-box beats: {}   ray-triangle beats: {}   coverage: {:.1}%",
         stats.rays,
         stats.box_ops,
         stats.triangle_ops,
-        image.coverage() * 100.0
+        deferred.coverage() * 100.0
     );
+
+    if smoke {
+        println!("smoke mode: skipping the RT-unit timing sweep");
+        return;
+    }
 
     // First-order timing through the simplified RT-unit scheduler: compare the RayFlex 11-cycle
     // datapath against the 2-cycle assumption Vulkan-Sim uses (§IV-B of the paper).
@@ -49,7 +73,7 @@ fn main() {
         .collect();
     let (_, rayflex_timing) =
         RtUnit::with_configs(PipelineConfig::baseline_unified(), RtUnitConfig::default())
-            .trace_rays(&bvh, &triangles, &rays);
+            .trace_rays(&bvh, &scene.triangles, &rays);
     let (_, optimistic_timing) = RtUnit::with_configs(
         PipelineConfig::baseline_unified(),
         RtUnitConfig {
@@ -57,7 +81,7 @@ fn main() {
             ..RtUnitConfig::default()
         },
     )
-    .trace_rays(&bvh, &triangles, &rays);
+    .trace_rays(&bvh, &scene.triangles, &rays);
     println!(
         "RT-unit estimate over {} rays: {} cycles with the 11-cycle RayFlex datapath, {} cycles \
          with a 2-cycle datapath assumption ({:.1}% faster — the Vulkan-Sim configuration is \

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Runs the simulator performance baseline suites and writes BENCH_baseline.json (scalar vs
-# batched vs parallel traversal) and BENCH_query_engine.json (render/shadow/knn query kinds on
-# the generic batched query engine) at the repo root.
+# batched vs parallel traversal), BENCH_query_engine.json (render/shadow/knn query kinds on
+# the generic batched query engine) and BENCH_render_passes.json (deferred-render pass
+# configurations: primary vs shadowed vs shadowed+AO, batched vs the scalar multi-pass
+# reference) at the repo root.
 #
 # Tunables (environment variables, all optional):
 #   RAYFLEX_BENCH_RAYS         rays per scene / items per mode   (default 4096)
@@ -13,9 +15,11 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 export RAYFLEX_BENCH_JSON="${RAYFLEX_BENCH_JSON:-$repo_root/BENCH_baseline.json}"
 export RAYFLEX_BENCH_QUERY_JSON="${RAYFLEX_BENCH_QUERY_JSON:-$repo_root/BENCH_query_engine.json}"
+export RAYFLEX_BENCH_RENDER_JSON="${RAYFLEX_BENCH_RENDER_JSON:-$repo_root/BENCH_render_passes.json}"
 
 cargo bench -p rayflex-bench --bench perf_simulator
 
 echo
 echo "Baseline: $RAYFLEX_BENCH_JSON"
 echo "Query engine: $RAYFLEX_BENCH_QUERY_JSON"
+echo "Render passes: $RAYFLEX_BENCH_RENDER_JSON"

@@ -2,7 +2,7 @@
 //!
 //! The build environment for this repository has no access to crates.io, so this crate provides a
 //! minimal property-testing engine with the same surface the workspace's tests are written
-//! against: the [`proptest!`] macro, [`Strategy`] with `prop_map` / `prop_filter` /
+//! against: the [`proptest!`] macro, [`Strategy`](strategy::Strategy) with `prop_map` / `prop_filter` /
 //! `prop_filter_map`, range / tuple / array strategies, [`any`], [`prop_oneof!`],
 //! `prop::array::uniform*`, `prop::collection::vec`, and `prop_assert!` / `prop_assert_eq!`.
 //!

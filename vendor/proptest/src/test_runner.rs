@@ -78,7 +78,7 @@ pub fn rng_for_test(test_name: &str) -> TestRng {
 ///
 /// # Panics
 ///
-/// Panics if the strategy rejects [`MAX_REJECTS`] values in a row (mirrors proptest's
+/// Panics if the strategy rejects `MAX_REJECTS` (65536) values in a row (mirrors proptest's
 /// "too many global rejects" error).
 pub fn generate_value<S: Strategy>(strategy: &S, rng: &mut TestRng, test_name: &str) -> S::Value {
     for _ in 0..MAX_REJECTS {
