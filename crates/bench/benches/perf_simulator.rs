@@ -155,8 +155,19 @@ fn run_baseline_suite() {
         Err(error) => eprintln!("could not write {render_path}: {error}"),
     }
 
+    let fused = rayflex_bench::perf::run_fused_suite(rays, repeats);
+    println!("{}", fused.render_table());
+    let fused_path = std::env::var("RAYFLEX_BENCH_FUSED_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fused.json").to_string()
+    });
+    match std::fs::write(&fused_path, fused.to_json()) {
+        Ok(()) => println!("fused baseline written to {fused_path}"),
+        Err(error) => eprintln!("could not write {fused_path}: {error}"),
+    }
+
     // The CI acceptance gate: with `RAYFLEX_BENCH_MIN_SPEEDUP` set (CI uses the 3x floor), a
-    // batched-vs-scalar regression below the floor in any suite fails the run.
+    // batched-vs-scalar (or fused-vs-scalar) regression below the floor in any suite fails the
+    // run.
     if let Ok(floor) = std::env::var("RAYFLEX_BENCH_MIN_SPEEDUP") {
         let floor: f64 = floor
             .parse()
@@ -164,14 +175,16 @@ fn run_baseline_suite() {
         let worst = baseline
             .min_best_speedup()
             .min(query.min_speedup())
-            .min(render.min_speedup());
+            .min(render.min_speedup())
+            .min(fused.fused_speedup());
         if worst < floor {
             eprintln!(
                 "FAIL: batched-vs-scalar speedup {worst:.2}x fell below the {floor:.1}x floor \
-                 (baseline {:.2}x, query engine {:.2}x, render passes {:.2}x)",
+                 (baseline {:.2}x, query engine {:.2}x, render passes {:.2}x, fused {:.2}x)",
                 baseline.min_best_speedup(),
                 query.min_speedup(),
-                render.min_speedup()
+                render.min_speedup(),
+                fused.fused_speedup()
             );
             std::process::exit(1);
         }

@@ -28,14 +28,15 @@
 
 use std::time::Instant;
 
-use rayflex_core::{PipelineConfig, RayFlexDatapath, RayFlexRequest};
+use rayflex_core::{BeatMix, Opcode, PipelineConfig, QueryKind, RayFlexDatapath, RayFlexRequest};
 use rayflex_geometry::golden::distance::EUCLIDEAN_LANES;
-use rayflex_geometry::{Aabb, Ray, Triangle, Vec3};
+use rayflex_geometry::{Aabb, Ray, Sphere, Triangle, Vec3};
 use rayflex_rtunit::{
-    default_light_dir, shade, trace_rays_parallel, Bvh4, Camera, Image, KnnEngine, KnnMetric,
-    RenderPasses, Renderer, TraversalEngine, TraversalHit,
+    default_light_dir, shade, trace_rays_parallel, Bvh4, Bvh4Node, Camera, CollectStream,
+    DistanceStream, FusedScheduler, Image, KnnEngine, KnnMetric, RenderPasses, Renderer,
+    TraversalEngine, TraversalHit, TraversalStream,
 };
-use rayflex_workloads::{rays, scenes, vectors};
+use rayflex_workloads::{mixed, rays, scenes, vectors};
 
 /// One benchmark scene: geometry plus the ray stream traced against it.
 pub struct PerfScene {
@@ -819,9 +820,403 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
     QueryEngineBaseline { repeats, modes }
 }
 
+/// One execution mode of the fused suite, timed over the whole mixed workload.
+#[derive(Debug, Clone)]
+pub struct FusedModePerf {
+    /// Mode name (`scalar`, `sequential`, `fused`).
+    pub mode: &'static str,
+    /// Best-of wall time for all four streams, in seconds.
+    pub seconds: f64,
+    /// Throughput relative to the scalar mode.
+    pub speedup_vs_scalar: f64,
+}
+
+/// One row of the fused per-kind × per-opcode mix table.
+#[derive(Debug, Clone)]
+pub struct FusedMixRow {
+    /// Query kind owning the beats.
+    pub kind: QueryKind,
+    /// Beats per opcode, in [`Opcode::ALL`] order.
+    pub counts: [u64; Opcode::ALL.len()],
+}
+
+/// The fused-scheduler baseline document (`BENCH_fused.json`): the mixed multi-workload
+/// (closest-hit render stream + any-hit shadow stream + k-NN scoring + radius-query candidate
+/// collection) executed scalar, sequential-batched and fused over one extended datapath, plus
+/// the per-kind × per-opcode beat mix of the fused run.
+#[derive(Debug, Clone)]
+pub struct FusedBaseline {
+    /// Timing repeats per measurement (best-of).
+    pub repeats: usize,
+    /// Rays in the closest-hit stream.
+    pub primary_rays: u64,
+    /// Rays in the shadow stream.
+    pub shadow_rays: u64,
+    /// Candidate vectors scored.
+    pub candidates: u64,
+    /// Radius queries filtered.
+    pub radius_queries: u64,
+    /// Bulk passes of the fused run.
+    pub passes: u64,
+    /// Passes of the fused run that interleaved at least two query kinds.
+    pub fused_passes: u64,
+    /// Per-mode measurements.
+    pub modes: Vec<FusedModePerf>,
+    /// The fused run's per-kind × per-opcode beat attribution.
+    pub mix: Vec<FusedMixRow>,
+}
+
+impl FusedBaseline {
+    /// The fused-over-scalar speedup on the mixed workload (the acceptance gate checks this
+    /// against the 3× floor).
+    #[must_use]
+    pub fn fused_speedup(&self) -> f64 {
+        self.modes
+            .iter()
+            .find(|m| m.mode == "fused")
+            .map_or(0.0, |m| m.speedup_vs_scalar)
+    }
+
+    /// Renders the machine-readable JSON baseline.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str(&format!(
+            "  \"workload\": {{\"primary_rays\": {}, \"shadow_rays\": {}, \"candidates\": {}, \"radius_queries\": {}}},\n",
+            self.primary_rays, self.shadow_rays, self.candidates, self.radius_queries
+        ));
+        out.push_str(&format!(
+            "  \"passes\": {}, \"fused_passes\": {},\n",
+            self.passes, self.fused_passes
+        ));
+        out.push_str(&format!(
+            "  \"min_speedup\": {:.2},\n",
+            self.fused_speedup()
+        ));
+        out.push_str("  \"modes\": [\n");
+        for (i, m) in self.modes.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"mode\": \"{}\", \"seconds\": {:.6}, \"speedup_vs_scalar\": {:.2}}}",
+                m.mode, m.seconds, m.speedup_vs_scalar
+            ));
+            out.push_str(if i + 1 < self.modes.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"mix\": [\n");
+        for (i, row) in self.mix.iter().enumerate() {
+            out.push_str(&format!("    {{\"kind\": \"{}\"", row.kind));
+            for (opcode, count) in Opcode::ALL.iter().zip(row.counts) {
+                out.push_str(&format!(", \"{opcode}\": {count}"));
+            }
+            out.push('}');
+            out.push_str(if i + 1 < self.mix.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the human-readable report, including the fused mix table.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        use rayflex_synth::report::Table;
+        let mut table = Table::new(vec!["mode", "time (ms)", "vs scalar"]);
+        for m in &self.modes {
+            table.add_row(vec![
+                m.mode.to_string(),
+                format!("{:.2}", m.seconds * 1e3),
+                format!("{:.2}x", m.speedup_vs_scalar),
+            ]);
+        }
+        // Column headers come from Opcode::ALL so the cells (also in ALL order) can never drift
+        // under a renamed or reordered opcode.
+        let mut mix_headers = vec!["kind".to_string()];
+        mix_headers.extend(Opcode::ALL.iter().map(ToString::to_string));
+        mix_headers.push("total".to_string());
+        let mut mix = Table::new(mix_headers);
+        for row in &self.mix {
+            let mut cells = vec![row.kind.to_string()];
+            cells.extend(row.counts.iter().map(u64::to_string));
+            cells.push(row.counts.iter().sum::<u64>().to_string());
+            mix.add_row(cells);
+        }
+        format!(
+            "Fused-scheduler baseline (best of {} runs): mixed workload ({} primary + {} shadow rays, \
+             {} candidates, {} radius queries) scalar vs sequential-batched vs fused\n{}\n\
+             Fused mix: {} bulk passes, {} mixing at least two query kinds\n{}\n\
+             Fused-over-scalar speedup on the mixed workload: {:.2}x\n",
+            self.repeats,
+            self.primary_rays,
+            self.shadow_rays,
+            self.candidates,
+            self.radius_queries,
+            table.render(),
+            self.passes,
+            self.fused_passes,
+            mix.render(),
+            self.fused_speedup(),
+        )
+    }
+}
+
+/// The per-stream outputs of one mixed-workload execution, for the bit-identity cross-checks.
+struct MixedOutputs {
+    closest: Vec<Option<TraversalHit>>,
+    shadow: Vec<Option<TraversalHit>>,
+    distances: Vec<f32>,
+    candidates: Vec<Vec<usize>>,
+}
+
+/// Runs the four streams of the mixed workload over one extended datapath through the fused
+/// scheduler — all four merged into shared passes when `fuse` is true, one stream at a time
+/// (sequential batched scheduling) when false.
+fn run_mixed_batched(
+    workload: &mixed::MixedWorkload,
+    scene_bvh: &Bvh4,
+    sphere_bvh: &Bvh4,
+    fuse: bool,
+) -> (MixedOutputs, BeatMix) {
+    let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
+    let mut scheduler = FusedScheduler::new();
+    let mut closest =
+        TraversalStream::closest_hit(scene_bvh, &workload.triangles, &workload.primary_rays);
+    let mut shadow =
+        TraversalStream::any_hit(scene_bvh, &workload.triangles, &workload.shadow_rays);
+    let mut distance = DistanceStream::new(
+        &workload.query_vector,
+        &workload.candidates,
+        KnnMetric::Euclidean,
+    );
+    let mut collect = CollectStream::new(sphere_bvh, &workload.radius_queries);
+    if fuse {
+        scheduler.run(
+            &mut datapath,
+            &mut [&mut closest, &mut shadow, &mut distance, &mut collect],
+        );
+    } else {
+        scheduler.run(&mut datapath, &mut [&mut closest]);
+        scheduler.run(&mut datapath, &mut [&mut shadow]);
+        scheduler.run(&mut datapath, &mut [&mut distance]);
+        scheduler.run(&mut datapath, &mut [&mut collect]);
+    }
+    let outputs = MixedOutputs {
+        closest: closest.finish().0,
+        shadow: shadow.finish().0,
+        distances: distance.finish().0,
+        candidates: collect.finish().0,
+    };
+    (outputs, datapath.beat_mix())
+}
+
+/// The scalar reference of the mixed workload: per-ray traversal loops, the per-beat emulated
+/// k-NN candidate loop, and a per-beat scalar BVH filter walk.
+fn run_mixed_scalar(
+    workload: &mixed::MixedWorkload,
+    scene_bvh: &Bvh4,
+    sphere_bvh: &Bvh4,
+) -> MixedOutputs {
+    let mut engine = TraversalEngine::with_config(PipelineConfig::extended_unified());
+    let closest = engine.closest_hits(scene_bvh, &workload.triangles, &workload.primary_rays);
+    let shadow = engine.any_hits(scene_bvh, &workload.triangles, &workload.shadow_rays);
+    let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
+    let distances =
+        emulated_knn_distances(&mut datapath, &workload.query_vector, &workload.candidates);
+    let candidates = workload
+        .radius_queries
+        .iter()
+        .map(|&(query, radius)| scalar_collect_walk(&mut datapath, sphere_bvh, query, radius))
+        .collect();
+    MixedOutputs {
+        closest,
+        shadow,
+        distances,
+        candidates,
+    }
+}
+
+/// The pre-refactor scalar hierarchy filter, kept here as the timing/correctness reference: one
+/// emulated `execute` call per ray–box beat while walking the sphere BVH.
+fn scalar_collect_walk(
+    datapath: &mut RayFlexDatapath,
+    bvh: &Bvh4,
+    query: Vec3,
+    radius: f32,
+) -> Vec<usize> {
+    let ray = Ray::with_extent(
+        query - Vec3::new(radius, 0.0, 0.0),
+        Vec3::new(1.0, 0.0, 0.0),
+        0.0,
+        2.0 * radius,
+    );
+    let mut found = Vec::new();
+    let mut stack = vec![bvh.root()];
+    while let Some(node) = stack.pop() {
+        match bvh.node(node) {
+            Bvh4Node::Leaf { .. } => found.extend(bvh.leaf_primitives(node)),
+            Bvh4Node::Internal {
+                children,
+                child_bounds,
+            } => {
+                let boxes = core::array::from_fn(|i| {
+                    if child_bounds[i].is_empty() {
+                        Aabb::new(Vec3::splat(f32::MAX), Vec3::splat(f32::MAX))
+                    } else {
+                        child_bounds[i].inflated(radius)
+                    }
+                });
+                let result = datapath
+                    .execute(&RayFlexRequest::ray_box(0, &ray, &boxes))
+                    .box_result
+                    .expect("box beat");
+                for (slot, child) in children.iter().enumerate() {
+                    if result.hit[slot] {
+                        if let Some(child) = child {
+                            stack.push(*child);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    found
+}
+
+fn assert_mixed_outputs_match(mode: &str, expected: &MixedOutputs, got: &MixedOutputs) {
+    assert_hits_match(
+        "mixed",
+        &format!("{mode}/closest"),
+        &expected.closest,
+        &got.closest,
+    );
+    assert_hits_match(
+        "mixed",
+        &format!("{mode}/shadow"),
+        &expected.shadow,
+        &got.shadow,
+    );
+    assert_eq!(
+        expected.distances.len(),
+        got.distances.len(),
+        "mixed/{mode}: candidate count"
+    );
+    for (i, (e, g)) in expected.distances.iter().zip(&got.distances).enumerate() {
+        assert_eq!(
+            e.to_bits(),
+            g.to_bits(),
+            "mixed/{mode}: candidate {i} diverged"
+        );
+    }
+    assert_eq!(
+        expected.candidates, got.candidates,
+        "mixed/{mode}: collected candidates diverged"
+    );
+}
+
+/// Runs the fused suite: executes the mixed workload scalar, sequential-batched and **fused**
+/// (all four query kinds sharing bulk passes over one extended datapath), cross-checks that all
+/// three produce bit-identical per-stream outputs first, then times each mode and captures the
+/// fused run's per-kind × per-opcode beat mix.
+///
+/// `items_per_mode` sizes the workload (rays per traversal stream, candidate vectors).
+///
+/// # Panics
+///
+/// Panics if any mode's outputs diverge from the scalar reference, or if the fused run fails to
+/// interleave at least two query kinds in one pass.
+#[must_use]
+pub fn run_fused_suite(items_per_mode: usize, repeats: usize) -> FusedBaseline {
+    let workload = mixed::mixed_workload(2024, items_per_mode.max(4));
+    let scene_bvh = Bvh4::build(&workload.triangles);
+    let spheres: Vec<Sphere> = workload
+        .points
+        .iter()
+        .map(|&p| Sphere::new(p, workload.point_radius))
+        .collect();
+    let sphere_bvh = Bvh4::build(&spheres);
+
+    // Cross-check: all three modes agree per stream, bit for bit, before timing anything.
+    let expected = run_mixed_scalar(&workload, &scene_bvh, &sphere_bvh);
+    let (sequential_outputs, _) = run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, false);
+    assert_mixed_outputs_match("sequential", &expected, &sequential_outputs);
+    let (fused_outputs, fused_mix) = run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true);
+    assert_mixed_outputs_match("fused", &expected, &fused_outputs);
+    assert!(
+        fused_mix.fused_passes() > 0,
+        "the fused run must interleave at least two query kinds in one pass"
+    );
+
+    let (scalar_seconds, _) = time_best_of(repeats, || {
+        run_mixed_scalar(&workload, &scene_bvh, &sphere_bvh)
+    });
+    let (sequential_seconds, _) = time_best_of(repeats, || {
+        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, false)
+    });
+    let (fused_seconds, _) = time_best_of(repeats, || {
+        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true)
+    });
+
+    let measurement = |mode: &'static str, seconds: f64| FusedModePerf {
+        mode,
+        seconds,
+        speedup_vs_scalar: scalar_seconds / seconds,
+    };
+    FusedBaseline {
+        repeats,
+        primary_rays: workload.primary_rays.len() as u64,
+        shadow_rays: workload.shadow_rays.len() as u64,
+        candidates: workload.candidates.len() as u64,
+        radius_queries: workload.radius_queries.len() as u64,
+        passes: fused_mix.passes(),
+        fused_passes: fused_mix.fused_passes(),
+        modes: vec![
+            measurement("scalar", scalar_seconds),
+            measurement("sequential", sequential_seconds),
+            measurement("fused", fused_seconds),
+        ],
+        mix: QueryKind::ALL
+            .iter()
+            .map(|&kind| FusedMixRow {
+                kind,
+                counts: core::array::from_fn(|i| fused_mix.count_for(kind, Opcode::ALL[i])),
+            })
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn the_fused_suite_runs_cross_checked_and_reports_the_mix() {
+        let baseline = run_fused_suite(96, 1);
+        assert_eq!(baseline.modes.len(), 3);
+        for mode in &baseline.modes {
+            assert!(mode.seconds > 0.0 && mode.speedup_vs_scalar > 0.0);
+        }
+        assert!(baseline.fused_speedup() > 0.0);
+        assert!(baseline.fused_passes > 0 && baseline.passes >= baseline.fused_passes);
+        // Every query kind of the mixed workload shows up in the fused mix.
+        let total_for = |kind: QueryKind| {
+            baseline
+                .mix
+                .iter()
+                .find(|row| row.kind == kind)
+                .map_or(0, |row| row.counts.iter().sum::<u64>())
+        };
+        assert!(total_for(QueryKind::ClosestHit) > 0);
+        assert!(total_for(QueryKind::AnyHit) > 0);
+        assert!(total_for(QueryKind::Distance) > 0);
+        assert!(total_for(QueryKind::Collect) > 0);
+        let json = baseline.to_json();
+        assert!(json.contains("\"mix\"") && json.contains("fused_passes"));
+        assert!(json.contains("sequential") && json.contains("fused"));
+        let table = baseline.render_table();
+        assert!(table.contains("collect") && table.contains("vs scalar"));
+    }
 
     #[test]
     fn the_query_engine_suite_runs_and_reports_consistent_numbers() {

@@ -2,23 +2,40 @@
 
 use crate::stages;
 use crate::{
-    AccumulatorState, Opcode, PipelineConfig, RayFlexRequest, RayFlexResponse, SharedRayFlexData,
+    AccumulatorState, Opcode, PipelineConfig, QueryKind, RayFlexRequest, RayFlexResponse,
+    SharedRayFlexData,
 };
 
-/// Per-opcode counters of the beats a datapath has executed.
+/// Per-opcode — and, for attributed dispatches, per-query-kind × per-opcode — counters of the
+/// beats a datapath has executed.
 ///
 /// Wavefront schedulers drive *mixed-opcode* passes through the bulk interface (a single batch
 /// may interleave ray–box, ray–triangle and distance beats of unrelated queries); this breakdown
 /// lets callers attribute datapath work to operation kinds without threading counters through
-/// every query layer themselves.
+/// every query layer themselves.  Fused schedulers go one step further and mix beats of
+/// *different query kinds* in one pass; the segmented dispatch interface
+/// ([`RayFlexDatapath::execute_batch_segmented`]) records which [`QueryKind`] owns each beat, so
+/// the per-kind table decomposes a fused pass the way the unified RT unit of §V-A would be
+/// profiled.  Beats executed through the unattributed interfaces count toward the per-opcode
+/// totals only.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BeatMix {
     counts: [u64; Opcode::ALL.len()],
+    kind_counts: [[u64; Opcode::ALL.len()]; QueryKind::ALL.len()],
+    /// Bulk passes dispatched through the segmented interface.
+    passes: u64,
+    /// Segmented passes whose segments spanned at least two distinct query kinds.
+    fused_passes: u64,
 }
 
 impl BeatMix {
     fn record(&mut self, opcode: Opcode) {
         self.counts[Self::slot(opcode)] += 1;
+    }
+
+    fn record_attributed(&mut self, kind: QueryKind, opcode: Opcode) {
+        self.counts[Self::slot(opcode)] += 1;
+        self.kind_counts[Self::kind_slot(kind)][Self::slot(opcode)] += 1;
     }
 
     /// Constant-time counter slot; runs on the per-beat hot path, so no table scan.  The mapping
@@ -32,7 +49,17 @@ impl BeatMix {
         }
     }
 
-    /// Beats executed with the given opcode.
+    /// Constant-time kind slot, matching the [`QueryKind::ALL`] order (pinned by a test below).
+    fn kind_slot(kind: QueryKind) -> usize {
+        match kind {
+            QueryKind::ClosestHit => 0,
+            QueryKind::AnyHit => 1,
+            QueryKind::Distance => 2,
+            QueryKind::Collect => 3,
+        }
+    }
+
+    /// Beats executed with the given opcode (attributed or not).
     #[must_use]
     pub fn count(&self, opcode: Opcode) -> u64 {
         self.counts[Self::slot(opcode)]
@@ -44,9 +71,45 @@ impl BeatMix {
         self.counts.iter().sum()
     }
 
+    /// Beats of the given opcode attributed to the given query kind (zero for beats executed
+    /// through the unattributed interfaces).
+    #[must_use]
+    pub fn count_for(&self, kind: QueryKind, opcode: Opcode) -> u64 {
+        self.kind_counts[Self::kind_slot(kind)][Self::slot(opcode)]
+    }
+
+    /// Total beats attributed to the given query kind, across all opcodes.
+    #[must_use]
+    pub fn kind_total(&self, kind: QueryKind) -> u64 {
+        self.kind_counts[Self::kind_slot(kind)].iter().sum()
+    }
+
+    /// Bulk passes dispatched through the segmented (kind-attributed) interface.
+    #[must_use]
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Segmented passes that interleaved beats of at least two distinct query kinds — the
+    /// observable fingerprint of a fused multi-stream schedule.
+    #[must_use]
+    pub fn fused_passes(&self) -> u64 {
+        self.fused_passes
+    }
+
     /// Iterator over `(opcode, count)` pairs in the stable [`Opcode::ALL`] order.
     pub fn iter(&self) -> impl Iterator<Item = (Opcode, u64)> + '_ {
         Opcode::ALL.iter().map(|&o| (o, self.count(o)))
+    }
+
+    /// Iterator over `(kind, opcode, count)` triples in the stable `ALL` orders, covering the
+    /// attributed counters only.
+    pub fn iter_kinds(&self) -> impl Iterator<Item = (QueryKind, Opcode, u64)> + '_ {
+        QueryKind::ALL.iter().flat_map(move |&kind| {
+            Opcode::ALL
+                .iter()
+                .map(move |&opcode| (kind, opcode, self.count_for(kind, opcode)))
+        })
     }
 }
 
@@ -138,6 +201,15 @@ impl RayFlexDatapath {
     /// cosine beat to a baseline datapath), mirroring the undefined behaviour of driving an
     /// absent opcode into the RTL.
     pub fn execute(&mut self, request: &RayFlexRequest) -> RayFlexResponse {
+        self.admit(request, None);
+        self.emulated_beat(request)
+    }
+
+    /// Admits one beat: the shared front half of every dispatch interface — the opcode-support
+    /// assertion, the executed counter, and the (optionally kind-attributed) mix recording.
+    /// Keeping this in one place is what keeps the attributed and unattributed interfaces
+    /// bit-identical in everything but their counters.
+    fn admit(&mut self, request: &RayFlexRequest, kind: Option<QueryKind>) {
         assert!(
             self.config.supports(request.opcode),
             "opcode {} is not supported by the {} configuration",
@@ -145,7 +217,14 @@ impl RayFlexDatapath {
             self.config.name()
         );
         self.executed += 1;
-        self.mix.record(request.opcode);
+        match kind {
+            Some(kind) => self.mix.record_attributed(kind, request.opcode),
+            None => self.mix.record(request.opcode),
+        }
+    }
+
+    /// Runs one admitted beat through the register-accurate recoded-format stage emulation.
+    fn emulated_beat(&mut self, request: &RayFlexRequest) -> RayFlexResponse {
         *self.scratch = SharedRayFlexData::from_request(request);
         stages::apply_all_middle_stages_in_place(&mut self.scratch, &mut self.accumulators);
         self.scratch.to_response()
@@ -187,18 +266,93 @@ impl RayFlexDatapath {
         responses.clear();
         responses.reserve(requests.len());
         for request in requests {
-            assert!(
-                self.config.supports(request.opcode),
-                "opcode {} is not supported by the {} configuration",
-                request.opcode,
-                self.config.name()
-            );
-            self.executed += 1;
-            self.mix.record(request.opcode);
+            self.admit(request, None);
             responses.push(crate::fastpath::execute_fast(
                 request,
                 &mut self.accumulators,
             ));
+        }
+    }
+
+    /// Executes one beat through the register-accurate stage emulation, attributing it to a
+    /// [`QueryKind`] in the [`BeatMix`] per-kind table — the scalar twin of
+    /// [`RayFlexDatapath::execute_batch_segmented`] used by round-robin reference schedulers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the beat's opcode is unsupported (see [`RayFlexDatapath::execute`]).
+    pub fn execute_attributed(
+        &mut self,
+        request: &RayFlexRequest,
+        kind: QueryKind,
+    ) -> RayFlexResponse {
+        self.admit(request, Some(kind));
+        self.emulated_beat(request)
+    }
+
+    /// Executes one bulk pass whose beats are partitioned into contiguous kind-attributed
+    /// segments: `segments` lists `(kind, beat_count)` pairs covering `requests` front to back.
+    ///
+    /// This is the dispatch interface of fused multi-stream schedulers: a single pass may carry
+    /// the beats of several query kinds (a closest-hit bounce stream, its shadow rays, distance
+    /// scoring), and the per-kind × per-opcode [`BeatMix`] counters record exactly which kind
+    /// issued which beats.  A pass whose segments span at least two distinct kinds increments
+    /// [`BeatMix::fused_passes`].  Responses are bit-identical to
+    /// [`RayFlexDatapath::execute_batch_into`] over the same requests — attribution changes only
+    /// the counters, never the datapath semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment lengths do not sum to `requests.len()`, or if any beat's opcode is
+    /// unsupported (see [`RayFlexDatapath::execute`]).
+    pub fn execute_batch_segmented(
+        &mut self,
+        requests: &[RayFlexRequest],
+        segments: &[(QueryKind, usize)],
+        responses: &mut Vec<RayFlexResponse>,
+    ) {
+        let covered: usize = segments.iter().map(|&(_, len)| len).sum();
+        assert_eq!(
+            covered,
+            requests.len(),
+            "segments must cover the request batch exactly"
+        );
+        self.passes_accounting(segments);
+        responses.clear();
+        responses.reserve(requests.len());
+        let mut offset = 0;
+        for &(kind, len) in segments {
+            for request in &requests[offset..offset + len] {
+                self.admit(request, Some(kind));
+                responses.push(crate::fastpath::execute_fast(
+                    request,
+                    &mut self.accumulators,
+                ));
+            }
+            offset += len;
+        }
+    }
+
+    /// Counts one segmented pass, detecting whether its non-empty segments mix distinct kinds.
+    fn passes_accounting(&mut self, segments: &[(QueryKind, usize)]) {
+        self.mix.passes += 1;
+        let mut first_kind = None;
+        let mut fused = false;
+        for &(kind, len) in segments {
+            if len == 0 {
+                continue;
+            }
+            match first_kind {
+                None => first_kind = Some(kind),
+                Some(k) if k != kind => {
+                    fused = true;
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+        if fused {
+            self.mix.fused_passes += 1;
         }
     }
 
@@ -279,6 +433,83 @@ mod tests {
         for (slot, &opcode) in Opcode::ALL.iter().enumerate() {
             assert_eq!(BeatMix::slot(opcode), slot);
         }
+    }
+
+    #[test]
+    fn segmented_batches_attribute_beats_per_kind_and_detect_fusion() {
+        let mut dp = RayFlexDatapath::new(PipelineConfig::extended_unified());
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        let boxes = [Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)); 4];
+        let tri = Triangle::new(
+            Vec3::new(-1.0, -1.0, 3.0),
+            Vec3::new(1.0, -1.0, 3.0),
+            Vec3::new(0.0, 1.0, 3.0),
+        );
+        let requests = [
+            RayFlexRequest::ray_box(0, &ray, &boxes),
+            RayFlexRequest::ray_triangle(1, &ray, &tri),
+            RayFlexRequest::ray_box(2, &ray, &boxes),
+            RayFlexRequest::euclidean(3, [1.0; 16], [0.0; 16], u16::MAX, true),
+        ];
+        // One fused pass: closest-hit (2 beats), any-hit (1 beat), distance (1 beat).
+        let mut responses = Vec::new();
+        dp.execute_batch_segmented(
+            &requests,
+            &[
+                (QueryKind::ClosestHit, 2),
+                (QueryKind::AnyHit, 1),
+                (QueryKind::Distance, 1),
+            ],
+            &mut responses,
+        );
+        assert_eq!(responses.len(), 4);
+        // One single-kind pass with an empty trailing segment: counted, but not fused.
+        dp.execute_batch_segmented(
+            &requests[..1],
+            &[(QueryKind::Collect, 1), (QueryKind::Distance, 0)],
+            &mut responses,
+        );
+        let mix = dp.beat_mix();
+        assert_eq!(mix.count_for(QueryKind::ClosestHit, Opcode::RayBox), 1);
+        assert_eq!(mix.count_for(QueryKind::ClosestHit, Opcode::RayTriangle), 1);
+        assert_eq!(mix.count_for(QueryKind::AnyHit, Opcode::RayBox), 1);
+        assert_eq!(mix.count_for(QueryKind::Distance, Opcode::Euclidean), 1);
+        assert_eq!(mix.count_for(QueryKind::Collect, Opcode::RayBox), 1);
+        assert_eq!(mix.kind_total(QueryKind::ClosestHit), 2);
+        assert_eq!(mix.passes(), 2);
+        assert_eq!(mix.fused_passes(), 1, "only the mixed-kind pass is fused");
+        // Attributed beats still feed the plain per-opcode totals.
+        assert_eq!(mix.count(Opcode::RayBox), 3);
+        assert_eq!(mix.total(), 5);
+        assert_eq!(mix.total(), dp.executed_beats());
+        assert_eq!(
+            mix.iter_kinds().count(),
+            QueryKind::ALL.len() * Opcode::ALL.len()
+        );
+        // The constant-time kind-slot mapping must agree with the QueryKind::ALL order.
+        let mut seen = std::collections::BTreeSet::new();
+        for &kind in &QueryKind::ALL {
+            assert!(seen.insert(BeatMix::kind_slot(kind)));
+        }
+
+        // The scalar attributed twin: identical response, counted under its kind.
+        let response = dp.execute_attributed(&requests[0], QueryKind::AnyHit);
+        assert!(response.box_result.unwrap().hit.iter().all(|&h| h));
+        assert_eq!(
+            dp.beat_mix().count_for(QueryKind::AnyHit, Opcode::RayBox),
+            2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the request batch")]
+    fn segment_lengths_must_cover_the_batch() {
+        let mut dp = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        let boxes = [Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)); 4];
+        let requests = [RayFlexRequest::ray_box(0, &ray, &boxes)];
+        let mut responses = Vec::new();
+        dp.execute_batch_segmented(&requests, &[(QueryKind::ClosestHit, 2)], &mut responses);
     }
 
     #[test]

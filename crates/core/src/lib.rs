@@ -56,7 +56,7 @@ mod io;
 pub mod liveness;
 mod opcode;
 mod pipeline;
-mod quad_sort;
+pub mod quad_sort;
 mod srfds;
 pub mod stages;
 pub mod validation;
@@ -68,6 +68,6 @@ pub use io::{
     BoxResult, DistanceResult, RayFlexRequest, RayFlexResponse, RayOperand, TriangleResult,
     COSINE_LANES, EUCLIDEAN_LANES,
 };
-pub use opcode::Opcode;
+pub use opcode::{Opcode, QueryKind};
 pub use pipeline::{PipelineStats, RayFlexPipeline, PIPELINE_DEPTH};
 pub use srfds::SharedRayFlexData;

@@ -52,6 +52,54 @@ impl core::fmt::Display for Opcode {
     }
 }
 
+/// The query kinds the RT unit time-multiplexes over the datapath (§V-A): the attribution
+/// vocabulary of mixed-opcode passes.
+///
+/// A query kind is a *workload-level* label, one step above [`Opcode`]: a closest-hit traversal
+/// issues ray–box and ray–triangle beats, a candidate-collection filter issues only ray–box
+/// beats, a distance scoring run issues Euclidean or cosine beats.  The datapath records
+/// per-kind × per-opcode counters (see [`BeatMix`](crate::BeatMix)) when a caller attributes its
+/// beats, so a fused pass mixing several kinds can be decomposed in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QueryKind {
+    /// Closest-hit traversal: find the nearest primitive intersection along a ray.
+    ClosestHit,
+    /// Any-hit / shadow traversal: terminate a ray on its first accepted intersection.
+    AnyHit,
+    /// Distance scoring: squared-Euclidean or cosine distance of candidate vectors to a query.
+    Distance,
+    /// Candidate collection: BVH filter traversal gathering every leaf a query volume reaches
+    /// (the hierarchy-filter phase of the RT-accelerated search systems).
+    Collect,
+}
+
+impl QueryKind {
+    /// All query kinds, in a stable order.
+    pub const ALL: [QueryKind; 4] = [
+        QueryKind::ClosestHit,
+        QueryKind::AnyHit,
+        QueryKind::Distance,
+        QueryKind::Collect,
+    ];
+
+    /// A short lowercase name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::ClosestHit => "closest-hit",
+            QueryKind::AnyHit => "any-hit",
+            QueryKind::Distance => "distance",
+            QueryKind::Collect => "collect",
+        }
+    }
+}
+
+impl core::fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +117,14 @@ mod tests {
         let names: std::collections::BTreeSet<_> = Opcode::ALL.iter().map(|o| o.name()).collect();
         assert_eq!(names.len(), 4);
         assert_eq!(Opcode::RayBox.to_string(), "ray-box");
+    }
+
+    #[test]
+    fn query_kind_names_are_distinct() {
+        let names: std::collections::BTreeSet<_> =
+            QueryKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), QueryKind::ALL.len());
+        assert_eq!(QueryKind::AnyHit.to_string(), "any-hit");
+        assert_eq!(QueryKind::Collect.to_string(), "collect");
     }
 }

@@ -31,12 +31,29 @@ pub fn sort_children(hit: &[bool; 4], t_entry: &[RecF32; 4]) -> [usize; 4] {
     order
 }
 
+/// [`sort_children`] over native `f32` keys: recodes the keys and runs the same five-comparator
+/// network, so software consumers of the quad-sort substrate (the bounded top-k selection of the
+/// k-NN engine, say) order values exactly as the hardware sorter would.  Invalid lanes (`hit[i]
+/// == false`) sort last and keep their relative order.
+#[must_use]
+pub fn sort_four_f32(hit: &[bool; 4], keys: &[f32; 4]) -> [usize; 4] {
+    sort_children(hit, &keys.map(RecF32::from_f32))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn rec(values: [f32; 4]) -> [RecF32; 4] {
         values.map(RecF32::from_f32)
+    }
+
+    #[test]
+    fn the_f32_frontend_matches_the_recoded_network() {
+        let keys = [3.5f32, -1.0, 0.25, -7.5];
+        let hit = [true, true, false, true];
+        assert_eq!(sort_four_f32(&hit, &keys), sort_children(&hit, &rec(keys)));
+        assert_eq!(sort_four_f32(&hit, &keys), [3, 1, 0, 2]);
     }
 
     #[test]

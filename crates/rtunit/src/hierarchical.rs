@@ -11,13 +11,18 @@
 //!
 //! [`HierarchicalSearch`] reproduces that pipeline on top of this crate's substrates: a [`Bvh4`]
 //! over the dataset spheres, ray–box beats for the hierarchy filter, and Euclidean beats for the
-//! exact scoring — so a radius query issues *only* datapath operations.  The exact-scoring phase
-//! runs every surviving candidate through the generic batched query engine in one run, so its
-//! distance beats share bulk dispatches instead of being driven one candidate at a time.
+//! exact scoring — so a radius query issues *only* datapath operations.  **Both** phases run
+//! through the generic batched query engine: the hierarchy filter is the
+//! [`QueryKind::Collect`] state machine (one item per radius query, bulk ray–box passes shared
+//! across a whole query batch — no scalar per-beat datapath calls), and the exact scoring is one
+//! batched distance run per query.  [`CollectStream`] additionally packages the filter for
+//! *fused* scheduling, so candidate collection can share passes with traversal and distance
+//! streams of unrelated workloads.
 
-use rayflex_core::{Opcode, PipelineConfig, RayFlexRequest};
-use rayflex_geometry::{Ray, Sphere, Vec3};
+use rayflex_core::{Opcode, PipelineConfig, RayFlexRequest, RayFlexResponse};
+use rayflex_geometry::{Aabb, Ray, Sphere, Vec3};
 
+use crate::query::{BatchQuery, QueryKind, StreamRunner, WavefrontScheduler};
 use crate::{Bvh4, Bvh4Node, KnnEngine, Neighbor};
 
 /// Statistics of one hierarchical query.
@@ -45,6 +50,153 @@ impl HierarchicalStats {
     }
 }
 
+/// Per-query state of a batched candidate-collection run: the filter ray, the inflation radius,
+/// the traversal stack and the candidates collected so far.  Pooled by the scheduler.
+#[derive(Debug, Default)]
+pub struct CollectWork {
+    ray: Option<Ray>,
+    radius: f32,
+    stack: Vec<usize>,
+    found: Vec<usize>,
+}
+
+/// BVH candidate collection as a batched query ([`QueryKind::Collect`]): one item per radius
+/// query, each walking the sphere hierarchy with ray–box beats (the paper's
+/// query-as-a-short-ray formulation) and gathering every point whose leaf the query reaches.
+///
+/// The per-query walk order is exactly the old scalar filter's — nodes pop LIFO, hit children
+/// push in slot order — so the collected candidate lists are identical; only the dispatch
+/// changes, from one `execute` call per beat to bulk passes shared by every query in the batch
+/// (and, under a fused run, by unrelated query kinds).
+#[derive(Debug)]
+struct CollectQuery<'a> {
+    bvh: &'a Bvh4,
+    queries: &'a [(Vec3, f32)],
+    box_beats: u64,
+}
+
+impl<'a> CollectQuery<'a> {
+    fn new(bvh: &'a Bvh4, queries: &'a [(Vec3, f32)]) -> Self {
+        CollectQuery {
+            bvh,
+            queries,
+            box_beats: 0,
+        }
+    }
+}
+
+impl BatchQuery for CollectQuery<'_> {
+    type State = CollectWork;
+    type Output = Vec<usize>;
+
+    fn kind(&self) -> QueryKind {
+        QueryKind::Collect
+    }
+
+    fn items(&self) -> usize {
+        self.queries.len()
+    }
+
+    fn reset(&mut self, item: usize, state: &mut CollectWork) {
+        let (query, radius) = self.queries[item];
+        // A short ray through the query point along +x with extent [0, 2r], starting at
+        // query - (r, 0, 0): exactly the formulation RTNN-style systems use.  Inflating the
+        // child bounds by the radius makes the box test conservative in y/z as well.
+        state.ray = Some(Ray::with_extent(
+            query - Vec3::new(radius, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            0.0,
+            2.0 * radius,
+        ));
+        state.radius = radius;
+        state.stack.clear();
+        state.stack.push(self.bvh.root());
+        state.found.clear();
+    }
+
+    fn build(
+        &mut self,
+        item: usize,
+        state: &mut CollectWork,
+        out: &mut Vec<RayFlexRequest>,
+    ) -> bool {
+        let _ = item;
+        while let Some(node) = state.stack.pop() {
+            match self.bvh.node(node) {
+                Bvh4Node::Leaf { .. } => state.found.extend(self.bvh.leaf_primitives(node)),
+                Bvh4Node::Internal { child_bounds, .. } => {
+                    self.box_beats += 1;
+                    let radius = state.radius;
+                    let boxes = core::array::from_fn(|i| {
+                        if child_bounds[i].is_empty() {
+                            Aabb::new(Vec3::splat(f32::MAX), Vec3::splat(f32::MAX))
+                        } else {
+                            child_bounds[i].inflated(radius)
+                        }
+                    });
+                    let ray = state.ray.as_ref().expect("reset built the filter ray");
+                    out.push(RayFlexRequest::ray_box(node as u64, ray, &boxes));
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn apply(&mut self, _item: usize, state: &mut CollectWork, response: &RayFlexResponse) {
+        let result = response.box_result.expect("box beat");
+        let Bvh4Node::Internal { children, .. } = self.bvh.node(response.tag as usize) else {
+            unreachable!("box beats only test internal nodes");
+        };
+        for (slot, child) in children.iter().enumerate() {
+            if result.hit[slot] {
+                if let Some(child) = child {
+                    state.stack.push(*child);
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, _item: usize, state: &mut CollectWork) -> Vec<usize> {
+        core::mem::take(&mut state.found)
+    }
+}
+
+/// A candidate-collection stream packaged for **fused** scheduling: BVH filtering of a batch of
+/// `(query point, radius)` pairs, runnable side by side with traversal and distance streams in
+/// the shared passes of a [`FusedScheduler`](crate::FusedScheduler).
+///
+/// Per-query candidate lists are identical to [`HierarchicalSearch::radius_query`]'s filter
+/// phase over the same sphere hierarchy.
+#[derive(Debug)]
+pub struct CollectStream<'a> {
+    runner: StreamRunner<CollectQuery<'a>>,
+}
+
+impl<'a> CollectStream<'a> {
+    /// A collection stream of `queries` against a sphere hierarchy.
+    #[must_use]
+    pub fn new(bvh: &'a Bvh4, queries: &'a [(Vec3, f32)]) -> Self {
+        CollectStream {
+            runner: StreamRunner::new(CollectQuery::new(bvh, queries)),
+        }
+    }
+
+    /// One candidate-index list per query (in query order) plus the ray–box beats the filter
+    /// issued, after a fused run completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream was never run to completion.
+    #[must_use]
+    pub fn finish(self) -> (Vec<Vec<usize>>, u64) {
+        let (query, candidates) = self.runner.finish();
+        (candidates, query.box_beats)
+    }
+}
+
+crate::query::delegate_fused_stream_to_runner!(CollectStream<'_>);
+
 /// A radius / nearest-neighbour search engine over 3-D points, implemented entirely with
 /// datapath beats: BVH filtering through the ray–box operation and exact scoring through the
 /// Euclidean-distance operation of the extended datapath.
@@ -54,6 +206,9 @@ pub struct HierarchicalSearch {
     spheres: Vec<Sphere>,
     bvh: Bvh4,
     scorer: KnnEngine,
+    /// Scheduler of the candidate-collection query kind (its `CollectWork` pool is recycled
+    /// across queries).
+    collector: WavefrontScheduler<CollectWork>,
     stats: HierarchicalStats,
 }
 
@@ -82,6 +237,7 @@ impl HierarchicalSearch {
             spheres,
             bvh,
             scorer: KnnEngine::with_config(config),
+            collector: WavefrontScheduler::new(),
             stats: HierarchicalStats {
                 dataset_size,
                 ..HierarchicalStats::default()
@@ -104,21 +260,40 @@ impl HierarchicalSearch {
     /// Returns every dataset point within `radius` of `query` (squared-Euclidean scored on the
     /// datapath), sorted from nearest to farthest.
     ///
-    /// The candidates surviving the hierarchy filter are scored in **one batched distance
-    /// query** — their Euclidean beats share bulk datapath dispatches through the wavefront
-    /// scheduler instead of being driven one candidate at a time.
+    /// Both phases run batched: the hierarchy filter is one [`QueryKind::Collect`] run through
+    /// the wavefront scheduler (bulk ray–box passes, no scalar per-beat datapath calls), and the
+    /// surviving candidates are scored in **one batched distance query** — their Euclidean beats
+    /// share bulk dispatches instead of being driven one candidate at a time.
     pub fn radius_query(&mut self, query: Vec3, radius: f32) -> Vec<Neighbor> {
-        let candidates = self.filter_candidates(query, radius);
-        let radius_sq = radius * radius;
-        let mut results = self.score_candidates(query, &candidates);
-        results.retain(|n| n.distance <= radius_sq);
-        results.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(core::cmp::Ordering::Equal)
-                .then(a.index.cmp(&b.index))
-        });
-        results
+        self.radius_queries(&[(query, radius)])
+            .pop()
+            .expect("one result per query")
+    }
+
+    /// Runs a whole batch of radius queries, returning one sorted neighbour list per query (see
+    /// [`HierarchicalSearch::radius_query`]).
+    ///
+    /// The hierarchy filters of **all** queries share bulk ray–box passes end to end (one
+    /// candidate-collection run with one item per query), so multi-query batches amortise
+    /// dispatch exactly like multi-ray traversal streams do.
+    pub fn radius_queries(&mut self, queries: &[(Vec3, f32)]) -> Vec<Vec<Neighbor>> {
+        let per_query_candidates = self.filter_candidates_batch(queries);
+        queries
+            .iter()
+            .zip(per_query_candidates)
+            .map(|(&(query, radius), candidates)| {
+                let radius_sq = radius * radius;
+                let mut results = self.score_candidates(query, &candidates);
+                results.retain(|n| n.distance <= radius_sq);
+                results.sort_by(|a, b| {
+                    a.distance
+                        .partial_cmp(&b.distance)
+                        .unwrap_or(core::cmp::Ordering::Equal)
+                        .then(a.index.cmp(&b.index))
+                });
+                results
+            })
+            .collect()
     }
 
     /// Returns the nearest dataset point to `query`, searching with an expanding radius (each
@@ -144,55 +319,14 @@ impl HierarchicalSearch {
         }
     }
 
-    /// Hierarchy filter: walks the sphere BVH with ray–box beats, using the paper's
-    /// query-as-a-short-ray formulation (a ray of length `2 * radius` centred on the query), and
-    /// returns the indices of every point whose leaf the query reaches.
-    fn filter_candidates(&mut self, query: Vec3, radius: f32) -> Vec<usize> {
-        // A short ray through the query point along +x with extent [0, 2r], starting at
-        // query - (r, 0, 0): exactly the formulation RTNN-style systems use.  Inflating the child
-        // bounds by the radius makes the box test conservative in y/z as well.
-        let ray = Ray::with_extent(
-            query - Vec3::new(radius, 0.0, 0.0),
-            Vec3::new(1.0, 0.0, 0.0),
-            0.0,
-            2.0 * radius,
-        );
-        let mut candidates = Vec::new();
-        let mut stack = vec![self.bvh.root()];
-        while let Some(node) = stack.pop() {
-            match self.bvh.node(node) {
-                Bvh4Node::Leaf { .. } => candidates.extend(self.bvh.leaf_primitives(node)),
-                Bvh4Node::Internal {
-                    children,
-                    child_bounds,
-                } => {
-                    self.stats.box_beats += 1;
-                    let boxes = core::array::from_fn(|i| {
-                        if child_bounds[i].is_empty() {
-                            rayflex_geometry::Aabb::new(
-                                Vec3::splat(f32::MAX),
-                                Vec3::splat(f32::MAX),
-                            )
-                        } else {
-                            child_bounds[i].inflated(radius)
-                        }
-                    });
-                    let request = RayFlexRequest::ray_box(0, &ray, &boxes);
-                    let result = self
-                        .scorer
-                        .execute_raw(&request)
-                        .box_result
-                        .expect("box beat");
-                    for (slot, child) in children.iter().enumerate() {
-                        if result.hit[slot] {
-                            if let Some(child) = child {
-                                stack.push(*child);
-                            }
-                        }
-                    }
-                }
-            }
-        }
+    /// Hierarchy filter of a query batch: one [`QueryKind::Collect`] run through the wavefront
+    /// scheduler, walking the sphere BVH with **bulk** ray–box passes shared by every query
+    /// (the paper's query-as-a-short-ray formulation) and returning, per query, the indices of
+    /// every point whose leaf the query reaches.
+    fn filter_candidates_batch(&mut self, queries: &[(Vec3, f32)]) -> Vec<Vec<usize>> {
+        let mut collect = CollectQuery::new(&self.bvh, queries);
+        let candidates = self.collector.run(self.scorer.datapath_mut(), &mut collect);
+        self.stats.box_beats += collect.box_beats;
         candidates
     }
 
@@ -333,6 +467,87 @@ mod tests {
                 .0;
             assert_eq!(got.index, expected, "query {query}");
         }
+    }
+
+    #[test]
+    fn batched_radius_queries_match_individual_queries() {
+        let points = random_points(13, 400, 40.0);
+        let queries: Vec<(Vec3, f32)> = (0..8)
+            .map(|i| {
+                (
+                    Vec3::new(
+                        (i as f32 * 9.0) - 30.0,
+                        ((i * 7) % 11) as f32 * 5.0 - 25.0,
+                        ((i * 3) % 13) as f32 * 4.0 - 20.0,
+                    ),
+                    4.0 + (i % 4) as f32 * 3.0,
+                )
+            })
+            .collect();
+
+        let mut batched =
+            HierarchicalSearch::build(points.clone(), 0.01, PipelineConfig::extended_unified());
+        let batch_results = batched.radius_queries(&queries);
+
+        let mut individual =
+            HierarchicalSearch::build(points, 0.01, PipelineConfig::extended_unified());
+        for (i, &(query, radius)) in queries.iter().enumerate() {
+            assert_eq!(
+                batch_results[i],
+                individual.radius_query(query, radius),
+                "query {i}"
+            );
+        }
+        // Same filter and scoring work, whether the queries batch or not.
+        assert_eq!(batched.stats(), individual.stats());
+    }
+
+    #[test]
+    fn the_filter_runs_through_the_batched_engine_not_scalar_beats() {
+        let points = random_points(21, 500, 50.0);
+        let mut search =
+            HierarchicalSearch::build(points, 0.01, PipelineConfig::extended_unified());
+        let _ = search.radius_query(Vec3::new(5.0, -3.0, 12.0), 8.0);
+        let mix = search.scorer.beat_mix();
+        // Every filter beat is attributed to the collect kind through bulk passes; none are
+        // unattributed scalar calls.
+        assert_eq!(
+            mix.count_for(rayflex_core::QueryKind::Collect, Opcode::RayBox),
+            search.stats().box_beats
+        );
+        assert_eq!(
+            mix.count(Opcode::RayBox),
+            search.stats().box_beats,
+            "no ray-box beat bypassed the collect attribution"
+        );
+        assert!(mix.passes() > 0, "the filter dispatched bulk passes");
+    }
+
+    #[test]
+    fn fused_collect_streams_match_the_search_filter() {
+        use crate::query::FusedScheduler;
+        use rayflex_core::RayFlexDatapath;
+
+        let points = random_points(17, 300, 30.0);
+        let queries: Vec<(Vec3, f32)> = vec![
+            (Vec3::new(0.0, 0.0, 0.0), 6.0),
+            (Vec3::new(10.0, -5.0, 3.0), 9.0),
+            (Vec3::new(-20.0, 14.0, -8.0), 4.0),
+        ];
+        let spheres: Vec<Sphere> = points.iter().map(|&p| Sphere::new(p, 0.01)).collect();
+        let bvh = Bvh4::build(&spheres);
+
+        let mut search =
+            HierarchicalSearch::build(points, 0.01, PipelineConfig::extended_unified());
+        let expected = search.filter_candidates_batch(&queries);
+
+        let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
+        let mut stream = CollectStream::new(&bvh, &queries);
+        let mut fused = FusedScheduler::new();
+        fused.run(&mut datapath, &mut [&mut stream]);
+        let (candidates, box_beats) = stream.finish();
+        assert_eq!(candidates, expected);
+        assert_eq!(box_beats, search.stats().box_beats);
     }
 
     #[test]

@@ -9,11 +9,11 @@
 //! one-candidate instantiations of the same query; there is no separate scalar drive loop.
 
 use rayflex_core::{
-    BeatMix, Opcode, PipelineConfig, RayFlexDatapath, RayFlexRequest, RayFlexResponse,
+    quad_sort, BeatMix, Opcode, PipelineConfig, RayFlexDatapath, RayFlexRequest, RayFlexResponse,
 };
 use rayflex_geometry::golden::distance::{COSINE_LANES, EUCLIDEAN_LANES};
 
-use crate::query::{BatchQuery, QueryKind, WavefrontScheduler};
+use crate::query::{BatchQuery, QueryKind, StreamRunner, WavefrontScheduler};
 
 /// The distance metric used by a search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +44,15 @@ pub struct KnnStats {
     pub candidates: u64,
 }
 
+impl KnnStats {
+    /// Accumulates another counter set into this one (used when merging the statistics of a
+    /// finished distance stream into an engine's totals; every field is a sum).
+    pub fn merge(&mut self, other: &KnnStats) {
+        self.beats += other.beats;
+        self.candidates += other.candidates;
+    }
+}
+
 /// Per-candidate state of a batched distance query.
 #[derive(Debug, Default)]
 pub struct DistanceWork {
@@ -54,7 +63,10 @@ pub struct DistanceWork {
 }
 
 /// A batched distance query: one item per candidate vector, all beats of a candidate appended in
-/// one build call (see the module documentation for why adjacency matters).
+/// one build call (see the module documentation for why adjacency matters).  The query owns its
+/// statistics so distance streams can run fused alongside other query kinds; consumers merge
+/// them when the stream finishes.
+#[derive(Debug)]
 struct DistanceQuery<'a, C: AsRef<[f32]>> {
     query: &'a [f32],
     candidates: &'a [C],
@@ -62,7 +74,23 @@ struct DistanceQuery<'a, C: AsRef<[f32]>> {
     /// Pre-computed query norm for the cosine metric (a property of the query alone; like the
     /// ray shear constants it is computed outside the datapath).
     query_norm: f32,
-    stats: &'a mut KnnStats,
+    stats: KnnStats,
+}
+
+impl<'a, C: AsRef<[f32]>> DistanceQuery<'a, C> {
+    fn new(query: &'a [f32], candidates: &'a [C], metric: KnnMetric) -> Self {
+        let query_norm = match metric {
+            KnnMetric::Euclidean => 0.0,
+            KnnMetric::Cosine => query.iter().map(|x| x * x).sum::<f32>().sqrt(),
+        };
+        DistanceQuery {
+            query,
+            candidates,
+            metric,
+            query_norm,
+            stats: KnnStats::default(),
+        }
+    }
 }
 
 impl<C: AsRef<[f32]>> BatchQuery for DistanceQuery<'_, C> {
@@ -138,6 +166,47 @@ impl<C: AsRef<[f32]>> BatchQuery for DistanceQuery<'_, C> {
         }
     }
 }
+
+/// A candidate-scoring stream packaged for **fused** scheduling: squared-Euclidean or cosine
+/// distances of `candidates` to `query`, runnable side by side with traversal and collection
+/// streams in the shared passes of a [`FusedScheduler`](crate::FusedScheduler).
+///
+/// Distances and [`KnnStats`] are bit-identical to [`KnnEngine::distances`] over the same
+/// candidate slice (each candidate's beat train stays contiguous inside the stream's pass
+/// segment, so the shared accumulator semantics are untouched by fusion).
+///
+/// Unlike [`KnnEngine::distances`], a fused stream does **not** chunk its candidate set: every
+/// candidate's beat train lands in the first shared pass, so the pass buffer scales with
+/// `candidates × ceil(dim / lanes)` beats.  Callers fusing very large scoring workloads should
+/// split the candidate slice into several streams (or several fused runs) themselves.
+#[derive(Debug)]
+pub struct DistanceStream<'a, C: AsRef<[f32]>> {
+    runner: StreamRunner<DistanceQuery<'a, C>>,
+}
+
+impl<'a, C: AsRef<[f32]>> DistanceStream<'a, C> {
+    /// A distance-scoring stream of every candidate against `query` under `metric`.
+    #[must_use]
+    pub fn new(query: &'a [f32], candidates: &'a [C], metric: KnnMetric) -> Self {
+        DistanceStream {
+            runner: StreamRunner::new(DistanceQuery::new(query, candidates, metric)),
+        }
+    }
+
+    /// One distance per candidate (in candidate order) plus the stream's statistics, after a
+    /// fused run completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream was never run to completion.
+    #[must_use]
+    pub fn finish(self) -> (Vec<f32>, KnnStats) {
+        let (query, distances) = self.runner.finish();
+        (distances, query.stats)
+    }
+}
+
+crate::query::delegate_fused_stream_to_runner!([C: AsRef<[f32]>] DistanceStream<'_, C>);
 
 /// Appends the Euclidean beat train of one `(query, candidate)` pair (16 lanes per beat, reset
 /// asserted on the last) and returns the number of beats appended.  Zero-dimensional vectors
@@ -282,10 +351,6 @@ impl KnnEngine {
         candidates: &[C],
         metric: KnnMetric,
     ) -> Vec<f32> {
-        let query_norm = match metric {
-            KnnMetric::Euclidean => 0.0,
-            KnnMetric::Cosine => query.iter().map(|x| x * x).sum::<f32>().sqrt(),
-        };
         let lanes = match metric {
             KnnMetric::Euclidean => EUCLIDEAN_LANES,
             KnnMetric::Cosine => COSINE_LANES,
@@ -294,14 +359,9 @@ impl KnnEngine {
         let chunk_len = (Self::MAX_BEATS_PER_PASS / beats_per_candidate).max(1);
         let mut results = Vec::with_capacity(candidates.len());
         for chunk in candidates.chunks(chunk_len) {
-            let mut batch = DistanceQuery {
-                query,
-                candidates: chunk,
-                metric,
-                query_norm,
-                stats: &mut self.stats,
-            };
+            let mut batch = DistanceQuery::new(query, chunk, metric);
             results.extend(self.scheduler.run(&mut self.datapath, &mut batch));
+            self.stats.merge(&batch.stats);
         }
         results
     }
@@ -329,7 +389,9 @@ impl KnnEngine {
 
     /// Finds the `k` nearest dataset vectors to `query` under the chosen metric, sorted from
     /// nearest to farthest (ties broken by index).  The whole dataset is scored as one batched
-    /// distance query.
+    /// distance query, and the winners are picked by the **bounded on-engine top-k**
+    /// ([`select_k_nearest`]) built on the paper's quad-sort substrate — no full CPU sort of all
+    /// scored candidates.
     ///
     /// # Panics
     ///
@@ -342,20 +404,73 @@ impl KnnEngine {
         metric: KnnMetric,
     ) -> Vec<Neighbor> {
         let distances = self.distances(query, dataset, metric);
-        let mut scored: Vec<Neighbor> = distances
-            .into_iter()
-            .enumerate()
-            .map(|(index, distance)| Neighbor { index, distance })
-            .collect();
-        scored.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(core::cmp::Ordering::Equal)
-                .then(a.index.cmp(&b.index))
-        });
-        scored.truncate(k);
-        scored
+        select_k_nearest(&distances, k)
     }
+
+    /// Mutable access to the engine's datapath, for sibling engines that layer further query
+    /// kinds (the hierarchical search's candidate-collection filter) onto the same unit.
+    pub(crate) fn datapath_mut(&mut self) -> &mut RayFlexDatapath {
+        &mut self.datapath
+    }
+}
+
+/// Bounded top-k selection over a scored distance slice: returns the `k` nearest candidates
+/// sorted from nearest to farthest (ties broken by index), identical to sorting the whole slice
+/// by `(distance, index)` and truncating — but in O(n log k) without materialising that sort.
+///
+/// A `NaN` distance marks an unordered candidate (a non-finite reduction); NaN candidates are
+/// treated as infinitely far and are **never selected**, exactly like a missed child in the
+/// hardware sorter (whose key is forced to +∞).
+///
+/// Candidates are consumed four at a time through the quad-sort network
+/// ([`rayflex_core::quad_sort::sort_four_f32`], the five-comparator sorter the datapath's
+/// ray–box operation uses), so each quad arrives in visit order and the scan of a quad stops at
+/// the first candidate that cannot enter the running top-k — the software shape of folding the
+/// selection into the distance query's finish path on the quad-sort substrate.
+#[must_use]
+pub fn select_k_nearest(distances: &[f32], k: usize) -> Vec<Neighbor> {
+    let mut best: Vec<Neighbor> = Vec::with_capacity(k.min(distances.len()).saturating_add(1));
+    if k == 0 {
+        return best;
+    }
+    for (quad, chunk) in distances.chunks(4).enumerate() {
+        let mut keys = [0.0f32; 4];
+        let mut valid = [false; 4];
+        keys[..chunk.len()].copy_from_slice(chunk);
+        for (lane, &key) in chunk.iter().enumerate() {
+            // NaN lanes stay invalid: like a hardware miss they sort last and never select.
+            valid[lane] = !key.is_nan();
+        }
+        // The quad-sort network yields this quad's candidates nearest-first (equal keys keep
+        // index order), so the first one that fails to displace the current worst ends the quad.
+        for &slot in &quad_sort::sort_four_f32(&valid, &keys) {
+            if !valid[slot] {
+                // An invalid lane (padding or NaN) carries the +inf miss key, which TIES with a
+                // genuine +inf distance — and ties keep original lane order — so a valid lane
+                // may still follow.  Skip, don't break.
+                continue;
+            }
+            let candidate = Neighbor {
+                index: quad * 4 + slot,
+                distance: keys[slot],
+            };
+            if best.len() == k {
+                let worst = best[k - 1];
+                if candidate.distance > worst.distance
+                    || (candidate.distance == worst.distance && candidate.index > worst.index)
+                {
+                    break;
+                }
+            }
+            let position = best.partition_point(|n| {
+                n.distance < candidate.distance
+                    || (n.distance == candidate.distance && n.index < candidate.index)
+            });
+            best.insert(position, candidate);
+            best.truncate(k);
+        }
+    }
+    best
 }
 
 impl Default for KnnEngine {
@@ -478,6 +593,99 @@ mod tests {
         assert_eq!(
             engine.beat_mix().count(Opcode::Euclidean),
             engine.stats().beats
+        );
+    }
+
+    /// The pre-top-k reference: sort *all* scored candidates by `(distance, index)`.
+    fn full_sort_reference(distances: &[f32], k: usize) -> Vec<Neighbor> {
+        let mut scored: Vec<Neighbor> = distances
+            .iter()
+            .enumerate()
+            .map(|(index, &distance)| Neighbor { index, distance })
+            .collect();
+        scored.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(core::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    #[test]
+    fn bounded_top_k_matches_the_full_sort_path() {
+        // Distances with plenty of duplicates so the index tie-breaking is exercised, across
+        // every interesting k (0, 1, mid, n-1, n, > n) and slice lengths off the quad boundary.
+        for count in [0usize, 1, 3, 4, 5, 17, 64, 101] {
+            let distances: Vec<f32> = (0..count)
+                .map(|i| ((i * 7 + 3) % 13) as f32 * 0.5)
+                .collect();
+            for k in [0usize, 1, 2, count.saturating_sub(1), count, count + 5] {
+                let got = select_k_nearest(&distances, k);
+                let expected = full_sort_reference(&distances, k);
+                assert_eq!(got.len(), expected.len(), "count {count}, k {k}");
+                for (g, e) in got.iter().zip(&expected) {
+                    assert_eq!(g.index, e.index, "count {count}, k {k}");
+                    assert_eq!(
+                        g.distance.to_bits(),
+                        e.distance.to_bits(),
+                        "count {count}, k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_distances_are_never_selected_by_the_bounded_top_k() {
+        let distances = [3.0f32, f32::NAN, 1.0, f32::NAN, 2.0, 4.0];
+        let got = select_k_nearest(&distances, 4);
+        let indices: Vec<usize> = got.iter().map(|n| n.index).collect();
+        assert_eq!(indices, vec![2, 4, 0, 5], "NaN candidates sort as +inf");
+        assert!(got.iter().all(|n| !n.distance.is_nan()));
+        // Even when k exceeds the finite candidate count, NaN never enters the result.
+        assert_eq!(select_k_nearest(&distances, 6).len(), 4);
+        assert!(select_k_nearest(&[f32::NAN; 3], 2).is_empty());
+        // A genuine +inf distance ties with a NaN lane's miss key inside the quad-sort network;
+        // it must still be selected (regression test: the NaN lane used to end the quad scan).
+        let infinity_after_nan = select_k_nearest(&[f32::NAN, f32::INFINITY], 1);
+        assert_eq!(infinity_after_nan.len(), 1);
+        assert_eq!(infinity_after_nan[0].index, 1);
+        assert_eq!(infinity_after_nan[0].distance, f32::INFINITY);
+    }
+
+    #[test]
+    fn k_nearest_equals_the_full_sort_of_its_own_distances() {
+        let data = dataset(24, 75);
+        let query = data[11].clone();
+        let mut engine = KnnEngine::new();
+        let neighbors = engine.k_nearest(&query, &data, 9, KnnMetric::Euclidean);
+        let distances = KnnEngine::new().distances(&query, &data, KnnMetric::Euclidean);
+        assert_eq!(neighbors, full_sort_reference(&distances, 9));
+    }
+
+    #[test]
+    fn fused_distance_streams_match_engine_scoring() {
+        use crate::query::FusedScheduler;
+
+        let data = dataset(19, 14);
+        let query = data[2].clone();
+        let mut engine = KnnEngine::new();
+        let expected = engine.distances(&query, &data, KnnMetric::Euclidean);
+
+        let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
+        let mut stream = DistanceStream::new(&query, &data, KnnMetric::Euclidean);
+        let mut fused = FusedScheduler::new();
+        fused.run(&mut datapath, &mut [&mut stream]);
+        let (distances, stats) = stream.finish();
+        for (i, (e, g)) in expected.iter().zip(&distances).enumerate() {
+            assert_eq!(e.to_bits(), g.to_bits(), "candidate {i}");
+        }
+        assert_eq!(stats, engine.stats());
+        assert_eq!(
+            datapath.beat_mix().kind_total(QueryKind::Distance),
+            stats.beats
         );
     }
 

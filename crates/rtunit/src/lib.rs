@@ -63,16 +63,18 @@ mod rt_unit;
 mod traversal;
 
 pub use bvh::{Bvh4, Bvh4Node, Primitive};
-pub use hierarchical::{HierarchicalSearch, HierarchicalStats};
-pub use knn::{KnnEngine, KnnMetric, Neighbor};
+pub use hierarchical::{CollectStream, CollectWork, HierarchicalSearch, HierarchicalStats};
+pub use knn::{select_k_nearest, DistanceStream, KnnEngine, KnnMetric, KnnStats, Neighbor};
 pub use parallel::{
-    default_parallelism, trace_packet_parallel, trace_rays_parallel, trace_shadow_rays_parallel,
-    MIN_RAYS_PER_SHARD,
+    default_parallelism, trace_fused_parallel, trace_packet_parallel, trace_rays_parallel,
+    trace_shadow_rays_parallel, MIN_RAYS_PER_SHARD,
 };
-pub use query::{BatchQuery, QueryKind, WavefrontScheduler};
+pub use query::{
+    BatchQuery, FusedScheduler, FusedStream, QueryKind, StreamRunner, WavefrontScheduler,
+};
 pub use renderer::{
-    default_light_dir, extract_surfels, render_parallel, shade, shade_deferred, Camera,
-    CameraBasis, Image, RenderPasses, Renderer,
+    default_light_dir, extract_surfels, render_bounce_parallel, render_parallel, shade,
+    shade_deferred, Camera, CameraBasis, Image, RenderPasses, Renderer,
 };
 pub use rt_unit::{RtUnit, RtUnitConfig, RtUnitStats};
-pub use traversal::{TraversalEngine, TraversalHit, TraversalStats};
+pub use traversal::{TraversalEngine, TraversalHit, TraversalStats, TraversalStream};

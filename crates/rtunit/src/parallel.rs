@@ -170,6 +170,74 @@ pub fn trace_shadow_rays_parallel(
     })
 }
 
+/// Traces a closest-hit stream and an any-hit stream **fused** ([`TraversalEngine::trace_fused`])
+/// across up to `threads` workers: the index space is sharded contiguously, and each worker runs
+/// the fused scheduler over its slice of *both* streams on a private datapath — so every shard
+/// models a unified RT unit time-multiplexing the two query kinds, and shards run side by side.
+///
+/// Returns the closest-hit results, the any-hit results (both in input order) and the summed
+/// statistics; all three are bit-identical to an unsharded [`TraversalEngine::trace_fused`] run,
+/// which is itself bit-identical to sequential scheduling.  The streams may have different
+/// lengths (a worker whose range lies past the end of one stream simply traces the other alone).
+#[must_use]
+pub fn trace_fused_parallel(
+    config: PipelineConfig,
+    bvh: &Bvh4,
+    triangles: &[Triangle],
+    closest_rays: &[Ray],
+    any_rays: &[Ray],
+    threads: usize,
+) -> (
+    Vec<Option<TraversalHit>>,
+    Vec<Option<TraversalHit>>,
+    TraversalStats,
+) {
+    let total = closest_rays.len().max(any_rays.len());
+    let threads = effective_threads(threads, closest_rays.len() + any_rays.len()).min(total.max(1));
+    let clamp = |range: &core::ops::Range<usize>, len: usize| -> core::ops::Range<usize> {
+        range.start.min(len)..range.end.min(len)
+    };
+    if threads <= 1 {
+        let mut engine = TraversalEngine::with_config(config);
+        let (closest, any) = engine.trace_fused(bvh, triangles, closest_rays, any_rays);
+        return (closest, any, engine.stats());
+    }
+    let shard_len = total.div_ceil(threads).max(1);
+    let shards = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..total)
+            .step_by(shard_len)
+            .map(|begin| {
+                let range = begin..(begin + shard_len).min(total);
+                let closest_range = clamp(&range, closest_rays.len());
+                let any_range = clamp(&range, any_rays.len());
+                scope.spawn(move || {
+                    let mut engine = TraversalEngine::with_config(config);
+                    let (closest, any) = engine.trace_fused(
+                        bvh,
+                        triangles,
+                        &closest_rays[closest_range],
+                        &any_rays[any_range],
+                    );
+                    (closest, any, engine.stats())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("fused traversal worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut closest = Vec::with_capacity(closest_rays.len());
+    let mut any = Vec::with_capacity(any_rays.len());
+    let mut stats = TraversalStats::default();
+    for (shard_closest, shard_any, shard_stats) in shards {
+        closest.extend(shard_closest);
+        any.extend(shard_any);
+        stats.merge(&shard_stats);
+    }
+    (closest, any, stats)
+}
+
 /// [`trace_rays_parallel`] over a structure-of-arrays [`RayPacket`] stream.
 ///
 /// The packet is sharded by **index ranges**: each worker unpacks only its own contiguous SoA
@@ -302,6 +370,43 @@ mod tests {
                     last + threads > MIN_RAYS_PER_SHARD,
                     "items {items}: last shard {last}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_pair_sharding_matches_the_single_engine_fused_run() {
+        let triangles = scene();
+        let bvh = Bvh4::build(&triangles);
+        let config = PipelineConfig::baseline_unified();
+        // Unequal stream lengths and a length past the shard threshold both get exercised.
+        for (closest_count, any_count) in [(96, 40), (0, 64), (MIN_RAYS_PER_SHARD * 2, 300)] {
+            let closest_rays: Vec<Ray> = camera_rays(96)
+                .into_iter()
+                .cycle()
+                .take(closest_count)
+                .collect();
+            let any_rays: Vec<Ray> = camera_rays(96)
+                .into_iter()
+                .cycle()
+                .take(any_count)
+                .map(|r| Ray::with_extent(r.origin, r.dir, 1e-3, 30.0))
+                .collect();
+            let mut reference = TraversalEngine::with_config(config);
+            let (expected_closest, expected_any) =
+                reference.trace_fused(&bvh, &triangles, &closest_rays, &any_rays);
+            for threads in [1, 2, 5, 8] {
+                let (closest, any, stats) = trace_fused_parallel(
+                    config,
+                    &bvh,
+                    &triangles,
+                    &closest_rays,
+                    &any_rays,
+                    threads,
+                );
+                assert_eq!(closest, expected_closest, "threads = {threads}");
+                assert_eq!(any, expected_any, "threads = {threads}");
+                assert_eq!(stats, reference.stats(), "threads = {threads}");
             }
         }
     }

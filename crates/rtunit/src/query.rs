@@ -27,37 +27,20 @@
 //! appends all beats of one candidate in a single [`BatchQuery::build`] call, so the shared
 //! accumulator sees each candidate's beat train contiguously and resets at its end, no matter
 //! how many unrelated items share the pass.
+//!
+//! On top of the single-stream scheduler sits the **fused** layer: [`FusedScheduler`] owns any
+//! number of type-erased [`FusedStream`]s — heterogeneous query kinds wrapped in
+//! [`StreamRunner`]s — and merges their per-pass beats into *shared mixed-opcode bulk passes*
+//! over one datapath, demuxing the responses back per stream.  Because each stream's own
+//! build/apply order is exactly what it would be under a private [`WavefrontScheduler`] run (the
+//! fused pass merely concatenates per-stream segments, and no datapath state crosses segment
+//! boundaries mid-item), every stream's outputs and statistics are bit-identical to sequential
+//! scheduling — pinned by `rtunit/tests/proptest_fused.rs` and by the scalar round-robin
+//! reference mode ([`FusedScheduler::run_reference`]).
 
 use rayflex_core::{RayFlexDatapath, RayFlexRequest, RayFlexResponse};
 
-/// The query kinds the RT unit runs through the wavefront scheduler (see the `DESIGN.md` table).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum QueryKind {
-    /// Closest-hit traversal: find the nearest primitive intersection along a ray.
-    ClosestHit,
-    /// Any-hit / shadow traversal: terminate a ray on its first accepted intersection.
-    AnyHit,
-    /// Distance scoring: squared-Euclidean or cosine distance of candidate vectors to a query.
-    Distance,
-}
-
-impl QueryKind {
-    /// A short lowercase name used in reports.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            QueryKind::ClosestHit => "closest-hit",
-            QueryKind::AnyHit => "any-hit",
-            QueryKind::Distance => "distance",
-        }
-    }
-}
-
-impl core::fmt::Display for QueryKind {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(self.name())
-    }
-}
+pub use rayflex_core::QueryKind;
 
 /// A batched query: a set of independent items, each advanced by datapath beats through a
 /// per-item state machine.
@@ -201,9 +184,17 @@ impl<S: Default> WavefrontScheduler<S> {
                 }
             }
             self.active.truncate(still_active);
+            if self.requests.is_empty() {
+                break;
+            }
 
-            // One bulk dispatch for the whole pass.
-            datapath.execute_batch_into(&self.requests, &mut self.responses);
+            // One bulk dispatch for the whole pass, attributed to the query's kind in the
+            // datapath's per-kind BeatMix table.
+            datapath.execute_batch_segmented(
+                &self.requests,
+                &[(query.kind(), self.requests.len())],
+                &mut self.responses,
+            );
 
             // Apply phase: route each response to the item that owns the beat.
             for (response, &item) in self.responses.iter().zip(&self.beat_owner) {
@@ -221,6 +212,306 @@ impl<S: Default> WavefrontScheduler<S> {
     }
 }
 
+/// A type-erased query stream inside a fused run: the object-safe face of a
+/// [`StreamRunner`], which is how heterogeneous [`BatchQuery`] implementations (different state
+/// and output types) share one [`FusedScheduler`] pass schedule.
+///
+/// The scheduler drives the protocol: [`FusedStream::start`] once, then per pass one
+/// [`FusedStream::build_pass`] (append this stream's beats for the pass, returning how many) and
+/// one [`FusedStream::apply_pass`] (consume exactly that many responses), until
+/// [`FusedStream::is_active`] turns false.  Streams never see each other's beats.
+pub trait FusedStream {
+    /// The query kind of this stream, for pass-segment attribution.
+    fn kind(&self) -> QueryKind;
+
+    /// (Re-)initialises every item of the stream; called once when a fused run begins.
+    fn start(&mut self);
+
+    /// `true` while any item of the stream is still in flight.
+    fn is_active(&self) -> bool;
+
+    /// Appends the next beat(s) of every active item to `out` (retiring items with no further
+    /// beats) and returns the number of beats appended.
+    fn build_pass(&mut self, out: &mut Vec<RayFlexRequest>) -> usize;
+
+    /// Applies the responses to the beats this stream appended in the matching
+    /// [`FusedStream::build_pass`] call, in append order.
+    fn apply_pass(&mut self, responses: &[RayFlexResponse]);
+}
+
+/// Owns one [`BatchQuery`] and its per-item states for the duration of a fused run, implementing
+/// the type-erased [`FusedStream`] protocol over it.
+///
+/// A runner reproduces the [`WavefrontScheduler`] build/apply loop for its own query exactly —
+/// same per-item beat order, same retire-in-place active set — so running several runners fused
+/// yields per-stream results bit-identical to running each query alone.  After the run drains,
+/// [`StreamRunner::finish`] yields the query back (for its statistics) together with one output
+/// per item.
+#[derive(Debug)]
+pub struct StreamRunner<Q: BatchQuery> {
+    query: Q,
+    states: Vec<Q::State>,
+    active: Vec<usize>,
+    /// Item owning each beat of the current pass (cleared per pass).
+    beat_owner: Vec<usize>,
+    started: bool,
+}
+
+impl<Q: BatchQuery> StreamRunner<Q> {
+    /// Wraps a query for fused scheduling.  Items are initialised lazily by
+    /// [`FusedStream::start`] when a run begins.
+    #[must_use]
+    pub fn new(query: Q) -> Self {
+        StreamRunner {
+            query,
+            states: Vec::new(),
+            active: Vec::new(),
+            beat_owner: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Extracts the query and one output per item after the run drained the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream was never run or still has items in flight.
+    #[must_use]
+    pub fn finish(mut self) -> (Q, Vec<Q::Output>) {
+        assert!(
+            self.started && self.active.is_empty(),
+            "a fused stream must be run to completion before finishing"
+        );
+        let outputs = self
+            .states
+            .iter_mut()
+            .enumerate()
+            .map(|(item, state)| self.query.finish(item, state))
+            .collect();
+        (self.query, outputs)
+    }
+}
+
+impl<Q: BatchQuery> FusedStream for StreamRunner<Q> {
+    fn kind(&self) -> QueryKind {
+        self.query.kind()
+    }
+
+    fn start(&mut self) {
+        let items = self.query.items();
+        self.states.clear();
+        self.states.resize_with(items, Q::State::default);
+        for (item, state) in self.states.iter_mut().enumerate() {
+            self.query.reset(item, state);
+        }
+        self.active.clear();
+        self.active.extend(0..items);
+        self.started = true;
+    }
+
+    fn is_active(&self) -> bool {
+        !self.active.is_empty()
+    }
+
+    fn build_pass(&mut self, out: &mut Vec<RayFlexRequest>) -> usize {
+        let pass_start = out.len();
+        self.beat_owner.clear();
+        let mut still_active = 0;
+        for slot in 0..self.active.len() {
+            let item = self.active[slot];
+            let before = out.len();
+            if self.query.build(item, &mut self.states[item], out) {
+                debug_assert!(
+                    out.len() > before,
+                    "{} stream item {item} stayed active without appending a beat",
+                    self.query.kind()
+                );
+                self.beat_owner.resize(out.len() - pass_start, item);
+                self.active[still_active] = item;
+                still_active += 1;
+            } else {
+                debug_assert_eq!(
+                    out.len(),
+                    before,
+                    "{} stream item {item} appended beats while retiring",
+                    self.query.kind()
+                );
+            }
+        }
+        self.active.truncate(still_active);
+        out.len() - pass_start
+    }
+
+    fn apply_pass(&mut self, responses: &[RayFlexResponse]) {
+        debug_assert_eq!(responses.len(), self.beat_owner.len());
+        for (response, &item) in responses.iter().zip(&self.beat_owner) {
+            self.query.apply(item, &mut self.states[item], response);
+        }
+    }
+}
+
+/// Implements [`FusedStream`] for a public stream wrapper by delegating every method to its
+/// `runner: StreamRunner<_>` field (which implements the trait itself).  The traversal, distance
+/// and collection wrappers all forward identically; the macro keeps the protocol in one place.
+/// Use the bracketed form to introduce generic parameters:
+/// `delegate_fused_stream_to_runner!([C: AsRef<[f32]>] DistanceStream<'_, C>);`.
+macro_rules! delegate_fused_stream_to_runner {
+    ([$($generics:tt)*] $ty:ty) => {
+        impl<$($generics)*> $crate::query::FusedStream for $ty {
+            fn kind(&self) -> $crate::query::QueryKind {
+                $crate::query::FusedStream::kind(&self.runner)
+            }
+            fn start(&mut self) {
+                $crate::query::FusedStream::start(&mut self.runner);
+            }
+            fn is_active(&self) -> bool {
+                $crate::query::FusedStream::is_active(&self.runner)
+            }
+            fn build_pass(&mut self, out: &mut Vec<rayflex_core::RayFlexRequest>) -> usize {
+                $crate::query::FusedStream::build_pass(&mut self.runner, out)
+            }
+            fn apply_pass(&mut self, responses: &[rayflex_core::RayFlexResponse]) {
+                $crate::query::FusedStream::apply_pass(&mut self.runner, responses);
+            }
+        }
+    };
+    ($ty:ty) => {
+        $crate::query::delegate_fused_stream_to_runner!([] $ty);
+    };
+}
+pub(crate) use delegate_fused_stream_to_runner;
+
+/// The fused multi-stream scheduler: merges the per-pass beats of N concurrent query streams —
+/// of *different* query kinds — into shared mixed-opcode bulk passes over a single datapath, and
+/// demuxes the responses back per stream.
+///
+/// This is the software model of the paper's unified RT unit (§V-A) under a realistic
+/// multi-workload mix: one datapath time-multiplexes a closest-hit bounce stream, its shadow
+/// rays, distance scoring and BVH candidate collection within the *same* passes, instead of each
+/// workload getting an exclusive pass sequence.  Scheduling rules:
+///
+/// * **Stream admission** — all streams of a run are admitted up front ([`FusedScheduler::run`]
+///   takes the full set) and started together; a stream that drains early simply stops
+///   contributing beats while the others continue.
+/// * **Pass merging** — each pass concatenates the streams' beat segments in admission order
+///   into one request buffer and dispatches it with a single
+///   [`RayFlexDatapath::execute_batch_segmented`] call, which attributes every beat to its
+///   stream's [`QueryKind`] in the per-kind `BeatMix` table (and counts the pass as *fused* when
+///   at least two kinds contributed).
+/// * **Per-stream bit-identity** — a stream's own beat order is untouched by fusion (segments
+///   are contiguous, items never interleave within a `build` call, and the datapath carries no
+///   state across beats except the distance accumulators, whose beat trains stay contiguous
+///   inside one segment), so outputs and per-stream statistics equal sequential scheduling
+///   exactly.
+///
+/// The buffers are reusable across runs; a steady-state fused workload performs no per-pass
+/// allocation.
+#[derive(Debug, Default)]
+pub struct FusedScheduler {
+    /// Reusable merged request buffer: one mixed-kind batch per pass.
+    requests: Vec<RayFlexRequest>,
+    /// Reusable response buffer, parallel to `requests` after dispatch.
+    responses: Vec<RayFlexResponse>,
+    /// `(kind, beat_count)` per stream for the current pass, in admission order.
+    segments: Vec<(QueryKind, usize)>,
+    /// Passes dispatched by the most recent run.
+    last_run_passes: u64,
+}
+
+impl FusedScheduler {
+    /// Creates an empty fused scheduler (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bulk passes the most recent run dispatched (diagnostics).
+    #[must_use]
+    pub fn last_run_passes(&self) -> u64 {
+        self.last_run_passes
+    }
+
+    /// Runs every stream to completion against `datapath`, merging their beats into shared bulk
+    /// passes.  After this returns, each [`StreamRunner`] holds its finished items; call
+    /// [`StreamRunner::finish`] to extract the outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a beat's opcode is not supported by the datapath configuration.
+    pub fn run(&mut self, datapath: &mut RayFlexDatapath, streams: &mut [&mut dyn FusedStream]) {
+        for stream in streams.iter_mut() {
+            stream.start();
+        }
+        self.last_run_passes = 0;
+        while streams.iter().any(|stream| stream.is_active()) {
+            // Build phase: every stream appends its segment of the merged pass.
+            self.requests.clear();
+            self.segments.clear();
+            for stream in streams.iter_mut() {
+                let beats = stream.build_pass(&mut self.requests);
+                self.segments.push((stream.kind(), beats));
+            }
+            if self.requests.is_empty() {
+                // Every remaining item retired during the build (beatless drains exist — a
+                // collection item whose whole subtree is leaves, say).
+                break;
+            }
+            self.last_run_passes += 1;
+
+            // One bulk dispatch for the merged mixed-kind pass.
+            datapath.execute_batch_segmented(&self.requests, &self.segments, &mut self.responses);
+
+            // Demux phase: hand each stream its contiguous slice of the responses.
+            let mut offset = 0;
+            for (stream, &(_, beats)) in streams.iter_mut().zip(&self.segments) {
+                stream.apply_pass(&self.responses[offset..offset + beats]);
+                offset += beats;
+            }
+        }
+    }
+
+    /// The scalar round-robin reference mode of [`FusedScheduler::run`]: the same pass schedule
+    /// and the same per-stream beat orders, but every beat executes one at a time through the
+    /// register-accurate emulated path ([`RayFlexDatapath::execute_attributed`]) with the
+    /// streams taking turns pass by pass — no bulk dispatch at all.
+    ///
+    /// Per-stream outputs and statistics are bit-identical to [`FusedScheduler::run`] (the
+    /// fast batched model and the emulated model are bit-equal by `core`'s property tests, and
+    /// the beat order is the same), which is what the fused property tests pin.  Beats executed
+    /// here count toward the per-kind `BeatMix` attribution but not toward pass counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a beat's opcode is not supported by the datapath configuration.
+    pub fn run_reference(
+        &mut self,
+        datapath: &mut RayFlexDatapath,
+        streams: &mut [&mut dyn FusedStream],
+    ) {
+        for stream in streams.iter_mut() {
+            stream.start();
+        }
+        self.last_run_passes = 0;
+        let mut responses: Vec<RayFlexResponse> = Vec::new();
+        while streams.iter().any(|stream| stream.is_active()) {
+            // Round-robin: each stream in turn builds its pass segment and has it executed
+            // beat by beat before the next stream takes over.
+            for stream in streams.iter_mut() {
+                self.requests.clear();
+                let beats = stream.build_pass(&mut self.requests);
+                if beats == 0 {
+                    continue;
+                }
+                responses.clear();
+                for request in &self.requests {
+                    responses.push(datapath.execute_attributed(request, stream.kind()));
+                }
+                stream.apply_pass(&responses);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +521,7 @@ mod tests {
     /// A toy query: each item tests its ray against one box per pass, for `rounds` passes, and
     /// counts hits.
     struct CountingQuery {
+        kind: QueryKind,
         rays: Vec<Ray>,
         boxes: [Aabb; 4],
         rounds: usize,
@@ -247,7 +539,7 @@ mod tests {
         type Output = usize;
 
         fn kind(&self) -> QueryKind {
-            QueryKind::ClosestHit
+            self.kind
         }
 
         fn items(&self) -> usize {
@@ -289,7 +581,12 @@ mod tests {
     }
 
     fn toy_query(rays: usize, rounds: usize) -> CountingQuery {
+        toy_query_of_kind(QueryKind::ClosestHit, rays, rounds)
+    }
+
+    fn toy_query_of_kind(kind: QueryKind, rays: usize, rounds: usize) -> CountingQuery {
         CountingQuery {
+            kind,
             rays: (0..rays)
                 .map(|i| {
                     Ray::new(
@@ -337,15 +634,96 @@ mod tests {
 
     #[test]
     fn kind_names_are_distinct() {
-        let names: std::collections::BTreeSet<_> = [
-            QueryKind::ClosestHit,
-            QueryKind::AnyHit,
-            QueryKind::Distance,
-        ]
-        .iter()
-        .map(|k| k.name())
-        .collect();
-        assert_eq!(names.len(), 3);
+        let names: std::collections::BTreeSet<_> =
+            QueryKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), QueryKind::ALL.len());
         assert_eq!(QueryKind::AnyHit.to_string(), "any-hit");
+    }
+
+    #[test]
+    fn fused_streams_match_sequential_scheduling_and_share_passes() {
+        // Sequential reference: each stream runs alone through the single-stream scheduler.
+        let mut scheduler = WavefrontScheduler::new();
+        let mut sequential_dp = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let expected_a = scheduler.run(&mut sequential_dp, &mut toy_query(7, 3));
+        let expected_b = scheduler.run(
+            &mut sequential_dp,
+            &mut toy_query_of_kind(QueryKind::AnyHit, 4, 5),
+        );
+
+        // Fused: both streams share every pass of one datapath.
+        let mut fused_dp = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let mut stream_a = StreamRunner::new(toy_query(7, 3));
+        let mut stream_b = StreamRunner::new(toy_query_of_kind(QueryKind::AnyHit, 4, 5));
+        let mut fused = FusedScheduler::new();
+        fused.run(&mut fused_dp, &mut [&mut stream_a, &mut stream_b]);
+        let (query_a, got_a) = stream_a.finish();
+        let (query_b, got_b) = stream_b.finish();
+
+        assert_eq!(got_a, expected_a);
+        assert_eq!(got_b, expected_b);
+        assert_eq!(query_a.built, 7 * 3);
+        assert_eq!(query_b.built, 4 * 5);
+        // The longer stream needs 5 passes; the shorter shares the first 3.
+        assert_eq!(fused.last_run_passes(), 5);
+        let mix = fused_dp.beat_mix();
+        assert_eq!(mix.fused_passes(), 3, "the first three passes mix kinds");
+        assert_eq!(
+            mix.kind_total(QueryKind::ClosestHit),
+            7 * 3,
+            "per-kind attribution survives fusion"
+        );
+        assert_eq!(mix.kind_total(QueryKind::AnyHit), 4 * 5);
+        assert_eq!(mix.total(), sequential_dp.beat_mix().total());
+    }
+
+    #[test]
+    fn the_round_robin_reference_mode_matches_the_fused_run() {
+        let streams = || {
+            (
+                StreamRunner::new(toy_query(5, 2)),
+                StreamRunner::new(toy_query_of_kind(QueryKind::Distance, 3, 4)),
+            )
+        };
+        let mut fused = FusedScheduler::new();
+
+        let mut dp_a = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let (mut a1, mut a2) = streams();
+        fused.run(&mut dp_a, &mut [&mut a1, &mut a2]);
+
+        let mut dp_b = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let (mut b1, mut b2) = streams();
+        fused.run_reference(&mut dp_b, &mut [&mut b1, &mut b2]);
+
+        assert_eq!(a1.finish().1, b1.finish().1);
+        assert_eq!(a2.finish().1, b2.finish().1);
+        // Same beats, same attribution — only the dispatch style differs.
+        assert_eq!(dp_a.executed_beats(), dp_b.executed_beats());
+        for (kind, opcode, count) in dp_a.beat_mix().iter_kinds() {
+            assert_eq!(dp_b.beat_mix().count_for(kind, opcode), count);
+        }
+        assert_eq!(dp_b.beat_mix().fused_passes(), 0, "no bulk passes at all");
+    }
+
+    #[test]
+    fn empty_fused_runs_and_empty_streams_are_fine() {
+        let mut fused = FusedScheduler::new();
+        let mut datapath = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        fused.run(&mut datapath, &mut []);
+        assert_eq!(fused.last_run_passes(), 0);
+
+        let mut empty = StreamRunner::new(toy_query(0, 4));
+        let mut busy = StreamRunner::new(toy_query(3, 2));
+        fused.run(&mut datapath, &mut [&mut empty, &mut busy]);
+        assert_eq!(empty.finish().1.len(), 0);
+        assert_eq!(busy.finish().1, vec![2; 3]);
+        assert_eq!(datapath.executed_beats(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "run to completion")]
+    fn finishing_an_unrun_stream_panics() {
+        let runner = StreamRunner::new(toy_query(2, 1));
+        let _ = runner.finish();
     }
 }

@@ -22,9 +22,9 @@
 
 use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Ray, Triangle, Vec3};
-use rayflex_workloads::rays::{ambient_occlusion_rays, surfel_shadow_rays};
+use rayflex_workloads::rays::{ambient_occlusion_rays, surfel_reflection_rays, surfel_shadow_rays};
 
-use crate::parallel::{trace_rays_parallel, trace_shadow_rays_parallel};
+use crate::parallel::{trace_fused_parallel, trace_rays_parallel, trace_shadow_rays_parallel};
 use crate::{Bvh4, TraversalEngine, TraversalHit, TraversalStats};
 
 /// A pinhole camera generating one primary ray per pixel.
@@ -197,8 +197,10 @@ pub fn shade_deferred(
     ((0.15 + 0.85 * diffuse * visibility) * ao_visibility).clamp(0.0, 1.0)
 }
 
-/// Parameters of the deferred passes: the point light of the shadow pass and the configuration of
-/// the optional ambient-occlusion pass (`ao_samples == 0` skips it entirely).
+/// Parameters of the deferred passes: the point light of the shadow pass, the configuration of
+/// the optional ambient-occlusion pass (`ao_samples == 0` skips it entirely, `adaptive_ao`
+/// restricts it to penumbra surfels), and the reflectivity of the optional one-bounce
+/// reflection pass (`bounce_reflectivity == 0.0` skips it).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RenderPasses {
     /// Point-light position the shadow pass traces toward.
@@ -209,10 +211,17 @@ pub struct RenderPasses {
     pub ao_radius: f32,
     /// Seed of the deterministic ambient-occlusion probe directions.
     pub ao_seed: u64,
+    /// Adaptive ambient-occlusion sampling: trace AO probes only for surfels in the shadow
+    /// penumbra (a 4-neighbour pixel whose shadow verdict differs), treating fully-lit and
+    /// fully-shadowed regions as unoccluded.  `false` keeps the uniform per-surfel sampling.
+    pub adaptive_ao: bool,
+    /// Mirror reflectivity of the one-bounce reflection pass
+    /// ([`Renderer::render_deferred_bounce`]); `0.0` disables the bounce stream entirely.
+    pub bounce_reflectivity: f32,
 }
 
 impl RenderPasses {
-    /// Shadow pass only (no ambient occlusion), lit by a point light at `light`.
+    /// Shadow pass only (no ambient occlusion, no bounce), lit by a point light at `light`.
     #[must_use]
     pub fn shadowed(light: Vec3) -> Self {
         RenderPasses {
@@ -220,6 +229,8 @@ impl RenderPasses {
             ao_samples: 0,
             ao_radius: 1.0,
             ao_seed: 0x5eed,
+            adaptive_ao: false,
+            bounce_reflectivity: 0.0,
         }
     }
 
@@ -230,6 +241,20 @@ impl RenderPasses {
         self.ao_samples = samples;
         self.ao_radius = radius;
         self.ao_seed = seed;
+        self
+    }
+
+    /// Enables or disables adaptive (penumbra-only) ambient-occlusion sampling.
+    #[must_use]
+    pub fn with_adaptive_ao(mut self, adaptive: bool) -> Self {
+        self.adaptive_ao = adaptive;
+        self
+    }
+
+    /// Sets the mirror reflectivity of the one-bounce reflection pass (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn with_bounce(mut self, reflectivity: f32) -> Self {
+        self.bounce_reflectivity = reflectivity.clamp(0.0, 1.0);
         self
     }
 }
@@ -271,63 +296,242 @@ enum PassKind {
     AnyHit,
 }
 
+/// The surfels that trace ambient-occlusion probes under **adaptive** sampling: surfels in the
+/// shadow *penumbra*, i.e. with a 4-neighbour pixel whose surfel carries the opposite shadow
+/// verdict.  Interior surfels of fully-lit or fully-shadowed regions (and surfels with no
+/// surfel neighbours at all) skip their probes entirely.
+fn penumbra_mask(
+    width: usize,
+    height: usize,
+    surfel_pixels: &[usize],
+    shadow_hits: &[Option<TraversalHit>],
+) -> Vec<bool> {
+    // Per-pixel shadow verdicts (None where the primary ray missed).
+    let mut verdicts: Vec<Option<bool>> = vec![None; width * height];
+    for (surfel, &pixel) in surfel_pixels.iter().enumerate() {
+        verdicts[pixel] = Some(shadow_hits[surfel].is_some());
+    }
+    surfel_pixels
+        .iter()
+        .enumerate()
+        .map(|(surfel, &pixel)| {
+            let own = shadow_hits[surfel].is_some();
+            let (x, y) = (pixel % width, pixel / width);
+            let mut neighbours = [None; 4];
+            if x > 0 {
+                neighbours[0] = verdicts[pixel - 1];
+            }
+            if x + 1 < width {
+                neighbours[1] = verdicts[pixel + 1];
+            }
+            if y > 0 {
+                neighbours[2] = verdicts[pixel - width];
+            }
+            if y + 1 < height {
+                neighbours[3] = verdicts[pixel + width];
+            }
+            neighbours
+                .iter()
+                .any(|&verdict| matches!(verdict, Some(v) if v != own))
+        })
+        .collect()
+}
+
+/// The ambient-occlusion pass shared by every frame pipeline: traces `ao_samples` hemisphere
+/// probes per selected surfel (all surfels, or only the penumbra under adaptive sampling) and
+/// returns one ambient visibility per surfel — `1.0` for skipped surfels.
+fn ao_visibilities(
+    width: usize,
+    height: usize,
+    passes: &RenderPasses,
+    surfels: &[(Vec3, Vec3)],
+    surfel_pixels: &[usize],
+    shadow_hits: &[Option<TraversalHit>],
+    trace: &mut impl FnMut(PassKind, &[Ray]) -> Vec<Option<TraversalHit>>,
+) -> Vec<f32> {
+    if passes.ao_samples == 0 {
+        return vec![1.0; surfels.len()];
+    }
+    let visibility = |probes: &[Option<TraversalHit>]| {
+        let occluded = probes.iter().filter(|probe| probe.is_some()).count();
+        1.0 - occluded as f32 / passes.ao_samples as f32
+    };
+    if !passes.adaptive_ao {
+        // Uniform sampling probes every surfel straight off the G-buffer slice — no mask and no
+        // surfel copy on the default path.
+        let ao_rays =
+            ambient_occlusion_rays(passes.ao_seed, surfels, passes.ao_samples, passes.ao_radius);
+        let ao_hits = trace(PassKind::AnyHit, &ao_rays);
+        return ao_hits.chunks(passes.ao_samples).map(visibility).collect();
+    }
+    let probed_mask = penumbra_mask(width, height, surfel_pixels, shadow_hits);
+    let probed: Vec<(Vec3, Vec3)> = surfels
+        .iter()
+        .zip(&probed_mask)
+        .filter(|(_, &traced)| traced)
+        .map(|(&surfel, _)| surfel)
+        .collect();
+    let ao_rays =
+        ambient_occlusion_rays(passes.ao_seed, &probed, passes.ao_samples, passes.ao_radius);
+    let ao_hits = trace(PassKind::AnyHit, &ao_rays);
+    let mut probe_chunks = ao_hits.chunks(passes.ao_samples);
+    probed_mask
+        .iter()
+        .map(|&traced| {
+            if !traced {
+                return 1.0;
+            }
+            visibility(
+                probe_chunks
+                    .next()
+                    .expect("one probe chunk per traced surfel"),
+            )
+        })
+        .collect()
+}
+
 /// The shared multi-pass frame pipeline: generate primary rays, trace them, extract surfels,
 /// trace the shadow (and optional AO) streams, compose.  `trace` supplies the traversal — the
 /// batched wavefront, the scalar reference or the parallel sharding — and everything else is
 /// common code, which is what makes the three modes bit-identical by construction.
+///
+/// One pipeline, not two: this is [`deferred_bounce_frame`] with the bounce pass forced off
+/// (zero reflectivity empties the bounce stream, so the "fused" pair degenerates to the plain
+/// shadow trace — same rays, same beats, pinned by the zero-reflectivity golden test).
 fn deferred_frame(
     triangles: &[Triangle],
     camera: &Camera,
     width: usize,
     height: usize,
     passes: &RenderPasses,
-    mut trace: impl FnMut(PassKind, &[Ray]) -> Vec<Option<TraversalHit>>,
+    trace: impl FnMut(PassKind, &[Ray]) -> Vec<Option<TraversalHit>>,
+) -> Image {
+    /// A single-hook backend: the pair hook splits into two plain single-kind traces (the
+    /// bounce slice is always empty here).
+    struct Single<F>(F);
+    impl<F: FnMut(PassKind, &[Ray]) -> Vec<Option<TraversalHit>>> BounceTracer for Single<F> {
+        fn trace(&mut self, kind: PassKind, rays: &[Ray]) -> Vec<Option<TraversalHit>> {
+            (self.0)(kind, rays)
+        }
+        fn trace_pair(
+            &mut self,
+            bounce: &[Ray],
+            shadow: &[Ray],
+        ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
+            (
+                (self.0)(PassKind::ClosestHit, bounce),
+                (self.0)(PassKind::AnyHit, shadow),
+            )
+        }
+    }
+    let plain = RenderPasses {
+        bounce_reflectivity: 0.0,
+        ..*passes
+    };
+    deferred_bounce_frame(triangles, camera, width, height, &plain, &mut Single(trace))
+}
+
+/// The traversal backend of a bounce frame: a plain per-pass hook plus the **fused** hook that
+/// traces a closest-hit bounce stream and an any-hit shadow stream in shared passes.  One small
+/// trait (instead of two closures) because both hooks borrow the same engine.
+trait BounceTracer {
+    /// Traces one single-kind pass stream.
+    fn trace(&mut self, kind: PassKind, rays: &[Ray]) -> Vec<Option<TraversalHit>>;
+
+    /// Traces the bounce closest-hit stream and the shadow any-hit stream together, returning
+    /// `(bounce hits, shadow hits)`.
+    fn trace_pair(
+        &mut self,
+        bounce: &[Ray],
+        shadow: &[Ray],
+    ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>);
+}
+
+/// The bounce contribution of one surfel: the one-bounce mirror term, shading the bounce hit
+/// with the same deferred model (unshadowed, full ambient visibility), `0.0` for an escaped
+/// bounce ray.  Shared by the fused and reference frames so their pixels stay bit-identical.
+fn shade_bounce(
+    triangles: &[Triangle],
+    bounce_ray: &Ray,
+    hit: Option<&TraversalHit>,
+    light: Vec3,
+) -> f32 {
+    let Some(hit) = hit else { return 0.0 };
+    let point = bounce_ray.at(hit.t);
+    let mut normal = triangles[hit.primitive].normal().normalized();
+    if !normal.is_finite() {
+        normal = -bounce_ray.dir.normalized();
+    }
+    if normal.dot(bounce_ray.dir) > 0.0 {
+        normal = -normal;
+    }
+    shade_deferred(point, normal, light, false, 1.0)
+}
+
+/// The one-bounce frame pipeline: like [`deferred_frame`], but after surfel extraction the
+/// mirror-bounce closest-hit stream and the shadow any-hit stream are traced **together**
+/// through the backend's fused hook, and the composed pixel adds
+/// `bounce_reflectivity × bounce term`.  With `bounce_reflectivity == 0` the bounce stream is
+/// empty and the frame degenerates to the plain deferred pipeline (same rays, same beats).
+fn deferred_bounce_frame(
+    triangles: &[Triangle],
+    camera: &Camera,
+    width: usize,
+    height: usize,
+    passes: &RenderPasses,
+    tracer: &mut impl BounceTracer,
 ) -> Image {
     // Pass 1: primary closest-hit stream, one ray per pixel.
     let rays = camera.primary_rays(width, height);
-    let hits = trace(PassKind::ClosestHit, &rays);
+    let hits = tracer.trace(PassKind::ClosestHit, &rays);
 
     // G-buffer: one surfel per hit pixel.
     let (surfels, surfel_pixels) = extract_surfels(triangles, &rays, &hits);
 
-    // Pass 2: one any-hit shadow ray per surfel toward the light.
-    let shadow_hits = trace(
-        PassKind::AnyHit,
-        &surfel_shadow_rays(&surfels, passes.light),
+    // Pass 2, fused: the bounce closest-hit stream and the shadow any-hit stream share the same
+    // bulk passes over one datapath.  Each surfel's bounce ray mirrors the incident direction
+    // that produced it (its pixel's primary ray).
+    let bounce_rays = if passes.bounce_reflectivity > 0.0 {
+        let incident: Vec<Vec3> = surfel_pixels.iter().map(|&pixel| rays[pixel].dir).collect();
+        surfel_reflection_rays(&surfels, &incident)
+    } else {
+        Vec::new()
+    };
+    let shadow_rays = surfel_shadow_rays(&surfels, passes.light);
+    let (bounce_hits, shadow_hits) = tracer.trace_pair(&bounce_rays, &shadow_rays);
+
+    // Pass 3 (optional): ambient occlusion, exactly as in the plain deferred pipeline.
+    let ao_visibility = ao_visibilities(
+        width,
+        height,
+        passes,
+        &surfels,
+        &surfel_pixels,
+        &shadow_hits,
+        &mut |kind, rays| tracer.trace(kind, rays),
     );
 
-    // Pass 3 (optional): `ao_samples` any-hit hemisphere probes per surfel; the unoccluded
-    // fraction of a surfel's probes is its ambient visibility.
-    let ao_visibility: Vec<f32> = if passes.ao_samples > 0 {
-        let ao_rays = ambient_occlusion_rays(
-            passes.ao_seed,
-            &surfels,
-            passes.ao_samples,
-            passes.ao_radius,
-        );
-        let ao_hits = trace(PassKind::AnyHit, &ao_rays);
-        ao_hits
-            .chunks(passes.ao_samples)
-            .map(|probes| {
-                let occluded = probes.iter().filter(|probe| probe.is_some()).count();
-                1.0 - occluded as f32 / passes.ao_samples as f32
-            })
-            .collect()
-    } else {
-        vec![1.0; surfels.len()]
-    };
-
-    // Compose: misses stay black, hits shade diffuse × shadow × AO.
+    // Compose: the deferred base term plus the mirrored one-bounce contribution.
     let mut pixels = vec![0.0f32; width * height];
     for (surfel, &pixel) in surfel_pixels.iter().enumerate() {
         let (point, normal) = surfels[surfel];
-        pixels[pixel] = shade_deferred(
+        let mut value = shade_deferred(
             point,
             normal,
             passes.light,
             shadow_hits[surfel].is_some(),
             ao_visibility[surfel],
         );
+        if passes.bounce_reflectivity > 0.0 {
+            value += passes.bounce_reflectivity
+                * shade_bounce(
+                    triangles,
+                    &bounce_rays[surfel],
+                    bounce_hits[surfel].as_ref(),
+                    passes.light,
+                );
+        }
+        pixels[pixel] = value.clamp(0.0, 1.0);
     }
     Image {
         width,
@@ -561,6 +765,113 @@ impl Renderer {
         )
     }
 
+    /// Renders one `width`×`height` frame through the deferred pipeline **plus a one-bounce
+    /// mirror reflection pass**: after surfel extraction, the bounce closest-hit stream and the
+    /// shadow any-hit stream are traced *fused in the same bulk passes* over the engine's single
+    /// datapath ([`TraversalEngine::trace_fused`]) — two query kinds time-multiplexing one unit,
+    /// exactly the paper's §V-A scenario.
+    ///
+    /// Pixels and accumulated [`TraversalStats`] are bit-identical to
+    /// [`Renderer::render_deferred_bounce_reference`], which traces the same streams
+    /// sequentially through the scalar path.  With `passes.bounce_reflectivity == 0` the bounce
+    /// stream is empty and the frame equals [`Renderer::render_deferred`].
+    pub fn render_deferred_bounce(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        camera: &Camera,
+        width: usize,
+        height: usize,
+        passes: &RenderPasses,
+    ) -> Image {
+        struct Fused<'a> {
+            engine: &'a mut TraversalEngine,
+            bvh: &'a Bvh4,
+            triangles: &'a [Triangle],
+        }
+        impl BounceTracer for Fused<'_> {
+            fn trace(&mut self, kind: PassKind, rays: &[Ray]) -> Vec<Option<TraversalHit>> {
+                match kind {
+                    PassKind::ClosestHit => {
+                        self.engine
+                            .closest_hits_wavefront(self.bvh, self.triangles, rays)
+                    }
+                    PassKind::AnyHit => {
+                        self.engine
+                            .any_hits_wavefront(self.bvh, self.triangles, rays)
+                    }
+                }
+            }
+            fn trace_pair(
+                &mut self,
+                bounce: &[Ray],
+                shadow: &[Ray],
+            ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
+                self.engine
+                    .trace_fused(self.bvh, self.triangles, bounce, shadow)
+            }
+        }
+        let mut tracer = Fused {
+            engine: &mut self.engine,
+            bvh,
+            triangles,
+        };
+        deferred_bounce_frame(triangles, camera, width, height, passes, &mut tracer)
+    }
+
+    /// The scalar sequential reference of [`Renderer::render_deferred_bounce`]: the same streams
+    /// over the same surfels, but the bounce and shadow streams trace one after the other, every
+    /// ray one at a time through the register-accurate scalar path.
+    pub fn render_deferred_bounce_reference(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        camera: &Camera,
+        width: usize,
+        height: usize,
+        passes: &RenderPasses,
+    ) -> Image {
+        struct Scalar<'a> {
+            engine: &'a mut TraversalEngine,
+            bvh: &'a Bvh4,
+            triangles: &'a [Triangle],
+        }
+        impl BounceTracer for Scalar<'_> {
+            fn trace(&mut self, kind: PassKind, rays: &[Ray]) -> Vec<Option<TraversalHit>> {
+                match kind {
+                    PassKind::ClosestHit => {
+                        self.engine.closest_hits(self.bvh, self.triangles, rays)
+                    }
+                    PassKind::AnyHit => self.engine.any_hits(self.bvh, self.triangles, rays),
+                }
+            }
+            fn trace_pair(
+                &mut self,
+                bounce: &[Ray],
+                shadow: &[Ray],
+            ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
+                (
+                    self.engine.closest_hits(self.bvh, self.triangles, bounce),
+                    self.engine.any_hits(self.bvh, self.triangles, shadow),
+                )
+            }
+        }
+        let mut tracer = Scalar {
+            engine: &mut self.engine,
+            bvh,
+            triangles,
+        };
+        deferred_bounce_frame(triangles, camera, width, height, passes, &mut tracer)
+    }
+
+    /// Per-opcode (and per-query-kind) breakdown of every beat the renderer's datapath has
+    /// executed — the fused bounce+shadow passes show up in its `fused_passes` count and
+    /// per-kind columns.
+    #[must_use]
+    pub fn beat_mix(&self) -> rayflex_core::BeatMix {
+        self.engine.beat_mix()
+    }
+
     /// The traversal statistics accumulated over everything rendered so far.
     #[must_use]
     pub fn stats(&self) -> TraversalStats {
@@ -601,6 +912,76 @@ pub fn render_parallel(
         hits
     });
     (image, stats)
+}
+
+/// [`Renderer::render_deferred_bounce`] with every pass sharded across up to `threads` workers:
+/// the primary and AO streams go through [`trace_rays_parallel`] /
+/// [`trace_shadow_rays_parallel`], and the bounce+shadow pair goes through
+/// [`trace_fused_parallel`] — each worker a unified RT unit running the two kinds fused.
+/// Returns the frame and the summed [`TraversalStats`] of all passes; both are bit-identical to
+/// the single-threaded fused and scalar-reference frames.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors render_parallel: config + scene + frame + tuning
+pub fn render_bounce_parallel(
+    config: PipelineConfig,
+    bvh: &Bvh4,
+    triangles: &[Triangle],
+    camera: &Camera,
+    width: usize,
+    height: usize,
+    passes: &RenderPasses,
+    threads: usize,
+) -> (Image, TraversalStats) {
+    struct Parallel<'a> {
+        config: PipelineConfig,
+        bvh: &'a Bvh4,
+        triangles: &'a [Triangle],
+        threads: usize,
+        stats: TraversalStats,
+    }
+    impl BounceTracer for Parallel<'_> {
+        fn trace(&mut self, kind: PassKind, rays: &[Ray]) -> Vec<Option<TraversalHit>> {
+            let (hits, pass_stats) = match kind {
+                PassKind::ClosestHit => {
+                    trace_rays_parallel(self.config, self.bvh, self.triangles, rays, self.threads)
+                }
+                PassKind::AnyHit => trace_shadow_rays_parallel(
+                    self.config,
+                    self.bvh,
+                    self.triangles,
+                    rays,
+                    self.threads,
+                ),
+            };
+            self.stats.merge(&pass_stats);
+            hits
+        }
+        fn trace_pair(
+            &mut self,
+            bounce: &[Ray],
+            shadow: &[Ray],
+        ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
+            let (bounce_hits, shadow_hits, pass_stats) = trace_fused_parallel(
+                self.config,
+                self.bvh,
+                self.triangles,
+                bounce,
+                shadow,
+                self.threads,
+            );
+            self.stats.merge(&pass_stats);
+            (bounce_hits, shadow_hits)
+        }
+    }
+    let mut tracer = Parallel {
+        config,
+        bvh,
+        triangles,
+        threads,
+        stats: TraversalStats::default(),
+    };
+    let image = deferred_bounce_frame(triangles, camera, width, height, passes, &mut tracer);
+    (image, tracer.stats)
 }
 
 #[cfg(test)]
@@ -789,6 +1170,190 @@ mod tests {
 
             assert!(image.coverage() > 0.2, "the lit scene is visible");
         }
+    }
+
+    #[test]
+    fn fused_bounce_frames_are_bit_identical_across_all_three_execution_modes() {
+        // The golden test of the one-bounce reflection pass: the frame whose bounce closest-hit
+        // stream and shadow any-hit stream trace *fused in the same bulk passes* equals the
+        // scalar sequential reference pixel-bit-for-bit and stat-for-stat, with and without AO,
+        // and the parallel entry point matches both.
+        let scene = scenes::lit_scene(1, 24.0);
+        let bvh = Bvh4::build(&scene.triangles);
+        let camera = Camera::looking_at(scene.eye, scene.target);
+        let (width, height) = (24, 18);
+        let configs = [
+            RenderPasses::shadowed(scene.light).with_bounce(0.4),
+            RenderPasses::shadowed(scene.light)
+                .with_bounce(0.25)
+                .with_ambient_occlusion(3, 6.0, 2024),
+        ];
+        for passes in configs {
+            let mut fused = Renderer::new();
+            let image = fused.render_deferred_bounce(
+                &bvh,
+                &scene.triangles,
+                &camera,
+                width,
+                height,
+                &passes,
+            );
+
+            let mut reference = Renderer::new();
+            let expected = reference.render_deferred_bounce_reference(
+                &bvh,
+                &scene.triangles,
+                &camera,
+                width,
+                height,
+                &passes,
+            );
+            assert_images_bit_identical(&image, &expected, "bounce frame");
+            assert_eq!(fused.stats(), reference.stats(), "identical TraversalStats");
+
+            let (parallel_image, parallel_stats) = render_bounce_parallel(
+                PipelineConfig::baseline_unified(),
+                &bvh,
+                &scene.triangles,
+                &camera,
+                width,
+                height,
+                &passes,
+                4,
+            );
+            assert_images_bit_identical(&image, &parallel_image, "parallel bounce frame");
+            assert_eq!(fused.stats(), parallel_stats, "parallel TraversalStats");
+
+            // The fusion itself is observable: bounce (closest-hit) and shadow (any-hit) beats
+            // shared bulk passes on the fused renderer's datapath.
+            let mix = fused.beat_mix();
+            assert!(mix.fused_passes() > 0, "bounce and shadow shared passes");
+            assert!(mix.kind_total(rayflex_core::QueryKind::ClosestHit) > 0);
+            assert!(mix.kind_total(rayflex_core::QueryKind::AnyHit) > 0);
+        }
+    }
+
+    #[test]
+    fn a_zero_reflectivity_bounce_frame_equals_the_plain_deferred_frame() {
+        let scene = scenes::lit_scene(1, 24.0);
+        let bvh = Bvh4::build(&scene.triangles);
+        let camera = Camera::looking_at(scene.eye, scene.target);
+        let passes = RenderPasses::shadowed(scene.light).with_ambient_occlusion(2, 5.0, 9);
+        let mut renderer = Renderer::new();
+        let deferred = renderer.render_deferred(&bvh, &scene.triangles, &camera, 20, 14, &passes);
+        let bounce =
+            renderer.render_deferred_bounce(&bvh, &scene.triangles, &camera, 20, 14, &passes);
+        assert_images_bit_identical(&deferred, &bounce, "reflectivity 0 disables the bounce");
+    }
+
+    #[test]
+    fn the_bounce_pass_only_brightens_and_shows_reflections() {
+        let scene = scenes::lit_scene(1, 24.0);
+        let bvh = Bvh4::build(&scene.triangles);
+        let camera = Camera::looking_at(scene.eye, scene.target);
+        let base_passes = RenderPasses::shadowed(scene.light);
+        let bounce_passes = base_passes.with_bounce(0.5);
+        let mut renderer = Renderer::new();
+        let base = renderer.render_deferred(&bvh, &scene.triangles, &camera, 24, 18, &base_passes);
+        let bounced = renderer.render_deferred_bounce(
+            &bvh,
+            &scene.triangles,
+            &camera,
+            24,
+            18,
+            &bounce_passes,
+        );
+        let mut brightened = 0;
+        for y in 0..18 {
+            for x in 0..24 {
+                assert!(
+                    bounced.pixel(x, y) >= base.pixel(x, y) - 1e-6,
+                    "an additive mirror term cannot darken pixel ({x}, {y})"
+                );
+                if bounced.pixel(x, y) > base.pixel(x, y) + 1e-3 {
+                    brightened += 1;
+                }
+            }
+        }
+        assert!(brightened > 0, "some pixels pick up reflected light");
+    }
+
+    #[test]
+    fn adaptive_ao_off_pins_the_uniform_sampling_frame() {
+        // The golden test of the adaptive-AO satellite: with adaptivity off the frame is the
+        // uniform-sampling frame, bit for bit (the flag defaults to off, so this also pins
+        // backward compatibility of render_deferred).
+        let scene = scenes::lit_scene(1, 24.0);
+        let bvh = Bvh4::build(&scene.triangles);
+        let camera = Camera::looking_at(scene.eye, scene.target);
+        let uniform = RenderPasses::shadowed(scene.light).with_ambient_occlusion(4, 6.0, 2024);
+        let explicit_off = uniform.with_adaptive_ao(false);
+        let mut renderer = Renderer::new();
+        let a = renderer.render_deferred(&bvh, &scene.triangles, &camera, 24, 18, &uniform);
+        let b = renderer.render_deferred(&bvh, &scene.triangles, &camera, 24, 18, &explicit_off);
+        assert_images_bit_identical(&a, &b, "adaptivity off is the uniform frame");
+    }
+
+    #[test]
+    fn adaptive_ao_skips_probes_outside_the_penumbra_in_every_mode() {
+        let scene = scenes::lit_scene(1, 24.0);
+        let bvh = Bvh4::build(&scene.triangles);
+        // The straight-down framing guarantees large fully-lit floor regions around a real
+        // shadow boundary, so adaptivity has something to skip *and* something to keep.
+        let camera = Camera::looking_at(Vec3::new(0.0, 20.0, -0.1), Vec3::new(0.0, 0.0, 0.0));
+        let uniform = RenderPasses::shadowed(scene.light).with_ambient_occlusion(4, 6.0, 7);
+        let adaptive = uniform.with_adaptive_ao(true);
+        let (width, height) = (24, 24);
+
+        let mut uniform_renderer = Renderer::new();
+        let _ = uniform_renderer.render_deferred(
+            &bvh,
+            &scene.triangles,
+            &camera,
+            width,
+            height,
+            &uniform,
+        );
+        let mut adaptive_renderer = Renderer::new();
+        let adaptive_image = adaptive_renderer.render_deferred(
+            &bvh,
+            &scene.triangles,
+            &camera,
+            width,
+            height,
+            &adaptive,
+        );
+        assert!(
+            adaptive_renderer.stats().rays < uniform_renderer.stats().rays,
+            "penumbra-only sampling traces fewer AO probes ({} vs {})",
+            adaptive_renderer.stats().rays,
+            uniform_renderer.stats().rays
+        );
+
+        // All three execution modes agree on the adaptive frame too.
+        let mut reference = Renderer::new();
+        let expected = reference.render_deferred_reference(
+            &bvh,
+            &scene.triangles,
+            &camera,
+            width,
+            height,
+            &adaptive,
+        );
+        assert_images_bit_identical(&adaptive_image, &expected, "adaptive frame");
+        assert_eq!(adaptive_renderer.stats(), reference.stats());
+        let (parallel_image, parallel_stats) = render_parallel(
+            PipelineConfig::baseline_unified(),
+            &bvh,
+            &scene.triangles,
+            &camera,
+            width,
+            height,
+            &adaptive,
+            4,
+        );
+        assert_images_bit_identical(&adaptive_image, &parallel_image, "parallel adaptive frame");
+        assert_eq!(adaptive_renderer.stats(), parallel_stats);
     }
 
     #[test]

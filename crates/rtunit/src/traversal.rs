@@ -27,7 +27,7 @@
 use rayflex_core::{BeatMix, PipelineConfig, RayFlexDatapath, RayFlexRequest, RayFlexResponse};
 use rayflex_geometry::{Aabb, Ray, RayPacket, Triangle};
 
-use crate::query::{BatchQuery, QueryKind, WavefrontScheduler};
+use crate::query::{BatchQuery, FusedScheduler, QueryKind, StreamRunner, WavefrontScheduler};
 use crate::{Bvh4, Bvh4Node};
 
 /// The closest hit found by a traversal.
@@ -93,16 +93,34 @@ impl RayWork {
     }
 }
 
-/// The traversal context shared by both traversal query kinds: the scene, the ray stream and the
-/// engine's statistics.
+/// Both traversal kinds as one [`BatchQuery`]: the scene, the ray stream, the query kind
+/// (closest-hit or any-hit) and the statistics the stream accumulates.  The query owns its
+/// statistics so several traversal streams can run *fused* in the same passes (each merges into
+/// the engine's counters when it finishes).
+#[derive(Debug)]
 struct TraversalQuery<'a> {
+    kind: QueryKind,
     bvh: &'a Bvh4,
     triangles: &'a [Triangle],
     rays: &'a [Ray],
-    stats: &'a mut TraversalStats,
+    stats: TraversalStats,
 }
 
-impl TraversalQuery<'_> {
+impl<'a> TraversalQuery<'a> {
+    fn new(kind: QueryKind, bvh: &'a Bvh4, triangles: &'a [Triangle], rays: &'a [Ray]) -> Self {
+        debug_assert!(matches!(kind, QueryKind::ClosestHit | QueryKind::AnyHit));
+        TraversalQuery {
+            kind,
+            bvh,
+            triangles,
+            rays,
+            stats: TraversalStats {
+                rays: rays.len() as u64,
+                ..TraversalStats::default()
+            },
+        }
+    }
+
     /// Builds the next beat for one ray, advancing its state; `false` retires the ray.
     ///
     /// The per-ray beat order is exactly the scalar path's: all pending leaf primitives (in leaf
@@ -160,75 +178,29 @@ impl TraversalQuery<'_> {
     }
 }
 
-/// Closest-hit traversal as a batched query: prune children farther than the best hit so far,
-/// retire when the stack drains.
-struct ClosestHitQuery<'a>(TraversalQuery<'a>);
-
-impl BatchQuery for ClosestHitQuery<'_> {
+impl BatchQuery for TraversalQuery<'_> {
     type State = RayWork;
     type Output = Option<TraversalHit>;
 
     fn kind(&self) -> QueryKind {
-        QueryKind::ClosestHit
+        self.kind
     }
 
     fn items(&self) -> usize {
-        self.0.rays.len()
+        self.rays.len()
     }
 
     fn reset(&mut self, _item: usize, state: &mut RayWork) {
-        state.reset(self.0.bvh.root());
+        state.reset(self.bvh.root());
     }
 
     fn build(&mut self, item: usize, state: &mut RayWork, out: &mut Vec<RayFlexRequest>) -> bool {
-        self.0.build_next_beat(item, state, out)
-    }
-
-    fn apply(&mut self, item: usize, state: &mut RayWork, response: &RayFlexResponse) {
-        if let Some(result) = response.triangle_result {
-            let prim = state
-                .pending
-                .pop()
-                .expect("triangle beat had a pending prim");
-            record_triangle_hit(&mut state.best, &result, prim, &self.0.rays[item]);
-        } else if let Some(result) = response.box_result {
-            let children = self.0.box_children(response);
-            push_hit_children(&mut state.stack, &result, children, state.best.as_ref());
-        }
-    }
-
-    fn finish(&mut self, _item: usize, state: &mut RayWork) -> Option<TraversalHit> {
-        state.best.take()
-    }
-}
-
-/// Any-hit (shadow/occlusion) traversal as a batched query: no pruning against a best hit, and
-/// the ray terminates on the first intersection accepted within its extent.
-struct AnyHitQuery<'a>(TraversalQuery<'a>);
-
-impl BatchQuery for AnyHitQuery<'_> {
-    type State = RayWork;
-    type Output = Option<TraversalHit>;
-
-    fn kind(&self) -> QueryKind {
-        QueryKind::AnyHit
-    }
-
-    fn items(&self) -> usize {
-        self.0.rays.len()
-    }
-
-    fn reset(&mut self, _item: usize, state: &mut RayWork) {
-        state.reset(self.0.bvh.root());
-    }
-
-    fn build(&mut self, item: usize, state: &mut RayWork, out: &mut Vec<RayFlexRequest>) -> bool {
-        // A recorded hit terminates the ray before any further beat is issued, so the per-ray
-        // beat count matches the scalar path, which stops right after the hitting beat.
-        if state.best.is_some() {
+        // Any-hit: a recorded hit terminates the ray before any further beat is issued, so the
+        // per-ray beat count matches the scalar path, which stops right after the hitting beat.
+        if self.kind == QueryKind::AnyHit && state.best.is_some() {
             return false;
         }
-        self.0.build_next_beat(item, state, out)
+        self.build_next_beat(item, state, out)
     }
 
     fn apply(&mut self, item: usize, state: &mut RayWork, response: &RayFlexResponse) {
@@ -237,18 +209,33 @@ impl BatchQuery for AnyHitQuery<'_> {
                 .pending
                 .pop()
                 .expect("triangle beat had a pending prim");
-            if result.hit {
-                let t = result.distance();
-                let ray = &self.0.rays[item];
-                if t >= ray.t_beg && t <= ray.t_end {
-                    state.best = Some(TraversalHit { primitive: prim, t });
-                    state.stack.clear();
-                    state.pending.clear();
+            match self.kind {
+                // Closest-hit: keep the nearest accepted hit, keep traversing.
+                QueryKind::ClosestHit => {
+                    record_triangle_hit(&mut state.best, &result, prim, &self.rays[item]);
+                }
+                // Any-hit: the first accepted hit terminates the ray.
+                _ => {
+                    if result.hit {
+                        let t = result.distance();
+                        let ray = &self.rays[item];
+                        if t >= ray.t_beg && t <= ray.t_end {
+                            state.best = Some(TraversalHit { primitive: prim, t });
+                            state.stack.clear();
+                            state.pending.clear();
+                        }
+                    }
                 }
             }
         } else if let Some(result) = response.box_result {
-            let children = self.0.box_children(response);
-            push_hit_children(&mut state.stack, &result, children, None);
+            let children = self.box_children(response);
+            // Closest-hit prunes children farther than the best hit so far; any-hit never does.
+            let prune = if self.kind == QueryKind::ClosestHit {
+                state.best.as_ref()
+            } else {
+                None
+            };
+            push_hit_children(&mut state.stack, &result, children, prune);
         }
     }
 
@@ -256,6 +243,58 @@ impl BatchQuery for AnyHitQuery<'_> {
         state.best.take()
     }
 }
+
+/// A traversal ray stream packaged for **fused** scheduling: a closest-hit or any-hit query over
+/// one scene and ray slice, runnable side by side with other
+/// [`FusedStream`](crate::FusedStream)s (another traversal
+/// stream, distance scoring, candidate collection) in the shared passes of a
+/// [`FusedScheduler`].
+///
+/// Because the per-ray state machine is exactly the one the engine's wavefront frontends run,
+/// the hits and [`TraversalStats`] a fused stream yields are bit-identical to
+/// [`TraversalEngine::closest_hits_wavefront`] / [`TraversalEngine::any_hits_wavefront`] over
+/// the same rays.
+#[derive(Debug)]
+pub struct TraversalStream<'a> {
+    runner: StreamRunner<TraversalQuery<'a>>,
+}
+
+impl<'a> TraversalStream<'a> {
+    /// A closest-hit stream over `rays` against the indexed scene.
+    #[must_use]
+    pub fn closest_hit(bvh: &'a Bvh4, triangles: &'a [Triangle], rays: &'a [Ray]) -> Self {
+        TraversalStream {
+            runner: StreamRunner::new(TraversalQuery::new(
+                QueryKind::ClosestHit,
+                bvh,
+                triangles,
+                rays,
+            )),
+        }
+    }
+
+    /// An any-hit (shadow/occlusion) stream over `rays` against the indexed scene.
+    #[must_use]
+    pub fn any_hit(bvh: &'a Bvh4, triangles: &'a [Triangle], rays: &'a [Ray]) -> Self {
+        TraversalStream {
+            runner: StreamRunner::new(TraversalQuery::new(QueryKind::AnyHit, bvh, triangles, rays)),
+        }
+    }
+
+    /// One optional hit per ray (in ray order) plus the stream's traversal statistics, after a
+    /// fused run completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream was never run to completion.
+    #[must_use]
+    pub fn finish(self) -> (Vec<Option<TraversalHit>>, TraversalStats) {
+        let (query, hits) = self.runner.finish();
+        (hits, query.stats)
+    }
+}
+
+crate::query::delegate_fused_stream_to_runner!(TraversalStream<'_>);
 
 /// A BVH traversal engine driving a functional RayFlex datapath.
 ///
@@ -274,6 +313,8 @@ pub struct TraversalEngine {
     stack_pool: Vec<Vec<usize>>,
     /// The generic wavefront scheduler; both traversal query kinds share its state pool.
     scheduler: WavefrontScheduler<RayWork>,
+    /// The fused multi-stream scheduler for passes shared between query kinds.
+    fused: FusedScheduler,
     /// Reusable ray buffer for the packet frontends.
     ray_scratch: Vec<Ray>,
 }
@@ -294,6 +335,7 @@ impl TraversalEngine {
             next_tag: 0,
             stack_pool: Vec::new(),
             scheduler: WavefrontScheduler::new(),
+            fused: FusedScheduler::new(),
             ray_scratch: Vec::new(),
         }
     }
@@ -460,14 +502,10 @@ impl TraversalEngine {
         triangles: &[Triangle],
         rays: &[Ray],
     ) -> Vec<Option<TraversalHit>> {
-        self.stats.rays += rays.len() as u64;
-        let mut query = ClosestHitQuery(TraversalQuery {
-            bvh,
-            triangles,
-            rays,
-            stats: &mut self.stats,
-        });
-        self.scheduler.run(&mut self.datapath, &mut query)
+        let mut query = TraversalQuery::new(QueryKind::ClosestHit, bvh, triangles, rays);
+        let hits = self.scheduler.run(&mut self.datapath, &mut query);
+        self.stats.merge(&query.stats);
+        hits
     }
 
     /// Runs the any-hit query over a ray stream wavefront-style; verdicts and statistics are
@@ -478,14 +516,36 @@ impl TraversalEngine {
         triangles: &[Triangle],
         rays: &[Ray],
     ) -> Vec<Option<TraversalHit>> {
-        self.stats.rays += rays.len() as u64;
-        let mut query = AnyHitQuery(TraversalQuery {
-            bvh,
-            triangles,
-            rays,
-            stats: &mut self.stats,
-        });
-        self.scheduler.run(&mut self.datapath, &mut query)
+        let mut query = TraversalQuery::new(QueryKind::AnyHit, bvh, triangles, rays);
+        let hits = self.scheduler.run(&mut self.datapath, &mut query);
+        self.stats.merge(&query.stats);
+        hits
+    }
+
+    /// Traces a closest-hit stream and an any-hit stream **fused in the same bulk passes** over
+    /// this engine's single datapath — the unified RT unit of §V-A time-multiplexing two query
+    /// kinds instead of giving each an exclusive pass sequence.
+    ///
+    /// Per-stream hits and the merged [`TraversalStats`] are bit-identical to tracing the two
+    /// streams sequentially ([`TraversalEngine::closest_hits_wavefront`] then
+    /// [`TraversalEngine::any_hits_wavefront`]); the fusion is observable in the datapath's
+    /// per-kind [`BeatMix`] counters and its `fused_passes` count.
+    pub fn trace_fused(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        closest_rays: &[Ray],
+        any_rays: &[Ray],
+    ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
+        let mut closest = TraversalStream::closest_hit(bvh, triangles, closest_rays);
+        let mut any = TraversalStream::any_hit(bvh, triangles, any_rays);
+        self.fused
+            .run(&mut self.datapath, &mut [&mut closest, &mut any]);
+        let (closest_hits, closest_stats) = closest.finish();
+        let (any_hits, any_stats) = any.finish();
+        self.stats.merge(&closest_stats);
+        self.stats.merge(&any_stats);
+        (closest_hits, any_hits)
     }
 
     /// [`TraversalEngine::closest_hits_wavefront`] over a structure-of-arrays
@@ -808,6 +868,35 @@ mod tests {
         // The any-hit query shares the same pool.
         let _ = engine.any_hits_wavefront(&bvh, &triangles, &rays);
         assert_eq!(engine.work_pool_len(), rays.len());
+    }
+
+    #[test]
+    fn fused_closest_and_any_hit_streams_match_sequential_scheduling() {
+        let triangles = wall();
+        let bvh = Bvh4::build(&triangles);
+        let closest_rays = wall_rays(40);
+        let any_rays: Vec<Ray> = wall_rays(25)
+            .into_iter()
+            .map(|r| Ray::with_extent(r.origin, r.dir, 1e-3, 40.0))
+            .collect();
+
+        let mut sequential = TraversalEngine::baseline();
+        let expected_closest = sequential.closest_hits_wavefront(&bvh, &triangles, &closest_rays);
+        let expected_any = sequential.any_hits_wavefront(&bvh, &triangles, &any_rays);
+
+        let mut fused = TraversalEngine::baseline();
+        let (closest, any) = fused.trace_fused(&bvh, &triangles, &closest_rays, &any_rays);
+        assert_eq!(closest, expected_closest);
+        assert_eq!(any, expected_any);
+        assert_eq!(fused.stats(), sequential.stats(), "identical merged stats");
+
+        // The fusion is observable: both kinds appear in the per-kind mix, and at least one
+        // bulk pass carried beats of both.
+        let mix = fused.beat_mix();
+        assert!(mix.kind_total(rayflex_core::QueryKind::ClosestHit) > 0);
+        assert!(mix.kind_total(rayflex_core::QueryKind::AnyHit) > 0);
+        assert!(mix.fused_passes() > 0, "streams shared at least one pass");
+        assert_eq!(mix.total(), sequential.beat_mix().total());
     }
 
     #[test]

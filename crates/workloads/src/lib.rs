@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod mixed;
 pub mod rays;
 pub mod scenes;
 pub mod stimulus;

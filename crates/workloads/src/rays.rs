@@ -113,6 +113,47 @@ pub fn surfel_shadow_rays(surfels: &[(Vec3, Vec3)], light: Vec3) -> Vec<Ray> {
     shadow_rays(&points, light)
 }
 
+/// One mirror-reflection bounce ray per `(point, normal)` surfel: the incident direction
+/// (normalised) reflected about the surfel normal, `r = d − 2 (d · n) n`, with the origin nudged
+/// off the surface along the normal by [`SHADOW_EPSILON`] and a parametric start of the same
+/// epsilon — the closest-hit stream of a one-bounce reflection pass.  `incident` carries the
+/// direction the surfel was hit from (the primary ray direction of its pixel) and must be as
+/// long as `surfels`.
+///
+/// A degenerate zero-length incident direction yields a ray along the normal instead of a NaN
+/// direction, so no bounce ray can poison a frame.
+///
+/// # Panics
+///
+/// Panics if `incident` and `surfels` have different lengths.
+#[must_use]
+pub fn surfel_reflection_rays(surfels: &[(Vec3, Vec3)], incident: &[Vec3]) -> Vec<Ray> {
+    assert_eq!(
+        surfels.len(),
+        incident.len(),
+        "one incident direction per surfel"
+    );
+    surfels
+        .iter()
+        .zip(incident)
+        .map(|(&(point, normal), &incoming)| {
+            let length = incoming.length();
+            let dir = if length > 0.0 {
+                let d = incoming / length;
+                d - normal * (2.0 * d.dot(normal))
+            } else {
+                normal
+            };
+            Ray::with_extent(
+                point + normal * SHADOW_EPSILON,
+                dir,
+                SHADOW_EPSILON,
+                f32::INFINITY,
+            )
+        })
+        .collect()
+}
+
 /// `samples_per_point` ambient-occlusion probe rays per `(point, normal)` pair: directions
 /// uniformly sampled on the hemisphere around the normal, extent
 /// `[SHADOW_EPSILON, max_distance]` (deterministic per seed).  The occluded fraction of a
@@ -212,6 +253,36 @@ mod tests {
             rays[1].t_end < rays[1].t_beg,
             "degenerate extent can never hit"
         );
+    }
+
+    #[test]
+    fn reflection_rays_mirror_the_incident_direction() {
+        let surfels = vec![
+            (Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)),
+            (Vec3::new(3.0, 1.0, 2.0), Vec3::new(1.0, 0.0, 0.0)),
+        ];
+        // A 45° incident ray in the x/y plane reflects to the mirrored 45° direction.
+        let incident = vec![
+            Vec3::new(1.0, -1.0, 0.0),
+            Vec3::ZERO, // degenerate: falls back to the normal
+        ];
+        let rays = surfel_reflection_rays(&surfels, &incident);
+        assert_eq!(rays.len(), 2);
+        let expected = Vec3::new(1.0, 1.0, 0.0).normalized();
+        assert!((rays[0].dir - expected).length() < 1e-6);
+        assert_eq!(
+            rays[0].origin.y, SHADOW_EPSILON,
+            "origin nudged off surface"
+        );
+        assert_eq!(rays[0].t_beg, SHADOW_EPSILON);
+        assert_eq!(rays[1].dir, Vec3::new(1.0, 0.0, 0.0));
+        assert!(rays.iter().all(|r| r.dir.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "one incident direction per surfel")]
+    fn reflection_rays_reject_mismatched_lengths() {
+        let _ = surfel_reflection_rays(&[(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0))], &[]);
     }
 
     #[test]

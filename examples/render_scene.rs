@@ -5,8 +5,12 @@
 //! ASCII art, then report the traversal statistics and a first-order cycle estimate from the
 //! simplified RT-unit timing model.
 //!
-//! Run with `cargo run --release --example render_scene`.  Setting `RAYFLEX_SMOKE=1` shrinks the
-//! frame and skips the timing sweep — the CI smoke mode that keeps the example from rotting.
+//! Run with `cargo run --release --example render_scene`.  Pass `--bounce` to add the one-bounce
+//! mirror-reflection pass, whose bounce closest-hit stream and shadow any-hit stream are traced
+//! **fused in the same bulk passes** over one datapath (the fused multi-stream scheduler); the
+//! example then prints the per-kind beat mix the fusion produced.  Setting `RAYFLEX_SMOKE=1`
+//! shrinks the frame and skips the timing sweep — the CI smoke mode that keeps the example from
+//! rotting.
 
 use rayflex::core::PipelineConfig;
 use rayflex::rtunit::{Bvh4, Camera, RenderPasses, Renderer, RtUnit, RtUnitConfig};
@@ -14,6 +18,7 @@ use rayflex::workloads::scenes;
 
 fn main() {
     let smoke = std::env::var("RAYFLEX_SMOKE").is_ok_and(|v| v != "0");
+    let bounce = std::env::args().any(|arg| arg == "--bounce");
     let (width, height) = if smoke { (36, 18) } else { (72, 36) };
 
     // The scene: a floor, a floating occluder icosphere and a small grounded sphere, with a
@@ -41,12 +46,37 @@ fn main() {
         6.0,
         2024,
     );
-    let deferred =
-        renderer.render_deferred(&bvh, &scene.triangles, &camera, width, height, &passes);
-    println!(
-        "shadowed + ambient-occlusion frame:\n{}",
-        deferred.to_ascii()
-    );
+    let deferred = if bounce {
+        // --bounce: add the one-bounce mirror pass; its closest-hit stream and the shadow
+        // any-hit stream share the same bulk passes through the fused scheduler.
+        let bounce_passes = passes.with_bounce(0.35);
+        let frame = renderer.render_deferred_bounce(
+            &bvh,
+            &scene.triangles,
+            &camera,
+            width,
+            height,
+            &bounce_passes,
+        );
+        println!(
+            "shadowed + AO + fused one-bounce reflection frame:\n{}",
+            frame.to_ascii()
+        );
+        let mix = renderer.beat_mix();
+        println!(
+            "fused scheduler: {} bulk passes mixed >= 2 query kinds; per-kind beats: \
+             closest-hit {}, any-hit {}",
+            mix.fused_passes(),
+            mix.kind_total(rayflex::core::QueryKind::ClosestHit),
+            mix.kind_total(rayflex::core::QueryKind::AnyHit),
+        );
+        frame
+    } else {
+        let frame =
+            renderer.render_deferred(&bvh, &scene.triangles, &camera, width, height, &passes);
+        println!("shadowed + ambient-occlusion frame:\n{}", frame.to_ascii());
+        frame
+    };
 
     let stats = renderer.stats();
     println!(

@@ -1,21 +1,24 @@
 #!/usr/bin/env bash
 # Runs the simulator performance baseline suites and writes BENCH_baseline.json (scalar vs
 # batched vs parallel traversal), BENCH_query_engine.json (render/shadow/knn query kinds on
-# the generic batched query engine) and BENCH_render_passes.json (deferred-render pass
+# the generic batched query engine), BENCH_render_passes.json (deferred-render pass
 # configurations: primary vs shadowed vs shadowed+AO, batched vs the scalar multi-pass
-# reference) at the repo root.
+# reference) and BENCH_fused.json (the mixed multi-workload — render + shadow + knn +
+# radius-query collection — scalar vs sequential-batched vs fused multi-stream scheduling,
+# with the fused per-kind beat mix) at the repo root.
 #
 # Tunables (environment variables, all optional):
 #   RAYFLEX_BENCH_RAYS         rays per scene / items per mode   (default 4096)
 #   RAYFLEX_BENCH_REPEATS      best-of timing repeats            (default 3)
 #   RAYFLEX_BENCH_THREADS      parallel worker threads           (default: available parallelism)
-#   RAYFLEX_BENCH_MIN_SPEEDUP  fail below this batched-vs-scalar speedup floor (CI sets 3.0)
+#   RAYFLEX_BENCH_MIN_SPEEDUP  fail below this batched/fused-vs-scalar speedup floor (CI sets 3.0)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 export RAYFLEX_BENCH_JSON="${RAYFLEX_BENCH_JSON:-$repo_root/BENCH_baseline.json}"
 export RAYFLEX_BENCH_QUERY_JSON="${RAYFLEX_BENCH_QUERY_JSON:-$repo_root/BENCH_query_engine.json}"
 export RAYFLEX_BENCH_RENDER_JSON="${RAYFLEX_BENCH_RENDER_JSON:-$repo_root/BENCH_render_passes.json}"
+export RAYFLEX_BENCH_FUSED_JSON="${RAYFLEX_BENCH_FUSED_JSON:-$repo_root/BENCH_fused.json}"
 
 cargo bench -p rayflex-bench --bench perf_simulator
 
@@ -23,3 +26,4 @@ echo
 echo "Baseline: $RAYFLEX_BENCH_JSON"
 echo "Query engine: $RAYFLEX_BENCH_QUERY_JSON"
 echo "Render passes: $RAYFLEX_BENCH_RENDER_JSON"
+echo "Fused scheduler: $RAYFLEX_BENCH_FUSED_JSON"
