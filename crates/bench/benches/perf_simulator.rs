@@ -19,7 +19,7 @@ use criterion::{criterion_group, BatchSize, Criterion, Throughput};
 
 use rayflex_core::{PipelineConfig, RayFlexDatapath, RayFlexPipeline};
 use rayflex_geometry::{Ray, Vec3};
-use rayflex_rtunit::{default_parallelism, Bvh4, TraversalEngine};
+use rayflex_rtunit::{default_parallelism, Bvh4, ExecPolicy, TraceRequest, TraversalEngine};
 use rayflex_softfloat::RecF32;
 use rayflex_workloads::scenes;
 
@@ -100,14 +100,24 @@ fn bench_traversal(c: &mut Criterion) {
     group.bench_function("icosphere_closest_hit_scalar", |bencher| {
         bencher.iter_batched(
             TraversalEngine::baseline,
-            |mut engine| engine.closest_hits(&bvh, &triangles, &rays),
+            |mut engine| {
+                engine.trace(
+                    &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+                    &ExecPolicy::scalar(),
+                )
+            },
             BatchSize::SmallInput,
         )
     });
     group.bench_function("icosphere_closest_hit_wavefront", |bencher| {
         bencher.iter_batched(
             TraversalEngine::baseline,
-            |mut engine| engine.closest_hits_wavefront(&bvh, &triangles, &rays),
+            |mut engine| {
+                engine.trace(
+                    &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+                    &ExecPolicy::wavefront(),
+                )
+            },
             BatchSize::SmallInput,
         )
     });

@@ -6,13 +6,15 @@
 //! future scaling work (sharding, async serving, new backends) has a baseline to beat.  The
 //! definitions:
 //!
-//! * **scalar** — per-ray [`TraversalEngine::closest_hits`], driving the recoded-format stage
-//!   emulation one beat at a time (the execution model of the original reproduction);
-//! * **batched** — [`TraversalEngine::closest_hits_wavefront`], the structure-of-arrays
-//!   ray-stream frontend dispatching bulk beats through the native fast model;
-//! * **parallel** — [`trace_rays_parallel`], the batched frontend sharded across worker threads
-//!   (with auto-tuned shard sizing, a single-core or short-stream run falls back to the batched
-//!   path instead of paying spawn overhead).
+//! * **scalar** — [`ExecPolicy::scalar`], driving the recoded-format stage emulation one beat
+//!   at a time per ray (the execution model of the original reproduction);
+//! * **batched** — [`ExecPolicy::wavefront`], the ray-stream frontend dispatching bulk beats
+//!   through the native fast model;
+//! * **parallel** — [`ExecPolicy::parallel`], the batched frontend sharded across worker
+//!   threads (with auto-tuned shard sizing, a single-core or short-stream run falls back to the
+//!   batched path instead of paying spawn overhead).
+//!
+//! All three are the same entry point — [`TraversalEngine::trace`] — under different policies.
 //!
 //! All three paths produce bit-identical hits; the suite cross-checks that on every run before
 //! timing anything.
@@ -32,8 +34,8 @@ use rayflex_core::{BeatMix, Opcode, PipelineConfig, QueryKind, RayFlexDatapath, 
 use rayflex_geometry::golden::distance::EUCLIDEAN_LANES;
 use rayflex_geometry::{Aabb, Ray, Sphere, Triangle, Vec3};
 use rayflex_rtunit::{
-    default_light_dir, shade, trace_rays_parallel, Bvh4, Bvh4Node, Camera, CollectStream,
-    DistanceStream, FusedScheduler, Image, KnnEngine, KnnMetric, RenderPasses, Renderer,
+    default_light_dir, shade, Bvh4, Bvh4Node, Camera, CollectStream, DistanceStream, ExecPolicy,
+    FrameDesc, FusedScheduler, Image, KnnEngine, KnnMetric, RenderPasses, Renderer, TraceRequest,
     TraversalEngine, TraversalHit, TraversalStream,
 };
 use rayflex_workloads::{mixed, rays, scenes, vectors};
@@ -197,27 +199,29 @@ pub fn run_perf_suite(rays_per_scene: usize, repeats: usize, threads: usize) -> 
     let mut scene_results = Vec::new();
     for scene in standard_perf_scenes(rays_per_scene) {
         let bvh = Bvh4::build(&scene.triangles);
+        let request = TraceRequest::closest_hit(&bvh, &scene.triangles, &scene.rays);
+        let trace_with = |policy: &ExecPolicy| {
+            let mut engine = TraversalEngine::with_config(config);
+            engine.trace(&request, policy).into_closest()
+        };
 
         // Reference run: hits and beat counts, used for correctness and the beats/sec metric.
         let mut reference = TraversalEngine::with_config(config);
-        let expected = reference.closest_hits(&bvh, &scene.triangles, &scene.rays);
+        let expected = reference
+            .trace(&request, &ExecPolicy::scalar())
+            .into_closest();
         let beats = reference.stats().total_ops();
 
-        let (scalar_seconds, scalar_hits) = time_best_of(repeats, || {
-            let mut engine = TraversalEngine::with_config(config);
-            engine.closest_hits(&bvh, &scene.triangles, &scene.rays)
-        });
+        let (scalar_seconds, scalar_hits) =
+            time_best_of(repeats, || trace_with(&ExecPolicy::scalar()));
         assert_hits_match(scene.name, "scalar", &expected, &scalar_hits);
 
-        let (batched_seconds, batched_hits) = time_best_of(repeats, || {
-            let mut engine = TraversalEngine::with_config(config);
-            engine.closest_hits_wavefront(&bvh, &scene.triangles, &scene.rays)
-        });
+        let (batched_seconds, batched_hits) =
+            time_best_of(repeats, || trace_with(&ExecPolicy::wavefront()));
         assert_hits_match(scene.name, "batched", &expected, &batched_hits);
 
-        let (parallel_seconds, parallel_hits) = time_best_of(repeats, || {
-            trace_rays_parallel(config, &bvh, &scene.triangles, &scene.rays, threads).0
-        });
+        let (parallel_seconds, parallel_hits) =
+            time_best_of(repeats, || trace_with(&ExecPolicy::parallel(threads)));
         assert_hits_match(scene.name, "parallel", &expected, &parallel_hits);
 
         let ray_count = scene.rays.len() as f64;
@@ -578,20 +582,15 @@ pub fn run_render_pass_suite(pixels_per_frame: usize, repeats: usize) -> RenderP
 
     let mut passes = Vec::new();
     for (name, pass) in pass_configs {
-        let scalar_frame = |renderer: &mut Renderer| match &pass {
-            None => renderer.render_reference(&bvh, &scene.triangles, &camera, width, height),
-            Some(p) => renderer.render_deferred_reference(
-                &bvh,
-                &scene.triangles,
-                &camera,
-                width,
-                height,
-                p,
-            ),
+        let frame = match pass {
+            None => FrameDesc::primary(camera, width, height),
+            Some(p) => FrameDesc::deferred(camera, width, height, p),
         };
-        let batched_frame = |renderer: &mut Renderer| match &pass {
-            None => renderer.render(&bvh, &scene.triangles, &camera, width, height),
-            Some(p) => renderer.render_deferred(&bvh, &scene.triangles, &camera, width, height, p),
+        let scalar_frame = |renderer: &mut Renderer| {
+            renderer.render(&bvh, &scene.triangles, &frame, &ExecPolicy::scalar())
+        };
+        let batched_frame = |renderer: &mut Renderer| {
+            renderer.render(&bvh, &scene.triangles, &frame, &ExecPolicy::wavefront())
         };
 
         // Reference run: the expected frame, rays and beat counts, then the bit-identity
@@ -695,16 +694,19 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
         let (width, height) = (side, side);
         let light_dir = default_light_dir();
 
+        // Ray generation stays inside the timed closure so both modes pay it: the batched
+        // measurement (Renderer::render) generates the frame rays inside its timed region too.
         let scalar_frame = |engine: &mut TraversalEngine| -> Vec<f32> {
-            let mut pixels = Vec::with_capacity(width * height);
-            for y in 0..height {
-                for x in 0..width {
-                    let ray = camera.primary_ray(x, y, width, height);
-                    let hit = engine.closest_hit(&bvh, &triangles, &ray);
-                    pixels.push(shade(&triangles, light_dir, hit.as_ref()));
-                }
-            }
-            pixels
+            let frame_rays = camera.primary_rays(width, height);
+            engine
+                .trace(
+                    &TraceRequest::closest_hit(&bvh, &triangles, &frame_rays),
+                    &ExecPolicy::scalar(),
+                )
+                .into_closest()
+                .iter()
+                .map(|hit| shade(&triangles, light_dir, hit.as_ref()))
+                .collect()
         };
 
         // Reference run for beats and the bit-identity cross-check.
@@ -718,7 +720,12 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
         });
         let (batched_seconds, image) = time_best_of(repeats, || {
             let mut renderer = Renderer::with_config(config);
-            renderer.render(&bvh, &triangles, &camera, width, height)
+            renderer.render(
+                &bvh,
+                &triangles,
+                &FrameDesc::primary(camera, width, height),
+                &ExecPolicy::wavefront(),
+            )
         });
         for y in 0..height {
             for x in 0..width {
@@ -747,18 +754,19 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
         let light = Vec3::new(0.0, 20.0, 0.0);
         let shadow_rays = rays::floor_shadow_rays(side, side, 24.0, 0.0, light);
 
+        let request = TraceRequest::any_hit(&bvh, &triangles, &shadow_rays);
         let mut reference = TraversalEngine::with_config(config);
-        let expected = reference.any_hits(&bvh, &triangles, &shadow_rays);
+        let expected = reference.trace(&request, &ExecPolicy::scalar()).into_any();
         let beats = reference.stats().total_ops();
 
         let (scalar_seconds, scalar_hits) = time_best_of(repeats, || {
             let mut engine = TraversalEngine::with_config(config);
-            engine.any_hits(&bvh, &triangles, &shadow_rays)
+            engine.trace(&request, &ExecPolicy::scalar()).into_any()
         });
         assert_hits_match("soft_shadow", "scalar", &expected, &scalar_hits);
         let (batched_seconds, batched_hits) = time_best_of(repeats, || {
             let mut engine = TraversalEngine::with_config(config);
-            engine.any_hits_wavefront(&bvh, &triangles, &shadow_rays)
+            engine.trace(&request, &ExecPolicy::wavefront()).into_any()
         });
         assert_hits_match("soft_shadow", "batched", &expected, &batched_hits);
         assert!(
@@ -792,7 +800,12 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
         });
         let (batched_seconds, batched_distances) = time_best_of(repeats, || {
             let mut engine = KnnEngine::with_config(config);
-            engine.distances(&query, &dataset.vectors, KnnMetric::Euclidean)
+            engine.distances(
+                &query,
+                &dataset.vectors,
+                KnnMetric::Euclidean,
+                &ExecPolicy::wavefront(),
+            )
         });
         for (i, (e, g)) in expected
             .iter()
@@ -840,10 +853,30 @@ pub struct FusedMixRow {
     pub counts: [u64; Opcode::ALL.len()],
 }
 
+/// The stream names of the mixed workload, in admission order (also the order of
+/// [`FusedBudgetPerf::stream_passes`]).
+pub const MIXED_STREAM_NAMES: [&str; 4] = ["closest", "shadow", "distance", "collect"];
+
+/// One point of the beat-budget fairness sweep: the fused mixed workload re-run under a
+/// per-stream admission budget, with the pass structure it produced.  Outputs are bit-identical
+/// at every budget (asserted before recording); only the pass shape — and therefore the
+/// QoS/fairness cost — moves.
+#[derive(Debug, Clone)]
+pub struct FusedBudgetPerf {
+    /// The per-stream beat budget (`0` = unlimited, `1` = strict round-robin).
+    pub beat_budget_per_stream: usize,
+    /// Bulk passes the budgeted fused run dispatched.
+    pub passes: u64,
+    /// Passes each stream contributed at least one beat to, in [`MIXED_STREAM_NAMES`] order.
+    pub stream_passes: [u64; 4],
+    /// Best-of wall time of the budgeted fused run, in seconds.
+    pub seconds: f64,
+}
+
 /// The fused-scheduler baseline document (`BENCH_fused.json`): the mixed multi-workload
 /// (closest-hit render stream + any-hit shadow stream + k-NN scoring + radius-query candidate
 /// collection) executed scalar, sequential-batched and fused over one extended datapath, plus
-/// the per-kind × per-opcode beat mix of the fused run.
+/// the per-kind × per-opcode beat mix of the fused run and the beat-budget fairness sweep.
 #[derive(Debug, Clone)]
 pub struct FusedBaseline {
     /// Timing repeats per measurement (best-of).
@@ -864,6 +897,8 @@ pub struct FusedBaseline {
     pub modes: Vec<FusedModePerf>,
     /// The fused run's per-kind × per-opcode beat attribution.
     pub mix: Vec<FusedMixRow>,
+    /// The beat-budget fairness sweep (budgets 0, 1 and 4 over the same workload).
+    pub budget_sweep: Vec<FusedBudgetPerf>,
 }
 
 impl FusedBaseline {
@@ -915,6 +950,29 @@ impl FusedBaseline {
             out.push('}');
             out.push_str(if i + 1 < self.mix.len() { ",\n" } else { "\n" });
         }
+        out.push_str("  ],\n  \"budget_sweep\": [\n");
+        for (i, point) in self.budget_sweep.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"beat_budget_per_stream\": {}, \"passes\": {}, \"seconds\": {:.6}, \"stream_passes\": {{",
+                point.beat_budget_per_stream, point.passes, point.seconds
+            ));
+            for (j, (name, passes)) in MIXED_STREAM_NAMES
+                .iter()
+                .zip(point.stream_passes)
+                .enumerate()
+            {
+                out.push_str(&format!("\"{name}\": {passes}"));
+                if j + 1 < MIXED_STREAM_NAMES.len() {
+                    out.push_str(", ");
+                }
+            }
+            out.push_str("}}");
+            out.push_str(if i + 1 < self.budget_sweep.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -943,10 +1001,32 @@ impl FusedBaseline {
             cells.push(row.counts.iter().sum::<u64>().to_string());
             mix.add_row(cells);
         }
+        let mut budget_headers = vec!["beat budget".to_string(), "passes".to_string()];
+        budget_headers.extend(
+            MIXED_STREAM_NAMES
+                .iter()
+                .map(|name| format!("{name} passes")),
+        );
+        budget_headers.push("time (ms)".to_string());
+        let mut budget = Table::new(budget_headers);
+        for point in &self.budget_sweep {
+            let mut cells = vec![
+                if point.beat_budget_per_stream == 0 {
+                    "unlimited".to_string()
+                } else {
+                    point.beat_budget_per_stream.to_string()
+                },
+                point.passes.to_string(),
+            ];
+            cells.extend(point.stream_passes.iter().map(u64::to_string));
+            cells.push(format!("{:.2}", point.seconds * 1e3));
+            budget.add_row(cells);
+        }
         format!(
             "Fused-scheduler baseline (best of {} runs): mixed workload ({} primary + {} shadow rays, \
              {} candidates, {} radius queries) scalar vs sequential-batched vs fused\n{}\n\
              Fused mix: {} bulk passes, {} mixing at least two query kinds\n{}\n\
+             Beat-budget fairness sweep (outputs bit-identical at every budget):\n{}\n\
              Fused-over-scalar speedup on the mixed workload: {:.2}x\n",
             self.repeats,
             self.primary_rays,
@@ -957,6 +1037,7 @@ impl FusedBaseline {
             self.passes,
             self.fused_passes,
             mix.render(),
+            budget.render(),
             self.fused_speedup(),
         )
     }
@@ -971,16 +1052,19 @@ struct MixedOutputs {
 }
 
 /// Runs the four streams of the mixed workload over one extended datapath through the fused
-/// scheduler — all four merged into shared passes when `fuse` is true, one stream at a time
-/// (sequential batched scheduling) when false.
+/// scheduler — all four merged into shared passes when `fuse` is true (under the given
+/// per-stream beat budget), one stream at a time (sequential batched scheduling) when false.
+/// Returns the outputs, the datapath's beat mix, the pass count and the per-stream pass counts
+/// of the (fused) run.
 fn run_mixed_batched(
     workload: &mixed::MixedWorkload,
     scene_bvh: &Bvh4,
     sphere_bvh: &Bvh4,
     fuse: bool,
-) -> (MixedOutputs, BeatMix) {
+    beat_budget_per_stream: usize,
+) -> (MixedOutputs, BeatMix, u64, [u64; 4]) {
     let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
-    let mut scheduler = FusedScheduler::new();
+    let mut scheduler = FusedScheduler::new().with_beat_budget(beat_budget_per_stream);
     let mut closest =
         TraversalStream::closest_hit(scene_bvh, &workload.triangles, &workload.primary_rays);
     let mut shadow =
@@ -991,24 +1075,27 @@ fn run_mixed_batched(
         KnnMetric::Euclidean,
     );
     let mut collect = CollectStream::new(sphere_bvh, &workload.radius_queries);
+    let mut stream_passes = [0u64; 4];
     if fuse {
         scheduler.run(
             &mut datapath,
             &mut [&mut closest, &mut shadow, &mut distance, &mut collect],
         );
+        stream_passes.copy_from_slice(scheduler.last_run_stream_passes());
     } else {
         scheduler.run(&mut datapath, &mut [&mut closest]);
         scheduler.run(&mut datapath, &mut [&mut shadow]);
         scheduler.run(&mut datapath, &mut [&mut distance]);
         scheduler.run(&mut datapath, &mut [&mut collect]);
     }
+    let passes = scheduler.last_run_passes();
     let outputs = MixedOutputs {
         closest: closest.finish().0,
         shadow: shadow.finish().0,
         distances: distance.finish().0,
         candidates: collect.finish().0,
     };
-    (outputs, datapath.beat_mix())
+    (outputs, datapath.beat_mix(), passes, stream_passes)
 }
 
 /// The scalar reference of the mixed workload: per-ray traversal loops, the per-beat emulated
@@ -1019,8 +1106,18 @@ fn run_mixed_scalar(
     sphere_bvh: &Bvh4,
 ) -> MixedOutputs {
     let mut engine = TraversalEngine::with_config(PipelineConfig::extended_unified());
-    let closest = engine.closest_hits(scene_bvh, &workload.triangles, &workload.primary_rays);
-    let shadow = engine.any_hits(scene_bvh, &workload.triangles, &workload.shadow_rays);
+    let closest = engine
+        .trace(
+            &TraceRequest::closest_hit(scene_bvh, &workload.triangles, &workload.primary_rays),
+            &ExecPolicy::scalar(),
+        )
+        .into_closest();
+    let shadow = engine
+        .trace(
+            &TraceRequest::any_hit(scene_bvh, &workload.triangles, &workload.shadow_rays),
+            &ExecPolicy::scalar(),
+        )
+        .into_any();
     let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
     let distances =
         emulated_knn_distances(&mut datapath, &workload.query_vector, &workload.candidates);
@@ -1139,9 +1236,11 @@ pub fn run_fused_suite(items_per_mode: usize, repeats: usize) -> FusedBaseline {
 
     // Cross-check: all three modes agree per stream, bit for bit, before timing anything.
     let expected = run_mixed_scalar(&workload, &scene_bvh, &sphere_bvh);
-    let (sequential_outputs, _) = run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, false);
+    let (sequential_outputs, _, _, _) =
+        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, false, 0);
     assert_mixed_outputs_match("sequential", &expected, &sequential_outputs);
-    let (fused_outputs, fused_mix) = run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true);
+    let (fused_outputs, fused_mix, fused_pass_count, fused_stream_passes) =
+        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, 0);
     assert_mixed_outputs_match("fused", &expected, &fused_outputs);
     assert!(
         fused_mix.fused_passes() > 0,
@@ -1152,11 +1251,41 @@ pub fn run_fused_suite(items_per_mode: usize, repeats: usize) -> FusedBaseline {
         run_mixed_scalar(&workload, &scene_bvh, &sphere_bvh)
     });
     let (sequential_seconds, _) = time_best_of(repeats, || {
-        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, false)
+        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, false, 0)
     });
     let (fused_seconds, _) = time_best_of(repeats, || {
-        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true)
+        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, 0)
     });
+
+    // Beat-budget fairness sweep: the same fused workload under per-stream admission budgets.
+    // Every budgeted run is cross-checked bit-identical first, so the recorded pass counts
+    // measure pure fairness cost.  Budget 0 *is* the plain fused run measured above — its
+    // cross-checked pass counts and best-of timing are reused rather than re-run.
+    let budget_sweep = [0usize, 1, 4]
+        .into_iter()
+        .map(|budget| {
+            if budget == 0 {
+                return FusedBudgetPerf {
+                    beat_budget_per_stream: 0,
+                    passes: fused_pass_count,
+                    stream_passes: fused_stream_passes,
+                    seconds: fused_seconds,
+                };
+            }
+            let (outputs, _, passes, stream_passes) =
+                run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, budget);
+            assert_mixed_outputs_match(&format!("fused-budget-{budget}"), &expected, &outputs);
+            let (seconds, _) = time_best_of(repeats, || {
+                run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, budget)
+            });
+            FusedBudgetPerf {
+                beat_budget_per_stream: budget,
+                passes,
+                stream_passes,
+                seconds,
+            }
+        })
+        .collect();
 
     let measurement = |mode: &'static str, seconds: f64| FusedModePerf {
         mode,
@@ -1183,6 +1312,7 @@ pub fn run_fused_suite(items_per_mode: usize, repeats: usize) -> FusedBaseline {
                 counts: core::array::from_fn(|i| fused_mix.count_for(kind, Opcode::ALL[i])),
             })
             .collect(),
+        budget_sweep,
     }
 }
 
@@ -1216,6 +1346,26 @@ mod tests {
         assert!(json.contains("sequential") && json.contains("fused"));
         let table = baseline.render_table();
         assert!(table.contains("collect") && table.contains("vs scalar"));
+
+        // The beat-budget fairness sweep: strict round-robin admission must cost passes (the
+        // fairness price) while the recorded runs stayed bit-identical (asserted inside the
+        // suite before timing).
+        assert_eq!(baseline.budget_sweep.len(), 3);
+        let unlimited = &baseline.budget_sweep[0];
+        let strict = &baseline.budget_sweep[1];
+        assert_eq!(unlimited.beat_budget_per_stream, 0);
+        assert_eq!(strict.beat_budget_per_stream, 1);
+        assert!(
+            strict.passes > unlimited.passes,
+            "strict round-robin needs more passes ({} vs {})",
+            strict.passes,
+            unlimited.passes
+        );
+        for (name, passes) in MIXED_STREAM_NAMES.iter().zip(strict.stream_passes) {
+            assert!(passes > 0, "stream {name} contributed no pass");
+        }
+        assert!(json.contains("budget_sweep") && json.contains("stream_passes"));
+        assert!(table.contains("beat budget") && table.contains("unlimited"));
     }
 
     #[test]

@@ -19,10 +19,11 @@
 //! *fused* scheduling, so candidate collection can share passes with traversal and distance
 //! streams of unrelated workloads.
 
-use rayflex_core::{Opcode, PipelineConfig, RayFlexRequest, RayFlexResponse};
+use rayflex_core::{Opcode, PipelineConfig, RayFlexDatapath, RayFlexRequest, RayFlexResponse};
 use rayflex_geometry::{Aabb, Ray, Sphere, Vec3};
 
-use crate::query::{BatchQuery, QueryKind, StreamRunner, WavefrontScheduler};
+use crate::policy::{ExecMode, ExecPolicy};
+use crate::query::{BatchQuery, FusedScheduler, QueryKind, StreamRunner, WavefrontScheduler};
 use crate::{Bvh4, Bvh4Node, KnnEngine, Neighbor};
 
 /// Statistics of one hierarchical query.
@@ -47,6 +48,15 @@ impl HierarchicalStats {
         } else {
             self.candidates_scored as f64 / self.dataset_size as f64
         }
+    }
+
+    /// Accumulates another query's counters into this one (`dataset_size` is a property of the
+    /// search structure, not a counter, and is left untouched).  Same merge semantics as
+    /// [`TraversalStats::merge`](crate::TraversalStats::merge): plain `u64` sums, order-free.
+    pub fn merge(&mut self, other: &HierarchicalStats) {
+        self.box_beats += other.box_beats;
+        self.euclidean_beats += other.euclidean_beats;
+        self.candidates_scored += other.candidates_scored;
     }
 }
 
@@ -257,33 +267,40 @@ impl HierarchicalSearch {
         self.stats
     }
 
+    /// Minimum radius queries a parallel filter shard must carry before an extra worker pays
+    /// for itself (one query's hierarchy walk is a handful of passes).
+    const MIN_QUERIES_PER_SHARD: usize = 8;
+
     /// Returns every dataset point within `radius` of `query` (squared-Euclidean scored on the
-    /// datapath), sorted from nearest to farthest.
-    ///
-    /// Both phases run batched: the hierarchy filter is one [`QueryKind::Collect`] run through
-    /// the wavefront scheduler (bulk ray–box passes, no scalar per-beat datapath calls), and the
-    /// surviving candidates are scored in **one batched distance query** — their Euclidean beats
-    /// share bulk dispatches instead of being driven one candidate at a time.
-    pub fn radius_query(&mut self, query: Vec3, radius: f32) -> Vec<Neighbor> {
-        self.radius_queries(&[(query, radius)])
+    /// datapath), sorted from nearest to farthest — a one-query
+    /// [`HierarchicalSearch::radius_queries`] batch.
+    pub fn radius_query(&mut self, query: Vec3, radius: f32, policy: &ExecPolicy) -> Vec<Neighbor> {
+        self.radius_queries(&[(query, radius)], policy)
             .pop()
             .expect("one result per query")
     }
 
-    /// Runs a whole batch of radius queries, returning one sorted neighbour list per query (see
-    /// [`HierarchicalSearch::radius_query`]).
+    /// Runs a whole batch of radius queries, returning one sorted neighbour list per query —
+    /// **the** radius/collect entry point, dispatched by the execution policy.
     ///
-    /// The hierarchy filters of **all** queries share bulk ray–box passes end to end (one
-    /// candidate-collection run with one item per query), so multi-query batches amortise
-    /// dispatch exactly like multi-ray traversal streams do.
-    pub fn radius_queries(&mut self, queries: &[(Vec3, f32)]) -> Vec<Vec<Neighbor>> {
-        let per_query_candidates = self.filter_candidates_batch(queries);
+    /// Both phases honour the policy: the hierarchy filter is one [`QueryKind::Collect`] run —
+    /// per-beat emulated (scalar reference), bulk wavefront/fused passes shared by every query
+    /// of the batch, or sharded across workers (parallel) — and the surviving candidates are
+    /// scored through [`KnnEngine::distances`] under the same policy.  Neighbour lists and
+    /// [`HierarchicalStats`] are bit-identical across every [`ExecMode`] (pinned by
+    /// `rtunit/tests/proptest_policy.rs`).
+    pub fn radius_queries(
+        &mut self,
+        queries: &[(Vec3, f32)],
+        policy: &ExecPolicy,
+    ) -> Vec<Vec<Neighbor>> {
+        let per_query_candidates = self.filter_candidates_batch(queries, policy);
         queries
             .iter()
             .zip(per_query_candidates)
             .map(|(&(query, radius), candidates)| {
                 let radius_sq = radius * radius;
-                let mut results = self.score_candidates(query, &candidates);
+                let mut results = self.score_candidates(query, &candidates, policy);
                 results.retain(|n| n.distance <= radius_sq);
                 results.sort_by(|a, b| {
                     a.distance
@@ -298,7 +315,12 @@ impl HierarchicalSearch {
 
     /// Returns the nearest dataset point to `query`, searching with an expanding radius (each
     /// round doubles the radius until a neighbour is found), or `None` for an empty dataset.
-    pub fn nearest(&mut self, query: Vec3, initial_radius: f32) -> Option<Neighbor> {
+    pub fn nearest(
+        &mut self,
+        query: Vec3,
+        initial_radius: f32,
+        policy: &ExecPolicy,
+    ) -> Option<Neighbor> {
         if self.points.is_empty() {
             return None;
         }
@@ -306,33 +328,101 @@ impl HierarchicalSearch {
         let scene = self.bvh.scene_bounds();
         let scene_diagonal = (scene.max - scene.min).length().max(1.0);
         loop {
-            if let Some(&nearest) = self.radius_query(query, radius).first() {
+            if let Some(&nearest) = self.radius_query(query, radius, policy).first() {
                 return Some(nearest);
             }
             if radius > 2.0 * scene_diagonal {
                 // The query is farther from every point than the whole scene extent; fall back to
                 // scoring everything once.
                 let all: Vec<usize> = (0..self.points.len()).collect();
-                return self.score_exactly(query, &all).into_iter().next();
+                return self.score_exactly(query, &all, policy).into_iter().next();
             }
             radius *= 2.0;
         }
     }
 
-    /// Hierarchy filter of a query batch: one [`QueryKind::Collect`] run through the wavefront
-    /// scheduler, walking the sphere BVH with **bulk** ray–box passes shared by every query
-    /// (the paper's query-as-a-short-ray formulation) and returning, per query, the indices of
-    /// every point whose leaf the query reaches.
-    fn filter_candidates_batch(&mut self, queries: &[(Vec3, f32)]) -> Vec<Vec<usize>> {
-        let mut collect = CollectQuery::new(&self.bvh, queries);
-        let candidates = self.collector.run(self.scorer.datapath_mut(), &mut collect);
-        self.stats.box_beats += collect.box_beats;
-        candidates
+    /// Hierarchy filter of a query batch: one [`QueryKind::Collect`] run walking the sphere BVH
+    /// (the paper's query-as-a-short-ray formulation), returning, per query, the indices of
+    /// every point whose leaf the query reaches.  The policy selects the dispatch: per-beat
+    /// emulated reference, bulk ray–box passes shared by the whole batch (wavefront/fused), or
+    /// contiguous query shards on private datapaths (parallel).  The per-query walk order is
+    /// policy-invariant, so the candidate lists — and the `box_beats` accounting — never change.
+    fn filter_candidates_batch(
+        &mut self,
+        queries: &[(Vec3, f32)],
+        policy: &ExecPolicy,
+    ) -> Vec<Vec<usize>> {
+        match policy.mode {
+            ExecMode::Wavefront => {
+                let mut collect = CollectQuery::new(&self.bvh, queries);
+                let candidates = self.collector.run(self.scorer.datapath_mut(), &mut collect);
+                self.stats.box_beats += collect.box_beats;
+                candidates
+            }
+            ExecMode::ScalarReference | ExecMode::Fused => {
+                let mut runner = StreamRunner::new(CollectQuery::new(&self.bvh, queries));
+                // The beat budget is a Fused-mode knob; every other mode ignores it (the
+                // documented `ExecPolicy` contract).
+                let mut fused =
+                    FusedScheduler::new().with_beat_budget(if policy.mode == ExecMode::Fused {
+                        policy.beat_budget_per_stream
+                    } else {
+                        0
+                    });
+                if policy.mode == ExecMode::ScalarReference {
+                    fused.run_reference(self.scorer.datapath_mut(), &mut [&mut runner]);
+                } else {
+                    fused.run(self.scorer.datapath_mut(), &mut [&mut runner]);
+                }
+                let (collect, candidates) = runner.finish();
+                self.stats.box_beats += collect.box_beats;
+                candidates
+            }
+            ExecMode::Parallel { shards } => {
+                self.filter_candidates_parallel(queries, shards.requested_threads())
+            }
+        }
     }
 
-    /// Scores an explicit candidate list against the query as one batched distance run,
-    /// returning one [`Neighbor`] per candidate in candidate order (unsorted, unfiltered).
-    fn score_candidates(&mut self, query: Vec3, candidates: &[usize]) -> Vec<Neighbor> {
+    /// The parallel filter backend: contiguous query shards, each walked through a private
+    /// datapath of the scorer's configuration by its own wavefront run.  Queries are
+    /// independent, so shard boundaries never change a candidate list.
+    fn filter_candidates_parallel(
+        &mut self,
+        queries: &[(Vec3, f32)],
+        threads: usize,
+    ) -> Vec<Vec<usize>> {
+        let config = *self.scorer.config();
+        let bvh = &self.bvh;
+        let Some(shards) =
+            crate::parallel::shard_chunks(queries, threads, Self::MIN_QUERIES_PER_SHARD, |shard| {
+                let mut datapath = RayFlexDatapath::new(config);
+                let mut scheduler: WavefrontScheduler<CollectWork> = WavefrontScheduler::new();
+                let mut collect = CollectQuery::new(bvh, shard);
+                let candidates = scheduler.run(&mut datapath, &mut collect);
+                (candidates, collect.box_beats)
+            })
+        else {
+            // Too small to shard profitably: run the batched wavefront inline.
+            return self.filter_candidates_batch(queries, &ExecPolicy::wavefront());
+        };
+        let mut results = Vec::with_capacity(queries.len());
+        for (shard_candidates, box_beats) in shards {
+            results.extend(shard_candidates);
+            self.stats.box_beats += box_beats;
+        }
+        results
+    }
+
+    /// Scores an explicit candidate list against the query as one batched distance run under
+    /// the policy, returning one [`Neighbor`] per candidate in candidate order (unsorted,
+    /// unfiltered).
+    fn score_candidates(
+        &mut self,
+        query: Vec3,
+        candidates: &[usize],
+        policy: &ExecPolicy,
+    ) -> Vec<Neighbor> {
         let query_vec = [query.x, query.y, query.z];
         let points: Vec<[f32; 3]> = candidates
             .iter()
@@ -343,9 +433,9 @@ impl HierarchicalSearch {
             .collect();
         self.stats.candidates_scored += candidates.len() as u64;
         let beats_before = self.scorer.stats().beats;
-        let distances = self
-            .scorer
-            .distances(&query_vec, &points, crate::KnnMetric::Euclidean);
+        let distances =
+            self.scorer
+                .distances(&query_vec, &points, crate::KnnMetric::Euclidean, policy);
         self.stats.euclidean_beats += self.scorer.stats().beats - beats_before;
         candidates
             .iter()
@@ -355,8 +445,13 @@ impl HierarchicalSearch {
     }
 
     /// Exact scoring of an explicit candidate list (used by the brute-force fallback).
-    fn score_exactly(&mut self, query: Vec3, candidates: &[usize]) -> Vec<Neighbor> {
-        let mut results = self.score_candidates(query, candidates);
+    fn score_exactly(
+        &mut self,
+        query: Vec3,
+        candidates: &[usize],
+        policy: &ExecPolicy,
+    ) -> Vec<Neighbor> {
+        let mut results = self.score_candidates(query, candidates, policy);
         results.sort_by(|a, b| {
             a.distance
                 .partial_cmp(&b.distance)
@@ -417,7 +512,7 @@ mod tests {
             );
             let radius = rng.gen_range(2.0f32..15.0);
             let got: Vec<usize> = search
-                .radius_query(query, radius)
+                .radius_query(query, radius, &ExecPolicy::wavefront())
                 .into_iter()
                 .map(|n| n.index)
                 .collect();
@@ -434,7 +529,7 @@ mod tests {
         let points = random_points(9, 2000, 100.0);
         let mut search =
             HierarchicalSearch::build(points, 0.01, PipelineConfig::extended_unified());
-        let _ = search.radius_query(Vec3::new(10.0, -20.0, 30.0), 5.0);
+        let _ = search.radius_query(Vec3::new(10.0, -20.0, 30.0), 5.0, &ExecPolicy::wavefront());
         let fraction = search.stats().scored_fraction();
         assert!(
             fraction < 0.25,
@@ -453,7 +548,9 @@ mod tests {
             Vec3::new(19.0, -19.0, 5.0),
             Vec3::new(500.0, 500.0, 500.0), // far outside the dataset: exercises the fallback
         ] {
-            let got = search.nearest(query, 1.0).expect("non-empty dataset");
+            let got = search
+                .nearest(query, 1.0, &ExecPolicy::wavefront())
+                .expect("non-empty dataset");
             let expected = points
                 .iter()
                 .enumerate()
@@ -487,14 +584,14 @@ mod tests {
 
         let mut batched =
             HierarchicalSearch::build(points.clone(), 0.01, PipelineConfig::extended_unified());
-        let batch_results = batched.radius_queries(&queries);
+        let batch_results = batched.radius_queries(&queries, &ExecPolicy::wavefront());
 
         let mut individual =
             HierarchicalSearch::build(points, 0.01, PipelineConfig::extended_unified());
         for (i, &(query, radius)) in queries.iter().enumerate() {
             assert_eq!(
                 batch_results[i],
-                individual.radius_query(query, radius),
+                individual.radius_query(query, radius, &ExecPolicy::wavefront()),
                 "query {i}"
             );
         }
@@ -507,7 +604,7 @@ mod tests {
         let points = random_points(21, 500, 50.0);
         let mut search =
             HierarchicalSearch::build(points, 0.01, PipelineConfig::extended_unified());
-        let _ = search.radius_query(Vec3::new(5.0, -3.0, 12.0), 8.0);
+        let _ = search.radius_query(Vec3::new(5.0, -3.0, 12.0), 8.0, &ExecPolicy::wavefront());
         let mix = search.scorer.beat_mix();
         // Every filter beat is attributed to the collect kind through bulk passes; none are
         // unattributed scalar calls.
@@ -539,7 +636,7 @@ mod tests {
 
         let mut search =
             HierarchicalSearch::build(points, 0.01, PipelineConfig::extended_unified());
-        let expected = search.filter_candidates_batch(&queries);
+        let expected = search.filter_candidates_batch(&queries, &ExecPolicy::wavefront());
 
         let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
         let mut stream = CollectStream::new(&bvh, &queries);
@@ -551,11 +648,45 @@ mod tests {
     }
 
     #[test]
+    fn sharded_parallel_filtering_matches_wavefront_above_the_shard_floor() {
+        // More than two full shards of radius queries force real worker sharding in the filter
+        // phase (the matrix proptest stays below MIN_QUERIES_PER_SHARD and only exercises the
+        // inline fallback), pinning the spawn path's per-query results and merged statistics.
+        let points = random_points(31, 600, 50.0);
+        let queries: Vec<(Vec3, f32)> = (0..2 * HierarchicalSearch::MIN_QUERIES_PER_SHARD + 3)
+            .map(|i| {
+                (
+                    Vec3::new(
+                        (i as f32 * 3.7) % 50.0 - 25.0,
+                        (i as f32 * 7.3) % 50.0 - 25.0,
+                        (i as f32 * 1.9) % 50.0 - 25.0,
+                    ),
+                    3.0 + (i % 5) as f32 * 2.0,
+                )
+            })
+            .collect();
+        let mut wavefront =
+            HierarchicalSearch::build(points.clone(), 0.01, PipelineConfig::extended_unified());
+        let expected = wavefront.radius_queries(&queries, &ExecPolicy::wavefront());
+        for threads in [2usize, 4] {
+            let mut parallel =
+                HierarchicalSearch::build(points.clone(), 0.01, PipelineConfig::extended_unified());
+            let got = parallel.radius_queries(&queries, &ExecPolicy::parallel(threads));
+            assert_eq!(got, expected, "threads {threads}");
+            assert_eq!(parallel.stats(), wavefront.stats(), "threads {threads}");
+        }
+    }
+
+    #[test]
     fn empty_datasets_return_nothing() {
         let mut search =
             HierarchicalSearch::build(Vec::new(), 0.01, PipelineConfig::extended_unified());
-        assert!(search.nearest(Vec3::ZERO, 1.0).is_none());
-        assert!(search.radius_query(Vec3::ZERO, 10.0).is_empty());
+        assert!(search
+            .nearest(Vec3::ZERO, 1.0, &ExecPolicy::wavefront())
+            .is_none());
+        assert!(search
+            .radius_query(Vec3::ZERO, 10.0, &ExecPolicy::wavefront())
+            .is_empty());
         assert_eq!(search.stats().scored_fraction(), 0.0);
         assert_eq!(search.sphere_count(), 0);
     }

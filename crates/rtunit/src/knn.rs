@@ -7,13 +7,19 @@
 //! datapath's shared accumulator sees each candidate contiguously — which is what lets any number
 //! of candidates (and unrelated beats) share one bulk pass.  The single-pair distance methods are
 //! one-candidate instantiations of the same query; there is no separate scalar drive loop.
+//!
+//! The public entry points ([`KnnEngine::distances`], [`KnnEngine::k_nearest`]) take an
+//! [`ExecPolicy`](crate::ExecPolicy): the same candidate beat trains dispatch one emulated beat
+//! at a time (scalar reference), in bulk wavefront passes, in fused shared passes, or sharded
+//! across worker threads — distances and [`KnnStats`] bit-identical in every mode.
 
 use rayflex_core::{
     quad_sort, BeatMix, Opcode, PipelineConfig, RayFlexDatapath, RayFlexRequest, RayFlexResponse,
 };
 use rayflex_geometry::golden::distance::{COSINE_LANES, EUCLIDEAN_LANES};
 
-use crate::query::{BatchQuery, QueryKind, StreamRunner, WavefrontScheduler};
+use crate::policy::{ExecMode, ExecPolicy};
+use crate::query::{BatchQuery, FusedScheduler, QueryKind, StreamRunner, WavefrontScheduler};
 
 /// The distance metric used by a search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,7 +52,12 @@ pub struct KnnStats {
 
 impl KnnStats {
     /// Accumulates another counter set into this one (used when merging the statistics of a
-    /// finished distance stream into an engine's totals; every field is a sum).
+    /// finished distance stream — or a parallel run's shards — into an engine's totals).
+    ///
+    /// Same merge semantics as
+    /// [`TraversalStats::merge`](crate::TraversalStats::merge): plain `u64` sums, commutative
+    /// and associative with the zero set as identity, so shard totals equal single-threaded
+    /// accounting exactly.
     pub fn merge(&mut self, other: &KnnStats) {
         self.beats += other.beats;
         self.candidates += other.candidates;
@@ -273,6 +284,9 @@ pub struct KnnEngine {
     datapath: RayFlexDatapath,
     stats: KnnStats,
     scheduler: WavefrontScheduler<DistanceWork>,
+    /// Drives the scalar round-robin reference and fused dispatch disciplines of the policy
+    /// entry points.
+    fused: FusedScheduler,
 }
 
 impl KnnEngine {
@@ -297,6 +311,7 @@ impl KnnEngine {
             datapath: RayFlexDatapath::new(config),
             stats: KnnStats::default(),
             scheduler: WavefrontScheduler::new(),
+            fused: FusedScheduler::new(),
         }
     }
 
@@ -304,6 +319,12 @@ impl KnnEngine {
     #[must_use]
     pub fn stats(&self) -> KnnStats {
         self.stats
+    }
+
+    /// The datapath configuration this engine drives.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        self.datapath.config()
     }
 
     /// Per-opcode breakdown of every beat this engine's datapath has executed (the
@@ -337,19 +358,36 @@ impl KnnEngine {
     /// stay bit-identical to an unchunked run).
     const MAX_BEATS_PER_PASS: usize = 1 << 16;
 
-    /// Scores every candidate against `query` under the chosen metric through the batched query
-    /// engine: candidates share bulk datapath dispatches, in chunks bounded by
-    /// `MAX_BEATS_PER_PASS` (65536) beats so memory stays flat for arbitrarily large datasets.
-    /// Returns one distance per candidate, in candidate order.
+    /// Minimum candidates a parallel shard must carry before an extra worker pays for itself
+    /// (scoring a candidate is a handful of beats, so small sets run inline).
+    const MIN_CANDIDATES_PER_SHARD: usize = 64;
+
+    /// Scores every candidate against `query` under the chosen metric — **the** Distance-kind
+    /// entry point, dispatched by the execution policy:
+    ///
+    /// * [`ExecMode::ScalarReference`] — every beat executes one at a time through the
+    ///   register-accurate emulated path (the streams' round-robin reference discipline);
+    /// * [`ExecMode::Wavefront`] — candidates share bulk datapath dispatches;
+    /// * [`ExecMode::Fused`] — the same bulk passes through the fused scheduler (honouring the
+    ///   policy's beat budget);
+    /// * [`ExecMode::Parallel`] — the candidate set shards contiguously across workers, each
+    ///   with a private datapath.
+    ///
+    /// Single-threaded modes chunk the candidate set so no pass materialises more than
+    /// `MAX_BEATS_PER_PASS` (65536) beats — memory stays flat for arbitrarily large datasets,
+    /// and a candidate's own beat train is never split, so chunking never changes a bit.
+    /// Returns one distance per candidate, in candidate order; distances and [`KnnStats`] are
+    /// bit-identical across every mode (pinned by `rtunit/tests/proptest_policy.rs`).
     ///
     /// # Panics
     ///
     /// Panics if any candidate has a different dimension from the query.
-    pub fn distances<C: AsRef<[f32]>>(
+    pub fn distances<C: AsRef<[f32]> + Sync>(
         &mut self,
         query: &[f32],
         candidates: &[C],
         metric: KnnMetric,
+        policy: &ExecPolicy,
     ) -> Vec<f32> {
         let lanes = match metric {
             KnnMetric::Euclidean => EUCLIDEAN_LANES,
@@ -357,11 +395,73 @@ impl KnnEngine {
         };
         let beats_per_candidate = query.len().div_ceil(lanes).max(1);
         let chunk_len = (Self::MAX_BEATS_PER_PASS / beats_per_candidate).max(1);
+
+        if let ExecMode::Parallel { shards } = policy.mode {
+            return self.distances_parallel(query, candidates, metric, shards.requested_threads());
+        }
+
         let mut results = Vec::with_capacity(candidates.len());
         for chunk in candidates.chunks(chunk_len) {
-            let mut batch = DistanceQuery::new(query, chunk, metric);
-            results.extend(self.scheduler.run(&mut self.datapath, &mut batch));
-            self.stats.merge(&batch.stats);
+            match policy.mode {
+                ExecMode::Wavefront => {
+                    let mut batch = DistanceQuery::new(query, chunk, metric);
+                    results.extend(self.scheduler.run(&mut self.datapath, &mut batch));
+                    self.stats.merge(&batch.stats);
+                }
+                ExecMode::ScalarReference | ExecMode::Fused => {
+                    let mut runner = StreamRunner::new(DistanceQuery::new(query, chunk, metric));
+                    // The beat budget is a Fused-mode knob; every other mode ignores it (the
+                    // documented `ExecPolicy` contract).
+                    self.fused
+                        .set_beat_budget(if policy.mode == ExecMode::Fused {
+                            policy.beat_budget_per_stream
+                        } else {
+                            0
+                        });
+                    if policy.mode == ExecMode::ScalarReference {
+                        self.fused
+                            .run_reference(&mut self.datapath, &mut [&mut runner]);
+                    } else {
+                        self.fused.run(&mut self.datapath, &mut [&mut runner]);
+                    }
+                    let (batch, distances) = runner.finish();
+                    results.extend(distances);
+                    self.stats.merge(&batch.stats);
+                }
+                ExecMode::Parallel { .. } => unreachable!("handled above"),
+            }
+        }
+        results
+    }
+
+    /// The [`ExecMode::Parallel`] backend of [`KnnEngine::distances`]: contiguous candidate
+    /// shards, one private datapath per worker, shard statistics merged into this engine's
+    /// totals.  Candidates are independent, so shard boundaries never change a bit.
+    fn distances_parallel<C: AsRef<[f32]> + Sync>(
+        &mut self,
+        query: &[f32],
+        candidates: &[C],
+        metric: KnnMetric,
+        threads: usize,
+    ) -> Vec<f32> {
+        let config = *self.datapath.config();
+        let Some(shards) = crate::parallel::shard_chunks(
+            candidates,
+            threads,
+            Self::MIN_CANDIDATES_PER_SHARD,
+            |shard| {
+                let mut engine = KnnEngine::with_config(config);
+                let distances = engine.distances(query, shard, metric, &ExecPolicy::wavefront());
+                (distances, engine.stats())
+            },
+        ) else {
+            // Too small to shard profitably: run the batched wavefront inline.
+            return self.distances(query, candidates, metric, &ExecPolicy::wavefront());
+        };
+        let mut results = Vec::with_capacity(candidates.len());
+        for (shard_distances, shard_stats) in shards {
+            results.extend(shard_distances);
+            self.stats.merge(&shard_stats);
         }
         results
     }
@@ -373,7 +473,7 @@ impl KnnEngine {
     ///
     /// Panics if the vectors have different dimensions.
     pub fn euclidean_distance_squared(&mut self, a: &[f32], b: &[f32]) -> f32 {
-        self.distances(a, &[b], KnnMetric::Euclidean)[0]
+        self.distances(a, &[b], KnnMetric::Euclidean, &ExecPolicy::wavefront())[0]
     }
 
     /// Cosine distance (`1 - cosine similarity`) between two vectors of arbitrary equal
@@ -384,14 +484,15 @@ impl KnnEngine {
     ///
     /// Panics if the vectors have different dimensions.
     pub fn cosine_distance(&mut self, a: &[f32], b: &[f32]) -> f32 {
-        self.distances(a, &[b], KnnMetric::Cosine)[0]
+        self.distances(a, &[b], KnnMetric::Cosine, &ExecPolicy::wavefront())[0]
     }
 
     /// Finds the `k` nearest dataset vectors to `query` under the chosen metric, sorted from
-    /// nearest to farthest (ties broken by index).  The whole dataset is scored as one batched
-    /// distance query, and the winners are picked by the **bounded on-engine top-k**
-    /// ([`select_k_nearest`]) built on the paper's quad-sort substrate — no full CPU sort of all
-    /// scored candidates.
+    /// nearest to farthest (ties broken by index) — **the** kNN entry point.  The whole dataset
+    /// is scored through [`KnnEngine::distances`] under the given policy, and the winners are
+    /// picked by the **bounded on-engine top-k** ([`select_k_nearest`]) built on the paper's
+    /// quad-sort substrate — no full CPU sort of all scored candidates.  Neighbours and
+    /// [`KnnStats`] are bit-identical across every [`ExecMode`].
     ///
     /// # Panics
     ///
@@ -402,8 +503,9 @@ impl KnnEngine {
         dataset: &[Vec<f32>],
         k: usize,
         metric: KnnMetric,
+        policy: &ExecPolicy,
     ) -> Vec<Neighbor> {
-        let distances = self.distances(query, dataset, metric);
+        let distances = self.distances(query, dataset, metric, policy);
         select_k_nearest(&distances, k)
     }
 
@@ -514,7 +616,12 @@ mod tests {
             let data = dataset(dim, 12);
             let query = data[0].clone();
             let mut batched = KnnEngine::new();
-            let distances = batched.distances(&query, &data, KnnMetric::Euclidean);
+            let distances = batched.distances(
+                &query,
+                &data,
+                KnnMetric::Euclidean,
+                &ExecPolicy::wavefront(),
+            );
             let mut single = KnnEngine::new();
             for (i, (candidate, got)) in data.iter().zip(&distances).enumerate() {
                 let expected = single.euclidean_distance_squared(&query, candidate);
@@ -539,7 +646,12 @@ mod tests {
             .collect();
         let query: Vec<f32> = (0..dim).map(|d| (d % 7) as f32 * 0.5 - 1.0).collect();
         let mut engine = KnnEngine::new();
-        let distances = engine.distances(&query, &candidates, KnnMetric::Euclidean);
+        let distances = engine.distances(
+            &query,
+            &candidates,
+            KnnMetric::Euclidean,
+            &ExecPolicy::wavefront(),
+        );
         assert_eq!(distances.len(), count);
         for (i, (candidate, got)) in candidates.iter().zip(&distances).enumerate() {
             let gold = golden::distance::euclidean_distance_squared(&query, candidate);
@@ -568,7 +680,13 @@ mod tests {
         let data = dataset(24, 50);
         let query = data[7].clone();
         let mut engine = KnnEngine::new();
-        let neighbors = engine.k_nearest(&query, &data, 5, KnnMetric::Euclidean);
+        let neighbors = engine.k_nearest(
+            &query,
+            &data,
+            5,
+            KnnMetric::Euclidean,
+            &ExecPolicy::wavefront(),
+        );
         assert_eq!(neighbors.len(), 5);
         // The query itself is in the dataset, so the nearest neighbour is itself at distance 0.
         assert_eq!(neighbors[0].index, 7);
@@ -660,9 +778,49 @@ mod tests {
         let data = dataset(24, 75);
         let query = data[11].clone();
         let mut engine = KnnEngine::new();
-        let neighbors = engine.k_nearest(&query, &data, 9, KnnMetric::Euclidean);
-        let distances = KnnEngine::new().distances(&query, &data, KnnMetric::Euclidean);
+        let neighbors = engine.k_nearest(
+            &query,
+            &data,
+            9,
+            KnnMetric::Euclidean,
+            &ExecPolicy::wavefront(),
+        );
+        let distances = KnnEngine::new().distances(
+            &query,
+            &data,
+            KnnMetric::Euclidean,
+            &ExecPolicy::wavefront(),
+        );
         assert_eq!(neighbors, full_sort_reference(&distances, 9));
+    }
+
+    #[test]
+    fn sharded_parallel_scoring_matches_wavefront_above_the_shard_floor() {
+        // More than two full shards of candidates force real worker sharding (the matrix
+        // proptest stays below MIN_CANDIDATES_PER_SHARD and only exercises the inline
+        // fallback), pinning the spawn path's result order and merged statistics.
+        let data = dataset(17, 2 * KnnEngine::MIN_CANDIDATES_PER_SHARD + 5);
+        let query = data[3].clone();
+        let mut wavefront = KnnEngine::new();
+        let expected = wavefront.distances(
+            &query,
+            &data,
+            KnnMetric::Euclidean,
+            &ExecPolicy::wavefront(),
+        );
+        for threads in [2usize, 3, 8] {
+            let mut parallel = KnnEngine::new();
+            let got = parallel.distances(
+                &query,
+                &data,
+                KnnMetric::Euclidean,
+                &ExecPolicy::parallel(threads),
+            );
+            for (i, (e, g)) in expected.iter().zip(&got).enumerate() {
+                assert_eq!(e.to_bits(), g.to_bits(), "threads {threads} candidate {i}");
+            }
+            assert_eq!(parallel.stats(), wavefront.stats(), "threads {threads}");
+        }
     }
 
     #[test]
@@ -672,7 +830,12 @@ mod tests {
         let data = dataset(19, 14);
         let query = data[2].clone();
         let mut engine = KnnEngine::new();
-        let expected = engine.distances(&query, &data, KnnMetric::Euclidean);
+        let expected = engine.distances(
+            &query,
+            &data,
+            KnnMetric::Euclidean,
+            &ExecPolicy::wavefront(),
+        );
 
         let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
         let mut stream = DistanceStream::new(&query, &data, KnnMetric::Euclidean);
@@ -699,7 +862,13 @@ mod tests {
         ];
         let query = vec![2.0, 0.0, 0.0, 0.0];
         let mut engine = KnnEngine::new();
-        let neighbors = engine.k_nearest(&query, &dataset, 4, KnnMetric::Cosine);
+        let neighbors = engine.k_nearest(
+            &query,
+            &dataset,
+            4,
+            KnnMetric::Cosine,
+            &ExecPolicy::wavefront(),
+        );
         assert_eq!(neighbors[0].index, 0, "exactly aligned vector is nearest");
         assert_eq!(neighbors[3].index, 3, "opposite vector is farthest");
     }

@@ -10,34 +10,37 @@
 //!
 //! * [`Bvh4`] — a four-wide bounding volume hierarchy builder matching the datapath's
 //!   four-boxes-per-instruction interface,
+//! * [`ExecPolicy`] / [`ExecMode`] — the execution-policy layer: **one policy-taking entry
+//!   point per query kind** ([`TraversalEngine::trace`], [`Renderer::render`],
+//!   [`KnnEngine::k_nearest`], [`HierarchicalSearch::radius_queries`]), each dispatchable as
+//!   the scalar register-accurate reference, a batched wavefront, a thread-parallel sharding or
+//!   a fused multi-kind run — bit-identical outputs and statistics across all modes,
 //! * [`WavefrontScheduler`] / [`BatchQuery`] — the generic batched query engine: one wavefront
 //!   scheduler (active-set management, pooled per-item state, bulk beat dispatch) that every
 //!   query kind — closest-hit, any-hit/shadow, rendering, distance scoring — instantiates with
 //!   its own per-item state machine,
-//! * [`TraversalEngine`] — closest-hit and any-hit/shadow traversal with two frontends: a scalar
-//!   per-ray path driving the register-accurate datapath emulation, and wavefront ray-stream
-//!   paths running through the shared scheduler (bit-identical hits and statistics, several
-//!   times the throughput),
-//! * [`trace_rays_parallel`] / [`trace_shadow_rays_parallel`] — the wavefront frontends sharded
-//!   across OS threads with auto-tuned shard sizing (short or single-threaded streams run the
-//!   batched path inline), per-shard [`TraversalStats`] merged by summation,
+//! * [`FusedScheduler`] / [`FusedStream`] — the fused multi-stream layer merging heterogeneous
+//!   query kinds into shared bulk passes, with a per-stream **beat budget** admission policy
+//!   ([`ExecPolicy::beat_budget_per_stream`]) modelling QoS between concurrent workloads,
+//! * [`TraversalEngine`] — closest-hit and any-hit/shadow traversal behind one policy-driven
+//!   [`TraversalEngine::trace`] entry point ([`TraceRequest`] carries one or both ray streams),
 //! * [`RtUnit`] — a simplified single-issue RT-unit timing model: pooled per-ray traversal state
 //!   machines scheduled through a FIFO transaction queue, a fixed-latency node-fetch memory model
 //!   and the datapath's eleven-cycle latency and one-beat-per-cycle issue limit, plus
-//!   [`RtUnit::trace_rays_parallel`] for modelling several RT units side by side,
+//!   [`RtUnit::trace_rays_multi_unit`] for modelling several RT units side by side,
 //! * [`KnnEngine`] — k-nearest-neighbour search over arbitrary-dimensional vectors using the
 //!   extended datapath's Euclidean and cosine operations (case study §V-A), with all candidate
 //!   scoring batched through the shared scheduler,
-//! * [`Renderer`] — a multi-pass deferred renderer: a batched closest-hit primary pass, surfel
-//!   (G-buffer) extraction, a batched any-hit shadow pass and an optional batched any-hit
-//!   ambient-occlusion pass, composed into a frame that is pixel-bit-identical to its scalar
-//!   multi-pass reference; [`render_parallel`] shards every pass across worker threads.
+//! * [`Renderer`] — a multi-pass deferred renderer: a closest-hit primary pass, surfel
+//!   (G-buffer) extraction, an any-hit shadow pass, an optional any-hit ambient-occlusion pass
+//!   and an optional fused one-bounce reflection pass, described by a [`FrameDesc`] and traced
+//!   under any [`ExecPolicy`] with pixel-bit-identical frames.
 //!
 //! # Example
 //!
 //! ```
 //! use rayflex_geometry::{Triangle, Ray, Vec3};
-//! use rayflex_rtunit::{Bvh4, TraversalEngine};
+//! use rayflex_rtunit::{Bvh4, ExecPolicy, TraceRequest, TraversalEngine};
 //!
 //! let scene = vec![Triangle::new(
 //!     Vec3::new(-1.0, -1.0, 3.0),
@@ -45,9 +48,12 @@
 //!     Vec3::new(0.0, 1.0, 3.0),
 //! )];
 //! let bvh = Bvh4::build(&scene);
+//! let rays = [Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0))];
 //! let mut engine = TraversalEngine::baseline();
-//! let hit = engine.closest_hit(&bvh, &scene, &Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0)));
-//! assert!(hit.is_some());
+//! let hits = engine
+//!     .trace(&TraceRequest::closest_hit(&bvh, &scene, &rays), &ExecPolicy::wavefront())
+//!     .into_closest();
+//! assert!(hits[0].is_some());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -57,6 +63,7 @@ mod bvh;
 mod hierarchical;
 mod knn;
 mod parallel;
+mod policy;
 mod query;
 mod renderer;
 mod rt_unit;
@@ -65,16 +72,22 @@ mod traversal;
 pub use bvh::{Bvh4, Bvh4Node, Primitive};
 pub use hierarchical::{CollectStream, CollectWork, HierarchicalSearch, HierarchicalStats};
 pub use knn::{select_k_nearest, DistanceStream, KnnEngine, KnnMetric, KnnStats, Neighbor};
+pub use parallel::{default_parallelism, MIN_RAYS_PER_SHARD};
+#[allow(deprecated)]
 pub use parallel::{
-    default_parallelism, trace_fused_parallel, trace_packet_parallel, trace_rays_parallel,
-    trace_shadow_rays_parallel, MIN_RAYS_PER_SHARD,
+    trace_fused_parallel, trace_packet_parallel, trace_rays_parallel, trace_shadow_rays_parallel,
 };
+pub use policy::{ExecMode, ExecPolicy, ShardHint};
 pub use query::{
     BatchQuery, FusedScheduler, FusedStream, QueryKind, StreamRunner, WavefrontScheduler,
 };
 pub use renderer::{
-    default_light_dir, extract_surfels, render_bounce_parallel, render_parallel, shade,
-    shade_deferred, Camera, CameraBasis, Image, RenderPasses, Renderer,
+    default_light_dir, extract_surfels, shade, shade_deferred, Camera, CameraBasis, FrameDesc,
+    Image, RenderPasses, Renderer,
 };
+#[allow(deprecated)]
+pub use renderer::{render_bounce_parallel, render_parallel};
 pub use rt_unit::{RtUnit, RtUnitConfig, RtUnitStats};
-pub use traversal::{TraversalEngine, TraversalHit, TraversalStats, TraversalStream};
+pub use traversal::{
+    TraceOutput, TraceRequest, TraversalEngine, TraversalHit, TraversalStats, TraversalStream,
+};

@@ -1,18 +1,20 @@
-//! Thread-parallel ray-stream tracing.
+//! Thread-parallel ray-stream tracing — the sharding machinery behind
+//! [`ExecMode::Parallel`](crate::ExecMode::Parallel).
 //!
 //! The datapath model is deterministic and per-ray traversal state is independent, so a ray
 //! stream shards trivially: each worker owns a private [`TraversalEngine`] (and therefore a
 //! private functional datapath — ray–box and ray–triangle beats carry no cross-beat state) and
-//! traverses a contiguous chunk of the stream with the wavefront frontend.  Hits are returned in
-//! the caller's ray order and per-shard [`TraversalStats`] are summed, so a parallel run reports
-//! exactly the same hits and statistics as a single-threaded one — only wall-clock time changes.
+//! traverses a contiguous chunk of the stream with the fused wavefront discipline.  Hits are
+//! returned in the caller's ray order and per-shard [`TraversalStats`] are summed, so a parallel
+//! run reports exactly the same hits and statistics as a single-threaded one — only wall-clock
+//! time changes.
 //!
 //! **Auto-tuned sharding:** spawning workers costs real time, and on one core (or for short
 //! streams) the parallel mode used to be *slower* than the plain batched path
-//! (`BENCH_baseline.json` of PR 1 showed exactly that on all three scenes).  The entry points
-//! therefore clamp the worker count so every shard carries at least [`MIN_RAYS_PER_SHARD`] rays
+//! (`BENCH_baseline.json` of PR 1 showed exactly that on all three scenes).  The sharding
+//! therefore clamps the worker count so every shard carries at least [`MIN_RAYS_PER_SHARD`] rays
 //! (the remainder shard may run up to `threads - 1` rays short of the floor), and when the
-//! effective count is one they run the batched wavefront inline on the calling thread — no
+//! effective count is one it runs the batched wavefront inline on the calling thread — no
 //! spawn, no join, identical results.
 //!
 //! Workers are plain `std::thread::scope` threads rather than a `rayon` pool: the build
@@ -20,14 +22,16 @@
 //! scoped threads let the workers borrow the scene directly.  Swapping in `rayon::scope` later is
 //! a local change to [`shard_map`].
 //!
-//! Because every traversal query kind runs through the same wavefront scheduler, sharding works
-//! for all of them: [`trace_rays_parallel`] drives closest-hit streams and
-//! [`trace_shadow_rays_parallel`] drives any-hit/shadow streams with the same machinery.
+//! The policy API reaches this machinery through
+//! [`TraversalEngine::trace`](crate::TraversalEngine::trace) (and the other engines' policy
+//! entry points); the pre-policy free functions (`trace_rays_parallel`,
+//! `trace_shadow_rays_parallel`, `trace_fused_parallel`, `trace_packet_parallel`) survive as
+//! deprecated shims over the same internals.
 
 use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Ray, RayPacket, Triangle};
 
-use crate::traversal::{TraversalEngine, TraversalHit, TraversalStats};
+use crate::traversal::{TraceRequest, TraversalEngine, TraversalHit, TraversalStats};
 use crate::Bvh4;
 
 /// Minimum rays a shard must carry before an extra worker thread pays for itself.  Below this,
@@ -41,14 +45,30 @@ pub fn default_parallelism() -> usize {
     std::thread::available_parallelism().map_or(4, usize::from)
 }
 
-/// The worker count actually used for a stream of `items` rays when `threads` are requested:
-/// clamped so every shard carries at least [`MIN_RAYS_PER_SHARD`] rays (and never exceeding one
-/// worker per ray).  A result of 1 means "run inline on the calling thread".
-fn effective_threads(threads: usize, items: usize) -> usize {
+/// The worker count actually used for `items` work items when `threads` are requested: clamped
+/// so every shard carries at least `min_per_shard` items (and never exceeding one worker per
+/// item).  A result of 1 means "run inline on the calling thread".  The **single** auto-tuning
+/// formula every parallel backend shares, whatever its item granularity (rays, candidate
+/// vectors, radius queries).
+fn effective_threads_for(threads: usize, items: usize, min_per_shard: usize) -> usize {
     // Floor division: only streams with at least two *full* shards spawn a second worker, so no
     // shard ever drops below the floor.
-    let by_shard_size = (items / MIN_RAYS_PER_SHARD).max(1);
+    let by_shard_size = (items / min_per_shard.max(1)).max(1);
     threads.clamp(1, items.max(1)).min(by_shard_size)
+}
+
+/// [`effective_threads_for`] at the traversal granularity ([`MIN_RAYS_PER_SHARD`]).
+fn effective_threads(threads: usize, items: usize) -> usize {
+    effective_threads_for(threads, items, MIN_RAYS_PER_SHARD)
+}
+
+/// The worker count a traversal pair request resolves to — exposed so
+/// [`TraversalEngine::trace`] can run small [`ExecMode::Parallel`](crate::ExecMode::Parallel)
+/// requests inline on the calling engine (keeping its pools and beat attribution) instead of
+/// spinning up a throwaway single worker.
+pub(crate) fn pair_effective_threads(closest_len: usize, any_len: usize, threads: usize) -> usize {
+    let total = closest_len.max(any_len);
+    effective_threads(threads, closest_len + any_len).min(total.max(1))
 }
 
 /// Runs `work` over contiguous index ranges covering `0..total` on `threads` scoped workers and
@@ -85,102 +105,48 @@ fn shard_map(
     (hits, stats)
 }
 
-/// Shards `rays` across workers running `trace` (one private wavefront engine per worker), or
-/// runs `trace` inline when one worker suffices — the shared skeleton of every parallel query
-/// kind.
-fn trace_sharded(
-    config: PipelineConfig,
-    rays: &[Ray],
+/// Shards `items` into contiguous chunks across scoped workers and collects the per-shard
+/// results in shard order, or returns `None` when auto-tuning decides the work should run
+/// inline (fewer than two shards of at least `min_per_shard` items would result).  The
+/// chunk/spawn/join skeleton the single-slice parallel backends (the k-NN candidate scorer and
+/// the hierarchical filter) share; the traversal pair backend ([`fused_pair_sharded`]) keeps
+/// its own spawn loop because it shards *two* streams by clamped index ranges, but reuses the
+/// same auto-tuning formula ([`effective_threads_for`]).
+pub(crate) fn shard_chunks<T: Sync, R: Send>(
+    items: &[T],
     threads: usize,
-    trace: impl Fn(&mut TraversalEngine, &[Ray]) -> Vec<Option<TraversalHit>> + Sync,
-) -> (Vec<Option<TraversalHit>>, TraversalStats) {
-    let threads = effective_threads(threads, rays.len());
+    min_per_shard: usize,
+    work: impl Fn(&[T]) -> R + Sync,
+) -> Option<Vec<R>> {
+    let threads = effective_threads_for(threads, items.len(), min_per_shard);
     if threads <= 1 {
-        // Single-engine batched fast path: no spawn/join overhead, identical results.
-        let mut engine = TraversalEngine::with_config(config);
-        let hits = trace(&mut engine, rays);
-        return (hits, engine.stats());
+        return None;
     }
-    shard_map(rays.len(), threads, |range| {
-        let mut engine = TraversalEngine::with_config(config);
-        let hits = trace(&mut engine, &rays[range]);
-        (hits, engine.stats())
-    })
+    let shard_len = items.len().div_ceil(threads);
+    let work = &work;
+    Some(std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(shard_len)
+            .map(|shard| scope.spawn(move || work(shard)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("shard worker panicked"))
+            .collect()
+    }))
 }
 
-/// Traces a ray stream across up to `threads` parallel workers, each driving its own datapath of
-/// the given configuration with the wavefront frontend.  Returns one optional hit per ray (in
-/// input order) and the summed statistics of all shards.  When `threads == 1` — or the stream is
-/// too short for sharding to pay (see [`MIN_RAYS_PER_SHARD`]) — the stream runs on the batched
-/// single-engine path with no thread spawned at all.
-///
-/// # Example
-///
-/// ```
-/// use rayflex_core::PipelineConfig;
-/// use rayflex_geometry::{Ray, Triangle, Vec3};
-/// use rayflex_rtunit::{trace_rays_parallel, Bvh4};
-///
-/// let scene = vec![Triangle::new(
-///     Vec3::new(-1.0, -1.0, 3.0),
-///     Vec3::new(1.0, -1.0, 3.0),
-///     Vec3::new(0.0, 1.0, 3.0),
-/// )];
-/// let bvh = Bvh4::build(&scene);
-/// let rays: Vec<Ray> = (0..64)
-///     .map(|i| Ray::new(Vec3::new(0.0, 0.0, -i as f32), Vec3::new(0.0, 0.0, 1.0)))
-///     .collect();
-/// let (hits, stats) = trace_rays_parallel(
-///     PipelineConfig::baseline_unified(),
-///     &bvh,
-///     &scene,
-///     &rays,
-///     4,
-/// );
-/// assert_eq!(hits.len(), 64);
-/// assert_eq!(stats.rays, 64);
-/// assert!(hits.iter().all(Option::is_some));
-/// ```
-#[must_use]
-pub fn trace_rays_parallel(
-    config: PipelineConfig,
-    bvh: &Bvh4,
-    triangles: &[Triangle],
-    rays: &[Ray],
-    threads: usize,
-) -> (Vec<Option<TraversalHit>>, TraversalStats) {
-    trace_sharded(config, rays, threads, |engine, shard| {
-        engine.closest_hits_wavefront(bvh, triangles, shard)
-    })
-}
-
-/// Runs the any-hit/shadow query over a ray stream across up to `threads` parallel workers (the
-/// same auto-tuned sharding as [`trace_rays_parallel`]).  Returns the first accepted hit per ray
-/// — `Some` means occluded — and the summed statistics of all shards.
-#[must_use]
-pub fn trace_shadow_rays_parallel(
-    config: PipelineConfig,
-    bvh: &Bvh4,
-    triangles: &[Triangle],
-    rays: &[Ray],
-    threads: usize,
-) -> (Vec<Option<TraversalHit>>, TraversalStats) {
-    trace_sharded(config, rays, threads, |engine, shard| {
-        engine.any_hits_wavefront(bvh, triangles, shard)
-    })
-}
-
-/// Traces a closest-hit stream and an any-hit stream **fused** ([`TraversalEngine::trace_fused`])
-/// across up to `threads` workers: the index space is sharded contiguously, and each worker runs
-/// the fused scheduler over its slice of *both* streams on a private datapath — so every shard
-/// models a unified RT unit time-multiplexing the two query kinds, and shards run side by side.
+/// The [`ExecMode::Parallel`](crate::ExecMode::Parallel) backend for traversal requests: shards
+/// the (closest-hit, any-hit) pair index space contiguously across up to `threads` workers, each
+/// worker a private engine running the fused discipline over its slice of *both* streams — every
+/// shard models a unified RT unit time-multiplexing the two query kinds, and shards run side by
+/// side.  Either stream may be empty (the single-kind case degenerates to plain stream
+/// sharding); the streams may have different lengths (a worker whose range lies past the end of
+/// one stream simply traces the other alone).
 ///
 /// Returns the closest-hit results, the any-hit results (both in input order) and the summed
-/// statistics; all three are bit-identical to an unsharded [`TraversalEngine::trace_fused`] run,
-/// which is itself bit-identical to sequential scheduling.  The streams may have different
-/// lengths (a worker whose range lies past the end of one stream simply traces the other alone).
-#[must_use]
-pub fn trace_fused_parallel(
+/// statistics; all three are bit-identical to every single-threaded execution mode.
+pub(crate) fn fused_pair_sharded(
     config: PipelineConfig,
     bvh: &Bvh4,
     triangles: &[Triangle],
@@ -193,13 +159,31 @@ pub fn trace_fused_parallel(
     TraversalStats,
 ) {
     let total = closest_rays.len().max(any_rays.len());
-    let threads = effective_threads(threads, closest_rays.len() + any_rays.len()).min(total.max(1));
+    let threads = pair_effective_threads(closest_rays.len(), any_rays.len(), threads);
     let clamp = |range: &core::ops::Range<usize>, len: usize| -> core::ops::Range<usize> {
         range.start.min(len)..range.end.min(len)
     };
+    // A slice with one empty stream runs the plain wavefront — no fused-scheduler indirection
+    // for single-kind work; hits and stats are identical either way (the fused run of a single
+    // stream reproduces the wavefront loop exactly).
+    let trace_slice = |engine: &mut TraversalEngine,
+                       closest: &[Ray],
+                       any: &[Ray]|
+     -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
+        if any.is_empty() {
+            (
+                engine.wavefront_closest_hits(bvh, triangles, closest),
+                Vec::new(),
+            )
+        } else if closest.is_empty() {
+            (Vec::new(), engine.wavefront_any_hits(bvh, triangles, any))
+        } else {
+            engine.fused_pair(bvh, triangles, closest, any, 0)
+        }
+    };
     if threads <= 1 {
         let mut engine = TraversalEngine::with_config(config);
-        let (closest, any) = engine.trace_fused(bvh, triangles, closest_rays, any_rays);
+        let (closest, any) = trace_slice(&mut engine, closest_rays, any_rays);
         return (closest, any, engine.stats());
     }
     let shard_len = total.div_ceil(threads).max(1);
@@ -210,11 +194,11 @@ pub fn trace_fused_parallel(
                 let range = begin..(begin + shard_len).min(total);
                 let closest_range = clamp(&range, closest_rays.len());
                 let any_range = clamp(&range, any_rays.len());
+                let trace_slice = &trace_slice;
                 scope.spawn(move || {
                     let mut engine = TraversalEngine::with_config(config);
-                    let (closest, any) = engine.trace_fused(
-                        bvh,
-                        triangles,
+                    let (closest, any) = trace_slice(
+                        &mut engine,
                         &closest_rays[closest_range],
                         &any_rays[any_range],
                     );
@@ -238,13 +222,66 @@ pub fn trace_fused_parallel(
     (closest, any, stats)
 }
 
-/// [`trace_rays_parallel`] over a structure-of-arrays [`RayPacket`] stream.
+/// Traces a closest-hit ray stream across up to `threads` parallel workers.
+#[deprecated(note = "use TraversalEngine::trace(&TraceRequest::closest_hit(..), \
+                     &ExecPolicy::parallel(threads)) — stats come from the engine")]
+#[must_use]
+pub fn trace_rays_parallel(
+    config: PipelineConfig,
+    bvh: &Bvh4,
+    triangles: &[Triangle],
+    rays: &[Ray],
+    threads: usize,
+) -> (Vec<Option<TraversalHit>>, TraversalStats) {
+    let (hits, _, stats) = fused_pair_sharded(config, bvh, triangles, rays, &[], threads);
+    (hits, stats)
+}
+
+/// Runs the any-hit/shadow query over a ray stream across up to `threads` parallel workers.
+#[deprecated(note = "use TraversalEngine::trace(&TraceRequest::any_hit(..), \
+                     &ExecPolicy::parallel(threads)) — stats come from the engine")]
+#[must_use]
+pub fn trace_shadow_rays_parallel(
+    config: PipelineConfig,
+    bvh: &Bvh4,
+    triangles: &[Triangle],
+    rays: &[Ray],
+    threads: usize,
+) -> (Vec<Option<TraversalHit>>, TraversalStats) {
+    let (_, hits, stats) = fused_pair_sharded(config, bvh, triangles, &[], rays, threads);
+    (hits, stats)
+}
+
+/// Traces a closest-hit stream and an any-hit stream fused, sharded across up to `threads`
+/// workers.
+#[deprecated(note = "use TraversalEngine::trace(&TraceRequest::pair(..), \
+                     &ExecPolicy::parallel(threads)) — stats come from the engine")]
+#[must_use]
+pub fn trace_fused_parallel(
+    config: PipelineConfig,
+    bvh: &Bvh4,
+    triangles: &[Triangle],
+    closest_rays: &[Ray],
+    any_rays: &[Ray],
+    threads: usize,
+) -> (
+    Vec<Option<TraversalHit>>,
+    Vec<Option<TraversalHit>>,
+    TraversalStats,
+) {
+    fused_pair_sharded(config, bvh, triangles, closest_rays, any_rays, threads)
+}
+
+/// Traces a structure-of-arrays [`RayPacket`] closest-hit stream across up to `threads` parallel
+/// workers.
 ///
 /// The packet is sharded by **index ranges**: each worker unpacks only its own contiguous SoA
 /// slice into a private array-of-structures buffer, so peak AoS memory is one shard rather than
-/// the whole stream (the stream used to be materialised in full before sharding).  Hits, hit
-/// order and summed statistics are bit-identical to [`trace_rays_parallel`] over the unpacked
-/// stream — `RayPacket::get` reconstructs every ray field exactly.
+/// the whole stream.  Hits, hit order and summed statistics are bit-identical to tracing the
+/// unpacked stream — `RayPacket::get` reconstructs every ray field exactly.
+#[deprecated(note = "unpack the packet (RayPacket::to_rays) and use \
+                     TraversalEngine::trace(&TraceRequest::closest_hit(..), \
+                     &ExecPolicy::parallel(threads))")]
 #[must_use]
 pub fn trace_packet_parallel(
     config: PipelineConfig,
@@ -255,17 +292,27 @@ pub fn trace_packet_parallel(
 ) -> (Vec<Option<TraversalHit>>, TraversalStats) {
     let threads = effective_threads(threads, rays.len());
     if threads <= 1 {
-        // Single-engine batched fast path: the one shard is the whole stream, unpacked into the
-        // engine's pooled scratch buffer.
+        // Single-engine batched fast path: the one shard is the whole stream, unpacked once.
+        let unpacked: Vec<Ray> = rays.iter().collect();
         let mut engine = TraversalEngine::with_config(config);
-        let hits = engine.closest_hits_stream(bvh, triangles, rays);
+        let hits = engine
+            .trace(
+                &TraceRequest::closest_hit(bvh, triangles, &unpacked),
+                &crate::ExecPolicy::wavefront(),
+            )
+            .into_closest();
         return (hits, engine.stats());
     }
     shard_map(rays.len(), threads, |range| {
         // SoA slice → per-shard AoS: only this worker's rays are ever materialised.
         let shard: Vec<Ray> = range.map(|i| rays.get(i)).collect();
         let mut engine = TraversalEngine::with_config(config);
-        let hits = engine.closest_hits_wavefront(bvh, triangles, &shard);
+        let hits = engine
+            .trace(
+                &TraceRequest::closest_hit(bvh, triangles, &shard),
+                &crate::ExecPolicy::wavefront(),
+            )
+            .into_closest();
         (hits, engine.stats())
     })
 }
@@ -273,6 +320,7 @@ pub fn trace_packet_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ExecPolicy;
     use rayflex_geometry::Vec3;
 
     fn scene() -> Vec<Triangle> {
@@ -305,18 +353,14 @@ mod tests {
         let triangles = scene();
         let bvh = Bvh4::build(&triangles);
         let rays = camera_rays(96);
+        let request = TraceRequest::closest_hit(&bvh, &triangles, &rays);
         let mut reference = TraversalEngine::baseline();
-        let expected = reference.closest_hits(&bvh, &triangles, &rays);
+        let expected = reference.trace(&request, &ExecPolicy::scalar());
         for threads in [1, 2, 3, 8, 96, 200] {
-            let (hits, stats) = trace_rays_parallel(
-                PipelineConfig::baseline_unified(),
-                &bvh,
-                &triangles,
-                &rays,
-                threads,
-            );
-            assert_eq!(hits, expected, "threads = {threads}");
-            assert_eq!(stats, reference.stats(), "threads = {threads}");
+            let mut engine = TraversalEngine::baseline();
+            let got = engine.trace(&request, &ExecPolicy::parallel(threads));
+            assert_eq!(got, expected, "threads = {threads}");
+            assert_eq!(engine.stats(), reference.stats(), "threads = {threads}");
         }
     }
 
@@ -330,18 +374,14 @@ mod tests {
             .cycle()
             .take(MIN_RAYS_PER_SHARD * 2)
             .collect();
+        let request = TraceRequest::any_hit(&bvh, &triangles, &rays);
         let mut reference = TraversalEngine::baseline();
-        let expected = reference.any_hits(&bvh, &triangles, &rays);
+        let expected = reference.trace(&request, &ExecPolicy::scalar());
         for threads in [1, 2, 7] {
-            let (hits, stats) = trace_shadow_rays_parallel(
-                PipelineConfig::baseline_unified(),
-                &bvh,
-                &triangles,
-                &rays,
-                threads,
-            );
-            assert_eq!(hits, expected, "threads = {threads}");
-            assert_eq!(stats, reference.stats(), "threads = {threads}");
+            let mut engine = TraversalEngine::baseline();
+            let got = engine.trace(&request, &ExecPolicy::parallel(threads));
+            assert_eq!(got, expected, "threads = {threads}");
+            assert_eq!(engine.stats(), reference.stats(), "threads = {threads}");
         }
     }
 
@@ -378,7 +418,7 @@ mod tests {
     fn fused_pair_sharding_matches_the_single_engine_fused_run() {
         let triangles = scene();
         let bvh = Bvh4::build(&triangles);
-        let config = PipelineConfig::baseline_unified();
+        let config = rayflex_core::PipelineConfig::baseline_unified();
         // Unequal stream lengths and a length past the shard threshold both get exercised.
         for (closest_count, any_count) in [(96, 40), (0, 64), (MIN_RAYS_PER_SHARD * 2, 300)] {
             let closest_rays: Vec<Ray> = camera_rays(96)
@@ -392,21 +432,14 @@ mod tests {
                 .take(any_count)
                 .map(|r| Ray::with_extent(r.origin, r.dir, 1e-3, 30.0))
                 .collect();
+            let request = TraceRequest::pair(&bvh, &triangles, &closest_rays, &any_rays);
             let mut reference = TraversalEngine::with_config(config);
-            let (expected_closest, expected_any) =
-                reference.trace_fused(&bvh, &triangles, &closest_rays, &any_rays);
+            let expected = reference.trace(&request, &ExecPolicy::fused());
             for threads in [1, 2, 5, 8] {
-                let (closest, any, stats) = trace_fused_parallel(
-                    config,
-                    &bvh,
-                    &triangles,
-                    &closest_rays,
-                    &any_rays,
-                    threads,
-                );
-                assert_eq!(closest, expected_closest, "threads = {threads}");
-                assert_eq!(any, expected_any, "threads = {threads}");
-                assert_eq!(stats, reference.stats(), "threads = {threads}");
+                let mut engine = TraversalEngine::with_config(config);
+                let got = engine.trace(&request, &ExecPolicy::parallel(threads));
+                assert_eq!(got, expected, "threads = {threads}");
+                assert_eq!(engine.stats(), reference.stats(), "threads = {threads}");
             }
         }
     }
@@ -415,32 +448,48 @@ mod tests {
     fn empty_streams_are_fine() {
         let triangles = scene();
         let bvh = Bvh4::build(&triangles);
-        let (hits, stats) =
-            trace_rays_parallel(PipelineConfig::baseline_unified(), &bvh, &triangles, &[], 8);
-        assert!(hits.is_empty());
-        assert_eq!(stats, TraversalStats::default());
+        let mut engine = TraversalEngine::baseline();
+        let output = engine.trace(
+            &TraceRequest::closest_hit(&bvh, &triangles, &[]),
+            &ExecPolicy::parallel(8),
+        );
+        assert!(output.closest.is_empty() && output.any.is_empty());
+        assert_eq!(engine.stats(), TraversalStats::default());
     }
 
     #[test]
-    fn packet_streams_shard_identically() {
+    #[allow(deprecated)]
+    fn deprecated_parallel_shims_match_the_policy_path() {
         let triangles = scene();
         let bvh = Bvh4::build(&triangles);
+        let config = rayflex_core::PipelineConfig::baseline_unified();
         // Both a short stream (inline single-engine path) and one long enough to force real
-        // range-sharding: the SoA-sliced packet path must agree with the AoS slice path
-        // bit-for-bit, hits and stats, at every worker count.
+        // range-sharding.
         for count in [40, MIN_RAYS_PER_SHARD * 3 + 17] {
             let rays: Vec<Ray> = camera_rays(96).into_iter().cycle().take(count).collect();
             let packet = RayPacket::from_rays(&rays);
-            let config = PipelineConfig::baseline_unified();
             for threads in [1, 2, 3, 8] {
+                let mut engine = TraversalEngine::with_config(config);
+                let expected = engine.trace(
+                    &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+                    &ExecPolicy::parallel(threads),
+                );
                 let (a, a_stats) = trace_rays_parallel(config, &bvh, &triangles, &rays, threads);
                 let (b, b_stats) =
                     trace_packet_parallel(config, &bvh, &triangles, &packet, threads);
-                assert_eq!(a.len(), b.len(), "count {count}, threads {threads}");
-                for (i, (e, g)) in a.iter().zip(&b).enumerate() {
-                    assert_eq!(e, g, "count {count}, threads {threads}, ray {i}");
-                }
-                assert_eq!(a_stats, b_stats, "count {count}, threads {threads}");
+                assert_eq!(a, expected.closest, "count {count}, threads {threads}");
+                assert_eq!(b, expected.closest, "count {count}, threads {threads}");
+                assert_eq!(a_stats, engine.stats(), "count {count}, threads {threads}");
+                assert_eq!(b_stats, engine.stats(), "count {count}, threads {threads}");
+                let (shadow, shadow_stats) =
+                    trace_shadow_rays_parallel(config, &bvh, &triangles, &rays, threads);
+                let mut shadow_engine = TraversalEngine::with_config(config);
+                let shadow_expected = shadow_engine.trace(
+                    &TraceRequest::any_hit(&bvh, &triangles, &rays),
+                    &ExecPolicy::parallel(threads),
+                );
+                assert_eq!(shadow, shadow_expected.any);
+                assert_eq!(shadow_stats, shadow_engine.stats());
             }
         }
     }

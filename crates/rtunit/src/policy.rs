@@ -1,0 +1,273 @@
+//! Execution policies: **one** policy-driven entry point per query kind instead of a method per
+//! execution mode.
+//!
+//! Four PRs of growth each added named method variants — `closest_hits` /
+//! `closest_hits_wavefront` / `trace_fused` / `trace_fused_parallel`, six `render_deferred*`
+//! flavours — turning the public surface into an M×N matrix of query kinds × execution modes.
+//! The paper's unified-RT-unit premise is that *one datapath serves heterogeneous query kinds*;
+//! the API mirrors that now: every engine exposes a single entry point per query kind
+//! ([`TraversalEngine::trace`](crate::TraversalEngine::trace),
+//! [`Renderer::render`](crate::Renderer::render),
+//! [`KnnEngine::distances`](crate::KnnEngine::distances) /
+//! [`KnnEngine::k_nearest`](crate::KnnEngine::k_nearest),
+//! [`HierarchicalSearch::radius_queries`](crate::HierarchicalSearch::radius_queries)) that takes
+//! an [`ExecPolicy`] selecting *how* the work is dispatched.  New execution axes (SIMD packets,
+//! rayon pools, QoS knobs) compose into the policy instead of multiplying the method matrix
+//! again.
+//!
+//! The cross-policy contract is the repository's tentpole invariant, stated once and enforced
+//! everywhere by `rtunit/tests/proptest_policy.rs`: **every [`ExecMode`] produces bit-identical
+//! outputs and identical statistics** for the same request.  Modes differ only in dispatch —
+//! per-beat emulated execution, bulk wavefront passes, shared fused passes, or sharded worker
+//! threads — never in the per-item beat sequence.
+
+/// How many worker shards an [`ExecMode::Parallel`] run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardHint {
+    /// Use the machine's available parallelism
+    /// ([`default_parallelism`](crate::default_parallelism)).
+    #[default]
+    Auto,
+    /// Request exactly this many workers.  The effective count is still auto-tuned downward so
+    /// no shard drops below the minimum profitable size
+    /// ([`MIN_RAYS_PER_SHARD`](crate::MIN_RAYS_PER_SHARD)); `Count(0)` and `Count(1)` both run
+    /// inline on the calling thread.
+    Count(usize),
+}
+
+impl ShardHint {
+    /// The worker count this hint requests, resolving [`ShardHint::Auto`] to the machine's
+    /// available parallelism.
+    #[must_use]
+    pub fn requested_threads(self) -> usize {
+        match self {
+            ShardHint::Auto => crate::parallel::default_parallelism(),
+            ShardHint::Count(count) => count,
+        }
+    }
+}
+
+/// The execution mode of a policy: *how* a query's beats reach the datapath.
+///
+/// All modes produce bit-identical outputs and statistics for the same request (the per-item
+/// beat sequence is mode-invariant); they differ in dispatch style and therefore in throughput
+/// and in what they model:
+///
+/// | Mode | Dispatch | Models |
+/// |---|---|---|
+/// | [`ScalarReference`](ExecMode::ScalarReference) | one emulated beat at a time | the register-accurate reference |
+/// | [`Wavefront`](ExecMode::Wavefront) | bulk single-kind passes | one RT unit, one query kind in flight |
+/// | [`Parallel`](ExecMode::Parallel) | sharded worker threads | several RT units side by side |
+/// | [`Fused`](ExecMode::Fused) | shared mixed-kind bulk passes | one unified RT unit time-multiplexing kinds |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The scalar reference: every beat executes one at a time through the register-accurate
+    /// emulated datapath.  Slow, and the semantic anchor every other mode is pinned against.
+    ScalarReference,
+    /// The batched wavefront: the whole stream stays in flight and each pass dispatches one bulk
+    /// batch of beats through the fast model.  The single-threaded throughput mode.
+    #[default]
+    Wavefront,
+    /// The wavefront sharded across worker threads, each worker a private datapath.  Per-shard
+    /// statistics are merged by summation, so totals equal the single-threaded modes exactly.
+    /// Per-beat `BeatMix` attribution stays on the worker datapaths, though: after a genuinely
+    /// sharded run the calling engine's own `beat_mix` records nothing (a run small enough to
+    /// fall back inline attributes normally).
+    Parallel {
+        /// Worker-count hint; shard sizing is still auto-tuned (see [`ShardHint`]).
+        shards: ShardHint,
+    },
+    /// The fused multi-stream discipline: all of the request's streams share mixed-kind bulk
+    /// passes over one datapath — the paper's unified RT unit time-multiplexing query kinds.
+    /// Honours [`ExecPolicy::beat_budget_per_stream`].
+    Fused,
+}
+
+impl ExecMode {
+    /// Every execution mode, in reference-first order (the sweep order of the policy matrix
+    /// tests and benches).
+    pub const ALL: [ExecMode; 4] = [
+        ExecMode::ScalarReference,
+        ExecMode::Wavefront,
+        ExecMode::Parallel {
+            shards: ShardHint::Auto,
+        },
+        ExecMode::Fused,
+    ];
+
+    /// A short stable name for reports and CLI flags (`scalar`, `wavefront`, `parallel`,
+    /// `fused`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecMode::ScalarReference => "scalar",
+            ExecMode::Wavefront => "wavefront",
+            ExecMode::Parallel { .. } => "parallel",
+            ExecMode::Fused => "fused",
+        }
+    }
+
+    /// Parses a CLI-style mode name (`scalar`, `wavefront`, `parallel`, `fused`), or `None` for
+    /// anything else.  `parallel` resolves its shard count automatically.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<ExecMode> {
+        match name {
+            "scalar" => Some(ExecMode::ScalarReference),
+            "wavefront" => Some(ExecMode::Wavefront),
+            "parallel" => Some(ExecMode::Parallel {
+                shards: ShardHint::Auto,
+            }),
+            "fused" => Some(ExecMode::Fused),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An execution policy: the [`ExecMode`] plus the fusion/fairness knobs, built builder-style and
+/// passed to every policy-taking entry point.
+///
+/// ```
+/// use rayflex_rtunit::{ExecMode, ExecPolicy};
+///
+/// let qos = ExecPolicy::fused().with_beat_budget(4);
+/// assert_eq!(qos.mode, ExecMode::Fused);
+/// assert_eq!(qos.beat_budget_per_stream, 4);
+/// assert_eq!(ExecPolicy::default().mode, ExecMode::Wavefront);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecPolicy {
+    /// How the query's beats are dispatched.
+    pub mode: ExecMode,
+    /// Fairness knob of [`ExecMode::Fused`]: the maximum beats one stream may contribute to one
+    /// shared pass.  `0` means unlimited (every active item builds each pass — the classic fused
+    /// discipline); `1` means strict round-robin admission (one item's beat train per stream per
+    /// pass).  A single item's beat train is never split across passes, so the last admitted
+    /// item may overshoot the budget by its train's tail.  Ignored by the other modes; outputs
+    /// and statistics are budget-invariant — only pass structure changes.
+    pub beat_budget_per_stream: usize,
+}
+
+impl ExecPolicy {
+    /// The default policy: single-threaded batched wavefront dispatch, no beat budget.
+    #[must_use]
+    pub fn new() -> Self {
+        ExecPolicy::default()
+    }
+
+    /// The scalar register-accurate reference mode.
+    #[must_use]
+    pub fn scalar() -> Self {
+        ExecPolicy {
+            mode: ExecMode::ScalarReference,
+            ..ExecPolicy::default()
+        }
+    }
+
+    /// The batched wavefront mode (the default).
+    #[must_use]
+    pub fn wavefront() -> Self {
+        ExecPolicy::default()
+    }
+
+    /// The thread-parallel mode with auto-tuned worker count.
+    #[must_use]
+    pub fn parallel_auto() -> Self {
+        ExecPolicy {
+            mode: ExecMode::Parallel {
+                shards: ShardHint::Auto,
+            },
+            ..ExecPolicy::default()
+        }
+    }
+
+    /// The thread-parallel mode with an explicit worker-count hint.
+    #[must_use]
+    pub fn parallel(threads: usize) -> Self {
+        ExecPolicy {
+            mode: ExecMode::Parallel {
+                shards: ShardHint::Count(threads),
+            },
+            ..ExecPolicy::default()
+        }
+    }
+
+    /// The fused shared-pass mode.
+    #[must_use]
+    pub fn fused() -> Self {
+        ExecPolicy {
+            mode: ExecMode::Fused,
+            ..ExecPolicy::default()
+        }
+    }
+
+    /// A policy of the given mode with default knobs.
+    #[must_use]
+    pub fn with_mode(mode: ExecMode) -> Self {
+        ExecPolicy {
+            mode,
+            ..ExecPolicy::default()
+        }
+    }
+
+    /// Sets the per-stream beat budget of fused passes (see
+    /// [`ExecPolicy::beat_budget_per_stream`]).
+    #[must_use]
+    pub fn with_beat_budget(mut self, beats_per_stream_per_pass: usize) -> Self {
+        self.beat_budget_per_stream = beats_per_stream_per_pass;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_names_round_trip_through_parse() {
+        for mode in ExecMode::ALL {
+            assert_eq!(ExecMode::parse(mode.name()), Some(mode));
+            assert_eq!(mode.to_string(), mode.name());
+        }
+        assert_eq!(ExecMode::parse("warp"), None);
+    }
+
+    #[test]
+    fn builders_set_the_expected_modes() {
+        assert_eq!(ExecPolicy::scalar().mode, ExecMode::ScalarReference);
+        assert_eq!(ExecPolicy::wavefront(), ExecPolicy::default());
+        assert_eq!(
+            ExecPolicy::parallel(3).mode,
+            ExecMode::Parallel {
+                shards: ShardHint::Count(3)
+            }
+        );
+        assert_eq!(
+            ExecPolicy::parallel_auto().mode,
+            ExecMode::Parallel {
+                shards: ShardHint::Auto
+            }
+        );
+        assert_eq!(
+            ExecPolicy::fused().with_beat_budget(1).mode,
+            ExecMode::Fused
+        );
+        assert_eq!(ExecPolicy::new().beat_budget_per_stream, 0);
+        assert_eq!(
+            ExecPolicy::with_mode(ExecMode::Fused).with_beat_budget(7),
+            ExecPolicy::fused().with_beat_budget(7)
+        );
+    }
+
+    #[test]
+    fn shard_hints_resolve_to_positive_worker_counts() {
+        assert!(ShardHint::Auto.requested_threads() >= 1);
+        assert_eq!(ShardHint::Count(5).requested_threads(), 5);
+        assert_eq!(ShardHint::default(), ShardHint::Auto);
+    }
+}

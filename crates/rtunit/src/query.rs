@@ -230,9 +230,18 @@ pub trait FusedStream {
     /// `true` while any item of the stream is still in flight.
     fn is_active(&self) -> bool;
 
-    /// Appends the next beat(s) of every active item to `out` (retiring items with no further
-    /// beats) and returns the number of beats appended.
-    fn build_pass(&mut self, out: &mut Vec<RayFlexRequest>) -> usize;
+    /// Appends the next beat(s) of active items to `out` (retiring items with no further beats)
+    /// and returns the number of beats appended.
+    ///
+    /// `max_beats` is the scheduler's per-stream admission budget for this pass
+    /// ([`FusedScheduler::set_beat_budget`]): `0` admits every active item, a positive
+    /// budget stops admitting items once the pass segment holds at least that many beats.  An
+    /// item's whole beat train is always admitted together (never split across passes), so the
+    /// segment may overshoot the budget by the last admitted item's tail; items past the budget
+    /// simply stay in flight, in order, for the next pass.  Budgeting changes *which pass*
+    /// carries a beat, never an item's own beat sequence — outputs and per-stream statistics are
+    /// budget-invariant.
+    fn build_pass(&mut self, out: &mut Vec<RayFlexRequest>, max_beats: usize) -> usize;
 
     /// Applies the responses to the beats this stream appended in the matching
     /// [`FusedStream::build_pass`] call, in append order.
@@ -313,12 +322,19 @@ impl<Q: BatchQuery> FusedStream for StreamRunner<Q> {
         !self.active.is_empty()
     }
 
-    fn build_pass(&mut self, out: &mut Vec<RayFlexRequest>) -> usize {
+    fn build_pass(&mut self, out: &mut Vec<RayFlexRequest>, max_beats: usize) -> usize {
         let pass_start = out.len();
         self.beat_owner.clear();
+        let total = self.active.len();
         let mut still_active = 0;
-        for slot in 0..self.active.len() {
-            let item = self.active[slot];
+        let mut processed = 0;
+        while processed < total {
+            // Budget admission: stop (leaving the rest of the active list untouched, in order)
+            // once this pass's segment reached the per-stream beat budget.
+            if max_beats != 0 && out.len() - pass_start >= max_beats {
+                break;
+            }
+            let item = self.active[processed];
             let before = out.len();
             if self.query.build(item, &mut self.states[item], out) {
                 debug_assert!(
@@ -337,8 +353,14 @@ impl<Q: BatchQuery> FusedStream for StreamRunner<Q> {
                     self.query.kind()
                 );
             }
+            processed += 1;
         }
-        self.active.truncate(still_active);
+        // Compact: survivors of the processed prefix, then the unprocessed (budget-deferred)
+        // suffix — relative item order is preserved either way.
+        if processed < total {
+            self.active.copy_within(processed..total, still_active);
+        }
+        self.active.truncate(still_active + (total - processed));
         out.len() - pass_start
     }
 
@@ -367,8 +389,12 @@ macro_rules! delegate_fused_stream_to_runner {
             fn is_active(&self) -> bool {
                 $crate::query::FusedStream::is_active(&self.runner)
             }
-            fn build_pass(&mut self, out: &mut Vec<rayflex_core::RayFlexRequest>) -> usize {
-                $crate::query::FusedStream::build_pass(&mut self.runner, out)
+            fn build_pass(
+                &mut self,
+                out: &mut Vec<rayflex_core::RayFlexRequest>,
+                max_beats: usize,
+            ) -> usize {
+                $crate::query::FusedStream::build_pass(&mut self.runner, out, max_beats)
             }
             fn apply_pass(&mut self, responses: &[rayflex_core::RayFlexResponse]) {
                 $crate::query::FusedStream::apply_pass(&mut self.runner, responses);
@@ -392,7 +418,11 @@ pub(crate) use delegate_fused_stream_to_runner;
 ///
 /// * **Stream admission** — all streams of a run are admitted up front ([`FusedScheduler::run`]
 ///   takes the full set) and started together; a stream that drains early simply stops
-///   contributing beats while the others continue.
+///   contributing beats while the others continue.  With a **per-stream beat budget**
+///   ([`FusedScheduler::set_beat_budget`], the [`ExecPolicy`](crate::ExecPolicy) fairness knob),
+///   each stream contributes at most that many beats per pass — `1` models strict round-robin
+///   QoS between concurrent workloads, `0` the classic unlimited discipline — without changing
+///   any stream's outputs or statistics (only the pass structure moves).
 /// * **Pass merging** — each pass concatenates the streams' beat segments in admission order
 ///   into one request buffer and dispatches it with a single
 ///   [`RayFlexDatapath::execute_batch_segmented`] call, which attributes every beat to its
@@ -414,21 +444,58 @@ pub struct FusedScheduler {
     responses: Vec<RayFlexResponse>,
     /// `(kind, beat_count)` per stream for the current pass, in admission order.
     segments: Vec<(QueryKind, usize)>,
+    /// Per-stream beat budget per pass (`0` = unlimited); see
+    /// [`FusedScheduler::set_beat_budget`].
+    beat_budget_per_stream: usize,
     /// Passes dispatched by the most recent run.
     last_run_passes: u64,
+    /// Passes each stream contributed at least one beat to, in admission order, for the most
+    /// recent run.
+    stream_passes: Vec<u64>,
 }
 
 impl FusedScheduler {
-    /// Creates an empty fused scheduler (buffers grow on first use).
+    /// Creates an empty fused scheduler (buffers grow on first use, no beat budget).
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Builder form of [`FusedScheduler::set_beat_budget`].
+    #[must_use]
+    pub fn with_beat_budget(mut self, beats_per_stream_per_pass: usize) -> Self {
+        self.set_beat_budget(beats_per_stream_per_pass);
+        self
+    }
+
+    /// Sets the per-stream admission budget: the maximum beats any one stream contributes to one
+    /// shared pass.  `0` (the default) admits every active item each pass; `1` is strict
+    /// round-robin — each stream advances one item's beat train per pass.  An item's beat train
+    /// is never split, so a segment may overshoot the budget by the last train's tail.  The
+    /// budget is pure pass-structure fairness: per-stream outputs and statistics are identical
+    /// at every budget (pinned by `rtunit/tests/proptest_policy.rs`).
+    pub fn set_beat_budget(&mut self, beats_per_stream_per_pass: usize) {
+        self.beat_budget_per_stream = beats_per_stream_per_pass;
+    }
+
+    /// The configured per-stream beat budget (`0` = unlimited).
+    #[must_use]
+    pub fn beat_budget(&self) -> usize {
+        self.beat_budget_per_stream
     }
 
     /// Number of bulk passes the most recent run dispatched (diagnostics).
     #[must_use]
     pub fn last_run_passes(&self) -> u64 {
         self.last_run_passes
+    }
+
+    /// How many passes each stream of the most recent run contributed at least one beat to, in
+    /// admission order — the per-stream fairness fingerprint a beat budget reshapes (reported by
+    /// the fused benchmark suite).
+    #[must_use]
+    pub fn last_run_stream_passes(&self) -> &[u64] {
+        &self.stream_passes
     }
 
     /// Runs every stream to completion against `datapath`, merging their beats into shared bulk
@@ -443,13 +510,16 @@ impl FusedScheduler {
             stream.start();
         }
         self.last_run_passes = 0;
+        self.stream_passes.clear();
+        self.stream_passes.resize(streams.len(), 0);
         while streams.iter().any(|stream| stream.is_active()) {
-            // Build phase: every stream appends its segment of the merged pass.
+            // Build phase: every stream appends its (budget-limited) segment of the merged pass.
             self.requests.clear();
             self.segments.clear();
-            for stream in streams.iter_mut() {
-                let beats = stream.build_pass(&mut self.requests);
+            for (index, stream) in streams.iter_mut().enumerate() {
+                let beats = stream.build_pass(&mut self.requests, self.beat_budget_per_stream);
                 self.segments.push((stream.kind(), beats));
+                self.stream_passes[index] += u64::from(beats > 0);
             }
             if self.requests.is_empty() {
                 // Every remaining item retired during the build (beatless drains exist — a
@@ -471,9 +541,10 @@ impl FusedScheduler {
     }
 
     /// The scalar round-robin reference mode of [`FusedScheduler::run`]: the same pass schedule
-    /// and the same per-stream beat orders, but every beat executes one at a time through the
-    /// register-accurate emulated path ([`RayFlexDatapath::execute_attributed`]) with the
-    /// streams taking turns pass by pass — no bulk dispatch at all.
+    /// (including the configured beat budget) and the same per-stream beat orders, but every
+    /// beat executes one at a time through the register-accurate emulated path
+    /// ([`RayFlexDatapath::execute_attributed`]) with the streams taking turns pass by pass — no
+    /// bulk dispatch at all.
     ///
     /// Per-stream outputs and statistics are bit-identical to [`FusedScheduler::run`] (the
     /// fast batched model and the emulated model are bit-equal by `core`'s property tests, and
@@ -492,22 +563,31 @@ impl FusedScheduler {
             stream.start();
         }
         self.last_run_passes = 0;
+        self.stream_passes.clear();
+        self.stream_passes.resize(streams.len(), 0);
         let mut responses: Vec<RayFlexResponse> = Vec::new();
         while streams.iter().any(|stream| stream.is_active()) {
-            // Round-robin: each stream in turn builds its pass segment and has it executed
-            // beat by beat before the next stream takes over.
-            for stream in streams.iter_mut() {
+            // Round-robin: each stream in turn builds its (budget-limited) pass segment and has
+            // it executed beat by beat before the next stream takes over.  The scheduler-side
+            // pass accounting mirrors `run` (one scheduled round = one pass, per-stream
+            // contributions counted) even though the datapath's own bulk-pass counters stay at
+            // zero — no bulk dispatch ever happens here.
+            let mut round_had_beats = false;
+            for (index, stream) in streams.iter_mut().enumerate() {
                 self.requests.clear();
-                let beats = stream.build_pass(&mut self.requests);
+                let beats = stream.build_pass(&mut self.requests, self.beat_budget_per_stream);
                 if beats == 0 {
                     continue;
                 }
+                round_had_beats = true;
+                self.stream_passes[index] += 1;
                 responses.clear();
                 for request in &self.requests {
                     responses.push(datapath.execute_attributed(request, stream.kind()));
                 }
                 stream.apply_pass(&responses);
             }
+            self.last_run_passes += u64::from(round_had_beats);
         }
     }
 }
@@ -703,6 +783,42 @@ mod tests {
             assert_eq!(dp_b.beat_mix().count_for(kind, opcode), count);
         }
         assert_eq!(dp_b.beat_mix().fused_passes(), 0, "no bulk passes at all");
+    }
+
+    #[test]
+    fn a_beat_budget_reshapes_passes_without_changing_outputs() {
+        let streams = || {
+            (
+                StreamRunner::new(toy_query(5, 3)),
+                StreamRunner::new(toy_query_of_kind(QueryKind::AnyHit, 4, 2)),
+            )
+        };
+
+        let mut unlimited = FusedScheduler::new();
+        let mut dp_a = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let (mut a1, mut a2) = streams();
+        unlimited.run(&mut dp_a, &mut [&mut a1, &mut a2]);
+        assert_eq!(unlimited.beat_budget(), 0);
+        assert_eq!(unlimited.last_run_passes(), 3);
+        assert_eq!(unlimited.last_run_stream_passes(), &[3, 2]);
+
+        let mut strict = FusedScheduler::new().with_beat_budget(1);
+        let mut dp_b = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let (mut b1, mut b2) = streams();
+        strict.run(&mut dp_b, &mut [&mut b1, &mut b2]);
+        // One beat per stream per pass: the 15-beat stream needs 15 passes, the 8-beat stream
+        // rides along in the first 8.
+        assert_eq!(strict.last_run_passes(), 15);
+        assert_eq!(strict.last_run_stream_passes(), &[15, 8]);
+
+        // Same outputs, same beat totals — only the pass structure moved.
+        assert_eq!(a1.finish().1, b1.finish().1);
+        assert_eq!(a2.finish().1, b2.finish().1);
+        assert_eq!(dp_a.executed_beats(), dp_b.executed_beats());
+        assert!(
+            dp_b.beat_mix().fused_passes() > 0,
+            "streams still share passes"
+        );
     }
 
     #[test]

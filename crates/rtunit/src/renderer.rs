@@ -1,30 +1,36 @@
 //! A multi-pass deferred renderer driving the batched query engine (used by the examples and the
 //! render-pass benchmark suite).
 //!
-//! Rendering is a sequence of batched queries over one frame:
+//! Rendering is a sequence of traversal queries over one frame, described by a [`FrameDesc`]:
 //!
-//! 1. **Primary pass** — one closest-hit ray per pixel, traced as a single wavefront stream;
+//! 1. **Primary pass** — one closest-hit ray per pixel (a [`FrameDesc::primary`] frame stops
+//!    here and shades with a fixed directional light);
 //! 2. **Surfel extraction** — every hit becomes a `(point, normal)` G-buffer record
 //!    ([`extract_surfels`]), the deferred inputs of the secondary passes;
-//! 3. **Shadow pass** — one any-hit ray per surfel toward the scene's point light
-//!    ([`rayflex_workloads::rays::surfel_shadow_rays`]); a hit means the surfel is shadowed;
+//! 3. **Bounce + shadow passes** — one any-hit ray per surfel toward the scene's point light
+//!    ([`rayflex_workloads::rays::surfel_shadow_rays`]; a hit means the surfel is shadowed),
+//!    paired with an optional one-bounce mirror closest-hit stream
+//!    ([`rayflex_workloads::rays::surfel_reflection_rays`]) — a heterogeneous pair the
+//!    [`Fused`](crate::ExecMode::Fused) policy traces in shared bulk passes;
 //! 4. **Ambient-occlusion pass** (optional) — `ao_samples` any-hit hemisphere probes per surfel
 //!    ([`rayflex_workloads::rays::ambient_occlusion_rays`]); the unoccluded fraction scales the
 //!    pixel.
 //!
 //! Shading composes diffuse × shadow visibility × AO visibility ([`shade_deferred`]) into a
-//! grayscale [`Image`].  Every pass exists in three bit-identical execution modes: the **batched**
-//! wavefront frontend ([`Renderer::render_deferred`]), the **scalar** per-pixel reference
-//! ([`Renderer::render_deferred_reference`]), and the auto-tuned **thread-parallel** sharding of
-//! the batched frontend ([`render_parallel`]).  The golden tests and
-//! `rtunit/tests/proptest_render.rs` pin all three to the same frame, pixel-bit-for-bit and
-//! stat-for-stat.
+//! grayscale [`Image`].  **One entry point, every execution mode:** [`Renderer::render`] takes
+//! the frame description plus an [`ExecPolicy`](crate::ExecPolicy), and every pass stream is
+//! traced through [`TraversalEngine::trace`] under that policy — scalar reference, wavefront,
+//! parallel or fused, all pixel-bit-identical with identical [`TraversalStats`] (pinned by the
+//! golden tests, `rtunit/tests/proptest_render.rs` and the cross-policy matrix in
+//! `rtunit/tests/proptest_policy.rs`).  The pre-policy `render_deferred*` method family
+//! survives as deprecated shims.
 
 use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Ray, Triangle, Vec3};
 use rayflex_workloads::rays::{ambient_occlusion_rays, surfel_reflection_rays, surfel_shadow_rays};
 
-use crate::parallel::{trace_fused_parallel, trace_rays_parallel, trace_shadow_rays_parallel};
+use crate::policy::ExecPolicy;
+use crate::traversal::TraceRequest;
 use crate::{Bvh4, TraversalEngine, TraversalHit, TraversalStats};
 
 /// A pinhole camera generating one primary ray per pixel.
@@ -259,6 +265,58 @@ impl RenderPasses {
     }
 }
 
+impl Default for RenderPasses {
+    /// The shadow-only configuration under an overhead point light at `(0, 10, 0)` — no ambient
+    /// occlusion, no bounce.  A neutral starting point for the builder methods.
+    fn default() -> Self {
+        RenderPasses::shadowed(Vec3::new(0.0, 10.0, 0.0))
+    }
+}
+
+/// One frame description: the camera, the image dimensions, and the pass configuration —
+/// `None` for a primary-only frame shaded under the fixed directional light
+/// ([`default_light_dir`]), `Some` for the full deferred pipeline (shadows, optional ambient
+/// occlusion, optional one-bounce reflections).
+///
+/// This is the *what* of a frame; the [`ExecPolicy`](crate::ExecPolicy) passed alongside it to
+/// [`Renderer::render`] is the *how*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameDesc {
+    /// The pinhole camera generating one primary ray per pixel.
+    pub camera: Camera,
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// The deferred pass configuration, or `None` for a primary-only frame.
+    pub passes: Option<RenderPasses>,
+}
+
+impl FrameDesc {
+    /// A primary-only frame: one closest-hit ray per pixel, shaded with the fixed directional
+    /// light — no shadow, ambient-occlusion or bounce passes.
+    #[must_use]
+    pub fn primary(camera: Camera, width: usize, height: usize) -> Self {
+        FrameDesc {
+            camera,
+            width,
+            height,
+            passes: None,
+        }
+    }
+
+    /// A full deferred frame under the given pass configuration.
+    #[must_use]
+    pub fn deferred(camera: Camera, width: usize, height: usize, passes: RenderPasses) -> Self {
+        FrameDesc {
+            camera,
+            width,
+            height,
+            passes: Some(passes),
+        }
+    }
+}
+
 /// Extracts the G-buffer of a primary pass: one `(point, normal)` surfel per hit pixel (in pixel
 /// order) plus the pixel index each surfel shades.  Normals are unit length and oriented toward
 /// the viewer (two-sided shading); a degenerate sliver triangle whose geometric normal cannot be
@@ -390,61 +448,45 @@ fn ao_visibilities(
         .collect()
 }
 
-/// The shared multi-pass frame pipeline: generate primary rays, trace them, extract surfels,
-/// trace the shadow (and optional AO) streams, compose.  `trace` supplies the traversal — the
-/// batched wavefront, the scalar reference or the parallel sharding — and everything else is
-/// common code, which is what makes the three modes bit-identical by construction.
-///
-/// One pipeline, not two: this is [`deferred_bounce_frame`] with the bounce pass forced off
-/// (zero reflectivity empties the bounce stream, so the "fused" pair degenerates to the plain
-/// shadow trace — same rays, same beats, pinned by the zero-reflectivity golden test).
-fn deferred_frame(
-    triangles: &[Triangle],
-    camera: &Camera,
-    width: usize,
-    height: usize,
-    passes: &RenderPasses,
-    trace: impl FnMut(PassKind, &[Ray]) -> Vec<Option<TraversalHit>>,
-) -> Image {
-    /// A single-hook backend: the pair hook splits into two plain single-kind traces (the
-    /// bounce slice is always empty here).
-    struct Single<F>(F);
-    impl<F: FnMut(PassKind, &[Ray]) -> Vec<Option<TraversalHit>>> BounceTracer for Single<F> {
-        fn trace(&mut self, kind: PassKind, rays: &[Ray]) -> Vec<Option<TraversalHit>> {
-            (self.0)(kind, rays)
-        }
-        fn trace_pair(
-            &mut self,
-            bounce: &[Ray],
-            shadow: &[Ray],
-        ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
-            (
-                (self.0)(PassKind::ClosestHit, bounce),
-                (self.0)(PassKind::AnyHit, shadow),
-            )
-        }
-    }
-    let plain = RenderPasses {
-        bounce_reflectivity: 0.0,
-        ..*passes
-    };
-    deferred_bounce_frame(triangles, camera, width, height, &plain, &mut Single(trace))
+/// The traversal backend of a frame: one engine, one scene, one policy.  Every pass stream —
+/// single-kind or the fused bounce+shadow pair — routes through
+/// [`TraversalEngine::trace`] under the same [`ExecPolicy`], which is what makes all execution
+/// modes bit-identical by construction: the pipeline around the tracer is common code.
+struct FrameTracer<'a> {
+    engine: &'a mut TraversalEngine,
+    bvh: &'a Bvh4,
+    triangles: &'a [Triangle],
+    policy: ExecPolicy,
 }
 
-/// The traversal backend of a bounce frame: a plain per-pass hook plus the **fused** hook that
-/// traces a closest-hit bounce stream and an any-hit shadow stream in shared passes.  One small
-/// trait (instead of two closures) because both hooks borrow the same engine.
-trait BounceTracer {
-    /// Traces one single-kind pass stream.
-    fn trace(&mut self, kind: PassKind, rays: &[Ray]) -> Vec<Option<TraversalHit>>;
+impl FrameTracer<'_> {
+    /// Traces one single-kind pass stream under the frame's policy.
+    fn trace(&mut self, kind: PassKind, rays: &[Ray]) -> Vec<Option<TraversalHit>> {
+        let request = match kind {
+            PassKind::ClosestHit => TraceRequest::closest_hit(self.bvh, self.triangles, rays),
+            PassKind::AnyHit => TraceRequest::any_hit(self.bvh, self.triangles, rays),
+        };
+        let output = self.engine.trace(&request, &self.policy);
+        match kind {
+            PassKind::ClosestHit => output.closest,
+            PassKind::AnyHit => output.any,
+        }
+    }
 
-    /// Traces the bounce closest-hit stream and the shadow any-hit stream together, returning
-    /// `(bounce hits, shadow hits)`.
+    /// Traces the bounce closest-hit stream and the shadow any-hit stream as one heterogeneous
+    /// pair, returning `(bounce hits, shadow hits)`.  Under the fused policy the two kinds share
+    /// bulk passes; under every other mode they trace closest-first — bit-identical either way.
     fn trace_pair(
         &mut self,
         bounce: &[Ray],
         shadow: &[Ray],
-    ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>);
+    ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
+        let output = self.engine.trace(
+            &TraceRequest::pair(self.bvh, self.triangles, bounce, shadow),
+            &self.policy,
+        );
+        (output.closest, output.any)
+    }
 }
 
 /// The bounce contribution of one surfel: the one-bounce mirror term, shading the bounce hit
@@ -468,19 +510,42 @@ fn shade_bounce(
     shade_deferred(point, normal, light, false, 1.0)
 }
 
-/// The one-bounce frame pipeline: like [`deferred_frame`], but after surfel extraction the
-/// mirror-bounce closest-hit stream and the shadow any-hit stream are traced **together**
-/// through the backend's fused hook, and the composed pixel adds
-/// `bounce_reflectivity × bounce term`.  With `bounce_reflectivity == 0` the bounce stream is
-/// empty and the frame degenerates to the plain deferred pipeline (same rays, same beats).
-fn deferred_bounce_frame(
-    triangles: &[Triangle],
+/// The primary-only frame pipeline: one closest-hit ray per pixel traced under the frame's
+/// policy, shaded with the fixed directional light ([`default_light_dir`]).
+fn primary_frame(
+    camera: &Camera,
+    width: usize,
+    height: usize,
+    tracer: &mut FrameTracer<'_>,
+) -> Image {
+    let light_dir = default_light_dir();
+    let rays = camera.primary_rays(width, height);
+    let hits = tracer.trace(PassKind::ClosestHit, &rays);
+    let pixels = hits
+        .iter()
+        .map(|hit| shade(tracer.triangles, light_dir, hit.as_ref()))
+        .collect();
+    Image {
+        width,
+        height,
+        pixels,
+    }
+}
+
+/// The deferred frame pipeline: primary pass, surfel extraction, the bounce+shadow pair, the
+/// optional ambient-occlusion pass, compose.  After surfel extraction the mirror-bounce
+/// closest-hit stream and the shadow any-hit stream are traced **together** through the
+/// tracer's pair hook, and the composed pixel adds `bounce_reflectivity × bounce term`.  With
+/// `bounce_reflectivity == 0` the bounce stream is empty and the frame degenerates to the plain
+/// shadow/AO pipeline (same rays, same beats — pinned by the zero-reflectivity golden test).
+fn deferred_frame(
     camera: &Camera,
     width: usize,
     height: usize,
     passes: &RenderPasses,
-    tracer: &mut impl BounceTracer,
+    tracer: &mut FrameTracer<'_>,
 ) -> Image {
+    let triangles = tracer.triangles;
     // Pass 1: primary closest-hit stream, one ray per pixel.
     let rays = camera.primary_rays(width, height);
     let hits = tracer.trace(PassKind::ClosestHit, &rays);
@@ -631,9 +696,10 @@ impl Image {
     }
 }
 
-/// The multi-pass deferred renderer, entirely driven by datapath beats: a primary-only frontend
-/// ([`Renderer::render`]) and the deferred shadow/AO pipeline ([`Renderer::render_deferred`]),
-/// each with a scalar per-pixel reference twin.
+/// The multi-pass deferred renderer, entirely driven by datapath beats.  One entry point —
+/// [`Renderer::render`] — takes the frame description ([`FrameDesc`]: primary-only or the full
+/// deferred pipeline) and the execution policy ([`ExecPolicy`](crate::ExecPolicy)); every mode
+/// renders the same frame bit for bit.
 #[derive(Debug)]
 pub struct Renderer {
     engine: TraversalEngine,
@@ -654,36 +720,68 @@ impl Renderer {
         }
     }
 
-    /// Renders one `width`×`height` primary-only frame (no shadow or AO pass) and returns the
-    /// image.
+    /// Renders one frame — **the** rendering entry point, for every frame shape and every
+    /// execution mode.
     ///
-    /// The frame's primary rays are traced as **one batched stream** through the wavefront
-    /// scheduler; hits (and therefore pixels and [`TraversalStats`]) are bit-identical to
-    /// [`Renderer::render_reference`].
+    /// The [`FrameDesc`] describes *what* to render (camera, dimensions, pass configuration:
+    /// primary-only, shadowed, +AO, +bounce); the [`ExecPolicy`](crate::ExecPolicy) selects
+    /// *how* every pass stream is traced (scalar reference, wavefront, parallel sharding, or
+    /// fused — where the bounce closest-hit stream and the shadow any-hit stream share bulk
+    /// passes over the engine's single datapath, the paper's §V-A scenario, honouring the
+    /// policy's beat budget).
+    ///
+    /// Pixels and accumulated [`TraversalStats`] are **bit-identical across all execution
+    /// modes** — pinned by the golden tests, `rtunit/tests/proptest_render.rs` and the
+    /// cross-policy matrix in `rtunit/tests/proptest_policy.rs`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rayflex_geometry::{Triangle, Vec3};
+    /// use rayflex_rtunit::{Bvh4, Camera, ExecPolicy, FrameDesc, Renderer};
+    ///
+    /// let scene = vec![Triangle::new(
+    ///     Vec3::new(-2.0, -2.0, 5.0),
+    ///     Vec3::new(2.0, -2.0, 5.0),
+    ///     Vec3::new(0.0, 2.0, 5.0),
+    /// )];
+    /// let bvh = Bvh4::build(&scene);
+    /// let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
+    /// let mut renderer = Renderer::new();
+    /// let frame = FrameDesc::primary(camera, 16, 12);
+    /// let image = renderer.render(&bvh, &scene, &frame, &ExecPolicy::wavefront());
+    /// assert!(image.coverage() > 0.0);
+    /// ```
     pub fn render(
         &mut self,
         bvh: &Bvh4,
         triangles: &[Triangle],
-        camera: &Camera,
-        width: usize,
-        height: usize,
+        frame: &FrameDesc,
+        policy: &ExecPolicy,
     ) -> Image {
-        let light_dir = default_light_dir();
-        let rays = camera.primary_rays(width, height);
-        let hits = self.engine.closest_hits_wavefront(bvh, triangles, &rays);
-        let pixels = hits
-            .iter()
-            .map(|hit| shade(triangles, light_dir, hit.as_ref()))
-            .collect();
-        Image {
-            width,
-            height,
-            pixels,
+        let mut tracer = FrameTracer {
+            engine: &mut self.engine,
+            bvh,
+            triangles,
+            policy: *policy,
+        };
+        match &frame.passes {
+            None => primary_frame(&frame.camera, frame.width, frame.height, &mut tracer),
+            Some(passes) => deferred_frame(
+                &frame.camera,
+                frame.width,
+                frame.height,
+                passes,
+                &mut tracer,
+            ),
         }
     }
 
-    /// The scalar per-pixel reference of [`Renderer::render`]: each primary ray traced to
-    /// completion through the register-accurate scalar path, shaded with the same [`shade`].
+    // --- Deprecated pre-policy frame flavours, kept as thin shims over `render`. -------------
+
+    /// The scalar per-pixel reference of a primary-only frame.
+    #[deprecated(note = "use Renderer::render(.., &FrameDesc::primary(..), \
+                         &ExecPolicy::scalar())")]
     pub fn render_reference(
         &mut self,
         bvh: &Bvh4,
@@ -692,30 +790,18 @@ impl Renderer {
         width: usize,
         height: usize,
     ) -> Image {
-        let light_dir = default_light_dir();
-        let basis = camera.basis(width, height);
-        let mut pixels = Vec::with_capacity(width * height);
-        for y in 0..height {
-            for x in 0..width {
-                let ray = basis.primary_ray(x, y);
-                let hit = self.engine.closest_hit(bvh, triangles, &ray);
-                pixels.push(shade(triangles, light_dir, hit.as_ref()));
-            }
-        }
-        Image {
-            width,
-            height,
-            pixels,
-        }
+        self.render(
+            bvh,
+            triangles,
+            &FrameDesc::primary(*camera, width, height),
+            &ExecPolicy::scalar(),
+        )
     }
 
-    /// Renders one `width`×`height` frame through the full deferred pipeline — batched primary
-    /// pass, surfel extraction, batched any-hit shadow pass, optional batched any-hit AO pass —
-    /// and returns the composed image.
-    ///
-    /// Pixels and accumulated [`TraversalStats`] are bit-identical to
-    /// [`Renderer::render_deferred_reference`] (pinned by the golden test and
-    /// `tests/proptest_render.rs`).
+    /// Renders one deferred frame (shadow + optional AO passes, no bounce) through the batched
+    /// wavefront.
+    #[deprecated(note = "use Renderer::render(.., &FrameDesc::deferred(..), \
+                         &ExecPolicy::wavefront())")]
     pub fn render_deferred(
         &mut self,
         bvh: &Bvh4,
@@ -725,23 +811,22 @@ impl Renderer {
         height: usize,
         passes: &RenderPasses,
     ) -> Image {
-        let engine = &mut self.engine;
-        deferred_frame(
+        // The pre-policy method ignored the bounce knob; preserve that exactly.
+        let plain = RenderPasses {
+            bounce_reflectivity: 0.0,
+            ..*passes
+        };
+        self.render(
+            bvh,
             triangles,
-            camera,
-            width,
-            height,
-            passes,
-            |kind, rays| match kind {
-                PassKind::ClosestHit => engine.closest_hits_wavefront(bvh, triangles, rays),
-                PassKind::AnyHit => engine.any_hits_wavefront(bvh, triangles, rays),
-            },
+            &FrameDesc::deferred(*camera, width, height, plain),
+            &ExecPolicy::wavefront(),
         )
     }
 
-    /// The scalar multi-pass reference of [`Renderer::render_deferred`]: the same passes over the
-    /// same streams, but every ray traced one at a time through the register-accurate scalar
-    /// path.
+    /// The scalar multi-pass reference of a deferred frame (no bounce).
+    #[deprecated(note = "use Renderer::render(.., &FrameDesc::deferred(..), \
+                         &ExecPolicy::scalar())")]
     pub fn render_deferred_reference(
         &mut self,
         bvh: &Bvh4,
@@ -751,30 +836,22 @@ impl Renderer {
         height: usize,
         passes: &RenderPasses,
     ) -> Image {
-        let engine = &mut self.engine;
-        deferred_frame(
+        let plain = RenderPasses {
+            bounce_reflectivity: 0.0,
+            ..*passes
+        };
+        self.render(
+            bvh,
             triangles,
-            camera,
-            width,
-            height,
-            passes,
-            |kind, rays| match kind {
-                PassKind::ClosestHit => engine.closest_hits(bvh, triangles, rays),
-                PassKind::AnyHit => engine.any_hits(bvh, triangles, rays),
-            },
+            &FrameDesc::deferred(*camera, width, height, plain),
+            &ExecPolicy::scalar(),
         )
     }
 
-    /// Renders one `width`×`height` frame through the deferred pipeline **plus a one-bounce
-    /// mirror reflection pass**: after surfel extraction, the bounce closest-hit stream and the
-    /// shadow any-hit stream are traced *fused in the same bulk passes* over the engine's single
-    /// datapath ([`TraversalEngine::trace_fused`]) — two query kinds time-multiplexing one unit,
-    /// exactly the paper's §V-A scenario.
-    ///
-    /// Pixels and accumulated [`TraversalStats`] are bit-identical to
-    /// [`Renderer::render_deferred_bounce_reference`], which traces the same streams
-    /// sequentially through the scalar path.  With `passes.bounce_reflectivity == 0` the bounce
-    /// stream is empty and the frame equals [`Renderer::render_deferred`].
+    /// Renders one deferred frame **plus the one-bounce mirror pass**, the bounce and shadow
+    /// streams fused in shared bulk passes.
+    #[deprecated(note = "use Renderer::render(.., &FrameDesc::deferred(..) with \
+                         RenderPasses::with_bounce, &ExecPolicy::fused())")]
     pub fn render_deferred_bounce(
         &mut self,
         bvh: &Bvh4,
@@ -784,44 +861,17 @@ impl Renderer {
         height: usize,
         passes: &RenderPasses,
     ) -> Image {
-        struct Fused<'a> {
-            engine: &'a mut TraversalEngine,
-            bvh: &'a Bvh4,
-            triangles: &'a [Triangle],
-        }
-        impl BounceTracer for Fused<'_> {
-            fn trace(&mut self, kind: PassKind, rays: &[Ray]) -> Vec<Option<TraversalHit>> {
-                match kind {
-                    PassKind::ClosestHit => {
-                        self.engine
-                            .closest_hits_wavefront(self.bvh, self.triangles, rays)
-                    }
-                    PassKind::AnyHit => {
-                        self.engine
-                            .any_hits_wavefront(self.bvh, self.triangles, rays)
-                    }
-                }
-            }
-            fn trace_pair(
-                &mut self,
-                bounce: &[Ray],
-                shadow: &[Ray],
-            ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
-                self.engine
-                    .trace_fused(self.bvh, self.triangles, bounce, shadow)
-            }
-        }
-        let mut tracer = Fused {
-            engine: &mut self.engine,
+        self.render(
             bvh,
             triangles,
-        };
-        deferred_bounce_frame(triangles, camera, width, height, passes, &mut tracer)
+            &FrameDesc::deferred(*camera, width, height, *passes),
+            &ExecPolicy::fused(),
+        )
     }
 
-    /// The scalar sequential reference of [`Renderer::render_deferred_bounce`]: the same streams
-    /// over the same surfels, but the bounce and shadow streams trace one after the other, every
-    /// ray one at a time through the register-accurate scalar path.
+    /// The scalar sequential reference of the bounce frame.
+    #[deprecated(note = "use Renderer::render(.., &FrameDesc::deferred(..) with \
+                         RenderPasses::with_bounce, &ExecPolicy::scalar())")]
     pub fn render_deferred_bounce_reference(
         &mut self,
         bvh: &Bvh4,
@@ -831,37 +881,12 @@ impl Renderer {
         height: usize,
         passes: &RenderPasses,
     ) -> Image {
-        struct Scalar<'a> {
-            engine: &'a mut TraversalEngine,
-            bvh: &'a Bvh4,
-            triangles: &'a [Triangle],
-        }
-        impl BounceTracer for Scalar<'_> {
-            fn trace(&mut self, kind: PassKind, rays: &[Ray]) -> Vec<Option<TraversalHit>> {
-                match kind {
-                    PassKind::ClosestHit => {
-                        self.engine.closest_hits(self.bvh, self.triangles, rays)
-                    }
-                    PassKind::AnyHit => self.engine.any_hits(self.bvh, self.triangles, rays),
-                }
-            }
-            fn trace_pair(
-                &mut self,
-                bounce: &[Ray],
-                shadow: &[Ray],
-            ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
-                (
-                    self.engine.closest_hits(self.bvh, self.triangles, bounce),
-                    self.engine.any_hits(self.bvh, self.triangles, shadow),
-                )
-            }
-        }
-        let mut tracer = Scalar {
-            engine: &mut self.engine,
+        self.render(
             bvh,
             triangles,
-        };
-        deferred_bounce_frame(triangles, camera, width, height, passes, &mut tracer)
+            &FrameDesc::deferred(*camera, width, height, *passes),
+            &ExecPolicy::scalar(),
+        )
     }
 
     /// Per-opcode (and per-query-kind) breakdown of every beat the renderer's datapath has
@@ -885,13 +910,11 @@ impl Default for Renderer {
     }
 }
 
-/// [`Renderer::render_deferred`] with every pass sharded across up to `threads` workers by the
-/// auto-tuned parallel tracer ([`trace_rays_parallel`] for the primary stream,
-/// [`trace_shadow_rays_parallel`] for the shadow and AO streams).  Returns the frame and the
-/// summed [`TraversalStats`] of all passes; both are bit-identical to the single-threaded batched
-/// and scalar-reference frames.
+/// A deferred frame (no bounce) with every pass sharded across up to `threads` workers.
+#[deprecated(note = "use Renderer::render(.., &FrameDesc::deferred(..), \
+                     &ExecPolicy::parallel(threads)) — stats come from Renderer::stats")]
 #[must_use]
-#[allow(clippy::too_many_arguments)] // mirrors trace_rays_parallel: config + scene + frame + tuning
+#[allow(clippy::too_many_arguments)] // the pre-policy signature: config + scene + frame + tuning
 pub fn render_parallel(
     config: PipelineConfig,
     bvh: &Bvh4,
@@ -902,26 +925,26 @@ pub fn render_parallel(
     passes: &RenderPasses,
     threads: usize,
 ) -> (Image, TraversalStats) {
-    let mut stats = TraversalStats::default();
-    let image = deferred_frame(triangles, camera, width, height, passes, |kind, rays| {
-        let (hits, pass_stats) = match kind {
-            PassKind::ClosestHit => trace_rays_parallel(config, bvh, triangles, rays, threads),
-            PassKind::AnyHit => trace_shadow_rays_parallel(config, bvh, triangles, rays, threads),
-        };
-        stats.merge(&pass_stats);
-        hits
-    });
-    (image, stats)
+    let plain = RenderPasses {
+        bounce_reflectivity: 0.0,
+        ..*passes
+    };
+    let mut renderer = Renderer::with_config(config);
+    let image = renderer.render(
+        bvh,
+        triangles,
+        &FrameDesc::deferred(*camera, width, height, plain),
+        &ExecPolicy::parallel(threads),
+    );
+    (image, renderer.stats())
 }
 
-/// [`Renderer::render_deferred_bounce`] with every pass sharded across up to `threads` workers:
-/// the primary and AO streams go through [`trace_rays_parallel`] /
-/// [`trace_shadow_rays_parallel`], and the bounce+shadow pair goes through
-/// [`trace_fused_parallel`] — each worker a unified RT unit running the two kinds fused.
-/// Returns the frame and the summed [`TraversalStats`] of all passes; both are bit-identical to
-/// the single-threaded fused and scalar-reference frames.
+/// A deferred frame including the one-bounce pass with every pass sharded across up to
+/// `threads` workers (the bounce+shadow pair runs fused inside each worker).
+#[deprecated(note = "use Renderer::render(.., &FrameDesc::deferred(..), \
+                     &ExecPolicy::parallel(threads)) — stats come from Renderer::stats")]
 #[must_use]
-#[allow(clippy::too_many_arguments)] // mirrors render_parallel: config + scene + frame + tuning
+#[allow(clippy::too_many_arguments)] // the pre-policy signature: config + scene + frame + tuning
 pub fn render_bounce_parallel(
     config: PipelineConfig,
     bvh: &Bvh4,
@@ -932,61 +955,20 @@ pub fn render_bounce_parallel(
     passes: &RenderPasses,
     threads: usize,
 ) -> (Image, TraversalStats) {
-    struct Parallel<'a> {
-        config: PipelineConfig,
-        bvh: &'a Bvh4,
-        triangles: &'a [Triangle],
-        threads: usize,
-        stats: TraversalStats,
-    }
-    impl BounceTracer for Parallel<'_> {
-        fn trace(&mut self, kind: PassKind, rays: &[Ray]) -> Vec<Option<TraversalHit>> {
-            let (hits, pass_stats) = match kind {
-                PassKind::ClosestHit => {
-                    trace_rays_parallel(self.config, self.bvh, self.triangles, rays, self.threads)
-                }
-                PassKind::AnyHit => trace_shadow_rays_parallel(
-                    self.config,
-                    self.bvh,
-                    self.triangles,
-                    rays,
-                    self.threads,
-                ),
-            };
-            self.stats.merge(&pass_stats);
-            hits
-        }
-        fn trace_pair(
-            &mut self,
-            bounce: &[Ray],
-            shadow: &[Ray],
-        ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
-            let (bounce_hits, shadow_hits, pass_stats) = trace_fused_parallel(
-                self.config,
-                self.bvh,
-                self.triangles,
-                bounce,
-                shadow,
-                self.threads,
-            );
-            self.stats.merge(&pass_stats);
-            (bounce_hits, shadow_hits)
-        }
-    }
-    let mut tracer = Parallel {
-        config,
+    let mut renderer = Renderer::with_config(config);
+    let image = renderer.render(
         bvh,
         triangles,
-        threads,
-        stats: TraversalStats::default(),
-    };
-    let image = deferred_bounce_frame(triangles, camera, width, height, passes, &mut tracer);
-    (image, tracer.stats)
+        &FrameDesc::deferred(*camera, width, height, *passes),
+        &ExecPolicy::parallel(threads),
+    );
+    (image, renderer.stats())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::ExecMode;
     use rayflex_workloads::scenes;
 
     fn quad_at_z(z: f32, half: f32) -> Vec<Triangle> {
@@ -1024,6 +1006,17 @@ mod tests {
 
     fn assert_images_bit_identical(a: &Image, b: &Image, what: &str) {
         assert_eq!(a.first_mismatch(b), None, "{what}");
+    }
+
+    /// The policy sweep of the renderer golden tests: the reference first, then every other
+    /// mode (including budgeted fusion).
+    fn non_reference_policies() -> Vec<ExecPolicy> {
+        vec![
+            ExecPolicy::wavefront(),
+            ExecPolicy::parallel(4),
+            ExecPolicy::fused(),
+            ExecPolicy::fused().with_beat_budget(1),
+        ]
     }
 
     #[test]
@@ -1070,7 +1063,12 @@ mod tests {
                 "no NaN ray directions looking along {look:?}"
             );
             let mut renderer = Renderer::new();
-            let image = renderer.render(&bvh, &triangles, &camera, 16, 16);
+            let image = renderer.render(
+                &bvh,
+                &triangles,
+                &FrameDesc::primary(camera, 16, 16),
+                &ExecPolicy::wavefront(),
+            );
             for y in 0..16 {
                 for x in 0..16 {
                     assert!(image.pixel(x, y).is_finite(), "pixel ({x}, {y}) is NaN");
@@ -1088,7 +1086,12 @@ mod tests {
         let bvh = Bvh4::build(&triangles);
         let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
         let mut renderer = Renderer::new();
-        let image = renderer.render(&bvh, &triangles, &camera, 24, 24);
+        let image = renderer.render(
+            &bvh,
+            &triangles,
+            &FrameDesc::primary(camera, 24, 24),
+            &ExecPolicy::wavefront(),
+        );
         assert_eq!(image.width(), 24);
         assert_eq!(image.height(), 24);
         assert!(image.pixel(12, 12) > 0.0, "centre pixel must be covered");
@@ -1098,90 +1101,72 @@ mod tests {
     }
 
     #[test]
-    fn batched_frame_is_bit_identical_to_the_scalar_frame_on_the_icosphere() {
-        // The golden test of the batched primary renderer: every pixel of the wavefront frame
-        // equals the per-pixel scalar reference frame, and the traversal statistics match
-        // exactly.
+    fn primary_frames_are_bit_identical_across_every_policy() {
+        // The golden test of the primary renderer: every execution mode's frame equals the
+        // scalar per-pixel reference frame, and the traversal statistics match exactly.
         let triangles = scenes::icosphere(2, 5.0, Vec3::new(0.0, 0.0, 20.0));
         let bvh = Bvh4::build(&triangles);
         let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 20.0));
-        let (width, height) = (32, 24);
-
-        let mut renderer = Renderer::new();
-        let image = renderer.render(&bvh, &triangles, &camera, width, height);
+        let frame = FrameDesc::primary(camera, 32, 24);
 
         let mut reference = Renderer::new();
-        let expected = reference.render_reference(&bvh, &triangles, &camera, width, height);
-        assert_images_bit_identical(&image, &expected, "primary frame");
-        assert_eq!(
-            renderer.stats(),
-            reference.stats(),
-            "identical TraversalStats"
-        );
-        assert!(image.coverage() > 0.1, "the icosphere is visible");
+        let expected = reference.render(&bvh, &triangles, &frame, &ExecPolicy::scalar());
+        assert!(expected.coverage() > 0.1, "the icosphere is visible");
+
+        for policy in non_reference_policies() {
+            let mut renderer = Renderer::new();
+            let image = renderer.render(&bvh, &triangles, &frame, &policy);
+            assert_images_bit_identical(&image, &expected, "primary frame");
+            assert_eq!(
+                renderer.stats(),
+                reference.stats(),
+                "identical TraversalStats under {}",
+                policy.mode
+            );
+        }
     }
 
     #[test]
-    fn deferred_frames_are_bit_identical_across_all_three_execution_modes() {
+    fn deferred_frames_are_bit_identical_across_every_policy() {
         // The golden test of the multi-pass deferred renderer: shadowed and shadowed+AO frames
-        // from the batched pipeline equal the scalar multi-pass reference pixel-bit-for-bit and
-        // stat-for-stat, and the parallel entry point matches both.
+        // equal the scalar multi-pass reference pixel-bit-for-bit and stat-for-stat under every
+        // execution policy.
         let scene = scenes::lit_scene(1, 24.0);
         let bvh = Bvh4::build(&scene.triangles);
         let camera = Camera::looking_at(scene.eye, scene.target);
-        let (width, height) = (24, 18);
         let configs = [
             RenderPasses::shadowed(scene.light),
             RenderPasses::shadowed(scene.light).with_ambient_occlusion(3, 6.0, 2024),
         ];
         for passes in configs {
-            let mut batched = Renderer::new();
-            let image =
-                batched.render_deferred(&bvh, &scene.triangles, &camera, width, height, &passes);
-
+            let frame = FrameDesc::deferred(camera, 24, 18, passes);
             let mut reference = Renderer::new();
-            let expected = reference.render_deferred_reference(
-                &bvh,
-                &scene.triangles,
-                &camera,
-                width,
-                height,
-                &passes,
-            );
-            assert_images_bit_identical(&image, &expected, "deferred frame");
-            assert_eq!(
-                batched.stats(),
-                reference.stats(),
-                "identical TraversalStats"
-            );
+            let expected = reference.render(&bvh, &scene.triangles, &frame, &ExecPolicy::scalar());
+            assert!(expected.coverage() > 0.2, "the lit scene is visible");
 
-            let (parallel_image, parallel_stats) = render_parallel(
-                PipelineConfig::baseline_unified(),
-                &bvh,
-                &scene.triangles,
-                &camera,
-                width,
-                height,
-                &passes,
-                4,
-            );
-            assert_images_bit_identical(&image, &parallel_image, "parallel deferred frame");
-            assert_eq!(batched.stats(), parallel_stats, "parallel TraversalStats");
-
-            assert!(image.coverage() > 0.2, "the lit scene is visible");
+            for policy in non_reference_policies() {
+                let mut renderer = Renderer::new();
+                let image = renderer.render(&bvh, &scene.triangles, &frame, &policy);
+                assert_images_bit_identical(&image, &expected, "deferred frame");
+                assert_eq!(
+                    renderer.stats(),
+                    reference.stats(),
+                    "identical TraversalStats under {}",
+                    policy.mode
+                );
+            }
         }
     }
 
     #[test]
-    fn fused_bounce_frames_are_bit_identical_across_all_three_execution_modes() {
+    fn bounce_frames_are_bit_identical_across_every_policy_and_observably_fused() {
         // The golden test of the one-bounce reflection pass: the frame whose bounce closest-hit
-        // stream and shadow any-hit stream trace *fused in the same bulk passes* equals the
-        // scalar sequential reference pixel-bit-for-bit and stat-for-stat, with and without AO,
-        // and the parallel entry point matches both.
+        // stream and shadow any-hit stream can share bulk passes equals the scalar sequential
+        // reference pixel-bit-for-bit and stat-for-stat, with and without AO, under every
+        // policy — and under the fused policy the sharing is observable in the beat mix.
         let scene = scenes::lit_scene(1, 24.0);
         let bvh = Bvh4::build(&scene.triangles);
         let camera = Camera::looking_at(scene.eye, scene.target);
-        let (width, height) = (24, 18);
         let configs = [
             RenderPasses::shadowed(scene.light).with_bounce(0.4),
             RenderPasses::shadowed(scene.light)
@@ -1189,47 +1174,29 @@ mod tests {
                 .with_ambient_occlusion(3, 6.0, 2024),
         ];
         for passes in configs {
-            let mut fused = Renderer::new();
-            let image = fused.render_deferred_bounce(
-                &bvh,
-                &scene.triangles,
-                &camera,
-                width,
-                height,
-                &passes,
-            );
-
+            let frame = FrameDesc::deferred(camera, 24, 18, passes);
             let mut reference = Renderer::new();
-            let expected = reference.render_deferred_bounce_reference(
-                &bvh,
-                &scene.triangles,
-                &camera,
-                width,
-                height,
-                &passes,
-            );
-            assert_images_bit_identical(&image, &expected, "bounce frame");
-            assert_eq!(fused.stats(), reference.stats(), "identical TraversalStats");
+            let expected = reference.render(&bvh, &scene.triangles, &frame, &ExecPolicy::scalar());
 
-            let (parallel_image, parallel_stats) = render_bounce_parallel(
-                PipelineConfig::baseline_unified(),
-                &bvh,
-                &scene.triangles,
-                &camera,
-                width,
-                height,
-                &passes,
-                4,
-            );
-            assert_images_bit_identical(&image, &parallel_image, "parallel bounce frame");
-            assert_eq!(fused.stats(), parallel_stats, "parallel TraversalStats");
-
-            // The fusion itself is observable: bounce (closest-hit) and shadow (any-hit) beats
-            // shared bulk passes on the fused renderer's datapath.
-            let mix = fused.beat_mix();
-            assert!(mix.fused_passes() > 0, "bounce and shadow shared passes");
-            assert!(mix.kind_total(rayflex_core::QueryKind::ClosestHit) > 0);
-            assert!(mix.kind_total(rayflex_core::QueryKind::AnyHit) > 0);
+            for policy in non_reference_policies() {
+                let mut renderer = Renderer::new();
+                let image = renderer.render(&bvh, &scene.triangles, &frame, &policy);
+                assert_images_bit_identical(&image, &expected, "bounce frame");
+                assert_eq!(
+                    renderer.stats(),
+                    reference.stats(),
+                    "identical TraversalStats under {}",
+                    policy.mode
+                );
+                if policy.mode == ExecMode::Fused {
+                    // The fusion itself is observable: bounce (closest-hit) and shadow
+                    // (any-hit) beats shared bulk passes on the fused renderer's datapath.
+                    let mix = renderer.beat_mix();
+                    assert!(mix.fused_passes() > 0, "bounce and shadow shared passes");
+                    assert!(mix.kind_total(rayflex_core::QueryKind::ClosestHit) > 0);
+                    assert!(mix.kind_total(rayflex_core::QueryKind::AnyHit) > 0);
+                }
+            }
         }
     }
 
@@ -1239,11 +1206,11 @@ mod tests {
         let bvh = Bvh4::build(&scene.triangles);
         let camera = Camera::looking_at(scene.eye, scene.target);
         let passes = RenderPasses::shadowed(scene.light).with_ambient_occlusion(2, 5.0, 9);
+        let frame = FrameDesc::deferred(camera, 20, 14, passes.with_bounce(0.0));
         let mut renderer = Renderer::new();
-        let deferred = renderer.render_deferred(&bvh, &scene.triangles, &camera, 20, 14, &passes);
-        let bounce =
-            renderer.render_deferred_bounce(&bvh, &scene.triangles, &camera, 20, 14, &passes);
-        assert_images_bit_identical(&deferred, &bounce, "reflectivity 0 disables the bounce");
+        let deferred = renderer.render(&bvh, &scene.triangles, &frame, &ExecPolicy::wavefront());
+        let fused = renderer.render(&bvh, &scene.triangles, &frame, &ExecPolicy::fused());
+        assert_images_bit_identical(&deferred, &fused, "reflectivity 0 disables the bounce");
     }
 
     #[test]
@@ -1252,16 +1219,18 @@ mod tests {
         let bvh = Bvh4::build(&scene.triangles);
         let camera = Camera::looking_at(scene.eye, scene.target);
         let base_passes = RenderPasses::shadowed(scene.light);
-        let bounce_passes = base_passes.with_bounce(0.5);
         let mut renderer = Renderer::new();
-        let base = renderer.render_deferred(&bvh, &scene.triangles, &camera, 24, 18, &base_passes);
-        let bounced = renderer.render_deferred_bounce(
+        let base = renderer.render(
             &bvh,
             &scene.triangles,
-            &camera,
-            24,
-            18,
-            &bounce_passes,
+            &FrameDesc::deferred(camera, 24, 18, base_passes),
+            &ExecPolicy::fused(),
+        );
+        let bounced = renderer.render(
+            &bvh,
+            &scene.triangles,
+            &FrameDesc::deferred(camera, 24, 18, base_passes.with_bounce(0.5)),
+            &ExecPolicy::fused(),
         );
         let mut brightened = 0;
         for y in 0..18 {
@@ -1282,15 +1251,26 @@ mod tests {
     fn adaptive_ao_off_pins_the_uniform_sampling_frame() {
         // The golden test of the adaptive-AO satellite: with adaptivity off the frame is the
         // uniform-sampling frame, bit for bit (the flag defaults to off, so this also pins
-        // backward compatibility of render_deferred).
+        // backward compatibility of the deferred pipeline).
         let scene = scenes::lit_scene(1, 24.0);
         let bvh = Bvh4::build(&scene.triangles);
         let camera = Camera::looking_at(scene.eye, scene.target);
         let uniform = RenderPasses::shadowed(scene.light).with_ambient_occlusion(4, 6.0, 2024);
         let explicit_off = uniform.with_adaptive_ao(false);
         let mut renderer = Renderer::new();
-        let a = renderer.render_deferred(&bvh, &scene.triangles, &camera, 24, 18, &uniform);
-        let b = renderer.render_deferred(&bvh, &scene.triangles, &camera, 24, 18, &explicit_off);
+        let policy = ExecPolicy::wavefront();
+        let a = renderer.render(
+            &bvh,
+            &scene.triangles,
+            &FrameDesc::deferred(camera, 24, 18, uniform),
+            &policy,
+        );
+        let b = renderer.render(
+            &bvh,
+            &scene.triangles,
+            &FrameDesc::deferred(camera, 24, 18, explicit_off),
+            &policy,
+        );
         assert_images_bit_identical(&a, &b, "adaptivity off is the uniform frame");
     }
 
@@ -1304,24 +1284,22 @@ mod tests {
         let uniform = RenderPasses::shadowed(scene.light).with_ambient_occlusion(4, 6.0, 7);
         let adaptive = uniform.with_adaptive_ao(true);
         let (width, height) = (24, 24);
+        let uniform_frame = FrameDesc::deferred(camera, width, height, uniform);
+        let adaptive_frame = FrameDesc::deferred(camera, width, height, adaptive);
 
         let mut uniform_renderer = Renderer::new();
-        let _ = uniform_renderer.render_deferred(
+        let _ = uniform_renderer.render(
             &bvh,
             &scene.triangles,
-            &camera,
-            width,
-            height,
-            &uniform,
+            &uniform_frame,
+            &ExecPolicy::wavefront(),
         );
         let mut adaptive_renderer = Renderer::new();
-        let adaptive_image = adaptive_renderer.render_deferred(
+        let adaptive_image = adaptive_renderer.render(
             &bvh,
             &scene.triangles,
-            &camera,
-            width,
-            height,
-            &adaptive,
+            &adaptive_frame,
+            &ExecPolicy::wavefront(),
         );
         assert!(
             adaptive_renderer.stats().rays < uniform_renderer.stats().rays,
@@ -1330,30 +1308,25 @@ mod tests {
             uniform_renderer.stats().rays
         );
 
-        // All three execution modes agree on the adaptive frame too.
+        // Every execution mode agrees on the adaptive frame too.
         let mut reference = Renderer::new();
-        let expected = reference.render_deferred_reference(
+        let expected = reference.render(
             &bvh,
             &scene.triangles,
-            &camera,
-            width,
-            height,
-            &adaptive,
+            &adaptive_frame,
+            &ExecPolicy::scalar(),
         );
         assert_images_bit_identical(&adaptive_image, &expected, "adaptive frame");
         assert_eq!(adaptive_renderer.stats(), reference.stats());
-        let (parallel_image, parallel_stats) = render_parallel(
-            PipelineConfig::baseline_unified(),
+        let mut parallel = Renderer::new();
+        let parallel_image = parallel.render(
             &bvh,
             &scene.triangles,
-            &camera,
-            width,
-            height,
-            &adaptive,
-            4,
+            &adaptive_frame,
+            &ExecPolicy::parallel(4),
         );
         assert_images_bit_identical(&adaptive_image, &parallel_image, "parallel adaptive frame");
-        assert_eq!(adaptive_renderer.stats(), parallel_stats);
+        assert_eq!(adaptive_renderer.stats(), parallel.stats());
     }
 
     #[test]
@@ -1363,9 +1336,9 @@ mod tests {
         // Look straight down at the floor under the occluder from high above: the shadow of the
         // floating sphere must produce pixels strictly darker than the lit floor around them.
         let camera = Camera::looking_at(Vec3::new(0.0, 20.0, -0.1), Vec3::new(0.0, 0.0, 0.0));
-        let passes = RenderPasses::shadowed(scene.light);
+        let frame = FrameDesc::deferred(camera, 24, 24, RenderPasses::shadowed(scene.light));
         let mut renderer = Renderer::new();
-        let image = renderer.render_deferred(&bvh, &scene.triangles, &camera, 24, 24, &passes);
+        let image = renderer.render(&bvh, &scene.triangles, &frame, &ExecPolicy::wavefront());
         let mut values: Vec<f32> = (0..24 * 24)
             .map(|i| image.pixel(i % 24, i / 24))
             .filter(|&p| p > 0.0)
@@ -1387,8 +1360,19 @@ mod tests {
         let shadow_only = RenderPasses::shadowed(scene.light);
         let with_ao = shadow_only.with_ambient_occlusion(8, 8.0, 7);
         let mut renderer = Renderer::new();
-        let base = renderer.render_deferred(&bvh, &scene.triangles, &camera, 20, 16, &shadow_only);
-        let ao = renderer.render_deferred(&bvh, &scene.triangles, &camera, 20, 16, &with_ao);
+        let policy = ExecPolicy::wavefront();
+        let base = renderer.render(
+            &bvh,
+            &scene.triangles,
+            &FrameDesc::deferred(camera, 20, 16, shadow_only),
+            &policy,
+        );
+        let ao = renderer.render(
+            &bvh,
+            &scene.triangles,
+            &FrameDesc::deferred(camera, 20, 16, with_ao),
+            &policy,
+        );
         let mut darkened = 0;
         for y in 0..16 {
             for x in 0..20 {
@@ -1412,20 +1396,13 @@ mod tests {
         let passes = RenderPasses::shadowed(Vec3::new(0.0, 10.0, 0.0));
         let mut renderer = Renderer::new();
         for (width, height) in [(0, 0), (0, 8), (8, 0)] {
-            let image = renderer.render_deferred(&bvh, &triangles, &camera, width, height, &passes);
+            let frame = FrameDesc::deferred(camera, width, height, passes);
+            let image = renderer.render(&bvh, &triangles, &frame, &ExecPolicy::wavefront());
             assert_eq!((image.width(), image.height()), (width, height));
             assert_eq!(image.coverage(), 0.0);
             assert!(image.to_ascii().chars().all(|c| c == '\n'));
-            let (parallel_image, _) = render_parallel(
-                PipelineConfig::baseline_unified(),
-                &bvh,
-                &triangles,
-                &camera,
-                width,
-                height,
-                &passes,
-                4,
-            );
+            let parallel_image =
+                renderer.render(&bvh, &triangles, &frame, &ExecPolicy::parallel(4));
             assert_eq!(image, parallel_image);
         }
     }
@@ -1441,16 +1418,21 @@ mod tests {
         let (width, height) = (9, 9);
         let mut engine = TraversalEngine::baseline();
         let rays = camera.primary_rays(width, height);
-        let hits = engine.closest_hits(&bvh, &triangles, &rays);
+        let hits = engine
+            .trace(
+                &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+                &ExecPolicy::wavefront(),
+            )
+            .into_closest();
         let (surfels, _) = extract_surfels(&triangles, &rays, &hits);
         let light_on_surfel = surfels[surfels.len() / 2].0;
 
         let passes = RenderPasses::shadowed(light_on_surfel).with_ambient_occlusion(2, 1.0, 3);
+        let frame = FrameDesc::deferred(camera, width, height, passes);
         let mut renderer = Renderer::new();
-        let image = renderer.render_deferred(&bvh, &triangles, &camera, width, height, &passes);
+        let image = renderer.render(&bvh, &triangles, &frame, &ExecPolicy::wavefront());
         let mut reference = Renderer::new();
-        let expected =
-            reference.render_deferred_reference(&bvh, &triangles, &camera, width, height, &passes);
+        let expected = reference.render(&bvh, &triangles, &frame, &ExecPolicy::scalar());
         assert_images_bit_identical(&image, &expected, "degenerate-light frame");
         for y in 0..height {
             for x in 0..width {
@@ -1467,8 +1449,19 @@ mod tests {
         let shadow_only = RenderPasses::shadowed(scene.light);
         let zero_ao = shadow_only.with_ambient_occlusion(0, 4.0, 11);
         let mut renderer = Renderer::new();
-        let a = renderer.render_deferred(&bvh, &scene.triangles, &camera, 16, 12, &shadow_only);
-        let b = renderer.render_deferred(&bvh, &scene.triangles, &camera, 16, 12, &zero_ao);
+        let policy = ExecPolicy::wavefront();
+        let a = renderer.render(
+            &bvh,
+            &scene.triangles,
+            &FrameDesc::deferred(camera, 16, 12, shadow_only),
+            &policy,
+        );
+        let b = renderer.render(
+            &bvh,
+            &scene.triangles,
+            &FrameDesc::deferred(camera, 16, 12, zero_ao),
+            &policy,
+        );
         assert_images_bit_identical(&a, &b, "samples_per_point == 0 skips the AO pass");
     }
 
@@ -1493,9 +1486,14 @@ mod tests {
         ));
         let bvh = Bvh4::build(&triangles);
         let camera = Camera::looking_at(Vec3::new(0.0, 10.0, -20.0), Vec3::new(0.0, 0.0, 10.0));
-        let passes = RenderPasses::shadowed(Vec3::new(0.0, 100.0, 0.0));
+        let frame = FrameDesc::deferred(
+            camera,
+            16,
+            8,
+            RenderPasses::shadowed(Vec3::new(0.0, 100.0, 0.0)),
+        );
         let mut renderer = Renderer::new();
-        let image = renderer.render_deferred(&bvh, &triangles, &camera, 16, 8, &passes);
+        let image = renderer.render(&bvh, &triangles, &frame, &ExecPolicy::wavefront());
         assert!(image.coverage() > 0.0, "the floor is visible");
         let floor_pixels: Vec<f32> = (0..16 * 8)
             .map(|i| image.pixel(i % 16, i / 16))
@@ -1518,7 +1516,12 @@ mod tests {
         let triangles = quad_at_z(5.0, 2.0);
         let bvh = Bvh4::build(&triangles);
         let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
-        let image = Renderer::new().render(&bvh, &triangles, &camera, 16, 8);
+        let image = Renderer::new().render(
+            &bvh,
+            &triangles,
+            &FrameDesc::primary(camera, 16, 8),
+            &ExecPolicy::wavefront(),
+        );
         let ascii = image.to_ascii();
         assert_eq!(ascii.lines().count(), 8);
         assert!(ascii.lines().all(|l| l.chars().count() == 16));
@@ -1528,12 +1531,130 @@ mod tests {
     }
 
     #[test]
+    fn render_passes_default_is_the_shadowed_builder_seed() {
+        let default = RenderPasses::default();
+        assert_eq!(default, RenderPasses::shadowed(Vec3::new(0.0, 10.0, 0.0)));
+        assert_eq!(default.ao_samples, 0);
+        assert_eq!(default.bounce_reflectivity, 0.0);
+        assert!(!default.adaptive_ao);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_render_shims_delegate_to_the_policy_entry_point() {
+        let scene = scenes::lit_scene(1, 24.0);
+        let bvh = Bvh4::build(&scene.triangles);
+        let camera = Camera::looking_at(scene.eye, scene.target);
+        let passes = RenderPasses::shadowed(scene.light)
+            .with_ambient_occlusion(2, 6.0, 11)
+            .with_bounce(0.3);
+        let (width, height) = (16, 12);
+        let plain = RenderPasses {
+            bounce_reflectivity: 0.0,
+            ..passes
+        };
+
+        let mut policy_renderer = Renderer::new();
+        let deferred = policy_renderer.render(
+            &bvh,
+            &scene.triangles,
+            &FrameDesc::deferred(camera, width, height, plain),
+            &ExecPolicy::wavefront(),
+        );
+        let bounce = policy_renderer.render(
+            &bvh,
+            &scene.triangles,
+            &FrameDesc::deferred(camera, width, height, passes),
+            &ExecPolicy::fused(),
+        );
+        let primary_reference = policy_renderer.render(
+            &bvh,
+            &scene.triangles,
+            &FrameDesc::primary(camera, width, height),
+            &ExecPolicy::scalar(),
+        );
+
+        let mut shim = Renderer::new();
+        assert_images_bit_identical(
+            &shim.render_deferred(&bvh, &scene.triangles, &camera, width, height, &passes),
+            &deferred,
+            "render_deferred shim",
+        );
+        assert_images_bit_identical(
+            &shim.render_deferred_bounce(&bvh, &scene.triangles, &camera, width, height, &passes),
+            &bounce,
+            "render_deferred_bounce shim",
+        );
+        assert_images_bit_identical(
+            &shim.render_reference(&bvh, &scene.triangles, &camera, width, height),
+            &primary_reference,
+            "render_reference shim",
+        );
+        assert_images_bit_identical(
+            &shim.render_deferred_reference(
+                &bvh,
+                &scene.triangles,
+                &camera,
+                width,
+                height,
+                &passes,
+            ),
+            &deferred,
+            "render_deferred_reference shim",
+        );
+        assert_images_bit_identical(
+            &shim.render_deferred_bounce_reference(
+                &bvh,
+                &scene.triangles,
+                &camera,
+                width,
+                height,
+                &passes,
+            ),
+            &bounce,
+            "render_deferred_bounce_reference shim",
+        );
+        let (parallel_image, parallel_stats) = render_parallel(
+            PipelineConfig::baseline_unified(),
+            &bvh,
+            &scene.triangles,
+            &camera,
+            width,
+            height,
+            &passes,
+            4,
+        );
+        assert_images_bit_identical(&parallel_image, &deferred, "render_parallel shim");
+        assert!(parallel_stats.rays > 0);
+        let (bounce_parallel_image, _) = render_bounce_parallel(
+            PipelineConfig::baseline_unified(),
+            &bvh,
+            &scene.triangles,
+            &camera,
+            width,
+            height,
+            &passes,
+            4,
+        );
+        assert_images_bit_identical(
+            &bounce_parallel_image,
+            &bounce,
+            "render_bounce_parallel shim",
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "out of bounds")]
     fn out_of_bounds_pixel_access_panics() {
         let triangles = quad_at_z(5.0, 2.0);
         let bvh = Bvh4::build(&triangles);
         let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
-        let image = Renderer::new().render(&bvh, &triangles, &camera, 4, 4);
+        let image = Renderer::new().render(
+            &bvh,
+            &triangles,
+            &FrameDesc::primary(camera, 4, 4),
+            &ExecPolicy::wavefront(),
+        );
         let _ = image.pixel(4, 0);
     }
 }

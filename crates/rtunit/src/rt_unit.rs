@@ -225,13 +225,13 @@ impl RtUnit {
         (hits, stats)
     }
 
-    /// Traces a ray batch across `units` RT units running in parallel, one OS thread per unit,
-    /// each owning a private datapath of configuration `pipeline` and the timing parameters
-    /// `config`.  Rays are sharded contiguously; hits return in input order.  The merged
-    /// statistics sum the per-unit operation counters and take the maximum cycle count (see
-    /// [`RtUnitStats::merge_parallel`]), modelling `units` RT units working side by side.
+    /// Traces a ray batch across `units` RT units working side by side, one OS thread per
+    /// unit, each owning a private datapath of configuration `pipeline` and the timing
+    /// parameters `config`.  Rays are sharded contiguously; hits return in input order.  The
+    /// merged statistics sum the per-unit operation counters and take the maximum cycle count
+    /// (see [`RtUnitStats::merge_parallel`]).
     #[must_use]
-    pub fn trace_rays_parallel(
+    pub fn trace_rays_multi_unit(
         pipeline: PipelineConfig,
         config: RtUnitConfig,
         bvh: &Bvh4,
@@ -265,6 +265,23 @@ impl RtUnit {
             stats.merge_parallel(&shard_stats);
         }
         (hits, stats)
+    }
+
+    /// One OS thread per modelled RT unit, sharded contiguously.
+    #[deprecated(
+        note = "renamed to RtUnit::trace_rays_multi_unit (no execution-mode names on \
+                         non-policy methods)"
+    )]
+    #[must_use]
+    pub fn trace_rays_parallel(
+        pipeline: PipelineConfig,
+        config: RtUnitConfig,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        rays: &[Ray],
+        units: usize,
+    ) -> (Vec<Option<TraversalHit>>, RtUnitStats) {
+        Self::trace_rays_multi_unit(pipeline, config, bvh, triangles, rays, units)
     }
 
     /// Advances one ray by one datapath transaction.
@@ -365,7 +382,12 @@ mod tests {
         let mut unit = RtUnit::new();
         let (hits, stats) = unit.trace_rays(&bvh, &triangles, &rays);
         let mut engine = TraversalEngine::baseline();
-        let reference = engine.closest_hits(&bvh, &triangles, &rays);
+        let reference = engine
+            .trace(
+                &crate::TraceRequest::closest_hit(&bvh, &triangles, &rays),
+                &crate::ExecPolicy::scalar(),
+            )
+            .into_closest();
         assert_eq!(hits.len(), reference.len());
         for (i, (a, b)) in hits.iter().zip(&reference).enumerate() {
             match (a, b) {
@@ -435,7 +457,7 @@ mod tests {
         let mut unit = RtUnit::new();
         let (expected_hits, expected_stats) = unit.trace_rays(&bvh, &triangles, &rays);
         for units in [1, 2, 4, 64] {
-            let (hits, stats) = RtUnit::trace_rays_parallel(
+            let (hits, stats) = RtUnit::trace_rays_multi_unit(
                 PipelineConfig::baseline_unified(),
                 RtUnitConfig::default(),
                 &bvh,
@@ -455,7 +477,7 @@ mod tests {
             // More parallel units never extend the critical path.
             assert!(stats.cycles <= expected_stats.cycles, "units = {units}");
         }
-        let (_, single) = RtUnit::trace_rays_parallel(
+        let (_, single) = RtUnit::trace_rays_multi_unit(
             PipelineConfig::baseline_unified(),
             RtUnitConfig::default(),
             &bvh,

@@ -1,32 +1,41 @@
 //! Stack-based BVH traversal issuing beats to the datapath.
 //!
-//! Two execution frontends share the same per-ray traversal semantics:
+//! The public face is **one policy-driven entry point**: [`TraversalEngine::trace`] takes a
+//! [`TraceRequest`] — the indexed scene plus a closest-hit ray slice and/or an any-hit ray slice
+//! — and an [`ExecPolicy`](crate::ExecPolicy) selecting the execution mode:
 //!
-//! * the **scalar** path ([`TraversalEngine::closest_hit`] / [`TraversalEngine::any_hit`]) walks
-//!   one ray to completion, issuing one datapath beat at a time — simple, and the reference the
-//!   others are tested against;
-//! * the **wavefront** path ([`TraversalEngine::closest_hits_wavefront`],
-//!   [`TraversalEngine::any_hits_wavefront`] and their [`RayPacket`] variants) keeps a whole ray
-//!   stream in flight through the generic [`WavefrontScheduler`](crate::WavefrontScheduler):
-//!   every pass builds one beat per active ray into a reusable request buffer, dispatches them
-//!   through [`RayFlexDatapath::execute_batch_into`](rayflex_core::RayFlexDatapath::execute_batch_into)
+//! * [`ExecMode::ScalarReference`](crate::ExecMode::ScalarReference) walks one ray to
+//!   completion, issuing one register-accurate emulated beat at a time — the reference every
+//!   other mode is tested against;
+//! * [`ExecMode::Wavefront`](crate::ExecMode::Wavefront) keeps each whole ray stream in flight
+//!   through the generic [`WavefrontScheduler`](crate::WavefrontScheduler): every pass builds
+//!   one beat per active ray into a reusable request buffer, dispatches them through
+//!   [`RayFlexDatapath::execute_batch_into`](rayflex_core::RayFlexDatapath::execute_batch_into)
 //!   in bulk, then applies the responses to the per-ray states.  Per-ray state (traversal stack,
 //!   pending-leaf queue) comes from the scheduler's pool, so a steady-state stream performs no
-//!   allocation per ray.
+//!   allocation per ray;
+//! * [`ExecMode::Fused`](crate::ExecMode::Fused) traces the request's closest-hit and any-hit
+//!   streams in **shared mixed-kind bulk passes** over the engine's single datapath (the
+//!   unified RT unit of §V-A), honouring the policy's per-stream beat budget;
+//! * [`ExecMode::Parallel`](crate::ExecMode::Parallel) shards the streams contiguously across
+//!   worker threads, each worker a private datapath running the fused discipline over its slice.
 //!
-//! Because a ray's own beat sequence is identical under both frontends (pending leaf primitives
+//! Because a ray's own beat sequence is identical under every mode (pending leaf primitives
 //! first, then the next stack node, children pushed nearest-first — with best-hit pruning for
-//! closest-hit, and first-accepted-hit termination for any-hit), the two paths return
-//! bit-identical hits *and* identical [`TraversalStats`] — the wavefront merely interleaves beats
-//! of different rays.
+//! closest-hit, and first-accepted-hit termination for any-hit), all modes return bit-identical
+//! hits *and* identical [`TraversalStats`] — the batched modes merely interleave beats of
+//! different rays (and, fused, of different query kinds).
 //!
 //! The traversal queries are two instantiations ([`QueryKind::ClosestHit`] and
 //! [`QueryKind::AnyHit`]) of the [`BatchQuery`] state machine; the renderer and the k-NN /
-//! hierarchical engines run their own kinds through the same scheduler.
+//! hierarchical engines run their own kinds through the same scheduler under the same policies.
+//! The pre-policy named method variants (`closest_hits_wavefront`, `trace_fused`, …) survive as
+//! deprecated shims delegating to [`TraversalEngine::trace`].
 
 use rayflex_core::{BeatMix, PipelineConfig, RayFlexDatapath, RayFlexRequest, RayFlexResponse};
 use rayflex_geometry::{Aabb, Ray, RayPacket, Triangle};
 
+use crate::policy::{ExecMode, ExecPolicy};
 use crate::query::{BatchQuery, FusedScheduler, QueryKind, StreamRunner, WavefrontScheduler};
 use crate::{Bvh4, Bvh4Node};
 
@@ -62,14 +71,128 @@ impl TraversalStats {
         self.box_ops + self.triangle_ops
     }
 
-    /// Accumulates another counter set into this one (used when merging per-shard statistics of a
-    /// parallel run; every field is a sum).
+    /// Accumulates another counter set into this one — the reduction used when the per-shard
+    /// statistics of a parallel run (or the per-stream statistics of a fused run) fold into an
+    /// engine's totals.
+    ///
+    /// **Merge semantics:** every field is a plain `u64` sum — neither saturating nor
+    /// explicitly wrapping, so an overflow panics in debug builds and wraps in release builds,
+    /// per standard Rust integer arithmetic.  That is deliberate: the counters tally datapath
+    /// beats and node visits, which sit tens of orders of magnitude below `u64::MAX` for any
+    /// representable workload, so a saturating add would only hide an accounting bug.  Merging
+    /// is commutative and associative, and merging a default (all-zero) set is the identity, so
+    /// shard totals are independent of merge order — which is what makes parallel statistics
+    /// bit-identical to single-threaded runs.
     pub fn merge(&mut self, other: &TraversalStats) {
         self.box_ops += other.box_ops;
         self.triangle_ops += other.triangle_ops;
         self.nodes_visited += other.nodes_visited;
         self.leaves_visited += other.leaves_visited;
         self.rays += other.rays;
+    }
+}
+
+/// One traversal request: the indexed scene plus up to two ray streams — a **closest-hit**
+/// stream and an **any-hit** (shadow/occlusion) stream.  Either stream may be empty; a request
+/// carrying both is the fused pair the unified RT unit time-multiplexes.
+///
+/// This is the single argument of [`TraversalEngine::trace`], the one policy-taking entry point
+/// both traversal query kinds share.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceRequest<'a> {
+    bvh: &'a Bvh4,
+    triangles: &'a [Triangle],
+    closest: &'a [Ray],
+    any: &'a [Ray],
+}
+
+impl<'a> TraceRequest<'a> {
+    /// A closest-hit request over `rays` against the indexed scene.
+    #[must_use]
+    pub fn closest_hit(bvh: &'a Bvh4, triangles: &'a [Triangle], rays: &'a [Ray]) -> Self {
+        TraceRequest {
+            bvh,
+            triangles,
+            closest: rays,
+            any: &[],
+        }
+    }
+
+    /// An any-hit (shadow/occlusion) request over `rays` against the indexed scene.
+    #[must_use]
+    pub fn any_hit(bvh: &'a Bvh4, triangles: &'a [Triangle], rays: &'a [Ray]) -> Self {
+        TraceRequest {
+            bvh,
+            triangles,
+            closest: &[],
+            any: rays,
+        }
+    }
+
+    /// A request carrying both streams — the heterogeneous pair
+    /// [`ExecMode::Fused`](crate::ExecMode::Fused) merges into shared passes (the other modes
+    /// trace the two streams closest-first).
+    #[must_use]
+    pub fn pair(
+        bvh: &'a Bvh4,
+        triangles: &'a [Triangle],
+        closest: &'a [Ray],
+        any: &'a [Ray],
+    ) -> Self {
+        TraceRequest {
+            bvh,
+            triangles,
+            closest,
+            any,
+        }
+    }
+
+    /// The BVH the request traverses.
+    #[must_use]
+    pub fn bvh(&self) -> &'a Bvh4 {
+        self.bvh
+    }
+
+    /// The scene triangles the BVH indexes.
+    #[must_use]
+    pub fn triangles(&self) -> &'a [Triangle] {
+        self.triangles
+    }
+
+    /// The closest-hit ray stream (possibly empty).
+    #[must_use]
+    pub fn closest_rays(&self) -> &'a [Ray] {
+        self.closest
+    }
+
+    /// The any-hit ray stream (possibly empty).
+    #[must_use]
+    pub fn any_rays(&self) -> &'a [Ray] {
+        self.any
+    }
+}
+
+/// The outputs of one [`TraversalEngine::trace`] call: one optional hit per ray of each stream,
+/// in the request's ray order (empty where the request's stream was empty).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOutput {
+    /// Closest-hit results, parallel to [`TraceRequest::closest_rays`].
+    pub closest: Vec<Option<TraversalHit>>,
+    /// Any-hit results, parallel to [`TraceRequest::any_rays`] (`Some` means occluded).
+    pub any: Vec<Option<TraversalHit>>,
+}
+
+impl TraceOutput {
+    /// Consumes the output of a closest-hit-only request.
+    #[must_use]
+    pub fn into_closest(self) -> Vec<Option<TraversalHit>> {
+        self.closest
+    }
+
+    /// Consumes the output of an any-hit-only request.
+    #[must_use]
+    pub fn into_any(self) -> Vec<Option<TraversalHit>> {
+        self.any
     }
 }
 
@@ -250,10 +373,9 @@ impl BatchQuery for TraversalQuery<'_> {
 /// stream, distance scoring, candidate collection) in the shared passes of a
 /// [`FusedScheduler`].
 ///
-/// Because the per-ray state machine is exactly the one the engine's wavefront frontends run,
+/// Because the per-ray state machine is exactly the one the engine's wavefront frontend runs,
 /// the hits and [`TraversalStats`] a fused stream yields are bit-identical to
-/// [`TraversalEngine::closest_hits_wavefront`] / [`TraversalEngine::any_hits_wavefront`] over
-/// the same rays.
+/// [`TraversalEngine::trace`] under any [`ExecPolicy`](crate::ExecPolicy) over the same rays.
 #[derive(Debug)]
 pub struct TraversalStream<'a> {
     runner: StreamRunner<TraversalQuery<'a>>,
@@ -364,9 +486,131 @@ impl TraversalEngine {
         self.stats = TraversalStats::default();
     }
 
-    /// Finds the closest front-face hit of `ray` against the triangles indexed by the BVH, or
-    /// `None` if the ray escapes the scene.
-    pub fn closest_hit(
+    /// Traces a [`TraceRequest`] under an execution policy — **the** traversal entry point, for
+    /// both query kinds and every [`ExecMode`]:
+    ///
+    /// * [`ExecMode::ScalarReference`] — every ray walks to completion one register-accurate
+    ///   emulated beat at a time (closest-hit stream first, then any-hit);
+    /// * [`ExecMode::Wavefront`] — each stream runs as one bulk-dispatch wavefront through the
+    ///   shared scheduler;
+    /// * [`ExecMode::Fused`] — both streams merge into shared mixed-kind passes over this
+    ///   engine's single datapath, with at most
+    ///   [`beat_budget_per_stream`](ExecPolicy::beat_budget_per_stream) beats per stream per
+    ///   pass;
+    /// * [`ExecMode::Parallel`] — the streams shard contiguously across worker threads, each
+    ///   worker a private datapath running the fused discipline over its slice; per-shard
+    ///   statistics merge into this engine's totals.
+    ///
+    /// Hits and accumulated [`TraversalStats`] are **bit-identical across all four modes** (and
+    /// all beat budgets) — the cross-policy invariant `rtunit/tests/proptest_policy.rs` pins.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rayflex_geometry::{Ray, Triangle, Vec3};
+    /// use rayflex_rtunit::{Bvh4, ExecPolicy, TraceRequest, TraversalEngine};
+    ///
+    /// let scene = vec![Triangle::new(
+    ///     Vec3::new(-1.0, -1.0, 3.0),
+    ///     Vec3::new(1.0, -1.0, 3.0),
+    ///     Vec3::new(0.0, 1.0, 3.0),
+    /// )];
+    /// let bvh = Bvh4::build(&scene);
+    /// let rays = [Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0))];
+    /// let mut engine = TraversalEngine::baseline();
+    /// let hits = engine
+    ///     .trace(&TraceRequest::closest_hit(&bvh, &scene, &rays), &ExecPolicy::wavefront())
+    ///     .into_closest();
+    /// assert!(hits[0].is_some());
+    /// ```
+    pub fn trace(&mut self, request: &TraceRequest<'_>, policy: &ExecPolicy) -> TraceOutput {
+        match policy.mode {
+            ExecMode::ScalarReference => TraceOutput {
+                closest: request
+                    .closest
+                    .iter()
+                    .map(|ray| self.scalar_closest_hit(request.bvh, request.triangles, ray))
+                    .collect(),
+                any: request
+                    .any
+                    .iter()
+                    .map(|ray| self.scalar_any_hit(request.bvh, request.triangles, ray))
+                    .collect(),
+            },
+            ExecMode::Wavefront => TraceOutput {
+                closest: self.wavefront_closest_hits(
+                    request.bvh,
+                    request.triangles,
+                    request.closest,
+                ),
+                any: self.wavefront_any_hits(request.bvh, request.triangles, request.any),
+            },
+            ExecMode::Fused => {
+                let (closest, any) = self.fused_pair(
+                    request.bvh,
+                    request.triangles,
+                    request.closest,
+                    request.any,
+                    policy.beat_budget_per_stream,
+                );
+                TraceOutput { closest, any }
+            }
+            ExecMode::Parallel { shards } => {
+                let threads = shards.requested_threads();
+                let auto_tuned = crate::parallel::pair_effective_threads(
+                    request.closest.len(),
+                    request.any.len(),
+                    threads,
+                );
+                if auto_tuned <= 1 {
+                    // Too small to shard profitably: run inline on this engine (keeping its
+                    // pools and beat attribution) rather than spinning up a throwaway worker.
+                    if request.any.is_empty() {
+                        return TraceOutput {
+                            closest: self.wavefront_closest_hits(
+                                request.bvh,
+                                request.triangles,
+                                request.closest,
+                            ),
+                            any: Vec::new(),
+                        };
+                    }
+                    if request.closest.is_empty() {
+                        return TraceOutput {
+                            closest: Vec::new(),
+                            any: self.wavefront_any_hits(
+                                request.bvh,
+                                request.triangles,
+                                request.any,
+                            ),
+                        };
+                    }
+                    let (closest, any) = self.fused_pair(
+                        request.bvh,
+                        request.triangles,
+                        request.closest,
+                        request.any,
+                        0,
+                    );
+                    return TraceOutput { closest, any };
+                }
+                let (closest, any, stats) = crate::parallel::fused_pair_sharded(
+                    *self.config(),
+                    request.bvh,
+                    request.triangles,
+                    request.closest,
+                    request.any,
+                    threads,
+                );
+                self.stats.merge(&stats);
+                TraceOutput { closest, any }
+            }
+        }
+    }
+
+    /// The scalar register-accurate walk of one closest-hit ray (the
+    /// [`ExecMode::ScalarReference`] per-ray loop).
+    fn scalar_closest_hit(
         &mut self,
         bvh: &Bvh4,
         triangles: &[Triangle],
@@ -409,15 +653,14 @@ impl TraversalEngine {
         best
     }
 
-    /// Returns the first intersection of `ray` accepted within its extent, or `None` if the ray
-    /// reaches its extent unobstructed — the shadow / occlusion query (scalar reference path).
+    /// The scalar register-accurate walk of one any-hit ray.
     ///
     /// "First" means first in the deterministic traversal order (nearest-child-first), not
     /// necessarily the geometrically nearest hit; only the hit/no-hit verdict is meaningful to
     /// shadow tests.  Children are never pruned against a best hit, and the traversal stops at
     /// the first accepted triangle beat, so occluded rays cost far fewer beats than a closest-hit
     /// traversal of the same scene.
-    pub fn any_hit(
+    fn scalar_any_hit(
         &mut self,
         bvh: &Bvh4,
         triangles: &[Triangle],
@@ -466,37 +709,9 @@ impl TraversalEngine {
         found
     }
 
-    /// Traverses a batch of rays one at a time (the scalar reference path), returning one
-    /// optional hit per ray.
-    pub fn closest_hits(
-        &mut self,
-        bvh: &Bvh4,
-        triangles: &[Triangle],
-        rays: &[Ray],
-    ) -> Vec<Option<TraversalHit>> {
-        rays.iter()
-            .map(|ray| self.closest_hit(bvh, triangles, ray))
-            .collect()
-    }
-
-    /// Runs the any-hit query over a batch of rays one at a time (the scalar reference path).
-    pub fn any_hits(
-        &mut self,
-        bvh: &Bvh4,
-        triangles: &[Triangle],
-        rays: &[Ray],
-    ) -> Vec<Option<TraversalHit>> {
-        rays.iter()
-            .map(|ray| self.any_hit(bvh, triangles, ray))
-            .collect()
-    }
-
-    /// Traverses a ray stream wavefront-style: every pass builds one beat per active ray and
-    /// dispatches them through the datapath's bulk interface.  Hits and statistics are identical
-    /// to the scalar path (see the module documentation); wall-clock throughput is substantially
-    /// higher because beat dispatch, response collection and per-ray state all amortise across
-    /// the stream.
-    pub fn closest_hits_wavefront(
+    /// One wavefront run of the closest-hit stream through the shared scheduler (the
+    /// [`ExecMode::Wavefront`] workhorse, also used per shard by the parallel mode's workers).
+    pub(crate) fn wavefront_closest_hits(
         &mut self,
         bvh: &Bvh4,
         triangles: &[Triangle],
@@ -508,9 +723,8 @@ impl TraversalEngine {
         hits
     }
 
-    /// Runs the any-hit query over a ray stream wavefront-style; verdicts and statistics are
-    /// identical to [`TraversalEngine::any_hits`].
-    pub fn any_hits_wavefront(
+    /// One wavefront run of the any-hit stream through the shared scheduler.
+    pub(crate) fn wavefront_any_hits(
         &mut self,
         bvh: &Bvh4,
         triangles: &[Triangle],
@@ -522,23 +736,22 @@ impl TraversalEngine {
         hits
     }
 
-    /// Traces a closest-hit stream and an any-hit stream **fused in the same bulk passes** over
-    /// this engine's single datapath — the unified RT unit of §V-A time-multiplexing two query
-    /// kinds instead of giving each an exclusive pass sequence.
-    ///
-    /// Per-stream hits and the merged [`TraversalStats`] are bit-identical to tracing the two
-    /// streams sequentially ([`TraversalEngine::closest_hits_wavefront`] then
-    /// [`TraversalEngine::any_hits_wavefront`]); the fusion is observable in the datapath's
-    /// per-kind [`BeatMix`] counters and its `fused_passes` count.
-    pub fn trace_fused(
+    /// The fused pair: the closest-hit and any-hit streams merged into shared mixed-kind bulk
+    /// passes over this engine's datapath, under the given per-stream beat budget (`0` =
+    /// unlimited).  The fusion is observable in the datapath's per-kind [`BeatMix`] counters and
+    /// its `fused_passes` count; hits and merged [`TraversalStats`] equal sequential wavefront
+    /// scheduling exactly.
+    pub(crate) fn fused_pair(
         &mut self,
         bvh: &Bvh4,
         triangles: &[Triangle],
         closest_rays: &[Ray],
         any_rays: &[Ray],
+        beat_budget_per_stream: usize,
     ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
         let mut closest = TraversalStream::closest_hit(bvh, triangles, closest_rays);
         let mut any = TraversalStream::any_hit(bvh, triangles, any_rays);
+        self.fused.set_beat_budget(beat_budget_per_stream);
         self.fused
             .run(&mut self.datapath, &mut [&mut closest, &mut any]);
         let (closest_hits, closest_stats) = closest.finish();
@@ -548,8 +761,136 @@ impl TraversalEngine {
         (closest_hits, any_hits)
     }
 
-    /// [`TraversalEngine::closest_hits_wavefront`] over a structure-of-arrays
-    /// [`RayPacket`] stream.
+    /// Number of bulk passes the engine's most recent fused run dispatched (how a beat budget
+    /// reshapes the pass structure — diagnostics for the fairness knob).
+    #[must_use]
+    pub fn last_fused_passes(&self) -> u64 {
+        self.fused.last_run_passes()
+    }
+
+    // --- Deprecated pre-policy method variants, kept as thin shims over `trace`. -------------
+
+    /// Finds the closest front-face hit of `ray`, or `None` if the ray escapes the scene.
+    #[deprecated(note = "use TraversalEngine::trace(&TraceRequest::closest_hit(..), \
+                         &ExecPolicy::scalar())")]
+    pub fn closest_hit(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        ray: &Ray,
+    ) -> Option<TraversalHit> {
+        self.trace(
+            &TraceRequest::closest_hit(bvh, triangles, core::slice::from_ref(ray)),
+            &ExecPolicy::scalar(),
+        )
+        .closest
+        .pop()
+        .flatten()
+    }
+
+    /// Returns the first intersection of `ray` accepted within its extent (the shadow query).
+    #[deprecated(note = "use TraversalEngine::trace(&TraceRequest::any_hit(..), \
+                         &ExecPolicy::scalar())")]
+    pub fn any_hit(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        ray: &Ray,
+    ) -> Option<TraversalHit> {
+        self.trace(
+            &TraceRequest::any_hit(bvh, triangles, core::slice::from_ref(ray)),
+            &ExecPolicy::scalar(),
+        )
+        .any
+        .pop()
+        .flatten()
+    }
+
+    /// Traverses a batch of closest-hit rays one at a time through the scalar reference path.
+    #[deprecated(note = "use TraversalEngine::trace(&TraceRequest::closest_hit(..), \
+                         &ExecPolicy::scalar())")]
+    pub fn closest_hits(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        rays: &[Ray],
+    ) -> Vec<Option<TraversalHit>> {
+        self.trace(
+            &TraceRequest::closest_hit(bvh, triangles, rays),
+            &ExecPolicy::scalar(),
+        )
+        .into_closest()
+    }
+
+    /// Runs the any-hit query over a batch of rays one at a time through the scalar reference
+    /// path.
+    #[deprecated(note = "use TraversalEngine::trace(&TraceRequest::any_hit(..), \
+                         &ExecPolicy::scalar())")]
+    pub fn any_hits(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        rays: &[Ray],
+    ) -> Vec<Option<TraversalHit>> {
+        self.trace(
+            &TraceRequest::any_hit(bvh, triangles, rays),
+            &ExecPolicy::scalar(),
+        )
+        .into_any()
+    }
+
+    /// Traces a closest-hit ray stream wavefront-style.
+    #[deprecated(note = "use TraversalEngine::trace(&TraceRequest::closest_hit(..), \
+                         &ExecPolicy::wavefront())")]
+    pub fn closest_hits_wavefront(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        rays: &[Ray],
+    ) -> Vec<Option<TraversalHit>> {
+        self.trace(
+            &TraceRequest::closest_hit(bvh, triangles, rays),
+            &ExecPolicy::wavefront(),
+        )
+        .into_closest()
+    }
+
+    /// Runs the any-hit query over a ray stream wavefront-style.
+    #[deprecated(note = "use TraversalEngine::trace(&TraceRequest::any_hit(..), \
+                         &ExecPolicy::wavefront())")]
+    pub fn any_hits_wavefront(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        rays: &[Ray],
+    ) -> Vec<Option<TraversalHit>> {
+        self.trace(
+            &TraceRequest::any_hit(bvh, triangles, rays),
+            &ExecPolicy::wavefront(),
+        )
+        .into_any()
+    }
+
+    /// Traces a closest-hit stream and an any-hit stream fused in the same bulk passes.
+    #[deprecated(note = "use TraversalEngine::trace(&TraceRequest::pair(..), \
+                         &ExecPolicy::fused())")]
+    pub fn trace_fused(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        closest_rays: &[Ray],
+        any_rays: &[Ray],
+    ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
+        let output = self.trace(
+            &TraceRequest::pair(bvh, triangles, closest_rays, any_rays),
+            &ExecPolicy::fused(),
+        );
+        (output.closest, output.any)
+    }
+
+    /// Traces a structure-of-arrays [`RayPacket`] closest-hit stream wavefront-style.
+    #[deprecated(note = "unpack the packet (RayPacket::to_rays) and use \
+                         TraversalEngine::trace(&TraceRequest::closest_hit(..), ..)")]
     pub fn closest_hits_stream(
         &mut self,
         bvh: &Bvh4,
@@ -562,12 +903,14 @@ impl TraversalEngine {
         let mut unpacked = core::mem::take(&mut self.ray_scratch);
         unpacked.clear();
         unpacked.extend(rays.iter());
-        let hits = self.closest_hits_wavefront(bvh, triangles, &unpacked);
+        let hits = self.wavefront_closest_hits(bvh, triangles, &unpacked);
         self.ray_scratch = unpacked;
         hits
     }
 
-    /// [`TraversalEngine::any_hits_wavefront`] over a structure-of-arrays [`RayPacket`] stream.
+    /// Traces a structure-of-arrays [`RayPacket`] any-hit stream wavefront-style.
+    #[deprecated(note = "unpack the packet (RayPacket::to_rays) and use \
+                         TraversalEngine::trace(&TraceRequest::any_hit(..), ..)")]
     pub fn any_hits_stream(
         &mut self,
         bvh: &Bvh4,
@@ -577,7 +920,7 @@ impl TraversalEngine {
         let mut unpacked = core::mem::take(&mut self.ray_scratch);
         unpacked.clear();
         unpacked.extend(rays.iter());
-        let hits = self.any_hits_wavefront(bvh, triangles, &unpacked);
+        let hits = self.wavefront_any_hits(bvh, triangles, &unpacked);
         self.ray_scratch = unpacked;
         hits
     }
@@ -699,10 +1042,16 @@ mod tests {
     fn traversal_agrees_with_brute_force() {
         let triangles = wall();
         let bvh = Bvh4::build(&triangles);
+        let rays = wall_rays(60);
         let mut engine = TraversalEngine::baseline();
-        for (i, ray) in wall_rays(60).iter().enumerate() {
+        let hits = engine
+            .trace(
+                &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+                &ExecPolicy::scalar(),
+            )
+            .into_closest();
+        for (i, (ray, got)) in rays.iter().zip(&hits).enumerate() {
             let expected = brute_force(&triangles, ray);
-            let got = engine.closest_hit(&bvh, &triangles, ray);
             match (expected, got) {
                 (None, None) => {}
                 (Some(e), Some(g)) => {
@@ -723,8 +1072,11 @@ mod tests {
         let triangles = wall();
         let bvh = Bvh4::build(&triangles);
         let mut engine = TraversalEngine::baseline();
-        let ray = Ray::new(Vec3::new(0.5, 0.5, 0.0), Vec3::new(0.0, 0.0, 1.0));
-        let _ = engine.closest_hit(&bvh, &triangles, &ray);
+        let rays = [Ray::new(Vec3::new(0.5, 0.5, 0.0), Vec3::new(0.0, 0.0, 1.0))];
+        let _ = engine.trace(
+            &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+            &ExecPolicy::scalar(),
+        );
         // A single ray should not have to test every triangle in the scene.
         assert!(engine.stats().triangle_ops < triangles.len() as u64);
     }
@@ -734,9 +1086,16 @@ mod tests {
         let triangles = wall();
         let bvh = Bvh4::build(&triangles);
         let mut engine = TraversalEngine::baseline();
-        let ray = Ray::new(Vec3::new(100.0, 100.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
-        assert!(engine.closest_hit(&bvh, &triangles, &ray).is_none());
-        assert!(engine.any_hit(&bvh, &triangles, &ray).is_none());
+        let rays = [Ray::new(
+            Vec3::new(100.0, 100.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        )];
+        let output = engine.trace(
+            &TraceRequest::pair(&bvh, &triangles, &rays, &rays),
+            &ExecPolicy::scalar(),
+        );
+        assert!(output.closest[0].is_none());
+        assert!(output.any[0].is_none());
         engine.reset_stats();
         assert_eq!(engine.stats().rays, 0);
     }
@@ -754,39 +1113,87 @@ mod tests {
             })
             .collect();
         let mut batch_engine = TraversalEngine::baseline();
-        let batch = batch_engine.closest_hits(&bvh, &triangles, &rays);
+        let batch = batch_engine
+            .trace(
+                &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+                &ExecPolicy::scalar(),
+            )
+            .into_closest();
         let mut single_engine = TraversalEngine::baseline();
         for (ray, expected) in rays.iter().zip(&batch) {
-            assert_eq!(single_engine.closest_hit(&bvh, &triangles, ray), *expected);
+            let got = single_engine
+                .trace(
+                    &TraceRequest::closest_hit(&bvh, &triangles, core::slice::from_ref(ray)),
+                    &ExecPolicy::scalar(),
+                )
+                .into_closest();
+            assert_eq!(got[0], *expected);
         }
     }
 
     #[test]
-    fn wavefront_traversal_matches_the_scalar_path_bit_for_bit() {
+    fn every_exec_mode_matches_the_scalar_reference_bit_for_bit() {
         let triangles = wall();
         let bvh = Bvh4::build(&triangles);
-        let rays = wall_rays(60);
-        let mut scalar = TraversalEngine::baseline();
-        let expected = scalar.closest_hits(&bvh, &triangles, &rays);
-        let mut wavefront = TraversalEngine::baseline();
-        let got = wavefront.closest_hits_wavefront(&bvh, &triangles, &rays);
-        assert_eq!(expected.len(), got.len());
-        for (i, (e, g)) in expected.iter().zip(&got).enumerate() {
-            match (e, g) {
-                (None, None) => {}
-                (Some(e), Some(g)) => {
-                    assert_eq!(e.primitive, g.primitive, "ray {i}");
-                    assert_eq!(e.t.to_bits(), g.t.to_bits(), "ray {i}");
-                }
-                other => panic!("ray {i}: {other:?}"),
-            }
+        let closest_rays = wall_rays(60);
+        let any_rays: Vec<Ray> = wall_rays(40)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let t_end = if i % 3 == 0 { 5.0 } else { 40.0 };
+                Ray::with_extent(r.origin, r.dir, 1e-3, t_end)
+            })
+            .collect();
+        let request = TraceRequest::pair(&bvh, &triangles, &closest_rays, &any_rays);
+
+        let mut reference = TraversalEngine::baseline();
+        let expected = reference.trace(&request, &ExecPolicy::scalar());
+
+        for policy in [
+            ExecPolicy::wavefront(),
+            ExecPolicy::parallel(3),
+            ExecPolicy::fused(),
+            ExecPolicy::fused().with_beat_budget(1),
+            ExecPolicy::fused().with_beat_budget(4),
+        ] {
+            let mut engine = TraversalEngine::baseline();
+            let got = engine.trace(&request, &policy);
+            assert_eq!(got, expected, "{} diverged", policy.mode);
+            assert_eq!(
+                engine.stats(),
+                reference.stats(),
+                "{} stats diverged",
+                policy.mode
+            );
         }
-        // Same per-ray beat sequences means identical statistics, not just identical hits.
-        assert_eq!(scalar.stats(), wavefront.stats());
     }
 
     #[test]
-    fn any_hit_wavefront_matches_the_scalar_path_and_its_stats() {
+    fn a_beat_budget_changes_fused_pass_counts_but_not_hits() {
+        let triangles = wall();
+        let bvh = Bvh4::build(&triangles);
+        let closest_rays = wall_rays(40);
+        let any_rays = wall_rays(25);
+        let request = TraceRequest::pair(&bvh, &triangles, &closest_rays, &any_rays);
+
+        let mut unlimited = TraversalEngine::baseline();
+        let free = unlimited.trace(&request, &ExecPolicy::fused());
+        let free_passes = unlimited.last_fused_passes();
+
+        let mut strict = TraversalEngine::baseline();
+        let budgeted = strict.trace(&request, &ExecPolicy::fused().with_beat_budget(1));
+        let strict_passes = strict.last_fused_passes();
+
+        assert_eq!(free, budgeted, "a beat budget must not change any hit");
+        assert_eq!(unlimited.stats(), strict.stats());
+        assert!(
+            strict_passes > free_passes,
+            "strict round-robin admission needs more passes ({strict_passes} vs {free_passes})"
+        );
+    }
+
+    #[test]
+    fn any_hit_short_rays_cannot_be_occluded() {
         let triangles = wall();
         let bvh = Bvh4::build(&triangles);
         // Shadow-style rays: finite extents, some reaching the wall, some stopping short.
@@ -798,13 +1205,13 @@ mod tests {
                 Ray::with_extent(r.origin, r.dir, 1e-3, t_end)
             })
             .collect();
-        let mut scalar = TraversalEngine::baseline();
-        let expected = scalar.any_hits(&bvh, &triangles, &rays);
-        let mut wavefront = TraversalEngine::baseline();
-        let got = wavefront.any_hits_wavefront(&bvh, &triangles, &rays);
-        assert_eq!(expected, got);
-        assert_eq!(scalar.stats(), wavefront.stats());
-        // The short rays must not report occlusion.
+        let mut engine = TraversalEngine::baseline();
+        let got = engine
+            .trace(
+                &TraceRequest::any_hit(&bvh, &triangles, &rays),
+                &ExecPolicy::wavefront(),
+            )
+            .into_any();
         for (i, hit) in got.iter().enumerate() {
             if i % 3 == 0 {
                 assert!(hit.is_none(), "short ray {i} cannot reach the wall");
@@ -819,9 +1226,19 @@ mod tests {
         let bvh = Bvh4::build(&triangles);
         let rays = wall_rays(40);
         let mut closest = TraversalEngine::baseline();
-        let closest_hits = closest.closest_hits_wavefront(&bvh, &triangles, &rays);
+        let closest_hits = closest
+            .trace(
+                &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+                &ExecPolicy::wavefront(),
+            )
+            .into_closest();
         let mut any = TraversalEngine::baseline();
-        let any_hits = any.any_hits_wavefront(&bvh, &triangles, &rays);
+        let any_hits = any
+            .trace(
+                &TraceRequest::any_hit(&bvh, &triangles, &rays),
+                &ExecPolicy::wavefront(),
+            )
+            .into_any();
         // The verdicts agree even though the reported hit may differ.
         for (i, (c, a)) in closest_hits.iter().zip(&any_hits).enumerate() {
             assert_eq!(c.is_some(), a.is_some(), "ray {i}");
@@ -833,21 +1250,59 @@ mod tests {
     }
 
     #[test]
-    fn packet_streams_match_slice_streams() {
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_the_policy_entry_point() {
         let triangles = wall();
         let bvh = Bvh4::build(&triangles);
         let rays = wall_rays(30);
         let packet = RayPacket::from_rays(&rays);
-        let mut a = TraversalEngine::baseline();
-        let mut b = TraversalEngine::baseline();
+
+        let mut policy_engine = TraversalEngine::baseline();
+        let expected = policy_engine.trace(
+            &TraceRequest::pair(&bvh, &triangles, &rays, &rays),
+            &ExecPolicy::wavefront(),
+        );
+
+        let mut shim_engine = TraversalEngine::baseline();
         assert_eq!(
-            a.closest_hits_stream(&bvh, &triangles, &packet),
-            b.closest_hits_wavefront(&bvh, &triangles, &rays),
+            shim_engine.closest_hits_wavefront(&bvh, &triangles, &rays),
+            expected.closest
         );
         assert_eq!(
-            a.any_hits_stream(&bvh, &triangles, &packet),
-            b.any_hits_wavefront(&bvh, &triangles, &rays),
+            shim_engine.any_hits_wavefront(&bvh, &triangles, &rays),
+            expected.any
         );
+        assert_eq!(policy_engine.stats(), shim_engine.stats());
+
+        // The packet shims unpack and delegate too.
+        let mut packet_engine = TraversalEngine::baseline();
+        assert_eq!(
+            packet_engine.closest_hits_stream(&bvh, &triangles, &packet),
+            expected.closest
+        );
+        assert_eq!(
+            packet_engine.any_hits_stream(&bvh, &triangles, &packet),
+            expected.any
+        );
+
+        // Scalar and fused shims agree with their policies as well.
+        let mut scalar_shim = TraversalEngine::baseline();
+        assert_eq!(
+            scalar_shim.closest_hits(&bvh, &triangles, &rays),
+            expected.closest
+        );
+        assert_eq!(
+            scalar_shim.closest_hit(&bvh, &triangles, &rays[0]),
+            expected.closest[0]
+        );
+        assert_eq!(
+            scalar_shim.any_hit(&bvh, &triangles, &rays[0]),
+            expected.any[0]
+        );
+        let mut fused_shim = TraversalEngine::baseline();
+        let (fc, fa) = fused_shim.trace_fused(&bvh, &triangles, &rays, &rays);
+        assert_eq!(fc, expected.closest);
+        assert_eq!(fa, expected.any);
     }
 
     #[test]
@@ -855,10 +1310,11 @@ mod tests {
         let triangles = wall();
         let bvh = Bvh4::build(&triangles);
         let rays = wall_rays(20);
+        let request = TraceRequest::closest_hit(&bvh, &triangles, &rays);
         let mut engine = TraversalEngine::baseline();
-        let first = engine.closest_hits_wavefront(&bvh, &triangles, &rays);
+        let first = engine.trace(&request, &ExecPolicy::wavefront());
         assert_eq!(engine.work_pool_len(), rays.len());
-        let second = engine.closest_hits_wavefront(&bvh, &triangles, &rays);
+        let second = engine.trace(&request, &ExecPolicy::wavefront());
         assert_eq!(first, second);
         assert_eq!(
             engine.work_pool_len(),
@@ -866,7 +1322,10 @@ mod tests {
             "states returned to the pool"
         );
         // The any-hit query shares the same pool.
-        let _ = engine.any_hits_wavefront(&bvh, &triangles, &rays);
+        let _ = engine.trace(
+            &TraceRequest::any_hit(&bvh, &triangles, &rays),
+            &ExecPolicy::wavefront(),
+        );
         assert_eq!(engine.work_pool_len(), rays.len());
     }
 
@@ -881,13 +1340,17 @@ mod tests {
             .collect();
 
         let mut sequential = TraversalEngine::baseline();
-        let expected_closest = sequential.closest_hits_wavefront(&bvh, &triangles, &closest_rays);
-        let expected_any = sequential.any_hits_wavefront(&bvh, &triangles, &any_rays);
+        let expected = sequential.trace(
+            &TraceRequest::pair(&bvh, &triangles, &closest_rays, &any_rays),
+            &ExecPolicy::wavefront(),
+        );
 
         let mut fused = TraversalEngine::baseline();
-        let (closest, any) = fused.trace_fused(&bvh, &triangles, &closest_rays, &any_rays);
-        assert_eq!(closest, expected_closest);
-        assert_eq!(any, expected_any);
+        let got = fused.trace(
+            &TraceRequest::pair(&bvh, &triangles, &closest_rays, &any_rays),
+            &ExecPolicy::fused(),
+        );
+        assert_eq!(got, expected);
         assert_eq!(fused.stats(), sequential.stats(), "identical merged stats");
 
         // The fusion is observable: both kinds appear in the per-kind mix, and at least one
@@ -900,12 +1363,81 @@ mod tests {
     }
 
     #[test]
+    fn traversal_stats_merge_sums_every_field() {
+        // The parallel mode's reduction: shard totals merge by plain summation, order-free,
+        // with the all-zero set as identity.
+        let a = TraversalStats {
+            box_ops: 3,
+            triangle_ops: 5,
+            nodes_visited: 7,
+            leaves_visited: 2,
+            rays: 11,
+        };
+        let b = TraversalStats {
+            box_ops: 10,
+            triangle_ops: 20,
+            nodes_visited: 30,
+            leaves_visited: 40,
+            rays: 50,
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(
+            ab,
+            TraversalStats {
+                box_ops: 13,
+                triangle_ops: 25,
+                nodes_visited: 37,
+                leaves_visited: 42,
+                rays: 61,
+            }
+        );
+        let mut identity = ab;
+        identity.merge(&TraversalStats::default());
+        assert_eq!(identity, ab, "the zero set is the merge identity");
+        assert_eq!(ab.total_ops(), 13 + 25);
+    }
+
+    #[test]
+    fn parallel_shard_stats_merge_to_the_single_engine_totals() {
+        // Trace one stream whole, then in two halves on separate engines, and merge the halves:
+        // the merged statistics must equal the whole-stream run exactly (the invariant the
+        // Parallel mode's per-shard reduction relies on).
+        let triangles = wall();
+        let bvh = Bvh4::build(&triangles);
+        let rays = wall_rays(48);
+
+        let mut whole = TraversalEngine::baseline();
+        let _ = whole.trace(
+            &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+            &ExecPolicy::wavefront(),
+        );
+
+        let mut merged = TraversalStats::default();
+        for shard in rays.chunks(rays.len() / 2) {
+            let mut engine = TraversalEngine::baseline();
+            let _ = engine.trace(
+                &TraceRequest::closest_hit(&bvh, &triangles, shard),
+                &ExecPolicy::wavefront(),
+            );
+            merged.merge(&engine.stats());
+        }
+        assert_eq!(merged, whole.stats());
+    }
+
+    #[test]
     fn beat_mix_reflects_the_traversal_workload() {
         let triangles = wall();
         let bvh = Bvh4::build(&triangles);
         let rays = wall_rays(10);
         let mut engine = TraversalEngine::baseline();
-        let _ = engine.closest_hits_wavefront(&bvh, &triangles, &rays);
+        let _ = engine.trace(
+            &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+            &ExecPolicy::wavefront(),
+        );
         let mix = engine.beat_mix();
         assert_eq!(
             mix.count(rayflex_core::Opcode::RayBox),
@@ -916,5 +1448,24 @@ mod tests {
             engine.stats().triangle_ops
         );
         assert_eq!(mix.total(), engine.stats().total_ops());
+    }
+
+    #[test]
+    fn request_accessors_expose_the_streams() {
+        let triangles = wall();
+        let bvh = Bvh4::build(&triangles);
+        let closest = wall_rays(3);
+        let any = wall_rays(2);
+        let request = TraceRequest::pair(&bvh, &triangles, &closest, &any);
+        assert_eq!(request.closest_rays().len(), 3);
+        assert_eq!(request.any_rays().len(), 2);
+        assert_eq!(request.triangles().len(), triangles.len());
+        assert_eq!(request.bvh().node_count(), bvh.node_count());
+        assert!(TraceRequest::closest_hit(&bvh, &triangles, &closest)
+            .any_rays()
+            .is_empty());
+        assert!(TraceRequest::any_hit(&bvh, &triangles, &any)
+            .closest_rays()
+            .is_empty());
     }
 }

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 
 use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Ray, Triangle, Vec3};
-use rayflex_rtunit::{Bvh4, TraversalEngine};
+use rayflex_rtunit::{Bvh4, ExecPolicy, TraceRequest, TraversalEngine};
 
 fn coordinate() -> impl Strategy<Value = f32> {
     -50.0f32..50.0
@@ -63,11 +63,12 @@ proptest! {
     ) {
         let bvh = Bvh4::build(&triangles);
 
+        let request = TraceRequest::any_hit(&bvh, &triangles, &rays);
         let mut scalar = TraversalEngine::with_config(config);
-        let expected = scalar.any_hits(&bvh, &triangles, &rays);
+        let expected = scalar.trace(&request, &ExecPolicy::scalar()).into_any();
 
         let mut wavefront = TraversalEngine::with_config(config);
-        let got = wavefront.any_hits_wavefront(&bvh, &triangles, &rays);
+        let got = wavefront.trace(&request, &ExecPolicy::wavefront()).into_any();
 
         // Identical verdicts and identical reported hits (the per-ray beat sequence is the
         // same, so not just hit/no-hit but the exact primitive and bit-exact distance match).
@@ -96,8 +97,16 @@ proptest! {
         let mut closest = TraversalEngine::with_config(config);
         let mut any = TraversalEngine::with_config(config);
         for (i, r) in rays.iter().enumerate() {
-            let closest_hit = closest.closest_hit(&bvh, &triangles, r);
-            let any_hit = any.any_hit(&bvh, &triangles, r);
+            let one = core::slice::from_ref(r);
+            let closest_hit = closest
+                .trace(
+                    &TraceRequest::closest_hit(&bvh, &triangles, one),
+                    &ExecPolicy::scalar(),
+                )
+                .into_closest()[0];
+            let any_hit = any
+                .trace(&TraceRequest::any_hit(&bvh, &triangles, one), &ExecPolicy::scalar())
+                .into_any()[0];
             // A ray is occluded iff it has a closest hit; the any-hit distance can only be
             // farther than or equal to the closest one.
             prop_assert_eq!(closest_hit.is_some(), any_hit.is_some(), "ray {}", i);

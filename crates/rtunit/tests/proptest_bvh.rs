@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use rayflex_geometry::{golden, Ray, Triangle, Vec3};
-use rayflex_rtunit::{Bvh4, Bvh4Node, TraversalEngine};
+use rayflex_rtunit::{Bvh4, Bvh4Node, ExecPolicy, TraceRequest, TraversalEngine};
 
 fn coordinate() -> impl Strategy<Value = f32> {
     -50.0f32..50.0
@@ -82,7 +82,12 @@ proptest! {
         let mut engine = TraversalEngine::baseline();
         for ray in &rays {
             let expected = brute_force(&triangles, ray);
-            let got = engine.closest_hit(&bvh, &triangles, ray);
+            let got = engine
+                .trace(
+                    &TraceRequest::closest_hit(&bvh, &triangles, core::slice::from_ref(ray)),
+                    &ExecPolicy::scalar(),
+                )
+                .into_closest()[0];
             match (expected, got) {
                 (None, None) => {}
                 (Some((_prim, t)), Some(hit)) => {

@@ -1,0 +1,246 @@
+//! The cross-policy matrix property test — the tentpole invariant of the `ExecPolicy` API,
+//! stated once and enforced everywhere: for arbitrary random workloads of **every** query kind
+//! (render frames, closest-hit streams, any-hit streams, k-NN scoring, radius/collect batches),
+//! **every** [`ExecMode`] — wavefront, parallel, fused, and fused under beat budgets including
+//! the `0` (unlimited) and `1` (strict round-robin) edge values — produces outputs and
+//! statistics bit-identical to [`ExecMode::ScalarReference`].
+//!
+//! A separate property pins the fairness knob itself: `beat_budget_per_stream = 1` must
+//! *change* the fused pass structure (more, smaller passes) while changing no stream's outputs.
+
+use proptest::prelude::*;
+
+use rayflex_core::PipelineConfig;
+use rayflex_geometry::{Ray, Triangle, Vec3};
+use rayflex_rtunit::{
+    Bvh4, Camera, ExecPolicy, FrameDesc, HierarchicalSearch, KnnEngine, KnnMetric, RenderPasses,
+    Renderer, TraceRequest, TraversalEngine,
+};
+
+fn coordinate() -> impl Strategy<Value = f32> {
+    -30.0f32..30.0
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (coordinate(), coordinate(), coordinate()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn triangle() -> impl Strategy<Value = Triangle> {
+    (vec3(), vec3(), vec3())
+        .prop_map(|(a, b, c)| Triangle::new(a, b, c))
+        .prop_filter("non-degenerate", |t| t.area() > 1e-3)
+}
+
+fn scene() -> impl Strategy<Value = Vec<Triangle>> {
+    prop::collection::vec(triangle(), 1..20)
+}
+
+/// Rays with random origins/directions and a mix of infinite and finite (shadow-style) extents.
+fn ray() -> impl Strategy<Value = Ray> {
+    (vec3(), vec3(), any::<bool>(), 1.0f32..120.0).prop_filter_map(
+        "non-zero direction",
+        |(origin, toward, finite, t_end)| {
+            let dir = toward - origin;
+            if dir.length_squared() <= 1e-6 {
+                return None;
+            }
+            Some(if finite {
+                Ray::with_extent(origin, dir, 1e-3, t_end)
+            } else {
+                Ray::new(origin, dir)
+            })
+        },
+    )
+}
+
+fn camera() -> impl Strategy<Value = Camera> {
+    (vec3(), vec3()).prop_filter_map("camera must look somewhere", |(position, look_at)| {
+        ((look_at - position).length_squared() > 1e-4)
+            .then(|| Camera::looking_at(position, look_at))
+    })
+}
+
+fn passes() -> impl Strategy<Value = RenderPasses> {
+    (
+        vec3(),
+        0usize..3,
+        0.5f32..20.0,
+        any::<u64>(),
+        any::<bool>(),
+        0.0f32..1.0,
+    )
+        .prop_map(|(light, samples, radius, seed, adaptive, bounce)| {
+            RenderPasses::shadowed(light)
+                .with_ambient_occlusion(samples, radius, seed)
+                .with_adaptive_ao(adaptive)
+                .with_bounce(bounce)
+        })
+}
+
+fn vector(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-8.0f32..8.0, dim..dim + 1)
+}
+
+fn points() -> impl Strategy<Value = Vec<Vec3>> {
+    prop::collection::vec(vec3(), 1..32)
+}
+
+fn radius_queries() -> impl Strategy<Value = Vec<(Vec3, f32)>> {
+    prop::collection::vec((vec3(), 1.0f32..25.0), 1..5)
+}
+
+/// The non-reference policies of the matrix sweep, including both beat-budget edge values
+/// (`0` = unlimited, `1` = strict round-robin) and a mid value.
+fn swept_policies() -> Vec<ExecPolicy> {
+    vec![
+        ExecPolicy::wavefront(),
+        ExecPolicy::parallel(3),
+        ExecPolicy::parallel_auto(),
+        ExecPolicy::fused(),
+        ExecPolicy::fused().with_beat_budget(1),
+        ExecPolicy::fused().with_beat_budget(4),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ExecMode × {closest-hit, any-hit}: hits and stats pinned to the scalar reference.
+    #[test]
+    fn traversal_outputs_and_stats_are_policy_invariant(
+        triangles in scene(),
+        closest_rays in prop::collection::vec(ray(), 0..10),
+        shadow_rays in prop::collection::vec(ray(), 0..10),
+    ) {
+        let bvh = Bvh4::build(&triangles);
+        let request = TraceRequest::pair(&bvh, &triangles, &closest_rays, &shadow_rays);
+
+        let mut reference = TraversalEngine::baseline();
+        let expected = reference.trace(&request, &ExecPolicy::scalar());
+
+        for policy in swept_policies() {
+            let mut engine = TraversalEngine::baseline();
+            let got = engine.trace(&request, &policy);
+            prop_assert_eq!(&got, &expected, "{} hits diverged", policy.mode);
+            prop_assert_eq!(engine.stats(), reference.stats(), "{} stats diverged", policy.mode);
+        }
+    }
+
+    /// ExecMode × render: frames (primary, deferred, bounce, adaptive AO) pinned pixel-bit and
+    /// stat-for-stat to the scalar reference.
+    #[test]
+    fn rendered_frames_are_policy_invariant(
+        triangles in scene(),
+        camera in camera(),
+        passes in passes(),
+        width in 1usize..10,
+        height in 1usize..10,
+        primary_only in any::<bool>(),
+    ) {
+        let bvh = Bvh4::build(&triangles);
+        let frame = if primary_only {
+            FrameDesc::primary(camera, width, height)
+        } else {
+            FrameDesc::deferred(camera, width, height, passes)
+        };
+
+        let mut reference = Renderer::new();
+        let expected = reference.render(&bvh, &triangles, &frame, &ExecPolicy::scalar());
+
+        for policy in swept_policies() {
+            let mut renderer = Renderer::new();
+            let image = renderer.render(&bvh, &triangles, &frame, &policy);
+            prop_assert_eq!(
+                image.first_mismatch(&expected), None,
+                "{} frame diverged", policy.mode
+            );
+            prop_assert_eq!(renderer.stats(), reference.stats(), "{} stats diverged", policy.mode);
+        }
+    }
+
+    /// ExecMode × kNN: distances, neighbours and stats pinned to the scalar reference.
+    #[test]
+    fn knn_distances_and_neighbours_are_policy_invariant(
+        candidates in prop::collection::vec(vector(19), 1..10),
+        k in 0usize..6,
+        cosine in any::<bool>(),
+    ) {
+        let metric = if cosine { KnnMetric::Cosine } else { KnnMetric::Euclidean };
+        let query = candidates[0].clone();
+
+        let mut reference = KnnEngine::new();
+        let expected: Vec<u32> = reference
+            .distances(&query, &candidates, metric, &ExecPolicy::scalar())
+            .iter()
+            .map(|d| d.to_bits())
+            .collect();
+        let expected_neighbours =
+            KnnEngine::new().k_nearest(&query, &candidates, k, metric, &ExecPolicy::scalar());
+
+        for policy in swept_policies() {
+            let mut engine = KnnEngine::new();
+            let got: Vec<u32> = engine
+                .distances(&query, &candidates, metric, &policy)
+                .iter()
+                .map(|d| d.to_bits())
+                .collect();
+            prop_assert_eq!(&got, &expected, "{} distances diverged", policy.mode);
+            prop_assert_eq!(engine.stats(), reference.stats(), "{} stats diverged", policy.mode);
+            let neighbours =
+                KnnEngine::new().k_nearest(&query, &candidates, k, metric, &policy);
+            prop_assert_eq!(&neighbours, &expected_neighbours, "{} top-k diverged", policy.mode);
+        }
+    }
+
+    /// ExecMode × radius/collect: neighbour lists and stats pinned to the scalar reference.
+    #[test]
+    fn radius_queries_are_policy_invariant(
+        dataset in points(),
+        queries in radius_queries(),
+    ) {
+        let build = |points: &Vec<Vec3>| {
+            HierarchicalSearch::build(points.clone(), 0.05, PipelineConfig::extended_unified())
+        };
+        let mut reference = build(&dataset);
+        let expected = reference.radius_queries(&queries, &ExecPolicy::scalar());
+
+        for policy in swept_policies() {
+            let mut search = build(&dataset);
+            let got = search.radius_queries(&queries, &policy);
+            prop_assert_eq!(&got, &expected, "{} results diverged", policy.mode);
+            prop_assert_eq!(search.stats(), reference.stats(), "{} stats diverged", policy.mode);
+        }
+    }
+
+    /// The fairness knob itself: a strict round-robin budget reshapes the fused pass structure
+    /// (strictly more passes whenever a pass carried more than one beat per stream) without
+    /// changing any stream's outputs or statistics.
+    #[test]
+    fn a_beat_budget_of_one_reshapes_passes_without_changing_outputs(
+        triangles in scene(),
+        closest_rays in prop::collection::vec(ray(), 2..10),
+        shadow_rays in prop::collection::vec(ray(), 2..10),
+    ) {
+        let bvh = Bvh4::build(&triangles);
+        let request = TraceRequest::pair(&bvh, &triangles, &closest_rays, &shadow_rays);
+
+        let mut unlimited = TraversalEngine::baseline();
+        let free = unlimited.trace(&request, &ExecPolicy::fused());
+        let free_passes = unlimited.last_fused_passes();
+
+        let mut strict = TraversalEngine::baseline();
+        let budgeted = strict.trace(&request, &ExecPolicy::fused().with_beat_budget(1));
+        let strict_passes = strict.last_fused_passes();
+
+        prop_assert_eq!(&budgeted, &free, "a beat budget must not change any hit");
+        prop_assert_eq!(strict.stats(), unlimited.stats());
+        // Each unlimited pass carries one beat per active ray of each stream; with at least two
+        // rays per stream the strict budget must split passes.
+        prop_assert!(
+            strict_passes > free_passes,
+            "budget 1 must increase the pass count ({} vs {})", strict_passes, free_passes
+        );
+        // Total datapath work is identical either way.
+        prop_assert_eq!(strict.beat_mix().total(), unlimited.beat_mix().total());
+    }
+}

@@ -1,14 +1,13 @@
 //! Property-based tests of the multi-pass deferred renderer: for arbitrary random scenes, camera
-//! placements, light positions and ambient-occlusion sample counts, the batched frame
-//! ([`Renderer::render_deferred`]) is pixel-bit-identical — and [`TraversalStats`]-identical — to
-//! the scalar per-pixel multi-pass reference, and the thread-parallel entry point
-//! ([`render_parallel`]) matches both.
+//! placements, light positions and ambient-occlusion sample counts, the wavefront frame
+//! (`ExecPolicy::wavefront`) is pixel-bit-identical — and `TraversalStats`-identical — to the
+//! scalar per-pixel multi-pass reference (`ExecPolicy::scalar`), and the thread-parallel policy
+//! matches both.  (The full ExecMode × query-kind matrix lives in `proptest_policy.rs`.)
 
 use proptest::prelude::*;
 
-use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Triangle, Vec3};
-use rayflex_rtunit::{render_parallel, Bvh4, Camera, RenderPasses, Renderer};
+use rayflex_rtunit::{Bvh4, Camera, ExecPolicy, FrameDesc, RenderPasses, Renderer};
 
 fn coordinate() -> impl Strategy<Value = f32> {
     -30.0f32..30.0
@@ -54,13 +53,13 @@ proptest! {
         threads in 1usize..6,
     ) {
         let bvh = Bvh4::build(&triangles);
+        let frame = FrameDesc::deferred(camera, width, height, passes);
 
         let mut reference = Renderer::new();
-        let expected = reference
-            .render_deferred_reference(&bvh, &triangles, &camera, width, height, &passes);
+        let expected = reference.render(&bvh, &triangles, &frame, &ExecPolicy::scalar());
 
         let mut batched = Renderer::new();
-        let image = batched.render_deferred(&bvh, &triangles, &camera, width, height, &passes);
+        let image = batched.render(&bvh, &triangles, &frame, &ExecPolicy::wavefront());
 
         prop_assert_eq!(image.first_mismatch(&expected), None, "batched frame diverged");
         for y in 0..height {
@@ -71,17 +70,10 @@ proptest! {
         // Identical per-ray beat sequences in every pass mean identical statistics.
         prop_assert_eq!(batched.stats(), reference.stats());
 
-        let (parallel_image, parallel_stats) = render_parallel(
-            PipelineConfig::baseline_unified(),
-            &bvh,
-            &triangles,
-            &camera,
-            width,
-            height,
-            &passes,
-            threads,
-        );
+        let mut parallel = Renderer::new();
+        let parallel_image =
+            parallel.render(&bvh, &triangles, &frame, &ExecPolicy::parallel(threads));
         prop_assert_eq!(image.first_mismatch(&parallel_image), None, "parallel frame diverged");
-        prop_assert_eq!(parallel_stats, batched.stats());
+        prop_assert_eq!(parallel.stats(), batched.stats());
     }
 }

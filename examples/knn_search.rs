@@ -6,7 +6,7 @@
 
 use rayflex::core::PipelineConfig;
 use rayflex::geometry::Vec3;
-use rayflex::rtunit::{HierarchicalSearch, KnnEngine, KnnMetric};
+use rayflex::rtunit::{ExecPolicy, HierarchicalSearch, KnnEngine, KnnMetric};
 use rayflex::workloads::{scenes, vectors};
 
 fn main() {
@@ -22,8 +22,9 @@ fn main() {
     );
 
     let mut engine = KnnEngine::with_config(PipelineConfig::extended_unified());
+    let policy = ExecPolicy::wavefront();
     for (q, query) in queries.iter().enumerate() {
-        let neighbors = engine.k_nearest(query, &dataset.vectors, 5, KnnMetric::Euclidean);
+        let neighbors = engine.k_nearest(query, &dataset.vectors, 5, KnnMetric::Euclidean, &policy);
         println!("query {q}: 5 nearest by squared Euclidean distance (RT-unit beats)");
         for n in &neighbors {
             println!(
@@ -50,7 +51,7 @@ fn main() {
 
     // The same dataset under the cosine metric.
     let query = &queries[0];
-    let cosine = engine.k_nearest(query, &dataset.vectors, 3, KnnMetric::Cosine);
+    let cosine = engine.k_nearest(query, &dataset.vectors, 3, KnnMetric::Cosine, &policy);
     println!("query 0: 3 nearest by cosine distance");
     for n in &cosine {
         println!("   vector {:4}  distance {:.6}", n.index, n.distance);
@@ -70,8 +71,10 @@ fn main() {
         .collect();
     let mut search = HierarchicalSearch::build(cloud, 0.01, PipelineConfig::extended_unified());
     let query = Vec3::new(12.0, -30.0, 44.0);
-    let in_radius = search.radius_query(query, 12.0);
-    let nearest = search.nearest(query, 2.0).expect("non-empty dataset");
+    let in_radius = search.radius_query(query, 12.0, &policy);
+    let nearest = search
+        .nearest(query, 2.0, &policy)
+        .expect("non-empty dataset");
     let hstats = search.stats();
     println!(
         "hierarchical search over {} points: {} within radius 12.0, nearest = point {} at d^2 = {:.3}",

@@ -1,19 +1,21 @@
-//! Batched and parallel ray-stream traversal: builds a scene, packs a camera ray stream into a
-//! structure-of-arrays packet, traces it through the scalar, wavefront and parallel frontends,
-//! and reports their agreement and relative throughput.
+//! Batched and parallel ray-stream traversal: builds a scene, generates a camera ray stream,
+//! traces it under the scalar-reference, wavefront and parallel execution policies through the
+//! single policy-driven entry point ([`TraversalEngine::trace`]), and reports their agreement
+//! and relative throughput.
 
 use std::time::Instant;
 
-use rayflex::core::PipelineConfig;
 use rayflex::geometry::Vec3;
-use rayflex::rtunit::{default_parallelism, trace_packet_parallel, Bvh4, TraversalEngine};
+use rayflex::rtunit::{default_parallelism, Bvh4, ExecPolicy, TraceRequest, TraversalEngine};
 use rayflex::workloads::{rays, scenes};
 
 fn main() {
     let triangles = scenes::icosphere(3, 5.0, Vec3::new(0.0, 0.0, 20.0));
     let bvh = Bvh4::build(&triangles);
+    // The SoA packet is the storage format; the policy API traces plain ray slices.
     let stream = rays::camera_grid_packet(64, 64, 12.0);
     let slice = stream.to_rays();
+    let request = TraceRequest::closest_hit(&bvh, &triangles, &slice);
     println!(
         "scene: icosphere with {} triangles, stream of {} rays",
         triangles.len(),
@@ -23,31 +25,30 @@ fn main() {
     // Scalar reference: one ray at a time through the register-accurate datapath emulation.
     let mut scalar = TraversalEngine::baseline();
     let start = Instant::now();
-    let scalar_hits = scalar.closest_hits(&bvh, &triangles, &slice);
+    let scalar_hits = scalar.trace(&request, &ExecPolicy::scalar()).into_closest();
     let scalar_time = start.elapsed();
 
     // Wavefront: the whole stream in flight, beats dispatched in bulk on the fast model.
     let mut wavefront = TraversalEngine::baseline();
     let start = Instant::now();
-    let wavefront_hits = wavefront.closest_hits_stream(&bvh, &triangles, &stream);
+    let wavefront_hits = wavefront
+        .trace(&request, &ExecPolicy::wavefront())
+        .into_closest();
     let wavefront_time = start.elapsed();
 
-    // Parallel: the wavefront frontend sharded across worker threads.
+    // Parallel: the wavefront sharded across worker threads.
     let threads = default_parallelism();
+    let mut parallel = TraversalEngine::baseline();
     let start = Instant::now();
-    let (parallel_hits, parallel_stats) = trace_packet_parallel(
-        PipelineConfig::baseline_unified(),
-        &bvh,
-        &triangles,
-        &stream,
-        threads,
-    );
+    let parallel_hits = parallel
+        .trace(&request, &ExecPolicy::parallel(threads))
+        .into_closest();
     let parallel_time = start.elapsed();
 
-    assert_eq!(scalar_hits, wavefront_hits, "frontends must agree");
+    assert_eq!(scalar_hits, wavefront_hits, "policies must agree");
     assert_eq!(scalar_hits, parallel_hits, "parallel shards must agree");
     assert_eq!(scalar.stats(), wavefront.stats());
-    assert_eq!(scalar.stats(), parallel_stats);
+    assert_eq!(scalar.stats(), parallel.stats());
 
     let hit_count = scalar_hits.iter().flatten().count();
     let stats = scalar.stats();

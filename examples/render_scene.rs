@@ -1,24 +1,43 @@
 //! Render a procedural scene through the RT-unit substrate: build a four-wide BVH over the lit
 //! scene preset (floor + occluder sphere + grounded contact sphere), run the multi-pass deferred
-//! renderer — a batched closest-hit primary pass, a batched any-hit shadow pass and a batched
-//! any-hit ambient-occlusion pass — print both the primary-only and the shadowed+AO frame as
-//! ASCII art, then report the traversal statistics and a first-order cycle estimate from the
-//! simplified RT-unit timing model.
+//! renderer — a closest-hit primary pass, an any-hit shadow pass and an any-hit
+//! ambient-occlusion pass — print both the primary-only and the shadowed+AO frame as ASCII art,
+//! then report the traversal statistics and a first-order cycle estimate from the simplified
+//! RT-unit timing model.
 //!
-//! Run with `cargo run --release --example render_scene`.  Pass `--bounce` to add the one-bounce
-//! mirror-reflection pass, whose bounce closest-hit stream and shadow any-hit stream are traced
-//! **fused in the same bulk passes** over one datapath (the fused multi-stream scheduler); the
-//! example then prints the per-kind beat mix the fusion produced.  Setting `RAYFLEX_SMOKE=1`
-//! shrinks the frame and skips the timing sweep — the CI smoke mode that keeps the example from
-//! rotting.
+//! Run with `cargo run --release --example render_scene`.  Flags:
+//!
+//! * `--mode scalar|wavefront|parallel|fused` — the execution policy every pass stream is
+//!   traced under (default `wavefront`); all modes render bit-identical frames, so the flag is
+//!   a live demonstration of the `ExecPolicy` invariant.
+//! * `--bounce` — adds the one-bounce mirror-reflection pass; under `--mode fused` its bounce
+//!   closest-hit stream and the shadow any-hit stream share bulk passes over one datapath, and
+//!   the example prints the per-kind beat mix the fusion produced.
+//!
+//! Setting `RAYFLEX_SMOKE=1` shrinks the frame and skips the timing sweep — the CI smoke mode
+//! that keeps the example from rotting (CI runs it once per `--mode`).
 
 use rayflex::core::PipelineConfig;
-use rayflex::rtunit::{Bvh4, Camera, RenderPasses, Renderer, RtUnit, RtUnitConfig};
+use rayflex::rtunit::{
+    Bvh4, Camera, ExecMode, ExecPolicy, FrameDesc, RenderPasses, Renderer, RtUnit, RtUnitConfig,
+};
 use rayflex::workloads::scenes;
 
 fn main() {
     let smoke = std::env::var("RAYFLEX_SMOKE").is_ok_and(|v| v != "0");
-    let bounce = std::env::args().any(|arg| arg == "--bounce");
+    let args: Vec<String> = std::env::args().collect();
+    let bounce = args.iter().any(|arg| arg == "--bounce");
+    let mode = args
+        .iter()
+        .position(|arg| arg == "--mode")
+        .map(|at| {
+            let name = args.get(at + 1).expect("--mode needs a value");
+            ExecMode::parse(name).unwrap_or_else(|| {
+                panic!("unknown mode {name:?} (scalar|wavefront|parallel|fused)")
+            })
+        })
+        .unwrap_or(ExecMode::Wavefront);
+    let policy = ExecPolicy::with_mode(mode);
     let (width, height) = if smoke { (36, 18) } else { (72, 36) };
 
     // The scene: a floor, a floating occluder icosphere and a small grounded sphere, with a
@@ -26,57 +45,64 @@ fn main() {
     let scene = scenes::lit_scene(if smoke { 1 } else { 3 }, 24.0);
     let bvh = Bvh4::build(&scene.triangles);
     println!(
-        "scene: {} triangles, BVH with {} nodes, depth {}",
+        "scene: {} triangles, BVH with {} nodes, depth {} — policy: {}",
         scene.triangles.len(),
         bvh.node_count(),
-        bvh.depth()
+        bvh.depth(),
+        policy.mode,
     );
 
     let camera = Camera::looking_at(scene.eye, scene.target);
     let mut renderer = Renderer::with_config(PipelineConfig::baseline_unified());
 
     // Pass 1 only: the primary-ray frame under the fixed directional light.
-    let primary = renderer.render(&bvh, &scene.triangles, &camera, width, height);
+    let primary = renderer.render(
+        &bvh,
+        &scene.triangles,
+        &FrameDesc::primary(camera, width, height),
+        &policy,
+    );
     println!("primary-only frame:\n{}", primary.to_ascii());
 
-    // The full deferred pipeline: primary + shadow + ambient-occlusion passes, each traced as
-    // one batched wavefront stream.
-    let passes = RenderPasses::shadowed(scene.light).with_ambient_occlusion(
+    // The full deferred pipeline: primary + shadow + ambient-occlusion passes (+ the one-bounce
+    // mirror pass with --bounce), every stream traced under the selected policy.
+    let mut passes = RenderPasses::shadowed(scene.light).with_ambient_occlusion(
         if smoke { 2 } else { 8 },
         6.0,
         2024,
     );
-    let deferred = if bounce {
-        // --bounce: add the one-bounce mirror pass; its closest-hit stream and the shadow
-        // any-hit stream share the same bulk passes through the fused scheduler.
-        let bounce_passes = passes.with_bounce(0.35);
-        let frame = renderer.render_deferred_bounce(
-            &bvh,
-            &scene.triangles,
-            &camera,
-            width,
-            height,
-            &bounce_passes,
-        );
+    if bounce {
+        passes = passes.with_bounce(0.35);
+    }
+    let deferred = renderer.render(
+        &bvh,
+        &scene.triangles,
+        &FrameDesc::deferred(camera, width, height, passes),
+        &policy,
+    );
+    if bounce {
         println!(
-            "shadowed + AO + fused one-bounce reflection frame:\n{}",
-            frame.to_ascii()
+            "shadowed + AO + one-bounce reflection frame ({}):\n{}",
+            policy.mode,
+            deferred.to_ascii()
         );
-        let mix = renderer.beat_mix();
-        println!(
-            "fused scheduler: {} bulk passes mixed >= 2 query kinds; per-kind beats: \
-             closest-hit {}, any-hit {}",
-            mix.fused_passes(),
-            mix.kind_total(rayflex::core::QueryKind::ClosestHit),
-            mix.kind_total(rayflex::core::QueryKind::AnyHit),
-        );
-        frame
+        if mode == ExecMode::Fused {
+            let mix = renderer.beat_mix();
+            println!(
+                "fused scheduler: {} bulk passes mixed >= 2 query kinds; per-kind beats: \
+                 closest-hit {}, any-hit {}",
+                mix.fused_passes(),
+                mix.kind_total(rayflex::core::QueryKind::ClosestHit),
+                mix.kind_total(rayflex::core::QueryKind::AnyHit),
+            );
+        }
     } else {
-        let frame =
-            renderer.render_deferred(&bvh, &scene.triangles, &camera, width, height, &passes);
-        println!("shadowed + ambient-occlusion frame:\n{}", frame.to_ascii());
-        frame
-    };
+        println!(
+            "shadowed + ambient-occlusion frame ({}):\n{}",
+            policy.mode,
+            deferred.to_ascii()
+        );
+    }
 
     let stats = renderer.stats();
     println!(

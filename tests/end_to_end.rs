@@ -4,7 +4,10 @@
 
 use rayflex::core::{validation, PipelineConfig};
 use rayflex::geometry::{golden, Ray, Vec3};
-use rayflex::rtunit::{Bvh4, Camera, KnnEngine, KnnMetric, Renderer, RtUnit, TraversalEngine};
+use rayflex::rtunit::{
+    Bvh4, Camera, ExecPolicy, FrameDesc, KnnEngine, KnnMetric, Renderer, RtUnit, TraceRequest,
+    TraversalEngine,
+};
 use rayflex::workloads::{scenes, vectors};
 
 #[test]
@@ -22,15 +25,24 @@ fn icosphere_traversal_matches_a_brute_force_golden_scan() {
     let bvh = Bvh4::build(&triangles);
     let mut engine = TraversalEngine::baseline();
     let mut hits = 0usize;
-    for i in 0..100 {
-        let x = (i % 10) as f32 * 0.8 - 3.6;
-        let y = (i / 10) as f32 * 0.8 - 3.6;
-        let ray = Ray::new(Vec3::new(x, y, 0.0), Vec3::new(0.0, 0.0, 1.0));
-        let traversal = engine.closest_hit(&bvh, &triangles, &ray);
+    let rays: Vec<Ray> = (0..100)
+        .map(|i| {
+            let x = (i % 10) as f32 * 0.8 - 3.6;
+            let y = (i / 10) as f32 * 0.8 - 3.6;
+            Ray::new(Vec3::new(x, y, 0.0), Vec3::new(0.0, 0.0, 1.0))
+        })
+        .collect();
+    let traversals = engine
+        .trace(
+            &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+            &ExecPolicy::scalar(),
+        )
+        .into_closest();
+    for (i, (ray, traversal)) in rays.iter().zip(traversals).enumerate() {
         // Brute force over every triangle with the golden model.
         let mut best: Option<(usize, f32)> = None;
         for (p, tri) in triangles.iter().enumerate() {
-            let hit = golden::watertight::ray_triangle(&ray, tri);
+            let hit = golden::watertight::ray_triangle(ray, tri);
             if hit.hit {
                 let t = hit.distance();
                 if best.is_none_or(|(_, bt)| t < bt) {
@@ -63,7 +75,12 @@ fn rendering_and_rt_unit_timing_work_through_the_facade() {
     let bvh = Bvh4::build(&triangles);
     let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 12.0));
     let mut renderer = Renderer::new();
-    let image = renderer.render(&bvh, &triangles, &camera, 32, 32);
+    let image = renderer.render(
+        &bvh,
+        &triangles,
+        &FrameDesc::primary(camera, 32, 32),
+        &ExecPolicy::wavefront(),
+    );
     assert!(image.coverage() > 0.1 && image.coverage() < 0.9);
     assert!(image.pixel(16, 16) > 0.0, "sphere centre must be shaded");
 
@@ -82,7 +99,13 @@ fn knn_results_are_consistent_between_metrics_and_reference_scans() {
     let queries = vectors::queries_near_dataset(12, &dataset, 3, 0.5);
     let mut engine = KnnEngine::new();
     for query in &queries {
-        let neighbors = engine.k_nearest(query, &dataset.vectors, 10, KnnMetric::Euclidean);
+        let neighbors = engine.k_nearest(
+            query,
+            &dataset.vectors,
+            10,
+            KnnMetric::Euclidean,
+            &ExecPolicy::wavefront(),
+        );
         assert_eq!(neighbors.len(), 10);
         // Distances agree bit-exactly with the golden streaming reference.
         for n in &neighbors {
@@ -121,11 +144,10 @@ fn figure_harnesses_regenerate_through_the_bench_crate() {
 
 #[test]
 fn ray_streams_trace_identically_across_all_frontends() {
-    // The full stack through the facade: SoA packet -> wavefront + parallel traversal ->
+    // The full stack through the facade: SoA packet -> wavefront + parallel policies ->
     // bit-identical hits and statistics versus the scalar reference.
     use rayflex::core::RayFlexDatapath;
     use rayflex::geometry::RayPacket;
-    use rayflex::rtunit::trace_packet_parallel;
     use rayflex::workloads::rays;
 
     let triangles = scenes::icosphere(2, 3.0, Vec3::new(0.0, 0.0, 10.0));
@@ -140,16 +162,21 @@ fn ray_streams_trace_identically_across_all_frontends() {
     );
 
     let config = PipelineConfig::baseline_unified();
+    let request = TraceRequest::closest_hit(&bvh, &triangles, &slice);
     let mut scalar = TraversalEngine::with_config(config);
-    let expected = scalar.closest_hits(&bvh, &triangles, &slice);
+    let expected = scalar.trace(&request, &ExecPolicy::scalar()).into_closest();
     let mut wavefront = TraversalEngine::with_config(config);
-    let wavefront_hits = wavefront.closest_hits_stream(&bvh, &triangles, &stream);
-    let (parallel_hits, parallel_stats) =
-        trace_packet_parallel(config, &bvh, &triangles, &stream, 3);
+    let wavefront_hits = wavefront
+        .trace(&request, &ExecPolicy::wavefront())
+        .into_closest();
+    let mut parallel = TraversalEngine::with_config(config);
+    let parallel_hits = parallel
+        .trace(&request, &ExecPolicy::parallel(3))
+        .into_closest();
     assert_eq!(expected, wavefront_hits);
     assert_eq!(expected, parallel_hits);
     assert_eq!(scalar.stats(), wavefront.stats());
-    assert_eq!(scalar.stats(), parallel_stats);
+    assert_eq!(scalar.stats(), parallel.stats());
 
     // The batched datapath interface matches the per-beat interface on a real beat stream.
     let requests = rayflex_bench::random_ray_box_requests(64, 5);
