@@ -1,0 +1,130 @@
+//! Datapath input guards: cheap, allocation-free finiteness predicates over the geometric
+//! inputs a beat can carry.
+//!
+//! The datapath itself is total — every stage produces a (NaN-canonicalised) response for any
+//! bit pattern — so these guards exist for the layer *above* it: an engine that wants to fail
+//! structured instead of computing garbage checks its inputs once, up front, with these
+//! predicates (the `rtunit` `SceneValidator` and the `try_*` entry points).  They are plain
+//! predicates rather than `Result`s so callers can compose their own error taxonomy.
+
+use rayflex_geometry::{Aabb, Ray, Triangle, Vec3};
+
+/// `true` when every component of the vector is finite (no NaN, no ±∞).
+#[must_use]
+pub fn finite_vec3(v: Vec3) -> bool {
+    v.is_finite()
+}
+
+/// `true` when the ray is traceable: finite origin, finite non-zero direction, a finite extent
+/// start and an extent end that is not NaN (`+∞` — the unbounded closest-hit extent — is
+/// allowed).
+#[must_use]
+pub fn finite_ray(ray: &Ray) -> bool {
+    ray.origin.is_finite()
+        && ray.dir.is_finite()
+        && ray.dir.length_squared() > 0.0
+        && ray.t_beg.is_finite()
+        && !ray.t_end.is_nan()
+}
+
+/// `true` when every vertex of the triangle is finite.
+#[must_use]
+pub fn finite_triangle(triangle: &Triangle) -> bool {
+    triangle.v0.is_finite() && triangle.v1.is_finite() && triangle.v2.is_finite()
+}
+
+/// `true` when the triangle is degenerate: a non-finite vertex or exactly zero area (the three
+/// vertices collinear or coincident).  Thin-but-valid slivers are *not* degenerate.
+#[must_use]
+pub fn degenerate_triangle(triangle: &Triangle) -> bool {
+    !finite_triangle(triangle) || triangle.area() == 0.0
+}
+
+/// `true` when both corners of the box are finite and ordered (`min ≤ max` component-wise).
+/// Deliberately empty boxes (`min > max`, the "never hit" sentinel) are *not* finite boxes —
+/// use this on boxes that claim to bound something.
+#[must_use]
+pub fn finite_aabb(aabb: &Aabb) -> bool {
+    aabb.min.is_finite()
+        && aabb.max.is_finite()
+        && aabb.min.x <= aabb.max.x
+        && aabb.min.y <= aabb.max.y
+        && aabb.min.z <= aabb.max.z
+}
+
+/// `true` when `outer` contains `inner` entirely (closed-interval containment per axis).  An
+/// empty `inner` (`min > max`) is contained in anything — it bounds nothing.
+#[must_use]
+pub fn aabb_contains_aabb(outer: &Aabb, inner: &Aabb) -> bool {
+    let empty = inner.min.x > inner.max.x || inner.min.y > inner.max.y || inner.min.z > inner.max.z;
+    empty || (outer.contains(inner.min) && outer.contains(inner.max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rays_with_nan_or_zero_direction_are_rejected() {
+        let good = Ray::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(finite_ray(&good));
+        let nan_origin = Ray::new(Vec3::new(f32::NAN, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(!finite_ray(&nan_origin));
+        // `Ray::new` rejects a zero direction at construction, but the fields are public, so a
+        // corrupted ray can still reach the guard.
+        let mut zero_dir = good;
+        zero_dir.dir = Vec3::new(0.0, 0.0, 0.0);
+        assert!(!finite_ray(&zero_dir));
+        let inf_dir = Ray::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(f32::INFINITY, 0.0, 0.0));
+        assert!(!finite_ray(&inf_dir));
+    }
+
+    #[test]
+    fn infinite_extent_ends_are_fine_but_nan_extents_are_not() {
+        let unbounded = Ray::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!(unbounded.t_end.is_infinite());
+        assert!(finite_ray(&unbounded));
+        let nan_extent = Ray::with_extent(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            f32::NAN,
+            1.0,
+        );
+        assert!(!finite_ray(&nan_extent));
+    }
+
+    #[test]
+    fn triangle_guards_flag_nan_and_zero_area() {
+        let good = Triangle::new(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
+        assert!(finite_triangle(&good) && !degenerate_triangle(&good));
+        let nan = Triangle::new(
+            Vec3::new(f32::NAN, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
+        assert!(!finite_triangle(&nan) && degenerate_triangle(&nan));
+        let collinear = Triangle::new(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+        );
+        assert!(degenerate_triangle(&collinear));
+    }
+
+    #[test]
+    fn aabb_containment_is_closed_and_tolerates_empty_inners() {
+        let outer = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        assert!(finite_aabb(&outer));
+        assert!(aabb_contains_aabb(&outer, &outer), "containment is closed");
+        let inner = Aabb::new(Vec3::splat(-0.5), Vec3::splat(0.5));
+        assert!(aabb_contains_aabb(&outer, &inner));
+        assert!(!aabb_contains_aabb(&inner, &outer));
+        let empty = Aabb::new(Vec3::splat(1.0), Vec3::splat(-1.0));
+        assert!(!finite_aabb(&empty));
+        assert!(aabb_contains_aabb(&inner, &empty), "empty bounds nothing");
+    }
+}

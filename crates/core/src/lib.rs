@@ -45,12 +45,15 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod accumulator;
 pub mod activity;
 mod config;
 mod datapath;
 mod fastpath;
+pub mod guard;
 pub mod inventory;
 mod io;
 pub mod liveness;

@@ -150,7 +150,9 @@ impl RayFlexPipeline {
         self.trace.advance_cycle();
         if result.input_accepted {
             self.stats.issued += 1;
-            let request = input.expect("accepted input implies an offered input");
+            let Some(request) = input else {
+                unreachable!("accepted input implies an offered input");
+            };
             activity::record_op(&mut self.trace, request.opcode, &self.config);
         }
         if result.output.is_some() {

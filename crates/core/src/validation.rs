@@ -304,16 +304,18 @@ pub fn run_case(case: &DirectedCase, datapath: &mut RayFlexDatapath) -> CaseOutc
     let response = datapath.execute(&case.request);
     let (passed, golden_agrees) = match case.expected {
         Expected::BoxHits(expected) => {
-            let result = response.box_result.expect("box case returns a box result");
+            let Some(result) = response.box_result else {
+                unreachable!("a box case always returns a box result");
+            };
             let ray = reconstruct_ray(&case.request);
             let golden_hits: [bool; 4] =
                 core::array::from_fn(|i| golden::slab::ray_box(&ray, &case.request.boxes[i]).hit);
             (result.hit == expected, golden_hits == expected)
         }
         Expected::TriangleHit(expected) => {
-            let result = response
-                .triangle_result
-                .expect("triangle case returns a triangle result");
+            let Some(result) = response.triangle_result else {
+                unreachable!("a triangle case always returns a triangle result");
+            };
             let ray = reconstruct_ray(&case.request);
             let golden_hit = golden::watertight::ray_triangle(&ray, &case.request.triangle).hit;
             (result.hit == expected, golden_hit == expected)

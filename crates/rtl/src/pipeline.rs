@@ -190,8 +190,10 @@ impl<I, S, O> ElasticPipeline<I, S, O> {
         }
 
         if fire_input {
-            self.entry
-                .push(input.expect("fire_input implies input present"));
+            let Some(request) = input else {
+                unreachable!("fire_input implies input present");
+            };
+            self.entry.push(request);
         }
 
         // Stall bookkeeping for stages whose valid output was not consumed this cycle.

@@ -171,7 +171,10 @@ impl<T, U> SkidBuffer<T, U> {
             self.note_stall();
         }
         if fire_in {
-            self.push(input.expect("fire_in implies input present"));
+            let Some(datum) = input else {
+                unreachable!("fire_in implies input present");
+            };
+            self.push(datum);
         }
         (fire_in, output)
     }

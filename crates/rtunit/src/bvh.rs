@@ -124,6 +124,14 @@ impl Bvh4 {
         &self.primitive_indices
     }
 
+    /// Mutable access to the node table — for the fault-injection harness
+    /// ([`crate::fault`]) only, which deliberately corrupts topology to exercise the
+    /// [`SceneValidator`](crate::SceneValidator).  Not public: a `Bvh4` built by
+    /// [`Bvh4::build`] is otherwise always well-formed.
+    pub(crate) fn nodes_mut(&mut self) -> &mut Vec<Bvh4Node> {
+        &mut self.nodes
+    }
+
     /// The primitive indices of a leaf node.
     ///
     /// # Panics

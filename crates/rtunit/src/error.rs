@@ -1,0 +1,490 @@
+//! Structured errors, scene validation and typed partial results — the failure model of the
+//! hardened execution layer.
+//!
+//! Every engine's plain entry point ([`TraversalEngine::trace`](crate::TraversalEngine::trace),
+//! [`Renderer::render`](crate::Renderer::render), …) keeps its original contract: well-formed
+//! input in, completed output out, panics on programmer error.  The `try_*` variants added
+//! alongside them fail *structured* instead:
+//!
+//! * malformed scenes and requests are rejected up front by the [`SceneValidator`] and the
+//!   per-request guards ([`QueryError::InvalidScene`], [`QueryError::InvalidRequest`]);
+//! * a run capped by [`ExecPolicy::max_total_beats`](crate::ExecPolicy::max_total_beats)
+//!   cancels cooperatively at a pass boundary and returns a typed partial result
+//!   ([`QueryOutcome::Partial`]) whose completed prefix is bit-identical to the uncapped run —
+//!   or [`QueryError::DeadlineExceeded`] where the query's output is a global reduction that
+//!   has no meaningful prefix (a frame, a top-k set);
+//! * a capped run that completes *nothing* fails with [`QueryError::BudgetExhausted`];
+//! * a worker shard that panics twice — once on the parallel path and once on its one-shot
+//!   [`ScalarReference`](crate::ExecMode::ScalarReference) retry — surfaces as
+//!   [`QueryError::ShardPanicked`] instead of a propagated panic.
+//!
+//! The whole taxonomy is exercised by the chaos harness (`rtunit/tests/proptest_chaos.rs`),
+//! which injects deterministic faults ([`crate::fault`]) and asserts that every `try_*` entry
+//! point returns either a structured error or a bit-identical recovered result — never a panic,
+//! never a silently wrong answer.
+
+use std::fmt;
+
+use rayflex_core::{guard, BeatMix};
+use rayflex_geometry::{Aabb, Ray, Triangle};
+
+use crate::bvh::{Bvh4, Bvh4Node};
+
+/// A structured failure of a `try_*` query entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The indexed scene is malformed: a NaN/Inf vertex, a degenerate triangle, or a BVH whose
+    /// topology or bounds are inconsistent (see [`SceneValidator`]).
+    InvalidScene {
+        /// What the validator found.
+        reason: String,
+    },
+    /// The request itself is malformed: a NaN/Inf or zero-direction ray, mismatched vector
+    /// dimensions, a non-finite query point or radius.
+    InvalidRequest {
+        /// What the request guard found.
+        reason: String,
+    },
+    /// The run crossed [`ExecPolicy::max_total_beats`](crate::ExecPolicy::max_total_beats) and
+    /// the query's output is a global reduction with no meaningful completed prefix (a rendered
+    /// frame, a top-k set, a nearest-neighbour search).
+    DeadlineExceeded {
+        /// Beats the run had spent when it cancelled.
+        beats_spent: u64,
+        /// The configured deadline.
+        max_total_beats: u64,
+    },
+    /// A parallel worker shard panicked, and so did its one-shot scalar-reference retry.  The
+    /// single-panic case never surfaces: it is recovered transparently (recorded in
+    /// [`TraversalStats::shard_fallbacks`](crate::TraversalStats::shard_fallbacks)).
+    ShardPanicked {
+        /// Index of the shard that failed twice.
+        shard: usize,
+    },
+    /// A capped run cancelled before completing even one item — the deadline is too small for
+    /// this workload to make observable progress.
+    BudgetExhausted {
+        /// The configured deadline.
+        max_total_beats: u64,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::InvalidScene { reason } => write!(f, "invalid scene: {reason}"),
+            QueryError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+            QueryError::DeadlineExceeded {
+                beats_spent,
+                max_total_beats,
+            } => write!(
+                f,
+                "deadline exceeded: {beats_spent} beats spent against a budget of \
+                 {max_total_beats}"
+            ),
+            QueryError::ShardPanicked { shard } => write!(
+                f,
+                "shard {shard} panicked and its scalar-reference retry failed"
+            ),
+            QueryError::BudgetExhausted { max_total_beats } => write!(
+                f,
+                "budget exhausted: no item completed within {max_total_beats} beats"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// The typed partial result of a deadline-capped run: the outputs of the longest
+/// fully-completed item prefix, plus how far the run got.
+///
+/// The prefix discipline is what makes partial results safe to consume: an item either appears
+/// with its **complete, bit-identical** output (equal to what the uncapped run would return for
+/// it — pinned by the chaos harness) or it does not appear at all.  Items that happened to
+/// finish beyond the first still-in-flight item are discarded rather than surfaced out of
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialResult<T> {
+    /// The completed prefix of the output (for a paired request, each stream's own prefix).
+    pub output: T,
+    /// Total items completed across all streams of the request.
+    pub completed: usize,
+    /// Total items the request carried.
+    pub total: usize,
+    /// Datapath beats the run spent before cancelling (may overshoot the deadline by the pass
+    /// in flight when it crossed the line — cancellation is cooperative, at pass boundaries).
+    pub beats_spent: u64,
+    /// The engine's per-kind × per-opcode beat attribution at cancellation — the per-stream
+    /// progress report of the cancelled run.
+    pub progress: BeatMix,
+}
+
+/// Either a complete output or a typed partial result — what a `try_*` entry point yields when
+/// the request is valid but a deadline may have fired.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome<T> {
+    /// The run finished every item; the output equals the plain entry point's.
+    Complete(T),
+    /// The run was cancelled at a pass boundary by
+    /// [`ExecPolicy::max_total_beats`](crate::ExecPolicy::max_total_beats).
+    Partial(PartialResult<T>),
+}
+
+impl<T> QueryOutcome<T> {
+    /// `true` for [`QueryOutcome::Complete`].
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self, QueryOutcome::Complete(_))
+    }
+
+    /// The output — complete, or the completed prefix of a partial run.
+    #[must_use]
+    pub fn output(&self) -> &T {
+        match self {
+            QueryOutcome::Complete(output) => output,
+            QueryOutcome::Partial(partial) => &partial.output,
+        }
+    }
+
+    /// Consumes the outcome into its output (the completed prefix when partial).
+    #[must_use]
+    pub fn into_output(self) -> T {
+        match self {
+            QueryOutcome::Complete(output) => output,
+            QueryOutcome::Partial(partial) => partial.output,
+        }
+    }
+
+    /// The partial-result report, if the run was cancelled.
+    #[must_use]
+    pub fn partial(&self) -> Option<&PartialResult<T>> {
+        match self {
+            QueryOutcome::Complete(_) => None,
+            QueryOutcome::Partial(partial) => Some(partial),
+        }
+    }
+}
+
+/// Validates an indexed scene — triangles plus the [`Bvh4`] built over them — before a `try_*`
+/// run accepts it.
+///
+/// Three families of checks, in order:
+///
+/// 1. **Vertices** — every triangle vertex finite (no NaN/Inf) and no triangle degenerate
+///    (zero area);
+/// 2. **BVH topology** — child indices in range, every non-root node referenced exactly once
+///    (no cycles, no sharing, no orphans), leaf ranges inside the primitive-index table, and
+///    the table a permutation of the primitive set;
+/// 3. **BVH bounds** — every internal node's stored child bounds contain the child subtree's
+///    primitives, and the scene bounds contain everything (the invariant traversal pruning
+///    relies on: a hit can never hide outside the bounds that prune it).
+///
+/// The plain entry points skip validation entirely — it costs O(scene) per call, which the
+/// hot paths must not pay — so a server validates once at scene admission and traces with the
+/// plain methods thereafter, or uses `try_*` end to end.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SceneValidator;
+
+impl SceneValidator {
+    /// Runs every check against the scene.  The first failure is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidScene`] naming the first malformed vertex, triangle, node or bound.
+    pub fn validate(bvh: &Bvh4, triangles: &[Triangle]) -> Result<(), QueryError> {
+        Self::validate_triangles(triangles)?;
+        Self::validate_bvh(bvh, triangles)
+    }
+
+    /// Checks every triangle for NaN/Inf vertices and zero area.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidScene`] naming the first offending triangle.
+    pub fn validate_triangles(triangles: &[Triangle]) -> Result<(), QueryError> {
+        for (index, triangle) in triangles.iter().enumerate() {
+            if !guard::finite_triangle(triangle) {
+                return Err(invalid_scene(format!(
+                    "triangle {index} has a non-finite vertex"
+                )));
+            }
+            if guard::degenerate_triangle(triangle) {
+                return Err(invalid_scene(format!(
+                    "triangle {index} is degenerate (zero area)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the BVH's child-index topology and bounds containment against the primitive set.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidScene`] naming the first inconsistent node.
+    pub fn validate_bvh(bvh: &Bvh4, triangles: &[Triangle]) -> Result<(), QueryError> {
+        let nodes = bvh.nodes();
+        if nodes.is_empty() {
+            return Err(invalid_scene("BVH has no nodes".to_string()));
+        }
+
+        // Topology: every child index in range, every non-root node referenced exactly once.
+        let mut referenced = vec![0usize; nodes.len()];
+        for (index, node) in nodes.iter().enumerate() {
+            if let Bvh4Node::Internal { children, .. } = node {
+                for child in children.iter().flatten() {
+                    if *child >= nodes.len() {
+                        return Err(invalid_scene(format!(
+                            "node {index} references child {child} outside the {}-node table",
+                            nodes.len()
+                        )));
+                    }
+                    referenced[*child] += 1;
+                }
+            }
+        }
+        if referenced[bvh.root()] != 0 {
+            return Err(invalid_scene(
+                "the root node is referenced as a child".into(),
+            ));
+        }
+        for (index, &count) in referenced.iter().enumerate() {
+            if index != bvh.root() && count != 1 {
+                return Err(invalid_scene(format!(
+                    "node {index} is referenced {count} times (expected exactly once)"
+                )));
+            }
+        }
+
+        // Leaves: ranges inside the index table, the table a permutation of the primitives.
+        let mut seen = vec![0usize; triangles.len()];
+        for (index, node) in nodes.iter().enumerate() {
+            if let Bvh4Node::Leaf { first, count } = node {
+                if first + count > bvh.primitive_indices().len() {
+                    return Err(invalid_scene(format!(
+                        "leaf {index} spans [{first}, {}) outside the index table",
+                        first + count
+                    )));
+                }
+                for &primitive in bvh.leaf_primitives(index) {
+                    if primitive >= triangles.len() {
+                        return Err(invalid_scene(format!(
+                            "leaf {index} references primitive {primitive} outside the scene"
+                        )));
+                    }
+                    seen[primitive] += 1;
+                }
+            }
+        }
+        for (primitive, &count) in seen.iter().enumerate() {
+            if count != 1 {
+                return Err(invalid_scene(format!(
+                    "primitive {primitive} appears {count} times across leaves (expected once)"
+                )));
+            }
+        }
+
+        // Bounds: each stored child bound contains its child subtree's primitives, and the
+        // scene bounds contain the root's content.  Content bounds are recomputed bottom-up;
+        // the topology checks above guarantee the reachable structure is a tree, so the
+        // explicit DFS stack terminates.
+        let content = subtree_bounds(bvh, triangles);
+        for (index, node) in nodes.iter().enumerate() {
+            if let Bvh4Node::Internal {
+                children,
+                child_bounds,
+            } = node
+            {
+                for (slot, child) in children.iter().enumerate() {
+                    let Some(child) = child else { continue };
+                    if !guard::aabb_contains_aabb(&child_bounds[slot], &content[*child]) {
+                        return Err(invalid_scene(format!(
+                            "node {index} slot {slot}: stored child bounds do not contain \
+                             child {child}'s subtree"
+                        )));
+                    }
+                }
+            }
+        }
+        if !guard::aabb_contains_aabb(&bvh.scene_bounds(), &content[bvh.root()]) {
+            return Err(invalid_scene(
+                "scene bounds do not contain the root subtree".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Content bounds of every node's subtree (the union of its primitives' bounds), computed with
+/// an explicit post-order stack.  Call only after the topology checks passed.
+fn subtree_bounds(bvh: &Bvh4, triangles: &[Triangle]) -> Vec<Aabb> {
+    let nodes = bvh.nodes();
+    let mut content = vec![Aabb::empty(); nodes.len()];
+    // Post-order: push (node, false) to expand, (node, true) to reduce.
+    let mut stack = vec![(bvh.root(), false)];
+    while let Some((index, expanded)) = stack.pop() {
+        match &nodes[index] {
+            Bvh4Node::Leaf { .. } => {
+                let mut bounds = Aabb::empty();
+                for &primitive in bvh.leaf_primitives(index) {
+                    let triangle = &triangles[primitive];
+                    bounds = bounds
+                        .union_point(triangle.v0)
+                        .union_point(triangle.v1)
+                        .union_point(triangle.v2);
+                }
+                content[index] = bounds;
+            }
+            Bvh4Node::Internal { children, .. } => {
+                if expanded {
+                    let mut bounds = Aabb::empty();
+                    for child in children.iter().flatten() {
+                        bounds = bounds.union(&content[*child]);
+                    }
+                    content[index] = bounds;
+                } else {
+                    stack.push((index, true));
+                    for child in children.iter().flatten() {
+                        stack.push((*child, false));
+                    }
+                }
+            }
+        }
+    }
+    content
+}
+
+fn invalid_scene(reason: String) -> QueryError {
+    QueryError::InvalidScene { reason }
+}
+
+/// Validates one ray stream of a request.
+///
+/// # Errors
+///
+/// [`QueryError::InvalidRequest`] naming the first untraceable ray (NaN/Inf components, zero
+/// direction, NaN extent).
+pub(crate) fn validate_rays(rays: &[Ray], stream: &str) -> Result<(), QueryError> {
+    for (index, ray) in rays.iter().enumerate() {
+        if !guard::finite_ray(ray) {
+            return Err(QueryError::InvalidRequest {
+                reason: format!(
+                    "{stream} ray {index} is not traceable (non-finite component, zero \
+                     direction or NaN extent)"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayflex_geometry::Vec3;
+
+    fn quad() -> Vec<Triangle> {
+        vec![
+            Triangle::new(
+                Vec3::new(-1.0, 0.0, -1.0),
+                Vec3::new(1.0, 0.0, -1.0),
+                Vec3::new(1.0, 0.0, 1.0),
+            ),
+            Triangle::new(
+                Vec3::new(-1.0, 0.0, -1.0),
+                Vec3::new(1.0, 0.0, 1.0),
+                Vec3::new(-1.0, 0.0, 1.0),
+            ),
+        ]
+    }
+
+    #[test]
+    fn a_well_formed_scene_validates() {
+        let triangles = quad();
+        let bvh = Bvh4::build(&triangles);
+        assert_eq!(SceneValidator::validate(&bvh, &triangles), Ok(()));
+    }
+
+    #[test]
+    fn the_empty_scene_validates() {
+        let triangles: Vec<Triangle> = Vec::new();
+        let bvh = Bvh4::build(&triangles);
+        assert_eq!(SceneValidator::validate(&bvh, &triangles), Ok(()));
+    }
+
+    #[test]
+    fn nan_vertices_and_degenerate_triangles_are_rejected() {
+        let mut triangles = quad();
+        triangles[1].v2.x = f32::NAN;
+        let err = SceneValidator::validate_triangles(&triangles).unwrap_err();
+        assert!(matches!(err, QueryError::InvalidScene { ref reason } if reason.contains('1')));
+
+        let mut collinear = quad();
+        collinear[0] = Triangle::new(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+        );
+        let err = SceneValidator::validate_triangles(&collinear).unwrap_err();
+        assert!(err.to_string().contains("degenerate"), "{err}");
+    }
+
+    #[test]
+    fn a_mismatched_bvh_is_rejected() {
+        let triangles = quad();
+        let other = vec![triangles[0]];
+        let bvh = Bvh4::build(&other);
+        // The BVH indexes one primitive; the scene claims two.
+        assert!(SceneValidator::validate_bvh(&bvh, &triangles).is_err());
+    }
+
+    #[test]
+    fn ray_validation_names_the_offending_stream() {
+        let good = Ray::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(validate_rays(&[good], "closest-hit"), Ok(()));
+        let mut bad = good;
+        bad.origin.y = f32::INFINITY;
+        let err = validate_rays(&[good, bad], "any-hit").unwrap_err();
+        assert!(err.to_string().contains("any-hit ray 1"), "{err}");
+    }
+
+    #[test]
+    fn errors_display_their_taxonomy() {
+        let deadline = QueryError::DeadlineExceeded {
+            beats_spent: 17,
+            max_total_beats: 16,
+        };
+        assert!(deadline.to_string().contains("17"));
+        let shard = QueryError::ShardPanicked { shard: 2 };
+        assert!(shard.to_string().contains("shard 2"));
+        let budget = QueryError::BudgetExhausted { max_total_beats: 1 };
+        assert!(budget.to_string().contains("budget exhausted"));
+        let source: &dyn std::error::Error = &budget;
+        assert!(source.source().is_none());
+    }
+
+    #[test]
+    fn outcomes_expose_their_output_either_way() {
+        let complete: QueryOutcome<Vec<u32>> = QueryOutcome::Complete(vec![1, 2, 3]);
+        assert!(complete.is_complete());
+        assert!(complete.partial().is_none());
+        assert_eq!(complete.output(), &vec![1, 2, 3]);
+        assert_eq!(complete.into_output(), vec![1, 2, 3]);
+
+        let partial = QueryOutcome::Partial(PartialResult {
+            output: vec![1u32],
+            completed: 1,
+            total: 3,
+            beats_spent: 9,
+            progress: BeatMix::default(),
+        });
+        assert!(!partial.is_complete());
+        let report = partial.partial().expect("partial report");
+        assert_eq!(
+            (report.completed, report.total, report.beats_spent),
+            (1, 3, 9)
+        );
+        assert_eq!(partial.into_output(), vec![1u32]);
+    }
+}

@@ -1,0 +1,351 @@
+//! Deterministic fault injection for the hardened execution layer.
+//!
+//! The chaos test matrix (`tests/proptest_chaos.rs`) needs to drive every failure path of the
+//! `try_*` entry points on purpose: corrupt inputs, broken acceleration structures, panicking
+//! worker shards and starved beat budgets.  This module packages those faults as a seeded,
+//! reproducible [`FaultPlan`] so a failing chaos case can be replayed bit-for-bit from its seed.
+//!
+//! Faults come in two flavours:
+//!
+//! * **Input corruption** ([`FaultKind::CorruptRay`], [`FaultKind::TruncatePacket`],
+//!   [`FaultKind::FlipBvhChild`]) is applied by the *harness* to its own copies of the inputs
+//!   before the query runs — [`FaultPlan::corrupt_rays`], [`FaultPlan::truncate`] and
+//!   [`FaultPlan::apply_to_bvh`] mutate data the engines then reject with a structured
+//!   [`QueryError`](crate::QueryError).
+//! * **Execution faults** ([`FaultKind::PoisonShard`], [`FaultKind::StarveBudget`]) fire *inside*
+//!   the engines.  Shard poisoning is armed through [`while_armed`] and observed by a checkpoint
+//!   the parallel workers call on entry; budget starvation is simply an
+//!   [`ExecPolicy::with_max_total_beats`](crate::ExecPolicy::with_max_total_beats) of 1, which
+//!   the harness applies itself.
+//!
+//! # Zero cost when off
+//!
+//! Production code never pays for this machinery beyond **one relaxed atomic load** per shard
+//! spawn (not per ray, not per beat): `shard_checkpoint` reads a single `AtomicBool` and returns
+//! immediately when no fault is armed.  No fault state is ever consulted on the beat path.
+//!
+//! # One-shot semantics
+//!
+//! A poisoned shard fires exactly once and disarms itself.  This models a transient execution
+//! fault: the scheduler's one-shot scalar retry of the poisoned index range (see
+//! `crate::parallel`) then succeeds, the recovered output is bit-identical to a clean run, and
+//! the fallback is recorded in [`TraversalStats::shard_fallbacks`](crate::TraversalStats).  A
+//! *persistent* fault (a shard whose retry also dies) surfaces as
+//! [`QueryError::ShardPanicked`](crate::QueryError) instead — the chaos tests cover both by
+//! arming the plan either once or around the retry too.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use rayflex_geometry::Ray;
+
+use crate::bvh::{Bvh4, Bvh4Node};
+
+/// One injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Overwrite one ray of the stream with a non-traceable bit pattern (NaN origin, infinite
+    /// direction, zero direction or NaN extent — chosen by the seed).
+    CorruptRay,
+    /// Drop a seed-chosen suffix of the ray stream, modelling a short packet arriving from a
+    /// truncated DMA transfer.
+    TruncatePacket,
+    /// Break the BVH topology: point an internal node's child slot at an out-of-range or
+    /// already-referenced node (or blow a leaf's primitive range on single-node trees).
+    FlipBvhChild,
+    /// Panic the worker thread of the given shard index, exactly once.
+    PoisonShard(usize),
+    /// Starve the run of beats.  Carries no mechanism of its own — the harness reacts to this
+    /// kind by running the query under `ExecPolicy::with_max_total_beats(1)`.
+    StarveBudget,
+}
+
+/// A seeded, deterministic fault to inject into one query execution.
+///
+/// Equal plans produce equal corruptions: every choice (which ray, which field, how much to
+/// truncate, which child slot) is derived from `seed` with a splitmix64 stream, never from
+/// ambient randomness, so a failing chaos case replays exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// What to break.
+    pub kind: FaultKind,
+    /// Deterministic seed for every choice the fault makes.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan injecting `kind` with deterministic choices drawn from `seed`.
+    #[must_use]
+    pub fn new(kind: FaultKind, seed: u64) -> Self {
+        Self { kind, seed }
+    }
+
+    /// Overwrites one seed-chosen ray with one of four non-traceable corruptions.  Returns the
+    /// corrupted index, or `None` when the stream is empty (nothing to corrupt).
+    ///
+    /// This is a harness-side mutation: apply it to your own copy of the stream, then hand the
+    /// stream to a `try_*` entry point and expect
+    /// [`QueryError::InvalidRequest`](crate::QueryError).
+    pub fn corrupt_rays(&self, rays: &mut [Ray]) -> Option<usize> {
+        if rays.is_empty() {
+            return None;
+        }
+        let mut state = self.seed;
+        let index = (splitmix(&mut state) as usize) % rays.len();
+        let ray = &mut rays[index];
+        match splitmix(&mut state) % 4 {
+            0 => ray.origin.x = f32::NAN,
+            1 => ray.dir.y = f32::INFINITY,
+            2 => {
+                ray.dir.x = 0.0;
+                ray.dir.y = 0.0;
+                ray.dir.z = 0.0;
+            }
+            _ => ray.t_beg = f32::NAN,
+        }
+        Some(index)
+    }
+
+    /// The length a stream of `len` items truncates to: at least one item shorter (when
+    /// possible), never empty unless the stream already was.
+    #[must_use]
+    pub fn truncate_len(&self, len: usize) -> usize {
+        if len <= 1 {
+            return len;
+        }
+        let mut state = self.seed;
+        // Keep 1..=len-1 items.
+        1 + (splitmix(&mut state) as usize) % (len - 1)
+    }
+
+    /// Drops a seed-chosen suffix of the stream ([`FaultPlan::truncate_len`]) and returns the
+    /// new length.  The surviving prefix is untouched, so the expected output of the truncated
+    /// query is exactly the prefix of the clean query's output.
+    pub fn truncate(&self, rays: &mut Vec<Ray>) -> usize {
+        let keep = self.truncate_len(rays.len());
+        rays.truncate(keep);
+        keep
+    }
+
+    /// Breaks the BVH's topology in place so that [`SceneValidator`](crate::SceneValidator)
+    /// must reject it.  Returns `false` only for trees it cannot break (none exist: even a
+    /// single-leaf tree gets its primitive range blown).
+    ///
+    /// Internal trees get a seed-chosen occupied child slot of a seed-chosen internal node
+    /// redirected — either out of range or back to the root (a cycle / double reference).
+    /// Single-node trees get their leaf count extended past the primitive index array.
+    pub fn apply_to_bvh(&self, bvh: &mut Bvh4) -> bool {
+        let mut state = self.seed;
+        let node_count = bvh.node_count();
+        let primitives = bvh.primitive_indices().len();
+        let internal: Vec<usize> = bvh
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n, Bvh4Node::Internal { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let nodes = bvh.nodes_mut();
+        if internal.is_empty() {
+            // A single-leaf tree has no child pointers to flip; blow the leaf range instead.
+            let Some(Bvh4Node::Leaf { first, count }) = nodes.first_mut() else {
+                return false;
+            };
+            *first = 0;
+            *count = primitives + 1;
+            return true;
+        }
+        let target = internal[(splitmix(&mut state) as usize) % internal.len()];
+        let Bvh4Node::Internal { children, .. } = &mut nodes[target] else {
+            return false;
+        };
+        let occupied: Vec<usize> = (0..4).filter(|&s| children[s].is_some()).collect();
+        let slot = occupied[(splitmix(&mut state) as usize) % occupied.len()];
+        children[slot] = if splitmix(&mut state).is_multiple_of(2) {
+            // Out of range: no such node.
+            Some(node_count)
+        } else {
+            // Back to the root: a cycle, and a second reference to a node that must have none.
+            Some(0)
+        };
+        true
+    }
+}
+
+/// The splitmix64 step — the same tiny deterministic generator the vendored `rand` shim builds
+/// on, reimplemented here so fault choices never depend on generator state elsewhere.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Is any poison-shard fault armed?  One relaxed load; `false` is the production constant.
+static POISON_ARMED: AtomicBool = AtomicBool::new(false);
+/// Which shard index the armed fault targets.  Only read after `POISON_ARMED` observes `true`.
+static POISON_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+/// The checkpoint parallel workers call on entry (once per shard, before any tracing).  When a
+/// [`FaultKind::PoisonShard`] plan is armed for this shard index, panics exactly once and
+/// disarms; otherwise a single relaxed atomic load and an immediate return.
+pub(crate) fn shard_checkpoint(shard: usize) {
+    if !POISON_ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    poisoned_shard_panic(shard);
+}
+
+/// The armed-path tail of [`shard_checkpoint`], kept out of the hot function.
+#[cold]
+fn poisoned_shard_panic(shard: usize) {
+    if shard != POISON_SHARD.load(Ordering::SeqCst) {
+        return;
+    }
+    // One-shot: only the thread that wins the disarm race actually panics, so a plan never
+    // kills more than one worker and the scalar retry of that range runs clean.
+    if POISON_ARMED
+        .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+    {
+        panic!("fault injection: shard {shard} poisoned");
+    }
+}
+
+/// The lock serialising fault-armed sections — execution faults are process-global state, so
+/// concurrently running chaos tests must take turns.
+fn harness_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Runs `f` with `plan`'s execution fault armed, then guarantees disarmament — even if `f`
+/// panics (armed state is cleared on unwind, so a poisoned run can never leak its poison into
+/// the next test).
+///
+/// Only [`FaultKind::PoisonShard`] arms anything; for every other kind this is just a
+/// serialising wrapper, letting the chaos harness treat all fault kinds uniformly.  Holds a
+/// global mutex for the duration of `f`, so fault-armed sections in concurrent tests execute
+/// one at a time.
+pub fn while_armed<R>(plan: &FaultPlan, f: impl FnOnce() -> R) -> R {
+    let _serial = harness_lock()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            POISON_ARMED.store(false, Ordering::SeqCst);
+        }
+    }
+    let _disarm = Disarm;
+    if let FaultKind::PoisonShard(shard) = plan.kind {
+        POISON_SHARD.store(shard, Ordering::SeqCst);
+        POISON_ARMED.store(true, Ordering::SeqCst);
+    }
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayflex_geometry::{Triangle, Vec3};
+
+    fn rays(n: usize) -> Vec<Ray> {
+        (0..n)
+            .map(|i| Ray::new(Vec3::new(i as f32, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn ray_corruption_is_deterministic_and_detectable() {
+        let plan = FaultPlan::new(FaultKind::CorruptRay, 7);
+        let mut a = rays(32);
+        let mut b = rays(32);
+        let ia = plan.corrupt_rays(&mut a).unwrap();
+        let ib = plan.corrupt_rays(&mut b).unwrap();
+        assert_eq!(ia, ib, "same seed, same victim");
+        // NaN breaks PartialEq reflexivity, so compare the debug rendering instead.
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "same seed, same corruption"
+        );
+        assert!(!rayflex_core::guard::finite_ray(&a[ia]));
+        assert!(plan.corrupt_rays(&mut Vec::new()).is_none());
+    }
+
+    #[test]
+    fn truncation_keeps_a_proper_nonempty_prefix() {
+        for seed in 0..32u64 {
+            let plan = FaultPlan::new(FaultKind::TruncatePacket, seed);
+            let mut stream = rays(17);
+            let keep = plan.truncate(&mut stream);
+            assert!((1..17).contains(&keep), "seed {seed} kept {keep}");
+            assert_eq!(stream.len(), keep);
+            assert_eq!(stream, rays(17)[..keep], "prefix untouched");
+        }
+        assert_eq!(
+            FaultPlan::new(FaultKind::TruncatePacket, 3).truncate_len(0),
+            0
+        );
+        assert_eq!(
+            FaultPlan::new(FaultKind::TruncatePacket, 3).truncate_len(1),
+            1
+        );
+    }
+
+    #[test]
+    fn bvh_flips_break_validation_on_big_and_tiny_trees() {
+        use crate::SceneValidator;
+        let tris: Vec<Triangle> = (0..64)
+            .map(|i| {
+                let x = (i % 8) as f32 * 2.0;
+                let y = (i / 8) as f32 * 2.0;
+                Triangle::new(
+                    Vec3::new(x, y, 5.0),
+                    Vec3::new(x + 1.0, y, 5.0),
+                    Vec3::new(x, y + 1.0, 5.0),
+                )
+            })
+            .collect();
+        for seed in 0..16u64 {
+            let mut bvh = Bvh4::build(&tris);
+            assert!(SceneValidator::validate(&bvh, &tris).is_ok());
+            assert!(FaultPlan::new(FaultKind::FlipBvhChild, seed).apply_to_bvh(&mut bvh));
+            assert!(
+                SceneValidator::validate(&bvh, &tris).is_err(),
+                "seed {seed} produced a flip the validator missed"
+            );
+        }
+        // Single-leaf tree: no child to flip, the leaf range gets blown instead.
+        let tiny = &tris[..2];
+        let mut bvh = Bvh4::build(tiny);
+        assert_eq!(bvh.node_count(), 1);
+        assert!(FaultPlan::new(FaultKind::FlipBvhChild, 9).apply_to_bvh(&mut bvh));
+        assert!(SceneValidator::validate(&bvh, tiny).is_err());
+    }
+
+    #[test]
+    fn poison_fires_once_for_the_right_shard_and_always_disarms() {
+        let plan = FaultPlan::new(FaultKind::PoisonShard(2), 0);
+        while_armed(&plan, || {
+            shard_checkpoint(0);
+            shard_checkpoint(1); // wrong shards: nothing happens
+            let hit = std::panic::catch_unwind(|| shard_checkpoint(2));
+            assert!(hit.is_err(), "armed shard must panic");
+            shard_checkpoint(2); // one-shot: second visit survives
+        });
+        shard_checkpoint(2); // outside while_armed: disarmed
+    }
+
+    #[test]
+    fn non_poison_kinds_arm_nothing() {
+        let plan = FaultPlan::new(FaultKind::StarveBudget, 0);
+        while_armed(&plan, || {
+            for shard in 0..4 {
+                shard_checkpoint(shard);
+            }
+        });
+    }
+}

@@ -22,6 +22,7 @@
 use rayflex_core::{Opcode, PipelineConfig, RayFlexDatapath, RayFlexRequest, RayFlexResponse};
 use rayflex_geometry::{Aabb, Ray, Sphere, Vec3};
 
+use crate::error::{PartialResult, QueryError, QueryOutcome};
 use crate::policy::{ExecMode, ExecPolicy};
 use crate::query::{BatchQuery, FusedScheduler, QueryKind, StreamRunner, WavefrontScheduler};
 use crate::{Bvh4, Bvh4Node, KnnEngine, Neighbor};
@@ -57,6 +58,14 @@ impl HierarchicalStats {
         self.box_beats += other.box_beats;
         self.euclidean_beats += other.euclidean_beats;
         self.candidates_scored += other.candidates_scored;
+    }
+
+    /// [`HierarchicalStats::merge`] as a value-returning combinator, for fold-style reductions.
+    /// Marked `#[must_use]` because dropping the result silently discards the merge.
+    #[must_use]
+    pub fn merged(mut self, other: &HierarchicalStats) -> Self {
+        self.merge(other);
+        self
     }
 }
 
@@ -144,7 +153,9 @@ impl BatchQuery for CollectQuery<'_> {
                             child_bounds[i].inflated(radius)
                         }
                     });
-                    let ray = state.ray.as_ref().expect("reset built the filter ray");
+                    let Some(ray) = state.ray.as_ref() else {
+                        unreachable!("reset built the filter ray");
+                    };
                     out.push(RayFlexRequest::ray_box(node as u64, ray, &boxes));
                     return true;
                 }
@@ -154,7 +165,9 @@ impl BatchQuery for CollectQuery<'_> {
     }
 
     fn apply(&mut self, _item: usize, state: &mut CollectWork, response: &RayFlexResponse) {
-        let result = response.box_result.expect("box beat");
+        let Some(result) = response.box_result else {
+            unreachable!("a collect beat always carries a box result");
+        };
         let Bvh4Node::Internal { children, .. } = self.bvh.node(response.tag as usize) else {
             unreachable!("box beats only test internal nodes");
         };
@@ -277,7 +290,7 @@ impl HierarchicalSearch {
     pub fn radius_query(&mut self, query: Vec3, radius: f32, policy: &ExecPolicy) -> Vec<Neighbor> {
         self.radius_queries(&[(query, radius)], policy)
             .pop()
-            .expect("one result per query")
+            .unwrap_or_default()
     }
 
     /// Runs a whole batch of radius queries, returning one sorted neighbour list per query —
@@ -339,6 +352,288 @@ impl HierarchicalSearch {
             }
             radius *= 2.0;
         }
+    }
+
+    /// Runs one radius query with up-front validation and deadline-aware cancellation — the
+    /// `Result`-returning variant of [`HierarchicalSearch::radius_query`].
+    ///
+    /// A single query either completes within the deadline (its neighbour list bit-identical
+    /// to the plain entry point's) or surfaces a typed error; there is no meaningful partial
+    /// prefix of one query.  A radius of `0.0` is valid and returns only exact matches.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidRequest`], [`QueryError::DeadlineExceeded`] or
+    /// [`QueryError::BudgetExhausted`].
+    pub fn try_radius_query(
+        &mut self,
+        query: Vec3,
+        radius: f32,
+        policy: &ExecPolicy,
+    ) -> Result<Vec<Neighbor>, QueryError> {
+        match self.try_radius_queries(&[(query, radius)], policy)? {
+            QueryOutcome::Complete(mut lists) => Ok(lists.pop().unwrap_or_default()),
+            QueryOutcome::Partial(partial) => Err(QueryError::DeadlineExceeded {
+                beats_spent: partial.beats_spent,
+                max_total_beats: policy.max_total_beats,
+            }),
+        }
+    }
+
+    /// Runs a batch of radius queries with up-front validation and deadline-aware
+    /// cancellation — the `Result`-returning variant of [`HierarchicalSearch::radius_queries`].
+    ///
+    /// Non-finite query points and non-finite or negative radii surface as
+    /// [`QueryError::InvalidRequest`] before any beat is issued.  With
+    /// [`ExecPolicy::max_total_beats`] set, the budget spans **both phases** — the hierarchy
+    /// filter and the exact scoring — and a fired deadline yields the completed query
+    /// **prefix** as [`QueryOutcome::Partial`]: a query appears only when its filter *and* its
+    /// scoring finished, with a neighbour list bit-identical to the uncapped run's.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidRequest`], or [`QueryError::BudgetExhausted`] when not even one
+    /// query completed within the deadline.
+    pub fn try_radius_queries(
+        &mut self,
+        queries: &[(Vec3, f32)],
+        policy: &ExecPolicy,
+    ) -> Result<QueryOutcome<Vec<Vec<Neighbor>>>, QueryError> {
+        validate_radius_queries(queries)?;
+        if policy.max_total_beats == 0 {
+            return Ok(QueryOutcome::Complete(self.radius_queries(queries, policy)));
+        }
+        self.radius_queries_capped(queries, policy)
+    }
+
+    /// Finds the nearest dataset point with up-front validation and deadline-aware
+    /// cancellation — the `Result`-returning variant of [`HierarchicalSearch::nearest`].
+    ///
+    /// The nearest neighbour is a **global reduction**, so a deadline that fires mid-search
+    /// surfaces as [`QueryError::DeadlineExceeded`] rather than a possibly wrong neighbour.
+    /// The budget spans every expanding-radius round, including the brute-force fallback for
+    /// far-away queries.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidRequest`] or [`QueryError::DeadlineExceeded`].
+    pub fn try_nearest(
+        &mut self,
+        query: Vec3,
+        initial_radius: f32,
+        policy: &ExecPolicy,
+    ) -> Result<Option<Neighbor>, QueryError> {
+        if !query.is_finite() {
+            return Err(QueryError::InvalidRequest {
+                reason: "nearest-neighbour query point has a non-finite component".to_owned(),
+            });
+        }
+        if !initial_radius.is_finite() || initial_radius < 0.0 {
+            return Err(QueryError::InvalidRequest {
+                reason: format!("initial radius {initial_radius} must be finite and non-negative"),
+            });
+        }
+        let cap = policy.max_total_beats;
+        if cap == 0 {
+            return Ok(self.nearest(query, initial_radius, policy));
+        }
+        if self.points.is_empty() {
+            return Ok(None);
+        }
+        let mut beats_spent = 0u64;
+        let mut radius = initial_radius.max(f32::EPSILON);
+        let scene = self.bvh.scene_bounds();
+        let scene_diagonal = (scene.max - scene.min).length().max(1.0);
+        loop {
+            let remaining = cap.saturating_sub(beats_spent);
+            if remaining == 0 {
+                return Err(QueryError::DeadlineExceeded {
+                    beats_spent,
+                    max_total_beats: cap,
+                });
+            }
+            let before = self.stats;
+            let round = self
+                .radius_queries_capped(&[(query, radius)], &policy.with_max_total_beats(remaining));
+            beats_spent += (self.stats.box_beats + self.stats.euclidean_beats)
+                - (before.box_beats + before.euclidean_beats);
+            match round {
+                Ok(QueryOutcome::Complete(lists)) => {
+                    if let Some(&nearest) = lists.first().and_then(|list| list.first()) {
+                        return Ok(Some(nearest));
+                    }
+                }
+                // The round itself crossed the line: no later round can be cheaper.
+                Ok(QueryOutcome::Partial(_)) | Err(QueryError::BudgetExhausted { .. }) => {
+                    return Err(QueryError::DeadlineExceeded {
+                        beats_spent,
+                        max_total_beats: cap,
+                    });
+                }
+                Err(other) => return Err(other),
+            }
+            if radius > 2.0 * scene_diagonal {
+                // Farther than the whole scene extent: score everything once, under whatever
+                // budget is left.
+                let remaining = cap.saturating_sub(beats_spent);
+                let all: Vec<usize> = (0..self.points.len()).collect();
+                let before = self.scorer.stats().beats;
+                let scored = if remaining == 0 {
+                    None
+                } else {
+                    self.score_candidates_capped(query, &all, policy, remaining)
+                };
+                beats_spent += self.scorer.stats().beats - before;
+                let Some(mut results) = scored else {
+                    return Err(QueryError::DeadlineExceeded {
+                        beats_spent,
+                        max_total_beats: cap,
+                    });
+                };
+                results.sort_by(|a, b| {
+                    a.distance
+                        .partial_cmp(&b.distance)
+                        .unwrap_or(core::cmp::Ordering::Equal)
+                        .then(a.index.cmp(&b.index))
+                });
+                return Ok(results.into_iter().next());
+            }
+            radius *= 2.0;
+        }
+    }
+
+    /// The deadline-capped backend of [`HierarchicalSearch::try_radius_queries`]: a capped
+    /// filter run, then per-query capped scoring against the remaining budget.
+    fn radius_queries_capped(
+        &mut self,
+        queries: &[(Vec3, f32)],
+        policy: &ExecPolicy,
+    ) -> Result<QueryOutcome<Vec<Vec<Neighbor>>>, QueryError> {
+        let cap = policy.max_total_beats;
+        let (candidates, filter_beats, filter_complete) =
+            self.filter_candidates_capped(queries, policy, cap);
+        let mut beats_spent = filter_beats;
+        let mut results: Vec<Vec<Neighbor>> = Vec::with_capacity(candidates.len());
+        let mut complete = filter_complete;
+        for (&(query, radius), candidates) in queries.iter().zip(&candidates) {
+            let remaining = cap.saturating_sub(beats_spent);
+            let before = self.scorer.stats().beats;
+            let scored = if remaining == 0 {
+                None
+            } else {
+                self.score_candidates_capped(query, candidates, policy, remaining)
+            };
+            beats_spent += self.scorer.stats().beats - before;
+            let Some(mut neighbors) = scored else {
+                complete = false;
+                break;
+            };
+            let radius_sq = radius * radius;
+            neighbors.retain(|n| n.distance <= radius_sq);
+            neighbors.sort_by(|a, b| {
+                a.distance
+                    .partial_cmp(&b.distance)
+                    .unwrap_or(core::cmp::Ordering::Equal)
+                    .then(a.index.cmp(&b.index))
+            });
+            results.push(neighbors);
+        }
+        if complete && results.len() == queries.len() {
+            return Ok(QueryOutcome::Complete(results));
+        }
+        if results.is_empty() {
+            return Err(QueryError::BudgetExhausted {
+                max_total_beats: cap,
+            });
+        }
+        let completed = results.len();
+        Ok(QueryOutcome::Partial(PartialResult {
+            output: results,
+            completed,
+            total: queries.len(),
+            beats_spent,
+            progress: self.scorer.beat_mix(),
+        }))
+    }
+
+    /// The deadline-capped sibling of the filter phase: the same per-mode dispatch disciplines
+    /// as [`HierarchicalSearch::filter_candidates_batch`], cancelled cooperatively at pass
+    /// boundaries.  Returns the per-query candidate lists of the completed prefix, the beats
+    /// spent, and whether every query's walk finished.  Capped runs filter inline on the
+    /// scorer's datapath in every mode — cooperative cancellation is a single-unit admission
+    /// discipline, so [`ExecMode::Parallel`] does not shard under a deadline.
+    fn filter_candidates_capped(
+        &mut self,
+        queries: &[(Vec3, f32)],
+        policy: &ExecPolicy,
+        cap: u64,
+    ) -> (Vec<Vec<usize>>, u64, bool) {
+        match policy.mode {
+            ExecMode::Wavefront | ExecMode::Parallel { .. } => {
+                let mut collect = CollectQuery::new(&self.bvh, queries);
+                let run = self
+                    .collector
+                    .run_capped(self.scorer.datapath_mut(), &mut collect, cap);
+                self.stats.box_beats += collect.box_beats;
+                (run.outputs, run.beats, run.complete)
+            }
+            ExecMode::ScalarReference | ExecMode::Fused => {
+                let mut runner = StreamRunner::new(CollectQuery::new(&self.bvh, queries));
+                let mut fused =
+                    FusedScheduler::new().with_beat_budget(if policy.mode == ExecMode::Fused {
+                        policy.beat_budget_per_stream
+                    } else {
+                        0
+                    });
+                let run = if policy.mode == ExecMode::ScalarReference {
+                    fused.run_reference_capped(self.scorer.datapath_mut(), &mut [&mut runner], cap)
+                } else {
+                    fused.run_capped(self.scorer.datapath_mut(), &mut [&mut runner], cap)
+                };
+                let (collect, outputs, _total) = runner.finish_partial();
+                self.stats.box_beats += collect.box_beats;
+                (outputs, run.beats, run.complete)
+            }
+        }
+    }
+
+    /// The deadline-capped sibling of [`HierarchicalSearch::score_candidates`]: `None` when
+    /// the scoring run could not complete within `remaining` beats (a partially-scored query
+    /// has no meaningful neighbour list).
+    fn score_candidates_capped(
+        &mut self,
+        query: Vec3,
+        candidates: &[usize],
+        policy: &ExecPolicy,
+        remaining: u64,
+    ) -> Option<Vec<Neighbor>> {
+        let query_vec = [query.x, query.y, query.z];
+        let points: Vec<[f32; 3]> = candidates
+            .iter()
+            .map(|&index| {
+                let p = self.points[index];
+                [p.x, p.y, p.z]
+            })
+            .collect();
+        let beats_before = self.scorer.stats().beats;
+        let outcome = self.scorer.distances_capped(
+            &query_vec,
+            &points,
+            crate::KnnMetric::Euclidean,
+            &policy.with_max_total_beats(remaining),
+        );
+        self.stats.euclidean_beats += self.scorer.stats().beats - beats_before;
+        let Ok(QueryOutcome::Complete(distances)) = outcome else {
+            return None;
+        };
+        self.stats.candidates_scored += candidates.len() as u64;
+        Some(
+            candidates
+                .iter()
+                .zip(distances)
+                .map(|(&index, distance)| Neighbor { index, distance })
+                .collect(),
+        )
     }
 
     /// Hierarchy filter of a query batch: one [`QueryKind::Collect`] run walking the sphere BVH
@@ -466,6 +761,26 @@ impl HierarchicalSearch {
     pub fn sphere_count(&self) -> usize {
         self.spheres.len()
     }
+}
+
+/// Validates a radius-query batch before a `try_*` run accepts it: every query point finite,
+/// every radius finite and non-negative (`0.0` is valid — it matches only exact hits).
+fn validate_radius_queries(queries: &[(Vec3, f32)]) -> Result<(), QueryError> {
+    for (index, &(point, radius)) in queries.iter().enumerate() {
+        if !point.is_finite() {
+            return Err(QueryError::InvalidRequest {
+                reason: format!("radius query {index} has a non-finite point"),
+            });
+        }
+        if !radius.is_finite() || radius < 0.0 {
+            return Err(QueryError::InvalidRequest {
+                reason: format!(
+                    "radius query {index} has radius {radius} (must be finite and non-negative)"
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -695,5 +1010,161 @@ mod tests {
     #[should_panic(expected = "extended datapath")]
     fn baseline_configurations_are_rejected() {
         let _ = HierarchicalSearch::build(Vec::new(), 0.01, PipelineConfig::baseline_unified());
+    }
+
+    #[test]
+    fn try_radius_queries_reject_bad_requests_before_any_beat() {
+        let points = random_points(3, 50, 20.0);
+        let mut search =
+            HierarchicalSearch::build(points, 0.01, PipelineConfig::extended_unified());
+        let baseline = search.stats();
+        let bad_batches: Vec<(Vec<(Vec3, f32)>, &str)> = vec![
+            (vec![(Vec3::new(f32::NAN, 0.0, 0.0), 5.0)], "point"),
+            (vec![(Vec3::ZERO, f32::NAN)], "radius"),
+            (vec![(Vec3::ZERO, -1.0)], "radius"),
+        ];
+        for (batch, needle) in bad_batches {
+            let err = search
+                .try_radius_queries(&batch, &ExecPolicy::wavefront())
+                .unwrap_err();
+            let QueryError::InvalidRequest { reason } = &err else {
+                panic!("expected InvalidRequest, got {err}");
+            };
+            assert!(reason.contains(needle), "{reason}");
+        }
+        let err = search
+            .try_nearest(Vec3::ZERO, f32::INFINITY, &ExecPolicy::wavefront())
+            .unwrap_err();
+        assert!(matches!(err, QueryError::InvalidRequest { .. }), "{err}");
+        assert_eq!(
+            search.stats(),
+            baseline,
+            "rejected requests must not issue a single beat"
+        );
+    }
+
+    #[test]
+    fn try_radius_queries_without_a_deadline_match_the_plain_path() {
+        let points = random_points(23, 200, 30.0);
+        let queries: Vec<(Vec3, f32)> = vec![
+            (Vec3::new(0.0, 0.0, 0.0), 8.0),
+            (Vec3::new(12.0, -4.0, 7.0), 5.0),
+            (Vec3::new(-15.0, 10.0, -2.0), 0.0),
+        ];
+        for policy in [
+            ExecPolicy::scalar(),
+            ExecPolicy::wavefront(),
+            ExecPolicy::parallel(2),
+            ExecPolicy::fused().with_beat_budget(2),
+        ] {
+            let expected =
+                HierarchicalSearch::build(points.clone(), 0.01, PipelineConfig::extended_unified())
+                    .radius_queries(&queries, &policy);
+            let mut search =
+                HierarchicalSearch::build(points.clone(), 0.01, PipelineConfig::extended_unified());
+            let outcome = search.try_radius_queries(&queries, &policy).unwrap();
+            assert!(outcome.is_complete(), "{}", policy.mode);
+            assert_eq!(*outcome.output(), expected, "{}", policy.mode);
+        }
+    }
+
+    #[test]
+    fn a_capped_radius_batch_returns_a_bit_identical_completed_prefix() {
+        let points = random_points(29, 400, 40.0);
+        let queries: Vec<(Vec3, f32)> = (0..6)
+            .map(|i| {
+                (
+                    Vec3::new(i as f32 * 11.0 - 27.0, (i % 3) as f32 * 9.0 - 9.0, 4.0),
+                    6.0 + (i % 2) as f32 * 4.0,
+                )
+            })
+            .collect();
+        let uncapped =
+            HierarchicalSearch::build(points.clone(), 0.01, PipelineConfig::extended_unified())
+                .radius_queries(&queries, &ExecPolicy::wavefront());
+
+        for base in [
+            ExecPolicy::scalar(),
+            ExecPolicy::wavefront(),
+            ExecPolicy::fused().with_beat_budget(2),
+        ] {
+            // A one-beat deadline can never finish the filter *and* score a query.
+            let starved = base.with_max_total_beats(1);
+            let mut search =
+                HierarchicalSearch::build(points.clone(), 0.01, PipelineConfig::extended_unified());
+            let err = search.try_radius_queries(&queries, &starved).unwrap_err();
+            assert!(
+                matches!(err, QueryError::BudgetExhausted { max_total_beats: 1 }),
+                "{} gave {err}",
+                base.mode
+            );
+
+            // A mid-size deadline completes some query prefix; every surfaced list must be
+            // bit-identical to the uncapped run's.
+            let mut search =
+                HierarchicalSearch::build(points.clone(), 0.01, PipelineConfig::extended_unified());
+            for cap in [200u64, 800, 3000] {
+                match search.try_radius_queries(&queries, &base.with_max_total_beats(cap)) {
+                    Ok(outcome) => {
+                        let lists = outcome.output();
+                        if let Some(partial) = outcome.partial() {
+                            assert!(partial.completed < queries.len());
+                            assert_eq!(partial.completed, lists.len());
+                            assert!(partial.beats_spent > 0);
+                        } else {
+                            assert_eq!(lists.len(), queries.len());
+                        }
+                        for (i, list) in lists.iter().enumerate() {
+                            assert_eq!(*list, uncapped[i], "{} cap {cap} query {i}", base.mode);
+                        }
+                    }
+                    Err(err) => assert!(
+                        matches!(err, QueryError::BudgetExhausted { .. }),
+                        "{} cap {cap} gave {err}",
+                        base.mode
+                    ),
+                }
+            }
+
+            // A generous deadline completes the whole batch, bit-identically.
+            let mut search =
+                HierarchicalSearch::build(points.clone(), 0.01, PipelineConfig::extended_unified());
+            let outcome = search
+                .try_radius_queries(&queries, &base.with_max_total_beats(u64::MAX))
+                .unwrap();
+            assert!(outcome.is_complete(), "{}", base.mode);
+            assert_eq!(*outcome.output(), uncapped, "{}", base.mode);
+        }
+    }
+
+    #[test]
+    fn try_nearest_matches_nearest_and_surfaces_deadlines() {
+        let points = random_points(37, 150, 25.0);
+        let mut search =
+            HierarchicalSearch::build(points.clone(), 0.01, PipelineConfig::extended_unified());
+        for query in [Vec3::new(2.0, -3.0, 8.0), Vec3::new(400.0, 400.0, 400.0)] {
+            let expected = search.nearest(query, 1.0, &ExecPolicy::wavefront());
+            let got = search
+                .try_nearest(query, 1.0, &ExecPolicy::wavefront())
+                .unwrap();
+            assert_eq!(got, expected, "query {query}");
+            let generous = ExecPolicy::wavefront().with_max_total_beats(u64::MAX);
+            let got = search.try_nearest(query, 1.0, &generous).unwrap();
+            assert_eq!(got, expected, "capped query {query}");
+        }
+        let starved = ExecPolicy::wavefront().with_max_total_beats(1);
+        let err = search
+            .try_nearest(Vec3::new(2.0, -3.0, 8.0), 1.0, &starved)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                QueryError::DeadlineExceeded {
+                    max_total_beats: 1,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 }

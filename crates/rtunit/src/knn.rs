@@ -18,6 +18,7 @@ use rayflex_core::{
 };
 use rayflex_geometry::golden::distance::{COSINE_LANES, EUCLIDEAN_LANES};
 
+use crate::error::{PartialResult, QueryError, QueryOutcome};
 use crate::policy::{ExecMode, ExecPolicy};
 use crate::query::{BatchQuery, FusedScheduler, QueryKind, StreamRunner, WavefrontScheduler};
 
@@ -61,6 +62,14 @@ impl KnnStats {
     pub fn merge(&mut self, other: &KnnStats) {
         self.beats += other.beats;
         self.candidates += other.candidates;
+    }
+
+    /// [`KnnStats::merge`] as a value-returning combinator, for fold-style reductions.  Marked
+    /// `#[must_use]` because dropping the result silently discards the merge.
+    #[must_use]
+    pub fn merged(mut self, other: &KnnStats) -> Self {
+        self.merge(other);
+        self
     }
 }
 
@@ -145,7 +154,9 @@ impl<C: AsRef<[f32]>> BatchQuery for DistanceQuery<'_, C> {
     }
 
     fn apply(&mut self, _item: usize, state: &mut DistanceWork, response: &RayFlexResponse) {
-        let result = response.distance_result.expect("distance beat");
+        let Some(result) = response.distance_result else {
+            unreachable!("a distance beat always carries a distance result");
+        };
         // Only the last beat of the candidate (the one echoing the accumulator reset) carries
         // the completed reduction.
         match self.metric {
@@ -509,11 +520,190 @@ impl KnnEngine {
         select_k_nearest(&distances, k)
     }
 
+    /// Scores every candidate with up-front validation and deadline-aware cancellation — the
+    /// `Result`-returning variant of [`KnnEngine::distances`].
+    ///
+    /// Dimension mismatches and non-finite vectors surface as
+    /// [`QueryError::InvalidRequest`] instead of a panic, before any beat is issued.  Without a
+    /// deadline the outcome is [`QueryOutcome::Complete`] and bit-identical to
+    /// [`KnnEngine::distances`].  With [`ExecPolicy::max_total_beats`] set, the run cancels
+    /// cooperatively at a pass boundary and yields the completed candidate **prefix** as
+    /// [`QueryOutcome::Partial`] (each surfaced distance bit-identical to the uncapped run), or
+    /// [`QueryError::BudgetExhausted`] when not even one candidate finished.  Capped runs
+    /// score inline on this engine's own datapath in every mode —
+    /// cooperative cancellation is a single-unit admission discipline, so
+    /// [`ExecMode::Parallel`] does not shard under a deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidRequest`] or [`QueryError::BudgetExhausted`], as above.
+    pub fn try_distances<C: AsRef<[f32]> + Sync>(
+        &mut self,
+        query: &[f32],
+        candidates: &[C],
+        metric: KnnMetric,
+        policy: &ExecPolicy,
+    ) -> Result<QueryOutcome<Vec<f32>>, QueryError> {
+        validate_vectors(query, candidates)?;
+        if policy.max_total_beats == 0 {
+            return Ok(QueryOutcome::Complete(
+                self.distances(query, candidates, metric, policy),
+            ));
+        }
+        self.distances_capped(query, candidates, metric, policy)
+    }
+
+    /// The deadline-capped backend of [`KnnEngine::try_distances`]: chunked like the plain
+    /// path, with the remaining budget threaded through each chunk's capped scheduler run.
+    /// Crate-visible so the hierarchical search can run its scoring phase under a shared
+    /// deadline without re-validating per query.
+    pub(crate) fn distances_capped<C: AsRef<[f32]>>(
+        &mut self,
+        query: &[f32],
+        candidates: &[C],
+        metric: KnnMetric,
+        policy: &ExecPolicy,
+    ) -> Result<QueryOutcome<Vec<f32>>, QueryError> {
+        let cap = policy.max_total_beats;
+        let lanes = match metric {
+            KnnMetric::Euclidean => EUCLIDEAN_LANES,
+            KnnMetric::Cosine => COSINE_LANES,
+        };
+        let beats_per_candidate = query.len().div_ceil(lanes).max(1);
+        let chunk_len = (Self::MAX_BEATS_PER_PASS / beats_per_candidate).max(1);
+
+        let mut results = Vec::with_capacity(candidates.len());
+        let mut beats_spent = 0u64;
+        let mut complete = true;
+        for chunk in candidates.chunks(chunk_len) {
+            let remaining = cap.saturating_sub(beats_spent);
+            if remaining == 0 {
+                complete = false;
+                break;
+            }
+            let chunk_complete = match policy.mode {
+                ExecMode::Wavefront | ExecMode::Parallel { .. } => {
+                    let mut batch = DistanceQuery::new(query, chunk, metric);
+                    let run = self
+                        .scheduler
+                        .run_capped(&mut self.datapath, &mut batch, remaining);
+                    beats_spent += run.beats;
+                    results.extend(run.outputs);
+                    self.stats.merge(&batch.stats);
+                    run.complete
+                }
+                ExecMode::ScalarReference | ExecMode::Fused => {
+                    let mut runner = StreamRunner::new(DistanceQuery::new(query, chunk, metric));
+                    self.fused
+                        .set_beat_budget(if policy.mode == ExecMode::Fused {
+                            policy.beat_budget_per_stream
+                        } else {
+                            0
+                        });
+                    let run = if policy.mode == ExecMode::ScalarReference {
+                        self.fused.run_reference_capped(
+                            &mut self.datapath,
+                            &mut [&mut runner],
+                            remaining,
+                        )
+                    } else {
+                        self.fused
+                            .run_capped(&mut self.datapath, &mut [&mut runner], remaining)
+                    };
+                    let (batch, outputs, _total) = runner.finish_partial();
+                    beats_spent += run.beats;
+                    results.extend(outputs);
+                    self.stats.merge(&batch.stats);
+                    run.complete
+                }
+            };
+            if !chunk_complete {
+                complete = false;
+                break;
+            }
+        }
+
+        if complete {
+            return Ok(QueryOutcome::Complete(results));
+        }
+        if results.is_empty() {
+            return Err(QueryError::BudgetExhausted {
+                max_total_beats: cap,
+            });
+        }
+        let completed = results.len();
+        Ok(QueryOutcome::Partial(PartialResult {
+            output: results,
+            completed,
+            total: candidates.len(),
+            beats_spent,
+            progress: self.beat_mix(),
+        }))
+    }
+
+    /// Finds the `k` nearest neighbours with up-front validation and deadline-aware
+    /// cancellation — the `Result`-returning variant of [`KnnEngine::k_nearest`].
+    ///
+    /// A top-k set is a **global reduction**: a winner may hide anywhere in the dataset, so a
+    /// partially-scored prefix has no meaningful "completed" subset and a deadline that fires
+    /// surfaces as [`QueryError::DeadlineExceeded`] rather than a silently wrong neighbour
+    /// list.  `k == 0` is a valid request and returns an empty list.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidRequest`], [`QueryError::DeadlineExceeded`] or
+    /// [`QueryError::BudgetExhausted`], as above.
+    pub fn try_k_nearest(
+        &mut self,
+        query: &[f32],
+        dataset: &[Vec<f32>],
+        k: usize,
+        metric: KnnMetric,
+        policy: &ExecPolicy,
+    ) -> Result<Vec<Neighbor>, QueryError> {
+        match self.try_distances(query, dataset, metric, policy)? {
+            QueryOutcome::Complete(distances) => Ok(select_k_nearest(&distances, k)),
+            QueryOutcome::Partial(partial) => Err(QueryError::DeadlineExceeded {
+                beats_spent: partial.beats_spent,
+                max_total_beats: policy.max_total_beats,
+            }),
+        }
+    }
+
     /// Mutable access to the engine's datapath, for sibling engines that layer further query
     /// kinds (the hierarchical search's candidate-collection filter) onto the same unit.
     pub(crate) fn datapath_mut(&mut self) -> &mut RayFlexDatapath {
         &mut self.datapath
     }
+}
+
+/// Validates a distance request before a `try_*` run accepts it: the query vector and every
+/// candidate must be finite, and every candidate must share the query's dimension (the plain
+/// entry points panic on a mismatch mid-run; the `try_*` ones reject it up front).
+fn validate_vectors<C: AsRef<[f32]>>(query: &[f32], candidates: &[C]) -> Result<(), QueryError> {
+    if !query.iter().all(|x| x.is_finite()) {
+        return Err(QueryError::InvalidRequest {
+            reason: "query vector has a non-finite component".to_owned(),
+        });
+    }
+    for (index, candidate) in candidates.iter().enumerate() {
+        let candidate = candidate.as_ref();
+        if candidate.len() != query.len() {
+            return Err(QueryError::InvalidRequest {
+                reason: format!(
+                    "candidate {index} has dimension {} but the query has {}",
+                    candidate.len(),
+                    query.len()
+                ),
+            });
+        }
+        if !candidate.iter().all(|x| x.is_finite()) {
+            return Err(QueryError::InvalidRequest {
+                reason: format!("candidate {index} has a non-finite component"),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Bounded top-k selection over a scored distance slice: returns the `k` nearest candidates
@@ -891,5 +1081,143 @@ mod tests {
     fn mismatched_dimensions_are_rejected() {
         let mut engine = KnnEngine::new();
         let _ = engine.euclidean_distance_squared(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn try_distances_rejects_bad_vectors_before_any_beat() {
+        let mut engine = KnnEngine::new();
+        let policy = ExecPolicy::wavefront();
+        type Case<'a> = (&'a [f32], Vec<Vec<f32>>, &'a str);
+        let cases: [Case; 3] = [
+            (&[1.0, f32::NAN], vec![vec![0.0, 1.0]], "query"),
+            (&[1.0, 2.0], vec![vec![0.0]], "dimension"),
+            (&[1.0, 2.0], vec![vec![0.0, f32::INFINITY]], "candidate 0"),
+        ];
+        for (query, candidates, needle) in cases {
+            let err = engine
+                .try_distances(query, &candidates, KnnMetric::Euclidean, &policy)
+                .unwrap_err();
+            let QueryError::InvalidRequest { reason } = &err else {
+                panic!("expected InvalidRequest, got {err}");
+            };
+            assert!(reason.contains(needle), "{reason}");
+        }
+        assert_eq!(
+            engine.stats(),
+            KnnStats::default(),
+            "rejected requests must not issue a single beat"
+        );
+    }
+
+    #[test]
+    fn try_distances_without_a_deadline_matches_distances_in_every_mode() {
+        let data = dataset(17, 20);
+        let query = data[5].clone();
+        let policies = [
+            ExecPolicy::scalar(),
+            ExecPolicy::wavefront(),
+            ExecPolicy::parallel(2),
+            ExecPolicy::fused(),
+            ExecPolicy::fused().with_beat_budget(3),
+        ];
+        for policy in policies {
+            let expected = KnnEngine::new().distances(&query, &data, KnnMetric::Euclidean, &policy);
+            let mut engine = KnnEngine::new();
+            let outcome = engine
+                .try_distances(&query, &data, KnnMetric::Euclidean, &policy)
+                .unwrap();
+            assert!(outcome.is_complete(), "{}", policy.mode);
+            for (i, (e, g)) in expected.iter().zip(outcome.output()).enumerate() {
+                assert_eq!(e.to_bits(), g.to_bits(), "{} candidate {i}", policy.mode);
+            }
+        }
+    }
+
+    #[test]
+    fn a_capped_distance_run_returns_a_bit_identical_completed_prefix() {
+        // dim 8 = one Euclidean beat per candidate; a fused beat budget of 4 admits 4 candidates
+        // per shared pass, and a candidate retires on its *next* build call.  A 10-beat deadline
+        // cancels at the boundary after the third pass (12 beats spent), when exactly the first
+        // 8 candidates have retired.
+        let data = dataset(8, 20);
+        let query = data[0].clone();
+        let uncapped = KnnEngine::new().distances(
+            &query,
+            &data,
+            KnnMetric::Euclidean,
+            &ExecPolicy::wavefront(),
+        );
+
+        let capped_policy = ExecPolicy::fused()
+            .with_beat_budget(4)
+            .with_max_total_beats(10);
+        let mut engine = KnnEngine::new();
+        let outcome = engine
+            .try_distances(&query, &data, KnnMetric::Euclidean, &capped_policy)
+            .unwrap();
+        let partial = outcome.partial().expect("the deadline must fire");
+        assert_eq!(partial.completed, 8);
+        assert_eq!(partial.total, 20);
+        assert_eq!(partial.output.len(), 8);
+        assert_eq!(
+            partial.beats_spent, 12,
+            "cancellation overshoots by the pass in flight"
+        );
+        for (i, (e, g)) in uncapped.iter().zip(&partial.output).enumerate() {
+            assert_eq!(e.to_bits(), g.to_bits(), "prefix candidate {i}");
+        }
+
+        let generous = ExecPolicy::fused()
+            .with_beat_budget(4)
+            .with_max_total_beats(u64::MAX);
+        let outcome = KnnEngine::new()
+            .try_distances(&query, &data, KnnMetric::Euclidean, &generous)
+            .unwrap();
+        assert!(outcome.is_complete());
+        for (e, g) in uncapped.iter().zip(outcome.output()) {
+            assert_eq!(e.to_bits(), g.to_bits());
+        }
+    }
+
+    #[test]
+    fn try_k_nearest_surfaces_deadlines_as_typed_errors() {
+        let data = dataset(8, 20);
+        let query = data[3].clone();
+        let expected = KnnEngine::new().k_nearest(
+            &query,
+            &data,
+            4,
+            KnnMetric::Euclidean,
+            &ExecPolicy::wavefront(),
+        );
+        let got = KnnEngine::new()
+            .try_k_nearest(
+                &query,
+                &data,
+                4,
+                KnnMetric::Euclidean,
+                &ExecPolicy::wavefront(),
+            )
+            .unwrap();
+        assert_eq!(got, expected);
+
+        // A top-k over a partial score set would be silently wrong, so a fired deadline is an
+        // error for this global reduction.
+        let capped = ExecPolicy::fused()
+            .with_beat_budget(4)
+            .with_max_total_beats(10);
+        let err = KnnEngine::new()
+            .try_k_nearest(&query, &data, 4, KnnMetric::Euclidean, &capped)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                QueryError::DeadlineExceeded {
+                    max_total_beats: 10,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 }

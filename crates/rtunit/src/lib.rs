@@ -58,8 +58,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod bvh;
+mod error;
+pub mod fault;
 mod hierarchical;
 mod knn;
 mod parallel;
@@ -70,6 +74,7 @@ mod rt_unit;
 mod traversal;
 
 pub use bvh::{Bvh4, Bvh4Node, Primitive};
+pub use error::{PartialResult, QueryError, QueryOutcome, SceneValidator};
 pub use hierarchical::{CollectStream, CollectWork, HierarchicalSearch, HierarchicalStats};
 pub use knn::{select_k_nearest, DistanceStream, KnnEngine, KnnMetric, KnnStats, Neighbor};
 pub use parallel::{default_parallelism, MIN_RAYS_PER_SHARD};
@@ -79,7 +84,8 @@ pub use parallel::{
 };
 pub use policy::{ExecMode, ExecPolicy, ShardHint};
 pub use query::{
-    BatchQuery, FusedScheduler, FusedStream, QueryKind, StreamRunner, WavefrontScheduler,
+    BatchQuery, CappedFusedRun, CappedRun, FusedScheduler, FusedStream, QueryKind, StreamRunner,
+    WavefrontScheduler,
 };
 pub use renderer::{
     default_light_dir, extract_surfels, shade, shade_deferred, Camera, CameraBasis, FrameDesc,

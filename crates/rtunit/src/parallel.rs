@@ -22,17 +22,41 @@
 //! scoped threads let the workers borrow the scene directly.  Swapping in `rayon::scope` later is
 //! a local change to [`shard_map`].
 //!
+//! **Panic isolation:** a panicking worker no longer takes the whole query down.  Every join
+//! site observes the worker's panic (via the `Err` of [`std::thread::Scope`] join handles) and
+//! retries the poisoned shard's index range **once, inline on the calling thread** — for
+//! traversal shards through the scalar reference path, whose outputs and statistics are
+//! bit-identical to the fused discipline by the cross-policy invariant.  A successful retry is
+//! recorded in [`TraversalStats::shard_fallbacks`]; a shard whose retry *also* dies fails the
+//! checked entry point with the shard index
+//! ([`QueryError::ShardPanicked`](crate::QueryError::ShardPanicked) through
+//! [`TraversalEngine::try_trace`](crate::TraversalEngine::try_trace)), while the plain entry
+//! points keep their original panic.  Workers call
+//! [`fault::shard_checkpoint`](crate::fault) on entry — one relaxed atomic load — so the
+//! deterministic chaos harness can poison a chosen shard.
+//!
 //! The policy API reaches this machinery through
 //! [`TraversalEngine::trace`](crate::TraversalEngine::trace) (and the other engines' policy
 //! entry points); the pre-policy free functions (`trace_rays_parallel`,
 //! `trace_shadow_rays_parallel`, `trace_fused_parallel`, `trace_packet_parallel`) survive as
 //! deprecated shims over the same internals.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Ray, RayPacket, Triangle};
 
+use crate::fault;
 use crate::traversal::{TraceRequest, TraversalEngine, TraversalHit, TraversalStats};
-use crate::Bvh4;
+use crate::{Bvh4, ExecPolicy};
+
+/// The result triple of a fused closest-hit + any-hit pair trace: the two hit streams (in the
+/// caller's ray order) and the summed traversal statistics.
+type PairTraceResult = (
+    Vec<Option<TraversalHit>>,
+    Vec<Option<TraversalHit>>,
+    TraversalStats,
+);
 
 /// Minimum rays a shard must carry before an extra worker thread pays for itself.  Below this,
 /// per-spawn overhead dominates the wavefront's per-ray cost and the batched single-engine path
@@ -86,14 +110,29 @@ fn shard_map(
     let shards = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..total)
             .step_by(shard_len.max(1))
-            .map(|begin| {
+            .enumerate()
+            .map(|(shard, begin)| {
                 let range = begin..(begin + shard_len).min(total);
-                scope.spawn(move || work(range))
+                let spawned = range.clone();
+                let handle = scope.spawn(move || {
+                    fault::shard_checkpoint(shard);
+                    work(spawned)
+                });
+                (range, handle)
             })
             .collect();
         handles
             .into_iter()
-            .map(|handle| handle.join().expect("traversal worker panicked"))
+            .map(|(range, handle)| match handle.join() {
+                Ok(result) => result,
+                Err(_) => {
+                    // The worker died; the work is deterministic, so one inline retry of just
+                    // this range reproduces its results exactly.  A second panic propagates.
+                    let (hits, mut stats) = work(range);
+                    stats.shard_fallbacks += 1;
+                    (hits, stats)
+                }
+            })
             .collect::<Vec<_>>()
     });
     let mut hits = Vec::with_capacity(total);
@@ -127,11 +166,22 @@ pub(crate) fn shard_chunks<T: Sync, R: Send>(
     Some(std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(shard_len)
-            .map(|shard| scope.spawn(move || work(shard)))
+            .enumerate()
+            .map(|(index, shard)| {
+                let handle = scope.spawn(move || {
+                    fault::shard_checkpoint(index);
+                    work(shard)
+                });
+                (shard, handle)
+            })
             .collect();
         handles
             .into_iter()
-            .map(|handle| handle.join().expect("shard worker panicked"))
+            .map(|(shard, handle)| {
+                // Panic isolation: a dead worker's chunk is retried once inline (the work is
+                // deterministic); a second panic propagates to the caller.
+                handle.join().unwrap_or_else(|_| work(shard))
+            })
             .collect()
     }))
 }
@@ -146,6 +196,12 @@ pub(crate) fn shard_chunks<T: Sync, R: Send>(
 ///
 /// Returns the closest-hit results, the any-hit results (both in input order) and the summed
 /// statistics; all three are bit-identical to every single-threaded execution mode.
+///
+/// # Panics
+///
+/// Panics if a worker shard panics **and** the one-shot scalar retry of its range panics too —
+/// the behaviour the pre-hardening code had for any worker panic.  Use
+/// [`fused_pair_sharded_checked`] to get the shard index back instead.
 pub(crate) fn fused_pair_sharded(
     config: PipelineConfig,
     bvh: &Bvh4,
@@ -158,6 +214,24 @@ pub(crate) fn fused_pair_sharded(
     Vec<Option<TraversalHit>>,
     TraversalStats,
 ) {
+    fused_pair_sharded_checked(config, bvh, triangles, closest_rays, any_rays, threads)
+        .unwrap_or_else(|shard| {
+            panic!("fused traversal worker panicked (shard {shard}) and its scalar retry failed")
+        })
+}
+
+/// [`fused_pair_sharded`] with panic isolation surfaced instead of propagated: a worker shard
+/// that panics is retried once through the scalar reference path (bit-identical results, the
+/// fallback counted in [`TraversalStats::shard_fallbacks`]); `Err(shard)` reports the shard
+/// index whose retry *also* panicked — the one failure this layer cannot absorb.
+pub(crate) fn fused_pair_sharded_checked(
+    config: PipelineConfig,
+    bvh: &Bvh4,
+    triangles: &[Triangle],
+    closest_rays: &[Ray],
+    any_rays: &[Ray],
+    threads: usize,
+) -> Result<PairTraceResult, usize> {
     let total = closest_rays.len().max(any_rays.len());
     let threads = pair_effective_threads(closest_rays.len(), any_rays.len(), threads);
     let clamp = |range: &core::ops::Range<usize>, len: usize| -> core::ops::Range<usize> {
@@ -184,33 +258,50 @@ pub(crate) fn fused_pair_sharded(
     if threads <= 1 {
         let mut engine = TraversalEngine::with_config(config);
         let (closest, any) = trace_slice(&mut engine, closest_rays, any_rays);
-        return (closest, any, engine.stats());
+        return Ok((closest, any, engine.stats()));
     }
     let shard_len = total.div_ceil(threads).max(1);
     let shards = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..total)
             .step_by(shard_len)
-            .map(|begin| {
+            .enumerate()
+            .map(|(shard, begin)| {
                 let range = begin..(begin + shard_len).min(total);
                 let closest_range = clamp(&range, closest_rays.len());
                 let any_range = clamp(&range, any_rays.len());
                 let trace_slice = &trace_slice;
-                scope.spawn(move || {
+                let spawn_closest = closest_range.clone();
+                let spawn_any = any_range.clone();
+                let handle = scope.spawn(move || {
+                    fault::shard_checkpoint(shard);
                     let mut engine = TraversalEngine::with_config(config);
                     let (closest, any) = trace_slice(
                         &mut engine,
-                        &closest_rays[closest_range],
-                        &any_rays[any_range],
+                        &closest_rays[spawn_closest],
+                        &any_rays[spawn_any],
                     );
                     (closest, any, engine.stats())
-                })
+                });
+                (shard, closest_range, any_range, handle)
             })
             .collect();
         handles
             .into_iter()
-            .map(|handle| handle.join().expect("fused traversal worker panicked"))
-            .collect::<Vec<_>>()
-    });
+            .map(
+                |(shard, closest_range, any_range, handle)| match handle.join() {
+                    Ok(result) => Ok(result),
+                    Err(_) => retry_range_scalar(
+                        config,
+                        bvh,
+                        triangles,
+                        &closest_rays[closest_range],
+                        &any_rays[any_range],
+                    )
+                    .ok_or(shard),
+                },
+            )
+            .collect::<Result<Vec<_>, usize>>()
+    })?;
     let mut closest = Vec::with_capacity(closest_rays.len());
     let mut any = Vec::with_capacity(any_rays.len());
     let mut stats = TraversalStats::default();
@@ -219,7 +310,32 @@ pub(crate) fn fused_pair_sharded(
         any.extend(shard_any);
         stats.merge(&shard_stats);
     }
-    (closest, any, stats)
+    Ok((closest, any, stats))
+}
+
+/// The one-shot recovery path for a poisoned traversal shard: re-trace just its index range
+/// through the scalar reference mode on a fresh engine — bit-identical hits and statistics by
+/// the cross-policy invariant — with the fallback recorded in
+/// [`TraversalStats::shard_fallbacks`].  `None` means the retry itself panicked (a persistent
+/// fault, not a transient one).
+fn retry_range_scalar(
+    config: PipelineConfig,
+    bvh: &Bvh4,
+    triangles: &[Triangle],
+    closest_rays: &[Ray],
+    any_rays: &[Ray],
+) -> Option<PairTraceResult> {
+    catch_unwind(AssertUnwindSafe(|| {
+        let mut engine = TraversalEngine::with_config(config);
+        let output = engine.trace(
+            &TraceRequest::pair(bvh, triangles, closest_rays, any_rays),
+            &ExecPolicy::scalar(),
+        );
+        let mut stats = engine.stats();
+        stats.shard_fallbacks += 1;
+        (output.closest, output.any, stats)
+    }))
+    .ok()
 }
 
 /// Traces a closest-hit ray stream across up to `threads` parallel workers.
@@ -497,5 +613,34 @@ mod tests {
     #[test]
     fn default_parallelism_is_positive() {
         assert!(default_parallelism() >= 1);
+    }
+
+    #[test]
+    fn a_poisoned_shard_recovers_bit_identically_through_the_scalar_retry() {
+        use crate::fault::{while_armed, FaultKind, FaultPlan};
+        let triangles = scene();
+        let bvh = Bvh4::build(&triangles);
+        // Two full shards so the parallel mode really spawns two workers.
+        let rays: Vec<Ray> = camera_rays(96)
+            .into_iter()
+            .cycle()
+            .take(MIN_RAYS_PER_SHARD * 2)
+            .collect();
+        let request = TraceRequest::closest_hit(&bvh, &triangles, &rays);
+        let mut reference = TraversalEngine::baseline();
+        let expected = reference.trace(&request, &ExecPolicy::scalar());
+
+        let plan = FaultPlan::new(FaultKind::PoisonShard(1), 0);
+        let mut engine = TraversalEngine::baseline();
+        let got = while_armed(&plan, || engine.trace(&request, &ExecPolicy::parallel(2)));
+        assert_eq!(got, expected, "recovered hits are bit-identical");
+        let mut stats = engine.stats();
+        assert_eq!(stats.shard_fallbacks, 1, "the fallback left an audit trail");
+        stats.shard_fallbacks = 0;
+        assert_eq!(
+            stats,
+            reference.stats(),
+            "beat counts unchanged by recovery"
+        );
     }
 }

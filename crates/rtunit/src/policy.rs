@@ -107,11 +107,12 @@ impl ExecMode {
         }
     }
 
-    /// Parses a CLI-style mode name (`scalar`, `wavefront`, `parallel`, `fused`), or `None` for
-    /// anything else.  `parallel` resolves its shard count automatically.
+    /// Parses a CLI-style mode name (`scalar`, `wavefront`, `parallel`, `fused`,
+    /// case-insensitive), or `None` for anything else.  `parallel` resolves its shard count
+    /// automatically.
     #[must_use]
     pub fn parse(name: &str) -> Option<ExecMode> {
-        match name {
+        match name.to_ascii_lowercase().as_str() {
             "scalar" => Some(ExecMode::ScalarReference),
             "wavefront" => Some(ExecMode::Wavefront),
             "parallel" => Some(ExecMode::Parallel {
@@ -151,6 +152,20 @@ pub struct ExecPolicy {
     /// item may overshoot the budget by its train's tail.  Ignored by the other modes; outputs
     /// and statistics are budget-invariant — only pass structure changes.
     pub beat_budget_per_stream: usize,
+    /// Deadline / cooperative-cancellation knob: the total datapath beats a single `try_*` call
+    /// may spend before cancelling, or `0` (the default) for no deadline.
+    ///
+    /// The budget is checked **at pass boundaries** (the cooperative cancellation points of
+    /// [`WavefrontScheduler`](crate::WavefrontScheduler) and
+    /// [`FusedScheduler`](crate::FusedScheduler)), so a run never stops mid-pass: the first pass
+    /// always executes, and the run may overshoot the budget by the beats of the pass in flight
+    /// when it crossed the line.  A cancelled run returns a typed partial result — the outputs
+    /// of the longest fully-completed item prefix plus per-stream progress — through the `try_*`
+    /// entry points ([`QueryOutcome::Partial`](crate::QueryOutcome::Partial)); entry points
+    /// whose output is a global reduction (a whole frame, a top-k set) fail with
+    /// [`QueryError::DeadlineExceeded`](crate::QueryError::DeadlineExceeded) instead.  The
+    /// non-`try_*` entry points ignore the knob entirely and always run to completion.
+    pub max_total_beats: u64,
 }
 
 impl ExecPolicy {
@@ -222,6 +237,15 @@ impl ExecPolicy {
         self.beat_budget_per_stream = beats_per_stream_per_pass;
         self
     }
+
+    /// Sets the deadline knob: the total datapath beats a `try_*` call may spend before
+    /// cooperatively cancelling at the next pass boundary (see
+    /// [`ExecPolicy::max_total_beats`]).  `0` disables the deadline.
+    #[must_use]
+    pub fn with_max_total_beats(mut self, max_total_beats: u64) -> Self {
+        self.max_total_beats = max_total_beats;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +259,35 @@ mod tests {
             assert_eq!(mode.to_string(), mode.name());
         }
         assert_eq!(ExecMode::parse("warp"), None);
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!(ExecMode::parse("Scalar"), Some(ExecMode::ScalarReference));
+        assert_eq!(ExecMode::parse("WAVEFRONT"), Some(ExecMode::Wavefront));
+        assert_eq!(
+            ExecMode::parse("Parallel"),
+            Some(ExecMode::Parallel {
+                shards: ShardHint::Auto
+            })
+        );
+        assert_eq!(ExecMode::parse("FuSeD"), Some(ExecMode::Fused));
+        assert_eq!(ExecMode::parse("WARP"), None);
+    }
+
+    #[test]
+    fn the_deadline_knob_defaults_off_and_builds() {
+        assert_eq!(ExecPolicy::new().max_total_beats, 0);
+        let capped = ExecPolicy::wavefront().with_max_total_beats(512);
+        assert_eq!(capped.max_total_beats, 512);
+        assert_eq!(capped.mode, ExecMode::Wavefront);
+        assert_eq!(
+            ExecPolicy::fused()
+                .with_beat_budget(2)
+                .with_max_total_beats(64)
+                .beat_budget_per_stream,
+            2
+        );
     }
 
     #[test]

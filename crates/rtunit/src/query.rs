@@ -89,6 +89,38 @@ pub trait BatchQuery {
     fn finish(&mut self, item: usize, state: &mut Self::State) -> Self::Output;
 }
 
+/// The result of a deadline-capped scheduler run ([`WavefrontScheduler::run_capped`]): the
+/// outputs of the longest fully-retired item prefix, plus how far the run got.
+///
+/// The prefix discipline makes a cancelled run safe to consume: an item either appears with its
+/// complete output — bit-identical to what the uncapped run returns for it, because
+/// cancellation never alters a surviving item's beat sequence — or not at all.  Items that
+/// happened to retire beyond the first still-active item are discarded rather than surfaced out
+/// of order.
+#[derive(Debug)]
+pub struct CappedRun<T> {
+    /// Outputs of the retired prefix, in item order (`total` outputs when `complete`).
+    pub outputs: Vec<T>,
+    /// Items the run was admitted with.
+    pub total: usize,
+    /// Beats the run dispatched before finishing or cancelling.
+    pub beats: u64,
+    /// `true` when every item retired — the cap (if any) never fired.
+    pub complete: bool,
+}
+
+/// Progress report of a deadline-capped fused run ([`FusedScheduler::run_capped`] /
+/// [`FusedScheduler::run_reference_capped`]): how many beats the run spent and whether every
+/// stream drained.  A cancelled run leaves its streams mid-flight; extract each stream's
+/// completed prefix with [`StreamRunner::finish_partial`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CappedFusedRun {
+    /// Beats the run dispatched before finishing or cancelling.
+    pub beats: u64,
+    /// `true` when every stream drained — the cap (if any) never fired.
+    pub complete: bool,
+}
+
 /// The wavefront scheduler: active-set management, pooled per-item state and reusable beat
 /// buffers around [`RayFlexDatapath::execute_batch_into`], generic over the query kind.
 ///
@@ -143,6 +175,33 @@ impl<S: Default> WavefrontScheduler<S> {
     where
         Q: BatchQuery<State = S>,
     {
+        self.run_capped(datapath, query, 0).outputs
+    }
+
+    /// Runs `query` like [`WavefrontScheduler::run`], but cooperatively cancels at the first
+    /// pass boundary where the run has spent at least `max_total_beats` datapath beats
+    /// (`0` disables the cap — the run is then identical to [`WavefrontScheduler::run`]).
+    ///
+    /// Cancellation is **cooperative**: the check sits at the top of the pass loop, so the pass
+    /// in flight when the budget crosses the line completes, and the run may overshoot the cap
+    /// by that pass's beats.  With a cap of at least one, the first pass always executes, so a
+    /// capped run always makes forward progress.  A cancelled run yields the outputs of the
+    /// longest fully-retired item prefix (see [`CappedRun`]); cancelled items' states never
+    /// surface — a mid-flight traversal's "best hit so far" is not a result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a beat's opcode is not supported by the datapath configuration (propagated from
+    /// [`RayFlexDatapath::execute_batch_into`]).
+    pub fn run_capped<Q>(
+        &mut self,
+        datapath: &mut RayFlexDatapath,
+        query: &mut Q,
+        max_total_beats: u64,
+    ) -> CappedRun<Q::Output>
+    where
+        Q: BatchQuery<State = S>,
+    {
         let items = query.items();
 
         // Check out one pooled state per item.
@@ -156,7 +215,15 @@ impl<S: Default> WavefrontScheduler<S> {
         self.active.clear();
         self.active.extend(0..items);
 
+        let mut beats_spent = 0u64;
+        let mut cancelled = false;
         while !self.active.is_empty() {
+            // The pass boundary is the cooperative cancellation point of the deadline knob.
+            if max_total_beats != 0 && beats_spent >= max_total_beats {
+                cancelled = true;
+                break;
+            }
+
             // Build phase: each active item appends its next beat(s); items with no further
             // beats retire in place.
             self.requests.clear();
@@ -187,6 +254,7 @@ impl<S: Default> WavefrontScheduler<S> {
             if self.requests.is_empty() {
                 break;
             }
+            beats_spent += self.requests.len() as u64;
 
             // One bulk dispatch for the whole pass, attributed to the query's kind in the
             // datapath's per-kind BeatMix table.
@@ -202,13 +270,28 @@ impl<S: Default> WavefrontScheduler<S> {
             }
         }
 
-        // Collect outputs and return the states to the pool.
-        let mut outputs = Vec::with_capacity(items);
+        // The retired prefix ends at the first still-active item (the active list stays in
+        // ascending item order: retirement compacts it in place without reordering).
+        let retired_prefix = if cancelled {
+            self.active.first().copied().unwrap_or(items)
+        } else {
+            items
+        };
+
+        // Collect the prefix outputs and return every state (finished or not) to the pool.
+        let mut outputs = Vec::with_capacity(retired_prefix);
         for (item, mut state) in states.into_iter().enumerate() {
-            outputs.push(query.finish(item, &mut state));
+            if item < retired_prefix {
+                outputs.push(query.finish(item, &mut state));
+            }
             self.pool.push(state);
         }
-        outputs
+        CappedRun {
+            outputs,
+            total: items,
+            beats: beats_spent,
+            complete: !cancelled,
+        }
     }
 }
 
@@ -298,6 +381,36 @@ impl<Q: BatchQuery> StreamRunner<Q> {
             .map(|(item, state)| self.query.finish(item, state))
             .collect();
         (self.query, outputs)
+    }
+
+    /// The partial-aware sibling of [`StreamRunner::finish`]: extracts the query, the outputs
+    /// of the longest fully-retired item prefix, and the stream's total item count, after a
+    /// deadline-capped run that may have cancelled the stream mid-flight
+    /// ([`FusedScheduler::run_capped`]).
+    ///
+    /// Items still in flight never surface (their states hold mid-traversal partial answers);
+    /// retired items *beyond* the first in-flight one are discarded so the result is a true
+    /// prefix.  On a stream that actually drained, this equals [`StreamRunner::finish`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream was never run.
+    #[must_use]
+    pub fn finish_partial(mut self) -> (Q, Vec<Q::Output>, usize) {
+        assert!(
+            self.started,
+            "a fused stream must be run before finishing partially"
+        );
+        let total = self.states.len();
+        // The active list stays in ascending item order (compaction preserves relative order),
+        // so the first active item bounds the retired prefix.
+        let prefix = self.active.first().copied().unwrap_or(total);
+        let outputs = self.states[..prefix]
+            .iter_mut()
+            .enumerate()
+            .map(|(item, state)| self.query.finish(item, state))
+            .collect();
+        (self.query, outputs, total)
     }
 }
 
@@ -506,13 +619,40 @@ impl FusedScheduler {
     ///
     /// Panics if a beat's opcode is not supported by the datapath configuration.
     pub fn run(&mut self, datapath: &mut RayFlexDatapath, streams: &mut [&mut dyn FusedStream]) {
+        let progress = self.run_capped(datapath, streams, 0);
+        debug_assert!(progress.complete, "an uncapped fused run always completes");
+    }
+
+    /// Runs the streams like [`FusedScheduler::run`], but cooperatively cancels at the first
+    /// shared-pass boundary where the run has spent at least `max_total_beats` datapath beats
+    /// (`0` disables the cap).  The first pass always executes; a cancelled run leaves streams
+    /// mid-flight — extract each stream's completed prefix with [`StreamRunner::finish_partial`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a beat's opcode is not supported by the datapath configuration.
+    pub fn run_capped(
+        &mut self,
+        datapath: &mut RayFlexDatapath,
+        streams: &mut [&mut dyn FusedStream],
+        max_total_beats: u64,
+    ) -> CappedFusedRun {
         for stream in streams.iter_mut() {
             stream.start();
         }
         self.last_run_passes = 0;
         self.stream_passes.clear();
         self.stream_passes.resize(streams.len(), 0);
+        let mut beats_spent = 0u64;
         while streams.iter().any(|stream| stream.is_active()) {
+            // The shared-pass boundary is the cooperative cancellation point.
+            if max_total_beats != 0 && beats_spent >= max_total_beats {
+                return CappedFusedRun {
+                    beats: beats_spent,
+                    complete: false,
+                };
+            }
+
             // Build phase: every stream appends its (budget-limited) segment of the merged pass.
             self.requests.clear();
             self.segments.clear();
@@ -527,6 +667,7 @@ impl FusedScheduler {
                 break;
             }
             self.last_run_passes += 1;
+            beats_spent += self.requests.len() as u64;
 
             // One bulk dispatch for the merged mixed-kind pass.
             datapath.execute_batch_segmented(&self.requests, &self.segments, &mut self.responses);
@@ -537,6 +678,10 @@ impl FusedScheduler {
                 stream.apply_pass(&self.responses[offset..offset + beats]);
                 offset += beats;
             }
+        }
+        CappedFusedRun {
+            beats: beats_spent,
+            complete: true,
         }
     }
 
@@ -559,14 +704,44 @@ impl FusedScheduler {
         datapath: &mut RayFlexDatapath,
         streams: &mut [&mut dyn FusedStream],
     ) {
+        let progress = self.run_reference_capped(datapath, streams, 0);
+        debug_assert!(
+            progress.complete,
+            "an uncapped reference run always completes"
+        );
+    }
+
+    /// The deadline-capped sibling of [`FusedScheduler::run_reference`]: the same scalar
+    /// round-robin schedule, cooperatively cancelled at the first round boundary where the run
+    /// has spent at least `max_total_beats` emulated beats (`0` disables the cap).  Used as the
+    /// capped [`ScalarReference`](crate::ExecMode::ScalarReference) discipline so scalar and
+    /// batched capped runs share the same pass-boundary cancellation semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a beat's opcode is not supported by the datapath configuration.
+    pub fn run_reference_capped(
+        &mut self,
+        datapath: &mut RayFlexDatapath,
+        streams: &mut [&mut dyn FusedStream],
+        max_total_beats: u64,
+    ) -> CappedFusedRun {
         for stream in streams.iter_mut() {
             stream.start();
         }
         self.last_run_passes = 0;
         self.stream_passes.clear();
         self.stream_passes.resize(streams.len(), 0);
+        let mut beats_spent = 0u64;
         let mut responses: Vec<RayFlexResponse> = Vec::new();
         while streams.iter().any(|stream| stream.is_active()) {
+            // The round boundary is the reference discipline's pass boundary.
+            if max_total_beats != 0 && beats_spent >= max_total_beats {
+                return CappedFusedRun {
+                    beats: beats_spent,
+                    complete: false,
+                };
+            }
             // Round-robin: each stream in turn builds its (budget-limited) pass segment and has
             // it executed beat by beat before the next stream takes over.  The scheduler-side
             // pass accounting mirrors `run` (one scheduled round = one pass, per-stream
@@ -581,6 +756,7 @@ impl FusedScheduler {
                 }
                 round_had_beats = true;
                 self.stream_passes[index] += 1;
+                beats_spent += beats as u64;
                 responses.clear();
                 for request in &self.requests {
                     responses.push(datapath.execute_attributed(request, stream.kind()));
@@ -588,6 +764,10 @@ impl FusedScheduler {
                 stream.apply_pass(&responses);
             }
             self.last_run_passes += u64::from(round_had_beats);
+        }
+        CappedFusedRun {
+            beats: beats_spent,
+            complete: true,
         }
     }
 }
@@ -718,6 +898,187 @@ mod tests {
             QueryKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), QueryKind::ALL.len());
         assert_eq!(QueryKind::AnyHit.to_string(), "any-hit");
+    }
+
+    /// Like the toy query but with a per-item round count, so items retire on different passes —
+    /// the shape a capped run needs to expose a nontrivial retired prefix.
+    struct StaggeredQuery {
+        rays: Vec<Ray>,
+        boxes: [Aabb; 4],
+        rounds: Vec<usize>,
+    }
+
+    impl BatchQuery for StaggeredQuery {
+        type State = CountingState;
+        type Output = usize;
+
+        fn kind(&self) -> QueryKind {
+            QueryKind::ClosestHit
+        }
+
+        fn items(&self) -> usize {
+            self.rays.len()
+        }
+
+        fn reset(&mut self, item: usize, state: &mut CountingState) {
+            state.remaining = self.rounds[item];
+            state.hits = 0;
+        }
+
+        fn build(
+            &mut self,
+            item: usize,
+            state: &mut CountingState,
+            out: &mut Vec<RayFlexRequest>,
+        ) -> bool {
+            if state.remaining == 0 {
+                return false;
+            }
+            state.remaining -= 1;
+            out.push(RayFlexRequest::ray_box(
+                item as u64,
+                &self.rays[item],
+                &self.boxes,
+            ));
+            true
+        }
+
+        fn apply(&mut self, _item: usize, state: &mut CountingState, response: &RayFlexResponse) {
+            let result = response.box_result.expect("box beat");
+            state.hits += usize::from(result.hit[0]);
+        }
+
+        fn finish(&mut self, _item: usize, state: &mut CountingState) -> usize {
+            state.hits
+        }
+    }
+
+    fn staggered_query(rounds: &[usize]) -> StaggeredQuery {
+        StaggeredQuery {
+            rays: (0..rounds.len())
+                .map(|i| {
+                    Ray::new(
+                        Vec3::new(i as f32 * 0.1, 0.0, -5.0),
+                        Vec3::new(0.0, 0.0, 1.0),
+                    )
+                })
+                .collect(),
+            boxes: [Aabb::new(Vec3::splat(-2.0), Vec3::splat(2.0)); 4],
+            rounds: rounds.to_vec(),
+        }
+    }
+
+    #[test]
+    fn an_uncapped_run_capped_call_is_the_plain_run() {
+        let mut scheduler = WavefrontScheduler::new();
+        let mut datapath = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let run = scheduler.run_capped(&mut datapath, &mut toy_query(6, 2), 0);
+        assert!(run.complete, "a zero cap disables the deadline entirely");
+        assert_eq!(run.outputs, vec![2; 6]);
+        assert_eq!(run.total, 6);
+        assert_eq!(run.beats, 12);
+    }
+
+    #[test]
+    fn a_capped_lockstep_run_cancels_with_an_empty_prefix() {
+        // Nine items in lockstep: every pass carries nine beats.  A cap of 10 lets pass 1 (9
+        // beats) through, admits pass 2 (9 < 10), and cancels at the pass-3 boundary with 18
+        // beats spent — the pass in flight when the budget crosses the line always completes.
+        let mut scheduler = WavefrontScheduler::new();
+        let mut datapath = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let run = scheduler.run_capped(&mut datapath, &mut toy_query(9, 3), 10);
+        assert!(!run.complete);
+        assert_eq!(
+            run.beats, 18,
+            "cancellation overshoots by the pass in flight"
+        );
+        assert_eq!(run.total, 9);
+        assert!(
+            run.outputs.is_empty(),
+            "lockstep items are all still in flight: the retired prefix is empty"
+        );
+        assert_eq!(
+            scheduler.pooled_states(),
+            9,
+            "cancelled items' states still return to the pool"
+        );
+    }
+
+    #[test]
+    fn a_capped_staggered_run_yields_the_retired_prefix() {
+        let mut scheduler = WavefrontScheduler::new();
+        let mut datapath = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let expected = scheduler.run(&mut datapath, &mut staggered_query(&[1, 2, 3, 4]));
+        assert_eq!(expected, vec![1, 2, 3, 4], "every round of every item hit");
+
+        // Passes carry 4, 3 and 2 beats (items retire as their rounds run out).  A cap of 8
+        // admits all three (4, then 7, both under the cap) and cancels at the fourth boundary
+        // with 9 beats spent.  An item retires on the pass AFTER its last beat (build returns
+        // false), so by then only items 0 and 1 have retired: the prefix is 2.
+        let mut capped_dp = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let run = scheduler.run_capped(&mut capped_dp, &mut staggered_query(&[1, 2, 3, 4]), 8);
+        assert!(!run.complete);
+        assert_eq!(run.beats, 9);
+        assert_eq!(run.total, 4);
+        assert_eq!(
+            run.outputs,
+            expected[..2],
+            "the retired prefix is bit-identical to the uncapped run"
+        );
+        assert_eq!(scheduler.pooled_states(), 4);
+    }
+
+    #[test]
+    fn finish_partial_extracts_a_true_prefix_from_a_cancelled_fused_run() {
+        // On a stream that actually drained, finish_partial equals finish.
+        let mut fused = FusedScheduler::new();
+        let mut datapath = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let mut drained = StreamRunner::new(toy_query(3, 2));
+        let progress = fused.run_capped(&mut datapath, &mut [&mut drained], 0);
+        assert_eq!(
+            progress,
+            CappedFusedRun {
+                beats: 6,
+                complete: true
+            }
+        );
+        let (_, outputs, total) = drained.finish_partial();
+        assert_eq!(outputs, vec![2; 3]);
+        assert_eq!(total, 3);
+
+        // A cancelled run leaves the stream mid-flight.  With rounds [1, 2, 3] and a cap of 4,
+        // pass 1 (3 beats) executes, pass 2 (2 beats: item 0 retired) crosses the line at 5, and
+        // the run cancels.  Item 1's final beat executed in pass 2, but it retires only on its
+        // next build call — so the true prefix is item 0 alone.
+        let mut capped_dp = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let mut stream = StreamRunner::new(staggered_query(&[1, 2, 3]));
+        let progress = fused.run_capped(&mut capped_dp, &mut [&mut stream], 4);
+        assert_eq!(
+            progress,
+            CappedFusedRun {
+                beats: 5,
+                complete: false
+            }
+        );
+        let (_, outputs, total) = stream.finish_partial();
+        assert_eq!(outputs, vec![1], "retirement lags issue by one pass");
+        assert_eq!(total, 3);
+
+        // The scalar round-robin reference discipline cancels at the same round boundary with
+        // the same prefix — capped runs are mode-invariant.
+        let mut reference_dp = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let mut reference = StreamRunner::new(staggered_query(&[1, 2, 3]));
+        let progress = fused.run_reference_capped(&mut reference_dp, &mut [&mut reference], 4);
+        assert_eq!(
+            progress,
+            CappedFusedRun {
+                beats: 5,
+                complete: false
+            }
+        );
+        let (_, outputs, total) = reference.finish_partial();
+        assert_eq!(outputs, vec![1]);
+        assert_eq!(total, 3);
     }
 
     #[test]

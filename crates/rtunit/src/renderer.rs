@@ -29,8 +29,9 @@ use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Ray, Triangle, Vec3};
 use rayflex_workloads::rays::{ambient_occlusion_rays, surfel_reflection_rays, surfel_shadow_rays};
 
+use crate::error::{QueryError, QueryOutcome, SceneValidator};
 use crate::policy::ExecPolicy;
-use crate::traversal::TraceRequest;
+use crate::traversal::{TraceOutput, TraceRequest};
 use crate::{Bvh4, TraversalEngine, TraversalHit, TraversalStats};
 
 /// A pinhole camera generating one primary ray per pixel.
@@ -439,13 +440,49 @@ fn ao_visibilities(
             if !traced {
                 return 1.0;
             }
-            visibility(
-                probe_chunks
-                    .next()
-                    .expect("one probe chunk per traced surfel"),
-            )
+            // One probe chunk exists per traced surfel by construction; treat a missing
+            // chunk as fully visible rather than panicking.
+            probe_chunks.next().map_or(1.0, visibility)
         })
         .collect()
+}
+
+/// Validates a frame description before any beat is issued: the camera basis must be finite
+/// and non-degenerate, and every configured pass knob finite.  Zero-dimension frames are valid
+/// (they render an empty image), so this guards *malformed* requests, not small ones.
+fn validate_frame(frame: &FrameDesc) -> Result<(), QueryError> {
+    let invalid = |reason: &str| QueryError::InvalidRequest {
+        reason: reason.to_owned(),
+    };
+    let camera = &frame.camera;
+    if !camera.position.is_finite() || !camera.look_at.is_finite() || !camera.up.is_finite() {
+        return Err(invalid("camera position/look_at/up must be finite"));
+    }
+    if (camera.look_at - camera.position).length_squared() == 0.0 {
+        return Err(invalid("camera look_at coincides with its position"));
+    }
+    if camera.up.length_squared() == 0.0 {
+        return Err(invalid("camera up vector must be non-zero"));
+    }
+    if !camera.fov_degrees.is_finite() || camera.fov_degrees <= 0.0 || camera.fov_degrees >= 180.0 {
+        return Err(invalid("camera field of view must lie in (0, 180) degrees"));
+    }
+    if let Some(passes) = &frame.passes {
+        if !passes.light.is_finite() {
+            return Err(invalid("pass light position must be finite"));
+        }
+        if passes.ao_samples > 0 && !(passes.ao_radius.is_finite() && passes.ao_radius > 0.0) {
+            return Err(invalid(
+                "ambient-occlusion radius must be finite and positive when ao_samples > 0",
+            ));
+        }
+        if !passes.bounce_reflectivity.is_finite()
+            || !(0.0..=1.0).contains(&passes.bounce_reflectivity)
+        {
+            return Err(invalid("bounce reflectivity must be finite within [0, 1]"));
+        }
+    }
+    Ok(())
 }
 
 /// The traversal backend of a frame: one engine, one scene, one policy.  Every pass stream —
@@ -457,16 +494,52 @@ struct FrameTracer<'a> {
     bvh: &'a Bvh4,
     triangles: &'a [Triangle],
     policy: ExecPolicy,
+    /// Frame-wide beat deadline ([`ExecPolicy::max_total_beats`]); `0` disables the budget and
+    /// every pass traces to completion.
+    budget: u64,
+    /// The engine's lifetime beat total when the frame started — the budget is charged against
+    /// `total_ops() - baseline_ops`, which also accounts the beats a cancelled pass spent.
+    baseline_ops: u64,
+    /// Set once the frame crosses its deadline; every later pass yields all-miss outputs
+    /// without touching the datapath, so the pipeline drains cheaply and the caller can surface
+    /// a typed error instead of a silently wrong image.
+    exhausted: bool,
 }
 
 impl FrameTracer<'_> {
+    /// Routes one request through the engine, enforcing the frame-level beat budget when one is
+    /// set: a request starting past the deadline — or cancelled mid-run by the capped
+    /// scheduler — marks the tracer exhausted.
+    fn run(&mut self, request: &TraceRequest<'_>) -> TraceOutput {
+        if self.budget == 0 {
+            return self.engine.trace(request, &self.policy);
+        }
+        if !self.exhausted {
+            let spent = self.engine.stats().total_ops() - self.baseline_ops;
+            let remaining = self.budget.saturating_sub(spent);
+            if remaining > 0 {
+                let capped = self.policy.with_max_total_beats(remaining);
+                if let Ok(QueryOutcome::Complete(output)) =
+                    self.engine.trace_capped(request, &capped)
+                {
+                    return output;
+                }
+            }
+            self.exhausted = true;
+        }
+        TraceOutput {
+            closest: vec![None; request.closest_rays().len()],
+            any: vec![None; request.any_rays().len()],
+        }
+    }
+
     /// Traces one single-kind pass stream under the frame's policy.
     fn trace(&mut self, kind: PassKind, rays: &[Ray]) -> Vec<Option<TraversalHit>> {
         let request = match kind {
             PassKind::ClosestHit => TraceRequest::closest_hit(self.bvh, self.triangles, rays),
             PassKind::AnyHit => TraceRequest::any_hit(self.bvh, self.triangles, rays),
         };
-        let output = self.engine.trace(&request, &self.policy);
+        let output = self.run(&request);
         match kind {
             PassKind::ClosestHit => output.closest,
             PassKind::AnyHit => output.any,
@@ -481,10 +554,12 @@ impl FrameTracer<'_> {
         bounce: &[Ray],
         shadow: &[Ray],
     ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
-        let output = self.engine.trace(
-            &TraceRequest::pair(self.bvh, self.triangles, bounce, shadow),
-            &self.policy,
-        );
+        let output = self.run(&TraceRequest::pair(
+            self.bvh,
+            self.triangles,
+            bounce,
+            shadow,
+        ));
         (output.closest, output.any)
     }
 }
@@ -764,6 +839,9 @@ impl Renderer {
             bvh,
             triangles,
             policy: *policy,
+            budget: 0,
+            baseline_ops: 0,
+            exhausted: false,
         };
         match &frame.passes {
             None => primary_frame(&frame.camera, frame.width, frame.height, &mut tracer),
@@ -775,6 +853,93 @@ impl Renderer {
                 &mut tracer,
             ),
         }
+    }
+
+    /// Renders one frame with up-front validation and deadline-aware cancellation — the
+    /// `Result`-returning variant of [`Renderer::render`].
+    ///
+    /// The scene is checked by [`SceneValidator`] and the frame description is checked for
+    /// finiteness (camera basis, field of view, light, AO radius, bounce reflectivity) before
+    /// any beat is issued.  When the policy carries a deadline
+    /// ([`ExecPolicy::with_max_total_beats`]) the budget spans the **whole frame**: every pass
+    /// stream runs capped by the remaining beats, the first pass to overrun is cancelled
+    /// cooperatively at a pass boundary, and the rest of the pipeline drains without touching
+    /// the datapath.  A frame that crosses its deadline surfaces
+    /// [`QueryError::DeadlineExceeded`] rather than a silently incomplete image; an uncapped
+    /// `try_render` is pixel-bit-identical to [`Renderer::render`].
+    ///
+    /// # Errors
+    ///
+    /// * [`QueryError::InvalidScene`] — non-finite vertices, degenerate triangles, or a
+    ///   malformed BVH.
+    /// * [`QueryError::InvalidRequest`] — a non-finite or degenerate camera / pass
+    ///   configuration.  Zero-dimension frames are *valid* and render an empty image.
+    /// * [`QueryError::DeadlineExceeded`] — the frame crossed
+    ///   [`ExecPolicy::max_total_beats`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rayflex_geometry::{Triangle, Vec3};
+    /// use rayflex_rtunit::{Bvh4, Camera, ExecPolicy, FrameDesc, QueryError, Renderer};
+    ///
+    /// let scene = vec![Triangle::new(
+    ///     Vec3::new(-2.0, -2.0, 5.0),
+    ///     Vec3::new(2.0, -2.0, 5.0),
+    ///     Vec3::new(0.0, 2.0, 5.0),
+    /// )];
+    /// let bvh = Bvh4::build(&scene);
+    /// let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
+    /// let frame = FrameDesc::primary(camera, 16, 12);
+    /// let mut renderer = Renderer::new();
+    ///
+    /// let image = renderer
+    ///     .try_render(&bvh, &scene, &frame, &ExecPolicy::wavefront())
+    ///     .unwrap();
+    /// assert!(image.coverage() > 0.0);
+    ///
+    /// // One beat is never enough for a 16x12 frame: the deadline surfaces as a typed error.
+    /// let starved = ExecPolicy::wavefront().with_max_total_beats(1);
+    /// let err = renderer.try_render(&bvh, &scene, &frame, &starved).unwrap_err();
+    /// assert!(matches!(err, QueryError::DeadlineExceeded { .. }));
+    /// ```
+    pub fn try_render(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        frame: &FrameDesc,
+        policy: &ExecPolicy,
+    ) -> Result<Image, QueryError> {
+        SceneValidator::validate(bvh, triangles)?;
+        validate_frame(frame)?;
+        let baseline_ops = self.engine.stats().total_ops();
+        let mut tracer = FrameTracer {
+            engine: &mut self.engine,
+            bvh,
+            triangles,
+            policy: *policy,
+            budget: policy.max_total_beats,
+            baseline_ops,
+            exhausted: false,
+        };
+        let image = match &frame.passes {
+            None => primary_frame(&frame.camera, frame.width, frame.height, &mut tracer),
+            Some(passes) => deferred_frame(
+                &frame.camera,
+                frame.width,
+                frame.height,
+                passes,
+                &mut tracer,
+            ),
+        };
+        let exhausted = tracer.exhausted;
+        if exhausted {
+            return Err(QueryError::DeadlineExceeded {
+                beats_spent: self.engine.stats().total_ops() - baseline_ops,
+                max_total_beats: policy.max_total_beats,
+            });
+        }
+        Ok(image)
     }
 
     // --- Deprecated pre-policy frame flavours, kept as thin shims over `render`. -------------
@@ -1641,6 +1806,126 @@ mod tests {
             &bounce,
             "render_bounce_parallel shim",
         );
+    }
+
+    #[test]
+    fn try_render_rejects_bad_scenes_and_frames_before_any_beat() {
+        let triangles = quad_at_z(5.0, 2.0);
+        let bvh = Bvh4::build(&triangles);
+        let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
+        let policy = ExecPolicy::wavefront();
+        let mut renderer = Renderer::new();
+
+        let mut poisoned = triangles.clone();
+        poisoned[0].v0.x = f32::NAN;
+        let err = renderer
+            .try_render(&bvh, &poisoned, &FrameDesc::primary(camera, 8, 8), &policy)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::InvalidScene { .. }), "{err}");
+
+        let bad_frames = [
+            FrameDesc::primary(
+                Camera::looking_at(Vec3::new(f32::NAN, 0.0, 0.0), Vec3::new(0.0, 0.0, 5.0)),
+                8,
+                8,
+            ),
+            FrameDesc::primary(Camera::looking_at(Vec3::ZERO, Vec3::ZERO), 8, 8),
+            FrameDesc::primary(
+                Camera {
+                    up: Vec3::ZERO,
+                    ..camera
+                },
+                8,
+                8,
+            ),
+            FrameDesc::primary(
+                Camera {
+                    fov_degrees: f32::INFINITY,
+                    ..camera
+                },
+                8,
+                8,
+            ),
+            FrameDesc::deferred(
+                camera,
+                8,
+                8,
+                RenderPasses::shadowed(Vec3::new(0.0, f32::NAN, 0.0)),
+            ),
+            FrameDesc::deferred(
+                camera,
+                8,
+                8,
+                RenderPasses::shadowed(Vec3::ZERO).with_ambient_occlusion(2, -1.0, 7),
+            ),
+        ];
+        for frame in &bad_frames {
+            let err = renderer
+                .try_render(&bvh, &triangles, frame, &policy)
+                .unwrap_err();
+            assert!(matches!(err, QueryError::InvalidRequest { .. }), "{err}");
+        }
+        assert_eq!(
+            renderer.stats(),
+            TraversalStats::default(),
+            "rejected frames must not issue a single beat"
+        );
+    }
+
+    #[test]
+    fn try_render_without_a_deadline_matches_render_in_every_mode() {
+        let scene = scenes::lit_scene(1, 24.0);
+        let bvh = Bvh4::build(&scene.triangles);
+        let camera = Camera::looking_at(scene.eye, scene.target);
+        let passes = RenderPasses::shadowed(scene.light)
+            .with_ambient_occlusion(2, 5.0, 9)
+            .with_bounce(0.25);
+        for frame in [
+            FrameDesc::primary(camera, 16, 12),
+            FrameDesc::deferred(camera, 16, 12, passes),
+            FrameDesc::primary(camera, 0, 0),
+        ] {
+            for policy in std::iter::once(ExecPolicy::scalar()).chain(non_reference_policies()) {
+                let expected = Renderer::new().render(&bvh, &scene.triangles, &frame, &policy);
+                let mut renderer = Renderer::new();
+                let image = renderer
+                    .try_render(&bvh, &scene.triangles, &frame, &policy)
+                    .unwrap();
+                assert_images_bit_identical(&image, &expected, "uncapped try_render");
+            }
+        }
+    }
+
+    #[test]
+    fn a_starved_frame_surfaces_deadline_exceeded_in_every_mode() {
+        let scene = scenes::lit_scene(1, 24.0);
+        let bvh = Bvh4::build(&scene.triangles);
+        let camera = Camera::looking_at(scene.eye, scene.target);
+        let frame = FrameDesc::deferred(camera, 16, 12, RenderPasses::shadowed(scene.light));
+        for base in std::iter::once(ExecPolicy::scalar()).chain(non_reference_policies()) {
+            let starved = base.with_max_total_beats(1);
+            let err = Renderer::new()
+                .try_render(&bvh, &scene.triangles, &frame, &starved)
+                .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    QueryError::DeadlineExceeded {
+                        max_total_beats: 1,
+                        ..
+                    }
+                ),
+                "{} gave {err}",
+                base.mode
+            );
+
+            let generous = base.with_max_total_beats(u64::MAX);
+            let expected = Renderer::new().render(&bvh, &scene.triangles, &frame, &base);
+            let image = Renderer::new()
+                .try_render(&bvh, &scene.triangles, &frame, &generous)
+                .unwrap();
+            assert_images_bit_identical(&image, &expected, "generous deadline");
+        }
     }
 
     #[test]

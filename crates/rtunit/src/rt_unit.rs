@@ -255,7 +255,10 @@ impl RtUnit {
                 .collect();
             handles
                 .into_iter()
-                .map(|handle| handle.join().expect("RT-unit worker panicked"))
+                .map(|handle| match handle.join() {
+                    Ok(result) => result,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
         let mut hits = Vec::with_capacity(rays.len());
@@ -297,10 +300,9 @@ impl RtUnit {
         if let Some(prim) = state.pending_leaf.pop() {
             stats.triangle_ops += 1;
             let request = RayFlexRequest::ray_triangle(prim as u64, ray, &triangles[prim]);
-            let result = datapath
-                .execute(&request)
-                .triangle_result
-                .expect("triangle beat");
+            let Some(result) = datapath.execute(&request).triangle_result else {
+                unreachable!("a triangle beat always returns a triangle result");
+            };
             crate::traversal::record_triangle_hit(&mut state.best, &result, prim, ray);
         } else if let Some(node_index) = state.stack.pop() {
             match bvh.node(node_index) {
@@ -324,7 +326,9 @@ impl RtUnit {
                     stats.box_ops += 1;
                     let boxes = crate::traversal::pad_child_bounds(child_bounds);
                     let request = RayFlexRequest::ray_box(0, ray, &boxes);
-                    let result = datapath.execute(&request).box_result.expect("box beat");
+                    let Some(result) = datapath.execute(&request).box_result else {
+                        unreachable!("a box beat always returns a box result");
+                    };
                     crate::traversal::push_hit_children(
                         &mut state.stack,
                         &result,

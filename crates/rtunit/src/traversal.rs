@@ -35,6 +35,7 @@
 use rayflex_core::{BeatMix, PipelineConfig, RayFlexDatapath, RayFlexRequest, RayFlexResponse};
 use rayflex_geometry::{Aabb, Ray, RayPacket, Triangle};
 
+use crate::error::{validate_rays, PartialResult, QueryError, QueryOutcome, SceneValidator};
 use crate::policy::{ExecMode, ExecPolicy};
 use crate::query::{BatchQuery, FusedScheduler, QueryKind, StreamRunner, WavefrontScheduler};
 use crate::{Bvh4, Bvh4Node};
@@ -62,6 +63,11 @@ pub struct TraversalStats {
     pub leaves_visited: u64,
     /// Rays traversed.
     pub rays: u64,
+    /// Parallel shards whose worker panicked and were recovered by the one-shot scalar retry
+    /// (see `crate::parallel`).  Always zero in a healthy run, so the cross-policy
+    /// stats-equality invariant is unaffected; a non-zero count is the audit trail of a
+    /// tolerated fault.
+    pub shard_fallbacks: u64,
 }
 
 impl TraversalStats {
@@ -89,6 +95,16 @@ impl TraversalStats {
         self.nodes_visited += other.nodes_visited;
         self.leaves_visited += other.leaves_visited;
         self.rays += other.rays;
+        self.shard_fallbacks += other.shard_fallbacks;
+    }
+
+    /// [`TraversalStats::merge`] as a value-returning combinator, for fold-style reductions
+    /// (`shards.iter().fold(TraversalStats::default(), |acc, s| acc.merged(s))`).  Marked
+    /// `#[must_use]` because dropping the result silently discards the merge.
+    #[must_use]
+    pub fn merged(mut self, other: &TraversalStats) -> Self {
+        self.merge(other);
+        self
     }
 }
 
@@ -328,10 +344,9 @@ impl BatchQuery for TraversalQuery<'_> {
 
     fn apply(&mut self, item: usize, state: &mut RayWork, response: &RayFlexResponse) {
         if let Some(result) = response.triangle_result {
-            let prim = state
-                .pending
-                .pop()
-                .expect("triangle beat had a pending prim");
+            let Some(prim) = state.pending.pop() else {
+                unreachable!("a triangle beat always has a pending primitive");
+            };
             match self.kind {
                 // Closest-hit: keep the nearest accepted hit, keep traversing.
                 QueryKind::ClosestHit => {
@@ -413,6 +428,15 @@ impl<'a> TraversalStream<'a> {
     pub fn finish(self) -> (Vec<Option<TraversalHit>>, TraversalStats) {
         let (query, hits) = self.runner.finish();
         (hits, query.stats)
+    }
+
+    /// Like [`TraversalStream::finish`], but tolerant of a budget-cancelled run: yields the
+    /// hits of the longest fully-retired item prefix (everything, if the run completed), the
+    /// prefix length, and the stream's statistics.  Rays cancelled mid-flight surface nothing —
+    /// a premature best-hit would be silently wrong.
+    pub(crate) fn finish_partial(self) -> (Vec<Option<TraversalHit>>, usize, TraversalStats) {
+        let (query, hits, prefix) = self.runner.finish_partial();
+        (hits, prefix, query.stats)
     }
 }
 
@@ -608,6 +632,207 @@ impl TraversalEngine {
         }
     }
 
+    /// [`TraversalEngine::trace`] with the hardened failure contract: structured errors instead
+    /// of garbage or panics, and cooperative deadline cancellation.
+    ///
+    /// * The scene is checked up front by the [`SceneValidator`] (finite non-degenerate
+    ///   triangles, consistent BVH topology and bounds) and both ray streams by the datapath
+    ///   guards — malformed input fails [`QueryError::InvalidScene`] /
+    ///   [`QueryError::InvalidRequest`] before any beat is issued.
+    /// * Under [`ExecMode::Parallel`], a worker shard that panics is retried once through the
+    ///   scalar reference path (bit-identical, counted in
+    ///   [`TraversalStats::shard_fallbacks`]); a shard whose retry also dies fails
+    ///   [`QueryError::ShardPanicked`] instead of unwinding through the caller.
+    /// * With [`ExecPolicy::max_total_beats`] set, the run cancels cooperatively at a pass
+    ///   boundary once the budget is spent and returns [`QueryOutcome::Partial`]: the hits of
+    ///   the longest fully-retired item prefix — bit-identical to the same prefix of the
+    ///   uncapped run — plus progress counters.  A cap too small to retire a single item fails
+    ///   [`QueryError::BudgetExhausted`].
+    ///
+    /// A run that completes within its budget (or with no budget) returns
+    /// [`QueryOutcome::Complete`] carrying exactly what [`TraversalEngine::trace`] would have
+    /// — the plain entry point stays the fast path; this one adds O(scene + rays) validation.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidScene`], [`QueryError::InvalidRequest`],
+    /// [`QueryError::ShardPanicked`] or [`QueryError::BudgetExhausted`], as above.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rayflex_geometry::{Ray, Triangle, Vec3};
+    /// use rayflex_rtunit::{Bvh4, ExecPolicy, QueryError, TraceRequest, TraversalEngine};
+    ///
+    /// let scene = vec![Triangle::new(
+    ///     Vec3::new(-1.0, -1.0, 3.0),
+    ///     Vec3::new(1.0, -1.0, 3.0),
+    ///     Vec3::new(0.0, 1.0, 3.0),
+    /// )];
+    /// let bvh = Bvh4::build(&scene);
+    /// let mut rays = [Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0))];
+    /// let mut engine = TraversalEngine::baseline();
+    /// let outcome = engine
+    ///     .try_trace(&TraceRequest::closest_hit(&bvh, &scene, &rays), &ExecPolicy::wavefront())
+    ///     .unwrap();
+    /// assert!(outcome.is_complete());
+    ///
+    /// rays[0].origin.x = f32::NAN;
+    /// let err = engine
+    ///     .try_trace(&TraceRequest::closest_hit(&bvh, &scene, &rays), &ExecPolicy::wavefront())
+    ///     .unwrap_err();
+    /// assert!(matches!(err, QueryError::InvalidRequest { .. }));
+    /// ```
+    pub fn try_trace(
+        &mut self,
+        request: &TraceRequest<'_>,
+        policy: &ExecPolicy,
+    ) -> Result<QueryOutcome<TraceOutput>, QueryError> {
+        SceneValidator::validate(request.bvh, request.triangles)?;
+        validate_rays(request.closest, "closest-hit")?;
+        validate_rays(request.any, "any-hit")?;
+        if policy.max_total_beats == 0 {
+            return self
+                .trace_isolated(request, policy)
+                .map(QueryOutcome::Complete);
+        }
+        self.trace_capped(request, policy)
+    }
+
+    /// The uncapped `try_trace` body: [`TraversalEngine::trace`], except that parallel worker
+    /// panics surface as [`QueryError::ShardPanicked`] instead of unwinding.
+    fn trace_isolated(
+        &mut self,
+        request: &TraceRequest<'_>,
+        policy: &ExecPolicy,
+    ) -> Result<TraceOutput, QueryError> {
+        if let ExecMode::Parallel { shards } = policy.mode {
+            let threads = shards.requested_threads();
+            let auto_tuned = crate::parallel::pair_effective_threads(
+                request.closest.len(),
+                request.any.len(),
+                threads,
+            );
+            if auto_tuned > 1 {
+                let (closest, any, stats) = crate::parallel::fused_pair_sharded_checked(
+                    *self.config(),
+                    request.bvh,
+                    request.triangles,
+                    request.closest,
+                    request.any,
+                    threads,
+                )
+                .map_err(|shard| QueryError::ShardPanicked { shard })?;
+                self.stats.merge(&stats);
+                return Ok(TraceOutput { closest, any });
+            }
+        }
+        Ok(self.trace(request, policy))
+    }
+
+    /// The deadline-capped `try_trace` body: runs the request under
+    /// [`ExecPolicy::max_total_beats`] and maps the capped machinery's progress onto the
+    /// [`QueryOutcome`] contract.
+    ///
+    /// Capped runs always execute inline on this engine's datapath — cooperative cancellation
+    /// is a single-unit admission policy, so [`ExecMode::Parallel`] does not shard here (hits
+    /// of the completed prefix are bit-identical in every mode regardless).  The wavefront mode
+    /// runs its streams closest-first, threading the remaining budget into the second stream;
+    /// the other modes run both streams through the fused machinery (scalar via the
+    /// register-accurate reference walk).
+    pub(crate) fn trace_capped(
+        &mut self,
+        request: &TraceRequest<'_>,
+        policy: &ExecPolicy,
+    ) -> Result<QueryOutcome<TraceOutput>, QueryError> {
+        let cap = policy.max_total_beats;
+        let total = request.closest.len() + request.any.len();
+        let (output, complete, beats) = if policy.mode == ExecMode::Wavefront {
+            let mut closest_query = TraversalQuery::new(
+                QueryKind::ClosestHit,
+                request.bvh,
+                request.triangles,
+                request.closest,
+            );
+            let closest = self
+                .scheduler
+                .run_capped(&mut self.datapath, &mut closest_query, cap);
+            self.stats.merge(&closest_query.stats);
+            let mut beats = closest.beats;
+            let mut any_hits = Vec::new();
+            let mut any_complete = request.any.is_empty();
+            let remaining = cap.saturating_sub(beats);
+            if closest.complete && !request.any.is_empty() && remaining > 0 {
+                let mut any_query = TraversalQuery::new(
+                    QueryKind::AnyHit,
+                    request.bvh,
+                    request.triangles,
+                    request.any,
+                );
+                let any = self
+                    .scheduler
+                    .run_capped(&mut self.datapath, &mut any_query, remaining);
+                self.stats.merge(&any_query.stats);
+                beats += any.beats;
+                any_hits = any.outputs;
+                any_complete = any.complete;
+            }
+            (
+                TraceOutput {
+                    closest: closest.outputs,
+                    any: any_hits,
+                },
+                closest.complete && any_complete,
+                beats,
+            )
+        } else {
+            let mut closest =
+                TraversalStream::closest_hit(request.bvh, request.triangles, request.closest);
+            let mut any = TraversalStream::any_hit(request.bvh, request.triangles, request.any);
+            let budget = if policy.mode == ExecMode::Fused {
+                policy.beat_budget_per_stream
+            } else {
+                0
+            };
+            self.fused.set_beat_budget(budget);
+            let streams: &mut [&mut dyn crate::query::FusedStream] = &mut [&mut closest, &mut any];
+            let progress = if policy.mode == ExecMode::ScalarReference {
+                self.fused
+                    .run_reference_capped(&mut self.datapath, streams, cap)
+            } else {
+                self.fused.run_capped(&mut self.datapath, streams, cap)
+            };
+            let (closest_hits, _, closest_stats) = closest.finish_partial();
+            let (any_hits, _, any_stats) = any.finish_partial();
+            self.stats.merge(&closest_stats);
+            self.stats.merge(&any_stats);
+            (
+                TraceOutput {
+                    closest: closest_hits,
+                    any: any_hits,
+                },
+                progress.complete,
+                progress.beats,
+            )
+        };
+        if complete {
+            return Ok(QueryOutcome::Complete(output));
+        }
+        let completed = output.closest.len() + output.any.len();
+        if completed == 0 {
+            return Err(QueryError::BudgetExhausted {
+                max_total_beats: cap,
+            });
+        }
+        Ok(QueryOutcome::Partial(PartialResult {
+            output,
+            completed,
+            total,
+            beats_spent: beats,
+            progress: self.beat_mix(),
+        }))
+    }
+
     /// The scalar register-accurate walk of one closest-hit ray (the
     /// [`ExecMode::ScalarReference`] per-ray loop).
     fn scalar_closest_hit(
@@ -631,7 +856,9 @@ impl TraversalEngine {
                         let request =
                             RayFlexRequest::ray_triangle(self.tag(), ray, &triangles[prim]);
                         let response = self.datapath.execute(&request);
-                        let result = response.triangle_result.expect("triangle beat");
+                        let Some(result) = response.triangle_result else {
+                            unreachable!("a triangle beat always returns a triangle result");
+                        };
                         record_triangle_hit(&mut best, &result, prim, ray);
                     }
                 }
@@ -644,7 +871,9 @@ impl TraversalEngine {
                     let boxes = pad_child_bounds(child_bounds);
                     let request = RayFlexRequest::ray_box(self.tag(), ray, &boxes);
                     let response = self.datapath.execute(&request);
-                    let result = response.box_result.expect("box beat");
+                    let Some(result) = response.box_result else {
+                        unreachable!("a box beat always returns a box result");
+                    };
                     push_hit_children(&mut stack, &result, children, best.as_ref());
                 }
             }
@@ -681,7 +910,9 @@ impl TraversalEngine {
                         let request =
                             RayFlexRequest::ray_triangle(self.tag(), ray, &triangles[prim]);
                         let response = self.datapath.execute(&request);
-                        let result = response.triangle_result.expect("triangle beat");
+                        let Some(result) = response.triangle_result else {
+                            unreachable!("a triangle beat always returns a triangle result");
+                        };
                         if result.hit {
                             let t = result.distance();
                             if t >= ray.t_beg && t <= ray.t_end {
@@ -700,7 +931,9 @@ impl TraversalEngine {
                     let boxes = pad_child_bounds(child_bounds);
                     let request = RayFlexRequest::ray_box(self.tag(), ray, &boxes);
                     let response = self.datapath.execute(&request);
-                    let result = response.box_result.expect("box beat");
+                    let Some(result) = response.box_result else {
+                        unreachable!("a box beat always returns a box result");
+                    };
                     push_hit_children(&mut stack, &result, children, None);
                 }
             }
@@ -1372,6 +1605,7 @@ mod tests {
             nodes_visited: 7,
             leaves_visited: 2,
             rays: 11,
+            shard_fallbacks: 1,
         };
         let b = TraversalStats {
             box_ops: 10,
@@ -1379,6 +1613,7 @@ mod tests {
             nodes_visited: 30,
             leaves_visited: 40,
             rays: 50,
+            shard_fallbacks: 0,
         };
         let mut ab = a;
         ab.merge(&b);
@@ -1393,11 +1628,13 @@ mod tests {
                 nodes_visited: 37,
                 leaves_visited: 42,
                 rays: 61,
+                shard_fallbacks: 1,
             }
         );
         let mut identity = ab;
         identity.merge(&TraversalStats::default());
         assert_eq!(identity, ab, "the zero set is the merge identity");
+        assert_eq!(ab.merged(&TraversalStats::default()), ab);
         assert_eq!(ab.total_ops(), 13 + 25);
     }
 
@@ -1448,6 +1685,129 @@ mod tests {
             engine.stats().triangle_ops
         );
         assert_eq!(mix.total(), engine.stats().total_ops());
+    }
+
+    #[test]
+    fn try_trace_rejects_bad_scenes_and_rays_before_any_beat() {
+        use crate::QueryError;
+        let triangles = wall();
+        let bvh = Bvh4::build(&triangles);
+        let mut engine = TraversalEngine::baseline();
+
+        // A NaN vertex in the scene: InvalidScene, no beats issued.
+        let mut bad_scene = triangles.clone();
+        bad_scene[3].v1.y = f32::NAN;
+        let err = engine
+            .try_trace(
+                &TraceRequest::closest_hit(&bvh, &bad_scene, &wall_rays(4)),
+                &ExecPolicy::wavefront(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, QueryError::InvalidScene { .. }), "{err}");
+        assert_eq!(engine.stats(), TraversalStats::default());
+
+        // A corrupt ray: InvalidRequest naming the stream.
+        let mut rays = wall_rays(4);
+        rays[2].dir = Vec3::new(0.0, 0.0, 0.0);
+        let err = engine
+            .try_trace(
+                &TraceRequest::any_hit(&bvh, &triangles, &rays),
+                &ExecPolicy::wavefront(),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("any-hit"), "{err}");
+        assert_eq!(engine.stats(), TraversalStats::default());
+    }
+
+    #[test]
+    fn try_trace_without_a_cap_matches_trace_in_every_mode() {
+        let triangles = wall();
+        let bvh = Bvh4::build(&triangles);
+        let closest = wall_rays(40);
+        let any = wall_rays(25);
+        let request = TraceRequest::pair(&bvh, &triangles, &closest, &any);
+        for policy in [
+            ExecPolicy::scalar(),
+            ExecPolicy::wavefront(),
+            ExecPolicy::fused(),
+            ExecPolicy::parallel(3),
+        ] {
+            let mut plain = TraversalEngine::baseline();
+            let expected = plain.trace(&request, &policy);
+            let mut hardened = TraversalEngine::baseline();
+            let outcome = hardened.try_trace(&request, &policy).unwrap();
+            assert!(outcome.is_complete(), "{}", policy.mode);
+            assert_eq!(outcome.into_output(), expected, "{}", policy.mode);
+            assert_eq!(hardened.stats(), plain.stats(), "{}", policy.mode);
+        }
+    }
+
+    #[test]
+    fn a_capped_trace_returns_a_bit_identical_completed_prefix() {
+        use crate::{QueryError, QueryOutcome};
+        let triangles = wall();
+        let bvh = Bvh4::build(&triangles);
+        let closest = wall_rays(40);
+        let any = wall_rays(25);
+        let request = TraceRequest::pair(&bvh, &triangles, &closest, &any);
+        let mut reference = TraversalEngine::baseline();
+        let expected = reference.trace(&request, &ExecPolicy::scalar());
+
+        for base in [
+            ExecPolicy::scalar(),
+            ExecPolicy::wavefront(),
+            ExecPolicy::fused(),
+            ExecPolicy::parallel(3),
+        ] {
+            // A one-beat budget cannot retire a single ray of this scene.
+            let starved = base.with_max_total_beats(1);
+            let mut engine = TraversalEngine::baseline();
+            let err = engine.try_trace(&request, &starved).unwrap_err();
+            assert!(
+                matches!(err, QueryError::BudgetExhausted { max_total_beats: 1 }),
+                "{}: {err}",
+                base.mode
+            );
+
+            // A mid-sized budget yields a partial whose prefix matches the uncapped run.  The
+            // first ten rays miss the scene entirely (one root-box beat each, retiring in the
+            // first pass); the rest keep traversing, so a 45-beat cap cancels after the second
+            // pass with exactly that ten-ray prefix retired — in every mode, since all modes
+            // issue one beat per active ray per pass.
+            let mut mixed = wall_rays(40);
+            for ray in mixed.iter_mut().take(10) {
+                *ray = Ray::new(Vec3::new(100.0, 100.0, 0.0), Vec3::new(0.0, 0.0, -1.0));
+            }
+            let mixed_request = TraceRequest::closest_hit(&bvh, &triangles, &mixed);
+            let mut mixed_reference = TraversalEngine::baseline();
+            let mixed_expected = mixed_reference.trace(&mixed_request, &ExecPolicy::scalar());
+            let capped = base.with_max_total_beats(45);
+            let mut engine = TraversalEngine::baseline();
+            match engine.try_trace(&mixed_request, &capped).unwrap() {
+                QueryOutcome::Partial(partial) => {
+                    let got = &partial.output;
+                    assert_eq!(partial.completed, 10, "{}", base.mode);
+                    assert_eq!(partial.total, mixed.len());
+                    assert!(partial.beats_spent >= 45, "cap fires only once exceeded");
+                    assert_eq!(
+                        got.closest[..],
+                        mixed_expected.closest[..got.closest.len()],
+                        "{}: closest prefix diverged",
+                        base.mode
+                    );
+                }
+                QueryOutcome::Complete(_) => {
+                    panic!("{}: 45 beats must not finish this request", base.mode)
+                }
+            }
+
+            // A generous budget completes and matches the plain path exactly.
+            let generous = base.with_max_total_beats(u64::MAX);
+            let mut engine = TraversalEngine::baseline();
+            let outcome = engine.try_trace(&request, &generous).unwrap();
+            assert!(outcome.is_complete(), "{}", base.mode);
+            assert_eq!(outcome.into_output(), expected, "{}", base.mode);
+        }
     }
 
     #[test]

@@ -13,8 +13,8 @@ use proptest::prelude::*;
 use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Ray, Triangle, Vec3};
 use rayflex_rtunit::{
-    Bvh4, Camera, ExecPolicy, FrameDesc, HierarchicalSearch, KnnEngine, KnnMetric, RenderPasses,
-    Renderer, TraceRequest, TraversalEngine,
+    Bvh4, Camera, ExecMode, ExecPolicy, FrameDesc, HierarchicalSearch, KnnEngine, KnnMetric,
+    RenderPasses, Renderer, TraceRequest, TraversalEngine,
 };
 
 fn coordinate() -> impl Strategy<Value = f32> {
@@ -242,5 +242,73 @@ proptest! {
         );
         // Total datapath work is identical either way.
         prop_assert_eq!(strict.beat_mix().total(), unlimited.beat_mix().total());
+    }
+}
+
+/// Empty and zero-length inputs are valid requests in every `ExecMode`: a 0-ray `TraceRequest`,
+/// a 0×0 `FrameDesc`, k = 0 kNN and a radius-0 query all complete — empty outputs where outputs
+/// would be, zero-distance matches only for the zero radius — and agree with the scalar
+/// reference exactly.
+#[test]
+fn empty_and_zero_sized_inputs_are_valid_in_every_mode() {
+    let triangles = vec![
+        Triangle::new(
+            Vec3::new(-2.0, -2.0, 5.0),
+            Vec3::new(2.0, -2.0, 5.0),
+            Vec3::new(0.0, 2.0, 5.0),
+        ),
+        Triangle::new(
+            Vec3::new(-2.0, 2.0, 7.0),
+            Vec3::new(2.0, 2.0, 7.0),
+            Vec3::new(0.0, -2.0, 7.0),
+        ),
+    ];
+    let bvh = Bvh4::build(&triangles);
+    let no_rays: Vec<Ray> = Vec::new();
+    let camera = Camera::looking_at(Vec3::new(0.0, 0.0, -10.0), Vec3::ZERO);
+    let candidates = vec![vec![1.0f32; 5], vec![4.0f32; 5]];
+    let points = vec![Vec3::ZERO, Vec3::splat(3.0)];
+
+    for mode in ExecMode::ALL {
+        let policy = ExecPolicy::with_mode(mode);
+
+        // 0-ray trace: both streams empty in, both streams empty out, no beats spent.
+        let mut engine = TraversalEngine::baseline();
+        let out = engine.trace(
+            &TraceRequest::pair(&bvh, &triangles, &no_rays, &no_rays),
+            &policy,
+        );
+        assert!(out.closest.is_empty() && out.any.is_empty(), "{mode}");
+        assert_eq!(
+            engine.stats().total_ops(),
+            0,
+            "{mode}: no beats for no rays"
+        );
+
+        // 0×0 frame: a legal degenerate viewport.
+        let mut renderer = Renderer::new();
+        let image = renderer.render(&bvh, &triangles, &FrameDesc::primary(camera, 0, 0), &policy);
+        assert_eq!((image.width(), image.height()), (0, 0), "{mode}");
+
+        // k = 0: a valid query with an empty answer, regardless of the candidate set.
+        let neighbours = KnnEngine::new().k_nearest(
+            &candidates[0],
+            &candidates,
+            0,
+            KnnMetric::Euclidean,
+            &policy,
+        );
+        assert!(neighbours.is_empty(), "{mode}: k = 0 returns nothing");
+
+        // radius = 0: only exact (zero-distance) matches can qualify.
+        let mut search =
+            HierarchicalSearch::build(points.clone(), 0.05, PipelineConfig::extended_unified());
+        let exact = search.radius_query(Vec3::ZERO, 0.0, &policy);
+        assert!(
+            exact.iter().all(|n| n.distance == 0.0),
+            "{mode}: radius 0 admits only exact matches"
+        );
+        let miss = search.radius_query(Vec3::splat(1.0), 0.0, &policy);
+        assert!(miss.is_empty(), "{mode}: radius 0 off-point finds nothing");
     }
 }

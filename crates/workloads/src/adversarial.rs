@@ -1,0 +1,213 @@
+//! Adversarial workload generators: deterministically malformed scenes, rays and vector sets
+//! for the hardened execution layer's failure paths.
+//!
+//! The regular generators in this crate produce well-formed workloads; these produce inputs a
+//! robust engine must *reject* — non-finite vertices, zero-area triangles, untraceable rays,
+//! corrupt vector components.  The chaos harness (`rtunit/tests/proptest_chaos.rs`) feeds them
+//! to the `try_*` entry points and asserts a structured error comes back, never a panic and
+//! never a silently wrong answer.
+//!
+//! Everything is deterministic given a seed (the crate-wide contract), so a failing chaos case
+//! replays bit-for-bit.  Generators that corrupt a single victim return its index, letting a
+//! test assert the error names the right element.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rayflex_geometry::{Ray, Triangle, Vec3};
+
+/// A well-formed scene of `count` random, non-degenerate triangles inside a ±`extent` box —
+/// the clean baseline the corrupting generators start from (and chaos tests trace fault-free
+/// reference runs against).
+#[must_use]
+pub fn valid_scene(seed: u64, count: usize, extent: f32) -> Vec<Triangle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let point = |rng: &mut StdRng| {
+        Vec3::new(
+            rng.gen_range(-extent..extent),
+            rng.gen_range(-extent..extent),
+            rng.gen_range(-extent..extent),
+        )
+    };
+    let mut triangles = Vec::with_capacity(count);
+    while triangles.len() < count {
+        let triangle = Triangle::new(point(&mut rng), point(&mut rng), point(&mut rng));
+        // Random vertices are almost never collinear, but the adversarial suite cannot afford
+        // "almost": resample until the triangle is robustly non-degenerate.
+        if triangle.area() > 1e-3 {
+            triangles.push(triangle);
+        }
+    }
+    triangles
+}
+
+/// A [`valid_scene`] with one seed-chosen vertex component made non-finite (NaN or infinity).
+/// Returns the scene and the index of the poisoned triangle.
+///
+/// Scene validation must reject this with an `invalid scene` error naming that triangle.
+#[must_use]
+pub fn poisoned_scene(seed: u64, count: usize) -> (Vec<Triangle>, usize) {
+    let mut triangles = valid_scene(seed, count.max(1), 20.0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let victim = rng.gen_range(0..triangles.len());
+    let poison = if rng.gen_bool(0.5) {
+        f32::NAN
+    } else {
+        f32::INFINITY
+    };
+    let vertex = match rng.gen_range(0..3u32) {
+        0 => &mut triangles[victim].v0,
+        1 => &mut triangles[victim].v1,
+        _ => &mut triangles[victim].v2,
+    };
+    match rng.gen_range(0..3u32) {
+        0 => vertex.x = poison,
+        1 => vertex.y = poison,
+        _ => vertex.z = poison,
+    }
+    (triangles, victim)
+}
+
+/// A [`valid_scene`] with one seed-chosen triangle collapsed to **exactly** zero area by
+/// repeating one of its vertices (float-rounded "collinear" constructions leave residual area
+/// and would slip past an exact-zero degeneracy check).  Returns the scene and the index of the
+/// degenerate triangle.
+#[must_use]
+pub fn degenerate_scene(seed: u64, count: usize) -> (Vec<Triangle>, usize) {
+    let mut triangles = valid_scene(seed, count.max(1), 20.0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+    let victim = rng.gen_range(0..triangles.len());
+    let base = triangles[victim];
+    triangles[victim] = if rng.gen_bool(0.5) {
+        Triangle::new(base.v0, base.v1, base.v0)
+    } else {
+        Triangle::new(base.v0, base.v1, base.v1)
+    };
+    (triangles, victim)
+}
+
+/// `count` rays that are every one of them untraceable: NaN origins, infinite or zero
+/// directions, NaN extents — the corruption rotating deterministically with the seed.
+///
+/// Request validation must reject the stream at its first ray.
+#[must_use]
+pub fn hostile_rays(seed: u64, count: usize) -> Vec<Ray> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut ray = Ray::new(
+                Vec3::new(
+                    rng.gen_range(-10.0..10.0),
+                    rng.gen_range(-10.0..10.0),
+                    rng.gen_range(-10.0..10.0),
+                ),
+                Vec3::new(0.0, 0.0, 1.0),
+            );
+            match rng.gen_range(0..4u32) {
+                0 => ray.origin.x = f32::NAN,
+                1 => ray.dir.y = f32::INFINITY,
+                2 => ray.dir = Vec3::ZERO,
+                _ => ray.t_end = f32::NAN,
+            }
+            ray
+        })
+        .collect()
+}
+
+/// A well-formed `count`×`dim` candidate set with one seed-chosen victim corrupted: either a
+/// NaN component or a wrong dimension (one element too short, never empty).  Returns the
+/// candidates and the victim's index.
+///
+/// Vector validation must reject the set with an error naming that candidate.
+#[must_use]
+pub fn hostile_vectors(seed: u64, count: usize, dim: usize) -> (Vec<Vec<f32>>, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut candidates: Vec<Vec<f32>> = (0..count.max(1))
+        .map(|_| (0..dim).map(|_| rng.gen_range(-8.0..8.0)).collect())
+        .collect();
+    let victim = rng.gen_range(0..candidates.len());
+    if rng.gen_bool(0.5) || dim <= 1 {
+        let component = rng.gen_range(0..dim.max(1));
+        if let Some(value) = candidates[victim].get_mut(component) {
+            *value = f32::NAN;
+        } else {
+            candidates[victim].push(f32::NAN);
+        }
+    } else {
+        candidates[victim].pop();
+    }
+    (candidates, victim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_scenes_are_deterministic_and_non_degenerate() {
+        let a = valid_scene(5, 24, 20.0);
+        let b = valid_scene(5, 24, 20.0);
+        assert_eq!(a, b, "same seed, same scene");
+        assert_eq!(a.len(), 24);
+        assert!(a.iter().all(|t| t.area() > 1e-3));
+        assert_ne!(valid_scene(6, 24, 20.0), a);
+    }
+
+    #[test]
+    fn poisoned_scenes_carry_exactly_one_non_finite_triangle() {
+        for seed in 0..16u64 {
+            let (scene, victim) = poisoned_scene(seed, 12);
+            let finite = |t: &Triangle| t.v0.is_finite() && t.v1.is_finite() && t.v2.is_finite();
+            assert!(!finite(&scene[victim]), "seed {seed}: victim not poisoned");
+            let poisoned = scene.iter().filter(|t| !finite(t)).count();
+            assert_eq!(poisoned, 1, "seed {seed}: exactly one victim");
+        }
+        // NaN breaks PartialEq reflexivity, so determinism is pinned via the debug rendering.
+        let (a, ia) = poisoned_scene(3, 12);
+        let (b, ib) = poisoned_scene(3, 12);
+        assert_eq!(ia, ib);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn degenerate_scenes_carry_exactly_one_flat_triangle() {
+        for seed in 0..16u64 {
+            let (scene, victim) = degenerate_scene(seed, 12);
+            assert_eq!(scene[victim].area(), 0.0, "seed {seed}: victim not flat");
+            let flat = scene.iter().filter(|t| t.area() <= 1e-3).count();
+            assert_eq!(flat, 1, "seed {seed}: exactly one victim");
+        }
+    }
+
+    #[test]
+    fn hostile_rays_are_all_untraceable() {
+        let rays = hostile_rays(9, 64);
+        assert_eq!(rays.len(), 64);
+        for (i, ray) in rays.iter().enumerate() {
+            let untraceable = !ray.origin.is_finite()
+                || !ray.dir.is_finite()
+                || ray.dir.length_squared() == 0.0
+                || ray.t_end.is_nan();
+            assert!(untraceable, "ray {i} is traceable");
+        }
+        assert_eq!(
+            format!("{:?}", hostile_rays(9, 8)),
+            format!("{:?}", hostile_rays(9, 8))
+        );
+    }
+
+    #[test]
+    fn hostile_vector_sets_carry_exactly_one_bad_candidate() {
+        for seed in 0..16u64 {
+            let (candidates, victim) = hostile_vectors(seed, 10, 7);
+            let bad = |v: &Vec<f32>| v.len() != 7 || v.iter().any(|x| x.is_nan());
+            assert!(bad(&candidates[victim]), "seed {seed}: victim intact");
+            assert_eq!(
+                candidates.iter().filter(|v| bad(v)).count(),
+                1,
+                "seed {seed}: exactly one victim"
+            );
+            assert!(!candidates[victim].is_empty(), "never empty");
+        }
+    }
+}

@@ -13,6 +13,9 @@
 //! * `--bounce` — adds the one-bounce mirror-reflection pass; under `--mode fused` its bounce
 //!   closest-hit stream and the shadow any-hit stream share bulk passes over one datapath, and
 //!   the example prints the per-kind beat mix the fusion produced.
+//! * `--corrupt` — deliberately poisons the scene (a NaN vertex) and renders through the
+//!   hardened `try_render` entry point: the run prints the structured `invalid scene` error and
+//!   exits with status 2 instead of panicking.  CI smokes this path.
 //!
 //! Setting `RAYFLEX_SMOKE=1` shrinks the frame and skips the timing sweep — the CI smoke mode
 //! that keeps the example from rotting (CI runs it once per `--mode`).
@@ -23,17 +26,31 @@ use rayflex::rtunit::{
 };
 use rayflex::workloads::scenes;
 
+/// The valid `--mode` values, straight from the mode enum so the help text can never go stale.
+fn mode_list() -> String {
+    ExecMode::ALL
+        .iter()
+        .map(|mode| mode.name())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 fn main() {
     let smoke = std::env::var("RAYFLEX_SMOKE").is_ok_and(|v| v != "0");
     let args: Vec<String> = std::env::args().collect();
     let bounce = args.iter().any(|arg| arg == "--bounce");
+    let corrupt = args.iter().any(|arg| arg == "--corrupt");
     let mode = args
         .iter()
         .position(|arg| arg == "--mode")
         .map(|at| {
-            let name = args.get(at + 1).expect("--mode needs a value");
+            let Some(name) = args.get(at + 1) else {
+                eprintln!("--mode needs a value; valid modes: {}", mode_list());
+                std::process::exit(2);
+            };
             ExecMode::parse(name).unwrap_or_else(|| {
-                panic!("unknown mode {name:?} (scalar|wavefront|parallel|fused)")
+                eprintln!("unknown mode {name:?}; valid modes: {}", mode_list());
+                std::process::exit(2);
             })
         })
         .unwrap_or(ExecMode::Wavefront);
@@ -54,6 +71,29 @@ fn main() {
 
     let camera = Camera::looking_at(scene.eye, scene.target);
     let mut renderer = Renderer::with_config(PipelineConfig::baseline_unified());
+
+    if corrupt {
+        // The hardened-path demonstration CI smokes: poison one vertex and render through
+        // `try_render`, which must reject the scene with a structured error — no panic, a clean
+        // nonzero exit.
+        let mut poisoned = scene.triangles.clone();
+        poisoned[0].v0.x = f32::NAN;
+        match renderer.try_render(
+            &bvh,
+            &poisoned,
+            &FrameDesc::primary(camera, width, height),
+            &policy,
+        ) {
+            Ok(_) => {
+                eprintln!("the corrupted scene rendered anyway — validation is broken");
+                std::process::exit(1);
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     // Pass 1 only: the primary-ray frame under the fixed directional light.
     let primary = renderer.render(
