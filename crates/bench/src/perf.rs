@@ -10,13 +10,15 @@
 //!   at a time per ray (the execution model of the original reproduction);
 //! * **batched** — [`ExecPolicy::wavefront`], the ray-stream frontend dispatching bulk beats
 //!   through the native fast model;
-//! * **parallel** — [`ExecPolicy::parallel`], the batched frontend sharded across worker
-//!   threads (with auto-tuned shard sizing, a single-core or short-stream run falls back to the
-//!   batched path instead of paying spawn overhead).
+//! * **simd** — the batched frontend with the lane-batched fast path at its maximum width
+//!   ([`ExecPolicy::with_simd_lanes`]), evaluating several requests per kernel step;
+//! * **parallel** — [`ExecPolicy::parallel`], the SIMD-batched frontend sharded across the
+//!   work-stealing worker pool (with auto-tuned chunk sizing, a single-core or short-stream run
+//!   falls back to the batched path instead of paying spawn overhead).
 //!
-//! All three are the same entry point — [`TraversalEngine::trace`] — under different policies.
+//! All four are the same entry point — [`TraversalEngine::trace`] — under different policies.
 //!
-//! All three paths produce bit-identical hits; the suite cross-checks that on every run before
+//! All four paths produce bit-identical hits; the suite cross-checks that on every run before
 //! timing anything.
 //!
 //! A second suite ([`run_query_engine_suite`], `BENCH_query_engine.json`) covers the query kinds
@@ -30,13 +32,15 @@
 
 use std::time::Instant;
 
-use rayflex_core::{BeatMix, Opcode, PipelineConfig, QueryKind, RayFlexDatapath, RayFlexRequest};
+use rayflex_core::{
+    BeatMix, Opcode, PipelineConfig, QueryKind, RayFlexDatapath, RayFlexRequest, MAX_SIMD_LANES,
+};
 use rayflex_geometry::golden::distance::EUCLIDEAN_LANES;
 use rayflex_geometry::{Aabb, Ray, Sphere, Triangle, Vec3};
 use rayflex_rtunit::{
     default_light_dir, shade, Bvh4, Bvh4Node, Camera, CollectStream, DistanceStream, ExecPolicy,
-    FrameDesc, FusedScheduler, Image, KnnEngine, KnnMetric, RenderPasses, Renderer, TraceRequest,
-    TraversalEngine, TraversalHit, TraversalStream,
+    FrameDesc, FusedScheduler, Image, KnnEngine, KnnMetric, PoolStats, RenderPasses, Renderer,
+    TraceRequest, TraversalEngine, TraversalHit, TraversalStream,
 };
 use rayflex_workloads::{mixed, rays, scenes, vectors};
 
@@ -80,7 +84,7 @@ pub fn standard_perf_scenes(rays_per_scene: usize) -> Vec<PerfScene> {
 /// One timed execution mode on one scene.
 #[derive(Debug, Clone)]
 pub struct PerfMeasurement {
-    /// Mode name (`scalar`, `batched`, `parallel`).
+    /// Mode name (`scalar`, `batched`, `simd`, `parallel`).
     pub mode: &'static str,
     /// Best-of-`repeats` wall time for the whole stream, in seconds.
     pub seconds: f64,
@@ -103,7 +107,10 @@ pub struct ScenePerf {
     pub rays: u64,
     /// Datapath beats per full trace of the stream.
     pub beats: u64,
-    /// Per-mode measurements (scalar, batched, parallel).
+    /// Work-stealing pool counters of one parallel trace of the stream (all zero when the
+    /// auto-tuner ran the stream inline, e.g. on a single-core host).
+    pub pool: PoolStats,
+    /// Per-mode measurements (scalar, batched, simd, parallel).
     pub measurements: Vec<PerfMeasurement>,
 }
 
@@ -125,6 +132,8 @@ pub struct DatapathPerf {
     pub emulated_beats_per_sec: f64,
     /// Beats per second through the batched native fast model.
     pub batched_beats_per_sec: f64,
+    /// Beats per second through the lane-batched fast path at its maximum width.
+    pub simd_beats_per_sec: f64,
 }
 
 /// The complete baseline document.
@@ -191,9 +200,15 @@ pub fn run_perf_suite(rays_per_scene: usize, repeats: usize, threads: usize) -> 
         let mut datapath = RayFlexDatapath::new(config);
         datapath.execute_batch(&requests)
     });
+    let (simd_micro_seconds, _) = time_best_of(repeats, || {
+        let mut datapath = RayFlexDatapath::new(config);
+        datapath.set_simd_lanes(MAX_SIMD_LANES);
+        datapath.execute_batch(&requests)
+    });
     let datapath = DatapathPerf {
         emulated_beats_per_sec: requests.len() as f64 / emulated_seconds,
         batched_beats_per_sec: requests.len() as f64 / batched_seconds,
+        simd_beats_per_sec: requests.len() as f64 / simd_micro_seconds,
     };
 
     let mut scene_results = Vec::new();
@@ -220,9 +235,22 @@ pub fn run_perf_suite(rays_per_scene: usize, repeats: usize, threads: usize) -> 
             time_best_of(repeats, || trace_with(&ExecPolicy::wavefront()));
         assert_hits_match(scene.name, "batched", &expected, &batched_hits);
 
+        let simd_policy = ExecPolicy::wavefront().with_simd_lanes(MAX_SIMD_LANES);
+        let (simd_seconds, simd_hits) = time_best_of(repeats, || trace_with(&simd_policy));
+        assert_hits_match(scene.name, "simd", &expected, &simd_hits);
+
+        // The parallel mode inherits the lane-batched kernels: each pool worker's private
+        // datapath runs at the same width the simd mode uses.
+        let parallel_policy = ExecPolicy::parallel(threads).with_simd_lanes(MAX_SIMD_LANES);
         let (parallel_seconds, parallel_hits) =
-            time_best_of(repeats, || trace_with(&ExecPolicy::parallel(threads)));
+            time_best_of(repeats, || trace_with(&parallel_policy));
         assert_hits_match(scene.name, "parallel", &expected, &parallel_hits);
+
+        // One extra parallel run on a kept engine to record how the work-stealing pool moved.
+        let mut pool_probe = TraversalEngine::with_config(config);
+        let probe_hits = pool_probe.trace(&request, &parallel_policy).into_closest();
+        assert_hits_match(scene.name, "parallel-pool-probe", &expected, &probe_hits);
+        let pool = pool_probe.pool_stats();
 
         let ray_count = scene.rays.len() as f64;
         let measurement = |mode: &'static str, seconds: f64| PerfMeasurement {
@@ -237,9 +265,11 @@ pub fn run_perf_suite(rays_per_scene: usize, repeats: usize, threads: usize) -> 
             triangles: scene.triangles.len() as u64,
             rays: scene.rays.len() as u64,
             beats,
+            pool,
             measurements: vec![
                 measurement("scalar", scalar_seconds),
                 measurement("batched", batched_seconds),
+                measurement("simd", simd_seconds),
                 measurement("parallel", parallel_seconds),
             ],
         });
@@ -255,12 +285,16 @@ pub fn run_perf_suite(rays_per_scene: usize, repeats: usize, threads: usize) -> 
 
 impl PerfBaseline {
     /// The smallest best-mode speedup over scalar across all scenes — the headline number the
-    /// acceptance gate checks (best of batched/parallel per scene, worst case over scenes).
+    /// acceptance gate checks (best of batched/simd/parallel per scene, worst case over scenes).
     #[must_use]
     pub fn min_best_speedup(&self) -> f64 {
         self.scenes
             .iter()
-            .map(|s| s.speedup("batched").max(s.speedup("parallel")))
+            .map(|s| {
+                s.speedup("batched")
+                    .max(s.speedup("simd"))
+                    .max(s.speedup("parallel"))
+            })
             .fold(f64::INFINITY, f64::min)
     }
 
@@ -271,8 +305,10 @@ impl PerfBaseline {
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
         out.push_str(&format!(
-            "  \"datapath\": {{\"emulated_beats_per_sec\": {:.0}, \"batched_beats_per_sec\": {:.0}}},\n",
-            self.datapath.emulated_beats_per_sec, self.datapath.batched_beats_per_sec
+            "  \"datapath\": {{\"emulated_beats_per_sec\": {:.0}, \"batched_beats_per_sec\": {:.0}, \"simd_beats_per_sec\": {:.0}}},\n",
+            self.datapath.emulated_beats_per_sec,
+            self.datapath.batched_beats_per_sec,
+            self.datapath.simd_beats_per_sec
         ));
         out.push_str(&format!(
             "  \"min_best_speedup\": {:.2},\n",
@@ -281,8 +317,14 @@ impl PerfBaseline {
         out.push_str("  \"scenes\": [\n");
         for (i, scene) in self.scenes.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"scene\": \"{}\", \"triangles\": {}, \"rays\": {}, \"beats\": {}, \"modes\": [",
-                scene.scene, scene.triangles, scene.rays, scene.beats
+                "    {{\"scene\": \"{}\", \"triangles\": {}, \"rays\": {}, \"beats\": {}, \"pool\": {{\"workers\": {}, \"chunks\": {}, \"steals\": {}}}, \"modes\": [",
+                scene.scene,
+                scene.triangles,
+                scene.rays,
+                scene.beats,
+                scene.pool.workers,
+                scene.pool.chunks,
+                scene.pool.steals
             ));
             for (j, m) in scene.measurements.iter().enumerate() {
                 out.push_str(&format!(
@@ -334,13 +376,16 @@ impl PerfBaseline {
         }
         format!(
             "Simulator performance baseline ({} threads, best of {} runs)\n\
-             Datapath micro-benchmark: {:.0} emulated beats/s vs {:.0} batched beats/s ({:.1}x)\n{}\n\
+             Datapath micro-benchmark: {:.0} emulated beats/s vs {:.0} batched beats/s ({:.1}x) \
+             vs {:.0} simd beats/s ({:.1}x)\n{}\n\
              Minimum best-mode speedup over scalar across scenes: {:.2}x\n",
             self.threads,
             self.repeats,
             self.datapath.emulated_beats_per_sec,
             self.datapath.batched_beats_per_sec,
             self.datapath.batched_beats_per_sec / self.datapath.emulated_beats_per_sec,
+            self.datapath.simd_beats_per_sec,
+            self.datapath.simd_beats_per_sec / self.datapath.emulated_beats_per_sec,
             table.render(),
             self.min_best_speedup(),
         )
@@ -361,8 +406,13 @@ pub struct QueryModePerf {
     pub scalar_seconds: f64,
     /// Best-of wall time of the batched query engine, in seconds.
     pub batched_seconds: f64,
+    /// Best-of wall time of the batched engine with the lane-batched fast path at its maximum
+    /// width, in seconds.
+    pub simd_seconds: f64,
     /// `scalar_seconds / batched_seconds`.
     pub speedup: f64,
+    /// `scalar_seconds / simd_seconds`.
+    pub simd_speedup: f64,
 }
 
 /// The query-engine baseline document (`BENCH_query_engine.json`): how much the generic batched
@@ -395,8 +445,9 @@ impl QueryEngineBaseline {
         out.push_str("  \"modes\": [\n");
         for (i, m) in self.modes.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"mode\": \"{}\", \"items\": {}, \"beats\": {}, \"scalar_seconds\": {:.6}, \"batched_seconds\": {:.6}, \"speedup\": {:.2}}}",
-                m.mode, m.items, m.beats, m.scalar_seconds, m.batched_seconds, m.speedup
+                "    {{\"mode\": \"{}\", \"items\": {}, \"beats\": {}, \"scalar_seconds\": {:.6}, \"batched_seconds\": {:.6}, \"simd_seconds\": {:.6}, \"speedup\": {:.2}, \"simd_speedup\": {:.2}}}",
+                m.mode, m.items, m.beats, m.scalar_seconds, m.batched_seconds, m.simd_seconds,
+                m.speedup, m.simd_speedup
             ));
             out.push_str(if i + 1 < self.modes.len() {
                 ",\n"
@@ -418,7 +469,9 @@ impl QueryEngineBaseline {
             "beats",
             "scalar (ms)",
             "batched (ms)",
+            "simd (ms)",
             "speedup",
+            "simd speedup",
         ]);
         for m in &self.modes {
             table.add_row(vec![
@@ -427,7 +480,9 @@ impl QueryEngineBaseline {
                 m.beats.to_string(),
                 format!("{:.2}", m.scalar_seconds * 1e3),
                 format!("{:.2}", m.batched_seconds * 1e3),
+                format!("{:.2}", m.simd_seconds * 1e3),
                 format!("{:.2}x", m.speedup),
+                format!("{:.2}x", m.simd_speedup),
             ]);
         }
         format!(
@@ -456,8 +511,13 @@ pub struct RenderPassPerf {
     pub scalar_seconds: f64,
     /// Best-of wall time of the batched multi-pass frame, in seconds.
     pub batched_seconds: f64,
+    /// Best-of wall time of the batched frame with the lane-batched fast path at its maximum
+    /// width, in seconds.
+    pub simd_seconds: f64,
     /// `scalar_seconds / batched_seconds`.
     pub speedup: f64,
+    /// `scalar_seconds / simd_seconds`.
+    pub simd_speedup: f64,
 }
 
 /// The deferred-renderer baseline document (`BENCH_render_passes.json`): how much the batched
@@ -499,8 +559,9 @@ impl RenderPassBaseline {
         out.push_str("  \"passes\": [\n");
         for (i, p) in self.passes.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"pass\": \"{}\", \"pixels\": {}, \"rays\": {}, \"beats\": {}, \"scalar_seconds\": {:.6}, \"batched_seconds\": {:.6}, \"speedup\": {:.2}}}",
-                p.pass, p.pixels, p.rays, p.beats, p.scalar_seconds, p.batched_seconds, p.speedup
+                "    {{\"pass\": \"{}\", \"pixels\": {}, \"rays\": {}, \"beats\": {}, \"scalar_seconds\": {:.6}, \"batched_seconds\": {:.6}, \"simd_seconds\": {:.6}, \"speedup\": {:.2}, \"simd_speedup\": {:.2}}}",
+                p.pass, p.pixels, p.rays, p.beats, p.scalar_seconds, p.batched_seconds,
+                p.simd_seconds, p.speedup, p.simd_speedup
             ));
             out.push_str(if i + 1 < self.passes.len() {
                 ",\n"
@@ -523,7 +584,9 @@ impl RenderPassBaseline {
             "beats",
             "scalar (ms)",
             "batched (ms)",
+            "simd (ms)",
             "speedup",
+            "simd speedup",
         ]);
         for p in &self.passes {
             table.add_row(vec![
@@ -533,7 +596,9 @@ impl RenderPassBaseline {
                 p.beats.to_string(),
                 format!("{:.2}", p.scalar_seconds * 1e3),
                 format!("{:.2}", p.batched_seconds * 1e3),
+                format!("{:.2}", p.simd_seconds * 1e3),
                 format!("{:.2}x", p.speedup),
+                format!("{:.2}x", p.simd_speedup),
             ]);
         }
         format!(
@@ -592,9 +657,17 @@ pub fn run_render_pass_suite(pixels_per_frame: usize, repeats: usize) -> RenderP
         let batched_frame = |renderer: &mut Renderer| {
             renderer.render(&bvh, &scene.triangles, &frame, &ExecPolicy::wavefront())
         };
+        let simd_frame = |renderer: &mut Renderer| {
+            renderer.render(
+                &bvh,
+                &scene.triangles,
+                &frame,
+                &ExecPolicy::wavefront().with_simd_lanes(MAX_SIMD_LANES),
+            )
+        };
 
         // Reference run: the expected frame, rays and beat counts, then the bit-identity
-        // cross-check of the batched frame (pixels *and* statistics).
+        // cross-check of the batched and simd frames (pixels *and* statistics).
         let mut reference = Renderer::with_config(config);
         let expected = scalar_frame(&mut reference);
         let reference_stats = reference.stats();
@@ -606,6 +679,14 @@ pub fn run_render_pass_suite(pixels_per_frame: usize, repeats: usize) -> RenderP
             reference_stats,
             "{name}: batched TraversalStats diverged from the reference"
         );
+        let mut simd = Renderer::with_config(config);
+        let simd_image = simd_frame(&mut simd);
+        assert_frames_match(name, &expected, &simd_image);
+        assert_eq!(
+            simd.stats(),
+            reference_stats,
+            "{name}: simd TraversalStats diverged from the reference"
+        );
 
         let (scalar_seconds, _) = time_best_of(repeats, || {
             let mut renderer = Renderer::with_config(config);
@@ -615,6 +696,10 @@ pub fn run_render_pass_suite(pixels_per_frame: usize, repeats: usize) -> RenderP
             let mut renderer = Renderer::with_config(config);
             batched_frame(&mut renderer)
         });
+        let (simd_seconds, _) = time_best_of(repeats, || {
+            let mut renderer = Renderer::with_config(config);
+            simd_frame(&mut renderer)
+        });
         passes.push(RenderPassPerf {
             pass: name,
             pixels: (width * height) as u64,
@@ -622,7 +707,9 @@ pub fn run_render_pass_suite(pixels_per_frame: usize, repeats: usize) -> RenderP
             beats: reference_stats.total_ops(),
             scalar_seconds,
             batched_seconds,
+            simd_seconds,
             speedup: scalar_seconds / batched_seconds,
+            simd_speedup: scalar_seconds / simd_seconds,
         });
     }
 
@@ -727,12 +814,26 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
                 &ExecPolicy::wavefront(),
             )
         });
+        let (simd_seconds, simd_image) = time_best_of(repeats, || {
+            let mut renderer = Renderer::with_config(config);
+            renderer.render(
+                &bvh,
+                &triangles,
+                &FrameDesc::primary(camera, width, height),
+                &ExecPolicy::wavefront().with_simd_lanes(MAX_SIMD_LANES),
+            )
+        });
         for y in 0..height {
             for x in 0..width {
                 assert_eq!(
                     image.pixel(x, y).to_bits(),
                     expected[y * width + x].to_bits(),
                     "render: pixel ({x}, {y}) diverged"
+                );
+                assert_eq!(
+                    simd_image.pixel(x, y).to_bits(),
+                    expected[y * width + x].to_bits(),
+                    "render/simd: pixel ({x}, {y}) diverged"
                 );
             }
         }
@@ -742,7 +843,9 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
             beats,
             scalar_seconds,
             batched_seconds,
+            simd_seconds,
             speedup: scalar_seconds / batched_seconds,
+            simd_speedup: scalar_seconds / simd_seconds,
         });
     }
 
@@ -769,6 +872,16 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
             engine.trace(&request, &ExecPolicy::wavefront()).into_any()
         });
         assert_hits_match("soft_shadow", "batched", &expected, &batched_hits);
+        let (simd_seconds, simd_hits) = time_best_of(repeats, || {
+            let mut engine = TraversalEngine::with_config(config);
+            engine
+                .trace(
+                    &request,
+                    &ExecPolicy::wavefront().with_simd_lanes(MAX_SIMD_LANES),
+                )
+                .into_any()
+        });
+        assert_hits_match("soft_shadow", "simd", &expected, &simd_hits);
         assert!(
             expected.iter().any(Option::is_some) && expected.iter().any(Option::is_none),
             "the soft-shadow scene must mix occluded and open rays"
@@ -779,7 +892,9 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
             beats,
             scalar_seconds,
             batched_seconds,
+            simd_seconds,
             speedup: scalar_seconds / batched_seconds,
+            simd_speedup: scalar_seconds / simd_seconds,
         });
     }
 
@@ -807,10 +922,22 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
                 &ExecPolicy::wavefront(),
             )
         });
+        // Distance beats carry a serial accumulator chain, so the lane kernels leave them on
+        // the scalar fast path — the simd column records that the knob is output-neutral here.
+        let (simd_seconds, simd_distances) = time_best_of(repeats, || {
+            let mut engine = KnnEngine::with_config(config);
+            engine.distances(
+                &query,
+                &dataset.vectors,
+                KnnMetric::Euclidean,
+                &ExecPolicy::wavefront().with_simd_lanes(MAX_SIMD_LANES),
+            )
+        });
         for (i, (e, g)) in expected
             .iter()
             .zip(&scalar_distances)
             .chain(expected.iter().zip(&batched_distances))
+            .chain(expected.iter().zip(&simd_distances))
             .enumerate()
         {
             assert_eq!(
@@ -826,7 +953,9 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
             beats,
             scalar_seconds,
             batched_seconds,
+            simd_seconds,
             speedup: scalar_seconds / batched_seconds,
+            simd_speedup: scalar_seconds / simd_seconds,
         });
     }
 
@@ -836,7 +965,7 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
 /// One execution mode of the fused suite, timed over the whole mixed workload.
 #[derive(Debug, Clone)]
 pub struct FusedModePerf {
-    /// Mode name (`scalar`, `sequential`, `fused`).
+    /// Mode name (`scalar`, `sequential`, `fused`, `simd`).
     pub mode: &'static str,
     /// Best-of wall time for all four streams, in seconds.
     pub seconds: f64,
@@ -1062,8 +1191,10 @@ fn run_mixed_batched(
     sphere_bvh: &Bvh4,
     fuse: bool,
     beat_budget_per_stream: usize,
+    simd_lanes: usize,
 ) -> (MixedOutputs, BeatMix, u64, [u64; 4]) {
     let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
+    datapath.set_simd_lanes(simd_lanes);
     let mut scheduler = FusedScheduler::new().with_beat_budget(beat_budget_per_stream);
     let mut closest =
         TraversalStream::closest_hit(scene_bvh, &workload.triangles, &workload.primary_rays);
@@ -1212,10 +1343,11 @@ fn assert_mixed_outputs_match(mode: &str, expected: &MixedOutputs, got: &MixedOu
     );
 }
 
-/// Runs the fused suite: executes the mixed workload scalar, sequential-batched and **fused**
-/// (all four query kinds sharing bulk passes over one extended datapath), cross-checks that all
-/// three produce bit-identical per-stream outputs first, then times each mode and captures the
-/// fused run's per-kind × per-opcode beat mix.
+/// Runs the fused suite: executes the mixed workload scalar, sequential-batched, **fused** (all
+/// four query kinds sharing bulk passes over one extended datapath) and **simd** (the fused
+/// discipline with the lane-batched fast path at its maximum width), cross-checks that all modes
+/// produce bit-identical per-stream outputs first, then times each mode and captures the fused
+/// run's per-kind × per-opcode beat mix.
 ///
 /// `items_per_mode` sizes the workload (rays per traversal stream, candidate vectors).
 ///
@@ -1234,14 +1366,17 @@ pub fn run_fused_suite(items_per_mode: usize, repeats: usize) -> FusedBaseline {
         .collect();
     let sphere_bvh = Bvh4::build(&spheres);
 
-    // Cross-check: all three modes agree per stream, bit for bit, before timing anything.
+    // Cross-check: all modes agree per stream, bit for bit, before timing anything.
     let expected = run_mixed_scalar(&workload, &scene_bvh, &sphere_bvh);
     let (sequential_outputs, _, _, _) =
-        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, false, 0);
+        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, false, 0, 1);
     assert_mixed_outputs_match("sequential", &expected, &sequential_outputs);
     let (fused_outputs, fused_mix, fused_pass_count, fused_stream_passes) =
-        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, 0);
+        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, 0, 1);
     assert_mixed_outputs_match("fused", &expected, &fused_outputs);
+    let (simd_outputs, _, _, _) =
+        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, 0, MAX_SIMD_LANES);
+    assert_mixed_outputs_match("simd", &expected, &simd_outputs);
     assert!(
         fused_mix.fused_passes() > 0,
         "the fused run must interleave at least two query kinds in one pass"
@@ -1251,10 +1386,13 @@ pub fn run_fused_suite(items_per_mode: usize, repeats: usize) -> FusedBaseline {
         run_mixed_scalar(&workload, &scene_bvh, &sphere_bvh)
     });
     let (sequential_seconds, _) = time_best_of(repeats, || {
-        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, false, 0)
+        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, false, 0, 1)
     });
     let (fused_seconds, _) = time_best_of(repeats, || {
-        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, 0)
+        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, 0, 1)
+    });
+    let (simd_seconds, _) = time_best_of(repeats, || {
+        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, 0, MAX_SIMD_LANES)
     });
 
     // Beat-budget fairness sweep: the same fused workload under per-stream admission budgets.
@@ -1273,10 +1411,10 @@ pub fn run_fused_suite(items_per_mode: usize, repeats: usize) -> FusedBaseline {
                 };
             }
             let (outputs, _, passes, stream_passes) =
-                run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, budget);
+                run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, budget, 1);
             assert_mixed_outputs_match(&format!("fused-budget-{budget}"), &expected, &outputs);
             let (seconds, _) = time_best_of(repeats, || {
-                run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, budget)
+                run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, budget, 1)
             });
             FusedBudgetPerf {
                 beat_budget_per_stream: budget,
@@ -1304,6 +1442,7 @@ pub fn run_fused_suite(items_per_mode: usize, repeats: usize) -> FusedBaseline {
             measurement("scalar", scalar_seconds),
             measurement("sequential", sequential_seconds),
             measurement("fused", fused_seconds),
+            measurement("simd", simd_seconds),
         ],
         mix: QueryKind::ALL
             .iter()
@@ -1323,7 +1462,8 @@ mod tests {
     #[test]
     fn the_fused_suite_runs_cross_checked_and_reports_the_mix() {
         let baseline = run_fused_suite(96, 1);
-        assert_eq!(baseline.modes.len(), 3);
+        assert_eq!(baseline.modes.len(), 4);
+        assert!(baseline.modes.iter().any(|m| m.mode == "simd"));
         for mode in &baseline.modes {
             assert!(mode.seconds > 0.0 && mode.speedup_vs_scalar > 0.0);
         }
@@ -1375,11 +1515,12 @@ mod tests {
         for mode in &baseline.modes {
             assert!(mode.items > 0 && mode.beats > 0);
             assert!(mode.scalar_seconds > 0.0 && mode.batched_seconds > 0.0);
-            assert!(mode.speedup > 0.0);
+            assert!(mode.simd_seconds > 0.0);
+            assert!(mode.speedup > 0.0 && mode.simd_speedup > 0.0);
         }
         assert!(baseline.min_speedup() > 0.0);
         let json = baseline.to_json();
-        assert!(json.contains("\"modes\""));
+        assert!(json.contains("\"modes\"") && json.contains("simd_speedup"));
         assert!(json.contains("render") && json.contains("shadow") && json.contains("knn"));
         let table = baseline.render_table();
         assert!(table.contains("speedup") && table.contains("shadow"));
@@ -1394,7 +1535,8 @@ mod tests {
         for pass in &baseline.passes {
             assert!(pass.pixels > 0 && pass.rays > 0 && pass.beats > 0);
             assert!(pass.scalar_seconds > 0.0 && pass.batched_seconds > 0.0);
-            assert!(pass.speedup > 0.0);
+            assert!(pass.simd_seconds > 0.0);
+            assert!(pass.speedup > 0.0 && pass.simd_speedup > 0.0);
             rays.push(pass.rays);
         }
         // Each configuration adds a pass, so each traces strictly more rays per frame.
@@ -1410,8 +1552,9 @@ mod tests {
     fn the_suite_runs_and_reports_consistent_numbers() {
         let baseline = run_perf_suite(64, 1, 2);
         assert_eq!(baseline.scenes.len(), 3);
+        assert!(baseline.datapath.simd_beats_per_sec > 0.0);
         for scene in &baseline.scenes {
-            assert_eq!(scene.measurements.len(), 3);
+            assert_eq!(scene.measurements.len(), 4);
             assert!(scene.beats > 0);
             for m in &scene.measurements {
                 assert!(m.seconds > 0.0 && m.rays_per_sec > 0.0 && m.beats_per_sec > 0.0);
@@ -1422,7 +1565,8 @@ mod tests {
         let json = baseline.to_json();
         assert!(json.contains("\"scenes\""));
         assert!(json.contains("icosphere"));
-        assert!(json.contains("batched"));
+        assert!(json.contains("batched") && json.contains("\"simd\""));
+        assert!(json.contains("\"pool\"") && json.contains("\"steals\""));
         let table = baseline.render_table();
         assert!(table.contains("quad_wall") && table.contains("vs scalar"));
     }

@@ -153,6 +153,9 @@ pub struct RayFlexDatapath {
     /// Data Structure lives at a stable heap address instead of being copied around with the
     /// datapath value.
     scratch: Box<SharedRayFlexData>,
+    /// SIMD lane width of the bulk interfaces: 1 keeps the per-beat scalar fast path, ≥ 4
+    /// engages the lane-batched kernels.  Always a value [`crate::clamp_simd_lanes`] accepts.
+    simd_lanes: usize,
 }
 
 impl RayFlexDatapath {
@@ -165,7 +168,23 @@ impl RayFlexDatapath {
             executed: 0,
             mix: BeatMix::default(),
             scratch: Box::default(),
+            simd_lanes: 1,
         }
+    }
+
+    /// Sets the SIMD lane width of the bulk interfaces ([`RayFlexDatapath::execute_batch_into`]
+    /// and [`RayFlexDatapath::execute_batch_segmented`]).  Degenerate and oversized requests are
+    /// clamped by [`crate::clamp_simd_lanes`]; the per-beat interfaces ([`RayFlexDatapath::execute`]
+    /// and [`RayFlexDatapath::execute_attributed`]) are unaffected, so the scalar reference stays
+    /// the oracle.  Responses are bit-identical at every width — only throughput changes.
+    pub fn set_simd_lanes(&mut self, lanes: usize) {
+        self.simd_lanes = crate::fastpath::clamp_simd_lanes(lanes);
+    }
+
+    /// The (clamped) SIMD lane width of the bulk interfaces.
+    #[must_use]
+    pub fn simd_lanes(&self) -> usize {
+        self.simd_lanes
     }
 
     /// The configuration this datapath models.
@@ -265,12 +284,81 @@ impl RayFlexDatapath {
     ) {
         responses.clear();
         responses.reserve(requests.len());
-        for request in requests {
-            self.admit(request, None);
-            responses.push(crate::fastpath::execute_fast(
-                request,
-                &mut self.accumulators,
-            ));
+        self.fast_run(requests, None, responses);
+    }
+
+    /// The shared bulk dispatch loop: admits every beat and executes it on the native fast model,
+    /// grouping adjacent beats into the lane-batched kernels when the SIMD width allows.
+    ///
+    /// Grouping relies on the scheduler adjacency the bulk interfaces already guarantee — a
+    /// wavefront pass emits one beat per active item, so items in the same traversal phase sit
+    /// next to each other.  Ray–box beats vectorise *within* one beat (its four AABBs are the
+    /// lanes); ray–triangle beats vectorise *across* adjacent beats (runs of up to `simd_lanes`
+    /// same-opcode requests share one kernel invocation); distance beats chain through the
+    /// accumulators and always run scalar.  Every grouping is bit-identical to the per-beat path.
+    fn fast_run(
+        &mut self,
+        requests: &[RayFlexRequest],
+        kind: Option<QueryKind>,
+        responses: &mut Vec<RayFlexResponse>,
+    ) {
+        if self.simd_lanes < 4 {
+            for request in requests {
+                self.admit(request, kind);
+                responses.push(crate::fastpath::execute_fast(
+                    request,
+                    &mut self.accumulators,
+                ));
+            }
+            return;
+        }
+        let mut index = 0;
+        while index < requests.len() {
+            let request = &requests[index];
+            match request.opcode {
+                Opcode::RayBox => {
+                    // At eight lanes two adjacent box beats share one pass over the slab
+                    // stages (2 rays × 4 AABBs); below that the beat's own four AABBs are the
+                    // lanes.
+                    if self.simd_lanes >= 8
+                        && index + 1 < requests.len()
+                        && requests[index + 1].opcode == Opcode::RayBox
+                    {
+                        self.admit(request, kind);
+                        self.admit(&requests[index + 1], kind);
+                        crate::fastpath::execute_fast_box_lanes_pair(
+                            request,
+                            &requests[index + 1],
+                            responses,
+                        );
+                        index += 2;
+                    } else {
+                        self.admit(request, kind);
+                        responses.push(crate::fastpath::execute_fast_box_lanes(request));
+                        index += 1;
+                    }
+                }
+                Opcode::RayTriangle => {
+                    let limit = (index + self.simd_lanes).min(requests.len());
+                    let mut end = index + 1;
+                    while end < limit && requests[end].opcode == Opcode::RayTriangle {
+                        end += 1;
+                    }
+                    for request in &requests[index..end] {
+                        self.admit(request, kind);
+                    }
+                    crate::fastpath::execute_fast_triangles(&requests[index..end], responses);
+                    index = end;
+                }
+                Opcode::Euclidean | Opcode::Cosine => {
+                    self.admit(request, kind);
+                    responses.push(crate::fastpath::execute_fast(
+                        request,
+                        &mut self.accumulators,
+                    ));
+                    index += 1;
+                }
+            }
         }
     }
 
@@ -322,13 +410,7 @@ impl RayFlexDatapath {
         responses.reserve(requests.len());
         let mut offset = 0;
         for &(kind, len) in segments {
-            for request in &requests[offset..offset + len] {
-                self.admit(request, Some(kind));
-                responses.push(crate::fastpath::execute_fast(
-                    request,
-                    &mut self.accumulators,
-                ));
-            }
+            self.fast_run(&requests[offset..offset + len], Some(kind), responses);
             offset += len;
         }
     }

@@ -26,6 +26,50 @@ use crate::{AccumulatorState, Opcode, RayFlexRequest, RayFlexResponse};
 /// The canonical quiet-NaN bit pattern the recoded format reports for every NaN.
 const CANONICAL_NAN: u32 = 0x7FC0_0000;
 
+/// Widest lane count the batched kernels accept.  Eight keeps the SoA gather buffers inside two
+/// cache lines per component while saturating 256-bit vector units.
+pub const MAX_SIMD_LANES: usize = 8;
+
+/// Narrowest lane count at which the grouped kernels engage; below this the per-beat scalar fast
+/// path runs unchanged.
+pub(crate) const MIN_SIMD_LANES: usize = 4;
+
+/// Clamps a requested lane count to the supported range: zero (a degenerate policy) resolves to
+/// one, and anything above [`MAX_SIMD_LANES`] saturates.  Under the `force-scalar` feature every
+/// request resolves to one, so the lane kernels can never engage — the CI configuration that
+/// keeps the non-SIMD path honest.
+#[must_use]
+pub fn clamp_simd_lanes(lanes: usize) -> usize {
+    if cfg!(feature = "force-scalar") {
+        1
+    } else {
+        lanes.clamp(1, MAX_SIMD_LANES)
+    }
+}
+
+/// Branchless twin of [`golden::slab::hw_min`]: one unordered-aware comparison feeding a select,
+/// which the autovectoriser lowers to `cmpps`/`blendvps` instead of the reference's branch chain.
+/// Returns bit-identical results (including NaN payload propagation) for every operand class —
+/// pinned against the reference in the tests below.
+#[inline]
+fn sel_min(a: f32, b: f32) -> f32 {
+    if a.is_nan() || (!b.is_nan() && a < b) {
+        a
+    } else {
+        b
+    }
+}
+
+/// Branchless twin of [`golden::slab::hw_max`] with the same NaN-propagating select semantics.
+#[inline]
+fn sel_max(a: f32, b: f32) -> f32 {
+    if a.is_nan() || (!b.is_nan() && a > b) {
+        a
+    } else {
+        b
+    }
+}
+
 /// Maps any NaN to the recoded format's canonical quiet NaN; other values pass through
 /// untouched (including signed zeros).
 #[inline]
@@ -73,10 +117,10 @@ pub(crate) fn execute_fast(
         Opcode::RayBox => {
             let ray = ray_from_operand(&request.ray);
             let hits = [
-                golden::slab::ray_box(&ray, &request.boxes[0]),
-                golden::slab::ray_box(&ray, &request.boxes[1]),
-                golden::slab::ray_box(&ray, &request.boxes[2]),
-                golden::slab::ray_box(&ray, &request.boxes[3]),
+                golden::slab::ray_box(&ray, &request.boxes_operand()[0]),
+                golden::slab::ray_box(&ray, &request.boxes_operand()[1]),
+                golden::slab::ray_box(&ray, &request.boxes_operand()[2]),
+                golden::slab::ray_box(&ray, &request.boxes_operand()[3]),
             ];
             response.box_result = Some(BoxResult {
                 hit: [hits[0].hit, hits[1].hit, hits[2].hit, hits[3].hit],
@@ -90,23 +134,11 @@ pub(crate) fn execute_fast(
             });
         }
         Opcode::RayTriangle => {
-            let ray = ray_from_operand(&request.ray);
-            let hit = golden::watertight::ray_triangle(&ray, &request.triangle);
-            response.triangle_result = Some(TriangleResult {
-                hit: hit.hit,
-                t_num: canonicalize_nan(hit.t_num),
-                det: canonicalize_nan(hit.det),
-                u: canonicalize_nan(hit.u),
-                v: canonicalize_nan(hit.v),
-                w: canonicalize_nan(hit.w),
-            });
+            return triangle_response_scalar(request);
         }
         Opcode::Euclidean => {
-            let partial = golden::distance::euclidean_partial(
-                &request.euclidean_a,
-                &request.euclidean_b,
-                request.euclidean_mask,
-            );
+            let vector = request.vector_operand();
+            let partial = golden::distance::euclidean_partial(&vector.a, &vector.b, vector.mask);
             // Native accumulation is bit-identical to the recoded stage-10 accumulate: the
             // recoded/IEEE round trip is lossless and recoded addition matches native addition
             // bit-for-bit (proptest_ieee).
@@ -125,12 +157,12 @@ pub(crate) fn execute_fast(
             });
         }
         Opcode::Cosine => {
+            let vector = request.vector_operand();
             let a: [f32; golden::distance::COSINE_LANES] =
-                core::array::from_fn(|lane| request.euclidean_a[lane]);
+                core::array::from_fn(|lane| vector.a[lane]);
             let b: [f32; golden::distance::COSINE_LANES] =
-                core::array::from_fn(|lane| request.euclidean_b[lane]);
-            let partial =
-                golden::distance::cosine_partial(&a, &b, (request.euclidean_mask & 0xFF) as u8);
+                core::array::from_fn(|lane| vector.b[lane]);
+            let partial = golden::distance::cosine_partial(&a, &b, (vector.mask & 0xFF) as u8);
             let dot = acc.angular_dot.to_f32() + partial.dot;
             let norm = acc.angular_norm.to_f32() + partial.norm_sq;
             if request.reset_accumulator {
@@ -150,6 +182,285 @@ pub(crate) fn execute_fast(
         }
     }
     response
+}
+
+/// The scalar ray–triangle beat, shared by [`execute_fast`] and the lane-kernel remainder path
+/// so both produce the same response object field-for-field.
+fn triangle_response_scalar(request: &RayFlexRequest) -> RayFlexResponse {
+    let ray = ray_from_operand(&request.ray);
+    let hit = golden::watertight::ray_triangle(&ray, request.triangle_operand());
+    RayFlexResponse {
+        opcode: request.opcode,
+        tag: request.tag,
+        box_result: None,
+        triangle_result: Some(TriangleResult {
+            hit: hit.hit,
+            t_num: canonicalize_nan(hit.t_num),
+            det: canonicalize_nan(hit.det),
+            u: canonicalize_nan(hit.u),
+            v: canonicalize_nan(hit.v),
+            w: canonicalize_nan(hit.w),
+        }),
+        distance_result: None,
+    }
+}
+
+/// Lane-batched ray–box beat: the beat's four AABBs are transposed into `[f32; 4]` component
+/// lanes and every slab stage runs elementwise across them, so one beat's four box tests share
+/// each subtract/multiply/select instruction instead of running the golden model four times.
+///
+/// Bit-identity to [`execute_fast`] holds by construction: each lane performs exactly the
+/// operations of [`golden::slab::ray_box`] in the same order — the transpose only regroups
+/// *independent* computations, never reassociates within one — and [`sel_min`]/[`sel_max`] are
+/// operand-for-operand selects matching the reference comparators.
+pub(crate) fn execute_fast_box_lanes(request: &RayFlexRequest) -> RayFlexResponse {
+    const L: usize = 4;
+    let boxes = request.boxes_operand();
+    let origin = request.ray.origin;
+    let inv_dir = request.ray.inv_dir;
+    let (t_beg, t_end) = (request.ray.t_beg, request.ray.t_end);
+
+    // Transpose: AoS boxes → per-component lanes.
+    let min_x: [f32; L] = core::array::from_fn(|l| boxes[l].min.x);
+    let min_y: [f32; L] = core::array::from_fn(|l| boxes[l].min.y);
+    let min_z: [f32; L] = core::array::from_fn(|l| boxes[l].min.z);
+    let max_x: [f32; L] = core::array::from_fn(|l| boxes[l].max.x);
+    let max_y: [f32; L] = core::array::from_fn(|l| boxes[l].max.y);
+    let max_z: [f32; L] = core::array::from_fn(|l| boxes[l].max.z);
+
+    // Stages 2 and 3 — translate, then scale by the inverse direction.
+    let t_lo_x: [f32; L] = core::array::from_fn(|l| (min_x[l] - origin[0]) * inv_dir[0]);
+    let t_lo_y: [f32; L] = core::array::from_fn(|l| (min_y[l] - origin[1]) * inv_dir[1]);
+    let t_lo_z: [f32; L] = core::array::from_fn(|l| (min_z[l] - origin[2]) * inv_dir[2]);
+    let t_hi_x: [f32; L] = core::array::from_fn(|l| (max_x[l] - origin[0]) * inv_dir[0]);
+    let t_hi_y: [f32; L] = core::array::from_fn(|l| (max_y[l] - origin[1]) * inv_dir[1]);
+    let t_hi_z: [f32; L] = core::array::from_fn(|l| (max_z[l] - origin[2]) * inv_dir[2]);
+
+    // Stage 4 — per-axis near/far selection and interval intersection with the ray extent.
+    let near_x: [f32; L] = core::array::from_fn(|l| sel_min(t_lo_x[l], t_hi_x[l]));
+    let near_y: [f32; L] = core::array::from_fn(|l| sel_min(t_lo_y[l], t_hi_y[l]));
+    let near_z: [f32; L] = core::array::from_fn(|l| sel_min(t_lo_z[l], t_hi_z[l]));
+    let far_x: [f32; L] = core::array::from_fn(|l| sel_max(t_lo_x[l], t_hi_x[l]));
+    let far_y: [f32; L] = core::array::from_fn(|l| sel_max(t_lo_y[l], t_hi_y[l]));
+    let far_z: [f32; L] = core::array::from_fn(|l| sel_max(t_lo_z[l], t_hi_z[l]));
+
+    let t_entry: [f32; L] =
+        core::array::from_fn(|l| sel_max(sel_max(near_x[l], near_y[l]), sel_max(near_z[l], t_beg)));
+    let t_exit: [f32; L] =
+        core::array::from_fn(|l| sel_min(sel_min(far_x[l], far_y[l]), sel_min(far_z[l], t_end)));
+
+    let hits: [golden::slab::BoxHit; L] = core::array::from_fn(|l| golden::slab::BoxHit {
+        hit: t_entry[l] <= t_exit[l],
+        t_entry: t_entry[l],
+        t_exit: t_exit[l],
+    });
+    RayFlexResponse {
+        opcode: request.opcode,
+        tag: request.tag,
+        box_result: Some(BoxResult {
+            hit: core::array::from_fn(|l| hits[l].hit),
+            t_entry: core::array::from_fn(|l| canonicalize_nan(hits[l].t_entry)),
+            traversal_order: golden::slab::sort_boxes(&hits),
+        }),
+        triangle_result: None,
+        distance_result: None,
+    }
+}
+
+/// Eight-lane ray–box kernel over two adjacent beats: lanes 0–3 carry the first beat's four
+/// AABBs against its ray, lanes 4–7 the second beat's against its own ray, so one pass over the
+/// slab stages serves both beats.  Each lane performs exactly the operations of
+/// [`golden::slab::ray_box`] in the same order — per-lane ray operands simply vary across the
+/// halves — and each beat's traversal order is sorted from its own four lanes, so the two
+/// responses are bit-identical to running [`execute_fast_box_lanes`] on each beat alone.
+pub(crate) fn execute_fast_box_lanes_pair(
+    first: &RayFlexRequest,
+    second: &RayFlexRequest,
+    responses: &mut Vec<RayFlexResponse>,
+) {
+    const L: usize = 8;
+    let request = |l: usize| if l < 4 { first } else { second };
+
+    // Transpose: each lane's box component against its own ray's origin/extent lanes.
+    let min_x: [f32; L] = core::array::from_fn(|l| request(l).boxes_operand()[l % 4].min.x);
+    let min_y: [f32; L] = core::array::from_fn(|l| request(l).boxes_operand()[l % 4].min.y);
+    let min_z: [f32; L] = core::array::from_fn(|l| request(l).boxes_operand()[l % 4].min.z);
+    let max_x: [f32; L] = core::array::from_fn(|l| request(l).boxes_operand()[l % 4].max.x);
+    let max_y: [f32; L] = core::array::from_fn(|l| request(l).boxes_operand()[l % 4].max.y);
+    let max_z: [f32; L] = core::array::from_fn(|l| request(l).boxes_operand()[l % 4].max.z);
+    let org_x: [f32; L] = core::array::from_fn(|l| request(l).ray.origin[0]);
+    let org_y: [f32; L] = core::array::from_fn(|l| request(l).ray.origin[1]);
+    let org_z: [f32; L] = core::array::from_fn(|l| request(l).ray.origin[2]);
+    let inv_x: [f32; L] = core::array::from_fn(|l| request(l).ray.inv_dir[0]);
+    let inv_y: [f32; L] = core::array::from_fn(|l| request(l).ray.inv_dir[1]);
+    let inv_z: [f32; L] = core::array::from_fn(|l| request(l).ray.inv_dir[2]);
+    let t_beg: [f32; L] = core::array::from_fn(|l| request(l).ray.t_beg);
+    let t_end: [f32; L] = core::array::from_fn(|l| request(l).ray.t_end);
+
+    // Stages 2 and 3 — translate, then scale by the inverse direction.
+    let t_lo_x: [f32; L] = core::array::from_fn(|l| (min_x[l] - org_x[l]) * inv_x[l]);
+    let t_lo_y: [f32; L] = core::array::from_fn(|l| (min_y[l] - org_y[l]) * inv_y[l]);
+    let t_lo_z: [f32; L] = core::array::from_fn(|l| (min_z[l] - org_z[l]) * inv_z[l]);
+    let t_hi_x: [f32; L] = core::array::from_fn(|l| (max_x[l] - org_x[l]) * inv_x[l]);
+    let t_hi_y: [f32; L] = core::array::from_fn(|l| (max_y[l] - org_y[l]) * inv_y[l]);
+    let t_hi_z: [f32; L] = core::array::from_fn(|l| (max_z[l] - org_z[l]) * inv_z[l]);
+
+    // Stage 4 — per-axis near/far selection and interval intersection with the ray extent.
+    let near_x: [f32; L] = core::array::from_fn(|l| sel_min(t_lo_x[l], t_hi_x[l]));
+    let near_y: [f32; L] = core::array::from_fn(|l| sel_min(t_lo_y[l], t_hi_y[l]));
+    let near_z: [f32; L] = core::array::from_fn(|l| sel_min(t_lo_z[l], t_hi_z[l]));
+    let far_x: [f32; L] = core::array::from_fn(|l| sel_max(t_lo_x[l], t_hi_x[l]));
+    let far_y: [f32; L] = core::array::from_fn(|l| sel_max(t_lo_y[l], t_hi_y[l]));
+    let far_z: [f32; L] = core::array::from_fn(|l| sel_max(t_lo_z[l], t_hi_z[l]));
+
+    let t_entry: [f32; L] = core::array::from_fn(|l| {
+        sel_max(sel_max(near_x[l], near_y[l]), sel_max(near_z[l], t_beg[l]))
+    });
+    let t_exit: [f32; L] =
+        core::array::from_fn(|l| sel_min(sel_min(far_x[l], far_y[l]), sel_min(far_z[l], t_end[l])));
+
+    for (beat, request) in [first, second].into_iter().enumerate() {
+        let hits: [golden::slab::BoxHit; 4] = core::array::from_fn(|slot| {
+            let l = beat * 4 + slot;
+            golden::slab::BoxHit {
+                hit: t_entry[l] <= t_exit[l],
+                t_entry: t_entry[l],
+                t_exit: t_exit[l],
+            }
+        });
+        responses.push(RayFlexResponse {
+            opcode: request.opcode,
+            tag: request.tag,
+            box_result: Some(BoxResult {
+                hit: core::array::from_fn(|slot| hits[slot].hit),
+                t_entry: core::array::from_fn(|slot| canonicalize_nan(hits[slot].t_entry)),
+                traversal_order: golden::slab::sort_boxes(&hits),
+            }),
+            triangle_result: None,
+            distance_result: None,
+        });
+    }
+}
+
+/// Lane-batched ray–triangle kernel over `L` adjacent beats.  The per-ray axis renaming and
+/// vertex translation are gathered scalar (they need per-lane dynamic indexing), after which
+/// every watertight stage (Fig. 4b steps 4–9) runs elementwise over `[f32; L]` arrays.
+///
+/// Each lane performs exactly the operations of [`golden::watertight::ray_triangle`] in the same
+/// order, so the results are bit-identical to the scalar path for every lane independently.
+fn triangle_lanes<const L: usize>(
+    requests: &[RayFlexRequest],
+    responses: &mut Vec<RayFlexResponse>,
+) {
+    debug_assert_eq!(requests.len(), L);
+
+    // Gather — per-lane translate (stage 2) and axis selection into SoA lanes.
+    let mut a_kx = [0.0f32; L];
+    let mut a_ky = [0.0f32; L];
+    let mut a_kz = [0.0f32; L];
+    let mut b_kx = [0.0f32; L];
+    let mut b_ky = [0.0f32; L];
+    let mut b_kz = [0.0f32; L];
+    let mut c_kx = [0.0f32; L];
+    let mut c_ky = [0.0f32; L];
+    let mut c_kz = [0.0f32; L];
+    let mut sx = [0.0f32; L];
+    let mut sy = [0.0f32; L];
+    let mut sz = [0.0f32; L];
+    for lane in 0..L {
+        let request = &requests[lane];
+        let origin = Vec3::from_array(request.ray.origin);
+        let kx = Axis::from_index(request.ray.k[0] as usize);
+        let ky = Axis::from_index(request.ray.k[1] as usize);
+        let kz = Axis::from_index(request.ray.k[2] as usize);
+        let triangle = request.triangle_operand();
+        let a = triangle.v0 - origin;
+        let b = triangle.v1 - origin;
+        let c = triangle.v2 - origin;
+        a_kx[lane] = a.axis(kx);
+        a_ky[lane] = a.axis(ky);
+        a_kz[lane] = a.axis(kz);
+        b_kx[lane] = b.axis(kx);
+        b_ky[lane] = b.axis(ky);
+        b_kz[lane] = b.axis(kz);
+        c_kx[lane] = c.axis(kx);
+        c_ky[lane] = c.axis(ky);
+        c_kz[lane] = c.axis(kz);
+        sx[lane] = request.ray.shear[0];
+        sy[lane] = request.ray.shear[1];
+        sz[lane] = request.ray.shear[2];
+    }
+
+    // Stage 3 — shear/scale products.
+    let sx_az: [f32; L] = core::array::from_fn(|l| sx[l] * a_kz[l]);
+    let sy_az: [f32; L] = core::array::from_fn(|l| sy[l] * a_kz[l]);
+    let az: [f32; L] = core::array::from_fn(|l| sz[l] * a_kz[l]);
+    let sx_bz: [f32; L] = core::array::from_fn(|l| sx[l] * b_kz[l]);
+    let sy_bz: [f32; L] = core::array::from_fn(|l| sy[l] * b_kz[l]);
+    let bz: [f32; L] = core::array::from_fn(|l| sz[l] * b_kz[l]);
+    let sx_cz: [f32; L] = core::array::from_fn(|l| sx[l] * c_kz[l]);
+    let sy_cz: [f32; L] = core::array::from_fn(|l| sy[l] * c_kz[l]);
+    let cz: [f32; L] = core::array::from_fn(|l| sz[l] * c_kz[l]);
+
+    // Stage 4 — complete the shear.
+    let ax: [f32; L] = core::array::from_fn(|l| a_kx[l] - sx_az[l]);
+    let ay: [f32; L] = core::array::from_fn(|l| a_ky[l] - sy_az[l]);
+    let bx: [f32; L] = core::array::from_fn(|l| b_kx[l] - sx_bz[l]);
+    let by: [f32; L] = core::array::from_fn(|l| b_ky[l] - sy_bz[l]);
+    let cx: [f32; L] = core::array::from_fn(|l| c_kx[l] - sx_cz[l]);
+    let cy: [f32; L] = core::array::from_fn(|l| c_ky[l] - sy_cz[l]);
+
+    // Stages 5 and 6 — scaled barycentric coordinates.
+    let u: [f32; L] = core::array::from_fn(|l| cy[l] * bx[l] - cx[l] * by[l]);
+    let v: [f32; L] = core::array::from_fn(|l| ay[l] * cx[l] - ax[l] * cy[l]);
+    let w: [f32; L] = core::array::from_fn(|l| by[l] * ax[l] - bx[l] * ay[l]);
+
+    // Stages 7–9 — determinant and scaled hit distance.
+    let det: [f32; L] = core::array::from_fn(|l| (u[l] + v[l]) + w[l]);
+    let t_num: [f32; L] = core::array::from_fn(|l| (u[l] * az[l] + v[l] * bz[l]) + w[l] * cz[l]);
+
+    for lane in 0..L {
+        let hit = u[lane] >= 0.0
+            && v[lane] >= 0.0
+            && w[lane] >= 0.0
+            && det[lane] > 0.0
+            && t_num[lane] >= 0.0;
+        responses.push(RayFlexResponse {
+            opcode: requests[lane].opcode,
+            tag: requests[lane].tag,
+            box_result: None,
+            triangle_result: Some(TriangleResult {
+                hit,
+                t_num: canonicalize_nan(t_num[lane]),
+                det: canonicalize_nan(det[lane]),
+                u: canonicalize_nan(u[lane]),
+                v: canonicalize_nan(v[lane]),
+                w: canonicalize_nan(w[lane]),
+            }),
+            distance_result: None,
+        });
+    }
+}
+
+/// Executes a run of adjacent ray–triangle beats through the widest lane kernel that fits:
+/// groups of eight, then four, then the scalar remainder.  Responses are appended in request
+/// order and are bit-identical to the per-beat path regardless of how the run splits.
+pub(crate) fn execute_fast_triangles(
+    requests: &[RayFlexRequest],
+    responses: &mut Vec<RayFlexResponse>,
+) {
+    let mut rest = requests;
+    while rest.len() >= 8 {
+        triangle_lanes::<8>(&rest[..8], responses);
+        rest = &rest[8..];
+    }
+    while rest.len() >= MIN_SIMD_LANES {
+        triangle_lanes::<4>(&rest[..4], responses);
+        rest = &rest[4..];
+    }
+    for request in rest {
+        responses.push(triangle_response_scalar(request));
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +523,148 @@ mod tests {
             (expected.w, got.w),
         ] {
             assert_eq!(e.to_bits(), g.to_bits());
+        }
+    }
+
+    #[test]
+    fn branchless_selects_match_the_golden_comparators_for_every_operand_class() {
+        // Two distinct NaN payloads so operand *selection* (not just NaN-ness) is observable.
+        let nan_a = f32::from_bits(0x7FC0_0001);
+        let nan_b = f32::from_bits(0xFFC0_0002);
+        let values = [
+            -1.5f32,
+            0.0,
+            -0.0,
+            2.5,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            nan_a,
+            nan_b,
+        ];
+        for &a in &values {
+            for &b in &values {
+                assert_eq!(
+                    sel_min(a, b).to_bits(),
+                    golden::slab::hw_min(a, b).to_bits(),
+                    "min({a}, {b})"
+                );
+                assert_eq!(
+                    sel_max(a, b).to_bits(),
+                    golden::slab::hw_max(a, b).to_bits(),
+                    "max({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_batched_box_kernel_is_bit_identical_to_the_scalar_fast_path() {
+        let coplanar = Ray::new(Vec3::new(-5.0, 1.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        let boxes = [
+            Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)),
+            Aabb::new(Vec3::new(-1.0, -1.0, 3.0), Vec3::new(1.0, 1.0, 5.0)),
+            Aabb::new(Vec3::splat(f32::MAX), Vec3::splat(f32::MAX)),
+            Aabb::new(Vec3::new(-2.0, -2.0, 8.0), Vec3::new(2.0, 2.0, 9.0)),
+        ];
+        for (tag, ray) in [sample_ray(), coplanar].into_iter().enumerate() {
+            let request = RayFlexRequest::ray_box(tag as u64, &ray, &boxes);
+            let mut acc = AccumulatorState::new();
+            let expected = execute_fast(&request, &mut acc);
+            let got = execute_fast_box_lanes(&request);
+            assert_eq!(expected.tag, got.tag);
+            let (expected, got) = (expected.box_result.unwrap(), got.box_result.unwrap());
+            assert_eq!(expected.hit, got.hit);
+            assert_eq!(expected.traversal_order, got.traversal_order);
+            for slot in 0..4 {
+                assert_eq!(
+                    expected.t_entry[slot].to_bits(),
+                    got.t_entry[slot].to_bits(),
+                    "slot {slot}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_batched_triangle_kernel_is_bit_identical_for_every_group_split() {
+        // Mixed dominant axes (z, x, y) exercise the per-lane axis-renaming gather; the coplanar
+        // ray exercises the det == 0 miss path.
+        let rays = [
+            sample_ray(),
+            Ray::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)),
+            Ray::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0)),
+            Ray::new(Vec3::new(-5.0, 0.0, 3.0), Vec3::new(1.0, 0.0, 0.0)),
+        ];
+        let triangles = [
+            Triangle::new(
+                Vec3::new(-1.0, -1.0, 3.0),
+                Vec3::new(1.0, -1.0, 3.0),
+                Vec3::new(0.0, 1.0, 3.0),
+            ),
+            Triangle::new(
+                Vec3::new(3.0, -1.0, -1.0),
+                Vec3::new(3.0, 1.0, -1.0),
+                Vec3::new(3.0, 0.0, 1.0),
+            ),
+            Triangle::new(
+                Vec3::new(-1.0, 3.0, -1.0),
+                Vec3::new(0.0, 3.0, 1.0),
+                Vec3::new(1.0, 3.0, -1.0),
+            ),
+        ];
+        // 1..=9 covers the scalar remainder, the 4-lane kernel, the 8-lane kernel and a
+        // split (8 + 1) in one sweep.
+        for group in 1..=9usize {
+            let requests: Vec<RayFlexRequest> = (0..group)
+                .map(|i| {
+                    RayFlexRequest::ray_triangle(
+                        i as u64,
+                        &rays[i % rays.len()],
+                        &triangles[i % triangles.len()],
+                    )
+                })
+                .collect();
+            let mut got = Vec::new();
+            execute_fast_triangles(&requests, &mut got);
+            assert_eq!(got.len(), group);
+            for (request, got) in requests.iter().zip(&got) {
+                let mut acc = AccumulatorState::new();
+                let expected = execute_fast(request, &mut acc);
+                assert_eq!(expected.tag, got.tag);
+                let (e, g) = (
+                    expected.triangle_result.unwrap(),
+                    got.triangle_result.unwrap(),
+                );
+                assert_eq!(e.hit, g.hit, "group {group} tag {}", got.tag);
+                for (e, g) in [
+                    (e.t_num, g.t_num),
+                    (e.det, g.det),
+                    (e.u, g.u),
+                    (e.v, g.v),
+                    (e.w, g.w),
+                ] {
+                    assert_eq!(e.to_bits(), g.to_bits(), "group {group} tag {}", got.tag);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_clamp_resolves_degenerate_and_oversized_requests() {
+        if cfg!(feature = "force-scalar") {
+            for lanes in [0, 1, 4, 8, 64] {
+                assert_eq!(clamp_simd_lanes(lanes), 1);
+            }
+        } else {
+            assert_eq!(clamp_simd_lanes(0), 1, "zero lanes resolves to scalar");
+            assert_eq!(clamp_simd_lanes(1), 1);
+            assert_eq!(clamp_simd_lanes(4), 4);
+            assert_eq!(clamp_simd_lanes(8), 8);
+            assert_eq!(
+                clamp_simd_lanes(64),
+                MAX_SIMD_LANES,
+                "saturates at the widest kernel"
+            );
         }
     }
 

@@ -1,10 +1,14 @@
 //! The IO specification of the datapath (paper §III-A plus the extended fields of §V-A).
 //!
 //! The specification follows the RDNA3 `IMAGE_BVH_INTERSECT_RAY` instruction: each beat carries
-//! one opcode, one ray, one triangle and four boxes (only the operands selected by the opcode are
-//! valid), plus — on the extended datapath — two sixteen-element vectors, a lane mask and an
+//! one opcode, one ray and the geometry operand the opcode selects (one triangle or four boxes),
+//! plus — on the extended datapath — two sixteen-element vectors, a lane mask and an
 //! accumulator-reset flag.  All floating-point IO is IEEE binary32; the first and last pipeline
-//! stages convert to and from the internal recoded format.
+//! stages convert to and from the internal recoded format.  The in-memory request stores the
+//! per-opcode operands as a union ([`GeomOperand`]) plus a boxed vector payload, so the hot ray
+//! beats stay compact in the schedulers' bulk buffers; the unselected operands still *present*
+//! their fixed disabled values to unconditional consumers (see the `*_operand` accessors), so
+//! the wire-level specification is unchanged.
 
 use rayflex_geometry::{Aabb, Ray, Triangle, Vec3};
 
@@ -36,6 +40,7 @@ pub struct RayOperand {
 impl RayOperand {
     /// Builds the operand from a geometry ray (which already carries the pre-computed inverse
     /// direction and shear constants).
+    #[inline]
     #[must_use]
     pub fn from_ray(ray: &Ray) -> Self {
         RayOperand {
@@ -68,6 +73,55 @@ impl RayOperand {
     }
 }
 
+/// The vector operand of a distance beat: two sixteen-lane FP32 vectors and the lane-validity
+/// mask (bit set = lane participates).  Boxed inside [`RayFlexRequest`] so the far more numerous
+/// ray beats don't carry 128 zero bytes apiece through the schedulers' request buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorOperand {
+    /// First vector (query), sixteen lanes.
+    pub a: [f32; EUCLIDEAN_LANES],
+    /// Second vector (candidate), sixteen lanes.
+    pub b: [f32; EUCLIDEAN_LANES],
+    /// Lane-validity mask (bit set = lane participates).
+    pub mask: u16,
+}
+
+impl VectorOperand {
+    /// The all-zero operand a beat without a vector payload presents to the datapath (every lane
+    /// masked off) — what the pre-boxed request layout carried inline on every beat.
+    pub const DISABLED: VectorOperand = VectorOperand {
+        a: [0.0; EUCLIDEAN_LANES],
+        b: [0.0; EUCLIDEAN_LANES],
+        mask: 0,
+    };
+}
+
+/// The geometry operand of a beat: the four candidate child boxes of a ray–box beat, the
+/// triangle of a ray–triangle beat, or nothing (a distance beat).  A union rather than two
+/// side-by-side fields so constructing the very hot ray beats writes only the operand the
+/// opcode selects — a ray–triangle beat no longer zero-fills 96 bytes of box payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GeomOperand {
+    /// No geometry operand (Euclidean/cosine beats).
+    None,
+    /// The four candidate child boxes of a ray–box beat.
+    Boxes([Aabb; 4]),
+    /// The triangle of a ray–triangle beat.
+    Triangle(Triangle),
+}
+
+/// The box table a beat presents when its opcode selects none — the degenerate zero boxes the
+/// pre-union request layout carried inline on every beat, so unconditional consumers (the SRFDS
+/// ingest stage) observe bit-identical operands.
+const DISABLED_BOXES: [Aabb; 4] = [Aabb::new(Vec3::ZERO, Vec3::ZERO); 4];
+
+/// The triangle a beat presents when its opcode selects none (see [`DISABLED_BOXES`]).
+const DISABLED_TRIANGLE: Triangle = Triangle::new(
+    Vec3::ZERO,
+    Vec3::new(1.0, 0.0, 0.0),
+    Vec3::new(0.0, 1.0, 0.0),
+);
+
 /// One request beat presented at the datapath input.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RayFlexRequest {
@@ -78,57 +132,96 @@ pub struct RayFlexRequest {
     pub tag: u64,
     /// The ray operand (valid for ray–box and ray–triangle beats).
     pub ray: RayOperand,
-    /// The four candidate child boxes (valid for ray–box beats).
-    pub boxes: [Aabb; 4],
-    /// The triangle operand (valid for ray–triangle beats).
-    pub triangle: Triangle,
-    /// First distance-operand vector (query), sixteen lanes (valid for Euclidean/cosine beats).
-    pub euclidean_a: [f32; EUCLIDEAN_LANES],
-    /// Second distance-operand vector (candidate), sixteen lanes.
-    pub euclidean_b: [f32; EUCLIDEAN_LANES],
-    /// Lane-validity mask for the distance operations (bit set = lane participates).
-    pub euclidean_mask: u16,
+    /// The geometry operand the opcode selects (read through
+    /// [`RayFlexRequest::boxes_operand`] / [`RayFlexRequest::triangle_operand`]).
+    pub geom: GeomOperand,
+    /// The distance-operand vectors and lane mask (present on Euclidean/cosine beats, absent on
+    /// ray beats; read through [`RayFlexRequest::vector_operand`]).
+    pub vector: Option<Box<VectorOperand>>,
     /// When set, this beat is the last of a (possibly multi-beat) vector pair: the accumulated
     /// result is reported and the accumulator clears afterwards.
     pub reset_accumulator: bool,
 }
 
 impl RayFlexRequest {
+    #[inline]
     fn blank(opcode: Opcode, tag: u64) -> Self {
-        let degenerate_box = Aabb::new(Vec3::ZERO, Vec3::ZERO);
         RayFlexRequest {
             opcode,
             tag,
             ray: RayOperand::disabled(),
-            boxes: [degenerate_box; 4],
-            triangle: Triangle::new(
-                Vec3::ZERO,
-                Vec3::new(1.0, 0.0, 0.0),
-                Vec3::new(0.0, 1.0, 0.0),
-            ),
-            euclidean_a: [0.0; EUCLIDEAN_LANES],
-            euclidean_b: [0.0; EUCLIDEAN_LANES],
-            euclidean_mask: 0,
+            geom: GeomOperand::None,
+            vector: None,
             reset_accumulator: false,
         }
     }
 
+    /// The vector operand of this beat, or [`VectorOperand::DISABLED`] when the beat carries
+    /// none — exactly the zero vectors the pre-boxed layout presented inline, so consumers that
+    /// read the operand unconditionally (the SRFDS ingest stage, say) behave bit-identically.
+    #[inline]
+    #[must_use]
+    pub fn vector_operand(&self) -> &VectorOperand {
+        self.vector.as_deref().unwrap_or(&VectorOperand::DISABLED)
+    }
+
+    /// The box-table operand of this beat, or four degenerate zero boxes when the opcode selects
+    /// none.
+    #[inline]
+    #[must_use]
+    pub fn boxes_operand(&self) -> &[Aabb; 4] {
+        match &self.geom {
+            GeomOperand::Boxes(boxes) => boxes,
+            _ => &DISABLED_BOXES,
+        }
+    }
+
+    /// The triangle operand of this beat, or a disabled placeholder (unit right triangle at the
+    /// origin) when the opcode selects none.
+    #[inline]
+    #[must_use]
+    pub fn triangle_operand(&self) -> &Triangle {
+        match &self.geom {
+            GeomOperand::Triangle(triangle) => triangle,
+            _ => &DISABLED_TRIANGLE,
+        }
+    }
+
     /// A ray–box beat: test `ray` against four candidate child boxes.
+    #[inline]
     #[must_use]
     pub fn ray_box(tag: u64, ray: &Ray, boxes: &[Aabb; 4]) -> Self {
+        Self::ray_box_operand(tag, &RayOperand::from_ray(ray), boxes)
+    }
+
+    /// A ray–box beat from a prebuilt operand: the hot-path constructor for schedulers that
+    /// cache one [`RayOperand`] per ray and reuse it across every beat of that ray's traversal,
+    /// skipping the per-beat [`Ray`] conversion.
+    #[inline]
+    #[must_use]
+    pub fn ray_box_operand(tag: u64, ray: &RayOperand, boxes: &[Aabb; 4]) -> Self {
         RayFlexRequest {
-            ray: RayOperand::from_ray(ray),
-            boxes: *boxes,
+            ray: *ray,
+            geom: GeomOperand::Boxes(*boxes),
             ..Self::blank(Opcode::RayBox, tag)
         }
     }
 
     /// A ray–triangle beat.
+    #[inline]
     #[must_use]
     pub fn ray_triangle(tag: u64, ray: &Ray, triangle: &Triangle) -> Self {
+        Self::ray_triangle_operand(tag, &RayOperand::from_ray(ray), triangle)
+    }
+
+    /// A ray–triangle beat from a prebuilt operand (see
+    /// [`RayFlexRequest::ray_box_operand`]).
+    #[inline]
+    #[must_use]
+    pub fn ray_triangle_operand(tag: u64, ray: &RayOperand, triangle: &Triangle) -> Self {
         RayFlexRequest {
-            ray: RayOperand::from_ray(ray),
-            triangle: *triangle,
+            ray: *ray,
+            geom: GeomOperand::Triangle(*triangle),
             ..Self::blank(Opcode::RayTriangle, tag)
         }
     }
@@ -143,9 +236,7 @@ impl RayFlexRequest {
         reset_accumulator: bool,
     ) -> Self {
         RayFlexRequest {
-            euclidean_a: a,
-            euclidean_b: b,
-            euclidean_mask: mask,
+            vector: Some(Box::new(VectorOperand { a, b, mask })),
             reset_accumulator,
             ..Self::blank(Opcode::Euclidean, tag)
         }
@@ -166,9 +257,11 @@ impl RayFlexRequest {
         full_a[..COSINE_LANES].copy_from_slice(&a);
         full_b[..COSINE_LANES].copy_from_slice(&b);
         RayFlexRequest {
-            euclidean_a: full_a,
-            euclidean_b: full_b,
-            euclidean_mask: u16::from(mask),
+            vector: Some(Box::new(VectorOperand {
+                a: full_a,
+                b: full_b,
+                mask: u16::from(mask),
+            })),
             reset_accumulator,
             ..Self::blank(Opcode::Cosine, tag)
         }
@@ -184,7 +277,8 @@ pub struct BoxResult {
     /// Entry distance (`tmin`) of each input box, in input order; only meaningful for hits.
     pub t_entry: [f32; 4],
     /// The four child indices sorted by order of intersection (hits first, nearest first).
-    pub traversal_order: [usize; 4],
+    /// Stored as `u8` lane numbers so the response stays compact on the wire.
+    pub traversal_order: [u8; 4],
 }
 
 impl BoxResult {
@@ -192,7 +286,7 @@ impl BoxResult {
     pub fn hits_in_order(&self) -> impl Iterator<Item = usize> + '_ {
         self.traversal_order
             .iter()
-            .copied()
+            .map(|&i| i as usize)
             .filter(move |&i| self.hit[i])
     }
 }
@@ -301,8 +395,13 @@ mod tests {
         assert!(e.reset_accumulator);
         let c = RayFlexRequest::cosine(4, [1.0; 8], [2.0; 8], u8::MAX, false);
         assert_eq!(c.opcode, Opcode::Cosine);
-        assert_eq!(c.euclidean_mask, 0x00FF);
-        assert_eq!(c.euclidean_a[8..], [0.0; 8]);
+        assert_eq!(c.vector_operand().mask, 0x00FF);
+        assert_eq!(c.vector_operand().a[8..], [0.0; 8]);
+        assert_eq!(
+            RayFlexRequest::ray_box(5, &ray, &boxes).vector_operand(),
+            &VectorOperand::DISABLED,
+            "ray beats carry no vector payload"
+        );
     }
 
     #[test]

@@ -67,9 +67,10 @@ pub mod validation;
 pub use accumulator::AccumulatorState;
 pub use config::{FeatureSet, FuSharing, PipelineConfig};
 pub use datapath::{BeatMix, RayFlexDatapath};
+pub use fastpath::{clamp_simd_lanes, MAX_SIMD_LANES};
 pub use io::{
-    BoxResult, DistanceResult, RayFlexRequest, RayFlexResponse, RayOperand, TriangleResult,
-    COSINE_LANES, EUCLIDEAN_LANES,
+    BoxResult, DistanceResult, GeomOperand, RayFlexRequest, RayFlexResponse, RayOperand,
+    TriangleResult, VectorOperand, COSINE_LANES, EUCLIDEAN_LANES,
 };
 pub use opcode::{Opcode, QueryKind};
 pub use pipeline::{PipelineStats, RayFlexPipeline, PIPELINE_DEPTH};

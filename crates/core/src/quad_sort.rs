@@ -7,18 +7,19 @@ use rayflex_softfloat::{cmp, RecF32};
 /// sorting network for four elements (compare-exchange pairs (0,1), (2,3), (0,2), (1,3), (1,2)).
 ///
 /// Misses sort after every hit (their key is +infinity); equal keys keep their original order so
-/// the network is deterministic.  Returns the child indices in visit order.
+/// the network is deterministic.  Returns the child indices in visit order, as `u8` lane numbers
+/// to keep the response struct compact.
 #[must_use]
-pub fn sort_children(hit: &[bool; 4], t_entry: &[RecF32; 4]) -> [usize; 4] {
-    let key = |i: usize| -> RecF32 {
-        if hit[i] {
-            t_entry[i]
+pub fn sort_children(hit: &[bool; 4], t_entry: &[RecF32; 4]) -> [u8; 4] {
+    let key = |i: u8| -> RecF32 {
+        if hit[i as usize] {
+            t_entry[i as usize]
         } else {
             RecF32::INFINITY
         }
     };
-    let mut order = [0usize, 1, 2, 3];
-    let exchange = |order: &mut [usize; 4], i: usize, j: usize| {
+    let mut order = [0u8, 1, 2, 3];
+    let exchange = |order: &mut [u8; 4], i: usize, j: usize| {
         if cmp::lt(key(order[j]), key(order[i])) {
             order.swap(i, j);
         }
@@ -36,7 +37,7 @@ pub fn sort_children(hit: &[bool; 4], t_entry: &[RecF32; 4]) -> [usize; 4] {
 /// k-NN engine, say) order values exactly as the hardware sorter would.  Invalid lanes (`hit[i]
 /// == false`) sort last and keep their relative order.
 #[must_use]
-pub fn sort_four_f32(hit: &[bool; 4], keys: &[f32; 4]) -> [usize; 4] {
+pub fn sort_four_f32(hit: &[bool; 4], keys: &[f32; 4]) -> [u8; 4] {
     sort_children(hit, &keys.map(RecF32::from_f32))
 }
 
@@ -84,8 +85,10 @@ mod tests {
                         }
                         let distances = rec([base[p0], base[p1], base[p2], base[p3]]);
                         let order = sort_children(&[true; 4], &distances);
-                        let sorted: Vec<f32> =
-                            order.iter().map(|&i| distances[i].to_f32()).collect();
+                        let sorted: Vec<f32> = order
+                            .iter()
+                            .map(|&i| distances[i as usize].to_f32())
+                            .collect();
                         assert_eq!(sorted, vec![0.5, 1.5, 2.5, 3.5], "permutation {perm:?}");
                     }
                 }

@@ -54,7 +54,7 @@ pub struct SharedRayFlexData {
     /// Stage-4 hit flags per box.
     pub box_hit: [bool; 4],
     /// Stage-10 traversal order (child indices sorted by order of intersection).
-    pub box_order: [usize; 4],
+    pub box_order: [u8; 4],
 
     // --- Ray-triangle operands and intermediates -----------------------------------------------
     /// Triangle vertices; overwritten with the ray-origin-translated vertices at stage 2.
@@ -157,8 +157,8 @@ impl SharedRayFlexData {
     #[must_use]
     pub fn from_request(request: &RayFlexRequest) -> Self {
         let rec3 = |v: [f32; 3]| v.map(RecF32::from_f32);
-        let boxes_lo = core::array::from_fn(|i| rec3(request.boxes[i].min.to_array()));
-        let boxes_hi = core::array::from_fn(|i| rec3(request.boxes[i].max.to_array()));
+        let boxes_lo = core::array::from_fn(|i| rec3(request.boxes_operand()[i].min.to_array()));
+        let boxes_hi = core::array::from_fn(|i| rec3(request.boxes_operand()[i].max.to_array()));
         SharedRayFlexData {
             opcode: request.opcode,
             tag: request.tag,
@@ -177,9 +177,9 @@ impl SharedRayFlexData {
             box_hit: [false; 4],
             box_order: [0, 1, 2, 3],
             tri_verts: [
-                rec3(request.triangle.v0.to_array()),
-                rec3(request.triangle.v1.to_array()),
-                rec3(request.triangle.v2.to_array()),
+                rec3(request.triangle_operand().v0.to_array()),
+                rec3(request.triangle_operand().v1.to_array()),
+                rec3(request.triangle_operand().v2.to_array()),
             ],
             tri_shear_prod: [[RecF32::ZERO; 3]; 3],
             tri_sheared_xy: [[RecF32::ZERO; 2]; 3],
@@ -191,9 +191,9 @@ impl SharedRayFlexData {
             tri_det: RecF32::ZERO,
             tri_t_num: RecF32::ZERO,
             tri_hit: false,
-            vec_a: request.euclidean_a.map(RecF32::from_f32),
-            vec_b: request.euclidean_b.map(RecF32::from_f32),
-            vec_mask: request.euclidean_mask,
+            vec_a: request.vector_operand().a.map(RecF32::from_f32),
+            vec_b: request.vector_operand().b.map(RecF32::from_f32),
+            vec_mask: request.vector_operand().mask,
             reset_accumulator: request.reset_accumulator,
             euclid_work: [RecF32::ZERO; EUCLIDEAN_LANES],
             cos_dot_work: [RecF32::ZERO; 8],

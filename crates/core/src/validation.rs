@@ -308,8 +308,9 @@ pub fn run_case(case: &DirectedCase, datapath: &mut RayFlexDatapath) -> CaseOutc
                 unreachable!("a box case always returns a box result");
             };
             let ray = reconstruct_ray(&case.request);
-            let golden_hits: [bool; 4] =
-                core::array::from_fn(|i| golden::slab::ray_box(&ray, &case.request.boxes[i]).hit);
+            let golden_hits: [bool; 4] = core::array::from_fn(|i| {
+                golden::slab::ray_box(&ray, &case.request.boxes_operand()[i]).hit
+            });
             (result.hit == expected, golden_hits == expected)
         }
         Expected::TriangleHit(expected) => {
@@ -317,7 +318,8 @@ pub fn run_case(case: &DirectedCase, datapath: &mut RayFlexDatapath) -> CaseOutc
                 unreachable!("a triangle case always returns a triangle result");
             };
             let ray = reconstruct_ray(&case.request);
-            let golden_hit = golden::watertight::ray_triangle(&ray, &case.request.triangle).hit;
+            let golden_hit =
+                golden::watertight::ray_triangle(&ray, case.request.triangle_operand()).hit;
             (result.hit == expected, golden_hit == expected)
         }
     };

@@ -165,15 +165,21 @@ proptest! {
             let mut scalar = RayFlexDatapath::new(config);
             let expected: Vec<RayFlexResponse> =
                 beats.iter().map(|beat| scalar.execute(beat)).collect();
-            let mut batched = RayFlexDatapath::new(config);
-            let got = batched.execute_batch(&beats);
-            prop_assert_eq!(expected.len(), got.len());
-            for (index, (e, g)) in expected.iter().zip(&got).enumerate() {
-                assert_bit_identical(e, g, index)?;
+            // Every SIMD lane width must reproduce the per-beat emulation bit-for-bit: lanes = 1
+            // is the plain fast path, 4 and 8 engage the lane-batched kernels (grouping ray-box
+            // beats within a beat and ray-triangle beats across adjacent beats).
+            for lanes in [1usize, 4, 8] {
+                let mut batched = RayFlexDatapath::new(config);
+                batched.set_simd_lanes(lanes);
+                let got = batched.execute_batch(&beats);
+                prop_assert_eq!(expected.len(), got.len());
+                for (index, (e, g)) in expected.iter().zip(&got).enumerate() {
+                    assert_bit_identical(e, g, index)?;
+                }
+                prop_assert_eq!(scalar.executed_beats(), batched.executed_beats());
+                // The shared accumulator state stays bit-compatible between the two paths.
+                prop_assert_eq!(scalar.accumulators(), batched.accumulators());
             }
-            prop_assert_eq!(scalar.executed_beats(), batched.executed_beats());
-            // The shared accumulator state stays bit-compatible between the two paths.
-            prop_assert_eq!(scalar.accumulators(), batched.accumulators());
         }
     }
 

@@ -57,14 +57,14 @@ proptest! {
         // The traversal order is a permutation of 0..4 with hits (sorted by distance) first.
         let mut seen = [false; 4];
         for &slot in &result.traversal_order {
-            prop_assert!(!seen[slot]);
-            seen[slot] = true;
+            prop_assert!(!seen[slot as usize]);
+            seen[slot as usize] = true;
         }
         let hits_in_order: Vec<f32> = result
             .traversal_order
             .iter()
-            .filter(|&&s| result.hit[s])
-            .map(|&s| result.t_entry[s])
+            .filter(|&&s| result.hit[s as usize])
+            .map(|&s| result.t_entry[s as usize])
             .collect();
         for pair in hits_in_order.windows(2) {
             // NaN never appears for hits, so plain comparison is sound.
@@ -73,10 +73,10 @@ proptest! {
         let first_miss = result
             .traversal_order
             .iter()
-            .position(|&s| !result.hit[s])
+            .position(|&s| !result.hit[s as usize])
             .unwrap_or(4);
         prop_assert!(
-            result.traversal_order[first_miss..].iter().all(|&s| !result.hit[s]),
+            result.traversal_order[first_miss..].iter().all(|&s| !result.hit[s as usize]),
             "no hit may follow a miss in the traversal order"
         );
     }

@@ -41,7 +41,12 @@ impl BoxHit {
 /// by a select.  NaN propagates from either operand, so a coplanar ray's `inf × 0 = NaN` poisons
 /// the interval bounds and the final `tmin <= tmax` comparison returns false — the miss semantics
 /// §IV-A of the paper relies on.
-fn hw_min(a: f32, b: f32) -> f32 {
+///
+/// Public so the lane-batched fast path can pin its branchless select formulation against this
+/// reference for every operand class (including NaN payload preservation).
+#[must_use]
+#[inline]
+pub fn hw_min(a: f32, b: f32) -> f32 {
     if a.is_nan() {
         a
     } else if b.is_nan() {
@@ -54,7 +59,9 @@ fn hw_min(a: f32, b: f32) -> f32 {
 }
 
 /// Hardware-style maximum with the same NaN-propagating behaviour as [`hw_min`].
-fn hw_max(a: f32, b: f32) -> f32 {
+#[must_use]
+#[inline]
+pub fn hw_max(a: f32, b: f32) -> f32 {
     if a.is_nan() {
         a
     } else if b.is_nan() {
@@ -74,6 +81,7 @@ fn hw_max(a: f32, b: f32) -> f32 {
 /// ±infinity, a coplanar ray then produces `inf × 0 = NaN`, every comparison involving NaN is
 /// false and the ray reports a miss.
 #[must_use]
+#[inline]
 pub fn ray_box(ray: &Ray, aabb: &Aabb) -> BoxHit {
     // Stage 2 — translate the box corners to the ray origin (6 subtractions per box).
     let lo_x = aabb.min.x - ray.origin.x;
@@ -113,13 +121,14 @@ pub fn ray_box(ray: &Ray, aabb: &Aabb) -> BoxHit {
 /// Sorts four ray–box results by their order of intersection using the five-comparator sorting
 /// network of Fig. 4a step 5 (compare-exchange pairs (0,1), (2,3), (0,2), (1,3), (1,2)).
 /// Misses sort after every hit; equal keys keep their original order.  Returns the child indices
-/// in visit order.
+/// in visit order, as `u8` lane numbers to keep the result struct compact.
 #[must_use]
-pub fn sort_boxes(hits: &[BoxHit; 4]) -> [usize; 4] {
-    let mut order = [0usize, 1, 2, 3];
-    let exchange = |order: &mut [usize; 4], i: usize, j: usize| {
+#[inline]
+pub fn sort_boxes(hits: &[BoxHit; 4]) -> [u8; 4] {
+    let mut order = [0u8, 1, 2, 3];
+    let exchange = |order: &mut [u8; 4], i: usize, j: usize| {
         // Swap so that the element with the smaller key ends up at position i.
-        if hits[order[j]].sort_key() < hits[order[i]].sort_key() {
+        if hits[order[j] as usize].sort_key() < hits[order[i] as usize].sort_key() {
             order.swap(i, j);
         }
     };
@@ -273,7 +282,7 @@ mod tests {
                 .collect();
             let hits: [BoxHit; 4] = [hits[0], hits[1], hits[2], hits[3]];
             let order = sort_boxes(&hits);
-            let sorted: Vec<f32> = order.iter().map(|&i| hits[i].t_entry).collect();
+            let sorted: Vec<f32> = order.iter().map(|&i| hits[i as usize].t_entry).collect();
             assert_eq!(sorted, vec![1.0, 2.0, 3.0, 4.0], "permutation {perm:?}");
         };
         check(&permutation);

@@ -1,6 +1,6 @@
 //! A four-wide bounding volume hierarchy matching the datapath's four-boxes-per-beat interface.
 
-use rayflex_geometry::{Aabb, Sphere, Triangle};
+use rayflex_geometry::{Aabb, Sphere, Triangle, Vec3};
 
 /// Anything that can be bounded by an axis-aligned box and therefore placed in a BVH.
 pub trait Primitive {
@@ -34,7 +34,9 @@ pub enum Bvh4Node {
     Internal {
         /// Indices of the child nodes, aligned with `child_bounds`.
         children: [Option<usize>; 4],
-        /// Bounds of each child slot (absent slots hold an empty box that can never be hit).
+        /// Bounds of each child slot.  Absent slots hold the point box at `f32::MAX`, which no
+        /// finite-extent ray can hit, so the table is beat-ready as stored — traversal loops
+        /// hand it straight to [`rayflex_core::RayFlexRequest`] without per-visit padding.
         child_bounds: [Aabb; 4],
     },
     /// A leaf node referencing a contiguous run of primitive indices.
@@ -210,7 +212,9 @@ impl Builder<'_> {
         let node_index = self.nodes.len();
         self.nodes.push(Bvh4Node::Leaf { first: 0, count: 0 }); // placeholder
         let mut children = [None; 4];
-        let mut child_bounds = [Aabb::empty(); 4];
+        // Absent slots keep the never-hit point box at +MAX (see the field docs): padding once
+        // at build time keeps the per-beat path free of slot fixups.
+        let mut child_bounds = [Aabb::new(Vec3::splat(f32::MAX), Vec3::splat(f32::MAX)); 4];
         let mut offset = 0usize;
         for (slot, quarter_len) in quarters.into_iter().enumerate() {
             if quarter_len == 0 {

@@ -20,7 +20,7 @@
 //! streams of unrelated workloads.
 
 use rayflex_core::{Opcode, PipelineConfig, RayFlexDatapath, RayFlexRequest, RayFlexResponse};
-use rayflex_geometry::{Aabb, Ray, Sphere, Vec3};
+use rayflex_geometry::{Ray, Sphere, Vec3};
 
 use crate::error::{PartialResult, QueryError, QueryOutcome};
 use crate::policy::{ExecMode, ExecPolicy};
@@ -143,12 +143,17 @@ impl BatchQuery for CollectQuery<'_> {
         while let Some(node) = state.stack.pop() {
             match self.bvh.node(node) {
                 Bvh4Node::Leaf { .. } => state.found.extend(self.bvh.leaf_primitives(node)),
-                Bvh4Node::Internal { child_bounds, .. } => {
+                Bvh4Node::Internal {
+                    children,
+                    child_bounds,
+                } => {
                     self.box_beats += 1;
                     let radius = state.radius;
+                    // Absent slots already hold the never-hit point box at +MAX (padded at BVH
+                    // build time); only occupied slots are inflated by the query radius.
                     let boxes = core::array::from_fn(|i| {
-                        if child_bounds[i].is_empty() {
-                            Aabb::new(Vec3::splat(f32::MAX), Vec3::splat(f32::MAX))
+                        if children[i].is_none() {
+                            child_bounds[i]
                         } else {
                             child_bounds[i].inflated(radius)
                         }
@@ -233,6 +238,9 @@ pub struct HierarchicalSearch {
     /// across queries).
     collector: WavefrontScheduler<CollectWork>,
     stats: HierarchicalStats,
+    /// Work-stealing pool counters of the parallel filter phase (the scoring phase's counters
+    /// live on the embedded [`KnnEngine`]; [`HierarchicalSearch::pool_stats`] merges both).
+    pool: crate::parallel::PoolStats,
 }
 
 impl HierarchicalSearch {
@@ -265,6 +273,7 @@ impl HierarchicalSearch {
                 dataset_size,
                 ..HierarchicalStats::default()
             },
+            pool: crate::parallel::PoolStats::default(),
         }
     }
 
@@ -278,6 +287,16 @@ impl HierarchicalSearch {
     #[must_use]
     pub fn stats(&self) -> HierarchicalStats {
         self.stats
+    }
+
+    /// Work-stealing pool counters accumulated across every parallel run (filter-phase shards
+    /// plus the embedded scorer's parallel scoring runs).  Scheduling artefacts — **not**
+    /// mode-invariant, unlike [`HierarchicalSearch::stats`].
+    #[must_use]
+    pub fn pool_stats(&self) -> crate::parallel::PoolStats {
+        let mut merged = self.pool;
+        merged.merge(&self.scorer.pool_stats());
+        merged
     }
 
     /// Minimum radius queries a parallel filter shard must carry before an extra worker pays
@@ -689,7 +708,7 @@ impl HierarchicalSearch {
     ) -> Vec<Vec<usize>> {
         let config = *self.scorer.config();
         let bvh = &self.bvh;
-        let Some(shards) =
+        let Some((shards, pool)) =
             crate::parallel::shard_chunks(queries, threads, Self::MIN_QUERIES_PER_SHARD, |shard| {
                 let mut datapath = RayFlexDatapath::new(config);
                 let mut scheduler: WavefrontScheduler<CollectWork> = WavefrontScheduler::new();
@@ -701,6 +720,7 @@ impl HierarchicalSearch {
             // Too small to shard profitably: run the batched wavefront inline.
             return self.filter_candidates_batch(queries, &ExecPolicy::wavefront());
         };
+        self.pool.merge(&pool);
         let mut results = Vec::with_capacity(queries.len());
         for (shard_candidates, box_beats) in shards {
             results.extend(shard_candidates);

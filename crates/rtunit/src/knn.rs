@@ -294,6 +294,9 @@ fn append_cosine_beats(tag: u64, a: &[f32], b: &[f32], out: &mut Vec<RayFlexRequ
 pub struct KnnEngine {
     datapath: RayFlexDatapath,
     stats: KnnStats,
+    /// Work-stealing pool counters accumulated across parallel scoring runs (scheduling
+    /// artefacts, kept apart from the mode-invariant [`KnnStats`]).
+    pool: crate::parallel::PoolStats,
     scheduler: WavefrontScheduler<DistanceWork>,
     /// Drives the scalar round-robin reference and fused dispatch disciplines of the policy
     /// entry points.
@@ -321,6 +324,7 @@ impl KnnEngine {
         KnnEngine {
             datapath: RayFlexDatapath::new(config),
             stats: KnnStats::default(),
+            pool: crate::parallel::PoolStats::default(),
             scheduler: WavefrontScheduler::new(),
             fused: FusedScheduler::new(),
         }
@@ -330,6 +334,14 @@ impl KnnEngine {
     #[must_use]
     pub fn stats(&self) -> KnnStats {
         self.stats
+    }
+
+    /// Work-stealing pool counters accumulated across every parallel scoring run.  Unlike
+    /// [`KnnEngine::stats`] these are **not** mode-invariant: steal counts depend on runtime
+    /// scheduling, and non-parallel modes leave them untouched.
+    #[must_use]
+    pub fn pool_stats(&self) -> crate::parallel::PoolStats {
+        self.pool
     }
 
     /// The datapath configuration this engine drives.
@@ -410,6 +422,7 @@ impl KnnEngine {
         if let ExecMode::Parallel { shards } = policy.mode {
             return self.distances_parallel(query, candidates, metric, shards.requested_threads());
         }
+        self.datapath.set_simd_lanes(policy.effective_simd_lanes());
 
         let mut results = Vec::with_capacity(candidates.len());
         for chunk in candidates.chunks(chunk_len) {
@@ -456,7 +469,7 @@ impl KnnEngine {
         threads: usize,
     ) -> Vec<f32> {
         let config = *self.datapath.config();
-        let Some(shards) = crate::parallel::shard_chunks(
+        let Some((shards, pool)) = crate::parallel::shard_chunks(
             candidates,
             threads,
             Self::MIN_CANDIDATES_PER_SHARD,
@@ -469,6 +482,7 @@ impl KnnEngine {
             // Too small to shard profitably: run the batched wavefront inline.
             return self.distances(query, candidates, metric, &ExecPolicy::wavefront());
         };
+        self.pool.merge(&pool);
         let mut results = Vec::with_capacity(candidates.len());
         for (shard_distances, shard_stats) in shards {
             results.extend(shard_distances);
@@ -736,6 +750,7 @@ pub fn select_k_nearest(distances: &[f32], k: usize) -> Vec<Neighbor> {
         // The quad-sort network yields this quad's candidates nearest-first (equal keys keep
         // index order), so the first one that fails to displace the current worst ends the quad.
         for &slot in &quad_sort::sort_four_f32(&valid, &keys) {
+            let slot = usize::from(slot);
             if !valid[slot] {
                 // An invalid lane (padding or NaN) carries the +inf miss key, which TIES with a
                 // genuine +inf distance — and ties keep original lane order — so a valid lane

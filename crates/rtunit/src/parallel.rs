@@ -12,15 +12,27 @@
 //! **Auto-tuned sharding:** spawning workers costs real time, and on one core (or for short
 //! streams) the parallel mode used to be *slower* than the plain batched path
 //! (`BENCH_baseline.json` of PR 1 showed exactly that on all three scenes).  The sharding
-//! therefore clamps the worker count so every shard carries at least [`MIN_RAYS_PER_SHARD`] rays
-//! (the remainder shard may run up to `threads - 1` rays short of the floor), and when the
+//! therefore clamps the worker count so every chunk carries at least [`MIN_RAYS_PER_SHARD`] rays
+//! (the remainder chunk may run up to `workers - 1` rays short of the floor), and when the
 //! effective count is one it runs the batched wavefront inline on the calling thread — no
 //! spawn, no join, identical results.
 //!
+//! **Work stealing:** fixed index-range shards (one per worker) idle workers whenever traversal
+//! depth is uneven — a worker whose shadow rays all retire early sits joined while another grinds
+//! through deep bounce rays.  The pool here ([`steal_map`]) is a small hand-rolled
+//! chunk-queue-plus-stealing-deque (vendored like the existing rand/proptest shims — no network
+//! dependencies): the stream is cut into *more chunks than workers* (up to
+//! [`CHUNKS_PER_WORKER`] each, never below the [`MIN_RAYS_PER_SHARD`] floor), the chunks are
+//! dealt round-robin onto per-worker deques, and each worker drains its own deque from the front
+//! then steals from the *back* of a victim's.  Chunk results are written back by chunk index, so
+//! hits assemble in the caller's order no matter which worker ran what; statistics merge by
+//! summation and are order-invariant.  Per-run pool utilisation (workers, chunks, steals) is
+//! reported as [`PoolStats`] — observability only, deliberately kept out of the mode-invariant
+//! [`TraversalStats`].
+//!
 //! Workers are plain `std::thread::scope` threads rather than a `rayon` pool: the build
-//! environment vendors no external crates, the fan-out is one spawn per shard (not per task), and
-//! scoped threads let the workers borrow the scene directly.  Swapping in `rayon::scope` later is
-//! a local change to [`shard_map`].
+//! environment vendors no external crates, and scoped threads let the workers borrow the scene
+//! and the chunk queues directly.
 //!
 //! **Panic isolation:** a panicking worker no longer takes the whole query down.  Every join
 //! site observes the worker's panic (via the `Err` of [`std::thread::Scope`] join handles) and
@@ -41,7 +53,9 @@
 //! `trace_shadow_rays_parallel`, `trace_fused_parallel`, `trace_packet_parallel`) survive as
 //! deprecated shims over the same internals.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Ray, RayPacket, Triangle};
@@ -49,6 +63,141 @@ use rayflex_geometry::{Ray, RayPacket, Triangle};
 use crate::fault;
 use crate::traversal::{TraceRequest, TraversalEngine, TraversalHit, TraversalStats};
 use crate::{Bvh4, ExecPolicy};
+
+/// Target chunks per worker in the work-stealing pool: enough surplus that a worker finishing
+/// early has something to steal, small enough that chunk bookkeeping stays negligible next to
+/// the [`MIN_RAYS_PER_SHARD`] floor.
+pub const CHUNKS_PER_WORKER: usize = 4;
+
+/// Utilisation counters of one work-stealing pool run — how the chunks moved, not what they
+/// computed.  Deliberately separate from [`TraversalStats`]: domain statistics are mode- and
+/// schedule-invariant (pinned by the policy matrix tests), while steal counts depend on thread
+/// timing.  Merged across runs like the plain-`u64` `TraversalStats` sums.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads the pool spawned.
+    pub workers: u64,
+    /// Chunks executed through the pool.
+    pub chunks: u64,
+    /// Chunks a worker took from another worker's deque instead of its own.
+    pub steals: u64,
+}
+
+impl PoolStats {
+    /// Accumulates another run's counters (plain summation, commutative like
+    /// [`TraversalStats::merge`]).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.workers += other.workers;
+        self.chunks += other.chunks;
+        self.steals += other.steals;
+    }
+}
+
+/// Cuts `0..total` into contiguous chunks for `workers` workers: up to [`CHUNKS_PER_WORKER`] per
+/// worker so the pool has slack to steal, but never more than `total / min_per_chunk` so no chunk
+/// drops below the profitable floor (the remainder chunk may run short, exactly like the old
+/// fixed sharding).
+fn chunk_ranges(
+    total: usize,
+    workers: usize,
+    min_per_chunk: usize,
+) -> Vec<core::ops::Range<usize>> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let by_floor = (total / min_per_chunk.max(1)).max(1);
+    let chunk_count = (workers * CHUNKS_PER_WORKER).clamp(1, by_floor);
+    let chunk_len = total.div_ceil(chunk_count).max(1);
+    (0..total)
+        .step_by(chunk_len)
+        .map(|begin| begin..(begin + chunk_len).min(total))
+        .collect()
+}
+
+/// The work-stealing pool core: runs `work` over every chunk on up to `workers` scoped threads
+/// and returns the per-chunk results **in chunk order** plus the pool's utilisation counters.
+///
+/// Chunks are dealt round-robin onto per-worker deques; a worker pops its own deque from the
+/// front (preserving the locality of the initial deal) and, when empty, steals from the back of
+/// the first non-empty victim deque.  Every chunk runs under [`fault::shard_checkpoint`] with its
+/// *global chunk index* — deterministic no matter which worker executes it — and inside a
+/// per-chunk `catch_unwind`, so a poisoned chunk never takes its worker (or sibling chunks) down:
+/// the slot stays `None` and the caller decides the retry semantics.
+fn steal_map<C: Sync, R: Send>(
+    chunks: &[C],
+    workers: usize,
+    work: impl Fn(&C) -> R + Sync,
+) -> (Vec<Option<R>>, PoolStats) {
+    let workers = workers.clamp(1, chunks.len().max(1));
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for index in 0..chunks.len() {
+        lock_queue(&queues[index % workers]).push_back(index);
+    }
+    let mut results: Vec<Option<R>> = (0..chunks.len()).map(|_| None).collect();
+    let mut pool = PoolStats {
+        workers: workers as u64,
+        chunks: chunks.len() as u64,
+        steals: 0,
+    };
+    let work = &work;
+    let queues = &queues;
+    let worker_outputs = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut steals = 0u64;
+                    loop {
+                        let mut next = lock_queue(&queues[worker]).pop_front();
+                        if next.is_none() {
+                            for offset in 1..workers {
+                                let victim = (worker + offset) % workers;
+                                if let Some(stolen) = lock_queue(&queues[victim]).pop_back() {
+                                    steals += 1;
+                                    next = Some(stolen);
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(index) = next else { break };
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            fault::shard_checkpoint(index);
+                            work(&chunks[index])
+                        }));
+                        if let Ok(result) = result {
+                            local.push((index, result));
+                        }
+                    }
+                    (local, steals)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join())
+            .collect::<Vec<_>>()
+    });
+    // Workers catch per-chunk panics themselves; a join error would mean the scaffold
+    // itself died, in which case the worker's chunks simply stay `None` and the caller's
+    // retry path owns them.
+    for (local, steals) in worker_outputs.into_iter().flatten() {
+        pool.steals += steals;
+        for (index, result) in local {
+            results[index] = Some(result);
+        }
+    }
+    (results, pool)
+}
+
+/// Locks a chunk queue, shrugging off mutex poisoning: queue state is just indices, and a
+/// poisoned lock only means some chunk panicked *outside* its `catch_unwind` window — the indices
+/// themselves are still consistent.
+fn lock_queue(queue: &Mutex<VecDeque<usize>>) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+    queue
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// The result triple of a fused closest-hit + any-hit pair trace: the two hit streams (in the
 /// caller's ray order) and the summed traversal statistics.
@@ -95,113 +244,103 @@ pub(crate) fn pair_effective_threads(closest_len: usize, any_len: usize, threads
     effective_threads(threads, closest_len + any_len).min(total.max(1))
 }
 
-/// Runs `work` over contiguous index ranges covering `0..total` on `threads` scoped workers and
-/// concatenates the per-shard hits (in shard order) with summed statistics — the one sharding
-/// skeleton every parallel frontend uses, whether the shard is borrowed as a slice (AoS streams)
-/// or materialised from SoA storage (packet streams).
+/// Runs `work` over contiguous index ranges covering `0..total` through the work-stealing pool
+/// and concatenates the per-chunk hits (in chunk order) with summed statistics — the sharding
+/// skeleton of the packet frontend, which materialises each chunk from SoA storage rather than
+/// borrowing a slice.
 fn shard_map(
     total: usize,
     threads: usize,
     work: impl Fn(core::ops::Range<usize>) -> (Vec<Option<TraversalHit>>, TraversalStats) + Sync,
 ) -> (Vec<Option<TraversalHit>>, TraversalStats) {
     let threads = threads.clamp(1, total.max(1));
-    let shard_len = total.div_ceil(threads);
-    let work = &work;
-    let shards = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..total)
-            .step_by(shard_len.max(1))
-            .enumerate()
-            .map(|(shard, begin)| {
-                let range = begin..(begin + shard_len).min(total);
-                let spawned = range.clone();
-                let handle = scope.spawn(move || {
-                    fault::shard_checkpoint(shard);
-                    work(spawned)
-                });
-                (range, handle)
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|(range, handle)| match handle.join() {
-                Ok(result) => result,
-                Err(_) => {
-                    // The worker died; the work is deterministic, so one inline retry of just
-                    // this range reproduces its results exactly.  A second panic propagates.
-                    let (hits, mut stats) = work(range);
-                    stats.shard_fallbacks += 1;
-                    (hits, stats)
-                }
-            })
-            .collect::<Vec<_>>()
-    });
+    let ranges = chunk_ranges(total, threads, MIN_RAYS_PER_SHARD);
+    let (results, _pool) = steal_map(&ranges, threads, |range| work(range.clone()));
     let mut hits = Vec::with_capacity(total);
     let mut stats = TraversalStats::default();
-    for (shard_hits, shard_stats) in shards {
-        hits.extend(shard_hits);
-        stats.merge(&shard_stats);
+    for (range, result) in ranges.iter().zip(results) {
+        let (chunk_hits, chunk_stats) = match result {
+            Some(result) => result,
+            None => {
+                // The chunk panicked; the work is deterministic, so one inline retry of just
+                // this range reproduces its results exactly.  A second panic propagates.
+                let (hits, mut stats) = work(range.clone());
+                stats.shard_fallbacks += 1;
+                (hits, stats)
+            }
+        };
+        hits.extend(chunk_hits);
+        stats.merge(&chunk_stats);
     }
     (hits, stats)
 }
 
-/// Shards `items` into contiguous chunks across scoped workers and collects the per-shard
-/// results in shard order, or returns `None` when auto-tuning decides the work should run
-/// inline (fewer than two shards of at least `min_per_shard` items would result).  The
-/// chunk/spawn/join skeleton the single-slice parallel backends (the k-NN candidate scorer and
-/// the hierarchical filter) share; the traversal pair backend ([`fused_pair_sharded`]) keeps
-/// its own spawn loop because it shards *two* streams by clamped index ranges, but reuses the
-/// same auto-tuning formula ([`effective_threads_for`]).
+/// Shards `items` into contiguous chunks through the work-stealing pool and collects the
+/// per-chunk results in item order, or returns `None` when auto-tuning decides the work should
+/// run inline (fewer than two chunks of at least `min_per_shard` items would result).  The
+/// skeleton the single-slice parallel backends (the k-NN candidate scorer and the hierarchical
+/// filter) share; the traversal pair backend ([`fused_pair_sharded`]) plans its own stream-aware
+/// chunk set but drains it through the same pool.  A chunk whose worker panicked is retried once
+/// inline (the work is deterministic); a second panic propagates to the caller.
 pub(crate) fn shard_chunks<T: Sync, R: Send>(
     items: &[T],
     threads: usize,
     min_per_shard: usize,
     work: impl Fn(&[T]) -> R + Sync,
-) -> Option<Vec<R>> {
-    let threads = effective_threads_for(threads, items.len(), min_per_shard);
-    if threads <= 1 {
+) -> Option<(Vec<R>, PoolStats)> {
+    let workers = effective_threads_for(threads, items.len(), min_per_shard);
+    if workers <= 1 {
         return None;
     }
-    let shard_len = items.len().div_ceil(threads);
-    let work = &work;
-    Some(std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(shard_len)
-            .enumerate()
-            .map(|(index, shard)| {
-                let handle = scope.spawn(move || {
-                    fault::shard_checkpoint(index);
-                    work(shard)
-                });
-                (shard, handle)
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|(shard, handle)| {
-                // Panic isolation: a dead worker's chunk is retried once inline (the work is
-                // deterministic); a second panic propagates to the caller.
-                handle.join().unwrap_or_else(|_| work(shard))
-            })
-            .collect()
-    }))
+    let ranges = chunk_ranges(items.len(), workers, min_per_shard);
+    let (results, pool) = steal_map(&ranges, workers, |range| work(&items[range.clone()]));
+    let collected = ranges
+        .iter()
+        .zip(results)
+        .map(|(range, result)| result.unwrap_or_else(|| work(&items[range.clone()])))
+        .collect();
+    Some((collected, pool))
 }
 
-/// The [`ExecMode::Parallel`](crate::ExecMode::Parallel) backend for traversal requests: shards
-/// the (closest-hit, any-hit) pair index space contiguously across up to `threads` workers, each
-/// worker a private engine running the fused discipline over its slice of *both* streams — every
-/// shard models a unified RT unit time-multiplexing the two query kinds, and shards run side by
-/// side.  Either stream may be empty (the single-kind case degenerates to plain stream
-/// sharding); the streams may have different lengths (a worker whose range lies past the end of
-/// one stream simply traces the other alone).
+/// One chunk of a stream-aware pair plan: the shard hint is resolved *per stream*, so a chunk
+/// never straddles the closest/any boundary — a single-kind chunk runs the plain wavefront (the
+/// fused run of a single stream reproduces the wavefront loop exactly), and early-retiring
+/// shadow chunks free their worker to steal bounce-ray chunks instead of stalling behind them.
+#[derive(Debug, Clone)]
+enum PairChunk {
+    /// A contiguous range of the closest-hit stream.
+    Closest(core::ops::Range<usize>),
+    /// A contiguous range of the any-hit stream.
+    Any(core::ops::Range<usize>),
+}
+
+/// The result of a pool-backed pair trace: both hit streams (in the caller's ray order), the
+/// summed domain statistics and the pool's utilisation counters.
+pub(crate) struct PairPoolTrace {
+    /// Closest-hit results, in input order.
+    pub closest: Vec<Option<TraversalHit>>,
+    /// Any-hit results, in input order.
+    pub any: Vec<Option<TraversalHit>>,
+    /// Summed traversal statistics (bit-identical to every single-threaded mode).
+    pub stats: TraversalStats,
+    /// Work-stealing pool utilisation (observability only; empty for inline runs).
+    pub pool: PoolStats,
+}
+
+/// The [`ExecMode::Parallel`](crate::ExecMode::Parallel) backend for traversal requests: plans a
+/// stream-aware chunk set over the (closest-hit, any-hit) pair and drains it through the
+/// work-stealing pool, each chunk a private engine running the batched wavefront over its slice.
+/// Either stream may be empty and the streams may have different lengths — each stream is
+/// chunked independently.
 ///
-/// Returns the closest-hit results, the any-hit results (both in input order) and the summed
-/// statistics; all three are bit-identical to every single-threaded execution mode.
+/// Returns hits in input order and summed statistics; all bit-identical to every
+/// single-threaded execution mode.
 ///
 /// # Panics
 ///
-/// Panics if a worker shard panics **and** the one-shot scalar retry of its range panics too —
+/// Panics if a worker chunk panics **and** the one-shot scalar retry of its range panics too —
 /// the behaviour the pre-hardening code had for any worker panic.  Use
-/// [`fused_pair_sharded_checked`] to get the shard index back instead.
+/// [`fused_pair_sharded_checked`] to get the chunk index back instead.
 pub(crate) fn fused_pair_sharded(
     config: PipelineConfig,
     bvh: &Bvh4,
@@ -209,20 +348,25 @@ pub(crate) fn fused_pair_sharded(
     closest_rays: &[Ray],
     any_rays: &[Ray],
     threads: usize,
-) -> (
-    Vec<Option<TraversalHit>>,
-    Vec<Option<TraversalHit>>,
-    TraversalStats,
-) {
-    fused_pair_sharded_checked(config, bvh, triangles, closest_rays, any_rays, threads)
-        .unwrap_or_else(|shard| {
-            panic!("fused traversal worker panicked (shard {shard}) and its scalar retry failed")
-        })
+    simd_lanes: usize,
+) -> PairPoolTrace {
+    fused_pair_sharded_checked(
+        config,
+        bvh,
+        triangles,
+        closest_rays,
+        any_rays,
+        threads,
+        simd_lanes,
+    )
+    .unwrap_or_else(|shard| {
+        panic!("fused traversal worker panicked (shard {shard}) and its scalar retry failed")
+    })
 }
 
-/// [`fused_pair_sharded`] with panic isolation surfaced instead of propagated: a worker shard
+/// [`fused_pair_sharded`] with panic isolation surfaced instead of propagated: a worker chunk
 /// that panics is retried once through the scalar reference path (bit-identical results, the
-/// fallback counted in [`TraversalStats::shard_fallbacks`]); `Err(shard)` reports the shard
+/// fallback counted in [`TraversalStats::shard_fallbacks`]); `Err(shard)` reports the chunk
 /// index whose retry *also* panicked — the one failure this layer cannot absorb.
 pub(crate) fn fused_pair_sharded_checked(
     config: PipelineConfig,
@@ -231,86 +375,98 @@ pub(crate) fn fused_pair_sharded_checked(
     closest_rays: &[Ray],
     any_rays: &[Ray],
     threads: usize,
-) -> Result<PairTraceResult, usize> {
-    let total = closest_rays.len().max(any_rays.len());
+    simd_lanes: usize,
+) -> Result<PairPoolTrace, usize> {
     let threads = pair_effective_threads(closest_rays.len(), any_rays.len(), threads);
-    let clamp = |range: &core::ops::Range<usize>, len: usize| -> core::ops::Range<usize> {
-        range.start.min(len)..range.end.min(len)
-    };
-    // A slice with one empty stream runs the plain wavefront — no fused-scheduler indirection
-    // for single-kind work; hits and stats are identical either way (the fused run of a single
-    // stream reproduces the wavefront loop exactly).
-    let trace_slice = |engine: &mut TraversalEngine,
-                       closest: &[Ray],
-                       any: &[Ray]|
-     -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
-        if any.is_empty() {
+    if threads <= 1 {
+        // Inline single-engine path: one fused (or single-kind wavefront) run on the calling
+        // thread — no spawn, no join, identical results.
+        let mut engine = TraversalEngine::with_config(config);
+        engine.set_simd_lanes(simd_lanes);
+        let (closest, any) = if any_rays.is_empty() {
             (
-                engine.wavefront_closest_hits(bvh, triangles, closest),
+                engine.wavefront_closest_hits(bvh, triangles, closest_rays),
                 Vec::new(),
             )
-        } else if closest.is_empty() {
-            (Vec::new(), engine.wavefront_any_hits(bvh, triangles, any))
-        } else {
-            engine.fused_pair(bvh, triangles, closest, any, 0)
-        }
-    };
-    if threads <= 1 {
-        let mut engine = TraversalEngine::with_config(config);
-        let (closest, any) = trace_slice(&mut engine, closest_rays, any_rays);
-        return Ok((closest, any, engine.stats()));
-    }
-    let shard_len = total.div_ceil(threads).max(1);
-    let shards = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..total)
-            .step_by(shard_len)
-            .enumerate()
-            .map(|(shard, begin)| {
-                let range = begin..(begin + shard_len).min(total);
-                let closest_range = clamp(&range, closest_rays.len());
-                let any_range = clamp(&range, any_rays.len());
-                let trace_slice = &trace_slice;
-                let spawn_closest = closest_range.clone();
-                let spawn_any = any_range.clone();
-                let handle = scope.spawn(move || {
-                    fault::shard_checkpoint(shard);
-                    let mut engine = TraversalEngine::with_config(config);
-                    let (closest, any) = trace_slice(
-                        &mut engine,
-                        &closest_rays[spawn_closest],
-                        &any_rays[spawn_any],
-                    );
-                    (closest, any, engine.stats())
-                });
-                (shard, closest_range, any_range, handle)
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(
-                |(shard, closest_range, any_range, handle)| match handle.join() {
-                    Ok(result) => Ok(result),
-                    Err(_) => retry_range_scalar(
-                        config,
-                        bvh,
-                        triangles,
-                        &closest_rays[closest_range],
-                        &any_rays[any_range],
-                    )
-                    .ok_or(shard),
-                },
+        } else if closest_rays.is_empty() {
+            (
+                Vec::new(),
+                engine.wavefront_any_hits(bvh, triangles, any_rays),
             )
-            .collect::<Result<Vec<_>, usize>>()
-    })?;
+        } else {
+            engine.fused_pair(bvh, triangles, closest_rays, any_rays, 0)
+        };
+        return Ok(PairPoolTrace {
+            closest,
+            any,
+            stats: engine.stats(),
+            pool: PoolStats::default(),
+        });
+    }
+    // Stream-aware plan: each stream is chunked independently against the same worker budget,
+    // closest chunks first.  Chunk indices — the identity `fault::shard_checkpoint` sees — are
+    // fixed by this plan, not by which worker steals what.
+    let chunks: Vec<PairChunk> = chunk_ranges(closest_rays.len(), threads, MIN_RAYS_PER_SHARD)
+        .into_iter()
+        .map(PairChunk::Closest)
+        .chain(
+            chunk_ranges(any_rays.len(), threads, MIN_RAYS_PER_SHARD)
+                .into_iter()
+                .map(PairChunk::Any),
+        )
+        .collect();
+    let (results, pool) = steal_map(&chunks, threads, |chunk| {
+        let mut engine = TraversalEngine::with_config(config);
+        engine.set_simd_lanes(simd_lanes);
+        let hits = match chunk {
+            PairChunk::Closest(range) => {
+                engine.wavefront_closest_hits(bvh, triangles, &closest_rays[range.clone()])
+            }
+            PairChunk::Any(range) => {
+                engine.wavefront_any_hits(bvh, triangles, &any_rays[range.clone()])
+            }
+        };
+        (hits, engine.stats())
+    });
     let mut closest = Vec::with_capacity(closest_rays.len());
     let mut any = Vec::with_capacity(any_rays.len());
     let mut stats = TraversalStats::default();
-    for (shard_closest, shard_any, shard_stats) in shards {
-        closest.extend(shard_closest);
-        any.extend(shard_any);
-        stats.merge(&shard_stats);
+    for (index, (chunk, result)) in chunks.iter().zip(results).enumerate() {
+        let (hits, chunk_stats) = match result {
+            Some(result) => result,
+            None => {
+                // The chunk panicked: one scalar-reference retry of just its range, with the
+                // fallback recorded.  `Err(index)` if the retry dies too.
+                let (closest_range, any_range) = match chunk {
+                    PairChunk::Closest(range) => (range.clone(), 0..0),
+                    PairChunk::Any(range) => (0..0, range.clone()),
+                };
+                let (retry_closest, retry_any, retry_stats) = retry_range_scalar(
+                    config,
+                    bvh,
+                    triangles,
+                    &closest_rays[closest_range],
+                    &any_rays[any_range],
+                )
+                .ok_or(index)?;
+                match chunk {
+                    PairChunk::Closest(_) => (retry_closest, retry_stats),
+                    PairChunk::Any(_) => (retry_any, retry_stats),
+                }
+            }
+        };
+        match chunk {
+            PairChunk::Closest(_) => closest.extend(hits),
+            PairChunk::Any(_) => any.extend(hits),
+        }
+        stats.merge(&chunk_stats);
     }
-    Ok((closest, any, stats))
+    Ok(PairPoolTrace {
+        closest,
+        any,
+        stats,
+        pool,
+    })
 }
 
 /// The one-shot recovery path for a poisoned traversal shard: re-trace just its index range
@@ -349,8 +505,8 @@ pub fn trace_rays_parallel(
     rays: &[Ray],
     threads: usize,
 ) -> (Vec<Option<TraversalHit>>, TraversalStats) {
-    let (hits, _, stats) = fused_pair_sharded(config, bvh, triangles, rays, &[], threads);
-    (hits, stats)
+    let out = fused_pair_sharded(config, bvh, triangles, rays, &[], threads, 1);
+    (out.closest, out.stats)
 }
 
 /// Runs the any-hit/shadow query over a ray stream across up to `threads` parallel workers.
@@ -364,8 +520,8 @@ pub fn trace_shadow_rays_parallel(
     rays: &[Ray],
     threads: usize,
 ) -> (Vec<Option<TraversalHit>>, TraversalStats) {
-    let (_, hits, stats) = fused_pair_sharded(config, bvh, triangles, &[], rays, threads);
-    (hits, stats)
+    let out = fused_pair_sharded(config, bvh, triangles, &[], rays, threads, 1);
+    (out.any, out.stats)
 }
 
 /// Traces a closest-hit stream and an any-hit stream fused, sharded across up to `threads`
@@ -385,7 +541,8 @@ pub fn trace_fused_parallel(
     Vec<Option<TraversalHit>>,
     TraversalStats,
 ) {
-    fused_pair_sharded(config, bvh, triangles, closest_rays, any_rays, threads)
+    let out = fused_pair_sharded(config, bvh, triangles, closest_rays, any_rays, threads, 1);
+    (out.closest, out.any, out.stats)
 }
 
 /// Traces a structure-of-arrays [`RayPacket`] closest-hit stream across up to `threads` parallel

@@ -30,19 +30,20 @@ pub enum ShardHint {
     Auto,
     /// Request exactly this many workers.  The effective count is still auto-tuned downward so
     /// no shard drops below the minimum profitable size
-    /// ([`MIN_RAYS_PER_SHARD`](crate::MIN_RAYS_PER_SHARD)); `Count(0)` and `Count(1)` both run
-    /// inline on the calling thread.
+    /// ([`MIN_RAYS_PER_SHARD`](crate::MIN_RAYS_PER_SHARD)); the degenerate `Count(0)` is clamped
+    /// to 1 at policy resolution, so `Count(0)` and `Count(1)` both run inline on the calling
+    /// thread — a zero-worker request never reaches the pool.
     Count(usize),
 }
 
 impl ShardHint {
     /// The worker count this hint requests, resolving [`ShardHint::Auto`] to the machine's
-    /// available parallelism.
+    /// available parallelism and clamping the degenerate `Count(0)` to one worker.  Always ≥ 1.
     #[must_use]
     pub fn requested_threads(self) -> usize {
         match self {
             ShardHint::Auto => crate::parallel::default_parallelism(),
-            ShardHint::Count(count) => count,
+            ShardHint::Count(count) => count.max(1),
         }
     }
 }
@@ -166,6 +167,14 @@ pub struct ExecPolicy {
     /// [`QueryError::DeadlineExceeded`](crate::QueryError::DeadlineExceeded) instead.  The
     /// non-`try_*` entry points ignore the knob entirely and always run to completion.
     pub max_total_beats: u64,
+    /// SIMD lane width of the batched dispatch paths: how many beats (or one beat's four AABBs)
+    /// the datapath's lane-batched kernels evaluate per step.  `0` (the unset default) and `1`
+    /// both select the per-beat scalar fast path; `4` and `8` engage the lane kernels; other
+    /// values are clamped by [`ExecPolicy::effective_simd_lanes`].  Ignored by
+    /// [`ExecMode::ScalarReference`], which always runs the register-accurate per-beat emulation
+    /// — the oracle the lane kernels are pinned against.  Outputs and statistics are
+    /// lane-invariant (bit-identical across widths); only throughput changes.
+    pub simd_lanes: usize,
 }
 
 impl ExecPolicy {
@@ -246,6 +255,22 @@ impl ExecPolicy {
         self.max_total_beats = max_total_beats;
         self
     }
+
+    /// Sets the SIMD lane width of the batched dispatch paths (see
+    /// [`ExecPolicy::simd_lanes`]).  The value is stored as given and clamped at resolution.
+    #[must_use]
+    pub fn with_simd_lanes(mut self, lanes: usize) -> Self {
+        self.simd_lanes = lanes;
+        self
+    }
+
+    /// The clamped SIMD lane width the engines hand to the datapath: degenerate requests (0)
+    /// resolve to 1, oversized requests saturate at
+    /// [`rayflex_core::MAX_SIMD_LANES`], and the `force-scalar` build pins everything to 1.
+    #[must_use]
+    pub fn effective_simd_lanes(&self) -> usize {
+        rayflex_core::clamp_simd_lanes(self.simd_lanes)
+    }
 }
 
 #[cfg(test)]
@@ -322,5 +347,67 @@ mod tests {
         assert!(ShardHint::Auto.requested_threads() >= 1);
         assert_eq!(ShardHint::Count(5).requested_threads(), 5);
         assert_eq!(ShardHint::default(), ShardHint::Auto);
+    }
+
+    #[test]
+    fn degenerate_zero_worker_hints_clamp_to_one_at_resolution() {
+        assert_eq!(
+            ShardHint::Count(0).requested_threads(),
+            1,
+            "a zero-worker request must never reach the pool"
+        );
+        assert_eq!(ShardHint::Count(1).requested_threads(), 1);
+        // The policy builders go through the same resolution path.
+        let ExecMode::Parallel { shards } = ExecPolicy::parallel(0).mode else {
+            panic!("parallel(0) must still build a Parallel policy");
+        };
+        assert_eq!(shards.requested_threads(), 1);
+    }
+
+    #[test]
+    fn simd_lane_requests_clamp_at_policy_resolution() {
+        // The stored field is verbatim; resolution clamps.
+        assert_eq!(ExecPolicy::default().simd_lanes, 0);
+        assert_eq!(ExecPolicy::default().effective_simd_lanes(), 1);
+        assert_eq!(
+            ExecPolicy::wavefront()
+                .with_simd_lanes(0)
+                .effective_simd_lanes(),
+            1,
+            "lane-count 0 resolves to the scalar width"
+        );
+        if rayflex_core::clamp_simd_lanes(8) == 1 {
+            // The force-scalar build: every request resolves to the scalar width.
+            assert_eq!(
+                ExecPolicy::wavefront()
+                    .with_simd_lanes(8)
+                    .effective_simd_lanes(),
+                1
+            );
+        } else {
+            assert_eq!(
+                ExecPolicy::wavefront()
+                    .with_simd_lanes(4)
+                    .effective_simd_lanes(),
+                4
+            );
+            assert_eq!(
+                ExecPolicy::parallel(2)
+                    .with_simd_lanes(8)
+                    .effective_simd_lanes(),
+                8
+            );
+            assert_eq!(
+                ExecPolicy::fused()
+                    .with_simd_lanes(1000)
+                    .effective_simd_lanes(),
+                rayflex_core::MAX_SIMD_LANES,
+                "oversized requests saturate at the widest kernel"
+            );
+        }
+        // The knob composes with the other builders without disturbing them.
+        let policy = ExecPolicy::fused().with_beat_budget(2).with_simd_lanes(4);
+        assert_eq!(policy.beat_budget_per_stream, 2);
+        assert_eq!(policy.simd_lanes, 4);
     }
 }

@@ -324,8 +324,7 @@ impl RtUnit {
                     child_bounds,
                 } => {
                     stats.box_ops += 1;
-                    let boxes = crate::traversal::pad_child_bounds(child_bounds);
-                    let request = RayFlexRequest::ray_box(0, ray, &boxes);
+                    let request = RayFlexRequest::ray_box(0, ray, child_bounds);
                     let Some(result) = datapath.execute(&request).box_result else {
                         unreachable!("a box beat always returns a box result");
                     };

@@ -32,8 +32,10 @@
 //! The pre-policy named method variants (`closest_hits_wavefront`, `trace_fused`, …) survive as
 //! deprecated shims delegating to [`TraversalEngine::trace`].
 
-use rayflex_core::{BeatMix, PipelineConfig, RayFlexDatapath, RayFlexRequest, RayFlexResponse};
-use rayflex_geometry::{Aabb, Ray, RayPacket, Triangle};
+use rayflex_core::{
+    BeatMix, PipelineConfig, RayFlexDatapath, RayFlexRequest, RayFlexResponse, RayOperand,
+};
+use rayflex_geometry::{Ray, RayPacket, Triangle};
 
 use crate::error::{validate_rays, PartialResult, QueryError, QueryOutcome, SceneValidator};
 use crate::policy::{ExecMode, ExecPolicy};
@@ -242,6 +244,10 @@ struct TraversalQuery<'a> {
     bvh: &'a Bvh4,
     triangles: &'a [Triangle],
     rays: &'a [Ray],
+    /// One prebuilt datapath operand per ray: the operand is constant across every beat of a
+    /// ray's traversal, so converting it once here keeps the per-beat build path to two copies
+    /// (operand + geometry) instead of a full [`Ray`] → operand conversion per beat.
+    operands: Vec<RayOperand>,
     stats: TraversalStats,
 }
 
@@ -253,6 +259,7 @@ impl<'a> TraversalQuery<'a> {
             bvh,
             triangles,
             rays,
+            operands: rays.iter().map(RayOperand::from_ray).collect(),
             stats: TraversalStats {
                 rays: rays.len() as u64,
                 ..TraversalStats::default()
@@ -273,13 +280,34 @@ impl<'a> TraversalQuery<'a> {
         out: &mut Vec<RayFlexRequest>,
     ) -> bool {
         loop {
-            if let Some(&prim) = state.pending.last() {
-                self.stats.triangle_ops += 1;
-                out.push(RayFlexRequest::ray_triangle(
-                    item as u64,
-                    &self.rays[item],
-                    &self.triangles[prim],
-                ));
+            if !state.pending.is_empty() {
+                if self.kind == QueryKind::ClosestHit {
+                    // Closest-hit tests every primitive of the leaf unconditionally (exactly as
+                    // the scalar walk does), so the whole pending run is emitted as one beat
+                    // train: same beats, same order, but contiguous in the pass buffer — which
+                    // is what lets the lane-batched triangle kernel engage across them.
+                    self.stats.triangle_ops += state.pending.len() as u64;
+                    let operand = &self.operands[item];
+                    out.extend(state.pending.iter().rev().map(|&prim| {
+                        RayFlexRequest::ray_triangle_operand(
+                            item as u64,
+                            operand,
+                            &self.triangles[prim],
+                        )
+                    }));
+                } else {
+                    // Any-hit stops at the first accepted hit, so beats past it must never
+                    // issue: one beat per pass keeps the count identical to the scalar walk.
+                    let Some(&prim) = state.pending.last() else {
+                        unreachable!("pending is non-empty");
+                    };
+                    self.stats.triangle_ops += 1;
+                    out.push(RayFlexRequest::ray_triangle_operand(
+                        item as u64,
+                        &self.operands[item],
+                        &self.triangles[prim],
+                    ));
+                }
                 return true;
             }
             let Some(node_index) = state.stack.pop() else {
@@ -296,11 +324,10 @@ impl<'a> TraversalQuery<'a> {
                 Bvh4Node::Internal { child_bounds, .. } => {
                     self.stats.nodes_visited += 1;
                     self.stats.box_ops += 1;
-                    let boxes = pad_child_bounds(child_bounds);
-                    out.push(RayFlexRequest::ray_box(
+                    out.push(RayFlexRequest::ray_box_operand(
                         node_index as u64,
-                        &self.rays[item],
-                        &boxes,
+                        &self.operands[item],
+                        child_bounds,
                     ));
                     return true;
                 }
@@ -454,6 +481,10 @@ crate::query::delegate_fused_stream_to_runner!(TraversalStream<'_>);
 pub struct TraversalEngine {
     datapath: RayFlexDatapath,
     stats: TraversalStats,
+    /// Work-stealing pool counters accumulated across parallel runs (see
+    /// [`TraversalEngine::pool_stats`]); kept apart from [`TraversalStats`] because steal counts
+    /// are scheduling artefacts, not mode-invariant workload facts.
+    pool: crate::parallel::PoolStats,
     next_tag: u64,
     /// Pooled traversal stacks for the scalar paths.
     stack_pool: Vec<Vec<usize>>,
@@ -478,6 +509,7 @@ impl TraversalEngine {
         TraversalEngine {
             datapath: RayFlexDatapath::new(config),
             stats: TraversalStats::default(),
+            pool: crate::parallel::PoolStats::default(),
             next_tag: 0,
             stack_pool: Vec::new(),
             scheduler: WavefrontScheduler::new(),
@@ -505,9 +537,32 @@ impl TraversalEngine {
         self.datapath.beat_mix()
     }
 
-    /// Resets the accumulated statistics.
+    /// Resets the accumulated statistics (including the pool counters).
     pub fn reset_stats(&mut self) {
         self.stats = TraversalStats::default();
+        self.pool = crate::parallel::PoolStats::default();
+    }
+
+    /// Work-stealing pool counters accumulated across every parallel run this engine has
+    /// dispatched.  Unlike [`TraversalEngine::stats`] these are **not** mode-invariant: steal
+    /// counts depend on runtime scheduling, and non-parallel modes leave them untouched.
+    #[must_use]
+    pub fn pool_stats(&self) -> crate::parallel::PoolStats {
+        self.pool
+    }
+
+    /// Sets the SIMD lane width of this engine's datapath fast path (clamped to
+    /// `[1, rayflex_core::MAX_SIMD_LANES]`).  [`ExecPolicy::simd_lanes`] applies this
+    /// automatically at every `trace`/`try_trace` entry; the setter is public for callers
+    /// driving the engine's wavefront frontends directly.
+    pub fn set_simd_lanes(&mut self, lanes: usize) {
+        self.datapath.set_simd_lanes(lanes);
+    }
+
+    /// The effective (clamped) SIMD lane width of this engine's datapath fast path.
+    #[must_use]
+    pub fn simd_lanes(&self) -> usize {
+        self.datapath.simd_lanes()
     }
 
     /// Traces a [`TraceRequest`] under an execution policy — **the** traversal entry point, for
@@ -548,6 +603,7 @@ impl TraversalEngine {
     /// assert!(hits[0].is_some());
     /// ```
     pub fn trace(&mut self, request: &TraceRequest<'_>, policy: &ExecPolicy) -> TraceOutput {
+        self.datapath.set_simd_lanes(policy.effective_simd_lanes());
         match policy.mode {
             ExecMode::ScalarReference => TraceOutput {
                 closest: request
@@ -618,16 +674,21 @@ impl TraversalEngine {
                     );
                     return TraceOutput { closest, any };
                 }
-                let (closest, any, stats) = crate::parallel::fused_pair_sharded(
+                let out = crate::parallel::fused_pair_sharded(
                     *self.config(),
                     request.bvh,
                     request.triangles,
                     request.closest,
                     request.any,
                     threads,
+                    policy.effective_simd_lanes(),
                 );
-                self.stats.merge(&stats);
-                TraceOutput { closest, any }
+                self.stats.merge(&out.stats);
+                self.pool.merge(&out.pool);
+                TraceOutput {
+                    closest: out.closest,
+                    any: out.any,
+                }
             }
         }
     }
@@ -714,17 +775,22 @@ impl TraversalEngine {
                 threads,
             );
             if auto_tuned > 1 {
-                let (closest, any, stats) = crate::parallel::fused_pair_sharded_checked(
+                let out = crate::parallel::fused_pair_sharded_checked(
                     *self.config(),
                     request.bvh,
                     request.triangles,
                     request.closest,
                     request.any,
                     threads,
+                    policy.effective_simd_lanes(),
                 )
                 .map_err(|shard| QueryError::ShardPanicked { shard })?;
-                self.stats.merge(&stats);
-                return Ok(TraceOutput { closest, any });
+                self.stats.merge(&out.stats);
+                self.pool.merge(&out.pool);
+                return Ok(TraceOutput {
+                    closest: out.closest,
+                    any: out.any,
+                });
             }
         }
         Ok(self.trace(request, policy))
@@ -745,6 +811,7 @@ impl TraversalEngine {
         request: &TraceRequest<'_>,
         policy: &ExecPolicy,
     ) -> Result<QueryOutcome<TraceOutput>, QueryError> {
+        self.datapath.set_simd_lanes(policy.effective_simd_lanes());
         let cap = policy.max_total_beats;
         let total = request.closest.len() + request.any.len();
         let (output, complete, beats) = if policy.mode == ExecMode::Wavefront {
@@ -868,8 +935,7 @@ impl TraversalEngine {
                 } => {
                     self.stats.nodes_visited += 1;
                     self.stats.box_ops += 1;
-                    let boxes = pad_child_bounds(child_bounds);
-                    let request = RayFlexRequest::ray_box(self.tag(), ray, &boxes);
+                    let request = RayFlexRequest::ray_box(self.tag(), ray, child_bounds);
                     let response = self.datapath.execute(&request);
                     let Some(result) = response.box_result else {
                         unreachable!("a box beat always returns a box result");
@@ -928,8 +994,7 @@ impl TraversalEngine {
                 } => {
                     self.stats.nodes_visited += 1;
                     self.stats.box_ops += 1;
-                    let boxes = pad_child_bounds(child_bounds);
-                    let request = RayFlexRequest::ray_box(self.tag(), ray, &boxes);
+                    let request = RayFlexRequest::ray_box(self.tag(), ray, child_bounds);
                     let response = self.datapath.execute(&request);
                     let Some(result) = response.box_result else {
                         unreachable!("a box beat always returns a box result");
@@ -1196,6 +1261,7 @@ pub(crate) fn push_hit_children(
     best: Option<&TraversalHit>,
 ) {
     for &slot in result.traversal_order.iter().rev() {
+        let slot = usize::from(slot);
         if !result.hit[slot] {
             continue;
         }
@@ -1208,21 +1274,6 @@ pub(crate) fn push_hit_children(
             stack.push(child);
         }
     }
-}
-
-/// Pads the four child-bound slots of an internal node into the datapath's box operands; empty
-/// slots become degenerate boxes that can never be hit.
-pub(crate) fn pad_child_bounds(child_bounds: &[Aabb; 4]) -> [Aabb; 4] {
-    core::array::from_fn(|i| {
-        if child_bounds[i].is_empty() {
-            Aabb::new(
-                rayflex_geometry::Vec3::splat(f32::MAX),
-                rayflex_geometry::Vec3::splat(f32::MAX),
-            )
-        } else {
-            child_bounds[i]
-        }
-    })
 }
 
 #[cfg(test)]

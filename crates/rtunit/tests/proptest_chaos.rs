@@ -22,14 +22,19 @@ use rayflex_rtunit::{
 };
 use rayflex_workloads::{adversarial, rays};
 
-/// Every execution discipline the matrix sweeps, including both beat-budget edge values.
+/// Every execution discipline the matrix sweeps, including both beat-budget edge values and the
+/// SIMD lane widths of the lane-batched fast path (so starved, capped and faulted runs cover the
+/// lane kernels and the work-stealing pool, not just the scalar fast path).
 fn swept_policies() -> Vec<ExecPolicy> {
     vec![
         ExecPolicy::scalar(),
         ExecPolicy::wavefront(),
+        ExecPolicy::wavefront().with_simd_lanes(4),
         ExecPolicy::parallel(2),
+        ExecPolicy::parallel(2).with_simd_lanes(8),
         ExecPolicy::fused(),
         ExecPolicy::fused().with_beat_budget(1),
+        ExecPolicy::fused().with_beat_budget(1).with_simd_lanes(8),
     ]
 }
 
@@ -377,5 +382,53 @@ proptest! {
         .expect("no shard, no poison");
         prop_assert_eq!(outcome.output(), &expected);
         prop_assert_eq!(unsharded.stats().shard_fallbacks, 0);
+    }
+
+    /// FaultKind::PoisonShard deep inside the work-stealing pool: a stream long enough that the
+    /// pool cuts more chunks than workers (so chunks migrate between deques), with the poisoned
+    /// *chunk* index beyond the initial round-robin deal of worker 0.  Whichever worker ends up
+    /// executing the poisoned chunk — owner or thief — the one-shot scalar retry of exactly that
+    /// chunk's range recovers bit-identically, `shard_fallbacks` records one event, and the pool
+    /// counters prove the run really oversharded.  Swept across SIMD lane widths: the retry path
+    /// is the scalar reference regardless of the faulted worker's lane setting.
+    #[test]
+    fn poisoned_stolen_chunks_recover_bit_identically(
+        seed in any::<u64>(),
+        lanes_index in 0usize..3,
+    ) {
+        let lanes = [1usize, 4, 8][lanes_index];
+        let triangles = adversarial::valid_scene(seed, 12, 20.0);
+        let bvh = Bvh4::build(&triangles);
+        // Eight chunk floors across two workers: the pool deals four chunks to each deque, so
+        // any load imbalance makes the fast worker steal from the slow one's back.
+        let stream = clean_rays(seed, MIN_RAYS_PER_SHARD * 8);
+        let request = TraceRequest::closest_hit(&bvh, &triangles, &stream);
+
+        let mut reference = TraversalEngine::baseline();
+        let expected = reference
+            .try_trace(&request, &ExecPolicy::scalar())
+            .expect("clean scene")
+            .into_output();
+
+        // Poison a chunk from the *second half* of the plan (global index 4..8): under the
+        // round-robin deal these start in the deques' tails, the region stealing drains first.
+        let victim = 4 + (seed % 4) as usize;
+        let plan = FaultPlan::new(FaultKind::PoisonShard(victim), seed);
+
+        let mut engine = TraversalEngine::baseline();
+        let policy = ExecPolicy::parallel(2).with_simd_lanes(lanes);
+        let outcome = while_armed(&plan, || {
+            no_panic("poisoned stolen chunk", || engine.try_trace(&request, &policy))
+        })
+        .expect("a single poisoned chunk must be recovered, not surfaced");
+        prop_assert!(outcome.is_complete());
+        prop_assert_eq!(outcome.output(), &expected, "recovery must be bit-identical");
+        let mut stats = engine.stats();
+        prop_assert_eq!(stats.shard_fallbacks, 1, "exactly one chunk fell back");
+        stats.shard_fallbacks = 0;
+        prop_assert_eq!(stats, reference.stats(), "beat counts unchanged by recovery");
+        let pool = engine.pool_stats();
+        prop_assert_eq!(pool.workers, 2, "two workers");
+        prop_assert_eq!(pool.chunks, 8, "adaptive chunking oversharded the stream");
     }
 }

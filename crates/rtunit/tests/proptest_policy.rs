@@ -90,14 +90,22 @@ fn radius_queries() -> impl Strategy<Value = Vec<(Vec3, f32)>> {
 }
 
 /// The non-reference policies of the matrix sweep, including both beat-budget edge values
-/// (`0` = unlimited, `1` = strict round-robin) and a mid value.
+/// (`0` = unlimited, `1` = strict round-robin), a mid value, and the SIMD lane widths of the
+/// lane-batched fast path (1 = plain scalar fast path, 4 and 8 engage the lane kernels) crossed
+/// with the dispatch modes they feed (wavefront, the work-stealing parallel pool, and fused —
+/// including fused under a strict beat budget).
 fn swept_policies() -> Vec<ExecPolicy> {
     vec![
         ExecPolicy::wavefront(),
+        ExecPolicy::wavefront().with_simd_lanes(4),
+        ExecPolicy::wavefront().with_simd_lanes(8),
         ExecPolicy::parallel(3),
+        ExecPolicy::parallel(3).with_simd_lanes(8),
         ExecPolicy::parallel_auto(),
         ExecPolicy::fused(),
+        ExecPolicy::fused().with_simd_lanes(4),
         ExecPolicy::fused().with_beat_budget(1),
+        ExecPolicy::fused().with_beat_budget(1).with_simd_lanes(8),
         ExecPolicy::fused().with_beat_budget(4),
     ]
 }
@@ -209,6 +217,55 @@ proptest! {
             let got = search.radius_queries(&queries, &policy);
             prop_assert_eq!(&got, &expected, "{} results diverged", policy.mode);
             prop_assert_eq!(search.stats(), reference.stats(), "{} stats diverged", policy.mode);
+        }
+    }
+
+    /// The work-stealing pool under load: streams long enough to cut into several chunks per
+    /// worker run through `ExecMode::Parallel` at every SIMD lane width, and hits and stats stay
+    /// bit-identical to the scalar reference while the pool demonstrably engages (the chunk
+    /// counter proves the run really sharded; the small-stream properties above all fall back
+    /// inline).
+    #[test]
+    fn the_work_stealing_pool_is_bit_identical_at_every_lane_width(
+        triangles in scene(),
+        base_rays in prop::collection::vec(ray(), 4..8),
+        threads in 2usize..5,
+    ) {
+        use rayflex_rtunit::MIN_RAYS_PER_SHARD;
+        // Tile a handful of generated rays into streams long enough that `threads` workers get
+        // several chunks each (adaptive chunking floors at MIN_RAYS_PER_SHARD rays per chunk).
+        let closest_rays: Vec<Ray> = base_rays
+            .iter()
+            .cycle()
+            .take(MIN_RAYS_PER_SHARD * threads * 2)
+            .copied()
+            .collect();
+        let shadow_rays: Vec<Ray> = base_rays
+            .iter()
+            .rev()
+            .cycle()
+            .take(MIN_RAYS_PER_SHARD * threads)
+            .copied()
+            .collect();
+        let bvh = Bvh4::build(&triangles);
+        let request = TraceRequest::pair(&bvh, &triangles, &closest_rays, &shadow_rays);
+
+        let mut reference = TraversalEngine::baseline();
+        let expected = reference.trace(&request, &ExecPolicy::scalar());
+
+        for lanes in [1usize, 4, 8] {
+            let policy = ExecPolicy::parallel(threads).with_simd_lanes(lanes);
+            let mut engine = TraversalEngine::baseline();
+            let got = engine.trace(&request, &policy);
+            prop_assert_eq!(&got, &expected, "lanes={} hits diverged", lanes);
+            prop_assert_eq!(engine.stats(), reference.stats(), "lanes={} stats diverged", lanes);
+            let pool = engine.pool_stats();
+            prop_assert!(
+                pool.chunks >= threads as u64,
+                "lanes={}: expected the pool to engage ({} chunks < {} workers)",
+                lanes, pool.chunks, threads
+            );
+            prop_assert_eq!(pool.workers, threads as u64, "lanes={} worker count", lanes);
         }
     }
 
