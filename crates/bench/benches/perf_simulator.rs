@@ -19,7 +19,7 @@ use criterion::{criterion_group, BatchSize, Criterion, Throughput};
 
 use rayflex_core::{PipelineConfig, RayFlexDatapath, RayFlexPipeline};
 use rayflex_geometry::{Ray, Vec3};
-use rayflex_rtunit::{default_parallelism, Bvh4, ExecPolicy, TraceRequest, TraversalEngine};
+use rayflex_rtunit::{default_parallelism, ExecPolicy, Scene, TraceRequest, TraversalEngine};
 use rayflex_softfloat::RecF32;
 use rayflex_workloads::scenes;
 
@@ -87,8 +87,7 @@ fn bench_datapath(c: &mut Criterion) {
 
 fn bench_traversal(c: &mut Criterion) {
     let mut group = c.benchmark_group("traversal");
-    let triangles = scenes::icosphere(3, 5.0, Vec3::new(0.0, 0.0, 20.0));
-    let bvh = Bvh4::build(&triangles);
+    let world = Scene::flat(scenes::icosphere(3, 5.0, Vec3::new(0.0, 0.0, 20.0)));
     let rays: Vec<Ray> = (0..64)
         .map(|i| {
             let x = (i % 8) as f32 - 3.5;
@@ -102,7 +101,7 @@ fn bench_traversal(c: &mut Criterion) {
             TraversalEngine::baseline,
             |mut engine| {
                 engine.trace(
-                    &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+                    &TraceRequest::closest_hit(&world, &rays),
                     &ExecPolicy::scalar(),
                 )
             },
@@ -114,7 +113,7 @@ fn bench_traversal(c: &mut Criterion) {
             TraversalEngine::baseline,
             |mut engine| {
                 engine.trace(
-                    &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+                    &TraceRequest::closest_hit(&world, &rays),
                     &ExecPolicy::wavefront(),
                 )
             },

@@ -38,9 +38,9 @@ use rayflex_core::{
 use rayflex_geometry::golden::distance::EUCLIDEAN_LANES;
 use rayflex_geometry::{Aabb, Ray, Sphere, Triangle, Vec3};
 use rayflex_rtunit::{
-    default_light_dir, shade, Bvh4, Bvh4Node, Camera, CollectStream, DistanceStream, ExecPolicy,
-    FrameDesc, FusedScheduler, Image, KnnEngine, KnnMetric, PoolStats, RenderPasses, Renderer,
-    TraceRequest, TraversalEngine, TraversalHit, TraversalStream,
+    default_light_dir, shade, Blas, Bvh4, Bvh4Node, Camera, CollectStream, DistanceStream,
+    ExecPolicy, FrameDesc, FusedScheduler, Image, Instance, KnnEngine, KnnMetric, PoolStats,
+    RenderPasses, Renderer, Scene, TraceRequest, TraversalEngine, TraversalHit, TraversalStream,
 };
 use rayflex_workloads::{mixed, rays, scenes, vectors};
 
@@ -136,6 +136,37 @@ pub struct DatapathPerf {
     pub simd_beats_per_sec: f64,
 }
 
+/// Instanced-vs-flattened measurements for one two-level scene preset: acceleration-structure
+/// build time, resident memory, and trace throughput.  The throughput rows are cross-checked
+/// bit-identical against the flattened scalar reference before timing, and the instanced
+/// batched-vs-scalar speedup feeds the same acceptance gate as the flat scenes
+/// ([`PerfBaseline::min_best_speedup`]).
+#[derive(Debug, Clone)]
+pub struct InstancingPerf {
+    /// Preset name (`debris_field`, `icosphere_crowd`).
+    pub scene: &'static str,
+    /// Placed instances in the TLAS.
+    pub instances: u64,
+    /// Total world-space triangles the scene addresses (the flattened count).
+    pub placed_triangles: u64,
+    /// Best-of build time of the two-level scene (per-BLAS builds + TLAS), in seconds.
+    pub instanced_build_seconds: f64,
+    /// Best-of build time of the flattened twin (bake every placement + one flat BVH build).
+    pub flattened_build_seconds: f64,
+    /// Resident bytes of the instanced representation.
+    pub instanced_memory_bytes: u64,
+    /// Resident bytes of the flattened twin.
+    pub flattened_memory_bytes: u64,
+    /// Instanced scalar-reference trace throughput.
+    pub scalar_rays_per_sec: f64,
+    /// Instanced trace throughput under the lane-batched wavefront mode.
+    pub instanced_rays_per_sec: f64,
+    /// Flattened-twin trace throughput under the same lane-batched wavefront mode.
+    pub flattened_rays_per_sec: f64,
+    /// Instanced batched throughput over instanced scalar — the gate contribution.
+    pub speedup_vs_scalar: f64,
+}
+
 /// The complete baseline document.
 #[derive(Debug, Clone)]
 pub struct PerfBaseline {
@@ -147,6 +178,8 @@ pub struct PerfBaseline {
     pub datapath: DatapathPerf,
     /// Per-scene traversal measurements.
     pub scenes: Vec<ScenePerf>,
+    /// Two-level instanced-vs-flattened measurements.
+    pub instancing: Vec<InstancingPerf>,
 }
 
 fn time_best_of<R>(repeats: usize, mut run: impl FnMut() -> R) -> (f64, R) {
@@ -213,8 +246,8 @@ pub fn run_perf_suite(rays_per_scene: usize, repeats: usize, threads: usize) -> 
 
     let mut scene_results = Vec::new();
     for scene in standard_perf_scenes(rays_per_scene) {
-        let bvh = Bvh4::build(&scene.triangles);
-        let request = TraceRequest::closest_hit(&bvh, &scene.triangles, &scene.rays);
+        let world = Scene::flat(scene.triangles.clone());
+        let request = TraceRequest::closest_hit(&world, &scene.rays);
         let trace_with = |policy: &ExecPolicy| {
             let mut engine = TraversalEngine::with_config(config);
             engine.trace(&request, policy).into_closest()
@@ -275,12 +308,102 @@ pub fn run_perf_suite(rays_per_scene: usize, repeats: usize, threads: usize) -> 
         });
     }
 
+    let instancing = run_instancing_suite(rays_per_scene, repeats, config);
+
     PerfBaseline {
         threads,
         repeats,
         datapath,
         scenes: scene_results,
+        instancing,
     }
+}
+
+/// The instancing presets of the baseline suite, lifted from the workloads crate's
+/// geometry-level descriptions into two-level scenes.
+fn instancing_perf_scenes() -> Vec<(&'static str, scenes::InstancedSceneDesc)> {
+    vec![
+        ("debris_field", scenes::debris_field(29, 4, 96, 30.0)),
+        ("icosphere_crowd", scenes::icosphere_crowd(1, 6, 9.0)),
+    ]
+}
+
+/// Times instanced-vs-flattened builds, memory, and trace throughput for each instancing
+/// preset.  Every timed trace is first cross-checked bit-identical against the flattened
+/// scalar reference — the tentpole invariant of the two-level scene refactor, re-verified on
+/// every benchmark run.
+fn run_instancing_suite(
+    rays_per_scene: usize,
+    repeats: usize,
+    config: PipelineConfig,
+) -> Vec<InstancingPerf> {
+    let mut results = Vec::new();
+    for (name, desc) in instancing_perf_scenes() {
+        let blas: Vec<Blas> = desc.meshes.iter().cloned().map(Blas::new).collect();
+        let placements: Vec<Instance> = desc
+            .placements
+            .iter()
+            .map(|(mesh, transform)| Instance::new(*mesh, *transform))
+            .collect();
+
+        let (instanced_build_seconds, instanced) = time_best_of(repeats, || {
+            Scene::instanced(blas.clone(), placements.clone())
+        });
+        // The flattened build pays for what instancing avoids: baking every placement to world
+        // space and building one flat BVH over the multiplied triangle set.
+        let (flattened_build_seconds, flattened) =
+            time_best_of(repeats, || Scene::flat(desc.flatten()));
+
+        let stream = rays::random_rays(
+            41,
+            rays_per_scene.min(2048),
+            &Aabb::new(Vec3::splat(-45.0), Vec3::splat(45.0)),
+        );
+        let request = TraceRequest::closest_hit(&instanced, &stream);
+        let flat_request = TraceRequest::closest_hit(&flattened, &stream);
+
+        let expected = TraversalEngine::with_config(config)
+            .trace(&flat_request, &ExecPolicy::scalar())
+            .into_closest();
+
+        let (scalar_seconds, scalar_hits) = time_best_of(repeats, || {
+            TraversalEngine::with_config(config)
+                .trace(&request, &ExecPolicy::scalar())
+                .into_closest()
+        });
+        assert_hits_match(name, "instanced-scalar", &expected, &scalar_hits);
+
+        let batched_policy = ExecPolicy::wavefront().with_simd_lanes(MAX_SIMD_LANES);
+        let (instanced_seconds, instanced_hits) = time_best_of(repeats, || {
+            TraversalEngine::with_config(config)
+                .trace(&request, &batched_policy)
+                .into_closest()
+        });
+        assert_hits_match(name, "instanced-batched", &expected, &instanced_hits);
+
+        let (flattened_seconds, flattened_hits) = time_best_of(repeats, || {
+            TraversalEngine::with_config(config)
+                .trace(&flat_request, &batched_policy)
+                .into_closest()
+        });
+        assert_hits_match(name, "flattened-batched", &expected, &flattened_hits);
+
+        let ray_count = stream.len() as f64;
+        results.push(InstancingPerf {
+            scene: name,
+            instances: instanced.instances().len() as u64,
+            placed_triangles: instanced.triangle_count() as u64,
+            instanced_build_seconds,
+            flattened_build_seconds,
+            instanced_memory_bytes: instanced.memory_bytes() as u64,
+            flattened_memory_bytes: flattened.memory_bytes() as u64,
+            scalar_rays_per_sec: ray_count / scalar_seconds,
+            instanced_rays_per_sec: ray_count / instanced_seconds,
+            flattened_rays_per_sec: ray_count / flattened_seconds,
+            speedup_vs_scalar: scalar_seconds / instanced_seconds,
+        });
+    }
+    results
 }
 
 impl PerfBaseline {
@@ -295,6 +418,7 @@ impl PerfBaseline {
                     .max(s.speedup("simd"))
                     .max(s.speedup("parallel"))
             })
+            .chain(self.instancing.iter().map(|i| i.speedup_vs_scalar))
             .fold(f64::INFINITY, f64::min)
     }
 
@@ -342,6 +466,33 @@ impl PerfBaseline {
                 "\n"
             });
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"instancing\": [\n");
+        for (i, inst) in self.instancing.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"scene\": \"{}\", \"instances\": {}, \"placed_triangles\": {}, \
+                 \"build\": {{\"instanced_seconds\": {:.6}, \"flattened_seconds\": {:.6}}}, \
+                 \"memory\": {{\"instanced_bytes\": {}, \"flattened_bytes\": {}}}, \
+                 \"trace\": {{\"scalar_rays_per_sec\": {:.0}, \"instanced_rays_per_sec\": {:.0}, \
+                 \"flattened_rays_per_sec\": {:.0}, \"speedup_vs_scalar\": {:.2}}}}}",
+                inst.scene,
+                inst.instances,
+                inst.placed_triangles,
+                inst.instanced_build_seconds,
+                inst.flattened_build_seconds,
+                inst.instanced_memory_bytes,
+                inst.flattened_memory_bytes,
+                inst.scalar_rays_per_sec,
+                inst.instanced_rays_per_sec,
+                inst.flattened_rays_per_sec,
+                inst.speedup_vs_scalar
+            ));
+            out.push_str(if i + 1 < self.instancing.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -374,10 +525,43 @@ impl PerfBaseline {
                 ]);
             }
         }
+        let mut instancing_table = Table::new(vec![
+            "preset",
+            "instances",
+            "placed tris",
+            "build inst/flat (ms)",
+            "mem inst/flat (KiB)",
+            "rays/s scalar",
+            "rays/s inst",
+            "rays/s flat",
+            "vs scalar",
+        ]);
+        for inst in &self.instancing {
+            instancing_table.add_row(vec![
+                inst.scene.to_string(),
+                inst.instances.to_string(),
+                inst.placed_triangles.to_string(),
+                format!(
+                    "{:.2} / {:.2}",
+                    inst.instanced_build_seconds * 1e3,
+                    inst.flattened_build_seconds * 1e3
+                ),
+                format!(
+                    "{} / {}",
+                    inst.instanced_memory_bytes / 1024,
+                    inst.flattened_memory_bytes / 1024
+                ),
+                format!("{:.0}", inst.scalar_rays_per_sec),
+                format!("{:.0}", inst.instanced_rays_per_sec),
+                format!("{:.0}", inst.flattened_rays_per_sec),
+                format!("{:.2}x", inst.speedup_vs_scalar),
+            ]);
+        }
         format!(
             "Simulator performance baseline ({} threads, best of {} runs)\n\
              Datapath micro-benchmark: {:.0} emulated beats/s vs {:.0} batched beats/s ({:.1}x) \
              vs {:.0} simd beats/s ({:.1}x)\n{}\n\
+             Two-level instancing (TLAS/BLAS) vs flattened:\n{}\n\
              Minimum best-mode speedup over scalar across scenes: {:.2}x\n",
             self.threads,
             self.repeats,
@@ -387,6 +571,7 @@ impl PerfBaseline {
             self.datapath.simd_beats_per_sec,
             self.datapath.simd_beats_per_sec / self.datapath.emulated_beats_per_sec,
             table.render(),
+            instancing_table.render(),
             self.min_best_speedup(),
         )
     }
@@ -634,7 +819,7 @@ pub fn run_render_pass_suite(pixels_per_frame: usize, repeats: usize) -> RenderP
     let (width, height) = (side, side);
     let config = PipelineConfig::baseline_unified();
     let scene = scenes::lit_scene(2, 24.0);
-    let bvh = Bvh4::build(&scene.triangles);
+    let world = Scene::flat(scene.triangles.clone());
     let camera = Camera::looking_at(scene.eye, scene.target);
 
     let shadowed = RenderPasses::shadowed(scene.light);
@@ -651,16 +836,13 @@ pub fn run_render_pass_suite(pixels_per_frame: usize, repeats: usize) -> RenderP
             None => FrameDesc::primary(camera, width, height),
             Some(p) => FrameDesc::deferred(camera, width, height, p),
         };
-        let scalar_frame = |renderer: &mut Renderer| {
-            renderer.render(&bvh, &scene.triangles, &frame, &ExecPolicy::scalar())
-        };
-        let batched_frame = |renderer: &mut Renderer| {
-            renderer.render(&bvh, &scene.triangles, &frame, &ExecPolicy::wavefront())
-        };
+        let scalar_frame =
+            |renderer: &mut Renderer| renderer.render(&world, &frame, &ExecPolicy::scalar());
+        let batched_frame =
+            |renderer: &mut Renderer| renderer.render(&world, &frame, &ExecPolicy::wavefront());
         let simd_frame = |renderer: &mut Renderer| {
             renderer.render(
-                &bvh,
-                &scene.triangles,
+                &world,
                 &frame,
                 &ExecPolicy::wavefront().with_simd_lanes(MAX_SIMD_LANES),
             )
@@ -776,7 +958,7 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
     {
         let config = PipelineConfig::baseline_unified();
         let triangles = scenes::icosphere(3, 5.0, Vec3::new(0.0, 0.0, 20.0));
-        let bvh = Bvh4::build(&triangles);
+        let world = Scene::flat(triangles.clone());
         let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 20.0));
         let (width, height) = (side, side);
         let light_dir = default_light_dir();
@@ -787,7 +969,7 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
             let frame_rays = camera.primary_rays(width, height);
             engine
                 .trace(
-                    &TraceRequest::closest_hit(&bvh, &triangles, &frame_rays),
+                    &TraceRequest::closest_hit(&world, &frame_rays),
                     &ExecPolicy::scalar(),
                 )
                 .into_closest()
@@ -808,8 +990,7 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
         let (batched_seconds, image) = time_best_of(repeats, || {
             let mut renderer = Renderer::with_config(config);
             renderer.render(
-                &bvh,
-                &triangles,
+                &world,
                 &FrameDesc::primary(camera, width, height),
                 &ExecPolicy::wavefront(),
             )
@@ -817,8 +998,7 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
         let (simd_seconds, simd_image) = time_best_of(repeats, || {
             let mut renderer = Renderer::with_config(config);
             renderer.render(
-                &bvh,
-                &triangles,
+                &world,
                 &FrameDesc::primary(camera, width, height),
                 &ExecPolicy::wavefront().with_simd_lanes(MAX_SIMD_LANES),
             )
@@ -853,11 +1033,11 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
     {
         let config = PipelineConfig::baseline_unified();
         let triangles = scenes::soft_shadow(3, 24.0);
-        let bvh = Bvh4::build(&triangles);
+        let world = Scene::flat(triangles.clone());
         let light = Vec3::new(0.0, 20.0, 0.0);
         let shadow_rays = rays::floor_shadow_rays(side, side, 24.0, 0.0, light);
 
-        let request = TraceRequest::any_hit(&bvh, &triangles, &shadow_rays);
+        let request = TraceRequest::any_hit(&world, &shadow_rays);
         let mut reference = TraversalEngine::with_config(config);
         let expected = reference.trace(&request, &ExecPolicy::scalar()).into_any();
         let beats = reference.stats().total_ops();
@@ -1187,7 +1367,7 @@ struct MixedOutputs {
 /// of the (fused) run.
 fn run_mixed_batched(
     workload: &mixed::MixedWorkload,
-    scene_bvh: &Bvh4,
+    world: &Scene,
     sphere_bvh: &Bvh4,
     fuse: bool,
     beat_budget_per_stream: usize,
@@ -1196,10 +1376,8 @@ fn run_mixed_batched(
     let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
     datapath.set_simd_lanes(simd_lanes);
     let mut scheduler = FusedScheduler::new().with_beat_budget(beat_budget_per_stream);
-    let mut closest =
-        TraversalStream::closest_hit(scene_bvh, &workload.triangles, &workload.primary_rays);
-    let mut shadow =
-        TraversalStream::any_hit(scene_bvh, &workload.triangles, &workload.shadow_rays);
+    let mut closest = TraversalStream::closest_hit(world, &workload.primary_rays);
+    let mut shadow = TraversalStream::any_hit(world, &workload.shadow_rays);
     let mut distance = DistanceStream::new(
         &workload.query_vector,
         &workload.candidates,
@@ -1233,19 +1411,19 @@ fn run_mixed_batched(
 /// k-NN candidate loop, and a per-beat scalar BVH filter walk.
 fn run_mixed_scalar(
     workload: &mixed::MixedWorkload,
-    scene_bvh: &Bvh4,
+    world: &Scene,
     sphere_bvh: &Bvh4,
 ) -> MixedOutputs {
     let mut engine = TraversalEngine::with_config(PipelineConfig::extended_unified());
     let closest = engine
         .trace(
-            &TraceRequest::closest_hit(scene_bvh, &workload.triangles, &workload.primary_rays),
+            &TraceRequest::closest_hit(world, &workload.primary_rays),
             &ExecPolicy::scalar(),
         )
         .into_closest();
     let shadow = engine
         .trace(
-            &TraceRequest::any_hit(scene_bvh, &workload.triangles, &workload.shadow_rays),
+            &TraceRequest::any_hit(world, &workload.shadow_rays),
             &ExecPolicy::scalar(),
         )
         .into_any();
@@ -1358,7 +1536,7 @@ fn assert_mixed_outputs_match(mode: &str, expected: &MixedOutputs, got: &MixedOu
 #[must_use]
 pub fn run_fused_suite(items_per_mode: usize, repeats: usize) -> FusedBaseline {
     let workload = mixed::mixed_workload(2024, items_per_mode.max(4));
-    let scene_bvh = Bvh4::build(&workload.triangles);
+    let world = Scene::flat(workload.triangles.clone());
     let spheres: Vec<Sphere> = workload
         .points
         .iter()
@@ -1367,32 +1545,31 @@ pub fn run_fused_suite(items_per_mode: usize, repeats: usize) -> FusedBaseline {
     let sphere_bvh = Bvh4::build(&spheres);
 
     // Cross-check: all modes agree per stream, bit for bit, before timing anything.
-    let expected = run_mixed_scalar(&workload, &scene_bvh, &sphere_bvh);
+    let expected = run_mixed_scalar(&workload, &world, &sphere_bvh);
     let (sequential_outputs, _, _, _) =
-        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, false, 0, 1);
+        run_mixed_batched(&workload, &world, &sphere_bvh, false, 0, 1);
     assert_mixed_outputs_match("sequential", &expected, &sequential_outputs);
     let (fused_outputs, fused_mix, fused_pass_count, fused_stream_passes) =
-        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, 0, 1);
+        run_mixed_batched(&workload, &world, &sphere_bvh, true, 0, 1);
     assert_mixed_outputs_match("fused", &expected, &fused_outputs);
     let (simd_outputs, _, _, _) =
-        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, 0, MAX_SIMD_LANES);
+        run_mixed_batched(&workload, &world, &sphere_bvh, true, 0, MAX_SIMD_LANES);
     assert_mixed_outputs_match("simd", &expected, &simd_outputs);
     assert!(
         fused_mix.fused_passes() > 0,
         "the fused run must interleave at least two query kinds in one pass"
     );
 
-    let (scalar_seconds, _) = time_best_of(repeats, || {
-        run_mixed_scalar(&workload, &scene_bvh, &sphere_bvh)
-    });
+    let (scalar_seconds, _) =
+        time_best_of(repeats, || run_mixed_scalar(&workload, &world, &sphere_bvh));
     let (sequential_seconds, _) = time_best_of(repeats, || {
-        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, false, 0, 1)
+        run_mixed_batched(&workload, &world, &sphere_bvh, false, 0, 1)
     });
     let (fused_seconds, _) = time_best_of(repeats, || {
-        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, 0, 1)
+        run_mixed_batched(&workload, &world, &sphere_bvh, true, 0, 1)
     });
     let (simd_seconds, _) = time_best_of(repeats, || {
-        run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, 0, MAX_SIMD_LANES)
+        run_mixed_batched(&workload, &world, &sphere_bvh, true, 0, MAX_SIMD_LANES)
     });
 
     // Beat-budget fairness sweep: the same fused workload under per-stream admission budgets.
@@ -1411,10 +1588,10 @@ pub fn run_fused_suite(items_per_mode: usize, repeats: usize) -> FusedBaseline {
                 };
             }
             let (outputs, _, passes, stream_passes) =
-                run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, budget, 1);
+                run_mixed_batched(&workload, &world, &sphere_bvh, true, budget, 1);
             assert_mixed_outputs_match(&format!("fused-budget-{budget}"), &expected, &outputs);
             let (seconds, _) = time_best_of(repeats, || {
-                run_mixed_batched(&workload, &scene_bvh, &sphere_bvh, true, budget, 1)
+                run_mixed_batched(&workload, &world, &sphere_bvh, true, budget, 1)
             });
             FusedBudgetPerf {
                 beat_budget_per_stream: budget,

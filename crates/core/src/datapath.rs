@@ -26,6 +26,9 @@ pub struct BeatMix {
     passes: u64,
     /// Segmented passes whose segments spanned at least two distinct query kinds.
     fused_passes: u64,
+    /// Ray–box beats whose tag carried [`crate::TLAS_PHASE_TAG`] — the top-level (instance
+    /// hierarchy) phase of a two-level scene traversal.
+    tlas_box_beats: u64,
 }
 
 impl BeatMix {
@@ -95,6 +98,15 @@ impl BeatMix {
     #[must_use]
     pub fn fused_passes(&self) -> u64 {
         self.fused_passes
+    }
+
+    /// Ray–box beats attributed to the top-level (TLAS) phase of a two-level scene traversal —
+    /// beats whose tag carried [`crate::TLAS_PHASE_TAG`].  Flat scenes never set the bit, so
+    /// this stays zero for single-level workloads; for instanced scenes it splits
+    /// [`BeatMix::count`]`(Opcode::RayBox)` into instance-hierarchy and geometry-hierarchy work.
+    #[must_use]
+    pub fn tlas_box_beats(&self) -> u64 {
+        self.tlas_box_beats
     }
 
     /// Iterator over `(opcode, count)` pairs in the stable [`Opcode::ALL`] order.
@@ -239,6 +251,9 @@ impl RayFlexDatapath {
         match kind {
             Some(kind) => self.mix.record_attributed(kind, request.opcode),
             None => self.mix.record(request.opcode),
+        }
+        if request.opcode == Opcode::RayBox && request.tag & crate::TLAS_PHASE_TAG != 0 {
+            self.mix.tlas_box_beats += 1;
         }
     }
 

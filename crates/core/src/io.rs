@@ -122,6 +122,18 @@ const DISABLED_TRIANGLE: Triangle = Triangle::new(
     Vec3::new(0.0, 1.0, 0.0),
 );
 
+/// Tag bit marking a ray–box beat as belonging to the **top-level** (TLAS) phase of a two-level
+/// scene traversal.
+///
+/// Two-level schedulers set this bit on the tags of the box beats that test top-level
+/// acceleration-structure nodes (the instance hierarchy), leaving bottom-level (BLAS) and flat
+/// scene beats untagged; the datapath counts tagged beats in
+/// [`BeatMix::tlas_box_beats`](crate::BeatMix::tlas_box_beats) so workload profiles can split
+/// traversal cost between the instance phase and the geometry phase.  The bit rides the tag's
+/// top position, far above node indices and item numbers, and is otherwise carried through the
+/// pipeline unchanged like the rest of the tag.
+pub const TLAS_PHASE_TAG: u64 = 1 << 63;
+
 /// One request beat presented at the datapath input.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RayFlexRequest {

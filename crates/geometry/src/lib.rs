@@ -47,6 +47,7 @@ mod packet;
 mod ray;
 pub mod sampling;
 mod sphere;
+mod transform;
 mod triangle;
 mod vec3;
 
@@ -54,5 +55,6 @@ pub use aabb::Aabb;
 pub use packet::{AabbPacket, RayPacket};
 pub use ray::{Ray, ShearConstants};
 pub use sphere::Sphere;
+pub use transform::Affine;
 pub use triangle::Triangle;
 pub use vec3::{Axis, Vec3};

@@ -1,0 +1,317 @@
+//! Affine instance transforms for two-level (TLAS/BLAS) scenes.
+//!
+//! An [`Affine`] maps object-space geometry of a bottom-level acceleration structure into world
+//! space: a 3×3 linear part (rotation / scale / shear) followed by a translation.  Two bit-level
+//! contracts matter for the RT-unit layer built on top:
+//!
+//! * **Determinism** — [`Affine::transform_point`] evaluates each output component with one
+//!   fixed association, `((m0·x + m1·y) + m2·z) + t`, so transforming the same point with the
+//!   same transform always yields the same `f32` bits.  [`Triangle::transformed`] is three such
+//!   point transforms, which is what lets an instanced traversal intersect lazily-transformed
+//!   triangles with bits identical to a flattened scene that baked the same triangles up front.
+//! * **Conservative boxes** — [`Aabb::transformed`] brackets every term of that same expression
+//!   with interval arithmetic (the min/max corner product per axis, summed in the same order).
+//!   Because `f32` multiplication and addition are weakly monotone under round-to-nearest, the
+//!   resulting box rigorously contains `transform_point(p)` for every `p` in the source box —
+//!   no epsilon inflation needed — so a transformed BVH node box can never cause a false miss.
+
+use crate::{Aabb, Triangle, Vec3};
+
+/// An affine transform: `p' = linear · p + translation`, with the linear part stored as three
+/// row vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine {
+    /// Rows of the 3×3 linear part: `linear[i]` dotted with the input point yields output
+    /// component `i` (before translation).
+    pub linear: [Vec3; 3],
+    /// Translation applied after the linear part.
+    pub translation: Vec3,
+}
+
+impl Default for Affine {
+    fn default() -> Self {
+        Affine::identity()
+    }
+}
+
+impl Affine {
+    /// The identity transform.
+    #[must_use]
+    pub const fn identity() -> Self {
+        Affine {
+            linear: [
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            ],
+            translation: Vec3::ZERO,
+        }
+    }
+
+    /// A pure translation.
+    #[must_use]
+    pub const fn translation(offset: Vec3) -> Self {
+        Affine {
+            linear: [
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            ],
+            translation: offset,
+        }
+    }
+
+    /// A per-axis scale about the origin.
+    #[must_use]
+    pub const fn scale(factors: Vec3) -> Self {
+        Affine {
+            linear: [
+                Vec3::new(factors.x, 0.0, 0.0),
+                Vec3::new(0.0, factors.y, 0.0),
+                Vec3::new(0.0, 0.0, factors.z),
+            ],
+            translation: Vec3::ZERO,
+        }
+    }
+
+    /// A uniform scale about the origin.
+    #[must_use]
+    pub const fn uniform_scale(factor: f32) -> Self {
+        Affine::scale(Vec3::splat(factor))
+    }
+
+    /// A rotation of `radians` about the X axis (right-handed).
+    #[must_use]
+    pub fn rotate_x(radians: f32) -> Self {
+        let (s, c) = radians.sin_cos();
+        Affine {
+            linear: [
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, c, -s),
+                Vec3::new(0.0, s, c),
+            ],
+            translation: Vec3::ZERO,
+        }
+    }
+
+    /// A rotation of `radians` about the Y axis (right-handed).
+    #[must_use]
+    pub fn rotate_y(radians: f32) -> Self {
+        let (s, c) = radians.sin_cos();
+        Affine {
+            linear: [
+                Vec3::new(c, 0.0, s),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(-s, 0.0, c),
+            ],
+            translation: Vec3::ZERO,
+        }
+    }
+
+    /// A rotation of `radians` about the Z axis (right-handed).
+    #[must_use]
+    pub fn rotate_z(radians: f32) -> Self {
+        let (s, c) = radians.sin_cos();
+        Affine {
+            linear: [
+                Vec3::new(c, -s, 0.0),
+                Vec3::new(s, c, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            ],
+            translation: Vec3::ZERO,
+        }
+    }
+
+    /// The composition `self ∘ other`: applies `other` first, then `self`.
+    #[must_use]
+    pub fn then(&self, other: &Affine) -> Affine {
+        // Rows of the product: row_i(self) · columns(other).
+        let col = |j: usize| {
+            Vec3::new(
+                other.linear[0].to_array()[j],
+                other.linear[1].to_array()[j],
+                other.linear[2].to_array()[j],
+            )
+        };
+        let cols = [col(0), col(1), col(2)];
+        let row = |i: usize| {
+            Vec3::new(
+                self.linear[i].dot(cols[0]),
+                self.linear[i].dot(cols[1]),
+                self.linear[i].dot(cols[2]),
+            )
+        };
+        Affine {
+            linear: [row(0), row(1), row(2)],
+            translation: self.transform_point(other.translation),
+        }
+    }
+
+    /// Transforms a point: `linear · p + translation`, each component evaluated as
+    /// `((m0·x + m1·y) + m2·z) + t` — the fixed association the interval bounds of
+    /// [`Aabb::transformed`] mirror.
+    #[must_use]
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        let component = |row: Vec3, t: f32| ((row.x * p.x + row.y * p.y) + row.z * p.z) + t;
+        Vec3::new(
+            component(self.linear[0], self.translation.x),
+            component(self.linear[1], self.translation.y),
+            component(self.linear[2], self.translation.z),
+        )
+    }
+
+    /// Transforms a direction vector (linear part only, no translation).
+    #[must_use]
+    pub fn transform_vector(&self, v: Vec3) -> Vec3 {
+        let component = |row: Vec3| (row.x * v.x + row.y * v.y) + row.z * v.z;
+        Vec3::new(
+            component(self.linear[0]),
+            component(self.linear[1]),
+            component(self.linear[2]),
+        )
+    }
+
+    /// The determinant of the linear part — zero (or subnormal-tiny) means the transform
+    /// collapses volume and the instance's geometry degenerates.
+    #[must_use]
+    pub fn determinant(&self) -> f32 {
+        self.linear[0].dot(self.linear[1].cross(self.linear[2]))
+    }
+
+    /// `true` when every coefficient is finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.linear.iter().all(|row| row.is_finite()) && self.translation.is_finite()
+    }
+}
+
+impl Triangle {
+    /// The triangle with every vertex mapped through `transform`.
+    ///
+    /// Uses [`Affine::transform_point`] per vertex, so baking a scene flat and transforming
+    /// lazily during an instanced traversal produce bit-identical vertices.
+    #[must_use]
+    pub fn transformed(&self, transform: &Affine) -> Triangle {
+        Triangle::new(
+            transform.transform_point(self.v0),
+            transform.transform_point(self.v1),
+            transform.transform_point(self.v2),
+        )
+    }
+}
+
+impl Aabb {
+    /// A box rigorously containing the image of this box under `transform`.
+    ///
+    /// Per output axis, every term of the point-transform expression is bracketed by the
+    /// smaller/larger of the products with the source interval's endpoints, and the brackets
+    /// are summed in the **same association** as [`Affine::transform_point`].  Since `f32`
+    /// multiplication and addition round monotonically, the result contains
+    /// `transform.transform_point(p)` — bit-level, not just in exact arithmetic — for every
+    /// point `p` of this box.  Conservative boxes may admit extra traversal visits but can
+    /// never lose a hit.
+    #[must_use]
+    pub fn transformed(&self, transform: &Affine) -> Aabb {
+        let lo = self.min.to_array();
+        let hi = self.max.to_array();
+        let mut out_min = [0.0f32; 3];
+        let mut out_max = [0.0f32; 3];
+        for axis in 0..3 {
+            let row = transform.linear[axis].to_array();
+            let t = transform.translation.to_array()[axis];
+            // Bracket each product m·x over x ∈ [lo, hi].
+            let bracket = |m: f32, l: f32, h: f32| {
+                let a = m * l;
+                let b = m * h;
+                (a.min(b), a.max(b))
+            };
+            let (x_lo, x_hi) = bracket(row[0], lo[0], hi[0]);
+            let (y_lo, y_hi) = bracket(row[1], lo[1], hi[1]);
+            let (z_lo, z_hi) = bracket(row[2], lo[2], hi[2]);
+            out_min[axis] = ((x_lo + y_lo) + z_lo) + t;
+            out_max[axis] = ((x_hi + y_hi) + z_hi) + t;
+        }
+        Aabb::new(Vec3::from_array(out_min), Vec3::from_array(out_max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_transform() -> Affine {
+        Affine::translation(Vec3::new(3.0, -2.0, 0.5))
+            .then(&Affine::rotate_y(0.7))
+            .then(&Affine::scale(Vec3::new(1.5, 0.25, 2.0)))
+    }
+
+    #[test]
+    fn identity_is_a_no_op() {
+        let p = Vec3::new(1.25, -3.5, 0.75);
+        assert_eq!(Affine::identity().transform_point(p), p);
+        assert_eq!(Affine::identity().transform_vector(p), p);
+        assert_eq!(Affine::identity().determinant(), 1.0);
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let a = Affine::rotate_z(0.3);
+        let b = Affine::translation(Vec3::new(1.0, 2.0, 3.0));
+        let p = Vec3::new(0.5, -1.0, 2.0);
+        let via_compose = a.then(&b).transform_point(p);
+        let sequential = a.transform_point(b.transform_point(p));
+        assert!((via_compose - sequential).length() < 1e-5);
+    }
+
+    #[test]
+    fn transformed_box_contains_every_transformed_corner_point() {
+        let t = sample_transform();
+        let aabb = Aabb::new(Vec3::new(-1.0, -2.0, 0.5), Vec3::new(2.0, 0.0, 4.0));
+        let image = aabb.transformed(&t);
+        // Dense sample of the source box: every transformed point must land inside.
+        for i in 0..=4 {
+            for j in 0..=4 {
+                for k in 0..=4 {
+                    let p = Vec3::new(
+                        aabb.min.x + (aabb.max.x - aabb.min.x) * (i as f32 / 4.0),
+                        aabb.min.y + (aabb.max.y - aabb.min.y) * (j as f32 / 4.0),
+                        aabb.min.z + (aabb.max.z - aabb.min.z) * (k as f32 / 4.0),
+                    );
+                    assert!(image.contains(t.transform_point(p)), "point {p:?} escaped");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_transform_is_per_vertex_point_transform() {
+        let t = sample_transform();
+        let tri = Triangle::new(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
+        let moved = tri.transformed(&t);
+        assert_eq!(moved.v0, t.transform_point(tri.v0));
+        assert_eq!(moved.v1, t.transform_point(tri.v1));
+        assert_eq!(moved.v2, t.transform_point(tri.v2));
+    }
+
+    #[test]
+    fn determinant_flags_singular_transforms() {
+        let flat = Affine::scale(Vec3::new(1.0, 0.0, 1.0));
+        assert_eq!(flat.determinant(), 0.0);
+        assert!(sample_transform().determinant().abs() > 1e-3);
+    }
+
+    #[test]
+    fn finiteness_check_catches_nan_coefficients() {
+        let mut t = Affine::identity();
+        assert!(t.is_finite());
+        t.linear[1].y = f32::NAN;
+        assert!(!t.is_finite());
+        let mut u = Affine::identity();
+        u.translation.z = f32::INFINITY;
+        assert!(!u.is_finite());
+    }
+}

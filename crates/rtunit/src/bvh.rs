@@ -171,6 +171,50 @@ impl Bvh4 {
         self.depth_of(self.root())
     }
 
+    /// Refits every node's child bounds to new per-primitive bounds **without changing the
+    /// topology**: leaves keep their primitive runs, internal nodes keep their children, and
+    /// only the stored `child_bounds` (and the scene bounds) are recomputed bottom-up.
+    ///
+    /// This is the TLAS refit primitive of [`crate::Scene::refit`]: after instance transforms
+    /// move, the tree's boxes follow the new bounds exactly (each slot becomes the exact union
+    /// of its subtree's primitive bounds), so containment — and therefore hit correctness — is
+    /// preserved even though the split structure may no longer be the one a fresh build would
+    /// choose.  Absent child slots keep their never-hit `f32::MAX` point boxes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prim_bounds` is shorter than the primitive index space the tree was built
+    /// over.
+    pub fn refit_with(&mut self, prim_bounds: &[Aabb]) {
+        self.bounds = self.refit_node(self.root(), prim_bounds);
+    }
+
+    fn refit_node(&mut self, index: usize, prim_bounds: &[Aabb]) -> Aabb {
+        match self.nodes[index].clone() {
+            Bvh4Node::Leaf { first, count } => (first..first + count)
+                .map(|i| prim_bounds[self.primitive_indices[i]])
+                .fold(Aabb::empty(), |acc, b| acc.union(&b)),
+            Bvh4Node::Internal {
+                children,
+                mut child_bounds,
+            } => {
+                let mut total = Aabb::empty();
+                for slot in 0..4 {
+                    if let Some(child) = children[slot] {
+                        let refit = self.refit_node(child, prim_bounds);
+                        child_bounds[slot] = refit;
+                        total = total.union(&refit);
+                    }
+                }
+                self.nodes[index] = Bvh4Node::Internal {
+                    children,
+                    child_bounds,
+                };
+                total
+            }
+        }
+    }
+
     fn depth_of(&self, index: usize) -> usize {
         match &self.nodes[index] {
             Bvh4Node::Leaf { .. } => 1,

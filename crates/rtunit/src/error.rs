@@ -29,6 +29,7 @@ use rayflex_core::{guard, BeatMix};
 use rayflex_geometry::{Aabb, Ray, Triangle};
 
 use crate::bvh::{Bvh4, Bvh4Node};
+use crate::scene::{InstancedScene, Scene, SceneView};
 
 /// A structured failure of a `try_*` query entry point.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,6 +123,9 @@ pub struct PartialResult<T> {
 
 /// Either a complete output or a typed partial result — what a `try_*` entry point yields when
 /// the request is valid but a deadline may have fired.
+// The size skew against `Complete(())` is accepted: boxing `PartialResult` would put the
+// common cancelled-run path behind an allocation for no measurable win.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryOutcome<T> {
     /// The run finished every item; the output equals the plain entry point's.
@@ -197,6 +201,74 @@ impl SceneValidator {
         Self::validate_bvh(bvh, triangles)
     }
 
+    /// Runs every check against a [`Scene`], either representation.  Flat scenes get exactly
+    /// [`SceneValidator::validate`]'s checks.  Instanced scenes are checked level by level:
+    ///
+    /// 1. the scene must carry at least one instance (an empty TLAS indexes nothing);
+    /// 2. every BLAS passes [`SceneValidator::validate`] over its own mesh (failures are
+    ///    prefixed with the BLAS index);
+    /// 3. every instance placement is sound — its BLAS index in range, its transform finite
+    ///    and non-singular — with the offending instance named;
+    /// 4. the TLAS topology indexes the instance set exactly once each, and its stored bounds
+    ///    contain the instances' recomputed world bounds (the invariant TLAS pruning relies
+    ///    on).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidScene`] naming the first malformed triangle, node, BLAS or
+    /// instance.
+    pub fn validate_scene(scene: &Scene) -> Result<(), QueryError> {
+        Self::validate_view(scene.view())
+    }
+
+    /// [`SceneValidator::validate_scene`] over a borrowed traversal view — what the engines'
+    /// `try_*` entry points call.
+    pub(crate) fn validate_view(view: SceneView<'_>) -> Result<(), QueryError> {
+        match view {
+            SceneView::Flat { bvh, triangles } => Self::validate(bvh, triangles),
+            SceneView::Instanced(scene) => Self::validate_instanced(scene),
+        }
+    }
+
+    /// The instanced-representation checks behind [`SceneValidator::validate_scene`].
+    fn validate_instanced(scene: &InstancedScene) -> Result<(), QueryError> {
+        if scene.instances.is_empty() {
+            return Err(invalid_scene(
+                "instanced scene has no instances (the TLAS is empty)".into(),
+            ));
+        }
+        for (index, mesh) in scene.blas.iter().enumerate() {
+            if let Err(QueryError::InvalidScene { reason }) =
+                Self::validate(mesh.bvh(), mesh.triangles())
+            {
+                return Err(invalid_scene(format!("BLAS {index}: {reason}")));
+            }
+        }
+        for (index, instance) in scene.instances.iter().enumerate() {
+            if instance.blas >= scene.blas.len() {
+                return Err(invalid_scene(format!(
+                    "instance {index} references BLAS {} outside the {}-entry BLAS list",
+                    instance.blas,
+                    scene.blas.len()
+                )));
+            }
+            if !instance.transform.is_finite() {
+                return Err(invalid_scene(format!(
+                    "instance {index} has a non-finite transform"
+                )));
+            }
+            if instance.transform.determinant() == 0.0 {
+                return Err(invalid_scene(format!(
+                    "instance {index} has a singular transform (zero determinant)"
+                )));
+            }
+        }
+        Self::validate_topology(&scene.tlas, scene.instances.len(), "instance")?;
+        let world = InstancedScene::instance_bounds(&scene.blas, &scene.instances);
+        let content = subtree_bounds(&scene.tlas, &|instance| world[instance]);
+        Self::validate_containment(&scene.tlas, &content)
+    }
+
     /// Checks every triangle for NaN/Inf vertices and zero area.
     ///
     /// # Errors
@@ -224,6 +296,26 @@ impl SceneValidator {
     ///
     /// [`QueryError::InvalidScene`] naming the first inconsistent node.
     pub fn validate_bvh(bvh: &Bvh4, triangles: &[Triangle]) -> Result<(), QueryError> {
+        Self::validate_topology(bvh, triangles.len(), "primitive")?;
+        let content = subtree_bounds(bvh, &|primitive| {
+            let triangle = &triangles[primitive];
+            Aabb::empty()
+                .union_point(triangle.v0)
+                .union_point(triangle.v1)
+                .union_point(triangle.v2)
+        });
+        Self::validate_containment(bvh, &content)
+    }
+
+    /// The structural half of the BVH checks, shared by the flat scene check (over triangles)
+    /// and the TLAS check (over instances): child indices in range, every non-root node
+    /// referenced exactly once, leaf ranges inside the index table, and the table a permutation
+    /// of `0..primitive_count` (`entity` names what a "primitive" is in error messages).
+    fn validate_topology(
+        bvh: &Bvh4,
+        primitive_count: usize,
+        entity: &str,
+    ) -> Result<(), QueryError> {
         let nodes = bvh.nodes();
         if nodes.is_empty() {
             return Err(invalid_scene("BVH has no nodes".to_string()));
@@ -258,7 +350,7 @@ impl SceneValidator {
         }
 
         // Leaves: ranges inside the index table, the table a permutation of the primitives.
-        let mut seen = vec![0usize; triangles.len()];
+        let mut seen = vec![0usize; primitive_count];
         for (index, node) in nodes.iter().enumerate() {
             if let Bvh4Node::Leaf { first, count } = node {
                 if first + count > bvh.primitive_indices().len() {
@@ -268,9 +360,9 @@ impl SceneValidator {
                     )));
                 }
                 for &primitive in bvh.leaf_primitives(index) {
-                    if primitive >= triangles.len() {
+                    if primitive >= primitive_count {
                         return Err(invalid_scene(format!(
-                            "leaf {index} references primitive {primitive} outside the scene"
+                            "leaf {index} references {entity} {primitive} outside the scene"
                         )));
                     }
                     seen[primitive] += 1;
@@ -280,17 +372,19 @@ impl SceneValidator {
         for (primitive, &count) in seen.iter().enumerate() {
             if count != 1 {
                 return Err(invalid_scene(format!(
-                    "primitive {primitive} appears {count} times across leaves (expected once)"
+                    "{entity} {primitive} appears {count} times across leaves (expected once)"
                 )));
             }
         }
+        Ok(())
+    }
 
-        // Bounds: each stored child bound contains its child subtree's primitives, and the
-        // scene bounds contain the root's content.  Content bounds are recomputed bottom-up;
-        // the topology checks above guarantee the reachable structure is a tree, so the
-        // explicit DFS stack terminates.
-        let content = subtree_bounds(bvh, triangles);
-        for (index, node) in nodes.iter().enumerate() {
+    /// The bounds half of the BVH checks: each stored child bound contains its child subtree's
+    /// content, and the scene bounds contain the root's.  `content` comes from
+    /// [`subtree_bounds`]; call only after [`SceneValidator::validate_topology`] passed (the
+    /// topology checks guarantee the reachable structure is a tree).
+    fn validate_containment(bvh: &Bvh4, content: &[Aabb]) -> Result<(), QueryError> {
+        for (index, node) in bvh.nodes().iter().enumerate() {
             if let Bvh4Node::Internal {
                 children,
                 child_bounds,
@@ -316,9 +410,11 @@ impl SceneValidator {
     }
 }
 
-/// Content bounds of every node's subtree (the union of its primitives' bounds), computed with
-/// an explicit post-order stack.  Call only after the topology checks passed.
-fn subtree_bounds(bvh: &Bvh4, triangles: &[Triangle]) -> Vec<Aabb> {
+/// Content bounds of every node's subtree (the union of its primitives' bounds, where
+/// `primitive_bounds` supplies one primitive's bounds — a triangle's vertices for a mesh BVH,
+/// an instance's world box for a TLAS), computed with an explicit post-order stack.  Call only
+/// after the topology checks passed.
+fn subtree_bounds(bvh: &Bvh4, primitive_bounds: &dyn Fn(usize) -> Aabb) -> Vec<Aabb> {
     let nodes = bvh.nodes();
     let mut content = vec![Aabb::empty(); nodes.len()];
     // Post-order: push (node, false) to expand, (node, true) to reduce.
@@ -328,11 +424,7 @@ fn subtree_bounds(bvh: &Bvh4, triangles: &[Triangle]) -> Vec<Aabb> {
             Bvh4Node::Leaf { .. } => {
                 let mut bounds = Aabb::empty();
                 for &primitive in bvh.leaf_primitives(index) {
-                    let triangle = &triangles[primitive];
-                    bounds = bounds
-                        .union_point(triangle.v0)
-                        .union_point(triangle.v1)
-                        .union_point(triangle.v2);
+                    bounds = bounds.union(&primitive_bounds(primitive));
                 }
                 content[index] = bounds;
             }

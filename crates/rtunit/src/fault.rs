@@ -37,7 +37,7 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
-use rayflex_geometry::Ray;
+use rayflex_geometry::{Ray, Vec3};
 
 use crate::bvh::{Bvh4, Bvh4Node};
 
@@ -53,6 +53,9 @@ pub enum FaultKind {
     /// Break the BVH topology: point an internal node's child slot at an out-of-range or
     /// already-referenced node (or blow a leaf's primitive range on single-node trees).
     FlipBvhChild,
+    /// Break one instance of a two-level scene: a non-finite transform, a singular (zero
+    /// determinant) transform, or a dangling BLAS index — chosen by the seed.
+    CorruptInstance,
     /// Panic the worker thread of the given shard index, exactly once.
     PoisonShard(usize),
     /// Starve the run of beats.  Carries no mechanism of its own — the harness reacts to this
@@ -169,6 +172,32 @@ impl FaultPlan {
             Some(0)
         };
         true
+    }
+
+    /// Breaks one seed-chosen instance of a two-level scene in place so that
+    /// [`SceneValidator::validate_scene`](crate::SceneValidator) must reject it with an
+    /// [`QueryError::InvalidScene`](crate::QueryError) naming that instance.  Returns the
+    /// corrupted instance index, or `None` for flat scenes (which have no instances to break).
+    ///
+    /// The corruption is one of the three invalid-placement classes the validator checks: a
+    /// non-finite transform (NaN translation), a singular transform (zero linear part, zero
+    /// determinant), or a BLAS index past the scene's BLAS list.  The TLAS is deliberately
+    /// *not* refit, so the break is purely a placement-table fault.
+    pub fn apply_to_scene(&self, scene: &mut crate::Scene) -> Option<usize> {
+        let mut state = self.seed;
+        let blas_count = scene.blas_list().len();
+        let instances = scene.instances_mut()?;
+        if instances.is_empty() {
+            return None;
+        }
+        let index = (splitmix(&mut state) as usize) % instances.len();
+        let victim = &mut instances[index];
+        match splitmix(&mut state) % 3 {
+            0 => victim.transform.translation.x = f32::NAN,
+            1 => victim.transform.linear = [Vec3::ZERO; 3],
+            _ => victim.blas = blas_count,
+        }
+        Some(index)
     }
 }
 
@@ -324,6 +353,40 @@ mod tests {
         assert_eq!(bvh.node_count(), 1);
         assert!(FaultPlan::new(FaultKind::FlipBvhChild, 9).apply_to_bvh(&mut bvh));
         assert!(SceneValidator::validate(&bvh, tiny).is_err());
+    }
+
+    #[test]
+    fn instance_corruption_breaks_validation_and_names_the_victim() {
+        use crate::{Blas, Instance, Scene, SceneValidator};
+        use rayflex_geometry::Affine;
+        let mesh = vec![Triangle::new(
+            Vec3::new(-1.0, -1.0, 0.0),
+            Vec3::new(1.0, -1.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        )];
+        for seed in 0..16u64 {
+            let instances: Vec<Instance> = (0..5)
+                .map(|i| Instance::new(0, Affine::translation(Vec3::new(i as f32 * 3.0, 0.0, 4.0))))
+                .collect();
+            let mut scene = Scene::instanced(vec![Blas::new(mesh.clone())], instances);
+            assert!(SceneValidator::validate_scene(&scene).is_ok());
+            let plan = FaultPlan::new(FaultKind::CorruptInstance, seed);
+            let victim = plan.apply_to_scene(&mut scene).expect("instanced scene");
+            let err = SceneValidator::validate_scene(&scene)
+                .err()
+                .unwrap_or_else(|| {
+                    panic!("seed {seed} produced a corruption the validator missed")
+                });
+            assert!(
+                err.to_string().contains(&format!("instance {victim}")),
+                "seed {seed}: {err} does not name instance {victim}"
+            );
+        }
+        // Flat scenes have no instances to corrupt.
+        let mut flat = Scene::flat(mesh);
+        assert!(FaultPlan::new(FaultKind::CorruptInstance, 1)
+            .apply_to_scene(&mut flat)
+            .is_none());
     }
 
     #[test]

@@ -277,6 +277,20 @@ impl HierarchicalSearch {
         }
     }
 
+    /// Builds the search structure over the **world-space triangle centroids** of a
+    /// [`Scene`](crate::Scene) — the scene-boundary constructor.  Instanced scenes contribute
+    /// one centroid per *placed* triangle ([`Scene::centroids`](crate::Scene::centroids)), so a
+    /// scene and its [`Scene::flatten`](crate::Scene::flatten)ed form build identical search
+    /// structures and answer every query identically.
+    ///
+    /// # Panics
+    ///
+    /// As [`HierarchicalSearch::build`].
+    #[must_use]
+    pub fn from_scene(scene: &crate::Scene, point_radius: f32, config: PipelineConfig) -> Self {
+        Self::build(scene.centroids(), point_radius, config)
+    }
+
     /// The dataset points.
     #[must_use]
     pub fn points(&self) -> &[Vec3] {
@@ -857,6 +871,51 @@ mod tests {
         assert_eq!(search.stats().dataset_size, 300);
         assert!(search.stats().box_beats > 0);
         assert!(search.stats().euclidean_beats >= search.stats().candidates_scored);
+    }
+
+    #[test]
+    fn from_scene_searches_world_space_centroids_identically_for_both_forms() {
+        use crate::{Blas, Instance, Scene};
+        use rayflex_geometry::{Affine, Triangle};
+        let mesh: Vec<Triangle> = (0..8)
+            .map(|i| {
+                let x = i as f32 * 1.5;
+                Triangle::new(
+                    Vec3::new(x, 0.0, 0.0),
+                    Vec3::new(x + 1.0, 0.0, 0.0),
+                    Vec3::new(x, 1.0, 0.0),
+                )
+            })
+            .collect();
+        let instances: Vec<Instance> = (0..6)
+            .map(|i| Instance::new(0, Affine::translation(Vec3::new(0.0, i as f32 * 4.0, 3.0))))
+            .collect();
+        let scene = Scene::instanced(vec![Blas::new(mesh)], instances);
+        let flattened = scene.flatten();
+
+        let config = PipelineConfig::extended_unified();
+        let mut instanced_search = HierarchicalSearch::from_scene(&scene, 0.01, config);
+        let mut flat_search = HierarchicalSearch::from_scene(&flattened, 0.01, config);
+        assert_eq!(instanced_search.points(), flat_search.points());
+
+        let query = Vec3::new(2.0, 9.0, 3.0);
+        let got = instanced_search.radius_query(query, 6.0, &ExecPolicy::wavefront());
+        let expected = flat_search.radius_query(query, 6.0, &ExecPolicy::wavefront());
+        assert!(
+            !expected.is_empty(),
+            "the query sphere must catch centroids"
+        );
+        assert_eq!(got, expected);
+        assert_eq!(instanced_search.stats(), flat_search.stats());
+
+        // The scene-boundary kNN entry point agrees with the search's exact ordering.
+        let mut knn = KnnEngine::with_config(config);
+        let nearest = knn.k_nearest_in_scene(query, &scene, 4, &ExecPolicy::wavefront());
+        assert_eq!(nearest.len(), 4);
+        for (n, e) in nearest.iter().zip(&expected) {
+            assert_eq!(n.index, e.index);
+            assert_eq!(n.distance.to_bits(), e.distance.to_bits());
+        }
     }
 
     #[test]

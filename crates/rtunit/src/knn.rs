@@ -21,6 +21,7 @@ use rayflex_geometry::golden::distance::{COSINE_LANES, EUCLIDEAN_LANES};
 use crate::error::{PartialResult, QueryError, QueryOutcome};
 use crate::policy::{ExecMode, ExecPolicy};
 use crate::query::{BatchQuery, FusedScheduler, QueryKind, StreamRunner, WavefrontScheduler};
+use crate::scene::Scene;
 
 /// The distance metric used by a search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -531,6 +532,29 @@ impl KnnEngine {
         policy: &ExecPolicy,
     ) -> Vec<Neighbor> {
         let distances = self.distances(query, dataset, metric, policy);
+        select_k_nearest(&distances, k)
+    }
+
+    /// Finds the `k` triangles of `scene` whose **world-space centroids** are nearest to
+    /// `query` (squared-Euclidean, scored on the datapath) — the [`Scene`]-boundary entry
+    /// point, with neighbour indices being the scene's global primitive ids.
+    ///
+    /// Instanced scenes score their placed centroids ([`Scene::centroids`]), so the result is
+    /// identical for a scene and its [`Scene::flatten`]ed form.
+    pub fn k_nearest_in_scene(
+        &mut self,
+        query: rayflex_geometry::Vec3,
+        scene: &Scene,
+        k: usize,
+        policy: &ExecPolicy,
+    ) -> Vec<Neighbor> {
+        let centroids: Vec<[f32; 3]> = scene.centroids().iter().map(|c| [c.x, c.y, c.z]).collect();
+        let distances = self.distances(
+            &[query.x, query.y, query.z],
+            &centroids,
+            KnnMetric::Euclidean,
+            policy,
+        );
         select_k_nearest(&distances, k)
     }
 

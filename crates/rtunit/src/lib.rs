@@ -10,6 +10,10 @@
 //!
 //! * [`Bvh4`] — a four-wide bounding volume hierarchy builder matching the datapath's
 //!   four-boxes-per-instruction interface,
+//! * [`Scene`] — the first-class scene boundary every policy entry point traces against: flat
+//!   ([`Scene::flat`]) or two-level TLAS/BLAS instanced ([`Scene::instanced`]), with
+//!   [`Scene::flatten`] baking the instanced form into a bit-identical flat twin and
+//!   [`Scene::refit`] following animated transforms without rebuilding any BLAS,
 //! * [`ExecPolicy`] / [`ExecMode`] — the execution-policy layer: **one policy-taking entry
 //!   point per query kind** ([`TraversalEngine::trace`], [`Renderer::render`],
 //!   [`KnnEngine::k_nearest`], [`HierarchicalSearch::radius_queries`]), each dispatchable as
@@ -40,18 +44,17 @@
 //!
 //! ```
 //! use rayflex_geometry::{Triangle, Ray, Vec3};
-//! use rayflex_rtunit::{Bvh4, ExecPolicy, TraceRequest, TraversalEngine};
+//! use rayflex_rtunit::{ExecPolicy, Scene, TraceRequest, TraversalEngine};
 //!
-//! let scene = vec![Triangle::new(
+//! let scene = Scene::flat(vec![Triangle::new(
 //!     Vec3::new(-1.0, -1.0, 3.0),
 //!     Vec3::new(1.0, -1.0, 3.0),
 //!     Vec3::new(0.0, 1.0, 3.0),
-//! )];
-//! let bvh = Bvh4::build(&scene);
+//! )]);
 //! let rays = [Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0))];
 //! let mut engine = TraversalEngine::baseline();
 //! let hits = engine
-//!     .trace(&TraceRequest::closest_hit(&bvh, &scene, &rays), &ExecPolicy::wavefront())
+//!     .trace(&TraceRequest::closest_hit(&scene, &rays), &ExecPolicy::wavefront())
 //!     .into_closest();
 //! assert!(hits[0].is_some());
 //! ```
@@ -71,6 +74,7 @@ mod policy;
 mod query;
 mod renderer;
 mod rt_unit;
+mod scene;
 mod traversal;
 
 pub use bvh::{Bvh4, Bvh4Node, Primitive};
@@ -94,6 +98,7 @@ pub use renderer::{
 #[allow(deprecated)]
 pub use renderer::{render_bounce_parallel, render_parallel};
 pub use rt_unit::{RtUnit, RtUnitConfig, RtUnitStats};
+pub use scene::{Blas, Instance, Scene};
 pub use traversal::{
     TraceOutput, TraceRequest, TraversalEngine, TraversalHit, TraversalStats, TraversalStream,
 };

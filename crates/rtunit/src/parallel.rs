@@ -61,6 +61,7 @@ use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Ray, RayPacket, Triangle};
 
 use crate::fault;
+use crate::scene::SceneView;
 use crate::traversal::{TraceRequest, TraversalEngine, TraversalHit, TraversalStats};
 use crate::{Bvh4, ExecPolicy};
 
@@ -343,25 +344,16 @@ pub(crate) struct PairPoolTrace {
 /// [`fused_pair_sharded_checked`] to get the chunk index back instead.
 pub(crate) fn fused_pair_sharded(
     config: PipelineConfig,
-    bvh: &Bvh4,
-    triangles: &[Triangle],
+    view: SceneView<'_>,
     closest_rays: &[Ray],
     any_rays: &[Ray],
     threads: usize,
     simd_lanes: usize,
 ) -> PairPoolTrace {
-    fused_pair_sharded_checked(
-        config,
-        bvh,
-        triangles,
-        closest_rays,
-        any_rays,
-        threads,
-        simd_lanes,
-    )
-    .unwrap_or_else(|shard| {
-        panic!("fused traversal worker panicked (shard {shard}) and its scalar retry failed")
-    })
+    fused_pair_sharded_checked(config, view, closest_rays, any_rays, threads, simd_lanes)
+        .unwrap_or_else(|shard| {
+            panic!("fused traversal worker panicked (shard {shard}) and its scalar retry failed")
+        })
 }
 
 /// [`fused_pair_sharded`] with panic isolation surfaced instead of propagated: a worker chunk
@@ -370,8 +362,7 @@ pub(crate) fn fused_pair_sharded(
 /// index whose retry *also* panicked — the one failure this layer cannot absorb.
 pub(crate) fn fused_pair_sharded_checked(
     config: PipelineConfig,
-    bvh: &Bvh4,
-    triangles: &[Triangle],
+    view: SceneView<'_>,
     closest_rays: &[Ray],
     any_rays: &[Ray],
     threads: usize,
@@ -385,16 +376,13 @@ pub(crate) fn fused_pair_sharded_checked(
         engine.set_simd_lanes(simd_lanes);
         let (closest, any) = if any_rays.is_empty() {
             (
-                engine.wavefront_closest_hits(bvh, triangles, closest_rays),
+                engine.wavefront_closest_hits(view, closest_rays),
                 Vec::new(),
             )
         } else if closest_rays.is_empty() {
-            (
-                Vec::new(),
-                engine.wavefront_any_hits(bvh, triangles, any_rays),
-            )
+            (Vec::new(), engine.wavefront_any_hits(view, any_rays))
         } else {
-            engine.fused_pair(bvh, triangles, closest_rays, any_rays, 0)
+            engine.fused_pair(view, closest_rays, any_rays, 0)
         };
         return Ok(PairPoolTrace {
             closest,
@@ -420,11 +408,9 @@ pub(crate) fn fused_pair_sharded_checked(
         engine.set_simd_lanes(simd_lanes);
         let hits = match chunk {
             PairChunk::Closest(range) => {
-                engine.wavefront_closest_hits(bvh, triangles, &closest_rays[range.clone()])
+                engine.wavefront_closest_hits(view, &closest_rays[range.clone()])
             }
-            PairChunk::Any(range) => {
-                engine.wavefront_any_hits(bvh, triangles, &any_rays[range.clone()])
-            }
+            PairChunk::Any(range) => engine.wavefront_any_hits(view, &any_rays[range.clone()]),
         };
         (hits, engine.stats())
     });
@@ -443,8 +429,7 @@ pub(crate) fn fused_pair_sharded_checked(
                 };
                 let (retry_closest, retry_any, retry_stats) = retry_range_scalar(
                     config,
-                    bvh,
-                    triangles,
+                    view,
                     &closest_rays[closest_range],
                     &any_rays[any_range],
                 )
@@ -476,15 +461,14 @@ pub(crate) fn fused_pair_sharded_checked(
 /// fault, not a transient one).
 fn retry_range_scalar(
     config: PipelineConfig,
-    bvh: &Bvh4,
-    triangles: &[Triangle],
+    view: SceneView<'_>,
     closest_rays: &[Ray],
     any_rays: &[Ray],
 ) -> Option<PairTraceResult> {
     catch_unwind(AssertUnwindSafe(|| {
         let mut engine = TraversalEngine::with_config(config);
         let output = engine.trace(
-            &TraceRequest::pair(bvh, triangles, closest_rays, any_rays),
+            &TraceRequest::pair_view(view, closest_rays, any_rays),
             &ExecPolicy::scalar(),
         );
         let mut stats = engine.stats();
@@ -497,6 +481,7 @@ fn retry_range_scalar(
 /// Traces a closest-hit ray stream across up to `threads` parallel workers.
 #[deprecated(note = "use TraversalEngine::trace(&TraceRequest::closest_hit(..), \
                      &ExecPolicy::parallel(threads)) — stats come from the engine")]
+#[allow(deprecated)] // the shim body calls sibling deprecated constructors
 #[must_use]
 pub fn trace_rays_parallel(
     config: PipelineConfig,
@@ -505,13 +490,15 @@ pub fn trace_rays_parallel(
     rays: &[Ray],
     threads: usize,
 ) -> (Vec<Option<TraversalHit>>, TraversalStats) {
-    let out = fused_pair_sharded(config, bvh, triangles, rays, &[], threads, 1);
+    let view = SceneView::Flat { bvh, triangles };
+    let out = fused_pair_sharded(config, view, rays, &[], threads, 1);
     (out.closest, out.stats)
 }
 
 /// Runs the any-hit/shadow query over a ray stream across up to `threads` parallel workers.
 #[deprecated(note = "use TraversalEngine::trace(&TraceRequest::any_hit(..), \
                      &ExecPolicy::parallel(threads)) — stats come from the engine")]
+#[allow(deprecated)] // the shim body calls sibling deprecated constructors
 #[must_use]
 pub fn trace_shadow_rays_parallel(
     config: PipelineConfig,
@@ -520,7 +507,8 @@ pub fn trace_shadow_rays_parallel(
     rays: &[Ray],
     threads: usize,
 ) -> (Vec<Option<TraversalHit>>, TraversalStats) {
-    let out = fused_pair_sharded(config, bvh, triangles, &[], rays, threads, 1);
+    let view = SceneView::Flat { bvh, triangles };
+    let out = fused_pair_sharded(config, view, &[], rays, threads, 1);
     (out.any, out.stats)
 }
 
@@ -528,6 +516,7 @@ pub fn trace_shadow_rays_parallel(
 /// workers.
 #[deprecated(note = "use TraversalEngine::trace(&TraceRequest::pair(..), \
                      &ExecPolicy::parallel(threads)) — stats come from the engine")]
+#[allow(deprecated)] // the shim body calls sibling deprecated constructors
 #[must_use]
 pub fn trace_fused_parallel(
     config: PipelineConfig,
@@ -541,7 +530,8 @@ pub fn trace_fused_parallel(
     Vec<Option<TraversalHit>>,
     TraversalStats,
 ) {
-    let out = fused_pair_sharded(config, bvh, triangles, closest_rays, any_rays, threads, 1);
+    let view = SceneView::Flat { bvh, triangles };
+    let out = fused_pair_sharded(config, view, closest_rays, any_rays, threads, 1);
     (out.closest, out.any, out.stats)
 }
 
@@ -555,6 +545,7 @@ pub fn trace_fused_parallel(
 #[deprecated(note = "unpack the packet (RayPacket::to_rays) and use \
                      TraversalEngine::trace(&TraceRequest::closest_hit(..), \
                      &ExecPolicy::parallel(threads))")]
+#[allow(deprecated)] // the shim body calls sibling deprecated constructors
 #[must_use]
 pub fn trace_packet_parallel(
     config: PipelineConfig,
@@ -570,7 +561,7 @@ pub fn trace_packet_parallel(
         let mut engine = TraversalEngine::with_config(config);
         let hits = engine
             .trace(
-                &TraceRequest::closest_hit(bvh, triangles, &unpacked),
+                &TraceRequest::closest_hit_flat(bvh, triangles, &unpacked),
                 &crate::ExecPolicy::wavefront(),
             )
             .into_closest();
@@ -582,7 +573,7 @@ pub fn trace_packet_parallel(
         let mut engine = TraversalEngine::with_config(config);
         let hits = engine
             .trace(
-                &TraceRequest::closest_hit(bvh, triangles, &shard),
+                &TraceRequest::closest_hit_flat(bvh, triangles, &shard),
                 &crate::ExecPolicy::wavefront(),
             )
             .into_closest();
@@ -623,10 +614,9 @@ mod tests {
 
     #[test]
     fn parallel_hits_and_stats_match_the_single_threaded_run() {
-        let triangles = scene();
-        let bvh = Bvh4::build(&triangles);
+        let scene = crate::Scene::flat(scene());
         let rays = camera_rays(96);
-        let request = TraceRequest::closest_hit(&bvh, &triangles, &rays);
+        let request = TraceRequest::closest_hit(&scene, &rays);
         let mut reference = TraversalEngine::baseline();
         let expected = reference.trace(&request, &ExecPolicy::scalar());
         for threads in [1, 2, 3, 8, 96, 200] {
@@ -639,15 +629,14 @@ mod tests {
 
     #[test]
     fn shadow_streams_shard_like_closest_hit_streams() {
-        let triangles = scene();
-        let bvh = Bvh4::build(&triangles);
+        let scene = crate::Scene::flat(scene());
         // Long enough to force real sharding past the auto-tune threshold.
         let rays: Vec<Ray> = camera_rays(96)
             .into_iter()
             .cycle()
             .take(MIN_RAYS_PER_SHARD * 2)
             .collect();
-        let request = TraceRequest::any_hit(&bvh, &triangles, &rays);
+        let request = TraceRequest::any_hit(&scene, &rays);
         let mut reference = TraversalEngine::baseline();
         let expected = reference.trace(&request, &ExecPolicy::scalar());
         for threads in [1, 2, 7] {
@@ -689,8 +678,7 @@ mod tests {
 
     #[test]
     fn fused_pair_sharding_matches_the_single_engine_fused_run() {
-        let triangles = scene();
-        let bvh = Bvh4::build(&triangles);
+        let flat = crate::Scene::flat(scene());
         let config = rayflex_core::PipelineConfig::baseline_unified();
         // Unequal stream lengths and a length past the shard threshold both get exercised.
         for (closest_count, any_count) in [(96, 40), (0, 64), (MIN_RAYS_PER_SHARD * 2, 300)] {
@@ -705,7 +693,7 @@ mod tests {
                 .take(any_count)
                 .map(|r| Ray::with_extent(r.origin, r.dir, 1e-3, 30.0))
                 .collect();
-            let request = TraceRequest::pair(&bvh, &triangles, &closest_rays, &any_rays);
+            let request = TraceRequest::pair(&flat, &closest_rays, &any_rays);
             let mut reference = TraversalEngine::with_config(config);
             let expected = reference.trace(&request, &ExecPolicy::fused());
             for threads in [1, 2, 5, 8] {
@@ -719,11 +707,10 @@ mod tests {
 
     #[test]
     fn empty_streams_are_fine() {
-        let triangles = scene();
-        let bvh = Bvh4::build(&triangles);
+        let scene = crate::Scene::flat(scene());
         let mut engine = TraversalEngine::baseline();
         let output = engine.trace(
-            &TraceRequest::closest_hit(&bvh, &triangles, &[]),
+            &TraceRequest::closest_hit(&scene, &[]),
             &ExecPolicy::parallel(8),
         );
         assert!(output.closest.is_empty() && output.any.is_empty());
@@ -735,6 +722,7 @@ mod tests {
     fn deprecated_parallel_shims_match_the_policy_path() {
         let triangles = scene();
         let bvh = Bvh4::build(&triangles);
+        let flat = crate::Scene::from_parts(bvh.clone(), triangles.clone());
         let config = rayflex_core::PipelineConfig::baseline_unified();
         // Both a short stream (inline single-engine path) and one long enough to force real
         // range-sharding.
@@ -744,7 +732,7 @@ mod tests {
             for threads in [1, 2, 3, 8] {
                 let mut engine = TraversalEngine::with_config(config);
                 let expected = engine.trace(
-                    &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+                    &TraceRequest::closest_hit(&flat, &rays),
                     &ExecPolicy::parallel(threads),
                 );
                 let (a, a_stats) = trace_rays_parallel(config, &bvh, &triangles, &rays, threads);
@@ -758,7 +746,7 @@ mod tests {
                     trace_shadow_rays_parallel(config, &bvh, &triangles, &rays, threads);
                 let mut shadow_engine = TraversalEngine::with_config(config);
                 let shadow_expected = shadow_engine.trace(
-                    &TraceRequest::any_hit(&bvh, &triangles, &rays),
+                    &TraceRequest::any_hit(&flat, &rays),
                     &ExecPolicy::parallel(threads),
                 );
                 assert_eq!(shadow, shadow_expected.any);
@@ -775,15 +763,14 @@ mod tests {
     #[test]
     fn a_poisoned_shard_recovers_bit_identically_through_the_scalar_retry() {
         use crate::fault::{while_armed, FaultKind, FaultPlan};
-        let triangles = scene();
-        let bvh = Bvh4::build(&triangles);
+        let flat = crate::Scene::flat(scene());
         // Two full shards so the parallel mode really spawns two workers.
         let rays: Vec<Ray> = camera_rays(96)
             .into_iter()
             .cycle()
             .take(MIN_RAYS_PER_SHARD * 2)
             .collect();
-        let request = TraceRequest::closest_hit(&bvh, &triangles, &rays);
+        let request = TraceRequest::closest_hit(&flat, &rays);
         let mut reference = TraversalEngine::baseline();
         let expected = reference.trace(&request, &ExecPolicy::scalar());
 

@@ -32,7 +32,7 @@ use rayflex_workloads::rays::{ambient_occlusion_rays, surfel_reflection_rays, su
 use crate::error::{QueryError, QueryOutcome, SceneValidator};
 use crate::policy::ExecPolicy;
 use crate::traversal::{TraceOutput, TraceRequest};
-use crate::{Bvh4, TraversalEngine, TraversalHit, TraversalStats};
+use crate::{Bvh4, Scene, TraversalEngine, TraversalHit, TraversalStats};
 
 /// A pinhole camera generating one primary ray per pixel.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -161,9 +161,20 @@ impl CameraBasis {
 /// uses.
 #[must_use]
 pub fn shade(triangles: &[Triangle], light_dir: Vec3, hit: Option<&TraversalHit>) -> f32 {
+    shade_primitive(&|prim| triangles[prim], light_dir, hit)
+}
+
+/// [`shade`] over an arbitrary primitive-id → world-triangle lookup — the shared arithmetic
+/// behind the slice frontend and the scene-backed frame pipelines (instanced scenes have no
+/// triangle slice; they materialise the hit triangle through [`Scene::triangle`]).
+fn shade_primitive(
+    triangle: &dyn Fn(usize) -> Triangle,
+    light_dir: Vec3,
+    hit: Option<&TraversalHit>,
+) -> f32 {
     match hit {
         Some(hit) => {
-            let normal = triangles[hit.primitive].normal().normalized();
+            let normal = triangle(hit.primitive).normal().normalized();
             let diffuse = normal.dot(light_dir).abs();
             (0.15 + 0.85 * diffuse).clamp(0.0, 1.0)
         }
@@ -328,12 +339,22 @@ pub fn extract_surfels(
     rays: &[Ray],
     hits: &[Option<TraversalHit>],
 ) -> (Vec<(Vec3, Vec3)>, Vec<usize>) {
+    extract_surfels_with(&|prim| triangles[prim], rays, hits)
+}
+
+/// [`extract_surfels`] over an arbitrary primitive-id → world-triangle lookup — shared by the
+/// slice frontend and the scene-backed frame pipelines.
+fn extract_surfels_with(
+    triangle: &dyn Fn(usize) -> Triangle,
+    rays: &[Ray],
+    hits: &[Option<TraversalHit>],
+) -> (Vec<(Vec3, Vec3)>, Vec<usize>) {
     let mut surfels = Vec::new();
     let mut pixels = Vec::new();
     for (pixel, (ray, hit)) in rays.iter().zip(hits).enumerate() {
         let Some(hit) = hit else { continue };
         let point = ray.at(hit.t);
-        let mut normal = triangles[hit.primitive].normal().normalized();
+        let mut normal = triangle(hit.primitive).normal().normalized();
         if !normal.is_finite() {
             normal = -ray.dir.normalized();
         }
@@ -491,8 +512,7 @@ fn validate_frame(frame: &FrameDesc) -> Result<(), QueryError> {
 /// modes bit-identical by construction: the pipeline around the tracer is common code.
 struct FrameTracer<'a> {
     engine: &'a mut TraversalEngine,
-    bvh: &'a Bvh4,
-    triangles: &'a [Triangle],
+    scene: &'a Scene,
     policy: ExecPolicy,
     /// Frame-wide beat deadline ([`ExecPolicy::max_total_beats`]); `0` disables the budget and
     /// every pass traces to completion.
@@ -536,8 +556,8 @@ impl FrameTracer<'_> {
     /// Traces one single-kind pass stream under the frame's policy.
     fn trace(&mut self, kind: PassKind, rays: &[Ray]) -> Vec<Option<TraversalHit>> {
         let request = match kind {
-            PassKind::ClosestHit => TraceRequest::closest_hit(self.bvh, self.triangles, rays),
-            PassKind::AnyHit => TraceRequest::any_hit(self.bvh, self.triangles, rays),
+            PassKind::ClosestHit => TraceRequest::closest_hit(self.scene, rays),
+            PassKind::AnyHit => TraceRequest::any_hit(self.scene, rays),
         };
         let output = self.run(&request);
         match kind {
@@ -554,12 +574,7 @@ impl FrameTracer<'_> {
         bounce: &[Ray],
         shadow: &[Ray],
     ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
-        let output = self.run(&TraceRequest::pair(
-            self.bvh,
-            self.triangles,
-            bounce,
-            shadow,
-        ));
+        let output = self.run(&TraceRequest::pair(self.scene, bounce, shadow));
         (output.closest, output.any)
     }
 }
@@ -568,14 +583,14 @@ impl FrameTracer<'_> {
 /// with the same deferred model (unshadowed, full ambient visibility), `0.0` for an escaped
 /// bounce ray.  Shared by the fused and reference frames so their pixels stay bit-identical.
 fn shade_bounce(
-    triangles: &[Triangle],
+    triangle: &dyn Fn(usize) -> Triangle,
     bounce_ray: &Ray,
     hit: Option<&TraversalHit>,
     light: Vec3,
 ) -> f32 {
     let Some(hit) = hit else { return 0.0 };
     let point = bounce_ray.at(hit.t);
-    let mut normal = triangles[hit.primitive].normal().normalized();
+    let mut normal = triangle(hit.primitive).normal().normalized();
     if !normal.is_finite() {
         normal = -bounce_ray.dir.normalized();
     }
@@ -594,11 +609,12 @@ fn primary_frame(
     tracer: &mut FrameTracer<'_>,
 ) -> Image {
     let light_dir = default_light_dir();
+    let scene = tracer.scene;
     let rays = camera.primary_rays(width, height);
     let hits = tracer.trace(PassKind::ClosestHit, &rays);
     let pixels = hits
         .iter()
-        .map(|hit| shade(tracer.triangles, light_dir, hit.as_ref()))
+        .map(|hit| shade_primitive(&|prim| scene.triangle(prim), light_dir, hit.as_ref()))
         .collect();
     Image {
         width,
@@ -620,13 +636,14 @@ fn deferred_frame(
     passes: &RenderPasses,
     tracer: &mut FrameTracer<'_>,
 ) -> Image {
-    let triangles = tracer.triangles;
+    let scene = tracer.scene;
+    let triangle = |prim: usize| scene.triangle(prim);
     // Pass 1: primary closest-hit stream, one ray per pixel.
     let rays = camera.primary_rays(width, height);
     let hits = tracer.trace(PassKind::ClosestHit, &rays);
 
     // G-buffer: one surfel per hit pixel.
-    let (surfels, surfel_pixels) = extract_surfels(triangles, &rays, &hits);
+    let (surfels, surfel_pixels) = extract_surfels_with(&triangle, &rays, &hits);
 
     // Pass 2, fused: the bounce closest-hit stream and the shadow any-hit stream share the same
     // bulk passes over one datapath.  Each surfel's bounce ray mirrors the incident direction
@@ -665,7 +682,7 @@ fn deferred_frame(
         if passes.bounce_reflectivity > 0.0 {
             value += passes.bounce_reflectivity
                 * shade_bounce(
-                    triangles,
+                    &triangle,
                     &bounce_rays[surfel],
                     bounce_hits[surfel].as_ref(),
                     passes.light,
@@ -799,11 +816,13 @@ impl Renderer {
     /// execution mode.
     ///
     /// The [`FrameDesc`] describes *what* to render (camera, dimensions, pass configuration:
-    /// primary-only, shadowed, +AO, +bounce); the [`ExecPolicy`](crate::ExecPolicy) selects
-    /// *how* every pass stream is traced (scalar reference, wavefront, parallel sharding, or
-    /// fused — where the bounce closest-hit stream and the shadow any-hit stream share bulk
-    /// passes over the engine's single datapath, the paper's §V-A scenario, honouring the
-    /// policy's beat budget).
+    /// primary-only, shadowed, +AO, +bounce); the [`Scene`] carries the geometry (flat or
+    /// two-level instanced — instanced frames are pixel-bit-identical to rendering
+    /// [`Scene::flatten`]); the [`ExecPolicy`](crate::ExecPolicy) selects *how* every pass
+    /// stream is traced (scalar reference, wavefront, parallel sharding, or fused — where the
+    /// bounce closest-hit stream and the shadow any-hit stream share bulk passes over the
+    /// engine's single datapath, the paper's §V-A scenario, honouring the policy's beat
+    /// budget).
     ///
     /// Pixels and accumulated [`TraversalStats`] are **bit-identical across all execution
     /// modes** — pinned by the golden tests, `rtunit/tests/proptest_render.rs` and the
@@ -813,31 +832,23 @@ impl Renderer {
     ///
     /// ```
     /// use rayflex_geometry::{Triangle, Vec3};
-    /// use rayflex_rtunit::{Bvh4, Camera, ExecPolicy, FrameDesc, Renderer};
+    /// use rayflex_rtunit::{Camera, ExecPolicy, FrameDesc, Renderer, Scene};
     ///
-    /// let scene = vec![Triangle::new(
+    /// let scene = Scene::flat(vec![Triangle::new(
     ///     Vec3::new(-2.0, -2.0, 5.0),
     ///     Vec3::new(2.0, -2.0, 5.0),
     ///     Vec3::new(0.0, 2.0, 5.0),
-    /// )];
-    /// let bvh = Bvh4::build(&scene);
+    /// )]);
     /// let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
     /// let mut renderer = Renderer::new();
     /// let frame = FrameDesc::primary(camera, 16, 12);
-    /// let image = renderer.render(&bvh, &scene, &frame, &ExecPolicy::wavefront());
+    /// let image = renderer.render(&scene, &frame, &ExecPolicy::wavefront());
     /// assert!(image.coverage() > 0.0);
     /// ```
-    pub fn render(
-        &mut self,
-        bvh: &Bvh4,
-        triangles: &[Triangle],
-        frame: &FrameDesc,
-        policy: &ExecPolicy,
-    ) -> Image {
+    pub fn render(&mut self, scene: &Scene, frame: &FrameDesc, policy: &ExecPolicy) -> Image {
         let mut tracer = FrameTracer {
             engine: &mut self.engine,
-            bvh,
-            triangles,
+            scene,
             policy: *policy,
             budget: 0,
             baseline_ops: 0,
@@ -881,42 +892,39 @@ impl Renderer {
     ///
     /// ```
     /// use rayflex_geometry::{Triangle, Vec3};
-    /// use rayflex_rtunit::{Bvh4, Camera, ExecPolicy, FrameDesc, QueryError, Renderer};
+    /// use rayflex_rtunit::{Camera, ExecPolicy, FrameDesc, QueryError, Renderer, Scene};
     ///
-    /// let scene = vec![Triangle::new(
+    /// let scene = Scene::flat(vec![Triangle::new(
     ///     Vec3::new(-2.0, -2.0, 5.0),
     ///     Vec3::new(2.0, -2.0, 5.0),
     ///     Vec3::new(0.0, 2.0, 5.0),
-    /// )];
-    /// let bvh = Bvh4::build(&scene);
+    /// )]);
     /// let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
     /// let frame = FrameDesc::primary(camera, 16, 12);
     /// let mut renderer = Renderer::new();
     ///
     /// let image = renderer
-    ///     .try_render(&bvh, &scene, &frame, &ExecPolicy::wavefront())
+    ///     .try_render(&scene, &frame, &ExecPolicy::wavefront())
     ///     .unwrap();
     /// assert!(image.coverage() > 0.0);
     ///
     /// // One beat is never enough for a 16x12 frame: the deadline surfaces as a typed error.
     /// let starved = ExecPolicy::wavefront().with_max_total_beats(1);
-    /// let err = renderer.try_render(&bvh, &scene, &frame, &starved).unwrap_err();
+    /// let err = renderer.try_render(&scene, &frame, &starved).unwrap_err();
     /// assert!(matches!(err, QueryError::DeadlineExceeded { .. }));
     /// ```
     pub fn try_render(
         &mut self,
-        bvh: &Bvh4,
-        triangles: &[Triangle],
+        scene: &Scene,
         frame: &FrameDesc,
         policy: &ExecPolicy,
     ) -> Result<Image, QueryError> {
-        SceneValidator::validate(bvh, triangles)?;
+        SceneValidator::validate_scene(scene)?;
         validate_frame(frame)?;
         let baseline_ops = self.engine.stats().total_ops();
         let mut tracer = FrameTracer {
             engine: &mut self.engine,
-            bvh,
-            triangles,
+            scene,
             policy: *policy,
             budget: policy.max_total_beats,
             baseline_ops,
@@ -942,6 +950,49 @@ impl Renderer {
         Ok(image)
     }
 
+    // --- Deprecated flat-signature entry points, kept as thin shims over `render`. -----------
+
+    /// [`Renderer::render`] over a loose `(bvh, triangles)` pair — the pre-[`Scene`]
+    /// signature.  Clones the borrowed geometry into a flat [`Scene`]; wrap the scene once
+    /// with [`Scene::from_parts`] instead.
+    #[deprecated(note = "wrap the geometry once with Scene::from_parts and call \
+                         Renderer::render(&scene, ..)")]
+    pub fn render_flat(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        frame: &FrameDesc,
+        policy: &ExecPolicy,
+    ) -> Image {
+        self.render(
+            &Scene::from_parts(bvh.clone(), triangles.to_vec()),
+            frame,
+            policy,
+        )
+    }
+
+    /// [`Renderer::try_render`] over a loose `(bvh, triangles)` pair — the pre-[`Scene`]
+    /// signature.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Renderer::try_render`]'s.
+    #[deprecated(note = "wrap the geometry once with Scene::from_parts and call \
+                         Renderer::try_render(&scene, ..)")]
+    pub fn try_render_flat(
+        &mut self,
+        bvh: &Bvh4,
+        triangles: &[Triangle],
+        frame: &FrameDesc,
+        policy: &ExecPolicy,
+    ) -> Result<Image, QueryError> {
+        self.try_render(
+            &Scene::from_parts(bvh.clone(), triangles.to_vec()),
+            frame,
+            policy,
+        )
+    }
+
     // --- Deprecated pre-policy frame flavours, kept as thin shims over `render`. -------------
 
     /// The scalar per-pixel reference of a primary-only frame.
@@ -956,8 +1007,7 @@ impl Renderer {
         height: usize,
     ) -> Image {
         self.render(
-            bvh,
-            triangles,
+            &Scene::from_parts(bvh.clone(), triangles.to_vec()),
             &FrameDesc::primary(*camera, width, height),
             &ExecPolicy::scalar(),
         )
@@ -982,8 +1032,7 @@ impl Renderer {
             ..*passes
         };
         self.render(
-            bvh,
-            triangles,
+            &Scene::from_parts(bvh.clone(), triangles.to_vec()),
             &FrameDesc::deferred(*camera, width, height, plain),
             &ExecPolicy::wavefront(),
         )
@@ -1006,8 +1055,7 @@ impl Renderer {
             ..*passes
         };
         self.render(
-            bvh,
-            triangles,
+            &Scene::from_parts(bvh.clone(), triangles.to_vec()),
             &FrameDesc::deferred(*camera, width, height, plain),
             &ExecPolicy::scalar(),
         )
@@ -1027,8 +1075,7 @@ impl Renderer {
         passes: &RenderPasses,
     ) -> Image {
         self.render(
-            bvh,
-            triangles,
+            &Scene::from_parts(bvh.clone(), triangles.to_vec()),
             &FrameDesc::deferred(*camera, width, height, *passes),
             &ExecPolicy::fused(),
         )
@@ -1047,8 +1094,7 @@ impl Renderer {
         passes: &RenderPasses,
     ) -> Image {
         self.render(
-            bvh,
-            triangles,
+            &Scene::from_parts(bvh.clone(), triangles.to_vec()),
             &FrameDesc::deferred(*camera, width, height, *passes),
             &ExecPolicy::scalar(),
         )
@@ -1096,8 +1142,7 @@ pub fn render_parallel(
     };
     let mut renderer = Renderer::with_config(config);
     let image = renderer.render(
-        bvh,
-        triangles,
+        &Scene::from_parts(bvh.clone(), triangles.to_vec()),
         &FrameDesc::deferred(*camera, width, height, plain),
         &ExecPolicy::parallel(threads),
     );
@@ -1122,8 +1167,7 @@ pub fn render_bounce_parallel(
 ) -> (Image, TraversalStats) {
     let mut renderer = Renderer::with_config(config);
     let image = renderer.render(
-        bvh,
-        triangles,
+        &Scene::from_parts(bvh.clone(), triangles.to_vec()),
         &FrameDesc::deferred(*camera, width, height, *passes),
         &ExecPolicy::parallel(threads),
     );
@@ -1215,7 +1259,7 @@ mod tests {
         // the camera looks straight along the up axis, and normalising it poisoned every ray of
         // the frame with NaN directions.
         let triangles = floor_quad(50.0);
-        let bvh = Bvh4::build(&triangles);
+        let world = Scene::flat(triangles.clone());
         for look in [Vec3::new(0.0, -1.0, 0.0), Vec3::new(0.0, 1.0, 0.0)] {
             let camera = Camera::looking_at(
                 Vec3::new(0.0, 10.0, 0.0),
@@ -1229,8 +1273,7 @@ mod tests {
             );
             let mut renderer = Renderer::new();
             let image = renderer.render(
-                &bvh,
-                &triangles,
+                &world,
                 &FrameDesc::primary(camera, 16, 16),
                 &ExecPolicy::wavefront(),
             );
@@ -1248,12 +1291,11 @@ mod tests {
     #[test]
     fn rendering_a_facing_quad_covers_the_image_centre() {
         let triangles = quad_at_z(5.0, 2.0);
-        let bvh = Bvh4::build(&triangles);
+        let world = Scene::flat(triangles.clone());
         let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
         let mut renderer = Renderer::new();
         let image = renderer.render(
-            &bvh,
-            &triangles,
+            &world,
             &FrameDesc::primary(camera, 24, 24),
             &ExecPolicy::wavefront(),
         );
@@ -1270,17 +1312,17 @@ mod tests {
         // The golden test of the primary renderer: every execution mode's frame equals the
         // scalar per-pixel reference frame, and the traversal statistics match exactly.
         let triangles = scenes::icosphere(2, 5.0, Vec3::new(0.0, 0.0, 20.0));
-        let bvh = Bvh4::build(&triangles);
+        let world = Scene::flat(triangles.clone());
         let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 20.0));
         let frame = FrameDesc::primary(camera, 32, 24);
 
         let mut reference = Renderer::new();
-        let expected = reference.render(&bvh, &triangles, &frame, &ExecPolicy::scalar());
+        let expected = reference.render(&world, &frame, &ExecPolicy::scalar());
         assert!(expected.coverage() > 0.1, "the icosphere is visible");
 
         for policy in non_reference_policies() {
             let mut renderer = Renderer::new();
-            let image = renderer.render(&bvh, &triangles, &frame, &policy);
+            let image = renderer.render(&world, &frame, &policy);
             assert_images_bit_identical(&image, &expected, "primary frame");
             assert_eq!(
                 renderer.stats(),
@@ -1297,7 +1339,7 @@ mod tests {
         // equal the scalar multi-pass reference pixel-bit-for-bit and stat-for-stat under every
         // execution policy.
         let scene = scenes::lit_scene(1, 24.0);
-        let bvh = Bvh4::build(&scene.triangles);
+        let world = Scene::flat(scene.triangles.clone());
         let camera = Camera::looking_at(scene.eye, scene.target);
         let configs = [
             RenderPasses::shadowed(scene.light),
@@ -1306,12 +1348,12 @@ mod tests {
         for passes in configs {
             let frame = FrameDesc::deferred(camera, 24, 18, passes);
             let mut reference = Renderer::new();
-            let expected = reference.render(&bvh, &scene.triangles, &frame, &ExecPolicy::scalar());
+            let expected = reference.render(&world, &frame, &ExecPolicy::scalar());
             assert!(expected.coverage() > 0.2, "the lit scene is visible");
 
             for policy in non_reference_policies() {
                 let mut renderer = Renderer::new();
-                let image = renderer.render(&bvh, &scene.triangles, &frame, &policy);
+                let image = renderer.render(&world, &frame, &policy);
                 assert_images_bit_identical(&image, &expected, "deferred frame");
                 assert_eq!(
                     renderer.stats(),
@@ -1330,7 +1372,7 @@ mod tests {
         // reference pixel-bit-for-bit and stat-for-stat, with and without AO, under every
         // policy — and under the fused policy the sharing is observable in the beat mix.
         let scene = scenes::lit_scene(1, 24.0);
-        let bvh = Bvh4::build(&scene.triangles);
+        let world = Scene::flat(scene.triangles.clone());
         let camera = Camera::looking_at(scene.eye, scene.target);
         let configs = [
             RenderPasses::shadowed(scene.light).with_bounce(0.4),
@@ -1341,11 +1383,11 @@ mod tests {
         for passes in configs {
             let frame = FrameDesc::deferred(camera, 24, 18, passes);
             let mut reference = Renderer::new();
-            let expected = reference.render(&bvh, &scene.triangles, &frame, &ExecPolicy::scalar());
+            let expected = reference.render(&world, &frame, &ExecPolicy::scalar());
 
             for policy in non_reference_policies() {
                 let mut renderer = Renderer::new();
-                let image = renderer.render(&bvh, &scene.triangles, &frame, &policy);
+                let image = renderer.render(&world, &frame, &policy);
                 assert_images_bit_identical(&image, &expected, "bounce frame");
                 assert_eq!(
                     renderer.stats(),
@@ -1368,32 +1410,30 @@ mod tests {
     #[test]
     fn a_zero_reflectivity_bounce_frame_equals_the_plain_deferred_frame() {
         let scene = scenes::lit_scene(1, 24.0);
-        let bvh = Bvh4::build(&scene.triangles);
+        let world = Scene::flat(scene.triangles.clone());
         let camera = Camera::looking_at(scene.eye, scene.target);
         let passes = RenderPasses::shadowed(scene.light).with_ambient_occlusion(2, 5.0, 9);
         let frame = FrameDesc::deferred(camera, 20, 14, passes.with_bounce(0.0));
         let mut renderer = Renderer::new();
-        let deferred = renderer.render(&bvh, &scene.triangles, &frame, &ExecPolicy::wavefront());
-        let fused = renderer.render(&bvh, &scene.triangles, &frame, &ExecPolicy::fused());
+        let deferred = renderer.render(&world, &frame, &ExecPolicy::wavefront());
+        let fused = renderer.render(&world, &frame, &ExecPolicy::fused());
         assert_images_bit_identical(&deferred, &fused, "reflectivity 0 disables the bounce");
     }
 
     #[test]
     fn the_bounce_pass_only_brightens_and_shows_reflections() {
         let scene = scenes::lit_scene(1, 24.0);
-        let bvh = Bvh4::build(&scene.triangles);
+        let world = Scene::flat(scene.triangles.clone());
         let camera = Camera::looking_at(scene.eye, scene.target);
         let base_passes = RenderPasses::shadowed(scene.light);
         let mut renderer = Renderer::new();
         let base = renderer.render(
-            &bvh,
-            &scene.triangles,
+            &world,
             &FrameDesc::deferred(camera, 24, 18, base_passes),
             &ExecPolicy::fused(),
         );
         let bounced = renderer.render(
-            &bvh,
-            &scene.triangles,
+            &world,
             &FrameDesc::deferred(camera, 24, 18, base_passes.with_bounce(0.5)),
             &ExecPolicy::fused(),
         );
@@ -1418,21 +1458,19 @@ mod tests {
         // uniform-sampling frame, bit for bit (the flag defaults to off, so this also pins
         // backward compatibility of the deferred pipeline).
         let scene = scenes::lit_scene(1, 24.0);
-        let bvh = Bvh4::build(&scene.triangles);
+        let world = Scene::flat(scene.triangles.clone());
         let camera = Camera::looking_at(scene.eye, scene.target);
         let uniform = RenderPasses::shadowed(scene.light).with_ambient_occlusion(4, 6.0, 2024);
         let explicit_off = uniform.with_adaptive_ao(false);
         let mut renderer = Renderer::new();
         let policy = ExecPolicy::wavefront();
         let a = renderer.render(
-            &bvh,
-            &scene.triangles,
+            &world,
             &FrameDesc::deferred(camera, 24, 18, uniform),
             &policy,
         );
         let b = renderer.render(
-            &bvh,
-            &scene.triangles,
+            &world,
             &FrameDesc::deferred(camera, 24, 18, explicit_off),
             &policy,
         );
@@ -1442,7 +1480,7 @@ mod tests {
     #[test]
     fn adaptive_ao_skips_probes_outside_the_penumbra_in_every_mode() {
         let scene = scenes::lit_scene(1, 24.0);
-        let bvh = Bvh4::build(&scene.triangles);
+        let world = Scene::flat(scene.triangles.clone());
         // The straight-down framing guarantees large fully-lit floor regions around a real
         // shadow boundary, so adaptivity has something to skip *and* something to keep.
         let camera = Camera::looking_at(Vec3::new(0.0, 20.0, -0.1), Vec3::new(0.0, 0.0, 0.0));
@@ -1453,19 +1491,10 @@ mod tests {
         let adaptive_frame = FrameDesc::deferred(camera, width, height, adaptive);
 
         let mut uniform_renderer = Renderer::new();
-        let _ = uniform_renderer.render(
-            &bvh,
-            &scene.triangles,
-            &uniform_frame,
-            &ExecPolicy::wavefront(),
-        );
+        let _ = uniform_renderer.render(&world, &uniform_frame, &ExecPolicy::wavefront());
         let mut adaptive_renderer = Renderer::new();
-        let adaptive_image = adaptive_renderer.render(
-            &bvh,
-            &scene.triangles,
-            &adaptive_frame,
-            &ExecPolicy::wavefront(),
-        );
+        let adaptive_image =
+            adaptive_renderer.render(&world, &adaptive_frame, &ExecPolicy::wavefront());
         assert!(
             adaptive_renderer.stats().rays < uniform_renderer.stats().rays,
             "penumbra-only sampling traces fewer AO probes ({} vs {})",
@@ -1475,21 +1504,11 @@ mod tests {
 
         // Every execution mode agrees on the adaptive frame too.
         let mut reference = Renderer::new();
-        let expected = reference.render(
-            &bvh,
-            &scene.triangles,
-            &adaptive_frame,
-            &ExecPolicy::scalar(),
-        );
+        let expected = reference.render(&world, &adaptive_frame, &ExecPolicy::scalar());
         assert_images_bit_identical(&adaptive_image, &expected, "adaptive frame");
         assert_eq!(adaptive_renderer.stats(), reference.stats());
         let mut parallel = Renderer::new();
-        let parallel_image = parallel.render(
-            &bvh,
-            &scene.triangles,
-            &adaptive_frame,
-            &ExecPolicy::parallel(4),
-        );
+        let parallel_image = parallel.render(&world, &adaptive_frame, &ExecPolicy::parallel(4));
         assert_images_bit_identical(&adaptive_image, &parallel_image, "parallel adaptive frame");
         assert_eq!(adaptive_renderer.stats(), parallel.stats());
     }
@@ -1497,13 +1516,13 @@ mod tests {
     #[test]
     fn the_shadow_pass_darkens_occluded_floor_pixels() {
         let scene = scenes::lit_scene(1, 24.0);
-        let bvh = Bvh4::build(&scene.triangles);
+        let world = Scene::flat(scene.triangles.clone());
         // Look straight down at the floor under the occluder from high above: the shadow of the
         // floating sphere must produce pixels strictly darker than the lit floor around them.
         let camera = Camera::looking_at(Vec3::new(0.0, 20.0, -0.1), Vec3::new(0.0, 0.0, 0.0));
         let frame = FrameDesc::deferred(camera, 24, 24, RenderPasses::shadowed(scene.light));
         let mut renderer = Renderer::new();
-        let image = renderer.render(&bvh, &scene.triangles, &frame, &ExecPolicy::wavefront());
+        let image = renderer.render(&world, &frame, &ExecPolicy::wavefront());
         let mut values: Vec<f32> = (0..24 * 24)
             .map(|i| image.pixel(i % 24, i / 24))
             .filter(|&p| p > 0.0)
@@ -1520,21 +1539,19 @@ mod tests {
     #[test]
     fn ambient_occlusion_darkens_but_never_brightens() {
         let scene = scenes::lit_scene(1, 24.0);
-        let bvh = Bvh4::build(&scene.triangles);
+        let world = Scene::flat(scene.triangles.clone());
         let camera = Camera::looking_at(scene.eye, scene.target);
         let shadow_only = RenderPasses::shadowed(scene.light);
         let with_ao = shadow_only.with_ambient_occlusion(8, 8.0, 7);
         let mut renderer = Renderer::new();
         let policy = ExecPolicy::wavefront();
         let base = renderer.render(
-            &bvh,
-            &scene.triangles,
+            &world,
             &FrameDesc::deferred(camera, 20, 16, shadow_only),
             &policy,
         );
         let ao = renderer.render(
-            &bvh,
-            &scene.triangles,
+            &world,
             &FrameDesc::deferred(camera, 20, 16, with_ao),
             &policy,
         );
@@ -1556,18 +1573,17 @@ mod tests {
     #[test]
     fn zero_sized_frames_render_without_panicking() {
         let triangles = quad_at_z(5.0, 2.0);
-        let bvh = Bvh4::build(&triangles);
+        let world = Scene::flat(triangles.clone());
         let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
         let passes = RenderPasses::shadowed(Vec3::new(0.0, 10.0, 0.0));
         let mut renderer = Renderer::new();
         for (width, height) in [(0, 0), (0, 8), (8, 0)] {
             let frame = FrameDesc::deferred(camera, width, height, passes);
-            let image = renderer.render(&bvh, &triangles, &frame, &ExecPolicy::wavefront());
+            let image = renderer.render(&world, &frame, &ExecPolicy::wavefront());
             assert_eq!((image.width(), image.height()), (width, height));
             assert_eq!(image.coverage(), 0.0);
             assert!(image.to_ascii().chars().all(|c| c == '\n'));
-            let parallel_image =
-                renderer.render(&bvh, &triangles, &frame, &ExecPolicy::parallel(4));
+            let parallel_image = renderer.render(&world, &frame, &ExecPolicy::parallel(4));
             assert_eq!(image, parallel_image);
         }
     }
@@ -1578,14 +1594,14 @@ mod tests {
         // pixel.  The shadow ray collapses to an empty extent (never reports occlusion) and
         // shading must not divide by the zero light distance.
         let triangles = quad_at_z(5.0, 4.0);
-        let bvh = Bvh4::build(&triangles);
+        let world = Scene::flat(triangles.clone());
         let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
         let (width, height) = (9, 9);
         let mut engine = TraversalEngine::baseline();
         let rays = camera.primary_rays(width, height);
         let hits = engine
             .trace(
-                &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+                &TraceRequest::closest_hit(&world, &rays),
                 &ExecPolicy::wavefront(),
             )
             .into_closest();
@@ -1595,9 +1611,9 @@ mod tests {
         let passes = RenderPasses::shadowed(light_on_surfel).with_ambient_occlusion(2, 1.0, 3);
         let frame = FrameDesc::deferred(camera, width, height, passes);
         let mut renderer = Renderer::new();
-        let image = renderer.render(&bvh, &triangles, &frame, &ExecPolicy::wavefront());
+        let image = renderer.render(&world, &frame, &ExecPolicy::wavefront());
         let mut reference = Renderer::new();
-        let expected = reference.render(&bvh, &triangles, &frame, &ExecPolicy::scalar());
+        let expected = reference.render(&world, &frame, &ExecPolicy::scalar());
         assert_images_bit_identical(&image, &expected, "degenerate-light frame");
         for y in 0..height {
             for x in 0..width {
@@ -1609,21 +1625,19 @@ mod tests {
     #[test]
     fn zero_ao_samples_equals_the_shadow_only_frame() {
         let scene = scenes::lit_scene(1, 24.0);
-        let bvh = Bvh4::build(&scene.triangles);
+        let world = Scene::flat(scene.triangles.clone());
         let camera = Camera::looking_at(scene.eye, scene.target);
         let shadow_only = RenderPasses::shadowed(scene.light);
         let zero_ao = shadow_only.with_ambient_occlusion(0, 4.0, 11);
         let mut renderer = Renderer::new();
         let policy = ExecPolicy::wavefront();
         let a = renderer.render(
-            &bvh,
-            &scene.triangles,
+            &world,
             &FrameDesc::deferred(camera, 16, 12, shadow_only),
             &policy,
         );
         let b = renderer.render(
-            &bvh,
-            &scene.triangles,
+            &world,
             &FrameDesc::deferred(camera, 16, 12, zero_ao),
             &policy,
         );
@@ -1649,7 +1663,7 @@ mod tests {
             Vec3::new(-half, 15.0, half),
             Vec3::new(half, 15.0, half),
         ));
-        let bvh = Bvh4::build(&triangles);
+        let world = Scene::flat(triangles.clone());
         let camera = Camera::looking_at(Vec3::new(0.0, 10.0, -20.0), Vec3::new(0.0, 0.0, 10.0));
         let frame = FrameDesc::deferred(
             camera,
@@ -1658,7 +1672,7 @@ mod tests {
             RenderPasses::shadowed(Vec3::new(0.0, 100.0, 0.0)),
         );
         let mut renderer = Renderer::new();
-        let image = renderer.render(&bvh, &triangles, &frame, &ExecPolicy::wavefront());
+        let image = renderer.render(&world, &frame, &ExecPolicy::wavefront());
         assert!(image.coverage() > 0.0, "the floor is visible");
         let floor_pixels: Vec<f32> = (0..16 * 8)
             .map(|i| image.pixel(i % 16, i / 16))
@@ -1679,11 +1693,10 @@ mod tests {
     #[test]
     fn ascii_and_pgm_outputs_are_well_formed() {
         let triangles = quad_at_z(5.0, 2.0);
-        let bvh = Bvh4::build(&triangles);
+        let world = Scene::flat(triangles.clone());
         let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
         let image = Renderer::new().render(
-            &bvh,
-            &triangles,
+            &world,
             &FrameDesc::primary(camera, 16, 8),
             &ExecPolicy::wavefront(),
         );
@@ -1708,6 +1721,7 @@ mod tests {
     #[allow(deprecated)]
     fn deprecated_render_shims_delegate_to_the_policy_entry_point() {
         let scene = scenes::lit_scene(1, 24.0);
+        let world = Scene::flat(scene.triangles.clone());
         let bvh = Bvh4::build(&scene.triangles);
         let camera = Camera::looking_at(scene.eye, scene.target);
         let passes = RenderPasses::shadowed(scene.light)
@@ -1721,20 +1735,17 @@ mod tests {
 
         let mut policy_renderer = Renderer::new();
         let deferred = policy_renderer.render(
-            &bvh,
-            &scene.triangles,
+            &world,
             &FrameDesc::deferred(camera, width, height, plain),
             &ExecPolicy::wavefront(),
         );
         let bounce = policy_renderer.render(
-            &bvh,
-            &scene.triangles,
+            &world,
             &FrameDesc::deferred(camera, width, height, passes),
             &ExecPolicy::fused(),
         );
         let primary_reference = policy_renderer.render(
-            &bvh,
-            &scene.triangles,
+            &world,
             &FrameDesc::primary(camera, width, height),
             &ExecPolicy::scalar(),
         );
@@ -1806,20 +1817,41 @@ mod tests {
             &bounce,
             "render_bounce_parallel shim",
         );
+        let flat_frame = FrameDesc::deferred(camera, width, height, plain);
+        assert_images_bit_identical(
+            &shim.render_flat(
+                &bvh,
+                &scene.triangles,
+                &flat_frame,
+                &ExecPolicy::wavefront(),
+            ),
+            &deferred,
+            "render_flat shim",
+        );
+        let tried = shim
+            .try_render_flat(
+                &bvh,
+                &scene.triangles,
+                &flat_frame,
+                &ExecPolicy::wavefront(),
+            )
+            .unwrap();
+        assert_images_bit_identical(&tried, &deferred, "try_render_flat shim");
     }
 
     #[test]
     fn try_render_rejects_bad_scenes_and_frames_before_any_beat() {
         let triangles = quad_at_z(5.0, 2.0);
-        let bvh = Bvh4::build(&triangles);
+        let world = Scene::flat(triangles.clone());
         let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
         let policy = ExecPolicy::wavefront();
         let mut renderer = Renderer::new();
 
         let mut poisoned = triangles.clone();
         poisoned[0].v0.x = f32::NAN;
+        let poisoned_scene = Scene::from_parts(world.bvh().expect("flat").clone(), poisoned);
         let err = renderer
-            .try_render(&bvh, &poisoned, &FrameDesc::primary(camera, 8, 8), &policy)
+            .try_render(&poisoned_scene, &FrameDesc::primary(camera, 8, 8), &policy)
             .unwrap_err();
         assert!(matches!(err, QueryError::InvalidScene { .. }), "{err}");
 
@@ -1860,9 +1892,7 @@ mod tests {
             ),
         ];
         for frame in &bad_frames {
-            let err = renderer
-                .try_render(&bvh, &triangles, frame, &policy)
-                .unwrap_err();
+            let err = renderer.try_render(&world, frame, &policy).unwrap_err();
             assert!(matches!(err, QueryError::InvalidRequest { .. }), "{err}");
         }
         assert_eq!(
@@ -1875,7 +1905,7 @@ mod tests {
     #[test]
     fn try_render_without_a_deadline_matches_render_in_every_mode() {
         let scene = scenes::lit_scene(1, 24.0);
-        let bvh = Bvh4::build(&scene.triangles);
+        let world = Scene::flat(scene.triangles.clone());
         let camera = Camera::looking_at(scene.eye, scene.target);
         let passes = RenderPasses::shadowed(scene.light)
             .with_ambient_occlusion(2, 5.0, 9)
@@ -1886,11 +1916,9 @@ mod tests {
             FrameDesc::primary(camera, 0, 0),
         ] {
             for policy in std::iter::once(ExecPolicy::scalar()).chain(non_reference_policies()) {
-                let expected = Renderer::new().render(&bvh, &scene.triangles, &frame, &policy);
+                let expected = Renderer::new().render(&world, &frame, &policy);
                 let mut renderer = Renderer::new();
-                let image = renderer
-                    .try_render(&bvh, &scene.triangles, &frame, &policy)
-                    .unwrap();
+                let image = renderer.try_render(&world, &frame, &policy).unwrap();
                 assert_images_bit_identical(&image, &expected, "uncapped try_render");
             }
         }
@@ -1899,13 +1927,13 @@ mod tests {
     #[test]
     fn a_starved_frame_surfaces_deadline_exceeded_in_every_mode() {
         let scene = scenes::lit_scene(1, 24.0);
-        let bvh = Bvh4::build(&scene.triangles);
+        let world = Scene::flat(scene.triangles.clone());
         let camera = Camera::looking_at(scene.eye, scene.target);
         let frame = FrameDesc::deferred(camera, 16, 12, RenderPasses::shadowed(scene.light));
         for base in std::iter::once(ExecPolicy::scalar()).chain(non_reference_policies()) {
             let starved = base.with_max_total_beats(1);
             let err = Renderer::new()
-                .try_render(&bvh, &scene.triangles, &frame, &starved)
+                .try_render(&world, &frame, &starved)
                 .unwrap_err();
             assert!(
                 matches!(
@@ -1920,9 +1948,9 @@ mod tests {
             );
 
             let generous = base.with_max_total_beats(u64::MAX);
-            let expected = Renderer::new().render(&bvh, &scene.triangles, &frame, &base);
+            let expected = Renderer::new().render(&world, &frame, &base);
             let image = Renderer::new()
-                .try_render(&bvh, &scene.triangles, &frame, &generous)
+                .try_render(&world, &frame, &generous)
                 .unwrap();
             assert_images_bit_identical(&image, &expected, "generous deadline");
         }
@@ -1932,11 +1960,10 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn out_of_bounds_pixel_access_panics() {
         let triangles = quad_at_z(5.0, 2.0);
-        let bvh = Bvh4::build(&triangles);
+        let world = Scene::flat(triangles.clone());
         let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 5.0));
         let image = Renderer::new().render(
-            &bvh,
-            &triangles,
+            &world,
             &FrameDesc::primary(camera, 4, 4),
             &ExecPolicy::wavefront(),
         );

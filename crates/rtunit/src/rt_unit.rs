@@ -104,9 +104,13 @@ pub struct RtUnit {
 }
 
 /// Per-ray traversal state (the ray itself is borrowed from the caller's slice).
+///
+/// The stack holds traversal handles (`crate::scene::handle`) in the flat top-level context —
+/// the RT-unit timing model traces flat scenes, but shares the handle-typed
+/// [`push_hit_children`](crate::traversal) step with the traversal engine.
 #[derive(Debug, Default)]
 struct RayState {
-    stack: Vec<usize>,
+    stack: Vec<u64>,
     best: Option<TraversalHit>,
     pending_leaf: Vec<usize>,
     finished: bool,
@@ -115,7 +119,8 @@ struct RayState {
 impl RayState {
     fn reset(&mut self, root: usize) {
         self.stack.clear();
-        self.stack.push(root);
+        self.stack
+            .push(crate::scene::handle(crate::scene::TOP_CTX, root));
         self.best = None;
         self.pending_leaf.clear();
         self.finished = false;
@@ -304,7 +309,8 @@ impl RtUnit {
                 unreachable!("a triangle beat always returns a triangle result");
             };
             crate::traversal::record_triangle_hit(&mut state.best, &result, prim, ray);
-        } else if let Some(node_index) = state.stack.pop() {
+        } else if let Some(popped) = state.stack.pop() {
+            let node_index = crate::scene::handle_index(popped);
             match bvh.node(node_index) {
                 Bvh4Node::Leaf { .. } => {
                     // Reversed so `pop` tests primitives in leaf order, matching the traversal
@@ -332,6 +338,7 @@ impl RtUnit {
                         &mut state.stack,
                         &result,
                         children,
+                        crate::scene::TOP_CTX,
                         state.best.as_ref(),
                     );
                 }
@@ -385,9 +392,10 @@ mod tests {
         let mut unit = RtUnit::new();
         let (hits, stats) = unit.trace_rays(&bvh, &triangles, &rays);
         let mut engine = TraversalEngine::baseline();
+        let scene_obj = crate::Scene::from_parts(bvh.clone(), triangles.clone());
         let reference = engine
             .trace(
-                &crate::TraceRequest::closest_hit(&bvh, &triangles, &rays),
+                &crate::TraceRequest::closest_hit(&scene_obj, &rays),
                 &crate::ExecPolicy::scalar(),
             )
             .into_closest();

@@ -40,7 +40,8 @@ use rayflex_geometry::{Ray, RayPacket, Triangle};
 use crate::error::{validate_rays, PartialResult, QueryError, QueryOutcome, SceneValidator};
 use crate::policy::{ExecMode, ExecPolicy};
 use crate::query::{BatchQuery, FusedScheduler, QueryKind, StreamRunner, WavefrontScheduler};
-use crate::{Bvh4, Bvh4Node};
+use crate::scene::{handle, NodeStep, Scene, SceneView};
+use crate::Bvh4;
 
 /// The closest hit found by a traversal.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,10 +62,19 @@ pub struct TraversalStats {
     pub triangle_ops: u64,
     /// Internal nodes visited.
     pub nodes_visited: u64,
-    /// Leaf nodes visited.
+    /// Geometry leaf nodes visited (flat BVH or BLAS leaves — TLAS leaves are counted in
+    /// [`TraversalStats::instances_visited`] instead).
     pub leaves_visited: u64,
     /// Rays traversed.
     pub rays: u64,
+    /// The TLAS-phase share of [`TraversalStats::box_ops`]: ray–box beats testing top-level
+    /// (instance-bounds) nodes of a two-level scene.  Always zero for flat scenes — this is the
+    /// structural cost instancing adds, reported separately so the flat-vs-instanced beat
+    /// comparison is one subtraction.
+    pub tlas_box_ops: u64,
+    /// Instance descents: TLAS leaf entries expanded into BLAS-root stack pushes.  Always zero
+    /// for flat scenes.
+    pub instances_visited: u64,
     /// Parallel shards whose worker panicked and were recovered by the one-shot scalar retry
     /// (see `crate::parallel`).  Always zero in a healthy run, so the cross-policy
     /// stats-equality invariant is unaffected; a non-zero count is the audit trail of a
@@ -97,6 +107,8 @@ impl TraversalStats {
         self.nodes_visited += other.nodes_visited;
         self.leaves_visited += other.leaves_visited;
         self.rays += other.rays;
+        self.tlas_box_ops += other.tlas_box_ops;
+        self.instances_visited += other.instances_visited;
         self.shard_fallbacks += other.shard_fallbacks;
     }
 
@@ -110,38 +122,37 @@ impl TraversalStats {
     }
 }
 
-/// One traversal request: the indexed scene plus up to two ray streams — a **closest-hit**
-/// stream and an **any-hit** (shadow/occlusion) stream.  Either stream may be empty; a request
-/// carrying both is the fused pair the unified RT unit time-multiplexes.
+/// One traversal request: a [`Scene`] plus up to two ray streams — a **closest-hit** stream and
+/// an **any-hit** (shadow/occlusion) stream.  Either stream may be empty; a request carrying
+/// both is the fused pair the unified RT unit time-multiplexes.
 ///
 /// This is the single argument of [`TraversalEngine::trace`], the one policy-taking entry point
-/// both traversal query kinds share.
+/// both traversal query kinds share.  The scene may be flat or two-level instanced — every
+/// execution mode traverses either representation, and an instanced scene yields bit-identical
+/// hits to its [`Scene::flatten`] twin.
 #[derive(Debug, Clone, Copy)]
 pub struct TraceRequest<'a> {
-    bvh: &'a Bvh4,
-    triangles: &'a [Triangle],
+    view: SceneView<'a>,
     closest: &'a [Ray],
     any: &'a [Ray],
 }
 
 impl<'a> TraceRequest<'a> {
-    /// A closest-hit request over `rays` against the indexed scene.
+    /// A closest-hit request over `rays` against `scene`.
     #[must_use]
-    pub fn closest_hit(bvh: &'a Bvh4, triangles: &'a [Triangle], rays: &'a [Ray]) -> Self {
+    pub fn closest_hit(scene: &'a Scene, rays: &'a [Ray]) -> Self {
         TraceRequest {
-            bvh,
-            triangles,
+            view: scene.view(),
             closest: rays,
             any: &[],
         }
     }
 
-    /// An any-hit (shadow/occlusion) request over `rays` against the indexed scene.
+    /// An any-hit (shadow/occlusion) request over `rays` against `scene`.
     #[must_use]
-    pub fn any_hit(bvh: &'a Bvh4, triangles: &'a [Triangle], rays: &'a [Ray]) -> Self {
+    pub fn any_hit(scene: &'a Scene, rays: &'a [Ray]) -> Self {
         TraceRequest {
-            bvh,
-            triangles,
+            view: scene.view(),
             closest: &[],
             any: rays,
         }
@@ -151,30 +162,75 @@ impl<'a> TraceRequest<'a> {
     /// [`ExecMode::Fused`](crate::ExecMode::Fused) merges into shared passes (the other modes
     /// trace the two streams closest-first).
     #[must_use]
-    pub fn pair(
+    pub fn pair(scene: &'a Scene, closest: &'a [Ray], any: &'a [Ray]) -> Self {
+        TraceRequest {
+            view: scene.view(),
+            closest,
+            any,
+        }
+    }
+
+    /// A closest-hit request over a loose `(bvh, triangles)` pair — the pre-[`Scene`]
+    /// signature.
+    #[deprecated(note = "wrap the geometry in a Scene (Scene::from_parts) and use \
+                         TraceRequest::closest_hit(&scene, rays)")]
+    #[allow(deprecated)] // the shim body calls sibling deprecated constructors
+    #[must_use]
+    pub fn closest_hit_flat(bvh: &'a Bvh4, triangles: &'a [Triangle], rays: &'a [Ray]) -> Self {
+        TraceRequest {
+            view: SceneView::Flat { bvh, triangles },
+            closest: rays,
+            any: &[],
+        }
+    }
+
+    /// An any-hit request over a loose `(bvh, triangles)` pair — the pre-[`Scene`] signature.
+    #[deprecated(note = "wrap the geometry in a Scene (Scene::from_parts) and use \
+                         TraceRequest::any_hit(&scene, rays)")]
+    #[allow(deprecated)] // the shim body calls sibling deprecated constructors
+    #[must_use]
+    pub fn any_hit_flat(bvh: &'a Bvh4, triangles: &'a [Triangle], rays: &'a [Ray]) -> Self {
+        TraceRequest {
+            view: SceneView::Flat { bvh, triangles },
+            closest: &[],
+            any: rays,
+        }
+    }
+
+    /// A both-streams request over a loose `(bvh, triangles)` pair — the pre-[`Scene`]
+    /// signature.
+    #[deprecated(note = "wrap the geometry in a Scene (Scene::from_parts) and use \
+                         TraceRequest::pair(&scene, closest, any)")]
+    #[allow(deprecated)] // the shim body calls sibling deprecated constructors
+    #[must_use]
+    pub fn pair_flat(
         bvh: &'a Bvh4,
         triangles: &'a [Triangle],
         closest: &'a [Ray],
         any: &'a [Ray],
     ) -> Self {
         TraceRequest {
-            bvh,
-            triangles,
+            view: SceneView::Flat { bvh, triangles },
             closest,
             any,
         }
     }
 
-    /// The BVH the request traverses.
-    #[must_use]
-    pub fn bvh(&self) -> &'a Bvh4 {
-        self.bvh
+    /// The scene view the request traverses.
+    pub(crate) fn view(&self) -> SceneView<'a> {
+        self.view
     }
 
-    /// The scene triangles the BVH indexes.
+    /// A both-streams request straight over a borrowed view (the parallel backend's retry path).
+    pub(crate) fn pair_view(view: SceneView<'a>, closest: &'a [Ray], any: &'a [Ray]) -> Self {
+        TraceRequest { view, closest, any }
+    }
+
+    /// Total primitives the request's scene addresses by global id (a flat scene's triangle
+    /// count, or the sum over every placed instance of a two-level scene).
     #[must_use]
-    pub fn triangles(&self) -> &'a [Triangle] {
-        self.triangles
+    pub fn triangle_count(&self) -> usize {
+        self.view.triangle_count()
     }
 
     /// The closest-hit ray stream (possibly empty).
@@ -216,17 +272,22 @@ impl TraceOutput {
 
 /// Per-ray wavefront traversal state, shared by the closest-hit and any-hit queries.  The vectors
 /// are pooled by the scheduler and reused across rays and calls.
+///
+/// Stack and pending entries are traversal *handles* (see `crate::scene`): a context id in the
+/// high bits — the top-level structure, or one instance's BLAS — and a node / mesh-local
+/// primitive index in the low bits, so one stack walks a flat BVH and a two-level TLAS/BLAS
+/// hierarchy with the same machinery.
 #[derive(Debug, Default)]
 pub struct RayWork {
-    stack: Vec<usize>,
+    stack: Vec<u64>,
     /// Leaf primitives awaiting their ray–triangle beat, tested back-to-front (`pop`), so they
     /// are pushed in reverse leaf order to preserve the scalar path's test order.
-    pending: Vec<usize>,
+    pending: Vec<u64>,
     best: Option<TraversalHit>,
 }
 
 impl RayWork {
-    fn reset(&mut self, root: usize) {
+    fn reset(&mut self, root: u64) {
         self.stack.clear();
         self.stack.push(root);
         self.pending.clear();
@@ -241,8 +302,7 @@ impl RayWork {
 #[derive(Debug)]
 struct TraversalQuery<'a> {
     kind: QueryKind,
-    bvh: &'a Bvh4,
-    triangles: &'a [Triangle],
+    view: SceneView<'a>,
     rays: &'a [Ray],
     /// One prebuilt datapath operand per ray: the operand is constant across every beat of a
     /// ray's traversal, so converting it once here keeps the per-beat build path to two copies
@@ -252,12 +312,11 @@ struct TraversalQuery<'a> {
 }
 
 impl<'a> TraversalQuery<'a> {
-    fn new(kind: QueryKind, bvh: &'a Bvh4, triangles: &'a [Triangle], rays: &'a [Ray]) -> Self {
+    fn new(kind: QueryKind, view: SceneView<'a>, rays: &'a [Ray]) -> Self {
         debug_assert!(matches!(kind, QueryKind::ClosestHit | QueryKind::AnyHit));
         TraversalQuery {
             kind,
-            bvh,
-            triangles,
+            view,
             rays,
             operands: rays.iter().map(RayOperand::from_ray).collect(),
             stats: TraversalStats {
@@ -270,9 +329,12 @@ impl<'a> TraversalQuery<'a> {
     /// Builds the next beat for one ray, advancing its state; `false` retires the ray.
     ///
     /// The per-ray beat order is exactly the scalar path's: all pending leaf primitives (in leaf
-    /// order), then the next stack node.  Box beats carry the node index as their tag so the
-    /// response can be matched back to the node's child table; triangle beats carry the ray
-    /// index.
+    /// order), then the next stack node — with TLAS leaves of an instanced scene expanded
+    /// beat-free into BLAS-root pushes, exactly as the scalar walk expands them.  Box beats
+    /// carry the node's traversal handle as their tag so the response can be matched back to
+    /// the node's child table (TLAS-phase beats additionally carry
+    /// [`TLAS_PHASE_TAG`](rayflex_core::TLAS_PHASE_TAG) for the datapath's beat attribution);
+    /// triangle beats carry the ray index.
     fn build_next_beat(
         &mut self,
         item: usize,
@@ -288,58 +350,68 @@ impl<'a> TraversalQuery<'a> {
                     // is what lets the lane-batched triangle kernel engage across them.
                     self.stats.triangle_ops += state.pending.len() as u64;
                     let operand = &self.operands[item];
-                    out.extend(state.pending.iter().rev().map(|&prim| {
-                        RayFlexRequest::ray_triangle_operand(
+                    for &entry in state.pending.iter().rev() {
+                        let (triangle, _) = self.view.pending_triangle(entry);
+                        out.push(RayFlexRequest::ray_triangle_operand(
                             item as u64,
                             operand,
-                            &self.triangles[prim],
-                        )
-                    }));
+                            &triangle,
+                        ));
+                    }
                 } else {
                     // Any-hit stops at the first accepted hit, so beats past it must never
                     // issue: one beat per pass keeps the count identical to the scalar walk.
-                    let Some(&prim) = state.pending.last() else {
+                    let Some(&entry) = state.pending.last() else {
                         unreachable!("pending is non-empty");
                     };
                     self.stats.triangle_ops += 1;
+                    let (triangle, _) = self.view.pending_triangle(entry);
                     out.push(RayFlexRequest::ray_triangle_operand(
                         item as u64,
                         &self.operands[item],
-                        &self.triangles[prim],
+                        &triangle,
                     ));
                 }
                 return true;
             }
-            let Some(node_index) = state.stack.pop() else {
+            let Some(popped) = state.stack.pop() else {
                 return false;
             };
-            match self.bvh.node(node_index) {
-                Bvh4Node::Leaf { .. } => {
+            match self.view.step(popped) {
+                NodeStep::Leaf { prims, ctx } => {
                     self.stats.leaves_visited += 1;
                     // Reversed so `pop` tests primitives in leaf order, like the scalar path.
                     state
                         .pending
-                        .extend(self.bvh.leaf_primitives(node_index).iter().rev());
+                        .extend(prims.iter().rev().map(|&prim| handle(ctx, prim)));
                 }
-                Bvh4Node::Internal { child_bounds, .. } => {
+                NodeStep::Instances { prims } => {
+                    // A TLAS leaf costs no beat: each instance descends straight to its BLAS
+                    // root, reversed so the first instance in leaf order pops first.
+                    self.stats.instances_visited += prims.len() as u64;
+                    state.stack.extend(
+                        prims
+                            .iter()
+                            .rev()
+                            .map(|&inst| self.view.instance_root(inst)),
+                    );
+                }
+                NodeStep::BoxBeat {
+                    tag, bounds, tlas, ..
+                } => {
                     self.stats.nodes_visited += 1;
                     self.stats.box_ops += 1;
+                    if tlas {
+                        self.stats.tlas_box_ops += 1;
+                    }
                     out.push(RayFlexRequest::ray_box_operand(
-                        node_index as u64,
+                        tag,
                         &self.operands[item],
-                        child_bounds,
+                        bounds.as_array(),
                     ));
                     return true;
                 }
             }
-        }
-    }
-
-    /// The children table of the internal node a box response belongs to.
-    fn box_children(&self, response: &RayFlexResponse) -> &[Option<usize>; 4] {
-        match self.bvh.node(response.tag as usize) {
-            Bvh4Node::Internal { children, .. } => children,
-            Bvh4Node::Leaf { .. } => unreachable!("box beats only test internal nodes"),
         }
     }
 }
@@ -357,7 +429,7 @@ impl BatchQuery for TraversalQuery<'_> {
     }
 
     fn reset(&mut self, _item: usize, state: &mut RayWork) {
-        state.reset(self.bvh.root());
+        state.reset(self.view.root_handle());
     }
 
     fn build(&mut self, item: usize, state: &mut RayWork, out: &mut Vec<RayFlexRequest>) -> bool {
@@ -371,9 +443,10 @@ impl BatchQuery for TraversalQuery<'_> {
 
     fn apply(&mut self, item: usize, state: &mut RayWork, response: &RayFlexResponse) {
         if let Some(result) = response.triangle_result {
-            let Some(prim) = state.pending.pop() else {
+            let Some(entry) = state.pending.pop() else {
                 unreachable!("a triangle beat always has a pending primitive");
             };
+            let prim = self.view.global_primitive(entry);
             match self.kind {
                 // Closest-hit: keep the nearest accepted hit, keep traversing.
                 QueryKind::ClosestHit => {
@@ -393,14 +466,14 @@ impl BatchQuery for TraversalQuery<'_> {
                 }
             }
         } else if let Some(result) = response.box_result {
-            let children = self.box_children(response);
+            let (children, ctx) = self.view.children_for_tag(response.tag);
             // Closest-hit prunes children farther than the best hit so far; any-hit never does.
             let prune = if self.kind == QueryKind::ClosestHit {
                 state.best.as_ref()
             } else {
                 None
             };
-            push_hit_children(&mut state.stack, &result, children, prune);
+            push_hit_children(&mut state.stack, &result, children, ctx, prune);
         }
     }
 
@@ -424,24 +497,45 @@ pub struct TraversalStream<'a> {
 }
 
 impl<'a> TraversalStream<'a> {
-    /// A closest-hit stream over `rays` against the indexed scene.
+    /// A closest-hit stream over `rays` against `scene`.
     #[must_use]
-    pub fn closest_hit(bvh: &'a Bvh4, triangles: &'a [Triangle], rays: &'a [Ray]) -> Self {
+    pub fn closest_hit(scene: &'a Scene, rays: &'a [Ray]) -> Self {
+        Self::closest_hit_view(scene.view(), rays)
+    }
+
+    /// An any-hit (shadow/occlusion) stream over `rays` against `scene`.
+    #[must_use]
+    pub fn any_hit(scene: &'a Scene, rays: &'a [Ray]) -> Self {
+        Self::any_hit_view(scene.view(), rays)
+    }
+
+    /// A closest-hit stream over a loose `(bvh, triangles)` pair — the pre-[`Scene`] signature.
+    #[deprecated(note = "wrap the geometry in a Scene (Scene::from_parts) and use \
+                         TraversalStream::closest_hit(&scene, rays)")]
+    #[allow(deprecated)] // the shim body calls sibling deprecated constructors
+    #[must_use]
+    pub fn closest_hit_flat(bvh: &'a Bvh4, triangles: &'a [Triangle], rays: &'a [Ray]) -> Self {
+        Self::closest_hit_view(SceneView::Flat { bvh, triangles }, rays)
+    }
+
+    /// An any-hit stream over a loose `(bvh, triangles)` pair — the pre-[`Scene`] signature.
+    #[deprecated(note = "wrap the geometry in a Scene (Scene::from_parts) and use \
+                         TraversalStream::any_hit(&scene, rays)")]
+    #[allow(deprecated)] // the shim body calls sibling deprecated constructors
+    #[must_use]
+    pub fn any_hit_flat(bvh: &'a Bvh4, triangles: &'a [Triangle], rays: &'a [Ray]) -> Self {
+        Self::any_hit_view(SceneView::Flat { bvh, triangles }, rays)
+    }
+
+    pub(crate) fn closest_hit_view(view: SceneView<'a>, rays: &'a [Ray]) -> Self {
         TraversalStream {
-            runner: StreamRunner::new(TraversalQuery::new(
-                QueryKind::ClosestHit,
-                bvh,
-                triangles,
-                rays,
-            )),
+            runner: StreamRunner::new(TraversalQuery::new(QueryKind::ClosestHit, view, rays)),
         }
     }
 
-    /// An any-hit (shadow/occlusion) stream over `rays` against the indexed scene.
-    #[must_use]
-    pub fn any_hit(bvh: &'a Bvh4, triangles: &'a [Triangle], rays: &'a [Ray]) -> Self {
+    pub(crate) fn any_hit_view(view: SceneView<'a>, rays: &'a [Ray]) -> Self {
         TraversalStream {
-            runner: StreamRunner::new(TraversalQuery::new(QueryKind::AnyHit, bvh, triangles, rays)),
+            runner: StreamRunner::new(TraversalQuery::new(QueryKind::AnyHit, view, rays)),
         }
     }
 
@@ -486,8 +580,8 @@ pub struct TraversalEngine {
     /// are scheduling artefacts, not mode-invariant workload facts.
     pool: crate::parallel::PoolStats,
     next_tag: u64,
-    /// Pooled traversal stacks for the scalar paths.
-    stack_pool: Vec<Vec<usize>>,
+    /// Pooled traversal stacks (of handles) for the scalar paths.
+    stack_pool: Vec<Vec<u64>>,
     /// The generic wavefront scheduler; both traversal query kinds share its state pool.
     scheduler: WavefrontScheduler<RayWork>,
     /// The fused multi-stream scheduler for passes shared between query kinds.
@@ -587,48 +681,43 @@ impl TraversalEngine {
     ///
     /// ```
     /// use rayflex_geometry::{Ray, Triangle, Vec3};
-    /// use rayflex_rtunit::{Bvh4, ExecPolicy, TraceRequest, TraversalEngine};
+    /// use rayflex_rtunit::{ExecPolicy, Scene, TraceRequest, TraversalEngine};
     ///
-    /// let scene = vec![Triangle::new(
+    /// let scene = Scene::flat(vec![Triangle::new(
     ///     Vec3::new(-1.0, -1.0, 3.0),
     ///     Vec3::new(1.0, -1.0, 3.0),
     ///     Vec3::new(0.0, 1.0, 3.0),
-    /// )];
-    /// let bvh = Bvh4::build(&scene);
+    /// )]);
     /// let rays = [Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0))];
     /// let mut engine = TraversalEngine::baseline();
     /// let hits = engine
-    ///     .trace(&TraceRequest::closest_hit(&bvh, &scene, &rays), &ExecPolicy::wavefront())
+    ///     .trace(&TraceRequest::closest_hit(&scene, &rays), &ExecPolicy::wavefront())
     ///     .into_closest();
     /// assert!(hits[0].is_some());
     /// ```
     pub fn trace(&mut self, request: &TraceRequest<'_>, policy: &ExecPolicy) -> TraceOutput {
         self.datapath.set_simd_lanes(policy.effective_simd_lanes());
+        let view = request.view();
         match policy.mode {
             ExecMode::ScalarReference => TraceOutput {
                 closest: request
                     .closest
                     .iter()
-                    .map(|ray| self.scalar_closest_hit(request.bvh, request.triangles, ray))
+                    .map(|ray| self.scalar_closest_hit(view, ray))
                     .collect(),
                 any: request
                     .any
                     .iter()
-                    .map(|ray| self.scalar_any_hit(request.bvh, request.triangles, ray))
+                    .map(|ray| self.scalar_any_hit(view, ray))
                     .collect(),
             },
             ExecMode::Wavefront => TraceOutput {
-                closest: self.wavefront_closest_hits(
-                    request.bvh,
-                    request.triangles,
-                    request.closest,
-                ),
-                any: self.wavefront_any_hits(request.bvh, request.triangles, request.any),
+                closest: self.wavefront_closest_hits(view, request.closest),
+                any: self.wavefront_any_hits(view, request.any),
             },
             ExecMode::Fused => {
                 let (closest, any) = self.fused_pair(
-                    request.bvh,
-                    request.triangles,
+                    view,
                     request.closest,
                     request.any,
                     policy.beat_budget_per_stream,
@@ -647,37 +736,22 @@ impl TraversalEngine {
                     // pools and beat attribution) rather than spinning up a throwaway worker.
                     if request.any.is_empty() {
                         return TraceOutput {
-                            closest: self.wavefront_closest_hits(
-                                request.bvh,
-                                request.triangles,
-                                request.closest,
-                            ),
+                            closest: self.wavefront_closest_hits(view, request.closest),
                             any: Vec::new(),
                         };
                     }
                     if request.closest.is_empty() {
                         return TraceOutput {
                             closest: Vec::new(),
-                            any: self.wavefront_any_hits(
-                                request.bvh,
-                                request.triangles,
-                                request.any,
-                            ),
+                            any: self.wavefront_any_hits(view, request.any),
                         };
                     }
-                    let (closest, any) = self.fused_pair(
-                        request.bvh,
-                        request.triangles,
-                        request.closest,
-                        request.any,
-                        0,
-                    );
+                    let (closest, any) = self.fused_pair(view, request.closest, request.any, 0);
                     return TraceOutput { closest, any };
                 }
                 let out = crate::parallel::fused_pair_sharded(
                     *self.config(),
-                    request.bvh,
-                    request.triangles,
+                    view,
                     request.closest,
                     request.any,
                     threads,
@@ -723,24 +797,23 @@ impl TraversalEngine {
     ///
     /// ```
     /// use rayflex_geometry::{Ray, Triangle, Vec3};
-    /// use rayflex_rtunit::{Bvh4, ExecPolicy, QueryError, TraceRequest, TraversalEngine};
+    /// use rayflex_rtunit::{ExecPolicy, QueryError, Scene, TraceRequest, TraversalEngine};
     ///
-    /// let scene = vec![Triangle::new(
+    /// let scene = Scene::flat(vec![Triangle::new(
     ///     Vec3::new(-1.0, -1.0, 3.0),
     ///     Vec3::new(1.0, -1.0, 3.0),
     ///     Vec3::new(0.0, 1.0, 3.0),
-    /// )];
-    /// let bvh = Bvh4::build(&scene);
+    /// )]);
     /// let mut rays = [Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0))];
     /// let mut engine = TraversalEngine::baseline();
     /// let outcome = engine
-    ///     .try_trace(&TraceRequest::closest_hit(&bvh, &scene, &rays), &ExecPolicy::wavefront())
+    ///     .try_trace(&TraceRequest::closest_hit(&scene, &rays), &ExecPolicy::wavefront())
     ///     .unwrap();
     /// assert!(outcome.is_complete());
     ///
     /// rays[0].origin.x = f32::NAN;
     /// let err = engine
-    ///     .try_trace(&TraceRequest::closest_hit(&bvh, &scene, &rays), &ExecPolicy::wavefront())
+    ///     .try_trace(&TraceRequest::closest_hit(&scene, &rays), &ExecPolicy::wavefront())
     ///     .unwrap_err();
     /// assert!(matches!(err, QueryError::InvalidRequest { .. }));
     /// ```
@@ -749,7 +822,7 @@ impl TraversalEngine {
         request: &TraceRequest<'_>,
         policy: &ExecPolicy,
     ) -> Result<QueryOutcome<TraceOutput>, QueryError> {
-        SceneValidator::validate(request.bvh, request.triangles)?;
+        SceneValidator::validate_view(request.view())?;
         validate_rays(request.closest, "closest-hit")?;
         validate_rays(request.any, "any-hit")?;
         if policy.max_total_beats == 0 {
@@ -777,8 +850,7 @@ impl TraversalEngine {
             if auto_tuned > 1 {
                 let out = crate::parallel::fused_pair_sharded_checked(
                     *self.config(),
-                    request.bvh,
-                    request.triangles,
+                    request.view(),
                     request.closest,
                     request.any,
                     threads,
@@ -815,12 +887,8 @@ impl TraversalEngine {
         let cap = policy.max_total_beats;
         let total = request.closest.len() + request.any.len();
         let (output, complete, beats) = if policy.mode == ExecMode::Wavefront {
-            let mut closest_query = TraversalQuery::new(
-                QueryKind::ClosestHit,
-                request.bvh,
-                request.triangles,
-                request.closest,
-            );
+            let mut closest_query =
+                TraversalQuery::new(QueryKind::ClosestHit, request.view(), request.closest);
             let closest = self
                 .scheduler
                 .run_capped(&mut self.datapath, &mut closest_query, cap);
@@ -830,12 +898,8 @@ impl TraversalEngine {
             let mut any_complete = request.any.is_empty();
             let remaining = cap.saturating_sub(beats);
             if closest.complete && !request.any.is_empty() && remaining > 0 {
-                let mut any_query = TraversalQuery::new(
-                    QueryKind::AnyHit,
-                    request.bvh,
-                    request.triangles,
-                    request.any,
-                );
+                let mut any_query =
+                    TraversalQuery::new(QueryKind::AnyHit, request.view(), request.any);
                 let any = self
                     .scheduler
                     .run_capped(&mut self.datapath, &mut any_query, remaining);
@@ -853,9 +917,8 @@ impl TraversalEngine {
                 beats,
             )
         } else {
-            let mut closest =
-                TraversalStream::closest_hit(request.bvh, request.triangles, request.closest);
-            let mut any = TraversalStream::any_hit(request.bvh, request.triangles, request.any);
+            let mut closest = TraversalStream::closest_hit_view(request.view(), request.closest);
+            let mut any = TraversalStream::any_hit_view(request.view(), request.any);
             let budget = if policy.mode == ExecMode::Fused {
                 policy.beat_budget_per_stream
             } else {
@@ -902,26 +965,25 @@ impl TraversalEngine {
 
     /// The scalar register-accurate walk of one closest-hit ray (the
     /// [`ExecMode::ScalarReference`] per-ray loop).
-    fn scalar_closest_hit(
-        &mut self,
-        bvh: &Bvh4,
-        triangles: &[Triangle],
-        ray: &Ray,
-    ) -> Option<TraversalHit> {
+    ///
+    /// Box beats are tagged with the node's traversal handle (TLAS-phase bit included), exactly
+    /// like the batched modes' beats, so the datapath's beat attribution sees the same tags in
+    /// every mode; triangle beats use the engine's running tag counter.
+    fn scalar_closest_hit(&mut self, view: SceneView<'_>, ray: &Ray) -> Option<TraversalHit> {
         self.stats.rays += 1;
         let mut best: Option<TraversalHit> = None;
         let mut stack = self.stack_pool.pop().unwrap_or_default();
         stack.clear();
-        stack.push(bvh.root());
+        stack.push(view.root_handle());
 
-        while let Some(node_index) = stack.pop() {
-            match bvh.node(node_index) {
-                Bvh4Node::Leaf { .. } => {
+        while let Some(popped) = stack.pop() {
+            match view.step(popped) {
+                NodeStep::Leaf { prims, ctx } => {
                     self.stats.leaves_visited += 1;
-                    for &prim in bvh.leaf_primitives(node_index) {
+                    for &local in prims {
                         self.stats.triangle_ops += 1;
-                        let request =
-                            RayFlexRequest::ray_triangle(self.tag(), ray, &triangles[prim]);
+                        let (triangle, prim) = view.pending_triangle(handle(ctx, local));
+                        let request = RayFlexRequest::ray_triangle(self.tag(), ray, &triangle);
                         let response = self.datapath.execute(&request);
                         let Some(result) = response.triangle_result else {
                             unreachable!("a triangle beat always returns a triangle result");
@@ -929,18 +991,28 @@ impl TraversalEngine {
                         record_triangle_hit(&mut best, &result, prim, ray);
                     }
                 }
-                Bvh4Node::Internal {
+                NodeStep::Instances { prims } => {
+                    self.stats.instances_visited += prims.len() as u64;
+                    stack.extend(prims.iter().rev().map(|&inst| view.instance_root(inst)));
+                }
+                NodeStep::BoxBeat {
+                    tag,
+                    bounds,
                     children,
-                    child_bounds,
+                    ctx,
+                    tlas,
                 } => {
                     self.stats.nodes_visited += 1;
                     self.stats.box_ops += 1;
-                    let request = RayFlexRequest::ray_box(self.tag(), ray, child_bounds);
+                    if tlas {
+                        self.stats.tlas_box_ops += 1;
+                    }
+                    let request = RayFlexRequest::ray_box(tag, ray, bounds.as_array());
                     let response = self.datapath.execute(&request);
                     let Some(result) = response.box_result else {
                         unreachable!("a box beat always returns a box result");
                     };
-                    push_hit_children(&mut stack, &result, children, best.as_ref());
+                    push_hit_children(&mut stack, &result, children, ctx, best.as_ref());
                 }
             }
         }
@@ -955,26 +1027,21 @@ impl TraversalEngine {
     /// shadow tests.  Children are never pruned against a best hit, and the traversal stops at
     /// the first accepted triangle beat, so occluded rays cost far fewer beats than a closest-hit
     /// traversal of the same scene.
-    fn scalar_any_hit(
-        &mut self,
-        bvh: &Bvh4,
-        triangles: &[Triangle],
-        ray: &Ray,
-    ) -> Option<TraversalHit> {
+    fn scalar_any_hit(&mut self, view: SceneView<'_>, ray: &Ray) -> Option<TraversalHit> {
         self.stats.rays += 1;
         let mut found: Option<TraversalHit> = None;
         let mut stack = self.stack_pool.pop().unwrap_or_default();
         stack.clear();
-        stack.push(bvh.root());
+        stack.push(view.root_handle());
 
-        'traversal: while let Some(node_index) = stack.pop() {
-            match bvh.node(node_index) {
-                Bvh4Node::Leaf { .. } => {
+        'traversal: while let Some(popped) = stack.pop() {
+            match view.step(popped) {
+                NodeStep::Leaf { prims, ctx } => {
                     self.stats.leaves_visited += 1;
-                    for &prim in bvh.leaf_primitives(node_index) {
+                    for &local in prims {
                         self.stats.triangle_ops += 1;
-                        let request =
-                            RayFlexRequest::ray_triangle(self.tag(), ray, &triangles[prim]);
+                        let (triangle, prim) = view.pending_triangle(handle(ctx, local));
+                        let request = RayFlexRequest::ray_triangle(self.tag(), ray, &triangle);
                         let response = self.datapath.execute(&request);
                         let Some(result) = response.triangle_result else {
                             unreachable!("a triangle beat always returns a triangle result");
@@ -988,18 +1055,28 @@ impl TraversalEngine {
                         }
                     }
                 }
-                Bvh4Node::Internal {
+                NodeStep::Instances { prims } => {
+                    self.stats.instances_visited += prims.len() as u64;
+                    stack.extend(prims.iter().rev().map(|&inst| view.instance_root(inst)));
+                }
+                NodeStep::BoxBeat {
+                    tag,
+                    bounds,
                     children,
-                    child_bounds,
+                    ctx,
+                    tlas,
                 } => {
                     self.stats.nodes_visited += 1;
                     self.stats.box_ops += 1;
-                    let request = RayFlexRequest::ray_box(self.tag(), ray, child_bounds);
+                    if tlas {
+                        self.stats.tlas_box_ops += 1;
+                    }
+                    let request = RayFlexRequest::ray_box(tag, ray, bounds.as_array());
                     let response = self.datapath.execute(&request);
                     let Some(result) = response.box_result else {
                         unreachable!("a box beat always returns a box result");
                     };
-                    push_hit_children(&mut stack, &result, children, None);
+                    push_hit_children(&mut stack, &result, children, ctx, None);
                 }
             }
         }
@@ -1011,11 +1088,10 @@ impl TraversalEngine {
     /// [`ExecMode::Wavefront`] workhorse, also used per shard by the parallel mode's workers).
     pub(crate) fn wavefront_closest_hits(
         &mut self,
-        bvh: &Bvh4,
-        triangles: &[Triangle],
+        view: SceneView<'_>,
         rays: &[Ray],
     ) -> Vec<Option<TraversalHit>> {
-        let mut query = TraversalQuery::new(QueryKind::ClosestHit, bvh, triangles, rays);
+        let mut query = TraversalQuery::new(QueryKind::ClosestHit, view, rays);
         let hits = self.scheduler.run(&mut self.datapath, &mut query);
         self.stats.merge(&query.stats);
         hits
@@ -1024,11 +1100,10 @@ impl TraversalEngine {
     /// One wavefront run of the any-hit stream through the shared scheduler.
     pub(crate) fn wavefront_any_hits(
         &mut self,
-        bvh: &Bvh4,
-        triangles: &[Triangle],
+        view: SceneView<'_>,
         rays: &[Ray],
     ) -> Vec<Option<TraversalHit>> {
-        let mut query = TraversalQuery::new(QueryKind::AnyHit, bvh, triangles, rays);
+        let mut query = TraversalQuery::new(QueryKind::AnyHit, view, rays);
         let hits = self.scheduler.run(&mut self.datapath, &mut query);
         self.stats.merge(&query.stats);
         hits
@@ -1041,14 +1116,13 @@ impl TraversalEngine {
     /// scheduling exactly.
     pub(crate) fn fused_pair(
         &mut self,
-        bvh: &Bvh4,
-        triangles: &[Triangle],
+        view: SceneView<'_>,
         closest_rays: &[Ray],
         any_rays: &[Ray],
         beat_budget_per_stream: usize,
     ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
-        let mut closest = TraversalStream::closest_hit(bvh, triangles, closest_rays);
-        let mut any = TraversalStream::any_hit(bvh, triangles, any_rays);
+        let mut closest = TraversalStream::closest_hit_view(view, closest_rays);
+        let mut any = TraversalStream::any_hit_view(view, any_rays);
         self.fused.set_beat_budget(beat_budget_per_stream);
         self.fused
             .run(&mut self.datapath, &mut [&mut closest, &mut any]);
@@ -1071,6 +1145,7 @@ impl TraversalEngine {
     /// Finds the closest front-face hit of `ray`, or `None` if the ray escapes the scene.
     #[deprecated(note = "use TraversalEngine::trace(&TraceRequest::closest_hit(..), \
                          &ExecPolicy::scalar())")]
+    #[allow(deprecated)] // the shim body calls sibling deprecated constructors
     pub fn closest_hit(
         &mut self,
         bvh: &Bvh4,
@@ -1078,7 +1153,7 @@ impl TraversalEngine {
         ray: &Ray,
     ) -> Option<TraversalHit> {
         self.trace(
-            &TraceRequest::closest_hit(bvh, triangles, core::slice::from_ref(ray)),
+            &TraceRequest::closest_hit_flat(bvh, triangles, core::slice::from_ref(ray)),
             &ExecPolicy::scalar(),
         )
         .closest
@@ -1089,6 +1164,7 @@ impl TraversalEngine {
     /// Returns the first intersection of `ray` accepted within its extent (the shadow query).
     #[deprecated(note = "use TraversalEngine::trace(&TraceRequest::any_hit(..), \
                          &ExecPolicy::scalar())")]
+    #[allow(deprecated)] // the shim body calls sibling deprecated constructors
     pub fn any_hit(
         &mut self,
         bvh: &Bvh4,
@@ -1096,7 +1172,7 @@ impl TraversalEngine {
         ray: &Ray,
     ) -> Option<TraversalHit> {
         self.trace(
-            &TraceRequest::any_hit(bvh, triangles, core::slice::from_ref(ray)),
+            &TraceRequest::any_hit_flat(bvh, triangles, core::slice::from_ref(ray)),
             &ExecPolicy::scalar(),
         )
         .any
@@ -1107,6 +1183,7 @@ impl TraversalEngine {
     /// Traverses a batch of closest-hit rays one at a time through the scalar reference path.
     #[deprecated(note = "use TraversalEngine::trace(&TraceRequest::closest_hit(..), \
                          &ExecPolicy::scalar())")]
+    #[allow(deprecated)] // the shim body calls sibling deprecated constructors
     pub fn closest_hits(
         &mut self,
         bvh: &Bvh4,
@@ -1114,7 +1191,7 @@ impl TraversalEngine {
         rays: &[Ray],
     ) -> Vec<Option<TraversalHit>> {
         self.trace(
-            &TraceRequest::closest_hit(bvh, triangles, rays),
+            &TraceRequest::closest_hit_flat(bvh, triangles, rays),
             &ExecPolicy::scalar(),
         )
         .into_closest()
@@ -1124,6 +1201,7 @@ impl TraversalEngine {
     /// path.
     #[deprecated(note = "use TraversalEngine::trace(&TraceRequest::any_hit(..), \
                          &ExecPolicy::scalar())")]
+    #[allow(deprecated)] // the shim body calls sibling deprecated constructors
     pub fn any_hits(
         &mut self,
         bvh: &Bvh4,
@@ -1131,7 +1209,7 @@ impl TraversalEngine {
         rays: &[Ray],
     ) -> Vec<Option<TraversalHit>> {
         self.trace(
-            &TraceRequest::any_hit(bvh, triangles, rays),
+            &TraceRequest::any_hit_flat(bvh, triangles, rays),
             &ExecPolicy::scalar(),
         )
         .into_any()
@@ -1140,6 +1218,7 @@ impl TraversalEngine {
     /// Traces a closest-hit ray stream wavefront-style.
     #[deprecated(note = "use TraversalEngine::trace(&TraceRequest::closest_hit(..), \
                          &ExecPolicy::wavefront())")]
+    #[allow(deprecated)] // the shim body calls sibling deprecated constructors
     pub fn closest_hits_wavefront(
         &mut self,
         bvh: &Bvh4,
@@ -1147,7 +1226,7 @@ impl TraversalEngine {
         rays: &[Ray],
     ) -> Vec<Option<TraversalHit>> {
         self.trace(
-            &TraceRequest::closest_hit(bvh, triangles, rays),
+            &TraceRequest::closest_hit_flat(bvh, triangles, rays),
             &ExecPolicy::wavefront(),
         )
         .into_closest()
@@ -1156,6 +1235,7 @@ impl TraversalEngine {
     /// Runs the any-hit query over a ray stream wavefront-style.
     #[deprecated(note = "use TraversalEngine::trace(&TraceRequest::any_hit(..), \
                          &ExecPolicy::wavefront())")]
+    #[allow(deprecated)] // the shim body calls sibling deprecated constructors
     pub fn any_hits_wavefront(
         &mut self,
         bvh: &Bvh4,
@@ -1163,7 +1243,7 @@ impl TraversalEngine {
         rays: &[Ray],
     ) -> Vec<Option<TraversalHit>> {
         self.trace(
-            &TraceRequest::any_hit(bvh, triangles, rays),
+            &TraceRequest::any_hit_flat(bvh, triangles, rays),
             &ExecPolicy::wavefront(),
         )
         .into_any()
@@ -1172,6 +1252,7 @@ impl TraversalEngine {
     /// Traces a closest-hit stream and an any-hit stream fused in the same bulk passes.
     #[deprecated(note = "use TraversalEngine::trace(&TraceRequest::pair(..), \
                          &ExecPolicy::fused())")]
+    #[allow(deprecated)] // the shim body calls sibling deprecated constructors
     pub fn trace_fused(
         &mut self,
         bvh: &Bvh4,
@@ -1180,7 +1261,7 @@ impl TraversalEngine {
         any_rays: &[Ray],
     ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
         let output = self.trace(
-            &TraceRequest::pair(bvh, triangles, closest_rays, any_rays),
+            &TraceRequest::pair_flat(bvh, triangles, closest_rays, any_rays),
             &ExecPolicy::fused(),
         );
         (output.closest, output.any)
@@ -1189,6 +1270,7 @@ impl TraversalEngine {
     /// Traces a structure-of-arrays [`RayPacket`] closest-hit stream wavefront-style.
     #[deprecated(note = "unpack the packet (RayPacket::to_rays) and use \
                          TraversalEngine::trace(&TraceRequest::closest_hit(..), ..)")]
+    #[allow(deprecated)] // the shim body calls sibling deprecated constructors
     pub fn closest_hits_stream(
         &mut self,
         bvh: &Bvh4,
@@ -1201,7 +1283,7 @@ impl TraversalEngine {
         let mut unpacked = core::mem::take(&mut self.ray_scratch);
         unpacked.clear();
         unpacked.extend(rays.iter());
-        let hits = self.wavefront_closest_hits(bvh, triangles, &unpacked);
+        let hits = self.wavefront_closest_hits(SceneView::Flat { bvh, triangles }, &unpacked);
         self.ray_scratch = unpacked;
         hits
     }
@@ -1209,6 +1291,7 @@ impl TraversalEngine {
     /// Traces a structure-of-arrays [`RayPacket`] any-hit stream wavefront-style.
     #[deprecated(note = "unpack the packet (RayPacket::to_rays) and use \
                          TraversalEngine::trace(&TraceRequest::any_hit(..), ..)")]
+    #[allow(deprecated)] // the shim body calls sibling deprecated constructors
     pub fn any_hits_stream(
         &mut self,
         bvh: &Bvh4,
@@ -1218,7 +1301,7 @@ impl TraversalEngine {
         let mut unpacked = core::mem::take(&mut self.ray_scratch);
         unpacked.clear();
         unpacked.extend(rays.iter());
-        let hits = self.wavefront_any_hits(bvh, triangles, &unpacked);
+        let hits = self.wavefront_any_hits(SceneView::Flat { bvh, triangles }, &unpacked);
         self.ray_scratch = unpacked;
         hits
     }
@@ -1253,11 +1336,14 @@ pub(crate) fn record_triangle_hit(
 
 /// Pushes the hit children of one box-beat result onto a traversal stack in reverse traversal
 /// order (so the closest child pops first), pruning children farther than the best hit so far
-/// (pass `None` for query kinds that never prune).
+/// (pass `None` for query kinds that never prune).  Children are encoded as handles in `ctx` —
+/// the context the tested node lives in (children never cross a structure boundary; TLAS leaves
+/// do the descent instead).
 pub(crate) fn push_hit_children(
-    stack: &mut Vec<usize>,
+    stack: &mut Vec<u64>,
     result: &rayflex_core::BoxResult,
     children: &[Option<usize>; 4],
+    ctx: u32,
     best: Option<&TraversalHit>,
 ) {
     for &slot in result.traversal_order.iter().rev() {
@@ -1271,7 +1357,7 @@ pub(crate) fn push_hit_children(
             }
         }
         if let Some(child) = children[slot] {
-            stack.push(child);
+            stack.push(handle(ctx, child));
         }
     }
 }
@@ -1325,12 +1411,12 @@ mod tests {
     #[test]
     fn traversal_agrees_with_brute_force() {
         let triangles = wall();
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
         let rays = wall_rays(60);
         let mut engine = TraversalEngine::baseline();
         let hits = engine
             .trace(
-                &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+                &TraceRequest::closest_hit(&scene, &rays),
                 &ExecPolicy::scalar(),
             )
             .into_closest();
@@ -1354,11 +1440,11 @@ mod tests {
     #[test]
     fn pruning_keeps_the_traversal_cheaper_than_brute_force() {
         let triangles = wall();
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
         let mut engine = TraversalEngine::baseline();
         let rays = [Ray::new(Vec3::new(0.5, 0.5, 0.0), Vec3::new(0.0, 0.0, 1.0))];
         let _ = engine.trace(
-            &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+            &TraceRequest::closest_hit(&scene, &rays),
             &ExecPolicy::scalar(),
         );
         // A single ray should not have to test every triangle in the scene.
@@ -1368,14 +1454,14 @@ mod tests {
     #[test]
     fn missing_rays_return_none() {
         let triangles = wall();
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
         let mut engine = TraversalEngine::baseline();
         let rays = [Ray::new(
             Vec3::new(100.0, 100.0, 0.0),
             Vec3::new(0.0, 0.0, 1.0),
         )];
         let output = engine.trace(
-            &TraceRequest::pair(&bvh, &triangles, &rays, &rays),
+            &TraceRequest::pair(&scene, &rays, &rays),
             &ExecPolicy::scalar(),
         );
         assert!(output.closest[0].is_none());
@@ -1387,7 +1473,7 @@ mod tests {
     #[test]
     fn batch_traversal_matches_individual_calls() {
         let triangles = wall();
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
         let rays: Vec<Ray> = (0..10)
             .map(|i| {
                 Ray::new(
@@ -1399,7 +1485,7 @@ mod tests {
         let mut batch_engine = TraversalEngine::baseline();
         let batch = batch_engine
             .trace(
-                &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+                &TraceRequest::closest_hit(&scene, &rays),
                 &ExecPolicy::scalar(),
             )
             .into_closest();
@@ -1407,7 +1493,7 @@ mod tests {
         for (ray, expected) in rays.iter().zip(&batch) {
             let got = single_engine
                 .trace(
-                    &TraceRequest::closest_hit(&bvh, &triangles, core::slice::from_ref(ray)),
+                    &TraceRequest::closest_hit(&scene, core::slice::from_ref(ray)),
                     &ExecPolicy::scalar(),
                 )
                 .into_closest();
@@ -1418,7 +1504,7 @@ mod tests {
     #[test]
     fn every_exec_mode_matches_the_scalar_reference_bit_for_bit() {
         let triangles = wall();
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
         let closest_rays = wall_rays(60);
         let any_rays: Vec<Ray> = wall_rays(40)
             .into_iter()
@@ -1428,7 +1514,7 @@ mod tests {
                 Ray::with_extent(r.origin, r.dir, 1e-3, t_end)
             })
             .collect();
-        let request = TraceRequest::pair(&bvh, &triangles, &closest_rays, &any_rays);
+        let request = TraceRequest::pair(&scene, &closest_rays, &any_rays);
 
         let mut reference = TraversalEngine::baseline();
         let expected = reference.trace(&request, &ExecPolicy::scalar());
@@ -1455,10 +1541,10 @@ mod tests {
     #[test]
     fn a_beat_budget_changes_fused_pass_counts_but_not_hits() {
         let triangles = wall();
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
         let closest_rays = wall_rays(40);
         let any_rays = wall_rays(25);
-        let request = TraceRequest::pair(&bvh, &triangles, &closest_rays, &any_rays);
+        let request = TraceRequest::pair(&scene, &closest_rays, &any_rays);
 
         let mut unlimited = TraversalEngine::baseline();
         let free = unlimited.trace(&request, &ExecPolicy::fused());
@@ -1479,7 +1565,7 @@ mod tests {
     #[test]
     fn any_hit_short_rays_cannot_be_occluded() {
         let triangles = wall();
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
         // Shadow-style rays: finite extents, some reaching the wall, some stopping short.
         let rays: Vec<Ray> = wall_rays(40)
             .into_iter()
@@ -1492,7 +1578,7 @@ mod tests {
         let mut engine = TraversalEngine::baseline();
         let got = engine
             .trace(
-                &TraceRequest::any_hit(&bvh, &triangles, &rays),
+                &TraceRequest::any_hit(&scene, &rays),
                 &ExecPolicy::wavefront(),
             )
             .into_any();
@@ -1507,19 +1593,19 @@ mod tests {
     #[test]
     fn any_hit_terminates_early_compared_to_closest_hit() {
         let triangles = wall();
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
         let rays = wall_rays(40);
         let mut closest = TraversalEngine::baseline();
         let closest_hits = closest
             .trace(
-                &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+                &TraceRequest::closest_hit(&scene, &rays),
                 &ExecPolicy::wavefront(),
             )
             .into_closest();
         let mut any = TraversalEngine::baseline();
         let any_hits = any
             .trace(
-                &TraceRequest::any_hit(&bvh, &triangles, &rays),
+                &TraceRequest::any_hit(&scene, &rays),
                 &ExecPolicy::wavefront(),
             )
             .into_any();
@@ -1538,12 +1624,13 @@ mod tests {
     fn deprecated_shims_delegate_to_the_policy_entry_point() {
         let triangles = wall();
         let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(bvh.clone(), triangles.clone());
         let rays = wall_rays(30);
         let packet = RayPacket::from_rays(&rays);
 
         let mut policy_engine = TraversalEngine::baseline();
         let expected = policy_engine.trace(
-            &TraceRequest::pair(&bvh, &triangles, &rays, &rays),
+            &TraceRequest::pair(&scene, &rays, &rays),
             &ExecPolicy::wavefront(),
         );
 
@@ -1587,14 +1674,23 @@ mod tests {
         let (fc, fa) = fused_shim.trace_fused(&bvh, &triangles, &rays, &rays);
         assert_eq!(fc, expected.closest);
         assert_eq!(fa, expected.any);
+
+        // The flat request constructors trace identically to the Scene-backed ones.
+        let mut flat_engine = TraversalEngine::baseline();
+        let flat = flat_engine.trace(
+            &TraceRequest::pair_flat(&bvh, &triangles, &rays, &rays),
+            &ExecPolicy::wavefront(),
+        );
+        assert_eq!(flat, expected);
+        assert_eq!(flat_engine.stats(), policy_engine.stats());
     }
 
     #[test]
     fn wavefront_state_pools_are_reused_across_calls() {
         let triangles = wall();
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
         let rays = wall_rays(20);
-        let request = TraceRequest::closest_hit(&bvh, &triangles, &rays);
+        let request = TraceRequest::closest_hit(&scene, &rays);
         let mut engine = TraversalEngine::baseline();
         let first = engine.trace(&request, &ExecPolicy::wavefront());
         assert_eq!(engine.work_pool_len(), rays.len());
@@ -1607,7 +1703,7 @@ mod tests {
         );
         // The any-hit query shares the same pool.
         let _ = engine.trace(
-            &TraceRequest::any_hit(&bvh, &triangles, &rays),
+            &TraceRequest::any_hit(&scene, &rays),
             &ExecPolicy::wavefront(),
         );
         assert_eq!(engine.work_pool_len(), rays.len());
@@ -1616,7 +1712,7 @@ mod tests {
     #[test]
     fn fused_closest_and_any_hit_streams_match_sequential_scheduling() {
         let triangles = wall();
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
         let closest_rays = wall_rays(40);
         let any_rays: Vec<Ray> = wall_rays(25)
             .into_iter()
@@ -1625,13 +1721,13 @@ mod tests {
 
         let mut sequential = TraversalEngine::baseline();
         let expected = sequential.trace(
-            &TraceRequest::pair(&bvh, &triangles, &closest_rays, &any_rays),
+            &TraceRequest::pair(&scene, &closest_rays, &any_rays),
             &ExecPolicy::wavefront(),
         );
 
         let mut fused = TraversalEngine::baseline();
         let got = fused.trace(
-            &TraceRequest::pair(&bvh, &triangles, &closest_rays, &any_rays),
+            &TraceRequest::pair(&scene, &closest_rays, &any_rays),
             &ExecPolicy::fused(),
         );
         assert_eq!(got, expected);
@@ -1657,6 +1753,8 @@ mod tests {
             leaves_visited: 2,
             rays: 11,
             shard_fallbacks: 1,
+            tlas_box_ops: 2,
+            instances_visited: 1,
         };
         let b = TraversalStats {
             box_ops: 10,
@@ -1665,6 +1763,8 @@ mod tests {
             leaves_visited: 40,
             rays: 50,
             shard_fallbacks: 0,
+            tlas_box_ops: 5,
+            instances_visited: 9,
         };
         let mut ab = a;
         ab.merge(&b);
@@ -1680,6 +1780,8 @@ mod tests {
                 leaves_visited: 42,
                 rays: 61,
                 shard_fallbacks: 1,
+                tlas_box_ops: 7,
+                instances_visited: 10,
             }
         );
         let mut identity = ab;
@@ -1695,12 +1797,12 @@ mod tests {
         // the merged statistics must equal the whole-stream run exactly (the invariant the
         // Parallel mode's per-shard reduction relies on).
         let triangles = wall();
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
         let rays = wall_rays(48);
 
         let mut whole = TraversalEngine::baseline();
         let _ = whole.trace(
-            &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+            &TraceRequest::closest_hit(&scene, &rays),
             &ExecPolicy::wavefront(),
         );
 
@@ -1708,7 +1810,7 @@ mod tests {
         for shard in rays.chunks(rays.len() / 2) {
             let mut engine = TraversalEngine::baseline();
             let _ = engine.trace(
-                &TraceRequest::closest_hit(&bvh, &triangles, shard),
+                &TraceRequest::closest_hit(&scene, shard),
                 &ExecPolicy::wavefront(),
             );
             merged.merge(&engine.stats());
@@ -1719,11 +1821,11 @@ mod tests {
     #[test]
     fn beat_mix_reflects_the_traversal_workload() {
         let triangles = wall();
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
         let rays = wall_rays(10);
         let mut engine = TraversalEngine::baseline();
         let _ = engine.trace(
-            &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+            &TraceRequest::closest_hit(&scene, &rays),
             &ExecPolicy::wavefront(),
         );
         let mix = engine.beat_mix();
@@ -1742,15 +1844,16 @@ mod tests {
     fn try_trace_rejects_bad_scenes_and_rays_before_any_beat() {
         use crate::QueryError;
         let triangles = wall();
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
         let mut engine = TraversalEngine::baseline();
 
         // A NaN vertex in the scene: InvalidScene, no beats issued.
-        let mut bad_scene = triangles.clone();
-        bad_scene[3].v1.y = f32::NAN;
+        let mut bad_triangles = triangles.clone();
+        bad_triangles[3].v1.y = f32::NAN;
+        let bad_scene = Scene::from_parts(Bvh4::build(&triangles), bad_triangles);
         let err = engine
             .try_trace(
-                &TraceRequest::closest_hit(&bvh, &bad_scene, &wall_rays(4)),
+                &TraceRequest::closest_hit(&bad_scene, &wall_rays(4)),
                 &ExecPolicy::wavefront(),
             )
             .unwrap_err();
@@ -1762,7 +1865,7 @@ mod tests {
         rays[2].dir = Vec3::new(0.0, 0.0, 0.0);
         let err = engine
             .try_trace(
-                &TraceRequest::any_hit(&bvh, &triangles, &rays),
+                &TraceRequest::any_hit(&scene, &rays),
                 &ExecPolicy::wavefront(),
             )
             .unwrap_err();
@@ -1773,10 +1876,10 @@ mod tests {
     #[test]
     fn try_trace_without_a_cap_matches_trace_in_every_mode() {
         let triangles = wall();
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
         let closest = wall_rays(40);
         let any = wall_rays(25);
-        let request = TraceRequest::pair(&bvh, &triangles, &closest, &any);
+        let request = TraceRequest::pair(&scene, &closest, &any);
         for policy in [
             ExecPolicy::scalar(),
             ExecPolicy::wavefront(),
@@ -1797,10 +1900,10 @@ mod tests {
     fn a_capped_trace_returns_a_bit_identical_completed_prefix() {
         use crate::{QueryError, QueryOutcome};
         let triangles = wall();
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
         let closest = wall_rays(40);
         let any = wall_rays(25);
-        let request = TraceRequest::pair(&bvh, &triangles, &closest, &any);
+        let request = TraceRequest::pair(&scene, &closest, &any);
         let mut reference = TraversalEngine::baseline();
         let expected = reference.trace(&request, &ExecPolicy::scalar());
 
@@ -1829,7 +1932,7 @@ mod tests {
             for ray in mixed.iter_mut().take(10) {
                 *ray = Ray::new(Vec3::new(100.0, 100.0, 0.0), Vec3::new(0.0, 0.0, -1.0));
             }
-            let mixed_request = TraceRequest::closest_hit(&bvh, &triangles, &mixed);
+            let mixed_request = TraceRequest::closest_hit(&scene, &mixed);
             let mut mixed_reference = TraversalEngine::baseline();
             let mixed_expected = mixed_reference.trace(&mixed_request, &ExecPolicy::scalar());
             let capped = base.with_max_total_beats(45);
@@ -1864,18 +1967,17 @@ mod tests {
     #[test]
     fn request_accessors_expose_the_streams() {
         let triangles = wall();
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
         let closest = wall_rays(3);
         let any = wall_rays(2);
-        let request = TraceRequest::pair(&bvh, &triangles, &closest, &any);
+        let request = TraceRequest::pair(&scene, &closest, &any);
         assert_eq!(request.closest_rays().len(), 3);
         assert_eq!(request.any_rays().len(), 2);
-        assert_eq!(request.triangles().len(), triangles.len());
-        assert_eq!(request.bvh().node_count(), bvh.node_count());
-        assert!(TraceRequest::closest_hit(&bvh, &triangles, &closest)
+        assert_eq!(request.triangle_count(), triangles.len());
+        assert!(TraceRequest::closest_hit(&scene, &closest)
             .any_rays()
             .is_empty());
-        assert!(TraceRequest::any_hit(&bvh, &triangles, &any)
+        assert!(TraceRequest::any_hit(&scene, &any)
             .closest_rays()
             .is_empty());
     }

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 
 use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Ray, Triangle, Vec3};
-use rayflex_rtunit::{Bvh4, ExecPolicy, TraceRequest, TraversalEngine};
+use rayflex_rtunit::{Bvh4, ExecPolicy, Scene, TraceRequest, TraversalEngine};
 
 fn coordinate() -> impl Strategy<Value = f32> {
     -50.0f32..50.0
@@ -61,9 +61,9 @@ proptest! {
         rays in prop::collection::vec(ray(), 1..12),
         config in configs(),
     ) {
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
 
-        let request = TraceRequest::any_hit(&bvh, &triangles, &rays);
+        let request = TraceRequest::any_hit(&scene, &rays);
         let mut scalar = TraversalEngine::with_config(config);
         let expected = scalar.trace(&request, &ExecPolicy::scalar()).into_any();
 
@@ -93,19 +93,19 @@ proptest! {
         rays in prop::collection::vec(ray(), 1..8),
         config in configs(),
     ) {
-        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles.clone());
         let mut closest = TraversalEngine::with_config(config);
         let mut any = TraversalEngine::with_config(config);
         for (i, r) in rays.iter().enumerate() {
             let one = core::slice::from_ref(r);
             let closest_hit = closest
                 .trace(
-                    &TraceRequest::closest_hit(&bvh, &triangles, one),
+                    &TraceRequest::closest_hit(&scene, one),
                     &ExecPolicy::scalar(),
                 )
                 .into_closest()[0];
             let any_hit = any
-                .trace(&TraceRequest::any_hit(&bvh, &triangles, one), &ExecPolicy::scalar())
+                .trace(&TraceRequest::any_hit(&scene, one), &ExecPolicy::scalar())
                 .into_any()[0];
             // A ray is occluded iff it has a closest hit; the any-hit distance can only be
             // farther than or equal to the closest one.

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use rayflex_geometry::{golden, Ray, Triangle, Vec3};
-use rayflex_rtunit::{Bvh4, Bvh4Node, ExecPolicy, TraceRequest, TraversalEngine};
+use rayflex_rtunit::{Bvh4, Bvh4Node, ExecPolicy, Scene, TraceRequest, TraversalEngine};
 
 fn coordinate() -> impl Strategy<Value = f32> {
     -50.0f32..50.0
@@ -79,12 +79,13 @@ proptest! {
         rays in prop::collection::vec(ray(), 1..8),
     ) {
         let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(bvh.clone(), triangles.clone());
         let mut engine = TraversalEngine::baseline();
         for ray in &rays {
             let expected = brute_force(&triangles, ray);
             let got = engine
                 .trace(
-                    &TraceRequest::closest_hit(&bvh, &triangles, core::slice::from_ref(ray)),
+                    &TraceRequest::closest_hit(&scene, core::slice::from_ref(ray)),
                     &ExecPolicy::scalar(),
                 )
                 .into_closest()[0];

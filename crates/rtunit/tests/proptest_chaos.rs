@@ -17,10 +17,11 @@ use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Aabb, Vec3};
 use rayflex_rtunit::fault::{while_armed, FaultKind, FaultPlan};
 use rayflex_rtunit::{
-    Bvh4, Camera, ExecPolicy, FrameDesc, HierarchicalSearch, KnnEngine, KnnMetric, QueryError,
-    QueryOutcome, Renderer, TraceRequest, TraversalEngine, TraversalStats, MIN_RAYS_PER_SHARD,
+    Blas, Bvh4, Camera, ExecPolicy, FrameDesc, HierarchicalSearch, Instance, KnnEngine, KnnMetric,
+    QueryError, QueryOutcome, Renderer, Scene, TraceRequest, TraversalEngine, TraversalStats,
+    MIN_RAYS_PER_SHARD,
 };
-use rayflex_workloads::{adversarial, rays};
+use rayflex_workloads::{adversarial, rays, scenes};
 
 /// Every execution discipline the matrix sweeps, including both beat-budget edge values and the
 /// SIMD lane widths of the lane-batched fast path (so starved, capped and faulted runs cover the
@@ -47,6 +48,19 @@ fn no_panic<T>(label: &str, f: impl FnOnce() -> T) -> T {
     }
 }
 
+/// Lifts a workloads-level instanced description into `rtunit`'s two-level [`Scene`] (one BLAS
+/// per mesh, one instance per placement) — the boundary crossing the workloads crate itself
+/// stays below.
+fn lift(desc: &scenes::InstancedSceneDesc) -> Scene {
+    Scene::instanced(
+        desc.meshes.iter().cloned().map(Blas::new).collect(),
+        desc.placements
+            .iter()
+            .map(|(mesh, transform)| Instance::new(*mesh, *transform))
+            .collect(),
+    )
+}
+
 fn clean_rays(seed: u64, count: usize) -> Vec<rayflex_geometry::Ray> {
     rays::random_rays(
         seed,
@@ -64,13 +78,14 @@ proptest! {
     fn corrupt_ray_faults_yield_invalid_request_in_every_mode(seed in any::<u64>()) {
         let triangles = adversarial::valid_scene(seed, 12, 20.0);
         let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(bvh, triangles.clone());
         let mut stream = clean_rays(seed, 16);
         let plan = FaultPlan::new(FaultKind::CorruptRay, seed);
         let victim = plan.corrupt_rays(&mut stream).expect("non-empty stream");
 
         for policy in swept_policies() {
             let mut engine = TraversalEngine::baseline();
-            let request = TraceRequest::closest_hit(&bvh, &triangles, &stream);
+            let request = TraceRequest::closest_hit(&scene, &stream);
             let err = no_panic("corrupt-ray", || engine.try_trace(&request, &policy))
                 .expect_err("a corrupted ray must be rejected");
             prop_assert!(matches!(err, QueryError::InvalidRequest { .. }), "{err}");
@@ -84,7 +99,7 @@ proptest! {
         // A wholesale-hostile stream (every ray untraceable) is rejected just the same.
         let hostile = adversarial::hostile_rays(seed, 8);
         let mut engine = TraversalEngine::baseline();
-        let request = TraceRequest::any_hit(&bvh, &triangles, &hostile);
+        let request = TraceRequest::any_hit(&scene, &hostile);
         let err = no_panic("hostile-rays", || {
             engine.try_trace(&request, &ExecPolicy::wavefront())
         })
@@ -99,12 +114,13 @@ proptest! {
     fn truncate_packet_faults_yield_the_clean_prefix(seed in any::<u64>()) {
         let triangles = adversarial::valid_scene(seed, 12, 20.0);
         let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(bvh, triangles.clone());
         let full = clean_rays(seed, 16);
 
         let mut reference = TraversalEngine::baseline();
         let expected = reference
             .try_trace(
-                &TraceRequest::closest_hit(&bvh, &triangles, &full),
+                &TraceRequest::closest_hit(&scene, &full),
                 &ExecPolicy::scalar(),
             )
             .expect("clean scene")
@@ -117,7 +133,7 @@ proptest! {
 
         for policy in swept_policies() {
             let mut engine = TraversalEngine::baseline();
-            let request = TraceRequest::closest_hit(&bvh, &triangles, &truncated);
+            let request = TraceRequest::closest_hit(&scene, &truncated);
             let outcome = no_panic("truncate-packet", || engine.try_trace(&request, &policy))
                 .expect("a truncated packet is still valid");
             prop_assert!(outcome.is_complete());
@@ -136,6 +152,7 @@ proptest! {
         let triangles = adversarial::valid_scene(seed, 24, 20.0);
         let mut bvh = Bvh4::build(&triangles);
         prop_assert!(FaultPlan::new(FaultKind::FlipBvhChild, seed).apply_to_bvh(&mut bvh));
+        let scene = Scene::from_parts(bvh, triangles.clone());
 
         let stream = clean_rays(seed, 4);
         let frame = FrameDesc::primary(
@@ -148,7 +165,7 @@ proptest! {
 
         for policy in swept_policies() {
             let mut engine = TraversalEngine::baseline();
-            let request = TraceRequest::closest_hit(&bvh, &triangles, &stream);
+            let request = TraceRequest::closest_hit(&scene, &stream);
             let err = no_panic("flip-bvh-child", || engine.try_trace(&request, &policy))
                 .expect_err("a flipped BVH must be rejected");
             prop_assert!(matches!(err, QueryError::InvalidScene { .. }), "{err}");
@@ -156,17 +173,61 @@ proptest! {
 
             let mut renderer = Renderer::new();
             let err = no_panic("flip-bvh-child render", || {
-                renderer.try_render(&bvh, &triangles, &frame, &policy)
+                renderer.try_render(&scene, &frame, &policy)
             })
             .expect_err("the renderer must reject it too");
             prop_assert!(matches!(err, QueryError::InvalidScene { .. }), "{err}");
 
             for bad in [&poisoned, &degenerate] {
-                let good_bvh = Bvh4::build(&triangles);
+                let bad_scene = Scene::from_parts(Bvh4::build(&triangles), bad.clone());
                 let mut engine = TraversalEngine::baseline();
-                let request = TraceRequest::closest_hit(&good_bvh, bad, &stream);
+                let request = TraceRequest::closest_hit(&bad_scene, &stream);
                 let err = no_panic("adversarial scene", || engine.try_trace(&request, &policy))
                     .expect_err("a malformed triangle set must be rejected");
+                prop_assert!(matches!(err, QueryError::InvalidScene { .. }), "{err}");
+            }
+        }
+    }
+
+    /// FaultKind::CorruptInstance × every ExecMode × {traversal, render} over two-level
+    /// scenes — and the adversarial `corrupt_instanced_scene` generator: a broken placement
+    /// (non-finite transform, singular transform, or dangling BLAS index) is rejected as
+    /// `InvalidScene` naming the victim instance, before any beat.
+    #[test]
+    fn corrupt_instances_yield_invalid_scene_in_every_mode(seed in any::<u64>()) {
+        let mut faulted = lift(&scenes::debris_field(seed, 2, 8, 25.0));
+        let fault_victim = FaultPlan::new(FaultKind::CorruptInstance, seed)
+            .apply_to_scene(&mut faulted)
+            .expect("a populated instanced scene always yields a victim");
+        let (bad_desc, generator_victim) = adversarial::corrupt_instanced_scene(seed, 2, 8);
+        let generated = lift(&bad_desc);
+
+        let stream = clean_rays(seed, 4);
+        let frame = FrameDesc::primary(
+            Camera::looking_at(Vec3::new(0.0, 0.0, -40.0), Vec3::ZERO),
+            3,
+            3,
+        );
+
+        for policy in swept_policies() {
+            for (label, broken, victim) in [
+                ("fault-plan corrupt instance", &faulted, fault_victim),
+                ("adversarial corrupt instance", &generated, generator_victim),
+            ] {
+                let mut engine = TraversalEngine::baseline();
+                let request = TraceRequest::closest_hit(broken, &stream);
+                let err = no_panic(label, || engine.try_trace(&request, &policy))
+                    .expect_err("a corrupt instance must be rejected");
+                prop_assert!(matches!(err, QueryError::InvalidScene { .. }), "{err}");
+                prop_assert!(
+                    err.to_string().contains(&format!("instance {victim}")),
+                    "{label}: error must name instance {victim}, got: {err}"
+                );
+                prop_assert_eq!(engine.stats(), TraversalStats::default(), "no beats issued");
+
+                let mut renderer = Renderer::new();
+                let err = no_panic(label, || renderer.try_render(broken, &frame, &policy))
+                    .expect_err("the renderer must reject it too");
                 prop_assert!(matches!(err, QueryError::InvalidScene { .. }), "{err}");
             }
         }
@@ -218,6 +279,7 @@ proptest! {
     fn starved_budgets_yield_structured_partials_in_every_mode(seed in any::<u64>()) {
         let triangles = adversarial::valid_scene(seed, 12, 20.0);
         let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(bvh, triangles.clone());
         let stream = clean_rays(seed, 8);
         let frame = FrameDesc::primary(
             Camera::looking_at(Vec3::new(0.0, 0.0, -40.0), Vec3::ZERO),
@@ -230,7 +292,7 @@ proptest! {
         let mut reference = TraversalEngine::baseline();
         let expected = reference
             .try_trace(
-                &TraceRequest::closest_hit(&bvh, &triangles, &stream),
+                &TraceRequest::closest_hit(&scene, &stream),
                 &ExecPolicy::scalar(),
             )
             .expect("clean scene")
@@ -244,7 +306,7 @@ proptest! {
             let starved = policy.with_max_total_beats(1);
 
             let mut engine = TraversalEngine::baseline();
-            let request = TraceRequest::closest_hit(&bvh, &triangles, &stream);
+            let request = TraceRequest::closest_hit(&scene, &stream);
             match no_panic("starved trace", || engine.try_trace(&request, &starved)) {
                 Ok(outcome) => {
                     let completed = outcome.partial().map_or(stream.len(), |p| p.completed);
@@ -261,7 +323,7 @@ proptest! {
 
             let mut renderer = Renderer::new();
             let err = no_panic("starved render", || {
-                renderer.try_render(&bvh, &triangles, &frame, &starved)
+                renderer.try_render(&scene, &frame, &starved)
             })
             .expect_err("a 2x2 frame can never finish in one beat");
             prop_assert!(matches!(err, QueryError::DeadlineExceeded { .. }), "{err}");
@@ -301,8 +363,9 @@ proptest! {
     fn capped_runs_return_bit_identical_prefixes(seed in any::<u64>(), cap in 1u64..400) {
         let triangles = adversarial::valid_scene(seed, 12, 20.0);
         let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(bvh, triangles.clone());
         let stream = clean_rays(seed, 10);
-        let request = TraceRequest::closest_hit(&bvh, &triangles, &stream);
+        let request = TraceRequest::closest_hit(&scene, &stream);
 
         let mut reference = TraversalEngine::baseline();
         let expected = reference
@@ -346,9 +409,10 @@ proptest! {
     fn poisoned_shards_recover_bit_identically(seed in any::<u64>()) {
         let triangles = adversarial::valid_scene(seed, 12, 20.0);
         let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(bvh, triangles.clone());
         // Two full shards, so Parallel really spawns two workers.
         let stream = clean_rays(seed, MIN_RAYS_PER_SHARD * 2);
-        let request = TraceRequest::closest_hit(&bvh, &triangles, &stream);
+        let request = TraceRequest::closest_hit(&scene, &stream);
 
         let mut reference = TraversalEngine::baseline();
         let expected = reference
@@ -399,10 +463,11 @@ proptest! {
         let lanes = [1usize, 4, 8][lanes_index];
         let triangles = adversarial::valid_scene(seed, 12, 20.0);
         let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(bvh, triangles.clone());
         // Eight chunk floors across two workers: the pool deals four chunks to each deque, so
         // any load imbalance makes the fast worker steal from the slow one's back.
         let stream = clean_rays(seed, MIN_RAYS_PER_SHARD * 8);
-        let request = TraceRequest::closest_hit(&bvh, &triangles, &stream);
+        let request = TraceRequest::closest_hit(&scene, &stream);
 
         let mut reference = TraversalEngine::baseline();
         let expected = reference

@@ -12,7 +12,7 @@ use proptest::prelude::*;
 use rayflex_core::{PipelineConfig, QueryKind, RayFlexDatapath};
 use rayflex_geometry::{Ray, Sphere, Triangle, Vec3};
 use rayflex_rtunit::{
-    Bvh4, CollectStream, DistanceStream, FusedScheduler, KnnMetric, TraversalStream,
+    Bvh4, CollectStream, DistanceStream, FusedScheduler, KnnMetric, Scene, TraversalStream,
 };
 
 fn coordinate() -> impl Strategy<Value = f32> {
@@ -97,8 +97,9 @@ fn run_mixed(
 ) -> (MixedResults, RayFlexDatapath) {
     let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
     let mut scheduler = FusedScheduler::new();
-    let mut closest = TraversalStream::closest_hit(scene_bvh, triangles, closest_rays);
-    let mut shadow = TraversalStream::any_hit(scene_bvh, triangles, shadow_rays);
+    let world = Scene::from_parts(scene_bvh.clone(), triangles.to_vec());
+    let mut closest = TraversalStream::closest_hit(&world, closest_rays);
+    let mut shadow = TraversalStream::any_hit(&world, shadow_rays);
     let mut distance = DistanceStream::new(query_vector, candidates, KnnMetric::Euclidean);
     let mut collect = CollectStream::new(sphere_bvh, queries);
     match mode {

@@ -1,0 +1,196 @@
+//! The instancing bit-identity matrix — the correctness anchor of the two-level scene
+//! refactor, stated as properties over random BLAS sets, random placements, and random
+//! affine transforms:
+//!
+//! * tracing a two-level instanced scene returns **hits bit-identical** to tracing its
+//!   [`Scene::flatten`] twin, for both query kinds, in **every** [`ExecMode`] and at every
+//!   SIMD width in {1, 4, 8} (statistics differ only by the documented TLAS counters — the
+//!   trees are different, so box/beat totals are not compared across representations);
+//! * within the instanced representation, every mode × lane combination is bit-identical to
+//!   the scalar reference in **both** hits and statistics — the cross-policy invariant holds
+//!   for two-level scenes exactly as it does for flat ones;
+//! * after moving instances, [`Scene::refit`] re-traces bit-identical hits to a freshly built
+//!   TLAS over the same placements.
+
+use proptest::prelude::*;
+
+use rayflex_geometry::{Affine, Ray, Triangle, Vec3};
+use rayflex_rtunit::{Blas, ExecPolicy, Instance, Scene, TraceRequest, TraversalEngine};
+
+fn coordinate() -> impl Strategy<Value = f32> {
+    -2.0f32..2.0
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (coordinate(), coordinate(), coordinate()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn triangle() -> impl Strategy<Value = Triangle> {
+    (vec3(), vec3(), vec3())
+        .prop_map(|(a, b, c)| Triangle::new(a, b, c))
+        .prop_filter("non-degenerate", |t| t.area() > 1e-3)
+}
+
+fn mesh() -> impl Strategy<Value = Vec<Triangle>> {
+    prop::collection::vec(triangle(), 1..8)
+}
+
+/// Well-conditioned random placements: a rotation about two axes, a uniform scale bounded away
+/// from zero, then a translation that keeps the instance inside the ray volume.
+fn transform() -> impl Strategy<Value = Affine> {
+    (
+        -15.0f32..15.0,
+        -15.0f32..15.0,
+        -15.0f32..15.0,
+        0.0f32..core::f32::consts::TAU,
+        0.0f32..core::f32::consts::TAU,
+        0.5f32..2.0,
+    )
+        .prop_map(|(tx, ty, tz, yaw, pitch, scale)| {
+            Affine::translation(Vec3::new(tx, ty, tz))
+                .then(&Affine::rotate_y(yaw))
+                .then(&Affine::rotate_x(pitch))
+                .then(&Affine::uniform_scale(scale))
+        })
+}
+
+/// A random BLAS set and placements over it: 1–3 meshes, 1–8 instances, every instance index
+/// valid by construction.
+fn instanced_parts() -> impl Strategy<Value = (Vec<Vec<Triangle>>, Vec<(usize, Affine)>)> {
+    (
+        prop::collection::vec(mesh(), 1..4),
+        prop::collection::vec((0..64usize, transform()), 1..9),
+    )
+        .prop_map(|(meshes, raw)| {
+            let kinds = meshes.len();
+            let placements = raw.into_iter().map(|(pick, t)| (pick % kinds, t)).collect();
+            (meshes, placements)
+        })
+}
+
+/// Rays with random origins/directions and a mix of infinite and finite (shadow-style) extents,
+/// sized to the placement volume.
+fn ray() -> impl Strategy<Value = Ray> {
+    (
+        (-25.0f32..25.0, -25.0f32..25.0, -25.0f32..25.0),
+        vec3(),
+        any::<bool>(),
+        1.0f32..80.0,
+    )
+        .prop_filter_map(
+            "non-zero direction",
+            |((ox, oy, oz), direction, finite, extent)| {
+                if direction.length() < 1e-3 {
+                    return None;
+                }
+                let origin = Vec3::new(ox, oy, oz);
+                Some(if finite {
+                    Ray::with_extent(origin, direction, 0.0, extent)
+                } else {
+                    Ray::new(origin, direction)
+                })
+            },
+        )
+}
+
+fn build_scene(meshes: &[Vec<Triangle>], placements: &[(usize, Affine)]) -> Scene {
+    Scene::instanced(
+        meshes.iter().cloned().map(Blas::new).collect(),
+        placements
+            .iter()
+            .map(|(mesh, transform)| Instance::new(*mesh, *transform))
+            .collect(),
+    )
+}
+
+/// Every ExecMode × simd_lanes ∈ {1, 4, 8} — the full matrix the instanced representation must
+/// hold the cross-policy invariant over.
+fn swept_policies() -> Vec<ExecPolicy> {
+    let mut policies = Vec::new();
+    for lanes in [1usize, 4, 8] {
+        policies.push(ExecPolicy::wavefront().with_simd_lanes(lanes));
+        policies.push(ExecPolicy::parallel(3).with_simd_lanes(lanes));
+        policies.push(ExecPolicy::fused().with_simd_lanes(lanes));
+    }
+    policies.push(ExecPolicy::fused().with_beat_budget(1));
+    policies
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Instanced vs flattened: identical hits for both query kinds under every mode × lane
+    /// combination, and — within the instanced representation — statistics identical to the
+    /// instanced scalar reference.
+    #[test]
+    fn instanced_traces_bit_identical_to_the_flattened_scene(
+        parts in instanced_parts(),
+        closest_rays in prop::collection::vec(ray(), 0..10),
+        shadow_rays in prop::collection::vec(ray(), 0..10),
+    ) {
+        let (meshes, placements) = parts;
+        let scene = build_scene(&meshes, &placements);
+        let flattened = scene.flatten();
+        prop_assert!(scene.is_instanced());
+        prop_assert!(!flattened.is_instanced());
+        prop_assert_eq!(scene.triangle_count(), flattened.triangle_count());
+
+        let flat_request = TraceRequest::pair(&flattened, &closest_rays, &shadow_rays);
+        let expected = TraversalEngine::baseline().trace(&flat_request, &ExecPolicy::scalar());
+
+        let request = TraceRequest::pair(&scene, &closest_rays, &shadow_rays);
+        let mut reference = TraversalEngine::baseline();
+        let scalar = reference.trace(&request, &ExecPolicy::scalar());
+        prop_assert_eq!(&scalar, &expected, "instanced scalar diverged from flattened");
+
+        for policy in swept_policies() {
+            let mut engine = TraversalEngine::baseline();
+            let got = engine.trace(&request, &policy);
+            prop_assert_eq!(&got, &expected, "{} (lanes {}) hits diverged", policy.mode, policy.simd_lanes);
+            prop_assert_eq!(
+                engine.stats(),
+                reference.stats(),
+                "{} (lanes {}) stats diverged",
+                policy.mode,
+                policy.simd_lanes
+            );
+        }
+    }
+
+    /// Moving instances then [`Scene::refit`] re-traces bit-identical hits to building a fresh
+    /// TLAS over the moved placements — in the scalar reference and the full policy sweep.
+    #[test]
+    fn refit_matches_a_fresh_tlas_build_bit_for_bit(
+        parts in instanced_parts(),
+        moves in prop::collection::vec(transform(), 9..10),
+        rays in prop::collection::vec(ray(), 0..10),
+    ) {
+        let (meshes, placements) = parts;
+        let mut refitted = build_scene(&meshes, &placements);
+        let moved: Vec<(usize, Affine)> = placements
+            .iter()
+            .zip(&moves)
+            .map(|((mesh, _), movement)| (*mesh, *movement))
+            .collect();
+        for (index, (_, transform)) in moved.iter().enumerate() {
+            refitted.set_instance_transform(index, *transform);
+        }
+        refitted.refit();
+
+        let fresh = build_scene(&meshes, &moved);
+
+        let refit_request = TraceRequest::closest_hit(&refitted, &rays);
+        let fresh_request = TraceRequest::closest_hit(&fresh, &rays);
+        let expected =
+            TraversalEngine::baseline().trace(&fresh_request, &ExecPolicy::scalar());
+        let scalar =
+            TraversalEngine::baseline().trace(&refit_request, &ExecPolicy::scalar());
+        prop_assert_eq!(&scalar, &expected, "refit scalar diverged from fresh build");
+
+        for policy in swept_policies() {
+            let mut engine = TraversalEngine::baseline();
+            let got = engine.trace(&refit_request, &policy);
+            prop_assert_eq!(&got, &expected, "{} refit hits diverged", policy.mode);
+        }
+    }
+}

@@ -14,7 +14,7 @@ use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Ray, Triangle, Vec3};
 use rayflex_rtunit::{
     Bvh4, Camera, ExecMode, ExecPolicy, FrameDesc, HierarchicalSearch, KnnEngine, KnnMetric,
-    RenderPasses, Renderer, TraceRequest, TraversalEngine,
+    RenderPasses, Renderer, Scene, TraceRequest, TraversalEngine,
 };
 
 fn coordinate() -> impl Strategy<Value = f32> {
@@ -121,7 +121,8 @@ proptest! {
         shadow_rays in prop::collection::vec(ray(), 0..10),
     ) {
         let bvh = Bvh4::build(&triangles);
-        let request = TraceRequest::pair(&bvh, &triangles, &closest_rays, &shadow_rays);
+        let scene = Scene::from_parts(bvh.clone(), triangles.clone());
+        let request = TraceRequest::pair(&scene, &closest_rays, &shadow_rays);
 
         let mut reference = TraversalEngine::baseline();
         let expected = reference.trace(&request, &ExecPolicy::scalar());
@@ -146,6 +147,7 @@ proptest! {
         primary_only in any::<bool>(),
     ) {
         let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(bvh.clone(), triangles.clone());
         let frame = if primary_only {
             FrameDesc::primary(camera, width, height)
         } else {
@@ -153,11 +155,11 @@ proptest! {
         };
 
         let mut reference = Renderer::new();
-        let expected = reference.render(&bvh, &triangles, &frame, &ExecPolicy::scalar());
+        let expected = reference.render(&scene, &frame, &ExecPolicy::scalar());
 
         for policy in swept_policies() {
             let mut renderer = Renderer::new();
-            let image = renderer.render(&bvh, &triangles, &frame, &policy);
+            let image = renderer.render(&scene, &frame, &policy);
             prop_assert_eq!(
                 image.first_mismatch(&expected), None,
                 "{} frame diverged", policy.mode
@@ -248,7 +250,8 @@ proptest! {
             .copied()
             .collect();
         let bvh = Bvh4::build(&triangles);
-        let request = TraceRequest::pair(&bvh, &triangles, &closest_rays, &shadow_rays);
+        let scene = Scene::from_parts(bvh.clone(), triangles.clone());
+        let request = TraceRequest::pair(&scene, &closest_rays, &shadow_rays);
 
         let mut reference = TraversalEngine::baseline();
         let expected = reference.trace(&request, &ExecPolicy::scalar());
@@ -279,7 +282,8 @@ proptest! {
         shadow_rays in prop::collection::vec(ray(), 2..10),
     ) {
         let bvh = Bvh4::build(&triangles);
-        let request = TraceRequest::pair(&bvh, &triangles, &closest_rays, &shadow_rays);
+        let scene = Scene::from_parts(bvh.clone(), triangles.clone());
+        let request = TraceRequest::pair(&scene, &closest_rays, &shadow_rays);
 
         let mut unlimited = TraversalEngine::baseline();
         let free = unlimited.trace(&request, &ExecPolicy::fused());
@@ -321,6 +325,7 @@ fn empty_and_zero_sized_inputs_are_valid_in_every_mode() {
         ),
     ];
     let bvh = Bvh4::build(&triangles);
+    let scene = Scene::from_parts(bvh.clone(), triangles.clone());
     let no_rays: Vec<Ray> = Vec::new();
     let camera = Camera::looking_at(Vec3::new(0.0, 0.0, -10.0), Vec3::ZERO);
     let candidates = vec![vec![1.0f32; 5], vec![4.0f32; 5]];
@@ -331,10 +336,7 @@ fn empty_and_zero_sized_inputs_are_valid_in_every_mode() {
 
         // 0-ray trace: both streams empty in, both streams empty out, no beats spent.
         let mut engine = TraversalEngine::baseline();
-        let out = engine.trace(
-            &TraceRequest::pair(&bvh, &triangles, &no_rays, &no_rays),
-            &policy,
-        );
+        let out = engine.trace(&TraceRequest::pair(&scene, &no_rays, &no_rays), &policy);
         assert!(out.closest.is_empty() && out.any.is_empty(), "{mode}");
         assert_eq!(
             engine.stats().total_ops(),
@@ -344,7 +346,7 @@ fn empty_and_zero_sized_inputs_are_valid_in_every_mode() {
 
         // 0×0 frame: a legal degenerate viewport.
         let mut renderer = Renderer::new();
-        let image = renderer.render(&bvh, &triangles, &FrameDesc::primary(camera, 0, 0), &policy);
+        let image = renderer.render(&scene, &FrameDesc::primary(camera, 0, 0), &policy);
         assert_eq!((image.width(), image.height()), (0, 0), "{mode}");
 
         // k = 0: a valid query with an empty answer, regardless of the candidate set.

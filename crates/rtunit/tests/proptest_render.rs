@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 
 use rayflex_geometry::{Triangle, Vec3};
-use rayflex_rtunit::{Bvh4, Camera, ExecPolicy, FrameDesc, RenderPasses, Renderer};
+use rayflex_rtunit::{Bvh4, Camera, ExecPolicy, FrameDesc, RenderPasses, Renderer, Scene};
 
 fn coordinate() -> impl Strategy<Value = f32> {
     -30.0f32..30.0
@@ -53,13 +53,14 @@ proptest! {
         threads in 1usize..6,
     ) {
         let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(bvh.clone(), triangles.clone());
         let frame = FrameDesc::deferred(camera, width, height, passes);
 
         let mut reference = Renderer::new();
-        let expected = reference.render(&bvh, &triangles, &frame, &ExecPolicy::scalar());
+        let expected = reference.render(&scene, &frame, &ExecPolicy::scalar());
 
         let mut batched = Renderer::new();
-        let image = batched.render(&bvh, &triangles, &frame, &ExecPolicy::wavefront());
+        let image = batched.render(&scene, &frame, &ExecPolicy::wavefront());
 
         prop_assert_eq!(image.first_mismatch(&expected), None, "batched frame diverged");
         for y in 0..height {
@@ -72,7 +73,7 @@ proptest! {
 
         let mut parallel = Renderer::new();
         let parallel_image =
-            parallel.render(&bvh, &triangles, &frame, &ExecPolicy::parallel(threads));
+            parallel.render(&scene, &frame, &ExecPolicy::parallel(threads));
         prop_assert_eq!(image.first_mismatch(&parallel_image), None, "parallel frame diverged");
         prop_assert_eq!(parallel.stats(), batched.stats());
     }

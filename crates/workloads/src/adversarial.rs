@@ -14,7 +14,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use rayflex_geometry::{Ray, Triangle, Vec3};
+use rayflex_geometry::{Affine, Ray, Triangle, Vec3};
+
+use crate::scenes::{self, InstancedSceneDesc};
 
 /// A well-formed scene of `count` random, non-degenerate triangles inside a ±`extent` box —
 /// the clean baseline the corrupting generators start from (and chaos tests trace fault-free
@@ -86,6 +88,32 @@ pub fn degenerate_scene(seed: u64, count: usize) -> (Vec<Triangle>, usize) {
     (triangles, victim)
 }
 
+/// A well-formed [`scenes::debris_field`] description with one seed-chosen placement broken in
+/// one of the three ways an instanced scene can be invalid: a non-finite transform, a singular
+/// (zero linear part) transform, or a dangling mesh index.  Returns the description and the
+/// index of the corrupted placement.
+///
+/// Two-level scene validation must reject this with an `invalid scene` error naming that
+/// instance.
+#[must_use]
+pub fn corrupt_instanced_scene(
+    seed: u64,
+    kinds: usize,
+    count: usize,
+) -> (InstancedSceneDesc, usize) {
+    let mut desc = scenes::debris_field(seed, kinds, count.max(1), 25.0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1A5_B1A5);
+    let victim = rng.gen_range(0..desc.placements.len());
+    let mesh_count = desc.meshes.len();
+    let placement = &mut desc.placements[victim];
+    match rng.gen_range(0..3u32) {
+        0 => placement.1.translation.x = f32::NAN,
+        1 => placement.1 = Affine::scale(Vec3::ZERO),
+        _ => placement.0 = mesh_count,
+    }
+    (desc, victim)
+}
+
 /// `count` rays that are every one of them untraceable: NaN origins, infinite or zero
 /// directions, NaN extents — the corruption rotating deterministically with the seed.
 ///
@@ -151,6 +179,27 @@ mod tests {
         assert_eq!(a.len(), 24);
         assert!(a.iter().all(|t| t.area() > 1e-3));
         assert_ne!(valid_scene(6, 24, 20.0), a);
+    }
+
+    #[test]
+    fn corrupt_instanced_scenes_break_exactly_the_named_placement() {
+        for seed in 0..16u64 {
+            let (desc, victim) = corrupt_instanced_scene(seed, 3, 12);
+            let broken = |(mesh, transform): &(usize, Affine)| {
+                *mesh >= desc.meshes.len()
+                    || !transform.is_finite()
+                    || transform.determinant() == 0.0
+            };
+            assert!(
+                broken(&desc.placements[victim]),
+                "seed {seed}: victim intact"
+            );
+            let count = desc.placements.iter().filter(|p| broken(p)).count();
+            assert_eq!(count, 1, "seed {seed}: exactly one corrupted placement");
+            let (again, same_victim) = corrupt_instanced_scene(seed, 3, 12);
+            assert_eq!(same_victim, victim, "seed {seed}: deterministic victim");
+            assert_eq!(again.placements[victim].0, desc.placements[victim].0);
+        }
     }
 
     #[test]

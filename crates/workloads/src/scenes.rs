@@ -1,8 +1,8 @@
 //! Procedural triangle scenes.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rayflex_geometry::{sampling, Aabb, Sphere, Triangle, Vec3};
+use rand::{Rng, SeedableRng};
+use rayflex_geometry::{sampling, Aabb, Affine, Sphere, Triangle, Vec3};
 
 /// A soup of `count` random triangles inside a ±`extent` cube — the unstructured stimulus used by
 /// the random testbenches.
@@ -187,9 +187,133 @@ pub fn lit_scene(subdivisions: u32, extent: f32) -> LitScene {
     }
 }
 
+/// A geometry-level description of an instanced scene: a set of shared meshes plus placements
+/// pairing a mesh index with a world transform.
+///
+/// The workloads crate sits below the acceleration layer, so presets describe instancing in
+/// plain geometry terms; consumers lift the description into `rtunit`'s two-level `Scene` (one
+/// BLAS per mesh, one instance per placement) or bake it flat with [`InstancedSceneDesc::flatten`].
+#[derive(Debug, Clone)]
+pub struct InstancedSceneDesc {
+    /// The shared meshes — each becomes one bottom-level structure.
+    pub meshes: Vec<Vec<Triangle>>,
+    /// Placements: `(mesh index, object-to-world transform)`, one per instance.
+    pub placements: Vec<(usize, Affine)>,
+}
+
+impl InstancedSceneDesc {
+    /// Bakes every placement into one flat triangle list, in placement order — the flattened
+    /// reference an instanced trace must match bit-for-bit.
+    #[must_use]
+    pub fn flatten(&self) -> Vec<Triangle> {
+        self.placements
+            .iter()
+            .flat_map(|(mesh, transform)| {
+                self.meshes[*mesh]
+                    .iter()
+                    .map(|tri| tri.transformed(transform))
+            })
+            .collect()
+    }
+
+    /// Total triangles the scene places in the world (the flattened count).
+    #[must_use]
+    pub fn placed_triangle_count(&self) -> usize {
+        self.placements
+            .iter()
+            .map(|(mesh, _)| self.meshes[*mesh].len())
+            .sum()
+    }
+}
+
+/// A debris field: `kinds` distinct random shard meshes scattered as `count` instances with
+/// random rotations, uniform scales in `[0.6, 1.4]`, and translations inside a ±`extent` cube.
+/// The instancing stress preset — many placements of few meshes, where a two-level scene's
+/// memory advantage over baking is largest.
+#[must_use]
+pub fn debris_field(seed: u64, kinds: usize, count: usize, extent: f32) -> InstancedSceneDesc {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shard_bounds = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+    let meshes: Vec<Vec<Triangle>> = (0..kinds.max(1))
+        .map(|_| {
+            (0..12)
+                .map(|_| sampling::triangle_in_box(&mut rng, &shard_bounds))
+                .collect()
+        })
+        .collect();
+    let placements = (0..count)
+        .map(|_| {
+            let mesh = rng.gen_range(0..meshes.len());
+            let spin = Affine::rotate_y(rng.gen_range(0.0..core::f32::consts::TAU)).then(
+                &Affine::rotate_x(rng.gen_range(0.0..core::f32::consts::TAU)),
+            );
+            let sized = Affine::uniform_scale(rng.gen_range(0.6..1.4)).then(&spin);
+            let offset = Vec3::new(
+                rng.gen_range(-extent..extent),
+                rng.gen_range(-extent..extent),
+                rng.gen_range(-extent..extent),
+            );
+            (mesh, Affine::translation(offset).then(&sized))
+        })
+        .collect();
+    InstancedSceneDesc { meshes, placements }
+}
+
+/// A crowd of identical icospheres on an `n × n` ground grid spaced `spacing` apart — one mesh,
+/// `n²` pure-translation placements.  The structured counterpart to [`debris_field`]: TLAS
+/// traversal over a regular layout, and the refit benchmark's moving-scene stand-in.
+#[must_use]
+pub fn icosphere_crowd(subdivisions: u32, n: usize, spacing: f32) -> InstancedSceneDesc {
+    let mesh = icosphere(subdivisions, spacing * 0.35, Vec3::ZERO);
+    let half = (n.saturating_sub(1)) as f32 * spacing / 2.0;
+    let placements = (0..n * n)
+        .map(|i| {
+            let (row, col) = (i / n, i % n);
+            let offset = Vec3::new(
+                col as f32 * spacing - half,
+                0.0,
+                row as f32 * spacing - half,
+            );
+            (0, Affine::translation(offset))
+        })
+        .collect();
+    InstancedSceneDesc {
+        meshes: vec![mesh],
+        placements,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn debris_field_is_deterministic_and_covers_every_mesh_kind() {
+        let a = debris_field(11, 3, 64, 30.0);
+        let b = debris_field(11, 3, 64, 30.0);
+        assert_eq!(a.meshes.len(), 3);
+        assert_eq!(a.placements.len(), 64);
+        assert_eq!(a.flatten(), b.flatten());
+        assert_eq!(a.flatten().len(), a.placed_triangle_count());
+        for (mesh, transform) in &a.placements {
+            assert!(*mesh < a.meshes.len());
+            assert!(transform.is_finite());
+            assert!(transform.determinant().abs() > f32::EPSILON);
+        }
+    }
+
+    #[test]
+    fn icosphere_crowd_places_a_square_grid_of_one_mesh() {
+        let crowd = icosphere_crowd(1, 4, 6.0);
+        assert_eq!(crowd.meshes.len(), 1);
+        assert_eq!(crowd.placements.len(), 16);
+        assert_eq!(crowd.placed_triangle_count(), 16 * 80);
+        // Pure translations: flattening shifts vertices without deforming the mesh.
+        let flat = crowd.flatten();
+        let (mesh_idx, transform) = &crowd.placements[5];
+        let baked = crowd.meshes[*mesh_idx][0].transformed(transform);
+        assert_eq!(flat[5 * 80], baked);
+    }
 
     #[test]
     fn triangle_soup_is_deterministic_and_sized() {

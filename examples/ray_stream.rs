@@ -6,19 +6,18 @@
 use std::time::Instant;
 
 use rayflex::geometry::Vec3;
-use rayflex::rtunit::{default_parallelism, Bvh4, ExecPolicy, TraceRequest, TraversalEngine};
+use rayflex::rtunit::{default_parallelism, ExecPolicy, Scene, TraceRequest, TraversalEngine};
 use rayflex::workloads::{rays, scenes};
 
 fn main() {
-    let triangles = scenes::icosphere(3, 5.0, Vec3::new(0.0, 0.0, 20.0));
-    let bvh = Bvh4::build(&triangles);
+    let scene = Scene::flat(scenes::icosphere(3, 5.0, Vec3::new(0.0, 0.0, 20.0)));
     // The SoA packet is the storage format; the policy API traces plain ray slices.
     let stream = rays::camera_grid_packet(64, 64, 12.0);
     let slice = stream.to_rays();
-    let request = TraceRequest::closest_hit(&bvh, &triangles, &slice);
+    let request = TraceRequest::closest_hit(&scene, &slice);
     println!(
         "scene: icosphere with {} triangles, stream of {} rays",
-        triangles.len(),
+        scene.triangle_count(),
         stream.len()
     );
 

@@ -13,16 +13,23 @@
 //! * `--bounce` — adds the one-bounce mirror-reflection pass; under `--mode fused` its bounce
 //!   closest-hit stream and the shadow any-hit stream share bulk passes over one datapath, and
 //!   the example prints the per-kind beat mix the fusion produced.
-//! * `--corrupt` — deliberately poisons the scene (a NaN vertex) and renders through the
-//!   hardened `try_render` entry point: the run prints the structured `invalid scene` error and
-//!   exits with status 2 instead of panicking.  CI smokes this path.
+//! * `--instanced` — renders the lit scene as a two-level TLAS/BLAS scene (one BLAS, three
+//!   placed instances) instead of one flat BVH, and cross-checks that the instanced frame is
+//!   bit-identical to rendering `Scene::flatten()` of the same geometry.  CI smokes this path
+//!   once per `--mode`.
+//! * `--corrupt` — deliberately poisons the scene (a NaN vertex, or a NaN instance transform
+//!   under `--instanced`) and renders through the hardened `try_render` entry point: the run
+//!   prints the structured `invalid scene` error and exits with status 2 instead of panicking.
+//!   CI smokes this path.
 //!
 //! Setting `RAYFLEX_SMOKE=1` shrinks the frame and skips the timing sweep — the CI smoke mode
 //! that keeps the example from rotting (CI runs it once per `--mode`).
 
 use rayflex::core::PipelineConfig;
+use rayflex::geometry::{Affine, Vec3};
 use rayflex::rtunit::{
-    Bvh4, Camera, ExecMode, ExecPolicy, FrameDesc, RenderPasses, Renderer, RtUnit, RtUnitConfig,
+    Blas, Bvh4, Camera, ExecMode, ExecPolicy, FrameDesc, Instance, RenderPasses, Renderer, RtUnit,
+    RtUnitConfig, Scene,
 };
 use rayflex::workloads::scenes;
 
@@ -40,6 +47,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let bounce = args.iter().any(|arg| arg == "--bounce");
     let corrupt = args.iter().any(|arg| arg == "--corrupt");
+    let instanced = args.iter().any(|arg| arg == "--instanced");
     let mode = args
         .iter()
         .position(|arg| arg == "--mode")
@@ -60,27 +68,58 @@ fn main() {
     // The scene: a floor, a floating occluder icosphere and a small grounded sphere, with a
     // point light placed so the occluder's shadow falls across the floor.
     let scene = scenes::lit_scene(if smoke { 1 } else { 3 }, 24.0);
-    let bvh = Bvh4::build(&scene.triangles);
-    println!(
-        "scene: {} triangles, BVH with {} nodes, depth {} — policy: {}",
-        scene.triangles.len(),
-        bvh.node_count(),
-        bvh.depth(),
-        policy.mode,
-    );
+    let world = if instanced {
+        // Two-level form: the lit scene as one BLAS, placed three times (the extra copies sit
+        // far off to the sides, outside the camera frustum, so the visible frame must stay
+        // bit-identical to the flat render of the original geometry).
+        Scene::instanced(
+            vec![Blas::new(scene.triangles.clone())],
+            vec![
+                Instance::new(0, Affine::identity()),
+                Instance::new(0, Affine::translation(Vec3::new(-500.0, 0.0, 0.0))),
+                Instance::new(0, Affine::translation(Vec3::new(500.0, 0.0, 0.0))),
+            ],
+        )
+    } else {
+        Scene::flat(scene.triangles.clone())
+    };
+    match world.bvh() {
+        Some(bvh) => println!(
+            "scene: {} triangles, BVH with {} nodes, depth {} — policy: {}",
+            world.triangle_count(),
+            bvh.node_count(),
+            bvh.depth(),
+            policy.mode,
+        ),
+        None => println!(
+            "scene: {} instances x {} BLAS triangles = {} placed triangles, TLAS with {} nodes \
+             — policy: {}",
+            world.instances().len(),
+            world.blas_list()[0].triangles().len(),
+            world.triangle_count(),
+            world.tlas().map_or(0, Bvh4::node_count),
+            policy.mode,
+        ),
+    }
 
     let camera = Camera::looking_at(scene.eye, scene.target);
     let mut renderer = Renderer::with_config(PipelineConfig::baseline_unified());
 
     if corrupt {
-        // The hardened-path demonstration CI smokes: poison one vertex and render through
-        // `try_render`, which must reject the scene with a structured error — no panic, a clean
-        // nonzero exit.
-        let mut poisoned = scene.triangles.clone();
-        poisoned[0].v0.x = f32::NAN;
+        // The hardened-path demonstration CI smokes: poison one vertex (or one instance
+        // placement) and render through `try_render`, which must reject the scene with a
+        // structured error — no panic, a clean nonzero exit.
+        let poisoned_world = if instanced {
+            let mut poisoned = world.clone();
+            poisoned.set_instance_transform(1, Affine::translation(Vec3::new(f32::NAN, 0.0, 0.0)));
+            poisoned
+        } else {
+            let mut poisoned = scene.triangles.clone();
+            poisoned[0].v0.x = f32::NAN;
+            Scene::flat(poisoned)
+        };
         match renderer.try_render(
-            &bvh,
-            &poisoned,
+            &poisoned_world,
             &FrameDesc::primary(camera, width, height),
             &policy,
         ) {
@@ -96,13 +135,23 @@ fn main() {
     }
 
     // Pass 1 only: the primary-ray frame under the fixed directional light.
-    let primary = renderer.render(
-        &bvh,
-        &scene.triangles,
-        &FrameDesc::primary(camera, width, height),
-        &policy,
-    );
+    let primary = renderer.render(&world, &FrameDesc::primary(camera, width, height), &policy);
     println!("primary-only frame:\n{}", primary.to_ascii());
+    if instanced {
+        // The tentpole invariant, live: the two-level trace must shade every pixel exactly as
+        // the same geometry baked into one flat BVH does.
+        let flat_frame = Renderer::with_config(PipelineConfig::baseline_unified()).render(
+            &world.flatten(),
+            &FrameDesc::primary(camera, width, height),
+            &policy,
+        );
+        assert_eq!(
+            primary.first_mismatch(&flat_frame),
+            None,
+            "instanced frame diverged from the flattened reference"
+        );
+        println!("instanced frame is bit-identical to the flattened-scene render");
+    }
 
     // The full deferred pipeline: primary + shadow + ambient-occlusion passes (+ the one-bounce
     // mirror pass with --bounce), every stream traced under the selected policy.
@@ -115,8 +164,7 @@ fn main() {
         passes = passes.with_bounce(0.35);
     }
     let deferred = renderer.render(
-        &bvh,
-        &scene.triangles,
+        &world,
         &FrameDesc::deferred(camera, width, height, passes),
         &policy,
     );
@@ -167,6 +215,7 @@ fn main() {
             camera.primary_ray(x * 2, y * 2, width, height)
         })
         .collect();
+    let bvh = Bvh4::build(&scene.triangles);
     let (_, rayflex_timing) =
         RtUnit::with_configs(PipelineConfig::baseline_unified(), RtUnitConfig::default())
             .trace_rays(&bvh, &scene.triangles, &rays);

@@ -5,8 +5,8 @@
 use rayflex::core::{validation, PipelineConfig};
 use rayflex::geometry::{golden, Ray, Vec3};
 use rayflex::rtunit::{
-    Bvh4, Camera, ExecPolicy, FrameDesc, KnnEngine, KnnMetric, Renderer, RtUnit, TraceRequest,
-    TraversalEngine,
+    Bvh4, Camera, ExecPolicy, FrameDesc, KnnEngine, KnnMetric, Renderer, RtUnit, Scene,
+    TraceRequest, TraversalEngine,
 };
 use rayflex::workloads::{scenes, vectors};
 
@@ -22,7 +22,7 @@ fn the_twenty_directed_cases_pass_on_every_configuration() {
 #[test]
 fn icosphere_traversal_matches_a_brute_force_golden_scan() {
     let triangles = scenes::icosphere(2, 3.0, Vec3::new(0.0, 0.0, 10.0));
-    let bvh = Bvh4::build(&triangles);
+    let world = Scene::flat(triangles.clone());
     let mut engine = TraversalEngine::baseline();
     let mut hits = 0usize;
     let rays: Vec<Ray> = (0..100)
@@ -34,7 +34,7 @@ fn icosphere_traversal_matches_a_brute_force_golden_scan() {
         .collect();
     let traversals = engine
         .trace(
-            &TraceRequest::closest_hit(&bvh, &triangles, &rays),
+            &TraceRequest::closest_hit(&world, &rays),
             &ExecPolicy::scalar(),
         )
         .into_closest();
@@ -73,11 +73,11 @@ fn icosphere_traversal_matches_a_brute_force_golden_scan() {
 fn rendering_and_rt_unit_timing_work_through_the_facade() {
     let triangles = scenes::icosphere(2, 3.0, Vec3::new(0.0, 0.0, 12.0));
     let bvh = Bvh4::build(&triangles);
+    let world = Scene::from_parts(bvh.clone(), triangles.clone());
     let camera = Camera::looking_at(Vec3::ZERO, Vec3::new(0.0, 0.0, 12.0));
     let mut renderer = Renderer::new();
     let image = renderer.render(
-        &bvh,
-        &triangles,
+        &world,
         &FrameDesc::primary(camera, 32, 32),
         &ExecPolicy::wavefront(),
     );
@@ -151,7 +151,7 @@ fn ray_streams_trace_identically_across_all_frontends() {
     use rayflex::workloads::rays;
 
     let triangles = scenes::icosphere(2, 3.0, Vec3::new(0.0, 0.0, 10.0));
-    let bvh = Bvh4::build(&triangles);
+    let world = Scene::flat(triangles.clone());
     let stream = rays::camera_grid_packet(12, 12, 7.0);
     assert_eq!(stream.to_rays().len(), stream.len());
     let slice: Vec<rayflex::geometry::Ray> = stream.to_rays();
@@ -162,7 +162,7 @@ fn ray_streams_trace_identically_across_all_frontends() {
     );
 
     let config = PipelineConfig::baseline_unified();
-    let request = TraceRequest::closest_hit(&bvh, &triangles, &slice);
+    let request = TraceRequest::closest_hit(&world, &slice);
     let mut scalar = TraversalEngine::with_config(config);
     let expected = scalar.trace(&request, &ExecPolicy::scalar()).into_closest();
     let mut wavefront = TraversalEngine::with_config(config);
