@@ -11,7 +11,9 @@
 //! These are not paper claims — they tell library users and future scaling PRs how fast the Rust
 //! model runs on their machine.  Tunables: `RAYFLEX_BENCH_RAYS` (rays per scene, default 4096),
 //! `RAYFLEX_BENCH_REPEATS` (best-of count, default 3), `RAYFLEX_BENCH_THREADS` (parallel worker
-//! count, default = available parallelism).  Setting `RAYFLEX_BENCH_MIN_SPEEDUP` (CI: 3.0) turns
+//! count, default = available parallelism but at least 2, so the parallel mode exercises the
+//! work-stealing pool — and records real pool counters — even on a single-core host).  Setting
+//! `RAYFLEX_BENCH_MIN_SPEEDUP` (CI: 3.0) turns
 //! the run into an acceptance gate that fails when the worst batched-vs-scalar speedup across
 //! both suites drops below the floor.
 
@@ -126,7 +128,9 @@ fn bench_traversal(c: &mut Criterion) {
 fn run_baseline_suite() {
     let rays = env_usize("RAYFLEX_BENCH_RAYS", 4096);
     let repeats = env_usize("RAYFLEX_BENCH_REPEATS", 3);
-    let threads = env_usize("RAYFLEX_BENCH_THREADS", default_parallelism());
+    // At least two workers: a requested width of 1 would fall back to the inline batched path
+    // and leave the recorded pool counters all zero.
+    let threads = env_usize("RAYFLEX_BENCH_THREADS", default_parallelism().max(2));
     let baseline = rayflex_bench::perf::run_perf_suite(rays, repeats, threads);
     println!("{}", baseline.render_table());
     let path =

@@ -1,0 +1,254 @@
+//! Compares the `speedup_vs_scalar` columns of two benchmark JSON documents (a committed
+//! baseline and a freshly generated one) and fails when any entry regressed by more than the
+//! allowed fraction (default 20%).
+//!
+//! The BENCH documents are hand-rolled JSON with a fixed key order, so this reads them with a
+//! single forward scan instead of a JSON parser (the workspace deliberately has no serde
+//! dependency): every `"scene"`/`"mode"` string updates the current label, and every
+//! `"speedup_vs_scalar"` number is recorded under it.  That covers `BENCH_baseline.json`
+//! (per-scene mode arrays plus the instancing entries) and `BENCH_fused.json` (a flat mode
+//! list) alike.
+//!
+//! Usage: `bench_diff <committed.json> <fresh.json> [--max-regression 0.20]`
+//!
+//! Speedups are scalar-relative ratios measured on the same host in the same run, so they are
+//! stable across machines in a way raw wall times are not — which is what makes a committed
+//! copy diffable on CI at all.  Exit status: 0 when every entry holds, 1 on any regression
+//! beyond the threshold (or an entry that vanished), 2 on usage errors.
+
+use std::process::ExitCode;
+
+/// One `speedup_vs_scalar` entry: the `"scene"`/`"mode"` labels in effect where it appeared.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    scene: String,
+    mode: String,
+    speedup: f64,
+}
+
+impl Entry {
+    fn key(&self) -> String {
+        if self.scene.is_empty() {
+            self.mode.clone()
+        } else if self.mode.is_empty() {
+            self.scene.clone()
+        } else {
+            format!("{}/{}", self.scene, self.mode)
+        }
+    }
+}
+
+/// The quoted string immediately following `content[from..]` (after optional whitespace).
+fn quoted_value(content: &str, from: usize) -> Option<&str> {
+    let rest = content[from..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    rest.split('"').next()
+}
+
+/// The number immediately following `content[from..]` (after optional whitespace).
+fn numeric_value(content: &str, from: usize) -> Option<f64> {
+    let rest = content[from..].trim_start();
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Scans one document for every `speedup_vs_scalar` entry, labelled by the closest preceding
+/// `"scene"` and `"mode"` strings.  A `"scene"` resets the mode: the instancing entries carry a
+/// scene but no mode, and must not inherit the last traversal mode of the previous scene.
+fn extract_entries(content: &str) -> Vec<Entry> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Token {
+        Scene,
+        Mode,
+        Speedup,
+    }
+    let mut events: Vec<(usize, Token, usize)> = Vec::new();
+    for (pattern, token) in [
+        ("\"scene\":", Token::Scene),
+        ("\"mode\":", Token::Mode),
+        ("\"speedup_vs_scalar\":", Token::Speedup),
+    ] {
+        events.extend(
+            content
+                .match_indices(pattern)
+                .map(|(pos, _)| (pos, token, pos + pattern.len())),
+        );
+    }
+    events.sort_by_key(|&(pos, _, _)| pos);
+
+    let mut entries = Vec::new();
+    let mut scene = String::new();
+    let mut mode = String::new();
+    for (_, token, value_from) in events {
+        match token {
+            Token::Scene => {
+                scene = quoted_value(content, value_from).unwrap_or("").to_string();
+                mode.clear();
+            }
+            Token::Mode => {
+                mode = quoted_value(content, value_from).unwrap_or("").to_string();
+            }
+            Token::Speedup => {
+                if let Some(speedup) = numeric_value(content, value_from) {
+                    entries.push(Entry {
+                        scene: scene.clone(),
+                        mode: mode.clone(),
+                        speedup,
+                    });
+                }
+            }
+        }
+    }
+    entries
+}
+
+fn run(committed_path: &str, fresh_path: &str, max_regression: f64) -> Result<(), String> {
+    let committed_text = std::fs::read_to_string(committed_path)
+        .map_err(|error| format!("cannot read {committed_path}: {error}"))?;
+    let fresh_text = std::fs::read_to_string(fresh_path)
+        .map_err(|error| format!("cannot read {fresh_path}: {error}"))?;
+    let committed = extract_entries(&committed_text);
+    let fresh = extract_entries(&fresh_text);
+    if committed.is_empty() {
+        return Err(format!(
+            "{committed_path} contains no speedup_vs_scalar entries"
+        ));
+    }
+
+    let mut failures = Vec::new();
+    for entry in &committed {
+        let key = entry.key();
+        let Some(now) = fresh.iter().find(|f| f.key() == key) else {
+            failures.push(format!(
+                "{key}: present in {committed_path} but missing from {fresh_path}"
+            ));
+            continue;
+        };
+        let regression = if entry.speedup > 0.0 {
+            1.0 - now.speedup / entry.speedup
+        } else {
+            0.0
+        };
+        let verdict = if regression > max_regression {
+            failures.push(format!(
+                "{key}: {:.2}x -> {:.2}x ({:+.1}%)",
+                entry.speedup,
+                now.speedup,
+                -regression * 100.0
+            ));
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{verdict:>4}  {key:<40} {:.2}x -> {:.2}x ({:+.1}%)",
+            entry.speedup,
+            now.speedup,
+            -regression * 100.0
+        );
+    }
+
+    if failures.is_empty() {
+        println!(
+            "bench_diff: {} entries within the {:.0}% regression bound ({committed_path} vs {fresh_path})",
+            committed.len(),
+            max_regression * 100.0
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "bench_diff: {} of {} speedup_vs_scalar entries regressed beyond {:.0}%:\n  {}",
+            failures.len(),
+            committed.len(),
+            max_regression * 100.0,
+            failures.join("\n  ")
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regression = 0.20;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--max-regression" {
+            match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(value) if value > 0.0 => max_regression = value,
+                _ => {
+                    eprintln!("--max-regression needs a positive number");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [committed, fresh] = paths.as_slice() else {
+        eprintln!("usage: bench_diff <committed.json> <fresh.json> [--max-regression 0.20]");
+        return ExitCode::from(2);
+    };
+    match run(committed, fresh, max_regression) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+  "scenes": [
+    {"scene": "icosphere", "pool": {"workers": 2}, "modes": [{"mode": "scalar", "speedup_vs_scalar": 1.00}, {"mode": "simd", "speedup_vs_scalar": 10.00}]},
+    {"scene": "soup", "modes": [{"mode": "simd", "speedup_vs_scalar": 15.34}]}
+  ],
+  "instancing": [
+    {"scene": "debris_field", "trace": {"speedup_vs_scalar": 6.50}}
+  ]
+}"#;
+
+    #[test]
+    fn entries_are_labelled_by_scene_and_mode() {
+        let entries = extract_entries(BASELINE);
+        let keys: Vec<String> = entries.iter().map(Entry::key).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "icosphere/scalar",
+                "icosphere/simd",
+                "soup/simd",
+                "debris_field"
+            ]
+        );
+        assert!((entries[2].speedup - 15.34).abs() < 1e-9);
+        // The instancing entry must not inherit the previous scene's last mode.
+        assert_eq!(entries[3].mode, "");
+    }
+
+    #[test]
+    fn flat_mode_lists_use_the_mode_as_the_key() {
+        let fused = r#"{"modes": [{"mode": "fused", "speedup_vs_scalar": 3.95}]}"#;
+        let entries = extract_entries(fused);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].key(), "fused");
+    }
+
+    #[test]
+    fn regressions_beyond_the_bound_are_detected() {
+        let fresh = BASELINE.replace("15.34", "11.00");
+        let committed = extract_entries(BASELINE);
+        let regressed = extract_entries(&fresh);
+        let old = &committed[2];
+        let new = regressed
+            .iter()
+            .find(|e| e.key() == old.key())
+            .expect("same key");
+        assert!(1.0 - new.speedup / old.speedup > 0.20);
+    }
+}

@@ -12,14 +12,21 @@
 //!   through the native fast model;
 //! * **simd** — the batched frontend with the lane-batched fast path at its maximum width
 //!   ([`ExecPolicy::with_simd_lanes`]), evaluating several requests per kernel step;
+//! * **coherent** — the simd mode plus the coherence layer ([`ExecPolicy::with_coherence`],
+//!   [`CoherenceMode::SortAndCompact`]): octant-sorted admission and active-lane compaction
+//!   between passes, filling more lanes per kernel step on divergent streams;
 //! * **parallel** — [`ExecPolicy::parallel`], the SIMD-batched frontend sharded across the
 //!   work-stealing worker pool (with auto-tuned chunk sizing, a single-core or short-stream run
 //!   falls back to the batched path instead of paying spawn overhead).
 //!
-//! All four are the same entry point — [`TraversalEngine::trace`] — under different policies.
+//! All five are the same entry point — [`TraversalEngine::trace`] — under different policies.
+//! The batched/simd/parallel rows pin [`CoherenceMode::Off`] so their numbers stay comparable
+//! with earlier baselines; the coherent row is the only one that turns the new layer on.
 //!
-//! All four paths produce bit-identical hits; the suite cross-checks that on every run before
-//! timing anything.
+//! All five paths produce bit-identical hits; the suite cross-checks that on every run before
+//! timing anything.  Each measurement also records the datapath's SIMD lane occupancy
+//! ([`BeatMix::simd_lane_occupancy`]) so the coherence win is visible as filled lanes, not just
+//! wall time.
 //!
 //! A second suite ([`run_query_engine_suite`], `BENCH_query_engine.json`) covers the query kinds
 //! retrofitted onto the generic batched query engine — rendering (one batched primary-ray stream
@@ -38,9 +45,10 @@ use rayflex_core::{
 use rayflex_geometry::golden::distance::EUCLIDEAN_LANES;
 use rayflex_geometry::{Aabb, Ray, Sphere, Triangle, Vec3};
 use rayflex_rtunit::{
-    default_light_dir, shade, Blas, Bvh4, Bvh4Node, Camera, CollectStream, DistanceStream,
-    ExecPolicy, FrameDesc, FusedScheduler, Image, Instance, KnnEngine, KnnMetric, PoolStats,
-    RenderPasses, Renderer, Scene, TraceRequest, TraversalEngine, TraversalHit, TraversalStream,
+    default_light_dir, shade, Blas, Bvh4, Bvh4Node, Camera, CoherenceMode, CollectStream,
+    DistanceStream, ExecPolicy, FrameDesc, FusedScheduler, Image, Instance, KnnEngine, KnnMetric,
+    PoolStats, RenderPasses, Renderer, Scene, TraceRequest, TraversalEngine, TraversalHit,
+    TraversalStream,
 };
 use rayflex_workloads::{mixed, rays, scenes, vectors};
 
@@ -84,7 +92,7 @@ pub fn standard_perf_scenes(rays_per_scene: usize) -> Vec<PerfScene> {
 /// One timed execution mode on one scene.
 #[derive(Debug, Clone)]
 pub struct PerfMeasurement {
-    /// Mode name (`scalar`, `batched`, `simd`, `parallel`).
+    /// Mode name (`scalar`, `batched`, `simd`, `coherent`, `parallel`).
     pub mode: &'static str,
     /// Best-of-`repeats` wall time for the whole stream, in seconds.
     pub seconds: f64,
@@ -94,6 +102,9 @@ pub struct PerfMeasurement {
     pub beats_per_sec: f64,
     /// Throughput relative to the scalar mode on the same scene.
     pub speedup_vs_scalar: f64,
+    /// Average fraction of SIMD lane slots carrying live work in this mode's lane-batched
+    /// kernel issues ([`BeatMix::simd_lane_occupancy`]; 0 when the mode never batches lanes).
+    pub lane_occupancy: f64,
 }
 
 /// All measurements for one scene.
@@ -110,7 +121,7 @@ pub struct ScenePerf {
     /// Work-stealing pool counters of one parallel trace of the stream (all zero when the
     /// auto-tuner ran the stream inline, e.g. on a single-core host).
     pub pool: PoolStats,
-    /// Per-mode measurements (scalar, batched, simd, parallel).
+    /// Per-mode measurements (scalar, batched, simd, coherent, parallel).
     pub measurements: Vec<PerfMeasurement>,
 }
 
@@ -252,6 +263,13 @@ pub fn run_perf_suite(rays_per_scene: usize, repeats: usize, threads: usize) -> 
             let mut engine = TraversalEngine::with_config(config);
             engine.trace(&request, policy).into_closest()
         };
+        // One untimed run on a kept engine per mode to read the lane occupancy of its kernel
+        // issues (the ratio is deterministic, so the probe matches what the timed runs did).
+        let occupancy_of = |policy: &ExecPolicy| {
+            let mut engine = TraversalEngine::with_config(config);
+            let _ = engine.trace(&request, policy);
+            engine.beat_mix().simd_lane_occupancy()
+        };
 
         // Reference run: hits and beat counts, used for correctness and the beats/sec metric.
         let mut reference = TraversalEngine::with_config(config);
@@ -264,17 +282,30 @@ pub fn run_perf_suite(rays_per_scene: usize, repeats: usize, threads: usize) -> 
             time_best_of(repeats, || trace_with(&ExecPolicy::scalar()));
         assert_hits_match(scene.name, "scalar", &expected, &scalar_hits);
 
-        let (batched_seconds, batched_hits) =
-            time_best_of(repeats, || trace_with(&ExecPolicy::wavefront()));
+        // batched/simd/parallel pin the coherence layer off so these columns keep measuring
+        // what they always did; `coherent` below is the only row that turns it on.
+        let batched_policy = ExecPolicy::wavefront().with_coherence(CoherenceMode::Off);
+        let (batched_seconds, batched_hits) = time_best_of(repeats, || trace_with(&batched_policy));
         assert_hits_match(scene.name, "batched", &expected, &batched_hits);
 
-        let simd_policy = ExecPolicy::wavefront().with_simd_lanes(MAX_SIMD_LANES);
+        let simd_policy = ExecPolicy::wavefront()
+            .with_simd_lanes(MAX_SIMD_LANES)
+            .with_coherence(CoherenceMode::Off);
         let (simd_seconds, simd_hits) = time_best_of(repeats, || trace_with(&simd_policy));
         assert_hits_match(scene.name, "simd", &expected, &simd_hits);
 
+        let coherent_policy = ExecPolicy::wavefront()
+            .with_simd_lanes(MAX_SIMD_LANES)
+            .with_coherence(CoherenceMode::SortAndCompact);
+        let (coherent_seconds, coherent_hits) =
+            time_best_of(repeats, || trace_with(&coherent_policy));
+        assert_hits_match(scene.name, "coherent", &expected, &coherent_hits);
+
         // The parallel mode inherits the lane-batched kernels: each pool worker's private
         // datapath runs at the same width the simd mode uses.
-        let parallel_policy = ExecPolicy::parallel(threads).with_simd_lanes(MAX_SIMD_LANES);
+        let parallel_policy = ExecPolicy::parallel(threads)
+            .with_simd_lanes(MAX_SIMD_LANES)
+            .with_coherence(CoherenceMode::Off);
         let (parallel_seconds, parallel_hits) =
             time_best_of(repeats, || trace_with(&parallel_policy));
         assert_hits_match(scene.name, "parallel", &expected, &parallel_hits);
@@ -286,12 +317,13 @@ pub fn run_perf_suite(rays_per_scene: usize, repeats: usize, threads: usize) -> 
         let pool = pool_probe.pool_stats();
 
         let ray_count = scene.rays.len() as f64;
-        let measurement = |mode: &'static str, seconds: f64| PerfMeasurement {
+        let measurement = |mode: &'static str, seconds: f64, lane_occupancy: f64| PerfMeasurement {
             mode,
             seconds,
             rays_per_sec: ray_count / seconds,
             beats_per_sec: beats as f64 / seconds,
             speedup_vs_scalar: scalar_seconds / seconds,
+            lane_occupancy,
         };
         scene_results.push(ScenePerf {
             scene: scene.name,
@@ -300,10 +332,13 @@ pub fn run_perf_suite(rays_per_scene: usize, repeats: usize, threads: usize) -> 
             beats,
             pool,
             measurements: vec![
-                measurement("scalar", scalar_seconds),
-                measurement("batched", batched_seconds),
-                measurement("simd", simd_seconds),
-                measurement("parallel", parallel_seconds),
+                measurement("scalar", scalar_seconds, 0.0),
+                measurement("batched", batched_seconds, occupancy_of(&batched_policy)),
+                measurement("simd", simd_seconds, occupancy_of(&simd_policy)),
+                measurement("coherent", coherent_seconds, occupancy_of(&coherent_policy)),
+                // The sharded run's beats execute on worker-private datapaths, so the caller's
+                // own mix records nothing; report the per-worker width via the simd probe.
+                measurement("parallel", parallel_seconds, occupancy_of(&simd_policy)),
             ],
         });
     }
@@ -373,7 +408,12 @@ fn run_instancing_suite(
         });
         assert_hits_match(name, "instanced-scalar", &expected, &scalar_hits);
 
-        let batched_policy = ExecPolicy::wavefront().with_simd_lanes(MAX_SIMD_LANES);
+        // Pinned `Off` like the baseline suite's legacy rows: these numbers compare against
+        // pre-coherence baselines, and the per-run sort cost does not amortize over a
+        // 2048-ray instancing trace.
+        let batched_policy = ExecPolicy::wavefront()
+            .with_simd_lanes(MAX_SIMD_LANES)
+            .with_coherence(CoherenceMode::Off);
         let (instanced_seconds, instanced_hits) = time_best_of(repeats, || {
             TraversalEngine::with_config(config)
                 .trace(&request, &batched_policy)
@@ -408,7 +448,8 @@ fn run_instancing_suite(
 
 impl PerfBaseline {
     /// The smallest best-mode speedup over scalar across all scenes — the headline number the
-    /// acceptance gate checks (best of batched/simd/parallel per scene, worst case over scenes).
+    /// acceptance gate checks (best of batched/simd/coherent/parallel per scene, worst case
+    /// over scenes).
     #[must_use]
     pub fn min_best_speedup(&self) -> f64 {
         self.scenes
@@ -416,6 +457,7 @@ impl PerfBaseline {
             .map(|s| {
                 s.speedup("batched")
                     .max(s.speedup("simd"))
+                    .max(s.speedup("coherent"))
                     .max(s.speedup("parallel"))
             })
             .chain(self.instancing.iter().map(|i| i.speedup_vs_scalar))
@@ -452,8 +494,9 @@ impl PerfBaseline {
             ));
             for (j, m) in scene.measurements.iter().enumerate() {
                 out.push_str(&format!(
-                    "{{\"mode\": \"{}\", \"seconds\": {:.6}, \"rays_per_sec\": {:.0}, \"beats_per_sec\": {:.0}, \"speedup_vs_scalar\": {:.2}}}",
-                    m.mode, m.seconds, m.rays_per_sec, m.beats_per_sec, m.speedup_vs_scalar
+                    "{{\"mode\": \"{}\", \"seconds\": {:.6}, \"rays_per_sec\": {:.0}, \"beats_per_sec\": {:.0}, \"speedup_vs_scalar\": {:.2}, \"simd_lane_occupancy\": {:.3}}}",
+                    m.mode, m.seconds, m.rays_per_sec, m.beats_per_sec, m.speedup_vs_scalar,
+                    m.lane_occupancy
                 ));
                 if j + 1 < scene.measurements.len() {
                     out.push_str(", ");
@@ -510,6 +553,7 @@ impl PerfBaseline {
             "rays/s",
             "beats/s",
             "vs scalar",
+            "lane occ",
         ]);
         for scene in &self.scenes {
             for m in &scene.measurements {
@@ -522,6 +566,7 @@ impl PerfBaseline {
                     format!("{:.0}", m.rays_per_sec),
                     format!("{:.0}", m.beats_per_sec),
                     format!("{:.2}x", m.speedup_vs_scalar),
+                    format!("{:.3}", m.lane_occupancy),
                 ]);
             }
         }
@@ -598,6 +643,10 @@ pub struct QueryModePerf {
     pub speedup: f64,
     /// `scalar_seconds / simd_seconds`.
     pub simd_speedup: f64,
+    /// Lane occupancy of the simd run's lane-batched kernel issues
+    /// ([`BeatMix::simd_lane_occupancy`]; 0 when the kind never batches lanes, e.g. the k-NN
+    /// accumulator chain that stays on the scalar fast path).
+    pub simd_lane_occupancy: f64,
 }
 
 /// The query-engine baseline document (`BENCH_query_engine.json`): how much the generic batched
@@ -630,9 +679,9 @@ impl QueryEngineBaseline {
         out.push_str("  \"modes\": [\n");
         for (i, m) in self.modes.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"mode\": \"{}\", \"items\": {}, \"beats\": {}, \"scalar_seconds\": {:.6}, \"batched_seconds\": {:.6}, \"simd_seconds\": {:.6}, \"speedup\": {:.2}, \"simd_speedup\": {:.2}}}",
+                "    {{\"mode\": \"{}\", \"items\": {}, \"beats\": {}, \"scalar_seconds\": {:.6}, \"batched_seconds\": {:.6}, \"simd_seconds\": {:.6}, \"speedup\": {:.2}, \"simd_speedup\": {:.2}, \"simd_lane_occupancy\": {:.3}}}",
                 m.mode, m.items, m.beats, m.scalar_seconds, m.batched_seconds, m.simd_seconds,
-                m.speedup, m.simd_speedup
+                m.speedup, m.simd_speedup, m.simd_lane_occupancy
             ));
             out.push_str(if i + 1 < self.modes.len() {
                 ",\n"
@@ -657,6 +706,7 @@ impl QueryEngineBaseline {
             "simd (ms)",
             "speedup",
             "simd speedup",
+            "lane occ",
         ]);
         for m in &self.modes {
             table.add_row(vec![
@@ -668,6 +718,7 @@ impl QueryEngineBaseline {
                 format!("{:.2}", m.simd_seconds * 1e3),
                 format!("{:.2}x", m.speedup),
                 format!("{:.2}x", m.simd_speedup),
+                format!("{:.3}", m.simd_lane_occupancy),
             ]);
         }
         format!(
@@ -703,6 +754,9 @@ pub struct RenderPassPerf {
     pub speedup: f64,
     /// `scalar_seconds / simd_seconds`.
     pub simd_speedup: f64,
+    /// Lane occupancy of the simd frame's lane-batched kernel issues
+    /// ([`BeatMix::simd_lane_occupancy`]).
+    pub simd_lane_occupancy: f64,
 }
 
 /// The deferred-renderer baseline document (`BENCH_render_passes.json`): how much the batched
@@ -744,9 +798,9 @@ impl RenderPassBaseline {
         out.push_str("  \"passes\": [\n");
         for (i, p) in self.passes.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"pass\": \"{}\", \"pixels\": {}, \"rays\": {}, \"beats\": {}, \"scalar_seconds\": {:.6}, \"batched_seconds\": {:.6}, \"simd_seconds\": {:.6}, \"speedup\": {:.2}, \"simd_speedup\": {:.2}}}",
+                "    {{\"pass\": \"{}\", \"pixels\": {}, \"rays\": {}, \"beats\": {}, \"scalar_seconds\": {:.6}, \"batched_seconds\": {:.6}, \"simd_seconds\": {:.6}, \"speedup\": {:.2}, \"simd_speedup\": {:.2}, \"simd_lane_occupancy\": {:.3}}}",
                 p.pass, p.pixels, p.rays, p.beats, p.scalar_seconds, p.batched_seconds,
-                p.simd_seconds, p.speedup, p.simd_speedup
+                p.simd_seconds, p.speedup, p.simd_speedup, p.simd_lane_occupancy
             ));
             out.push_str(if i + 1 < self.passes.len() {
                 ",\n"
@@ -772,6 +826,7 @@ impl RenderPassBaseline {
             "simd (ms)",
             "speedup",
             "simd speedup",
+            "lane occ",
         ]);
         for p in &self.passes {
             table.add_row(vec![
@@ -784,6 +839,7 @@ impl RenderPassBaseline {
                 format!("{:.2}", p.simd_seconds * 1e3),
                 format!("{:.2}x", p.speedup),
                 format!("{:.2}x", p.simd_speedup),
+                format!("{:.3}", p.simd_lane_occupancy),
             ]);
         }
         format!(
@@ -869,6 +925,7 @@ pub fn run_render_pass_suite(pixels_per_frame: usize, repeats: usize) -> RenderP
             reference_stats,
             "{name}: simd TraversalStats diverged from the reference"
         );
+        let simd_lane_occupancy = simd.beat_mix().simd_lane_occupancy();
 
         let (scalar_seconds, _) = time_best_of(repeats, || {
             let mut renderer = Renderer::with_config(config);
@@ -892,6 +949,7 @@ pub fn run_render_pass_suite(pixels_per_frame: usize, repeats: usize) -> RenderP
             simd_seconds,
             speedup: scalar_seconds / batched_seconds,
             simd_speedup: scalar_seconds / simd_seconds,
+            simd_lane_occupancy,
         });
     }
 
@@ -1017,6 +1075,14 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
                 );
             }
         }
+        // One untimed simd frame on a kept renderer to read the lane occupancy the timed
+        // runs achieved (the ratio is deterministic).
+        let mut occupancy_probe = Renderer::with_config(config);
+        occupancy_probe.render(
+            &world,
+            &FrameDesc::primary(camera, width, height),
+            &ExecPolicy::wavefront().with_simd_lanes(MAX_SIMD_LANES),
+        );
         modes.push(QueryModePerf {
             mode: "render",
             items: (width * height) as u64,
@@ -1026,6 +1092,7 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
             simd_seconds,
             speedup: scalar_seconds / batched_seconds,
             simd_speedup: scalar_seconds / simd_seconds,
+            simd_lane_occupancy: occupancy_probe.beat_mix().simd_lane_occupancy(),
         });
     }
 
@@ -1066,6 +1133,11 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
             expected.iter().any(Option::is_some) && expected.iter().any(Option::is_none),
             "the soft-shadow scene must mix occluded and open rays"
         );
+        let mut occupancy_probe = TraversalEngine::with_config(config);
+        let _ = occupancy_probe.trace(
+            &request,
+            &ExecPolicy::wavefront().with_simd_lanes(MAX_SIMD_LANES),
+        );
         modes.push(QueryModePerf {
             mode: "shadow",
             items: shadow_rays.len() as u64,
@@ -1075,6 +1147,7 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
             simd_seconds,
             speedup: scalar_seconds / batched_seconds,
             simd_speedup: scalar_seconds / simd_seconds,
+            simd_lane_occupancy: occupancy_probe.beat_mix().simd_lane_occupancy(),
         });
     }
 
@@ -1127,6 +1200,13 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
                 i % expected.len()
             );
         }
+        let mut occupancy_probe = KnnEngine::with_config(config);
+        let _ = occupancy_probe.distances(
+            &query,
+            &dataset.vectors,
+            KnnMetric::Euclidean,
+            &ExecPolicy::wavefront().with_simd_lanes(MAX_SIMD_LANES),
+        );
         modes.push(QueryModePerf {
             mode: "knn",
             items: dataset.vectors.len() as u64,
@@ -1136,6 +1216,7 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
             simd_seconds,
             speedup: scalar_seconds / batched_seconds,
             simd_speedup: scalar_seconds / simd_seconds,
+            simd_lane_occupancy: occupancy_probe.beat_mix().simd_lane_occupancy(),
         });
     }
 
@@ -1145,12 +1226,15 @@ pub fn run_query_engine_suite(items_per_mode: usize, repeats: usize) -> QueryEng
 /// One execution mode of the fused suite, timed over the whole mixed workload.
 #[derive(Debug, Clone)]
 pub struct FusedModePerf {
-    /// Mode name (`scalar`, `sequential`, `fused`, `simd`).
+    /// Mode name (`scalar`, `sequential`, `fused`, `simd`, `coherent`).
     pub mode: &'static str,
     /// Best-of wall time for all four streams, in seconds.
     pub seconds: f64,
     /// Throughput relative to the scalar mode.
     pub speedup_vs_scalar: f64,
+    /// Lane occupancy of this mode's lane-batched kernel issues
+    /// ([`BeatMix::simd_lane_occupancy`]; 0 for the scalar and width-1 modes).
+    pub lane_occupancy: f64,
 }
 
 /// One row of the fused per-kind × per-opcode mix table.
@@ -1241,8 +1325,8 @@ impl FusedBaseline {
         out.push_str("  \"modes\": [\n");
         for (i, m) in self.modes.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"mode\": \"{}\", \"seconds\": {:.6}, \"speedup_vs_scalar\": {:.2}}}",
-                m.mode, m.seconds, m.speedup_vs_scalar
+                "    {{\"mode\": \"{}\", \"seconds\": {:.6}, \"speedup_vs_scalar\": {:.2}, \"simd_lane_occupancy\": {:.3}}}",
+                m.mode, m.seconds, m.speedup_vs_scalar, m.lane_occupancy
             ));
             out.push_str(if i + 1 < self.modes.len() {
                 ",\n"
@@ -1290,12 +1374,13 @@ impl FusedBaseline {
     #[must_use]
     pub fn render_table(&self) -> String {
         use rayflex_synth::report::Table;
-        let mut table = Table::new(vec!["mode", "time (ms)", "vs scalar"]);
+        let mut table = Table::new(vec!["mode", "time (ms)", "vs scalar", "lane occ"]);
         for m in &self.modes {
             table.add_row(vec![
                 m.mode.to_string(),
                 format!("{:.2}", m.seconds * 1e3),
                 format!("{:.2}x", m.speedup_vs_scalar),
+                format!("{:.3}", m.lane_occupancy),
             ]);
         }
         // Column headers come from Opcode::ALL so the cells (also in ALL order) can never drift
@@ -1363,8 +1448,9 @@ struct MixedOutputs {
 /// Runs the four streams of the mixed workload over one extended datapath through the fused
 /// scheduler — all four merged into shared passes when `fuse` is true (under the given
 /// per-stream beat budget), one stream at a time (sequential batched scheduling) when false.
-/// Returns the outputs, the datapath's beat mix, the pass count and the per-stream pass counts
-/// of the (fused) run.
+/// `coherence` sets the admission discipline of the two traversal streams (the distance and
+/// collect streams have no ray octants to sort).  Returns the outputs, the datapath's beat mix,
+/// the pass count and the per-stream pass counts of the (fused) run.
 fn run_mixed_batched(
     workload: &mixed::MixedWorkload,
     world: &Scene,
@@ -1372,12 +1458,15 @@ fn run_mixed_batched(
     fuse: bool,
     beat_budget_per_stream: usize,
     simd_lanes: usize,
+    coherence: CoherenceMode,
 ) -> (MixedOutputs, BeatMix, u64, [u64; 4]) {
     let mut datapath = RayFlexDatapath::new(PipelineConfig::extended_unified());
     datapath.set_simd_lanes(simd_lanes);
     let mut scheduler = FusedScheduler::new().with_beat_budget(beat_budget_per_stream);
-    let mut closest = TraversalStream::closest_hit(world, &workload.primary_rays);
-    let mut shadow = TraversalStream::any_hit(world, &workload.shadow_rays);
+    let mut closest =
+        TraversalStream::closest_hit(world, &workload.primary_rays).with_coherence(coherence);
+    let mut shadow =
+        TraversalStream::any_hit(world, &workload.shadow_rays).with_coherence(coherence);
     let mut distance = DistanceStream::new(
         &workload.query_vector,
         &workload.candidates,
@@ -1522,10 +1611,11 @@ fn assert_mixed_outputs_match(mode: &str, expected: &MixedOutputs, got: &MixedOu
 }
 
 /// Runs the fused suite: executes the mixed workload scalar, sequential-batched, **fused** (all
-/// four query kinds sharing bulk passes over one extended datapath) and **simd** (the fused
-/// discipline with the lane-batched fast path at its maximum width), cross-checks that all modes
-/// produce bit-identical per-stream outputs first, then times each mode and captures the fused
-/// run's per-kind × per-opcode beat mix.
+/// four query kinds sharing bulk passes over one extended datapath), **simd** (the fused
+/// discipline with the lane-batched fast path at its maximum width) and **coherent** (the simd
+/// discipline with octant-sorted, lane-compacted admission on the traversal streams),
+/// cross-checks that all modes produce bit-identical per-stream outputs first, then times each
+/// mode and captures the fused run's per-kind × per-opcode beat mix.
 ///
 /// `items_per_mode` sizes the workload (rays per traversal stream, candidate vectors).
 ///
@@ -1544,17 +1634,51 @@ pub fn run_fused_suite(items_per_mode: usize, repeats: usize) -> FusedBaseline {
         .collect();
     let sphere_bvh = Bvh4::build(&spheres);
 
-    // Cross-check: all modes agree per stream, bit for bit, before timing anything.
+    // Cross-check: all modes agree per stream, bit for bit, before timing anything.  The
+    // sequential/fused/simd modes pin the coherence layer off to keep their columns comparable
+    // with earlier baselines; `coherent` is the simd discipline with sorted-and-compacted
+    // admission on the two traversal streams.
     let expected = run_mixed_scalar(&workload, &world, &sphere_bvh);
-    let (sequential_outputs, _, _, _) =
-        run_mixed_batched(&workload, &world, &sphere_bvh, false, 0, 1);
+    let (sequential_outputs, _, _, _) = run_mixed_batched(
+        &workload,
+        &world,
+        &sphere_bvh,
+        false,
+        0,
+        1,
+        CoherenceMode::Off,
+    );
     assert_mixed_outputs_match("sequential", &expected, &sequential_outputs);
-    let (fused_outputs, fused_mix, fused_pass_count, fused_stream_passes) =
-        run_mixed_batched(&workload, &world, &sphere_bvh, true, 0, 1);
+    let (fused_outputs, fused_mix, fused_pass_count, fused_stream_passes) = run_mixed_batched(
+        &workload,
+        &world,
+        &sphere_bvh,
+        true,
+        0,
+        1,
+        CoherenceMode::Off,
+    );
     assert_mixed_outputs_match("fused", &expected, &fused_outputs);
-    let (simd_outputs, _, _, _) =
-        run_mixed_batched(&workload, &world, &sphere_bvh, true, 0, MAX_SIMD_LANES);
+    let (simd_outputs, simd_mix, _, _) = run_mixed_batched(
+        &workload,
+        &world,
+        &sphere_bvh,
+        true,
+        0,
+        MAX_SIMD_LANES,
+        CoherenceMode::Off,
+    );
     assert_mixed_outputs_match("simd", &expected, &simd_outputs);
+    let (coherent_outputs, coherent_mix, _, _) = run_mixed_batched(
+        &workload,
+        &world,
+        &sphere_bvh,
+        true,
+        0,
+        MAX_SIMD_LANES,
+        CoherenceMode::SortAndCompact,
+    );
+    assert_mixed_outputs_match("coherent", &expected, &coherent_outputs);
     assert!(
         fused_mix.fused_passes() > 0,
         "the fused run must interleave at least two query kinds in one pass"
@@ -1563,13 +1687,48 @@ pub fn run_fused_suite(items_per_mode: usize, repeats: usize) -> FusedBaseline {
     let (scalar_seconds, _) =
         time_best_of(repeats, || run_mixed_scalar(&workload, &world, &sphere_bvh));
     let (sequential_seconds, _) = time_best_of(repeats, || {
-        run_mixed_batched(&workload, &world, &sphere_bvh, false, 0, 1)
+        run_mixed_batched(
+            &workload,
+            &world,
+            &sphere_bvh,
+            false,
+            0,
+            1,
+            CoherenceMode::Off,
+        )
     });
     let (fused_seconds, _) = time_best_of(repeats, || {
-        run_mixed_batched(&workload, &world, &sphere_bvh, true, 0, 1)
+        run_mixed_batched(
+            &workload,
+            &world,
+            &sphere_bvh,
+            true,
+            0,
+            1,
+            CoherenceMode::Off,
+        )
     });
     let (simd_seconds, _) = time_best_of(repeats, || {
-        run_mixed_batched(&workload, &world, &sphere_bvh, true, 0, MAX_SIMD_LANES)
+        run_mixed_batched(
+            &workload,
+            &world,
+            &sphere_bvh,
+            true,
+            0,
+            MAX_SIMD_LANES,
+            CoherenceMode::Off,
+        )
+    });
+    let (coherent_seconds, _) = time_best_of(repeats, || {
+        run_mixed_batched(
+            &workload,
+            &world,
+            &sphere_bvh,
+            true,
+            0,
+            MAX_SIMD_LANES,
+            CoherenceMode::SortAndCompact,
+        )
     });
 
     // Beat-budget fairness sweep: the same fused workload under per-stream admission budgets.
@@ -1587,11 +1746,26 @@ pub fn run_fused_suite(items_per_mode: usize, repeats: usize) -> FusedBaseline {
                     seconds: fused_seconds,
                 };
             }
-            let (outputs, _, passes, stream_passes) =
-                run_mixed_batched(&workload, &world, &sphere_bvh, true, budget, 1);
+            let (outputs, _, passes, stream_passes) = run_mixed_batched(
+                &workload,
+                &world,
+                &sphere_bvh,
+                true,
+                budget,
+                1,
+                CoherenceMode::Off,
+            );
             assert_mixed_outputs_match(&format!("fused-budget-{budget}"), &expected, &outputs);
             let (seconds, _) = time_best_of(repeats, || {
-                run_mixed_batched(&workload, &world, &sphere_bvh, true, budget, 1)
+                run_mixed_batched(
+                    &workload,
+                    &world,
+                    &sphere_bvh,
+                    true,
+                    budget,
+                    1,
+                    CoherenceMode::Off,
+                )
             });
             FusedBudgetPerf {
                 beat_budget_per_stream: budget,
@@ -1602,10 +1776,11 @@ pub fn run_fused_suite(items_per_mode: usize, repeats: usize) -> FusedBaseline {
         })
         .collect();
 
-    let measurement = |mode: &'static str, seconds: f64| FusedModePerf {
+    let measurement = |mode: &'static str, seconds: f64, lane_occupancy: f64| FusedModePerf {
         mode,
         seconds,
         speedup_vs_scalar: scalar_seconds / seconds,
+        lane_occupancy,
     };
     FusedBaseline {
         repeats,
@@ -1616,10 +1791,15 @@ pub fn run_fused_suite(items_per_mode: usize, repeats: usize) -> FusedBaseline {
         passes: fused_mix.passes(),
         fused_passes: fused_mix.fused_passes(),
         modes: vec![
-            measurement("scalar", scalar_seconds),
-            measurement("sequential", sequential_seconds),
-            measurement("fused", fused_seconds),
-            measurement("simd", simd_seconds),
+            measurement("scalar", scalar_seconds, 0.0),
+            measurement("sequential", sequential_seconds, 0.0),
+            measurement("fused", fused_seconds, 0.0),
+            measurement("simd", simd_seconds, simd_mix.simd_lane_occupancy()),
+            measurement(
+                "coherent",
+                coherent_seconds,
+                coherent_mix.simd_lane_occupancy(),
+            ),
         ],
         mix: QueryKind::ALL
             .iter()
@@ -1639,11 +1819,21 @@ mod tests {
     #[test]
     fn the_fused_suite_runs_cross_checked_and_reports_the_mix() {
         let baseline = run_fused_suite(96, 1);
-        assert_eq!(baseline.modes.len(), 4);
+        assert_eq!(baseline.modes.len(), 5);
         assert!(baseline.modes.iter().any(|m| m.mode == "simd"));
         for mode in &baseline.modes {
             assert!(mode.seconds > 0.0 && mode.speedup_vs_scalar > 0.0);
         }
+        // Sorted-and-compacted admission can only fill lanes better than unsorted admission.
+        let occupancy = |name: &str| {
+            baseline
+                .modes
+                .iter()
+                .find(|m| m.mode == name)
+                .map_or(0.0, |m| m.lane_occupancy)
+        };
+        assert!(occupancy("coherent") >= occupancy("simd"));
+        assert!(occupancy("simd") > 0.0);
         assert!(baseline.fused_speedup() > 0.0);
         assert!(baseline.fused_passes > 0 && baseline.passes >= baseline.fused_passes);
         // Every query kind of the mixed workload shows up in the fused mix.
@@ -1661,6 +1851,7 @@ mod tests {
         let json = baseline.to_json();
         assert!(json.contains("\"mix\"") && json.contains("fused_passes"));
         assert!(json.contains("sequential") && json.contains("fused"));
+        assert!(json.contains("\"coherent\"") && json.contains("simd_lane_occupancy"));
         let table = baseline.render_table();
         assert!(table.contains("collect") && table.contains("vs scalar"));
 
@@ -1698,6 +1889,7 @@ mod tests {
         assert!(baseline.min_speedup() > 0.0);
         let json = baseline.to_json();
         assert!(json.contains("\"modes\"") && json.contains("simd_speedup"));
+        assert!(json.contains("simd_lane_occupancy"));
         assert!(json.contains("render") && json.contains("shadow") && json.contains("knn"));
         let table = baseline.render_table();
         assert!(table.contains("speedup") && table.contains("shadow"));
@@ -1720,6 +1912,7 @@ mod tests {
         assert!(rays[0] < rays[1] && rays[1] < rays[2]);
         let json = baseline.to_json();
         assert!(json.contains("\"passes\""));
+        assert!(json.contains("simd_lane_occupancy"));
         assert!(json.contains("primary") && json.contains("shadowed_ao"));
         let table = baseline.render_table();
         assert!(table.contains("speedup") && table.contains("shadowed"));
@@ -1731,20 +1924,32 @@ mod tests {
         assert_eq!(baseline.scenes.len(), 3);
         assert!(baseline.datapath.simd_beats_per_sec > 0.0);
         for scene in &baseline.scenes {
-            assert_eq!(scene.measurements.len(), 4);
+            assert_eq!(scene.measurements.len(), 5);
             assert!(scene.beats > 0);
             for m in &scene.measurements {
                 assert!(m.seconds > 0.0 && m.rays_per_sec > 0.0 && m.beats_per_sec > 0.0);
             }
             assert!((scene.speedup("scalar") - 1.0).abs() < 1e-9);
+            // Sorted-and-compacted admission can only fill lanes better than unsorted.
+            let occupancy = |name: &str| {
+                scene
+                    .measurements
+                    .iter()
+                    .find(|m| m.mode == name)
+                    .map_or(0.0, |m| m.lane_occupancy)
+            };
+            assert!(occupancy("coherent") >= occupancy("simd"));
+            assert!(occupancy("simd") > 0.0);
         }
         assert!(baseline.min_best_speedup() > 0.0);
         let json = baseline.to_json();
         assert!(json.contains("\"scenes\""));
         assert!(json.contains("icosphere"));
         assert!(json.contains("batched") && json.contains("\"simd\""));
+        assert!(json.contains("\"coherent\"") && json.contains("simd_lane_occupancy"));
         assert!(json.contains("\"pool\"") && json.contains("\"steals\""));
         let table = baseline.render_table();
         assert!(table.contains("quad_wall") && table.contains("vs scalar"));
+        assert!(table.contains("lane occ"));
     }
 }

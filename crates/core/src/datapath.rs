@@ -29,6 +29,11 @@ pub struct BeatMix {
     /// Ray–box beats whose tag carried [`crate::TLAS_PHASE_TAG`] — the top-level (instance
     /// hierarchy) phase of a two-level scene traversal.
     tlas_box_beats: u64,
+    /// Issue slots the lane-batched kernels cycled through (every issue — vector or scalar
+    /// remainder — charges the full dispatch width).
+    simd_lane_slots: u64,
+    /// Lanes that carried a live beat across those issues.
+    simd_lanes_busy: u64,
 }
 
 impl BeatMix {
@@ -39,6 +44,15 @@ impl BeatMix {
     fn record_attributed(&mut self, kind: QueryKind, opcode: Opcode) {
         self.counts[Self::slot(opcode)] += 1;
         self.kind_counts[Self::kind_slot(kind)][Self::slot(opcode)] += 1;
+    }
+
+    /// Records a same-opcode run of `count` beats at once — counter-identical to `count` calls
+    /// of [`BeatMix::record`] / [`BeatMix::record_attributed`].
+    fn record_run(&mut self, opcode: Opcode, kind: Option<QueryKind>, count: u64) {
+        self.counts[Self::slot(opcode)] += count;
+        if let Some(kind) = kind {
+            self.kind_counts[Self::kind_slot(kind)][Self::slot(opcode)] += count;
+        }
     }
 
     /// Constant-time counter slot; runs on the per-beat hot path, so no table scan.  The mapping
@@ -107,6 +121,41 @@ impl BeatMix {
     #[must_use]
     pub fn tlas_box_beats(&self) -> u64 {
         self.tlas_box_beats
+    }
+
+    /// Records one lane-batched kernel dispatch: `busy` lanes carried beats across issues
+    /// totalling `slots` lane-slots.
+    fn record_lanes(&mut self, busy: u64, slots: u64) {
+        self.simd_lanes_busy += busy;
+        self.simd_lane_slots += slots;
+    }
+
+    /// Issue slots the lane-batched ray kernels cycled through: every kernel issue — eight-wide,
+    /// four-wide, or a scalar remainder beat — charges the full SIMD dispatch width, because an
+    /// idle vector lane costs the same cycle as a busy one.  Zero when the scalar path ran
+    /// (`simd_lanes < 4`) or only distance beats executed.
+    #[must_use]
+    pub fn simd_lane_slots(&self) -> u64 {
+        self.simd_lane_slots
+    }
+
+    /// Lanes of those issue slots that carried a live beat (see [`BeatMix::simd_lane_slots`]).
+    #[must_use]
+    pub fn simd_lanes_busy(&self) -> u64 {
+        self.simd_lanes_busy
+    }
+
+    /// SIMD lane occupancy of the lane-batched kernels: busy lanes over dispatched lane-slots,
+    /// in `[0, 1]`.  Zero when no lane-batched kernel ran.  Unlike the beat counters this is a
+    /// *throughput* statistic of the dispatch order (like [`BeatMix::passes`]): coherence-sorted
+    /// schedules raise it without changing any beat count.
+    #[must_use]
+    pub fn simd_lane_occupancy(&self) -> f64 {
+        if self.simd_lane_slots == 0 {
+            0.0
+        } else {
+            self.simd_lanes_busy as f64 / self.simd_lane_slots as f64
+        }
     }
 
     /// Iterator over `(opcode, count)` pairs in the stable [`Opcode::ALL`] order.
@@ -257,6 +306,22 @@ impl RayFlexDatapath {
         }
     }
 
+    /// Admits a same-opcode run of `count` beats in one step: counter-identical to calling
+    /// [`RayFlexDatapath::admit`] once per beat, with the opcode-support assertion and the mix
+    /// slot lookups hoisted out of the loop.  Only valid for opcodes without per-beat admission
+    /// state — ray–triangle beats never carry the TLAS phase tag, so the per-beat tag check of
+    /// [`RayFlexDatapath::admit`] is vacuous for them.
+    fn admit_triangle_run(&mut self, count: u64, kind: Option<QueryKind>) {
+        assert!(
+            self.config.supports(Opcode::RayTriangle),
+            "opcode {} is not supported by the {} configuration",
+            Opcode::RayTriangle,
+            self.config.name()
+        );
+        self.executed += count;
+        self.mix.record_run(Opcode::RayTriangle, kind, count);
+    }
+
     /// Runs one admitted beat through the register-accurate recoded-format stage emulation.
     fn emulated_beat(&mut self, request: &RayFlexRequest) -> RayFlexResponse {
         *self.scratch = SharedRayFlexData::from_request(request);
@@ -341,6 +406,7 @@ impl RayFlexDatapath {
                     {
                         self.admit(request, kind);
                         self.admit(&requests[index + 1], kind);
+                        self.mix.record_lanes(8, 8);
                         crate::fastpath::execute_fast_box_lanes_pair(
                             request,
                             &requests[index + 1],
@@ -349,6 +415,8 @@ impl RayFlexDatapath {
                         index += 2;
                     } else {
                         self.admit(request, kind);
+                        // An unpaired box beat occupies four lanes of a full-width issue.
+                        self.mix.record_lanes(4, self.simd_lanes as u64);
                         responses.push(crate::fastpath::execute_fast_box_lanes(request));
                         index += 1;
                     }
@@ -359,9 +427,10 @@ impl RayFlexDatapath {
                     while end < limit && requests[end].opcode == Opcode::RayTriangle {
                         end += 1;
                     }
-                    for request in &requests[index..end] {
-                        self.admit(request, kind);
-                    }
+                    self.admit_triangle_run((end - index) as u64, kind);
+                    let (busy, slots) =
+                        crate::fastpath::triangle_lane_accounting(end - index, self.simd_lanes);
+                    self.mix.record_lanes(busy, slots);
                     crate::fastpath::execute_fast_triangles(&requests[index..end], responses);
                     index = end;
                 }
@@ -428,6 +497,38 @@ impl RayFlexDatapath {
             self.fast_run(&requests[offset..offset + len], Some(kind), responses);
             offset += len;
         }
+    }
+
+    /// Counts one logical bulk pass without executing any beats — the accounting half of the
+    /// chunked dispatch interface ([`RayFlexDatapath::execute_pass_chunk`]).
+    ///
+    /// A tiling scheduler keeps its pass buffers cache-resident by dispatching one logical pass
+    /// as several small chunks; it records the pass once through here (per-kind pass counters and
+    /// fused-pass detection behave exactly as one [`RayFlexDatapath::execute_batch_segmented`]
+    /// call over the whole pass would) and then executes each chunk beat-account-only through
+    /// [`RayFlexDatapath::execute_pass_chunk`].
+    pub fn record_pass(&mut self, segments: &[(QueryKind, usize)]) {
+        self.passes_accounting(segments);
+    }
+
+    /// Executes one chunk of a pass recorded with [`RayFlexDatapath::record_pass`]: the beats
+    /// run on the native fast model attributed to `kind`, bit-identical to their slice of an
+    /// [`RayFlexDatapath::execute_batch_segmented`] call, but no pass is counted.  Lane grouping
+    /// restarts at the chunk boundary, which only moves where same-opcode runs split — never a
+    /// response value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any beat's opcode is unsupported (see [`RayFlexDatapath::execute`]).
+    pub fn execute_pass_chunk(
+        &mut self,
+        requests: &[RayFlexRequest],
+        kind: QueryKind,
+        responses: &mut Vec<RayFlexResponse>,
+    ) {
+        responses.clear();
+        responses.reserve(requests.len());
+        self.fast_run(requests, Some(kind), responses);
     }
 
     /// Counts one segmented pass, detecting whether its non-empty segments mix distinct kinds.
@@ -530,6 +631,40 @@ mod tests {
         for (slot, &opcode) in Opcode::ALL.iter().enumerate() {
             assert_eq!(BeatMix::slot(opcode), slot);
         }
+    }
+
+    #[test]
+    fn lane_occupancy_tracks_the_batched_kernel_issues() {
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        let boxes = [Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)); 4];
+        let tri = Triangle::new(
+            Vec3::new(-1.0, -1.0, 3.0),
+            Vec3::new(1.0, -1.0, 3.0),
+            Vec3::new(0.0, 1.0, 3.0),
+        );
+        let requests = [
+            RayFlexRequest::ray_box(0, &ray, &boxes),
+            RayFlexRequest::ray_box(1, &ray, &boxes),
+            RayFlexRequest::ray_triangle(2, &ray, &tri),
+            RayFlexRequest::ray_triangle(3, &ray, &tri),
+            RayFlexRequest::ray_triangle(4, &ray, &tri),
+        ];
+        // Scalar dispatch records nothing.
+        let mut scalar = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let _ = scalar.execute_batch(&requests);
+        assert_eq!(scalar.beat_mix().simd_lane_slots(), 0);
+        assert_eq!(scalar.beat_mix().simd_lane_occupancy(), 0.0);
+        // Eight lanes: one box pair (8/8) + a three-beat triangle run (three scalar-remainder
+        // issues of eight slots each, three busy).
+        let mut wide = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        wide.set_simd_lanes(8);
+        let _ = wide.execute_batch(&requests);
+        let mix = wide.beat_mix();
+        assert_eq!(mix.simd_lanes_busy(), 8 + 3);
+        assert_eq!(mix.simd_lane_slots(), 8 + 3 * 8);
+        assert!((mix.simd_lane_occupancy() - 11.0 / 32.0).abs() < 1e-12);
+        // The lane counters never change the beat counts.
+        assert_eq!(mix.total(), scalar.beat_mix().total());
     }
 
     #[test]

@@ -419,13 +419,15 @@ fn triangle_lanes<const L: usize>(
     let det: [f32; L] = core::array::from_fn(|l| (u[l] + v[l]) + w[l]);
     let t_num: [f32; L] = core::array::from_fn(|l| (u[l] * az[l] + v[l] * bz[l]) + w[l] * cz[l]);
 
-    for lane in 0..L {
+    // One trusted-length extend instead of per-lane pushes: the capacity check happens once per
+    // issue, and each response is constructed in place in the buffer.
+    responses.extend((0..L).map(|lane| {
         let hit = u[lane] >= 0.0
             && v[lane] >= 0.0
             && w[lane] >= 0.0
             && det[lane] > 0.0
             && t_num[lane] >= 0.0;
-        responses.push(RayFlexResponse {
+        RayFlexResponse {
             opcode: requests[lane].opcode,
             tag: requests[lane].tag,
             box_result: None,
@@ -438,8 +440,8 @@ fn triangle_lanes<const L: usize>(
                 w: canonicalize_nan(w[lane]),
             }),
             distance_result: None,
-        });
-    }
+        }
+    }));
 }
 
 /// Executes a run of adjacent ray–triangle beats through the widest lane kernel that fits:
@@ -463,6 +465,27 @@ pub(crate) fn execute_fast_triangles(
     }
 }
 
+/// Lane-occupancy accounting of one same-opcode triangle run dispatched at `lanes` width,
+/// mirroring the kernel tiering of [`execute_fast_triangles`]: eight-wide issues, then
+/// four-wide, then the scalar remainder.  Returns `(busy, slots)`, where `busy` counts one
+/// lane per beat and `slots` charges every issue — vector or scalar — the full dispatch
+/// width, since a scalar remainder beat still occupies an issue slot the vector unit idles
+/// through.
+#[must_use]
+pub fn triangle_lane_accounting(run: usize, lanes: usize) -> (u64, u64) {
+    debug_assert!(lanes >= MIN_SIMD_LANES);
+    let mut rest = run;
+    let mut issues = 0;
+    if lanes >= 8 {
+        issues += rest / 8;
+        rest %= 8;
+    }
+    issues += rest / MIN_SIMD_LANES;
+    rest %= MIN_SIMD_LANES;
+    issues += rest;
+    (run as u64, (issues * lanes) as u64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,6 +494,17 @@ mod tests {
 
     fn sample_ray() -> Ray {
         Ray::new(Vec3::new(0.1, -0.4, -5.0), Vec3::new(0.05, 0.2, 1.0))
+    }
+
+    #[test]
+    fn triangle_lane_accounting_mirrors_the_kernel_tiers() {
+        // Eight lanes: 19 beats = two 8-wide issues + three scalar → 5 issues.
+        assert_eq!(triangle_lane_accounting(19, 8), (19, 5 * 8));
+        // Four lanes: 19 beats = four 4-wide issues + three scalar → 7 issues.
+        assert_eq!(triangle_lane_accounting(19, 4), (19, 7 * 4));
+        // A full-width run is perfectly occupied.
+        assert_eq!(triangle_lane_accounting(8, 8), (8, 8));
+        assert_eq!(triangle_lane_accounting(0, 8), (0, 0));
     }
 
     #[test]

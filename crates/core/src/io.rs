@@ -58,6 +58,31 @@ impl RayOperand {
         }
     }
 
+    /// The coherence sort key of this ray: three direction-sign octant bits above a 30-bit
+    /// Morton code of the origin.
+    ///
+    /// Rays sharing an octant traverse BVH children in similar orders, and rays with nearby
+    /// origins touch overlapping node sets — sorting a wavefront's admission order by this key
+    /// packs like-minded rays into adjacent pass slots, so the datapath's lane-grouping fast
+    /// path sees long same-opcode trains instead of interleaved fragments.  The key orders
+    /// *dispatch only*: schedulers reassemble results by item index, so outputs are
+    /// bit-identical for any key function.
+    ///
+    /// Layout: `octant << 30 | morton30`, where the octant packs the sign bits of
+    /// `dir.{x,y,z}` (negative = 1; a NaN component sorts as non-negative, which is merely a
+    /// grouping choice) and `morton30` interleaves the top ten bits of each origin
+    /// component's order-preserving unsigned image.
+    #[must_use]
+    pub fn coherence_key(&self) -> u64 {
+        let octant = u64::from(self.dir[0] < 0.0)
+            | u64::from(self.dir[1] < 0.0) << 1
+            | u64::from(self.dir[2] < 0.0) << 2;
+        let morton = spread_10(order_bits_10(self.origin[0]))
+            | spread_10(order_bits_10(self.origin[1])) << 1
+            | spread_10(order_bits_10(self.origin[2])) << 2;
+        octant << 30 | morton
+    }
+
     /// A zeroed placeholder operand (used when the beat's opcode does not need a ray).
     #[must_use]
     pub fn disabled() -> Self {
@@ -71,6 +96,32 @@ impl RayOperand {
             shear: [0.0, 0.0, 1.0],
         }
     }
+}
+
+/// Top ten bits of the order-preserving unsigned image of an IEEE-754 binary32 value: flip all
+/// bits of negatives and the sign bit of non-negatives, so the unsigned order of the images
+/// matches the numeric order of the floats (the classic radix-sort trick).  Ten bits per axis
+/// fill the 30-bit Morton budget below the octant bits.
+#[inline]
+fn order_bits_10(value: f32) -> u64 {
+    let bits = value.to_bits();
+    let ordered = if bits & 0x8000_0000 != 0 {
+        !bits
+    } else {
+        bits | 0x8000_0000
+    };
+    u64::from(ordered >> 22)
+}
+
+/// Spreads a 10-bit value so its bits occupy every third position (Morton interleave step).
+#[inline]
+fn spread_10(v: u64) -> u64 {
+    let mut v = v & 0x3FF;
+    v = (v | v << 16) & 0x0300_00FF;
+    v = (v | v << 8) & 0x0300_F00F;
+    v = (v | v << 4) & 0x030C_30C3;
+    v = (v | v << 2) & 0x0924_9249;
+    v
 }
 
 /// The vector operand of a distance beat: two sixteen-lane FP32 vectors and the lane-validity
@@ -383,6 +434,26 @@ mod tests {
         assert_eq!(op.shear[2], 1.0);
         assert_eq!(op.t_beg, 0.0);
         assert!(op.t_end.is_infinite());
+    }
+
+    #[test]
+    fn coherence_keys_group_by_octant_then_locality() {
+        let key = |origin, dir| RayOperand::from_ray(&Ray::new(origin, dir)).coherence_key();
+        // Octant bits dominate: same origin, mirrored direction → different top bits.
+        let fwd = key(Vec3::new(1.0, 2.0, 3.0), Vec3::new(0.3, 0.4, 0.5));
+        let back = key(Vec3::new(1.0, 2.0, 3.0), Vec3::new(-0.3, 0.4, 0.5));
+        assert_eq!(fwd >> 30, 0b000);
+        assert_eq!(back >> 30, 0b001);
+        assert!(back > fwd, "negative-x octant sorts after positive");
+        // Within an octant, nearby origins share high Morton bits more than distant ones.
+        let near = key(Vec3::new(1.0, 2.0, 3.0001), Vec3::new(0.3, 0.4, 0.5));
+        let far = key(Vec3::new(-900.0, 800.0, -700.0), Vec3::new(0.3, 0.4, 0.5));
+        assert_eq!(
+            near, fwd,
+            "sub-resolution origin jitter maps to the same key"
+        );
+        assert_ne!(far, fwd);
+        assert!(fwd < 1 << 33, "key fits octant(3) + morton(30) bits");
     }
 
     #[test]

@@ -12,9 +12,12 @@
 //!   before the query runs — [`FaultPlan::corrupt_rays`], [`FaultPlan::truncate`] and
 //!   [`FaultPlan::apply_to_bvh`] mutate data the engines then reject with a structured
 //!   [`QueryError`](crate::QueryError).
-//! * **Execution faults** ([`FaultKind::PoisonShard`], [`FaultKind::StarveBudget`]) fire *inside*
+//! * **Execution faults** ([`FaultKind::PoisonShard`], [`FaultKind::StarveBudget`],
+//!   [`FaultKind::ScramblePermutation`]) fire *inside*
 //!   the engines.  Shard poisoning is armed through [`while_armed`] and observed by a checkpoint
-//!   the parallel workers call on entry; budget starvation is simply an
+//!   the parallel workers call on entry; permutation scrambling is armed the same way and
+//!   observed by a checkpoint the batched schedulers call on their admission order after
+//!   coherent sorting; budget starvation is simply an
 //!   [`ExecPolicy::with_max_total_beats`](crate::ExecPolicy::with_max_total_beats) of 1, which
 //!   the harness applies itself.
 //!
@@ -34,7 +37,7 @@
 //! [`QueryError::ShardPanicked`](crate::QueryError) instead — the chaos tests cover both by
 //! arming the plan either once or around the retry too.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
 use rayflex_geometry::{Ray, Vec3};
@@ -61,6 +64,12 @@ pub enum FaultKind {
     /// Starve the run of beats.  Carries no mechanism of its own — the harness reacts to this
     /// kind by running the query under `ExecPolicy::with_max_total_beats(1)`.
     StarveBudget,
+    /// Corrupt the reassembly index of a batched scheduler: swap two seed-chosen entries of the
+    /// admission permutation after coherent sorting, exactly once.  The swapped list is still a
+    /// valid permutation, so this fault *proves* the coherence layer's index-keyed reassembly —
+    /// outputs and statistics must stay bit-identical under it (asserted by the chaos matrix),
+    /// because results are routed by the item indices the list carries, never by position.
+    ScramblePermutation,
 }
 
 /// A seeded, deterministic fault to inject into one query execution.
@@ -215,6 +224,10 @@ fn splitmix(state: &mut u64) -> u64 {
 static POISON_ARMED: AtomicBool = AtomicBool::new(false);
 /// Which shard index the armed fault targets.  Only read after `POISON_ARMED` observes `true`.
 static POISON_SHARD: AtomicUsize = AtomicUsize::new(0);
+/// Is a scramble-permutation fault armed?  One relaxed load per scheduler run.
+static SCRAMBLE_ARMED: AtomicBool = AtomicBool::new(false);
+/// Seed of the armed scramble.  Only read after `SCRAMBLE_ARMED` observes `true`.
+static SCRAMBLE_SEED: AtomicU64 = AtomicU64::new(0);
 
 /// The checkpoint parallel workers call on entry (once per shard, before any tracing).  When a
 /// [`FaultKind::PoisonShard`] plan is armed for this shard index, panics exactly once and
@@ -242,6 +255,42 @@ fn poisoned_shard_panic(shard: usize) {
     }
 }
 
+/// The checkpoint batched schedulers call once per run, right after (optional) coherent
+/// sorting of the admission permutation.  When a [`FaultKind::ScramblePermutation`] plan is
+/// armed, swaps two seed-chosen entries exactly once and disarms; otherwise a single relaxed
+/// atomic load and an immediate return.  The swap never duplicates an entry — the list stays a
+/// valid permutation of the run's items — so index-keyed reassembly must absorb it without any
+/// observable effect.
+pub(crate) fn scramble_checkpoint(permutation: &mut [usize]) {
+    if !SCRAMBLE_ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    scramble_permutation(permutation);
+}
+
+/// The armed-path tail of [`scramble_checkpoint`], kept out of the hot function.
+#[cold]
+fn scramble_permutation(permutation: &mut [usize]) {
+    if permutation.len() < 2 {
+        return;
+    }
+    // One-shot: only the run that wins the disarm race scrambles, so a plan corrupts exactly
+    // one scheduler's admission order per arming.
+    if SCRAMBLE_ARMED
+        .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        return;
+    }
+    let mut state = SCRAMBLE_SEED.load(Ordering::SeqCst);
+    let a = (splitmix(&mut state) as usize) % permutation.len();
+    let mut b = (splitmix(&mut state) as usize) % permutation.len();
+    if a == b {
+        b = (b + 1) % permutation.len();
+    }
+    permutation.swap(a, b);
+}
+
 /// The lock serialising fault-armed sections — execution faults are process-global state, so
 /// concurrently running chaos tests must take turns.
 fn harness_lock() -> &'static Mutex<()> {
@@ -253,7 +302,8 @@ fn harness_lock() -> &'static Mutex<()> {
 /// panics (armed state is cleared on unwind, so a poisoned run can never leak its poison into
 /// the next test).
 ///
-/// Only [`FaultKind::PoisonShard`] arms anything; for every other kind this is just a
+/// Only [`FaultKind::PoisonShard`] and [`FaultKind::ScramblePermutation`] arm anything; for
+/// every other kind this is just a
 /// serialising wrapper, letting the chaos harness treat all fault kinds uniformly.  Holds a
 /// global mutex for the duration of `f`, so fault-armed sections in concurrent tests execute
 /// one at a time.
@@ -265,12 +315,20 @@ pub fn while_armed<R>(plan: &FaultPlan, f: impl FnOnce() -> R) -> R {
     impl Drop for Disarm {
         fn drop(&mut self) {
             POISON_ARMED.store(false, Ordering::SeqCst);
+            SCRAMBLE_ARMED.store(false, Ordering::SeqCst);
         }
     }
     let _disarm = Disarm;
-    if let FaultKind::PoisonShard(shard) = plan.kind {
-        POISON_SHARD.store(shard, Ordering::SeqCst);
-        POISON_ARMED.store(true, Ordering::SeqCst);
+    match plan.kind {
+        FaultKind::PoisonShard(shard) => {
+            POISON_SHARD.store(shard, Ordering::SeqCst);
+            POISON_ARMED.store(true, Ordering::SeqCst);
+        }
+        FaultKind::ScramblePermutation => {
+            SCRAMBLE_SEED.store(plan.seed, Ordering::SeqCst);
+            SCRAMBLE_ARMED.store(true, Ordering::SeqCst);
+        }
+        _ => {}
     }
     f()
 }
@@ -400,6 +458,34 @@ mod tests {
             shard_checkpoint(2); // one-shot: second visit survives
         });
         shard_checkpoint(2); // outside while_armed: disarmed
+    }
+
+    #[test]
+    fn scramble_swaps_two_entries_once_keeping_a_valid_permutation() {
+        let plan = FaultPlan::new(FaultKind::ScramblePermutation, 11);
+        while_armed(&plan, || {
+            let mut perm: Vec<usize> = (0..16).collect();
+            scramble_checkpoint(&mut perm);
+            let mut sorted = perm.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..16).collect::<Vec<_>>(), "still a permutation");
+            let moved = perm.iter().enumerate().filter(|&(i, &v)| i != v).count();
+            assert_eq!(moved, 2, "exactly one swap");
+            // One-shot: a second checkpoint in the same armed section is a no-op.
+            let snapshot = perm.clone();
+            scramble_checkpoint(&mut perm);
+            assert_eq!(perm, snapshot);
+        });
+        // Outside while_armed: disarmed entirely.
+        let mut perm: Vec<usize> = (0..4).collect();
+        scramble_checkpoint(&mut perm);
+        assert_eq!(perm, vec![0, 1, 2, 3]);
+        // Degenerate lists survive an armed checkpoint untouched.
+        while_armed(&plan, || {
+            let mut single = vec![0usize];
+            scramble_checkpoint(&mut single);
+            assert_eq!(single, vec![0]);
+        });
     }
 
     #[test]

@@ -81,12 +81,14 @@ pub use bvh::{Bvh4, Bvh4Node, Primitive};
 pub use error::{PartialResult, QueryError, QueryOutcome, SceneValidator};
 pub use hierarchical::{CollectStream, CollectWork, HierarchicalSearch, HierarchicalStats};
 pub use knn::{select_k_nearest, DistanceStream, KnnEngine, KnnMetric, KnnStats, Neighbor};
-pub use parallel::{default_parallelism, PoolStats, CHUNKS_PER_WORKER, MIN_RAYS_PER_SHARD};
+pub use parallel::{
+    default_parallelism, PoolStats, CHUNKS_PER_WORKER, MIN_ANY_RAYS_PER_SHARD, MIN_RAYS_PER_SHARD,
+};
 #[allow(deprecated)]
 pub use parallel::{
     trace_fused_parallel, trace_packet_parallel, trace_rays_parallel, trace_shadow_rays_parallel,
 };
-pub use policy::{ExecMode, ExecPolicy, ShardHint};
+pub use policy::{CoherenceMode, ExecMode, ExecPolicy, ShardHint};
 pub use query::{
     BatchQuery, CappedFusedRun, CappedRun, FusedScheduler, FusedStream, QueryKind, StreamRunner,
     WavefrontScheduler,

@@ -61,6 +61,7 @@ use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Ray, RayPacket, Triangle};
 
 use crate::fault;
+use crate::policy::CoherenceMode;
 use crate::scene::SceneView;
 use crate::traversal::{TraceRequest, TraversalEngine, TraversalHit, TraversalStats};
 use crate::{Bvh4, ExecPolicy};
@@ -213,6 +214,15 @@ type PairTraceResult = (
 /// wins (measured on the PR 1 baseline scenes).
 pub const MIN_RAYS_PER_SHARD: usize = 256;
 
+/// Stream-aware chunk floor for **any-hit/shadow** streams
+/// ([`ShardHint::Auto`](crate::ShardHint::Auto) only): shadow rays retire on their first
+/// accepted hit, so on occluded workloads an any-hit ray costs a fraction of the beats of a
+/// closest-hit ray — its per-ray retirement rate is roughly twice the closest-hit stream's on
+/// the benchmark scenes.  Halving the chunk floor keeps any-hit chunk *work* (not ray count)
+/// near the closest-hit floor, yielding more, finer chunks for the stealing pool to balance.
+/// Chunk planning never touches outputs or [`TraversalStats`] — only [`PoolStats`] moves.
+pub const MIN_ANY_RAYS_PER_SHARD: usize = MIN_RAYS_PER_SHARD / 2;
+
 /// Default worker count: the machine's available parallelism, or 4 if it cannot be queried.
 #[must_use]
 pub fn default_parallelism() -> usize {
@@ -342,6 +352,7 @@ pub(crate) struct PairPoolTrace {
 /// Panics if a worker chunk panics **and** the one-shot scalar retry of its range panics too —
 /// the behaviour the pre-hardening code had for any worker panic.  Use
 /// [`fused_pair_sharded_checked`] to get the chunk index back instead.
+#[allow(clippy::too_many_arguments)] // mirrors the checked variant's full plan description
 pub(crate) fn fused_pair_sharded(
     config: PipelineConfig,
     view: SceneView<'_>,
@@ -349,17 +360,29 @@ pub(crate) fn fused_pair_sharded(
     any_rays: &[Ray],
     threads: usize,
     simd_lanes: usize,
+    coherence: CoherenceMode,
+    stream_aware: bool,
 ) -> PairPoolTrace {
-    fused_pair_sharded_checked(config, view, closest_rays, any_rays, threads, simd_lanes)
-        .unwrap_or_else(|shard| {
-            panic!("fused traversal worker panicked (shard {shard}) and its scalar retry failed")
-        })
+    fused_pair_sharded_checked(
+        config,
+        view,
+        closest_rays,
+        any_rays,
+        threads,
+        simd_lanes,
+        coherence,
+        stream_aware,
+    )
+    .unwrap_or_else(|shard| {
+        panic!("fused traversal worker panicked (shard {shard}) and its scalar retry failed")
+    })
 }
 
 /// [`fused_pair_sharded`] with panic isolation surfaced instead of propagated: a worker chunk
 /// that panics is retried once through the scalar reference path (bit-identical results, the
 /// fallback counted in [`TraversalStats::shard_fallbacks`]); `Err(shard)` reports the chunk
 /// index whose retry *also* panicked — the one failure this layer cannot absorb.
+#[allow(clippy::too_many_arguments)] // the full shard plan: geometry, streams, budget, knobs
 pub(crate) fn fused_pair_sharded_checked(
     config: PipelineConfig,
     view: SceneView<'_>,
@@ -367,6 +390,8 @@ pub(crate) fn fused_pair_sharded_checked(
     any_rays: &[Ray],
     threads: usize,
     simd_lanes: usize,
+    coherence: CoherenceMode,
+    stream_aware: bool,
 ) -> Result<PairPoolTrace, usize> {
     let threads = pair_effective_threads(closest_rays.len(), any_rays.len(), threads);
     if threads <= 1 {
@@ -374,6 +399,7 @@ pub(crate) fn fused_pair_sharded_checked(
         // thread — no spawn, no join, identical results.
         let mut engine = TraversalEngine::with_config(config);
         engine.set_simd_lanes(simd_lanes);
+        engine.set_coherence(coherence);
         let (closest, any) = if any_rays.is_empty() {
             (
                 engine.wavefront_closest_hits(view, closest_rays),
@@ -393,12 +419,19 @@ pub(crate) fn fused_pair_sharded_checked(
     }
     // Stream-aware plan: each stream is chunked independently against the same worker budget,
     // closest chunks first.  Chunk indices — the identity `fault::shard_checkpoint` sees — are
-    // fixed by this plan, not by which worker steals what.
+    // fixed by this plan, not by which worker steals what.  Under `stream_aware` (the
+    // [`ShardHint::Auto`](crate::ShardHint::Auto) resolution) the any-hit stream plans against
+    // its smaller retirement-rate-derived floor.
+    let any_floor = if stream_aware {
+        MIN_ANY_RAYS_PER_SHARD
+    } else {
+        MIN_RAYS_PER_SHARD
+    };
     let chunks: Vec<PairChunk> = chunk_ranges(closest_rays.len(), threads, MIN_RAYS_PER_SHARD)
         .into_iter()
         .map(PairChunk::Closest)
         .chain(
-            chunk_ranges(any_rays.len(), threads, MIN_RAYS_PER_SHARD)
+            chunk_ranges(any_rays.len(), threads, any_floor)
                 .into_iter()
                 .map(PairChunk::Any),
         )
@@ -406,6 +439,7 @@ pub(crate) fn fused_pair_sharded_checked(
     let (results, pool) = steal_map(&chunks, threads, |chunk| {
         let mut engine = TraversalEngine::with_config(config);
         engine.set_simd_lanes(simd_lanes);
+        engine.set_coherence(coherence);
         let hits = match chunk {
             PairChunk::Closest(range) => {
                 engine.wavefront_closest_hits(view, &closest_rays[range.clone()])
@@ -491,7 +525,16 @@ pub fn trace_rays_parallel(
     threads: usize,
 ) -> (Vec<Option<TraversalHit>>, TraversalStats) {
     let view = SceneView::Flat { bvh, triangles };
-    let out = fused_pair_sharded(config, view, rays, &[], threads, 1);
+    let out = fused_pair_sharded(
+        config,
+        view,
+        rays,
+        &[],
+        threads,
+        1,
+        CoherenceMode::default(),
+        false,
+    );
     (out.closest, out.stats)
 }
 
@@ -508,7 +551,16 @@ pub fn trace_shadow_rays_parallel(
     threads: usize,
 ) -> (Vec<Option<TraversalHit>>, TraversalStats) {
     let view = SceneView::Flat { bvh, triangles };
-    let out = fused_pair_sharded(config, view, &[], rays, threads, 1);
+    let out = fused_pair_sharded(
+        config,
+        view,
+        &[],
+        rays,
+        threads,
+        1,
+        CoherenceMode::default(),
+        false,
+    );
     (out.any, out.stats)
 }
 
@@ -531,7 +583,16 @@ pub fn trace_fused_parallel(
     TraversalStats,
 ) {
     let view = SceneView::Flat { bvh, triangles };
-    let out = fused_pair_sharded(config, view, closest_rays, any_rays, threads, 1);
+    let out = fused_pair_sharded(
+        config,
+        view,
+        closest_rays,
+        any_rays,
+        threads,
+        1,
+        CoherenceMode::default(),
+        false,
+    );
     (out.closest, out.any, out.stats)
 }
 

@@ -48,6 +48,50 @@ impl ShardHint {
     }
 }
 
+/// The coherence discipline of the batched dispatch modes: how a scheduler orders and packs
+/// the items of each pass before their beats reach the datapath.
+///
+/// Coherence moves *dispatch order only* — every item's own beat sequence is unchanged and
+/// results are reassembled by item index — so outputs and per-item statistics are bit-identical
+/// in every mode; only throughput statistics ([`BeatMix::passes`](rayflex_core::BeatMix::passes),
+/// [`BeatMix::simd_lane_occupancy`](rayflex_core::BeatMix::simd_lane_occupancy)) move.
+/// [`ExecMode::ScalarReference`] dispatches one emulated beat at a time and ignores the knob by
+/// definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoherenceMode {
+    /// Admit items in caller order (the pre-coherence behaviour).
+    Off,
+    /// Sort the admission order once by ray octant + origin Morton key
+    /// ([`RayOperand::coherence_key`](rayflex_core::RayOperand::coherence_key)), so rays that
+    /// traverse similar node sequences build adjacent pass slots.
+    SortOnly,
+    /// [`CoherenceMode::SortOnly`] plus opcode-bucketed pass packing: each pass's ray–triangle
+    /// trains are deferred behind its ray–box beats, so box beats pair into eight-wide issues
+    /// and triangle trains concatenate into long same-opcode runs.  The default for the batched
+    /// modes.
+    #[default]
+    SortAndCompact,
+}
+
+impl CoherenceMode {
+    /// Every coherence mode, in off-first order (the sweep order of the policy matrix tests).
+    pub const ALL: [CoherenceMode; 3] = [
+        CoherenceMode::Off,
+        CoherenceMode::SortOnly,
+        CoherenceMode::SortAndCompact,
+    ];
+
+    /// A short stable name for reports and CLI flags (`off`, `sort`, `sort-compact`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            CoherenceMode::Off => "off",
+            CoherenceMode::SortOnly => "sort",
+            CoherenceMode::SortAndCompact => "sort-compact",
+        }
+    }
+}
+
 /// The execution mode of a policy: *how* a query's beats reach the datapath.
 ///
 /// All modes produce bit-identical outputs and statistics for the same request (the per-item
@@ -175,6 +219,13 @@ pub struct ExecPolicy {
     /// — the oracle the lane kernels are pinned against.  Outputs and statistics are
     /// lane-invariant (bit-identical across widths); only throughput changes.
     pub simd_lanes: usize,
+    /// Coherence discipline of the batched dispatch modes (see [`CoherenceMode`]): whether each
+    /// scheduler sorts its admission order by ray octant + origin Morton key and packs passes
+    /// into dense same-opcode trains.  Defaults to [`CoherenceMode::SortAndCompact`] for
+    /// Wavefront/Parallel/Fused; [`ExecMode::ScalarReference`] ignores it by definition.
+    /// Outputs and per-item statistics are coherence-invariant (bit-identical across modes);
+    /// only pass structure and lane occupancy change.
+    pub coherence: CoherenceMode,
 }
 
 impl ExecPolicy {
@@ -264,12 +315,33 @@ impl ExecPolicy {
         self
     }
 
+    /// Sets the coherence discipline of the batched dispatch modes (see
+    /// [`ExecPolicy::coherence`]).
+    #[must_use]
+    pub fn with_coherence(mut self, coherence: CoherenceMode) -> Self {
+        self.coherence = coherence;
+        self
+    }
+
     /// The clamped SIMD lane width the engines hand to the datapath: degenerate requests (0)
     /// resolve to 1, oversized requests saturate at
     /// [`rayflex_core::MAX_SIMD_LANES`], and the `force-scalar` build pins everything to 1.
     #[must_use]
     pub fn effective_simd_lanes(&self) -> usize {
         rayflex_core::clamp_simd_lanes(self.simd_lanes)
+    }
+
+    /// The coherence mode this policy actually admits under:
+    /// [`ExecMode::ScalarReference`] always resolves to [`CoherenceMode::Off`] — each ray walks
+    /// alone, so there is no admission order to sort — while the batched modes use the stored
+    /// knob verbatim.
+    #[must_use]
+    pub fn effective_coherence(&self) -> CoherenceMode {
+        if self.mode == ExecMode::ScalarReference {
+            CoherenceMode::Off
+        } else {
+            self.coherence
+        }
     }
 }
 
@@ -362,6 +434,27 @@ mod tests {
             panic!("parallel(0) must still build a Parallel policy");
         };
         assert_eq!(shards.requested_threads(), 1);
+    }
+
+    #[test]
+    fn the_coherence_knob_defaults_to_sort_and_compact_and_composes() {
+        assert_eq!(
+            ExecPolicy::default().coherence,
+            CoherenceMode::SortAndCompact
+        );
+        assert_eq!(CoherenceMode::default(), CoherenceMode::SortAndCompact);
+        let off = ExecPolicy::wavefront().with_coherence(CoherenceMode::Off);
+        assert_eq!(off.coherence, CoherenceMode::Off);
+        assert_eq!(off.mode, ExecMode::Wavefront);
+        let composed = ExecPolicy::fused()
+            .with_beat_budget(2)
+            .with_coherence(CoherenceMode::SortOnly)
+            .with_simd_lanes(8);
+        assert_eq!(composed.coherence, CoherenceMode::SortOnly);
+        assert_eq!(composed.beat_budget_per_stream, 2);
+        assert_eq!(composed.simd_lanes, 8);
+        let names: Vec<_> = CoherenceMode::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names, ["off", "sort", "sort-compact"]);
     }
 
     #[test]

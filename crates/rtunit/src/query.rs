@@ -38,7 +38,9 @@
 //! scheduling — pinned by `rtunit/tests/proptest_fused.rs` and by the scalar round-robin
 //! reference mode ([`FusedScheduler::run_reference`]).
 
-use rayflex_core::{RayFlexDatapath, RayFlexRequest, RayFlexResponse};
+use rayflex_core::{Opcode, RayFlexDatapath, RayFlexRequest, RayFlexResponse};
+
+use crate::policy::CoherenceMode;
 
 pub use rayflex_core::QueryKind;
 
@@ -87,7 +89,45 @@ pub trait BatchQuery {
 
     /// Extracts the item's output after it retired.
     fn finish(&mut self, item: usize, state: &mut Self::State) -> Self::Output;
+
+    /// The coherence sort key of `item` (see [`CoherenceMode`](crate::CoherenceMode)): a
+    /// coherence-enabled scheduler admits items in ascending key order, ties broken by item
+    /// index.  The default — the item index itself — makes sorting a no-op, which is correct
+    /// for every query; ray queries override it with an octant + origin-Morton key so
+    /// like-minded rays build adjacent pass slots.  Keys are consulted once per run, before
+    /// the first pass; because results are reassembled by item index, *any* key function is
+    /// output-identical.
+    fn sort_key(&self, item: usize) -> u64 {
+        item as u64
+    }
+
+    /// Called once per run after coherent admission ordered the items (`order[slot] = item`, a
+    /// permutation of `0..items()`): the query may physically gather its per-item operand tables
+    /// into admission order and return `true`, after which the scheduler addresses `reset` /
+    /// `build` / `apply` / `finish` by **admission slot** instead of item index.  The scheduler
+    /// still reassembles outputs in item order, so opting in changes nothing observable — it
+    /// merely turns the sorted run's per-item table walks sequential (the scheduler iterates
+    /// slots in ascending order), instead of striding randomly through item-indexed storage.
+    ///
+    /// The default keeps item addressing, which is correct for every query; only queries with a
+    /// non-identity [`BatchQuery::sort_key`] gain anything by opting in.  Never called when
+    /// admission order is the identity (coherence off, or fewer than two items).
+    fn reorder(&mut self, order: &[usize]) -> bool {
+        let _ = order;
+        false
+    }
 }
+
+/// Flush threshold (in beats) of the schedulers' tiled pass dispatch: one logical pass is built,
+/// dispatched and applied in tiles of roughly this many beats, so the request/response buffers
+/// stay cache-resident instead of streaming a whole multi-thousand-beat pass through memory
+/// three times (build-write, dispatch-read, apply-read).  Tiles flush only at item boundaries —
+/// an item's beat train never splits — and pass accounting is per logical pass, not per tile
+/// ([`RayFlexDatapath::record_pass`]), so pass counters and all outputs are tile-size-invariant;
+/// only where same-opcode lane runs split moves.  At 1024 beats a tile's requests + responses
+/// occupy ~264 KiB, comfortably inside per-core L2 (a measured sweet spot: smaller tiles split
+/// more lane runs at tile boundaries, larger ones fall out of L2).
+const PASS_TILE_BEATS: usize = 1024;
 
 /// The result of a deadline-capped scheduler run ([`WavefrontScheduler::run_capped`]): the
 /// outputs of the longest fully-retired item prefix, plus how far the run got.
@@ -127,31 +167,72 @@ pub struct CappedFusedRun {
 /// One scheduler instance serves any number of runs; its pools and buffers amortise across them.
 /// The type parameter is the pooled state, so an engine serving several query kinds with the
 /// same state type (closest-hit and any-hit traversal, say) needs only one scheduler.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WavefrontScheduler<S> {
     /// Pooled per-item states, recycled across runs.
     pool: Vec<S>,
+    /// Reusable per-run state roster (one checked-out pooled state per item); parked empty
+    /// between runs so a steady-state stream never reallocates it.
+    states: Vec<S>,
     /// Reusable request buffer: one batch per pass.
     requests: Vec<RayFlexRequest>,
     /// Reusable response buffer, parallel to `requests` after dispatch.
     responses: Vec<RayFlexResponse>,
-    /// Item owning each in-flight beat (parallel to `requests`).
+    /// Admission slot owning each in-flight beat (parallel to `requests`).
     beat_owner: Vec<usize>,
-    /// Indices of items still in flight.
+    /// Admission slots still in flight, always in ascending slot order (retirement compacts in
+    /// place), so the build loop walks the state roster sequentially.
     active: Vec<usize>,
+    /// The run's admission permutation: `order[slot] = item`.  Identity when coherence is off;
+    /// otherwise the coherence sort of the item indices.  Results reassemble through it, so any
+    /// admission order is output-identical.
+    order: Vec<usize>,
+    /// Inverse of `order` (`slot_of[item] = slot`): where an item's state lives in the roster.
+    slot_of: Vec<usize>,
+    /// Reusable per-item coherence keys (indexed by item; filled when sorting is on).
+    keys: Vec<u64>,
+    /// Reusable tail buffer of [`CoherenceMode::SortAndCompact`]: ray–triangle trains deferred
+    /// behind the pass's other beats (cleared every pass by the append).
+    deferred: Vec<RayFlexRequest>,
+    /// Item owning each deferred beat (parallel to `deferred`).
+    deferred_owner: Vec<usize>,
+    /// Coherence discipline of subsequent runs (see [`WavefrontScheduler::set_coherence`]).
+    coherence: CoherenceMode,
+}
+
+impl<S> Default for WavefrontScheduler<S> {
+    fn default() -> Self {
+        WavefrontScheduler {
+            pool: Vec::new(),
+            states: Vec::new(),
+            requests: Vec::new(),
+            responses: Vec::new(),
+            beat_owner: Vec::new(),
+            active: Vec::new(),
+            order: Vec::new(),
+            slot_of: Vec::new(),
+            keys: Vec::new(),
+            deferred: Vec::new(),
+            deferred_owner: Vec::new(),
+            coherence: CoherenceMode::Off,
+        }
+    }
 }
 
 impl<S: Default> WavefrontScheduler<S> {
     /// Creates an empty scheduler (pools grow on first use).
     #[must_use]
     pub fn new() -> Self {
-        WavefrontScheduler {
-            pool: Vec::new(),
-            requests: Vec::new(),
-            responses: Vec::new(),
-            beat_owner: Vec::new(),
-            active: Vec::new(),
-        }
+        Self::default()
+    }
+
+    /// Sets the coherence discipline of subsequent runs (see
+    /// [`CoherenceMode`](crate::CoherenceMode)).  A directly-driven scheduler defaults to
+    /// [`CoherenceMode::Off`] — caller admission order, exactly the pre-coherence behaviour;
+    /// the policy engines wire [`ExecPolicy::coherence`](crate::ExecPolicy::coherence) through
+    /// here.  Outputs and per-item statistics are identical in every mode.
+    pub fn set_coherence(&mut self, coherence: CoherenceMode) {
+        self.coherence = coherence;
     }
 
     /// Number of states currently parked in the pool (diagnostics / pooling tests).
@@ -204,16 +285,59 @@ impl<S: Default> WavefrontScheduler<S> {
     {
         let items = query.items();
 
-        // Check out one pooled state per item.
-        let mut states: Vec<S> = Vec::with_capacity(items);
-        for item in 0..items {
+        // Coherent admission: compute the run's admission order once — identity, or the
+        // coherence sort of the item indices by the query's key (ties broken by item index, so
+        // identity keys keep caller order and the sort is deterministic).  Results reassemble
+        // through the permutation, so any admission order is output-identical — only which pass
+        // slot a ray occupies moves.
+        self.order.clear();
+        self.order.extend(0..items);
+        let mut slot_addressed = false;
+        if self.coherence != CoherenceMode::Off && items > 1 {
+            self.keys.clear();
+            self.keys
+                .extend((0..items).map(|item| query.sort_key(item)));
+            let keys = &self.keys;
+            self.order.sort_unstable_by_key(|&item| (keys[item], item));
+            // A query that gathers its operand tables into admission order is addressed by
+            // slot from here on (see `BatchQuery::reorder`).
+            slot_addressed = query.reorder(&self.order);
+        }
+        self.slot_of.clear();
+        self.slot_of.resize(items, 0);
+        for (slot, &item) in self.order.iter().enumerate() {
+            self.slot_of[item] = slot;
+        }
+
+        // Check out one pooled state per item into the reusable roster (taken out of `self` so
+        // `query.build` can borrow a state while the pass buffers are borrowed too).  The roster
+        // is indexed by admission slot — `states[slot]` belongs to item `order[slot]` — so the
+        // build loop, which walks active slots in ascending order, touches it sequentially.
+        let mut states = core::mem::take(&mut self.states);
+        states.clear();
+        states.reserve(items);
+        for slot in 0..items {
             let mut state = self.pool.pop().unwrap_or_default();
-            query.reset(item, &mut state);
+            query.reset(
+                if slot_addressed {
+                    slot
+                } else {
+                    self.order[slot]
+                },
+                &mut state,
+            );
             states.push(state);
         }
 
         self.active.clear();
         self.active.extend(0..items);
+        crate::fault::scramble_checkpoint(&mut self.active);
+        let bucketed = self.coherence == CoherenceMode::SortAndCompact;
+        // Which bucket trains build into directly (the other side pays a move-out copy); adapted
+        // per tile to the observed mix so the copy always lands on the minority opcode.  `false`
+        // to start: a traversal run's first pass is all root box beats.
+        let mut tri_direct = false;
+        let kind = query.kind();
 
         let mut beats_spent = 0u64;
         let mut cancelled = false;
@@ -224,68 +348,153 @@ impl<S: Default> WavefrontScheduler<S> {
                 break;
             }
 
-            // Build phase: each active item appends its next beat(s); items with no further
-            // beats retire in place.
-            self.requests.clear();
-            self.beat_owner.clear();
-            let mut still_active = 0;
-            for slot in 0..self.active.len() {
-                let item = self.active[slot];
-                let before = self.requests.len();
-                if query.build(item, &mut states[item], &mut self.requests) {
-                    debug_assert!(
-                        self.requests.len() > before,
-                        "{} query item {item} stayed active without appending a beat",
-                        query.kind()
-                    );
-                    self.beat_owner.resize(self.requests.len(), item);
-                    self.active[still_active] = item;
-                    still_active += 1;
-                } else {
-                    debug_assert_eq!(
-                        self.requests.len(),
-                        before,
-                        "{} query item {item} appended beats while retiring",
-                        query.kind()
-                    );
+            // One logical pass, dispatched in cache-resident tiles (see [`PASS_TILE_BEATS`]):
+            // each active item appends its next beat(s) — items with no further beats retire in
+            // place — and every time the tile fills, it is dispatched and its responses applied
+            // before the build resumes.  Applying a tile early is invisible to the items: a
+            // response only ever touches its own item's state, and an item builds exactly once
+            // per pass either way.
+            let total = self.active.len();
+            let mut pass_beats = 0usize;
+            let mut pass_counted = false;
+            let mut still_active = 0usize;
+            let mut cursor = 0usize;
+            while cursor < total {
+                self.requests.clear();
+                self.beat_owner.clear();
+                self.deferred.clear();
+                self.deferred_owner.clear();
+                while cursor < total && self.requests.len() + self.deferred.len() < PASS_TILE_BEATS
+                {
+                    let slot = self.active[cursor];
+                    cursor += 1;
+                    let index = if slot_addressed {
+                        slot
+                    } else {
+                        self.order[slot]
+                    };
+                    // Opcode bucketing ([`CoherenceMode::SortAndCompact`]): the tile keeps two
+                    // buckets — mixed/box beats in `requests`, all-triangle trains in
+                    // `deferred` — so box beats pack adjacently (eight-wide pairs) and triangle
+                    // trains concatenate into long same-opcode runs.  Trains build straight
+                    // into whichever bucket dominated the previous tile (`tri_direct`) and the
+                    // minority trains move out, so the common case never copies on either a
+                    // leaf-grinding or a node-hopping workload.  Safe because a train moves
+                    // intact (per-item beat order unchanged) and ray beats are stateless — only
+                    // the accumulator-chained distance beats order across items, and those are
+                    // never bucketed.
+                    let out = if bucketed && tri_direct {
+                        &mut self.deferred
+                    } else {
+                        &mut self.requests
+                    };
+                    let before = out.len();
+                    if query.build(index, &mut states[slot], out) {
+                        debug_assert!(
+                            out.len() > before,
+                            "{kind} query item {index} stayed active without appending a beat",
+                        );
+                        if bucketed {
+                            if tri_direct {
+                                if self.deferred[before..]
+                                    .iter()
+                                    .all(|r| r.opcode == Opcode::RayTriangle)
+                                {
+                                    self.deferred_owner.resize(self.deferred.len(), slot);
+                                } else {
+                                    self.requests.extend(self.deferred.drain(before..));
+                                    self.beat_owner.resize(self.requests.len(), slot);
+                                }
+                            } else if self.requests[before..]
+                                .iter()
+                                .all(|r| r.opcode == Opcode::RayTriangle)
+                            {
+                                self.deferred.extend(self.requests.drain(before..));
+                                self.deferred_owner.resize(self.deferred.len(), slot);
+                            } else {
+                                self.beat_owner.resize(self.requests.len(), slot);
+                            }
+                        } else {
+                            self.beat_owner.resize(self.requests.len(), slot);
+                        }
+                        self.active[still_active] = slot;
+                        still_active += 1;
+                    } else {
+                        debug_assert_eq!(
+                            if bucketed && tri_direct {
+                                self.deferred.len()
+                            } else {
+                                self.requests.len()
+                            },
+                            before,
+                            "{kind} query item {index} appended beats while retiring",
+                        );
+                    }
                 }
+                let tile_beats = self.requests.len() + self.deferred.len();
+                if tile_beats == 0 {
+                    continue;
+                }
+                if !pass_counted {
+                    // Pass accounting is per logical pass, not per tile, so the BeatMix pass
+                    // counters match the untiled schedule exactly.
+                    datapath.record_pass(&[(kind, tile_beats)]);
+                    pass_counted = true;
+                }
+                pass_beats += tile_beats;
+
+                // Dispatch and apply the buckets back to back: mixed/box beats first, triangle
+                // trains behind them — the same beat order the single-buffer schedule had, just
+                // without physically concatenating the buckets.  No lane run spans the bucket
+                // boundary (the buckets hold different opcodes), so lane accounting is
+                // unchanged, and apply order across items never matters (per-item state only).
+                for (chunk, owners) in [
+                    (&self.requests, &self.beat_owner),
+                    (&self.deferred, &self.deferred_owner),
+                ] {
+                    if chunk.is_empty() {
+                        continue;
+                    }
+                    datapath.execute_pass_chunk(chunk, kind, &mut self.responses);
+                    for (response, &slot) in self.responses.iter().zip(owners) {
+                        let index = if slot_addressed {
+                            slot
+                        } else {
+                            self.order[slot]
+                        };
+                        query.apply(index, &mut states[slot], response);
+                    }
+                }
+                tri_direct = self.deferred.len() > self.requests.len();
             }
             self.active.truncate(still_active);
-            if self.requests.is_empty() {
+            if pass_beats == 0 {
                 break;
             }
-            beats_spent += self.requests.len() as u64;
-
-            // One bulk dispatch for the whole pass, attributed to the query's kind in the
-            // datapath's per-kind BeatMix table.
-            datapath.execute_batch_segmented(
-                &self.requests,
-                &[(query.kind(), self.requests.len())],
-                &mut self.responses,
-            );
-
-            // Apply phase: route each response to the item that owns the beat.
-            for (response, &item) in self.responses.iter().zip(&self.beat_owner) {
-                query.apply(item, &mut states[item], response);
-            }
+            beats_spent += pass_beats as u64;
         }
 
-        // The retired prefix ends at the first still-active item (the active list stays in
-        // ascending item order: retirement compacts it in place without reordering).
+        // The retired prefix ends at the lowest still-active item (coherent admission may
+        // reorder the admission slots, so "first" is not "lowest" in general).
         let retired_prefix = if cancelled {
-            self.active.first().copied().unwrap_or(items)
+            self.active
+                .iter()
+                .map(|&slot| self.order[slot])
+                .min()
+                .unwrap_or(items)
         } else {
             items
         };
 
-        // Collect the prefix outputs and return every state (finished or not) to the pool.
+        // Collect the prefix outputs in item order, return every state (finished or not) to the
+        // pool, and park the emptied roster for the next run.
         let mut outputs = Vec::with_capacity(retired_prefix);
-        for (item, mut state) in states.into_iter().enumerate() {
-            if item < retired_prefix {
-                outputs.push(query.finish(item, &mut state));
-            }
-            self.pool.push(state);
+        for item in 0..retired_prefix {
+            let slot = self.slot_of[item];
+            outputs.push(query.finish(if slot_addressed { slot } else { item }, &mut states[slot]));
         }
+        self.pool.append(&mut states);
+        self.states = states;
         CappedRun {
             outputs,
             total: items,
@@ -342,10 +551,28 @@ pub trait FusedStream {
 #[derive(Debug)]
 pub struct StreamRunner<Q: BatchQuery> {
     query: Q,
+    /// Per-item states, indexed by admission slot (`states[slot]` belongs to item
+    /// `order[slot]`), so the build loop walks them in admission order.
     states: Vec<Q::State>,
+    /// Admission slots still in flight, in admission order.
     active: Vec<usize>,
-    /// Item owning each beat of the current pass (cleared per pass).
+    /// Admission slot owning each beat of the current pass (cleared per pass).
     beat_owner: Vec<usize>,
+    /// The run's admission permutation (`order[slot] = item`); identity when coherence is off.
+    order: Vec<usize>,
+    /// Inverse of `order` (`slot_of[item] = slot`).
+    slot_of: Vec<usize>,
+    /// Whether the query opted into admission-slot addressing (see [`BatchQuery::reorder`]).
+    slot_addressed: bool,
+    /// Reusable per-item coherence keys (indexed by item; filled when sorting is on).
+    keys: Vec<u64>,
+    /// Reusable tail buffer of [`CoherenceMode::SortAndCompact`]: ray–triangle trains deferred
+    /// behind this stream's other beats of the pass (drained back every pass).
+    deferred: Vec<RayFlexRequest>,
+    /// Item owning each deferred beat (parallel to `deferred`).
+    deferred_owner: Vec<usize>,
+    /// Coherence discipline of subsequent runs (see [`StreamRunner::set_coherence`]).
+    coherence: CoherenceMode,
     started: bool,
 }
 
@@ -359,8 +586,29 @@ impl<Q: BatchQuery> StreamRunner<Q> {
             states: Vec::new(),
             active: Vec::new(),
             beat_owner: Vec::new(),
+            order: Vec::new(),
+            slot_of: Vec::new(),
+            slot_addressed: false,
+            keys: Vec::new(),
+            deferred: Vec::new(),
+            deferred_owner: Vec::new(),
+            coherence: CoherenceMode::Off,
             started: false,
         }
+    }
+
+    /// Sets the coherence discipline of subsequent runs (see
+    /// [`CoherenceMode`](crate::CoherenceMode) and [`WavefrontScheduler::set_coherence`]);
+    /// defaults to [`CoherenceMode::Off`].  Takes effect at the next [`FusedStream::start`].
+    pub fn set_coherence(&mut self, coherence: CoherenceMode) {
+        self.coherence = coherence;
+    }
+
+    /// Builder form of [`StreamRunner::set_coherence`].
+    #[must_use]
+    pub fn with_coherence(mut self, coherence: CoherenceMode) -> Self {
+        self.set_coherence(coherence);
+        self
     }
 
     /// Extracts the query and one output per item after the run drained the stream.
@@ -374,12 +622,13 @@ impl<Q: BatchQuery> StreamRunner<Q> {
             self.started && self.active.is_empty(),
             "a fused stream must be run to completion before finishing"
         );
-        let outputs = self
-            .states
-            .iter_mut()
-            .enumerate()
-            .map(|(item, state)| self.query.finish(item, state))
-            .collect();
+        let total = self.states.len();
+        let mut outputs = Vec::with_capacity(total);
+        for item in 0..total {
+            let slot = self.slot_of[item];
+            let index = if self.slot_addressed { slot } else { item };
+            outputs.push(self.query.finish(index, &mut self.states[slot]));
+        }
         (self.query, outputs)
     }
 
@@ -402,14 +651,20 @@ impl<Q: BatchQuery> StreamRunner<Q> {
             "a fused stream must be run before finishing partially"
         );
         let total = self.states.len();
-        // The active list stays in ascending item order (compaction preserves relative order),
-        // so the first active item bounds the retired prefix.
-        let prefix = self.active.first().copied().unwrap_or(total);
-        let outputs = self.states[..prefix]
-            .iter_mut()
-            .enumerate()
-            .map(|(item, state)| self.query.finish(item, state))
-            .collect();
+        // The lowest still-active item bounds the retired prefix (coherent admission may
+        // reorder the admission slots, so "first" is not "lowest" in general).
+        let prefix = self
+            .active
+            .iter()
+            .map(|&slot| self.order[slot])
+            .min()
+            .unwrap_or(total);
+        let mut outputs = Vec::with_capacity(prefix);
+        for item in 0..prefix {
+            let slot = self.slot_of[item];
+            let index = if self.slot_addressed { slot } else { item };
+            outputs.push(self.query.finish(index, &mut self.states[slot]));
+        }
         (self.query, outputs, total)
     }
 }
@@ -421,13 +676,38 @@ impl<Q: BatchQuery> FusedStream for StreamRunner<Q> {
 
     fn start(&mut self) {
         let items = self.query.items();
+        // Coherent admission, exactly as in `WavefrontScheduler::run_capped`: one sort of the
+        // admission permutation up front, output-identical by construction.
+        self.order.clear();
+        self.order.extend(0..items);
+        self.slot_addressed = false;
+        if self.coherence != CoherenceMode::Off && items > 1 {
+            self.keys.clear();
+            let query = &self.query;
+            self.keys
+                .extend((0..items).map(|item| query.sort_key(item)));
+            let keys = &self.keys;
+            self.order.sort_unstable_by_key(|&item| (keys[item], item));
+            self.slot_addressed = self.query.reorder(&self.order);
+        }
+        self.slot_of.clear();
+        self.slot_of.resize(items, 0);
+        for (slot, &item) in self.order.iter().enumerate() {
+            self.slot_of[item] = slot;
+        }
         self.states.clear();
         self.states.resize_with(items, Q::State::default);
-        for (item, state) in self.states.iter_mut().enumerate() {
-            self.query.reset(item, state);
+        for slot in 0..items {
+            let index = if self.slot_addressed {
+                slot
+            } else {
+                self.order[slot]
+            };
+            self.query.reset(index, &mut self.states[slot]);
         }
         self.active.clear();
         self.active.extend(0..items);
+        crate::fault::scramble_checkpoint(&mut self.active);
         self.started = true;
     }
 
@@ -438,31 +718,51 @@ impl<Q: BatchQuery> FusedStream for StreamRunner<Q> {
     fn build_pass(&mut self, out: &mut Vec<RayFlexRequest>, max_beats: usize) -> usize {
         let pass_start = out.len();
         self.beat_owner.clear();
+        debug_assert!(self.deferred.is_empty());
+        let bucketed = self.coherence == CoherenceMode::SortAndCompact;
         let total = self.active.len();
         let mut still_active = 0;
         let mut processed = 0;
         while processed < total {
             // Budget admission: stop (leaving the rest of the active list untouched, in order)
-            // once this pass's segment reached the per-stream beat budget.
-            if max_beats != 0 && out.len() - pass_start >= max_beats {
+            // once this pass's segment — built beats plus the deferred triangle tail — reached
+            // the per-stream beat budget.
+            if max_beats != 0 && (out.len() - pass_start) + self.deferred.len() >= max_beats {
                 break;
             }
-            let item = self.active[processed];
+            let slot = self.active[processed];
+            let index = if self.slot_addressed {
+                slot
+            } else {
+                self.order[slot]
+            };
             let before = out.len();
-            if self.query.build(item, &mut self.states[item], out) {
+            if self.query.build(index, &mut self.states[slot], out) {
                 debug_assert!(
                     out.len() > before,
-                    "{} stream item {item} stayed active without appending a beat",
+                    "{} stream item {index} stayed active without appending a beat",
                     self.query.kind()
                 );
-                self.beat_owner.resize(out.len() - pass_start, item);
-                self.active[still_active] = item;
+                if bucketed
+                    && out[before..]
+                        .iter()
+                        .all(|r| r.opcode == Opcode::RayTriangle)
+                {
+                    // Opcode bucketing within this stream's segment (see the matching branch
+                    // in `WavefrontScheduler::run_capped`): the train moves intact to the
+                    // segment tail, never across the segment boundary.
+                    self.deferred.extend(out.drain(before..));
+                    self.deferred_owner.resize(self.deferred.len(), slot);
+                } else {
+                    self.beat_owner.resize(out.len() - pass_start, slot);
+                }
+                self.active[still_active] = slot;
                 still_active += 1;
             } else {
                 debug_assert_eq!(
                     out.len(),
                     before,
-                    "{} stream item {item} appended beats while retiring",
+                    "{} stream item {index} appended beats while retiring",
                     self.query.kind()
                 );
             }
@@ -474,13 +774,21 @@ impl<Q: BatchQuery> FusedStream for StreamRunner<Q> {
             self.active.copy_within(processed..total, still_active);
         }
         self.active.truncate(still_active + (total - processed));
+        // Append the deferred triangle trains behind the segment's other beats.
+        out.append(&mut self.deferred);
+        self.beat_owner.append(&mut self.deferred_owner);
         out.len() - pass_start
     }
 
     fn apply_pass(&mut self, responses: &[RayFlexResponse]) {
         debug_assert_eq!(responses.len(), self.beat_owner.len());
-        for (response, &item) in responses.iter().zip(&self.beat_owner) {
-            self.query.apply(item, &mut self.states[item], response);
+        for (response, &slot) in responses.iter().zip(&self.beat_owner) {
+            let index = if self.slot_addressed {
+                slot
+            } else {
+                self.order[slot]
+            };
+            self.query.apply(index, &mut self.states[slot], response);
         }
     }
 }
@@ -733,7 +1041,6 @@ impl FusedScheduler {
         self.stream_passes.clear();
         self.stream_passes.resize(streams.len(), 0);
         let mut beats_spent = 0u64;
-        let mut responses: Vec<RayFlexResponse> = Vec::new();
         while streams.iter().any(|stream| stream.is_active()) {
             // The round boundary is the reference discipline's pass boundary.
             if max_total_beats != 0 && beats_spent >= max_total_beats {
@@ -757,11 +1064,12 @@ impl FusedScheduler {
                 round_had_beats = true;
                 self.stream_passes[index] += 1;
                 beats_spent += beats as u64;
-                responses.clear();
+                self.responses.clear();
                 for request in &self.requests {
-                    responses.push(datapath.execute_attributed(request, stream.kind()));
+                    self.responses
+                        .push(datapath.execute_attributed(request, stream.kind()));
                 }
-                stream.apply_pass(&responses);
+                stream.apply_pass(&self.responses);
             }
             self.last_run_passes += u64::from(round_had_beats);
         }

@@ -308,7 +308,13 @@ impl RtUnit {
             let Some(result) = datapath.execute(&request).triangle_result else {
                 unreachable!("a triangle beat always returns a triangle result");
             };
-            crate::traversal::record_triangle_hit(&mut state.best, &result, prim, ray);
+            crate::traversal::record_triangle_hit(
+                &mut state.best,
+                &result,
+                prim,
+                ray.t_beg,
+                ray.t_end,
+            );
         } else if let Some(popped) = state.stack.pop() {
             let node_index = crate::scene::handle_index(popped);
             match bvh.node(node_index) {

@@ -38,9 +38,9 @@ use rayflex_core::{
 use rayflex_geometry::{Ray, RayPacket, Triangle};
 
 use crate::error::{validate_rays, PartialResult, QueryError, QueryOutcome, SceneValidator};
-use crate::policy::{ExecMode, ExecPolicy};
+use crate::policy::{CoherenceMode, ExecMode, ExecPolicy};
 use crate::query::{BatchQuery, FusedScheduler, QueryKind, StreamRunner, WavefrontScheduler};
-use crate::scene::{handle, NodeStep, Scene, SceneView};
+use crate::scene::{handle, handle_index, NodeStep, Scene, SceneView};
 use crate::Bvh4;
 
 /// The closest hit found by a traversal.
@@ -306,24 +306,50 @@ struct TraversalQuery<'a> {
     rays: &'a [Ray],
     /// One prebuilt datapath operand per ray: the operand is constant across every beat of a
     /// ray's traversal, so converting it once here keeps the per-beat build path to two copies
-    /// (operand + geometry) instead of a full [`Ray`] → operand conversion per beat.
+    /// (operand + geometry) instead of a full [`Ray`] → operand conversion per beat.  Indexed
+    /// by item until [`BatchQuery::reorder`] gathers it into admission order, after which the
+    /// scheduler addresses the query by admission slot and every access here is sequential.
     operands: Vec<RayOperand>,
+    /// Scratch for the [`BatchQuery::reorder`] gather, pooled alongside `operands`.
+    scratch: Vec<RayOperand>,
     stats: TraversalStats,
 }
 
 impl<'a> TraversalQuery<'a> {
     fn new(kind: QueryKind, view: SceneView<'a>, rays: &'a [Ray]) -> Self {
+        Self::with_operand_buffer(kind, view, rays, Vec::new(), Vec::new())
+    }
+
+    /// [`TraversalQuery::new`] recycling caller-pooled operand buffers: the buffers are cleared
+    /// and refilled, so warm buffers make query construction allocation-free — the engine
+    /// reclaims them via [`TraversalQuery::into_buffers`] after the run (the zero-alloc
+    /// steady-state contract of the wavefront hot path).
+    fn with_operand_buffer(
+        kind: QueryKind,
+        view: SceneView<'a>,
+        rays: &'a [Ray],
+        mut operands: Vec<RayOperand>,
+        scratch: Vec<RayOperand>,
+    ) -> Self {
         debug_assert!(matches!(kind, QueryKind::ClosestHit | QueryKind::AnyHit));
+        operands.clear();
+        operands.extend(rays.iter().map(RayOperand::from_ray));
         TraversalQuery {
             kind,
             view,
             rays,
-            operands: rays.iter().map(RayOperand::from_ray).collect(),
+            operands,
+            scratch,
             stats: TraversalStats {
                 rays: rays.len() as u64,
                 ..TraversalStats::default()
             },
         }
+    }
+
+    /// Consumes the query, handing its operand and scratch buffers back to the owner's pool.
+    fn into_buffers(self) -> (Vec<RayOperand>, Vec<RayOperand>) {
+        (self.operands, self.scratch)
     }
 
     /// Builds the next beat for one ray, advancing its state; `false` retires the ray.
@@ -347,16 +373,32 @@ impl<'a> TraversalQuery<'a> {
                     // Closest-hit tests every primitive of the leaf unconditionally (exactly as
                     // the scalar walk does), so the whole pending run is emitted as one beat
                     // train: same beats, same order, but contiguous in the pass buffer — which
-                    // is what lets the lane-batched triangle kernel engage across them.
+                    // is what lets the lane-batched triangle kernel engage across them.  The
+                    // train is the hottest emission loop in the engine, so it is written as one
+                    // `extend` (a single capacity reservation, requests constructed in place)
+                    // with the scene-view dispatch hoisted out of the per-beat body.
                     self.stats.triangle_ops += state.pending.len() as u64;
                     let operand = &self.operands[item];
-                    for &entry in state.pending.iter().rev() {
-                        let (triangle, _) = self.view.pending_triangle(entry);
-                        out.push(RayFlexRequest::ray_triangle_operand(
-                            item as u64,
-                            operand,
-                            &triangle,
-                        ));
+                    match &self.view {
+                        SceneView::Flat { triangles, .. } => {
+                            out.extend(state.pending.iter().rev().map(|&entry| {
+                                RayFlexRequest::ray_triangle_operand(
+                                    item as u64,
+                                    operand,
+                                    &triangles[handle_index(entry)],
+                                )
+                            }));
+                        }
+                        view => {
+                            out.extend(state.pending.iter().rev().map(|&entry| {
+                                let (triangle, _) = view.pending_triangle(entry);
+                                RayFlexRequest::ray_triangle_operand(
+                                    item as u64,
+                                    operand,
+                                    &triangle,
+                                )
+                            }));
+                        }
                     }
                 } else {
                     // Any-hit stops at the first accepted hit, so beats past it must never
@@ -428,6 +470,26 @@ impl BatchQuery for TraversalQuery<'_> {
         self.rays.len()
     }
 
+    /// Coherence key for octant-sorted admission: rays sharing a direction octant and an
+    /// origin-Morton neighbourhood dispatch adjacently, so their box/triangle beat trains land
+    /// contiguously in the pass buffer where the SIMD fast path can batch them.
+    fn sort_key(&self, item: usize) -> u64 {
+        self.operands[item].coherence_key()
+    }
+
+    /// Gathers the operand table into admission order, switching the query to admission-slot
+    /// addressing: a sorted run's build/apply loops then walk `operands` sequentially instead of
+    /// striding through it in item order.  Everything else the query touches is either shared
+    /// and read-only (the scene view), owned by the addressed state (stack, pending, best hit),
+    /// or an order-insensitive aggregate (the statistics), so slot addressing is output-exact.
+    fn reorder(&mut self, order: &[usize]) -> bool {
+        self.scratch.clear();
+        self.scratch
+            .extend(order.iter().map(|&item| self.operands[item]));
+        core::mem::swap(&mut self.operands, &mut self.scratch);
+        true
+    }
+
     fn reset(&mut self, _item: usize, state: &mut RayWork) {
         state.reset(self.view.root_handle());
     }
@@ -446,19 +508,37 @@ impl BatchQuery for TraversalQuery<'_> {
             let Some(entry) = state.pending.pop() else {
                 unreachable!("a triangle beat always has a pending primitive");
             };
-            let prim = self.view.global_primitive(entry);
+            // The parametric extent comes from the operand table (same values as the source
+            // ray's), so apply works under both item and admission-slot addressing.  The
+            // global-primitive decode happens only on an accepted hit — most triangle tests
+            // miss, and this is the hottest apply path in the engine (the accept logic is
+            // `record_triangle_hit`'s, with the decode moved past the accept checks).
+            let operand = &self.operands[item];
             match self.kind {
                 // Closest-hit: keep the nearest accepted hit, keep traversing.
                 QueryKind::ClosestHit => {
-                    record_triangle_hit(&mut state.best, &result, prim, &self.rays[item]);
+                    if result.hit {
+                        let t = result.distance();
+                        if t >= operand.t_beg
+                            && t <= operand.t_end
+                            && state.best.is_none_or(|b| t < b.t)
+                        {
+                            state.best = Some(TraversalHit {
+                                primitive: self.view.global_primitive(entry),
+                                t,
+                            });
+                        }
+                    }
                 }
                 // Any-hit: the first accepted hit terminates the ray.
                 _ => {
                     if result.hit {
                         let t = result.distance();
-                        let ray = &self.rays[item];
-                        if t >= ray.t_beg && t <= ray.t_end {
-                            state.best = Some(TraversalHit { primitive: prim, t });
+                        if t >= operand.t_beg && t <= operand.t_end {
+                            state.best = Some(TraversalHit {
+                                primitive: self.view.global_primitive(entry),
+                                t,
+                            });
                             state.stack.clear();
                             state.pending.clear();
                         }
@@ -539,6 +619,20 @@ impl<'a> TraversalStream<'a> {
         }
     }
 
+    /// Selects the coherence mode for this stream's admission ordering (must be called before
+    /// the stream starts; the policy entry points do this automatically, so this only matters
+    /// when driving a [`FusedScheduler`](crate::FusedScheduler) by hand).
+    pub fn set_coherence(&mut self, coherence: CoherenceMode) {
+        self.runner.set_coherence(coherence);
+    }
+
+    /// Builder form of [`TraversalStream::set_coherence`].
+    #[must_use]
+    pub fn with_coherence(mut self, coherence: CoherenceMode) -> Self {
+        self.set_coherence(coherence);
+        self
+    }
+
     /// One optional hit per ray (in ray order) plus the stream's traversal statistics, after a
     /// fused run completed.
     ///
@@ -588,6 +682,15 @@ pub struct TraversalEngine {
     fused: FusedScheduler,
     /// Reusable ray buffer for the packet frontends.
     ray_scratch: Vec<Ray>,
+    /// Coherence mode applied to batched admissions (octant-sorted wavefronts); the policy
+    /// entry points overwrite it per call, [`ExecMode::ScalarReference`] forces it off.
+    coherence: CoherenceMode,
+    /// Pooled per-ray operand buffer recycled across wavefront runs, so a steady-state trace
+    /// call builds its query without allocating.
+    operand_pool: Vec<RayOperand>,
+    /// Pooled scratch for the coherence reorder gather (see [`BatchQuery::reorder`]), recycled
+    /// like [`TraversalEngine::operand_pool`].
+    operand_scratch: Vec<RayOperand>,
 }
 
 impl TraversalEngine {
@@ -609,6 +712,9 @@ impl TraversalEngine {
             scheduler: WavefrontScheduler::new(),
             fused: FusedScheduler::new(),
             ray_scratch: Vec::new(),
+            coherence: CoherenceMode::default(),
+            operand_pool: Vec::new(),
+            operand_scratch: Vec::new(),
         }
     }
 
@@ -651,6 +757,22 @@ impl TraversalEngine {
     /// driving the engine's wavefront frontends directly.
     pub fn set_simd_lanes(&mut self, lanes: usize) {
         self.datapath.set_simd_lanes(lanes);
+    }
+
+    /// Selects the coherence mode the engine's batched frontends admit work under (octant-sorted
+    /// wavefronts, active-lane compaction — see [`CoherenceMode`]).
+    /// [`ExecPolicy::coherence`](crate::ExecPolicy) applies this automatically at every
+    /// `trace`/`try_trace` entry; the setter is public for callers driving the engine's
+    /// wavefront frontends directly.  Hits and [`TraversalStats`] are coherence-invariant —
+    /// the knob only reorders dispatch.
+    pub fn set_coherence(&mut self, coherence: CoherenceMode) {
+        self.coherence = coherence;
+    }
+
+    /// The coherence mode the engine's batched frontends currently admit work under.
+    #[must_use]
+    pub fn coherence(&self) -> CoherenceMode {
+        self.coherence
     }
 
     /// The effective (clamped) SIMD lane width of this engine's datapath fast path.
@@ -697,6 +819,7 @@ impl TraversalEngine {
     /// ```
     pub fn trace(&mut self, request: &TraceRequest<'_>, policy: &ExecPolicy) -> TraceOutput {
         self.datapath.set_simd_lanes(policy.effective_simd_lanes());
+        self.coherence = policy.effective_coherence();
         let view = request.view();
         match policy.mode {
             ExecMode::ScalarReference => TraceOutput {
@@ -756,6 +879,8 @@ impl TraversalEngine {
                     request.any,
                     threads,
                     policy.effective_simd_lanes(),
+                    policy.coherence,
+                    matches!(shards, crate::policy::ShardHint::Auto),
                 );
                 self.stats.merge(&out.stats);
                 self.pool.merge(&out.pool);
@@ -855,6 +980,8 @@ impl TraversalEngine {
                     request.any,
                     threads,
                     policy.effective_simd_lanes(),
+                    policy.coherence,
+                    matches!(shards, crate::policy::ShardHint::Auto),
                 )
                 .map_err(|shard| QueryError::ShardPanicked { shard })?;
                 self.stats.merge(&out.stats);
@@ -884,26 +1011,40 @@ impl TraversalEngine {
         policy: &ExecPolicy,
     ) -> Result<QueryOutcome<TraceOutput>, QueryError> {
         self.datapath.set_simd_lanes(policy.effective_simd_lanes());
+        self.coherence = policy.effective_coherence();
+        self.scheduler.set_coherence(self.coherence);
         let cap = policy.max_total_beats;
         let total = request.closest.len() + request.any.len();
         let (output, complete, beats) = if policy.mode == ExecMode::Wavefront {
-            let mut closest_query =
-                TraversalQuery::new(QueryKind::ClosestHit, request.view(), request.closest);
+            let mut closest_query = TraversalQuery::with_operand_buffer(
+                QueryKind::ClosestHit,
+                request.view(),
+                request.closest,
+                core::mem::take(&mut self.operand_pool),
+                core::mem::take(&mut self.operand_scratch),
+            );
             let closest = self
                 .scheduler
                 .run_capped(&mut self.datapath, &mut closest_query, cap);
             self.stats.merge(&closest_query.stats);
+            (self.operand_pool, self.operand_scratch) = closest_query.into_buffers();
             let mut beats = closest.beats;
             let mut any_hits = Vec::new();
             let mut any_complete = request.any.is_empty();
             let remaining = cap.saturating_sub(beats);
             if closest.complete && !request.any.is_empty() && remaining > 0 {
-                let mut any_query =
-                    TraversalQuery::new(QueryKind::AnyHit, request.view(), request.any);
+                let mut any_query = TraversalQuery::with_operand_buffer(
+                    QueryKind::AnyHit,
+                    request.view(),
+                    request.any,
+                    core::mem::take(&mut self.operand_pool),
+                    core::mem::take(&mut self.operand_scratch),
+                );
                 let any = self
                     .scheduler
                     .run_capped(&mut self.datapath, &mut any_query, remaining);
                 self.stats.merge(&any_query.stats);
+                (self.operand_pool, self.operand_scratch) = any_query.into_buffers();
                 beats += any.beats;
                 any_hits = any.outputs;
                 any_complete = any.complete;
@@ -919,6 +1060,8 @@ impl TraversalEngine {
         } else {
             let mut closest = TraversalStream::closest_hit_view(request.view(), request.closest);
             let mut any = TraversalStream::any_hit_view(request.view(), request.any);
+            closest.set_coherence(self.coherence);
+            any.set_coherence(self.coherence);
             let budget = if policy.mode == ExecMode::Fused {
                 policy.beat_budget_per_stream
             } else {
@@ -988,7 +1131,7 @@ impl TraversalEngine {
                         let Some(result) = response.triangle_result else {
                             unreachable!("a triangle beat always returns a triangle result");
                         };
-                        record_triangle_hit(&mut best, &result, prim, ray);
+                        record_triangle_hit(&mut best, &result, prim, ray.t_beg, ray.t_end);
                     }
                 }
                 NodeStep::Instances { prims } => {
@@ -1091,10 +1234,7 @@ impl TraversalEngine {
         view: SceneView<'_>,
         rays: &[Ray],
     ) -> Vec<Option<TraversalHit>> {
-        let mut query = TraversalQuery::new(QueryKind::ClosestHit, view, rays);
-        let hits = self.scheduler.run(&mut self.datapath, &mut query);
-        self.stats.merge(&query.stats);
-        hits
+        self.wavefront_hits(QueryKind::ClosestHit, view, rays)
     }
 
     /// One wavefront run of the any-hit stream through the shared scheduler.
@@ -1103,9 +1243,25 @@ impl TraversalEngine {
         view: SceneView<'_>,
         rays: &[Ray],
     ) -> Vec<Option<TraversalHit>> {
-        let mut query = TraversalQuery::new(QueryKind::AnyHit, view, rays);
+        self.wavefront_hits(QueryKind::AnyHit, view, rays)
+    }
+
+    /// The shared wavefront frontend body: build the query over pooled operand storage, run it
+    /// under the engine's coherence mode, merge its statistics and reclaim the buffer — in
+    /// steady state the only allocation left is the returned hit vector.
+    fn wavefront_hits(
+        &mut self,
+        kind: QueryKind,
+        view: SceneView<'_>,
+        rays: &[Ray],
+    ) -> Vec<Option<TraversalHit>> {
+        let operands = core::mem::take(&mut self.operand_pool);
+        let scratch = core::mem::take(&mut self.operand_scratch);
+        let mut query = TraversalQuery::with_operand_buffer(kind, view, rays, operands, scratch);
+        self.scheduler.set_coherence(self.coherence);
         let hits = self.scheduler.run(&mut self.datapath, &mut query);
         self.stats.merge(&query.stats);
+        (self.operand_pool, self.operand_scratch) = query.into_buffers();
         hits
     }
 
@@ -1123,6 +1279,8 @@ impl TraversalEngine {
     ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
         let mut closest = TraversalStream::closest_hit_view(view, closest_rays);
         let mut any = TraversalStream::any_hit_view(view, any_rays);
+        closest.set_coherence(self.coherence);
+        any.set_coherence(self.coherence);
         self.fused.set_beat_budget(beat_budget_per_stream);
         self.fused
             .run(&mut self.datapath, &mut [&mut closest, &mut any]);
@@ -1324,11 +1482,12 @@ pub(crate) fn record_triangle_hit(
     best: &mut Option<TraversalHit>,
     result: &rayflex_core::TriangleResult,
     prim: usize,
-    ray: &Ray,
+    t_beg: f32,
+    t_end: f32,
 ) {
     if result.hit {
         let t = result.distance();
-        if t >= ray.t_beg && t <= ray.t_end && best.is_none_or(|b| t < b.t) {
+        if t >= t_beg && t <= t_end && best.is_none_or(|b| t < b.t) {
             *best = Some(TraversalHit { primitive: prim, t });
         }
     }

@@ -17,25 +17,36 @@ use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Aabb, Vec3};
 use rayflex_rtunit::fault::{while_armed, FaultKind, FaultPlan};
 use rayflex_rtunit::{
-    Blas, Bvh4, Camera, ExecPolicy, FrameDesc, HierarchicalSearch, Instance, KnnEngine, KnnMetric,
-    QueryError, QueryOutcome, Renderer, Scene, TraceRequest, TraversalEngine, TraversalStats,
-    MIN_RAYS_PER_SHARD,
+    Blas, Bvh4, Camera, CoherenceMode, ExecPolicy, FrameDesc, HierarchicalSearch, Instance,
+    KnnEngine, KnnMetric, QueryError, QueryOutcome, Renderer, Scene, TraceRequest, TraversalEngine,
+    TraversalStats, MIN_RAYS_PER_SHARD,
 };
 use rayflex_workloads::{adversarial, rays, scenes};
 
-/// Every execution discipline the matrix sweeps, including both beat-budget edge values and the
-/// SIMD lane widths of the lane-batched fast path (so starved, capped and faulted runs cover the
-/// lane kernels and the work-stealing pool, not just the scalar fast path).
+/// Every execution discipline the matrix sweeps, including both beat-budget edge values, the
+/// SIMD lane widths of the lane-batched fast path and the three coherence disciplines (the
+/// defaulted entries already run `SortAndCompact`; `Off` and `SortOnly` are crossed in
+/// explicitly), so starved, capped and faulted runs cover the lane kernels, the coherent
+/// admission sorter and the work-stealing pool, not just the scalar fast path.
 fn swept_policies() -> Vec<ExecPolicy> {
     vec![
         ExecPolicy::scalar(),
         ExecPolicy::wavefront(),
         ExecPolicy::wavefront().with_simd_lanes(4),
+        ExecPolicy::wavefront().with_coherence(CoherenceMode::Off),
+        ExecPolicy::wavefront()
+            .with_coherence(CoherenceMode::SortOnly)
+            .with_simd_lanes(8),
         ExecPolicy::parallel(2),
         ExecPolicy::parallel(2).with_simd_lanes(8),
+        ExecPolicy::parallel(2).with_coherence(CoherenceMode::SortOnly),
         ExecPolicy::fused(),
+        ExecPolicy::fused().with_coherence(CoherenceMode::Off),
         ExecPolicy::fused().with_beat_budget(1),
         ExecPolicy::fused().with_beat_budget(1).with_simd_lanes(8),
+        ExecPolicy::fused()
+            .with_beat_budget(1)
+            .with_coherence(CoherenceMode::SortOnly),
     ]
 }
 
@@ -394,6 +405,46 @@ proptest! {
                 }
                 Err(err) => prop_assert!(false, "unexpected error: {}", err),
             }
+        }
+    }
+
+    /// FaultKind::ScramblePermutation × every ExecMode: corrupting the coherent admission order
+    /// (one seeded swap of two admission-list entries, still a valid permutation) must change
+    /// **nothing observable** — hits and statistics stay bit-identical to the fault-free scalar
+    /// reference in every mode and coherence discipline, and no panic escapes.  This is the
+    /// proof that reassembly is index-keyed: results route by item index, never by dispatch
+    /// position, so any admission permutation yields the same answer.
+    #[test]
+    fn scrambled_admission_permutations_are_unobservable(seed in any::<u64>()) {
+        let triangles = adversarial::valid_scene(seed, 12, 20.0);
+        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(bvh, triangles.clone());
+        let closest = clean_rays(seed, 12);
+        let any = clean_rays(seed.wrapping_add(1), 9);
+        let request = TraceRequest::pair(&scene, &closest, &any);
+
+        let mut reference = TraversalEngine::baseline();
+        let expected = reference
+            .try_trace(&request, &ExecPolicy::scalar())
+            .expect("clean scene")
+            .into_output();
+
+        let plan = FaultPlan::new(FaultKind::ScramblePermutation, seed);
+        for policy in swept_policies() {
+            let mut engine = TraversalEngine::baseline();
+            let outcome = while_armed(&plan, || {
+                no_panic("scrambled admission", || engine.try_trace(&request, &policy))
+            })
+            .expect("a scrambled (but valid) permutation is not an error");
+            prop_assert!(outcome.is_complete());
+            prop_assert_eq!(
+                outcome.output(), &expected,
+                "{}: a scrambled admission order leaked into the outputs", policy.mode
+            );
+            prop_assert_eq!(
+                engine.stats(), reference.stats(),
+                "{}: stats must be permutation-invariant", policy.mode
+            );
         }
     }
 }

@@ -15,7 +15,10 @@
 use proptest::prelude::*;
 
 use rayflex_geometry::{Affine, Ray, Triangle, Vec3};
-use rayflex_rtunit::{Blas, ExecPolicy, Instance, Scene, TraceRequest, TraversalEngine};
+use rayflex_rtunit::{
+    Blas, CoherenceMode, ExecPolicy, Instance, QueryError, QueryOutcome, Scene, TraceRequest,
+    TraversalEngine,
+};
 
 fn coordinate() -> impl Strategy<Value = f32> {
     -2.0f32..2.0
@@ -103,14 +106,36 @@ fn build_scene(meshes: &[Vec<Triangle>], placements: &[(usize, Affine)]) -> Scen
     )
 }
 
-/// Every ExecMode × simd_lanes ∈ {1, 4, 8} — the full matrix the instanced representation must
-/// hold the cross-policy invariant over.
+/// Every ExecMode × simd_lanes ∈ {1, 4, 8} × CoherenceMode ∈ {Off, SortOnly, SortAndCompact} —
+/// the full matrix the instanced representation must hold the cross-policy invariant over.  The
+/// coherence axis rotates through the lane sweep (every discipline crosses every mode, and every
+/// mode × lane pair appears) to keep the case count tractable; the defaulted budgeted entry runs
+/// `SortAndCompact`.
 fn swept_policies() -> Vec<ExecPolicy> {
     let mut policies = Vec::new();
-    for lanes in [1usize, 4, 8] {
-        policies.push(ExecPolicy::wavefront().with_simd_lanes(lanes));
-        policies.push(ExecPolicy::parallel(3).with_simd_lanes(lanes));
-        policies.push(ExecPolicy::fused().with_simd_lanes(lanes));
+    for (lanes, coherence) in [
+        (1usize, CoherenceMode::Off),
+        (4, CoherenceMode::SortOnly),
+        (8, CoherenceMode::SortAndCompact),
+        (8, CoherenceMode::Off),
+        (4, CoherenceMode::SortAndCompact),
+        (1, CoherenceMode::SortOnly),
+    ] {
+        policies.push(
+            ExecPolicy::wavefront()
+                .with_simd_lanes(lanes)
+                .with_coherence(coherence),
+        );
+        policies.push(
+            ExecPolicy::parallel(3)
+                .with_simd_lanes(lanes)
+                .with_coherence(coherence),
+        );
+        policies.push(
+            ExecPolicy::fused()
+                .with_simd_lanes(lanes)
+                .with_coherence(coherence),
+        );
     }
     policies.push(ExecPolicy::fused().with_beat_budget(1));
     policies
@@ -191,6 +216,47 @@ proptest! {
             let mut engine = TraversalEngine::baseline();
             let got = engine.trace(&refit_request, &policy);
             prop_assert_eq!(&got, &expected, "{} refit hits diverged", policy.mode);
+        }
+    }
+
+    /// Deadline caps over instanced scenes, across the full mode × lane × coherence sweep: a
+    /// budget-capped run completes bit-identically or returns a partial whose completed prefix
+    /// is bit-identical to the same prefix of the uncapped scalar reference — octant-sorted
+    /// admission must not leak dispatch order into the retired-prefix contract.
+    #[test]
+    fn capped_instanced_prefixes_match_the_scalar_reference(
+        parts in instanced_parts(),
+        rays in prop::collection::vec(ray(), 1..10),
+        cap in 1u64..250,
+    ) {
+        let (meshes, placements) = parts;
+        let scene = build_scene(&meshes, &placements);
+        let request = TraceRequest::closest_hit(&scene, &rays);
+        let expected = TraversalEngine::baseline()
+            .try_trace(&request, &ExecPolicy::scalar())
+            .expect("a generated instanced scene is valid")
+            .into_output();
+
+        for policy in swept_policies() {
+            let capped = policy.with_max_total_beats(cap);
+            let mut engine = TraversalEngine::baseline();
+            match engine.try_trace(&request, &capped) {
+                Ok(QueryOutcome::Complete(output)) => {
+                    prop_assert_eq!(&output, &expected, "{}: complete run diverged", capped.mode);
+                }
+                Ok(QueryOutcome::Partial(partial)) => {
+                    prop_assert!(partial.completed < rays.len());
+                    prop_assert_eq!(
+                        &partial.output.closest,
+                        &expected.closest[..partial.completed].to_vec(),
+                        "{}: capped prefix diverged", capped.mode
+                    );
+                }
+                Err(QueryError::BudgetExhausted { max_total_beats }) => {
+                    prop_assert_eq!(max_total_beats, cap);
+                }
+                Err(err) => prop_assert!(false, "unexpected error: {}", err),
+            }
         }
     }
 }

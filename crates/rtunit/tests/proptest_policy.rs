@@ -13,8 +13,8 @@ use proptest::prelude::*;
 use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Ray, Triangle, Vec3};
 use rayflex_rtunit::{
-    Bvh4, Camera, ExecMode, ExecPolicy, FrameDesc, HierarchicalSearch, KnnEngine, KnnMetric,
-    RenderPasses, Renderer, Scene, TraceRequest, TraversalEngine,
+    Bvh4, Camera, CoherenceMode, ExecMode, ExecPolicy, FrameDesc, HierarchicalSearch, KnnEngine,
+    KnnMetric, RenderPasses, Renderer, Scene, TraceRequest, TraversalEngine,
 };
 
 fn coordinate() -> impl Strategy<Value = f32> {
@@ -90,23 +90,43 @@ fn radius_queries() -> impl Strategy<Value = Vec<(Vec3, f32)>> {
 }
 
 /// The non-reference policies of the matrix sweep, including both beat-budget edge values
-/// (`0` = unlimited, `1` = strict round-robin), a mid value, and the SIMD lane widths of the
-/// lane-batched fast path (1 = plain scalar fast path, 4 and 8 engage the lane kernels) crossed
-/// with the dispatch modes they feed (wavefront, the work-stealing parallel pool, and fused —
+/// (`0` = unlimited, `1` = strict round-robin), a mid value, the SIMD lane widths of the
+/// lane-batched fast path (1 = plain scalar fast path, 4 and 8 engage the lane kernels) and the
+/// three coherence disciplines (the defaulted entries already run
+/// [`CoherenceMode::SortAndCompact`]; `Off` and `SortOnly` are crossed in explicitly), all over
+/// the dispatch modes they feed (wavefront, the work-stealing parallel pool, and fused —
 /// including fused under a strict beat budget).
 fn swept_policies() -> Vec<ExecPolicy> {
     vec![
         ExecPolicy::wavefront(),
         ExecPolicy::wavefront().with_simd_lanes(4),
         ExecPolicy::wavefront().with_simd_lanes(8),
+        ExecPolicy::wavefront().with_coherence(CoherenceMode::Off),
+        ExecPolicy::wavefront()
+            .with_coherence(CoherenceMode::SortOnly)
+            .with_simd_lanes(8),
         ExecPolicy::parallel(3),
         ExecPolicy::parallel(3).with_simd_lanes(8),
+        ExecPolicy::parallel(3)
+            .with_coherence(CoherenceMode::Off)
+            .with_simd_lanes(4),
         ExecPolicy::parallel_auto(),
+        ExecPolicy::parallel_auto().with_coherence(CoherenceMode::SortOnly),
         ExecPolicy::fused(),
         ExecPolicy::fused().with_simd_lanes(4),
+        ExecPolicy::fused().with_coherence(CoherenceMode::SortOnly),
+        ExecPolicy::fused()
+            .with_coherence(CoherenceMode::Off)
+            .with_simd_lanes(8),
         ExecPolicy::fused().with_beat_budget(1),
         ExecPolicy::fused().with_beat_budget(1).with_simd_lanes(8),
+        ExecPolicy::fused()
+            .with_beat_budget(1)
+            .with_coherence(CoherenceMode::SortOnly),
         ExecPolicy::fused().with_beat_budget(4),
+        ExecPolicy::fused()
+            .with_beat_budget(4)
+            .with_coherence(CoherenceMode::Off),
     ]
 }
 

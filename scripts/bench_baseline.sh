@@ -10,7 +10,8 @@
 # Tunables (environment variables, all optional):
 #   RAYFLEX_BENCH_RAYS         rays per scene / items per mode   (default 4096)
 #   RAYFLEX_BENCH_REPEATS      best-of timing repeats            (default 3)
-#   RAYFLEX_BENCH_THREADS      parallel worker threads           (default: available parallelism)
+#   RAYFLEX_BENCH_THREADS      parallel worker threads           (default: available parallelism,
+#                                                                 at least 2 so the pool engages)
 #   RAYFLEX_BENCH_MIN_SPEEDUP  fail below this batched/fused-vs-scalar speedup floor (CI sets 3.0)
 set -euo pipefail
 

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Guards the committed benchmark baselines: diffs the speedup_vs_scalar columns of freshly
+# generated BENCH_baseline.json / BENCH_fused.json against committed copies and fails when any
+# entry regressed by more than 20% (speedups are scalar-relative ratios, so they are comparable
+# across hosts in a way raw wall times are not).
+#
+# Usage:
+#   scripts/bench_diff.sh                      # regenerate into a temp dir, diff vs repo root
+#   scripts/bench_diff.sh COMMITTED_DIR FRESH_DIR
+#                                              # diff two existing sets (CI stashes the
+#                                              # committed copies, runs the suite in place,
+#                                              # then calls this with both directories)
+#
+# Tunables: RAYFLEX_BENCH_MAX_REGRESSION (default 0.20), plus the RAYFLEX_BENCH_* knobs of
+# scripts/bench_baseline.sh when this script generates the fresh set itself.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+max_regression="${RAYFLEX_BENCH_MAX_REGRESSION:-0.20}"
+
+if [ "$#" -eq 2 ]; then
+  committed_dir="$1"
+  fresh_dir="$2"
+elif [ "$#" -eq 0 ]; then
+  committed_dir="$repo_root"
+  fresh_dir="$(mktemp -d)"
+  trap 'rm -rf "$fresh_dir"' EXIT
+  RAYFLEX_BENCH_JSON="$fresh_dir/BENCH_baseline.json" \
+  RAYFLEX_BENCH_QUERY_JSON="$fresh_dir/BENCH_query_engine.json" \
+  RAYFLEX_BENCH_RENDER_JSON="$fresh_dir/BENCH_render_passes.json" \
+  RAYFLEX_BENCH_FUSED_JSON="$fresh_dir/BENCH_fused.json" \
+    "$repo_root/scripts/bench_baseline.sh"
+else
+  echo "usage: $0 [COMMITTED_DIR FRESH_DIR]" >&2
+  exit 2
+fi
+
+status=0
+for name in BENCH_baseline.json BENCH_fused.json; do
+  echo
+  echo "== $name =="
+  cargo run --release -q -p rayflex-bench --bin bench_diff -- \
+    "$committed_dir/$name" "$fresh_dir/$name" --max-regression "$max_regression" || status=1
+done
+exit "$status"
