@@ -372,8 +372,9 @@ impl RayFlexDatapath {
     ///
     /// Grouping relies on the scheduler adjacency the bulk interfaces already guarantee — a
     /// wavefront pass emits one beat per active item, so items in the same traversal phase sit
-    /// next to each other.  Ray–box beats vectorise *within* one beat (its four AABBs are the
-    /// lanes); ray–triangle beats vectorise *across* adjacent beats (runs of up to `simd_lanes`
+    /// next to each other.  Ray–box beats vectorise *within* one beat (its four AABBs are one
+    /// lane quartet) and *across* adjacent beats (up to `simd_lanes / 4` quartets share one
+    /// issue); ray–triangle beats vectorise *across* adjacent beats (runs of up to `simd_lanes`
     /// same-opcode requests share one kernel invocation); distance beats chain through the
     /// accumulators and always run scalar.  Every grouping is bit-identical to the per-beat path.
     fn fast_run(
@@ -397,29 +398,19 @@ impl RayFlexDatapath {
             let request = &requests[index];
             match request.opcode {
                 Opcode::RayBox => {
-                    // At eight lanes two adjacent box beats share one pass over the slab
-                    // stages (2 rays × 4 AABBs); below that the beat's own four AABBs are the
-                    // lanes.
-                    if self.simd_lanes >= 8
-                        && index + 1 < requests.len()
-                        && requests[index + 1].opcode == Opcode::RayBox
-                    {
-                        self.admit(request, kind);
-                        self.admit(&requests[index + 1], kind);
-                        self.mix.record_lanes(8, 8);
-                        crate::fastpath::execute_fast_box_lanes_pair(
-                            request,
-                            &requests[index + 1],
-                            responses,
-                        );
-                        index += 2;
-                    } else {
-                        self.admit(request, kind);
-                        // An unpaired box beat occupies four lanes of a full-width issue.
-                        self.mix.record_lanes(4, self.simd_lanes as u64);
-                        responses.push(crate::fastpath::execute_fast_box_lanes(request));
-                        index += 1;
+                    // Adjacent box beats group one lane quartet each into a single wide issue:
+                    // the device carries `simd_lanes / 4` beats per pass over the slab stages
+                    // (four beats at sixteen lanes, two at eight, one below).
+                    let limit = (index + (self.simd_lanes / 4).max(1)).min(requests.len());
+                    let mut end = index + 1;
+                    while end < limit && requests[end].opcode == Opcode::RayBox {
+                        end += 1;
                     }
+                    for request in &requests[index..end] {
+                        self.admit(request, kind);
+                    }
+                    self.issue_box_group(&requests[index..end], responses);
+                    index = end;
                 }
                 Opcode::RayTriangle => {
                     let limit = (index + self.simd_lanes).min(requests.len());
@@ -443,6 +434,23 @@ impl RayFlexDatapath {
                     index += 1;
                 }
             }
+        }
+    }
+
+    /// Dispatches a run of one to four adjacent ray–box beats as a single lane-group issue and
+    /// records its occupancy: each beat's four AABBs fill one lane quartet, and the issue is
+    /// charged the full device width, so the partially filled groups a short solo stream is
+    /// stuck with show up as idle lanes ([`BeatMix::simd_lane_occupancy`]).
+    fn issue_box_group(&mut self, beats: &[RayFlexRequest], responses: &mut Vec<RayFlexResponse>) {
+        debug_assert!((1..=4).contains(&beats.len()));
+        debug_assert!(beats.len() * 4 <= self.simd_lanes);
+        self.mix
+            .record_lanes((beats.len() * 4) as u64, self.simd_lanes as u64);
+        match beats.len() {
+            1 => responses.push(crate::fastpath::execute_fast_box_lanes(&beats[0])),
+            2 => crate::fastpath::execute_fast_box_lanes_group::<8>(beats, responses),
+            3 => crate::fastpath::execute_fast_box_lanes_group::<12>(beats, responses),
+            _ => crate::fastpath::execute_fast_box_lanes_group::<16>(beats, responses),
         }
     }
 
@@ -473,6 +481,12 @@ impl RayFlexDatapath {
     /// [`RayFlexDatapath::execute_batch_into`] over the same requests — attribution changes only
     /// the counters, never the datapath semantics.
     ///
+    /// Lane grouping runs over the *whole* merged pass: a same-opcode run (and the ray–box
+    /// quartet grouping) freely crosses segment boundaries, so the beats of many small coalesced streams
+    /// fill the wide kernels exactly as one long stream would.  This is where fused batching
+    /// earns its device utilisation — dispatching each segment alone issues the same beats at a
+    /// fraction of the lane occupancy ([`BeatMix::simd_lane_occupancy`]).
+    ///
     /// # Panics
     ///
     /// Panics if the segment lengths do not sum to `requests.len()`, or if any beat's opcode is
@@ -492,10 +506,76 @@ impl RayFlexDatapath {
         self.passes_accounting(segments);
         responses.clear();
         responses.reserve(requests.len());
-        let mut offset = 0;
-        for &(kind, len) in segments {
-            self.fast_run(&requests[offset..offset + len], Some(kind), responses);
-            offset += len;
+        self.fast_run_segmented(requests, segments, responses);
+    }
+
+    /// [`RayFlexDatapath::fast_run`] over a merged multi-segment pass: each beat is attributed
+    /// to its segment's [`QueryKind`], but lane grouping scans the whole request slice, so
+    /// same-opcode runs and box groups cross segment boundaries.  Grouping never moves a response
+    /// value (every kernel tier is bit-identical to the per-beat path), and the per-kind beat
+    /// attribution is identical to dispatching each segment through its own
+    /// [`RayFlexDatapath::fast_run`] — only the lane-occupancy counters see the coalescing.
+    fn fast_run_segmented(
+        &mut self,
+        requests: &[RayFlexRequest],
+        segments: &[(QueryKind, usize)],
+        responses: &mut Vec<RayFlexResponse>,
+    ) {
+        let mut cursor = SegmentCursor::new(segments);
+        if self.simd_lanes < 4 {
+            for request in requests {
+                let kind = cursor.take_one();
+                self.admit(request, Some(kind));
+                responses.push(crate::fastpath::execute_fast(
+                    request,
+                    &mut self.accumulators,
+                ));
+            }
+            return;
+        }
+        let mut index = 0;
+        while index < requests.len() {
+            let request = &requests[index];
+            match request.opcode {
+                Opcode::RayBox => {
+                    let limit = (index + (self.simd_lanes / 4).max(1)).min(requests.len());
+                    let mut end = index + 1;
+                    while end < limit && requests[end].opcode == Opcode::RayBox {
+                        end += 1;
+                    }
+                    for request in &requests[index..end] {
+                        let kind = cursor.take_one();
+                        self.admit(request, Some(kind));
+                    }
+                    self.issue_box_group(&requests[index..end], responses);
+                    index = end;
+                }
+                Opcode::RayTriangle => {
+                    let limit = (index + self.simd_lanes).min(requests.len());
+                    let mut end = index + 1;
+                    while end < limit && requests[end].opcode == Opcode::RayTriangle {
+                        end += 1;
+                    }
+                    let run = end - index;
+                    cursor.take_run(run, |kind, count| {
+                        self.admit_triangle_run(count as u64, Some(kind));
+                    });
+                    let (busy, slots) =
+                        crate::fastpath::triangle_lane_accounting(run, self.simd_lanes);
+                    self.mix.record_lanes(busy, slots);
+                    crate::fastpath::execute_fast_triangles(&requests[index..end], responses);
+                    index = end;
+                }
+                Opcode::Euclidean | Opcode::Cosine => {
+                    let kind = cursor.take_one();
+                    self.admit(request, Some(kind));
+                    responses.push(crate::fastpath::execute_fast(
+                        request,
+                        &mut self.accumulators,
+                    ));
+                    index += 1;
+                }
+            }
         }
     }
 
@@ -567,6 +647,51 @@ impl RayFlexDatapath {
     }
 }
 
+/// Walks a pass's `(kind, len)` segment table alongside the merged request slice, yielding the
+/// owning [`QueryKind`] of each beat in request order — the attribution side of
+/// [`RayFlexDatapath::fast_run_segmented`]'s cross-segment lane grouping.
+struct SegmentCursor<'a> {
+    segments: &'a [(QueryKind, usize)],
+    segment: usize,
+    consumed: usize,
+}
+
+impl<'a> SegmentCursor<'a> {
+    fn new(segments: &'a [(QueryKind, usize)]) -> Self {
+        SegmentCursor {
+            segments,
+            segment: 0,
+            consumed: 0,
+        }
+    }
+
+    /// The kind owning the next beat.
+    fn take_one(&mut self) -> QueryKind {
+        while self.consumed == self.segments[self.segment].1 {
+            self.segment += 1;
+            self.consumed = 0;
+        }
+        self.consumed += 1;
+        self.segments[self.segment].0
+    }
+
+    /// Splits a run of `count` beats into its per-segment `(kind, span)` pieces, in order.
+    fn take_run(&mut self, count: usize, mut span: impl FnMut(QueryKind, usize)) {
+        let mut left = count;
+        while left > 0 {
+            while self.consumed == self.segments[self.segment].1 {
+                self.segment += 1;
+                self.consumed = 0;
+            }
+            let (kind, len) = self.segments[self.segment];
+            let take = left.min(len - self.consumed);
+            self.consumed += take;
+            left -= take;
+            span(kind, take);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -634,6 +759,8 @@ mod tests {
     }
 
     #[test]
+    // Asserts the lane kernels actually engage, which `force-scalar` disables by design.
+    #[cfg(not(feature = "force-scalar"))]
     fn lane_occupancy_tracks_the_batched_kernel_issues() {
         let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
         let boxes = [Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)); 4];
@@ -654,7 +781,7 @@ mod tests {
         let _ = scalar.execute_batch(&requests);
         assert_eq!(scalar.beat_mix().simd_lane_slots(), 0);
         assert_eq!(scalar.beat_mix().simd_lane_occupancy(), 0.0);
-        // Eight lanes: one box pair (8/8) + a three-beat triangle run (three scalar-remainder
+        // Eight lanes: one box pair-group (8/8) + a three-beat triangle run (three scalar-remainder
         // issues of eight slots each, three busy).
         let mut wide = RayFlexDatapath::new(PipelineConfig::baseline_unified());
         wide.set_simd_lanes(8);
@@ -731,6 +858,54 @@ mod tests {
             dp.beat_mix().count_for(QueryKind::AnyHit, Opcode::RayBox),
             2
         );
+    }
+
+    #[test]
+    // Asserts the lane kernels actually engage, which `force-scalar` disables by design.
+    #[cfg(not(feature = "force-scalar"))]
+    fn lane_grouping_crosses_segment_boundaries_without_moving_attribution() {
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        let tri = Triangle::new(
+            Vec3::new(-1.0, -1.0, 3.0),
+            Vec3::new(1.0, -1.0, 3.0),
+            Vec3::new(0.0, 1.0, 3.0),
+        );
+        // Six triangle beats split across three two-beat segments — the shape of a merged pass
+        // coalescing three tiny streams.
+        let requests: Vec<RayFlexRequest> = (0..6)
+            .map(|tag| RayFlexRequest::ray_triangle(tag, &ray, &tri))
+            .collect();
+        let segments = [
+            (QueryKind::ClosestHit, 2),
+            (QueryKind::AnyHit, 2),
+            (QueryKind::ClosestHit, 2),
+        ];
+
+        let mut merged = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        merged.set_simd_lanes(8);
+        let mut responses = Vec::new();
+        merged.execute_batch_segmented(&requests, &segments, &mut responses);
+        assert_eq!(responses.len(), 6);
+
+        // Responses are bit-identical to the per-beat scalar reference.
+        let mut scalar = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        for (request, response) in requests.iter().zip(&responses) {
+            let expected = scalar.execute(request).triangle_result.unwrap();
+            let got = response.triangle_result.unwrap();
+            assert_eq!(expected.hit, got.hit);
+            assert_eq!(expected.t_num.to_bits(), got.t_num.to_bits());
+            assert_eq!(expected.det.to_bits(), got.det.to_bits());
+        }
+
+        // Attribution is identical to dispatching each segment alone…
+        let mix = merged.beat_mix();
+        assert_eq!(mix.count_for(QueryKind::ClosestHit, Opcode::RayTriangle), 4);
+        assert_eq!(mix.count_for(QueryKind::AnyHit, Opcode::RayTriangle), 2);
+        // …but the six beats issue as one cross-segment run (an 8-wide tier would split them
+        // 4+2 at eight lanes: one 4-wide issue + two scalar remainder issues), not as three
+        // two-beat runs of two scalar issues each (6 × 8 slots).
+        assert_eq!(mix.simd_lanes_busy(), 6);
+        assert_eq!(mix.simd_lane_slots(), 3 * 8);
     }
 
     #[test]

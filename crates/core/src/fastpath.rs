@@ -26,9 +26,11 @@ use crate::{AccumulatorState, Opcode, RayFlexRequest, RayFlexResponse};
 /// The canonical quiet-NaN bit pattern the recoded format reports for every NaN.
 const CANONICAL_NAN: u32 = 0x7FC0_0000;
 
-/// Widest lane count the batched kernels accept.  Eight keeps the SoA gather buffers inside two
-/// cache lines per component while saturating 256-bit vector units.
-pub const MAX_SIMD_LANES: usize = 8;
+/// Widest lane count the batched kernels accept.  Sixteen models a 512-bit-class vector unit
+/// (or a dual-issue 256-bit one): the SoA gather buffers stay within four cache lines per
+/// component, and every kernel tier below it (eight, four, scalar) still exists, so narrower
+/// devices and short runs degrade gracefully through the same code path.
+pub const MAX_SIMD_LANES: usize = 16;
 
 /// Narrowest lane count at which the grouped kernels engage; below this the per-beat scalar fast
 /// path runs unchanged.
@@ -267,19 +269,18 @@ pub(crate) fn execute_fast_box_lanes(request: &RayFlexRequest) -> RayFlexRespons
     }
 }
 
-/// Eight-lane ray–box kernel over two adjacent beats: lanes 0–3 carry the first beat's four
-/// AABBs against its ray, lanes 4–7 the second beat's against its own ray, so one pass over the
-/// slab stages serves both beats.  Each lane performs exactly the operations of
-/// [`golden::slab::ray_box`] in the same order — per-lane ray operands simply vary across the
-/// halves — and each beat's traversal order is sorted from its own four lanes, so the two
-/// responses are bit-identical to running [`execute_fast_box_lanes`] on each beat alone.
-pub(crate) fn execute_fast_box_lanes_pair(
-    first: &RayFlexRequest,
-    second: &RayFlexRequest,
+/// `L`-lane ray–box kernel over `L / 4` adjacent beats: lanes `4·b .. 4·b + 3` carry beat `b`'s
+/// four AABBs against its own ray, so one pass over the slab stages serves every beat in the
+/// group.  Each lane performs exactly the operations of [`golden::slab::ray_box`] in the same
+/// order — per-lane ray operands simply vary across the quartets — and each beat's traversal
+/// order is sorted from its own four lanes, so the responses are bit-identical to running
+/// [`execute_fast_box_lanes`] on each beat alone.
+pub(crate) fn execute_fast_box_lanes_group<const L: usize>(
+    beats: &[RayFlexRequest],
     responses: &mut Vec<RayFlexResponse>,
 ) {
-    const L: usize = 8;
-    let request = |l: usize| if l < 4 { first } else { second };
+    debug_assert_eq!(beats.len() * 4, L);
+    let request = |l: usize| &beats[l / 4];
 
     // Transpose: each lane's box component against its own ray's origin/extent lanes.
     let min_x: [f32; L] = core::array::from_fn(|l| request(l).boxes_operand()[l % 4].min.x);
@@ -319,7 +320,7 @@ pub(crate) fn execute_fast_box_lanes_pair(
     let t_exit: [f32; L] =
         core::array::from_fn(|l| sel_min(sel_min(far_x[l], far_y[l]), sel_min(far_z[l], t_end[l])));
 
-    for (beat, request) in [first, second].into_iter().enumerate() {
+    for (beat, request) in beats.iter().enumerate() {
         let hits: [golden::slab::BoxHit; 4] = core::array::from_fn(|slot| {
             let l = beat * 4 + slot;
             golden::slab::BoxHit {
@@ -452,6 +453,10 @@ pub(crate) fn execute_fast_triangles(
     responses: &mut Vec<RayFlexResponse>,
 ) {
     let mut rest = requests;
+    while rest.len() >= 16 {
+        triangle_lanes::<16>(&rest[..16], responses);
+        rest = &rest[16..];
+    }
     while rest.len() >= 8 {
         triangle_lanes::<8>(&rest[..8], responses);
         rest = &rest[8..];
@@ -466,19 +471,21 @@ pub(crate) fn execute_fast_triangles(
 }
 
 /// Lane-occupancy accounting of one same-opcode triangle run dispatched at `lanes` width,
-/// mirroring the kernel tiering of [`execute_fast_triangles`]: eight-wide issues, then
-/// four-wide, then the scalar remainder.  Returns `(busy, slots)`, where `busy` counts one
-/// lane per beat and `slots` charges every issue — vector or scalar — the full dispatch
-/// width, since a scalar remainder beat still occupies an issue slot the vector unit idles
-/// through.
+/// mirroring the kernel tiering of [`execute_fast_triangles`]: sixteen-wide issues, then
+/// eight-wide, then four-wide, then the scalar remainder.  Returns `(busy, slots)`, where
+/// `busy` counts one lane per beat and `slots` charges every issue — vector or scalar — the
+/// full dispatch width, since a scalar remainder beat still occupies an issue slot the vector
+/// unit idles through.
 #[must_use]
 pub fn triangle_lane_accounting(run: usize, lanes: usize) -> (u64, u64) {
     debug_assert!(lanes >= MIN_SIMD_LANES);
     let mut rest = run;
     let mut issues = 0;
-    if lanes >= 8 {
-        issues += rest / 8;
-        rest %= 8;
+    for width in [16, 8] {
+        if lanes >= width {
+            issues += rest / width;
+            rest %= width;
+        }
     }
     issues += rest / MIN_SIMD_LANES;
     rest %= MIN_SIMD_LANES;
@@ -502,8 +509,13 @@ mod tests {
         assert_eq!(triangle_lane_accounting(19, 8), (19, 5 * 8));
         // Four lanes: 19 beats = four 4-wide issues + three scalar → 7 issues.
         assert_eq!(triangle_lane_accounting(19, 4), (19, 7 * 4));
+        // Sixteen lanes: 19 beats = one 16-wide issue + three scalar → 4 issues.
+        assert_eq!(triangle_lane_accounting(19, 16), (19, 4 * 16));
+        // Sixteen lanes: 13 beats = one 8-wide + one 4-wide + one scalar → 3 issues.
+        assert_eq!(triangle_lane_accounting(13, 16), (13, 3 * 16));
         // A full-width run is perfectly occupied.
         assert_eq!(triangle_lane_accounting(8, 8), (8, 8));
+        assert_eq!(triangle_lane_accounting(16, 16), (16, 16));
         assert_eq!(triangle_lane_accounting(0, 8), (0, 0));
     }
 

@@ -221,6 +221,18 @@ impl SceneValidator {
         Self::validate_view(scene.view())
     }
 
+    /// Validates a ray batch up front — every component of every origin, direction and extent
+    /// must be finite and no direction may be zero-length.  The `stream` label names the batch
+    /// in the error (`"closest-hit"`, `"any-hit"`, …) so a server admitting requests from the
+    /// wire can report which stream was malformed without tracing anything.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::InvalidRequest`] naming the first malformed ray.
+    pub fn validate_rays(rays: &[Ray], stream: &str) -> Result<(), QueryError> {
+        validate_rays(rays, stream)
+    }
+
     /// [`SceneValidator::validate_scene`] over a borrowed traversal view — what the engines'
     /// `try_*` entry points call.
     pub(crate) fn validate_view(view: SceneView<'_>) -> Result<(), QueryError> {

@@ -70,6 +70,26 @@ pub enum FaultKind {
     /// outputs and statistics must stay bit-identical under it (asserted by the chaos matrix),
     /// because results are routed by the item indices the list carries, never by position.
     ScramblePermutation,
+    /// Corrupt one seed-chosen payload byte of an encoded protocol frame
+    /// ([`FaultPlan::corrupt_frame`]), modelling line noise or a buggy client.  The server
+    /// ingress must answer with a structured malformed-frame error (or, when the flipped byte
+    /// happens to leave the frame decodable, a correct response) — never a panic or a hung
+    /// worker.
+    MalformedFrame,
+    /// Truncate an encoded protocol frame mid-payload ([`FaultPlan::truncate_frame`]): the
+    /// length prefix still promises the full payload, but the connection delivers only a
+    /// seed-chosen prefix before closing.  Models a client dying mid-write; the server must
+    /// treat the short read as a clean disconnect of that connection.
+    TruncatedFrame,
+    /// Close the connection abruptly after a seed-chosen number of in-flight requests, without
+    /// reading their responses.  The server's responder must absorb the broken pipe and retire
+    /// the worker cleanly.
+    Disconnect,
+    /// A deadline storm: every concurrent request arrives with a near-zero deadline, forcing
+    /// the earliest-deadline-first admission path and the flush-on-deadline timer to fire
+    /// constantly.  Carries no mechanism of its own — the ingress harness reacts to this kind
+    /// by stamping tiny `deadline_us` values on its generated requests.
+    DeadlineStorm,
 }
 
 /// A seeded, deterministic fault to inject into one query execution.
@@ -207,6 +227,44 @@ impl FaultPlan {
             _ => victim.blas = blas_count,
         }
         Some(index)
+    }
+
+    /// Flips one seed-chosen bit of one seed-chosen **payload** byte of a length-prefixed
+    /// protocol frame (`frame` = 4-byte little-endian length prefix + payload).  Returns the
+    /// corrupted byte's offset, or `None` when the frame has no payload to corrupt.
+    ///
+    /// The length prefix itself is deliberately left intact: corrupting the declared length
+    /// would make the receiver wait for bytes that never arrive — a timeout, not the structured
+    /// decode error this fault exists to provoke.  (A lying length prefix is
+    /// [`FaultKind::TruncatedFrame`]'s job, where the sender also hangs up.)
+    pub fn corrupt_frame(&self, frame: &mut [u8]) -> Option<usize> {
+        const PREFIX: usize = 4;
+        if frame.len() <= PREFIX {
+            return None;
+        }
+        let mut state = self.seed;
+        let index = PREFIX + (splitmix(&mut state) as usize) % (frame.len() - PREFIX);
+        let bit = (splitmix(&mut state) % 8) as u8;
+        frame[index] ^= 1 << bit;
+        Some(index)
+    }
+
+    /// Truncates an encoded frame to a seed-chosen proper prefix **without fixing the length
+    /// prefix**: the header still promises the full payload, but the bytes stop early — exactly
+    /// what a peer dying mid-write looks like on the wire.  Returns the number of bytes kept
+    /// (at least the 4-byte prefix stays when the frame had one, so the receiver commits to
+    /// reading a payload that never fully arrives).
+    pub fn truncate_frame(&self, frame: &mut Vec<u8>) -> usize {
+        const PREFIX: usize = 4;
+        if frame.len() <= PREFIX {
+            return frame.len();
+        }
+        let mut state = self.seed;
+        // Keep the prefix plus 0..payload-1 payload bytes: always a short read, never the
+        // complete frame.
+        let keep = PREFIX + (splitmix(&mut state) as usize) % (frame.len() - PREFIX);
+        frame.truncate(keep);
+        keep
     }
 }
 
@@ -486,6 +544,80 @@ mod tests {
             scramble_checkpoint(&mut single);
             assert_eq!(single, vec![0]);
         });
+    }
+
+    #[test]
+    fn frame_corruption_spares_the_length_prefix_and_is_deterministic() {
+        // A plausible frame: 4-byte LE length prefix + 20 payload bytes.
+        let payload: Vec<u8> = (0u8..20).collect();
+        let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&payload);
+        for seed in 0..32u64 {
+            let plan = FaultPlan::new(FaultKind::MalformedFrame, seed);
+            let mut a = frame.clone();
+            let mut b = frame.clone();
+            let ia = plan.corrupt_frame(&mut a).unwrap();
+            let ib = plan.corrupt_frame(&mut b).unwrap();
+            assert_eq!(ia, ib, "seed {seed}: same victim byte");
+            assert_eq!(a, b, "seed {seed}: same corruption");
+            assert!(ia >= 4, "seed {seed}: the length prefix must survive");
+            assert_eq!(a[..4], frame[..4], "seed {seed}: prefix bytes untouched");
+            assert_ne!(a, frame, "seed {seed}: exactly one bit flipped");
+            assert_eq!(
+                a.iter().zip(&frame).filter(|(x, y)| x != y).count(),
+                1,
+                "seed {seed}: exactly one byte differs"
+            );
+        }
+        // Prefix-only and empty frames carry nothing to corrupt.
+        let plan = FaultPlan::new(FaultKind::MalformedFrame, 1);
+        assert!(plan.corrupt_frame(&mut [0, 0, 0, 0]).is_none());
+        assert!(plan.corrupt_frame(&mut []).is_none());
+    }
+
+    #[test]
+    fn frame_truncation_keeps_the_prefix_but_never_the_whole_payload() {
+        let payload: Vec<u8> = (0u8..20).collect();
+        let mut whole = (payload.len() as u32).to_le_bytes().to_vec();
+        whole.extend_from_slice(&payload);
+        for seed in 0..32u64 {
+            let plan = FaultPlan::new(FaultKind::TruncatedFrame, seed);
+            let mut frame = whole.clone();
+            let keep = plan.truncate_frame(&mut frame);
+            assert_eq!(frame.len(), keep);
+            assert!(
+                (4..whole.len()).contains(&keep),
+                "seed {seed}: kept {keep} of {}",
+                whole.len()
+            );
+            assert_eq!(frame[..], whole[..keep], "seed {seed}: prefix untouched");
+            // The header still promises the full payload — the lie is the point.
+            assert_eq!(frame[..4], (payload.len() as u32).to_le_bytes());
+        }
+        // Nothing shorter than the prefix shrinks further.
+        let plan = FaultPlan::new(FaultKind::TruncatedFrame, 5);
+        let mut prefix_only = vec![9, 0, 0, 0];
+        assert_eq!(plan.truncate_frame(&mut prefix_only), 4);
+        assert_eq!(prefix_only, vec![9, 0, 0, 0]);
+    }
+
+    #[test]
+    fn ingress_kinds_arm_nothing() {
+        for kind in [
+            FaultKind::MalformedFrame,
+            FaultKind::TruncatedFrame,
+            FaultKind::Disconnect,
+            FaultKind::DeadlineStorm,
+        ] {
+            while_armed(&FaultPlan::new(kind, 3), || {
+                for shard in 0..4 {
+                    shard_checkpoint(shard);
+                }
+                let mut perm: Vec<usize> = (0..4).collect();
+                scramble_checkpoint(&mut perm);
+                assert_eq!(perm, vec![0, 1, 2, 3]);
+            });
+        }
     }
 
     #[test]

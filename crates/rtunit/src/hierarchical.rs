@@ -618,6 +618,7 @@ impl HierarchicalSearch {
                     } else {
                         0
                     });
+                fused.set_admission_order(policy.admission_order);
                 let run = if policy.mode == ExecMode::ScalarReference {
                     fused.run_reference_capped(self.scorer.datapath_mut(), &mut [&mut runner], cap)
                 } else {
@@ -697,6 +698,7 @@ impl HierarchicalSearch {
                     } else {
                         0
                     });
+                fused.set_admission_order(policy.admission_order);
                 if policy.mode == ExecMode::ScalarReference {
                     fused.run_reference(self.scorer.datapath_mut(), &mut [&mut runner]);
                 } else {

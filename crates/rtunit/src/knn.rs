@@ -443,6 +443,8 @@ impl KnnEngine {
                         } else {
                             0
                         });
+                    self.fused.set_admission_order(policy.admission_order);
+                    self.fused.set_stream_deadlines(&[]);
                     if policy.mode == ExecMode::ScalarReference {
                         self.fused
                             .run_reference(&mut self.datapath, &mut [&mut runner]);
@@ -638,6 +640,8 @@ impl KnnEngine {
                         } else {
                             0
                         });
+                    self.fused.set_admission_order(policy.admission_order);
+                    self.fused.set_stream_deadlines(&[]);
                     let run = if policy.mode == ExecMode::ScalarReference {
                         self.fused.run_reference_capped(
                             &mut self.datapath,

@@ -88,7 +88,7 @@ pub use parallel::{
 pub use parallel::{
     trace_fused_parallel, trace_packet_parallel, trace_rays_parallel, trace_shadow_rays_parallel,
 };
-pub use policy::{CoherenceMode, ExecMode, ExecPolicy, ShardHint};
+pub use policy::{AdmissionOrder, CoherenceMode, ExecMode, ExecPolicy, ShardHint};
 pub use query::{
     BatchQuery, CappedFusedRun, CappedRun, FusedScheduler, FusedStream, QueryKind, StreamRunner,
     WavefrontScheduler,

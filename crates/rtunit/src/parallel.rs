@@ -408,7 +408,14 @@ pub(crate) fn fused_pair_sharded_checked(
         } else if closest_rays.is_empty() {
             (Vec::new(), engine.wavefront_any_hits(view, any_rays))
         } else {
-            engine.fused_pair(view, closest_rays, any_rays, 0)
+            engine.fused_pair(
+                view,
+                closest_rays,
+                any_rays,
+                0,
+                crate::policy::AdmissionOrder::Fifo,
+                [0, 0],
+            )
         };
         return Ok(PairPoolTrace {
             closest,

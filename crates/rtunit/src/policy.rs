@@ -92,6 +92,63 @@ impl CoherenceMode {
     }
 }
 
+/// The admission ordering of the fused scheduler's shared passes: which stream's beat segment
+/// is issued first when several streams merge into one pass.
+///
+/// This is the deadline-aware reordering left open since the QoS work landed: an online server
+/// coalescing requests from many clients wants the stream closest to its deadline issued at the
+/// front of every shared pass, so its beats (and its per-pass budget share) are the first
+/// through the datapath.  Admission order moves *issue order only* — per-stream outputs and
+/// statistics are admission-order-invariant (segments stay contiguous and results demux by
+/// stream), which `rtunit/tests/proptest_policy.rs` pins alongside the other dispatch knobs.
+///
+/// Streams without a deadline (`0`) sort after every deadline-carrying stream, tied by stream
+/// index, so [`AdmissionOrder::EarliestDeadlineFirst`] with no deadlines set is exactly
+/// [`AdmissionOrder::Fifo`].  The sharded [`ExecMode::Parallel`] backend ignores the knob (each
+/// worker owns a contiguous slice, so there is no cross-stream issue order to choose), which is
+/// observationally indistinguishable by the invariance above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionOrder {
+    /// Streams are admitted in caller order (the pre-deadline behaviour).
+    #[default]
+    Fifo,
+    /// Streams are admitted earliest-deadline-first: segments of each shared pass are built and
+    /// issued in ascending deadline order (deadline `0` = none = last; ties by stream index).
+    EarliestDeadlineFirst,
+}
+
+impl AdmissionOrder {
+    /// Every admission order, in FIFO-first order (the sweep order of the policy matrix tests).
+    pub const ALL: [AdmissionOrder; 2] =
+        [AdmissionOrder::Fifo, AdmissionOrder::EarliestDeadlineFirst];
+
+    /// A short stable name for reports and CLI flags (`fifo`, `edf`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdmissionOrder::Fifo => "fifo",
+            AdmissionOrder::EarliestDeadlineFirst => "edf",
+        }
+    }
+
+    /// Parses a CLI-style order name (`fifo`, `edf`, case-insensitive), or `None` for anything
+    /// else.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<AdmissionOrder> {
+        match name.to_ascii_lowercase().as_str() {
+            "fifo" => Some(AdmissionOrder::Fifo),
+            "edf" => Some(AdmissionOrder::EarliestDeadlineFirst),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for AdmissionOrder {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The execution mode of a policy: *how* a query's beats reach the datapath.
 ///
 /// All modes produce bit-identical outputs and statistics for the same request (the per-item
@@ -226,6 +283,13 @@ pub struct ExecPolicy {
     /// Outputs and per-item statistics are coherence-invariant (bit-identical across modes);
     /// only pass structure and lane occupancy change.
     pub coherence: CoherenceMode,
+    /// Admission ordering of the fused scheduler's shared passes (see [`AdmissionOrder`]):
+    /// whether streams issue their pass segments in caller order or earliest-deadline-first.
+    /// Deadlines ride on the request ([`TraceRequest::with_stream_deadlines`](crate::TraceRequest::with_stream_deadlines));
+    /// with no deadlines set the knob is inert.  Outputs and per-stream statistics are
+    /// admission-order-invariant (bit-identical across orders); only issue order within each
+    /// shared pass changes.
+    pub admission_order: AdmissionOrder,
 }
 
 impl ExecPolicy {
@@ -320,6 +384,14 @@ impl ExecPolicy {
     #[must_use]
     pub fn with_coherence(mut self, coherence: CoherenceMode) -> Self {
         self.coherence = coherence;
+        self
+    }
+
+    /// Sets the admission ordering of the fused scheduler's shared passes (see
+    /// [`ExecPolicy::admission_order`]).
+    #[must_use]
+    pub fn with_admission_order(mut self, admission_order: AdmissionOrder) -> Self {
+        self.admission_order = admission_order;
         self
     }
 
@@ -455,6 +527,30 @@ mod tests {
         assert_eq!(composed.simd_lanes, 8);
         let names: Vec<_> = CoherenceMode::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(names, ["off", "sort", "sort-compact"]);
+    }
+
+    #[test]
+    fn the_admission_order_knob_defaults_to_fifo_and_composes() {
+        assert_eq!(ExecPolicy::default().admission_order, AdmissionOrder::Fifo);
+        assert_eq!(AdmissionOrder::default(), AdmissionOrder::Fifo);
+        let edf = ExecPolicy::fused()
+            .with_beat_budget(1)
+            .with_admission_order(AdmissionOrder::EarliestDeadlineFirst);
+        assert_eq!(
+            edf.admission_order,
+            AdmissionOrder::EarliestDeadlineFirst,
+            "the builder stores the knob"
+        );
+        assert_eq!(edf.beat_budget_per_stream, 1, "composes with QoS");
+        for order in AdmissionOrder::ALL {
+            assert_eq!(AdmissionOrder::parse(order.name()), Some(order));
+            assert_eq!(order.to_string(), order.name());
+        }
+        assert_eq!(
+            AdmissionOrder::parse("EDF"),
+            Some(AdmissionOrder::EarliestDeadlineFirst)
+        );
+        assert_eq!(AdmissionOrder::parse("lifo"), None);
     }
 
     #[test]

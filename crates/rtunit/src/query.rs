@@ -868,6 +868,14 @@ pub struct FusedScheduler {
     /// Per-stream beat budget per pass (`0` = unlimited); see
     /// [`FusedScheduler::set_beat_budget`].
     beat_budget_per_stream: usize,
+    /// Admission ordering of the shared passes; see [`FusedScheduler::set_admission_order`].
+    admission_order: crate::policy::AdmissionOrder,
+    /// Per-stream deadlines (in caller units; `0` = none) keyed by stream index, consulted by
+    /// [`AdmissionOrder::EarliestDeadlineFirst`](crate::AdmissionOrder::EarliestDeadlineFirst);
+    /// see [`FusedScheduler::set_stream_deadlines`].
+    stream_deadlines: Vec<u64>,
+    /// Reusable admission-order buffer: `order[position] = stream index`, recomputed per run.
+    order: Vec<usize>,
     /// Passes dispatched by the most recent run.
     last_run_passes: u64,
     /// Passes each stream contributed at least one beat to, in admission order, for the most
@@ -903,6 +911,60 @@ impl FusedScheduler {
     #[must_use]
     pub fn beat_budget(&self) -> usize {
         self.beat_budget_per_stream
+    }
+
+    /// Sets the admission ordering of the shared passes (see
+    /// [`AdmissionOrder`](crate::AdmissionOrder)): with
+    /// [`EarliestDeadlineFirst`](crate::AdmissionOrder::EarliestDeadlineFirst), every pass
+    /// builds and issues its stream segments in ascending order of the deadlines registered by
+    /// [`FusedScheduler::set_stream_deadlines`] (deadline `0` = none = last, ties by stream
+    /// index) instead of slice order.  Pure issue-order policy: per-stream outputs and
+    /// statistics are admission-order-invariant (pinned by `rtunit/tests/proptest_policy.rs`).
+    pub fn set_admission_order(&mut self, order: crate::policy::AdmissionOrder) {
+        self.admission_order = order;
+    }
+
+    /// Builder form of [`FusedScheduler::set_admission_order`].
+    #[must_use]
+    pub fn with_admission_order(mut self, order: crate::policy::AdmissionOrder) -> Self {
+        self.set_admission_order(order);
+        self
+    }
+
+    /// Registers per-stream deadlines for
+    /// [`EarliestDeadlineFirst`](crate::AdmissionOrder::EarliestDeadlineFirst) admission:
+    /// `deadlines[i]` belongs to `streams[i]` of the next run, in any caller unit where smaller
+    /// means more urgent (`0` = no deadline, sorts last).  Streams past the end of the slice
+    /// carry no deadline.  The registration persists across runs until replaced.
+    pub fn set_stream_deadlines(&mut self, deadlines: &[u64]) {
+        self.stream_deadlines.clear();
+        self.stream_deadlines.extend_from_slice(deadlines);
+    }
+
+    /// The admission order of the most recent run: `order[position] = stream index`, the order
+    /// segments were built and issued within each shared pass.  Identity under
+    /// [`Fifo`](crate::AdmissionOrder::Fifo) or when no deadlines distinguish the streams.
+    #[must_use]
+    pub fn last_run_admission(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Computes the run's admission order into `self.order`: identity for FIFO, or a stable
+    /// (deadline, index) sort for earliest-deadline-first.
+    fn admit(&mut self, stream_count: usize) {
+        self.order.clear();
+        self.order.extend(0..stream_count);
+        if self.admission_order == crate::policy::AdmissionOrder::EarliestDeadlineFirst {
+            let deadlines = &self.stream_deadlines;
+            self.order.sort_by_key(|&index| {
+                let deadline = deadlines
+                    .get(index)
+                    .copied()
+                    .filter(|&deadline| deadline != 0)
+                    .unwrap_or(u64::MAX);
+                (deadline, index)
+            });
+        }
     }
 
     /// Number of bulk passes the most recent run dispatched (diagnostics).
@@ -948,6 +1010,7 @@ impl FusedScheduler {
         for stream in streams.iter_mut() {
             stream.start();
         }
+        self.admit(streams.len());
         self.last_run_passes = 0;
         self.stream_passes.clear();
         self.stream_passes.resize(streams.len(), 0);
@@ -961,10 +1024,12 @@ impl FusedScheduler {
                 };
             }
 
-            // Build phase: every stream appends its (budget-limited) segment of the merged pass.
+            // Build phase: every stream appends its (budget-limited) segment of the merged
+            // pass, in admission order (slice order, or earliest-deadline-first).
             self.requests.clear();
             self.segments.clear();
-            for (index, stream) in streams.iter_mut().enumerate() {
+            for &index in &self.order {
+                let stream = &mut *streams[index];
                 let beats = stream.build_pass(&mut self.requests, self.beat_budget_per_stream);
                 self.segments.push((stream.kind(), beats));
                 self.stream_passes[index] += u64::from(beats > 0);
@@ -980,10 +1045,11 @@ impl FusedScheduler {
             // One bulk dispatch for the merged mixed-kind pass.
             datapath.execute_batch_segmented(&self.requests, &self.segments, &mut self.responses);
 
-            // Demux phase: hand each stream its contiguous slice of the responses.
+            // Demux phase: hand each stream its contiguous slice of the responses, walking the
+            // same admission order the build phase used.
             let mut offset = 0;
-            for (stream, &(_, beats)) in streams.iter_mut().zip(&self.segments) {
-                stream.apply_pass(&self.responses[offset..offset + beats]);
+            for (&index, &(_, beats)) in self.order.iter().zip(&self.segments) {
+                streams[index].apply_pass(&self.responses[offset..offset + beats]);
                 offset += beats;
             }
         }
@@ -1037,6 +1103,7 @@ impl FusedScheduler {
         for stream in streams.iter_mut() {
             stream.start();
         }
+        self.admit(streams.len());
         self.last_run_passes = 0;
         self.stream_passes.clear();
         self.stream_passes.resize(streams.len(), 0);
@@ -1049,13 +1116,15 @@ impl FusedScheduler {
                     complete: false,
                 };
             }
-            // Round-robin: each stream in turn builds its (budget-limited) pass segment and has
-            // it executed beat by beat before the next stream takes over.  The scheduler-side
-            // pass accounting mirrors `run` (one scheduled round = one pass, per-stream
-            // contributions counted) even though the datapath's own bulk-pass counters stay at
-            // zero — no bulk dispatch ever happens here.
+            // Round-robin: each stream in turn (in admission order) builds its (budget-limited)
+            // pass segment and has it executed beat by beat before the next stream takes over.
+            // The scheduler-side pass accounting mirrors `run` (one scheduled round = one pass,
+            // per-stream contributions counted) even though the datapath's own bulk-pass
+            // counters stay at zero — no bulk dispatch ever happens here.
             let mut round_had_beats = false;
-            for (index, stream) in streams.iter_mut().enumerate() {
+            for order_position in 0..self.order.len() {
+                let index = self.order[order_position];
+                let stream = &mut *streams[index];
                 self.requests.clear();
                 let beats = stream.build_pass(&mut self.requests, self.beat_budget_per_stream);
                 if beats == 0 {
@@ -1488,6 +1557,68 @@ mod tests {
             dp_b.beat_mix().fused_passes() > 0,
             "streams still share passes"
         );
+    }
+
+    #[test]
+    fn edf_admission_reorders_pass_segments_without_changing_outputs() {
+        use crate::policy::AdmissionOrder;
+        let streams = || {
+            (
+                StreamRunner::new(toy_query(5, 3)),
+                StreamRunner::new(toy_query_of_kind(QueryKind::AnyHit, 4, 2)),
+                StreamRunner::new(toy_query_of_kind(QueryKind::Collect, 3, 4)),
+            )
+        };
+
+        let mut fifo = FusedScheduler::new();
+        let mut dp_a = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let (mut a1, mut a2, mut a3) = streams();
+        fifo.run(&mut dp_a, &mut [&mut a1, &mut a2, &mut a3]);
+        assert_eq!(fifo.last_run_admission(), &[0, 1, 2], "FIFO is identity");
+
+        // Stream 2 carries the tightest deadline, stream 0 none at all — EDF issues 2, 1, 0.
+        let mut edf =
+            FusedScheduler::new().with_admission_order(AdmissionOrder::EarliestDeadlineFirst);
+        edf.set_stream_deadlines(&[0, 900, 250]);
+        let mut dp_b = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let (mut b1, mut b2, mut b3) = streams();
+        edf.run(&mut dp_b, &mut [&mut b1, &mut b2, &mut b3]);
+        assert_eq!(
+            edf.last_run_admission(),
+            &[2, 1, 0],
+            "deadline-carrying streams issue first, ascending; deadline 0 = none = last"
+        );
+
+        // Per-stream outputs, pass counts and beat totals are admission-order-invariant; only
+        // segment issue order within each shared pass moved.
+        assert_eq!(a1.finish().1, b1.finish().1);
+        assert_eq!(a2.finish().1, b2.finish().1);
+        assert_eq!(a3.finish().1, b3.finish().1);
+        assert_eq!(fifo.last_run_passes(), edf.last_run_passes());
+        assert_eq!(
+            fifo.last_run_stream_passes(),
+            edf.last_run_stream_passes(),
+            "per-stream pass attribution stays keyed by stream index"
+        );
+        assert_eq!(dp_a.executed_beats(), dp_b.executed_beats());
+
+        // EDF with no deadlines registered degenerates to FIFO (ties broken by index).
+        let mut inert =
+            FusedScheduler::new().with_admission_order(AdmissionOrder::EarliestDeadlineFirst);
+        let mut dp_c = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let (mut c1, mut c2, mut c3) = streams();
+        inert.run(&mut dp_c, &mut [&mut c1, &mut c2, &mut c3]);
+        assert_eq!(inert.last_run_admission(), &[0, 1, 2]);
+
+        // The scalar round-robin reference honours the same ordering.
+        let mut reference =
+            FusedScheduler::new().with_admission_order(AdmissionOrder::EarliestDeadlineFirst);
+        reference.set_stream_deadlines(&[0, 900, 250]);
+        let mut dp_d = RayFlexDatapath::new(PipelineConfig::baseline_unified());
+        let (mut d1, mut d2, mut d3) = streams();
+        reference.run_reference(&mut dp_d, &mut [&mut d1, &mut d2, &mut d3]);
+        assert_eq!(reference.last_run_admission(), &[2, 1, 0]);
+        assert_eq!(d1.finish().1, vec![3; 5], "reference outputs are unchanged");
     }
 
     #[test]

@@ -135,6 +135,7 @@ pub struct TraceRequest<'a> {
     view: SceneView<'a>,
     closest: &'a [Ray],
     any: &'a [Ray],
+    deadlines: [u64; 2],
 }
 
 impl<'a> TraceRequest<'a> {
@@ -145,6 +146,7 @@ impl<'a> TraceRequest<'a> {
             view: scene.view(),
             closest: rays,
             any: &[],
+            deadlines: [0, 0],
         }
     }
 
@@ -155,6 +157,7 @@ impl<'a> TraceRequest<'a> {
             view: scene.view(),
             closest: &[],
             any: rays,
+            deadlines: [0, 0],
         }
     }
 
@@ -167,6 +170,7 @@ impl<'a> TraceRequest<'a> {
             view: scene.view(),
             closest,
             any,
+            deadlines: [0, 0],
         }
     }
 
@@ -181,6 +185,7 @@ impl<'a> TraceRequest<'a> {
             view: SceneView::Flat { bvh, triangles },
             closest: rays,
             any: &[],
+            deadlines: [0, 0],
         }
     }
 
@@ -194,6 +199,7 @@ impl<'a> TraceRequest<'a> {
             view: SceneView::Flat { bvh, triangles },
             closest: &[],
             any: rays,
+            deadlines: [0, 0],
         }
     }
 
@@ -213,6 +219,7 @@ impl<'a> TraceRequest<'a> {
             view: SceneView::Flat { bvh, triangles },
             closest,
             any,
+            deadlines: [0, 0],
         }
     }
 
@@ -223,7 +230,32 @@ impl<'a> TraceRequest<'a> {
 
     /// A both-streams request straight over a borrowed view (the parallel backend's retry path).
     pub(crate) fn pair_view(view: SceneView<'a>, closest: &'a [Ray], any: &'a [Ray]) -> Self {
-        TraceRequest { view, closest, any }
+        TraceRequest {
+            view,
+            closest,
+            any,
+            deadlines: [0, 0],
+        }
+    }
+
+    /// Attaches per-stream deadlines, in whatever monotone unit the caller measures urgency in
+    /// (a server uses microseconds-until-flush).  `0` means "no deadline" and always sorts
+    /// last.  Deadlines only matter under
+    /// [`AdmissionOrder::EarliestDeadlineFirst`](crate::AdmissionOrder::EarliestDeadlineFirst):
+    /// the fused scheduler then builds and issues the tighter-deadline stream's segment first
+    /// within every shared pass.  Outputs and statistics are unaffected — the knob reorders
+    /// work inside passes, it does not change what work runs.
+    #[must_use]
+    pub fn with_stream_deadlines(mut self, closest: u64, any: u64) -> Self {
+        self.deadlines = [closest, any];
+        self
+    }
+
+    /// The per-stream `[closest, any]` deadlines (`0` = none) set by
+    /// [`TraceRequest::with_stream_deadlines`].
+    #[must_use]
+    pub fn stream_deadlines(&self) -> [u64; 2] {
+        self.deadlines
     }
 
     /// Total primitives the request's scene addresses by global id (a flat scene's triangle
@@ -648,8 +680,11 @@ impl<'a> TraversalStream<'a> {
     /// Like [`TraversalStream::finish`], but tolerant of a budget-cancelled run: yields the
     /// hits of the longest fully-retired item prefix (everything, if the run completed), the
     /// prefix length, and the stream's statistics.  Rays cancelled mid-flight surface nothing —
-    /// a premature best-hit would be silently wrong.
-    pub(crate) fn finish_partial(self) -> (Vec<Option<TraversalHit>>, usize, TraversalStats) {
+    /// a premature best-hit would be silently wrong.  A server mapping
+    /// [`CappedFusedRun::Incomplete`](crate::CappedFusedRun) onto a partial protocol response
+    /// calls this to salvage the completed prefix.
+    #[must_use]
+    pub fn finish_partial(self) -> (Vec<Option<TraversalHit>>, usize, TraversalStats) {
         let (query, hits, prefix) = self.runner.finish_partial();
         (hits, prefix, query.stats)
     }
@@ -844,6 +879,8 @@ impl TraversalEngine {
                     request.closest,
                     request.any,
                     policy.beat_budget_per_stream,
+                    policy.admission_order,
+                    request.deadlines,
                 );
                 TraceOutput { closest, any }
             }
@@ -869,7 +906,14 @@ impl TraversalEngine {
                             any: self.wavefront_any_hits(view, request.any),
                         };
                     }
-                    let (closest, any) = self.fused_pair(view, request.closest, request.any, 0);
+                    let (closest, any) = self.fused_pair(
+                        view,
+                        request.closest,
+                        request.any,
+                        0,
+                        policy.admission_order,
+                        request.deadlines,
+                    );
                     return TraceOutput { closest, any };
                 }
                 let out = crate::parallel::fused_pair_sharded(
@@ -1068,6 +1112,8 @@ impl TraversalEngine {
                 0
             };
             self.fused.set_beat_budget(budget);
+            self.fused.set_admission_order(policy.admission_order);
+            self.fused.set_stream_deadlines(&request.deadlines);
             let streams: &mut [&mut dyn crate::query::FusedStream] = &mut [&mut closest, &mut any];
             let progress = if policy.mode == ExecMode::ScalarReference {
                 self.fused
@@ -1276,12 +1322,16 @@ impl TraversalEngine {
         closest_rays: &[Ray],
         any_rays: &[Ray],
         beat_budget_per_stream: usize,
+        admission_order: crate::policy::AdmissionOrder,
+        deadlines: [u64; 2],
     ) -> (Vec<Option<TraversalHit>>, Vec<Option<TraversalHit>>) {
         let mut closest = TraversalStream::closest_hit_view(view, closest_rays);
         let mut any = TraversalStream::any_hit_view(view, any_rays);
         closest.set_coherence(self.coherence);
         any.set_coherence(self.coherence);
         self.fused.set_beat_budget(beat_budget_per_stream);
+        self.fused.set_admission_order(admission_order);
+        self.fused.set_stream_deadlines(&deadlines);
         self.fused
             .run(&mut self.datapath, &mut [&mut closest, &mut any]);
         let (closest_hits, closest_stats) = closest.finish();

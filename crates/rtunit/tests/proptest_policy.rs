@@ -13,8 +13,9 @@ use proptest::prelude::*;
 use rayflex_core::PipelineConfig;
 use rayflex_geometry::{Ray, Triangle, Vec3};
 use rayflex_rtunit::{
-    Bvh4, Camera, CoherenceMode, ExecMode, ExecPolicy, FrameDesc, HierarchicalSearch, KnnEngine,
-    KnnMetric, RenderPasses, Renderer, Scene, TraceRequest, TraversalEngine,
+    AdmissionOrder, Bvh4, Camera, CoherenceMode, ExecMode, ExecPolicy, FrameDesc,
+    HierarchicalSearch, KnnEngine, KnnMetric, RenderPasses, Renderer, Scene, TraceRequest,
+    TraversalEngine,
 };
 
 fn coordinate() -> impl Strategy<Value = f32> {
@@ -127,6 +128,14 @@ fn swept_policies() -> Vec<ExecPolicy> {
         ExecPolicy::fused()
             .with_beat_budget(4)
             .with_coherence(CoherenceMode::Off),
+        ExecPolicy::fused().with_admission_order(AdmissionOrder::EarliestDeadlineFirst),
+        ExecPolicy::fused()
+            .with_admission_order(AdmissionOrder::EarliestDeadlineFirst)
+            .with_beat_budget(1),
+        ExecPolicy::fused()
+            .with_admission_order(AdmissionOrder::EarliestDeadlineFirst)
+            .with_beat_budget(4)
+            .with_simd_lanes(8),
     ]
 }
 
@@ -323,6 +332,50 @@ proptest! {
         );
         // Total datapath work is identical either way.
         prop_assert_eq!(strict.beat_mix().total(), unlimited.beat_mix().total());
+    }
+
+    /// The admission-order knob: earliest-deadline-first admission under arbitrary per-stream
+    /// deadlines (including the `0` = "no deadline" sentinel and ties) must be output- and
+    /// stat-invariant against FIFO admission in every fused configuration — EDF reorders segment
+    /// issue *within* shared passes, it never changes what work runs.  This is the invariant
+    /// that lets an online server re-order its admission queue by deadline without perturbing
+    /// bit-identity with offline runs.
+    #[test]
+    fn edf_admission_is_output_invariant_under_arbitrary_deadlines(
+        triangles in scene(),
+        closest_rays in prop::collection::vec(ray(), 1..10),
+        shadow_rays in prop::collection::vec(ray(), 1..10),
+        closest_deadline in any::<u64>(),
+        any_deadline in any::<u64>(),
+        beat_budget in 0usize..5,
+    ) {
+        let bvh = Bvh4::build(&triangles);
+        let scene = Scene::from_parts(bvh.clone(), triangles.clone());
+        let plain = TraceRequest::pair(&scene, &closest_rays, &shadow_rays);
+        let dated = plain.with_stream_deadlines(closest_deadline, any_deadline);
+
+        let mut reference = TraversalEngine::baseline();
+        let expected = reference.trace(&plain, &ExecPolicy::fused().with_beat_budget(beat_budget));
+
+        for order in AdmissionOrder::ALL {
+            let policy = ExecPolicy::fused()
+                .with_beat_budget(beat_budget)
+                .with_admission_order(order);
+            let mut engine = TraversalEngine::baseline();
+            let got = engine.trace(&dated, &policy);
+            prop_assert_eq!(&got, &expected, "{} hits diverged", order);
+            prop_assert_eq!(engine.stats(), reference.stats(), "{} stats diverged", order);
+            prop_assert_eq!(
+                engine.last_fused_passes(),
+                reference.last_fused_passes(),
+                "{} pass structure diverged", order
+            );
+
+            // The scalar reference honours the same admission order bit-identically.
+            let mut scalar = TraversalEngine::baseline();
+            let scalar_policy = ExecPolicy::scalar().with_admission_order(order);
+            prop_assert_eq!(&scalar.trace(&dated, &scalar_policy), &expected);
+        }
     }
 }
 

@@ -1,0 +1,42 @@
+//! # rayflex-server
+//!
+//! An online query service over the RayFlex RT-unit substrate: a thread-per-connection TCP
+//! front end (hand-rolled on [`std::net`], no async runtime) speaking the length-prefixed
+//! binary protocol of [`rayflex_workloads::wire`], with a condvar-based admission queue that
+//! coalesces concurrent trace / any-hit / kNN / radius requests into shared
+//! [`FusedScheduler`](rayflex_rtunit::FusedScheduler) batches — the paper's fused multi-query
+//! datapath turned into a serving discipline.
+//!
+//! The batcher flushes on batch size (`max_batch`), on the oldest request's age (`flush_us`),
+//! or on a request's own deadline, whichever comes first; batch selection and pass-segment
+//! admission follow [`AdmissionOrder`](rayflex_rtunit::AdmissionOrder) (earliest-deadline-first
+//! by default).  Per-stream pass budgets (`beat_budget`) keep one tenant from flooding shared
+//! passes.  Because fused batching is output-invariant — the repo's tentpole invariant —
+//! a batched response is bit-identical to the same request served alone or issued directly
+//! against the library.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use rayflex_server::{ServerConfig, ServerHandle};
+//!
+//! let server = ServerHandle::spawn(ServerConfig::default()).expect("bind");
+//! println!("listening on {}", server.local_addr());
+//! let report = server.shutdown();
+//! assert_eq!(report.served, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod exec;
+pub mod queue;
+pub mod registry;
+pub mod server;
+
+pub use exec::{error_code, BatchExecutor, ExecConfig};
+pub use queue::{AdmissionQueue, Job};
+pub use registry::{Registry, TargetKind};
+pub use server::{DrainReport, ServerConfig, ServerHandle};

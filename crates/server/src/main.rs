@@ -1,0 +1,95 @@
+//! The `rayflex-server` binary: parses the batching knobs, preloads the catalog, prints the
+//! bound address (load generators parse the `listening on` line when spawning with an
+//! ephemeral port) and serves until a client sends a shutdown frame, then drains and exits 0.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use rayflex_rtunit::AdmissionOrder;
+use rayflex_server::{ServerConfig, ServerHandle};
+
+const USAGE: &str = "usage: rayflex-server [--addr HOST:PORT] [--max-batch N] [--flush-us N] \
+                     [--beat-budget N] [--max-batch-beats N] [--admission fifo|edf] \
+                     [--simd-lanes N]";
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--max-batch" => {
+                config.max_batch = value("--max-batch")?
+                    .parse()
+                    .map_err(|e| format!("--max-batch: {e}"))?;
+            }
+            "--flush-us" => {
+                config.flush_us = value("--flush-us")?
+                    .parse()
+                    .map_err(|e| format!("--flush-us: {e}"))?;
+            }
+            "--beat-budget" => {
+                config.beat_budget = value("--beat-budget")?
+                    .parse()
+                    .map_err(|e| format!("--beat-budget: {e}"))?;
+            }
+            "--max-batch-beats" => {
+                config.max_batch_beats = value("--max-batch-beats")?
+                    .parse()
+                    .map_err(|e| format!("--max-batch-beats: {e}"))?;
+            }
+            "--admission" => {
+                let name = value("--admission")?;
+                config.admission = AdmissionOrder::parse(&name)
+                    .ok_or_else(|| format!("unknown admission order {name:?}"))?;
+            }
+            "--simd-lanes" => {
+                config.simd_lanes = value("--simd-lanes")?
+                    .parse()
+                    .map_err(|e| format!("--simd-lanes: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match ServerHandle::spawn(config) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("rayflex-server: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Explicit flush: stdout is block-buffered under a pipe, and load generators spawn this
+    // binary and parse the line before sending traffic.
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    let report = server.wait();
+    println!(
+        "drained: served={} batches={} connections={} malformed={} lanes_busy={} lane_slots={}",
+        report.served,
+        report.batches,
+        report.connections,
+        report.malformed,
+        report.lanes_busy,
+        report.lane_slots
+    );
+    ExitCode::SUCCESS
+}

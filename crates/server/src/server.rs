@@ -1,0 +1,584 @@
+//! The TCP front end: a thread-per-connection listener hand-rolled on [`std::net`] (no async
+//! runtime), one executor thread running the dynamic batcher, and a drain-aware shutdown
+//! protocol.
+//!
+//! Each connection thread reads length-prefixed frames with a *resumable* buffered reader —
+//! read timeouts only poll the shutdown flag, they never lose frame sync — decodes them, and
+//! submits jobs to the shared [`AdmissionQueue`] with a private rendezvous channel for the
+//! response.  Malformed-but-complete frames are answered with a structured
+//! [`code::INVALID_REQUEST`] error and the connection lives on; only transport-level failures
+//! (EOF, oversized declarations, I/O errors) end a connection.  On shutdown the queue closes,
+//! the executor drains every admitted job, and every thread is joined before
+//! [`ServerHandle::shutdown`] returns its [`DrainReport`].
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rayflex_rtunit::AdmissionOrder;
+use rayflex_workloads::wire::{
+    code, decode_request, encode_response, RequestBody, ResponseBody, ResponseFrame, WireError,
+    MAX_FRAME_BYTES,
+};
+
+use crate::exec::{BatchExecutor, ExecConfig};
+use crate::queue::AdmissionQueue;
+use crate::registry::Registry;
+
+/// How long a connection thread blocks in `read` before re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+/// How long a connection thread waits for the executor before giving up on a response.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Server tuning knobs; the defaults serve a mixed interactive load.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Flush the admission queue as soon as this many requests are pending.
+    pub max_batch: usize,
+    /// Flush the admission queue once the oldest pending request has waited this long, even if
+    /// the batch is short (microseconds).
+    pub flush_us: u64,
+    /// Per-stream per-pass beat budget inside shared fused passes (`0` = unlimited).
+    pub beat_budget: usize,
+    /// Total beat cap per batch run (`0` = uncapped).
+    pub max_batch_beats: u64,
+    /// Batch selection and pass-segment admission order.
+    pub admission: AdmissionOrder,
+    /// SIMD lane width of the executor's datapath (outputs are width-invariant).
+    pub simd_lanes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_batch: 32,
+            flush_us: 200,
+            beat_budget: 0,
+            max_batch_beats: 0,
+            admission: AdmissionOrder::EarliestDeadlineFirst,
+            simd_lanes: 16,
+        }
+    }
+}
+
+/// What the server did over its lifetime, returned by [`ServerHandle::shutdown`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests answered (including structured errors).
+    pub served: u64,
+    /// Batches the executor ran.
+    pub batches: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Complete-but-malformed frames answered with a structured error.
+    pub malformed: u64,
+    /// SIMD lanes that carried a live beat across every batch the executor ran — the modeled
+    /// device utilisation numerator (see
+    /// [`rayflex_core::BeatMix::simd_lane_occupancy`]).
+    pub lanes_busy: u64,
+    /// Lane-slots dispatched across every kernel issue (each issue charged its full width) —
+    /// the modeled device utilisation denominator.  `lanes_busy / lane_slots` is the fraction
+    /// of the modeled RT-unit's lanes that did useful work; coalesced batches fill lanes that
+    /// batch-size-1 dispatch leaves idle.
+    pub lane_slots: u64,
+}
+
+impl DrainReport {
+    /// `lanes_busy / lane_slots`: the modeled RT-unit lane occupancy over the server's
+    /// lifetime, `0.0` if no lane kernel ever issued.
+    #[must_use]
+    pub fn lane_occupancy(&self) -> f64 {
+        if self.lane_slots == 0 {
+            0.0
+        } else {
+            self.lanes_busy as f64 / self.lane_slots as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    served: AtomicU64,
+    batches: AtomicU64,
+    connections: AtomicU64,
+    malformed: AtomicU64,
+    lanes_busy: AtomicU64,
+    lane_slots: AtomicU64,
+}
+
+impl Counters {
+    fn report(&self) -> DrainReport {
+        DrainReport {
+            served: self.served.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            lanes_busy: self.lanes_busy.load(Ordering::Relaxed),
+            lane_slots: self.lane_slots.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Shared {
+    queue: AdmissionQueue,
+    shutting_down: AtomicBool,
+    counters: Counters,
+    /// The bound listen address — a shutdown initiated from a connection thread dials it once
+    /// to wake the accept loop out of `incoming()`.
+    addr: SocketAddr,
+}
+
+/// A running server: accept thread + executor thread + one thread per live connection.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    executor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("shutting_down", &self.shutting_down)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// Preloads the registry, binds the listener and spawns the serving threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures; registry validation failures surface as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+        let registry = Registry::preload()
+            .map_err(|error| io::Error::new(ErrorKind::InvalidData, error.to_string()))?;
+        let registry = Arc::new(registry);
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: AdmissionQueue::new(),
+            shutting_down: AtomicBool::new(false),
+            counters: Counters::default(),
+            addr,
+        });
+
+        let exec_config = ExecConfig {
+            beat_budget: config.beat_budget,
+            max_batch_beats: config.max_batch_beats,
+            admission: config.admission,
+            simd_lanes: config.simd_lanes,
+        };
+        let executor = {
+            let shared = Arc::clone(&shared);
+            let registry = Arc::clone(&registry);
+            let max_batch = config.max_batch.max(1);
+            let flush_us = config.flush_us;
+            let admission = config.admission;
+            std::thread::Builder::new()
+                .name("rayflex-executor".into())
+                .spawn(move || {
+                    let mut executor = BatchExecutor::new(registry, exec_config);
+                    let mut last_usage = (0u64, 0u64);
+                    while let Some(batch) = shared.queue.next_batch(max_batch, flush_us, admission)
+                    {
+                        let responses = executor.execute(&batch);
+                        // Publish the datapath's lane counters as deltas: a panic-triggered
+                        // rebuild resets the cumulative mix, and saturating deltas simply skip
+                        // that batch instead of wrapping.
+                        let usage = executor.lane_usage();
+                        shared
+                            .counters
+                            .lanes_busy
+                            .fetch_add(usage.0.saturating_sub(last_usage.0), Ordering::Relaxed);
+                        shared
+                            .counters
+                            .lane_slots
+                            .fetch_add(usage.1.saturating_sub(last_usage.1), Ordering::Relaxed);
+                        last_usage = usage;
+                        shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .counters
+                            .served
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        for (job, response) in batch.into_iter().zip(responses) {
+                            // A disconnected client is not an error — drop the response.
+                            let _ = job.responder.send(response);
+                        }
+                    }
+                })?
+        };
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("rayflex-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            executor: Some(executor),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates shutdown, drains every admitted request, joins every thread and reports.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.begin_shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(executor) = self.executor.take() {
+            let _ = executor.join();
+        }
+        self.shared.counters.report()
+    }
+
+    /// Blocks until the server stops on its own (a client sent a shutdown frame).
+    pub fn wait(mut self) -> DrainReport {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(executor) = self.executor.take() {
+            let _ = executor.join();
+        }
+        self.shared.counters.report()
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        // Unblock the accept loop with a throwaway connection; it re-checks the flag on wake.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(shared);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("rayflex-conn".into())
+            .spawn(move || serve_connection(stream, &shared))
+        {
+            connections.push(handle);
+        }
+        // Opportunistically reap finished connection threads so the vec stays bounded.
+        connections.retain(|handle| !handle.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// A buffered frame reader that survives read timeouts without losing frame sync: bytes
+/// accumulate across `fill` calls, and a frame is only consumed once its full declared length
+/// has arrived.
+struct FrameReader {
+    buffer: Vec<u8>,
+}
+
+enum FrameEvent {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// Nothing complete yet (timeout or short read) — poll again.
+    Pending,
+    /// The peer closed the connection.
+    Eof,
+    /// The peer declared a frame larger than the protocol allows.
+    Oversized(u64),
+}
+
+impl FrameReader {
+    fn new() -> Self {
+        FrameReader { buffer: Vec::new() }
+    }
+
+    fn poll(&mut self, stream: &mut TcpStream) -> io::Result<FrameEvent> {
+        if let Some(event) = self.take_frame() {
+            return Ok(event);
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => Ok(FrameEvent::Eof),
+            Ok(n) => {
+                self.buffer.extend_from_slice(&chunk[..n]);
+                Ok(self.take_frame().unwrap_or(FrameEvent::Pending))
+            }
+            Err(error)
+                if error.kind() == ErrorKind::WouldBlock || error.kind() == ErrorKind::TimedOut =>
+            {
+                Ok(FrameEvent::Pending)
+            }
+            Err(error) => Err(error),
+        }
+    }
+
+    fn take_frame(&mut self) -> Option<FrameEvent> {
+        if self.buffer.len() < 4 {
+            return None;
+        }
+        let declared = u32::from_le_bytes([
+            self.buffer[0],
+            self.buffer[1],
+            self.buffer[2],
+            self.buffer[3],
+        ]) as usize;
+        if declared > MAX_FRAME_BYTES {
+            return Some(FrameEvent::Oversized(declared as u64));
+        }
+        if self.buffer.len() < 4 + declared {
+            return None;
+        }
+        let payload = self.buffer[4..4 + declared].to_vec();
+        self.buffer.drain(..4 + declared);
+        Some(FrameEvent::Frame(payload))
+    }
+}
+
+fn write_response(stream: &mut TcpStream, response: &ResponseFrame) -> io::Result<()> {
+    let payload = encode_response(response);
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    stream.write_all(&frame)
+}
+
+fn error_response(request_id: u64, code: u8, reason: impl Into<String>) -> ResponseFrame {
+    ResponseFrame {
+        request_id,
+        body: ResponseBody::Error {
+            code,
+            reason: reason.into(),
+        },
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut reader = FrameReader::new();
+    while let Ok(event) = reader.poll(&mut stream) {
+        let payload = match event {
+            FrameEvent::Frame(payload) => payload,
+            FrameEvent::Pending => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            FrameEvent::Eof => break,
+            FrameEvent::Oversized(declared) => {
+                let _ = write_response(
+                    &mut stream,
+                    &error_response(
+                        0,
+                        code::INVALID_REQUEST,
+                        format!("declared frame of {declared} bytes exceeds the protocol limit"),
+                    ),
+                );
+                break;
+            }
+        };
+        let request = match decode_request(&payload) {
+            Ok(request) => request,
+            Err(error) => {
+                // A complete-but-malformed frame: answer structurally, keep the connection.
+                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                let response = match error {
+                    WireError::Oversized { declared } => error_response(
+                        0,
+                        code::INVALID_REQUEST,
+                        format!("oversized body of {declared} bytes"),
+                    ),
+                    other => error_response(0, code::INVALID_REQUEST, other.to_string()),
+                };
+                if write_response(&mut stream, &response).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+
+        if matches!(request.body, RequestBody::Shutdown) {
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(
+                &mut stream,
+                &ResponseFrame {
+                    request_id: request.request_id,
+                    body: ResponseBody::ShutdownAck,
+                },
+            );
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            shared.queue.close();
+            // Wake the accept loop so `wait()` observes the stop without an external nudge.
+            let _ = TcpStream::connect(shared.addr);
+            break;
+        }
+
+        let request_id = request.request_id;
+        let (responder, response_rx) = sync_channel(1);
+        if !shared.queue.submit(request, responder) {
+            let _ = write_response(
+                &mut stream,
+                &error_response(request_id, code::SHUTTING_DOWN, "server is draining"),
+            );
+            break;
+        }
+        match response_rx.recv_timeout(RESPONSE_TIMEOUT) {
+            Ok(response) => {
+                if write_response(&mut stream, &response).is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                let _ = write_response(
+                    &mut stream,
+                    &error_response(request_id, code::INTERNAL, "executor response timed out"),
+                );
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() || self.executor.is_some() {
+            self.shared.shutting_down.store(true, Ordering::SeqCst);
+            self.shared.queue.close();
+            let _ = TcpStream::connect(self.addr);
+            if let Some(accept) = self.accept.take() {
+                let _ = accept.join();
+            }
+            if let Some(executor) = self.executor.take() {
+                let _ = executor.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayflex_workloads::wire::{catalog, RequestFrame, WireClient};
+
+    fn trace_request(request_id: u64, rays: usize) -> RequestFrame {
+        RequestFrame {
+            request_id,
+            tenant: 0,
+            deadline_us: 0,
+            scene: "wall".into(),
+            body: RequestBody::Trace {
+                rays: catalog::sample_rays("wall", request_id, rays).expect("catalog rays"),
+            },
+        }
+    }
+
+    #[test]
+    fn serves_trace_requests_and_drains_cleanly() {
+        let server = ServerHandle::spawn(ServerConfig {
+            max_batch: 4,
+            flush_us: 500,
+            ..ServerConfig::default()
+        })
+        .expect("server spawns");
+        let addr = server.local_addr().to_string();
+
+        let mut client = WireClient::connect(&addr).expect("client connects");
+        for id in 1..=3u64 {
+            let response = client
+                .request(&trace_request(id, 4))
+                .expect("request round-trips");
+            assert_eq!(response.request_id, id);
+            assert!(
+                matches!(response.body, ResponseBody::Hits { .. }),
+                "expected hits, got {:?}",
+                response.body
+            );
+        }
+        drop(client);
+
+        let report = server.shutdown();
+        assert_eq!(report.served, 3);
+        assert!(report.batches >= 1);
+        assert_eq!(report.connections, 1);
+    }
+
+    #[test]
+    fn malformed_complete_frames_get_structured_errors_and_the_connection_survives() {
+        let server = ServerHandle::spawn(ServerConfig::default()).expect("server spawns");
+        let addr = server.local_addr().to_string();
+
+        let mut client = WireClient::connect(&addr).expect("client connects");
+        // A complete frame whose payload is garbage.
+        let garbage = vec![0xFFu8; 16];
+        let mut frame = (garbage.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&garbage);
+        client
+            .stream_mut()
+            .write_all(&frame)
+            .expect("garbage frame writes");
+        let response = client.receive().expect("a structured error comes back");
+        assert!(
+            matches!(
+                response.body,
+                ResponseBody::Error {
+                    code: code::INVALID_REQUEST,
+                    ..
+                }
+            ),
+            "got {:?}",
+            response.body
+        );
+
+        // The connection is still usable for a valid request.
+        let response = client
+            .request(&trace_request(7, 2))
+            .expect("valid request still served");
+        assert_eq!(response.request_id, 7);
+        let report = server.shutdown();
+        assert_eq!(report.malformed, 1);
+    }
+
+    #[test]
+    fn a_shutdown_frame_stops_the_server_and_wait_reports() {
+        let server = ServerHandle::spawn(ServerConfig::default()).expect("server spawns");
+        let addr = server.local_addr().to_string();
+        let mut client = WireClient::connect(&addr).expect("client connects");
+        let response = client
+            .request(&RequestFrame {
+                request_id: 42,
+                tenant: 0,
+                deadline_us: 0,
+                scene: String::new(),
+                body: RequestBody::Shutdown,
+            })
+            .expect("shutdown acks");
+        assert!(matches!(response.body, ResponseBody::ShutdownAck));
+        let report = server.wait();
+        assert_eq!(report.served, 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! The serving bit-identity contract: a response served over the loopback TCP path — decoded,
+//! admitted, batched with strangers into a shared fused run, extracted, re-encoded — is
+//! **byte-identical** to encoding the answer of the equivalent direct library `try_*` call
+//! under [`ExecMode::Fused`].  This is the repo's tentpole invariant (fusion and batching
+//! change scheduling, never outputs) carried across the wire: `f32` payloads travel as raw
+//! IEEE-754 bit patterns, so even the encoded frames must match bit for bit.
+
+use rayflex_core::PipelineConfig;
+use rayflex_rtunit::{
+    Bvh4, ExecPolicy, HierarchicalSearch, KnnEngine, KnnMetric, QueryOutcome, Scene, TraceRequest,
+    TraversalEngine,
+};
+use rayflex_server::{ServerConfig, ServerHandle};
+use rayflex_workloads::wire::{
+    catalog, encode_response, RequestBody, RequestFrame, ResponseBody, ResponseFrame, WireClient,
+    WireHit, WireNeighbor,
+};
+
+fn fused() -> ExecPolicy {
+    ExecPolicy::fused()
+}
+
+fn request(request_id: u64, scene: &str, body: RequestBody) -> RequestFrame {
+    RequestFrame {
+        request_id,
+        tenant: 0,
+        deadline_us: 0,
+        scene: scene.into(),
+        body,
+    }
+}
+
+fn wire_hits(hits: Vec<Option<rayflex_rtunit::TraversalHit>>) -> Vec<Option<WireHit>> {
+    hits.into_iter()
+        .map(|hit| {
+            hit.map(|hit| WireHit {
+                primitive: hit.primitive as u64,
+                t: hit.t,
+            })
+        })
+        .collect()
+}
+
+fn wire_neighbors(neighbors: Vec<rayflex_rtunit::Neighbor>) -> Vec<WireNeighbor> {
+    neighbors
+        .into_iter()
+        .map(|neighbor| WireNeighbor {
+            index: neighbor.index as u64,
+            distance: neighbor.distance,
+        })
+        .collect()
+}
+
+fn complete<T>(outcome: QueryOutcome<T>) -> T {
+    match outcome {
+        QueryOutcome::Complete(output) => output,
+        QueryOutcome::Partial(_) => panic!("uncapped fused runs always complete"),
+    }
+}
+
+/// Every request kind, served concurrently over one socket per request against a batching
+/// server, must produce encoded responses byte-identical to the direct library composition.
+#[test]
+fn served_responses_are_byte_identical_to_direct_fused_library_calls() {
+    let server = ServerHandle::spawn(ServerConfig {
+        max_batch: 8,
+        flush_us: 2_000,
+        ..ServerConfig::default()
+    })
+    .expect("server spawns");
+    let addr = server.local_addr().to_string();
+
+    // The library side, composed exactly as a standalone user would.
+    let mut expected: Vec<(RequestFrame, ResponseFrame)> = Vec::new();
+
+    for scene_name in catalog::SCENES {
+        let triangles = catalog::scene_triangles(scene_name).expect("catalog scene");
+        let scene = Scene::from_parts(Bvh4::build(&triangles), triangles);
+        let mut engine = TraversalEngine::with_config(PipelineConfig::extended_unified());
+
+        let rays = catalog::sample_rays(scene_name, 101, 6).expect("catalog rays");
+        let outcome = complete(
+            engine
+                .try_trace(&TraceRequest::closest_hit(&scene, &rays), &fused())
+                .expect("valid trace"),
+        );
+        let id = expected.len() as u64 + 1;
+        expected.push((
+            request(id, scene_name, RequestBody::Trace { rays }),
+            ResponseFrame {
+                request_id: id,
+                body: ResponseBody::Hits {
+                    hits: wire_hits(outcome.into_closest()),
+                },
+            },
+        ));
+
+        let rays = catalog::sample_rays(scene_name, 202, 5).expect("catalog rays");
+        let outcome = complete(
+            engine
+                .try_trace(&TraceRequest::any_hit(&scene, &rays), &fused())
+                .expect("valid any-hit"),
+        );
+        let id = expected.len() as u64 + 1;
+        expected.push((
+            request(id, scene_name, RequestBody::AnyHit { rays }),
+            ResponseFrame {
+                request_id: id,
+                body: ResponseBody::Hits {
+                    hits: wire_hits(outcome.into_any()),
+                },
+            },
+        ));
+    }
+
+    for dataset_name in catalog::DATASETS {
+        let dataset = catalog::dataset_vectors(dataset_name).expect("catalog dataset");
+        let queries = catalog::sample_queries(dataset_name, 303, 3).expect("catalog queries");
+        let mut engine = KnnEngine::new();
+        for (i, query) in queries.iter().enumerate() {
+            let k = 3 + i;
+            let neighbors = engine
+                .try_k_nearest(query, &dataset, k, KnnMetric::Euclidean, &fused())
+                .expect("valid knn");
+            let id = expected.len() as u64 + 1;
+            expected.push((
+                request(
+                    id,
+                    dataset_name,
+                    RequestBody::Knn {
+                        k: k as u32,
+                        query: query.clone(),
+                    },
+                ),
+                ResponseFrame {
+                    request_id: id,
+                    body: ResponseBody::Neighbors {
+                        neighbors: wire_neighbors(neighbors),
+                    },
+                },
+            ));
+        }
+    }
+
+    for cloud_name in catalog::CLOUDS {
+        let points = catalog::cloud_points(cloud_name).expect("catalog cloud");
+        let centers = catalog::sample_centers(cloud_name, 404, 3).expect("catalog centers");
+        let mut engine =
+            HierarchicalSearch::build(points, 0.05, PipelineConfig::extended_unified());
+        for (center, radius) in &centers {
+            let results = complete(
+                engine
+                    .try_radius_queries(&[(*center, *radius)], &fused())
+                    .expect("valid radius"),
+            );
+            let id = expected.len() as u64 + 1;
+            expected.push((
+                request(
+                    id,
+                    cloud_name,
+                    RequestBody::Radius {
+                        center: [center.x, center.y, center.z],
+                        radius: *radius,
+                    },
+                ),
+                ResponseFrame {
+                    request_id: id,
+                    body: ResponseBody::Neighbors {
+                        neighbors: wire_neighbors(results.into_iter().next().unwrap_or_default()),
+                    },
+                },
+            ));
+        }
+    }
+
+    // Serve every request concurrently — one connection per request, so the admission queue
+    // genuinely coalesces them into shared batches — and compare *encoded bytes*.
+    let handles: Vec<_> = expected
+        .iter()
+        .map(|(request, want)| {
+            let addr = addr.clone();
+            let request = request.clone();
+            let want_bytes = encode_response(want);
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(&addr).expect("client connects");
+                let got = client.request(&request).expect("request round-trips");
+                assert_eq!(
+                    encode_response(&got),
+                    want_bytes,
+                    "request {} served differently from the library",
+                    request.request_id
+                );
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("no client thread panics");
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.served, expected.len() as u64, "every request served");
+    assert!(
+        report.batches <= report.served,
+        "batching never splits a request"
+    );
+}
+
+/// The same contract under aggressive batching knobs: a single shared batch holding the whole
+/// mixed load (batch size far above the request count, long flush window forcing coalescing)
+/// still answers identically to isolated library calls.
+#[test]
+fn a_single_giant_mixed_batch_is_still_bit_identical() {
+    let server = ServerHandle::spawn(ServerConfig {
+        max_batch: 64,
+        flush_us: 50_000,
+        ..ServerConfig::default()
+    })
+    .expect("server spawns");
+    let addr = server.local_addr().to_string();
+
+    let triangles = catalog::scene_triangles("soup").expect("catalog scene");
+    let scene = Scene::from_parts(Bvh4::build(&triangles), triangles);
+    let mut engine = TraversalEngine::with_config(PipelineConfig::extended_unified());
+
+    let mut batch: Vec<(RequestFrame, Vec<u8>)> = Vec::new();
+    for id in 1..=12u64 {
+        let rays = catalog::sample_rays("soup", id, 4).expect("catalog rays");
+        let outcome = complete(
+            engine
+                .try_trace(&TraceRequest::closest_hit(&scene, &rays), &fused())
+                .expect("valid trace"),
+        );
+        let want = ResponseFrame {
+            request_id: id,
+            body: ResponseBody::Hits {
+                hits: wire_hits(outcome.into_closest()),
+            },
+        };
+        batch.push((
+            request(id, "soup", RequestBody::Trace { rays }),
+            encode_response(&want),
+        ));
+    }
+
+    let handles: Vec<_> = batch
+        .into_iter()
+        .map(|(request, want_bytes)| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = WireClient::connect(&addr).expect("client connects");
+                let got = client.request(&request).expect("request round-trips");
+                assert_eq!(encode_response(&got), want_bytes);
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("no client thread panics");
+    }
+    server.shutdown();
+}

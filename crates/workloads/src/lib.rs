@@ -27,3 +27,4 @@ pub mod rays;
 pub mod scenes;
 pub mod stimulus;
 pub mod vectors;
+pub mod wire;

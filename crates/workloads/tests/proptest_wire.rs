@@ -1,0 +1,164 @@
+//! Protocol round-trip and robustness properties of the `rayflex-server` wire format: every
+//! representable request and response survives encode → decode bit-exactly, and *arbitrary*
+//! byte soup — including single-bit corruptions of valid frames, the exact fault
+//! `FaultKind::MalformedFrame` injects — decodes to a structured error or an equivalent value,
+//! never a panic.
+
+use proptest::prelude::*;
+
+use rayflex_geometry::{Ray, Vec3};
+use rayflex_workloads::wire::{
+    decode_request, decode_response, encode_request, encode_response, RequestBody, RequestFrame,
+    ResponseBody, ResponseFrame, WireHit, WireNeighbor,
+};
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    -1.0e6f32..1.0e6
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (finite_f32(), finite_f32(), finite_f32()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn ray() -> impl Strategy<Value = Ray> {
+    (vec3(), vec3(), 0.0f32..10.0, 0.0f32..1000.0).prop_filter_map(
+        "non-zero direction",
+        |(origin, dir, t_beg, t_end)| {
+            (dir.length_squared() > 1e-9).then(|| Ray::with_extent(origin, dir, t_beg, t_end))
+        },
+    )
+}
+
+fn scene_name() -> impl Strategy<Value = String> {
+    // The vendored proptest shim has no regex string strategy; build names from a charset.
+    const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_-";
+    prop::collection::vec(0usize..CHARSET.len(), 0..24)
+        .prop_map(|picks| picks.into_iter().map(|i| CHARSET[i] as char).collect())
+}
+
+fn request_body() -> impl Strategy<Value = RequestBody> {
+    prop_oneof![
+        prop::collection::vec(ray(), 0..12).prop_map(|rays| RequestBody::Trace { rays }),
+        prop::collection::vec(ray(), 0..12).prop_map(|rays| RequestBody::AnyHit { rays }),
+        (0u32..20, prop::collection::vec(finite_f32(), 0..24))
+            .prop_map(|(k, query)| RequestBody::Knn { k, query }),
+        (vec3(), 0.0f32..50.0).prop_map(|(c, radius)| RequestBody::Radius {
+            center: [c.x, c.y, c.z],
+            radius,
+        }),
+        Just(RequestBody::Shutdown),
+    ]
+}
+
+fn request() -> impl Strategy<Value = RequestFrame> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        any::<u64>(),
+        scene_name(),
+        request_body(),
+    )
+        .prop_map(
+            |(request_id, tenant, deadline_us, scene, body)| RequestFrame {
+                request_id,
+                tenant,
+                deadline_us,
+                scene,
+                body,
+            },
+        )
+}
+
+fn hit() -> impl Strategy<Value = Option<WireHit>> {
+    prop_oneof![
+        Just(None),
+        (any::<u64>(), finite_f32()).prop_map(|(primitive, t)| Some(WireHit { primitive, t })),
+    ]
+}
+
+fn response_body() -> impl Strategy<Value = ResponseBody> {
+    prop_oneof![
+        prop::collection::vec(hit(), 0..16).prop_map(|hits| ResponseBody::Hits { hits }),
+        (prop::collection::vec(hit(), 0..16), 0u32..16).prop_map(|(hits, extra)| {
+            let total = hits.len() as u32 + extra;
+            ResponseBody::PartialHits { total, hits }
+        }),
+        prop::collection::vec(
+            (any::<u64>(), finite_f32())
+                .prop_map(|(index, distance)| WireNeighbor { index, distance }),
+            0..16
+        )
+        .prop_map(|neighbors| ResponseBody::Neighbors { neighbors }),
+        (any::<u8>(), prop::collection::vec(32u8..127, 0..40)).prop_map(|(code, reason)| {
+            ResponseBody::Error {
+                code,
+                reason: reason.into_iter().map(char::from).collect(),
+            }
+        }),
+        Just(ResponseBody::ShutdownAck),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Requests round trip bit-exactly: decode inverts encode, and re-encoding the decoded
+    /// value reproduces the identical bytes (the stronger claim — no value survives only up to
+    /// re-canonicalisation).
+    #[test]
+    fn requests_round_trip_bit_exactly(request in request()) {
+        let bytes = encode_request(&request);
+        let decoded = decode_request(&bytes).expect("valid frames must decode");
+        prop_assert_eq!(&decoded, &request);
+        prop_assert_eq!(encode_request(&decoded), bytes);
+    }
+
+    /// Responses round trip bit-exactly, same contract as requests.
+    #[test]
+    fn responses_round_trip_bit_exactly(
+        request_id in any::<u64>(),
+        body in response_body(),
+    ) {
+        let response = ResponseFrame { request_id, body };
+        let bytes = encode_response(&response);
+        let decoded = decode_response(&bytes).expect("valid frames must decode");
+        prop_assert_eq!(&decoded, &response);
+        prop_assert_eq!(encode_response(&decoded), bytes);
+    }
+
+    /// Arbitrary byte soup decodes to `Ok` or a structured error — never a panic, never an
+    /// over-read (the decoders are total functions of the payload bytes).
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoders(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+
+    /// Single-bit corruptions of a valid request — exactly what `FaultKind::MalformedFrame`
+    /// injects on the wire — decode to a structured error or to some well-formed request,
+    /// never a panic.  Truncations at every byte boundary (the `TruncatedFrame` shape after
+    /// the transport delivered a short payload) must always be rejected or re-interpreted,
+    /// equally panic-free.
+    #[test]
+    fn corrupted_and_truncated_requests_fail_structurally(
+        request in request(),
+        byte_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let good = encode_request(&request);
+        if !good.is_empty() {
+            let mut flipped = good.clone();
+            let index = (byte_seed as usize) % flipped.len();
+            flipped[index] ^= 1 << bit;
+            let _ = decode_request(&flipped);
+
+            let cut = (byte_seed as usize) % (good.len() + 1);
+            if cut < good.len() {
+                prop_assert!(
+                    decode_request(&good[..cut]).is_err(),
+                    "a proper prefix can never be a complete frame"
+                );
+            }
+        }
+    }
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Guards the committed benchmark baselines: diffs the speedup_vs_scalar columns of freshly
-# generated BENCH_baseline.json / BENCH_fused.json against committed copies and fails when any
-# entry regressed by more than 20% (speedups are scalar-relative ratios, so they are comparable
-# across hosts in a way raw wall times are not).
+# generated BENCH_baseline.json / BENCH_fused.json / BENCH_server.json against committed
+# copies and fails when any entry regressed by more than 20% (speedups are scalar-relative
+# ratios, so they are comparable across hosts in a way raw wall times are not).  A set that is
+# missing on either side is skipped, so callers can gate just the subset they regenerated.
 #
 # Usage:
 #   scripts/bench_diff.sh                      # regenerate into a temp dir, diff vs repo root
@@ -30,13 +31,20 @@ elif [ "$#" -eq 0 ]; then
   RAYFLEX_BENCH_RENDER_JSON="$fresh_dir/BENCH_render_passes.json" \
   RAYFLEX_BENCH_FUSED_JSON="$fresh_dir/BENCH_fused.json" \
     "$repo_root/scripts/bench_baseline.sh"
+  RAYFLEX_SERVER_JSON="$fresh_dir/BENCH_server.json" \
+    "$repo_root/scripts/bench_server.sh"
 else
   echo "usage: $0 [COMMITTED_DIR FRESH_DIR]" >&2
   exit 2
 fi
 
 status=0
-for name in BENCH_baseline.json BENCH_fused.json; do
+for name in BENCH_baseline.json BENCH_fused.json BENCH_server.json; do
+  if [ ! -f "$committed_dir/$name" ] || [ ! -f "$fresh_dir/$name" ]; then
+    echo
+    echo "== $name == (missing on one side, skipped)"
+    continue
+  fi
   echo
   echo "== $name =="
   cargo run --release -q -p rayflex-bench --bin bench_diff -- \
